@@ -1,0 +1,326 @@
+package repro
+
+// Benchmark harness for the paper's evaluation section. Each figure panel
+// has one benchmark whose sub-benchmarks are the figure's series crossed
+// with the thread axis; the reported Mops/s metric is the paper's y-axis
+// (millions of enqueue+dequeue operations per second, alternating pairs on
+// a queue seeded with 16 nodes).
+//
+//	go test -bench 'Fig5a' -benchmem .
+//	go test -bench 'Fig5b' -benchmem .
+//	go test -bench 'Ablation' .
+//
+// Absolute numbers depend on the simulated device parameters (flush
+// latency, access delay — see DESIGN.md); the comparisons within one
+// figure are the reproduction target.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pmem"
+	"repro/internal/pmwcas"
+	"repro/internal/stack"
+)
+
+// Calibrated device parameters (see EXPERIMENTS.md).
+const (
+	benchFlushLatency = 300 * time.Nanosecond
+	benchAccessDelay  = 100
+)
+
+var benchThreads = []int{1, 2, 4, 8, 20}
+
+// runPairs drives b.N operations (as enqueue/dequeue pairs) across
+// `threads` goroutines against one queue configuration and reports Mops/s.
+func runPairs(b *testing.B, impl harness.Impl, threads int) {
+	b.Helper()
+	q, _, err := harness.Build(impl, harness.BuildConfig{
+		Threads:      threads,
+		FlushLatency: benchFlushLatency,
+		AccessDelay:  benchAccessDelay,
+	})
+	if err != nil {
+		b.Fatalf("build %s: %v", impl, err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := q.Enqueue(0, uint64(1000+i)); err != nil {
+			b.Fatalf("seed: %v", err)
+		}
+	}
+	pairs := b.N/(2*threads) + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			v := uint64(tid + 1)
+			for i := 0; i < pairs; i++ {
+				_ = q.Enqueue(tid, v)
+				q.Dequeue(tid)
+				v++
+			}
+		}(tid)
+	}
+	wg.Wait()
+	b.StopTimer()
+	total := float64(pairs * 2 * threads)
+	b.ReportMetric(total/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkFig5a regenerates Figure 5a: different levels of detectability
+// and persistence (MS queue vs non-detectable vs detectable DSS queue).
+func BenchmarkFig5a(b *testing.B) {
+	for _, impl := range harness.Impls5a() {
+		for _, th := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", impl, th), func(b *testing.B) {
+				runPairs(b, impl, th)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5b regenerates Figure 5b: different detectable queue
+// implementations (DSS vs log queue vs Fast/General CASWithEffect).
+func BenchmarkFig5b(b *testing.B) {
+	for _, impl := range harness.Impls5b() {
+		for _, th := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", impl, th), func(b *testing.B) {
+				runPairs(b, impl, th)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationFlushLatency sweeps the simulated CLWB+SFENCE cost for
+// the detectable DSS queue: the knob behind every persistence ratio in
+// Figure 5 (DESIGN.md, substitution table).
+func BenchmarkAblationFlushLatency(b *testing.B) {
+	for _, lat := range []time.Duration{0, 100 * time.Nanosecond, 300 * time.Nanosecond, 1000 * time.Nanosecond} {
+		b.Run(fmt.Sprintf("flush=%v", lat), func(b *testing.B) {
+			q, _, err := harness.Build(harness.DSSDetectable, harness.BuildConfig{
+				Threads: 1, FlushLatency: lat, AccessDelay: benchAccessDelay,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				_ = q.Enqueue(0, uint64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = q.Enqueue(0, uint64(i))
+				q.Dequeue(0)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDetectabilityOnDemand exercises the DSS's unique
+// ability to request detectability per operation (Section 1, contribution
+// 3): a workload where only a fraction of the pairs are detectable.
+func BenchmarkAblationDetectabilityOnDemand(b *testing.B) {
+	for _, pct := range []int{0, 25, 50, 75, 100} {
+		b.Run(fmt.Sprintf("detectable=%d%%", pct), func(b *testing.B) {
+			h, err := pmem.New(pmem.Config{
+				Words: 1 << 16, Mode: pmem.Direct,
+				FlushLatency: benchFlushLatency, AccessDelay: benchAccessDelay,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := core.New(h, 0, core.Config{Threads: 1, NodesPerThread: 256, ExtraNodes: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				_ = q.Enqueue(0, uint64(1000+i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%100 < pct {
+					_ = q.PrepEnqueue(0, uint64(i))
+					q.ExecEnqueue(0)
+					q.PrepDequeue(0)
+					q.ExecDequeue(0)
+				} else {
+					_ = q.Enqueue(0, uint64(i))
+					q.Dequeue(0)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecovery measures one crash/recovery cycle of the
+// centralized procedure (Figure 6) as a function of surviving queue
+// length. The measured unit includes the simulated reboot (Heap.Crash),
+// which is proportional to the arena size; the growth across sub-
+// benchmarks isolates the recovery scan's linear dependence on queue
+// length.
+func BenchmarkAblationRecovery(b *testing.B) {
+	for _, length := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("queue=%d", length), func(b *testing.B) {
+			words := 1<<14 + length*4*pmem.WordsPerLine
+			h, err := pmem.New(pmem.Config{Words: words, Mode: pmem.Tracked})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := core.New(h, 0, core.Config{Threads: 4, NodesPerThread: length/2 + 64, ExtraNodes: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < length; i++ {
+				// Spread across threads: free lists are owner-local.
+				if err := q.Enqueue(i%4, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.CrashNow()
+				h.Crash(pmem.DropAll{})
+				q.Recover()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationResolve measures the resolve operation itself — the
+// paper's O(1) detection path.
+func BenchmarkAblationResolve(b *testing.B) {
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.New(h, 0, core.Config{Threads: 1, NodesPerThread: 64, ExtraNodes: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = q.PrepEnqueue(0, 7)
+	q.ExecEnqueue(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := q.Resolve(0); res.Op != core.OpEnqueue {
+			b.Fatal("bad resolution")
+		}
+	}
+}
+
+// BenchmarkAblationPMwCASWidth measures PMwCAS cost against the number of
+// words per operation — why the paper's CASWithEffect queues trail the
+// specialized DSS queue.
+func BenchmarkAblationPMwCASWidth(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("words=%d", k), func(b *testing.B) {
+			h, err := pmem.New(pmem.Config{
+				Words: 1 << 16, Mode: pmem.Direct,
+				FlushLatency: benchFlushLatency, AccessDelay: benchAccessDelay,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := pmwcas.New(h, 0, 1, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			region := h.MustAlloc(8 * pmem.WordsPerLine)
+			entries := make([]pmwcas.Entry, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					entries[j] = pmwcas.Entry{
+						Addr: region + pmem.Addr(j*pmem.WordsPerLine),
+						Old:  uint64(i), New: uint64(i + 1),
+					}
+				}
+				if ok, err := p.Apply(0, entries); err != nil || !ok {
+					b.Fatalf("apply %d: (%v,%v)", i, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionDSSStack measures this repository's DSS-stack
+// extension with and without detectability, mirroring Figure 5a's
+// comparison on the second structure.
+func BenchmarkExtensionDSSStack(b *testing.B) {
+	for _, detect := range []bool{false, true} {
+		name := "plain"
+		if detect {
+			name = "detectable"
+		}
+		b.Run(name, func(b *testing.B) {
+			h, err := pmem.New(pmem.Config{
+				Words: 1 << 16, Mode: pmem.Direct,
+				FlushLatency: benchFlushLatency, AccessDelay: benchAccessDelay,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := stack.New(h, 0, stack.Config{Threads: 1, NodesPerThread: 256, ExtraNodes: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if detect {
+					_ = s.PrepPush(0, uint64(i))
+					s.ExecPush(0)
+					s.PrepPop(0)
+					s.ExecPop(0)
+				} else {
+					_ = s.Push(0, uint64(i))
+					s.Pop(0)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecoveryVariant compares the two recovery styles of
+// Section 3.3 — centralized (Figure 6) versus per-thread independent.
+func BenchmarkAblationRecoveryVariant(b *testing.B) {
+	prepare := func(b *testing.B) (*core.Queue, *pmem.Heap) {
+		b.Helper()
+		h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := core.New(h, 0, core.Config{Threads: 4, NodesPerThread: 256, ExtraNodes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 128; i++ {
+			if err := q.Enqueue(0, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return q, h
+	}
+	b.Run("centralized", func(b *testing.B) {
+		q, h := prepare(b)
+		for i := 0; i < b.N; i++ {
+			h.CrashNow()
+			h.Crash(pmem.DropAll{})
+			q.Recover()
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		q, h := prepare(b)
+		for i := 0; i < b.N; i++ {
+			h.CrashNow()
+			h.Crash(pmem.DropAll{})
+			q.ResetVolatile()
+			for tid := 0; tid < 4; tid++ {
+				q.RecoverLocal(tid)
+			}
+		}
+	})
+}

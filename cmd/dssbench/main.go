@@ -1,0 +1,95 @@
+// Command dssbench regenerates the paper's evaluation figures (Section 4,
+// Figure 5) on the simulated persistent-memory heap.
+//
+// Usage:
+//
+//	dssbench -figure 5a -threads 1,2,4,8,12,16,20 -duration 500ms
+//	dssbench -figure 5b -csv > fig5b.csv
+//	dssbench -impls ms-queue,dss-detectable -duration 1s
+//
+// Each series prints millions of operations per second (enqueues plus
+// dequeues), following the paper's workload: a queue seeded with 16
+// nodes, every thread running alternating enqueue/dequeue pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dssbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	figure := flag.String("figure", "5a", "figure to regenerate: 5a, 5b, or custom (with -impls)")
+	implList := flag.String("impls", "", "comma-separated implementations (overrides -figure)")
+	threadList := flag.String("threads", "1,2,4,8,12,16,20", "comma-separated thread counts")
+	duration := flag.Duration("duration", 300*time.Millisecond, "measurement duration per point (paper: 30s)")
+	repeats := flag.Int("repeats", 1, "runs averaged per point (paper: 10)")
+	flush := flag.Duration("flush", 200*time.Nanosecond, "simulated CLWB+SFENCE latency")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	threads, err := parseInts(*threadList)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
+	}
+	cfg := harness.SweepConfig{
+		Threads:      threads,
+		Duration:     *duration,
+		Repeats:      *repeats,
+		FlushLatency: *flush,
+	}
+
+	var impls []harness.Impl
+	switch {
+	case *implList != "":
+		for _, s := range strings.Split(*implList, ",") {
+			impls = append(impls, harness.Impl(strings.TrimSpace(s)))
+		}
+	case *figure == "5a":
+		impls = harness.Impls5a()
+	case *figure == "5b":
+		impls = harness.Impls5b()
+	default:
+		return fmt.Errorf("unknown figure %q (use 5a, 5b, or -impls)", *figure)
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping %d series x %d thread counts, %v per point (flush latency %v)\n",
+		len(impls), len(threads), *duration, *flush)
+	series, err := harness.Sweep(impls, cfg)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(harness.FormatCSV(series))
+	} else {
+		fmt.Print(harness.FormatTable(series))
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("thread count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+// Command flushcount reports the persistence-instruction footprint of
+// every queue configuration: throughput and flushes per operation at one
+// thread. This is the mechanism table behind Figure 5 — the paper
+// attributes each ordering in its evaluation to flush counts and
+// allocation traffic, and this tool makes those counts observable.
+//
+// Usage:
+//
+//	flushcount [-duration 200ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	duration := flag.Duration("duration", 200*time.Millisecond, "measurement duration per configuration")
+	flag.Parse()
+
+	fmt.Printf("%-24s %12s %14s\n", "configuration", "Mops/s", "flushes/op")
+	for _, impl := range harness.AllImpls() {
+		p, err := harness.RunThroughput(harness.RunConfig{
+			Impl: impl, Threads: 1, Duration: *duration,
+			FlushLatency: 300 * time.Nanosecond, AccessDelay: 100,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flushcount: %s: %v\n", impl, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-24s %12.3f %14.2f\n", impl, p.Mops, float64(p.Flushes)/float64(p.Ops))
+	}
+}

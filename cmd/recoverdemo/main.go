@@ -1,0 +1,128 @@
+// Command recoverdemo walks through a crash/recovery cycle of the DSS
+// queue step by step, printing what the application sees: the detectable
+// operations before the crash, the resolve outcomes after recovery, and
+// the exactly-once retry decision the resolutions enable.
+//
+// Usage:
+//
+//	recoverdemo -threads 3 -crash-step 120 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "recoverdemo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threads := flag.Int("threads", 3, "worker threads")
+	crashStep := flag.Uint64("crash-step", 150, "primitive memory step at which power is cut")
+	seed := flag.Int64("seed", 7, "dirty-line adversary seed")
+	flag.Parse()
+
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		return err
+	}
+	q, err := core.New(h, 0, core.Config{Threads: *threads, NodesPerThread: 64, ExtraNodes: 8})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== phase 1: %d threads run detectable enqueue/dequeue pairs\n", *threads)
+	fmt.Printf("   (simulated power loss armed at memory step %d)\n\n", *crashStep)
+	h.ArmCrash(*crashStep)
+
+	type opLog struct {
+		lines []string
+	}
+	logs := make([]opLog, *threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < *threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			pmem.RunToCrash(func() {
+				for i := 0; ; i++ {
+					v := uint64(tid+1)*1000 + uint64(i)
+					if err := q.PrepEnqueue(tid, v); err != nil {
+						return
+					}
+					q.ExecEnqueue(tid)
+					logs[tid].lines = append(logs[tid].lines, fmt.Sprintf("enqueued %d", v))
+					q.PrepDequeue(tid)
+					if got, ok := q.ExecDequeue(tid); ok {
+						logs[tid].lines = append(logs[tid].lines, fmt.Sprintf("dequeued %d", got))
+					} else {
+						logs[tid].lines = append(logs[tid].lines, "dequeued EMPTY")
+					}
+				}
+			})
+		}(tid)
+	}
+	wg.Wait()
+
+	for tid := 0; tid < *threads; tid++ {
+		fmt.Printf("thread %d completed %d operations before the crash; last few:\n", tid, len(logs[tid].lines))
+		tail := logs[tid].lines
+		if len(tail) > 3 {
+			tail = tail[len(tail)-3:]
+		}
+		for _, l := range tail {
+			fmt.Printf("    %s\n", l)
+		}
+	}
+
+	fmt.Printf("\n== phase 2: crash — un-flushed cache lines resolved by adversary (seed %d)\n", *seed)
+	before := h.DirtyLines()
+	h.Crash(pmem.NewRandomFates(*seed))
+	fmt.Printf("   %d dirty lines at the crash; persisted image survives\n", before)
+
+	fmt.Printf("\n== phase 3: centralized recovery (Figure 6) runs single-threaded\n")
+	q.Recover()
+	fmt.Printf("   head/tail repaired, X entries completed, %d nodes back on free lists\n\n", q.FreeNodes())
+
+	fmt.Printf("== phase 4: each thread resolves its interrupted operation\n")
+	for tid := 0; tid < *threads; tid++ {
+		res := q.Resolve(tid)
+		fmt.Printf("thread %d: resolve() = %s\n", tid, res.Resp())
+		switch {
+		case res.Op == core.OpEnqueue && !res.Executed:
+			fmt.Printf("    -> enqueue(%d) did NOT take effect; retrying exactly once\n", res.Arg)
+			q.ExecEnqueue(tid)
+		case res.Op == core.OpEnqueue && res.Executed:
+			fmt.Printf("    -> enqueue(%d) took effect; no retry needed\n", res.Arg)
+		case res.Op == core.OpDequeue && res.Executed && !res.Empty:
+			fmt.Printf("    -> dequeue returned %d before the crash; value recovered without re-execution\n", res.Val)
+		case res.Op == core.OpDequeue && res.Executed && res.Empty:
+			fmt.Printf("    -> dequeue observed an empty queue\n")
+		case res.Op == core.OpDequeue:
+			fmt.Printf("    -> dequeue did not take effect; application may retry\n")
+		default:
+			fmt.Printf("    -> no detectable operation was pending\n")
+		}
+	}
+
+	fmt.Printf("\n== phase 5: surviving queue contents (FIFO order)\n")
+	var rest []uint64
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	fmt.Printf("   %v\n", rest)
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package repro is a Go reproduction of Li & Golab, "Detectable
+// Sequential Specifications for Recoverable Shared Objects" (DISC 2021;
+// brief announcement at PODC 2021).
+//
+// The repository implements, from scratch, everything the paper describes
+// or depends on, over a simulated persistent-memory device (real Optane
+// hardware and flush intrinsics are not expressible in Go — see
+// DESIGN.md for the substitution):
+//
+//   - internal/spec: the DSS formalism — sequential specifications and
+//     the detectable transformation D⟨T⟩ of Figure 1.
+//   - internal/core: the DSS queue of Section 3 (Figures 3, 4, 6), with
+//     both the centralized and the independent recovery variants.
+//   - internal/pmem, internal/ebr: the persistent-memory substrate —
+//     word-addressed heap, volatile-cache simulation, deterministic
+//     crash injection, pools, and epoch-based reclamation.
+//   - internal/queue: the baselines — MS queue, durable queue, and the
+//     detectable log queue of Friedman et al.
+//   - internal/pmwcas, internal/cwe: Wang et al.'s persistent multi-word
+//     CAS and the General/Fast CASWithEffect queues built on it.
+//   - internal/check: a crash-aware linearizability checker (plus a
+//     polynomial queue-violation detector) used to verify Theorem 1
+//     mechanically.
+//   - internal/universal: the recoverable universal construction the
+//     paper sketches in Section 2.2.
+//   - internal/stack: the DSS transformation applied to a second
+//     structure (a detectable Treiber-style stack).
+//   - internal/nested: the queue over abstract base objects — Section
+//     2.2's application-managed nesting claim, executable.
+//   - internal/nrl: an NRL+-style detectable CAS, the paper's main
+//     comparison point.
+//   - internal/mp: the DSS over message passing (property D2).
+//   - internal/systematic: preemption-bounded systematic scheduling
+//     (stateless model checking) over the heap's step gate.
+//   - internal/harness: the evaluation driver that regenerates Figure 5.
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section; cmd/dssbench does the same from the command line,
+// cmd/crashsweep runs the exhaustive detectability verification, and
+// examples/ contains runnable applications of the public API.
+package repro

@@ -1,0 +1,107 @@
+//go:build linux
+
+// Persistent: the DSS queue surviving real process exits.
+//
+// The other examples simulate crashes inside one process; this one uses
+// the file-backed heap (mmap + msync), so the queue — and the
+// detectability state — live in a file and survive actual process
+// restarts and kills. Each invocation attaches to the existing queue,
+// runs recovery, reports what the previous invocation left behind, and
+// performs one command:
+//
+//	go run ./examples/persistent -file /tmp/inbox.pmem add 42
+//	go run ./examples/persistent -file /tmp/inbox.pmem add 43
+//	go run ./examples/persistent -file /tmp/inbox.pmem take
+//	go run ./examples/persistent -file /tmp/inbox.pmem status
+//
+// Kill an invocation at any point (or pull the plug, on a machine with
+// real persistent storage semantics) and the next run's resolve tells you
+// whether the interrupted operation took effect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func main() {
+	file := flag.String("file", "/tmp/dss-inbox.pmem", "backing file for the persistent heap")
+	flag.Parse()
+	if err := run(*file, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(path string, args []string) error {
+	heap, closeHeap, err := pmem.OpenFile(path, 1<<15)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeHeap(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
+
+	// Attach to the queue if this file already holds one; build otherwise.
+	q, err := core.Attach(heap, 0)
+	if err != nil {
+		q, err = core.New(heap, 0, core.Config{Threads: 1, NodesPerThread: 64, ExtraNodes: 8})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created a fresh inbox in %s\n", path)
+	} else {
+		q.Recover()
+		// Detectability across process lifetimes: what did the previous
+		// invocation leave pending?
+		res := q.Resolve(0)
+		switch {
+		case res.Op == core.OpEnqueue && !res.Executed:
+			fmt.Printf("note: previous add(%d) did not take effect; re-applying it now\n", res.Arg)
+			q.ExecEnqueue(0)
+		case res.Op == core.OpDequeue && res.Executed && !res.Empty:
+			fmt.Printf("note: previous take consumed %d (recovered from the resolution)\n", res.Val)
+		}
+	}
+
+	if len(args) == 0 {
+		args = []string{"status"}
+	}
+	switch args[0] {
+	case "add":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: add <number>")
+		}
+		v, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", args[1], err)
+		}
+		if err := q.PrepEnqueue(0, v); err != nil {
+			return err
+		}
+		q.ExecEnqueue(0)
+		fmt.Printf("added %d\n", v)
+	case "take":
+		q.PrepDequeue(0)
+		if v, ok := q.ExecDequeue(0); ok {
+			fmt.Printf("took %d\n", v)
+		} else {
+			fmt.Println("inbox is empty")
+		}
+	case "status":
+		res := q.Resolve(0)
+		fmt.Printf("last detectable operation: %s\n", res.Resp())
+		fmt.Printf("free nodes: %d\n", q.FreeNodes())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q (use add/take/status)\n", args[0])
+		os.Exit(2)
+	}
+	return heap.SyncErr()
+}

@@ -1,0 +1,237 @@
+// Package check verifies concurrent histories against sequential
+// specifications. It implements a Wing-Gong/Lowe-style linearizability
+// search with state memoization, extended with the crash semantics of
+// strict linearizability (Aguilera & Frølund), the correctness condition
+// Theorem 1 claims for the DSS queue: an operation interrupted by a crash
+// either takes effect before the crash or not at all.
+//
+// Combined with the spec package's D⟨T⟩ transformation, this yields a
+// conformance checker for detectable objects: record a history of
+// prep/exec/resolve calls (with crashes), and ask whether it is strictly
+// linearizable with respect to D⟨queue⟩.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Call is one operation instance in a concurrent history.
+type Call struct {
+	// Proc is the calling process.
+	Proc int
+	// Op is the invoked operation.
+	Op spec.Op
+	// Ret is the response, meaningful only when HasRet.
+	Ret spec.Resp
+	// HasRet is false for operations that never returned (interrupted by
+	// a crash): any response is acceptable if the operation linearizes.
+	HasRet bool
+	// Invoke and Return bound the operation's linearization window.
+	// For an interrupted operation, Return is the crash time.
+	Invoke int64
+	Return int64
+	// Optional marks a crash-interrupted operation: it may linearize
+	// within its window or never take effect at all.
+	Optional bool
+}
+
+// String renders the call for diagnostics.
+func (c Call) String() string {
+	ret := "?"
+	if c.HasRet {
+		ret = c.Ret.String()
+	}
+	opt := ""
+	if c.Optional {
+		opt = " (interrupted)"
+	}
+	return fmt.Sprintf("p%d: %s -> %s [%d,%d]%s", c.Proc, c.Op, ret, c.Invoke, c.Return, opt)
+}
+
+// Result reports a check outcome with a witness or counter-explanation.
+type Result struct {
+	// OK is true when the history is (strictly) linearizable.
+	OK bool
+	// Explored is the number of distinct search states visited.
+	Explored int
+}
+
+// Linearizable reports whether hist is linearizable with respect to the
+// sequential specification whose initial state is init. All calls must
+// have HasRet set and Optional clear (use StrictlyLinearizable for crash
+// histories).
+func Linearizable(init spec.State, hist []Call) Result {
+	return StrictlyLinearizable(init, hist)
+}
+
+// StrictlyLinearizable reports whether hist is strictly linearizable with
+// respect to init: a total order of a subset of the calls (all mandatory
+// calls, any subset of Optional calls) that extends the real-time order,
+// is legal for the specification, and matches every recorded response.
+func StrictlyLinearizable(init spec.State, hist []Call) Result {
+	n := len(hist)
+	if n > 64 {
+		// One uint64 bitmask keeps the memo key compact; histories meant
+		// for this checker are small by construction.
+		panic(fmt.Sprintf("check: history too long (%d > 64 calls)", n))
+	}
+	ops := make([]Call, n)
+	copy(ops, hist)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	memo := map[string]bool{}
+	explored := 0
+	full := uint64(1)<<uint(n) - 1
+
+	var search func(handled uint64, st spec.State) bool
+	search = func(handled uint64, st spec.State) bool {
+		if handled == full {
+			return true
+		}
+		// Done when every mandatory call is handled.
+		allMandatoryDone := true
+		for i := 0; i < n; i++ {
+			if handled&(1<<uint(i)) == 0 && !ops[i].Optional {
+				allMandatoryDone = false
+				break
+			}
+		}
+		if allMandatoryDone {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", handled, st.Key())
+		if v, seen := memo[key]; seen {
+			return v
+		}
+		explored++
+
+		// minRet over unhandled mandatory calls bounds which calls may
+		// linearize next without violating real-time order.
+		minRet := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if handled&(1<<uint(i)) == 0 && !ops[i].Optional && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		ok := false
+		for i := 0; i < n && !ok; i++ {
+			bit := uint64(1) << uint(i)
+			if handled&bit != 0 {
+				continue
+			}
+			c := ops[i]
+			if c.Invoke > minRet {
+				break // sorted by Invoke: no later call can be a candidate
+			}
+			next, resp, enabled := st.Apply(c.Op, c.Proc)
+			if !enabled {
+				continue
+			}
+			if c.HasRet && resp != c.Ret {
+				continue
+			}
+			// Linearizing c forces skipping every unhandled optional call
+			// that ended before c began.
+			nh := handled | bit
+			for j := 0; j < n; j++ {
+				jb := uint64(1) << uint(j)
+				if nh&jb == 0 && ops[j].Optional && ops[j].Return < c.Invoke {
+					nh |= jb
+				}
+			}
+			ok = search(nh, next)
+		}
+		memo[key] = ok
+		return ok
+	}
+
+	okAll := search(0, init)
+	return Result{OK: okAll, Explored: explored}
+}
+
+// Recorder builds a history from concurrent workers. Begin/End are called
+// by the workers themselves; CrashAll is called by the harness after all
+// workers have unwound from a simulated crash.
+type Recorder struct {
+	mu    sync.Mutex
+	clock int64
+	done  []Call
+	open  map[int]Call
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: map[int]Call{}}
+}
+
+// Begin records the invocation of op by proc. A proc has at most one open
+// call.
+func (r *Recorder) Begin(proc int, op spec.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.open[proc]; dup {
+		panic(fmt.Sprintf("check: proc %d began a call with one still open", proc))
+	}
+	r.clock++
+	r.open[proc] = Call{Proc: proc, Op: op, Invoke: r.clock}
+}
+
+// End records proc's response for its open call.
+func (r *Recorder) End(proc int, ret spec.Resp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.open[proc]
+	if !ok {
+		panic(fmt.Sprintf("check: proc %d ended a call it never began", proc))
+	}
+	delete(r.open, proc)
+	r.clock++
+	c.Return = r.clock
+	c.Ret = ret
+	c.HasRet = true
+	r.done = append(r.done, c)
+}
+
+// CrashAll closes every open call as interrupted at the crash instant.
+func (r *Recorder) CrashAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	for proc, c := range r.open {
+		c.Return = r.clock
+		c.Optional = true
+		r.done = append(r.done, c)
+		delete(r.open, proc)
+	}
+}
+
+// History returns the recorded calls. Open calls (if any) are excluded;
+// call CrashAll or let workers finish first.
+func (r *Recorder) History() []Call {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Call, len(r.done))
+	copy(out, r.done)
+	return out
+}
+
+// Len reports the number of completed (closed) calls.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.done)
+}
+
+// FormatHistory renders a history for failure messages.
+func FormatHistory(hist []Call) string {
+	var b strings.Builder
+	for _, c := range hist {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}

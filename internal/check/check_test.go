@@ -1,0 +1,311 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// h builds a completed call.
+func h(proc int, op spec.Op, ret spec.Resp, inv, ret2 int64) Call {
+	return Call{Proc: proc, Op: op, Ret: ret, HasRet: true, Invoke: inv, Return: ret2}
+}
+
+// hi builds an interrupted (optional, unknown-response) call.
+func hi(proc int, op spec.Op, inv, crash int64) Call {
+	return Call{Proc: proc, Op: op, Invoke: inv, Return: crash, Optional: true}
+}
+
+func TestSequentialRegisterHistory(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Write(1), spec.AckResp(), 1, 2),
+		h(0, spec.Read(), spec.ValResp(1), 3, 4),
+	}
+	if r := Linearizable(spec.NewRegister(0), hist); !r.OK {
+		t.Fatalf("legal sequential history rejected:\n%s", FormatHistory(hist))
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Write(1), spec.AckResp(), 1, 2),
+		h(0, spec.Read(), spec.ValResp(0), 3, 4), // stale: write already returned
+	}
+	if r := Linearizable(spec.NewRegister(0), hist); r.OK {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMayGoEitherWay(t *testing.T) {
+	// Read overlaps the write: both 0 and 1 are legal.
+	for _, v := range []uint64{0, 1} {
+		hist := []Call{
+			h(0, spec.Write(1), spec.AckResp(), 1, 4),
+			h(1, spec.Read(), spec.ValResp(v), 2, 3),
+		}
+		if r := Linearizable(spec.NewRegister(0), hist); !r.OK {
+			t.Fatalf("concurrent read of %d rejected", v)
+		}
+	}
+}
+
+func TestQueueFIFOHistory(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Enqueue(1), spec.AckResp(), 1, 2),
+		h(0, spec.Enqueue(2), spec.AckResp(), 3, 4),
+		h(1, spec.Dequeue(), spec.ValResp(1), 5, 6),
+		h(1, spec.Dequeue(), spec.ValResp(2), 7, 8),
+		h(1, spec.Dequeue(), spec.EmptyResp(), 9, 10),
+	}
+	if r := Linearizable(spec.NewQueue(), hist); !r.OK {
+		t.Fatal("legal FIFO history rejected")
+	}
+}
+
+func TestQueueReorderRejected(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Enqueue(1), spec.AckResp(), 1, 2),
+		h(0, spec.Enqueue(2), spec.AckResp(), 3, 4),
+		h(1, spec.Dequeue(), spec.ValResp(2), 5, 6), // skips 1
+	}
+	if r := Linearizable(spec.NewQueue(), hist); r.OK {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestConcurrentEnqueuesEitherOrder(t *testing.T) {
+	for _, firstOut := range []uint64{1, 2} {
+		second := uint64(3) - firstOut
+		hist := []Call{
+			h(0, spec.Enqueue(1), spec.AckResp(), 1, 10),
+			h(1, spec.Enqueue(2), spec.AckResp(), 2, 9),
+			h(2, spec.Dequeue(), spec.ValResp(firstOut), 11, 12),
+			h(2, spec.Dequeue(), spec.ValResp(second), 13, 14),
+		}
+		if r := Linearizable(spec.NewQueue(), hist); !r.OK {
+			t.Fatalf("concurrent enqueue order %d-first rejected", firstOut)
+		}
+	}
+}
+
+func TestDuplicateDequeueRejected(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Enqueue(1), spec.AckResp(), 1, 2),
+		h(1, spec.Dequeue(), spec.ValResp(1), 3, 4),
+		h(2, spec.Dequeue(), spec.ValResp(1), 3, 5),
+	}
+	if r := Linearizable(spec.NewQueue(), hist); r.OK {
+		t.Fatal("duplicated value accepted")
+	}
+}
+
+func TestInterruptedOpMayVanish(t *testing.T) {
+	// Enqueue interrupted by a crash; later the queue reads empty.
+	hist := []Call{
+		hi(0, spec.Enqueue(1), 1, 2),
+		h(1, spec.Dequeue(), spec.EmptyResp(), 3, 4),
+	}
+	if r := StrictlyLinearizable(spec.NewQueue(), hist); !r.OK {
+		t.Fatal("vanishing interrupted enqueue rejected")
+	}
+}
+
+func TestInterruptedOpMayTakeEffect(t *testing.T) {
+	hist := []Call{
+		hi(0, spec.Enqueue(1), 1, 2),
+		h(1, spec.Dequeue(), spec.ValResp(1), 3, 4),
+	}
+	if r := StrictlyLinearizable(spec.NewQueue(), hist); !r.OK {
+		t.Fatal("effective interrupted enqueue rejected")
+	}
+}
+
+func TestInterruptedOpCannotLinearizeAfterCrash(t *testing.T) {
+	// Strict linearizability: the interrupted enqueue may not take effect
+	// after the crash, so a dequeue sequence EMPTY-then-value is illegal.
+	hist := []Call{
+		hi(0, spec.Enqueue(1), 1, 2),
+		h(1, spec.Dequeue(), spec.EmptyResp(), 3, 4),
+		h(1, spec.Dequeue(), spec.ValResp(1), 5, 6),
+	}
+	if r := StrictlyLinearizable(spec.NewQueue(), hist); r.OK {
+		t.Fatal("late effect of interrupted op accepted (violates strict linearizability)")
+	}
+}
+
+func TestDetectableHistoryFigure2a(t *testing.T) {
+	// prep-write(1); exec-write(1); crash; resolve -> (write(1), OK).
+	d := spec.Detectable(spec.NewRegister(0), 1)
+	hist := []Call{
+		h(0, spec.PrepOp(spec.Write(1)), spec.BottomResp(), 1, 2),
+		h(0, spec.ExecOp(spec.Write(1)), spec.AckResp(), 3, 4),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(1), spec.AckResp()), 6, 7),
+	}
+	if r := StrictlyLinearizable(d, hist); !r.OK {
+		t.Fatal("Figure 2(a) rejected")
+	}
+}
+
+func TestDetectableHistoryFigure2b(t *testing.T) {
+	// Crash during exec: resolve may report ⊥ or OK, nothing else.
+	d := spec.Detectable(spec.NewRegister(0), 1)
+	for _, inner := range []spec.Resp{spec.BottomResp(), spec.AckResp()} {
+		hist := []Call{
+			h(0, spec.PrepOp(spec.Write(1)), spec.BottomResp(), 1, 2),
+			hi(0, spec.ExecOp(spec.Write(1)), 3, 4),
+			h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(1), inner), 5, 6),
+		}
+		if r := StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("Figure 2(b) with %v rejected", inner)
+		}
+	}
+	// A wrong value is rejected.
+	hist := []Call{
+		h(0, spec.PrepOp(spec.Write(1)), spec.BottomResp(), 1, 2),
+		hi(0, spec.ExecOp(spec.Write(1)), 3, 4),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(2), spec.BottomResp()), 5, 6),
+	}
+	if r := StrictlyLinearizable(d, hist); r.OK {
+		t.Fatal("resolve reporting the wrong op accepted")
+	}
+}
+
+func TestDetectableHistoryFigure2c(t *testing.T) {
+	// Crash before exec: resolve must report (write(1), ⊥).
+	d := spec.Detectable(spec.NewRegister(0), 1)
+	hist := []Call{
+		h(0, spec.PrepOp(spec.Write(1)), spec.BottomResp(), 1, 2),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(1), spec.BottomResp()), 4, 5),
+	}
+	if r := StrictlyLinearizable(d, hist); !r.OK {
+		t.Fatal("Figure 2(c) rejected")
+	}
+	bad := []Call{
+		h(0, spec.PrepOp(spec.Write(1)), spec.BottomResp(), 1, 2),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(1), spec.AckResp()), 4, 5),
+	}
+	if r := StrictlyLinearizable(d, bad); r.OK {
+		t.Fatal("resolve claiming execution without exec accepted")
+	}
+}
+
+func TestDetectableHistoryFigure2d(t *testing.T) {
+	// Crash during prep: resolve returns (⊥, ⊥) or (write(1), ⊥).
+	d := spec.Detectable(spec.NewRegister(0), 1)
+	for _, pair := range []spec.Resp{
+		spec.PairResp(false, spec.Op{}, spec.BottomResp()),
+		spec.PairResp(true, spec.Write(1), spec.BottomResp()),
+	} {
+		hist := []Call{
+			hi(0, spec.PrepOp(spec.Write(1)), 1, 2),
+			h(0, spec.ResolveOp(), pair, 3, 4),
+		}
+		if r := StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("Figure 2(d) with %v rejected", pair)
+		}
+	}
+	bad := []Call{
+		hi(0, spec.PrepOp(spec.Write(1)), 1, 2),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Write(1), spec.AckResp()), 3, 4),
+	}
+	if r := StrictlyLinearizable(d, bad); r.OK {
+		t.Fatal("crashed prep resolved as executed accepted")
+	}
+}
+
+func TestResolveExecOrderingOnSameObject(t *testing.T) {
+	// Section 2.2: a resolve cannot be reordered before an exec on the
+	// same object when the exec returned first.
+	d := spec.Detectable(spec.NewCounter(), 1)
+	hist := []Call{
+		h(0, spec.PrepOp(spec.Inc()), spec.BottomResp(), 1, 2),
+		h(0, spec.ExecOp(spec.Inc()), spec.ValResp(0), 3, 4),
+		h(0, spec.ResolveOp(), spec.PairResp(true, spec.Inc(), spec.BottomResp()), 5, 6),
+	}
+	if r := StrictlyLinearizable(d, hist); r.OK {
+		t.Fatal("resolve reordered before completed exec accepted")
+	}
+}
+
+func TestHistoryTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized history")
+		}
+	}()
+	long := make([]Call, 65)
+	for i := range long {
+		long[i] = h(0, spec.Read(), spec.ValResp(0), int64(2*i), int64(2*i+1))
+	}
+	StrictlyLinearizable(spec.NewRegister(0), long)
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, spec.Enqueue(1))
+	r.End(0, spec.AckResp())
+	r.Begin(1, spec.Dequeue())
+	r.CrashAll()
+	hist := r.History()
+	if len(hist) != 2 {
+		t.Fatalf("history has %d calls, want 2", len(hist))
+	}
+	var interrupted *Call
+	for i := range hist {
+		if hist[i].Optional {
+			interrupted = &hist[i]
+		}
+	}
+	if interrupted == nil || interrupted.Proc != 1 || interrupted.HasRet {
+		t.Fatalf("crash interruption not recorded: %+v", hist)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRecorderPanicsOnMisuse(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, spec.Read())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Begin did not panic")
+			}
+		}()
+		r.Begin(0, spec.Read())
+	}()
+	r.End(0, spec.ValResp(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("End without Begin did not panic")
+		}
+	}()
+	r.End(0, spec.ValResp(0))
+}
+
+func TestRealTimeOrderAcrossProcs(t *testing.T) {
+	// p0's enqueue(1) completes before p1's enqueue(2) begins; a dequeue
+	// returning 2 then 1 violates real-time order.
+	hist := []Call{
+		h(0, spec.Enqueue(1), spec.AckResp(), 1, 2),
+		h(1, spec.Enqueue(2), spec.AckResp(), 3, 4),
+		h(0, spec.Dequeue(), spec.ValResp(2), 5, 6),
+		h(1, spec.Dequeue(), spec.ValResp(1), 7, 8),
+	}
+	if r := Linearizable(spec.NewQueue(), hist); r.OK {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestExploredCounter(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Enqueue(1), spec.AckResp(), 1, 4),
+		h(1, spec.Enqueue(2), spec.AckResp(), 2, 5),
+		h(2, spec.Enqueue(3), spec.AckResp(), 3, 6),
+	}
+	r := Linearizable(spec.NewQueue(), hist)
+	if !r.OK || r.Explored == 0 {
+		t.Fatalf("unexpected result %+v", r)
+	}
+}

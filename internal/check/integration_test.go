@@ -1,0 +1,269 @@
+package check_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// These tests are the executable form of Theorem 1: they drive the real
+// DSS queue implementation, record the concurrent history (including
+// crashes), and verify it against the formal D⟨queue⟩ specification under
+// strict linearizability with the generic checker.
+
+func newDSS(t *testing.T, threads int) (*core.Queue, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.New(h, 0, core.Config{Threads: threads, NodesPerThread: 32, ExtraNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, h
+}
+
+// runDetectablePairs has each thread run `pairs` detectable
+// enqueue/dequeue pairs, recording every call. It stops early on a crash.
+func runDetectablePairs(t *testing.T, q *core.Queue, rec *check.Recorder, threads, pairs int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			pmem.RunToCrash(func() {
+				for i := 0; i < pairs; i++ {
+					v := uint64(tid+1)*100 + uint64(i)
+					rec.Begin(tid, spec.PrepOp(spec.Enqueue(v)))
+					if err := q.PrepEnqueue(tid, v); err != nil {
+						t.Errorf("prep: %v", err)
+						return
+					}
+					rec.End(tid, spec.BottomResp())
+					rec.Begin(tid, spec.ExecOp(spec.Enqueue(v)))
+					q.ExecEnqueue(tid)
+					rec.End(tid, spec.AckResp())
+					rec.Begin(tid, spec.PrepOp(spec.Dequeue()))
+					q.PrepDequeue(tid)
+					rec.End(tid, spec.BottomResp())
+					rec.Begin(tid, spec.ExecOp(spec.Dequeue()))
+					got, ok := q.ExecDequeue(tid)
+					if ok {
+						rec.End(tid, spec.ValResp(got))
+					} else {
+						rec.End(tid, spec.EmptyResp())
+					}
+				}
+			})
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestFailureFreeDetectableHistoriesLinearizable(t *testing.T) {
+	const threads = 3
+	const pairs = 2
+	for trial := 0; trial < 10; trial++ {
+		q, _ := newDSS(t, threads)
+		rec := check.NewRecorder()
+		runDetectablePairs(t, q, rec, threads, pairs)
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), threads)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("trial %d: history not linearizable w.r.t. D<queue>:\n%s",
+				trial, check.FormatHistory(hist))
+		}
+	}
+}
+
+func TestCrashedDetectableHistoriesStrictlyLinearizable(t *testing.T) {
+	const threads = 2
+	const pairs = 2
+	for trial := 0; trial < 60; trial++ {
+		q, h := newDSS(t, threads)
+		rec := check.NewRecorder()
+		h.ArmCrash(uint64(10 + trial*7))
+		runDetectablePairs(t, q, rec, threads, pairs)
+		crashed := h.Crashed()
+		if crashed {
+			rec.CrashAll()
+			h.Crash(pmem.NewRandomFates(int64(trial)))
+			q.Recover()
+			// Every thread resolves after recovery; the resolution is part
+			// of the checked history.
+			for tid := 0; tid < threads; tid++ {
+				rec.Begin(tid, spec.ResolveOp())
+				rec.End(tid, q.Resolve(tid).Resp())
+			}
+		}
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), threads)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("trial %d (crashed=%v): history not strictly linearizable:\n%s",
+				trial, crashed, check.FormatHistory(hist))
+		}
+	}
+}
+
+// TestCrashSweepSingleThreadConformance exhaustively sweeps crash points
+// for a single thread and feeds the complete history (with the post-crash
+// resolve and a drain) to the checker — deterministic full conformance.
+func TestCrashSweepSingleThreadConformance(t *testing.T) {
+	for _, adv := range pmem.Adversaries(41) {
+		for step := uint64(1); ; step++ {
+			q, h := newDSS(t, 1)
+			rec := check.NewRecorder()
+			h.ArmCrash(step)
+			runDetectablePairs(t, q, rec, 1, 2)
+			if !h.Crashed() {
+				break
+			}
+			rec.CrashAll()
+			h.Crash(adv)
+			q.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, q.Resolve(0).Resp())
+			// Drain with non-detectable dequeues, also recorded.
+			for {
+				rec.Begin(0, spec.Dequeue())
+				v, ok := q.Dequeue(0)
+				if ok {
+					rec.End(0, spec.ValResp(v))
+				} else {
+					rec.End(0, spec.EmptyResp())
+					break
+				}
+			}
+			hist := rec.History()
+			d := spec.Detectable(spec.NewQueue(), 1)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				t.Fatalf("step %d: history not strictly linearizable:\n%s",
+					step, check.FormatHistory(hist))
+			}
+		}
+	}
+}
+
+// TestExactlyOnceRetryAfterCrash exercises the paper's motivating use
+// case: after a crash, a thread resolves its pending enqueue and re-
+// executes it only if it did not take effect; the checker validates that
+// the combined history is exactly-once.
+func TestExactlyOnceRetryAfterCrash(t *testing.T) {
+	for step := uint64(1); ; step++ {
+		q, h := newDSS(t, 1)
+		rec := check.NewRecorder()
+		h.ArmCrash(step)
+		crashed := pmem.RunToCrash(func() {
+			v := uint64(42)
+			rec.Begin(0, spec.PrepOp(spec.Enqueue(v)))
+			if err := q.PrepEnqueue(0, v); err != nil {
+				t.Fatal(err)
+			}
+			rec.End(0, spec.BottomResp())
+			rec.Begin(0, spec.ExecOp(spec.Enqueue(v)))
+			q.ExecEnqueue(0)
+			rec.End(0, spec.AckResp())
+		})
+		if !crashed {
+			break
+		}
+		rec.CrashAll()
+		h.Crash(pmem.DropAll{})
+		q.Recover()
+		rec.Begin(0, spec.ResolveOp())
+		res := q.Resolve(0)
+		rec.End(0, res.Resp())
+		if res.Op == core.OpEnqueue && !res.Executed {
+			// Exactly-once retry: the prepared operation is still enabled.
+			rec.Begin(0, spec.ExecOp(spec.Enqueue(42)))
+			q.ExecEnqueue(0)
+			rec.End(0, spec.AckResp())
+		}
+		// Regardless of where the crash hit, the queue must now contain
+		// exactly one 42 — unless the prep itself was lost, in which case
+		// resolve said (⊥,⊥) and no retry happened.
+		var drained []uint64
+		for {
+			rec.Begin(0, spec.Dequeue())
+			v, ok := q.Dequeue(0)
+			if ok {
+				rec.End(0, spec.ValResp(v))
+				drained = append(drained, v)
+			} else {
+				rec.End(0, spec.EmptyResp())
+				break
+			}
+		}
+		wantOne := res.Op == core.OpEnqueue
+		if wantOne && (len(drained) != 1 || drained[0] != 42) {
+			t.Fatalf("step %d: retry semantics broken: drained %v (res %+v)", step, drained, res)
+		}
+		if !wantOne && len(drained) != 0 {
+			t.Fatalf("step %d: value appeared without a resolvable prep: %v", step, drained)
+		}
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), 1)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("step %d: retry history not strictly linearizable:\n%s",
+				step, check.FormatHistory(hist))
+		}
+	}
+}
+
+// TestMixedDetectableAndPlainOps drives both API levels concurrently and
+// checks the combined history.
+func TestMixedDetectableAndPlainOps(t *testing.T) {
+	const threads = 2
+	for trial := 0; trial < 10; trial++ {
+		q, _ := newDSS(t, threads)
+		rec := check.NewRecorder()
+		var wg sync.WaitGroup
+		// Thread 0: detectable pairs. Thread 1: plain pairs.
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				v := uint64(100 + i)
+				rec.Begin(0, spec.PrepOp(spec.Enqueue(v)))
+				if err := q.PrepEnqueue(0, v); err != nil {
+					t.Error(err)
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Enqueue(v)))
+				q.ExecEnqueue(0)
+				rec.End(0, spec.AckResp())
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				v := uint64(200 + i)
+				rec.Begin(1, spec.Enqueue(v))
+				if err := q.Enqueue(1, v); err != nil {
+					t.Error(err)
+					return
+				}
+				rec.End(1, spec.AckResp())
+				rec.Begin(1, spec.Dequeue())
+				if got, ok := q.Dequeue(1); ok {
+					rec.End(1, spec.ValResp(got))
+				} else {
+					rec.End(1, spec.EmptyResp())
+				}
+			}
+		}()
+		wg.Wait()
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), threads)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			t.Fatalf("trial %d: mixed history not linearizable:\n%s", trial, check.FormatHistory(hist))
+		}
+	}
+}

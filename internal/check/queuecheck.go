@@ -1,0 +1,187 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// The WGL search in check.go is exact but exponential, so it is limited
+// to histories of at most 64 calls. This file provides the complement: a
+// polynomial-time *violation detector* for FIFO-queue histories with
+// distinct values, in the spirit of Bouajjani, Emmi, Enea and Hamza's
+// bad-pattern characterizations. It checks the standard violation classes
+// (invented or duplicated values, dequeue-before-enqueue, FIFO-order
+// inversions, lost values, and impossible EMPTYs) over histories of any
+// length, which lets crash-stress tests validate hundreds of thousands of
+// operations. It never reports a false violation; completeness is
+// established empirically by differential testing against the WGL checker
+// on random small histories (see queuecheck_test.go).
+
+// QOpKind classifies a queue-history operation.
+type QOpKind int
+
+const (
+	// QEnq is a completed (or resolved-as-effective) enqueue.
+	QEnq QOpKind = iota + 1
+	// QDeq is a completed dequeue that returned a value.
+	QDeq
+	// QDeqEmpty is a completed dequeue that returned EMPTY.
+	QDeqEmpty
+)
+
+// QOp is one operation in a closed queue history: an operation whose
+// effect is known (crash-interrupted operations must first be resolved —
+// effective ones get their value and a Return no later than the crash
+// time; ineffective ones are dropped).
+type QOp struct {
+	Kind QOpKind
+	// V is the enqueued or dequeued value (distinct across enqueues).
+	V uint64
+	// Inv and Ret bound the operation's interval.
+	Inv, Ret int64
+}
+
+// String renders the operation.
+func (o QOp) String() string {
+	switch o.Kind {
+	case QEnq:
+		return fmt.Sprintf("enq(%d)[%d,%d]", o.V, o.Inv, o.Ret)
+	case QDeq:
+		return fmt.Sprintf("deq->%d[%d,%d]", o.V, o.Inv, o.Ret)
+	case QDeqEmpty:
+		return fmt.Sprintf("deq->EMPTY[%d,%d]", o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("QOp(%d)", int(o.Kind))
+	}
+}
+
+// hb reports whether a happens-before b (a returns before b is invoked).
+func hb(a, b QOp) bool { return a.Ret < b.Inv }
+
+// CheckQueueHistory scans a closed queue history for violations and
+// returns a description of each one found (nil means none of the checked
+// patterns occurs).
+func CheckQueueHistory(ops []QOp) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	enqs := map[uint64]QOp{}
+	deqs := map[uint64]QOp{}
+	var empties []QOp
+	for _, o := range ops {
+		switch o.Kind {
+		case QEnq:
+			if prev, dup := enqs[o.V]; dup {
+				report("value %d enqueued twice: %s and %s", o.V, prev, o)
+				continue
+			}
+			enqs[o.V] = o
+		case QDeq:
+			if prev, dup := deqs[o.V]; dup {
+				report("value %d dequeued twice: %s and %s", o.V, prev, o)
+				continue
+			}
+			deqs[o.V] = o
+		case QDeqEmpty:
+			empties = append(empties, o)
+		}
+	}
+
+	// Pattern 1: dequeues of values never enqueued, or that certainly
+	// left the queue before entering it.
+	for v, d := range deqs {
+		e, ok := enqs[v]
+		if !ok {
+			report("value %d dequeued but never enqueued: %s", v, d)
+			continue
+		}
+		if hb(d, e) {
+			report("dequeue returns before enqueue begins for %d: %s vs %s", v, d, e)
+		}
+	}
+
+	// Pattern 2: FIFO inversions. For enq(a) <hb enq(b):
+	//   (i) if b was dequeued and a was not, a was overtaken forever;
+	//  (ii) if both were dequeued, deq(b) must not precede deq(a).
+	values := make([]uint64, 0, len(enqs))
+	for v := range enqs {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return enqs[values[i]].Inv < enqs[values[j]].Inv })
+	for i := 0; i < len(values); i++ {
+		for j := 0; j < len(values); j++ {
+			if i == j {
+				continue
+			}
+			a, b := values[i], values[j]
+			if !hb(enqs[a], enqs[b]) {
+				continue
+			}
+			db, bDeq := deqs[b]
+			if !bDeq {
+				continue
+			}
+			da, aDeq := deqs[a]
+			if !aDeq {
+				report("FIFO violation: enq(%d) precedes enq(%d), %d dequeued but %d never was",
+					a, b, b, a)
+				continue
+			}
+			if hb(db, da) {
+				report("FIFO violation: enq(%d) precedes enq(%d) but deq(%d) precedes deq(%d)",
+					a, b, b, a)
+			}
+		}
+	}
+
+	// Pattern 3: impossible EMPTYs. An EMPTY dequeue is a violation if
+	// some value was certainly present throughout its interval: enqueued
+	// before the EMPTY began and not dequeued until after it returned.
+	for _, em := range empties {
+		for v, e := range enqs {
+			if !hb(e, em) {
+				continue
+			}
+			d, dequeued := deqs[v]
+			if !dequeued || hb(em, d) {
+				report("EMPTY at %s while value %d was certainly present (enq %s)", em, v, e)
+				break
+			}
+		}
+	}
+
+	return bad
+}
+
+// HistoryToQueueOps converts a recorded (closed) history of base queue
+// operations into QOps for the polynomial detector. Calls other than
+// plain enqueue/dequeue (prep/exec/resolve, interrupted calls) are
+// rejected — resolve and close the history first.
+func HistoryToQueueOps(hist []Call) ([]QOp, error) {
+	out := make([]QOp, 0, len(hist))
+	for _, c := range hist {
+		if c.Optional || !c.HasRet {
+			return nil, fmt.Errorf("check: history not closed: %s", c)
+		}
+		if c.Op.Kind != spec.Base {
+			return nil, fmt.Errorf("check: non-base operation in queue history: %s", c)
+		}
+		switch c.Op.Sym {
+		case "enqueue":
+			out = append(out, QOp{Kind: QEnq, V: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+		case "dequeue":
+			if c.Ret.Kind == spec.Empty {
+				out = append(out, QOp{Kind: QDeqEmpty, Inv: c.Invoke, Ret: c.Return})
+			} else {
+				out = append(out, QOp{Kind: QDeq, V: c.Ret.V, Inv: c.Invoke, Ret: c.Return})
+			}
+		default:
+			return nil, fmt.Errorf("check: unknown queue operation %q", c.Op.Sym)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func qe(v uint64, inv, ret int64) QOp { return QOp{Kind: QEnq, V: v, Inv: inv, Ret: ret} }
+func qd(v uint64, inv, ret int64) QOp { return QOp{Kind: QDeq, V: v, Inv: inv, Ret: ret} }
+func qem(inv, ret int64) QOp          { return QOp{Kind: QDeqEmpty, Inv: inv, Ret: ret} }
+
+func TestQueueCheckAcceptsLegalSequential(t *testing.T) {
+	ops := []QOp{
+		qe(1, 1, 2), qe(2, 3, 4),
+		qd(1, 5, 6), qd(2, 7, 8),
+		qem(9, 10),
+	}
+	if bad := CheckQueueHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal history flagged: %v", bad)
+	}
+}
+
+func TestQueueCheckDetectsInventedValue(t *testing.T) {
+	ops := []QOp{qe(1, 1, 2), qd(2, 3, 4)}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("invented value not detected")
+	}
+}
+
+func TestQueueCheckDetectsDoubleDequeue(t *testing.T) {
+	ops := []QOp{qe(1, 1, 2), qd(1, 3, 4), qd(1, 5, 6)}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("double dequeue not detected")
+	}
+}
+
+func TestQueueCheckDetectsDoubleEnqueue(t *testing.T) {
+	ops := []QOp{qe(1, 1, 2), qe(1, 3, 4)}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("duplicate enqueue not detected")
+	}
+}
+
+func TestQueueCheckDetectsDequeueBeforeEnqueue(t *testing.T) {
+	ops := []QOp{qd(1, 1, 2), qe(1, 3, 4)}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("dequeue-before-enqueue not detected")
+	}
+}
+
+func TestQueueCheckDetectsFIFOInversion(t *testing.T) {
+	ops := []QOp{
+		qe(1, 1, 2), qe(2, 3, 4),
+		qd(2, 5, 6), qd(1, 7, 8),
+	}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("FIFO inversion not detected")
+	}
+}
+
+func TestQueueCheckDetectsOvertakenLostValue(t *testing.T) {
+	ops := []QOp{
+		qe(1, 1, 2), qe(2, 3, 4),
+		qd(2, 5, 6), // 2 leaves while 1, enqueued strictly earlier, never does
+	}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("overtaken value not detected")
+	}
+}
+
+func TestQueueCheckDetectsImpossibleEmpty(t *testing.T) {
+	ops := []QOp{
+		qe(1, 1, 2),
+		qem(3, 4), // 1 is certainly inside
+		qd(1, 5, 6),
+	}
+	if bad := CheckQueueHistory(ops); len(bad) == 0 {
+		t.Fatal("impossible EMPTY not detected")
+	}
+}
+
+func TestQueueCheckAcceptsConcurrentAmbiguity(t *testing.T) {
+	// Overlapping operations legitimately allow orders that would be
+	// violations if sequential.
+	ops := []QOp{
+		qe(1, 1, 10), qe(2, 2, 9), // concurrent enqueues
+		qd(2, 11, 12), qd(1, 13, 14), // either order fine
+		qem(3, 15), // overlaps everything: the queue may have been empty early on
+	}
+	if bad := CheckQueueHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal concurrent history flagged: %v", bad)
+	}
+}
+
+func TestHistoryToQueueOps(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Enqueue(5), spec.AckResp(), 1, 2),
+		h(1, spec.Dequeue(), spec.ValResp(5), 3, 4),
+		h(1, spec.Dequeue(), spec.EmptyResp(), 5, 6),
+	}
+	ops, err := HistoryToQueueOps(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 || ops[0].Kind != QEnq || ops[1].Kind != QDeq || ops[2].Kind != QDeqEmpty {
+		t.Fatalf("conversion wrong: %+v", ops)
+	}
+	if _, err := HistoryToQueueOps([]Call{hi(0, spec.Enqueue(1), 1, 2)}); err == nil {
+		t.Fatal("accepted unresolved interrupted call")
+	}
+	if _, err := HistoryToQueueOps([]Call{h(0, spec.ResolveOp(), spec.BottomResp(), 1, 2)}); err == nil {
+		t.Fatal("accepted non-base operation")
+	}
+}
+
+// genLegalHistory builds a random legal concurrent queue history: a
+// random legal sequential execution is computed against the spec, then
+// each operation's interval is stretched randomly around its
+// linearization point without crossing another point of the same proc.
+func genLegalHistory(rng *rand.Rand, nOps int) []QOp {
+	var st spec.State = spec.NewQueue()
+	type lin struct {
+		op    QOp
+		point int64
+	}
+	var lins []lin
+	next := uint64(1)
+	var point int64
+	for i := 0; i < nOps; i++ {
+		point += 10
+		if rng.Intn(2) == 0 {
+			v := next
+			next++
+			st2, _, _ := st.Apply(spec.Enqueue(v), 0)
+			st = st2
+			lins = append(lins, lin{qe(v, point, point), point})
+		} else {
+			st2, r, _ := st.Apply(spec.Dequeue(), 0)
+			st = st2
+			if r.Kind == spec.Empty {
+				lins = append(lins, lin{qem(point, point), point})
+			} else {
+				lins = append(lins, lin{qd(r.V, point, point), point})
+			}
+		}
+	}
+	// Stretch intervals: invocation up to 9 before, return up to 9 after
+	// the linearization point (points are 10 apart, so intervals may
+	// overlap neighbours arbitrarily but always contain their point).
+	out := make([]QOp, len(lins))
+	for i, l := range lins {
+		o := l.op
+		o.Inv = l.point - int64(rng.Intn(10))
+		o.Ret = l.point + int64(rng.Intn(10))
+		out[i] = o
+	}
+	return out
+}
+
+// toCalls converts QOps to checker Calls for the WGL ground truth.
+func toCalls(ops []QOp) []Call {
+	out := make([]Call, 0, len(ops))
+	for i, o := range ops {
+		proc := i % 8 // procs are irrelevant for base queue ops
+		switch o.Kind {
+		case QEnq:
+			out = append(out, Call{Proc: proc, Op: spec.Enqueue(o.V), Ret: spec.AckResp(), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case QDeq:
+			out = append(out, Call{Proc: proc, Op: spec.Dequeue(), Ret: spec.ValResp(o.V), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case QDeqEmpty:
+			out = append(out, Call{Proc: proc, Op: spec.Dequeue(), Ret: spec.EmptyResp(), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		}
+	}
+	return out
+}
+
+// TestQueueCheckNoFalseAlarms: the detector must accept every generated
+// legal history.
+func TestQueueCheckNoFalseAlarms(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genLegalHistory(rng, 4+rng.Intn(20))
+		if bad := CheckQueueHistory(ops); len(bad) != 0 {
+			t.Fatalf("seed %d: legal history flagged: %v\nops: %v", seed, bad, ops)
+		}
+	}
+}
+
+// TestQueueCheckDifferentialAgainstWGL mutates legal histories and
+// compares the polynomial detector against the exact WGL checker in both
+// directions: a flagged history must be WGL-rejected (soundness), and a
+// WGL-rejected history must be flagged (empirical completeness over this
+// distribution).
+func TestQueueCheckDifferentialAgainstWGL(t *testing.T) {
+	misses, total := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		ops := genLegalHistory(rng, 4+rng.Intn(10))
+		if len(ops) == 0 {
+			continue
+		}
+		// Mutate.
+		switch rng.Intn(4) {
+		case 0: // swap two dequeue values
+			var dq []int
+			for i, o := range ops {
+				if o.Kind == QDeq {
+					dq = append(dq, i)
+				}
+			}
+			if len(dq) >= 2 {
+				i, j := dq[rng.Intn(len(dq))], dq[rng.Intn(len(dq))]
+				ops[i].V, ops[j].V = ops[j].V, ops[i].V
+			}
+		case 1: // retarget a dequeue to a random (often wrong) value
+			for i, o := range ops {
+				if o.Kind == QDeq {
+					ops[i].V = o.V%3 + 1
+					break
+				}
+			}
+		case 2: // turn a value dequeue into EMPTY
+			for i, o := range ops {
+				if o.Kind == QDeq {
+					ops[i] = qem(o.Inv, o.Ret)
+					break
+				}
+			}
+		case 3: // shrink an interval to sequentialize an inversion
+			i := rng.Intn(len(ops))
+			ops[i].Ret = ops[i].Inv
+		}
+		total++
+		wgl := StrictlyLinearizable(spec.NewQueue(), toCalls(ops)).OK
+		flagged := len(CheckQueueHistory(ops)) != 0
+		if flagged && wgl {
+			t.Fatalf("seed %d: detector flagged a WGL-legal history: %v\n%v",
+				seed, CheckQueueHistory(ops), ops)
+		}
+		if !flagged && !wgl {
+			misses++
+			t.Logf("seed %d: WGL rejects but detector silent:\n%v", seed, ops)
+		}
+	}
+	// The detector is a violation detector, not a decision procedure, but
+	// over this mutation distribution it should catch essentially all
+	// violations; a high miss rate means a pattern is missing.
+	if misses > total/20 {
+		t.Fatalf("detector missed %d/%d WGL-rejected histories", misses, total)
+	}
+}

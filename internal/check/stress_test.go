@@ -1,0 +1,159 @@
+package check_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+// TestLargeScaleCrashStress runs tens of thousands of detectable
+// operations across many crash/recovery cycles and verifies the entire
+// closed history with the polynomial queue checker — the scale the exact
+// WGL checker cannot reach. Interrupted operations are closed using their
+// resolutions: an operation resolved as executed enters the history with
+// its return bounded by the crash instant; one resolved as ineffective is
+// dropped. Any loss, duplication, FIFO inversion, or impossible EMPTY
+// across the whole run is a failure.
+func TestLargeScaleCrashStress(t *testing.T) {
+	const (
+		threads = 3
+		epochs  = 20
+	)
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.New(h, 0, core.Config{Threads: threads, NodesPerThread: 128, ExtraNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var clock atomic.Int64
+	var mu sync.Mutex
+	var history []check.QOp
+	record := func(op check.QOp) {
+		mu.Lock()
+		history = append(history, op)
+		mu.Unlock()
+	}
+
+	// inflight[tid] tracks the operation a thread was executing when a
+	// crash hit, so its resolution can be matched and closed.
+	type inflight struct {
+		active bool
+		isEnq  bool
+		v      uint64
+		inv    int64
+	}
+	pending := make([]inflight, threads)
+	nextVal := make([]uint64, threads)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		h.ArmCrash(uint64(4000 + epoch*977))
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				pmem.RunToCrash(func() {
+					for {
+						// Detectable enqueue.
+						nextVal[tid]++
+						v := uint64(tid+1)<<40 | nextVal[tid]
+						inv := clock.Add(1)
+						pending[tid] = inflight{active: true, isEnq: true, v: v, inv: inv}
+						if err := q.PrepEnqueue(tid, v); err != nil {
+							t.Errorf("prep: %v", err)
+							return
+						}
+						q.ExecEnqueue(tid)
+						ret := clock.Add(1)
+						pending[tid].active = false
+						record(check.QOp{Kind: check.QEnq, V: v, Inv: inv, Ret: ret})
+
+						// Detectable dequeue.
+						inv = clock.Add(1)
+						pending[tid] = inflight{active: true, inv: inv}
+						q.PrepDequeue(tid)
+						got, ok := q.ExecDequeue(tid)
+						ret = clock.Add(1)
+						pending[tid].active = false
+						if ok {
+							record(check.QOp{Kind: check.QDeq, V: got, Inv: inv, Ret: ret})
+						} else {
+							record(check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret})
+						}
+					}
+				})
+			}(tid)
+		}
+		wg.Wait()
+		if !h.Crashed() {
+			t.Fatal("epoch ended without a crash?")
+		}
+		crashAt := clock.Add(1)
+		h.Crash(pmem.NewRandomFates(int64(epoch * 31)))
+		q.Recover()
+
+		// Close the interrupted operations from their resolutions.
+		for tid := 0; tid < threads; tid++ {
+			p := pending[tid]
+			if !p.active {
+				continue
+			}
+			pending[tid].active = false
+			res := q.Resolve(tid)
+			// A resolution that does not name the interrupted operation
+			// (Figure 2(d): the crash hit before its prep persisted, so
+			// resolve reports ⊥ or the thread's previous, already-recorded
+			// operation) means the interrupted operation had no effect.
+			switch {
+			case p.isEnq:
+				if res.Op == core.OpEnqueue && res.Arg == p.v && res.Executed {
+					record(check.QOp{Kind: check.QEnq, V: p.v, Inv: p.inv, Ret: crashAt})
+				}
+			default:
+				// The enq/deq alternation makes an OpDequeue resolution
+				// unambiguous for the current operation: X reverts at most
+				// one persisted write, and the previous operation was an
+				// enqueue.
+				if res.Op == core.OpDequeue && res.Executed {
+					if res.Empty {
+						record(check.QOp{Kind: check.QDeqEmpty, Inv: p.inv, Ret: crashAt})
+					} else {
+						record(check.QOp{Kind: check.QDeq, V: res.Val, Inv: p.inv, Ret: crashAt})
+					}
+				}
+			}
+		}
+	}
+
+	// Drain the survivor values, recorded as ordinary dequeues.
+	for {
+		inv := clock.Add(1)
+		v, ok := q.Dequeue(0)
+		ret := clock.Add(1)
+		if !ok {
+			record(check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret})
+			break
+		}
+		record(check.QOp{Kind: check.QDeq, V: v, Inv: inv, Ret: ret})
+	}
+
+	if len(history) < 1000 {
+		t.Fatalf("stress produced only %d operations; expected thousands", len(history))
+	}
+	if bad := check.CheckQueueHistory(history); len(bad) != 0 {
+		max := len(bad)
+		if max > 5 {
+			max = 5
+		}
+		t.Fatalf("found %d violations over %d operations; first %d:\n%v",
+			len(bad), len(history), max, bad[:max])
+	}
+	t.Logf("verified %d operations across %d crash/recovery cycles", len(history), epochs)
+}

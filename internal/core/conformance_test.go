@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// TestSequentialConformanceRandom drives long random single-threaded op
+// sequences through the real queue and through the formal D⟨queue⟩ model
+// in lockstep, comparing every response. This catches semantic drift that
+// the hand-written unit tests could miss.
+func TestSequentialConformanceRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, _ := newTestQueue(t, 1)
+		var model spec.State = spec.Detectable(spec.NewQueue(), 1)
+		nextV := uint64(1)
+
+		applyModel := func(op spec.Op) spec.Resp {
+			t.Helper()
+			next, resp, ok := model.Apply(op, 0)
+			if !ok {
+				t.Fatalf("seed %d: model rejected %v in state %s", seed, op, model.Key())
+			}
+			model = next
+			return resp
+		}
+
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(5) {
+			case 0: // detectable enqueue
+				v := nextV
+				nextV++
+				if err := q.PrepEnqueue(0, v); err != nil {
+					t.Fatal(err)
+				}
+				applyModel(spec.PrepOp(spec.Enqueue(v)))
+				q.ExecEnqueue(0)
+				if r := applyModel(spec.ExecOp(spec.Enqueue(v))); r != spec.AckResp() {
+					t.Fatalf("seed %d step %d: model enqueue resp %v", seed, i, r)
+				}
+			case 1: // detectable dequeue
+				q.PrepDequeue(0)
+				applyModel(spec.PrepOp(spec.Dequeue()))
+				got, ok := q.ExecDequeue(0)
+				want := applyModel(spec.ExecOp(spec.Dequeue()))
+				if ok && want != spec.ValResp(got) {
+					t.Fatalf("seed %d step %d: impl dequeued %d, model %v", seed, i, got, want)
+				}
+				if !ok && want.Kind != spec.Empty {
+					t.Fatalf("seed %d step %d: impl EMPTY, model %v", seed, i, want)
+				}
+			case 2: // plain enqueue
+				v := nextV
+				nextV++
+				if err := q.Enqueue(0, v); err != nil {
+					t.Fatal(err)
+				}
+				applyModel(spec.Enqueue(v))
+			case 3: // plain dequeue
+				got, ok := q.Dequeue(0)
+				want := applyModel(spec.Dequeue())
+				if ok && want != spec.ValResp(got) {
+					t.Fatalf("seed %d step %d: impl dequeued %d, model %v", seed, i, got, want)
+				}
+				if !ok && want.Kind != spec.Empty {
+					t.Fatalf("seed %d step %d: impl EMPTY, model %v", seed, i, want)
+				}
+			case 4: // resolve
+				got := q.Resolve(0).Resp()
+				want := applyModel(spec.ResolveOp())
+				if got != want {
+					t.Fatalf("seed %d step %d: resolve impl %v, model %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPinnedNodesNotReusedWhileXReferences exercises the recycling veto
+// directly: a completed detectable enqueue keeps its node pinned (X still
+// references it) even after the value is dequeued by another thread and
+// heavy traffic tries to recycle everything.
+func TestPinnedNodesNotReusedWhileXReferences(t *testing.T) {
+	q, _ := newTestQueue(t, 2)
+	if err := q.PrepEnqueue(0, 4242); err != nil {
+		t.Fatal(err)
+	}
+	q.ExecEnqueue(0)
+	if v, ok := q.Dequeue(1); !ok || v != 4242 {
+		t.Fatalf("dequeue = (%d,%v)", v, ok)
+	}
+	// Thread 1 churns hard enough to recycle every unpinned node many
+	// times over.
+	for i := 0; i < 2000; i++ {
+		if err := q.Enqueue(1, uint64(i)); err != nil {
+			t.Fatalf("churn enqueue #%d: %v", i, err)
+		}
+		q.Dequeue(1)
+	}
+	// Thread 0's resolution must still report the original argument: if
+	// the node had been recycled, the value would have been overwritten.
+	res := q.Resolve(0)
+	if res.Op != OpEnqueue || res.Arg != 4242 || !res.Executed {
+		t.Fatalf("resolution corrupted by node reuse: %+v", res)
+	}
+}
+
+// TestPinnedDequeueNodesSurviveChurn does the same for the dequeue path:
+// X references the predecessor whose successor's claim mark resolve reads.
+func TestPinnedDequeueNodesSurviveChurn(t *testing.T) {
+	q, _ := newTestQueue(t, 2)
+	mustEnqueue(t, q, 1, 7)
+	q.PrepDequeue(0)
+	if v, ok := q.ExecDequeue(0); !ok || v != 7 {
+		t.Fatalf("ExecDequeue = (%d,%v)", v, ok)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := q.Enqueue(1, uint64(100+i)); err != nil {
+			t.Fatalf("churn enqueue #%d: %v", i, err)
+		}
+		q.Dequeue(1)
+	}
+	res := q.Resolve(0)
+	if res.Op != OpDequeue || !res.Executed || res.Val != 7 {
+		t.Fatalf("dequeue resolution corrupted by node reuse: %+v", res)
+	}
+}
+
+// TestRepeatedCrashRecoverCycles runs many crash/recover/operate cycles on
+// one queue instance, auditing value conservation throughout.
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	q, h := newTestQueue(t, 2)
+	alive := map[uint64]bool{} // values known to be in the queue
+	next := uint64(1)
+	for cycle := 0; cycle < 30; cycle++ {
+		h.ArmCrash(uint64(20 + cycle*13))
+		pmem.RunToCrash(func() {
+			for {
+				v := next
+				next++
+				if err := q.PrepEnqueue(0, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				q.ExecEnqueue(0)
+				alive[v] = true
+				q.PrepDequeue(0)
+				if got, ok := q.ExecDequeue(0); ok {
+					if !alive[got] {
+						t.Errorf("cycle %d: dequeued unknown/duplicate value %d", cycle, got)
+						return
+					}
+					delete(alive, got)
+				}
+			}
+		})
+		h.Crash(pmem.NewRandomFates(int64(cycle)))
+		q.Recover()
+		// Reconcile the in-flight op using the resolution.
+		res := q.Resolve(0)
+		if res.Op == OpEnqueue {
+			if res.Executed {
+				alive[res.Arg] = true
+			} else {
+				delete(alive, res.Arg)
+			}
+		}
+		if res.Op == OpDequeue && res.Executed && !res.Empty {
+			delete(alive, res.Val)
+		}
+	}
+	// Drain and compare against the reconciled model.
+	got := map[uint64]bool{}
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		if got[v] {
+			t.Fatalf("value %d dequeued twice in final drain", v)
+		}
+		got[v] = true
+	}
+	for v := range got {
+		if !alive[v] {
+			t.Fatalf("final drain contained unexpected value %d", v)
+		}
+	}
+	for v := range alive {
+		if !got[v] {
+			t.Fatalf("value %d lost across crash cycles", v)
+		}
+	}
+}
+
+// TestHeapStatsReflectFlushDiscipline asserts the flush-count structure
+// that drives Figure 5a: per enqueue/dequeue pair, the detectable path
+// issues more flushes than the plain path.
+func TestHeapStatsReflectFlushDiscipline(t *testing.T) {
+	count := func(detect bool) uint64 {
+		q, h := newTestQueue(t, 1)
+		before := h.Snapshot().Flushes
+		for i := 0; i < 50; i++ {
+			if detect {
+				if err := q.PrepEnqueue(0, uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				q.ExecEnqueue(0)
+				q.PrepDequeue(0)
+				q.ExecDequeue(0)
+			} else {
+				if err := q.Enqueue(0, uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				q.Dequeue(0)
+			}
+		}
+		return h.Snapshot().Flushes - before
+	}
+	plain := count(false)
+	det := count(true)
+	// Figure 3/4 structure: plain ≈ 3 flushes per pair, detectable ≈ 7.
+	if plain == 0 || det <= plain {
+		t.Fatalf("flush discipline broken: plain %d, detectable %d", plain, det)
+	}
+	ratio := float64(det) / float64(plain)
+	if ratio < 1.8 || ratio > 3.0 {
+		t.Fatalf("flush ratio %.2f outside the 7:3 region (plain %d, det %d)", ratio, plain, det)
+	}
+}

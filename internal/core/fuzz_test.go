@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// FuzzCrashSchedule lets the fuzzer choose the crash point, the dirty-line
+// adversary, and the operation schedule, then checks the detectability
+// invariants: the post-recovery resolution must be consistent with the
+// surviving queue, and no value may be lost or duplicated.
+//
+// Run with: go test -fuzz FuzzCrashSchedule ./internal/core
+func FuzzCrashSchedule(f *testing.F) {
+	f.Add(uint16(10), int64(1), []byte{0, 1, 0, 1})
+	f.Add(uint16(35), int64(2), []byte{0, 0, 1, 1, 1})
+	f.Add(uint16(80), int64(3), []byte{1, 0, 1, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, crashStep uint16, seed int64, schedule []byte) {
+		if crashStep == 0 || len(schedule) == 0 || len(schedule) > 32 {
+			t.Skip()
+		}
+		h, err := pmem.New(pmem.Config{Words: 1 << 15, Mode: pmem.Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := New(h, 0, Config{Threads: 1, NodesPerThread: 64, ExtraNodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Model of certainly-alive values, maintained from op returns and
+		// later reconciled with the resolution.
+		alive := map[uint64]bool{}
+		next := uint64(1)
+		h.ArmCrash(uint64(crashStep))
+		pmem.RunToCrash(func() {
+			for _, b := range schedule {
+				if b%2 == 0 {
+					v := next
+					next++
+					if err := q.PrepEnqueue(0, v); err != nil {
+						return
+					}
+					q.ExecEnqueue(0)
+					alive[v] = true
+				} else {
+					q.PrepDequeue(0)
+					if got, ok := q.ExecDequeue(0); ok {
+						if !alive[got] {
+							t.Fatalf("dequeued unknown value %d", got)
+						}
+						delete(alive, got)
+					}
+				}
+			}
+		})
+		if !h.Crashed() {
+			// The schedule finished before the armed step: disarm so the
+			// audit drain below cannot trip it.
+			h.ArmCrash(0)
+		} else {
+			h.Crash(pmem.NewRandomFates(seed))
+			q.Recover()
+			res := q.Resolve(0)
+			switch {
+			case res.Op == OpEnqueue && res.Executed:
+				alive[res.Arg] = true
+			case res.Op == OpEnqueue:
+				delete(alive, res.Arg)
+			case res.Op == OpDequeue && res.Executed && !res.Empty:
+				delete(alive, res.Val)
+			}
+		}
+		got := map[uint64]bool{}
+		for i := 0; i < 100; i++ {
+			v, ok := q.Dequeue(0)
+			if !ok {
+				break
+			}
+			if got[v] {
+				t.Fatalf("value %d dequeued twice in drain", v)
+			}
+			got[v] = true
+		}
+		for v := range got {
+			if !alive[v] {
+				t.Fatalf("unexpected value %d in queue (alive=%v)", v, alive)
+			}
+		}
+		for v := range alive {
+			if !got[v] {
+				t.Fatalf("value %d lost (drained=%v)", v, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/pmem"
+)
+
+// PrepEnqueue is the paper's prep-enqueue (Figure 3, lines 1-4): it
+// allocates a node holding v, persists it, and records the detectable
+// intent in X[tid]. It returns ErrNoNodes if the thread's pre-allocated
+// pool is exhausted.
+//
+// As the memory-management extension mentioned in Section 4, PrepEnqueue
+// also reclaims the node of a previously prepared enqueue that verifiably
+// never took effect (its X entry carries ENQ_PREP but not ENQ_COMPL after
+// recovery has run), so repeated crash/re-prepare cycles do not leak.
+func (q *Queue) PrepEnqueue(tid int, v uint64) error {
+	oldX := q.h.Load(q.xAddr(tid))
+	node, ok := q.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.initNode(node, v)
+	q.h.Store(q.xAddr(tid), uint64(node)|enqPrepTag)
+	q.h.Persist(q.xAddr(tid))
+	if oldX&enqPrepTag != 0 && oldX&enqComplTag == 0 {
+		if old := ptrOf(oldX); old != 0 && old != node {
+			// The previous prepared enqueue never linked its node (exec
+			// never completed its CAS, or was never called): nothing else
+			// references it, so it can return to the pool directly.
+			q.pool.Free(tid, old)
+		}
+	}
+	return nil
+}
+
+// allocNode pops a node from the pool, falling back to forced epoch
+// collection (with bounded yielding retries, since a collection attempt
+// can fail transiently while peers are mid-operation) when the lazy
+// reclamation in Retire has not yet caught up with a small pool.
+func (q *Queue) allocNode(tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if node, ok := q.pool.Alloc(tid); ok {
+			return node, true
+		}
+		q.rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+// ExecEnqueue is the paper's exec-enqueue (Figure 3, lines 5-19): it links
+// the node prepared by the last PrepEnqueue at the tail, records completion
+// in X[tid] for detectability, and swings the tail pointer. Calling it
+// without a prepared enqueue, or twice for one PrepEnqueue, violates Axiom
+// 2's precondition; the implementation makes the second call a no-op.
+func (q *Queue) ExecEnqueue(tid int) {
+	x := q.h.Load(q.xAddr(tid))
+	if x&enqPrepTag == 0 || x&enqComplTag != 0 {
+		return
+	}
+	node := ptrOf(x)
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	q.enqueue(tid, node, true)
+}
+
+// Enqueue is the non-detectable enqueue (Axiom 4): prep-enqueue followed by
+// exec-enqueue with all X accesses omitted (Section 3.1).
+func (q *Queue) Enqueue(tid int, v uint64) error {
+	node, ok := q.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.initNode(node, v)
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	q.enqueue(tid, node, false)
+	return nil
+}
+
+// enqueue links node at the tail of the list, following the durable queue.
+// When detect is set it additionally tags X[tid] with ENQ_COMPL after the
+// link persists (Figure 3, lines 13-14).
+func (q *Queue) enqueue(tid int, node pmem.Addr, detect bool) {
+	for {
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(last + offNext))
+		if last != pmem.Addr(q.h.Load(q.tail)) {
+			continue
+		}
+		if next == 0 { // at tail
+			if q.h.CompareAndSwap(last+offNext, 0, uint64(node)) {
+				q.h.Persist(last + offNext)
+				if detect {
+					q.h.Store(q.xAddr(tid), q.h.Load(q.xAddr(tid))|enqComplTag)
+					q.h.Persist(q.xAddr(tid))
+				}
+				q.h.CompareAndSwap(q.tail, uint64(last), uint64(node))
+				return
+			}
+		} else { // help another enqueuing thread
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+		}
+	}
+}
+
+// PrepDequeue is the paper's prep-dequeue (Figure 4, lines 32-33): it
+// records the detectable intent to dequeue in X[tid].
+func (q *Queue) PrepDequeue(tid int) {
+	q.h.Store(q.xAddr(tid), deqPrepTag)
+	q.h.Persist(q.xAddr(tid))
+}
+
+// ExecDequeue is the paper's exec-dequeue (Figure 4, lines 34-55). It
+// returns (v, true) for a dequeued value and (0, false) when the queue is
+// empty (the paper's EMPTY response).
+func (q *Queue) ExecDequeue(tid int) (uint64, bool) {
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	return q.dequeue(tid, true)
+}
+
+// Dequeue is the non-detectable dequeue (Axiom 4): prep-dequeue followed by
+// exec-dequeue with X accesses omitted, and with the claim written as
+// tid|ndMark so that a later detectable resolve by the same thread cannot
+// confuse the two (Section 3.2).
+func (q *Queue) Dequeue(tid int) (uint64, bool) {
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	return q.dequeue(tid, false)
+}
+
+// dequeue removes the node after the sentinel, following the durable queue
+// with the detectability additions of Figure 4.
+func (q *Queue) dequeue(tid int, detect bool) (uint64, bool) {
+	claim := uint64(tid)
+	if !detect {
+		claim |= ndMark
+	}
+	for {
+		first := pmem.Addr(q.h.Load(q.head))
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(first + offNext))
+		if first != pmem.Addr(q.h.Load(q.head)) {
+			continue
+		}
+		if first == last { // empty queue, or tail lagging
+			if next == 0 { // nothing newly appended at tail
+				if detect {
+					q.h.Store(q.xAddr(tid), q.h.Load(q.xAddr(tid))|emptyTag)
+					q.h.Persist(q.xAddr(tid))
+				}
+				return 0, false
+			}
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+			continue
+		}
+		// Non-empty: save the predecessor of the node to be dequeued for
+		// detectability (Figure 4, lines 47-48), then claim its successor.
+		if detect {
+			q.h.Store(q.xAddr(tid), uint64(first)|deqPrepTag)
+			q.h.Persist(q.xAddr(tid))
+		}
+		if q.h.CompareAndSwap(next+offDeqTID, tidNone, claim) {
+			q.h.Persist(next + offDeqTID)
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+			return q.h.Load(next + offValue), true
+		}
+		if pmem.Addr(q.h.Load(q.head)) == first { // help another dequeuer
+			q.h.Persist(next + offDeqTID)
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+		}
+	}
+}
+
+// Resolve is the paper's resolve operation (Figure 3, lines 20-27): it
+// reports the most recently prepared detectable operation and, if it took
+// effect, its response. It is total and idempotent, and is meaningful both
+// after a crash (its purpose) and during normal operation.
+func (q *Queue) Resolve(tid int) Resolution {
+	x := q.h.Load(q.xAddr(tid))
+	switch {
+	case x&enqPrepTag != 0:
+		return q.resolveEnqueue(x)
+	case x&deqPrepTag != 0:
+		return q.resolveDequeue(tid, x)
+	default: // no operation was prepared
+		return Resolution{Op: OpNone}
+	}
+}
+
+// resolveEnqueue is Figure 3, lines 28-31.
+func (q *Queue) resolveEnqueue(x uint64) Resolution {
+	node := ptrOf(x)
+	val := q.h.Load(node + offValue)
+	return Resolution{
+		Op:       OpEnqueue,
+		Arg:      val,
+		Executed: x&enqComplTag != 0,
+	}
+}
+
+// resolveDequeue is Figure 4, lines 56-63.
+func (q *Queue) resolveDequeue(tid int, x uint64) Resolution {
+	switch {
+	case x == deqPrepTag:
+		// Prepared but did not take effect.
+		return Resolution{Op: OpDequeue}
+	case x == deqPrepTag|emptyTag:
+		// Took effect on an empty queue.
+		return Resolution{Op: OpDequeue, Executed: true, Empty: true}
+	default:
+		first := ptrOf(x)
+		next := pmem.Addr(q.h.Load(first + offNext))
+		// next cannot be NULL here: X was written only after observing a
+		// non-NULL, already-persisted successor (see Section 3.2); the
+		// guard keeps a corrupted heap from panicking the library.
+		if next != 0 && q.h.Load(next+offDeqTID) == uint64(tid) {
+			return Resolution{Op: OpDequeue, Executed: true, Val: q.h.Load(next + offValue)}
+		}
+		// Crashed between saving the predecessor and a successful claim;
+		// the successor may be claimed by this thread's non-detectable
+		// dequeue, by another thread, or by nobody — in all cases this
+		// dequeue did not take effect.
+		return Resolution{Op: OpDequeue}
+	}
+}

@@ -1,0 +1,358 @@
+// Package core implements the paper's primary contribution: the DSS queue
+// of Section 3, a lock-free, strictly linearizable, detectable FIFO queue
+// for persistent memory with a volatile cache.
+//
+// The algorithm extends Michael & Scott's queue and Friedman et al.'s
+// durable queue with a per-thread detectability word X[i] holding a tagged
+// node pointer, exactly as in the paper's Figures 3 and 4. Both recovery
+// variants from the paper are provided: the centralized recovery procedure
+// of Figure 6 (Recover) and the independent per-thread variant sketched in
+// Section 3.3 (RecoverLocal), which removes the last trace of auxiliary
+// state.
+//
+// Persistent layout (word offsets within the pmem arena):
+//
+//	queue node (1 cache line): [0] value, [1] next, [2] deqThreadID
+//	metadata: head pointer and tail pointer on separate lines;
+//	X[i] each on its own line to avoid false sharing.
+//
+// Tag bits borrowed from the unused top bits of node addresses (the paper
+// borrows the 16 spare bits of 48-bit x86-64 pointers):
+//
+//	bit 63 ENQ_PREP, bit 62 ENQ_COMPL, bit 61 DEQ_PREP, bit 60 EMPTY.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Node field offsets.
+const (
+	offValue  = 0
+	offNext   = 1
+	offDeqTID = 2
+	nodeWords = pmem.WordsPerLine
+)
+
+// Tag bits stored in the high bits of X[i] words.
+const (
+	enqPrepTag  = uint64(1) << 63
+	enqComplTag = uint64(1) << 62
+	deqPrepTag  = uint64(1) << 61
+	emptyTag    = uint64(1) << 60
+	tagMask     = enqPrepTag | enqComplTag | deqPrepTag | emptyTag
+)
+
+// tidNone is the deqThreadID of an unclaimed node (the paper's −1).
+const tidNone = ^uint64(0)
+
+// ndMark is OR-ed into deqThreadID by non-detectable dequeues so that a
+// detectable resolve never mistakes a non-detectable claim by the same
+// thread for its own (Section 3.2, final paragraph).
+const ndMark = uint64(1) << 58
+
+// ErrNoNodes is returned when the pre-allocated node pool is exhausted.
+var ErrNoNodes = errors.New("core: node pool exhausted")
+
+// Config parameterizes a DSS queue.
+type Config struct {
+	// Threads is the number of worker threads (1..Threads-1 are valid
+	// tids; the paper numbers threads 1..n, we use 0..n-1).
+	Threads int
+	// NodesPerThread sizes each thread's pre-allocated node pool.
+	NodesPerThread int
+	// ExtraNodes adds shared spare nodes (the sentinel comes from here).
+	ExtraNodes int
+}
+
+// Queue is a detectable recoverable FIFO queue (the DSS queue). All
+// exported methods except New, Recover and RecoverLocal are safe for
+// concurrent use by distinct threads; each thread must pass its own tid.
+type Queue struct {
+	h    *pmem.Heap
+	pool *pmem.Pool
+	rec  *ebr.Collector
+
+	head  pmem.Addr // address of the head pointer word
+	tail  pmem.Addr // address of the tail pointer word
+	xBase pmem.Addr // X[i] lives at xBase + i*WordsPerLine
+
+	threads int
+}
+
+// Persistent configuration line (the first line of the metadata region),
+// letting a later process re-attach to an existing queue on a file-backed
+// heap.
+const (
+	cfgMagic   = 0 // magicQueue marks an initialized queue
+	cfgThreads = 1
+	cfgNodes   = 2 // NodesPerThread
+	cfgExtra   = 3 // ExtraNodes
+	cfgPool    = 4 // pool region base address
+)
+
+// magicQueue identifies an initialized DSS queue's metadata.
+const magicQueue = 0x4453_5351 // "DSSQ"
+
+// New allocates and initializes a DSS queue on h. The queue registers its
+// metadata in heap root slot rootSlot so that recovery code can locate it
+// after a crash.
+func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("core: need at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.NodesPerThread < 0 || cfg.ExtraNodes < 1 {
+		return nil, fmt.Errorf("core: pool sizing must include at least one extra node for the sentinel")
+	}
+	meta, err := h.Alloc((3 + cfg.Threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("core: metadata: %w", err)
+	}
+	q := &Queue{
+		h:       h,
+		head:    meta + pmem.WordsPerLine,
+		tail:    meta + 2*pmem.WordsPerLine,
+		xBase:   meta + 3*pmem.WordsPerLine,
+		threads: cfg.Threads,
+	}
+	q.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         cfg.Threads,
+		BlocksPerThread: cfg.NodesPerThread,
+		ExtraBlocks:     cfg.ExtraNodes,
+		BlockWords:      nodeWords,
+		Pinned:          q.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: node pool: %w", err)
+	}
+	h.Store(meta+cfgThreads, uint64(cfg.Threads))
+	h.Store(meta+cfgNodes, uint64(cfg.NodesPerThread))
+	h.Store(meta+cfgExtra, uint64(cfg.ExtraNodes))
+	h.Store(meta+cfgPool, uint64(q.pool.Base()))
+	h.Store(meta+cfgMagic, magicQueue)
+	h.Persist(meta)
+	q.rec, err = ebr.New(cfg.Threads, func(tid int, a pmem.Addr) {
+		q.pool.Free(tid, a)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: reclamation: %w", err)
+	}
+	// Before any retired node becomes reusable, persist head and tail.
+	// This keeps the persisted list image scannable: recovery walks the
+	// chain from the persisted head, and this hook guarantees that no
+	// node reachable from it has had its fields overwritten by reuse.
+	// (One flush per reclamation batch; see DESIGN.md.)
+	q.rec.SetDrainHook(func(int) {
+		q.h.Persist(q.head)
+		q.h.Persist(q.tail)
+	})
+
+	sentinel, ok := q.pool.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("core: no node available for sentinel")
+	}
+	q.initNode(sentinel, 0)
+	q.h.Store(q.head, uint64(sentinel))
+	q.h.Store(q.tail, uint64(sentinel))
+	q.h.Persist(q.head)
+	q.h.Persist(q.tail)
+	for i := 0; i < cfg.Threads; i++ {
+		q.h.Store(q.xAddr(i), 0)
+		q.h.Persist(q.xAddr(i))
+	}
+	h.SetRoot(rootSlot, meta)
+	return q, nil
+}
+
+// Attach reconstructs the handle of an existing DSS queue from heap root
+// slot rootSlot (a queue built by New in a previous process over a
+// file-backed heap). The caller must run Recover before resuming
+// operations: the volatile companions (free lists, reclamation domain)
+// start empty and recovery rebuilds them from the persistent image.
+func Attach(h *pmem.Heap, rootSlot int) (*Queue, error) {
+	meta := h.Root(rootSlot)
+	if meta == 0 {
+		return nil, fmt.Errorf("core: root slot %d is empty", rootSlot)
+	}
+	if h.Load(meta+cfgMagic) != magicQueue {
+		return nil, fmt.Errorf("core: root slot %d does not hold a DSS queue", rootSlot)
+	}
+	threads := int(h.Load(meta + cfgThreads))
+	if threads <= 0 || threads > 1<<16 {
+		return nil, fmt.Errorf("core: corrupt thread count %d", threads)
+	}
+	q := &Queue{
+		h:       h,
+		head:    meta + pmem.WordsPerLine,
+		tail:    meta + 2*pmem.WordsPerLine,
+		xBase:   meta + 3*pmem.WordsPerLine,
+		threads: threads,
+	}
+	var err error
+	q.pool, err = pmem.AttachPool(h, pmem.Addr(h.Load(meta+cfgPool)), pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: int(h.Load(meta + cfgNodes)),
+		ExtraBlocks:     int(h.Load(meta + cfgExtra)),
+		BlockWords:      nodeWords,
+		Pinned:          q.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: node pool: %w", err)
+	}
+	q.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) {
+		q.pool.Free(tid, a)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: reclamation: %w", err)
+	}
+	q.rec.SetDrainHook(func(int) {
+		q.h.Persist(q.head)
+		q.h.Persist(q.tail)
+	})
+	return q, nil
+}
+
+// Threads reports the number of threads the queue was built for.
+func (q *Queue) Threads() int { return q.threads }
+
+// Heap returns the queue's underlying heap.
+func (q *Queue) Heap() *pmem.Heap { return q.h }
+
+// xAddr returns the address of X[tid].
+func (q *Queue) xAddr(tid int) pmem.Addr {
+	return q.xBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+// initNode writes a fresh node's fields and persists them (the node fits
+// one cache line). This is the "new Node(val); FLUSH(node)" of the paper's
+// prep-enqueue lines 1-2.
+func (q *Queue) initNode(node pmem.Addr, v uint64) {
+	q.h.Store(node+offValue, v)
+	q.h.Store(node+offNext, 0)
+	q.h.Store(node+offDeqTID, tidNone)
+	q.h.Persist(node)
+}
+
+// ptrOf strips the tag bits from an X word.
+func ptrOf(x uint64) pmem.Addr { return pmem.Addr(x &^ tagMask &^ ndMark) }
+
+// marked reports whether deqThreadID indicates a claimed node (detectable
+// or non-detectable claim).
+func markedTID(w uint64) bool { return w != tidNone }
+
+// pinned is the node pool's recycling veto: a node must not be reused
+// while some thread's detectability word X[i] — in the coherent view or,
+// crucially, in the persisted view that a crash would revive — references
+// it directly (enqueue case, and the dequeue predecessor) or through its
+// next field (the claimed node of a dequeue). Reusing such a node would let
+// a post-crash resolve read a recycled value or claim mark and report a
+// wrong outcome. At most two nodes per thread are pinned at a time, so
+// parked nodes are few and short-lived.
+func (q *Queue) pinned(a pmem.Addr) bool {
+	tracked := q.h.Mode() == pmem.Tracked
+	for i := 0; i < q.threads; i++ {
+		if q.xPins(q.h.Load(q.xAddr(i)), a) {
+			return true
+		}
+		if tracked && q.xPins(q.h.PersistedLoad(q.xAddr(i)), a) {
+			return true
+		}
+	}
+	return false
+}
+
+// xPins reports whether the X word x pins node a.
+func (q *Queue) xPins(x uint64, a pmem.Addr) bool {
+	p := ptrOf(x)
+	if p == 0 {
+		return false
+	}
+	if p == a {
+		return true
+	}
+	if x&deqPrepTag != 0 {
+		// p itself is pinned (directly referenced), so its fields are
+		// stable and this dereference is safe.
+		if pmem.Addr(q.h.Load(p+offNext)) == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats exposes pool occupancy for tests and examples.
+func (q *Queue) FreeNodes() int { return q.pool.FreeCount() }
+
+// resolution helpers shared with the spec package.
+
+// Resolution is the decoded result of Resolve: the DSS's (A[p], R[p]) pair
+// specialized to the queue type.
+type Resolution struct {
+	// Op is the prepared operation, or OpNone if none was prepared.
+	Op OpName
+	// Arg is the argument of a prepared enqueue.
+	Arg uint64
+	// Executed reports whether the prepared operation took effect
+	// (R[p] ≠ ⊥).
+	Executed bool
+	// Val is the value returned by an executed dequeue.
+	Val uint64
+	// Empty reports that an executed dequeue found the queue empty.
+	Empty bool
+}
+
+// OpName identifies a queue operation in a Resolution.
+type OpName int
+
+const (
+	// OpNone means no operation was prepared (A[p] = ⊥).
+	OpNone OpName = iota + 1
+	// OpEnqueue is a prepared enqueue.
+	OpEnqueue
+	// OpDequeue is a prepared dequeue.
+	OpDequeue
+)
+
+// String returns the operation name.
+func (o OpName) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	default:
+		return fmt.Sprintf("OpName(%d)", int(o))
+	}
+}
+
+// Resp converts the resolution into the spec package's resolve response,
+// for conformance checking against D⟨queue⟩.
+func (r Resolution) Resp() spec.Resp {
+	switch r.Op {
+	case OpEnqueue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			inner = spec.AckResp()
+		}
+		return spec.PairResp(true, spec.Enqueue(r.Arg), inner)
+	case OpDequeue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			if r.Empty {
+				inner = spec.EmptyResp()
+			} else {
+				inner = spec.ValResp(r.Val)
+			}
+		}
+		return spec.PairResp(true, spec.Dequeue(), inner)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+}

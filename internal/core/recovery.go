@@ -1,0 +1,155 @@
+package core
+
+import (
+	"repro/internal/pmem"
+)
+
+// Recover is the centralized recovery procedure of Figure 6 (Appendix A),
+// extended — as the paper's evaluation section describes — to prevent
+// memory leaks by rebuilding the volatile node pools with a sweep.
+//
+// It must run single-threaded after Heap.Crash and before application
+// threads resume:
+//
+//  1. Collect the set of nodes reachable from the (persisted) head.
+//  2. Set tail to the last reachable node and persist it (lines 65-66).
+//  3. Advance head to the last marked node reachable from the old head —
+//     the new sentinel — and persist it (lines 67-69).
+//  4. For each thread, complete the detectability state of any enqueue
+//     that took effect but crashed before tagging X (lines 70-76).
+//  5. Reset the reclamation domain (its state was volatile) and sweep the
+//     node pool: every node that is neither reachable, nor referenced by
+//     some X entry (directly or as the predecessor of a claimed node), nor
+//     the sentinel, returns to the free lists.
+func (q *Queue) Recover() {
+	// 1. AllNodes := set of queue nodes reachable from head (line 64).
+	oldHead := pmem.Addr(q.h.Load(q.head))
+	all := make(map[pmem.Addr]bool)
+	lastNode := oldHead
+	for n := oldHead; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		all[n] = true
+		lastNode = n
+	}
+
+	// 2. tail := last queue node reachable from head (lines 65-66).
+	q.h.Store(q.tail, uint64(lastNode))
+	q.h.Persist(q.tail)
+
+	// 3. head := last marked node reachable from oldHead (lines 67-69).
+	// Claimed (marked) nodes form a contiguous prefix: a claim is
+	// persisted before the head moves past its node, so marks cannot have
+	// gaps after a crash. The last marked node is the new sentinel.
+	newHead := oldHead
+	for {
+		next := pmem.Addr(q.h.Load(newHead + offNext))
+		if next == 0 || !markedTID(q.h.Load(next+offDeqTID)) {
+			break
+		}
+		newHead = next
+	}
+	q.h.Store(q.head, uint64(newHead))
+	q.h.Persist(q.head)
+
+	// 4. Repair X entries (lines 70-76).
+	for i := 0; i < q.threads; i++ {
+		q.repairX(i, all)
+	}
+
+	// 5. Volatile state: reclamation domain and node pools.
+	q.rec.Reset()
+	live := q.liveSet(newHead)
+	q.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}
+
+// repairX completes the detectability record of thread i's pending
+// enqueue, if it took effect (Figure 6, lines 70-76).
+func (q *Queue) repairX(i int, all map[pmem.Addr]bool) {
+	x := q.h.Load(q.xAddr(i))
+	if x&enqPrepTag == 0 || x&enqComplTag != 0 {
+		return
+	}
+	d := ptrOf(x)
+	if d == 0 {
+		return
+	}
+	switch {
+	case all[d]:
+		// Enqueued and still in the linked list (lines 71-74).
+		q.h.Store(q.xAddr(i), x|enqComplTag)
+		q.h.Persist(q.xAddr(i))
+	case markedTID(q.h.Load(d + offDeqTID)):
+		// Enqueued and no longer in the linked list, already claimed by a
+		// dequeuer (lines 75-76).
+		q.h.Store(q.xAddr(i), x|enqComplTag)
+		q.h.Persist(q.xAddr(i))
+	}
+}
+
+// liveSet returns the nodes that must stay allocated after recovery: the
+// chain from the new head (sentinel plus queued nodes) and every node
+// pinned by a detectability word.
+func (q *Queue) liveSet(head pmem.Addr) map[pmem.Addr]bool {
+	live := make(map[pmem.Addr]bool)
+	for n := head; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		live[n] = true
+	}
+	for i := 0; i < q.threads; i++ {
+		x := q.h.Load(q.xAddr(i))
+		p := ptrOf(x)
+		if p == 0 {
+			continue
+		}
+		live[p] = true
+		if x&deqPrepTag != 0 {
+			if next := pmem.Addr(q.h.Load(p + offNext)); next != 0 {
+				live[next] = true
+			}
+		}
+	}
+	return live
+}
+
+// RecoverLocal is the independent-recovery variant of Section 3.3: thread
+// tid repairs only its own detectability word, with no centralized
+// recovery phase — "this transformation eliminates the last trace of
+// auxiliary state". Head and tail self-heal through the algorithm's
+// ordinary helping paths, so after every thread has run RecoverLocal the
+// queue is fully operational; unreachable nodes are not reclaimed until a
+// centralized Recover runs (the paper's centralized variant owns memory
+// management).
+//
+// RecoverLocal may run concurrently with other threads' RecoverLocal calls
+// and with their resumed operations.
+func (q *Queue) RecoverLocal(tid int) {
+	x := q.h.Load(q.xAddr(tid))
+	if x&enqPrepTag == 0 || x&enqComplTag != 0 {
+		return
+	}
+	d := ptrOf(x)
+	if d == 0 {
+		return
+	}
+	// Scan the list for our node. A node that was linked is either still
+	// reachable from head or has been claimed (marked) by a dequeuer —
+	// claiming persists before unlinking — so these two checks are
+	// complete. The scan tolerates concurrent dequeues: it may miss our
+	// node while it is being unlinked, but then the mark check catches it.
+	linked := false
+	for n := pmem.Addr(q.h.Load(q.head)); n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		if n == d {
+			linked = true
+			break
+		}
+	}
+	if linked || markedTID(q.h.Load(d+offDeqTID)) {
+		q.h.Store(q.xAddr(tid), x|enqComplTag)
+		q.h.Persist(q.xAddr(tid))
+	}
+}
+
+// ResetVolatile re-initializes the queue's volatile companions (EBR) after
+// a crash when RecoverLocal is used instead of Recover. It must be called
+// once, before threads resume, by any single caller.
+func (q *Queue) ResetVolatile() {
+	q.rec.Reset()
+}

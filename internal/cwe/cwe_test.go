@@ -1,0 +1,369 @@
+package cwe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func variants(t *testing.T, threads int) map[string]*Queue {
+	t.Helper()
+	out := map[string]*Queue{}
+	for _, fast := range []bool{false, true} {
+		h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := New(h, 0, Config{
+			Threads: threads, NodesPerThread: 64, ExtraNodes: 8,
+			DescriptorsPerThread: 8, Fast: fast,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast {
+			out["fast"] = q
+		} else {
+			out["general"] = q
+		}
+	}
+	return out
+}
+
+func newVariant(t *testing.T, fast bool, threads, nodes int) (*Queue, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := New(h, 0, Config{
+		Threads: threads, NodesPerThread: nodes, ExtraNodes: 4,
+		DescriptorsPerThread: 8, Fast: fast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, h
+}
+
+func drainCWE(t *testing.T, q *Queue, tid int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for i := 0; i < 100_000; i++ {
+		v, ok := q.Dequeue(tid)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+	t.Fatal("drain did not terminate")
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	if _, err := New(h, 0, Config{Threads: 0, NodesPerThread: 1, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, Config{Threads: 1, NodesPerThread: 1}); err == nil {
+		t.Fatal("accepted no sentinel room")
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	for name, q := range variants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			if err := q.Enqueue(0, MaxValue+1); !errors.Is(err, ErrValueRange) {
+				t.Fatalf("Enqueue(MaxValue+1) err = %v", err)
+			}
+			if err := q.PrepEnqueue(0, MaxValue+1); !errors.Is(err, ErrValueRange) {
+				t.Fatalf("PrepEnqueue(MaxValue+1) err = %v", err)
+			}
+			if err := q.Enqueue(0, MaxValue); err != nil {
+				t.Fatalf("Enqueue(MaxValue): %v", err)
+			}
+			if v, ok := q.Dequeue(0); !ok || v != MaxValue {
+				t.Fatalf("Dequeue = (%d,%v)", v, ok)
+			}
+		})
+	}
+}
+
+func TestFIFOBothVariants(t *testing.T) {
+	for name, q := range variants(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			for v := uint64(1); v <= 8; v++ {
+				if err := q.Enqueue(0, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := drainCWE(t, q, 1)
+			if len(got) != 8 {
+				t.Fatalf("drained %v", got)
+			}
+			for i, v := range got {
+				if v != uint64(i+1) {
+					t.Fatalf("drained %v", got)
+				}
+			}
+		})
+	}
+}
+
+func TestDetectableRoundTrip(t *testing.T) {
+	for name, q := range variants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			if err := q.PrepEnqueue(0, 7); err != nil {
+				t.Fatal(err)
+			}
+			if res := q.Resolve(0); !res.IsEnqueue || res.Executed || res.Arg != 7 {
+				t.Fatalf("resolve after prep = %+v", res)
+			}
+			if err := q.ExecEnqueue(0); err != nil {
+				t.Fatal(err)
+			}
+			if res := q.Resolve(0); !res.IsEnqueue || !res.Executed || res.Arg != 7 {
+				t.Fatalf("resolve after exec = %+v", res)
+			}
+			q.PrepDequeue(0)
+			if res := q.Resolve(0); !res.IsDequeue || res.Executed {
+				t.Fatalf("resolve after prep-dequeue = %+v", res)
+			}
+			v, ok, err := q.ExecDequeue(0)
+			if err != nil || !ok || v != 7 {
+				t.Fatalf("ExecDequeue = (%d,%v,%v)", v, ok, err)
+			}
+			if res := q.Resolve(0); !res.IsDequeue || !res.Executed || res.Val != 7 || res.Empty {
+				t.Fatalf("resolve after exec-dequeue = %+v", res)
+			}
+		})
+	}
+}
+
+func TestEmptyDequeueDetectable(t *testing.T) {
+	for name, q := range variants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			q.PrepDequeue(0)
+			v, ok, err := q.ExecDequeue(0)
+			if err != nil || ok {
+				t.Fatalf("ExecDequeue on empty = (%d,%v,%v)", v, ok, err)
+			}
+			if res := q.Resolve(0); !res.IsDequeue || !res.Executed || !res.Empty {
+				t.Fatalf("resolve = %+v, want executed EMPTY", res)
+			}
+		})
+	}
+}
+
+func TestExecTwiceIsNoop(t *testing.T) {
+	for name, q := range variants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			if err := q.PrepEnqueue(0, 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.ExecEnqueue(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.ExecEnqueue(0); err != nil {
+				t.Fatal(err)
+			}
+			got := drainCWE(t, q, 0)
+			if len(got) != 1 || got[0] != 4 {
+				t.Fatalf("drained %v, want [4]", got)
+			}
+		})
+	}
+}
+
+func TestNodesRecycle(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		q, _ := newVariant(t, fast, 1, 8)
+		for i := 0; i < 800; i++ {
+			if err := q.Enqueue(0, uint64(i)); err != nil {
+				t.Fatalf("fast=%v enqueue #%d: %v", fast, i, err)
+			}
+			if v, ok := q.Dequeue(0); !ok || v != uint64(i) {
+				t.Fatalf("fast=%v dequeue #%d = (%d,%v)", fast, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentDetectableConservation(t *testing.T) {
+	const threads = 3
+	const pairs = 150
+	for name, q := range variants(t, threads) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			seen := map[uint64]int{}
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < pairs; i++ {
+						v := uint64(tid+1)<<32 | uint64(i)
+						if err := q.PrepEnqueue(tid, v); err != nil {
+							t.Errorf("prep: %v", err)
+							return
+						}
+						if err := q.ExecEnqueue(tid); err != nil {
+							t.Errorf("exec: %v", err)
+							return
+						}
+						q.PrepDequeue(tid)
+						got, ok, err := q.ExecDequeue(tid)
+						if err != nil {
+							t.Errorf("deq: %v", err)
+							return
+						}
+						if ok {
+							mu.Lock()
+							seen[got]++
+							mu.Unlock()
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			for _, v := range drainCWE(t, q, 0) {
+				seen[v]++
+			}
+			if len(seen) != threads*pairs {
+				t.Fatalf("saw %d distinct values, want %d", len(seen), threads*pairs)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("value %d dequeued %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashSweepDetectable(t *testing.T) {
+	// The CWE analogue of the DSS queue's crash sweep. Because X and the
+	// structure move atomically, the legal outcome set is tighter than the
+	// DSS queue's: an executed tag always has its structural effect.
+	for _, fast := range []bool{false, true} {
+		for _, adv := range pmem.Adversaries(37) {
+			for step := uint64(1); ; step++ {
+				q, h := newVariant(t, fast, 1, 16)
+				if err := q.Enqueue(0, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := q.Enqueue(0, 2); err != nil {
+					t.Fatal(err)
+				}
+				h.ArmCrash(step)
+				crashed := pmem.RunToCrash(func() {
+					if err := q.PrepEnqueue(0, 10); err != nil {
+						t.Fatal(err)
+					}
+					if err := q.ExecEnqueue(0); err != nil {
+						t.Fatal(err)
+					}
+					q.PrepDequeue(0)
+					_, _, _ = q.ExecDequeue(0)
+				})
+				if !crashed {
+					break
+				}
+				h.Crash(adv)
+				q.Recover()
+				res := q.Resolve(0)
+				rest := drainCWE(t, q, 0)
+				has10 := false
+				for _, v := range rest {
+					if v == 10 {
+						has10 = true
+					}
+				}
+				dequeuedOne := len(rest) == 0 || rest[0] != 1
+				switch {
+				case !res.IsEnqueue && !res.IsDequeue:
+					if has10 || dequeuedOne {
+						t.Fatalf("fast=%v step %d: no op resolved but queue %v", fast, step, rest)
+					}
+				case res.IsEnqueue && res.Arg == 10:
+					if res.Executed != has10 || dequeuedOne {
+						t.Fatalf("fast=%v step %d: %+v vs queue %v", fast, step, res, rest)
+					}
+				case res.IsDequeue && res.Executed && !res.Empty:
+					if res.Val != 1 || !dequeuedOne || !has10 {
+						t.Fatalf("fast=%v step %d: %+v vs queue %v", fast, step, res, rest)
+					}
+				case res.IsDequeue && !res.Executed:
+					if dequeuedOne || !has10 {
+						t.Fatalf("fast=%v step %d: %+v vs queue %v", fast, step, res, rest)
+					}
+				default:
+					t.Fatalf("fast=%v step %d: unexpected resolution %+v (queue %v)", fast, step, res, rest)
+				}
+			}
+		}
+	}
+}
+
+func TestCrashSweepEmptyDequeue(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		for step := uint64(1); ; step++ {
+			q, h := newVariant(t, fast, 1, 8)
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				q.PrepDequeue(0)
+				_, _, _ = q.ExecDequeue(0)
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(pmem.KeepAll{})
+			q.Recover()
+			res := q.Resolve(0)
+			if rest := drainCWE(t, q, 0); len(rest) != 0 {
+				t.Fatalf("fast=%v step %d: empty queue grew %v", fast, step, rest)
+			}
+			legal := (!res.IsEnqueue && !res.IsDequeue) ||
+				(res.IsDequeue && !res.Executed) ||
+				(res.IsDequeue && res.Executed && res.Empty)
+			if !legal {
+				t.Fatalf("fast=%v step %d: illegal resolution %+v", fast, step, res)
+			}
+		}
+	}
+}
+
+func TestUsableAfterRecovery(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		q, h := newVariant(t, fast, 2, 16)
+		if err := q.Enqueue(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		h.ArmCrash(30)
+		pmem.RunToCrash(func() {
+			if err := q.PrepEnqueue(0, 10); err != nil {
+				t.Fatal(err)
+			}
+			_ = q.ExecEnqueue(0)
+		})
+		h.Crash(pmem.NewRandomFates(9))
+		q.Recover()
+		for i := 0; i < 50; i++ {
+			if err := q.Enqueue(1, uint64(100+i)); err != nil {
+				t.Fatalf("fast=%v post-recovery enqueue: %v", fast, err)
+			}
+			if _, ok := q.Dequeue(1); !ok {
+				t.Fatalf("fast=%v post-recovery dequeue failed", fast)
+			}
+		}
+	}
+}
+
+func TestFastAccessor(t *testing.T) {
+	qs := variants(t, 1)
+	if qs["fast"].Fast() != true || qs["general"].Fast() != false {
+		t.Fatal("Fast() does not reflect the variant")
+	}
+}

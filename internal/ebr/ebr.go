@@ -1,0 +1,202 @@
+// Package ebr implements epoch-based memory reclamation (Fraser-style) for
+// addresses into a simulated persistent heap.
+//
+// The paper's evaluation returns dequeued queue nodes to per-thread free
+// pools "using epoch-based reclamation (EBR)", borrowing the EBR code from
+// Microsoft's PMwCAS implementation. This package plays that role here: a
+// thread brackets each data-structure operation with Enter/Exit, retires
+// unlinked blocks with Retire, and the collector hands a retired block to
+// the free callback only after every thread that could still hold a
+// reference has passed through a quiescent point.
+//
+// All collector metadata is volatile, as in the paper: after a simulated
+// crash the collector is Reset and the data structure's recovery sweep
+// reclaims whatever was in limbo.
+package ebr
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// retirePeriod is how many retirements a thread buffers between attempts
+// to advance the global epoch.
+const retirePeriod = 32
+
+// FreeFunc receives a block whose grace period has elapsed. tid is the
+// thread on whose behalf the block is freed.
+type FreeFunc func(tid int, a pmem.Addr)
+
+// slot is one thread's epoch announcement, padded to its own cache line so
+// announcements do not false-share.
+type slot struct {
+	// word is epoch<<1 | active.
+	word atomic.Uint64
+	_    [56]byte
+}
+
+// bucket holds blocks retired during one epoch.
+type bucket struct {
+	epoch uint64
+	addrs []pmem.Addr
+}
+
+// perThread is a thread's private limbo state; accessed only by its owner.
+type perThread struct {
+	buckets [3]bucket
+	retires int
+	_       [40]byte
+}
+
+// Collector is an epoch-based reclamation domain. Enter, Exit, and Retire
+// must be called with the caller's own thread ID; distinct threads may call
+// concurrently.
+type Collector struct {
+	threads   int
+	free      FreeFunc
+	drainHook func(tid int)
+	epoch     atomic.Uint64
+	slots     []slot
+	local     []perThread
+}
+
+// SetDrainHook registers a callback invoked once, by the draining thread,
+// immediately before each non-empty batch of blocks is freed. The DSS queue
+// uses this to persist its head and tail pointers before any node becomes
+// reusable, which keeps the persisted list scannable by recovery. Must be
+// called before the collector is shared.
+func (c *Collector) SetDrainHook(hook func(tid int)) { c.drainHook = hook }
+
+// New creates a collector for threads worker threads. free is invoked when
+// a retired block becomes reclaimable.
+func New(threads int, free FreeFunc) (*Collector, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("ebr: need at least one thread, got %d", threads)
+	}
+	if free == nil {
+		return nil, fmt.Errorf("ebr: nil free callback")
+	}
+	c := &Collector{
+		threads: threads,
+		free:    free,
+		slots:   make([]slot, threads),
+		local:   make([]perThread, threads),
+	}
+	c.epoch.Store(1)
+	return c, nil
+}
+
+// Enter marks the start of an operation by thread tid: from now until Exit,
+// blocks the thread can reach are protected from reclamation.
+func (c *Collector) Enter(tid int) {
+	e := c.epoch.Load()
+	c.slots[tid].word.Store(e<<1 | 1)
+}
+
+// Exit marks the end of an operation by thread tid.
+func (c *Collector) Exit(tid int) {
+	c.slots[tid].word.Store(0)
+}
+
+// Retire hands block a to the collector on behalf of tid. The block will be
+// passed to the free callback once no thread can still hold a reference
+// from before its unlinking. Retire must be called between Enter and Exit.
+func (c *Collector) Retire(tid int, a pmem.Addr) {
+	lt := &c.local[tid]
+	e := c.epoch.Load()
+	b := &lt.buckets[e%3]
+	if b.epoch != e {
+		// This bucket slot was last used in an epoch at least 3 behind, so
+		// its contents are at least two grace periods old: reclaim them
+		// before reusing the slot.
+		c.drain(tid, b)
+		b.epoch = e
+	}
+	b.addrs = append(b.addrs, a)
+	lt.retires++
+	if lt.retires%retirePeriod == 0 {
+		c.tryAdvance()
+	}
+}
+
+// drain frees every block in b and empties it.
+func (c *Collector) drain(tid int, b *bucket) {
+	if len(b.addrs) == 0 {
+		return
+	}
+	if c.drainHook != nil {
+		c.drainHook(tid)
+	}
+	for _, a := range b.addrs {
+		c.free(tid, a)
+	}
+	b.addrs = b.addrs[:0]
+}
+
+// tryAdvance bumps the global epoch if every active thread has announced
+// the current one. Failure is fine: a later attempt will succeed once the
+// laggard exits or catches up, which is what makes reclamation (but not the
+// data structure) dependent on thread progress.
+func (c *Collector) tryAdvance() bool {
+	e := c.epoch.Load()
+	for i := range c.slots {
+		w := c.slots[i].word.Load()
+		if w&1 == 1 && w>>1 != e {
+			return false
+		}
+	}
+	return c.epoch.CompareAndSwap(e, e+1)
+}
+
+// Epoch reports the current global epoch (for tests and introspection).
+func (c *Collector) Epoch() uint64 { return c.epoch.Load() }
+
+// Collect is the allocation-pressure slow path: it tries to advance the
+// epoch and frees every block of tid's whose grace period (two epochs
+// since retirement) has elapsed. Callers use it when their free pool runs
+// dry before the lazy reclamation in Retire catches up. Safe to call even
+// between Enter and Exit: while the caller is active it merely blocks the
+// second epoch advance, so only genuinely grace-elapsed buckets drain.
+func (c *Collector) Collect(tid int) {
+	c.tryAdvance()
+	c.tryAdvance()
+	e := c.epoch.Load()
+	lt := &c.local[tid]
+	for i := range lt.buckets {
+		b := &lt.buckets[i]
+		if b.epoch != 0 && b.epoch+2 <= e {
+			c.drain(tid, b)
+			b.epoch = 0
+		}
+	}
+}
+
+// Flush reclaims every block in limbo. It must only be called when no
+// thread is between Enter and Exit (teardown, or a quiescent barrier).
+func (c *Collector) Flush() {
+	for tid := range c.local {
+		lt := &c.local[tid]
+		for i := range lt.buckets {
+			c.drain(tid, &lt.buckets[i])
+		}
+	}
+}
+
+// Reset discards all collector state without freeing anything. It models a
+// crash: limbo lists were volatile, so the blocks they referenced are
+// recovered (or leaked) by the owning structure's recovery sweep instead.
+func (c *Collector) Reset() {
+	c.epoch.Store(1)
+	for i := range c.slots {
+		c.slots[i].word.Store(0)
+	}
+	for tid := range c.local {
+		lt := &c.local[tid]
+		lt.retires = 0
+		for i := range lt.buckets {
+			lt.buckets[i] = bucket{}
+		}
+	}
+}

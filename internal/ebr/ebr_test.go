@@ -1,0 +1,267 @@
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+type recorder struct {
+	mu    sync.Mutex
+	freed []pmem.Addr
+}
+
+func (r *recorder) free(_ int, a pmem.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.freed = append(r.freed, a)
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.freed)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, func(int, pmem.Addr) {}); err == nil {
+		t.Fatal("New(0, f) succeeded")
+	}
+	if _, err := New(1, nil); err == nil {
+		t.Fatal("New(1, nil) succeeded")
+	}
+}
+
+func TestRetiredBlockNotFreedWhileInGrace(t *testing.T) {
+	rec := &recorder{}
+	c, err := New(2, rec.free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Enter(0)
+	c.Retire(0, 100)
+	c.Exit(0)
+	if rec.count() != 0 {
+		t.Fatal("block freed immediately after retire")
+	}
+}
+
+func TestFlushReclaimsEverything(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(2, rec.free)
+	c.Enter(0)
+	for i := pmem.Addr(1); i <= 10; i++ {
+		c.Retire(0, i)
+	}
+	c.Exit(0)
+	c.Flush()
+	if rec.count() != 10 {
+		t.Fatalf("Flush freed %d blocks, want 10", rec.count())
+	}
+}
+
+func TestBlocksEventuallyFreedAcrossEpochs(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(1, rec.free)
+	// Drive many operations; epoch advances and bucket reuse must free
+	// old retirements without an explicit Flush.
+	for i := 0; i < 10_000; i++ {
+		c.Enter(0)
+		c.Retire(0, pmem.Addr(i+1))
+		c.Exit(0)
+	}
+	if rec.count() == 0 {
+		t.Fatal("no block was ever freed across 10k operations")
+	}
+	c.Flush()
+	if rec.count() != 10_000 {
+		t.Fatalf("freed %d blocks total, want 10000", rec.count())
+	}
+}
+
+func TestEpochAdvancesWhenAllQuiescent(t *testing.T) {
+	c, _ := New(4, func(int, pmem.Addr) {})
+	e0 := c.Epoch()
+	for i := 0; i < retirePeriod; i++ {
+		c.Enter(0)
+		c.Retire(0, pmem.Addr(i+1))
+		c.Exit(0)
+	}
+	if c.Epoch() <= e0 {
+		t.Fatalf("epoch did not advance: %d -> %d", e0, c.Epoch())
+	}
+}
+
+func TestStalledThreadBlocksEpoch(t *testing.T) {
+	c, _ := New(2, func(int, pmem.Addr) {})
+	c.Enter(1) // thread 1 never exits
+	e0 := c.Epoch()
+	for i := 0; i < 4*retirePeriod; i++ {
+		c.Enter(0)
+		c.Retire(0, pmem.Addr(i+1))
+		c.Exit(0)
+	}
+	// Thread 1 entered at e0 and stays there; the epoch may advance at
+	// most once (to e0+1 requires thread 1 to announce e0, which it did).
+	if c.Epoch() > e0+1 {
+		t.Fatalf("epoch advanced from %d to %d past a stalled thread", e0, c.Epoch())
+	}
+}
+
+// TestNoUseAfterFreeUnderConcurrency hammers the collector from several
+// goroutines: each "block" is a slot in a shared array; a reader holds a
+// reference across Enter/Exit while writers retire blocks and the free
+// callback poisons them. A reader observing poison while inside its epoch
+// would be a use-after-free.
+func TestNoUseAfterFreeUnderConcurrency(t *testing.T) {
+	const (
+		threads = 4
+		blocks  = 1024
+		rounds  = 3000
+	)
+	type block struct {
+		data    atomic.Uint64
+		retired atomic.Uint32
+	}
+	arena := make([]block, blocks)
+	var failed atomic.Bool
+
+	c, err := New(threads, func(_ int, a pmem.Addr) {
+		// Poison on free, then immediately "reallocate" the block.
+		arena[a].data.Store(^uint64(0))
+		arena[a].data.Store(uint64(a))
+		arena[a].retired.Store(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arena {
+		arena[i].data.Store(uint64(i))
+	}
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (tid*31 + r*7) % blocks
+				c.Enter(tid)
+				// "Acquire" a reference: the block is ours if we flip its
+				// retired flag; then we may read it until we retire it.
+				if arena[i].retired.CompareAndSwap(0, 1) {
+					if arena[i].data.Load() == ^uint64(0) {
+						failed.Store(true)
+					}
+					c.Retire(tid, pmem.Addr(i))
+					if arena[i].data.Load() == ^uint64(0) {
+						failed.Store(true) // freed before our Exit
+					}
+				}
+				c.Exit(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("observed poisoned block inside an epoch: use-after-free")
+	}
+}
+
+func TestResetDropsLimboWithoutFreeing(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(1, rec.free)
+	c.Enter(0)
+	c.Retire(0, 1)
+	c.Retire(0, 2)
+	c.Exit(0)
+	c.Reset()
+	c.Flush()
+	if rec.count() != 0 {
+		t.Fatalf("Reset leaked %d frees", rec.count())
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("Epoch after Reset = %d, want 1", c.Epoch())
+	}
+	// Collector must be fully usable after Reset.
+	for i := 0; i < 3*retirePeriod; i++ {
+		c.Enter(0)
+		c.Retire(0, pmem.Addr(i+1))
+		c.Exit(0)
+	}
+	c.Flush()
+	if rec.count() != 3*retirePeriod {
+		t.Fatalf("after Reset, freed %d, want %d", rec.count(), 3*retirePeriod)
+	}
+}
+
+func TestRetireSameAddressTwiceFreesTwice(t *testing.T) {
+	// The collector does not deduplicate; callers own that invariant. This
+	// test documents the contract.
+	rec := &recorder{}
+	c, _ := New(1, rec.free)
+	c.Enter(0)
+	c.Retire(0, 5)
+	c.Retire(0, 5)
+	c.Exit(0)
+	c.Flush()
+	if rec.count() != 2 {
+		t.Fatalf("freed %d, want 2", rec.count())
+	}
+}
+
+func TestDrainHookRunsBeforeBatches(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(1, rec.free)
+	hooks := 0
+	c.SetDrainHook(func(tid int) {
+		hooks++
+		if rec.count() != 0 && hooks == 1 {
+			t.Error("hook ran after frees of its batch")
+		}
+	})
+	c.Enter(0)
+	for i := pmem.Addr(1); i <= 5; i++ {
+		c.Retire(0, i)
+	}
+	c.Exit(0)
+	c.Flush()
+	if hooks == 0 {
+		t.Fatal("drain hook never ran")
+	}
+	if rec.count() != 5 {
+		t.Fatalf("freed %d, want 5", rec.count())
+	}
+}
+
+func TestCollectFreesGraceElapsedBuckets(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(1, rec.free)
+	c.Enter(0)
+	c.Retire(0, 1)
+	c.Exit(0)
+	if rec.count() != 0 {
+		t.Fatal("freed too early")
+	}
+	// Collect advances the (quiescent) epoch twice and drains.
+	c.Collect(0)
+	if rec.count() != 1 {
+		t.Fatalf("Collect freed %d, want 1", rec.count())
+	}
+}
+
+func TestCollectIsSafeWhileActive(t *testing.T) {
+	rec := &recorder{}
+	c, _ := New(2, rec.free)
+	c.Enter(0)
+	c.Retire(0, 1)
+	// Active caller: at most one epoch advance is possible, so the fresh
+	// retirement must NOT be freed.
+	c.Collect(0)
+	if rec.count() != 0 {
+		t.Fatal("Collect freed a block inside its grace period")
+	}
+	c.Exit(0)
+}

@@ -1,0 +1,416 @@
+// Package harness drives the evaluation of Section 4: it builds each of
+// the paper's seven queue configurations over the simulated persistent
+// heap, runs the paper's workload (threads executing alternating
+// enqueue/dequeue pairs on a queue seeded with 16 nodes), and produces the
+// data series behind Figure 5a and Figure 5b. It also packages the
+// exhaustive crash-point sweep used to validate Theorem 1.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cwe"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+)
+
+// Impl names one queue configuration from the paper's evaluation.
+type Impl string
+
+// The seven configurations of Figure 5.
+const (
+	// Figure 5a.
+	MSQueue          Impl = "ms-queue"
+	DSSNonDetectable Impl = "dss-non-detectable"
+	DSSDetectable    Impl = "dss-detectable"
+	// Figure 5b (DSSDetectable also appears there).
+	LogQueue          Impl = "log-queue"
+	FastCASWithEffect Impl = "fast-caswitheffect"
+	GeneralCASWith    Impl = "general-caswitheffect"
+	// DurableQueue is the non-detectable recoverable ancestor (not in
+	// Figure 5, provided for ablations).
+	DurableQueue Impl = "durable-queue"
+)
+
+// Impls5a lists Figure 5a's series in the paper's legend order.
+func Impls5a() []Impl { return []Impl{MSQueue, DSSNonDetectable, DSSDetectable} }
+
+// Impls5b lists Figure 5b's series in the paper's legend order.
+func Impls5b() []Impl {
+	return []Impl{DSSDetectable, LogQueue, FastCASWithEffect, GeneralCASWith}
+}
+
+// AllImpls lists every configuration.
+func AllImpls() []Impl {
+	return []Impl{MSQueue, DSSNonDetectable, DSSDetectable, DurableQueue,
+		LogQueue, FastCASWithEffect, GeneralCASWith}
+}
+
+// Queue is the driver interface all configurations are adapted to.
+type Queue interface {
+	Enqueue(tid int, v uint64) error
+	Dequeue(tid int) (uint64, bool)
+}
+
+// dssDetectable adapts the DSS queue's detectable path: every operation is
+// a prep/exec pair, as in Figure 5a's "DSS queue detectable".
+type dssDetectable struct{ q *core.Queue }
+
+func (a dssDetectable) Enqueue(tid int, v uint64) error {
+	if err := a.q.PrepEnqueue(tid, v); err != nil {
+		return err
+	}
+	a.q.ExecEnqueue(tid)
+	return nil
+}
+
+func (a dssDetectable) Dequeue(tid int) (uint64, bool) {
+	a.q.PrepDequeue(tid)
+	return a.q.ExecDequeue(tid)
+}
+
+// dssPlain adapts the DSS queue's non-detectable path.
+type dssPlain struct{ q *core.Queue }
+
+func (a dssPlain) Enqueue(tid int, v uint64) error { return a.q.Enqueue(tid, v) }
+func (a dssPlain) Dequeue(tid int) (uint64, bool)  { return a.q.Dequeue(tid) }
+
+// cweDetectable adapts a CASWithEffect queue's detectable path.
+type cweDetectable struct{ q *cwe.Queue }
+
+func (a cweDetectable) Enqueue(tid int, v uint64) error {
+	if err := a.q.PrepEnqueue(tid, v); err != nil {
+		return err
+	}
+	return a.q.ExecEnqueue(tid)
+}
+
+func (a cweDetectable) Dequeue(tid int) (uint64, bool) {
+	a.q.PrepDequeue(tid)
+	v, ok, err := a.q.ExecDequeue(tid)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
+
+var (
+	_ Queue = dssDetectable{}
+	_ Queue = dssPlain{}
+	_ Queue = cweDetectable{}
+)
+
+// BuildConfig sizes a queue build.
+type BuildConfig struct {
+	Threads        int
+	NodesPerThread int
+	// FlushLatency is the simulated CLWB+SFENCE cost (Direct mode).
+	FlushLatency time.Duration
+	// AccessDelay is the per-memory-operation spin (pmem.Config.AccessDelay).
+	AccessDelay int
+	// Tracked builds the heap in Tracked (verification) mode instead of
+	// Direct (benchmark) mode.
+	Tracked bool
+}
+
+// Build constructs the named configuration on a fresh heap.
+func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
+	if cfg.Threads <= 0 {
+		return nil, nil, fmt.Errorf("harness: need at least one thread")
+	}
+	if cfg.NodesPerThread == 0 {
+		cfg.NodesPerThread = 256
+	}
+	mode := pmem.Direct
+	if cfg.Tracked {
+		mode = pmem.Tracked
+	}
+	words := 1<<14 + cfg.Threads*cfg.NodesPerThread*4*pmem.WordsPerLine +
+		cfg.Threads*16*pmem.WordsPerLine
+	h, err := pmem.New(pmem.Config{
+		Words: words, Mode: mode,
+		FlushLatency: cfg.FlushLatency, AccessDelay: cfg.AccessDelay,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	extra := cfg.Threads + 4
+	switch impl {
+	case MSQueue:
+		q, err := queue.NewMS(h, cfg.Threads, cfg.NodesPerThread, extra)
+		return q, h, err
+	case DurableQueue:
+		q, err := queue.NewDurable(h, 0, cfg.Threads, cfg.NodesPerThread, extra)
+		return q, h, err
+	case LogQueue:
+		q, err := queue.NewLog(h, 0, cfg.Threads, cfg.NodesPerThread, extra)
+		return q, h, err
+	case DSSDetectable:
+		q, err := core.New(h, 0, core.Config{Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dssDetectable{q}, h, nil
+	case DSSNonDetectable:
+		q, err := core.New(h, 0, core.Config{Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dssPlain{q}, h, nil
+	case FastCASWithEffect, GeneralCASWith:
+		q, err := cwe.New(h, 0, cwe.Config{
+			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes: extra, DescriptorsPerThread: 16,
+			Fast: impl == FastCASWithEffect,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return cweDetectable{q}, h, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown implementation %q", impl)
+	}
+}
+
+// Point is one measurement: a thread count and its throughput.
+type Point struct {
+	Threads int
+	// Mops is millions of operations (enqueues + dequeues) per second.
+	Mops float64
+	// Ops is the raw operation count.
+	Ops uint64
+	// Flushes counts simulated persistence instructions issued.
+	Flushes uint64
+}
+
+// RunConfig parameterizes one throughput measurement.
+type RunConfig struct {
+	Impl     Impl
+	Threads  int
+	Duration time.Duration
+	// InitialItems seeds the queue; the paper uses 16.
+	InitialItems   int
+	FlushLatency   time.Duration
+	AccessDelay    int
+	NodesPerThread int
+}
+
+// RunThroughput measures one configuration at one thread count, following
+// Section 4: the queue is seeded with InitialItems nodes and every thread
+// executes alternating enqueue/dequeue pairs for the duration.
+func RunThroughput(cfg RunConfig) (Point, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	if cfg.InitialItems == 0 {
+		cfg.InitialItems = 16
+	}
+	q, h, err := Build(cfg.Impl, BuildConfig{
+		Threads:        cfg.Threads,
+		NodesPerThread: cfg.NodesPerThread,
+		FlushLatency:   cfg.FlushLatency,
+		AccessDelay:    cfg.AccessDelay,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	for i := 0; i < cfg.InitialItems; i++ {
+		if err := q.Enqueue(0, uint64(1000+i)); err != nil {
+			return Point{}, fmt.Errorf("harness: seeding: %w", err)
+		}
+	}
+	flushes0 := h.Snapshot().Flushes
+
+	var stop atomic.Bool
+	counts := make([]uint64, cfg.Threads*8) // padded: one slot per thread, stride 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var local uint64
+			v := uint64(tid + 1)
+			for !stop.Load() {
+				if err := q.Enqueue(tid, v); err == nil {
+					local++
+				}
+				q.Dequeue(tid)
+				local++ // a dequeue (even EMPTY) is one operation
+				v++
+				if v >= 1<<50 {
+					v = uint64(tid + 1)
+				}
+			}
+			atomic.StoreUint64(&counts[tid*8], local)
+		}(tid)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total uint64
+	for tid := 0; tid < cfg.Threads; tid++ {
+		total += atomic.LoadUint64(&counts[tid*8])
+	}
+	return Point{
+		Threads: cfg.Threads,
+		Mops:    float64(total) / elapsed.Seconds() / 1e6,
+		Ops:     total,
+		Flushes: h.Snapshot().Flushes - flushes0,
+	}, nil
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// SweepConfig parameterizes a figure reproduction.
+type SweepConfig struct {
+	// Threads lists the x-axis values (the paper sweeps 1..20).
+	Threads []int
+	// Duration per measurement (the paper runs 30 s; scale down for CI).
+	Duration time.Duration
+	// Repeats averages several runs per point (the paper uses 10).
+	Repeats int
+	// FlushLatency models the Optane persistence cost.
+	FlushLatency time.Duration
+	// AccessDelay models the testbed's base memory-operation cost.
+	AccessDelay int
+}
+
+func (c *SweepConfig) defaults() {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 100 * time.Millisecond
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
+	}
+	if c.FlushLatency == 0 {
+		c.FlushLatency = 300 * time.Nanosecond
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = 100
+	}
+}
+
+// Sweep measures the given configurations over the thread range.
+func Sweep(impls []Impl, cfg SweepConfig) ([]Series, error) {
+	cfg.defaults()
+	out := make([]Series, 0, len(impls))
+	for _, impl := range impls {
+		s := Series{Name: string(impl)}
+		for _, th := range cfg.Threads {
+			var acc Point
+			for r := 0; r < cfg.Repeats; r++ {
+				// Earlier points leave multi-megabyte dead heaps behind;
+				// collect them now so GC pauses do not perturb this
+				// measurement (significant on single-CPU hosts).
+				runtime.GC()
+				p, err := RunThroughput(RunConfig{
+					Impl: impl, Threads: th,
+					Duration:     cfg.Duration,
+					FlushLatency: cfg.FlushLatency,
+					AccessDelay:  cfg.AccessDelay,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("harness: %s @%d threads: %w", impl, th, err)
+				}
+				acc.Threads = p.Threads
+				acc.Mops += p.Mops
+				acc.Ops += p.Ops
+				acc.Flushes += p.Flushes
+			}
+			acc.Mops /= float64(cfg.Repeats)
+			s.Points = append(s.Points, acc)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure5a reproduces the paper's Figure 5a series (different levels of
+// detectability and persistence).
+func Figure5a(cfg SweepConfig) ([]Series, error) { return Sweep(Impls5a(), cfg) }
+
+// Figure5b reproduces the paper's Figure 5b series (different detectable
+// queue implementations).
+func Figure5b(cfg SweepConfig) ([]Series, error) { return Sweep(Impls5b(), cfg) }
+
+// FormatTable renders series as an aligned text table, threads down the
+// rows and one Mops column per series — the textual form of a figure.
+func FormatTable(series []Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	threadSet := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			threadSet[p.Threads] = true
+		}
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%22s", s.Name)
+	}
+	b.WriteString("\n")
+	for _, t := range threads {
+		fmt.Fprintf(&b, "%-8d", t)
+		for _, s := range series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.Threads == t {
+					val = fmt.Sprintf("%.3f", p.Mops)
+				}
+			}
+			fmt.Fprintf(&b, "%22s", val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatCSV renders series as CSV (threads, series..., Mops each).
+func FormatCSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("threads")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%d", p.Threads)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%.4f", s.Points[i].Mops)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildAllImpls(t *testing.T) {
+	for _, impl := range AllImpls() {
+		t.Run(string(impl), func(t *testing.T) {
+			q, h, err := Build(impl, BuildConfig{Threads: 2, NodesPerThread: 32, Tracked: true})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if h == nil {
+				t.Fatal("nil heap")
+			}
+			// Smoke: FIFO pairs through the adapter.
+			for v := uint64(1); v <= 4; v++ {
+				if err := q.Enqueue(0, v); err != nil {
+					t.Fatalf("enqueue: %v", err)
+				}
+			}
+			for v := uint64(1); v <= 4; v++ {
+				got, ok := q.Dequeue(1)
+				if !ok || got != v {
+					t.Fatalf("dequeue = (%d,%v), want (%d,true)", got, ok, v)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestBuildUnknownImpl(t *testing.T) {
+	if _, _, err := Build(Impl("nope"), BuildConfig{Threads: 1}); err == nil {
+		t.Fatal("unknown impl accepted")
+	}
+	if _, _, err := Build(MSQueue, BuildConfig{Threads: 0}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestRunThroughputProducesOps(t *testing.T) {
+	for _, impl := range []Impl{MSQueue, DSSDetectable, LogQueue, FastCASWithEffect} {
+		t.Run(string(impl), func(t *testing.T) {
+			p, err := RunThroughput(RunConfig{
+				Impl: impl, Threads: 2, Duration: 30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Ops == 0 || p.Mops <= 0 {
+				t.Fatalf("no throughput measured: %+v", p)
+			}
+			if impl != MSQueue && p.Flushes == 0 {
+				t.Fatalf("%s issued no flushes", impl)
+			}
+			if impl == MSQueue && p.Flushes != 0 {
+				t.Fatalf("MS queue issued %d flushes", p.Flushes)
+			}
+		})
+	}
+}
+
+func TestFlushCountOrdering(t *testing.T) {
+	// The detectable DSS path must issue strictly more flushes per op
+	// than the non-detectable path — the mechanism behind Figure 5a.
+	det, err := RunThroughput(RunConfig{Impl: DSSDetectable, Threads: 1, Duration: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := RunThroughput(RunConfig{Impl: DSSNonDetectable, Threads: 1, Duration: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOpDet := float64(det.Flushes) / float64(det.Ops)
+	perOpNon := float64(non.Flushes) / float64(non.Ops)
+	if perOpDet <= perOpNon {
+		t.Fatalf("flushes/op: detectable %.2f <= non-detectable %.2f", perOpDet, perOpNon)
+	}
+}
+
+func TestSweepAndFormatting(t *testing.T) {
+	series, err := Sweep([]Impl{MSQueue, DSSDetectable}, SweepConfig{
+		Threads:  []int{1, 2},
+		Duration: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || len(series[0].Points) != 2 {
+		t.Fatalf("unexpected series shape: %+v", series)
+	}
+	table := FormatTable(series)
+	if !strings.Contains(table, "ms-queue") || !strings.Contains(table, "threads") {
+		t.Fatalf("table missing headers:\n%s", table)
+	}
+	csv := FormatCSV(series)
+	if !strings.HasPrefix(csv, "threads,ms-queue,dss-detectable") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("csv row count wrong:\n%s", csv)
+	}
+}
+
+func TestFormatTableEmpty(t *testing.T) {
+	if FormatTable(nil) != "" {
+		t.Fatal("non-empty table for no series")
+	}
+}
+
+func TestCrashSweepDSSQueueClean(t *testing.T) {
+	report := CrashSweepDSSQueue(CrashSweepConfig{Pairs: 1, Seed: 7})
+	if !report.OK() {
+		t.Fatalf("sweep found violations: %s", report)
+	}
+	if report.Steps == 0 || report.Histories == 0 {
+		t.Fatalf("sweep did nothing: %+v", report)
+	}
+	if !strings.Contains(report.String(), "strictly linearizable") {
+		t.Fatalf("unexpected report: %s", report)
+	}
+}
+
+func TestFigureFunctions(t *testing.T) {
+	cfg := SweepConfig{Threads: []int{1}, Duration: 10 * time.Millisecond}
+	a, err := Figure5a(cfg)
+	if err != nil || len(a) != 3 {
+		t.Fatalf("Figure5a = (%d series, %v)", len(a), err)
+	}
+	b, err := Figure5b(cfg)
+	if err != nil || len(b) != 4 {
+		t.Fatalf("Figure5b = (%d series, %v)", len(b), err)
+	}
+	if a[0].Name != string(MSQueue) || b[0].Name != string(DSSDetectable) {
+		t.Fatalf("series order wrong: %s / %s", a[0].Name, b[0].Name)
+	}
+}
+
+func TestSweepUnknownImplFails(t *testing.T) {
+	if _, err := Sweep([]Impl{"nope"}, SweepConfig{Threads: []int{1}, Duration: 5 * time.Millisecond}); err == nil {
+		t.Fatal("unknown impl accepted by Sweep")
+	}
+}

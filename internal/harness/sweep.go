@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/cwe"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// CrashSweepConfig parameterizes an exhaustive crash-point verification of
+// the DSS queue (the executable check behind Theorem 1).
+type CrashSweepConfig struct {
+	// Pairs is the number of detectable enqueue/dequeue pairs the worker
+	// runs before the sweep's horizon ends.
+	Pairs int
+	// Seed varies the random adversaries.
+	Seed int64
+}
+
+// CrashSweepReport summarizes a sweep.
+type CrashSweepReport struct {
+	// Steps is the number of crash points swept (per adversary).
+	Steps int
+	// Adversaries is the number of dirty-line schedules tried per step.
+	Adversaries int
+	// Histories is the number of complete histories checked.
+	Histories int
+	// Failures holds human-readable descriptions of any conformance
+	// violations (empty on success).
+	Failures []string
+}
+
+// OK reports whether the sweep found no violations.
+func (r CrashSweepReport) OK() bool { return len(r.Failures) == 0 }
+
+// String renders the report.
+func (r CrashSweepReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("crash sweep: %d crash points x %d adversaries, %d histories, all strictly linearizable w.r.t. D<queue>",
+			r.Steps, r.Adversaries, r.Histories)
+	}
+	return fmt.Sprintf("crash sweep: %d FAILURES out of %d histories (first: %s)",
+		len(r.Failures), r.Histories, r.Failures[0])
+}
+
+// detectableQueue abstracts the prep/exec-shaped detectable queues for
+// the generic sweep driver.
+type detectableQueue interface {
+	PrepEnq(tid int, v uint64) error
+	ExecEnq(tid int) error
+	PrepDeq(tid int)
+	ExecDeq(tid int) (uint64, bool, error)
+	ResolveResp(tid int) spec.Resp
+	Recover()
+	DrainOne(tid int) (uint64, bool)
+}
+
+type dssTarget struct{ q *core.Queue }
+
+func (t dssTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
+func (t dssTarget) ExecEnq(tid int) error           { t.q.ExecEnqueue(tid); return nil }
+func (t dssTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
+func (t dssTarget) ExecDeq(tid int) (uint64, bool, error) {
+	v, ok := t.q.ExecDequeue(tid)
+	return v, ok, nil
+}
+func (t dssTarget) ResolveResp(tid int) spec.Resp   { return t.q.Resolve(tid).Resp() }
+func (t dssTarget) Recover()                        { t.q.Recover() }
+func (t dssTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
+
+type cweTarget struct{ q *cwe.Queue }
+
+func (t cweTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
+func (t cweTarget) ExecEnq(tid int) error           { return t.q.ExecEnqueue(tid) }
+func (t cweTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
+func (t cweTarget) ExecDeq(tid int) (uint64, bool, error) {
+	return t.q.ExecDequeue(tid)
+}
+func (t cweTarget) ResolveResp(tid int) spec.Resp {
+	r := t.q.Resolve(tid)
+	switch {
+	case r.IsEnqueue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			inner = spec.AckResp()
+		}
+		return spec.PairResp(true, spec.Enqueue(r.Arg), inner)
+	case r.IsDequeue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			if r.Empty {
+				inner = spec.EmptyResp()
+			} else {
+				inner = spec.ValResp(r.Val)
+			}
+		}
+		return spec.PairResp(true, spec.Dequeue(), inner)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+}
+func (t cweTarget) Recover()                        { t.q.Recover() }
+func (t cweTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
+
+// buildSweepTarget constructs a fresh detectable queue of the given kind.
+func buildSweepTarget(impl Impl) (detectableQueue, *pmem.Heap, error) {
+	h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+	if err != nil {
+		return nil, nil, err
+	}
+	switch impl {
+	case DSSDetectable:
+		q, err := core.New(h, 0, core.Config{Threads: 1, NodesPerThread: 32, ExtraNodes: 8})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dssTarget{q}, h, nil
+	case FastCASWithEffect, GeneralCASWith:
+		q, err := cwe.New(h, 0, cwe.Config{
+			Threads: 1, NodesPerThread: 32, ExtraNodes: 8,
+			DescriptorsPerThread: 8, Fast: impl == FastCASWithEffect,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return cweTarget{q}, h, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: crash sweep does not support %q", impl)
+	}
+}
+
+// CrashSweepDSSQueue sweeps the DSS queue (see CrashSweepImpl).
+func CrashSweepDSSQueue(cfg CrashSweepConfig) CrashSweepReport {
+	return CrashSweepImpl(DSSDetectable, cfg)
+}
+
+// CrashSweepImpl injects a crash at every primitive memory step of a
+// single-threaded detectable workload on the given queue implementation,
+// under every adversary in the canonical suite; after each crash it runs
+// recovery, resolves, drains, and verifies the complete history against
+// D⟨queue⟩ under strict linearizability.
+func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 2
+	}
+	advs := pmem.Adversaries(cfg.Seed)
+	report := CrashSweepReport{Adversaries: len(advs)}
+	for ai, adv := range advs {
+		steps := 0
+		for step := uint64(1); ; step++ {
+			q, h, err := buildSweepTarget(impl)
+			if err != nil {
+				report.Failures = append(report.Failures, err.Error())
+				return report
+			}
+			rec := check.NewRecorder()
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				for i := 0; i < cfg.Pairs; i++ {
+					v := uint64(100 + i)
+					rec.Begin(0, spec.PrepOp(spec.Enqueue(v)))
+					if err := q.PrepEnq(0, v); err != nil {
+						return
+					}
+					rec.End(0, spec.BottomResp())
+					rec.Begin(0, spec.ExecOp(spec.Enqueue(v)))
+					if err := q.ExecEnq(0); err != nil {
+						return
+					}
+					rec.End(0, spec.AckResp())
+					rec.Begin(0, spec.PrepOp(spec.Dequeue()))
+					q.PrepDeq(0)
+					rec.End(0, spec.BottomResp())
+					rec.Begin(0, spec.ExecOp(spec.Dequeue()))
+					got, ok, err := q.ExecDeq(0)
+					if err != nil {
+						return
+					}
+					if ok {
+						rec.End(0, spec.ValResp(got))
+					} else {
+						rec.End(0, spec.EmptyResp())
+					}
+				}
+			})
+			if !h.Crashed() {
+				break // swept past the workload's end
+			}
+			steps++
+			rec.CrashAll()
+			h.Crash(adv)
+			q.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, q.ResolveResp(0))
+			for {
+				rec.Begin(0, spec.Dequeue())
+				v, ok := q.DrainOne(0)
+				if ok {
+					rec.End(0, spec.ValResp(v))
+				} else {
+					rec.End(0, spec.EmptyResp())
+					break
+				}
+			}
+			hist := rec.History()
+			report.Histories++
+			d := spec.Detectable(spec.NewQueue(), 1)
+			if res := check.StrictlyLinearizable(d, hist); !res.OK {
+				report.Failures = append(report.Failures,
+					fmt.Sprintf("adversary %d, step %d:\n%s", ai, step, check.FormatHistory(hist)))
+			}
+		}
+		if steps > report.Steps {
+			report.Steps = steps
+		}
+	}
+	return report
+}

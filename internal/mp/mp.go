@@ -1,0 +1,254 @@
+// Package mp demonstrates the paper's portability property (D2): "the
+// definition should be independent of any particular model of
+// computation". Section 2 argues the DSS is compatible with message
+// passing as well as shared memory; this package makes that concrete.
+//
+// A Server process owns a detectable object (any D⟨T⟩ from the universal
+// construction) whose state lives in simulated persistent memory. Clients
+// never touch memory: they interact purely by request/reply messages —
+// prep, exec, resolve, and plain invocations travel over channels. The
+// server can crash mid-operation (the heap's crash injection fires while
+// a request is being applied); after a restart, clients reconnect under
+// the same identity and use resolve, exactly as shared-memory threads
+// would. The DSS axioms are the same; only the transport changed.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+	"repro/internal/universal"
+)
+
+// ErrServerDown is returned to a client whose request hit a crashed (or
+// stopped) server. The client's recourse is the DSS's: wait for the
+// restart and resolve.
+var ErrServerDown = errors.New("mp: server down")
+
+// reqKind enumerates the message types of the object protocol.
+type reqKind int
+
+const (
+	reqPrep reqKind = iota + 1
+	reqExec
+	reqResolve
+	reqInvoke
+)
+
+type request struct {
+	kind   reqKind
+	client int
+	op     spec.Op
+	reply  chan reply
+}
+
+type reply struct {
+	resp spec.Resp
+	err  error
+}
+
+// Server owns the detectable object and serializes access to it. It
+// plays the role of the shared memory multiprocessor: the object's
+// durable state survives its crashes.
+//
+// Liveness protocol: each Start creates a generation with a request
+// channel and a `down` signal channel. The request channel is never
+// closed (closing a channel with concurrent senders is a race); instead,
+// crashing or stopping closes `down`, which unblocks every sender and the
+// serve loop.
+type Server struct {
+	h   *pmem.Heap
+	obj *universal.Object
+
+	mu      sync.Mutex
+	up      bool
+	req     chan request
+	down    chan struct{}
+	stopped chan struct{}
+}
+
+// NewServer builds a server whose object has the given initial state and
+// operation table, for clients 0..clients-1.
+func NewServer(clients, capacity int, init spec.State, ops []spec.Op) (*Server, error) {
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		return nil, err
+	}
+	obj, err := universal.New(h, 0, clients, capacity, init, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{h: h, obj: obj}, nil
+}
+
+// Heap exposes the server's heap so tests can arm crashes.
+func (s *Server) Heap() *pmem.Heap { return s.h }
+
+// Start begins (or resumes) serving. It is an error to start a running
+// server.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.up {
+		return fmt.Errorf("mp: server already running")
+	}
+	s.req = make(chan request)
+	s.down = make(chan struct{})
+	s.stopped = make(chan struct{})
+	s.up = true
+	go s.serve(s.req, s.down, s.stopped)
+	return nil
+}
+
+// serve processes requests until a crash fires or `down` closes. A crash
+// mid-request abandons the request (its reply never comes with a value —
+// the client gets ErrServerDown), mirroring a machine losing power while
+// an operation is in flight.
+func (s *Server) serve(req chan request, down, stopped chan struct{}) {
+	defer close(stopped)
+	for {
+		var r request
+		select {
+		case r = <-req:
+		case <-down:
+			return
+		}
+		crashed := pmem.RunToCrash(func() {
+			var out spec.Resp
+			var err error
+			switch r.kind {
+			case reqPrep:
+				err = s.obj.Prep(r.client, r.op)
+			case reqExec:
+				out, err = s.obj.Exec(r.client)
+			case reqResolve:
+				out = s.obj.Resolve(r.client)
+			case reqInvoke:
+				out, err = s.obj.Invoke(r.client, r.op)
+			default:
+				err = fmt.Errorf("mp: unknown request kind %d", int(r.kind))
+			}
+			r.reply <- reply{resp: out, err: err}
+		})
+		if crashed {
+			// The machine is gone: fail the in-flight client and every
+			// queued one; Restart() brings it back.
+			r.reply <- reply{err: ErrServerDown}
+			s.markDown()
+			return
+		}
+	}
+}
+
+// markDown transitions the server to the crashed state: closing `down`
+// unblocks every pending and future sender of this generation with
+// ErrServerDown.
+func (s *Server) markDown() {
+	s.mu.Lock()
+	if !s.up {
+		s.mu.Unlock()
+		return
+	}
+	s.up = false
+	down := s.down
+	s.req = nil
+	s.mu.Unlock()
+	close(down)
+}
+
+// Stop shuts the server down cleanly (no crash; durable state is intact).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	s.markDown()
+	if stopped != nil {
+		<-stopped
+	}
+}
+
+// Restart completes a crash: the heap's surviving image is adopted (the
+// caller chooses the adversary), the object recovers, and serving
+// resumes.
+func (s *Server) Restart(adv pmem.Adversary) error {
+	s.mu.Lock()
+	if s.up {
+		s.mu.Unlock()
+		return fmt.Errorf("mp: restart of a running server")
+	}
+	s.mu.Unlock()
+	if s.h.Crashed() {
+		s.h.Crash(adv)
+	}
+	s.obj.Recover()
+	return s.Start()
+}
+
+// send delivers one request, translating a dead server into ErrServerDown.
+func (s *Server) send(r request) reply {
+	s.mu.Lock()
+	req := s.req
+	down := s.down
+	up := s.up
+	s.mu.Unlock()
+	if !up || req == nil {
+		return reply{err: ErrServerDown}
+	}
+	r.reply = make(chan reply, 1)
+	select {
+	case req <- r:
+	case <-down:
+		return reply{err: ErrServerDown}
+	}
+	select {
+	case out := <-r.reply:
+		return out
+	case <-down:
+		// The server died while our request was in flight. The reply
+		// channel is buffered, so a reply racing with the crash is
+		// preferred if present.
+		select {
+		case out := <-r.reply:
+			return out
+		default:
+			return reply{err: ErrServerDown}
+		}
+	}
+}
+
+// Client is a process identity interacting with the object purely through
+// messages. Identities survive crashes (the paper's standing assumption).
+type Client struct {
+	id int
+	s  *Server
+}
+
+// NewClient binds identity id to the server.
+func NewClient(s *Server, id int) *Client { return &Client{id: id, s: s} }
+
+// Prep declares a detectable operation (Axiom 1) over the wire.
+func (c *Client) Prep(op spec.Op) error {
+	r := c.s.send(request{kind: reqPrep, client: c.id, op: op})
+	return r.err
+}
+
+// Exec applies the prepared operation (Axiom 2) over the wire.
+func (c *Client) Exec() (spec.Resp, error) {
+	r := c.s.send(request{kind: reqExec, client: c.id})
+	return r.resp, r.err
+}
+
+// Resolve asks the object for (A[p], R[p]) (Axiom 3) over the wire.
+func (c *Client) Resolve() (spec.Resp, error) {
+	r := c.s.send(request{kind: reqResolve, client: c.id})
+	return r.resp, r.err
+}
+
+// Invoke applies op non-detectably (Axiom 4) over the wire.
+func (c *Client) Invoke(op spec.Op) (spec.Resp, error) {
+	r := c.s.send(request{kind: reqInvoke, client: c.id, op: op})
+	return r.resp, r.err
+}

@@ -1,0 +1,113 @@
+package mp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// TestConcurrentClientsAcrossCrashes hammers the server with several
+// clients performing detectable increments while the server crashes
+// repeatedly; every client applies the exactly-once retry rule through
+// resolve, and the final balance must be exact. This is the
+// message-passing analogue of the shared-memory conservation stress
+// tests.
+func TestConcurrentClientsAcrossCrashes(t *testing.T) {
+	const (
+		clients     = 3
+		perClient   = 10
+		maxRestarts = 200
+	)
+	s := newCounterServer(t, clients)
+	defer s.Stop()
+
+	var restartMu sync.Mutex
+	restarts := 0
+	// restartServer brings the server back after a crash; many clients
+	// may observe ErrServerDown concurrently, only one restart runs.
+	restartServer := func() error {
+		restartMu.Lock()
+		defer restartMu.Unlock()
+		if !s.Heap().Crashed() {
+			return nil // another client already restarted it
+		}
+		restarts++
+		if restarts > maxRestarts {
+			return errors.New("too many restarts")
+		}
+		if err := s.Restart(pmem.NewRandomFates(int64(restarts))); err != nil {
+			return err
+		}
+		// Re-arm a crash so later operations keep failing over.
+		if restarts < maxRestarts/2 {
+			s.Heap().ArmCrash(uint64(150 + 70*restarts))
+		}
+		return nil
+	}
+	s.Heap().ArmCrash(100)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := NewClient(s, id)
+			for d := 1; d <= perClient; {
+				op := spec.Inc()
+				op.Tag = uint64(d)
+				err := c.Prep(op)
+				if err == nil {
+					_, err = c.Exec()
+				}
+				if err == nil {
+					d++
+					continue
+				}
+				if !errors.Is(err, ErrServerDown) {
+					errs <- err
+					return
+				}
+				if err := restartServer(); err != nil {
+					errs <- err
+					return
+				}
+				// Exactly-once: ask the recovered object what happened to
+				// deposit d before retrying.
+				r, err := c.Resolve()
+				if err != nil {
+					continue // raced into another crash; retry the loop
+				}
+				if r.HasOp && r.POp.Tag == uint64(d) && r.Inner != spec.None {
+					d++ // it landed before the crash
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Disarm and read the final balance.
+	s.Heap().ArmCrash(0)
+	if s.Heap().Crashed() {
+		if err := restartServer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewClient(s, 0)
+	bal, err := c.Invoke(spec.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != spec.ValResp(clients*perClient) {
+		t.Fatalf("balance = %v after %d restarts, want %d", bal, restarts, clients*perClient)
+	}
+	if restarts == 0 {
+		t.Fatal("stress exercised no crashes")
+	}
+}

@@ -1,0 +1,221 @@
+package mp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func newRegisterServer(t *testing.T, clients int) *Server {
+	t.Helper()
+	s, err := NewServer(clients, 1024, spec.NewRegister(0),
+		[]spec.Op{spec.Read(), spec.Write(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newCounterServer(t *testing.T, clients int) *Server {
+	t.Helper()
+	s, err := NewServer(clients, 4096, spec.NewCounter(),
+		[]spec.Op{spec.Inc(), spec.Read()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMessagePassingBasicOps(t *testing.T) {
+	s := newRegisterServer(t, 2)
+	defer s.Stop()
+	c0, c1 := NewClient(s, 0), NewClient(s, 1)
+	if r, err := c0.Invoke(spec.Read()); err != nil || r != spec.ValResp(0) {
+		t.Fatalf("read = (%v,%v)", r, err)
+	}
+	if _, err := c0.Invoke(spec.Write(7)); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := c1.Invoke(spec.Read()); r != spec.ValResp(7) {
+		t.Fatalf("read by other client = %v", r)
+	}
+}
+
+func TestMessagePassingDetectableLifecycle(t *testing.T) {
+	s := newRegisterServer(t, 1)
+	defer s.Stop()
+	c := NewClient(s, 0)
+	if err := c.Prep(spec.Write(5)); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := c.Resolve(); err != nil || r != spec.PairResp(true, spec.Write(5), spec.BottomResp()) {
+		t.Fatalf("resolve after prep = (%v,%v)", r, err)
+	}
+	if r, err := c.Exec(); err != nil || r != spec.AckResp() {
+		t.Fatalf("exec = (%v,%v)", r, err)
+	}
+	if r, _ := c.Resolve(); r != spec.PairResp(true, spec.Write(5), spec.AckResp()) {
+		t.Fatalf("resolve after exec = %v", r)
+	}
+}
+
+func TestServerLifecycleErrors(t *testing.T) {
+	s := newRegisterServer(t, 1)
+	if err := s.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	if err := s.Restart(pmem.DropAll{}); err == nil {
+		t.Fatal("Restart of running server accepted")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	c := NewClient(s, 0)
+	if _, err := c.Invoke(spec.Read()); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("request to stopped server = %v, want ErrServerDown", err)
+	}
+	if err := s.Restart(pmem.DropAll{}); err != nil {
+		t.Fatalf("Restart after stop: %v", err)
+	}
+	defer s.Stop()
+	if _, err := c.Invoke(spec.Read()); err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+}
+
+// TestFigure2OverMessagePassing reproduces the paper's Figure 2 cases
+// with the crash landing inside the *server* while the client's request
+// is in flight — the same DSS outcomes, transported over messages.
+func TestFigure2OverMessagePassing(t *testing.T) {
+	for _, adv := range []pmem.Adversary{pmem.DropAll{}, pmem.KeepAll{}, pmem.NewRandomFates(5)} {
+		for step := uint64(1); ; step++ {
+			s := newRegisterServer(t, 1)
+			c := NewClient(s, 0)
+			s.Heap().ArmCrash(step)
+			_, done := func() (bool, bool) {
+				if err := c.Prep(spec.Write(1)); err != nil {
+					return false, false
+				}
+				if _, err := c.Exec(); err != nil {
+					return false, false
+				}
+				return true, true
+			}()
+			if !s.Heap().Crashed() {
+				s.Stop()
+				if !done {
+					t.Fatalf("step %d: no crash but requests failed", step)
+				}
+				break
+			}
+			if err := s.Restart(adv); err != nil {
+				t.Fatalf("step %d: restart: %v", step, err)
+			}
+			r, err := c.Resolve()
+			if err != nil {
+				t.Fatalf("step %d: resolve after restart: %v", step, err)
+			}
+			val, err := c.Invoke(spec.Read())
+			if err != nil {
+				t.Fatal(err)
+			}
+			legal := map[spec.Resp]bool{
+				spec.PairResp(false, spec.Op{}, spec.BottomResp()):    true,
+				spec.PairResp(true, spec.Write(1), spec.BottomResp()): true,
+				spec.PairResp(true, spec.Write(1), spec.AckResp()):    true,
+			}
+			if !legal[r] {
+				t.Fatalf("step %d: illegal resolve %v", step, r)
+			}
+			executed := r == spec.PairResp(true, spec.Write(1), spec.AckResp())
+			if executed != (val == spec.ValResp(1)) {
+				t.Fatalf("step %d: resolve %v inconsistent with register %v", step, r, val)
+			}
+			s.Stop()
+		}
+	}
+}
+
+// TestExactlyOnceDepositsOverMessages is the ledger example over the
+// wire: a client retries deposits across repeated server crashes, using
+// resolve to decide, and the final balance is exact.
+func TestExactlyOnceDepositsOverMessages(t *testing.T) {
+	const deposits = 15
+	s := newCounterServer(t, 1)
+	defer s.Stop()
+	c := NewClient(s, 0)
+	crashes := 0
+	for d := 1; d <= deposits; {
+		op := spec.Inc()
+		op.Tag = uint64(d)
+		s.Heap().ArmCrash(uint64(23 + 17*crashes))
+		err := c.Prep(op)
+		if err == nil {
+			_, err = c.Exec()
+		}
+		if err == nil {
+			s.Heap().ArmCrash(0) // disarm between deposits
+			d++
+			continue
+		}
+		if !errors.Is(err, ErrServerDown) {
+			t.Fatalf("deposit %d: %v", d, err)
+		}
+		crashes++
+		if err := s.Restart(pmem.NewRandomFates(int64(crashes))); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deposit d landed iff the resolution names tag d as executed.
+		if r.HasOp && r.POp.Tag == uint64(d) && r.Inner != spec.None {
+			d++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("test exercised no crashes; arm points too large")
+	}
+	bal, err := c.Invoke(spec.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != spec.ValResp(deposits) {
+		t.Fatalf("balance = %v after %d crashes, want %d", bal, crashes, deposits)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	const clients = 4
+	const each = 25
+	s := newCounterServer(t, clients)
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := NewClient(s, id)
+			for i := 0; i < each; i++ {
+				if _, err := c.Invoke(spec.Inc()); err != nil {
+					t.Errorf("client %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	c := NewClient(s, 0)
+	if bal, _ := c.Invoke(spec.Read()); bal != spec.ValResp(clients*each) {
+		t.Fatalf("counter = %v, want %d", bal, clients*each)
+	}
+}

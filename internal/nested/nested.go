@@ -1,0 +1,462 @@
+// Package nested demonstrates the application-managed nesting claim of
+// Section 2.2: "D⟨queue⟩ can be constructed using implementations of
+// D⟨read/write register⟩ and D⟨CAS⟩".
+//
+// The DSS queue algorithm of Section 3 is restated here against an
+// abstract base-object interface (Word) instead of raw heap words. Two
+// factories instantiate it:
+//
+//   - RawWords: each base object is one heap word — operationally the
+//     same object as internal/core's queue.
+//   - DetectableWords: each base object is a strictly linearizable
+//     recoverable D⟨CAS⟩ built by the universal construction. The queue
+//     invokes only the non-detectable operations of these inner objects
+//     ("D⟨T⟩ provides all the non-detectable operations of T"), and the
+//     application — this package — takes "full responsibility for nesting":
+//     queue-level recovery first recovers every inner object, then runs
+//     the Figure 6 repair over them.
+//
+// Node "pointers" are indices into a node table, and nodes are never
+// recycled (allocation happens through a durable allocation counter that
+// is itself a base object), which keeps the demonstration free of the
+// reclamation machinery — this is a feasibility construction, like the
+// universal construction it builds on, not a performance substrate.
+package nested
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+	"repro/internal/universal"
+)
+
+// Word is the strictly linearizable recoverable base object the DSS queue
+// algorithm is written against: a 64-bit cell with read, write, and CAS.
+type Word interface {
+	// Read returns the current value.
+	Read(tid int) uint64
+	// Write stores v unconditionally.
+	Write(tid int, v uint64)
+	// CAS stores new if the value equals old.
+	CAS(tid int, old, new uint64) bool
+	// Persist makes the last update durable (no-op for base objects whose
+	// operations are individually durable).
+	Persist()
+	// Recover repairs the base object itself after a crash (no-op for
+	// raw words; inner-object recovery for nested ones).
+	Recover()
+}
+
+// Factory creates the queue's base objects. init is the word's initial
+// value; name describes its role (diagnostics only).
+type Factory func(name string, init uint64) (Word, error)
+
+// rawWord is a single heap word: the flat instantiation.
+type rawWord struct {
+	h *pmem.Heap
+	a pmem.Addr
+}
+
+func (w rawWord) Read(int) uint64                 { return w.h.Load(w.a) }
+func (w rawWord) Write(_ int, v uint64)           { w.h.Store(w.a, v) }
+func (w rawWord) CAS(_ int, old, new uint64) bool { return w.h.CompareAndSwap(w.a, old, new) }
+func (w rawWord) Persist()                        { w.h.Persist(w.a) }
+func (w rawWord) Recover()                        {}
+
+// RawWords returns a factory of plain heap words on h.
+func RawWords(h *pmem.Heap) Factory {
+	return func(_ string, init uint64) (Word, error) {
+		a, err := h.Alloc(1)
+		if err != nil {
+			return nil, err
+		}
+		h.Store(a, init)
+		h.Persist(a)
+		return rawWord{h: h, a: a}, nil
+	}
+}
+
+// uWord adapts a universal-construction D⟨CAS⟩ object to the Word
+// interface through its non-detectable operations.
+type uWord struct {
+	o *universal.Object
+}
+
+func (w uWord) Read(tid int) uint64 {
+	r, err := w.o.Invoke(tid, spec.Read())
+	if err != nil {
+		panic(fmt.Sprintf("nested: inner read: %v", err))
+	}
+	return r.V
+}
+
+func (w uWord) Write(tid int, v uint64) {
+	if _, err := w.o.Invoke(tid, spec.Write(v)); err != nil {
+		panic(fmt.Sprintf("nested: inner write: %v", err))
+	}
+}
+
+func (w uWord) CAS(tid int, old, new uint64) bool {
+	r, err := w.o.Invoke(tid, spec.CAS(old, new))
+	if err != nil {
+		panic(fmt.Sprintf("nested: inner cas: %v", err))
+	}
+	return r.V == 1
+}
+
+func (w uWord) Persist() { /* inner operations are individually durable */ }
+func (w uWord) Recover() { w.o.Recover() }
+
+// DetectableWords returns a factory of D⟨CAS⟩ base objects built by the
+// universal construction, each supporting opsPerWord total operations.
+// The panics in the adapters fire only on capacity exhaustion, which is a
+// sizing bug of the feasibility demo, not a runtime condition.
+func DetectableWords(h *pmem.Heap, threads, opsPerWord int) Factory {
+	return func(_ string, init uint64) (Word, error) {
+		o, err := universal.New(h, -1, threads, opsPerWord, spec.NewCAS(init),
+			[]spec.Op{spec.Read(), spec.Write(0), spec.CAS(0, 0)})
+		if err != nil {
+			return nil, err
+		}
+		return uWord{o: o}, nil
+	}
+}
+
+// X-word tags and claim encoding, exactly as in internal/core.
+const (
+	enqPrepTag  = uint64(1) << 63
+	enqComplTag = uint64(1) << 62
+	deqPrepTag  = uint64(1) << 61
+	emptyTag    = uint64(1) << 60
+	tagMask     = enqPrepTag | enqComplTag | deqPrepTag | emptyTag
+
+	tidNone = ^uint64(0)
+	ndMark  = uint64(1) << 58
+)
+
+// ErrNoNodes is returned when the node table is exhausted (nodes are not
+// recycled in this construction).
+var ErrNoNodes = errors.New("nested: node table exhausted")
+
+// Queue is the DSS queue over abstract base objects. Node index 0 is
+// NULL; the sentinel starts at index 1.
+type Queue struct {
+	threads int
+	cap     int
+
+	value, next, deq []Word // node fields, indexed by node index
+	head, tail       Word
+	allocCtr         Word // durable bump allocator over the node table
+	x                []Word
+}
+
+// Config parameterizes a nested queue.
+type Config struct {
+	// Threads is the worker count.
+	Threads int
+	// Nodes is the node-table capacity (total enqueues over the queue's
+	// lifetime, including the sentinel).
+	Nodes int
+}
+
+// New builds the queue's base objects through factory f.
+func New(f Factory, cfg Config) (*Queue, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("nested: need at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("nested: need at least two nodes, got %d", cfg.Nodes)
+	}
+	q := &Queue{threads: cfg.Threads, cap: cfg.Nodes + 1}
+	mk := func(name string, init uint64) (Word, error) {
+		w, err := f(name, init)
+		if err != nil {
+			return nil, fmt.Errorf("nested: %s: %w", name, err)
+		}
+		return w, nil
+	}
+	var err error
+	q.value = make([]Word, q.cap)
+	q.next = make([]Word, q.cap)
+	q.deq = make([]Word, q.cap)
+	for i := 1; i < q.cap; i++ {
+		if q.value[i], err = mk(fmt.Sprintf("node%d.value", i), 0); err != nil {
+			return nil, err
+		}
+		if q.next[i], err = mk(fmt.Sprintf("node%d.next", i), 0); err != nil {
+			return nil, err
+		}
+		if q.deq[i], err = mk(fmt.Sprintf("node%d.deqTID", i), tidNone); err != nil {
+			return nil, err
+		}
+	}
+	if q.head, err = mk("head", 1); err != nil { // sentinel is node 1
+		return nil, err
+	}
+	if q.tail, err = mk("tail", 1); err != nil {
+		return nil, err
+	}
+	if q.allocCtr, err = mk("alloc", 2); err != nil { // next free index
+		return nil, err
+	}
+	q.x = make([]Word, cfg.Threads)
+	for i := range q.x {
+		if q.x[i], err = mk(fmt.Sprintf("X%d", i), 0); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// allocNode durably claims a fresh node index via CAS on the allocation
+// counter.
+func (q *Queue) allocNode(tid int) (uint64, bool) {
+	for {
+		cur := q.allocCtr.Read(tid)
+		if cur >= uint64(q.cap) {
+			return 0, false
+		}
+		if q.allocCtr.CAS(tid, cur, cur+1) {
+			q.allocCtr.Persist()
+			return cur, true
+		}
+	}
+}
+
+// PrepEnqueue, ExecEnqueue, PrepDequeue, ExecDequeue, Enqueue, Dequeue and
+// Resolve restate Figures 3-4 verbatim over the base objects.
+
+// PrepEnqueue declares the detectable intent to enqueue v.
+func (q *Queue) PrepEnqueue(tid int, v uint64) error {
+	node, ok := q.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.value[node].Write(tid, v)
+	q.value[node].Persist()
+	q.x[tid].Write(tid, node|enqPrepTag)
+	q.x[tid].Persist()
+	return nil
+}
+
+// ExecEnqueue links the prepared node at the tail.
+func (q *Queue) ExecEnqueue(tid int) {
+	x := q.x[tid].Read(tid)
+	if x&enqPrepTag == 0 || x&enqComplTag != 0 {
+		return
+	}
+	q.enqueue(tid, x&^tagMask, true)
+}
+
+// Enqueue is the non-detectable enqueue.
+func (q *Queue) Enqueue(tid int, v uint64) error {
+	node, ok := q.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.value[node].Write(tid, v)
+	q.value[node].Persist()
+	q.enqueue(tid, node, false)
+	return nil
+}
+
+func (q *Queue) enqueue(tid int, node uint64, detect bool) {
+	for {
+		last := q.tail.Read(tid)
+		next := q.next[last].Read(tid)
+		if last != q.tail.Read(tid) {
+			continue
+		}
+		if next == 0 {
+			if q.next[last].CAS(tid, 0, node) {
+				q.next[last].Persist()
+				if detect {
+					q.x[tid].Write(tid, q.x[tid].Read(tid)|enqComplTag)
+					q.x[tid].Persist()
+				}
+				q.tail.CAS(tid, last, node)
+				return
+			}
+		} else {
+			q.next[last].Persist()
+			q.tail.CAS(tid, last, next)
+		}
+	}
+}
+
+// PrepDequeue declares the detectable intent to dequeue.
+func (q *Queue) PrepDequeue(tid int) {
+	q.x[tid].Write(tid, deqPrepTag)
+	q.x[tid].Persist()
+}
+
+// ExecDequeue removes the front value; ok is false when empty.
+func (q *Queue) ExecDequeue(tid int) (uint64, bool) {
+	return q.dequeue(tid, true)
+}
+
+// Dequeue is the non-detectable dequeue.
+func (q *Queue) Dequeue(tid int) (uint64, bool) {
+	return q.dequeue(tid, false)
+}
+
+func (q *Queue) dequeue(tid int, detect bool) (uint64, bool) {
+	claim := uint64(tid)
+	if !detect {
+		claim |= ndMark
+	}
+	for {
+		first := q.head.Read(tid)
+		last := q.tail.Read(tid)
+		next := q.next[first].Read(tid)
+		if first != q.head.Read(tid) {
+			continue
+		}
+		if first == last {
+			if next == 0 {
+				if detect {
+					q.x[tid].Write(tid, q.x[tid].Read(tid)|emptyTag)
+					q.x[tid].Persist()
+				}
+				return 0, false
+			}
+			q.next[last].Persist()
+			q.tail.CAS(tid, last, next)
+			continue
+		}
+		if detect {
+			q.x[tid].Write(tid, first|deqPrepTag)
+			q.x[tid].Persist()
+		}
+		if q.deq[next].CAS(tid, tidNone, claim) {
+			q.deq[next].Persist()
+			q.head.CAS(tid, first, next)
+			return q.value[next].Read(tid), true
+		}
+		if q.head.Read(tid) == first {
+			q.deq[next].Persist()
+			q.head.CAS(tid, first, next)
+		}
+	}
+}
+
+// Resolution mirrors internal/core's.
+type Resolution struct {
+	IsEnqueue bool
+	IsDequeue bool
+	Arg       uint64
+	Executed  bool
+	Val       uint64
+	Empty     bool
+}
+
+// Resolve reports the most recently prepared operation and its outcome.
+func (q *Queue) Resolve(tid int) Resolution {
+	x := q.x[tid].Read(tid)
+	switch {
+	case x&enqPrepTag != 0:
+		node := x &^ tagMask
+		return Resolution{
+			IsEnqueue: true,
+			Arg:       q.value[node].Read(tid),
+			Executed:  x&enqComplTag != 0,
+		}
+	case x&deqPrepTag != 0:
+		switch {
+		case x == deqPrepTag:
+			return Resolution{IsDequeue: true}
+		case x == deqPrepTag|emptyTag:
+			return Resolution{IsDequeue: true, Executed: true, Empty: true}
+		default:
+			first := x &^ tagMask
+			next := q.next[first].Read(tid)
+			if next != 0 && q.deq[next].Read(tid) == uint64(tid) {
+				return Resolution{IsDequeue: true, Executed: true, Val: q.value[next].Read(tid)}
+			}
+			return Resolution{IsDequeue: true}
+		}
+	default:
+		return Resolution{}
+	}
+}
+
+// Resp converts the resolution for conformance checking.
+func (r Resolution) Resp() spec.Resp {
+	switch {
+	case r.IsEnqueue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			inner = spec.AckResp()
+		}
+		return spec.PairResp(true, spec.Enqueue(r.Arg), inner)
+	case r.IsDequeue:
+		inner := spec.BottomResp()
+		if r.Executed {
+			if r.Empty {
+				inner = spec.EmptyResp()
+			} else {
+				inner = spec.ValResp(r.Val)
+			}
+		}
+		return spec.PairResp(true, spec.Dequeue(), inner)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+}
+
+// Recover is the nested recovery orchestration Section 2.2 assigns to the
+// application: first every inner base object recovers itself, then the
+// queue-level Figure 6 repair runs over the recovered objects.
+// Single-threaded; tid 0 is used for base-object access.
+func (q *Queue) Recover() {
+	// 1. Inner recovery, in any order (the objects are independent).
+	for i := 1; i < q.cap; i++ {
+		q.value[i].Recover()
+		q.next[i].Recover()
+		q.deq[i].Recover()
+	}
+	q.head.Recover()
+	q.tail.Recover()
+	q.allocCtr.Recover()
+	for i := range q.x {
+		q.x[i].Recover()
+	}
+
+	// 2. Queue-level repair (Figure 6 over base objects).
+	const tid = 0
+	oldHead := q.head.Read(tid)
+	all := map[uint64]bool{}
+	lastNode := oldHead
+	for n := oldHead; n != 0; n = q.next[n].Read(tid) {
+		all[n] = true
+		lastNode = n
+	}
+	q.tail.Write(tid, lastNode)
+	q.tail.Persist()
+	newHead := oldHead
+	for {
+		next := q.next[newHead].Read(tid)
+		if next == 0 || q.deq[next].Read(tid) == tidNone {
+			break
+		}
+		newHead = next
+	}
+	q.head.Write(tid, newHead)
+	q.head.Persist()
+	for i := 0; i < q.threads; i++ {
+		x := q.x[i].Read(tid)
+		if x&enqPrepTag == 0 || x&enqComplTag != 0 {
+			continue
+		}
+		d := x &^ tagMask
+		if d == 0 {
+			continue
+		}
+		if all[d] || q.deq[d].Read(tid) != tidNone {
+			q.x[i].Write(tid, x|enqComplTag)
+			q.x[i].Persist()
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package nested
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func newHeap(t *testing.T, words int) *pmem.Heap {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: words, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// factories returns both instantiations of the nested queue over a fresh
+// heap each.
+func factories(t *testing.T, threads, nodes int) map[string]*Queue {
+	t.Helper()
+	out := map[string]*Queue{}
+	{
+		h := newHeap(t, 1<<14)
+		q, err := New(RawWords(h), Config{Threads: threads, Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["raw"] = q
+	}
+	{
+		h := newHeap(t, 1<<20)
+		q, err := New(DetectableWords(h, threads, 512), Config{Threads: threads, Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["detectable-base"] = q
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	h := newHeap(t, 1<<12)
+	if _, err := New(RawWords(h), Config{Threads: 0, Nodes: 4}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(RawWords(h), Config{Threads: 1, Nodes: 1}); err == nil {
+		t.Fatal("accepted too few nodes")
+	}
+}
+
+func TestFIFOBothInstantiations(t *testing.T) {
+	for name, q := range factories(t, 2, 16) {
+		t.Run(name, func(t *testing.T) {
+			for v := uint64(1); v <= 5; v++ {
+				if err := q.Enqueue(0, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for v := uint64(1); v <= 5; v++ {
+				got, ok := q.Dequeue(1)
+				if !ok || got != v {
+					t.Fatalf("dequeue = (%d,%v), want (%d,true)", got, ok, v)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestDetectableLifecycleBothInstantiations(t *testing.T) {
+	for name, q := range factories(t, 1, 8) {
+		t.Run(name, func(t *testing.T) {
+			if err := q.PrepEnqueue(0, 7); err != nil {
+				t.Fatal(err)
+			}
+			if res := q.Resolve(0); !res.IsEnqueue || res.Executed || res.Arg != 7 {
+				t.Fatalf("resolve after prep = %+v", res)
+			}
+			q.ExecEnqueue(0)
+			if res := q.Resolve(0); !res.IsEnqueue || !res.Executed {
+				t.Fatalf("resolve after exec = %+v", res)
+			}
+			q.PrepDequeue(0)
+			if v, ok := q.ExecDequeue(0); !ok || v != 7 {
+				t.Fatalf("ExecDequeue = (%d,%v)", v, ok)
+			}
+			if res := q.Resolve(0); !res.IsDequeue || !res.Executed || res.Val != 7 {
+				t.Fatalf("resolve after dequeue = %+v", res)
+			}
+			q.PrepDequeue(0)
+			if _, ok := q.ExecDequeue(0); ok {
+				t.Fatal("dequeue on empty succeeded")
+			}
+			if res := q.Resolve(0); !res.IsDequeue || !res.Executed || !res.Empty {
+				t.Fatalf("resolve after empty dequeue = %+v", res)
+			}
+		})
+	}
+}
+
+func TestNodeTableExhaustion(t *testing.T) {
+	h := newHeap(t, 1<<14)
+	q, err := New(RawWords(h), Config{Threads: 1, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue(0, uint64(i)); err != nil {
+			last = err
+			break
+		}
+	}
+	if !errors.Is(last, ErrNoNodes) {
+		t.Fatalf("exhaustion err = %v", last)
+	}
+}
+
+// TestInstantiationsAgree runs the same operation sequence through both
+// instantiations and compares every response — the substitution claim of
+// Section 2.2 in executable form.
+func TestInstantiationsAgree(t *testing.T) {
+	qs := factories(t, 1, 32)
+	raw, det := qs["raw"], qs["detectable-base"]
+	type result struct {
+		v  uint64
+		ok bool
+	}
+	step := func(f func(q *Queue) result) {
+		t.Helper()
+		a := f(raw)
+		b := f(det)
+		if a != b {
+			t.Fatalf("instantiations diverge: raw=%+v detectable-base=%+v", a, b)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		v := uint64(100 + i)
+		switch i % 4 {
+		case 0:
+			step(func(q *Queue) result {
+				return result{0, q.PrepEnqueue(0, v) == nil}
+			})
+			step(func(q *Queue) result {
+				q.ExecEnqueue(0)
+				r := q.Resolve(0)
+				return result{r.Arg, r.Executed}
+			})
+		case 1:
+			step(func(q *Queue) result {
+				err := q.Enqueue(0, v)
+				return result{0, err == nil}
+			})
+		case 2:
+			step(func(q *Queue) result {
+				q.PrepDequeue(0)
+				got, ok := q.ExecDequeue(0)
+				return result{got, ok}
+			})
+		case 3:
+			step(func(q *Queue) result {
+				got, ok := q.Dequeue(0)
+				return result{got, ok}
+			})
+		}
+	}
+}
+
+// conformanceSweep crashes at every step of a detectable workload over
+// the given queue builder and checks the history against D⟨queue⟩.
+func conformanceSweep(t *testing.T, build func() (*Queue, *pmem.Heap), advs []pmem.Adversary, maxSteps uint64) {
+	t.Helper()
+	for _, adv := range advs {
+		for step := uint64(1); step < maxSteps; step++ {
+			q, h := build()
+			if err := q.Enqueue(0, 1); err != nil {
+				t.Fatal(err)
+			}
+			rec := check.NewRecorder()
+			rec.Begin(0, spec.Enqueue(1))
+			rec.End(0, spec.AckResp())
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				rec.Begin(0, spec.PrepOp(spec.Enqueue(10)))
+				if err := q.PrepEnqueue(0, 10); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Enqueue(10)))
+				q.ExecEnqueue(0)
+				rec.End(0, spec.AckResp())
+				rec.Begin(0, spec.PrepOp(spec.Dequeue()))
+				q.PrepDequeue(0)
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Dequeue()))
+				if got, ok := q.ExecDequeue(0); ok {
+					rec.End(0, spec.ValResp(got))
+				} else {
+					rec.End(0, spec.EmptyResp())
+				}
+			})
+			if !h.Crashed() {
+				return
+			}
+			rec.CrashAll()
+			h.Crash(adv)
+			q.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, q.Resolve(0).Resp())
+			for {
+				rec.Begin(0, spec.Dequeue())
+				v, ok := q.Dequeue(0)
+				if ok {
+					rec.End(0, spec.ValResp(v))
+				} else {
+					rec.End(0, spec.EmptyResp())
+					break
+				}
+			}
+			hist := rec.History()
+			d := spec.Detectable(spec.NewQueue(), 1)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				t.Fatalf("step %d: nested history not strictly linearizable:\n%s",
+					step, check.FormatHistory(hist))
+			}
+		}
+	}
+	t.Fatalf("workload did not complete within %d steps", maxSteps)
+}
+
+func TestCrashSweepRawWords(t *testing.T) {
+	conformanceSweep(t, func() (*Queue, *pmem.Heap) {
+		h := newHeap(t, 1<<14)
+		q, err := New(RawWords(h), Config{Threads: 1, Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q, h
+	}, pmem.Adversaries(83), 10_000)
+}
+
+// TestCrashSweepDetectableWords is the flagship nesting test: crashes land
+// *inside the inner D⟨CAS⟩ objects' own operations*, inner recovery and
+// queue-level recovery compose, and the combined behavior still conforms
+// to D⟨queue⟩.
+func TestCrashSweepDetectableWords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive inner-object crash sweep is expensive; skipped with -short")
+	}
+	advs := []pmem.Adversary{pmem.DropAll{}, pmem.KeepAll{}, pmem.NewRandomFates(89)}
+	conformanceSweep(t, func() (*Queue, *pmem.Heap) {
+		h := newHeap(t, 1<<20)
+		q, err := New(DetectableWords(h, 1, 512), Config{Threads: 1, Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q, h
+	}, advs, 1_000_000)
+}
+
+func TestConcurrentPairsRawWords(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	q, err := New(RawWords(h), Config{Threads: 3, Nodes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[uint64]int, 3)
+	for tid := 0; tid < 3; tid++ {
+		go func(tid int) {
+			seen := map[uint64]int{}
+			for i := 0; i < 50; i++ {
+				v := uint64(tid+1)<<32 | uint64(i)
+				if err := q.Enqueue(tid, v); err != nil {
+					break
+				}
+				if got, ok := q.Dequeue(tid); ok {
+					seen[got]++
+				}
+			}
+			done <- seen
+		}(tid)
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < 3; i++ {
+		for v, n := range <-done {
+			seen[v] += n
+		}
+	}
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	if len(seen) != 150 {
+		t.Fatalf("saw %d distinct values, want 150", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package nrl implements a detectable Compare-And-Swap object in the
+// NRL+ style of Ben-David, Blelloch, Friedman and Wei (SPAA 2019), the
+// main point of comparison in the paper's Sections 1-2.
+//
+// The contrast with the DSS is the point of this package:
+//
+//   - NRL+ identifies operations by *sequence numbers embedded in the
+//     object's word* — the word holds ⟨value, pid, seq⟩ — which the paper
+//     criticizes: "sequence numbers are embedded in program variables,
+//     which reduces the number of bits available to store other state …
+//     especially problematic on current generation hardware, which
+//     supports only 64-bit failure-atomic writes". Here values are
+//     squeezed to 32 bits, pids to 8, sequence numbers to 24 (wrapping).
+//   - Every operation is detectable (there is no prep/exec split and no
+//     way to opt out), unlike the DSS's detectability on demand.
+//   - Detection identifies the most recently *invoked* operation, so each
+//     operation must announce itself durably before touching the object —
+//     the "auxiliary state" the DSS queue's independent-recovery variant
+//     avoids.
+//
+// The algorithm follows the recoverable-CAS scheme of their Algorithm 1:
+// a successful CAS installs ⟨new, p, s⟩; any process about to overwrite a
+// word written by q first durably records q's sequence number in a
+// notification cell R[q], so q can still detect its success after its
+// value has been replaced. Detection for p's operation s: the word still
+// carries (p, s), or R[p] ≥ s.
+package nrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Field widths of the packed word: ⟨seq:24 | pid:8 | value:32⟩.
+const (
+	valueBits = 32
+	pidBits   = 8
+	seqBits   = 24
+
+	// MaxValue is the largest storable value: embedding pid and seq in
+	// the 64-bit failure-atomic word costs half the value range — the
+	// implementation burden the paper attributes to NRL+.
+	MaxValue = uint64(1)<<valueBits - 1
+	maxPid   = 1<<pidBits - 1
+	seqMask  = uint64(1)<<seqBits - 1
+)
+
+// ErrValueRange is returned for values that do not fit the packed layout.
+var ErrValueRange = errors.New("nrl: value exceeds MaxValue (seq+pid bits reserved)")
+
+// pack builds ⟨seq, pid, value⟩.
+func pack(seq uint64, pid int, value uint64) uint64 {
+	return seq&seqMask<<(valueBits+pidBits) | uint64(pid)<<valueBits | value
+}
+
+func unpackValue(w uint64) uint64 { return w & MaxValue }
+func unpackPid(w uint64) int      { return int(w >> valueBits & maxPid) }
+func unpackSeq(w uint64) uint64   { return w >> (valueBits + pidBits) & seqMask }
+
+// CAS is an NRL+-style detectable compare-and-swap object.
+type CAS struct {
+	h       *pmem.Heap
+	word    pmem.Addr // packed ⟨seq,pid,value⟩
+	ann     pmem.Addr // announce[p]: p's current sequence number, one line each
+	notify  pmem.Addr // R[p]: highest seq of p known overwritten, one line each
+	threads int
+}
+
+// New allocates the object with initial value init. Process IDs must be
+// below 255 (pid 255 marks the initial value's writer).
+func New(h *pmem.Heap, rootSlot, threads int, init uint64) (*CAS, error) {
+	if threads <= 0 || threads >= maxPid {
+		return nil, fmt.Errorf("nrl: thread count %d out of range [1,%d)", threads, maxPid)
+	}
+	if init > MaxValue {
+		return nil, fmt.Errorf("%w: %d", ErrValueRange, init)
+	}
+	meta, err := h.Alloc((1 + 2*threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("nrl: metadata: %w", err)
+	}
+	c := &CAS{
+		h:       h,
+		word:    meta,
+		ann:     meta + pmem.WordsPerLine,
+		notify:  meta + pmem.Addr((1+threads)*pmem.WordsPerLine),
+		threads: threads,
+	}
+	c.h.Store(c.word, pack(0, maxPid, init))
+	c.h.Persist(c.word)
+	for i := 0; i < threads; i++ {
+		c.h.Store(c.annAddr(i), 0)
+		c.h.Persist(c.annAddr(i))
+		c.h.Store(c.notifyAddr(i), 0)
+		c.h.Persist(c.notifyAddr(i))
+	}
+	h.SetRoot(rootSlot, meta)
+	return c, nil
+}
+
+func (c *CAS) annAddr(p int) pmem.Addr    { return c.ann + pmem.Addr(p*pmem.WordsPerLine) }
+func (c *CAS) notifyAddr(p int) pmem.Addr { return c.notify + pmem.Addr(p*pmem.WordsPerLine) }
+
+// Read returns the current value, flushing it first so callers never act
+// on state a crash could roll back.
+func (c *CAS) Read(int) uint64 {
+	c.h.Persist(c.word)
+	return unpackValue(c.h.Load(c.word))
+}
+
+// CompareAndSwap attempts to replace old with new on behalf of tid. Every
+// invocation is detectable: it durably announces a fresh sequence number
+// before touching the object, and Detect can classify it after a crash.
+func (c *CAS) CompareAndSwap(tid int, old, new uint64) (bool, error) {
+	if old > MaxValue || new > MaxValue {
+		return false, fmt.Errorf("%w: cas(%d,%d)", ErrValueRange, old, new)
+	}
+	// Announce the operation (aux state NRL-style detection requires).
+	seq := c.h.Load(c.annAddr(tid)) + 1
+	c.h.Store(c.annAddr(tid), seq)
+	c.h.Persist(c.annAddr(tid))
+
+	for {
+		cur := c.h.Load(c.word)
+		if unpackValue(cur) != old {
+			return false, nil
+		}
+		// Flush-on-read: the observed value must be durable before this
+		// operation depends on it — otherwise a crash could roll back the
+		// previous writer's effect after we have durably notified it as
+		// succeeded.
+		c.h.Persist(c.word)
+		// Notify the previous writer before overwriting its value: its
+		// operation provably took effect (we observed it), and after the
+		// overwrite the word alone can no longer prove that. Persist
+		// order matters: R[q] must be durable before the overwrite can be.
+		if q := unpackPid(cur); q < c.threads {
+			s := unpackSeq(cur)
+			if c.h.Load(c.notifyAddr(q)) < s {
+				c.h.Store(c.notifyAddr(q), s)
+				c.h.Persist(c.notifyAddr(q))
+			}
+		}
+		if c.h.CompareAndSwap(c.word, cur, pack(seq, tid, new)) {
+			c.h.Persist(c.word)
+			return true, nil
+		}
+	}
+}
+
+// Detect reports, after a crash, whether tid's most recent CompareAndSwap
+// took effect. It is idempotent. A false result covers both "the CAS
+// failed" and "the crash hit before the CAS could act" — NRL-style
+// detection identifies the most recently invoked operation but cannot
+// separate those two cases, which is exactly the contrast with the DSS's
+// prep/exec split (Section 2's comparison, item 2).
+func (c *CAS) Detect(tid int) bool {
+	seq := c.h.Load(c.annAddr(tid))
+	if seq == 0 {
+		return false // never invoked
+	}
+	cur := c.h.Load(c.word)
+	if unpackPid(cur) == tid && unpackSeq(cur) == seq {
+		return true
+	}
+	return c.h.Load(c.notifyAddr(tid)) >= seq
+}
+
+// Seq exposes tid's announced sequence number (tests and diagnostics).
+func (c *CAS) Seq(tid int) uint64 { return c.h.Load(c.annAddr(tid)) }

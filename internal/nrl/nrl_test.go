@@ -1,0 +1,227 @@
+package nrl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newCAS(t *testing.T, threads int, init uint64) (*CAS, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(h, 0, threads, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if _, err := New(h, 0, 0, 0); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, 300, 0); err == nil {
+		t.Fatal("accepted too many threads for the pid field")
+	}
+	if _, err := New(h, 0, 2, MaxValue+1); err == nil {
+		t.Fatal("accepted oversized initial value")
+	}
+}
+
+func TestValueRangeEnforced(t *testing.T) {
+	c, _ := newCAS(t, 1, 0)
+	if _, err := c.CompareAndSwap(0, 0, MaxValue+1); !errors.Is(err, ErrValueRange) {
+		t.Fatalf("err = %v, want ErrValueRange", err)
+	}
+	// The packed layout costs half the word: this is the implementation
+	// burden the paper attributes to sequence-number-based detection.
+	if ok, err := c.CompareAndSwap(0, 0, MaxValue); err != nil || !ok {
+		t.Fatalf("CAS to MaxValue = (%v,%v)", ok, err)
+	}
+}
+
+func TestBasicCASSemantics(t *testing.T) {
+	c, _ := newCAS(t, 2, 5)
+	if c.Read(0) != 5 {
+		t.Fatalf("initial read = %d", c.Read(0))
+	}
+	if ok, _ := c.CompareAndSwap(0, 4, 9); ok {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if ok, _ := c.CompareAndSwap(0, 5, 9); !ok {
+		t.Fatal("CAS with right old failed")
+	}
+	if c.Read(1) != 9 {
+		t.Fatalf("read after CAS = %d", c.Read(1))
+	}
+}
+
+func TestDetectAfterSuccessStillInWord(t *testing.T) {
+	c, h := newCAS(t, 2, 0)
+	if ok, _ := c.CompareAndSwap(0, 0, 7); !ok {
+		t.Fatal("CAS failed")
+	}
+	h.CrashNow()
+	h.Crash(pmem.DropAll{})
+	if !c.Detect(0) {
+		t.Fatal("Detect missed a persisted successful CAS")
+	}
+}
+
+func TestDetectAfterOverwrite(t *testing.T) {
+	c, h := newCAS(t, 2, 0)
+	if ok, _ := c.CompareAndSwap(0, 0, 7); !ok {
+		t.Fatal("first CAS failed")
+	}
+	if ok, _ := c.CompareAndSwap(1, 7, 8); !ok {
+		t.Fatal("second CAS failed")
+	}
+	h.CrashNow()
+	h.Crash(pmem.DropAll{})
+	// Thread 0's value is gone from the word, but the notification cell
+	// proves it took effect.
+	if !c.Detect(0) {
+		t.Fatal("Detect missed an overwritten successful CAS")
+	}
+	if !c.Detect(1) {
+		t.Fatal("Detect missed the overwriting CAS")
+	}
+}
+
+func TestDetectNeverInvoked(t *testing.T) {
+	c, _ := newCAS(t, 2, 0)
+	if c.Detect(1) {
+		t.Fatal("Detect invented an operation")
+	}
+}
+
+func TestDetectFailedCAS(t *testing.T) {
+	c, h := newCAS(t, 2, 0)
+	if ok, _ := c.CompareAndSwap(0, 99, 7); ok {
+		t.Fatal("CAS should have failed")
+	}
+	h.CrashNow()
+	h.Crash(pmem.KeepAll{})
+	if c.Detect(0) {
+		t.Fatal("Detect reported a failed CAS as successful")
+	}
+}
+
+// TestCrashSweepDetectMatchesEffect is the NRL+ analogue of the DSS crash
+// sweeps: crash at every step of a CAS, under every adversary, and check
+// that Detect agrees with whether the effect survived.
+func TestCrashSweepDetectMatchesEffect(t *testing.T) {
+	for _, adv := range pmem.Adversaries(97) {
+		for step := uint64(1); ; step++ {
+			c, h := newCAS(t, 2, 0)
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				_, _ = c.CompareAndSwap(0, 0, 7)
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(adv)
+			detected := c.Detect(0)
+			effect := c.Read(1) == 7
+			if detected != effect {
+				t.Fatalf("step %d: Detect=%v but effect=%v", step, detected, effect)
+			}
+		}
+	}
+}
+
+// TestCrashSweepOverwriteWindow sweeps crashes across the overwrite
+// protocol: thread 0's CAS succeeds, then thread 1 overwrites; at every
+// crash point thread 0's detection must still be truthful.
+func TestCrashSweepOverwriteWindow(t *testing.T) {
+	for _, adv := range pmem.Adversaries(101) {
+		for step := uint64(1); ; step++ {
+			c, h := newCAS(t, 2, 0)
+			if ok, _ := c.CompareAndSwap(0, 0, 7); !ok {
+				t.Fatal("setup CAS failed")
+			}
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				_, _ = c.CompareAndSwap(1, 7, 8)
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(adv)
+			// Thread 0's CAS persisted before thread 1 started (its own
+			// persist in CompareAndSwap), so detection must hold no
+			// matter where thread 1 crashed.
+			if !c.Detect(0) {
+				t.Fatalf("step %d: overwrite window broke thread 0's detection (word=%d)",
+					step, c.Read(0))
+			}
+			// Thread 1's detection must agree with its surviving effect.
+			if got := c.Read(1) == 8; c.Detect(1) != got {
+				t.Fatalf("step %d: thread 1 Detect=%v but effect=%v", step, c.Detect(1), got)
+			}
+		}
+	}
+}
+
+func TestConcurrentCountingViaCAS(t *testing.T) {
+	const threads = 4
+	const each = 300
+	c, _ := newCAS(t, threads, 0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for done := 0; done < each; {
+				cur := c.Read(tid)
+				ok, err := c.CompareAndSwap(tid, cur, cur+1)
+				if err != nil {
+					t.Errorf("cas: %v", err)
+					return
+				}
+				if ok {
+					done++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := c.Read(0); got != threads*each {
+		t.Fatalf("counter = %d, want %d", got, threads*each)
+	}
+}
+
+func TestSeqAdvancesPerInvocation(t *testing.T) {
+	c, _ := newCAS(t, 1, 0)
+	s0 := c.Seq(0)
+	_, _ = c.CompareAndSwap(0, 0, 1)
+	_, _ = c.CompareAndSwap(0, 99, 2) // fails, still announces
+	if c.Seq(0) != s0+2 {
+		t.Fatalf("seq advanced %d, want 2", c.Seq(0)-s0)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		seq   uint64
+		pid   int
+		value uint64
+	}{
+		{0, 0, 0},
+		{1, 7, 42},
+		{seqMask, maxPid, MaxValue},
+	} {
+		w := pack(tc.seq, tc.pid, tc.value)
+		if unpackSeq(w) != tc.seq || unpackPid(w) != tc.pid || unpackValue(w) != tc.value {
+			t.Fatalf("round trip failed for %+v: got (%d,%d,%d)",
+				tc, unpackSeq(w), unpackPid(w), unpackValue(w))
+		}
+	}
+}

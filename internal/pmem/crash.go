@@ -1,0 +1,189 @@
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// LineFate is an Adversary's decision about one dirty cache line at crash
+// time.
+type LineFate int
+
+const (
+	// Lost means the line's un-flushed contents are discarded; the
+	// persisted view wins.
+	Lost LineFate = iota + 1
+	// Survives means the line happened to be evicted (written back) before
+	// power was cut; the cache view wins.
+	Survives
+)
+
+// Adversary decides, per dirty cache line, whether its un-flushed contents
+// survive a crash. Real hardware may write back any cache line at any time,
+// so both fates are legal for every dirty line; a correct recoverable
+// structure must tolerate every Adversary.
+type Adversary interface {
+	// Fate is called once per dirty line, identified by line index.
+	Fate(line int) LineFate
+}
+
+// DropAll is the adversary under which no un-flushed write survives. This
+// is the harshest schedule for durability bugs (missing flushes).
+type DropAll struct{}
+
+// Fate implements Adversary.
+func (DropAll) Fate(int) LineFate { return Lost }
+
+// KeepAll is the adversary under which every dirty line happens to be
+// evicted before the crash. This is the harshest schedule for ordering
+// bugs (state persisted that should not have been).
+type KeepAll struct{}
+
+// Fate implements Adversary.
+func (KeepAll) Fate(int) LineFate { return Survives }
+
+// RandomFates flips an independent coin per dirty line, seeded
+// deterministically so failures are reproducible.
+type RandomFates struct {
+	rng *rand.Rand
+}
+
+// NewRandomFates returns a RandomFates adversary with the given seed.
+func NewRandomFates(seed int64) *RandomFates {
+	return &RandomFates{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fate implements Adversary.
+func (r *RandomFates) Fate(int) LineFate {
+	if r.rng.Intn(2) == 0 {
+		return Lost
+	}
+	return Survives
+}
+
+// Adversaries returns the canonical adversary suite used by crash-point
+// sweeps: both extremes plus a few random schedules.
+func Adversaries(seed int64) []Adversary {
+	return []Adversary{
+		DropAll{},
+		KeepAll{},
+		NewRandomFates(seed),
+		NewRandomFates(seed + 1),
+		NewRandomFates(seed + 2),
+	}
+}
+
+var (
+	_ Adversary = DropAll{}
+	_ Adversary = KeepAll{}
+	_ Adversary = (*RandomFates)(nil)
+)
+
+// ArmCrash schedules a simulated crash: the heap will panic with a
+// *CrashError on the step-th primitive memory operation counted from now.
+// Tracked mode only. A step of 0 disarms.
+func (h *Heap) ArmCrash(step uint64) {
+	if h.mode != Tracked {
+		panic("pmem: ArmCrash requires Tracked mode")
+	}
+	if step == 0 {
+		h.crashAt.Store(0)
+		return
+	}
+	h.crashAt.Store(h.steps.Load() + step)
+}
+
+// CrashNow forces the heap into the crashed state immediately: every
+// subsequent access panics with *CrashError until Crash is called. Tracked
+// mode only.
+func (h *Heap) CrashNow() {
+	if h.mode != Tracked {
+		panic("pmem: CrashNow requires Tracked mode")
+	}
+	h.crashed.Store(1)
+}
+
+// Crashed reports whether the heap is currently in the crashed state.
+func (h *Heap) Crashed() bool { return h.crashed.Load() != 0 }
+
+// Crash completes a simulated system-wide crash and reboot. It must be
+// called only after every goroutine using the heap has unwound (see
+// RunToCrash). For each dirty line the adversary decides whether the
+// un-flushed cache contents survived (were evicted in time) or are lost;
+// the surviving image then becomes both the persisted and the coherent
+// view, all dirty flags are cleared, and the heap is reopened for use by
+// recovery code. Tracked mode only.
+func (h *Heap) Crash(adv Adversary) {
+	if h.mode != Tracked {
+		panic("pmem: Crash requires Tracked mode")
+	}
+	lines := len(h.cache) / WordsPerLine
+	for line := 0; line < lines; line++ {
+		base := line * WordsPerLine
+		if h.dirty[line].Load() != 0 && adv.Fate(line) == Survives {
+			for i := 0; i < WordsPerLine; i++ {
+				h.persisted[base+i] = h.cache[base+i]
+			}
+		}
+		h.dirty[line].Store(0)
+		copy(h.cache[base:base+WordsPerLine], h.persisted[base:base+WordsPerLine])
+	}
+	h.crashAt.Store(0)
+	h.crashed.Store(0)
+}
+
+// PersistedLoad reads the word at a from the persisted view, bypassing the
+// cache. It is used by recycling pin predicates and verification code and
+// may run concurrently with flushes (Tracked mode).
+func (h *Heap) PersistedLoad(a Addr) uint64 {
+	if h.mode != Tracked {
+		panic("pmem: PersistedLoad requires Tracked mode")
+	}
+	h.check(a)
+	return atomic.LoadUint64(&h.persisted[a])
+}
+
+// DirtyLines returns the number of lines currently flagged dirty (Tracked
+// mode). The flag is conservative: a flagged line may in fact match the
+// persisted view.
+func (h *Heap) DirtyLines() int {
+	if h.mode != Tracked {
+		panic("pmem: DirtyLines requires Tracked mode")
+	}
+	n := 0
+	for i := range h.dirty {
+		if h.dirty[i].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RunToCrash invokes f and recovers the heap's crash sentinel if f (or any
+// code it calls) hits a simulated crash. It reports whether a crash
+// occurred. Panics other than *CrashError propagate unchanged: only the
+// simulated power loss is absorbed.
+func RunToCrash(f func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*CrashError); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// MustAlloc is Alloc for construction-time code paths where exhaustion is a
+// configuration bug rather than a runtime condition.
+func (h *Heap) MustAlloc(words int) Addr {
+	a, err := h.Alloc(words)
+	if err != nil {
+		panic(fmt.Sprintf("pmem: %v", err))
+	}
+	return a
+}

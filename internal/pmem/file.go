@@ -1,0 +1,104 @@
+//go:build linux
+
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// OpenFile opens (creating if necessary) a file-backed heap: the arena is
+// a memory-mapped file and Persist issues a synchronous msync of the
+// affected page, so the heap's contents survive real process restarts and
+// kills — the closest a portable user-space program gets to persistent
+// main memory. The semantics mirror real hardware the same way the
+// simulator does: unsynced writes live in the page cache (the "volatile
+// cache") and may or may not reach the file if the machine dies, while
+// Persist-ed lines are durable.
+//
+// File-backed heaps run in Direct mode (crash injection needs the Tracked
+// simulator); reopening an existing file yields the persisted state, with
+// the root directory and allocation cursor intact. Close unmaps the file;
+// using the heap afterwards is invalid.
+//
+// The allocation cursor is kept in the reserved word just below the root
+// directory so that reopening resumes allocation where the previous
+// process stopped.
+func OpenFile(path string, words int) (h *Heap, close func() error, err error) {
+	if words <= 0 {
+		return nil, nil, fmt.Errorf("pmem: non-positive arena size %d", words)
+	}
+	words = (words + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	if words < 4*WordsPerLine {
+		words = 4 * WordsPerLine
+	}
+	size := int64(words * 8)
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("pmem: stat: %w", err)
+	}
+	fresh := st.Size() == 0
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("pmem: truncate: %w", err)
+		}
+	} else if st.Size() > size {
+		// Adopt the larger existing arena.
+		size = st.Size()
+		words = int(size / 8)
+	}
+	raw, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("pmem: mmap: %w", err)
+	}
+	arena := unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), words)
+
+	h = &Heap{
+		mode:  Direct,
+		cache: arena,
+		sync: func(a Addr) error {
+			// msync must start on a page boundary; sync the page(s)
+			// containing the line.
+			const page = 4096
+			byteOff := uintptr(a) * 8
+			start := byteOff &^ (page - 1)
+			length := uintptr(LineBytes) + (byteOff - start)
+			addr := uintptr(unsafe.Pointer(&raw[0])) + start
+			_, _, errno := syscall.Syscall(syscall.SYS_MSYNC, addr, length, syscall.MS_SYNC)
+			if errno != 0 {
+				return fmt.Errorf("pmem: msync: %v", errno)
+			}
+			return nil
+		},
+	}
+	if fresh {
+		h.allocNext.Store(reservedWords)
+		h.persistCursor()
+	} else {
+		cur := arena[allocCursorWord]
+		if cur < reservedWords || cur > uint64(words) {
+			cur = reservedWords
+		}
+		h.allocNext.Store(cur)
+	}
+
+	closeFn := func() error {
+		if err := syscall.Munmap(raw); err != nil {
+			f.Close()
+			return fmt.Errorf("pmem: munmap: %w", err)
+		}
+		return f.Close()
+	}
+	return h, closeFn, nil
+}

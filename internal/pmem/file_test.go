@@ -1,0 +1,92 @@
+//go:build linux
+
+package pmem
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	h, closeHeap, err := OpenFile(path, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Store(a, 12345)
+	h.Persist(a)
+	h.SetRoot(0, a)
+	if err := h.SyncErr(); err != nil {
+		t.Fatalf("sync error: %v", err)
+	}
+	if err := closeHeap(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, closeHeap2, err := OpenFile(path, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap2()
+	if got := h2.Root(0); got != a {
+		t.Fatalf("root = %d after reopen, want %d", got, a)
+	}
+	if got := h2.Load(a); got != 12345 {
+		t.Fatalf("value = %d after reopen, want 12345", got)
+	}
+	// The allocation cursor must have survived: a new allocation lands
+	// beyond the previous one.
+	b, err := h2.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("allocation cursor regressed: old %d, new %d", a, b)
+	}
+}
+
+func TestOpenFileValidation(t *testing.T) {
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Fatal("accepted zero size")
+	}
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "missing-dir", "x"), 64); err == nil {
+		t.Fatal("accepted unopenable path")
+	}
+}
+
+func TestOpenFileAdoptsLargerExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	h, closeHeap, err := OpenFile(path, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := h.Words()
+	if err := closeHeap(); err != nil {
+		t.Fatal(err)
+	}
+	// Request a smaller arena: the existing file wins.
+	h2, closeHeap2, err := OpenFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap2()
+	if h2.Words() != words {
+		t.Fatalf("arena shrank across reopen: %d -> %d", words, h2.Words())
+	}
+}
+
+func TestFileHeapIsDirectMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	h, closeHeap, err := OpenFile(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap()
+	if h.Mode() != Direct {
+		t.Fatalf("mode = %v, want Direct", h.Mode())
+	}
+}

@@ -1,0 +1,453 @@
+// Package pmem simulates byte-addressable persistent main memory with a
+// volatile CPU cache on top, in the shared-cache model targeted by Li &
+// Golab's DSS paper (DISC 2021).
+//
+// The simulated device is a word-addressed arena. Data structures refer to
+// persistent state exclusively through Addr offsets, never Go pointers, so
+// the garbage collector can neither move nor reclaim "persistent" memory and
+// the layout is fully under library control — this is the substitution for
+// real persistent memory (Optane DCPMM) that Go cannot express natively.
+//
+// A Heap runs in one of two modes:
+//
+//   - Direct: loads, stores, and CAS operate on the arena via sync/atomic;
+//     Persist applies a calibrated spin delay that models the cost of
+//     CLWB+SFENCE on Optane hardware. This mode is used for benchmarking.
+//   - Tracked: in addition to the coherent cache view, the heap maintains a
+//     shadow persisted view with per-cache-line dirty tracking, counts every
+//     primitive memory step, and can inject a crash at an exact step. This
+//     mode is used for crash-recovery verification.
+//
+// A simulated crash is delivered as a panic carrying a *CrashError. Every
+// subsequent heap access by any goroutine raises the same panic, so all
+// workers unwind cooperatively; the test harness recovers the sentinel with
+// RunToCrash, applies a line Adversary via Heap.Crash, and then runs the
+// data structure's recovery procedure. This panic is the one deliberate
+// exception to the no-panics rule: it models system-wide power loss, which
+// by definition does not return.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr is a word-granularity offset into a Heap's arena. Addr 0 is the NULL
+// address: the first cache line of every heap is reserved and never
+// allocated, so a zero Addr never refers to live data. The arena is small
+// enough that the upper bits of an Addr are always zero; data structures
+// borrow those bits for tags, exactly as the paper borrows the unused upper
+// bits of 48-bit x86-64 pointers.
+type Addr uint64
+
+const (
+	// WordsPerLine is the number of 64-bit words in a simulated cache line.
+	WordsPerLine = 8
+	// LineBytes is the size of a simulated cache line in bytes.
+	LineBytes = WordsPerLine * 8
+
+	// reservedWords is the number of words at the bottom of the arena that
+	// are never handed out by Alloc: line 0 is the NULL guard, lines 1-2
+	// hold the persistent root directory.
+	reservedWords = 3 * WordsPerLine
+
+	// NumRoots is the number of slots in the persistent root directory.
+	NumRoots = 16
+
+	rootBase = WordsPerLine // roots live in words [8, 8+NumRoots)
+
+	// allocCursorWord persists the allocation cursor for file-backed
+	// heaps (word 7 of the otherwise-reserved NULL guard line).
+	allocCursorWord = WordsPerLine - 1
+)
+
+// Mode selects how a Heap simulates persistence.
+type Mode int
+
+const (
+	// Direct mode applies operations straight to the arena and models
+	// Persist latency with a spin delay. It cannot inject crashes.
+	Direct Mode = iota + 1
+	// Tracked mode maintains a shadow persisted view with dirty-line
+	// tracking and supports deterministic crash injection.
+	Tracked
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Direct:
+		return "Direct"
+	case Tracked:
+		return "Tracked"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Heap.
+type Config struct {
+	// Words is the arena capacity in 64-bit words. It is rounded up to a
+	// whole number of cache lines.
+	Words int
+	// Mode selects Direct (benchmarking) or Tracked (verification).
+	Mode Mode
+	// FlushLatency is the simulated cost of one Persist (CLWB+SFENCE) in
+	// Direct mode. Zero disables the delay. Ignored in Tracked mode.
+	FlushLatency time.Duration
+	// AccessDelay is a calibrated spin (in loop iterations, roughly
+	// 0.5-1 ns each) charged to every Load/Store/CAS in Direct mode. It
+	// models the base memory-operation cost of the paper's testbed
+	// (atomics compiled at -O0 against a real coherence fabric), without
+	// which simulated flush latency would dominate all ratios. Zero
+	// disables it. Ignored in Tracked mode.
+	AccessDelay int
+}
+
+// ErrOutOfMemory is returned by Alloc when the arena is exhausted.
+var ErrOutOfMemory = errors.New("pmem: arena exhausted")
+
+// CrashError is the sentinel carried by the panic a Heap raises when a
+// simulated crash fires. Only the pmem harness (RunToCrash) should recover
+// it.
+type CrashError struct {
+	// Step is the primitive-step count at which the crash fired.
+	Step uint64
+}
+
+// Error implements the error interface.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("pmem: simulated crash at step %d", e.Step)
+}
+
+// Stats counts primitive memory operations issued against a Heap.
+type Stats struct {
+	Loads   uint64
+	Stores  uint64
+	CASes   uint64
+	Flushes uint64
+	Fences  uint64
+}
+
+// Heap is a simulated persistent memory device. All methods are safe for
+// concurrent use.
+type Heap struct {
+	mode    Mode
+	flushNS int64
+	access  int
+
+	// cache is the coherent (volatile) view shared by all simulated CPUs.
+	cache []uint64
+	// persisted is the durable view; only maintained in Tracked mode.
+	persisted []uint64
+	// dirty has one flag per cache line; only maintained in Tracked mode.
+	// A set flag is a conservative hint that the line's cache view may be
+	// ahead of its persisted view.
+	dirty []atomic.Uint32
+
+	steps   atomic.Uint64
+	crashAt atomic.Uint64 // 0 = disarmed
+	crashed atomic.Uint32
+
+	// gate, when set (Tracked mode), is invoked before every primitive
+	// memory step. Systematic concurrency testing uses it as a
+	// scheduling point: the gate blocks the calling goroutine until a
+	// controller grants it the right to take the step, which makes
+	// thread interleavings fully controllable and replayable.
+	gate func()
+
+	// sync, when set (file-backed heaps), makes Flush durably write the
+	// line's page back to the backing file. The first failure is latched
+	// in syncErr.
+	sync    func(a Addr) error
+	syncMu  sync.Mutex
+	syncErr error
+
+	allocNext atomic.Uint64 // next free word; line-aligned
+
+	loads   atomic.Uint64
+	stores  atomic.Uint64
+	cases   atomic.Uint64
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+}
+
+// New creates a Heap with the given configuration.
+func New(cfg Config) (*Heap, error) {
+	if cfg.Mode != Direct && cfg.Mode != Tracked {
+		return nil, fmt.Errorf("pmem: invalid mode %d", int(cfg.Mode))
+	}
+	if cfg.Words <= 0 {
+		return nil, fmt.Errorf("pmem: non-positive arena size %d", cfg.Words)
+	}
+	words := (cfg.Words + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	if words < 4*WordsPerLine {
+		words = 4 * WordsPerLine
+	}
+	h := &Heap{
+		mode:    cfg.Mode,
+		flushNS: cfg.FlushLatency.Nanoseconds(),
+		access:  cfg.AccessDelay,
+		cache:   make([]uint64, words),
+	}
+	if cfg.Mode == Tracked {
+		h.persisted = make([]uint64, words)
+		h.dirty = make([]atomic.Uint32, words/WordsPerLine)
+	}
+	h.allocNext.Store(reservedWords)
+	return h, nil
+}
+
+// Mode reports the heap's mode.
+func (h *Heap) Mode() Mode { return h.mode }
+
+// Words reports the arena capacity in words.
+func (h *Heap) Words() int { return len(h.cache) }
+
+// Alloc reserves words (rounded up to whole cache lines, so distinct
+// allocations never share a line) and returns the address of the first word.
+// The memory is zeroed. Allocation metadata survives simulated crashes: a
+// real persistent heap recovers its allocator state from a durable root, so
+// the arena is never re-handed-out after a crash; block-level reuse is the
+// job of Pool, whose free lists are rebuilt by data-structure recovery.
+func (h *Heap) Alloc(words int) (Addr, error) {
+	if words <= 0 {
+		return 0, fmt.Errorf("pmem: non-positive allocation size %d", words)
+	}
+	n := uint64((words + WordsPerLine - 1) / WordsPerLine * WordsPerLine)
+	for {
+		cur := h.allocNext.Load()
+		if cur+n > uint64(len(h.cache)) {
+			return 0, fmt.Errorf("%w: need %d words, %d free", ErrOutOfMemory, n, uint64(len(h.cache))-cur)
+		}
+		if h.allocNext.CompareAndSwap(cur, cur+n) {
+			if h.sync != nil {
+				h.persistCursor()
+			}
+			return Addr(cur), nil
+		}
+	}
+}
+
+// persistCursor durably records the allocation cursor (file-backed heaps
+// only), so a reopened heap resumes allocation where this one stopped.
+func (h *Heap) persistCursor() {
+	atomic.StoreUint64(&h.cache[allocCursorWord], h.allocNext.Load())
+	h.Flush(allocCursorWord)
+}
+
+// SyncErr reports the first durable write-back failure of a file-backed
+// heap (nil for simulated heaps and clean runs).
+func (h *Heap) SyncErr() error {
+	h.syncMu.Lock()
+	defer h.syncMu.Unlock()
+	return h.syncErr
+}
+
+// AllocUsed reports the number of words currently allocated (including the
+// reserved prefix).
+func (h *Heap) AllocUsed() int { return int(h.allocNext.Load()) }
+
+// SetRoot stores a into slot i of the persistent root directory and
+// persists it. Roots are how recovery code locates structures after a
+// crash.
+func (h *Heap) SetRoot(i int, a Addr) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	h.Store(Addr(rootBase+i), uint64(a))
+	h.Persist(Addr(rootBase + i))
+}
+
+// Root returns the address stored in slot i of the root directory.
+func (h *Heap) Root(i int) Addr {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	return Addr(h.Load(Addr(rootBase + i)))
+}
+
+// SetStepGate installs (or, with nil, removes) the scheduling gate called
+// before every Tracked-mode memory step. Install it only while the heap
+// is quiescent (no operations in flight).
+func (h *Heap) SetStepGate(gate func()) {
+	if h.mode != Tracked {
+		panic("pmem: SetStepGate requires Tracked mode")
+	}
+	h.gate = gate
+}
+
+// step counts one primitive memory operation in Tracked mode and fires the
+// armed crash when the step counter reaches the trigger.
+func (h *Heap) step() {
+	if h.gate != nil {
+		h.gate()
+	}
+	if h.crashed.Load() != 0 {
+		panic(&CrashError{Step: h.steps.Load()})
+	}
+	n := h.steps.Add(1)
+	if t := h.crashAt.Load(); t != 0 && n >= t {
+		h.crashed.Store(1)
+		panic(&CrashError{Step: n})
+	}
+}
+
+// check validates a against the arena bounds. Out-of-range addresses are
+// programming errors (corrupted tagged pointers), reported loudly.
+func (h *Heap) check(a Addr) {
+	if a >= Addr(len(h.cache)) {
+		panic(fmt.Sprintf("pmem: address %#x out of range (arena %d words); tag bits leaked into an address?", uint64(a), len(h.cache)))
+	}
+}
+
+// Load atomically reads the word at a from the coherent cache view.
+func (h *Heap) Load(a Addr) uint64 {
+	h.check(a)
+	if h.mode == Tracked {
+		h.step()
+	} else if h.access > 0 {
+		spinIters(h.access)
+	}
+	h.loads.Add(1)
+	return atomic.LoadUint64(&h.cache[a])
+}
+
+// Store atomically writes v to the word at a in the coherent cache view.
+// The update is volatile until the containing line is flushed.
+func (h *Heap) Store(a Addr, v uint64) {
+	h.check(a)
+	if h.mode == Tracked {
+		h.step()
+		// Mark dirty before the store: a concurrent Flush between the mark
+		// and the store may clear the flag having written back the old
+		// value, which loses this store on crash — a legal outcome for an
+		// un-flushed store. The converse order could leave an un-persisted
+		// store on a clean line, which would be unsound.
+		h.dirty[a/WordsPerLine].Store(1)
+	}
+	if h.mode == Direct && h.access > 0 {
+		spinIters(h.access)
+	}
+	h.stores.Add(1)
+	atomic.StoreUint64(&h.cache[a], v)
+}
+
+// CompareAndSwap atomically replaces the word at a with new if it equals
+// old, reporting whether the swap happened. Like Store, a successful swap
+// is volatile until flushed.
+func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
+	h.check(a)
+	if h.mode == Tracked {
+		h.step()
+		h.dirty[a/WordsPerLine].Store(1)
+	}
+	if h.mode == Direct && h.access > 0 {
+		spinIters(h.access)
+	}
+	h.cases.Add(1)
+	return atomic.CompareAndSwapUint64(&h.cache[a], old, new)
+}
+
+// Flush writes the cache line containing a back to the persisted view. The
+// simulated write-back is synchronous, which matches the paper's FLUSH: it
+// stands for PMDK pmem_persist, i.e. CLWB followed by a store fence. Flush
+// copies the line unconditionally — the dirty flag is only a hint for the
+// crash adversary — so after Flush returns, the persisted view holds values
+// at least as new as the cache view held when Flush was called.
+func (h *Heap) Flush(a Addr) {
+	h.check(a)
+	h.flushes.Add(1)
+	switch h.mode {
+	case Direct:
+		if h.sync != nil {
+			if err := h.sync(a); err != nil {
+				h.syncMu.Lock()
+				if h.syncErr == nil {
+					h.syncErr = err
+				}
+				h.syncMu.Unlock()
+			}
+		}
+		spinWait(h.flushNS)
+	case Tracked:
+		h.step()
+		line := a / WordsPerLine
+		base := line * WordsPerLine
+		h.dirty[line].Store(0)
+		for i := Addr(0); i < WordsPerLine; i++ {
+			atomic.StoreUint64(&h.persisted[base+i], atomic.LoadUint64(&h.cache[base+i]))
+		}
+	}
+}
+
+// Fence is a store fence. Because Flush is already synchronous in this
+// model, Fence only counts toward statistics; it is provided so algorithm
+// code can mirror the paper's instruction sequences literally.
+func (h *Heap) Fence() {
+	h.fences.Add(1)
+	if h.mode == Tracked {
+		h.step()
+	}
+}
+
+// Persist flushes the line containing a and fences, mirroring PMDK
+// pmem_persist. This is the FLUSH primitive used throughout the paper's
+// pseudocode.
+func (h *Heap) Persist(a Addr) {
+	h.Flush(a)
+	h.Fence()
+}
+
+// PersistRange persists every line in [a, a+words).
+func (h *Heap) PersistRange(a Addr, words int) {
+	if words <= 0 {
+		return
+	}
+	first := a / WordsPerLine
+	last := (a + Addr(words) - 1) / WordsPerLine
+	for l := first; l <= last; l++ {
+		h.Flush(l * WordsPerLine)
+	}
+	h.Fence()
+}
+
+// Snapshot returns the operation counters accumulated so far.
+func (h *Heap) Snapshot() Stats {
+	return Stats{
+		Loads:   h.loads.Load(),
+		Stores:  h.stores.Load(),
+		CASes:   h.cases.Load(),
+		Flushes: h.flushes.Load(),
+		Fences:  h.fences.Load(),
+	}
+}
+
+// Steps reports the primitive-step counter (Tracked mode only).
+func (h *Heap) Steps() uint64 { return h.steps.Load() }
+
+// spinWait busy-waits for approximately ns nanoseconds, modelling the
+// latency of a flush instruction without yielding the simulated CPU.
+func spinWait(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start).Nanoseconds() < ns {
+	}
+}
+
+// spinIters burns roughly n short loop iterations; the mixing keeps the
+// compiler from eliding the loop.
+func spinIters(n int) {
+	acc := uint64(1)
+	for i := 0; i < n; i++ {
+		acc = acc*2654435761 + uint64(i)
+	}
+	if acc == 42 && n == -1 {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,547 @@
+package pmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTracked(t *testing.T, words int) *Heap {
+	t.Helper()
+	h, err := New(Config{Words: words, Mode: Tracked})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func newDirect(t *testing.T, words int) *Heap {
+	t.Helper()
+	h, err := New(Config{Words: words, Mode: Direct})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"direct", Config{Words: 100, Mode: Direct}, true},
+		{"tracked", Config{Words: 100, Mode: Tracked}, true},
+		{"zero mode", Config{Words: 100}, false},
+		{"bad mode", Config{Words: 100, Mode: Mode(9)}, false},
+		{"zero words", Config{Mode: Direct}, false},
+		{"negative words", Config{Words: -4, Mode: Direct}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(%+v) err = %v, want ok=%v", tt.cfg, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Direct.String() != "Direct" || Tracked.String() != "Tracked" {
+		t.Fatalf("unexpected mode names %q %q", Direct, Tracked)
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Fatalf("unexpected name for invalid mode: %q", Mode(7))
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{Direct, Tracked} {
+		t.Run(mode.String(), func(t *testing.T) {
+			h, err := New(Config{Words: 256, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := h.MustAlloc(8)
+			h.Store(a, 42)
+			h.Store(a+1, 43)
+			if got := h.Load(a); got != 42 {
+				t.Errorf("Load(a) = %d, want 42", got)
+			}
+			if got := h.Load(a + 1); got != 43 {
+				t.Errorf("Load(a+1) = %d, want 43", got)
+			}
+		})
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	h := newTracked(t, 256)
+	a := h.MustAlloc(8)
+	h.Store(a, 10)
+	if h.CompareAndSwap(a, 11, 20) {
+		t.Fatal("CAS with wrong expected value succeeded")
+	}
+	if !h.CompareAndSwap(a, 10, 20) {
+		t.Fatal("CAS with right expected value failed")
+	}
+	if got := h.Load(a); got != 20 {
+		t.Fatalf("after CAS, Load = %d, want 20", got)
+	}
+}
+
+func TestAllocLineAlignedAndZeroed(t *testing.T) {
+	h := newTracked(t, 1024)
+	a, err := h.Alloc(3) // rounds to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(9) // rounds to 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%WordsPerLine != 0 || b%WordsPerLine != 0 {
+		t.Fatalf("allocations not line aligned: %d %d", a, b)
+	}
+	if b != a+8 {
+		t.Fatalf("second allocation at %d, want %d", b, a+8)
+	}
+	for i := Addr(0); i < 16; i++ {
+		if v := h.Load(b + i); v != 0 {
+			t.Fatalf("fresh allocation word %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := newTracked(t, 8*WordsPerLine)
+	if _, err := h.Alloc(1 << 20); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("huge Alloc err = %v, want ErrOutOfMemory", err)
+	}
+	// Drain the arena line by line, then confirm exhaustion.
+	for {
+		_, err := h.Alloc(WordsPerLine)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("Alloc err = %v, want ErrOutOfMemory", err)
+			}
+			break
+		}
+	}
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	h := newTracked(t, 256)
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := h.Alloc(-1); err == nil {
+		t.Fatal("Alloc(-1) succeeded")
+	}
+}
+
+func TestAddrZeroIsNeverAllocated(t *testing.T) {
+	h := newTracked(t, 4096)
+	for i := 0; i < 16; i++ {
+		a, err := h.Alloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == 0 {
+			t.Fatal("Alloc returned the NULL address")
+		}
+		if a < reservedWords {
+			t.Fatalf("Alloc returned reserved address %d", a)
+		}
+	}
+}
+
+func TestRootsPersistAcrossCrash(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.SetRoot(0, a)
+	h.SetRoot(NumRoots-1, a+8)
+	h.Crash(DropAll{})
+	if got := h.Root(0); got != a {
+		t.Fatalf("Root(0) = %d after crash, want %d", got, a)
+	}
+	if got := h.Root(NumRoots - 1); got != a+8 {
+		t.Fatalf("Root(last) = %d after crash, want %d", got, a+8)
+	}
+}
+
+func TestRootIndexOutOfRangePanics(t *testing.T) {
+	h := newTracked(t, 256)
+	for _, i := range []int{-1, NumRoots} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Root(%d) did not panic", i)
+				}
+			}()
+			h.Root(i)
+		}()
+	}
+}
+
+func TestOutOfRangeAddressPanics(t *testing.T) {
+	h := newTracked(t, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Load of out-of-range address did not panic")
+		}
+	}()
+	h.Load(Addr(1 << 40))
+}
+
+func TestUnflushedStoreLostOnCrash(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.Store(a, 7)
+	h.Persist(a)
+	h.Store(a, 8) // not flushed
+	h.Crash(DropAll{})
+	if got := h.Load(a); got != 7 {
+		t.Fatalf("after crash, Load = %d, want persisted 7", got)
+	}
+}
+
+func TestUnflushedStoreMaySurviveEviction(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.Store(a, 7)
+	h.Persist(a)
+	h.Store(a, 8) // not flushed, but KeepAll evicts it
+	h.Crash(KeepAll{})
+	if got := h.Load(a); got != 8 {
+		t.Fatalf("after crash with KeepAll, Load = %d, want 8", got)
+	}
+}
+
+func TestFlushIsLineGranular(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(16) // two lines
+	h.Store(a, 1)
+	h.Store(a+1, 2)
+	h.Store(a+8, 3) // second line
+	h.Persist(a)    // flushes first line only
+	h.Crash(DropAll{})
+	if got := h.Load(a); got != 1 {
+		t.Errorf("word 0 = %d, want 1 (same line as flushed word)", got)
+	}
+	if got := h.Load(a + 1); got != 2 {
+		t.Errorf("word 1 = %d, want 2 (same line as flushed word)", got)
+	}
+	if got := h.Load(a + 8); got != 0 {
+		t.Errorf("word 8 = %d, want 0 (unflushed line dropped)", got)
+	}
+}
+
+func TestPersistRangeCoversAllLines(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(24)
+	for i := Addr(0); i < 24; i++ {
+		h.Store(a+i, uint64(i)+100)
+	}
+	h.PersistRange(a, 24)
+	h.Crash(DropAll{})
+	for i := Addr(0); i < 24; i++ {
+		if got := h.Load(a + i); got != uint64(i)+100 {
+			t.Fatalf("word %d = %d, want %d", i, got, uint64(i)+100)
+		}
+	}
+}
+
+func TestPersistRangeNoopOnEmpty(t *testing.T) {
+	h := newTracked(t, 512)
+	before := h.Snapshot().Flushes
+	h.PersistRange(64, 0)
+	if got := h.Snapshot().Flushes; got != before {
+		t.Fatalf("PersistRange(_, 0) issued %d flushes", got-before)
+	}
+}
+
+func TestCrashResetsDirtyTracking(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.Store(a, 1)
+	if h.DirtyLines() == 0 {
+		t.Fatal("store did not dirty a line")
+	}
+	h.Crash(DropAll{})
+	if n := h.DirtyLines(); n != 0 {
+		t.Fatalf("after crash, %d dirty lines, want 0", n)
+	}
+}
+
+func TestArmCrashFiresAtExactStep(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.ArmCrash(3)
+	steps := 0
+	crashed := RunToCrash(func() {
+		for i := 0; i < 10; i++ {
+			h.Store(a, uint64(i))
+			steps++
+		}
+	})
+	if !crashed {
+		t.Fatal("armed crash never fired")
+	}
+	if steps != 2 { // third store panics before incrementing
+		t.Fatalf("crash fired after %d completed stores, want 2", steps)
+	}
+	if !h.Crashed() {
+		t.Fatal("heap not in crashed state")
+	}
+	// Every further access must also crash until recovery.
+	if !RunToCrash(func() { h.Load(a) }) {
+		t.Fatal("post-crash access did not raise the sentinel")
+	}
+	h.Crash(DropAll{})
+	h.Load(a) // must not panic after reboot
+}
+
+func TestArmCrashZeroDisarms(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.ArmCrash(5)
+	h.ArmCrash(0)
+	if RunToCrash(func() {
+		for i := 0; i < 100; i++ {
+			h.Store(a, 1)
+		}
+	}) {
+		t.Fatal("disarmed crash fired")
+	}
+}
+
+func TestCrashNow(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.CrashNow()
+	if !RunToCrash(func() { h.Store(a, 1) }) {
+		t.Fatal("CrashNow did not poison the heap")
+	}
+}
+
+func TestRunToCrashPropagatesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	RunToCrash(func() { panic("boom") })
+}
+
+func TestCrashErrorMessage(t *testing.T) {
+	e := &CrashError{Step: 9}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestDirectModeRejectsCrashAPIs(t *testing.T) {
+	h := newDirect(t, 256)
+	for name, f := range map[string]func(){
+		"ArmCrash":      func() { h.ArmCrash(1) },
+		"Crash":         func() { h.Crash(DropAll{}) },
+		"CrashNow":      func() { h.CrashNow() },
+		"PersistedLoad": func() { h.PersistedLoad(8) },
+		"DirtyLines":    func() { h.DirtyLines() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic in Direct mode", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStatsCountOperations(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.Store(a, 1)
+	h.Load(a)
+	h.CompareAndSwap(a, 1, 2)
+	h.Persist(a)
+	s := h.Snapshot()
+	if s.Stores < 1 || s.Loads < 1 || s.CASes != 1 || s.Flushes != 1 || s.Fences != 1 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestStepsAdvanceOnlyInTrackedMode(t *testing.T) {
+	d := newDirect(t, 256)
+	a := d.MustAlloc(8)
+	d.Store(a, 1)
+	d.Load(a)
+	if d.Steps() != 0 {
+		t.Fatalf("Direct mode counted %d steps", d.Steps())
+	}
+	tr := newTracked(t, 256)
+	b := tr.MustAlloc(8)
+	tr.Store(b, 1)
+	tr.Load(b)
+	if tr.Steps() != 2 {
+		t.Fatalf("Tracked mode counted %d steps, want 2", tr.Steps())
+	}
+}
+
+func TestPersistedLoadSeesOnlyFlushedState(t *testing.T) {
+	h := newTracked(t, 512)
+	a := h.MustAlloc(8)
+	h.Store(a, 5)
+	if got := h.PersistedLoad(a); got != 0 {
+		t.Fatalf("PersistedLoad before flush = %d, want 0", got)
+	}
+	h.Persist(a)
+	if got := h.PersistedLoad(a); got != 5 {
+		t.Fatalf("PersistedLoad after flush = %d, want 5", got)
+	}
+}
+
+func TestRandomFatesDeterministic(t *testing.T) {
+	a1 := NewRandomFates(42)
+	a2 := NewRandomFates(42)
+	for i := 0; i < 100; i++ {
+		if a1.Fate(i) != a2.Fate(i) {
+			t.Fatal("same seed produced different fates")
+		}
+	}
+}
+
+func TestAdversariesSuite(t *testing.T) {
+	suite := Adversaries(1)
+	if len(suite) < 3 {
+		t.Fatalf("suite has %d adversaries, want at least 3", len(suite))
+	}
+}
+
+func TestConcurrentAccessSmoke(t *testing.T) {
+	h := newTracked(t, 4096)
+	a := h.MustAlloc(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot := a + Addr(w*8)
+			for i := 0; i < 500; i++ {
+				h.Store(slot, uint64(i))
+				h.Persist(slot)
+				if got := h.Load(slot); got != uint64(i) {
+					t.Errorf("worker %d: read %d, want %d", w, got, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.Crash(DropAll{})
+	for w := 0; w < 4; w++ {
+		if got := h.Load(a + Addr(w*8)); got != 499 {
+			t.Fatalf("worker %d slot = %d after crash, want 499", w, got)
+		}
+	}
+}
+
+func TestConcurrentCrashUnwindsAllWorkers(t *testing.T) {
+	h := newTracked(t, 4096)
+	a := h.MustAlloc(64)
+	h.ArmCrash(200)
+	var wg sync.WaitGroup
+	crashes := make([]bool, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			crashes[w] = RunToCrash(func() {
+				for {
+					h.Store(a+Addr(w*8), 1)
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, c := range crashes {
+		if !c {
+			t.Fatalf("worker %d did not observe the crash", w)
+		}
+	}
+}
+
+// TestQuickFlushedPrefixDurability is a property test: for any sequence of
+// (store, maybe-flush) actions on a small region followed by a DropAll
+// crash, each word's surviving value is exactly the value it held at its
+// last flush (or zero if its line was never flushed afterward).
+func TestQuickFlushedPrefixDurability(t *testing.T) {
+	type action struct {
+		Word  uint8
+		Val   uint64
+		Flush bool
+	}
+	f := func(actions []action) bool {
+		h, err := New(Config{Words: 1024, Mode: Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := h.MustAlloc(32) // 4 lines
+		expected := make([]uint64, 32)
+		shadow := make([]uint64, 32)
+		for _, ac := range actions {
+			w := Addr(ac.Word % 32)
+			h.Store(base+w, ac.Val)
+			shadow[w] = ac.Val
+			if ac.Flush {
+				h.Persist(base + w)
+				line := int(w) / WordsPerLine * WordsPerLine
+				copy(expected[line:line+WordsPerLine], shadow[line:line+WordsPerLine])
+			}
+		}
+		h.Crash(DropAll{})
+		for i := Addr(0); i < 32; i++ {
+			if h.Load(base+i) != expected[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKeepAllMatchesCacheView: under the KeepAll adversary the
+// post-crash state equals the pre-crash coherent view.
+func TestQuickKeepAllMatchesCacheView(t *testing.T) {
+	f := func(vals []uint64) bool {
+		h, err := New(Config{Words: 1024, Mode: Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := h.MustAlloc(32)
+		for i, v := range vals {
+			h.Store(base+Addr(i%32), v)
+		}
+		want := make([]uint64, 32)
+		for i := range want {
+			want[i] = h.Load(base + Addr(i))
+		}
+		h.Crash(KeepAll{})
+		for i := range want {
+			if h.Load(base+Addr(i)) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package pmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a fixed-size block allocator over a Heap region, in the style of
+// the paper's evaluation setup: "each thread pre-allocates a fixed size
+// pool of queue nodes at initialization". Blocks are cache-line aligned.
+//
+// Free lists are volatile (they live in ordinary Go memory): after a
+// simulated crash they are gone, exactly as on real hardware, and the
+// owning data structure's recovery procedure rebuilds them with Sweep.
+//
+// A Pool optionally enforces a pin predicate: a freed block for which
+// Pinned reports true is parked instead of recycled, and is retried later.
+// The DSS queue uses this to guarantee that a node referenced by any
+// thread's persistent detectability word X[i] (directly, or as the
+// predecessor of the claimed node) is never reused while a crash could
+// still make resolve read it — a reuse there would let resolve report a
+// wrong argument or response.
+type Pool struct {
+	h          *Heap
+	base       Addr
+	blockWords int
+	capacity   int
+	threads    int
+	highWater  int
+	pinned     func(Addr) bool
+
+	locals []localFree
+
+	spareMu sync.Mutex
+	spare   []Addr
+}
+
+type localFree struct {
+	free   []Addr
+	parked []Addr
+	_      [24]byte // keep neighbouring threads' headers off one line
+}
+
+// PoolConfig parameterizes NewPool.
+type PoolConfig struct {
+	// Threads is the number of worker threads (free lists).
+	Threads int
+	// BlocksPerThread is the number of blocks initially dealt to each
+	// thread's free list.
+	BlocksPerThread int
+	// ExtraBlocks go to the shared spare list, available to any thread.
+	ExtraBlocks int
+	// BlockWords is the block payload size in words; rounded up to whole
+	// cache lines.
+	BlockWords int
+	// Pinned, if non-nil, vetoes recycling of a freed block while it
+	// reports true for the block's address.
+	Pinned func(Addr) bool
+}
+
+// AttachPool reconstructs a Pool over an existing block region (from a
+// previous process's NewPool on a file-backed heap). All free lists start
+// empty — the owning structure's recovery Sweep rebuilds them from the
+// persistent state.
+func AttachPool(h *Heap, base Addr, cfg PoolConfig) (*Pool, error) {
+	p, err := poolLayout(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if base == 0 || int(base)+p.capacity*p.blockWords > h.Words() {
+		return nil, fmt.Errorf("pmem: pool region %d out of arena bounds", base)
+	}
+	p.base = base
+	return p, nil
+}
+
+// poolLayout validates cfg and builds the Pool shell (no region, no
+// blocks dealt).
+func poolLayout(h *Heap, cfg PoolConfig) (*Pool, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("pmem: pool needs at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.BlocksPerThread < 0 || cfg.ExtraBlocks < 0 {
+		return nil, fmt.Errorf("pmem: negative pool sizing")
+	}
+	if cfg.BlockWords <= 0 {
+		return nil, fmt.Errorf("pmem: non-positive block size %d", cfg.BlockWords)
+	}
+	blockWords := (cfg.BlockWords + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	capacity := cfg.Threads*cfg.BlocksPerThread + cfg.ExtraBlocks
+	if capacity == 0 {
+		return nil, fmt.Errorf("pmem: empty pool")
+	}
+	return &Pool{
+		h:          h,
+		blockWords: blockWords,
+		capacity:   capacity,
+		threads:    cfg.Threads,
+		highWater:  2*cfg.BlocksPerThread + 8,
+		pinned:     cfg.Pinned,
+		locals:     make([]localFree, cfg.Threads),
+	}, nil
+}
+
+// NewPool carves a block region out of h and deals the blocks across
+// per-thread free lists.
+func NewPool(h *Heap, cfg PoolConfig) (*Pool, error) {
+	p, err := poolLayout(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := h.Alloc(p.capacity * p.blockWords)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: pool region: %w", err)
+	}
+	p.base = base
+	for i := 0; i < p.capacity; i++ {
+		a := p.BlockAt(i)
+		if i < cfg.Threads*cfg.BlocksPerThread {
+			t := i % cfg.Threads
+			p.locals[t].free = append(p.locals[t].free, a)
+		} else {
+			p.spare = append(p.spare, a)
+		}
+	}
+	return p, nil
+}
+
+// Base returns the address of the pool's block region (persisted by
+// owning structures so a later process can AttachPool).
+func (p *Pool) Base() Addr { return p.base }
+
+// BlockAt returns the address of the i-th block.
+func (p *Pool) BlockAt(i int) Addr {
+	if i < 0 || i >= p.capacity {
+		panic(fmt.Sprintf("pmem: block index %d out of range [0,%d)", i, p.capacity))
+	}
+	return p.base + Addr(i*p.blockWords)
+}
+
+// Capacity reports the total number of blocks.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// BlockWords reports the (line-rounded) block size in words.
+func (p *Pool) BlockWords() int { return p.blockWords }
+
+// Contains reports whether a is the address of a block in this pool.
+func (p *Pool) Contains(a Addr) bool {
+	if a < p.base || a >= p.base+Addr(p.capacity*p.blockWords) {
+		return false
+	}
+	return (a-p.base)%Addr(p.blockWords) == 0
+}
+
+// Alloc pops a block for thread tid, falling back to the thread's parked
+// blocks and then the shared spare list. It reports ok=false when no block
+// is available.
+func (p *Pool) Alloc(tid int) (Addr, bool) {
+	l := &p.locals[tid]
+	if n := len(l.free); n > 0 {
+		a := l.free[n-1]
+		l.free = l.free[:n-1]
+		return a, true
+	}
+	p.unpark(tid)
+	if n := len(l.free); n > 0 {
+		a := l.free[n-1]
+		l.free = l.free[:n-1]
+		return a, true
+	}
+	p.spareMu.Lock()
+	grab := len(p.spare)
+	if grab > 8 {
+		grab = 8
+	}
+	if grab > 0 {
+		l.free = append(l.free, p.spare[len(p.spare)-grab:]...)
+		p.spare = p.spare[:len(p.spare)-grab]
+	}
+	p.spareMu.Unlock()
+	if n := len(l.free); n > 0 {
+		a := l.free[n-1]
+		l.free = l.free[:n-1]
+		return a, true
+	}
+	return 0, false
+}
+
+// Free returns block a to thread tid's free list (or parks it while
+// pinned). Excess blocks overflow to the shared spare list so unbalanced
+// producer/consumer threads do not starve each other.
+func (p *Pool) Free(tid int, a Addr) {
+	l := &p.locals[tid]
+	p.unpark(tid)
+	if p.pinned != nil && p.pinned(a) {
+		l.parked = append(l.parked, a)
+		return
+	}
+	l.free = append(l.free, a)
+	if len(l.free) > p.highWater {
+		half := len(l.free) / 2
+		p.spareMu.Lock()
+		p.spare = append(p.spare, l.free[len(l.free)-half:]...)
+		p.spareMu.Unlock()
+		l.free = l.free[:len(l.free)-half]
+	}
+}
+
+// unpark moves any no-longer-pinned parked blocks back to tid's free list.
+func (p *Pool) unpark(tid int) {
+	l := &p.locals[tid]
+	if len(l.parked) == 0 {
+		return
+	}
+	kept := l.parked[:0]
+	for _, a := range l.parked {
+		if p.pinned != nil && p.pinned(a) {
+			kept = append(kept, a)
+		} else {
+			l.free = append(l.free, a)
+		}
+	}
+	l.parked = kept
+}
+
+// FreeCount reports the total number of blocks on free lists (including
+// spare, excluding parked). It is not linearizable with concurrent
+// Alloc/Free and is intended for tests and post-crash accounting.
+func (p *Pool) FreeCount() int {
+	n := 0
+	for i := range p.locals {
+		n += len(p.locals[i].free)
+	}
+	p.spareMu.Lock()
+	n += len(p.spare)
+	p.spareMu.Unlock()
+	return n
+}
+
+// ForEachBlock calls f with every block address, in index order.
+func (p *Pool) ForEachBlock(f func(a Addr)) {
+	for i := 0; i < p.capacity; i++ {
+		f(p.BlockAt(i))
+	}
+}
+
+// Sweep rebuilds the free lists after a crash: every block for which live
+// reports false is dealt round-robin to the thread free lists; live blocks
+// stay allocated. Blocks for which the pin predicate holds are parked on
+// thread 0. Sweep requires a quiescent heap (it runs during recovery).
+func (p *Pool) Sweep(live func(a Addr) bool) {
+	for i := range p.locals {
+		p.locals[i].free = p.locals[i].free[:0]
+		p.locals[i].parked = p.locals[i].parked[:0]
+	}
+	p.spareMu.Lock()
+	p.spare = p.spare[:0]
+	p.spareMu.Unlock()
+	t := 0
+	for i := 0; i < p.capacity; i++ {
+		a := p.BlockAt(i)
+		if live(a) {
+			continue
+		}
+		if p.pinned != nil && p.pinned(a) {
+			p.locals[0].parked = append(p.locals[0].parked, a)
+			continue
+		}
+		p.locals[t].free = append(p.locals[t].free, a)
+		t = (t + 1) % p.threads
+	}
+}

@@ -1,0 +1,296 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newPool(t *testing.T, h *Heap, cfg PoolConfig) *Pool {
+	t.Helper()
+	p, err := NewPool(h, cfg)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func TestPoolValidation(t *testing.T) {
+	h := newTracked(t, 4096)
+	tests := []struct {
+		name string
+		cfg  PoolConfig
+	}{
+		{"zero threads", PoolConfig{BlocksPerThread: 1, BlockWords: 8}},
+		{"negative blocks", PoolConfig{Threads: 1, BlocksPerThread: -1, BlockWords: 8}},
+		{"negative extra", PoolConfig{Threads: 1, BlocksPerThread: 1, ExtraBlocks: -1, BlockWords: 8}},
+		{"zero block size", PoolConfig{Threads: 1, BlocksPerThread: 1}},
+		{"empty pool", PoolConfig{Threads: 1, BlockWords: 8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPool(h, tt.cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestPoolExhaustsArena(t *testing.T) {
+	h := newTracked(t, 64)
+	if _, err := NewPool(h, PoolConfig{Threads: 1, BlocksPerThread: 1000, BlockWords: 8}); err == nil {
+		t.Fatal("oversized pool did not fail")
+	}
+}
+
+func TestPoolAllocFreeCycle(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 2, BlocksPerThread: 4, BlockWords: 8})
+	seen := map[Addr]bool{}
+	var got []Addr
+	for tid := 0; tid < 2; tid++ {
+		for {
+			a, ok := p.Alloc(tid)
+			if !ok {
+				break
+			}
+			if seen[a] {
+				t.Fatalf("block %d handed out twice", a)
+			}
+			if !p.Contains(a) {
+				t.Fatalf("allocated block %d not recognized by Contains", a)
+			}
+			seen[a] = true
+			got = append(got, a)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("allocated %d blocks across both threads, want 8", len(got))
+	}
+	for _, a := range got {
+		p.Free(0, a)
+	}
+	if n := p.FreeCount(); n != 8 {
+		t.Fatalf("FreeCount = %d after freeing all, want 8", n)
+	}
+}
+
+func TestPoolBlocksAreLineAlignedAndDisjoint(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 1, BlocksPerThread: 6, BlockWords: 3})
+	if p.BlockWords() != 8 {
+		t.Fatalf("BlockWords = %d, want rounded 8", p.BlockWords())
+	}
+	for i := 0; i < p.Capacity(); i++ {
+		a := p.BlockAt(i)
+		if a%WordsPerLine != 0 {
+			t.Fatalf("block %d at %d not line aligned", i, a)
+		}
+		if i > 0 && a != p.BlockAt(i-1)+8 {
+			t.Fatalf("blocks %d and %d overlap or gap", i-1, i)
+		}
+	}
+}
+
+func TestPoolContainsRejectsInteriorAndForeign(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 1, BlocksPerThread: 2, BlockWords: 8})
+	a := p.BlockAt(0)
+	if p.Contains(a + 1) {
+		t.Fatal("Contains accepted an interior address")
+	}
+	if p.Contains(0) {
+		t.Fatal("Contains accepted NULL")
+	}
+	if p.Contains(a + Addr(p.Capacity()*p.BlockWords())) {
+		t.Fatal("Contains accepted past-the-end address")
+	}
+}
+
+func TestPoolExtraBlocksGoToSpare(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 2, BlocksPerThread: 1, ExtraBlocks: 5, BlockWords: 8})
+	// Thread 0 can allocate its 1 local block plus spares.
+	n := 0
+	for {
+		if _, ok := p.Alloc(0); !ok {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("thread 0 allocated %d blocks, want 6 (1 local + 5 spare)", n)
+	}
+}
+
+func TestPoolOverflowToSpareBalancesThreads(t *testing.T) {
+	h := newTracked(t, 1<<14)
+	p := newPool(t, h, PoolConfig{Threads: 2, BlocksPerThread: 4, BlockWords: 8})
+	// Thread 0 drains everything, then frees everything; overflow must make
+	// the blocks reachable by thread 1 again.
+	var blocks []Addr
+	for {
+		a, ok := p.Alloc(0)
+		if !ok {
+			break
+		}
+		blocks = append(blocks, a)
+	}
+	for _, a := range blocks {
+		p.Free(0, a)
+	}
+	got := 0
+	for {
+		if _, ok := p.Alloc(1); !ok {
+			break
+		}
+		got++
+	}
+	if got < len(blocks)/2 {
+		t.Fatalf("thread 1 recovered only %d of %d blocks", got, len(blocks))
+	}
+}
+
+func TestPoolPinnedBlocksAreParkedUntilUnpinned(t *testing.T) {
+	h := newTracked(t, 4096)
+	pinned := map[Addr]bool{}
+	p := newPool(t, h, PoolConfig{
+		Threads: 1, BlocksPerThread: 2, BlockWords: 8,
+		Pinned: func(a Addr) bool { return pinned[a] },
+	})
+	a, _ := p.Alloc(0)
+	b, _ := p.Alloc(0)
+	pinned[a] = true
+	p.Free(0, a)
+	p.Free(0, b)
+	// Only b is allocatable now.
+	x, ok := p.Alloc(0)
+	if !ok || x != b {
+		t.Fatalf("Alloc = (%d,%v), want b=%d", x, ok, b)
+	}
+	if _, ok := p.Alloc(0); ok {
+		t.Fatal("pinned block was recycled")
+	}
+	pinned[a] = false
+	y, ok := p.Alloc(0)
+	if !ok || y != a {
+		t.Fatalf("after unpin Alloc = (%d,%v), want a=%d", y, ok, a)
+	}
+}
+
+func TestPoolSweepRebuildsFreeLists(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 2, BlocksPerThread: 3, BlockWords: 8})
+	live := map[Addr]bool{}
+	a, _ := p.Alloc(0)
+	b, _ := p.Alloc(1)
+	live[a] = true
+	live[b] = true
+	// Simulate crash: free lists forgotten, then swept.
+	p.Sweep(func(x Addr) bool { return live[x] })
+	if n := p.FreeCount(); n != 4 {
+		t.Fatalf("after sweep FreeCount = %d, want 4", n)
+	}
+	// Live blocks must not be handed out again.
+	for {
+		x, ok := p.Alloc(0)
+		if !ok {
+			break
+		}
+		if live[x] {
+			t.Fatalf("sweep recycled live block %d", x)
+		}
+	}
+}
+
+func TestPoolSweepParksPinned(t *testing.T) {
+	h := newTracked(t, 4096)
+	pinned := map[Addr]bool{}
+	p := newPool(t, h, PoolConfig{
+		Threads: 1, BlocksPerThread: 3, BlockWords: 8,
+		Pinned: func(a Addr) bool { return pinned[a] },
+	})
+	target := p.BlockAt(1)
+	pinned[target] = true
+	p.Sweep(func(Addr) bool { return false })
+	if n := p.FreeCount(); n != 2 {
+		t.Fatalf("FreeCount = %d, want 2 (one parked)", n)
+	}
+	pinned[target] = false
+	n := 0
+	for {
+		if _, ok := p.Alloc(0); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("allocated %d blocks after unpin, want 3", n)
+	}
+}
+
+func TestPoolForEachBlockVisitsAllOnce(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 2, BlocksPerThread: 3, ExtraBlocks: 1, BlockWords: 8})
+	seen := map[Addr]int{}
+	p.ForEachBlock(func(a Addr) { seen[a]++ })
+	if len(seen) != p.Capacity() {
+		t.Fatalf("visited %d blocks, want %d", len(seen), p.Capacity())
+	}
+	for a, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d visited %d times", a, n)
+		}
+	}
+}
+
+func TestPoolBlockAtOutOfRangePanics(t *testing.T) {
+	h := newTracked(t, 4096)
+	p := newPool(t, h, PoolConfig{Threads: 1, BlocksPerThread: 2, BlockWords: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlockAt(99) did not panic")
+		}
+	}()
+	p.BlockAt(99)
+}
+
+// TestQuickPoolNeverDoubleAllocates: any interleaved sequence of allocs and
+// frees never hands the same block to two owners.
+func TestQuickPoolNeverDoubleAllocates(t *testing.T) {
+	f := func(ops []bool) bool {
+		h, err := New(Config{Words: 1 << 13, Mode: Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPool(h, PoolConfig{Threads: 2, BlocksPerThread: 8, BlockWords: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		held := map[Addr]bool{}
+		var order []Addr
+		tid := 0
+		for _, alloc := range ops {
+			tid = 1 - tid
+			if alloc {
+				a, ok := p.Alloc(tid)
+				if !ok {
+					continue
+				}
+				if held[a] {
+					return false // double allocation
+				}
+				held[a] = true
+				order = append(order, a)
+			} else if len(order) > 0 {
+				a := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(held, a)
+				p.Free(tid, a)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

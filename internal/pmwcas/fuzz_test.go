@@ -1,0 +1,73 @@
+package pmwcas
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// FuzzCrashAtomicity lets the fuzzer pick the width of a PMwCAS, the
+// crash point, and the adversary seed, then checks the all-or-nothing
+// guarantee across recovery.
+//
+// Run with: go test -fuzz FuzzCrashAtomicity ./internal/pmwcas
+func FuzzCrashAtomicity(f *testing.F) {
+	f.Add(uint8(2), uint16(5), int64(1), false)
+	f.Add(uint8(4), uint16(40), int64(2), true)
+	f.Add(uint8(1), uint16(90), int64(3), false)
+	f.Fuzz(func(t *testing.T, width uint8, crashStep uint16, seed int64, private bool) {
+		k := int(width)
+		if k < 1 || k > MaxEntries || crashStep == 0 {
+			t.Skip()
+		}
+		h, err := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(h, 0, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := h.MustAlloc(k * pmem.WordsPerLine)
+		entries := make([]Entry, k)
+		for i := 0; i < k; i++ {
+			entries[i] = Entry{
+				Addr: region + pmem.Addr(i*pmem.WordsPerLine),
+				Old:  0,
+				New:  uint64(100 + i),
+				// At most the last entry may be private (the CASWithEffect
+				// pattern: shared structure plus one private X word).
+				Private: private && i == k-1 && k > 1,
+			}
+		}
+		h.ArmCrash(uint64(crashStep))
+		pmem.RunToCrash(func() {
+			_, _ = p.Apply(0, entries)
+		})
+		if h.Crashed() {
+			h.Crash(pmem.NewRandomFates(seed))
+			p.Recover()
+		} else {
+			h.ArmCrash(0) // finished early; keep the audit below crash-free
+		}
+		// All-or-nothing: every word at Old, or every word at New.
+		allOld, allNew := true, true
+		for i := 0; i < k; i++ {
+			switch p.Read(0, entries[i].Addr) {
+			case entries[i].Old:
+				allNew = false
+			case entries[i].New:
+				allOld = false
+			default:
+				t.Fatalf("word %d holds foreign value %#x", i, p.Read(0, entries[i].Addr))
+			}
+		}
+		if !allOld && !allNew {
+			vals := make([]uint64, k)
+			for i := range vals {
+				vals[i] = p.Read(0, entries[i].Addr)
+			}
+			t.Fatalf("torn PMwCAS after crash: %v", vals)
+		}
+	})
+}

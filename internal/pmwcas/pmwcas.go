@@ -1,0 +1,459 @@
+// Package pmwcas implements Wang, Levandoski and Larson's Persistent
+// Multi-Word Compare-And-Swap (ICDE 2018), the substrate of the paper's
+// General and Fast CASWithEffect queues (Figure 5b).
+//
+// A PMwCAS atomically compares-and-swaps up to MaxEntries words of the
+// simulated persistent heap. The protocol is the standard two-phase
+// descriptor scheme:
+//
+//  1. Install: for each target word (in address order), an RDCSS —
+//     conditioned on the descriptor still being Undecided — replaces the
+//     expected value with a flagged pointer to the descriptor. Readers who
+//     encounter the flag help complete the operation.
+//  2. Decide and finalize: once every word is installed and flushed, the
+//     status word flips to Succeeded (or Failed on a mismatch) and is
+//     flushed; then each word is replaced by its final value and flushed.
+//
+// Persistence uses the dirty-bit convention of the original paper: any
+// value written by the protocol carries a dirty bit until it has been
+// flushed; a reader that sees the bit flushes the word and clears it
+// before using the value, so no thread ever depends on an unpersisted
+// value.
+//
+// Entries may be marked Private: a private word is logically owned by the
+// calling thread (e.g. the detectability state X[i] of the CASWithEffect
+// queues), so it skips RDCSS installation entirely and is simply written
+// after the decision — the optimization that distinguishes the paper's
+// "Fast" from its "General" CASWithEffect queue. Crash atomicity for
+// private words is preserved by recovery, which replays the private
+// writes of descriptors that were still in flight (active) at the crash.
+package pmwcas
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+)
+
+// Word flag bits (the top bits of every word managed by PMwCAS).
+const (
+	// DirtyFlag marks a value that may not have been flushed yet.
+	DirtyFlag = uint64(1) << 63
+	// descFlag marks a pointer to a PMwCAS descriptor.
+	descFlag = uint64(1) << 62
+	// rdcssFlag marks a pointer to an in-flight RDCSS (a descriptor entry).
+	rdcssFlag = uint64(1) << 61
+	// flagMask covers all protocol bits.
+	flagMask = DirtyFlag | descFlag | rdcssFlag
+)
+
+// Descriptor statuses. A zero status marks a block whose fields are not
+// (durably) initialized; recovery skips such blocks.
+const (
+	stUndecided uint64 = iota + 1
+	stSucceeded
+	stFailed
+)
+
+// Descriptor layout (word offsets into a descriptor block).
+const (
+	dStatus = 0
+	dActive = 1 // 1 while in flight; gates private-entry replay in recovery
+	dCount  = 2
+	// dEntries starts the entry array on the block's second line so the
+	// status line can be persisted independently of the entries.
+	dEntries = 8
+	entWords = 4 // addr, old, new, parent<<1|privateBit
+	// MaxEntries is the largest number of words one PMwCAS can cover.
+	MaxEntries = 6
+	descWords  = dEntries + MaxEntries*entWords
+)
+
+// Entry describes one word of a PMwCAS.
+type Entry struct {
+	// Addr is the target word.
+	Addr pmem.Addr
+	// Old is the expected value. For Private entries it is the rollback
+	// value rather than an atomically validated expectation.
+	Old uint64
+	// New is the value installed on success.
+	New uint64
+	// Private marks a word accessed only by the calling thread (and by
+	// quiescent recovery): it is written without installation.
+	Private bool
+}
+
+// PMwCAS is a persistent multi-word CAS provider over one heap. Distinct
+// threads may call Apply, Read and CASWord concurrently with their own
+// tids.
+type PMwCAS struct {
+	h       *pmem.Heap
+	pool    *pmem.Pool
+	rec     *ebr.Collector
+	threads int
+}
+
+// New creates a PMwCAS provider with descsPerThread descriptors per
+// thread, registering its descriptor region in heap root slot rootSlot.
+func New(h *pmem.Heap, rootSlot, threads, descsPerThread int) (*PMwCAS, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("pmwcas: need at least one thread, got %d", threads)
+	}
+	if descsPerThread <= 0 {
+		return nil, fmt.Errorf("pmwcas: need at least one descriptor per thread")
+	}
+	p := &PMwCAS{h: h, threads: threads}
+	var err error
+	p.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: descsPerThread,
+		ExtraBlocks:     1,
+		BlockWords:      descWords,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pmwcas: descriptor pool: %w", err)
+	}
+	p.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) { p.pool.Free(tid, a) })
+	if err != nil {
+		return nil, fmt.Errorf("pmwcas: reclamation: %w", err)
+	}
+	h.SetRoot(rootSlot, p.pool.BlockAt(0))
+	return p, nil
+}
+
+// allocDesc pops a descriptor, forcing epoch collection and yielding
+// between attempts: a single collection can fail transiently while peer
+// threads are mid-operation, so bounded retrying separates reclamation
+// lag from genuine exhaustion.
+func (p *PMwCAS) allocDesc(tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if desc, ok := p.pool.Alloc(tid); ok {
+			return desc, true
+		}
+		p.rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+// entryAddr returns the address of entry i of desc.
+func entryAddr(desc pmem.Addr, i int) pmem.Addr {
+	return desc + dEntries + pmem.Addr(i*entWords)
+}
+
+// payload strips the protocol flag bits.
+func payload(w uint64) uint64 { return w &^ flagMask }
+
+// isDesc reports whether w is a (possibly dirty) descriptor pointer to d.
+func isDesc(w uint64, d pmem.Addr) bool {
+	return w&descFlag != 0 && w&rdcssFlag == 0 && payload(w) == uint64(d)
+}
+
+// maskedStatus reads a descriptor's status ignoring the dirty bit.
+func (p *PMwCAS) maskedStatus(desc pmem.Addr) uint64 {
+	return payload(p.h.Load(desc + dStatus))
+}
+
+// persistClear flushes the word at a and clears its dirty bit. cur is the
+// dirty value that was observed; a failed clear means someone else
+// already cleared or replaced it, which is fine.
+func (p *PMwCAS) persistClear(a pmem.Addr, cur uint64) {
+	p.h.Persist(a)
+	p.h.CompareAndSwap(a, cur, cur&^DirtyFlag)
+}
+
+// Read returns the logical value of the word at a, helping any in-flight
+// protocol it encounters and flushing dirty values. The returned value is
+// clean and persisted. Object-level lifetime of a (e.g. queue nodes) is
+// the caller's concern; Read manages the descriptor epoch itself.
+func (p *PMwCAS) Read(tid int, a pmem.Addr) uint64 {
+	p.rec.Enter(tid)
+	defer p.rec.Exit(tid)
+	return p.read(a)
+}
+
+func (p *PMwCAS) read(a pmem.Addr) uint64 {
+	for {
+		w := p.h.Load(a)
+		switch {
+		case w&rdcssFlag != 0:
+			p.completeRDCSS(pmem.Addr(payload(w)))
+		case w&descFlag != 0:
+			p.help(pmem.Addr(payload(w)))
+		case w&DirtyFlag != 0:
+			p.persistClear(a, w)
+		default:
+			return w
+		}
+	}
+}
+
+// CASWord is a persistent single-word CAS with the dirty-bit protocol:
+// old must be a clean value previously obtained from Read. On success the
+// new value has been persisted.
+func (p *PMwCAS) CASWord(tid int, a pmem.Addr, old, new uint64) bool {
+	if !p.h.CompareAndSwap(a, old, new|DirtyFlag) {
+		return false
+	}
+	p.persistClear(a, new|DirtyFlag)
+	return true
+}
+
+// Apply performs one PMwCAS over entries, reporting whether it succeeded.
+// On success every target durably holds its New value; on failure every
+// target is logically unchanged.
+func (p *PMwCAS) Apply(tid int, entries []Entry) (bool, error) {
+	if len(entries) == 0 || len(entries) > MaxEntries {
+		return false, fmt.Errorf("pmwcas: entry count %d out of range [1,%d]", len(entries), MaxEntries)
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	// Address order makes concurrent PMwCASes over overlapping word sets
+	// help each other in a consistent order instead of livelocking.
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	for _, e := range sorted {
+		if e.Old&flagMask != 0 || e.New&flagMask != 0 {
+			return false, fmt.Errorf("pmwcas: value for word %#x collides with protocol flag bits", uint64(e.Addr))
+		}
+	}
+
+	desc, ok := p.allocDesc(tid)
+	if !ok {
+		return false, fmt.Errorf("pmwcas: descriptor pool exhausted")
+	}
+	// Two-phase initialization: persist the entries while the status word
+	// is still zero (recovery ignores zero-status blocks), then arm the
+	// status line. A crash mid-initialization can therefore never make
+	// recovery interpret half-written entries.
+	p.h.Store(desc+dStatus, 0)
+	p.h.Store(desc+dActive, 1)
+	p.h.Store(desc+dCount, uint64(len(sorted)))
+	for i, e := range sorted {
+		ea := entryAddr(desc, i)
+		p.h.Store(ea+0, uint64(e.Addr))
+		p.h.Store(ea+1, e.Old)
+		p.h.Store(ea+2, e.New)
+		parent := uint64(desc) << 1
+		if e.Private {
+			parent |= 1
+		}
+		p.h.Store(ea+3, parent)
+	}
+	p.h.PersistRange(desc, dEntries+len(sorted)*entWords)
+	p.h.Store(desc+dStatus, stUndecided)
+	p.h.Persist(desc + dStatus)
+
+	p.rec.Enter(tid)
+	st := p.help(desc)
+	p.rec.Exit(tid)
+	if st == stSucceeded {
+		p.finalizePrivate(desc)
+	}
+
+	// The descriptor durably leaves the in-flight set before it can be
+	// recycled, so recovery never replays its private writes over newer
+	// state.
+	p.h.Store(desc+dActive, 0)
+	p.h.Persist(desc + dActive)
+	p.rec.Enter(tid)
+	p.rec.Retire(tid, desc)
+	p.rec.Exit(tid)
+	return st == stSucceeded, nil
+}
+
+// help drives desc to completion (install, decide, finalize shared
+// words). It is safe to call from any thread that discovered desc through
+// a flagged word while inside the descriptor epoch.
+func (p *PMwCAS) help(desc pmem.Addr) uint64 {
+	count := int(p.h.Load(desc + dCount))
+	if st := p.maskedStatus(desc); st == stUndecided {
+		st = p.install(desc, count)
+		if st == stSucceeded {
+			// Persist every installed word before deciding, so a crash
+			// after the status flush can always roll forward.
+			for i := 0; i < count; i++ {
+				ea := entryAddr(desc, i)
+				if p.h.Load(ea+3)&1 != 0 {
+					continue
+				}
+				p.h.Persist(pmem.Addr(p.h.Load(ea + 0)))
+			}
+		}
+		p.h.CompareAndSwap(desc+dStatus, stUndecided, st|DirtyFlag)
+		if cur := p.h.Load(desc + dStatus); cur&DirtyFlag != 0 {
+			p.persistClear(desc+dStatus, cur)
+		}
+	}
+
+	// Finalize shared words: replace descriptor pointers by final values.
+	st := p.maskedStatus(desc)
+	for i := 0; i < count; i++ {
+		ea := entryAddr(desc, i)
+		if p.h.Load(ea+3)&1 != 0 {
+			continue // private words are finalized by their owner
+		}
+		addr := pmem.Addr(p.h.Load(ea + 0))
+		final := p.h.Load(ea + 1)
+		if st == stSucceeded {
+			final = p.h.Load(ea + 2)
+		}
+		want := uint64(desc) | descFlag
+		if p.h.CompareAndSwap(addr, want|DirtyFlag, final|DirtyFlag) ||
+			p.h.CompareAndSwap(addr, want, final|DirtyFlag) {
+			p.persistClear(addr, final|DirtyFlag)
+		}
+	}
+	return st
+}
+
+// install runs phase 1 for desc: RDCSS a flagged descriptor pointer into
+// every shared target word, helping any other protocol it encounters.
+func (p *PMwCAS) install(desc pmem.Addr, count int) uint64 {
+	for i := 0; i < count; i++ {
+		ea := entryAddr(desc, i)
+		if p.h.Load(ea+3)&1 != 0 {
+			continue // private: no installation
+		}
+		addr := pmem.Addr(p.h.Load(ea + 0))
+		old := p.h.Load(ea + 1)
+	entry:
+		for {
+			if p.maskedStatus(desc) != stUndecided {
+				return stSucceeded // another helper decided; help() rereads
+			}
+			if p.h.CompareAndSwap(addr, old, uint64(ea)|rdcssFlag) {
+				p.completeRDCSS(ea)
+				break entry
+			}
+			cur := p.h.Load(addr)
+			switch {
+			case cur&rdcssFlag != 0:
+				p.completeRDCSS(pmem.Addr(payload(cur)))
+			case isDesc(cur, desc):
+				break entry // a helper already installed this entry
+			case cur&descFlag != 0:
+				p.help(pmem.Addr(payload(cur)))
+			case cur&DirtyFlag != 0:
+				p.persistClear(addr, cur)
+			default:
+				return stFailed // plain value mismatch
+			}
+		}
+	}
+	return stSucceeded
+}
+
+// finalizePrivate writes the private entries of the owner's successful
+// descriptor (dirty store, flush, clear). Only the owner and quiescent
+// recovery touch private words, so no CAS is needed.
+func (p *PMwCAS) finalizePrivate(desc pmem.Addr) {
+	count := int(p.h.Load(desc + dCount))
+	for i := 0; i < count; i++ {
+		ea := entryAddr(desc, i)
+		if p.h.Load(ea+3)&1 == 0 {
+			continue
+		}
+		addr := pmem.Addr(p.h.Load(ea + 0))
+		v := p.h.Load(ea+2) | DirtyFlag
+		p.h.Store(addr, v)
+		p.persistClear(addr, v)
+	}
+}
+
+// completeRDCSS resolves an installed RDCSS pointer at the entry's target:
+// if the parent descriptor is still undecided, the word becomes a flagged
+// pointer to the parent; otherwise it reverts to the expected old value.
+// If the status read was stale and the descriptor pointer lands after the
+// decision, the same thread immediately repairs the word to its final
+// value and flushes it, so no pointer to the descriptor can outlive the
+// epochs of the threads that saw it in flight — this closes the classic
+// late-install window that would otherwise make descriptor recycling
+// unsound.
+func (p *PMwCAS) completeRDCSS(ea pmem.Addr) {
+	addr := pmem.Addr(p.h.Load(ea + 0))
+	old := p.h.Load(ea + 1)
+	new := p.h.Load(ea + 2)
+	parent := pmem.Addr(p.h.Load(ea+3) >> 1)
+	rd := uint64(ea) | rdcssFlag
+	if p.maskedStatus(parent) == stUndecided {
+		if p.h.CompareAndSwap(addr, rd, uint64(parent)|descFlag|DirtyFlag) {
+			if st := p.maskedStatus(parent); st != stUndecided {
+				// Late install: repair immediately.
+				final := old
+				if st == stSucceeded {
+					final = new
+				}
+				if p.h.CompareAndSwap(addr, uint64(parent)|descFlag|DirtyFlag, final|DirtyFlag) {
+					p.persistClear(addr, final|DirtyFlag)
+				}
+			}
+		}
+		return
+	}
+	p.h.CompareAndSwap(addr, rd, old)
+}
+
+// Recover normalizes the heap after a crash: every descriptor block with
+// durably initialized fields is rolled forward (Succeeded) or back
+// (otherwise) — shared words are rewritten only if they still hold a
+// pointer into that block, and private writes are replayed only for
+// descriptors that were still in flight (active). Afterwards all
+// descriptors are free and the volatile collector state is reset. Must
+// run single-threaded before application threads resume.
+func (p *PMwCAS) Recover() {
+	p.pool.ForEachBlock(func(desc pmem.Addr) {
+		st := p.maskedStatus(desc)
+		if st != stUndecided && st != stSucceeded && st != stFailed {
+			return // never durably initialized
+		}
+		count := int(p.h.Load(desc + dCount))
+		if count < 1 || count > MaxEntries {
+			return
+		}
+		active := p.h.Load(desc+dActive) == 1
+		for i := 0; i < count; i++ {
+			ea := entryAddr(desc, i)
+			addr := pmem.Addr(p.h.Load(ea + 0))
+			if addr == 0 || int(addr) >= p.h.Words() {
+				continue
+			}
+			private := p.h.Load(ea+3)&1 != 0
+			final := p.h.Load(ea + 1) // old
+			if st == stSucceeded {
+				final = p.h.Load(ea + 2) // new
+			}
+			if private {
+				if active && st == stSucceeded {
+					p.h.Store(addr, final)
+					p.h.Persist(addr)
+				}
+				continue
+			}
+			w := p.h.Load(addr)
+			pointsHere := (w&rdcssFlag != 0 && payload(w) >= uint64(entryAddr(desc, 0)) && payload(w) < uint64(entryAddr(desc, count))) ||
+				isDesc(w, desc)
+			if pointsHere {
+				p.h.Store(addr, final)
+				p.h.Persist(addr)
+			} else if w&DirtyFlag != 0 && payload(w) == payload(final) {
+				p.h.Store(addr, payload(final))
+				p.h.Persist(addr)
+			}
+		}
+		if st == stUndecided {
+			// The operation is rolled back; make that durable so a crash
+			// during recovery cannot flip the outcome later.
+			p.h.Store(desc+dStatus, stFailed)
+			p.h.Persist(desc + dStatus)
+		}
+		if active {
+			p.h.Store(desc+dActive, 0)
+			p.h.Persist(desc + dActive)
+		}
+	})
+	p.rec.Reset()
+	p.pool.Sweep(func(pmem.Addr) bool { return false })
+}

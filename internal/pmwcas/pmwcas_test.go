@@ -1,0 +1,386 @@
+package pmwcas
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newProvider(t *testing.T, threads int) (*PMwCAS, *pmem.Heap, pmem.Addr) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(h, 0, threads, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small region of target words, one per line to mirror real layouts.
+	region := h.MustAlloc(16 * pmem.WordsPerLine)
+	return p, h, region
+}
+
+func word(region pmem.Addr, i int) pmem.Addr {
+	return region + pmem.Addr(i*pmem.WordsPerLine)
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if _, err := New(h, 0, 0, 1); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, 1, 0); err == nil {
+		t.Fatal("accepted zero descriptors")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	if _, err := p.Apply(0, nil); err == nil {
+		t.Fatal("accepted empty entry list")
+	}
+	tooMany := make([]Entry, MaxEntries+1)
+	for i := range tooMany {
+		tooMany[i] = Entry{Addr: word(region, i)}
+	}
+	if _, err := p.Apply(0, tooMany); err == nil {
+		t.Fatal("accepted too many entries")
+	}
+	if _, err := p.Apply(0, []Entry{{Addr: word(region, 0), New: DirtyFlag}}); err == nil {
+		t.Fatal("accepted value colliding with flag bits")
+	}
+}
+
+func TestSingleWordApply(t *testing.T) {
+	p, h, region := newProvider(t, 1)
+	a := word(region, 0)
+	ok, err := p.Apply(0, []Entry{{Addr: a, Old: 0, New: 7}})
+	if err != nil || !ok {
+		t.Fatalf("Apply = (%v,%v)", ok, err)
+	}
+	if got := p.Read(0, a); got != 7 {
+		t.Fatalf("Read = %d, want 7", got)
+	}
+	// The value must be persisted after Apply. The dirty bit may remain in
+	// the persisted image — clearing it is a cache-only optimization; any
+	// post-crash reader flushes and clears it before use.
+	if got := payload(h.PersistedLoad(a)); got != 7 {
+		t.Fatalf("persisted payload = %#x, want 7", got)
+	}
+}
+
+func TestApplyFailsOnMismatch(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	a, b := word(region, 0), word(region, 1)
+	if ok, _ := p.Apply(0, []Entry{{Addr: a, Old: 0, New: 1}}); !ok {
+		t.Fatal("setup apply failed")
+	}
+	ok, err := p.Apply(0, []Entry{
+		{Addr: a, Old: 99, New: 2}, // mismatch
+		{Addr: b, Old: 0, New: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Apply succeeded despite mismatch")
+	}
+	if got := p.Read(0, a); got != 1 {
+		t.Fatalf("a = %d after failed apply, want 1", got)
+	}
+	if got := p.Read(0, b); got != 0 {
+		t.Fatalf("b = %d after failed apply, want untouched 0", got)
+	}
+}
+
+func TestMultiWordAtomicity(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	words := []pmem.Addr{word(region, 0), word(region, 1), word(region, 2)}
+	entries := make([]Entry, len(words))
+	for i, a := range words {
+		entries[i] = Entry{Addr: a, Old: 0, New: uint64(i + 10)}
+	}
+	if ok, err := p.Apply(0, entries); err != nil || !ok {
+		t.Fatalf("Apply = (%v,%v)", ok, err)
+	}
+	for i, a := range words {
+		if got := p.Read(0, a); got != uint64(i+10) {
+			t.Fatalf("word %d = %d, want %d", i, got, i+10)
+		}
+	}
+}
+
+func TestCompareOnlyEntry(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	a, b := word(region, 0), word(region, 1)
+	// Old == New makes a pure guard.
+	ok, err := p.Apply(0, []Entry{
+		{Addr: a, Old: 0, New: 0},
+		{Addr: b, Old: 0, New: 5},
+	})
+	if err != nil || !ok {
+		t.Fatalf("guarded apply = (%v,%v)", ok, err)
+	}
+	if got := p.Read(0, a); got != 0 {
+		t.Fatalf("guard word changed to %d", got)
+	}
+	if got := p.Read(0, b); got != 5 {
+		t.Fatalf("b = %d, want 5", got)
+	}
+}
+
+func TestPrivateEntrySkipsValidation(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	a, x := word(region, 0), word(region, 1)
+	// Private entry's Old is not validated; the shared entry decides.
+	ok, err := p.Apply(0, []Entry{
+		{Addr: a, Old: 0, New: 1},
+		{Addr: x, Old: 12345, New: 42, Private: true},
+	})
+	if err != nil || !ok {
+		t.Fatalf("Apply = (%v,%v)", ok, err)
+	}
+	if got := p.Read(0, x); got != 42 {
+		t.Fatalf("private word = %d, want 42", got)
+	}
+}
+
+func TestPrivateEntryUntouchedOnFailure(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	a, x := word(region, 0), word(region, 1)
+	ok, err := p.Apply(0, []Entry{
+		{Addr: a, Old: 777, New: 1}, // fails
+		{Addr: x, Old: 0, New: 42, Private: true},
+	})
+	if err != nil || ok {
+		t.Fatalf("Apply = (%v,%v), want clean failure", ok, err)
+	}
+	if got := p.Read(0, x); got != 0 {
+		t.Fatalf("private word = %d after failure, want 0", got)
+	}
+}
+
+func TestCASWord(t *testing.T) {
+	p, h, region := newProvider(t, 1)
+	a := word(region, 0)
+	if !p.CASWord(0, a, 0, 9) {
+		t.Fatal("CASWord failed from 0")
+	}
+	if p.CASWord(0, a, 0, 10) {
+		t.Fatal("CASWord succeeded with stale old")
+	}
+	if got := payload(h.PersistedLoad(a)); got != 9 {
+		t.Fatalf("persisted payload = %d, want 9", got)
+	}
+}
+
+func TestDescriptorsRecycle(t *testing.T) {
+	p, _, region := newProvider(t, 1)
+	a := word(region, 0)
+	// Far more operations than pool descriptors: must recycle.
+	for i := uint64(0); i < 2000; i++ {
+		ok, err := p.Apply(0, []Entry{{Addr: a, Old: i, New: i + 1}})
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("op %d failed", i)
+		}
+	}
+	if got := p.Read(0, a); got != 2000 {
+		t.Fatalf("final value = %d, want 2000", got)
+	}
+}
+
+func TestConcurrentCounterNoLostUpdates(t *testing.T) {
+	const threads = 4
+	const opsEach = 400
+	p, _, region := newProvider(t, threads)
+	a := word(region, 0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for done := 0; done < opsEach; {
+				cur := p.Read(tid, a)
+				ok, err := p.Apply(tid, []Entry{{Addr: a, Old: cur, New: cur + 1}})
+				if err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+				if ok {
+					done++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := p.Read(0, a); got != threads*opsEach {
+		t.Fatalf("counter = %d, want %d", got, threads*opsEach)
+	}
+}
+
+func TestConcurrentTwoWordSwapInvariant(t *testing.T) {
+	// Two words whose sum is invariant under 2-word PMwCAS transfers.
+	const threads = 4
+	p, _, region := newProvider(t, threads)
+	a, b := word(region, 0), word(region, 1)
+	if ok, _ := p.Apply(0, []Entry{{Addr: a, Old: 0, New: 1000}}); !ok {
+		t.Fatal("setup failed")
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for done := 0; done < 200; {
+				va := p.Read(tid, a)
+				vb := p.Read(tid, b)
+				if va == 0 {
+					va, vb = vb, va
+					a, b = b, a
+				}
+				if va == 0 {
+					continue
+				}
+				ok, err := p.Apply(tid, []Entry{
+					{Addr: a, Old: va, New: va - 1},
+					{Addr: b, Old: vb, New: vb + 1},
+				})
+				if err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+				if ok {
+					done++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if sum := p.Read(0, a) + p.Read(0, b); sum != 1000 {
+		t.Fatalf("sum = %d, want invariant 1000", sum)
+	}
+}
+
+func TestCrashSweepSingleApply(t *testing.T) {
+	// Crash at every primitive step of one 2-word PMwCAS under every
+	// adversary: after recovery both words must reflect all-or-nothing.
+	for _, adv := range pmem.Adversaries(17) {
+		for step := uint64(1); ; step++ {
+			h, err := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := New(h, 0, 1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			region := h.MustAlloc(4 * pmem.WordsPerLine)
+			a, b := region, region+pmem.WordsPerLine
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				_, _ = p.Apply(0, []Entry{
+					{Addr: a, Old: 0, New: 11},
+					{Addr: b, Old: 0, New: 22},
+				})
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(adv)
+			p.Recover()
+			va, vb := p.Read(0, a), p.Read(0, b)
+			allNothing := (va == 0 && vb == 0) || (va == 11 && vb == 22)
+			if !allNothing {
+				t.Fatalf("step %d: torn multi-word CAS: a=%d b=%d", step, va, vb)
+			}
+		}
+	}
+}
+
+func TestCrashSweepPrivateEntryAtomicity(t *testing.T) {
+	// A shared word and a private word must still change all-or-nothing
+	// across crashes (the Fast CASWithEffect guarantee).
+	for _, adv := range pmem.Adversaries(29) {
+		for step := uint64(1); ; step++ {
+			h, err := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := New(h, 0, 1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			region := h.MustAlloc(4 * pmem.WordsPerLine)
+			a, x := region, region+pmem.WordsPerLine
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				_, _ = p.Apply(0, []Entry{
+					{Addr: a, Old: 0, New: 5},
+					{Addr: x, Old: 0, New: 6, Private: true},
+				})
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(adv)
+			p.Recover()
+			va, vx := p.Read(0, a), p.Read(0, x)
+			allNothing := (va == 0 && vx == 0) || (va == 5 && vx == 6)
+			if !allNothing {
+				t.Fatalf("step %d: torn private entry: a=%d x=%d", step, va, vx)
+			}
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	p, err := New(h, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := h.MustAlloc(2 * pmem.WordsPerLine)
+	a := region
+	h.ArmCrash(40)
+	pmem.RunToCrash(func() {
+		_, _ = p.Apply(0, []Entry{{Addr: a, Old: 0, New: 3}})
+	})
+	h.Crash(pmem.DropAll{})
+	p.Recover()
+	v1 := p.Read(0, a)
+	h.CrashNow()
+	h.Crash(pmem.DropAll{})
+	p.Recover()
+	if v2 := p.Read(0, a); v2 != v1 {
+		t.Fatalf("second recovery changed outcome: %d -> %d", v1, v2)
+	}
+}
+
+func TestApplyUsableAfterRecovery(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	p, err := New(h, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := h.MustAlloc(2 * pmem.WordsPerLine)
+	a := region
+	h.ArmCrash(25)
+	pmem.RunToCrash(func() {
+		_, _ = p.Apply(0, []Entry{{Addr: a, Old: 0, New: 3}})
+	})
+	h.Crash(pmem.NewRandomFates(5))
+	p.Recover()
+	base := p.Read(0, a)
+	ok, err := p.Apply(0, []Entry{{Addr: a, Old: base, New: base + 100}})
+	if err != nil || !ok {
+		t.Fatalf("post-recovery Apply = (%v,%v)", ok, err)
+	}
+	if got := p.Read(0, a); got != base+100 {
+		t.Fatalf("post-recovery value = %d, want %d", got, base+100)
+	}
+}

@@ -1,0 +1,258 @@
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+)
+
+// Return-slot status values for the durable queue's returnedValues array.
+const (
+	rvNone uint64 = iota + 1
+	rvValue
+	rvEmpty
+)
+
+// Claim-word layout for the durable queue: seq<<16 | tid. The sequence
+// number ties a claim to one specific dequeue operation of its owner, so
+// recovery can tell a crashed operation's claim from a stale claim left by
+// an earlier completed operation of the same thread. (Friedman et al. get
+// the same effect by CAS-ing freshly allocated result objects into
+// returnedValues; a persisted sequence number avoids the extra allocation
+// while preserving the recovery semantics — see DESIGN.md.)
+const claimTIDBits = 16
+
+// DurableQueue is Friedman, Herlihy, Marathe and Petrank's durable queue
+// (PPoPP 2018): the recoverable but non-detectable extension of the MS
+// queue that the DSS queue builds on. Dequeued values are delivered
+// durably through a per-thread returnedValues array, which the
+// single-threaded recovery procedure completes for operations interrupted
+// by a crash.
+type DurableQueue struct {
+	h    *pmem.Heap
+	pool *pmem.Pool
+	rec  *ebr.Collector
+	head pmem.Addr
+	tail pmem.Addr
+	// rvBase: per-thread return slot, one line each:
+	// [0] status, [1] value, [2] sequence number of the current dequeue.
+	rvBase  pmem.Addr
+	threads int
+}
+
+// NewDurable allocates a durable queue on h, registering its metadata in
+// heap root slot rootSlot.
+func NewDurable(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int) (*DurableQueue, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("queue: need at least one thread, got %d", threads)
+	}
+	if threads >= 1<<claimTIDBits {
+		return nil, fmt.Errorf("queue: at most %d threads supported", 1<<claimTIDBits-1)
+	}
+	if extraNodes < 1 {
+		return nil, fmt.Errorf("queue: need at least one extra node for the sentinel")
+	}
+	meta, err := h.Alloc((2 + threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("queue: metadata: %w", err)
+	}
+	q := &DurableQueue{
+		h:       h,
+		head:    meta,
+		tail:    meta + pmem.WordsPerLine,
+		rvBase:  meta + 2*pmem.WordsPerLine,
+		threads: threads,
+	}
+	q.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: nodesPerThread,
+		ExtraBlocks:     extraNodes,
+		BlockWords:      nodeWords,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("queue: pool: %w", err)
+	}
+	q.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) { q.pool.Free(tid, a) })
+	if err != nil {
+		return nil, fmt.Errorf("queue: reclamation: %w", err)
+	}
+	q.rec.SetDrainHook(func(int) {
+		q.h.Persist(q.head)
+		q.h.Persist(q.tail)
+	})
+	sentinel, ok := q.pool.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("queue: no node for sentinel")
+	}
+	q.initNode(sentinel, 0)
+	q.h.Store(q.head, uint64(sentinel))
+	q.h.Store(q.tail, uint64(sentinel))
+	q.h.Persist(q.head)
+	q.h.Persist(q.tail)
+	for i := 0; i < threads; i++ {
+		q.h.Store(q.rvAddr(i), rvNone)
+		q.h.Persist(q.rvAddr(i))
+	}
+	h.SetRoot(rootSlot, meta)
+	return q, nil
+}
+
+func (q *DurableQueue) rvAddr(tid int) pmem.Addr {
+	return q.rvBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+func (q *DurableQueue) initNode(node pmem.Addr, v uint64) {
+	q.h.Store(node+offValue, v)
+	q.h.Store(node+offNext, 0)
+	q.h.Store(node+offClaim, tidNone)
+	q.h.Persist(node)
+}
+
+// Enqueue durably appends v.
+func (q *DurableQueue) Enqueue(tid int, v uint64) error {
+	node, ok := allocWithCollect(q.pool, q.rec, tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.initNode(node, v)
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	for {
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(last + offNext))
+		if last != pmem.Addr(q.h.Load(q.tail)) {
+			continue
+		}
+		if next == 0 {
+			if q.h.CompareAndSwap(last+offNext, 0, uint64(node)) {
+				q.h.Persist(last + offNext)
+				q.h.CompareAndSwap(q.tail, uint64(last), uint64(node))
+				return nil
+			}
+		} else {
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+		}
+	}
+}
+
+// Dequeue durably removes the front value. Before the operation returns,
+// its result is persisted in returnedValues[tid] so a crashed caller can
+// retrieve it after recovery (see ReturnedValue).
+func (q *DurableQueue) Dequeue(tid int) (uint64, bool) {
+	// Open a new durable operation: bump the sequence number and reset
+	// the return slot in one persisted line.
+	seq := q.h.Load(q.rvAddr(tid)+2) + 1
+	q.h.Store(q.rvAddr(tid), rvNone)
+	q.h.Store(q.rvAddr(tid)+2, seq)
+	q.h.Persist(q.rvAddr(tid))
+	claim := seq<<claimTIDBits | uint64(tid)
+
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	for {
+		first := pmem.Addr(q.h.Load(q.head))
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(first + offNext))
+		if first != pmem.Addr(q.h.Load(q.head)) {
+			continue
+		}
+		if first == last {
+			if next == 0 {
+				q.h.Store(q.rvAddr(tid), rvEmpty)
+				q.h.Persist(q.rvAddr(tid))
+				return 0, false
+			}
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+			continue
+		}
+		if q.h.CompareAndSwap(next+offClaim, tidNone, claim) {
+			q.h.Persist(next + offClaim)
+			v := q.h.Load(next + offValue)
+			// Deliver the result durably before returning. Only the owner
+			// writes its slot; recovery (single-threaded) completes slots
+			// for owners that crashed between claim and delivery. The
+			// value is written before the status flips to rvValue so a
+			// crash between the two stores can never expose a "delivered"
+			// slot with a missing value.
+			q.h.Store(q.rvAddr(tid)+1, v)
+			q.h.Store(q.rvAddr(tid), rvValue)
+			q.h.Persist(q.rvAddr(tid))
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+			return v, true
+		}
+		if pmem.Addr(q.h.Load(q.head)) == first {
+			// Help: persist the winner's claim, then advance head.
+			q.h.Persist(next + offClaim)
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+		}
+	}
+}
+
+// ReturnedValue reads thread tid's durable return slot: the result of its
+// most recent dequeue if that operation reached its persistence point,
+// reported as (value, gotValue, sawEmpty). After a crash and Recover, a
+// slot still reading none/none means the interrupted dequeue did not take
+// effect.
+func (q *DurableQueue) ReturnedValue(tid int) (v uint64, gotValue, sawEmpty bool) {
+	switch q.h.Load(q.rvAddr(tid)) {
+	case rvValue:
+		return q.h.Load(q.rvAddr(tid) + 1), true, false
+	case rvEmpty:
+		return 0, false, true
+	default:
+		return 0, false, false
+	}
+}
+
+// Recover is the durable queue's single-threaded recovery: it completes
+// the return slots of dequeues that claimed a node but crashed before
+// delivering the result, fixes head and tail, and rebuilds the volatile
+// pool. A claim is matched to its operation through the persisted
+// sequence number, so stale claims from completed operations are ignored.
+func (q *DurableQueue) Recover() {
+	oldHead := pmem.Addr(q.h.Load(q.head))
+	lastNode := oldHead
+	for n := oldHead; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		lastNode = n
+	}
+	q.h.Store(q.tail, uint64(lastNode))
+	q.h.Persist(q.tail)
+
+	newHead := oldHead
+	for {
+		next := pmem.Addr(q.h.Load(newHead + offNext))
+		if next == 0 {
+			break
+		}
+		claim := q.h.Load(next + offClaim)
+		if claim == tidNone {
+			break
+		}
+		owner := int(claim & (1<<claimTIDBits - 1))
+		seq := claim >> claimTIDBits
+		if owner < q.threads &&
+			q.h.Load(q.rvAddr(owner)+2) == seq &&
+			q.h.Load(q.rvAddr(owner)) == rvNone {
+			q.h.Store(q.rvAddr(owner)+1, q.h.Load(next+offValue))
+			q.h.Store(q.rvAddr(owner), rvValue)
+			q.h.Persist(q.rvAddr(owner))
+		}
+		newHead = next
+	}
+	q.h.Store(q.head, uint64(newHead))
+	q.h.Persist(q.head)
+
+	q.rec.Reset()
+	live := map[pmem.Addr]bool{}
+	for n := newHead; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		live[n] = true
+	}
+	q.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}

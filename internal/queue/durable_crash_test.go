@@ -1,0 +1,92 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestDurableConcurrentCrashConservation crashes randomized multi-threaded
+// runs of the durable queue and audits exactly-once delivery across the
+// recovered return slots, the surviving queue, and the values returned
+// before the crash.
+func TestDurableConcurrentCrashConservation(t *testing.T) {
+	const threads = 3
+	for trial := 0; trial < 40; trial++ {
+		h := newHeap(t, 1<<16)
+		q, err := NewDurable(h, 0, threads, 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := q.Enqueue(0, uint64(9000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.ArmCrash(uint64(70 + trial*53))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		returned := map[uint64]int{} // values returned by dequeues pre-crash
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				pmem.RunToCrash(func() {
+					for i := 0; ; i++ {
+						v := uint64(tid+1)<<32 | uint64(i+1)
+						if err := q.Enqueue(tid, v); err != nil {
+							t.Errorf("enqueue: %v", err)
+							return
+						}
+						if got, ok := q.Dequeue(tid); ok {
+							mu.Lock()
+							returned[got]++
+							mu.Unlock()
+						}
+					}
+				})
+			}(tid)
+		}
+		wg.Wait()
+		h.Crash(pmem.NewRandomFates(int64(trial*7 + 1)))
+		q.Recover()
+
+		// The recovered return slots may duplicate a value that was also
+		// returned pre-crash (the caller saw it and recovery re-delivers
+		// the same slot) — that is the same operation, not a duplicate
+		// dequeue. What must never happen: a slot value still in the
+		// queue, or two different threads' slots naming one value, or the
+		// drain overlapping pre-crash returns.
+		slotVals := map[uint64]int{}
+		for tid := 0; tid < threads; tid++ {
+			if v, ok, _ := q.ReturnedValue(tid); ok {
+				slotVals[v]++
+			}
+		}
+		for v, n := range slotVals {
+			if n > 1 {
+				t.Fatalf("trial %d: value %d delivered to %d return slots", trial, v, n)
+			}
+		}
+		seen := map[uint64]int{}
+		for v, n := range returned {
+			seen[v] += n
+		}
+		for {
+			v, ok := q.Dequeue(0)
+			if !ok {
+				break
+			}
+			seen[v]++
+			if slotVals[v] != 0 {
+				t.Fatalf("trial %d: value %d both in a return slot and still queued", trial, v)
+			}
+		}
+		for v, n := range seen {
+			if n > 1 {
+				t.Fatalf("trial %d: value %d observed %d times", trial, v, n)
+			}
+		}
+	}
+}

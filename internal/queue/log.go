@@ -1,0 +1,423 @@
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+)
+
+// Log-entry field offsets (one cache line per entry).
+const (
+	entOp      = 0 // opEnq or opDeq
+	entValue   = 1 // enqueue argument / dequeue result
+	entStatus  = 2 // entPending, entDone, entEmpty
+	entNode    = 3 // enqueue: the node carrying the value
+	entOwner   = 4 // tid of the entry's owner
+	entSeq     = 5 // per-owner operation sequence number
+	entryWords = pmem.WordsPerLine
+)
+
+// Dequeue claims are encoded as seq<<16 | tid (0 = unclaimed), tying each
+// claim to one specific logged operation: log entries are recycled, so a
+// raw entry pointer in a node's claim field could be mistaken for a later
+// operation's entry after reuse. The owner's log slot is persisted before
+// any claim carrying its sequence number can be issued, so recovery can
+// always find the matching entry through logs[owner].
+const logClaimTIDBits = 16
+
+// Log-entry op codes and statuses.
+const (
+	opEnq uint64 = iota + 1
+	opDeq
+)
+
+const (
+	entPending uint64 = iota + 1
+	entDone
+	entEmpty
+)
+
+// LogQueue is Friedman, Herlihy, Marathe and Petrank's detectable log
+// queue (PPoPP 2018), Figure 5b's "Log queue": every operation first
+// persists a log entry and installs it in the thread's persistent log
+// slot; dequeues claim nodes by CAS-ing a pointer to their log entry into
+// the node, and results are recorded in the entries. As the paper notes,
+// the log queue "dynamically allocates log objects in addition to queue
+// nodes" — the source of its overhead relative to the DSS queue.
+//
+// Result delivery into entries is performed by the owner and completed by
+// recovery for interrupted operations (Friedman et al. let concurrent
+// helpers write entries too; owner-only writes avoid ABA on recycled
+// entries while preserving the algorithm's persistence structure — see
+// DESIGN.md).
+type LogQueue struct {
+	h       *pmem.Heap
+	nodes   *pmem.Pool
+	entries *pmem.Pool
+	rec     *ebr.Collector
+	head    pmem.Addr
+	tail    pmem.Addr
+	logBase pmem.Addr // logs[i] at logBase + i*WordsPerLine
+	threads int
+}
+
+// NewLog allocates a log queue on h, registering its metadata in heap root
+// slot rootSlot. Each thread gets nodesPerThread queue nodes and an equal
+// number of log entries.
+func NewLog(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int) (*LogQueue, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("queue: need at least one thread, got %d", threads)
+	}
+	if extraNodes < 1 {
+		return nil, fmt.Errorf("queue: need at least one extra node for the sentinel")
+	}
+	meta, err := h.Alloc((2 + threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("queue: metadata: %w", err)
+	}
+	q := &LogQueue{
+		h:       h,
+		head:    meta,
+		tail:    meta + pmem.WordsPerLine,
+		logBase: meta + 2*pmem.WordsPerLine,
+		threads: threads,
+	}
+	q.nodes, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: nodesPerThread,
+		ExtraBlocks:     extraNodes,
+		BlockWords:      nodeWords,
+		Pinned:          q.nodePinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("queue: node pool: %w", err)
+	}
+	q.entries, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: nodesPerThread,
+		ExtraBlocks:     extraNodes,
+		BlockWords:      entryWords,
+		Pinned:          q.entryPinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("queue: entry pool: %w", err)
+	}
+	q.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) {
+		if q.nodes.Contains(a) {
+			q.nodes.Free(tid, a)
+		} else {
+			q.entries.Free(tid, a)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("queue: reclamation: %w", err)
+	}
+	q.rec.SetDrainHook(func(int) {
+		q.h.Persist(q.head)
+		q.h.Persist(q.tail)
+	})
+	sentinel, ok := q.nodes.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("queue: no node for sentinel")
+	}
+	q.initNode(sentinel, 0)
+	q.h.Store(q.head, uint64(sentinel))
+	q.h.Store(q.tail, uint64(sentinel))
+	q.h.Persist(q.head)
+	q.h.Persist(q.tail)
+	for i := 0; i < threads; i++ {
+		q.h.Store(q.logAddr(i), 0)
+		q.h.Persist(q.logAddr(i))
+	}
+	h.SetRoot(rootSlot, meta)
+	return q, nil
+}
+
+func (q *LogQueue) logAddr(tid int) pmem.Addr {
+	return q.logBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+func (q *LogQueue) initNode(node pmem.Addr, v uint64) {
+	q.h.Store(node+offValue, v)
+	q.h.Store(node+offNext, 0)
+	q.h.Store(node+offClaim, 0) // unclaimed: no log-entry pointer
+	q.h.Store(node+offLogEnq, 0)
+	q.h.Persist(node)
+}
+
+// entryPinned vetoes recycling of a log entry while any thread's log slot
+// — coherent or persisted view — still references it; resolve reads
+// entries through those slots after a crash.
+func (q *LogQueue) entryPinned(a pmem.Addr) bool {
+	tracked := q.h.Mode() == pmem.Tracked
+	for i := 0; i < q.threads; i++ {
+		if pmem.Addr(q.h.Load(q.logAddr(i))) == a {
+			return true
+		}
+		if tracked && pmem.Addr(q.h.PersistedLoad(q.logAddr(i))) == a {
+			return true
+		}
+	}
+	return false
+}
+
+// nodePinned vetoes recycling of a node still referenced by a live log
+// entry (recovery dereferences a pending enqueue's node).
+func (q *LogQueue) nodePinned(a pmem.Addr) bool {
+	tracked := q.h.Mode() == pmem.Tracked
+	for i := 0; i < q.threads; i++ {
+		e := pmem.Addr(q.h.Load(q.logAddr(i)))
+		if e != 0 && pmem.Addr(q.h.Load(e+entNode)) == a {
+			return true
+		}
+		if tracked {
+			pe := pmem.Addr(q.h.PersistedLoad(q.logAddr(i)))
+			if pe != 0 && pe != e && pmem.Addr(q.h.Load(pe+entNode)) == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocEntry pops a log entry, forcing collection when the pool is dry.
+// Call it outside the epoch (before Enter) so Collect can advance.
+func (q *LogQueue) allocEntry(tid int) (pmem.Addr, bool) {
+	return allocWithCollect(q.entries, q.rec, tid)
+}
+
+// openEntry fills entry e and installs it as tid's current log entry,
+// retiring the previous one. Must be called between Enter and Exit.
+func (q *LogQueue) openEntry(tid int, e pmem.Addr, op, value, node uint64) {
+	old := pmem.Addr(q.h.Load(q.logAddr(tid)))
+	seq := uint64(1)
+	if old != 0 {
+		seq = q.h.Load(old+entSeq) + 1
+	}
+	q.h.Store(e+entOp, op)
+	q.h.Store(e+entValue, value)
+	q.h.Store(e+entStatus, entPending)
+	q.h.Store(e+entNode, node)
+	q.h.Store(e+entOwner, uint64(tid))
+	q.h.Store(e+entSeq, seq)
+	q.h.Persist(e)
+	q.h.Store(q.logAddr(tid), uint64(e))
+	q.h.Persist(q.logAddr(tid))
+	if old != 0 {
+		q.rec.Retire(tid, old)
+	}
+}
+
+// Enqueue durably and detectably appends v.
+func (q *LogQueue) Enqueue(tid int, v uint64) error {
+	node, ok := allocWithCollect(q.nodes, q.rec, tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.initNode(node, v)
+	entry, ok := q.allocEntry(tid)
+	if !ok {
+		q.nodes.Free(tid, node)
+		return ErrNoNodes
+	}
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	q.openEntry(tid, entry, opEnq, v, uint64(node))
+	q.h.Store(node+offLogEnq, uint64(entry))
+	q.h.Persist(node + offLogEnq)
+	for {
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(last + offNext))
+		if last != pmem.Addr(q.h.Load(q.tail)) {
+			continue
+		}
+		if next == 0 {
+			if q.h.CompareAndSwap(last+offNext, 0, uint64(node)) {
+				q.h.Persist(last + offNext)
+				q.h.Store(entry+entStatus, entDone)
+				q.h.Persist(entry + entStatus)
+				q.h.CompareAndSwap(q.tail, uint64(last), uint64(node))
+				return nil
+			}
+		} else {
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+		}
+	}
+}
+
+// Dequeue durably and detectably removes the front value.
+func (q *LogQueue) Dequeue(tid int) (uint64, bool) {
+	entry, ok := q.allocEntry(tid)
+	if !ok {
+		return 0, false
+	}
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	q.openEntry(tid, entry, opDeq, 0, 0)
+	for {
+		first := pmem.Addr(q.h.Load(q.head))
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(first + offNext))
+		if first != pmem.Addr(q.h.Load(q.head)) {
+			continue
+		}
+		if first == last {
+			if next == 0 {
+				q.h.Store(entry+entStatus, entEmpty)
+				q.h.Persist(entry + entStatus)
+				return 0, false
+			}
+			q.h.Persist(last + offNext)
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+			continue
+		}
+		claim := q.h.Load(entry+entSeq)<<logClaimTIDBits | uint64(tid)
+		if q.h.CompareAndSwap(next+offClaim, 0, claim) {
+			q.h.Persist(next + offClaim)
+			v := q.h.Load(next + offValue)
+			q.h.Store(entry+entValue, v)
+			q.h.Store(entry+entStatus, entDone)
+			q.h.Persist(entry)
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+			return v, true
+		}
+		if pmem.Addr(q.h.Load(q.head)) == first {
+			q.h.Persist(next + offClaim)
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+		}
+	}
+}
+
+// LogResolution is the decoded outcome of a thread's logged operation.
+type LogResolution struct {
+	// Op is opEnq/opDeq as OpKind-style booleans for simplicity.
+	IsEnqueue bool
+	IsDequeue bool
+	// Arg is the enqueue argument.
+	Arg uint64
+	// Executed reports whether the operation took effect.
+	Executed bool
+	// Val is an executed dequeue's value; Empty its empty flag.
+	Val   uint64
+	Empty bool
+}
+
+// Resolve reports the status of tid's most recent logged operation. It is
+// idempotent and intended for use after recovery.
+func (q *LogQueue) Resolve(tid int) LogResolution {
+	e := pmem.Addr(q.h.Load(q.logAddr(tid)))
+	if e == 0 {
+		return LogResolution{}
+	}
+	op := q.h.Load(e + entOp)
+	status := q.h.Load(e + entStatus)
+	switch op {
+	case opEnq:
+		return LogResolution{
+			IsEnqueue: true,
+			Arg:       q.h.Load(e + entValue),
+			Executed:  status == entDone,
+		}
+	case opDeq:
+		res := LogResolution{IsDequeue: true}
+		switch status {
+		case entDone:
+			res.Executed = true
+			res.Val = q.h.Load(e + entValue)
+		case entEmpty:
+			res.Executed = true
+			res.Empty = true
+		}
+		return res
+	default:
+		return LogResolution{}
+	}
+}
+
+// Recover is the log queue's single-threaded recovery: complete pending
+// entries from the persisted structure, fix head and tail, and rebuild the
+// volatile pools.
+func (q *LogQueue) Recover() {
+	oldHead := pmem.Addr(q.h.Load(q.head))
+	reachable := map[pmem.Addr]bool{}
+	lastNode := oldHead
+	for n := oldHead; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		reachable[n] = true
+		lastNode = n
+	}
+	q.h.Store(q.tail, uint64(lastNode))
+	q.h.Persist(q.tail)
+
+	// Complete claimed dequeues and advance head past them. Claims are
+	// contiguous from the sentinel's successor, as in the DSS queue.
+	newHead := oldHead
+	for {
+		next := pmem.Addr(q.h.Load(newHead + offNext))
+		if next == 0 {
+			break
+		}
+		claim := q.h.Load(next + offClaim)
+		if claim == 0 {
+			break
+		}
+		// A node's claim outlives its dequeue: only complete the owner's
+		// current log entry if this claim carries its sequence number; a
+		// stale claim belongs to an already-completed operation.
+		owner := int(claim & (1<<logClaimTIDBits - 1))
+		seq := claim >> logClaimTIDBits
+		if owner < q.threads {
+			e := pmem.Addr(q.h.Load(q.logAddr(owner)))
+			if e != 0 && q.h.Load(e+entSeq) == seq &&
+				q.h.Load(e+entOp) == opDeq && q.h.Load(e+entStatus) == entPending {
+				q.h.Store(e+entValue, q.h.Load(next+offValue))
+				q.h.Store(e+entStatus, entDone)
+				q.h.Persist(e)
+			}
+		}
+		newHead = next
+	}
+	q.h.Store(q.head, uint64(newHead))
+	q.h.Persist(q.head)
+
+	// Complete pending enqueues whose node made it into the list (still
+	// reachable, or already claimed by a dequeuer).
+	for i := 0; i < q.threads; i++ {
+		e := pmem.Addr(q.h.Load(q.logAddr(i)))
+		if e == 0 || q.h.Load(e+entOp) != opEnq || q.h.Load(e+entStatus) != entPending {
+			continue
+		}
+		node := pmem.Addr(q.h.Load(e + entNode))
+		if node == 0 {
+			continue
+		}
+		if reachable[node] || q.h.Load(node+offClaim) != 0 {
+			q.h.Store(e+entStatus, entDone)
+			q.h.Persist(e + entStatus)
+		}
+	}
+
+	q.rec.Reset()
+	liveNodes := map[pmem.Addr]bool{}
+	for n := newHead; n != 0; n = pmem.Addr(q.h.Load(n + offNext)) {
+		liveNodes[n] = true
+	}
+	liveEntries := map[pmem.Addr]bool{}
+	for i := 0; i < q.threads; i++ {
+		e := pmem.Addr(q.h.Load(q.logAddr(i)))
+		if e == 0 {
+			continue
+		}
+		liveEntries[e] = true
+		if node := pmem.Addr(q.h.Load(e + entNode)); node != 0 {
+			liveNodes[node] = true
+		}
+	}
+	q.nodes.Sweep(func(a pmem.Addr) bool { return liveNodes[a] })
+	q.entries.Sweep(func(a pmem.Addr) bool { return liveEntries[a] })
+}

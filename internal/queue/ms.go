@@ -1,0 +1,163 @@
+// Package queue implements the baseline queue algorithms the paper
+// evaluates against: Michael & Scott's volatile lock-free queue (Figure
+// 5a's "MS queue"), Friedman et al.'s durable queue (the recoverable but
+// non-detectable ancestor of the DSS queue), and Friedman et al.'s
+// detectable log queue (Figure 5b's "Log queue").
+//
+// All three run over the same simulated persistent heap and node pools as
+// the DSS queue so that benchmark comparisons isolate algorithmic cost:
+// the MS queue simply issues no flushes, exactly as the paper obtains it
+// "from the non-detectable DSS queue by removing flushes".
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+)
+
+// Shared node field offsets. The third word is deqThreadID for the MS and
+// durable queues and the dequeuer's log-entry pointer for the log queue;
+// the fourth is used by the log queue for the enqueuer's log entry.
+const (
+	offValue  = 0
+	offNext   = 1
+	offClaim  = 2
+	offLogEnq = 3
+	nodeWords = pmem.WordsPerLine
+)
+
+// tidNone is the unclaimed deqThreadID (the paper's −1).
+const tidNone = ^uint64(0)
+
+// ErrNoNodes is returned when a queue's pre-allocated pool is exhausted.
+var ErrNoNodes = errors.New("queue: node pool exhausted")
+
+// allocWithCollect pops a block from pool, forcing epoch collection and
+// yielding between attempts when the pool runs dry: a single collection
+// attempt can fail while peer threads are mid-operation, but they exit
+// their epochs continuously, so bounded retrying distinguishes transient
+// reclamation lag from genuine exhaustion.
+func allocWithCollect(pool *pmem.Pool, rec *ebr.Collector, tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if a, ok := pool.Alloc(tid); ok {
+			return a, true
+		}
+		rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+// MSQueue is Michael & Scott's lock-free queue, the volatile baseline of
+// Figure 5a. It stores nodes in the simulated persistent heap for an
+// apples-to-apples comparison but issues no flush instructions, so its
+// contents do not survive a crash.
+type MSQueue struct {
+	h    *pmem.Heap
+	pool *pmem.Pool
+	rec  *ebr.Collector
+	head pmem.Addr
+	tail pmem.Addr
+}
+
+// NewMS allocates an MS queue on h.
+func NewMS(h *pmem.Heap, threads, nodesPerThread, extraNodes int) (*MSQueue, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("queue: need at least one thread, got %d", threads)
+	}
+	if extraNodes < 1 {
+		return nil, fmt.Errorf("queue: need at least one extra node for the sentinel")
+	}
+	meta, err := h.Alloc(2 * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("queue: metadata: %w", err)
+	}
+	q := &MSQueue{h: h, head: meta, tail: meta + pmem.WordsPerLine}
+	q.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: nodesPerThread,
+		ExtraBlocks:     extraNodes,
+		BlockWords:      nodeWords,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("queue: pool: %w", err)
+	}
+	q.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) { q.pool.Free(tid, a) })
+	if err != nil {
+		return nil, fmt.Errorf("queue: reclamation: %w", err)
+	}
+	sentinel, ok := q.pool.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("queue: no node for sentinel")
+	}
+	q.h.Store(sentinel+offValue, 0)
+	q.h.Store(sentinel+offNext, 0)
+	q.h.Store(sentinel+offClaim, tidNone)
+	q.h.Store(q.head, uint64(sentinel))
+	q.h.Store(q.tail, uint64(sentinel))
+	return q, nil
+}
+
+// Enqueue appends v.
+func (q *MSQueue) Enqueue(tid int, v uint64) error {
+	node, ok := allocWithCollect(q.pool, q.rec, tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	q.h.Store(node+offValue, v)
+	q.h.Store(node+offNext, 0)
+	q.h.Store(node+offClaim, tidNone)
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	for {
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(last + offNext))
+		if last != pmem.Addr(q.h.Load(q.tail)) {
+			continue
+		}
+		if next == 0 {
+			if q.h.CompareAndSwap(last+offNext, 0, uint64(node)) {
+				q.h.CompareAndSwap(q.tail, uint64(last), uint64(node))
+				return nil
+			}
+		} else {
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+		}
+	}
+}
+
+// Dequeue removes and returns the front value; ok is false when empty.
+func (q *MSQueue) Dequeue(tid int) (uint64, bool) {
+	q.rec.Enter(tid)
+	defer q.rec.Exit(tid)
+	for {
+		first := pmem.Addr(q.h.Load(q.head))
+		last := pmem.Addr(q.h.Load(q.tail))
+		next := pmem.Addr(q.h.Load(first + offNext))
+		if first != pmem.Addr(q.h.Load(q.head)) {
+			continue
+		}
+		if first == last {
+			if next == 0 {
+				return 0, false
+			}
+			q.h.CompareAndSwap(q.tail, uint64(last), uint64(next))
+			continue
+		}
+		if q.h.CompareAndSwap(next+offClaim, tidNone, uint64(tid)) {
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+			return q.h.Load(next + offValue), true
+		}
+		if pmem.Addr(q.h.Load(q.head)) == first {
+			if q.h.CompareAndSwap(q.head, uint64(first), uint64(next)) {
+				q.rec.Retire(tid, first)
+			}
+		}
+	}
+}

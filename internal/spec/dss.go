@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DState is the detectable sequential specification D⟨T⟩ of Figure 1: each
+// abstract state is a tuple (s, A, R) where s is a state of the base type
+// T, A maps each process to its most recently prepared operation (or ⊥),
+// and R maps each process to that operation's response (or ⊥).
+//
+// The four axioms of Figure 1 become Apply cases:
+//
+//	Axiom 1 (prep-op):  total; sets A[p] = op, R[p] = ⊥; responds ⊥.
+//	Axiom 2 (exec-op):  enabled iff A[p] = op ∧ R[p] = ⊥; applies δ,
+//	                    records ρ in R[p]; responds ρ(s, op, p).
+//	Axiom 3 (resolve):  total, idempotent; responds (A[p], R[p]).
+//	Axiom 4 (op):       the base operation, applied non-detectably.
+type DState struct {
+	base State
+	// a[p] is A[p]; hasA[p] false means A[p] = ⊥.
+	a    []Op
+	hasA []bool
+	// r[p] is R[p]; Kind == None means R[p] = ⊥.
+	r []Resp
+}
+
+// Detectable wraps the initial state of a base type T into the initial
+// state of D⟨T⟩ for procs processes: A and R map every process to ⊥.
+func Detectable(base State, procs int) DState {
+	d := DState{
+		base: base,
+		a:    make([]Op, procs),
+		hasA: make([]bool, procs),
+		r:    make([]Resp, procs),
+	}
+	for p := range d.r {
+		d.r[p] = BottomResp()
+	}
+	return d
+}
+
+// Base returns the embedded state of T.
+func (d DState) Base() State { return d.base }
+
+// Procs returns the number of processes the state tracks.
+func (d DState) Procs() int { return len(d.a) }
+
+// clone returns a deep copy sharing nothing mutable with d.
+func (d DState) clone() DState {
+	next := DState{
+		base: d.base, // base states are immutable
+		a:    make([]Op, len(d.a)),
+		hasA: make([]bool, len(d.hasA)),
+		r:    make([]Resp, len(d.r)),
+	}
+	copy(next.a, d.a)
+	copy(next.hasA, d.hasA)
+	copy(next.r, d.r)
+	return next
+}
+
+// Apply implements State, dispatching on the DSS operation kind.
+func (d DState) Apply(op Op, proc int) (State, Resp, bool) {
+	if proc < 0 || proc >= len(d.a) {
+		return d, Resp{}, false
+	}
+	switch op.Kind {
+	case Prep:
+		// Axiom 1: {true} prep-op / pi / ⊥ {A'[pi]=op ∧ R'[pi]=⊥}.
+		next := d.clone()
+		next.a[proc] = op.base()
+		next.hasA[proc] = true
+		next.r[proc] = BottomResp()
+		return next, BottomResp(), true
+	case Exec:
+		// Axiom 2: {A[pi]=op ∧ R[pi]=⊥} exec-op / pi / ρ(s,op,pi)
+		// {s'=δ(s,op,pi) ∧ R'[pi]=ρ(s,op,pi)}.
+		if !d.hasA[proc] || d.a[proc] != op.base() || d.r[proc].Kind != None {
+			return d, Resp{}, false
+		}
+		baseNext, resp, ok := d.base.Apply(op.base(), proc)
+		if !ok {
+			return d, Resp{}, false
+		}
+		next := d.clone()
+		next.base = baseNext
+		next.r[proc] = resp
+		return next, resp, true
+	case Resolve:
+		// Axiom 3: {true} resolve / pi / (A[pi], R[pi]) {}.
+		return d, PairResp(d.hasA[proc], d.a[proc], d.r[proc]), true
+	case Base:
+		// Axiom 4: {true} op / pi / ρ(s,op,pi) {s'=δ(s,op,pi)}.
+		baseNext, resp, ok := d.base.Apply(op, proc)
+		if !ok {
+			return d, Resp{}, false
+		}
+		next := d.clone()
+		next.base = baseNext
+		return next, resp, true
+	default:
+		return d, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (d DState) Key() string {
+	var b strings.Builder
+	b.WriteString("D[")
+	b.WriteString(d.base.Key())
+	b.WriteString("]")
+	for p := range d.a {
+		if !d.hasA[p] {
+			b.WriteString("|-")
+			continue
+		}
+		fmt.Fprintf(&b, "|%s>%s", d.a[p], d.r[p])
+	}
+	return b.String()
+}
+
+var _ State = DState{}
+
+// PrepOp, ExecOp and ResolveOp build the auxiliary operations of D⟨T⟩ for
+// a base operation.
+func PrepOp(base Op) Op {
+	base.Kind = Prep
+	return base
+}
+
+// ExecOp returns the exec form of a base operation.
+func ExecOp(base Op) Op {
+	base.Kind = Exec
+	return base
+}
+
+// ResolveOp returns the resolve operation.
+func ResolveOp() Op { return Op{Kind: Resolve, Sym: "resolve"} }
+
+// Enqueue, Dequeue, Read, Write, CAS and Inc build base operations.
+func Enqueue(v uint64) Op { return Op{Kind: Base, Sym: "enqueue", Arg: v} }
+
+// Dequeue returns the queue dequeue operation.
+func Dequeue() Op { return Op{Kind: Base, Sym: "dequeue"} }
+
+// Read returns the register/counter/CAS read operation.
+func Read() Op { return Op{Kind: Base, Sym: "read"} }
+
+// Write returns the register/CAS write operation.
+func Write(v uint64) Op { return Op{Kind: Base, Sym: "write", Arg: v} }
+
+// CAS returns the compare-and-swap operation.
+func CAS(old, new uint64) Op { return Op{Kind: Base, Sym: "cas", Arg: old, Arg2: new} }
+
+// Inc returns the counter increment operation.
+func Inc() Op { return Op{Kind: Base, Sym: "inc"} }

@@ -1,0 +1,171 @@
+// Package spec gives executable form to the paper's formalism: sequential
+// specifications of object types T = (S, s0, OP, R, δ, ρ) and the DSS
+// transformation T → D⟨T⟩ of Section 2.1 (Figure 1).
+//
+// A State value is one abstract state s ∈ S together with the transition
+// and response functions of its type: Apply(op, proc) computes δ and ρ in
+// one step and reports whether the operation is enabled (axiom
+// preconditions). States are immutable — Apply returns a fresh State — so
+// the linearizability checker can branch over them, and Key returns a
+// canonical encoding for memoization.
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind distinguishes the operations of a detectable type D⟨T⟩. Base
+// operations are the original operations of T (Axiom 4); Prep, Exec and
+// Resolve are the auxiliary operations added by the DSS transformation
+// (Axioms 1-3).
+type OpKind int
+
+const (
+	// Base is an ordinary, non-detectable operation of T.
+	Base OpKind = iota + 1
+	// Prep is prep-op: declare intent to execute op detectably (Axiom 1).
+	Prep
+	// Exec is exec-op: apply the prepared operation (Axiom 2).
+	Exec
+	// Resolve reports the most recently prepared operation and its
+	// response, if any (Axiom 3).
+	Resolve
+)
+
+// String returns the kind name.
+func (k OpKind) String() string {
+	switch k {
+	case Base:
+		return "op"
+	case Prep:
+		return "prep"
+	case Exec:
+		return "exec"
+	case Resolve:
+		return "resolve"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operation invocation. Sym names the base operation ("enqueue",
+// "write", ...); Arg and Arg2 are its arguments. Tag is the auxiliary
+// argument of Section 2.1's final remark: it is recorded in A[p] by
+// prep-op, making repeated invocations of the same operation
+// distinguishable, but it is ignored by δ and ρ.
+type Op struct {
+	Kind OpKind
+	Sym  string
+	Arg  uint64
+	Arg2 uint64
+	Tag  uint64
+}
+
+// String renders the operation for diagnostics.
+func (o Op) String() string {
+	var b strings.Builder
+	if o.Kind != Base {
+		fmt.Fprintf(&b, "%s-", o.Kind)
+	}
+	b.WriteString(o.Sym)
+	fmt.Fprintf(&b, "(%d", o.Arg)
+	if o.Sym == "cas" {
+		fmt.Fprintf(&b, ",%d", o.Arg2)
+	}
+	b.WriteString(")")
+	if o.Tag != 0 {
+		fmt.Fprintf(&b, "#%d", o.Tag)
+	}
+	return b.String()
+}
+
+// base returns the operation with Kind normalized to Base, for comparing an
+// exec against the prepared entry in A[p].
+func (o Op) base() Op {
+	o.Kind = Base
+	return o
+}
+
+// RespKind classifies a response value.
+type RespKind int
+
+const (
+	// None is ⊥: no response (prep-op's response, and the R[p] of an
+	// operation that has not taken effect).
+	None RespKind = iota + 1
+	// Ack is the OK response of operations with no return value.
+	Ack
+	// Val carries a numeric return value.
+	Val
+	// Empty is the queue's distinguished empty response.
+	Empty
+	// Pair is resolve's response (A[p], R[p]).
+	Pair
+)
+
+// Resp is an operation response. For Kind == Pair (the response of
+// resolve), HasOp and POp carry A[p] (HasOp false means A[p] = ⊥), and
+// Inner/InnerVal carry R[p] (Inner == None means R[p] = ⊥).
+type Resp struct {
+	Kind     RespKind
+	V        uint64
+	HasOp    bool
+	POp      Op
+	Inner    RespKind
+	InnerVal uint64
+}
+
+// String renders the response for diagnostics.
+func (r Resp) String() string {
+	switch r.Kind {
+	case None:
+		return "⊥"
+	case Ack:
+		return "OK"
+	case Val:
+		return fmt.Sprintf("%d", r.V)
+	case Empty:
+		return "EMPTY"
+	case Pair:
+		op := "⊥"
+		if r.HasOp {
+			op = r.POp.String()
+		}
+		inner := "⊥"
+		switch r.Inner {
+		case Ack:
+			inner = "OK"
+		case Val:
+			inner = fmt.Sprintf("%d", r.InnerVal)
+		case Empty:
+			inner = "EMPTY"
+		}
+		return fmt.Sprintf("(%s, %s)", op, inner)
+	default:
+		return fmt.Sprintf("Resp(%d)", int(r.Kind))
+	}
+}
+
+// AckResp, ValResp, EmptyResp and BottomResp build common responses.
+func AckResp() Resp         { return Resp{Kind: Ack} }
+func ValResp(v uint64) Resp { return Resp{Kind: Val, V: v} }
+func EmptyResp() Resp       { return Resp{Kind: Empty} }
+func BottomResp() Resp      { return Resp{Kind: None} }
+
+// PairResp builds a resolve response (op, r). Pass hasOp=false for (⊥, ⊥).
+func PairResp(hasOp bool, op Op, r Resp) Resp {
+	return Resp{Kind: Pair, HasOp: hasOp, POp: op, Inner: r.Kind, InnerVal: r.V}
+}
+
+// State is one abstract state of a sequential specification.
+type State interface {
+	// Apply computes the state transition δ(s, op, p) and response
+	// ρ(s, op, p). enabled is false when the operation's precondition does
+	// not hold in s (the operation cannot occur here in a legal sequential
+	// history) or when op is not an operation of this type.
+	Apply(op Op, proc int) (next State, resp Resp, enabled bool)
+	// Key is a canonical encoding of s for memoization. Two states are
+	// equal iff their keys are equal.
+	Key() string
+}

@@ -1,0 +1,456 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// apply is a test helper that fails the test if op is not enabled.
+func apply(t *testing.T, s State, op Op, proc int) (State, Resp) {
+	t.Helper()
+	next, resp, ok := s.Apply(op, proc)
+	if !ok {
+		t.Fatalf("operation %v not enabled in state %s", op, s.Key())
+	}
+	return next, resp
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var s State = NewQueue()
+	var r Resp
+	s, r = apply(t, s, Enqueue(1), 0)
+	if r.Kind != Ack {
+		t.Fatalf("enqueue resp = %v, want OK", r)
+	}
+	s, _ = apply(t, s, Enqueue(2), 0)
+	s, _ = apply(t, s, Enqueue(3), 1)
+	want := []uint64{1, 2, 3}
+	for _, w := range want {
+		var resp Resp
+		s, resp = apply(t, s, Dequeue(), 1)
+		if resp.Kind != Val || resp.V != w {
+			t.Fatalf("dequeue resp = %v, want %d", resp, w)
+		}
+	}
+	_, r = apply(t, s, Dequeue(), 0)
+	if r.Kind != Empty {
+		t.Fatalf("dequeue on empty = %v, want EMPTY", r)
+	}
+}
+
+func TestQueueRejectsForeignOps(t *testing.T) {
+	q := NewQueue()
+	if _, _, ok := q.Apply(Read(), 0); ok {
+		t.Fatal("queue accepted read()")
+	}
+	if _, _, ok := q.Apply(PrepOp(Enqueue(1)), 0); ok {
+		t.Fatal("plain queue accepted prep-enqueue (only D<queue> has it)")
+	}
+}
+
+func TestQueueItemsIsACopy(t *testing.T) {
+	s, _, _ := NewQueue().Apply(Enqueue(7), 0)
+	q := s.(QueueState)
+	items := q.Items()
+	items[0] = 99
+	if q.Items()[0] != 7 {
+		t.Fatal("Items exposed internal storage")
+	}
+}
+
+func TestRegisterReadWrite(t *testing.T) {
+	var s State = NewRegister(0)
+	_, r := apply(t, s, Read(), 0)
+	if r.V != 0 {
+		t.Fatalf("initial read = %v, want 0", r)
+	}
+	s, _ = apply(t, s, Write(42), 0)
+	_, r = apply(t, s, Read(), 1)
+	if r.V != 42 {
+		t.Fatalf("read after write = %v, want 42", r)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	var s State = NewCounter()
+	var r Resp
+	s, r = apply(t, s, Inc(), 0)
+	if r.V != 0 {
+		t.Fatalf("first inc returned %d, want previous value 0", r.V)
+	}
+	s, r = apply(t, s, Inc(), 1)
+	if r.V != 1 {
+		t.Fatalf("second inc returned %d, want 1", r.V)
+	}
+	_, r = apply(t, s, Read(), 0)
+	if r.V != 2 {
+		t.Fatalf("read = %d, want 2", r.V)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	var s State = NewCAS(5)
+	var r Resp
+	s, r = apply(t, s, CAS(4, 9), 0)
+	if r.V != 0 {
+		t.Fatal("CAS with wrong old value succeeded")
+	}
+	s, r = apply(t, s, CAS(5, 9), 0)
+	if r.V != 1 {
+		t.Fatal("CAS with right old value failed")
+	}
+	_, r = apply(t, s, Read(), 0)
+	if r.V != 9 {
+		t.Fatalf("read = %d, want 9", r.V)
+	}
+}
+
+func TestDSSPrepExecResolveHappyPath(t *testing.T) {
+	// Figure 2(a): prep-write(1); exec-write(1); resolve → (write(1), OK).
+	var s State = Detectable(NewRegister(0), 2)
+	s, r := apply(t, s, PrepOp(Write(1)), 0)
+	if r.Kind != None {
+		t.Fatalf("prep resp = %v, want ⊥", r)
+	}
+	s, r = apply(t, s, ExecOp(Write(1)), 0)
+	if r.Kind != Ack {
+		t.Fatalf("exec resp = %v, want OK", r)
+	}
+	_, r = apply(t, s, ResolveOp(), 0)
+	want := PairResp(true, Write(1), AckResp())
+	if r != want {
+		t.Fatalf("resolve = %v, want %v", r, want)
+	}
+	// The write must have taken effect on the base state.
+	_, rr := apply(t, s, Read(), 1)
+	if rr.V != 1 {
+		t.Fatalf("read after exec = %d, want 1", rr.V)
+	}
+}
+
+func TestDSSResolveBeforeExec(t *testing.T) {
+	// Figure 2(c): prep-write(1); crash before exec; resolve → (write(1), ⊥).
+	var s State = Detectable(NewRegister(0), 1)
+	s, _ = apply(t, s, PrepOp(Write(1)), 0)
+	_, r := apply(t, s, ResolveOp(), 0)
+	want := PairResp(true, Write(1), BottomResp())
+	if r != want {
+		t.Fatalf("resolve = %v, want %v", r, want)
+	}
+}
+
+func TestDSSResolveWithoutPrep(t *testing.T) {
+	// Figure 2(d), no-prep branch: resolve → (⊥, ⊥).
+	var s State = Detectable(NewRegister(0), 1)
+	_, r := apply(t, s, ResolveOp(), 0)
+	want := PairResp(false, Op{}, BottomResp())
+	if r != want {
+		t.Fatalf("resolve = %v, want %v", r, want)
+	}
+}
+
+func TestDSSExecRequiresMatchingPrep(t *testing.T) {
+	var s State = Detectable(NewRegister(0), 1)
+	if _, _, ok := s.Apply(ExecOp(Write(1)), 0); ok {
+		t.Fatal("exec enabled with no prep")
+	}
+	s, _ = apply(t, s, PrepOp(Write(1)), 0)
+	if _, _, ok := s.Apply(ExecOp(Write(2)), 0); ok {
+		t.Fatal("exec enabled for a different operation than prepared")
+	}
+}
+
+func TestDSSExecNotRepeatable(t *testing.T) {
+	// Axiom 2's precondition R[p] = ⊥ forbids double execution: this is
+	// what gives resolve its exactly-once meaning.
+	var s State = Detectable(NewCounter(), 1)
+	s, _ = apply(t, s, PrepOp(Inc()), 0)
+	s, _ = apply(t, s, ExecOp(Inc()), 0)
+	if _, _, ok := s.Apply(ExecOp(Inc()), 0); ok {
+		t.Fatal("exec enabled twice for one prep")
+	}
+}
+
+func TestDSSPrepAndResolveAreIdempotent(t *testing.T) {
+	var s State = Detectable(NewRegister(0), 1)
+	// Repeated prep of the same op must stay enabled and keep R[p] = ⊥.
+	for i := 0; i < 3; i++ {
+		var ok bool
+		var next State
+		next, _, ok = s.Apply(PrepOp(Write(1)), 0)
+		if !ok {
+			t.Fatalf("prep #%d not enabled", i)
+		}
+		s = next
+	}
+	// Repeated resolve returns the same pair and changes nothing.
+	k := s.Key()
+	for i := 0; i < 3; i++ {
+		next, r, ok := s.Apply(ResolveOp(), 0)
+		if !ok {
+			t.Fatalf("resolve #%d not enabled", i)
+		}
+		if want := PairResp(true, Write(1), BottomResp()); r != want {
+			t.Fatalf("resolve #%d = %v, want %v", i, r, want)
+		}
+		if next.Key() != k {
+			t.Fatalf("resolve changed state: %s -> %s", k, next.Key())
+		}
+		s = next
+	}
+}
+
+func TestDSSRePrepResetsResponse(t *testing.T) {
+	var s State = Detectable(NewCounter(), 1)
+	s, _ = apply(t, s, PrepOp(Inc()), 0)
+	s, _ = apply(t, s, ExecOp(Inc()), 0)
+	s, _ = apply(t, s, PrepOp(Inc()), 0) // new intent
+	_, r := apply(t, s, ResolveOp(), 0)
+	want := PairResp(true, Inc(), BottomResp())
+	if r != want {
+		t.Fatalf("resolve after re-prep = %v, want %v", r, want)
+	}
+}
+
+func TestDSSTagDisambiguatesRepeatedOps(t *testing.T) {
+	// Section 2.1's closing remark: an auxiliary argument saved in A[p]
+	// but ignored by δ separates successive executions of the same op.
+	var s State = Detectable(NewQueue(), 1)
+	op1 := Enqueue(5)
+	op1.Tag = 1
+	op2 := Enqueue(5)
+	op2.Tag = 2
+	s, _ = apply(t, s, PrepOp(op1), 0)
+	s, _ = apply(t, s, ExecOp(op1), 0)
+	s, _ = apply(t, s, PrepOp(op2), 0)
+	_, r := apply(t, s, ResolveOp(), 0)
+	if !r.HasOp || r.POp.Tag != 2 {
+		t.Fatalf("resolve reports tag %d, want 2", r.POp.Tag)
+	}
+	if r.Inner != None {
+		t.Fatalf("second enqueue reported as executed: %v", r)
+	}
+	// The tag must not affect δ: the queue holds exactly one 5.
+	q := s.(DState).Base().(QueueState)
+	if items := q.Items(); len(items) != 1 || items[0] != 5 {
+		t.Fatalf("queue items = %v, want [5]", items)
+	}
+}
+
+func TestDSSBaseOpsPassThrough(t *testing.T) {
+	// Axiom 4: non-detectable operations apply δ without touching A or R.
+	var s State = Detectable(NewQueue(), 2)
+	s, _ = apply(t, s, PrepOp(Enqueue(1)), 0)
+	s, r := apply(t, s, Enqueue(9), 1)
+	if r.Kind != Ack {
+		t.Fatalf("base enqueue resp = %v", r)
+	}
+	_, r = apply(t, s, ResolveOp(), 0)
+	if want := PairResp(true, Enqueue(1), BottomResp()); r != want {
+		t.Fatalf("resolve perturbed by base op: %v, want %v", r, want)
+	}
+	_, r = apply(t, s, ResolveOp(), 1)
+	if want := PairResp(false, Op{}, BottomResp()); r != want {
+		t.Fatalf("base op set A[p]: resolve = %v, want (⊥,⊥)", r)
+	}
+}
+
+func TestDSSPerProcessIsolation(t *testing.T) {
+	var s State = Detectable(NewRegister(0), 3)
+	s, _ = apply(t, s, PrepOp(Write(1)), 0)
+	s, _ = apply(t, s, PrepOp(Write(2)), 1)
+	s, _ = apply(t, s, ExecOp(Write(2)), 1)
+	_, r0 := apply(t, s, ResolveOp(), 0)
+	_, r1 := apply(t, s, ResolveOp(), 1)
+	_, r2 := apply(t, s, ResolveOp(), 2)
+	if want := PairResp(true, Write(1), BottomResp()); r0 != want {
+		t.Fatalf("p0 resolve = %v, want %v", r0, want)
+	}
+	if want := PairResp(true, Write(2), AckResp()); r1 != want {
+		t.Fatalf("p1 resolve = %v, want %v", r1, want)
+	}
+	if want := PairResp(false, Op{}, BottomResp()); r2 != want {
+		t.Fatalf("p2 resolve = %v, want %v", r2, want)
+	}
+}
+
+func TestDSSRejectsOutOfRangeProc(t *testing.T) {
+	s := Detectable(NewRegister(0), 2)
+	if _, _, ok := s.Apply(PrepOp(Write(1)), 2); ok {
+		t.Fatal("accepted proc 2 with 2 processes")
+	}
+	if _, _, ok := s.Apply(ResolveOp(), -1); ok {
+		t.Fatal("accepted proc -1")
+	}
+}
+
+func TestKeyDistinguishesStates(t *testing.T) {
+	a := Detectable(NewQueue(), 2)
+	b1, _, _ := a.Apply(PrepOp(Enqueue(1)), 0)
+	b2, _, _ := a.Apply(PrepOp(Enqueue(1)), 1)
+	b3, _, _ := a.Apply(Enqueue(1), 0)
+	keys := map[string]bool{a.Key(): true, b1.Key(): true, b2.Key(): true, b3.Key(): true}
+	if len(keys) != 4 {
+		t.Fatalf("expected 4 distinct keys, got %d", len(keys))
+	}
+}
+
+func TestOpAndRespStrings(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{Enqueue(3).String(), "enqueue(3)"},
+		{PrepOp(Enqueue(3)).String(), "prep-enqueue(3)"},
+		{ExecOp(Dequeue()).String(), "exec-dequeue(0)"},
+		{CAS(1, 2).String(), "cas(1,2)"},
+		{AckResp().String(), "OK"},
+		{ValResp(7).String(), "7"},
+		{EmptyResp().String(), "EMPTY"},
+		{BottomResp().String(), "⊥"},
+		{PairResp(true, Write(1), AckResp()).String(), "(write(1), OK)"},
+		{PairResp(false, Op{}, BottomResp()).String(), "(⊥, ⊥)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+// TestQuickDSSProjection: for any sequence of detectable operations by a
+// single process, the base state of D⟨T⟩ equals the state of T after
+// applying exactly the executed base operations in order.
+func TestQuickDSSProjection(t *testing.T) {
+	type step struct {
+		Enq  bool
+		V    uint64
+		Skip bool // prep without exec
+	}
+	f := func(steps []step) bool {
+		var d State = Detectable(NewQueue(), 1)
+		var plain State = NewQueue()
+		for _, st := range steps {
+			op := Dequeue()
+			if st.Enq {
+				op = Enqueue(st.V)
+			}
+			var ok bool
+			d, _, ok = d.Apply(PrepOp(op), 0)
+			if !ok {
+				return false
+			}
+			if st.Skip {
+				continue
+			}
+			var rd, rp Resp
+			d, rd, ok = d.Apply(ExecOp(op), 0)
+			if !ok {
+				return false
+			}
+			plain, rp, ok = plain.Apply(op, 0)
+			if !ok {
+				return false
+			}
+			if rd != rp {
+				return false // detectable exec must return ρ of the base type
+			}
+		}
+		return d.(DState).Base().Key() == plain.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResolveReflectsLastPrep: resolve always reports the most recent
+// prep and, iff an exec followed it, the exec's response.
+func TestQuickResolveReflectsLastPrep(t *testing.T) {
+	type step struct {
+		V    uint64
+		Exec bool
+	}
+	f := func(steps []step) bool {
+		var d State = Detectable(NewCounter(), 1)
+		var lastOp Op
+		prepared := false
+		var lastResp Resp = BottomResp()
+		for i, st := range steps {
+			op := Inc()
+			op.Tag = uint64(i + 1)
+			var ok bool
+			d, _, ok = d.Apply(PrepOp(op), 0)
+			if !ok {
+				return false
+			}
+			lastOp, prepared, lastResp = op, true, BottomResp()
+			if st.Exec {
+				var r Resp
+				d, r, ok = d.Apply(ExecOp(op), 0)
+				if !ok {
+					return false
+				}
+				lastResp = r
+			}
+			_, got, ok := d.Apply(ResolveOp(), 0)
+			if !ok {
+				return false
+			}
+			want := PairResp(prepared, lastOp, lastResp)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecSmallAccessors(t *testing.T) {
+	d := Detectable(NewQueue(), 3)
+	if d.Procs() != 3 {
+		t.Fatalf("Procs = %d", d.Procs())
+	}
+	for k, want := range map[OpKind]string{Base: "op", Prep: "prep", Exec: "exec", Resolve: "resolve"} {
+		if k.String() != want {
+			t.Fatalf("OpKind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Fatal("invalid OpKind string")
+	}
+	// Keys of the scalar types distinguish values.
+	if NewRegister(1).Key() == NewRegister(2).Key() {
+		t.Fatal("register keys collide")
+	}
+	if NewCounter().Key() == "" || NewCAS(7).Key() == "" {
+		t.Fatal("empty keys")
+	}
+	s1, _, _ := NewStack().Apply(Push(1), 0)
+	if s1.Key() == NewStack().Key() {
+		t.Fatal("stack keys collide")
+	}
+}
+
+func TestScalarTypesRejectForeignOps(t *testing.T) {
+	for name, s := range map[string]State{
+		"register": NewRegister(0),
+		"counter":  NewCounter(),
+		"cas":      NewCAS(0),
+	} {
+		if _, _, ok := s.Apply(Enqueue(1), 0); ok {
+			t.Errorf("%s accepted enqueue", name)
+		}
+		if _, _, ok := s.Apply(PrepOp(Read()), 0); ok {
+			t.Errorf("%s accepted prep without D<T>", name)
+		}
+	}
+	if _, _, ok := NewRegister(0).Apply(Inc(), 0); ok {
+		t.Error("register accepted inc")
+	}
+	if _, _, ok := NewCounter().Apply(Write(1), 0); ok {
+		t.Error("counter accepted write")
+	}
+}

@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStackLIFO(t *testing.T) {
+	var s State = NewStack()
+	var r Resp
+	s, r = apply(t, s, Push(1), 0)
+	if r.Kind != Ack {
+		t.Fatalf("push resp = %v", r)
+	}
+	s, _ = apply(t, s, Push(2), 0)
+	s, _ = apply(t, s, Push(3), 1)
+	for _, want := range []uint64{3, 2, 1} {
+		var resp Resp
+		s, resp = apply(t, s, Pop(), 1)
+		if resp != ValResp(want) {
+			t.Fatalf("pop = %v, want %d", resp, want)
+		}
+	}
+	_, r = apply(t, s, Pop(), 0)
+	if r.Kind != Empty {
+		t.Fatalf("pop on empty = %v", r)
+	}
+}
+
+func TestStackRejectsForeignOps(t *testing.T) {
+	st := NewStack()
+	if _, _, ok := st.Apply(Enqueue(1), 0); ok {
+		t.Fatal("stack accepted enqueue")
+	}
+	if _, _, ok := st.Apply(PrepOp(Push(1)), 0); ok {
+		t.Fatal("plain stack accepted prep-push")
+	}
+}
+
+func TestStackItemsIsACopy(t *testing.T) {
+	s, _, _ := NewStack().Apply(Push(7), 0)
+	st := s.(StackState)
+	items := st.Items()
+	items[0] = 99
+	if st.Items()[0] != 7 {
+		t.Fatal("Items exposed internal storage")
+	}
+}
+
+func TestDetectableStackLifecycle(t *testing.T) {
+	var s State = Detectable(NewStack(), 1)
+	s, _ = apply(t, s, PrepOp(Push(5)), 0)
+	s, r := apply(t, s, ExecOp(Push(5)), 0)
+	if r.Kind != Ack {
+		t.Fatalf("exec-push resp = %v", r)
+	}
+	_, r = apply(t, s, ResolveOp(), 0)
+	if want := PairResp(true, Push(5), AckResp()); r != want {
+		t.Fatalf("resolve = %v, want %v", r, want)
+	}
+	s, _ = apply(t, s, PrepOp(Pop()), 0)
+	s, r = apply(t, s, ExecOp(Pop()), 0)
+	if r != ValResp(5) {
+		t.Fatalf("exec-pop resp = %v", r)
+	}
+	_, r = apply(t, s, ResolveOp(), 0)
+	if want := PairResp(true, Pop(), ValResp(5)); r != want {
+		t.Fatalf("resolve = %v, want %v", r, want)
+	}
+}
+
+// TestQuickStackQueueDuality: pushing then fully draining a stack yields
+// the reverse of doing the same with a queue — a cheap cross-validation
+// of both specs' ordering semantics.
+func TestQuickStackQueueDuality(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var st State = NewStack()
+		var qu State = NewQueue()
+		for _, v := range vals {
+			st, _, _ = st.Apply(Push(v), 0)
+			qu, _, _ = qu.Apply(Enqueue(v), 0)
+		}
+		var fromStack, fromQueue []uint64
+		for range vals {
+			var r Resp
+			st, r, _ = st.Apply(Pop(), 0)
+			fromStack = append(fromStack, r.V)
+			qu, r, _ = qu.Apply(Dequeue(), 0)
+			fromQueue = append(fromQueue, r.V)
+		}
+		for i := range vals {
+			if fromStack[i] != fromQueue[len(vals)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueueState is the sequential specification of an unbounded FIFO queue of
+// 64-bit values. Operations: enqueue(v) → OK, dequeue() → v or EMPTY.
+type QueueState struct {
+	items []uint64
+}
+
+// NewQueue returns the initial (empty) queue state.
+func NewQueue() QueueState { return QueueState{} }
+
+// Items returns a copy of the queued values, front first.
+func (q QueueState) Items() []uint64 {
+	out := make([]uint64, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// Apply implements State.
+func (q QueueState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return q, Resp{}, false
+	}
+	switch op.Sym {
+	case "enqueue":
+		next := make([]uint64, len(q.items)+1)
+		copy(next, q.items)
+		next[len(q.items)] = op.Arg
+		return QueueState{items: next}, AckResp(), true
+	case "dequeue":
+		if len(q.items) == 0 {
+			return q, EmptyResp(), true
+		}
+		next := make([]uint64, len(q.items)-1)
+		copy(next, q.items[1:])
+		return QueueState{items: next}, ValResp(q.items[0]), true
+	default:
+		return q, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (q QueueState) Key() string {
+	var b strings.Builder
+	b.WriteString("q:")
+	for _, v := range q.items {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// RegisterState is the sequential specification of a read/write register.
+// Operations: read() → v, write(v) → OK.
+type RegisterState struct {
+	val uint64
+}
+
+// NewRegister returns a register state holding v.
+func NewRegister(v uint64) RegisterState { return RegisterState{val: v} }
+
+// Apply implements State.
+func (r RegisterState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return r, Resp{}, false
+	}
+	switch op.Sym {
+	case "read":
+		return r, ValResp(r.val), true
+	case "write":
+		return RegisterState{val: op.Arg}, AckResp(), true
+	default:
+		return r, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (r RegisterState) Key() string { return fmt.Sprintf("r:%d", r.val) }
+
+// CounterState is the sequential specification of a fetch-and-increment
+// counter. Operations: inc() → previous value, read() → v.
+type CounterState struct {
+	n uint64
+}
+
+// NewCounter returns the initial counter state.
+func NewCounter() CounterState { return CounterState{} }
+
+// Apply implements State.
+func (c CounterState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return c, Resp{}, false
+	}
+	switch op.Sym {
+	case "inc":
+		return CounterState{n: c.n + 1}, ValResp(c.n), true
+	case "read":
+		return c, ValResp(c.n), true
+	default:
+		return c, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (c CounterState) Key() string { return fmt.Sprintf("c:%d", c.n) }
+
+// CASState is the sequential specification of a Compare-And-Swap object.
+// Operations: read() → v, write(v) → OK, cas(old, new) → 1 on success,
+// 0 on failure.
+type CASState struct {
+	val uint64
+}
+
+// NewCAS returns a CAS object state holding v.
+func NewCAS(v uint64) CASState { return CASState{val: v} }
+
+// Apply implements State.
+func (c CASState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return c, Resp{}, false
+	}
+	switch op.Sym {
+	case "read":
+		return c, ValResp(c.val), true
+	case "write":
+		return CASState{val: op.Arg}, AckResp(), true
+	case "cas":
+		if c.val == op.Arg {
+			return CASState{val: op.Arg2}, ValResp(1), true
+		}
+		return c, ValResp(0), true
+	default:
+		return c, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (c CASState) Key() string { return fmt.Sprintf("cas:%d", c.val) }
+
+// StackState is the sequential specification of an unbounded LIFO stack
+// of 64-bit values. Operations: push(v) → OK, pop() → v or EMPTY. The
+// paper only builds a queue; the stack spec supports this repository's
+// DSS-stack extension, which applies the same transformation to a second
+// structure.
+type StackState struct {
+	items []uint64 // items[len-1] is the top
+}
+
+// NewStack returns the initial (empty) stack state.
+func NewStack() StackState { return StackState{} }
+
+// Items returns a copy of the stacked values, bottom first.
+func (s StackState) Items() []uint64 {
+	out := make([]uint64, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// Apply implements State.
+func (s StackState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return s, Resp{}, false
+	}
+	switch op.Sym {
+	case "push":
+		next := make([]uint64, len(s.items)+1)
+		copy(next, s.items)
+		next[len(s.items)] = op.Arg
+		return StackState{items: next}, AckResp(), true
+	case "pop":
+		if len(s.items) == 0 {
+			return s, EmptyResp(), true
+		}
+		next := make([]uint64, len(s.items)-1)
+		copy(next, s.items[:len(s.items)-1])
+		return StackState{items: next}, ValResp(s.items[len(s.items)-1]), true
+	default:
+		return s, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (s StackState) Key() string {
+	var b strings.Builder
+	b.WriteString("s:")
+	for _, v := range s.items {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// Push and Pop build the stack's base operations.
+func Push(v uint64) Op { return Op{Kind: Base, Sym: "push", Arg: v} }
+
+// Pop returns the stack pop operation.
+func Pop() Op { return Op{Kind: Base, Sym: "pop"} }
+
+var (
+	_ State = QueueState{}
+	_ State = RegisterState{}
+	_ State = CounterState{}
+	_ State = CASState{}
+	_ State = StackState{}
+)

@@ -1,0 +1,455 @@
+// Package stack extends the paper's approach to a second data structure:
+// a lock-free, strictly linearizable, detectable LIFO stack (the "DSS
+// stack"), built the same way the DSS queue is built from the MS queue —
+// here from Treiber's stack plus a durable claim protocol.
+//
+// The paper's conclusion hopes the DSS "opens a new avenue for both
+// rigorous analysis and practical implementation of recoverable
+// concurrent objects"; this package is that avenue exercised once more:
+// per-thread detectability words X[i] hold tagged node pointers, pops
+// claim their node by CAS-ing a popThreadID field before the top pointer
+// swings (so claims — the linearization points — are what recovery and
+// resolve read), and a Figure 6-style recovery completes tags and
+// reclaims nodes.
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Node field offsets (one line per node).
+const (
+	offValue  = 0
+	offNext   = 1
+	offPopTID = 2
+	nodeWords = pmem.WordsPerLine
+)
+
+// X-word tag bits, mirroring the DSS queue's encoding.
+const (
+	pushPrepTag  = uint64(1) << 63
+	pushComplTag = uint64(1) << 62
+	popPrepTag   = uint64(1) << 61
+	emptyTag     = uint64(1) << 60
+	tagMask      = pushPrepTag | pushComplTag | popPrepTag | emptyTag
+)
+
+// tidNone marks an unclaimed node; ndMark distinguishes non-detectable
+// claims (Section 3.2's trick, applied to pops).
+const (
+	tidNone = ^uint64(0)
+	ndMark  = uint64(1) << 58
+)
+
+// Top-pointer mark bits. A pop locks its node into the top pointer itself
+// — CAS(top, t, t|popMark|tid) — so the linearization point is a single
+// CAS on top (claiming through a node field alone would let a claim land
+// mid-stack under a concurrent push). While the mark is set, pushes and
+// pops help complete the marked pop, which keeps the stack lock-free.
+const (
+	popMarkBit = uint64(1) << 63
+	ndMarkBit  = uint64(1) << 62
+	markTIDPos = 44
+	markBits   = popMarkBit | ndMarkBit | (uint64(1<<16)-1)<<markTIDPos
+)
+
+// ErrNoNodes is returned when the node pool is exhausted.
+var ErrNoNodes = errors.New("stack: node pool exhausted")
+
+// Config parameterizes a DSS stack.
+type Config struct {
+	// Threads is the number of worker threads (tids 0..Threads-1).
+	Threads int
+	// NodesPerThread sizes each thread's pre-allocated pool.
+	NodesPerThread int
+	// ExtraNodes adds shared spare nodes.
+	ExtraNodes int
+}
+
+// Stack is a detectable recoverable LIFO stack.
+type Stack struct {
+	h       *pmem.Heap
+	pool    *pmem.Pool
+	rec     *ebr.Collector
+	top     pmem.Addr // address of the top pointer word
+	xBase   pmem.Addr
+	threads int
+}
+
+// New allocates a DSS stack on h, registering its metadata in heap root
+// slot rootSlot.
+func New(h *pmem.Heap, rootSlot int, cfg Config) (*Stack, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("stack: need at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.NodesPerThread < 0 || cfg.ExtraNodes < 0 {
+		return nil, fmt.Errorf("stack: negative pool sizing")
+	}
+	meta, err := h.Alloc((1 + cfg.Threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("stack: metadata: %w", err)
+	}
+	s := &Stack{
+		h:       h,
+		top:     meta,
+		xBase:   meta + pmem.WordsPerLine,
+		threads: cfg.Threads,
+	}
+	s.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         cfg.Threads,
+		BlocksPerThread: cfg.NodesPerThread,
+		ExtraBlocks:     cfg.ExtraNodes + 1,
+		BlockWords:      nodeWords,
+		Pinned:          s.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stack: node pool: %w", err)
+	}
+	s.rec, err = ebr.New(cfg.Threads, func(tid int, a pmem.Addr) { s.pool.Free(tid, a) })
+	if err != nil {
+		return nil, fmt.Errorf("stack: reclamation: %w", err)
+	}
+	// Reuse fence: persist top before any retired node becomes reusable,
+	// so recovery's scan from the persisted top never walks reused nodes.
+	s.rec.SetDrainHook(func(int) { s.h.Persist(s.top) })
+
+	s.h.Store(s.top, 0)
+	s.h.Persist(s.top)
+	for i := 0; i < cfg.Threads; i++ {
+		s.h.Store(s.xAddr(i), 0)
+		s.h.Persist(s.xAddr(i))
+	}
+	h.SetRoot(rootSlot, meta)
+	return s, nil
+}
+
+// Threads reports the stack's thread count.
+func (s *Stack) Threads() int { return s.threads }
+
+func (s *Stack) xAddr(tid int) pmem.Addr {
+	return s.xBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+func ptrOf(x uint64) pmem.Addr { return pmem.Addr(x &^ tagMask &^ ndMark) }
+
+func claimed(w uint64) bool { return w != tidNone }
+
+// pinned vetoes recycling of any node a detectability word references in
+// either the coherent or the persisted view (push node, or pop candidate).
+func (s *Stack) pinned(a pmem.Addr) bool {
+	tracked := s.h.Mode() == pmem.Tracked
+	for i := 0; i < s.threads; i++ {
+		if x := s.h.Load(s.xAddr(i)); ptrOf(x) == a && x&tagMask != 0 {
+			return true
+		}
+		if tracked {
+			if px := s.h.PersistedLoad(s.xAddr(i)); ptrOf(px) == a && px&tagMask != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Stack) allocNode(tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if a, ok := s.pool.Alloc(tid); ok {
+			return a, true
+		}
+		s.rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+func (s *Stack) initNode(node pmem.Addr, v uint64) {
+	s.h.Store(node+offValue, v)
+	s.h.Store(node+offNext, 0)
+	s.h.Store(node+offPopTID, tidNone)
+	s.h.Persist(node)
+}
+
+// PrepPush declares the detectable intent to push v (Axiom 1). Like the
+// queue's prep-enqueue, it reclaims the node of a previous prepared push
+// that verifiably never took effect.
+func (s *Stack) PrepPush(tid int, v uint64) error {
+	oldX := s.h.Load(s.xAddr(tid))
+	node, ok := s.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	s.initNode(node, v)
+	s.h.Store(s.xAddr(tid), uint64(node)|pushPrepTag)
+	s.h.Persist(s.xAddr(tid))
+	if oldX&pushPrepTag != 0 && oldX&pushComplTag == 0 {
+		if old := ptrOf(oldX); old != 0 && old != node {
+			s.pool.Free(tid, old)
+		}
+	}
+	return nil
+}
+
+// ExecPush links the prepared node at the top (Axiom 2).
+func (s *Stack) ExecPush(tid int) {
+	x := s.h.Load(s.xAddr(tid))
+	if x&pushPrepTag == 0 || x&pushComplTag != 0 {
+		return
+	}
+	node := ptrOf(x)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	s.push(tid, node, true)
+}
+
+// Push is the non-detectable push (Axiom 4).
+func (s *Stack) Push(tid int, v uint64) error {
+	node, ok := s.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	s.initNode(node, v)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	s.push(tid, node, false)
+	return nil
+}
+
+func (s *Stack) push(tid int, node pmem.Addr, detect bool) {
+	for {
+		t := s.h.Load(s.top)
+		if t&popMarkBit != 0 {
+			s.helpPop(tid, t)
+			continue
+		}
+		s.h.Store(node+offNext, t)
+		s.h.Persist(node + offNext)
+		if s.h.CompareAndSwap(s.top, t, uint64(node)) {
+			s.h.Persist(s.top)
+			if detect {
+				s.h.Store(s.xAddr(tid), s.h.Load(s.xAddr(tid))|pushComplTag)
+				s.h.Persist(s.xAddr(tid))
+			}
+			return
+		}
+	}
+}
+
+// PrepPop declares the detectable intent to pop (Axiom 1).
+func (s *Stack) PrepPop(tid int) {
+	s.h.Store(s.xAddr(tid), popPrepTag)
+	s.h.Persist(s.xAddr(tid))
+}
+
+// ExecPop removes the top value (Axiom 2); ok is false when the stack is
+// empty (the EMPTY response).
+func (s *Stack) ExecPop(tid int) (uint64, bool) {
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	return s.pop(tid, true)
+}
+
+// Pop is the non-detectable pop (Axiom 4).
+func (s *Stack) Pop(tid int) (uint64, bool) {
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	return s.pop(tid, false)
+}
+
+func (s *Stack) pop(tid int, detect bool) (uint64, bool) {
+	for {
+		raw := s.h.Load(s.top)
+		if raw&popMarkBit != 0 {
+			s.helpPop(tid, raw)
+			continue
+		}
+		t := pmem.Addr(raw)
+		if t == 0 {
+			if detect {
+				s.h.Store(s.xAddr(tid), s.h.Load(s.xAddr(tid))|emptyTag)
+				s.h.Persist(s.xAddr(tid))
+			}
+			return 0, false
+		}
+		// Record the candidate for detectability, then lock it into the
+		// top pointer. The CAS below is the pop's linearization point;
+		// the persisted claim written during completion is what resolve
+		// and recovery read back through X[tid].
+		if detect {
+			s.h.Store(s.xAddr(tid), uint64(t)|popPrepTag)
+			s.h.Persist(s.xAddr(tid))
+		}
+		marked := uint64(t) | popMarkBit | uint64(tid)<<markTIDPos
+		if !detect {
+			marked |= ndMarkBit
+		}
+		if s.h.CompareAndSwap(s.top, raw, marked) {
+			v := s.h.Load(t + offValue)
+			s.completePop(tid, marked)
+			return v, true
+		}
+	}
+}
+
+// completePop finishes a marked pop: persist the mark, write and persist
+// the node's durable claim, swing top to the successor, persist. Any
+// thread may run it (helping); all its writes are idempotent for a given
+// marked value.
+func (s *Stack) completePop(tid int, marked uint64) {
+	t := pmem.Addr(marked &^ markBits)
+	owner := marked >> markTIDPos & (1<<16 - 1)
+	claim := owner
+	if marked&ndMarkBit != 0 {
+		claim |= ndMark
+	}
+	s.h.Persist(s.top)
+	s.h.Store(t+offPopTID, claim)
+	s.h.Persist(t + offPopTID)
+	next := s.h.Load(t + offNext)
+	if s.h.CompareAndSwap(s.top, marked, next) {
+		s.h.Persist(s.top)
+		s.rec.Retire(tid, t)
+	}
+}
+
+// helpPop completes another thread's marked pop so this thread can make
+// progress.
+func (s *Stack) helpPop(tid int, raw uint64) {
+	s.completePop(tid, raw)
+}
+
+// Resolution is the stack's decoded (A[p], R[p]) pair.
+type Resolution struct {
+	Op       OpName
+	Arg      uint64
+	Executed bool
+	Val      uint64
+	Empty    bool
+}
+
+// OpName identifies a stack operation in a Resolution.
+type OpName int
+
+const (
+	// OpNone means no operation was prepared.
+	OpNone OpName = iota + 1
+	// OpPush is a prepared push.
+	OpPush
+	// OpPop is a prepared pop.
+	OpPop
+)
+
+// Resolve reports the most recently prepared operation and its outcome
+// (Axiom 3). Total and idempotent.
+func (s *Stack) Resolve(tid int) Resolution {
+	x := s.h.Load(s.xAddr(tid))
+	switch {
+	case x&pushPrepTag != 0:
+		node := ptrOf(x)
+		return Resolution{
+			Op:       OpPush,
+			Arg:      s.h.Load(node + offValue),
+			Executed: x&pushComplTag != 0,
+		}
+	case x&popPrepTag != 0:
+		switch {
+		case x == popPrepTag:
+			return Resolution{Op: OpPop}
+		case x == popPrepTag|emptyTag:
+			return Resolution{Op: OpPop, Executed: true, Empty: true}
+		default:
+			t := ptrOf(x)
+			if s.h.Load(t+offPopTID) == uint64(tid) {
+				return Resolution{Op: OpPop, Executed: true, Val: s.h.Load(t + offValue)}
+			}
+			return Resolution{Op: OpPop}
+		}
+	default:
+		return Resolution{Op: OpNone}
+	}
+}
+
+// Resp converts the resolution to the spec package's resolve response for
+// conformance checking against D⟨stack⟩.
+func (r Resolution) Resp() spec.Resp {
+	switch r.Op {
+	case OpPush:
+		inner := spec.BottomResp()
+		if r.Executed {
+			inner = spec.AckResp()
+		}
+		return spec.PairResp(true, spec.Push(r.Arg), inner)
+	case OpPop:
+		inner := spec.BottomResp()
+		if r.Executed {
+			if r.Empty {
+				inner = spec.EmptyResp()
+			} else {
+				inner = spec.ValResp(r.Val)
+			}
+		}
+		return spec.PairResp(true, spec.Pop(), inner)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+}
+
+// Recover is the stack's centralized recovery: complete a pop whose mark
+// survived in the top pointer, complete push tags, and rebuild the
+// volatile pool. Single-threaded.
+func (s *Stack) Recover() {
+	// Pop completion: a persisted mark means the pop linearized before
+	// the crash; write its claim and unlink, exactly as a helper would.
+	raw := s.h.Load(s.top)
+	if raw&popMarkBit != 0 {
+		t := pmem.Addr(raw &^ markBits)
+		claim := raw >> markTIDPos & (1<<16 - 1)
+		if raw&ndMarkBit != 0 {
+			claim |= ndMark
+		}
+		s.h.Store(t+offPopTID, claim)
+		s.h.Persist(t + offPopTID)
+		s.h.Store(s.top, s.h.Load(t+offNext))
+		s.h.Persist(s.top)
+	}
+
+	oldTop := pmem.Addr(s.h.Load(s.top))
+	reachable := map[pmem.Addr]bool{}
+	for n := oldTop; n != 0; n = pmem.Addr(s.h.Load(n + offNext)) {
+		reachable[n] = true
+	}
+	newTop := oldTop
+
+	// Push completion (Figure 6's X repair, stack edition).
+	for i := 0; i < s.threads; i++ {
+		x := s.h.Load(s.xAddr(i))
+		if x&pushPrepTag == 0 || x&pushComplTag != 0 {
+			continue
+		}
+		d := ptrOf(x)
+		if d == 0 {
+			continue
+		}
+		if reachable[d] || claimed(s.h.Load(d+offPopTID)) {
+			s.h.Store(s.xAddr(i), x|pushComplTag)
+			s.h.Persist(s.xAddr(i))
+		}
+	}
+
+	s.rec.Reset()
+	live := map[pmem.Addr]bool{}
+	for n := newTop; n != 0; n = pmem.Addr(s.h.Load(n + offNext)) {
+		live[n] = true
+	}
+	for i := 0; i < s.threads; i++ {
+		if p := ptrOf(s.h.Load(s.xAddr(i))); p != 0 {
+			live[p] = true
+		}
+	}
+	s.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}

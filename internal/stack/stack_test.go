@@ -1,0 +1,408 @@
+package stack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func newTestStack(t *testing.T, threads int) (*Stack, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(h, 0, Config{Threads: threads, NodesPerThread: 64, ExtraNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, h
+}
+
+func drainStack(t *testing.T, s *Stack, tid int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for i := 0; i < 100_000; i++ {
+		v, ok := s.Pop(tid)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+	t.Fatal("drain did not terminate")
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if _, err := New(h, 0, Config{Threads: 0}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, Config{Threads: 1, NodesPerThread: -1}); err == nil {
+		t.Fatal("accepted negative sizing")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s, _ := newTestStack(t, 2)
+	for v := uint64(1); v <= 5; v++ {
+		if err := s.Push(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainStack(t, s, 1)
+	want := []uint64{5, 4, 3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	s, _ := newTestStack(t, 1)
+	if v, ok := s.Pop(0); ok {
+		t.Fatalf("pop on empty = (%d,true)", v)
+	}
+	if err := s.Push(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Pop(0); !ok || v != 9 {
+		t.Fatalf("pop = (%d,%v)", v, ok)
+	}
+	if _, ok := s.Pop(0); ok {
+		t.Fatal("stack not empty after drain")
+	}
+}
+
+func TestDetectableLifecycle(t *testing.T) {
+	s, _ := newTestStack(t, 1)
+	if err := s.PrepPush(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.Resolve(0); res.Op != OpPush || res.Executed || res.Arg != 7 {
+		t.Fatalf("resolve after prep-push = %+v", res)
+	}
+	s.ExecPush(0)
+	if res := s.Resolve(0); res.Op != OpPush || !res.Executed || res.Arg != 7 {
+		t.Fatalf("resolve after exec-push = %+v", res)
+	}
+	s.PrepPop(0)
+	if res := s.Resolve(0); res.Op != OpPop || res.Executed {
+		t.Fatalf("resolve after prep-pop = %+v", res)
+	}
+	if v, ok := s.ExecPop(0); !ok || v != 7 {
+		t.Fatalf("ExecPop = (%d,%v)", v, ok)
+	}
+	if res := s.Resolve(0); res.Op != OpPop || !res.Executed || res.Val != 7 || res.Empty {
+		t.Fatalf("resolve after exec-pop = %+v", res)
+	}
+	s.PrepPop(0)
+	if _, ok := s.ExecPop(0); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if res := s.Resolve(0); res.Op != OpPop || !res.Executed || !res.Empty {
+		t.Fatalf("resolve after empty pop = %+v", res)
+	}
+}
+
+func TestExecPushTwiceIsNoop(t *testing.T) {
+	s, _ := newTestStack(t, 1)
+	if err := s.PrepPush(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.ExecPush(0)
+	s.ExecPush(0)
+	if got := drainStack(t, s, 0); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("drained %v, want [4]", got)
+	}
+}
+
+func TestRePrepareReclaimsUnlinkedNode(t *testing.T) {
+	s, _ := newTestStack(t, 1)
+	before := s.pool.FreeCount()
+	for i := 0; i < 50; i++ {
+		if err := s.PrepPush(0, uint64(i)); err != nil {
+			t.Fatalf("prep #%d: %v", i, err)
+		}
+	}
+	if after := s.pool.FreeCount(); before-after > 2 {
+		t.Fatalf("repeated prep leaked nodes: %d -> %d", before, after)
+	}
+}
+
+func TestNodesRecycle(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	s, err := New(h, 0, Config{Threads: 1, NodesPerThread: 8, ExtraNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if err := s.Push(0, uint64(i)); err != nil {
+			t.Fatalf("push #%d: %v", i, err)
+		}
+		if v, ok := s.Pop(0); !ok || v != uint64(i) {
+			t.Fatalf("pop #%d = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestErrNoNodes(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	s, err := New(h, 0, Config{Threads: 1, NodesPerThread: 2, ExtraNodes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < 10; i++ {
+		if err := s.Push(0, uint64(i)); err != nil {
+			last = err
+			break
+		}
+	}
+	if !errors.Is(last, ErrNoNodes) {
+		t.Fatalf("exhaustion err = %v", last)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const threads = 4
+	const pairs = 400
+	s, _ := newTestStack(t, threads)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]int{}
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				v := uint64(tid+1)<<32 | uint64(i)
+				if err := s.Push(tid, v); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				if got, ok := s.Pop(tid); ok {
+					mu.Lock()
+					seen[got]++
+					mu.Unlock()
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	for _, v := range drainStack(t, s, 0) {
+		seen[v]++
+	}
+	if len(seen) != threads*pairs {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), threads*pairs)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+func TestConcurrentDetectablePairs(t *testing.T) {
+	const threads = 3
+	const pairs = 200
+	s, _ := newTestStack(t, threads)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]int{}
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				v := uint64(tid+1)<<32 | uint64(i)
+				if err := s.PrepPush(tid, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				s.ExecPush(tid)
+				if res := s.Resolve(tid); res.Op != OpPush || !res.Executed || res.Arg != v {
+					t.Errorf("bad push resolution %+v", res)
+					return
+				}
+				s.PrepPop(tid)
+				if got, ok := s.ExecPop(tid); ok {
+					mu.Lock()
+					seen[got]++
+					mu.Unlock()
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	for _, v := range drainStack(t, s, 0) {
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+	if len(seen) != threads*pairs {
+		t.Fatalf("saw %d values, want %d", len(seen), threads*pairs)
+	}
+}
+
+// TestCrashSweepConformance is the stack's Theorem 1 analogue: crash at
+// every step of a detectable push;pop workload under every adversary,
+// recover, resolve, drain — and check the history against D⟨stack⟩ under
+// strict linearizability.
+func TestCrashSweepConformance(t *testing.T) {
+	for _, adv := range pmem.Adversaries(71) {
+		for step := uint64(1); ; step++ {
+			s, h := newTestStack(t, 1)
+			if err := s.Push(0, 1); err != nil {
+				t.Fatal(err)
+			}
+			rec := check.NewRecorder()
+			rec.Begin(0, spec.Push(1))
+			rec.End(0, spec.AckResp())
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				rec.Begin(0, spec.PrepOp(spec.Push(10)))
+				if err := s.PrepPush(0, 10); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Push(10)))
+				s.ExecPush(0)
+				rec.End(0, spec.AckResp())
+				rec.Begin(0, spec.PrepOp(spec.Pop()))
+				s.PrepPop(0)
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Pop()))
+				if got, ok := s.ExecPop(0); ok {
+					rec.End(0, spec.ValResp(got))
+				} else {
+					rec.End(0, spec.EmptyResp())
+				}
+			})
+			if !h.Crashed() {
+				break
+			}
+			rec.CrashAll()
+			h.Crash(adv)
+			s.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, s.Resolve(0).Resp())
+			for {
+				rec.Begin(0, spec.Pop())
+				v, ok := s.Pop(0)
+				if ok {
+					rec.End(0, spec.ValResp(v))
+				} else {
+					rec.End(0, spec.EmptyResp())
+					break
+				}
+			}
+			hist := rec.History()
+			d := spec.Detectable(spec.NewStack(), 1)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				t.Fatalf("step %d: stack history not strictly linearizable:\n%s",
+					step, check.FormatHistory(hist))
+			}
+		}
+	}
+}
+
+// TestConcurrentCrashConservation crashes randomized multi-threaded runs
+// and audits exactly-once value conservation using the resolutions.
+func TestConcurrentCrashConservation(t *testing.T) {
+	const threads = 3
+	for trial := 0; trial < 40; trial++ {
+		s, h := newTestStack(t, threads)
+		h.ArmCrash(uint64(40 + trial*29))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		popped := map[uint64]int{}
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				pmem.RunToCrash(func() {
+					for i := 0; ; i++ {
+						v := uint64(tid+1)<<32 | uint64(i+1)
+						if err := s.PrepPush(tid, v); err != nil {
+							t.Errorf("prep: %v", err)
+							return
+						}
+						s.ExecPush(tid)
+						s.PrepPop(tid)
+						if got, ok := s.ExecPop(tid); ok {
+							mu.Lock()
+							popped[got]++
+							mu.Unlock()
+						}
+					}
+				})
+			}(tid)
+		}
+		wg.Wait()
+		h.Crash(pmem.NewRandomFates(int64(trial)))
+		s.Recover()
+		seen := map[uint64]int{}
+		for v, n := range popped {
+			seen[v] += n
+		}
+		inStack := map[uint64]bool{}
+		for _, v := range drainStack(t, s, 0) {
+			seen[v]++
+			inStack[v] = true
+		}
+		for v, n := range seen {
+			if n > 1 {
+				t.Fatalf("trial %d: value %d appears %d times", trial, v, n)
+			}
+		}
+		for tid := 0; tid < threads; tid++ {
+			res := s.Resolve(tid)
+			if res.Op == OpPop && res.Executed && !res.Empty && inStack[res.Val] {
+				t.Fatalf("trial %d: pop of %d resolved executed but value still stacked", trial, res.Val)
+			}
+		}
+	}
+}
+
+// TestRecoveryCompletesMarkedPop drives a crash into the marked-top window
+// specifically and verifies recovery finishes the pop.
+func TestRecoveryCompletesMarkedPop(t *testing.T) {
+	for step := uint64(1); ; step++ {
+		s, h := newTestStack(t, 1)
+		if err := s.Push(0, 5); err != nil {
+			t.Fatal(err)
+		}
+		h.ArmCrash(step)
+		crashed := pmem.RunToCrash(func() {
+			s.PrepPop(0)
+			s.ExecPop(0)
+		})
+		if !crashed {
+			return
+		}
+		h.Crash(pmem.KeepAll{})
+		s.Recover()
+		res := s.Resolve(0)
+		rest := drainStack(t, s, 0)
+		gone := len(rest) == 0
+		executed := res.Op == OpPop && res.Executed && !res.Empty
+		if executed != gone {
+			t.Fatalf("step %d: resolution %+v but stack %v", step, res, rest)
+		}
+		if executed && res.Val != 5 {
+			t.Fatalf("step %d: wrong popped value %d", step, res.Val)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package systematic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cwe"
+	"repro/internal/pmem"
+	"repro/internal/pmwcas"
+)
+
+// TestPMwCASUnderAllSchedules drives two threads through retry loops of
+// overlapping two-word PMwCAS increments under every ≤2-preemption
+// schedule: the descriptor installation, helping, and RDCSS completion
+// paths are all reached by schedules that preempt between the phases, and
+// the pair must always advance atomically.
+func TestPMwCASUnderAllSchedules(t *testing.T) {
+	var p *pmwcas.PMwCAS
+	var a, b pmem.Addr
+	setup := func() (*pmem.Heap, []func()) {
+		h := newHeap(t)
+		var err error
+		p, err = pmwcas.New(h, 0, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := h.MustAlloc(2 * pmem.WordsPerLine)
+		a, b = region, region+pmem.WordsPerLine
+		worker := func(tid int) func() {
+			return func() {
+				// Increment the pair once, atomically, retrying on races.
+				// The two Reads are not an atomic snapshot — a mixed pair
+				// is a legitimate observation when the other thread's
+				// PMwCAS lands in between — so a stale/mixed (va,vb)
+				// surfaces as a failed Apply and a retry, never an error.
+				for {
+					va := p.Read(tid, a)
+					vb := p.Read(tid, b)
+					ok, err := p.Apply(tid, []pmwcas.Entry{
+						{Addr: a, Old: va, New: va + 1},
+						{Addr: b, Old: vb, New: vb + 1},
+					})
+					if err != nil {
+						t.Errorf("apply: %v", err)
+						return
+					}
+					if ok {
+						return
+					}
+				}
+			}
+		}
+		return h, []func(){worker(0), worker(1)}
+	}
+	verify := func() error {
+		va, vb := p.Read(0, a), p.Read(0, b)
+		if va != 2 || vb != 2 {
+			return fmt.Errorf("pair = (%d,%d), want (2,2)", va, vb)
+		}
+		return nil
+	}
+	maxSchedules := 0
+	if testing.Short() {
+		maxSchedules = 400
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 2, MaxSchedules: maxSchedules}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v breaks PMwCAS atomicity: %v", bad, err)
+	}
+	t.Logf("verified %d schedules", schedules)
+}
+
+// TestCWEQueueUnderSchedules runs the General CASWithEffect queue (the
+// variant whose X words go through full RDCSS installation) under every
+// single-preemption schedule of two concurrent detectable pairs, checking
+// value conservation and resolution consistency.
+func TestCWEQueueUnderSchedules(t *testing.T) {
+	var q *cwe.Queue
+	results := make([]struct {
+		deq   uint64
+		gotIt bool
+	}, 2)
+	setup := func() (*pmem.Heap, []func()) {
+		h := newHeap(t)
+		var err error
+		q, err = cwe.New(h, 0, cwe.Config{
+			Threads: 2, NodesPerThread: 8, ExtraNodes: 4, DescriptorsPerThread: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func(tid int, v uint64) func() {
+			return func() {
+				results[tid].gotIt = false
+				if err := q.PrepEnqueue(tid, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				if err := q.ExecEnqueue(tid); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+				q.PrepDequeue(tid)
+				got, ok, err := q.ExecDequeue(tid)
+				if err != nil {
+					t.Errorf("deq: %v", err)
+					return
+				}
+				results[tid].deq, results[tid].gotIt = got, ok
+			}
+		}
+		return h, []func(){mk(0, 100), mk(1, 200)}
+	}
+	verify := func() error {
+		seen := map[uint64]int{}
+		for tid := 0; tid < 2; tid++ {
+			if results[tid].gotIt {
+				seen[results[tid].deq]++
+			}
+			// The resolution must agree with what the operation returned.
+			res := q.Resolve(tid)
+			if !res.IsDequeue || !res.Executed {
+				return fmt.Errorf("tid %d: resolution %+v does not reflect the completed dequeue", tid, res)
+			}
+			if res.Empty != !results[tid].gotIt {
+				return fmt.Errorf("tid %d: resolution empty=%v but op returned ok=%v", tid, res.Empty, results[tid].gotIt)
+			}
+			if results[tid].gotIt && res.Val != results[tid].deq {
+				return fmt.Errorf("tid %d: resolution value %d but op returned %d", tid, res.Val, results[tid].deq)
+			}
+		}
+		for {
+			v, ok := q.Dequeue(0)
+			if !ok {
+				break
+			}
+			seen[v]++
+		}
+		if seen[100] != 1 || seen[200] != 1 || len(seen) != 2 {
+			return fmt.Errorf("conservation violated: %v", seen)
+		}
+		return nil
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 1}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v breaks the CWE queue: %v", bad, err)
+	}
+	t.Logf("verified %d schedules", schedules)
+}

@@ -1,0 +1,215 @@
+// Package systematic is a stateless model checker for the concurrent
+// algorithms in this repository: it runs worker goroutines under a
+// cooperative scheduler attached to the heap's step gate, so every
+// primitive memory operation is a controlled scheduling point, and it
+// enumerates thread interleavings exhaustively under a preemption bound
+// (Musuvathi & Qadeer's context-bounding insight: almost all concurrency
+// bugs manifest within very few preemptions).
+//
+// The crash-point sweeps verify recovery along every *sequential* prefix;
+// this package covers the orthogonal axis — helping paths, CAS races, and
+// lock-free retries that only appear under specific interleavings — with
+// deterministic, replayable schedules instead of stress-test luck.
+package systematic
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// goid returns the current goroutine's id (parsed from the runtime stack
+// header — a testing-only device; the scheduler needs to map gate calls
+// back to registered workers and the runtime offers no cheaper identity).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:"
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		panic("systematic: cannot parse goroutine id")
+	}
+	id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("systematic: cannot parse goroutine id: %v", err))
+	}
+	return id
+}
+
+// Controller schedules a set of worker goroutines one-at-a-time over a
+// heap's step gate according to a preemption schedule.
+type Controller struct {
+	h *pmem.Heap
+
+	mu     sync.Mutex
+	ids    map[uint64]int
+	resume []chan struct{}
+
+	parkedCh chan int
+	doneCh   chan int
+}
+
+// Run executes the workers under the schedule: exactly one worker runs at
+// a time; at the event indices listed in preemptAt the scheduler switches
+// to the next runnable worker (round-robin), otherwise the current worker
+// continues until it finishes. It returns the total number of scheduling
+// events (gate crossings), which callers use to enumerate schedules.
+//
+// The heap must be Tracked and quiescent; Run installs and removes the
+// step gate itself.
+func Run(h *pmem.Heap, workers []func(), preemptAt map[int]bool) int {
+	c := &Controller{
+		h:        h,
+		ids:      map[uint64]int{},
+		resume:   make([]chan struct{}, len(workers)),
+		parkedCh: make(chan int),
+		doneCh:   make(chan int),
+	}
+	for i := range workers {
+		c.resume[i] = make(chan struct{})
+	}
+	h.SetStepGate(c.gate)
+	defer h.SetStepGate(nil)
+
+	running := make([]bool, len(workers)) // live (not finished)
+	for i, w := range workers {
+		running[i] = true
+		go func(i int, w func()) {
+			c.mu.Lock()
+			c.ids[goid()] = i
+			c.mu.Unlock()
+			// Park immediately so startup is deterministic: every worker
+			// begins at the same well-defined point.
+			c.parkedCh <- i
+			<-c.resume[i]
+			defer func() { c.doneCh <- i }()
+			w()
+		}(i, w)
+	}
+	// Wait for all workers to reach their initial park.
+	for range workers {
+		<-c.parkedCh
+	}
+
+	events := 0
+	current := 0
+	findNext := func(from int) int {
+		for d := 1; d <= len(workers); d++ {
+			cand := (from + d) % len(workers)
+			if running[cand] {
+				return cand
+			}
+		}
+		return -1
+	}
+	if !running[current] {
+		current = findNext(0)
+	}
+	live := len(workers)
+	for live > 0 {
+		c.resume[current] <- struct{}{}
+		select {
+		case idx := <-c.parkedCh:
+			if idx != current {
+				panic("systematic: a non-scheduled worker took a step")
+			}
+			events++
+			if preemptAt[events] {
+				if next := findNext(current); next >= 0 {
+					current = next
+				}
+			}
+		case idx := <-c.doneCh:
+			if idx != current {
+				panic("systematic: a non-scheduled worker finished")
+			}
+			running[idx] = false
+			live--
+			if live > 0 {
+				current = findNext(idx)
+			}
+		}
+	}
+	return events
+}
+
+// gate is the heap hook: registered workers park and wait for their turn;
+// goroutines the controller does not know (test setup, draining) pass
+// through untouched.
+func (c *Controller) gate() {
+	c.mu.Lock()
+	idx, ok := c.ids[goid()]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.parkedCh <- idx
+	<-c.resume[idx]
+}
+
+// ExploreConfig bounds an exploration.
+type ExploreConfig struct {
+	// MaxPreemptions bounds the context switches per schedule (≤ 2 covers
+	// the vast majority of concurrency bugs and keeps the schedule count
+	// quadratic).
+	MaxPreemptions int
+	// MaxSchedules caps the total schedules (0 = unlimited).
+	MaxSchedules int
+}
+
+// Explore enumerates schedules up to the preemption bound. For each
+// schedule it calls setup to build a fresh system (returning the heap and
+// the workers), runs the workers under the schedule, and then calls
+// verify; a non-nil error aborts exploration and is returned together
+// with the offending schedule. The total number of schedules run is
+// returned.
+func Explore(cfg ExploreConfig, setup func() (*pmem.Heap, []func()), verify func() error) (int, []int, error) {
+	if cfg.MaxPreemptions < 0 || cfg.MaxPreemptions > 2 {
+		return 0, nil, fmt.Errorf("systematic: MaxPreemptions %d out of [0,2]", cfg.MaxPreemptions)
+	}
+	schedules := 0
+	runOne := func(preempts []int) (int, error) {
+		schedules++
+		set := map[int]bool{}
+		for _, p := range preempts {
+			set[p] = true
+		}
+		h, workers := setup()
+		n := Run(h, workers, set)
+		return n, verify()
+	}
+
+	// Depth 0: the no-preemption schedule establishes the event horizon.
+	n0, err := runOne(nil)
+	if err != nil {
+		return schedules, nil, err
+	}
+	if cfg.MaxPreemptions == 0 {
+		return schedules, nil, nil
+	}
+	for i := 1; i <= n0; i++ {
+		if cfg.MaxSchedules > 0 && schedules >= cfg.MaxSchedules {
+			return schedules, nil, nil
+		}
+		ni, err := runOne([]int{i})
+		if err != nil {
+			return schedules, []int{i}, err
+		}
+		if cfg.MaxPreemptions < 2 {
+			continue
+		}
+		for j := i + 1; j <= ni; j++ {
+			if cfg.MaxSchedules > 0 && schedules >= cfg.MaxSchedules {
+				return schedules, nil, nil
+			}
+			if _, err := runOne([]int{i, j}); err != nil {
+				return schedules, []int{i, j}, err
+			}
+		}
+	}
+	return schedules, nil, nil
+}

@@ -1,0 +1,295 @@
+package systematic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+	"repro/internal/stack"
+)
+
+func newHeap(t *testing.T) *pmem.Heap {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSchedulerIsDeterministic(t *testing.T) {
+	// The same schedule must produce the same interleaving: a racy
+	// read-modify-write pair gives schedule-dependent results, so equal
+	// results across repeats of each schedule demonstrate determinism.
+	outcome := func(preempt map[int]bool) (uint64, int) {
+		h := newHeap(t)
+		a := h.MustAlloc(8)
+		worker := func() {
+			v := h.Load(a) // racy: load
+			h.Store(a, v+1)
+		}
+		n := Run(h, []func(){worker, worker}, preempt)
+		return h.Load(a), n
+	}
+	for _, preempt := range []map[int]bool{nil, {1: true}, {2: true}, {1: true, 3: true}} {
+		v1, n1 := outcome(preempt)
+		v2, n2 := outcome(preempt)
+		if v1 != v2 || n1 != n2 {
+			t.Fatalf("schedule %v not deterministic: (%d,%d) vs (%d,%d)", preempt, v1, n1, v2, n2)
+		}
+	}
+}
+
+func TestExplorerFindsARace(t *testing.T) {
+	// A deliberately broken counter (load; store(load+1)) loses an update
+	// under some interleaving; the explorer must find such a schedule.
+	var h *pmem.Heap
+	var a pmem.Addr
+	setup := func() (*pmem.Heap, []func()) {
+		h = newHeap(t)
+		a = h.MustAlloc(8)
+		worker := func() {
+			v := h.Load(a)
+			h.Store(a, v+1)
+		}
+		return h, []func(){worker, worker}
+	}
+	verify := func() error {
+		if got := h.Load(a); got != 2 {
+			return fmt.Errorf("lost update: counter = %d", got)
+		}
+		return nil
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 1}, setup, verify)
+	if err == nil {
+		t.Fatalf("explorer missed the lost-update race over %d schedules", schedules)
+	}
+	if len(bad) == 0 {
+		t.Fatal("no witness schedule reported")
+	}
+	t.Logf("found lost update with preemptions at %v after %d schedules", bad, schedules)
+}
+
+func TestExploreConfigValidation(t *testing.T) {
+	if _, _, err := Explore(ExploreConfig{MaxPreemptions: 3}, nil, nil); err == nil {
+		t.Fatal("accepted preemption bound 3")
+	}
+}
+
+// TestDSSQueueUnderAllSchedules is the systematic analogue of Theorem 1's
+// concurrency side: two threads each run one detectable enqueue/dequeue
+// pair; every schedule with up to two preemptions is executed and each
+// resulting history (including resolutions and the drain) is verified
+// against D⟨queue⟩.
+func TestDSSQueueUnderAllSchedules(t *testing.T) {
+	maxSchedules := 0
+	if testing.Short() {
+		maxSchedules = 300
+	}
+	var q *core.Queue
+	var rec *check.Recorder
+	setup := func() (*pmem.Heap, []func()) {
+		h := newHeap(t)
+		var err error
+		q, err = core.New(h, 0, core.Config{Threads: 2, NodesPerThread: 8, ExtraNodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = check.NewRecorder()
+		mk := func(tid int, v uint64) func() {
+			return func() {
+				rec.Begin(tid, spec.PrepOp(spec.Enqueue(v)))
+				if err := q.PrepEnqueue(tid, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				rec.End(tid, spec.BottomResp())
+				rec.Begin(tid, spec.ExecOp(spec.Enqueue(v)))
+				q.ExecEnqueue(tid)
+				rec.End(tid, spec.AckResp())
+				rec.Begin(tid, spec.PrepOp(spec.Dequeue()))
+				q.PrepDequeue(tid)
+				rec.End(tid, spec.BottomResp())
+				rec.Begin(tid, spec.ExecOp(spec.Dequeue()))
+				if got, ok := q.ExecDequeue(tid); ok {
+					rec.End(tid, spec.ValResp(got))
+				} else {
+					rec.End(tid, spec.EmptyResp())
+				}
+			}
+		}
+		return h, []func(){mk(0, 100), mk(1, 200)}
+	}
+	verify := func() error {
+		for {
+			rec.Begin(0, spec.Dequeue())
+			v, ok := q.Dequeue(0)
+			if ok {
+				rec.End(0, spec.ValResp(v))
+			} else {
+				rec.End(0, spec.EmptyResp())
+				break
+			}
+		}
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), 2)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			return fmt.Errorf("history not linearizable:\n%s", check.FormatHistory(hist))
+		}
+		return nil
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 2, MaxSchedules: maxSchedules}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v violates D<queue>: %v", bad, err)
+	}
+	t.Logf("verified %d schedules", schedules)
+}
+
+// TestDSSStackUnderAllSchedules does the same for the stack extension
+// (one preemption bound keeps the run fast; the marked-top helping path
+// is exercised by the schedules that preempt between the mark and the
+// unlink).
+func TestDSSStackUnderAllSchedules(t *testing.T) {
+	var s *stack.Stack
+	var rec *check.Recorder
+	setup := func() (*pmem.Heap, []func()) {
+		h := newHeap(t)
+		var err error
+		s, err = stack.New(h, 0, stack.Config{Threads: 2, NodesPerThread: 8, ExtraNodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = check.NewRecorder()
+		mk := func(tid int, v uint64) func() {
+			return func() {
+				rec.Begin(tid, spec.PrepOp(spec.Push(v)))
+				if err := s.PrepPush(tid, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				rec.End(tid, spec.BottomResp())
+				rec.Begin(tid, spec.ExecOp(spec.Push(v)))
+				s.ExecPush(tid)
+				rec.End(tid, spec.AckResp())
+				rec.Begin(tid, spec.PrepOp(spec.Pop()))
+				s.PrepPop(tid)
+				rec.End(tid, spec.BottomResp())
+				rec.Begin(tid, spec.ExecOp(spec.Pop()))
+				if got, ok := s.ExecPop(tid); ok {
+					rec.End(tid, spec.ValResp(got))
+				} else {
+					rec.End(tid, spec.EmptyResp())
+				}
+			}
+		}
+		return h, []func(){mk(0, 100), mk(1, 200)}
+	}
+	verify := func() error {
+		for {
+			rec.Begin(0, spec.Pop())
+			v, ok := s.Pop(0)
+			if ok {
+				rec.End(0, spec.ValResp(v))
+			} else {
+				rec.End(0, spec.EmptyResp())
+				break
+			}
+		}
+		hist := rec.History()
+		d := spec.Detectable(spec.NewStack(), 2)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			return fmt.Errorf("history not linearizable:\n%s", check.FormatHistory(hist))
+		}
+		return nil
+	}
+	bound := 2
+	if testing.Short() {
+		bound = 1
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: bound}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v violates D<stack>: %v", bad, err)
+	}
+	t.Logf("verified %d schedules", schedules)
+}
+
+// TestDSSQueueSchedulesWithCrash combines both exploration axes: under
+// every single-preemption schedule, a crash is armed mid-workload; after
+// recovery the resolutions close the interrupted operations and the full
+// history must still be strictly linearizable w.r.t. D⟨queue⟩.
+func TestDSSQueueSchedulesWithCrash(t *testing.T) {
+	var q *core.Queue
+	var rec *check.Recorder
+	var heap *pmem.Heap
+	setup := func() (*pmem.Heap, []func()) {
+		heap = newHeap(t)
+		var err error
+		q, err = core.New(heap, 0, core.Config{Threads: 2, NodesPerThread: 8, ExtraNodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = check.NewRecorder()
+		heap.ArmCrash(45)
+		mk := func(tid int, v uint64) func() {
+			return func() {
+				pmem.RunToCrash(func() {
+					rec.Begin(tid, spec.PrepOp(spec.Enqueue(v)))
+					if err := q.PrepEnqueue(tid, v); err != nil {
+						return
+					}
+					rec.End(tid, spec.BottomResp())
+					rec.Begin(tid, spec.ExecOp(spec.Enqueue(v)))
+					q.ExecEnqueue(tid)
+					rec.End(tid, spec.AckResp())
+					rec.Begin(tid, spec.PrepOp(spec.Dequeue()))
+					q.PrepDequeue(tid)
+					rec.End(tid, spec.BottomResp())
+					rec.Begin(tid, spec.ExecOp(spec.Dequeue()))
+					if got, ok := q.ExecDequeue(tid); ok {
+						rec.End(tid, spec.ValResp(got))
+					} else {
+						rec.End(tid, spec.EmptyResp())
+					}
+				})
+			}
+		}
+		return heap, []func(){mk(0, 100), mk(1, 200)}
+	}
+	verify := func() error {
+		if heap.Crashed() {
+			rec.CrashAll()
+			heap.Crash(pmem.NewRandomFates(7))
+			q.Recover()
+			for tid := 0; tid < 2; tid++ {
+				rec.Begin(tid, spec.ResolveOp())
+				rec.End(tid, q.Resolve(tid).Resp())
+			}
+		} else {
+			heap.ArmCrash(0)
+		}
+		for {
+			rec.Begin(0, spec.Dequeue())
+			v, ok := q.Dequeue(0)
+			if ok {
+				rec.End(0, spec.ValResp(v))
+			} else {
+				rec.End(0, spec.EmptyResp())
+				break
+			}
+		}
+		hist := rec.History()
+		d := spec.Detectable(spec.NewQueue(), 2)
+		if r := check.StrictlyLinearizable(d, hist); !r.OK {
+			return fmt.Errorf("history not linearizable:\n%s", check.FormatHistory(hist))
+		}
+		return nil
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 1}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v violates D<queue> across a crash: %v", bad, err)
+	}
+	t.Logf("verified %d schedules, each with a mid-workload crash", schedules)
+}

@@ -1,0 +1,329 @@
+// Package universal implements a recoverable, detectable universal
+// construction in the spirit of Herlihy's classic construction, which the
+// paper points to in Section 2.2: "a wait-free recoverable implementation
+// of D⟨T⟩ for any conventional type T can be obtained in the shared memory
+// model using Herlihy's universal construction", extended here to the
+// volatile-cache model with explicit persistence instructions.
+//
+// The object is a persistent append-only log of operation records.
+// Appending is a lock-free tail CAS (as in the MS queue); the abstract
+// state and every response are recovered by deterministic replay of the
+// log against the sequential specification. Detectability follows the DSS
+// queue's pattern: prep-op persists a record and points the caller's
+// X[i] word at it; exec-op links the record into the log and then tags
+// X[i] as complete; resolve decodes X[i], and recovery re-derives the
+// completion tag for records that were linked but not yet tagged when the
+// crash hit.
+//
+// Replay makes operations O(history), so this is a feasibility
+// construction — exactly the role it plays in the paper — not a
+// performance substrate.
+package universal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Record layout (one cache line).
+const (
+	recCode  = 0 // 1-based index into the op table
+	recArg   = 1
+	recArg2  = 2
+	recTag   = 3
+	recProc  = 4
+	recNext  = 5
+	recWords = pmem.WordsPerLine
+)
+
+// X-word tags (records are line-aligned, low bits of their address are
+// free only above bit 56 for the arena sizes we use, so tags go high).
+const (
+	prepTag   = uint64(1) << 63
+	complTag  = uint64(1) << 62
+	xTagMask  = prepTag | complTag
+	recNoNext = uint64(0)
+)
+
+// ErrNoRecords is returned when the record pool is exhausted (the log is
+// append-only, so capacity bounds the total operation count).
+var ErrNoRecords = errors.New("universal: record pool exhausted")
+
+// ErrUnknownOp is returned for operations not in the object's op table.
+var ErrUnknownOp = errors.New("universal: operation not in table")
+
+// Object is a detectable recoverable object of an arbitrary sequential
+// type, built from read/write/CAS base objects on the simulated heap.
+type Object struct {
+	h       *pmem.Heap
+	pool    *pmem.Pool
+	init    spec.State
+	ops     []spec.Op // op table: prototypes indexed by code-1
+	head    pmem.Addr // sentinel record
+	tailA   pmem.Addr // volatile-ish tail hint (not trusted after crash)
+	xBase   pmem.Addr
+	threads int
+}
+
+// New builds a detectable object with the given initial state. opTable
+// lists the object's operations by prototype symbol (e.g. spec.Read(),
+// spec.Write(0), spec.CAS(0,0)); invocation arguments are carried in the
+// record, so prototypes only fix the symbol. capacity bounds the total
+// number of operations over the object's lifetime. Pass a negative
+// rootSlot to skip root-directory registration (for objects that are
+// themselves located through an owning structure, e.g. nested base
+// objects).
+func New(h *pmem.Heap, rootSlot, threads, capacity int, init spec.State, opTable []spec.Op) (*Object, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("universal: need at least one thread, got %d", threads)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("universal: capacity must be positive")
+	}
+	if len(opTable) == 0 {
+		return nil, fmt.Errorf("universal: empty op table")
+	}
+	meta, err := h.Alloc((2 + threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("universal: metadata: %w", err)
+	}
+	o := &Object{
+		h:       h,
+		init:    init,
+		ops:     append([]spec.Op(nil), opTable...),
+		head:    0,
+		tailA:   meta,
+		xBase:   meta + 2*pmem.WordsPerLine,
+		threads: threads,
+	}
+	o.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: capacity/threads + 1,
+		ExtraBlocks:     1,
+		BlockWords:      recWords,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("universal: record pool: %w", err)
+	}
+	sentinel, ok := o.pool.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("universal: no record for sentinel")
+	}
+	o.h.Store(sentinel+recNext, recNoNext)
+	o.h.Persist(sentinel)
+	o.head = sentinel
+	o.h.Store(o.tailA, uint64(sentinel))
+	o.h.Persist(o.tailA)
+	for i := 0; i < threads; i++ {
+		o.h.Store(o.xAddr(i), 0)
+		o.h.Persist(o.xAddr(i))
+	}
+	if rootSlot >= 0 {
+		h.SetRoot(rootSlot, meta)
+	}
+	return o, nil
+}
+
+func (o *Object) xAddr(tid int) pmem.Addr {
+	return o.xBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+// encode returns the 1-based op-table code for op's symbol.
+func (o *Object) encode(op spec.Op) (uint64, error) {
+	for i, p := range o.ops {
+		if p.Sym == op.Sym {
+			return uint64(i + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownOp, op.Sym)
+}
+
+// decode rebuilds the op stored in record r.
+func (o *Object) decode(r pmem.Addr) spec.Op {
+	code := o.h.Load(r + recCode)
+	if code == 0 || int(code) > len(o.ops) {
+		return spec.Op{}
+	}
+	op := o.ops[code-1]
+	op.Kind = spec.Base
+	op.Arg = o.h.Load(r + recArg)
+	op.Arg2 = o.h.Load(r + recArg2)
+	op.Tag = o.h.Load(r + recTag)
+	return op
+}
+
+// newRecord allocates and persists a record for op by proc.
+func (o *Object) newRecord(tid int, op spec.Op) (pmem.Addr, error) {
+	code, err := o.encode(op)
+	if err != nil {
+		return 0, err
+	}
+	r, ok := o.pool.Alloc(tid)
+	if !ok {
+		return 0, ErrNoRecords
+	}
+	o.h.Store(r+recCode, code)
+	o.h.Store(r+recArg, op.Arg)
+	o.h.Store(r+recArg2, op.Arg2)
+	o.h.Store(r+recTag, op.Tag)
+	o.h.Store(r+recProc, uint64(tid))
+	o.h.Store(r+recNext, recNoNext)
+	o.h.Persist(r)
+	return r, nil
+}
+
+// append links record r at the end of the log (lock-free) and persists
+// the link.
+func (o *Object) append(r pmem.Addr) {
+	for {
+		last := pmem.Addr(o.h.Load(o.tailA))
+		next := pmem.Addr(o.h.Load(last + recNext))
+		if next != 0 {
+			o.h.Persist(last + recNext)
+			o.h.CompareAndSwap(o.tailA, uint64(last), uint64(next))
+			continue
+		}
+		if o.h.CompareAndSwap(last+recNext, recNoNext, uint64(r)) {
+			o.h.Persist(last + recNext)
+			o.h.CompareAndSwap(o.tailA, uint64(last), uint64(r))
+			return
+		}
+	}
+}
+
+// replay folds the log through the specification, returning the state
+// after all records and the response of record upto (if nonzero).
+func (o *Object) replay(upto pmem.Addr) (spec.State, spec.Resp, bool) {
+	st := o.init
+	var resp spec.Resp
+	found := false
+	for r := pmem.Addr(o.h.Load(o.head + recNext)); r != 0; r = pmem.Addr(o.h.Load(r + recNext)) {
+		op := o.decode(r)
+		proc := int(o.h.Load(r + recProc))
+		next, rresp, ok := st.Apply(op, proc)
+		if !ok {
+			// A record for an op the spec rejects cannot be appended by
+			// this implementation; tolerate it as a no-op for robustness.
+			continue
+		}
+		st = next
+		if r == upto {
+			resp = rresp
+			found = true
+		}
+	}
+	return st, resp, found
+}
+
+// State returns the object's current abstract state (by replay).
+func (o *Object) State() spec.State {
+	st, _, _ := o.replay(0)
+	return st
+}
+
+// Invoke applies op non-detectably (Axiom 4) and returns its response.
+func (o *Object) Invoke(tid int, op spec.Op) (spec.Resp, error) {
+	r, err := o.newRecord(tid, op)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	o.append(r)
+	_, resp, _ := o.replay(r)
+	return resp, nil
+}
+
+// Prep declares the detectable intent to apply op (Axiom 1).
+func (o *Object) Prep(tid int, op spec.Op) error {
+	r, err := o.newRecord(tid, op)
+	if err != nil {
+		return err
+	}
+	oldX := o.h.Load(o.xAddr(tid))
+	o.h.Store(o.xAddr(tid), uint64(r)|prepTag)
+	o.h.Persist(o.xAddr(tid))
+	if oldX&prepTag != 0 && oldX&complTag == 0 {
+		if old := pmem.Addr(oldX &^ xTagMask); old != 0 && !o.linked(old) {
+			// A previously prepared record that never made it into the
+			// log can be reused.
+			o.pool.Free(tid, old)
+		}
+	}
+	return nil
+}
+
+// Exec applies the prepared operation (Axiom 2) and returns its response.
+// A second Exec for the same Prep is a no-op returning the recorded
+// response, mirroring the DSS queue's defensive behavior.
+func (o *Object) Exec(tid int) (spec.Resp, error) {
+	x := o.h.Load(o.xAddr(tid))
+	if x&prepTag == 0 {
+		return spec.Resp{}, fmt.Errorf("universal: exec without prep")
+	}
+	r := pmem.Addr(x &^ xTagMask)
+	if x&complTag == 0 {
+		o.append(r)
+		o.h.Store(o.xAddr(tid), x|complTag)
+		o.h.Persist(o.xAddr(tid))
+	}
+	_, resp, _ := o.replay(r)
+	return resp, nil
+}
+
+// Resolve reports the most recently prepared operation and its response
+// (Axiom 3). It is total and idempotent.
+func (o *Object) Resolve(tid int) spec.Resp {
+	x := o.h.Load(o.xAddr(tid))
+	if x&prepTag == 0 {
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	r := pmem.Addr(x &^ xTagMask)
+	op := o.decode(r)
+	if x&complTag == 0 && !o.linked(r) {
+		return spec.PairResp(true, op, spec.BottomResp())
+	}
+	_, resp, found := o.replay(r)
+	if !found {
+		return spec.PairResp(true, op, spec.BottomResp())
+	}
+	return spec.PairResp(true, op, resp)
+}
+
+// linked reports whether record r is in the log.
+func (o *Object) linked(r pmem.Addr) bool {
+	for c := pmem.Addr(o.h.Load(o.head + recNext)); c != 0; c = pmem.Addr(o.h.Load(c + recNext)) {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Recover restores the object after a crash: it re-derives the tail hint,
+// completes the X tag of any record that was linked but not yet tagged,
+// and rebuilds the volatile pool state. Single-threaded.
+func (o *Object) Recover() {
+	last := o.head
+	live := map[pmem.Addr]bool{o.head: true}
+	for r := pmem.Addr(o.h.Load(o.head + recNext)); r != 0; r = pmem.Addr(o.h.Load(r + recNext)) {
+		live[r] = true
+		last = r
+	}
+	o.h.Store(o.tailA, uint64(last))
+	o.h.Persist(o.tailA)
+	for i := 0; i < o.threads; i++ {
+		x := o.h.Load(o.xAddr(i))
+		if x&prepTag == 0 {
+			continue
+		}
+		r := pmem.Addr(x &^ xTagMask)
+		live[r] = true
+		if x&complTag == 0 && live[r] && o.linked(r) {
+			o.h.Store(o.xAddr(i), x|complTag)
+			o.h.Persist(o.xAddr(i))
+		}
+	}
+	o.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}

@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-json clean
+
+# ci is the full local gate: static checks, build, tests, and a short
+# race pass over the packages with the most concurrency.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the data-race detector over the simulator and the DSS queue,
+# the two packages whose hot paths are exercised by many goroutines.
+race:
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core
+
+# bench-json regenerates the committed benchmark-trajectory reports.
+# Opt-in (not part of ci): it monopolizes the machine for a few minutes
+# and its numbers are host-dependent.
+bench-json:
+	$(GO) run ./cmd/dssbench -figure 5a -repeats 3 -flush 300ns -json BENCH_fig5a.json
+	$(GO) run ./cmd/dssbench -figure 5b -repeats 3 -flush 300ns -json BENCH_fig5b.json
+
+clean:
+	$(GO) clean ./...

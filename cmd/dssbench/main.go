@@ -5,11 +5,14 @@
 //
 //	dssbench -figure 5a -threads 1,2,4,8,12,16,20 -duration 500ms
 //	dssbench -figure 5b -csv > fig5b.csv
+//	dssbench -figure 5a -json BENCH_fig5a.json
 //	dssbench -impls ms-queue,dss-detectable -duration 1s
 //
 // Each series prints millions of operations per second (enqueues plus
 // dequeues), following the paper's workload: a queue seeded with 16
-// nodes, every thread running alternating enqueue/dequeue pairs.
+// nodes, every thread running alternating enqueue/dequeue pairs. With
+// -json, a machine-readable harness.Report is also written to the given
+// path, forming the benchmark trajectory future revisions regress against.
 package main
 
 import (
@@ -38,6 +41,7 @@ func run() error {
 	repeats := flag.Int("repeats", 1, "runs averaged per point (paper: 10)")
 	flush := flag.Duration("flush", 200*time.Nanosecond, "simulated CLWB+SFENCE latency")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonPath := flag.String("json", "", "also write a machine-readable report to this path (e.g. BENCH_fig5a.json)")
 	flag.Parse()
 
 	threads, err := parseInts(*threadList)
@@ -75,6 +79,16 @@ func run() error {
 		fmt.Print(harness.FormatCSV(series))
 	} else {
 		fmt.Print(harness.FormatTable(series))
+	}
+	if *jsonPath != "" {
+		out, err := harness.FormatJSON("fig"+*figure, cfg, series)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, []byte(out), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 	return nil
 }

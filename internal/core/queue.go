@@ -146,10 +146,9 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
 	// This keeps the persisted list image scannable: recovery walks the
 	// chain from the persisted head, and this hook guarantees that no
 	// node reachable from it has had its fields overwritten by reuse.
-	// (One flush per reclamation batch; see DESIGN.md.)
+	// (Two flushes, one fence per reclamation batch; see DESIGN.md.)
 	q.rec.SetDrainHook(func(int) {
-		q.h.Persist(q.head)
-		q.h.Persist(q.tail)
+		q.h.PersistPair(q.head, q.tail)
 	})
 
 	sentinel, ok := q.pool.Alloc(0)
@@ -159,12 +158,11 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
 	q.initNode(sentinel, 0)
 	q.h.Store(q.head, uint64(sentinel))
 	q.h.Store(q.tail, uint64(sentinel))
-	q.h.Persist(q.head)
-	q.h.Persist(q.tail)
+	q.h.PersistPair(q.head, q.tail)
 	for i := 0; i < cfg.Threads; i++ {
 		q.h.Store(q.xAddr(i), 0)
-		q.h.Persist(q.xAddr(i))
 	}
+	q.h.PersistRange(q.xBase, cfg.Threads*pmem.WordsPerLine)
 	h.SetRoot(rootSlot, meta)
 	return q, nil
 }
@@ -211,8 +209,7 @@ func Attach(h *pmem.Heap, rootSlot int) (*Queue, error) {
 		return nil, fmt.Errorf("core: reclamation: %w", err)
 	}
 	q.rec.SetDrainHook(func(int) {
-		q.h.Persist(q.head)
-		q.h.Persist(q.tail)
+		q.h.PersistPair(q.head, q.tail)
 	})
 	return q, nil
 }
@@ -253,10 +250,15 @@ func markedTID(w uint64) bool { return w != tidNone }
 // a post-crash resolve read a recycled value or claim mark and report a
 // wrong outcome. At most two nodes per thread are pinned at a time, so
 // parked nodes are few and short-lived.
+//
+// The scan reads through LoadVolatile: the pin check is the simulator's
+// reclamation bookkeeping (the paper's testbed pays no per-X memory charge
+// here), not part of the queue algorithm, so it must not consume modeled
+// access delay, operation counts, or Tracked-mode steps.
 func (q *Queue) pinned(a pmem.Addr) bool {
 	tracked := q.h.Mode() == pmem.Tracked
 	for i := 0; i < q.threads; i++ {
-		if q.xPins(q.h.Load(q.xAddr(i)), a) {
+		if q.xPins(q.h.LoadVolatile(q.xAddr(i)), a) {
 			return true
 		}
 		if tracked && q.xPins(q.h.PersistedLoad(q.xAddr(i)), a) {
@@ -278,7 +280,7 @@ func (q *Queue) xPins(x uint64, a pmem.Addr) bool {
 	if x&deqPrepTag != 0 {
 		// p itself is pinned (directly referenced), so its fields are
 		// stable and this dereference is safe.
-		if pmem.Addr(q.h.Load(p+offNext)) == a {
+		if pmem.Addr(q.h.LoadVolatile(p+offNext)) == a {
 			return true
 		}
 	}

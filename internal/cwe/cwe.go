@@ -132,12 +132,11 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
 	q.h.Persist(sentinel)
 	q.h.Store(q.head, uint64(sentinel))
 	q.h.Store(q.tail, uint64(sentinel))
-	q.h.Persist(q.head)
-	q.h.Persist(q.tail)
+	q.h.PersistPair(q.head, q.tail)
 	for i := 0; i < cfg.Threads; i++ {
 		q.h.Store(q.xAddr(i), 0)
-		q.h.Persist(q.xAddr(i))
 	}
+	q.h.PersistRange(q.xBase, cfg.Threads*pmem.WordsPerLine)
 	h.SetRoot(rootSlot, meta)
 	return q, nil
 }
@@ -152,11 +151,13 @@ func (q *Queue) xAddr(tid int) pmem.Addr {
 func ptrOf(x uint64) pmem.Addr { return pmem.Addr(x &^ tagMask) }
 
 // pinned vetoes recycling of nodes referenced by any X word (coherent or
-// persisted view): resolve reads the referenced node's value.
+// persisted view): resolve reads the referenced node's value. The scan is
+// simulator-side reclamation bookkeeping, so it reads through LoadVolatile
+// (uncharged; see core.Queue.pinned).
 func (q *Queue) pinned(a pmem.Addr) bool {
 	tracked := q.h.Mode() == pmem.Tracked
 	for i := 0; i < q.threads; i++ {
-		x := q.h.Load(q.xAddr(i))
+		x := q.h.LoadVolatile(q.xAddr(i))
 		if ptrOf(x&^(pmwcas.DirtyFlag)) == a && x&tagMask != 0 {
 			return true
 		}

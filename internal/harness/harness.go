@@ -186,8 +186,11 @@ type Point struct {
 	Mops float64
 	// Ops is the raw operation count.
 	Ops uint64
-	// Flushes counts simulated persistence instructions issued.
+	// Flushes counts simulated write-back (CLWB) instructions issued.
 	Flushes uint64
+	// Fences counts simulated drain (SFENCE) instructions issued; with
+	// flush coalescing it can be lower than Flushes.
+	Fences uint64
 }
 
 // RunConfig parameterizes one throughput measurement.
@@ -226,7 +229,7 @@ func RunThroughput(cfg RunConfig) (Point, error) {
 			return Point{}, fmt.Errorf("harness: seeding: %w", err)
 		}
 	}
-	flushes0 := h.Snapshot().Flushes
+	stats0 := h.Stats()
 
 	var stop atomic.Bool
 	counts := make([]uint64, cfg.Threads*8) // padded: one slot per thread, stride 8
@@ -261,11 +264,13 @@ func RunThroughput(cfg RunConfig) (Point, error) {
 	for tid := 0; tid < cfg.Threads; tid++ {
 		total += atomic.LoadUint64(&counts[tid*8])
 	}
+	stats := h.Stats()
 	return Point{
 		Threads: cfg.Threads,
 		Mops:    float64(total) / elapsed.Seconds() / 1e6,
 		Ops:     total,
-		Flushes: h.Snapshot().Flushes - flushes0,
+		Flushes: stats.Flushes - stats0.Flushes,
+		Fences:  stats.Fences - stats0.Fences,
 	}, nil
 }
 
@@ -333,6 +338,7 @@ func Sweep(impls []Impl, cfg SweepConfig) ([]Series, error) {
 				acc.Mops += p.Mops
 				acc.Ops += p.Ops
 				acc.Flushes += p.Flushes
+				acc.Fences += p.Fences
 			}
 			acc.Mops /= float64(cfg.Repeats)
 			s.Points = append(s.Points, acc)

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report is the machine-readable form of one figure reproduction, written
+// as BENCH_fig5a.json / BENCH_fig5b.json so that successive revisions have
+// a benchmark trajectory to regress against. The schema is intentionally
+// flat and stable: tooling that diffs two reports should only ever need
+// figure/series/threads/mops.
+type Report struct {
+	// Figure identifies the reproduced figure ("fig5a", "fig5b", ...).
+	Figure string `json:"figure"`
+	// Workload restates the measured workload for the reader.
+	Workload string `json:"workload"`
+	// Config echoes the sweep parameters the numbers were taken under.
+	Config ReportConfig `json:"config"`
+	// Series holds one entry per implementation, in legend order.
+	Series []ReportSeries `json:"series"`
+}
+
+// ReportConfig echoes the SweepConfig a report was measured under.
+type ReportConfig struct {
+	Threads        []int  `json:"threads"`
+	DurationMS     int64  `json:"duration_ms"`
+	Repeats        int    `json:"repeats"`
+	FlushLatencyNS int64  `json:"flush_latency_ns"`
+	AccessDelay    int    `json:"access_delay"`
+	GoMaxProcs     int    `json:"gomaxprocs,omitempty"`
+	Note           string `json:"note,omitempty"`
+}
+
+// ReportSeries is one implementation's curve.
+type ReportSeries struct {
+	Impl   string        `json:"impl"`
+	Points []ReportPoint `json:"points"`
+}
+
+// ReportPoint is one (threads, throughput) measurement with its operation
+// counts, including the flush/fence split introduced by coalescing.
+type ReportPoint struct {
+	Threads int     `json:"threads"`
+	Mops    float64 `json:"mops"`
+	Ops     uint64  `json:"ops"`
+	Flushes uint64  `json:"flushes"`
+	Fences  uint64  `json:"fences"`
+}
+
+// BuildReport assembles a Report from measured series.
+func BuildReport(figure string, cfg SweepConfig, series []Series) Report {
+	cfg.defaults()
+	r := Report{
+		Figure:   figure,
+		Workload: "alternating enqueue/dequeue pairs, queue seeded with 16 items",
+		Config: ReportConfig{
+			Threads:        cfg.Threads,
+			DurationMS:     cfg.Duration.Milliseconds(),
+			Repeats:        cfg.Repeats,
+			FlushLatencyNS: cfg.FlushLatency.Nanoseconds(),
+			AccessDelay:    cfg.AccessDelay,
+		},
+	}
+	for _, s := range series {
+		rs := ReportSeries{Impl: s.Name}
+		for _, p := range s.Points {
+			rs.Points = append(rs.Points, ReportPoint{
+				Threads: p.Threads,
+				Mops:    p.Mops,
+				Ops:     p.Ops,
+				Flushes: p.Flushes,
+				Fences:  p.Fences,
+			})
+		}
+		r.Series = append(r.Series, rs)
+	}
+	return r
+}
+
+// FormatJSON renders series as an indented JSON Report.
+func FormatJSON(figure string, cfg SweepConfig, series []Series) (string, error) {
+	b, err := json.MarshalIndent(BuildReport(figure, cfg, series), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: marshal report: %w", err)
+	}
+	return string(b) + "\n", nil
+}

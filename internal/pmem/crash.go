@@ -3,6 +3,7 @@ package pmem
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 )
 
@@ -44,8 +45,12 @@ type KeepAll struct{}
 func (KeepAll) Fate(int) LineFate { return Survives }
 
 // RandomFates flips an independent coin per dirty line, seeded
-// deterministically so failures are reproducible.
+// deterministically so failures are reproducible. The underlying rand.Rand
+// is not safe for concurrent use, so Fate serializes on a mutex: crash
+// sweeps share one adversary across many sequential Crash calls today, but
+// nothing in the Adversary contract forbids concurrent callers.
 type RandomFates struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -56,6 +61,8 @@ func NewRandomFates(seed int64) *RandomFates {
 
 // Fate implements Adversary.
 func (r *RandomFates) Fate(int) LineFate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.rng.Intn(2) == 0 {
 		return Lost
 	}

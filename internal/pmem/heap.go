@@ -18,6 +18,14 @@
 //     primitive memory step, and can inject a crash at an exact step. This
 //     mode is used for crash-recovery verification.
 //
+// The Direct-mode hot path is built not to manufacture contention the
+// modeled hardware does not have: operation counters are striped across
+// cache-line-padded shards (aggregated lazily by Stats), the Heap's mutable
+// words are padded apart from its read-mostly configuration, and the flush
+// cost model splits CLWB issue from SFENCE drain so that batched flushes
+// under one fence (PersistRange, PersistPair) coalesce instead of paying
+// the full latency per line.
+//
 // A simulated crash is delivered as a panic carrying a *CrashError. Every
 // subsequent heap access by any goroutine raises the same panic, so all
 // workers unwind cooperatively; the test harness recovers the sentinel with
@@ -33,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Addr is a word-granularity offset into a Heap's arena. Addr 0 is the NULL
@@ -96,7 +105,13 @@ type Config struct {
 	// Mode selects Direct (benchmarking) or Tracked (verification).
 	Mode Mode
 	// FlushLatency is the simulated cost of one Persist (CLWB+SFENCE) in
-	// Direct mode. Zero disables the delay. Ignored in Tracked mode.
+	// Direct mode. The cost is split between the flush (CLWB issue,
+	// flushIssueFrac of the latency) and the fence (SFENCE drain, the
+	// rest), so n flushes retired by a single fence cost
+	// (n*issue + drain) rather than n full latencies — the way CLWBs to
+	// distinct lines pipeline on real hardware. Persist (one flush, one
+	// fence) costs exactly FlushLatency. Zero disables the delay.
+	// Ignored in Tracked mode.
 	FlushLatency time.Duration
 	// AccessDelay is a calibrated spin (in loop iterations, roughly
 	// 0.5-1 ns each) charged to every Load/Store/CAS in Direct mode. It
@@ -106,6 +121,11 @@ type Config struct {
 	// disables it. Ignored in Tracked mode.
 	AccessDelay int
 }
+
+// flushIssueDenom splits FlushLatency between CLWB issue (1/flushIssueDenom
+// of the latency, charged by Flush) and SFENCE drain (the remainder,
+// charged by Fence).
+const flushIssueDenom = 4
 
 // ErrOutOfMemory is returned by Alloc when the arena is exhausted.
 var ErrOutOfMemory = errors.New("pmem: arena exhausted")
@@ -132,12 +152,45 @@ type Stats struct {
 	Fences  uint64
 }
 
+// Stat-shard geometry: counters are striped across statShards shards, each
+// padded to two cache lines so that no two shards — and no shard and any
+// neighbouring Heap field — share a line even under adjacent-line
+// prefetching.
+const (
+	statShardBits = 6
+	statShards    = 1 << statShardBits
+)
+
+// paddedStats is one stripe of the operation counters.
+type paddedStats struct {
+	loads, stores, cases, flushes, fences atomic.Uint64
+	_                                     [128 - 5*8]byte
+}
+
+// syncFailure boxes the first durable write-back error of a file-backed
+// heap so it can be latched with a single pointer CAS.
+type syncFailure struct{ err error }
+
+// linePad separates mutable Heap fields so independent writers never share
+// a cache line.
+type linePad struct{ _ [64]byte }
+
 // Heap is a simulated persistent memory device. All methods are safe for
 // concurrent use.
+//
+// Field layout: everything up to the first pad is read-mostly after New
+// (configuration and slice headers), and the mutable atomics that follow
+// are padded apart so that the Direct-mode hot path — which reads only the
+// configuration section — never shares a cache line with a contended
+// counter or the allocation cursor.
 type Heap struct {
-	mode    Mode
-	flushNS int64
-	access  int
+	mode   Mode
+	access int
+	// flushIssue/fenceDrain are the pre-computed spin iteration counts for
+	// the CLWB-issue and SFENCE-drain halves of FlushLatency (Direct mode;
+	// see Config.FlushLatency).
+	flushIssue int
+	fenceDrain int
 
 	// cache is the coherent (volatile) view shared by all simulated CPUs.
 	cache []uint64
@@ -148,10 +201,6 @@ type Heap struct {
 	// ahead of its persisted view.
 	dirty []atomic.Uint32
 
-	steps   atomic.Uint64
-	crashAt atomic.Uint64 // 0 = disarmed
-	crashed atomic.Uint32
-
 	// gate, when set (Tracked mode), is invoked before every primitive
 	// memory step. Systematic concurrency testing uses it as a
 	// scheduling point: the gate blocks the calling goroutine until a
@@ -161,18 +210,23 @@ type Heap struct {
 
 	// sync, when set (file-backed heaps), makes Flush durably write the
 	// line's page back to the backing file. The first failure is latched
-	// in syncErr.
+	// in syncErr (lock-free; see SyncErr).
 	sync    func(a Addr) error
-	syncMu  sync.Mutex
-	syncErr error
+	syncErr atomic.Pointer[syncFailure]
+
+	_ linePad
 
 	allocNext atomic.Uint64 // next free word; line-aligned
 
-	loads   atomic.Uint64
-	stores  atomic.Uint64
-	cases   atomic.Uint64
-	flushes atomic.Uint64
-	fences  atomic.Uint64
+	_ linePad
+
+	steps   atomic.Uint64
+	crashAt atomic.Uint64 // 0 = disarmed
+	crashed atomic.Uint32
+
+	_ linePad
+
+	stats [statShards]paddedStats
 }
 
 // New creates a Heap with the given configuration.
@@ -188,10 +242,14 @@ func New(cfg Config) (*Heap, error) {
 		words = 4 * WordsPerLine
 	}
 	h := &Heap{
-		mode:    cfg.Mode,
-		flushNS: cfg.FlushLatency.Nanoseconds(),
-		access:  cfg.AccessDelay,
-		cache:   make([]uint64, words),
+		mode:   cfg.Mode,
+		access: cfg.AccessDelay,
+		cache:  make([]uint64, words),
+	}
+	if cfg.Mode == Direct && cfg.FlushLatency > 0 {
+		issueNS := cfg.FlushLatency.Nanoseconds() / flushIssueDenom
+		h.flushIssue = nsToIters(issueNS)
+		h.fenceDrain = nsToIters(cfg.FlushLatency.Nanoseconds() - issueNS)
 	}
 	if cfg.Mode == Tracked {
 		h.persisted = make([]uint64, words)
@@ -239,12 +297,20 @@ func (h *Heap) persistCursor() {
 	h.Flush(allocCursorWord)
 }
 
+// noteSyncErr latches the first durable write-back failure. Lock-free: a
+// single CAS on the failure path, nothing on the success path.
+func (h *Heap) noteSyncErr(err error) {
+	h.syncErr.CompareAndSwap(nil, &syncFailure{err: err})
+}
+
 // SyncErr reports the first durable write-back failure of a file-backed
-// heap (nil for simulated heaps and clean runs).
+// heap (nil for simulated heaps and clean runs). Like Stats, it may be
+// polled concurrently with operations at no cost to the hot path.
 func (h *Heap) SyncErr() error {
-	h.syncMu.Lock()
-	defer h.syncMu.Unlock()
-	return h.syncErr
+	if f := h.syncErr.Load(); f != nil {
+		return f.err
+	}
+	return nil
 }
 
 // AllocUsed reports the number of words currently allocated (including the
@@ -304,15 +370,46 @@ func (h *Heap) check(a Addr) {
 	}
 }
 
+// stat picks this goroutine's counter shard. The key is derived from the
+// address of a stack slot: goroutine stacks are disjoint memory regions, so
+// concurrent goroutines hash to different shards with high probability and
+// a tight loop in one goroutine keeps hitting the same (exclusively owned,
+// cache-hot) shard. Correctness does not depend on the key — every
+// operation increments exactly one shard and Stats sums them all — only
+// contention does.
+func (h *Heap) stat() *paddedStats {
+	var slot byte
+	p := uint64(uintptr(unsafe.Pointer(&slot)))
+	return &h.stats[(p>>3)*0x9E3779B97F4A7C15>>(64-statShardBits)]
+}
+
 // Load atomically reads the word at a from the coherent cache view.
 func (h *Heap) Load(a Addr) uint64 {
 	h.check(a)
-	if h.mode == Tracked {
-		h.step()
-	} else if h.access > 0 {
-		spinIters(h.access)
+	if h.mode == Direct {
+		if h.access > 0 {
+			spinIters(h.access)
+		}
+		h.stat().loads.Add(1)
+		return atomic.LoadUint64(&h.cache[a])
 	}
-	h.loads.Add(1)
+	h.step()
+	h.stat().loads.Add(1)
+	return atomic.LoadUint64(&h.cache[a])
+}
+
+// LoadVolatile reads the word at a from the coherent cache view without
+// charging the simulated access delay, without counting toward Stats, and
+// without consuming a Tracked-mode step or scheduling point. It is the
+// simulator's own bookkeeping read — for pool pin predicates and similar
+// reclamation-side scans whose cost the paper's testbed does not pay as
+// modeled memory operations. Algorithm code must keep using Load. The
+// crash sentinel still fires, so in-flight workers unwind promptly.
+func (h *Heap) LoadVolatile(a Addr) uint64 {
+	h.check(a)
+	if h.mode == Tracked && h.crashed.Load() != 0 {
+		panic(&CrashError{Step: h.steps.Load()})
+	}
 	return atomic.LoadUint64(&h.cache[a])
 }
 
@@ -320,19 +417,22 @@ func (h *Heap) Load(a Addr) uint64 {
 // The update is volatile until the containing line is flushed.
 func (h *Heap) Store(a Addr, v uint64) {
 	h.check(a)
-	if h.mode == Tracked {
-		h.step()
-		// Mark dirty before the store: a concurrent Flush between the mark
-		// and the store may clear the flag having written back the old
-		// value, which loses this store on crash — a legal outcome for an
-		// un-flushed store. The converse order could leave an un-persisted
-		// store on a clean line, which would be unsound.
-		h.dirty[a/WordsPerLine].Store(1)
+	if h.mode == Direct {
+		if h.access > 0 {
+			spinIters(h.access)
+		}
+		h.stat().stores.Add(1)
+		atomic.StoreUint64(&h.cache[a], v)
+		return
 	}
-	if h.mode == Direct && h.access > 0 {
-		spinIters(h.access)
-	}
-	h.stores.Add(1)
+	h.step()
+	// Mark dirty before the store: a concurrent Flush between the mark
+	// and the store may clear the flag having written back the old
+	// value, which loses this store on crash — a legal outcome for an
+	// un-flushed store. The converse order could leave an un-persisted
+	// store on a clean line, which would be unsound.
+	h.dirty[a/WordsPerLine].Store(1)
+	h.stat().stores.Add(1)
 	atomic.StoreUint64(&h.cache[a], v)
 }
 
@@ -341,38 +441,41 @@ func (h *Heap) Store(a Addr, v uint64) {
 // is volatile until flushed.
 func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
 	h.check(a)
-	if h.mode == Tracked {
-		h.step()
-		h.dirty[a/WordsPerLine].Store(1)
+	if h.mode == Direct {
+		if h.access > 0 {
+			spinIters(h.access)
+		}
+		h.stat().cases.Add(1)
+		return atomic.CompareAndSwapUint64(&h.cache[a], old, new)
 	}
-	if h.mode == Direct && h.access > 0 {
-		spinIters(h.access)
-	}
-	h.cases.Add(1)
+	h.step()
+	h.dirty[a/WordsPerLine].Store(1)
+	h.stat().cases.Add(1)
 	return atomic.CompareAndSwapUint64(&h.cache[a], old, new)
 }
 
 // Flush writes the cache line containing a back to the persisted view. The
 // simulated write-back is synchronous, which matches the paper's FLUSH: it
-// stands for PMDK pmem_persist, i.e. CLWB followed by a store fence. Flush
-// copies the line unconditionally — the dirty flag is only a hint for the
-// crash adversary — so after Flush returns, the persisted view holds values
-// at least as new as the cache view held when Flush was called.
+// stands for PMDK pmem_persist's CLWB half. Flush copies the line
+// unconditionally — the dirty flag is only a hint for the crash adversary
+// — so after Flush returns, the persisted view holds values at least as
+// new as the cache view held when Flush was called.
+//
+// In Direct mode Flush charges only the CLWB issue slice of FlushLatency;
+// the drain is charged by the following Fence. Persist (flush+fence) costs
+// the full FlushLatency, while n flushes retired by one fence — see
+// PersistRange and PersistPair — coalesce.
 func (h *Heap) Flush(a Addr) {
 	h.check(a)
-	h.flushes.Add(1)
+	h.stat().flushes.Add(1)
 	switch h.mode {
 	case Direct:
 		if h.sync != nil {
 			if err := h.sync(a); err != nil {
-				h.syncMu.Lock()
-				if h.syncErr == nil {
-					h.syncErr = err
-				}
-				h.syncMu.Unlock()
+				h.noteSyncErr(err)
 			}
 		}
-		spinWait(h.flushNS)
+		spinIters(h.flushIssue)
 	case Tracked:
 		h.step()
 		line := a / WordsPerLine
@@ -384,25 +487,45 @@ func (h *Heap) Flush(a Addr) {
 	}
 }
 
-// Fence is a store fence. Because Flush is already synchronous in this
-// model, Fence only counts toward statistics; it is provided so algorithm
-// code can mirror the paper's instruction sequences literally.
+// FlushLine is Flush under its hardware name: it issues the write-back of
+// the line containing a without ordering or draining it. Pair a batch of
+// FlushLine calls with one Fence to model CLWB batching.
+func (h *Heap) FlushLine(a Addr) { h.Flush(a) }
+
+// Fence is a store fence. In Direct mode it charges the SFENCE drain slice
+// of FlushLatency (the simulated wait for previously issued flushes to
+// reach the medium); in Tracked mode the write-back is already synchronous,
+// so Fence only counts a step.
 func (h *Heap) Fence() {
-	h.fences.Add(1)
+	h.stat().fences.Add(1)
 	if h.mode == Tracked {
 		h.step()
+		return
 	}
+	spinIters(h.fenceDrain)
 }
 
 // Persist flushes the line containing a and fences, mirroring PMDK
 // pmem_persist. This is the FLUSH primitive used throughout the paper's
-// pseudocode.
+// pseudocode. It costs the full FlushLatency.
 func (h *Heap) Persist(a Addr) {
 	h.Flush(a)
 	h.Fence()
 }
 
-// PersistRange persists every line in [a, a+words).
+// PersistPair persists the lines containing a and b under a single fence:
+// both CLWBs are issued, then one SFENCE drains them. Use it when two
+// independent lines (for example a queue's head and tail) must be durable
+// but nothing orders one before the other — a crash may persist either,
+// both, or neither, exactly as with two issued-but-undrained CLWBs.
+func (h *Heap) PersistPair(a, b Addr) {
+	h.Flush(a)
+	h.Flush(b)
+	h.Fence()
+}
+
+// PersistRange persists every line in [a, a+words) under a single fence,
+// modelling batched CLWBs: per-line issue cost, one drain.
 func (h *Heap) PersistRange(a Addr, words int) {
 	if words <= 0 {
 		return
@@ -415,29 +538,70 @@ func (h *Heap) PersistRange(a Addr, words int) {
 	h.Fence()
 }
 
-// Snapshot returns the operation counters accumulated so far.
-func (h *Heap) Snapshot() Stats {
-	return Stats{
-		Loads:   h.loads.Load(),
-		Stores:  h.stores.Load(),
-		CASes:   h.cases.Load(),
-		Flushes: h.flushes.Load(),
-		Fences:  h.fences.Load(),
+// Stats aggregates the operation counters accumulated so far across all
+// shards. The aggregate is exact once the heap is quiescent; under
+// concurrent operations it is a consistent lower bound per counter.
+func (h *Heap) Stats() Stats {
+	var s Stats
+	for i := range h.stats {
+		sh := &h.stats[i]
+		s.Loads += sh.loads.Load()
+		s.Stores += sh.stores.Load()
+		s.CASes += sh.cases.Load()
+		s.Flushes += sh.flushes.Load()
+		s.Fences += sh.fences.Load()
 	}
+	return s
 }
+
+// Snapshot is an alias for Stats, kept for existing callers.
+func (h *Heap) Snapshot() Stats { return h.Stats() }
 
 // Steps reports the primitive-step counter (Tracked mode only).
 func (h *Heap) Steps() uint64 { return h.steps.Load() }
 
-// spinWait busy-waits for approximately ns nanoseconds, modelling the
-// latency of a flush instruction without yielding the simulated CPU.
-func spinWait(ns int64) {
+// spinCal holds the lazily measured spin speed used to convert simulated
+// nanoseconds into spinIters iterations, so delay loops never touch the
+// clock on the hot path (time.Now/nanotime cost tens of nanoseconds per
+// call and used to dominate flush spinning).
+var spinCal struct {
+	once        sync.Once
+	itersPerMic uint64 // spin iterations per microsecond
+}
+
+// spinProbe is the calibration workload size. It is a variable, not a
+// constant: with a constant argument the compiler can fold spinIters'
+// keep-alive check away and time a gutted loop, which once made the probe
+// run ~8x faster than real call sites and inflated every simulated delay
+// accordingly.
+var spinProbe = 1 << 16
+
+// nsToIters converts a simulated delay to calibrated spin iterations,
+// measuring the spin speed once per process.
+func nsToIters(ns int64) int {
 	if ns <= 0 {
-		return
+		return 0
 	}
-	start := time.Now()
-	for time.Since(start).Nanoseconds() < ns {
+	spinCal.once.Do(func() {
+		best := int64(1) << 62
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			spinIters(spinProbe)
+			if d := time.Since(start).Nanoseconds(); d > 0 && d < best {
+				best = d
+			}
+		}
+		ipm := uint64(spinProbe) * 1000 / uint64(best)
+		if ipm == 0 {
+			ipm = 1
+		}
+		spinCal.itersPerMic = ipm
+	})
+	iters := uint64(ns) * spinCal.itersPerMic / 1000
+	if iters == 0 {
+		iters = 1
 	}
+	return int(iters)
 }
 
 // spinIters burns roughly n short loop iterations; the mixing keeps the

@@ -1,0 +1,224 @@
+package pmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsShardedAggregationExact drives a mixed workload from 20
+// goroutines, each with a known per-op budget, and asserts the lazily
+// aggregated sharded counters match the issued counts exactly.
+func TestStatsShardedAggregationExact(t *testing.T) {
+	h, err := New(Config{Words: 1 << 12, Mode: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 20
+		rounds     = 500
+	)
+	// Per goroutine and round: 2 loads, 1 store, 1 CAS, 1 Persist
+	// (1 flush + 1 fence), and every 10th round a PersistPair
+	// (2 flushes + 1 fence).
+	addrs := make([]Addr, goroutines)
+	for i := range addrs {
+		a, err := h.Alloc(2 * WordsPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, b := addrs[g], addrs[g]+WordsPerLine
+			for r := 0; r < rounds; r++ {
+				h.Store(a, uint64(r))
+				_ = h.Load(a)
+				_ = h.Load(b)
+				h.CompareAndSwap(a, uint64(r), uint64(r+1))
+				h.Persist(a)
+				if r%10 == 0 {
+					h.PersistPair(a, b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := h.Stats()
+	pairs := uint64(goroutines * (rounds/10 + rounds%10/10)) // rounds 0,10,...,490
+	want := Stats{
+		Loads:   2 * goroutines * rounds,
+		Stores:  goroutines * rounds,
+		CASes:   goroutines * rounds,
+		Flushes: goroutines*rounds + 2*pairs,
+		Fences:  goroutines*rounds + pairs,
+	}
+	if got != want {
+		t.Fatalf("aggregated stats = %+v, want %+v", got, want)
+	}
+	if snap := h.Snapshot(); snap != got {
+		t.Fatalf("Snapshot() = %+v diverges from Stats() = %+v", snap, got)
+	}
+}
+
+// TestDirectHotPathZeroAllocs pins the Direct-mode hot path at zero
+// allocations per operation: the simulator must never perturb a benchmark
+// with GC pressure of its own.
+func TestDirectHotPathZeroAllocs(t *testing.T) {
+	h, err := New(Config{Words: 1 << 10, Mode: Direct, FlushLatency: time.Nanosecond, AccessDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustAlloc(2 * WordsPerLine)
+	b := a + WordsPerLine
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Load", func() { _ = h.Load(a) }},
+		{"LoadVolatile", func() { _ = h.LoadVolatile(a) }},
+		{"Store", func() { h.Store(a, 7) }},
+		{"CAS", func() { h.CompareAndSwap(a, 7, 8); h.Store(a, 7) }},
+		{"Persist", func() { h.Persist(a) }},
+		{"PersistPair", func() { h.PersistPair(a, b) }},
+		{"PersistRange", func() { h.PersistRange(a, 2*WordsPerLine) }},
+		{"Stats", func() { _ = h.Stats() }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(100, tc.op); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestSyncErrLatchesFirstError verifies that the first durable write-back
+// failure is latched and surfaced by SyncErr, and later failures do not
+// overwrite it.
+func TestSyncErrLatchesFirstError(t *testing.T) {
+	h, err := New(Config{Words: 1 << 8, Mode: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SyncErr() != nil {
+		t.Fatalf("fresh heap reports sync error %v", h.SyncErr())
+	}
+	first := errors.New("first msync failure")
+	second := errors.New("second msync failure")
+	a := h.MustAlloc(WordsPerLine)
+	calls := 0
+	h.sync = func(Addr) error {
+		calls++
+		switch calls {
+		case 1:
+			return nil
+		case 2:
+			return first
+		default:
+			return second
+		}
+	}
+	h.Persist(a) // clean
+	if h.SyncErr() != nil {
+		t.Fatalf("clean flush latched %v", h.SyncErr())
+	}
+	h.Persist(a) // first failure
+	h.Persist(a) // second failure must not displace the first
+	if got := h.SyncErr(); !errors.Is(got, first) {
+		t.Fatalf("SyncErr() = %v, want the first failure %v", got, first)
+	}
+}
+
+// TestLoadVolatileUnchargedButCrashes verifies LoadVolatile reads the
+// coherent view without consuming stats or Tracked-mode steps, yet still
+// observes the crash sentinel.
+func TestLoadVolatileUnchargedButCrashes(t *testing.T) {
+	h, err := New(Config{Words: 1 << 8, Mode: Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustAlloc(WordsPerLine)
+	h.Store(a, 99)
+	before, steps := h.Stats(), h.Steps()
+	if got := h.LoadVolatile(a); got != 99 {
+		t.Fatalf("LoadVolatile = %d, want 99", got)
+	}
+	if after := h.Stats(); after != before {
+		t.Fatalf("LoadVolatile changed stats: %+v -> %+v", before, after)
+	}
+	if h.Steps() != steps {
+		t.Fatalf("LoadVolatile consumed a step")
+	}
+	h.CrashNow()
+	crashed := RunToCrash(func() { h.LoadVolatile(a) })
+	if !crashed {
+		t.Fatal("LoadVolatile did not observe the crash sentinel")
+	}
+}
+
+// TestPersistPairCounts verifies the coalesced two-line persist issues two
+// flushes under a single fence.
+func TestPersistPairCounts(t *testing.T) {
+	h, err := New(Config{Words: 1 << 8, Mode: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustAlloc(2 * WordsPerLine)
+	before := h.Stats()
+	h.PersistPair(a, a+WordsPerLine)
+	after := h.Stats()
+	if d := after.Flushes - before.Flushes; d != 2 {
+		t.Fatalf("PersistPair issued %d flushes, want 2", d)
+	}
+	if d := after.Fences - before.Fences; d != 1 {
+		t.Fatalf("PersistPair issued %d fences, want 1", d)
+	}
+}
+
+// TestPersistPairTrackedDurability verifies PersistPair actually persists
+// both lines in Tracked mode.
+func TestPersistPairTrackedDurability(t *testing.T) {
+	h, err := New(Config{Words: 1 << 8, Mode: Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustAlloc(2 * WordsPerLine)
+	b := a + WordsPerLine
+	h.Store(a, 11)
+	h.Store(b, 22)
+	h.PersistPair(a, b)
+	h.CrashNow()
+	h.Crash(DropAll{})
+	if got := h.Load(a); got != 11 {
+		t.Fatalf("line a = %d after crash, want 11", got)
+	}
+	if got := h.Load(b); got != 22 {
+		t.Fatalf("line b = %d after crash, want 22", got)
+	}
+}
+
+// TestRandomFatesConcurrent exercises one RandomFates adversary from many
+// goroutines; under -race this pins the satellite fix for the rand.Rand
+// data race.
+func TestRandomFatesConcurrent(t *testing.T) {
+	adv := NewRandomFates(42)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if f := adv.Fate(i); f != Lost && f != Survives {
+					t.Errorf("invalid fate %v", f)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -78,8 +78,7 @@ func NewDurable(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int)
 		return nil, fmt.Errorf("queue: reclamation: %w", err)
 	}
 	q.rec.SetDrainHook(func(int) {
-		q.h.Persist(q.head)
-		q.h.Persist(q.tail)
+		q.h.PersistPair(q.head, q.tail)
 	})
 	sentinel, ok := q.pool.Alloc(0)
 	if !ok {
@@ -88,12 +87,11 @@ func NewDurable(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int)
 	q.initNode(sentinel, 0)
 	q.h.Store(q.head, uint64(sentinel))
 	q.h.Store(q.tail, uint64(sentinel))
-	q.h.Persist(q.head)
-	q.h.Persist(q.tail)
+	q.h.PersistPair(q.head, q.tail)
 	for i := 0; i < threads; i++ {
 		q.h.Store(q.rvAddr(i), rvNone)
-		q.h.Persist(q.rvAddr(i))
 	}
+	q.h.PersistRange(q.rvBase, threads*pmem.WordsPerLine)
 	h.SetRoot(rootSlot, meta)
 	return q, nil
 }

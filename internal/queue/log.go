@@ -114,8 +114,7 @@ func NewLog(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int) (*L
 		return nil, fmt.Errorf("queue: reclamation: %w", err)
 	}
 	q.rec.SetDrainHook(func(int) {
-		q.h.Persist(q.head)
-		q.h.Persist(q.tail)
+		q.h.PersistPair(q.head, q.tail)
 	})
 	sentinel, ok := q.nodes.Alloc(0)
 	if !ok {
@@ -124,12 +123,11 @@ func NewLog(h *pmem.Heap, rootSlot, threads, nodesPerThread, extraNodes int) (*L
 	q.initNode(sentinel, 0)
 	q.h.Store(q.head, uint64(sentinel))
 	q.h.Store(q.tail, uint64(sentinel))
-	q.h.Persist(q.head)
-	q.h.Persist(q.tail)
+	q.h.PersistPair(q.head, q.tail)
 	for i := 0; i < threads; i++ {
 		q.h.Store(q.logAddr(i), 0)
-		q.h.Persist(q.logAddr(i))
 	}
+	q.h.PersistRange(q.logBase, threads*pmem.WordsPerLine)
 	h.SetRoot(rootSlot, meta)
 	return q, nil
 }
@@ -148,11 +146,13 @@ func (q *LogQueue) initNode(node pmem.Addr, v uint64) {
 
 // entryPinned vetoes recycling of a log entry while any thread's log slot
 // — coherent or persisted view — still references it; resolve reads
-// entries through those slots after a crash.
+// entries through those slots after a crash. Pin scans are simulator-side
+// reclamation bookkeeping, so they read through LoadVolatile (uncharged;
+// see core.Queue.pinned).
 func (q *LogQueue) entryPinned(a pmem.Addr) bool {
 	tracked := q.h.Mode() == pmem.Tracked
 	for i := 0; i < q.threads; i++ {
-		if pmem.Addr(q.h.Load(q.logAddr(i))) == a {
+		if pmem.Addr(q.h.LoadVolatile(q.logAddr(i))) == a {
 			return true
 		}
 		if tracked && pmem.Addr(q.h.PersistedLoad(q.logAddr(i))) == a {
@@ -167,13 +167,13 @@ func (q *LogQueue) entryPinned(a pmem.Addr) bool {
 func (q *LogQueue) nodePinned(a pmem.Addr) bool {
 	tracked := q.h.Mode() == pmem.Tracked
 	for i := 0; i < q.threads; i++ {
-		e := pmem.Addr(q.h.Load(q.logAddr(i)))
-		if e != 0 && pmem.Addr(q.h.Load(e+entNode)) == a {
+		e := pmem.Addr(q.h.LoadVolatile(q.logAddr(i)))
+		if e != 0 && pmem.Addr(q.h.LoadVolatile(e+entNode)) == a {
 			return true
 		}
 		if tracked {
 			pe := pmem.Addr(q.h.PersistedLoad(q.logAddr(i)))
-			if pe != 0 && pe != e && pmem.Addr(q.h.Load(pe+entNode)) == a {
+			if pe != 0 && pe != e && pmem.Addr(q.h.LoadVolatile(pe+entNode)) == a {
 				return true
 			}
 		}

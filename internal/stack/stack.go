@@ -123,8 +123,8 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Stack, error) {
 	s.h.Persist(s.top)
 	for i := 0; i < cfg.Threads; i++ {
 		s.h.Store(s.xAddr(i), 0)
-		s.h.Persist(s.xAddr(i))
 	}
+	s.h.PersistRange(s.xAddr(0), cfg.Threads*pmem.WordsPerLine)
 	h.SetRoot(rootSlot, meta)
 	return s, nil
 }
@@ -142,10 +142,12 @@ func claimed(w uint64) bool { return w != tidNone }
 
 // pinned vetoes recycling of any node a detectability word references in
 // either the coherent or the persisted view (push node, or pop candidate).
+// The scan is simulator-side reclamation bookkeeping, so it reads through
+// LoadVolatile (uncharged; see core.Queue.pinned).
 func (s *Stack) pinned(a pmem.Addr) bool {
 	tracked := s.h.Mode() == pmem.Tracked
 	for i := 0; i < s.threads; i++ {
-		if x := s.h.Load(s.xAddr(i)); ptrOf(x) == a && x&tagMask != 0 {
+		if x := s.h.LoadVolatile(s.xAddr(i)); ptrOf(x) == a && x&tagMask != 0 {
 			return true
 		}
 		if tracked {

@@ -15,17 +15,20 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the data-race detector over the simulator and the DSS queue,
-# the two packages whose hot paths are exercised by many goroutines.
+# race runs the data-race detector over the packages whose hot paths are
+# exercised by many goroutines: the simulator, the DSS queue, the sharded
+# front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/sharded ./internal/check ./internal/vtime
 
 # bench-json regenerates the committed benchmark-trajectory reports.
-# Opt-in (not part of ci): it monopolizes the machine for a few minutes
-# and its numbers are host-dependent.
+# Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a
+# few minutes and their numbers are host-dependent. The sharded report is
+# measured in virtual time (internal/vtime) and is deterministic.
 bench-json:
 	$(GO) run ./cmd/dssbench -figure 5a -repeats 3 -flush 300ns -json BENCH_fig5a.json
 	$(GO) run ./cmd/dssbench -figure 5b -repeats 3 -flush 300ns -json BENCH_fig5b.json
+	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json
 
 clean:
 	$(GO) clean ./...

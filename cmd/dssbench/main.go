@@ -6,6 +6,7 @@
 //	dssbench -figure 5a -threads 1,2,4,8,12,16,20 -duration 500ms
 //	dssbench -figure 5b -csv > fig5b.csv
 //	dssbench -figure 5a -json BENCH_fig5a.json
+//	dssbench -figure sharded -shards 2,4,8 -pairs 200 -json BENCH_sharded.json
 //	dssbench -impls ms-queue,dss-detectable -duration 1s
 //
 // Each series prints millions of operations per second (enqueues plus
@@ -13,9 +14,18 @@
 // nodes, every thread running alternating enqueue/dequeue pairs. With
 // -json, a machine-readable harness.Report is also written to the given
 // path, forming the benchmark trajectory future revisions regress against.
+//
+// -figure sharded measures the sharded composition against the
+// dss-detectable baseline in deterministic virtual time (internal/vtime)
+// rather than wall clock: each point runs a fixed -pairs workload per
+// thread and reports ops divided by the simulated makespan, so the
+// committed numbers are host-independent. -duration, -repeats and -flush
+// do not apply there; the virtual cost model is the vtime calibration
+// (100 ns accesses, 300 ns persists).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +44,7 @@ func main() {
 }
 
 func run() error {
-	figure := flag.String("figure", "5a", "figure to regenerate: 5a, 5b, or custom (with -impls)")
+	figure := flag.String("figure", "5a", "figure to regenerate: 5a, 5b, sharded, or custom (with -impls)")
 	implList := flag.String("impls", "", "comma-separated implementations (overrides -figure)")
 	threadList := flag.String("threads", "1,2,4,8,12,16,20", "comma-separated thread counts")
 	duration := flag.Duration("duration", 300*time.Millisecond, "measurement duration per point (paper: 30s)")
@@ -42,11 +52,50 @@ func run() error {
 	flush := flag.Duration("flush", 200*time.Nanosecond, "simulated CLWB+SFENCE latency")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonPath := flag.String("json", "", "also write a machine-readable report to this path (e.g. BENCH_fig5a.json)")
+	shardList := flag.String("shards", "2,4,8", "comma-separated shard counts (-figure sharded only)")
+	pairs := flag.Int("pairs", 200, "enqueue/dequeue pairs per thread (-figure sharded only)")
 	flag.Parse()
 
 	threads, err := parseInts(*threadList)
 	if err != nil {
 		return fmt.Errorf("bad -threads: %w", err)
+	}
+
+	if *figure == "sharded" && *implList == "" {
+		shards, err := parseInts(*shardList)
+		if err != nil {
+			return fmt.Errorf("bad -shards: %w", err)
+		}
+		// The sharded figure runs in virtual time with the vtime
+		// calibration (100 ns accesses, 300 ns persists); -flush,
+		// -duration and -repeats configure wall-clock sweeps only.
+		scfg := harness.ShardedSweepConfig{
+			Threads:        threads,
+			ShardCounts:    shards,
+			PairsPerThread: *pairs,
+		}
+		fmt.Fprintf(os.Stderr, "virtual-time shard sweep: %d shard counts x %d thread counts, %d pairs/thread\n",
+			len(shards), len(threads), *pairs)
+		series, err := harness.FigureSharded(scfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.FormatCSV(series))
+		} else {
+			fmt.Print(harness.FormatTable(series))
+		}
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(harness.BuildShardedReport(scfg, series), "", "  ")
+			if err != nil {
+				return fmt.Errorf("marshal report: %w", err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		return nil
 	}
 	cfg := harness.SweepConfig{
 		Threads:      threads,
@@ -66,7 +115,7 @@ func run() error {
 	case *figure == "5b":
 		impls = harness.Impls5b()
 	default:
-		return fmt.Errorf("unknown figure %q (use 5a, 5b, or -impls)", *figure)
+		return fmt.Errorf("unknown figure %q (use 5a, 5b, sharded, or -impls)", *figure)
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping %d series x %d thread counts, %v per point (flush latency %v)\n",

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// TestAbandonPrepEnqueue checks that abandoning a prepared-but-unexecuted
+// enqueue clears the detectable record, returns the node to the pool, and
+// leaves the queue contents untouched.
+func TestAbandonPrepEnqueue(t *testing.T) {
+	q, _ := newTestQueue(t, 2)
+	mustEnqueue(t, q, 0, 1)
+
+	free := q.FreeNodes()
+	if err := q.PrepEnqueue(0, 42); err != nil {
+		t.Fatalf("PrepEnqueue: %v", err)
+	}
+	if q.FreeNodes() != free-1 {
+		t.Fatalf("prep did not consume a node: %d -> %d", free, q.FreeNodes())
+	}
+	q.AbandonPrep(0)
+	if got := q.FreeNodes(); got != free {
+		t.Fatalf("abandoned node not returned: free %d, want %d", got, free)
+	}
+	if res := q.Resolve(0); res.Op != OpNone {
+		t.Fatalf("Resolve after abandon = %+v, want OpNone", res)
+	}
+	if got := drain(t, q, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("queue contents after abandon = %v, want [1]", got)
+	}
+}
+
+// TestAbandonPrepDequeue checks the dequeue side: a prepared dequeue holds
+// no node, so abandoning it just clears X.
+func TestAbandonPrepDequeue(t *testing.T) {
+	q, _ := newTestQueue(t, 1)
+	mustEnqueue(t, q, 0, 7)
+	q.PrepDequeue(0)
+	free := q.FreeNodes()
+	q.AbandonPrep(0)
+	if got := q.FreeNodes(); got != free {
+		t.Fatalf("abandoning a dequeue changed the free count: %d -> %d", free, got)
+	}
+	if res := q.Resolve(0); res.Op != OpNone {
+		t.Fatalf("Resolve after abandon = %+v, want OpNone", res)
+	}
+	if got := drain(t, q, 0); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("queue contents after abandon = %v, want [7]", got)
+	}
+}
+
+// TestAbandonExecutedEnqueueKeepsNode checks the guard: an enqueue that
+// already took effect must keep its node (it is linked in the list); only
+// the X record is cleared.
+func TestAbandonExecutedEnqueueKeepsNode(t *testing.T) {
+	q, _ := newTestQueue(t, 1)
+	if err := q.PrepEnqueue(0, 9); err != nil {
+		t.Fatalf("PrepEnqueue: %v", err)
+	}
+	q.ExecEnqueue(0)
+	free := q.FreeNodes()
+	q.AbandonPrep(0)
+	if got := q.FreeNodes(); got != free {
+		t.Fatalf("abandoning an executed enqueue freed its node: %d -> %d", free, got)
+	}
+	if res := q.Resolve(0); res.Op != OpNone {
+		t.Fatalf("Resolve after abandon = %+v, want OpNone", res)
+	}
+	if got := drain(t, q, 0); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("queue contents after abandon = %v, want [9]", got)
+	}
+}
+
+// TestAbandonIsIdempotent: abandoning with no prepared operation is a no-op.
+func TestAbandonIsIdempotent(t *testing.T) {
+	q, _ := newTestQueue(t, 1)
+	free := q.FreeNodes()
+	q.AbandonPrep(0)
+	q.AbandonPrep(0)
+	if got := q.FreeNodes(); got != free {
+		t.Fatalf("no-op abandon changed free count: %d -> %d", free, got)
+	}
+}

@@ -181,6 +181,33 @@ func (q *Queue) dequeue(tid int, detect bool) (uint64, bool) {
 	}
 }
 
+// AbandonPrep withdraws tid's currently prepared-but-unexecuted operation,
+// clearing X[tid] (persisted) and returning the node of an unlinked
+// prepared enqueue to the pool. It is the recovery/composition entry point
+// a multi-queue front-end needs: when a process re-prepares on a different
+// queue, the stale prep on this one would otherwise pin a node until the
+// next same-queue PrepEnqueue reclaims it. Calling it while the prepared
+// operation has already executed, or concurrently with the owner's own
+// prep/exec, violates the per-process (A, R) contract; after it returns,
+// Resolve(tid) reports OpNone.
+func (q *Queue) AbandonPrep(tid int) {
+	x := q.h.Load(q.xAddr(tid))
+	if x == 0 {
+		return
+	}
+	// Clear and persist X first so the node is no longer pinned by the
+	// recycling veto and no crash can resurrect the abandoned intent.
+	q.h.Store(q.xAddr(tid), 0)
+	q.h.Persist(q.xAddr(tid))
+	if x&enqPrepTag != 0 && x&enqComplTag == 0 {
+		if node := ptrOf(x); node != 0 {
+			// The prepared enqueue never linked its node: nothing else
+			// references it, so it can return to the pool directly.
+			q.pool.Free(tid, node)
+		}
+	}
+}
+
 // Resolve is the paper's resolve operation (Figure 3, lines 20-27): it
 // reports the most recently prepared detectable operation and, if it took
 // effect, its response. It is total and idempotent, and is meaningful both

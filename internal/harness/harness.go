@@ -19,7 +19,21 @@ import (
 	"repro/internal/cwe"
 	"repro/internal/pmem"
 	"repro/internal/queue"
+	"repro/internal/sharded"
 )
+
+// shardNodes divides a whole-queue per-thread node budget across shards,
+// keeping a floor so small budgets still leave each shard operable.
+func shardNodes(nodesPerThread, shards int) int {
+	if nodesPerThread == 0 {
+		nodesPerThread = 256
+	}
+	n := nodesPerThread/shards + 16
+	if n < 32 {
+		n = 32
+	}
+	return n
+}
 
 // Impl names one queue configuration from the paper's evaluation.
 type Impl string
@@ -37,6 +51,9 @@ const (
 	// DurableQueue is the non-detectable recoverable ancestor (not in
 	// Figure 5, provided for ablations).
 	DurableQueue Impl = "durable-queue"
+	// ShardedDSS is the N-way sharded detectable composition of
+	// internal/sharded (not in the paper; the scaling extension).
+	ShardedDSS Impl = "sharded-dss"
 )
 
 // Impls5a lists Figure 5a's series in the paper's legend order.
@@ -50,7 +67,7 @@ func Impls5b() []Impl {
 // AllImpls lists every configuration.
 func AllImpls() []Impl {
 	return []Impl{MSQueue, DSSNonDetectable, DSSDetectable, DurableQueue,
-		LogQueue, FastCASWithEffect, GeneralCASWith}
+		LogQueue, FastCASWithEffect, GeneralCASWith, ShardedDSS}
 }
 
 // Queue is the driver interface all configurations are adapted to.
@@ -82,6 +99,22 @@ type dssPlain struct{ q *core.Queue }
 func (a dssPlain) Enqueue(tid int, v uint64) error { return a.q.Enqueue(tid, v) }
 func (a dssPlain) Dequeue(tid int) (uint64, bool)  { return a.q.Dequeue(tid) }
 
+// shardedDetectable adapts the sharded composition's detectable path.
+type shardedDetectable struct{ q *sharded.Queue }
+
+func (a shardedDetectable) Enqueue(tid int, v uint64) error {
+	if err := a.q.PrepEnqueue(tid, v); err != nil {
+		return err
+	}
+	a.q.ExecEnqueue(tid)
+	return nil
+}
+
+func (a shardedDetectable) Dequeue(tid int) (uint64, bool) {
+	a.q.PrepDequeue(tid)
+	return a.q.ExecDequeue(tid)
+}
+
 // cweDetectable adapts a CASWithEffect queue's detectable path.
 type cweDetectable struct{ q *cwe.Queue }
 
@@ -105,6 +138,7 @@ var (
 	_ Queue = dssDetectable{}
 	_ Queue = dssPlain{}
 	_ Queue = cweDetectable{}
+	_ Queue = shardedDetectable{}
 )
 
 // BuildConfig sizes a queue build.
@@ -118,6 +152,9 @@ type BuildConfig struct {
 	// Tracked builds the heap in Tracked (verification) mode instead of
 	// Direct (benchmark) mode.
 	Tracked bool
+	// Shards is the shard count for ShardedDSS (default 8; ignored by
+	// the unsharded configurations).
+	Shards int
 }
 
 // Build constructs the named configuration on a fresh heap.
@@ -128,12 +165,20 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 	if cfg.NodesPerThread == 0 {
 		cfg.NodesPerThread = 256
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
 	mode := pmem.Direct
 	if cfg.Tracked {
 		mode = pmem.Tracked
 	}
 	words := 1<<14 + cfg.Threads*cfg.NodesPerThread*4*pmem.WordsPerLine +
 		cfg.Threads*16*pmem.WordsPerLine
+	if impl == ShardedDSS {
+		// Every shard builds a full per-thread pool of the per-shard node
+		// budget; size the heap for the sum.
+		words = 1<<14 + cfg.Shards*(cfg.Threads*(shardNodes(cfg.NodesPerThread, cfg.Shards)*4+16)*pmem.WordsPerLine)
+	}
 	h, err := pmem.New(pmem.Config{
 		Words: words, Mode: mode,
 		FlushLatency: cfg.FlushLatency, AccessDelay: cfg.AccessDelay,
@@ -164,6 +209,17 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 			return nil, nil, err
 		}
 		return dssPlain{q}, h, nil
+	case ShardedDSS:
+		q, err := sharded.New(h, 0, sharded.Config{
+			Shards:         cfg.Shards,
+			Threads:        cfg.Threads,
+			NodesPerThread: shardNodes(cfg.NodesPerThread, cfg.Shards),
+			ExtraNodes:     extra,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return shardedDetectable{q}, h, nil
 	case FastCASWithEffect, GeneralCASWith:
 		q, err := cwe.New(h, 0, cwe.Config{
 			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread,

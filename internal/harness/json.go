@@ -30,6 +30,10 @@ type ReportConfig struct {
 	AccessDelay    int    `json:"access_delay"`
 	GoMaxProcs     int    `json:"gomaxprocs,omitempty"`
 	Note           string `json:"note,omitempty"`
+	// ShardCounts and PairsPerThread appear only in the sharded
+	// (virtual-time) report.
+	ShardCounts    []int `json:"shard_counts,omitempty"`
+	PairsPerThread int   `json:"pairs_per_thread,omitempty"`
 }
 
 // ReportSeries is one implementation's curve.

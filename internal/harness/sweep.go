@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cwe"
 	"repro/internal/pmem"
+	"repro/internal/sharded"
 	"repro/internal/spec"
 )
 
@@ -71,6 +72,19 @@ func (t dssTarget) ResolveResp(tid int) spec.Resp   { return t.q.Resolve(tid).Re
 func (t dssTarget) Recover()                        { t.q.Recover() }
 func (t dssTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
 
+type shardedTarget struct{ q *sharded.Queue }
+
+func (t shardedTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
+func (t shardedTarget) ExecEnq(tid int) error           { t.q.ExecEnqueue(tid); return nil }
+func (t shardedTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
+func (t shardedTarget) ExecDeq(tid int) (uint64, bool, error) {
+	v, ok := t.q.ExecDequeue(tid)
+	return v, ok, nil
+}
+func (t shardedTarget) ResolveResp(tid int) spec.Resp   { return t.q.Resolve(tid).Resp() }
+func (t shardedTarget) Recover()                        { t.q.Recover() }
+func (t shardedTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
+
 type cweTarget struct{ q *cwe.Queue }
 
 func (t cweTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
@@ -118,6 +132,16 @@ func buildSweepTarget(impl Impl) (detectableQueue, *pmem.Heap, error) {
 			return nil, nil, err
 		}
 		return dssTarget{q}, h, nil
+	case ShardedDSS:
+		// Two shards keep the step horizon short while still exercising
+		// every cross-shard path (route movement, scan, abandonment).
+		q, err := sharded.New(h, 0, sharded.Config{
+			Shards: 2, Threads: 1, NodesPerThread: 32, ExtraNodes: 8,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return shardedTarget{q}, h, nil
 	case FastCASWithEffect, GeneralCASWith:
 		q, err := cwe.New(h, 0, cwe.Config{
 			Threads: 1, NodesPerThread: 32, ExtraNodes: 8,

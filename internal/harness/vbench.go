@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// VirtualRunConfig parameterizes one virtual-time throughput measurement
+// (see internal/vtime: a deterministic simulated-multi-core measurement,
+// the mode behind BENCH_sharded.json).
+type VirtualRunConfig struct {
+	Impl    Impl
+	Threads int
+	// Shards is the shard count for ShardedDSS (ignored otherwise).
+	Shards int
+	// PairsPerThread is the fixed per-thread workload: each thread runs
+	// this many alternating enqueue/dequeue pairs (a fixed-work run, not
+	// a fixed-duration one — virtual time has no wall clock to expire).
+	PairsPerThread int
+	// InitialItems seeds the queue; the paper uses 16.
+	InitialItems int
+	// AccessNS and FlushNS are the vtime cost model (defaults mirror the
+	// Direct-mode calibration: 100 ns accesses, 300 ns persists).
+	AccessNS int64
+	FlushNS  int64
+	// NodesPerThread sizes the node pools (whole-queue budget; sharded
+	// builds divide it per shard as in Build).
+	NodesPerThread int
+}
+
+func (c *VirtualRunConfig) defaults() {
+	if c.PairsPerThread == 0 {
+		c.PairsPerThread = 200
+	}
+	if c.InitialItems == 0 {
+		c.InitialItems = 16
+	}
+	if c.AccessNS == 0 {
+		c.AccessNS = 100
+	}
+	if c.FlushNS == 0 {
+		c.FlushNS = 300
+	}
+	if c.NodesPerThread == 0 {
+		c.NodesPerThread = 128
+	}
+}
+
+// RunVirtual measures one configuration at one thread count in virtual
+// time: the workload of Section 4 (alternating enqueue/dequeue pairs on a
+// seeded queue), but with each thread's memory steps charged to a
+// per-thread virtual clock under the min-clock scheduler, so per-thread
+// stalls overlap as they would across real cores while contention
+// (CAS retries, helping) emerges from the algorithm. The result is
+// deterministic for a given build and configuration.
+func RunVirtual(cfg VirtualRunConfig) (Point, error) {
+	cfg.defaults()
+	q, h, err := Build(cfg.Impl, BuildConfig{
+		Threads:        cfg.Threads,
+		NodesPerThread: cfg.NodesPerThread,
+		Tracked:        true,
+		Shards:         cfg.Shards,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	for i := 0; i < cfg.InitialItems; i++ {
+		if err := q.Enqueue(0, uint64(1000+i)); err != nil {
+			return Point{}, fmt.Errorf("harness: seeding: %w", err)
+		}
+	}
+	stats0 := h.Stats()
+
+	workers := make([]func(), cfg.Threads)
+	for tid := 0; tid < cfg.Threads; tid++ {
+		tid := tid
+		workers[tid] = func() {
+			v := uint64(tid + 1)
+			for p := 0; p < cfg.PairsPerThread; p++ {
+				_ = q.Enqueue(tid, v)
+				q.Dequeue(tid)
+				v++
+			}
+		}
+	}
+	elapsed := vtime.Run(h, vtime.Costs{AccessNS: cfg.AccessNS, FlushNS: cfg.FlushNS}, workers)
+	if elapsed <= 0 {
+		return Point{}, fmt.Errorf("harness: virtual run measured no time")
+	}
+	stats := h.Stats()
+	ops := uint64(cfg.Threads) * uint64(cfg.PairsPerThread) * 2
+	return Point{
+		Threads: cfg.Threads,
+		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
+		Ops:     ops,
+		Flushes: stats.Flushes - stats0.Flushes,
+		Fences:  stats.Fences - stats0.Fences,
+	}, nil
+}
+
+// ShardedSweepConfig parameterizes the shard-count sweep behind
+// BENCH_sharded.json.
+type ShardedSweepConfig struct {
+	// Threads lists the x-axis values.
+	Threads []int
+	// ShardCounts lists the sharded series; each becomes "sharded-dss/N".
+	ShardCounts []int
+	// PairsPerThread, AccessNS, FlushNS, NodesPerThread as in
+	// VirtualRunConfig.
+	PairsPerThread int
+	AccessNS       int64
+	FlushNS        int64
+	NodesPerThread int
+}
+
+func (c *ShardedSweepConfig) defaults() {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{2, 4, 8}
+	}
+	if c.PairsPerThread == 0 {
+		c.PairsPerThread = 200
+	}
+	if c.AccessNS == 0 {
+		c.AccessNS = 100
+	}
+	if c.FlushNS == 0 {
+		c.FlushNS = 300
+	}
+	if c.NodesPerThread == 0 {
+		c.NodesPerThread = 128
+	}
+}
+
+// FigureSharded measures the dss-detectable baseline and each sharded
+// configuration over the thread range, all in virtual time (so the
+// baseline and the sharded series are apples-to-apples).
+func FigureSharded(cfg ShardedSweepConfig) ([]Series, error) {
+	cfg.defaults()
+	runSeries := func(name string, impl Impl, shards int) (Series, error) {
+		s := Series{Name: name}
+		for _, th := range cfg.Threads {
+			p, err := RunVirtual(VirtualRunConfig{
+				Impl: impl, Threads: th, Shards: shards,
+				PairsPerThread: cfg.PairsPerThread,
+				AccessNS:       cfg.AccessNS,
+				FlushNS:        cfg.FlushNS,
+				NodesPerThread: cfg.NodesPerThread,
+			})
+			if err != nil {
+				return Series{}, fmt.Errorf("harness: %s @%d threads: %w", name, th, err)
+			}
+			s.Points = append(s.Points, p)
+		}
+		return s, nil
+	}
+	out := make([]Series, 0, 1+len(cfg.ShardCounts))
+	base, err := runSeries(string(DSSDetectable), DSSDetectable, 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, base)
+	for _, n := range cfg.ShardCounts {
+		s, err := runSeries(fmt.Sprintf("%s/%d", ShardedDSS, n), ShardedDSS, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// BuildShardedReport assembles the BENCH_sharded.json report. The flat
+// schema of Report is reused: flush_latency_ns and access_delay carry the
+// virtual cost model (they mean the same nanoseconds the Direct-mode
+// figures calibrate), and the virtual-time provenance is recorded in the
+// note and the sharded-only fields.
+func BuildShardedReport(cfg ShardedSweepConfig, series []Series) Report {
+	cfg.defaults()
+	r := Report{
+		Figure:   "sharded",
+		Workload: "alternating enqueue/dequeue pairs, queue seeded with 16 items, fixed pairs per thread",
+		Config: ReportConfig{
+			Threads:        cfg.Threads,
+			Repeats:        1,
+			FlushLatencyNS: cfg.FlushNS,
+			AccessDelay:    int(cfg.AccessNS),
+			ShardCounts:    cfg.ShardCounts,
+			PairsPerThread: cfg.PairsPerThread,
+			Note: "virtual-time mode (internal/vtime): deterministic min-clock scheduling, " +
+				"throughput = ops / simulated makespan; baseline and sharded series measured identically",
+		},
+	}
+	for _, s := range series {
+		rs := ReportSeries{Impl: s.Name}
+		for _, p := range s.Points {
+			rs.Points = append(rs.Points, ReportPoint{
+				Threads: p.Threads, Mops: p.Mops, Ops: p.Ops,
+				Flushes: p.Flushes, Fences: p.Fences,
+			})
+		}
+		r.Series = append(r.Series, rs)
+	}
+	return r
+}

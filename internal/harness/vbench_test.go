@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunVirtualDeterministic: the virtual-time measurement must be
+// bit-identical across runs — that is what makes the committed
+// BENCH_sharded.json regressable on any host.
+func TestRunVirtualDeterministic(t *testing.T) {
+	cfg := VirtualRunConfig{Impl: DSSDetectable, Threads: 4, PairsPerThread: 40}
+	a, err := RunVirtual(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunVirtual(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("virtual runs differ: %+v vs %+v", a, b)
+	}
+	if a.Ops != 4*40*2 || a.Mops <= 0 {
+		t.Fatalf("implausible point: %+v", a)
+	}
+}
+
+// TestVirtualShardingRelievesContention is the mechanism check behind the
+// trajectory file: at a contended thread count, the sharded composition
+// must beat the single DSS queue in virtual time, and the single-thread
+// baseline must not (there is no contention for sharding to relieve, and
+// the sharded prep pays one extra cursor persist per operation).
+func TestVirtualShardingRelievesContention(t *testing.T) {
+	const pairs = 60
+	base, err := RunVirtual(VirtualRunConfig{Impl: DSSDetectable, Threads: 12, PairsPerThread: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := RunVirtual(VirtualRunConfig{Impl: ShardedDSS, Threads: 12, Shards: 4, PairsPerThread: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Mops <= base.Mops {
+		t.Fatalf("4-shard composition (%.3f Mops/s) not faster than baseline (%.3f Mops/s) at 12 threads",
+			shard.Mops, base.Mops)
+	}
+
+	base1, err := RunVirtual(VirtualRunConfig{Impl: DSSDetectable, Threads: 1, PairsPerThread: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard1, err := RunVirtual(VirtualRunConfig{Impl: ShardedDSS, Threads: 1, Shards: 4, PairsPerThread: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard1.Mops > base1.Mops {
+		t.Fatalf("sharding sped up the uncontended single thread (%.3f vs %.3f Mops/s); the cost model lost the cursor persist",
+			shard1.Mops, base1.Mops)
+	}
+}
+
+// TestFigureShardedAndReport runs a miniature shard sweep end to end and
+// checks the series shape and report schema.
+func TestFigureShardedAndReport(t *testing.T) {
+	cfg := ShardedSweepConfig{
+		Threads:        []int{1, 4},
+		ShardCounts:    []int{2},
+		PairsPerThread: 20,
+	}
+	series, err := FigureSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "dss-detectable" || series[1].Name != "sharded-dss/2" {
+		t.Fatalf("unexpected series: %+v", series)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+	r := BuildShardedReport(cfg, series)
+	if r.Figure != "sharded" || len(r.Config.ShardCounts) != 1 || r.Config.PairsPerThread != 20 {
+		t.Fatalf("report config wrong: %+v", r.Config)
+	}
+	if !strings.Contains(r.Config.Note, "virtual-time") {
+		t.Fatalf("report must disclose virtual-time provenance: %q", r.Config.Note)
+	}
+}

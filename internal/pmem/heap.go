@@ -127,6 +127,44 @@ type Config struct {
 // charged by Fence).
 const flushIssueDenom = 4
 
+// StepKind classifies a Tracked-mode primitive memory step for the step
+// gate. Schedulers that model per-operation hardware costs (the vtime
+// package's simulated multi-core clock) use the kind to charge the right
+// latency; schedulers that only need interleaving control (the systematic
+// model checker) ignore it.
+type StepKind int
+
+const (
+	// StepLoad is an atomic read of one word.
+	StepLoad StepKind = iota + 1
+	// StepStore is an atomic write of one word.
+	StepStore
+	// StepCAS is an atomic compare-and-swap of one word.
+	StepCAS
+	// StepFlush is a CLWB issue (write-back of one line, unordered).
+	StepFlush
+	// StepFence is an SFENCE drain (wait for issued write-backs).
+	StepFence
+)
+
+// String returns the step-kind name.
+func (k StepKind) String() string {
+	switch k {
+	case StepLoad:
+		return "load"
+	case StepStore:
+		return "store"
+	case StepCAS:
+		return "cas"
+	case StepFlush:
+		return "flush"
+	case StepFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
 // ErrOutOfMemory is returned by Alloc when the arena is exhausted.
 var ErrOutOfMemory = errors.New("pmem: arena exhausted")
 
@@ -202,11 +240,13 @@ type Heap struct {
 	dirty []atomic.Uint32
 
 	// gate, when set (Tracked mode), is invoked before every primitive
-	// memory step. Systematic concurrency testing uses it as a
-	// scheduling point: the gate blocks the calling goroutine until a
-	// controller grants it the right to take the step, which makes
-	// thread interleavings fully controllable and replayable.
-	gate func()
+	// memory step with the step's kind. Systematic concurrency testing
+	// uses it as a scheduling point: the gate blocks the calling
+	// goroutine until a controller grants it the right to take the step,
+	// which makes thread interleavings fully controllable and
+	// replayable. The vtime scheduler additionally uses the kind to
+	// charge the step's modeled latency to the caller's virtual clock.
+	gate func(kind StepKind)
 
 	// sync, when set (file-backed heaps), makes Flush durably write the
 	// line's page back to the backing file. The first failure is latched
@@ -339,7 +379,7 @@ func (h *Heap) Root(i int) Addr {
 // SetStepGate installs (or, with nil, removes) the scheduling gate called
 // before every Tracked-mode memory step. Install it only while the heap
 // is quiescent (no operations in flight).
-func (h *Heap) SetStepGate(gate func()) {
+func (h *Heap) SetStepGate(gate func(kind StepKind)) {
 	if h.mode != Tracked {
 		panic("pmem: SetStepGate requires Tracked mode")
 	}
@@ -348,9 +388,9 @@ func (h *Heap) SetStepGate(gate func()) {
 
 // step counts one primitive memory operation in Tracked mode and fires the
 // armed crash when the step counter reaches the trigger.
-func (h *Heap) step() {
+func (h *Heap) step(kind StepKind) {
 	if h.gate != nil {
-		h.gate()
+		h.gate(kind)
 	}
 	if h.crashed.Load() != 0 {
 		panic(&CrashError{Step: h.steps.Load()})
@@ -393,7 +433,7 @@ func (h *Heap) Load(a Addr) uint64 {
 		h.stat().loads.Add(1)
 		return atomic.LoadUint64(&h.cache[a])
 	}
-	h.step()
+	h.step(StepLoad)
 	h.stat().loads.Add(1)
 	return atomic.LoadUint64(&h.cache[a])
 }
@@ -425,7 +465,7 @@ func (h *Heap) Store(a Addr, v uint64) {
 		atomic.StoreUint64(&h.cache[a], v)
 		return
 	}
-	h.step()
+	h.step(StepStore)
 	// Mark dirty before the store: a concurrent Flush between the mark
 	// and the store may clear the flag having written back the old
 	// value, which loses this store on crash — a legal outcome for an
@@ -448,7 +488,7 @@ func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
 		h.stat().cases.Add(1)
 		return atomic.CompareAndSwapUint64(&h.cache[a], old, new)
 	}
-	h.step()
+	h.step(StepCAS)
 	h.dirty[a/WordsPerLine].Store(1)
 	h.stat().cases.Add(1)
 	return atomic.CompareAndSwapUint64(&h.cache[a], old, new)
@@ -477,7 +517,7 @@ func (h *Heap) Flush(a Addr) {
 		}
 		spinIters(h.flushIssue)
 	case Tracked:
-		h.step()
+		h.step(StepFlush)
 		line := a / WordsPerLine
 		base := line * WordsPerLine
 		h.dirty[line].Store(0)
@@ -499,7 +539,7 @@ func (h *Heap) FlushLine(a Addr) { h.Flush(a) }
 func (h *Heap) Fence() {
 	h.stat().fences.Add(1)
 	if h.mode == Tracked {
-		h.step()
+		h.step(StepFence)
 		return
 	}
 	spinIters(h.fenceDrain)

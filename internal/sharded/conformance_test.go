@@ -1,0 +1,250 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// pendingOp is a tracer-observed shard-level invocation awaiting its
+// response.
+type pendingOp struct {
+	shard int
+	op    spec.Op
+}
+
+// modelTracer runs per-shard D⟨queue⟩ models in lockstep with the real
+// queue: every shard-level operation the tracer observes is applied to
+// that shard's model, and the responses must agree exactly. It is the
+// sequential-conformance oracle (single-threaded use only).
+type modelTracer struct {
+	t       *testing.T
+	models  []spec.State
+	pending map[int]pendingOp
+}
+
+func newModelTracer(t *testing.T, shards, threads int) *modelTracer {
+	m := &modelTracer{t: t, pending: map[int]pendingOp{}}
+	for i := 0; i < shards; i++ {
+		m.models = append(m.models, spec.Detectable(spec.NewQueue(), threads))
+	}
+	return m
+}
+
+func (m *modelTracer) OpBegin(shard, tid int, op spec.Op) {
+	m.pending[tid] = pendingOp{shard, op}
+}
+
+func (m *modelTracer) OpEnd(shard, tid int, resp spec.Resp) {
+	p, ok := m.pending[tid]
+	if !ok || p.shard != shard {
+		m.t.Fatalf("tracer: OpEnd(shard %d, tid %d) without matching OpBegin (%+v)", shard, tid, p)
+	}
+	delete(m.pending, tid)
+	next, want, enabled := m.models[shard].Apply(p.op, tid)
+	if !enabled {
+		m.t.Fatalf("shard %d: %s by tid %d not enabled in the model", shard, p.op, tid)
+	}
+	if want != resp {
+		m.t.Fatalf("shard %d: %s by tid %d responded %s, model says %s", shard, p.op, tid, resp, want)
+	}
+	m.models[shard] = next
+}
+
+// resolveOn applies resolve to shard s's model and returns the response.
+func (m *modelTracer) resolveOn(s, tid int) spec.Resp {
+	_, resp, _ := m.models[s].Apply(spec.ResolveOp(), tid)
+	return resp
+}
+
+// TestSequentialConformanceRandom drives a random single-threaded stream
+// of detectable operations from several processes through the sharded
+// queue with the per-shard models in lockstep, checking the composition's
+// Resolve against the route shard's model resolve after every operation.
+func TestSequentialConformanceRandom(t *testing.T) {
+	const (
+		shards  = 3
+		threads = 3
+		steps   = 400
+	)
+	q, _ := newTestQueue(t, shards, threads)
+	m := newModelTracer(t, shards, threads)
+	q.SetTracer(m)
+	defer q.SetTracer(nil)
+
+	rng := rand.New(rand.NewSource(20260806))
+	next := uint64(1)
+	for i := 0; i < steps; i++ {
+		tid := rng.Intn(threads)
+		switch rng.Intn(5) {
+		case 0, 1: // detectable enqueue pair
+			if err := q.PrepEnqueue(tid, next); err != nil {
+				t.Fatalf("step %d: PrepEnqueue: %v", i, err)
+			}
+			next++
+			q.ExecEnqueue(tid)
+		case 2, 3: // detectable dequeue pair
+			q.PrepDequeue(tid)
+			q.ExecDequeue(tid)
+		case 4: // prep without exec: exercises cross-shard abandonment
+			if rng.Intn(2) == 0 {
+				if err := q.PrepEnqueue(tid, next); err != nil {
+					t.Fatalf("step %d: PrepEnqueue: %v", i, err)
+				}
+				next++
+			} else {
+				q.PrepDequeue(tid)
+			}
+		}
+		// The composition's resolve must match the route shard's model.
+		r := q.Route(tid)
+		if r < 0 {
+			t.Fatalf("step %d: tid %d has no route after an operation", i, tid)
+		}
+		if got, want := q.Resolve(tid).Resp(), m.resolveOn(r, tid); got != want {
+			t.Fatalf("step %d: Resolve(%d) = %s, model (shard %d) says %s", i, tid, got, r, want)
+		}
+	}
+
+	// Drain every shard against its model's base queue.
+	q.SetTracer(nil)
+	for s := 0; s < shards; s++ {
+		for {
+			v, ok := q.Shard(s).Dequeue(0)
+			next, want, enabled := m.models[s].Apply(spec.Dequeue(), 0)
+			if !enabled {
+				t.Fatalf("shard %d: model rejected a drain dequeue", s)
+			}
+			m.models[s] = next
+			if !ok {
+				if want.Kind != spec.Empty {
+					t.Fatalf("shard %d: queue empty but model holds %s", s, want)
+				}
+				break
+			}
+			if want.Kind != spec.Val || want.V != v {
+				t.Fatalf("shard %d: drained %d, model says %s", s, v, want)
+			}
+		}
+	}
+}
+
+// recorderTracer fans shard-level operations out to one check.Recorder
+// per shard (concurrent use; Recorder is internally synchronized).
+type recorderTracer struct {
+	recs []*check.Recorder
+}
+
+func (r *recorderTracer) OpBegin(shard, tid int, op spec.Op) { r.recs[shard].Begin(tid, op) }
+func (r *recorderTracer) OpEnd(shard, tid int, resp spec.Resp) {
+	r.recs[shard].End(tid, resp)
+}
+
+// TestConcurrentCrashConformancePerShard is the satellite conformance
+// expansion: concurrent workers drive detectable pairs through the
+// sharded queue, a crash interrupts them at a sampled step under both the
+// DropAll and KeepAll adversaries, recovery runs, the composition
+// resolves through the persisted route, every shard is drained — and each
+// shard's recorded history must be strictly linearizable w.r.t. D⟨queue⟩.
+// This is exactly the decomposition DESIGN.md's argument rests on: the
+// composition is detectable because each per-shard history is.
+func TestConcurrentCrashConformancePerShard(t *testing.T) {
+	const (
+		shards  = 2
+		threads = 3
+		pairs   = 2
+	)
+	crashSteps := []uint64{3, 7, 13, 21, 35, 55, 89, 144, 233, 377}
+	advs := []struct {
+		name string
+		adv  pmem.Adversary
+	}{
+		{"DropAll", pmem.DropAll{}},
+		{"KeepAll", pmem.KeepAll{}},
+	}
+
+	for _, av := range advs {
+		for _, step := range crashSteps {
+			t.Run(fmt.Sprintf("%s/step%d", av.name, step), func(t *testing.T) {
+				q, h := newTestQueue(t, shards, threads)
+				recs := make([]*check.Recorder, shards)
+				for i := range recs {
+					recs[i] = check.NewRecorder()
+				}
+				q.SetTracer(&recorderTracer{recs})
+
+				h.ArmCrash(step)
+				var wg sync.WaitGroup
+				for tid := 0; tid < threads; tid++ {
+					wg.Add(1)
+					go func(tid int) {
+						defer wg.Done()
+						pmem.RunToCrash(func() {
+							for p := 0; p < pairs; p++ {
+								v := uint64(100*(tid+1) + p)
+								if err := q.PrepEnqueue(tid, v); err != nil {
+									return
+								}
+								q.ExecEnqueue(tid)
+								q.PrepDequeue(tid)
+								q.ExecDequeue(tid)
+							}
+						})
+					}(tid)
+				}
+				wg.Wait()
+
+				if h.Crashed() {
+					for i := range recs {
+						recs[i].CrashAll()
+					}
+					h.Crash(av.adv)
+					q2, err := Attach(h, 0)
+					if err != nil {
+						t.Fatalf("Attach: %v", err)
+					}
+					q2.Recover()
+					q = q2
+				} else {
+					h.ArmCrash(0) // workload finished before the crash point
+				}
+				q.SetTracer(nil)
+
+				// Resolve through the persisted route: exactly one shard
+				// holds each process's record.
+				for tid := 0; tid < threads; tid++ {
+					if s := q.Route(tid); s >= 0 {
+						recs[s].Begin(tid, spec.ResolveOp())
+						recs[s].End(tid, q.Resolve(tid).Resp())
+					}
+				}
+				// Drain each shard into its own history.
+				for s := 0; s < shards; s++ {
+					for {
+						recs[s].Begin(0, spec.Dequeue())
+						v, ok := q.Shard(s).Dequeue(0)
+						if ok {
+							recs[s].End(0, spec.ValResp(v))
+						} else {
+							recs[s].End(0, spec.EmptyResp())
+							break
+						}
+					}
+				}
+				for s := 0; s < shards; s++ {
+					hist := recs[s].History()
+					d := spec.Detectable(spec.NewQueue(), threads)
+					if r := check.StrictlyLinearizable(d, hist); !r.OK {
+						t.Fatalf("shard %d history not strictly linearizable:\n%s",
+							s, check.FormatHistory(hist))
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package sharded composes N independent DSS queues into a single
+// detectable queue front-end, multiplying the head/tail CAS bandwidth that
+// caps the flat Figure-5a curves while preserving the paper's per-process
+// recovery contract.
+//
+// Semantics: the composition is per-shard FIFO and globally k-relaxed
+// (k bounded by the shard count times the in-flight window): values
+// dispatched round-robin to shard queues dequeue in per-shard FIFO order,
+// but values resident on different shards may overtake each other
+// globally. Crucially, detectability is NOT relaxed: every individual
+// operation lands on exactly one shard, that shard's history is strictly
+// linearizable w.r.t. D⟨queue⟩ (Theorem 1 applies per shard unchanged),
+// and the persisted per-process route cursor names the shard holding the
+// process's most recent prepared operation — so Resolve after a crash
+// delegates to exactly one per-shard resolve and the exactly-once
+// guarantee carries over to the composition. See DESIGN.md for the full
+// argument and for why the cursor needs no CAS (it is single-owner,
+// per-process state, like X[p] itself).
+//
+// Cursor persistence protocol: a detectable prep first runs the shard
+// prep (which persists the shard's X[p]), then persists the cursor line
+// (route + round-robin hints) with a single flush. A crash between the
+// two leaves the route pointing at the previous shard, so the new prep
+// resolves as "never happened" — a legal outcome for an operation whose
+// prep had not returned. The stale X entry on the previous shard is
+// withdrawn via (*core.Queue).AbandonPrep either eagerly (on the next
+// prep that moves away from it) or deterministically during Recover.
+package sharded
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Cursor line layout: one cache line per process, three words.
+const (
+	curRoute = 0 // 0 = no prepared op; s+1 = prepared on shard s
+	curEnqRR = 1 // next shard for an enqueue (round-robin hint)
+	curDeqRR = 2 // next shard for a dequeue scan (round-robin hint)
+)
+
+// Meta line layout.
+const (
+	cfgMagic = 0
+	cfgShard = 1
+	cfgThrd  = 2
+	cfgCur   = 3
+
+	magicSharded = 0x4453_5348 // "DSSH"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Shards is the number of underlying DSS queues.
+	Shards int
+	// Threads is the number of processes (shared by every shard).
+	Threads int
+	// NodesPerThread and ExtraNodes size each shard's node pool (they are
+	// per-shard figures, passed to core.Config unchanged).
+	NodesPerThread int
+	ExtraNodes     int
+}
+
+// Tracer observes shard-level operation boundaries. It exists for
+// conformance tests: a sharded operation may touch several shards (a
+// dequeue scans), and the tracer reports each shard-level sub-operation
+// with its D⟨queue⟩ op and response so per-shard histories can be
+// recorded and checked. Production code leaves it nil.
+type Tracer interface {
+	// OpBegin marks the invocation of op on shard by process tid.
+	OpBegin(shard, tid int, op spec.Op)
+	// OpEnd marks its return with resp.
+	OpEnd(shard, tid int, resp spec.Resp)
+}
+
+// Queue is the sharded detectable queue.
+type Queue struct {
+	h       *pmem.Heap
+	shards  []*core.Queue
+	threads int
+	curBase pmem.Addr
+	tracer  Tracer
+}
+
+// New builds a sharded queue in h. It claims root slots rootSlot (its own
+// metadata) through rootSlot+cfg.Shards (one per shard).
+func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("sharded: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("sharded: need at least 1 thread, got %d", cfg.Threads)
+	}
+	if rootSlot < 0 || rootSlot+1+cfg.Shards > pmem.NumRoots {
+		return nil, fmt.Errorf("sharded: %d shards from root slot %d exceed the %d root slots",
+			cfg.Shards, rootSlot, pmem.NumRoots)
+	}
+	meta, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: meta: %w", err)
+	}
+	curBase, err := h.Alloc(cfg.Threads * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: cursors: %w", err)
+	}
+	q := &Queue{h: h, threads: cfg.Threads, curBase: curBase}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := core.New(h, rootSlot+1+i, core.Config{
+			Threads:        cfg.Threads,
+			NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes:     cfg.ExtraNodes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+		}
+		q.shards = append(q.shards, sh)
+	}
+	// Spread the initial round-robin hints so a uniform thread population
+	// starts uniformly distributed over shards.
+	for tid := 0; tid < cfg.Threads; tid++ {
+		cur := q.cursorAddr(tid)
+		h.Store(cur+curRoute, 0)
+		h.Store(cur+curEnqRR, uint64(tid%cfg.Shards))
+		h.Store(cur+curDeqRR, uint64(tid%cfg.Shards))
+	}
+	h.PersistRange(curBase, cfg.Threads*pmem.WordsPerLine)
+	h.Store(meta+cfgShard, uint64(cfg.Shards))
+	h.Store(meta+cfgThrd, uint64(cfg.Threads))
+	h.Store(meta+cfgCur, uint64(curBase))
+	h.Store(meta+cfgMagic, magicSharded)
+	h.Persist(meta)
+	h.SetRoot(rootSlot, meta)
+	return q, nil
+}
+
+// Attach reconstructs the handle of an existing sharded queue from heap
+// root slot rootSlot. The caller must run Recover before resuming
+// operations, exactly as with core.Attach.
+func Attach(h *pmem.Heap, rootSlot int) (*Queue, error) {
+	meta := h.Root(rootSlot)
+	if meta == 0 {
+		return nil, fmt.Errorf("sharded: root slot %d is empty", rootSlot)
+	}
+	if h.Load(meta+cfgMagic) != magicSharded {
+		return nil, fmt.Errorf("sharded: root slot %d does not hold a sharded queue", rootSlot)
+	}
+	shards := int(h.Load(meta + cfgShard))
+	threads := int(h.Load(meta + cfgThrd))
+	if shards < 1 || rootSlot+1+shards > pmem.NumRoots || threads < 1 || threads > 1<<16 {
+		return nil, fmt.Errorf("sharded: corrupt config (%d shards, %d threads)", shards, threads)
+	}
+	q := &Queue{h: h, threads: threads, curBase: pmem.Addr(h.Load(meta + cfgCur))}
+	for i := 0; i < shards; i++ {
+		sh, err := core.Attach(h, rootSlot+1+i)
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+		}
+		q.shards = append(q.shards, sh)
+	}
+	return q, nil
+}
+
+// Shards reports the shard count.
+func (q *Queue) Shards() int { return len(q.shards) }
+
+// Shard returns the i'th underlying DSS queue (test access).
+func (q *Queue) Shard(i int) *core.Queue { return q.shards[i] }
+
+// Threads reports the number of processes the queue was built for.
+func (q *Queue) Threads() int { return q.threads }
+
+// Heap returns the underlying heap.
+func (q *Queue) Heap() *pmem.Heap { return q.h }
+
+// SetTracer installs t (nil to remove). Not safe to call concurrently
+// with operations.
+func (q *Queue) SetTracer(t Tracer) { q.tracer = t }
+
+func (q *Queue) cursorAddr(tid int) pmem.Addr {
+	return q.curBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+// moveRoute points tid's persisted route at shard s and advances the
+// round-robin hint word rr, with a single cursor-line persist; it then
+// withdraws the stale prepared operation, if any, from the previously
+// routed shard. The shard's own X[tid] must already be persisted: X
+// first, cursor second is what makes a crash between the two resolve as
+// "the new prep never happened" rather than as a dangling route.
+func (q *Queue) moveRoute(tid, s, rr int) {
+	cur := q.cursorAddr(tid)
+	prev := q.h.Load(cur + curRoute)
+	q.h.Store(cur+curRoute, uint64(s+1))
+	q.h.Store(cur+pmem.Addr(rr), uint64((s+1)%len(q.shards)))
+	q.h.Persist(cur)
+	if p := int(prev) - 1; p >= 0 && p != s {
+		q.shards[p].AbandonPrep(tid)
+	}
+}
+
+// PrepEnqueue dispatches a detectable prep-enqueue to the next shard in
+// tid's round-robin order.
+func (q *Queue) PrepEnqueue(tid int, v uint64) error {
+	s := int(q.h.Load(q.cursorAddr(tid)+curEnqRR)) % len(q.shards)
+	if q.tracer != nil {
+		q.tracer.OpBegin(s, tid, spec.PrepOp(spec.Enqueue(v)))
+	}
+	if err := q.shards[s].PrepEnqueue(tid, v); err != nil {
+		return err
+	}
+	q.moveRoute(tid, s, curEnqRR)
+	if q.tracer != nil {
+		q.tracer.OpEnd(s, tid, spec.BottomResp())
+	}
+	return nil
+}
+
+// ExecEnqueue executes the enqueue prepared by the last PrepEnqueue on
+// whichever shard it was routed to.
+func (q *Queue) ExecEnqueue(tid int) {
+	r := q.h.Load(q.cursorAddr(tid) + curRoute)
+	if r == 0 {
+		return
+	}
+	s := int(r) - 1
+	if q.tracer != nil {
+		q.tracer.OpBegin(s, tid, spec.ExecOp(spec.Enqueue(q.shards[s].Resolve(tid).Arg)))
+	}
+	q.shards[s].ExecEnqueue(tid)
+	if q.tracer != nil {
+		q.tracer.OpEnd(s, tid, spec.AckResp())
+	}
+}
+
+// prepDeqOn runs a shard-level prep-dequeue on shard s and routes tid
+// there, advancing the dequeue round-robin hint.
+func (q *Queue) prepDeqOn(tid, s int) {
+	if q.tracer != nil {
+		q.tracer.OpBegin(s, tid, spec.PrepOp(spec.Dequeue()))
+	}
+	q.shards[s].PrepDequeue(tid)
+	q.moveRoute(tid, s, curDeqRR)
+	if q.tracer != nil {
+		q.tracer.OpEnd(s, tid, spec.BottomResp())
+	}
+}
+
+// PrepDequeue dispatches a detectable prep-dequeue to the next shard in
+// tid's dequeue round-robin order.
+func (q *Queue) PrepDequeue(tid int) {
+	q.prepDeqOn(tid, int(q.h.Load(q.cursorAddr(tid)+curDeqRR))%len(q.shards))
+}
+
+// ExecDequeue executes the dequeue prepared by the last PrepDequeue. If
+// the routed shard is empty it re-prepares on the next shard and retries,
+// scanning at most one full cycle; EMPTY is returned only after every
+// shard reported empty during the scan (the relaxed emptiness of the
+// composition — see DESIGN.md). Each retry is a fresh shard-level
+// prep/exec pair, so the persisted route always names the shard whose
+// X[tid] records this operation's effect, and a crash anywhere in the
+// scan resolves to exactly-once semantics: values claimed by an
+// interrupted exec are recovered by that shard's resolve, and abandoned
+// intermediate EMPTY observations removed nothing from any shard.
+func (q *Queue) ExecDequeue(tid int) (uint64, bool) {
+	r := q.h.Load(q.cursorAddr(tid) + curRoute)
+	if r == 0 {
+		return 0, false
+	}
+	s := int(r) - 1
+	n := len(q.shards)
+	for i := 0; ; i++ {
+		if q.tracer != nil {
+			q.tracer.OpBegin(s, tid, spec.ExecOp(spec.Dequeue()))
+		}
+		v, ok := q.shards[s].ExecDequeue(tid)
+		if ok {
+			if q.tracer != nil {
+				q.tracer.OpEnd(s, tid, spec.ValResp(v))
+			}
+			return v, true
+		}
+		if q.tracer != nil {
+			q.tracer.OpEnd(s, tid, spec.EmptyResp())
+		}
+		if i == n-1 {
+			return 0, false
+		}
+		s = (s + 1) % n
+		q.prepDeqOn(tid, s)
+	}
+}
+
+// Resolve reports tid's most recently prepared detectable operation by
+// delegating to the shard the persisted route names (Axiom 3 for the
+// composition: exactly one shard holds the operation's record).
+func (q *Queue) Resolve(tid int) core.Resolution {
+	r := q.h.Load(q.cursorAddr(tid) + curRoute)
+	if r == 0 {
+		return core.Resolution{Op: core.OpNone}
+	}
+	return q.shards[r-1].Resolve(tid)
+}
+
+// Route reports the shard holding tid's most recently prepared
+// detectable operation, or -1 if none — the persisted cursor the
+// composition's Resolve delegates through (test and recovery-audit
+// access).
+func (q *Queue) Route(tid int) int {
+	return int(q.h.Load(q.cursorAddr(tid)+curRoute)) - 1
+}
+
+// Enqueue is the non-detectable enqueue: round-robin dispatch with a
+// volatile cursor update (the hint needs no flush — after a crash the
+// round-robin order restarts from the last persisted hint, which affects
+// only load spread, never safety).
+func (q *Queue) Enqueue(tid int, v uint64) error {
+	cur := q.cursorAddr(tid)
+	s := int(q.h.Load(cur+curEnqRR)) % len(q.shards)
+	if err := q.shards[s].Enqueue(tid, v); err != nil {
+		return err
+	}
+	q.h.Store(cur+curEnqRR, uint64((s+1)%len(q.shards)))
+	return nil
+}
+
+// Dequeue is the non-detectable dequeue: scan one full cycle from the
+// cursor, returning EMPTY only if every shard reported empty.
+func (q *Queue) Dequeue(tid int) (uint64, bool) {
+	cur := q.cursorAddr(tid)
+	s := int(q.h.Load(cur+curDeqRR)) % len(q.shards)
+	for i := 0; i < len(q.shards); i++ {
+		if v, ok := q.shards[s].Dequeue(tid); ok {
+			q.h.Store(cur+curDeqRR, uint64((s+1)%len(q.shards)))
+			return v, true
+		}
+		s = (s + 1) % len(q.shards)
+	}
+	return 0, false
+}
+
+// Recover restores the composition after a crash: the single-threaded
+// per-shard recovery procedure of Section 3.2 runs across shards in
+// parallel (shards share nothing but the heap, whose primitives are
+// atomic), then stale prepared operations on non-routed shards — preps
+// that were superseded before the crash but whose eager AbandonPrep never
+// ran — are withdrawn deterministically, so post-recovery state depends
+// only on the persisted image, never on where the crash interrupted
+// cleanup.
+func (q *Queue) Recover() {
+	var wg sync.WaitGroup
+	for _, sh := range q.shards {
+		wg.Add(1)
+		go func(sh *core.Queue) {
+			defer wg.Done()
+			sh.Recover()
+		}(sh)
+	}
+	wg.Wait()
+	for tid := 0; tid < q.threads; tid++ {
+		r := int(q.h.Load(q.cursorAddr(tid) + curRoute))
+		for i, sh := range q.shards {
+			if i != r-1 {
+				sh.AbandonPrep(tid)
+			}
+		}
+	}
+}
+
+// ResetVolatile rebuilds the volatile companions of every shard without
+// touching persistent state (the full-system crash of the conformance
+// tests).
+func (q *Queue) ResetVolatile() {
+	for _, sh := range q.shards {
+		sh.ResetVolatile()
+	}
+}

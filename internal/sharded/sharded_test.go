@@ -1,0 +1,313 @@
+package sharded
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func newTestQueue(t *testing.T, shards, threads int) (*Queue, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatalf("pmem.New: %v", err)
+	}
+	q, err := New(h, 0, Config{Shards: shards, Threads: threads, NodesPerThread: 64, ExtraNodes: 16})
+	if err != nil {
+		t.Fatalf("sharded.New: %v", err)
+	}
+	return q, h
+}
+
+// drainAll empties the queue non-detectably and returns the values sorted
+// (global order across shards is relaxed, so only the multiset is stable).
+func drainAll(t *testing.T, q *Queue, tid int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for i := 0; i < 100_000; i++ {
+		v, ok := q.Dequeue(tid)
+		if !ok {
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		out = append(out, v)
+	}
+	t.Fatal("drain did not terminate; queue corrupted?")
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if _, err := New(h, 0, Config{Shards: 0, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	if _, err := New(h, 0, Config{Shards: 1, Threads: 0, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, Config{Shards: pmem.NumRoots, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted shard count exceeding root slots")
+	}
+}
+
+func TestNonDetectableRoundTrip(t *testing.T) {
+	q, _ := newTestQueue(t, 4, 2)
+	var want []uint64
+	for v := uint64(1); v <= 20; v++ {
+		if err := q.Enqueue(0, v); err != nil {
+			t.Fatalf("Enqueue(%d): %v", v, err)
+		}
+		want = append(want, v)
+	}
+	got := drainAll(t, q, 1)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset mismatch at %d: got %v", i, got)
+		}
+	}
+}
+
+// TestEnqueueSpreadsAcrossShards checks the round-robin dispatch: 4×k
+// enqueues from one thread must land k on each of 4 shards.
+func TestEnqueueSpreadsAcrossShards(t *testing.T) {
+	q, _ := newTestQueue(t, 4, 1)
+	const perShard = 5
+	for v := uint64(0); v < 4*perShard; v++ {
+		if err := q.Enqueue(0, 1000+v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < q.Shards(); i++ {
+		n := 0
+		for {
+			if _, ok := q.Shard(i).Dequeue(0); !ok {
+				break
+			}
+			n++
+		}
+		if n != perShard {
+			t.Fatalf("shard %d holds %d values, want %d", i, n, perShard)
+		}
+	}
+}
+
+// TestPerShardFIFO checks the semantic contract: per-shard order is FIFO
+// even though global order is relaxed.
+func TestPerShardFIFO(t *testing.T) {
+	q, _ := newTestQueue(t, 3, 1)
+	const rounds = 7
+	for v := uint64(0); v < 3*rounds; v++ {
+		if err := q.Enqueue(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Thread 0's enqRR starts at 0%3 = 0, so value v lands on shard v%3.
+	for i := 0; i < 3; i++ {
+		var got []uint64
+		for {
+			v, ok := q.Shard(i).Dequeue(0)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != rounds {
+			t.Fatalf("shard %d: %d values, want %d", i, len(got), rounds)
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j] <= got[j-1] {
+				t.Fatalf("shard %d: FIFO inversion %v", i, got)
+			}
+		}
+	}
+}
+
+func TestDetectablePrepExecResolve(t *testing.T) {
+	q, _ := newTestQueue(t, 2, 1)
+
+	if err := q.PrepEnqueue(0, 41); err != nil {
+		t.Fatal(err)
+	}
+	if res := q.Resolve(0); res.Op != core.OpEnqueue || res.Executed {
+		t.Fatalf("after prep: %+v", res)
+	}
+	q.ExecEnqueue(0)
+	if res := q.Resolve(0); res.Op != core.OpEnqueue || !res.Executed || res.Arg != 41 {
+		t.Fatalf("after exec: %+v", res)
+	}
+
+	q.PrepDequeue(0)
+	if res := q.Resolve(0); res.Op != core.OpDequeue || res.Executed {
+		t.Fatalf("after deq prep: %+v", res)
+	}
+	v, ok := q.ExecDequeue(0)
+	if !ok || v != 41 {
+		t.Fatalf("ExecDequeue = (%d, %v), want (41, true)", v, ok)
+	}
+	if res := q.Resolve(0); res.Op != core.OpDequeue || !res.Executed || res.Val != 41 {
+		t.Fatalf("after deq exec: %+v", res)
+	}
+}
+
+// TestDequeueScansPastEmptyShards: with the value sitting on a shard the
+// dequeue cursor does not start at, the scan must find it, and EMPTY must
+// be reported only on a fully empty queue.
+func TestDequeueScansPastEmptyShards(t *testing.T) {
+	q, _ := newTestQueue(t, 4, 1)
+	// enqRR starts at 0: the single value lands on shard 0. Push deqRR
+	// past it so the scan has to wrap.
+	if err := q.PrepEnqueue(0, 77); err != nil {
+		t.Fatal(err)
+	}
+	q.ExecEnqueue(0)
+
+	q.PrepDequeue(0) // shard 0 — but drain shard order forward:
+	// move the prepared dequeue off the value's shard by executing a
+	// scan on an empty region first: re-prep on shard 1 manually.
+	q.prepDeqOn(0, 1)
+	v, ok := q.ExecDequeue(0)
+	if !ok || v != 77 {
+		t.Fatalf("scan ExecDequeue = (%d, %v), want (77, true)", v, ok)
+	}
+
+	q.PrepDequeue(0)
+	if _, ok := q.ExecDequeue(0); ok {
+		t.Fatal("dequeue on empty queue returned a value")
+	}
+	if res := q.Resolve(0); res.Op != core.OpDequeue || !res.Executed || !res.Empty {
+		t.Fatalf("resolve after empty dequeue: %+v", res)
+	}
+}
+
+// TestStalePrepAbandoned: preparing on shard A then (after moving on)
+// preparing on shard B must withdraw the unexecuted prep from A — its
+// node returns to A's pool and A's X no longer reports an operation.
+func TestStalePrepAbandoned(t *testing.T) {
+	q, _ := newTestQueue(t, 2, 1)
+	if err := q.PrepEnqueue(0, 1); err != nil { // shard 0
+		t.Fatal(err)
+	}
+	free0 := q.Shard(0).FreeNodes()
+	if err := q.PrepEnqueue(0, 2); err != nil { // shard 1; abandons shard 0's prep
+		t.Fatal(err)
+	}
+	if got := q.Shard(0).FreeNodes(); got != free0+1 {
+		t.Fatalf("shard 0 free nodes = %d, want %d (abandoned node returned)", got, free0+1)
+	}
+	if res := q.Shard(0).Resolve(0); res.Op != core.OpNone {
+		t.Fatalf("shard 0 still holds a record: %+v", res)
+	}
+	if res := q.Resolve(0); res.Op != core.OpEnqueue || res.Arg != 2 {
+		t.Fatalf("composition resolve = %+v, want prepared enqueue(2)", res)
+	}
+	q.ExecEnqueue(0)
+	if got := drainAll(t, q, 0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("contents = %v, want [2] (abandoned value must not appear)", got)
+	}
+}
+
+// TestAttachRecover: build, run detectable traffic, crash the whole
+// system (drop volatile state), attach a fresh handle, recover in
+// parallel, and check resolve + contents.
+func TestAttachRecover(t *testing.T) {
+	q, h := newTestQueue(t, 3, 2)
+	for v := uint64(1); v <= 9; v++ {
+		tid := int(v) % 2
+		if err := q.PrepEnqueue(tid, v); err != nil {
+			t.Fatal(err)
+		}
+		q.ExecEnqueue(tid)
+	}
+	// A prepared-but-unexecuted enqueue rides into the crash.
+	if err := q.PrepEnqueue(0, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-system crash: all dirty lines survive (KeepAll), volatile
+	// companions are lost.
+	h.ArmCrash(1)
+	func() {
+		defer func() { _ = recover() }()
+		q.Enqueue(0, 999) // trips the armed crash on its first step
+	}()
+	if !h.Crashed() {
+		t.Fatal("crash did not trigger")
+	}
+	h.Crash(pmem.KeepAll{})
+
+	q2, err := Attach(h, 0)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if q2.Shards() != 3 || q2.Threads() != 2 {
+		t.Fatalf("attached %d shards / %d threads, want 3/2", q2.Shards(), q2.Threads())
+	}
+	q2.Recover()
+
+	res := q2.Resolve(0)
+	if res.Op != core.OpEnqueue || res.Arg != 100 || res.Executed {
+		t.Fatalf("resolve(0) = %+v, want unexecuted enqueue(100)", res)
+	}
+	// Complete the in-flight op, then check the multiset.
+	q2.ExecEnqueue(0)
+	got := drainAll(t, q2, 1)
+	want := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRecoverClearsStaleNonRoutePreps: crash with an eager abandon still
+// pending (stale X on a non-routed shard) must be cleaned deterministically
+// by Recover.
+func TestRecoverClearsStaleNonRoutePreps(t *testing.T) {
+	q, h := newTestQueue(t, 2, 1)
+	// Prep directly on shard 0 without going through the front-end, then
+	// route to shard 1 via the front-end: simulates a crash that landed
+	// between the cursor persist and the eager AbandonPrep.
+	if err := q.Shard(0).PrepEnqueue(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PrepEnqueue(0, 51); err != nil { // dispatches to shard 0...
+		t.Fatal(err)
+	}
+	// enqRR for tid 0 starts at 0, so that went to shard 0 and replaced
+	// the orphan prep itself. Prepare once more to land on shard 1 and
+	// leave shard 0's record stale.
+	if err := q.PrepEnqueue(0, 52); err != nil {
+		t.Fatal(err)
+	}
+	// Now shard 0's X was abandoned eagerly. Re-create the stale state
+	// behind the front-end's back:
+	if err := q.Shard(0).PrepEnqueue(0, 53); err != nil {
+		t.Fatal(err)
+	}
+
+	h.ArmCrash(1)
+	func() {
+		defer func() { _ = recover() }()
+		_ = q.Enqueue(0, 999)
+	}()
+	h.Crash(pmem.KeepAll{})
+
+	q2, err := Attach(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Recover()
+	if res := q2.Shard(0).Resolve(0); res.Op != core.OpNone {
+		t.Fatalf("stale shard-0 record survived recovery: %+v", res)
+	}
+	if res := q2.Resolve(0); res.Op != core.OpEnqueue || res.Arg != 52 {
+		t.Fatalf("route resolve = %+v, want enqueue(52)", res)
+	}
+}

@@ -1,0 +1,132 @@
+package systematic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/sharded"
+	"repro/internal/spec"
+)
+
+// shardRecorder fans shard-level tracer events into one recorder per
+// shard, so each shard's history can be checked independently.
+type shardRecorder struct {
+	recs []*check.Recorder
+}
+
+func (r *shardRecorder) OpBegin(shard, tid int, op spec.Op)    { r.recs[shard].Begin(tid, op) }
+func (r *shardRecorder) OpEnd(shard, tid int, resp spec.Resp) { r.recs[shard].End(tid, resp) }
+
+// TestShardedQueueUnderSchedules model-checks the 2-thread, 2-shard
+// enqueue/dequeue race under a preemption bound of 2: one thread runs a
+// detectable enqueue pair, the other a detectable dequeue pair, and every
+// schedule must leave each shard's traced history strictly linearizable
+// w.r.t. D⟨queue⟩ and conserve values exactly once across the
+// composition. The interesting interleavings are the ones that preempt
+// inside the dispatch-cursor update (between the shard prep's X persist
+// and the cursor persist) and inside the dequeue's cross-shard scan.
+func TestShardedQueueUnderSchedules(t *testing.T) {
+	maxSchedules := 5000
+	if testing.Short() {
+		maxSchedules = 300
+	}
+	var q *sharded.Queue
+	var tr *shardRecorder
+	var deqGot []uint64
+	setup := func() (*pmem.Heap, []func()) {
+		h := newHeap(t)
+		var err error
+		q, err = sharded.New(h, 0, sharded.Config{
+			Shards: 2, Threads: 2, NodesPerThread: 8, ExtraNodes: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = &shardRecorder{recs: []*check.Recorder{check.NewRecorder(), check.NewRecorder()}}
+		q.SetTracer(tr)
+		deqGot = nil
+		enqueuer := func() {
+			for _, v := range []uint64{100, 200} {
+				if err := q.PrepEnqueue(0, v); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				q.ExecEnqueue(0)
+			}
+		}
+		dequeuer := func() {
+			for i := 0; i < 2; i++ {
+				q.PrepDequeue(1)
+				if v, ok := q.ExecDequeue(1); ok {
+					deqGot = append(deqGot, v)
+				}
+			}
+		}
+		return h, []func(){enqueuer, dequeuer}
+	}
+	verify := func() error {
+		// Resolve each process through its persisted route, into the
+		// route shard's history (the only shard holding its record).
+		for tid := 0; tid < 2; tid++ {
+			if s := q.Route(tid); s >= 0 {
+				tr.recs[s].Begin(tid, spec.ResolveOp())
+				tr.recs[s].End(tid, q.Resolve(tid).Resp())
+			}
+		}
+		// Drain shard by shard, recording into the shard histories and
+		// collecting the leftovers for conservation.
+		var left []uint64
+		for s := 0; s < 2; s++ {
+			for {
+				tr.recs[s].Begin(0, spec.Dequeue())
+				v, ok := q.Shard(s).Dequeue(0)
+				if ok {
+					tr.recs[s].End(0, spec.ValResp(v))
+					left = append(left, v)
+				} else {
+					tr.recs[s].End(0, spec.EmptyResp())
+					break
+				}
+			}
+		}
+		q.SetTracer(nil)
+		seen := map[uint64]int{}
+		for _, v := range deqGot {
+			seen[v]++
+		}
+		for _, v := range left {
+			seen[v]++
+		}
+		if seen[100] != 1 || seen[200] != 1 || len(seen) != 2 {
+			return fmt.Errorf("values not conserved exactly once: dequeued %v, drained %v", deqGot, left)
+		}
+		for s := 0; s < 2; s++ {
+			hist := tr.recs[s].History()
+			d := spec.Detectable(spec.NewQueue(), 2)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				return fmt.Errorf("shard %d history not linearizable:\n%s", s, check.FormatHistory(hist))
+			}
+		}
+		return nil
+	}
+	schedules, bad, err := Explore(ExploreConfig{MaxPreemptions: 2, MaxSchedules: maxSchedules}, setup, verify)
+	if err != nil {
+		t.Fatalf("schedule with preemptions at %v violates the sharded composition: %v", bad, err)
+	}
+	t.Logf("verified %d schedules", schedules)
+}
+
+// TestGoidGrowsTruncatedBuffer forces the initial stack-header read to
+// truncate mid-header and checks that goid grows the buffer and still
+// parses the id, instead of panicking (the hardening this PR adds).
+func TestGoidGrowsTruncatedBuffer(t *testing.T) {
+	reference := goid()
+	old := goidBuf
+	goidBuf = 8 // too small for "goroutine N [running]:"
+	defer func() { goidBuf = old }()
+	if got := goid(); got != reference {
+		t.Fatalf("goid with truncated initial buffer = %d, want %d", got, reference)
+	}
+}

@@ -22,22 +22,39 @@ import (
 	"repro/internal/pmem"
 )
 
+// goidBuf is the initial stack-header read size used by goid. It is a
+// variable so tests can shrink it and exercise the growth path.
+var goidBuf = 64
+
 // goid returns the current goroutine's id (parsed from the runtime stack
 // header — a testing-only device; the scheduler needs to map gate calls
 // back to registered workers and the runtime offers no cheaper identity).
+//
+// runtime.Stack truncates at the buffer size, so a fixed-size read could
+// cut the header "goroutine N [running]:" mid-number and either fail to
+// parse or, worse, silently yield a prefix of the real id. goid therefore
+// accepts the id field only when its terminator (the "[state]:" token) was
+// captured too, and grows the buffer until it sees one.
 func goid() uint64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	// "goroutine 123 [running]:"
-	fields := bytes.Fields(buf[:n])
-	if len(fields) < 2 {
-		panic("systematic: cannot parse goroutine id")
+	buf := make([]byte, goidBuf)
+	for {
+		n := runtime.Stack(buf, false)
+		// "goroutine 123 [running]:" — require at least three fields so
+		// the id field is known to be complete, not cut by the buffer.
+		fields := bytes.Fields(buf[:n])
+		if len(fields) >= 3 && bytes.Equal(fields[0], []byte("goroutine")) {
+			id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+			if err == nil {
+				return id
+			}
+		}
+		if n < len(buf) {
+			// The whole trace fit and the header still did not parse:
+			// growing cannot help.
+			panic(fmt.Sprintf("systematic: cannot parse goroutine id from %q", buf[:n]))
+		}
+		buf = make([]byte, 2*len(buf))
 	}
-	id, err := strconv.ParseUint(string(fields[1]), 10, 64)
-	if err != nil {
-		panic(fmt.Sprintf("systematic: cannot parse goroutine id: %v", err))
-	}
-	return id
 }
 
 // Controller schedules a set of worker goroutines one-at-a-time over a
@@ -139,8 +156,9 @@ func Run(h *pmem.Heap, workers []func(), preemptAt map[int]bool) int {
 
 // gate is the heap hook: registered workers park and wait for their turn;
 // goroutines the controller does not know (test setup, draining) pass
-// through untouched.
-func (c *Controller) gate() {
+// through untouched. The step kind is irrelevant here — the controller
+// schedules interleavings, not costs.
+func (c *Controller) gate(pmem.StepKind) {
 	c.mu.Lock()
 	idx, ok := c.ids[goid()]
 	c.mu.Unlock()

@@ -1,0 +1,32 @@
+package vtime
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header — the same device internal/systematic uses: the scheduler must
+// map gate calls back to registered workers and the runtime offers no
+// cheaper identity. runtime.Stack truncates at the buffer size, so the id
+// is accepted only when the following "[state]:" token was captured too,
+// growing the buffer until the header is known to be complete.
+func goid() uint64 {
+	buf := make([]byte, 64)
+	for {
+		n := runtime.Stack(buf, false)
+		fields := bytes.Fields(buf[:n])
+		if len(fields) >= 3 && bytes.Equal(fields[0], []byte("goroutine")) {
+			id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+			if err == nil {
+				return id
+			}
+		}
+		if n < len(buf) {
+			panic(fmt.Sprintf("vtime: cannot parse goroutine id from %q", buf[:n]))
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

@@ -1,0 +1,187 @@
+// Package vtime measures throughput on a simulated multi-core machine.
+//
+// The paper's evaluation runs up to 20 hardware threads; this repository's
+// CI hosts often have a single CPU. Wall-clock benchmarking on such a host
+// serializes every thread's simulated stall (flush latency, access delay),
+// so the numbers can never show the one thing Figure 5a is about: curves
+// flattening against a shared head/tail bottleneck while per-thread costs
+// overlap across cores. PR 1 removed the simulator's own contention; this
+// package removes the host's.
+//
+// It does so with a conservative discrete-event simulation in virtual
+// time. Worker goroutines run one at a time under the heap's Tracked-mode
+// step gate (the same hook the systematic model checker uses); each
+// primitive memory step charges its modeled latency to the calling
+// worker's virtual clock, and the scheduler always resumes the worker
+// whose clock is smallest. Steps therefore interleave exactly as they
+// would on a machine where every simulated core advances at the modeled
+// speed: stalls on distinct cores overlap, while true serialization —
+// CAS retries, helping chains on a shared cache line — emerges from the
+// data structure itself, not from the host's core count.
+//
+// Because scheduling depends only on the cost model and the workers'
+// behavior (ties break by worker index), a vtime run is deterministic:
+// the same build measures the same virtual throughput on any host. That
+// is what makes committed benchmark-trajectory files (BENCH_sharded.json)
+// regressable across machines.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// Costs is the per-step latency model, mirroring the Direct-mode cost
+// model of pmem.Config: a base cost per memory operation and a persist
+// cost split between CLWB issue and SFENCE drain (see pmem.Config's
+// FlushLatency) so that batched flushes under one fence coalesce.
+type Costs struct {
+	// AccessNS is the modeled latency of one Load, Store, or CAS.
+	AccessNS int64
+	// FlushNS is the modeled latency of one full persist (CLWB+SFENCE).
+	// A flush (CLWB issue) charges a quarter of it, a fence (SFENCE
+	// drain) the rest, matching pmem's flushIssueDenom split.
+	FlushNS int64
+}
+
+// DefaultCosts mirrors the calibration used by the Direct-mode figures:
+// a 300 ns Optane persist and a 100 ns base memory operation.
+func DefaultCosts() Costs { return Costs{AccessNS: 100, FlushNS: 300} }
+
+// cost returns the virtual-ns charge for one step of the given kind.
+func (c Costs) cost(kind pmem.StepKind) int64 {
+	switch kind {
+	case pmem.StepFlush:
+		return c.FlushNS / 4
+	case pmem.StepFence:
+		return c.FlushNS - c.FlushNS/4
+	default:
+		return c.AccessNS
+	}
+}
+
+// sched coordinates the workers: exactly one runs at a time; the rest are
+// parked either at a step gate (about to take a memory step) or finished.
+type sched struct {
+	costs Costs
+
+	mu  sync.Mutex
+	ids map[uint64]int
+
+	clock   []int64 // per-worker virtual ns
+	pending []int64 // cost of the step the worker is parked at
+
+	parkedCh chan int
+	doneCh   chan int
+	resume   []chan struct{}
+}
+
+// Run executes the workers to completion under min-virtual-clock
+// scheduling on h (which must be in Tracked mode and quiescent) and
+// returns the simulated elapsed time: the largest worker clock, i.e. the
+// makespan of the run on a machine with one core per worker.
+//
+// Only primitive memory steps advance virtual time; Go-level computation
+// between steps is charged nothing, exactly as Direct mode charges
+// nothing for it. Run installs and removes the step gate itself.
+func Run(h *pmem.Heap, costs Costs, workers []func()) time.Duration {
+	if h.Mode() != pmem.Tracked {
+		panic("vtime: Run requires a Tracked-mode heap")
+	}
+	if costs.AccessNS <= 0 || costs.FlushNS < 0 {
+		// A zero-cost access would let a retry loop spin without its
+		// clock advancing, starving every other worker forever.
+		panic(fmt.Sprintf("vtime: costs must be positive, got %+v", costs))
+	}
+	if len(workers) == 0 {
+		return 0
+	}
+	s := &sched{
+		costs:    costs,
+		ids:      map[uint64]int{},
+		clock:    make([]int64, len(workers)),
+		pending:  make([]int64, len(workers)),
+		parkedCh: make(chan int),
+		doneCh:   make(chan int),
+		resume:   make([]chan struct{}, len(workers)),
+	}
+	for i := range workers {
+		s.resume[i] = make(chan struct{})
+	}
+	h.SetStepGate(s.gate)
+	defer h.SetStepGate(nil)
+
+	live := make([]bool, len(workers))
+	for i, w := range workers {
+		live[i] = true
+		go func(i int, w func()) {
+			s.mu.Lock()
+			s.ids[goid()] = i
+			s.mu.Unlock()
+			// Park before the first instruction so startup is
+			// deterministic: every worker begins from the same point.
+			s.parkedCh <- i
+			<-s.resume[i]
+			defer func() { s.doneCh <- i }()
+			w()
+		}(i, w)
+	}
+	for range workers {
+		<-s.parkedCh
+	}
+
+	remaining := len(workers)
+	for remaining > 0 {
+		// Resume the live worker with the smallest virtual clock; ties
+		// break by index, keeping the schedule fully deterministic.
+		next := -1
+		for i := range workers {
+			if live[i] && (next < 0 || s.clock[i] < s.clock[next]) {
+				next = i
+			}
+		}
+		// Charge the step the worker is about to take. (The initial
+		// park has pending 0.)
+		s.clock[next] += s.pending[next]
+		s.pending[next] = 0
+		s.resume[next] <- struct{}{}
+		select {
+		case idx := <-s.parkedCh:
+			if idx != next {
+				panic("vtime: a non-scheduled worker took a step")
+			}
+		case idx := <-s.doneCh:
+			if idx != next {
+				panic("vtime: a non-scheduled worker finished")
+			}
+			live[idx] = false
+			remaining--
+		}
+	}
+
+	var makespan int64
+	for _, c := range s.clock {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	return time.Duration(makespan)
+}
+
+// gate is the heap hook: a registered worker records the cost of the step
+// it is about to take and parks until the scheduler picks it; goroutines
+// the scheduler does not know (setup, draining) pass through untouched.
+func (s *sched) gate(kind pmem.StepKind) {
+	s.mu.Lock()
+	idx, ok := s.ids[goid()]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.pending[idx] = s.costs.cost(kind)
+	s.parkedCh <- idx
+	<-s.resume[idx]
+}

@@ -1,0 +1,184 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+func newHeap(t *testing.T) *pmem.Heap {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatalf("pmem.New: %v", err)
+	}
+	return h
+}
+
+// persistLoop makes a worker that performs rounds of store+persist on its
+// own cache line — the shape of an uncontended detectable operation.
+func persistLoop(h *pmem.Heap, line pmem.Addr, rounds int) func() {
+	return func() {
+		for r := 0; r < rounds; r++ {
+			h.Store(line, uint64(r+1))
+			h.Persist(line)
+		}
+	}
+}
+
+// TestSingleWorkerCharges checks the cost model arithmetic end to end:
+// one worker, known step sequence, exact expected virtual time.
+func TestSingleWorkerCharges(t *testing.T) {
+	h := newHeap(t)
+	base, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := Costs{AccessNS: 100, FlushNS: 300}
+	rounds := 10
+	elapsed := Run(h, costs, []func(){persistLoop(h, base, rounds)})
+	// Per round: Store (100) + Persist = Flush (300/4=75) + Fence (300-75=225).
+	want := time.Duration(rounds * (100 + 75 + 225))
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+}
+
+// TestStallsOverlap is the reason this package exists: two workers doing
+// independent persists must take the same virtual time as one, because
+// their stalls overlap on separate simulated cores — even though the host
+// executes them serially.
+func TestStallsOverlap(t *testing.T) {
+	h := newHeap(t)
+	costs := Costs{AccessNS: 100, FlushNS: 300}
+	rounds := 50
+
+	lineA, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := Run(h, costs, []func(){persistLoop(h, lineA, rounds)})
+
+	lines := make([]pmem.Addr, 4)
+	for i := range lines {
+		lines[i], err = h.Alloc(pmem.WordsPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	workers := make([]func(), len(lines))
+	for i, ln := range lines {
+		workers[i] = persistLoop(h, ln, rounds)
+	}
+	four := Run(h, costs, workers)
+
+	if four != one {
+		t.Fatalf("4 independent workers took %v, 1 worker took %v; want equal (perfect overlap)", four, one)
+	}
+}
+
+// TestDeterministic runs a contended workload (all workers CAS the same
+// line) repeatedly and requires bit-identical virtual elapsed times.
+func TestDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		h := newHeap(t)
+		line, err := h.Alloc(pmem.WordsPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := make([]func(), 3)
+		for i := range workers {
+			workers[i] = func() {
+				for r := 0; r < 20; r++ {
+					for {
+						old := h.Load(line)
+						if h.CompareAndSwap(line, old, old+1) {
+							break
+						}
+					}
+					h.Persist(line)
+				}
+			}
+		}
+		return Run(h, DefaultCosts(), workers)
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: elapsed %v != first run %v", i+1, got, first)
+		}
+	}
+	if first == 0 {
+		t.Fatal("contended run reported zero elapsed time")
+	}
+}
+
+// TestContentionCosts checks that shared-line CAS traffic is slower in
+// virtual time than the same work spread across private lines — the
+// signal the sharded benchmark relies on.
+func TestContentionCosts(t *testing.T) {
+	costs := DefaultCosts()
+	rounds := 30
+	n := 4
+
+	mkWorkers := func(h *pmem.Heap, lineFor func(i int) pmem.Addr) []func() {
+		workers := make([]func(), n)
+		for i := range workers {
+			line := lineFor(i)
+			workers[i] = func() {
+				for r := 0; r < rounds; r++ {
+					for {
+						old := h.Load(line)
+						if h.CompareAndSwap(line, old, old+1) {
+							break
+						}
+					}
+					h.Persist(line)
+				}
+			}
+		}
+		return workers
+	}
+
+	hShared := newHeap(t)
+	shared, err := hShared.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedElapsed := Run(hShared, costs, mkWorkers(hShared, func(int) pmem.Addr { return shared }))
+
+	hPriv := newHeap(t)
+	priv := make([]pmem.Addr, n)
+	for i := range priv {
+		priv[i], err = hPriv.Alloc(pmem.WordsPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	privElapsed := Run(hPriv, costs, mkWorkers(hPriv, func(i int) pmem.Addr { return priv[i] }))
+
+	if sharedElapsed <= privElapsed {
+		t.Fatalf("shared-line run %v not slower than private-line run %v", sharedElapsed, privElapsed)
+	}
+}
+
+// TestUnregisteredGoroutinesPassThrough ensures setup/drain code running
+// outside Run is unaffected by a leftover gate (Run removes it), and that
+// heap use by the test goroutine during a Run... cannot happen here, but
+// at minimum the heap is usable after Run returns.
+func TestUnregisteredGoroutinesPassThrough(t *testing.T) {
+	h := newHeap(t)
+	line, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(h, DefaultCosts(), []func(){func() { h.Store(line, 7) }})
+	if got := h.Load(line); got != 7 {
+		t.Fatalf("post-run Load = %d, want 7", got)
+	}
+	h.Store(line, 8)
+	if got := h.Load(line); got != 8 {
+		t.Fatalf("post-run Store/Load = %d, want 8", got)
+	}
+}

@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-json clean
+.PHONY: ci vet build test race soak soak-smoke bench-json clean
 
-# ci is the full local gate: static checks, build, tests, and a short
-# race pass over the packages with the most concurrency.
-ci: vet build test race
+# ci is the full local gate: static checks, build, tests, a short race
+# pass over the packages with the most concurrency, and the soak smoke.
+ci: vet build test race soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,22 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/sharded ./internal/check ./internal/vtime
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/sharded ./internal/check ./internal/vtime ./internal/mp
+
+# soak regenerates the committed crash-storm soak report. The run is a
+# deterministic discrete-event simulation: for a fixed seed the report is
+# bit-identical on every machine, so BENCH_soak.json is committed and
+# diffable. -repeat 3 additionally proves determinism on this host.
+soak:
+	$(GO) run ./cmd/dsssoak -seed 1 -repeat 3 -json BENCH_soak.json
+
+# soak-smoke is the CI gate: rerun the committed configuration twice,
+# fail on any exactly-once/queue-invariant violation, on a missed crash
+# budget, on nondeterminism between the runs, or on drift from the
+# committed BENCH_soak.json.
+soak-smoke:
+	$(GO) run ./cmd/dsssoak -seed 1 -repeat 2 -json /tmp/BENCH_soak.ci.json > /dev/null
+	cmp BENCH_soak.json /tmp/BENCH_soak.ci.json
 
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a

@@ -9,26 +9,57 @@
 //
 //	crashsweep -pairs 2 -seed 42
 //	crashsweep -impl fast-caswitheffect
+//	crashsweep -bias 0.1,0.9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/harness"
 )
+
+// parseBiases splits a comma-separated list of survival probabilities.
+func parseBiases(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bias %q: %v", f, err)
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("bias %v outside [0,1]", p)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
 
 func main() {
 	pairs := flag.Int("pairs", 2, "detectable enqueue/dequeue pairs in the swept workload")
 	seed := flag.Int64("seed", 1, "seed for the random dirty-line adversaries")
 	impl := flag.String("impl", string(harness.DSSDetectable),
 		"queue to sweep: dss-detectable, fast-caswitheffect, or general-caswitheffect")
+	bias := flag.String("bias", "",
+		"comma-separated per-line survival probabilities; each adds a BiasedFates adversary to the suite")
 	flag.Parse()
 
+	biases, err := parseBiases(*bias)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	report := harness.CrashSweepImpl(harness.Impl(*impl), harness.CrashSweepConfig{
-		Pairs: *pairs,
-		Seed:  *seed,
+		Pairs:  *pairs,
+		Seed:   *seed,
+		Biases: biases,
 	})
 	fmt.Println(report)
 	if !report.OK() {

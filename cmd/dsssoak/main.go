@@ -1,0 +1,94 @@
+// Command dsssoak runs the deterministic crash-storm soak: concurrent
+// retrying clients drive the message-passing DSS queue server through a
+// lossy, duplicating, delaying network while the server crashes and
+// recovers under rotating dirty-line adversaries. The full
+// client-observed history is verified for exactly-once execution and the
+// queue invariants, and the run's counters are emitted as a JSON report
+// that is bit-identical for a given seed.
+//
+// Usage:
+//
+//	dsssoak -seed 1 -clients 8 -ops 50 -crashes 40
+//	dsssoak -seed 1 -json BENCH_soak.json
+//	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
+//
+// Exit status is nonzero if any violation is found, if the crash target
+// is badly missed, or if -repeat runs diverge.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func marshal(rep harness.SoakReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for the entire run (network, crashes, adversaries, jitter)")
+	clients := flag.Int("clients", 8, "concurrent retrying clients")
+	ops := flag.Int("ops", 50, "operations per client (alternating enqueue/dequeue)")
+	crashes := flag.Int("crashes", 40, "target crash/restart cycles")
+	minCrashes := flag.Int("min-crashes", 25, "fail if fewer crash cycles actually fired (0 disables)")
+	jsonPath := flag.String("json", "", "also write the JSON report to this file")
+	repeat := flag.Int("repeat", 1, "run this many times and fail unless all reports are byte-identical")
+	flag.Parse()
+
+	cfg := harness.SoakConfig{
+		Seed:         *seed,
+		Clients:      *clients,
+		OpsPerClient: *ops,
+		Crashes:      *crashes,
+	}
+
+	var first []byte
+	var rep harness.SoakReport
+	for i := 0; i < *repeat; i++ {
+		r, err := harness.RunSoak(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := marshal(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			first, rep = b, r
+		} else if !bytes.Equal(b, first) {
+			fmt.Fprintf(os.Stderr, "dsssoak: run %d diverged from run 1 — soak is not deterministic\n", i+1)
+			os.Exit(1)
+		}
+	}
+
+	os.Stdout.Write(first)
+	fmt.Println(rep)
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, first, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		os.Exit(1)
+	}
+	if *minCrashes > 0 && rep.Crashes < *minCrashes {
+		fmt.Fprintf(os.Stderr, "dsssoak: only %d crash cycles fired (want >= %d); raise -ops or lower crash steps\n",
+			rep.Crashes, *minCrashes)
+		os.Exit(1)
+	}
+}

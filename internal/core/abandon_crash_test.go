@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// abandonSweepAdversaries is the dirty-line suite for the abandon sweep:
+// the canonical set plus biased schedules, under which most lines share
+// one fate but a few defect.
+func abandonSweepAdversaries(seed int64) []pmem.Adversary {
+	return append(pmem.Adversaries(seed),
+		pmem.NewBiasedFates(seed+10, 0.25),
+		pmem.NewBiasedFates(seed+11, 0.75))
+}
+
+// TestAbandonPrepCrashSweepEnqueue injects a crash at every primitive
+// memory step of the abandon-then-re-prepare sequence
+//
+//	PrepEnqueue(99); AbandonPrep; PrepEnqueue(7); ExecEnqueue;
+//	PrepDequeue; ExecDequeue
+//
+// under every adversary, then recovers and checks that the withdrawn
+// prepared enqueue can never be resurrected: once AbandonPrep has
+// returned, Resolve never reports the abandoned operation again (in any
+// state), and the value 99 never reaches the queue — while the
+// re-prepared operation's resolution stays consistent with the queue's
+// actual contents.
+func TestAbandonPrepCrashSweepEnqueue(t *testing.T) {
+	for ai, adv := range abandonSweepAdversaries(1) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			q, h := newTestQueue(t, 1)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := q.PrepEnqueue(0, 99); err != nil {
+					t.Errorf("adv %d step %d: PrepEnqueue(99): %v", ai, step, err)
+					return
+				}
+				phase = 1
+				q.AbandonPrep(0)
+				phase = 2
+				if err := q.PrepEnqueue(0, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepEnqueue(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				q.ExecEnqueue(0)
+				phase = 4
+				q.PrepDequeue(0)
+				phase = 5
+				q.ExecDequeue(0)
+				phase = 6
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break // swept past the workload's end
+			}
+			swept++
+			h.Crash(adv)
+			q.Recover()
+			res := q.Resolve(0)
+
+			// The abandoned prep must never be reported after AbandonPrep
+			// returned, and must never be reported as executed at all.
+			if res.Op == OpEnqueue && res.Arg == 99 {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: abandoned enqueue(99) resolved as executed", ai, step)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: abandoned enqueue(99) resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			// Once abandon returned, resolve may only report nothing or an
+			// operation prepared afterwards: enqueue(7) (a crash can land
+			// inside PrepEnqueue(7) after it persisted the new X), or —
+			// once the workload reached PrepDequeue — the dequeue.
+			if phase >= 2 {
+				ok := res.Op == OpNone ||
+					(res.Op == OpEnqueue && res.Arg == 7) ||
+					(res.Op == OpDequeue && phase >= 4)
+				if !ok {
+					t.Fatalf("adv %d step %d: resolve after abandon (phase %d) = %+v",
+						ai, step, phase, res)
+				}
+			}
+
+			drained := drain(t, q, 0)
+			for _, v := range drained {
+				if v == 99 {
+					t.Fatalf("adv %d step %d: abandoned value 99 reached the queue", ai, step)
+				}
+			}
+
+			// Conservation of the re-prepared value: its enqueue's and
+			// dequeue's effectiveness (from the phase reached and the
+			// resolution) must match what the drain found.
+			enq7 := phase >= 4 || (res.Op == OpEnqueue && res.Arg == 7 && res.Executed)
+			deq7 := phase >= 6 || (res.Op == OpDequeue && res.Executed && !res.Empty && res.Val == 7)
+			got7 := len(drained) == 1 && drained[0] == 7
+			if len(drained) > 1 {
+				t.Fatalf("adv %d step %d: drained %v, at most one value ever enqueued", ai, step, drained)
+			}
+			switch {
+			case deq7 && got7:
+				t.Fatalf("adv %d step %d: value 7 dequeued by the workload but still drained", ai, step)
+			case deq7 && !enq7:
+				t.Fatalf("adv %d step %d: value 7 dequeued but its enqueue never took effect", ai, step)
+			case !deq7 && enq7 && !got7:
+				t.Fatalf("adv %d step %d: enqueue(7) effective (phase %d, res %+v) but drain found %v",
+					ai, step, phase, res, drained)
+			case !deq7 && !enq7 && len(drained) != 0:
+				t.Fatalf("adv %d step %d: nothing effective but drained %v", ai, step, drained)
+			}
+
+			// The recovered queue must still be fully operational.
+			mustEnqueue(t, q, 0, 500)
+			if after := drain(t, q, 0); len(after) != 1 || after[0] != 500 {
+				t.Fatalf("adv %d step %d: post-recovery queue broken: %v", ai, step, after)
+			}
+		}
+	}
+}
+
+// TestAbandonPrepCrashSweepDequeue is the dequeue-side sweep: a prepared
+// dequeue is withdrawn, an enqueue is prepared in its place, and a crash
+// at every step must never let recovery resurrect the withdrawn dequeue
+// after AbandonPrep returned.
+func TestAbandonPrepCrashSweepDequeue(t *testing.T) {
+	for ai, adv := range abandonSweepAdversaries(2) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			q, h := newTestQueue(t, 1)
+			// A committed backlog gives the prepared dequeue something to
+			// observe (its X snapshot names a real predecessor).
+			mustEnqueue(t, q, 0, 11)
+			mustEnqueue(t, q, 0, 12)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				q.PrepDequeue(0)
+				phase = 1
+				q.AbandonPrep(0)
+				phase = 2
+				if err := q.PrepEnqueue(0, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepEnqueue(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				q.ExecEnqueue(0)
+				phase = 4
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			h.Crash(adv)
+			q.Recover()
+			res := q.Resolve(0)
+
+			if res.Op == OpDequeue {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: withdrawn dequeue resolved as executed (%+v)", ai, step, res)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: withdrawn dequeue resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			if phase >= 2 && !(res.Op == OpNone || (res.Op == OpEnqueue && res.Arg == 7)) {
+				t.Fatalf("adv %d step %d: resolve after abandon = %+v, want OpNone or enqueue(7)",
+					ai, step, res)
+			}
+
+			// The prepared dequeue never executed, so the backlog must be
+			// intact, with 7 behind it iff the enqueue took effect.
+			drained := drain(t, q, 0)
+			enq7 := phase >= 4 || (res.Op == OpEnqueue && res.Arg == 7 && res.Executed)
+			want := []uint64{11, 12}
+			if enq7 {
+				want = append(want, 7)
+			}
+			if len(drained) != len(want) {
+				t.Fatalf("adv %d step %d: drained %v, want %v (phase %d, res %+v)",
+					ai, step, drained, want, phase, res)
+			}
+			for i := range want {
+				if drained[i] != want[i] {
+					t.Fatalf("adv %d step %d: drained %v, want %v", ai, step, drained, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,592 @@
+package harness
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/mp"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// This file is the crash-storm soak: many concurrent RetryClients drive a
+// message-passing DSS queue server through a lossy, duplicating, delaying
+// network while the server crashes and recovers dozens of times under a
+// rotating dirty-line adversary. The run records every client-observed
+// operation and afterwards verifies the whole history — exactly-once
+// execution and the queue invariants — with the polynomial detector of
+// internal/check.
+//
+// The soak is a discrete-event simulation, not a wall-clock stress test,
+// so a given seed produces a bit-identical report on every machine and
+// every run. Determinism comes from a single-runnable-at-a-time
+// cooperative schedule: client goroutines execute the real RetryClient
+// code, but their only blocking points are the simulated transport and
+// the injected backoff sleeper, both of which schedule a wake-up event
+// and park the goroutine. The event loop pops events in (virtual time,
+// sequence) order and hands the baton to at most one client at a time, so
+// every rng draw, history append, and engine step happens in one
+// deterministic global order. Wall-clock concurrency (and the race
+// detector's view of it) is covered separately by the real-goroutine
+// tests in internal/mp.
+
+// SoakConfig parameterizes a crash-storm soak run.
+type SoakConfig struct {
+	// Seed determines everything: the network fault schedule, the crash
+	// points, the downtimes, the adversaries' dirty-line fates, and every
+	// client's backoff jitter.
+	Seed int64
+	// Clients is the number of concurrent RetryClients (identities
+	// 0..Clients-1); OpsPerClient the operations each performs
+	// (alternating enqueue/dequeue, enqueue first).
+	Clients      int
+	OpsPerClient int
+	// Crashes is the target number of crash/restart cycles. Crash points
+	// are armed by heap step counts until the target is reached; the
+	// report records how many actually fired before the workload ended.
+	Crashes int
+	// MinCrashStep/MaxCrashStep bound the heap steps between a restart
+	// and the next armed crash.
+	MinCrashStep, MaxCrashStep uint64
+	// MinDown/MaxDown bound the virtual downtime between crash and
+	// restart.
+	MinDown, MaxDown time.Duration
+	// Net is the message adversary: drop/duplicate/delay probabilities,
+	// per request. Net.Seed is ignored — the soak derives its network rng
+	// from Seed.
+	Net mp.FaultConfig
+	// RTO is the virtual per-request timeout after which a client stops
+	// waiting for a reply and treats the outcome as ambiguous.
+	RTO time.Duration
+	// Policy is the clients' retry policy. Policy.Seed is ignored; each
+	// client's jitter rng is derived from Seed and its id.
+	Policy mp.RetryPolicy
+}
+
+func (c *SoakConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 50
+	}
+	if c.Crashes <= 0 {
+		c.Crashes = 40
+	}
+	if c.MinCrashStep == 0 {
+		c.MinCrashStep = 200
+	}
+	if c.MaxCrashStep <= c.MinCrashStep {
+		c.MaxCrashStep = c.MinCrashStep + 1300
+	}
+	if c.MinDown <= 0 {
+		c.MinDown = 200 * time.Microsecond
+	}
+	if c.MaxDown <= c.MinDown {
+		c.MaxDown = c.MinDown + 800*time.Microsecond
+	}
+	if c.Net == (mp.FaultConfig{}) {
+		c.Net = mp.FaultConfig{
+			DropRequest: 0.05,
+			DropReply:   0.05,
+			Duplicate:   0.05,
+			Delay:       0.25,
+			MaxDelay:    300 * time.Microsecond,
+		}
+	}
+	if c.RTO <= 0 {
+		c.RTO = 2 * time.Millisecond
+	}
+	if c.Policy.MaxAttempts <= 0 {
+		c.Policy.MaxAttempts = 2048
+	}
+	if c.Policy.BackoffBase <= 0 {
+		c.Policy.BackoffBase = 100 * time.Microsecond
+	}
+	if c.Policy.BackoffMax <= 0 {
+		c.Policy.BackoffMax = 2 * time.Millisecond
+	}
+}
+
+// SoakReport is the machine-readable result of one soak run. For a fixed
+// config it is bit-identical across runs and machines (the violations
+// slice is sorted); BENCH_soak.json commits one such report so CI can
+// verify both correctness and reproducibility.
+type SoakReport struct {
+	Seed         int64 `json:"seed"`
+	Clients      int   `json:"clients"`
+	OpsPerClient int   `json:"ops_per_client"`
+
+	// Crashes is the number of crash/restart cycles that actually fired
+	// (TargetCrashes was the arming budget).
+	Crashes       int `json:"crashes"`
+	TargetCrashes int `json:"target_crashes"`
+
+	// Client-observed outcomes.
+	Ops           uint64 `json:"ops"`
+	Enqueues      uint64 `json:"enqueues"`
+	Dequeues      uint64 `json:"dequeues"`
+	EmptyDequeues uint64 `json:"empty_dequeues"`
+	Drained       uint64 `json:"drained"`
+
+	// Retry-discipline counters, summed over all clients.
+	Attempts   uint64 `json:"attempts"`
+	Retries    uint64 `json:"retries"`
+	Resolves   uint64 `json:"resolves"`
+	Timeouts   uint64 `json:"timeouts"`
+	Downs      uint64 `json:"downs"`
+	GenChanges uint64 `json:"gen_changes"`
+
+	// Network fault counters.
+	NetRequests        uint64 `json:"net_requests"`
+	NetDroppedRequests uint64 `json:"net_dropped_requests"`
+	NetDroppedReplies  uint64 `json:"net_dropped_replies"`
+	NetDuplicates      uint64 `json:"net_duplicates"`
+	NetDelays          uint64 `json:"net_delays"`
+
+	// VirtualUS is the simulated duration of the run in microseconds.
+	VirtualUS int64 `json:"virtual_us"`
+
+	// Violations lists every exactly-once or queue-invariant violation
+	// found in the recorded history (sorted; empty on success).
+	Violations []string `json:"violations"`
+}
+
+// OK reports whether the soak found no violations.
+func (r SoakReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report for humans.
+func (r SoakReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf(
+			"soak: %d clients x %d ops, %d crashes, %d ops ok (%d enq, %d deq, %d empty, %d drained), %d attempts (%d retries, %d resolves), 0 violations",
+			r.Clients, r.OpsPerClient, r.Crashes, r.Ops,
+			r.Enqueues, r.Dequeues, r.EmptyDequeues, r.Drained,
+			r.Attempts, r.Retries, r.Resolves)
+	}
+	return fmt.Sprintf("soak: %d VIOLATIONS (first: %s)", len(r.Violations), r.Violations[0])
+}
+
+// soakEvent is one scheduled action. fn runs in the event loop and
+// returns the client to hand the baton to, or nil.
+type soakEvent struct {
+	at  int64
+	seq uint64
+	fn  func() *soakClient
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []*soakEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*soakEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// soakClient is one simulated client: the real RetryClient plus the
+// park/resume machinery and the in-flight round-trip state.
+type soakClient struct {
+	tid    int
+	rc     *mp.RetryClient
+	resume chan struct{}
+
+	// token identifies the current RoundTrip; events from earlier round
+	// trips (stale replies, stale timeouts) see a mismatch and die.
+	token    uint64
+	gotReply bool
+	rep      mp.Reply
+}
+
+// soakConn is the per-client Transport over the simulated network.
+type soakConn struct {
+	s *soakSim
+	c *soakClient
+}
+
+func (cn *soakConn) RoundTrip(m mp.Msg) mp.Reply { return cn.s.roundTrip(cn.c, m) }
+
+// soakSim is the whole simulation: virtual clock, event queue, engine,
+// crash schedule, and history.
+type soakSim struct {
+	cfg SoakConfig
+	eng *mp.Engine
+
+	now   int64
+	evSeq uint64
+	pq    eventQueue
+
+	up      bool
+	crashes int
+	advs    []pmem.Adversary
+
+	netRng   *rand.Rand
+	crashRng *rand.Rand
+
+	clients []*soakClient
+	parked  chan bool // true = the running client finished its workload
+	live    int
+
+	logical int64
+	hist    []check.QOp
+	errs    []string
+
+	rep SoakReport
+}
+
+// schedule queues fn at virtual time `at` (clamped to now).
+func (s *soakSim) schedule(at int64, fn func() *soakClient) {
+	if at < s.now {
+		at = s.now
+	}
+	s.evSeq++
+	heap.Push(&s.pq, &soakEvent{at: at, seq: s.evSeq, fn: fn})
+}
+
+// park hands the baton back to the event loop until an event returns c.
+// Called only from c's goroutine.
+func (s *soakSim) park(c *soakClient) {
+	s.parked <- false
+	<-c.resume
+}
+
+// leg draws one network leg's latency: a small base plus, with
+// probability Net.Delay, a congestion delay up to Net.MaxDelay. All draws
+// happen unconditionally so the rng sequence depends only on call order.
+func (s *soakSim) leg() int64 {
+	const base = int64(5 * time.Microsecond)
+	delayed := s.netRng.Float64() < s.cfg.Net.Delay
+	extra := int64(0)
+	if s.cfg.Net.MaxDelay > 0 {
+		extra = s.netRng.Int63n(int64(s.cfg.Net.MaxDelay))
+	}
+	if !delayed {
+		return base
+	}
+	s.rep.NetDelays++
+	return base + extra
+}
+
+// roundTrip carries one message through the simulated network: the
+// request leg may be dropped, duplicated, or delayed; the server applies
+// whatever arrives (crashing if the armed step falls inside); the reply
+// leg may be dropped or delayed; and a timeout resumes the client if
+// nothing comes back in time. Late replies and late duplicates are
+// discarded by the token guard — exactly the ambiguity the retry
+// discipline must absorb.
+func (s *soakSim) roundTrip(c *soakClient, m mp.Msg) mp.Reply {
+	s.rep.NetRequests++
+	c.token++
+	tok := c.token
+	c.gotReply = false
+
+	// Draw the whole fate up front, in a fixed order.
+	reqDelay := s.leg()
+	repDelay := s.leg()
+	dupDelay := s.leg()
+	dropReq := s.netRng.Float64() < s.cfg.Net.DropRequest
+	dup := s.netRng.Float64() < s.cfg.Net.Duplicate
+	dropRep := s.netRng.Float64() < s.cfg.Net.DropReply
+
+	resumeWith := func(rep mp.Reply) func() *soakClient {
+		return func() *soakClient {
+			if c.token != tok || c.gotReply {
+				return nil // stale: the client has moved on
+			}
+			c.gotReply = true
+			c.rep = rep
+			return c
+		}
+	}
+
+	// deliver applies the message at the server and, unless the reply is
+	// dropped, sends the reply back.
+	deliver := func(dropReply bool) func() *soakClient {
+		return func() *soakClient {
+			rep := s.serverApply(m)
+			if dropReply {
+				return nil
+			}
+			s.schedule(s.now+repDelay, resumeWith(rep))
+			return nil
+		}
+	}
+
+	if dropReq {
+		s.rep.NetDroppedRequests++
+	} else {
+		if dropRep {
+			s.rep.NetDroppedReplies++
+		}
+		s.schedule(s.now+reqDelay, deliver(dropRep))
+	}
+	if dup {
+		// A second copy arrives later; its reply is delivered normally.
+		// The engine's at-most-once cache answers it without re-executing.
+		s.rep.NetDuplicates++
+		s.schedule(s.now+reqDelay+dupDelay, deliver(false))
+	}
+	s.schedule(s.now+int64(s.cfg.RTO), resumeWith(mp.Reply{Err: mp.ErrTimeout}))
+
+	s.park(c)
+	return c.rep
+}
+
+// serverApply executes one delivered message. A down server answers
+// DownError without touching the (crashed) heap; an armed crash firing
+// mid-apply takes the server down and schedules its restart.
+func (s *soakSim) serverApply(m mp.Msg) mp.Reply {
+	if !s.up {
+		return mp.Reply{Gen: s.eng.Gen(), Err: &mp.DownError{Gen: s.eng.Gen()}}
+	}
+	var rep mp.Reply
+	crashed := pmem.RunToCrash(func() { rep = s.eng.Apply(m) })
+	if crashed {
+		s.onCrash()
+		return mp.Reply{Gen: s.eng.Gen(), Err: &mp.DownError{Gen: s.eng.Gen()}}
+	}
+	return rep
+}
+
+// onCrash records a crash and schedules the restart: after a drawn
+// downtime the heap's image is settled by the next adversary in the
+// rotation, the object recovers, and a new generation begins serving.
+func (s *soakSim) onCrash() {
+	s.up = false
+	adv := s.advs[s.crashes%len(s.advs)]
+	s.crashes++
+	down := int64(s.cfg.MinDown) + s.crashRng.Int63n(int64(s.cfg.MaxDown-s.cfg.MinDown))
+	s.schedule(s.now+down, func() *soakClient {
+		s.eng.RecoverImage(adv)
+		s.eng.NewGeneration()
+		s.up = true
+		s.armNextCrash()
+		return nil
+	})
+}
+
+// armNextCrash arms the next crash point (a heap step count drawn from
+// the configured range) until the crash budget is spent.
+func (s *soakSim) armNextCrash() {
+	if s.crashes >= s.cfg.Crashes {
+		s.eng.Heap().ArmCrash(0)
+		return
+	}
+	span := int64(s.cfg.MaxCrashStep - s.cfg.MinCrashStep)
+	step := s.cfg.MinCrashStep + uint64(s.crashRng.Int63n(span))
+	s.eng.Heap().ArmCrash(step)
+}
+
+// tick advances the logical history clock (used for QOp intervals; the
+// baton serializes all calls).
+func (s *soakSim) tick() int64 {
+	s.logical++
+	return s.logical
+}
+
+// clientMain is one client's workload: alternating detectable
+// enqueue/dequeue pairs via the real RetryClient, recorded as a queue
+// history. Runs on its own goroutine under the baton discipline.
+func (s *soakSim) clientMain(c *soakClient) {
+	<-c.resume
+	for i := 0; i < s.cfg.OpsPerClient; i++ {
+		var op spec.Op
+		if i%3 == 0 {
+			// Dequeue first (the opening round hits an empty queue, so
+			// EMPTY responses are exercised) and only every third op, so
+			// the storm ends with a backlog for the drain to account for.
+			op = spec.Dequeue()
+		} else {
+			// Values are globally unique: (tid, op index) packed.
+			op = spec.Enqueue(uint64(c.tid)*1_000_000 + uint64(i) + 1)
+		}
+		inv := s.tick()
+		resp, err := c.rc.Do(op)
+		ret := s.tick()
+		if err != nil {
+			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): %v", c.tid, i, op, err))
+			break
+		}
+		s.rep.Ops++
+		switch {
+		case op.Sym == "enqueue" && resp.Kind == spec.Ack:
+			s.rep.Enqueues++
+			s.hist = append(s.hist, check.QOp{Kind: check.QEnq, V: op.Arg, Inv: inv, Ret: ret})
+		case op.Sym == "dequeue" && resp.Kind == spec.Val:
+			s.rep.Dequeues++
+			s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: resp.V, Inv: inv, Ret: ret})
+		case op.Sym == "dequeue" && resp.Kind == spec.Empty:
+			s.rep.EmptyDequeues++
+			s.hist = append(s.hist, check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret})
+		default:
+			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): unexpected response %s", c.tid, i, op, resp))
+		}
+	}
+	s.parked <- true
+}
+
+// drain empties the queue after the storm via direct (non-detectable)
+// invocations, rotating through client identities so no single thread's
+// record pool is exhausted. Every value still in the queue becomes a
+// trailing dequeue in the history.
+func (s *soakSim) drain() {
+	if s.eng.Heap().Crashed() {
+		adv := s.advs[s.crashes%len(s.advs)]
+		s.crashes++
+		s.eng.RecoverImage(adv)
+		s.eng.NewGeneration()
+		s.up = true
+	}
+	s.eng.Heap().ArmCrash(0)
+	for tid := 0; ; tid = (tid + 1) % s.cfg.Clients {
+		rep := s.eng.Apply(mp.Msg{Kind: mp.ReqInvoke, Client: tid, Op: spec.Dequeue()})
+		if rep.Err != nil {
+			s.errs = append(s.errs, fmt.Sprintf("drain (tid %d): %v", tid, rep.Err))
+			return
+		}
+		if rep.Resp.Kind == spec.Empty {
+			return
+		}
+		inv := s.tick()
+		s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: rep.Resp.V, Inv: inv, Ret: s.tick()})
+		s.rep.Drained++
+	}
+}
+
+// verify checks the recorded history: the polynomial queue detector
+// (duplicate enqueue/dequeue, dequeue-before-enqueue, FIFO inversions,
+// impossible EMPTYs) plus value conservation — after the drain, every
+// acknowledged enqueue must have been dequeued exactly once. A retry bug
+// that executed an operation twice or zero times cannot pass both.
+func (s *soakSim) verify() {
+	violations := append([]string{}, s.errs...)
+	violations = append(violations, check.CheckQueueHistory(s.hist)...)
+
+	deqd := map[uint64]int{}
+	for _, o := range s.hist {
+		if o.Kind == check.QDeq {
+			deqd[o.V]++
+		}
+	}
+	var lost []uint64
+	for _, o := range s.hist {
+		if o.Kind == check.QEnq && deqd[o.V] == 0 {
+			lost = append(lost, o.V)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, v := range lost {
+		violations = append(violations, fmt.Sprintf("conservation: value %d enqueued but never dequeued (drain included)", v))
+	}
+
+	sort.Strings(violations)
+	s.rep.Violations = violations
+}
+
+// RunSoak executes one deterministic crash-storm soak and returns its
+// report. The same config yields a bit-identical report on every run.
+func RunSoak(cfg SoakConfig) (SoakReport, error) {
+	cfg.defaults()
+	eng, err := mp.NewEngine(mp.EngineConfig{
+		Clients:  cfg.Clients,
+		Capacity: 2*cfg.Clients*cfg.OpsPerClient + 256,
+		Init:     spec.NewQueue(),
+		Ops:      []spec.Op{spec.Enqueue(0), spec.Dequeue()},
+	})
+	if err != nil {
+		return SoakReport{}, err
+	}
+	s := &soakSim{
+		cfg:      cfg,
+		eng:      eng,
+		up:       true,
+		netRng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		crashRng: rand.New(rand.NewSource(cfg.Seed + 2)),
+		advs: []pmem.Adversary{
+			pmem.NewRandomFates(cfg.Seed + 3),
+			pmem.DropAll{},
+			pmem.NewBiasedFates(cfg.Seed+4, 0.25),
+			pmem.KeepAll{},
+			pmem.NewBiasedFates(cfg.Seed+5, 0.75),
+		},
+		parked: make(chan bool),
+		rep: SoakReport{
+			Seed:          cfg.Seed,
+			Clients:       cfg.Clients,
+			OpsPerClient:  cfg.OpsPerClient,
+			TargetCrashes: cfg.Crashes,
+			Violations:    []string{},
+		},
+	}
+	eng.NewGeneration()
+	s.armNextCrash()
+
+	for tid := 0; tid < cfg.Clients; tid++ {
+		c := &soakClient{tid: tid, resume: make(chan struct{}, 1)}
+		pol := cfg.Policy
+		pol.Seed = cfg.Seed + 100 + int64(tid)
+		c.rc = mp.NewRetryClient(&soakConn{s: s, c: c}, tid, pol)
+		cc := c
+		c.rc.SetSleep(func(d time.Duration) {
+			if d < 0 {
+				d = 0
+			}
+			s.schedule(s.now+int64(d), func() *soakClient { return cc })
+			s.park(cc)
+		})
+		s.clients = append(s.clients, c)
+		go s.clientMain(c)
+		// Staggered starts keep the opening round trips from being
+		// perfectly in phase.
+		s.schedule(int64(tid)*int64(10*time.Microsecond), func() *soakClient { return cc })
+	}
+
+	s.live = cfg.Clients
+	for s.live > 0 {
+		if s.pq.Len() == 0 {
+			return SoakReport{}, fmt.Errorf("harness: soak deadlocked with %d clients live", s.live)
+		}
+		ev := heap.Pop(&s.pq).(*soakEvent)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if c := ev.fn(); c != nil {
+			c.resume <- struct{}{}
+			if finished := <-s.parked; finished {
+				s.live--
+			}
+		}
+	}
+
+	s.drain()
+	s.verify()
+
+	s.rep.Crashes = s.crashes
+	s.rep.VirtualUS = s.now / int64(time.Microsecond)
+	for _, c := range s.clients {
+		st := c.rc.Stats()
+		s.rep.Attempts += st.Attempts
+		s.rep.Retries += st.Retries
+		s.rep.Resolves += st.Resolves
+		s.rep.Timeouts += st.Timeouts
+		s.rep.Downs += st.Downs
+		s.rep.GenChanges += st.GenChanges
+	}
+	return s.rep, nil
+}

@@ -19,6 +19,12 @@ type CrashSweepConfig struct {
 	Pairs int
 	// Seed varies the random adversaries.
 	Seed int64
+	// Biases appends a BiasedFates adversary per entry to the canonical
+	// suite: each value is the per-dirty-line survival probability. The
+	// extremes 0 and 1 are already in the suite (DropAll / KeepAll);
+	// interesting values are in between, e.g. 0.1 and 0.9, where most
+	// lines share one fate but a few defect.
+	Biases []float64
 }
 
 // CrashSweepReport summarizes a sweep.
@@ -171,6 +177,9 @@ func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
 		cfg.Pairs = 2
 	}
 	advs := pmem.Adversaries(cfg.Seed)
+	for i, p := range cfg.Biases {
+		advs = append(advs, pmem.NewBiasedFates(cfg.Seed+100+int64(i), p))
+	}
 	report := CrashSweepReport{Adversaries: len(advs)}
 	for ai, adv := range advs {
 		steps := 0

@@ -1,0 +1,228 @@
+package mp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+	"repro/internal/universal"
+)
+
+// ReqKind enumerates the message types of the object protocol.
+type ReqKind int
+
+const (
+	// ReqPrep declares a detectable operation (Axiom 1).
+	ReqPrep ReqKind = iota + 1
+	// ReqExec applies the prepared operation (Axiom 2).
+	ReqExec
+	// ReqResolve asks for (A[p], R[p]) (Axiom 3).
+	ReqResolve
+	// ReqInvoke applies an operation non-detectably (Axiom 4).
+	ReqInvoke
+)
+
+// String names the request kind for diagnostics.
+func (k ReqKind) String() string {
+	switch k {
+	case ReqPrep:
+		return "prep"
+	case ReqExec:
+		return "exec"
+	case ReqResolve:
+		return "resolve"
+	case ReqInvoke:
+		return "invoke"
+	default:
+		return fmt.Sprintf("ReqKind(%d)", int(k))
+	}
+}
+
+// Msg is one request as it travels over a Transport.
+//
+// Gen and Seq implement the connection discipline that keeps detectable
+// operations exactly-once over a transport that may duplicate or delay
+// messages arbitrarily:
+//
+//   - Gen is the server generation the client believes it is talking to.
+//     A nonzero Gen that does not match the server's current generation is
+//     rejected with a stale DownError — messages from before a crash can
+//     never be applied after it, exactly as a TCP connection dies with the
+//     peer. Gen 0 means "any generation" (used by the plain Client, whose
+//     callers manage crashes themselves).
+//
+//   - Seq is a per-client sequence number, strictly increasing over the
+//     requests a client sends. Within one generation the server applies a
+//     request only if its Seq exceeds the last applied one: an exact
+//     repeat returns the memoized reply (at-most-once execution under
+//     duplication), an older Seq is discarded with ErrSuperseded (a
+//     delayed straggler the client has already given up on). Seq 0 opts
+//     out of deduplication.
+type Msg struct {
+	Kind   ReqKind
+	Client int
+	Gen    uint64
+	Seq    uint64
+	Op     spec.Op
+}
+
+// Reply is the server's answer to one Msg. Gen echoes the generation that
+// produced the reply (0 when the transport itself failed the request), so
+// clients learn about restarts even from successful replies.
+type Reply struct {
+	Resp spec.Resp
+	Gen  uint64
+	Err  error
+}
+
+// Transport carries one request to the serving process and returns its
+// reply. Implementations are free to lose, duplicate, delay, or reorder
+// the underlying messages; RoundTrip must nevertheless eventually return,
+// surfacing a lost request or reply as ErrTimeout and an unreachable
+// server as ErrServerDown. Callers must treat both as ambiguous outcomes
+// (see Retryable).
+//
+// A Transport must be safe for concurrent use by multiple clients.
+type Transport interface {
+	RoundTrip(m Msg) Reply
+}
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Clients is the number of process identities (0..Clients-1).
+	Clients int
+	// Capacity bounds the total number of operations over the object's
+	// lifetime (the universal construction's log is append-only).
+	Capacity int
+	// Words sizes the simulated persistent heap; 0 derives a size from
+	// Capacity.
+	Words int
+	// Init and Ops define the hosted object: its initial abstract state
+	// and operation table.
+	Init spec.State
+	Ops  []spec.Op
+}
+
+// Engine is the transport-independent core of a DSS server: the
+// detectable object on its persistent heap, the generation counter, and
+// the per-client at-most-once reply cache. Server wraps an Engine with a
+// channel transport and a serve goroutine; deterministic harnesses (the
+// crash-storm soak) drive an Engine directly, one request at a time.
+//
+// Engine methods are not synchronized: exactly one goroutine may call
+// Apply / NewGeneration / RecoverImage at a time (the serve goroutine, or
+// the harness's event loop). Gen alone is safe to read concurrently.
+type Engine struct {
+	h   *pmem.Heap
+	obj *universal.Object
+	gen atomic.Uint64
+
+	// lastSeq and lastReply implement at-most-once execution per client
+	// within a generation. They are volatile by design: a crash loses
+	// them, and the generation fence guarantees no request from before the
+	// crash can be applied after it.
+	lastSeq   []uint64
+	lastReply []Reply
+}
+
+// NewEngine builds an engine hosting an object with the given initial
+// state and operation table. The engine starts at generation 0 ("never
+// started"); call NewGeneration before applying requests.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("mp: need at least one client, got %d", cfg.Clients)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("mp: capacity must be positive, got %d", cfg.Capacity)
+	}
+	words := cfg.Words
+	if words == 0 {
+		// Metadata + one line per record, with headroom for pool
+		// bookkeeping and the root directory.
+		words = 1<<14 + 2*(cfg.Capacity+4*cfg.Clients)*pmem.WordsPerLine
+	}
+	h, err := pmem.New(pmem.Config{Words: words, Mode: pmem.Tracked})
+	if err != nil {
+		return nil, err
+	}
+	obj, err := universal.New(h, 0, cfg.Clients, cfg.Capacity, cfg.Init, cfg.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		h:         h,
+		obj:       obj,
+		lastSeq:   make([]uint64, cfg.Clients),
+		lastReply: make([]Reply, cfg.Clients),
+	}, nil
+}
+
+// Heap exposes the engine's heap so harnesses can arm crashes.
+func (e *Engine) Heap() *pmem.Heap { return e.h }
+
+// Gen returns the current generation (safe from any goroutine).
+func (e *Engine) Gen() uint64 { return e.gen.Load() }
+
+// NewGeneration begins a new serving generation: the counter advances and
+// the volatile at-most-once state resets. It is called by Server.Start
+// and by harnesses after RecoverImage.
+func (e *Engine) NewGeneration() uint64 {
+	for i := range e.lastSeq {
+		e.lastSeq[i] = 0
+		e.lastReply[i] = Reply{}
+	}
+	return e.gen.Add(1)
+}
+
+// RecoverImage completes a simulated crash: the heap's surviving image is
+// adopted under the given adversary and the object's recovery procedure
+// runs. The caller must start a new generation before applying requests.
+func (e *Engine) RecoverImage(adv pmem.Adversary) {
+	if e.h.Crashed() {
+		e.h.Crash(adv)
+	}
+	e.obj.Recover()
+}
+
+// Apply executes one request against the object and returns its reply.
+// It enforces the generation fence and the per-client at-most-once
+// discipline described on Msg. It does not absorb simulated crashes; the
+// caller wraps it in pmem.RunToCrash and handles the unwound state.
+func (e *Engine) Apply(m Msg) Reply {
+	gen := e.gen.Load()
+	if m.Gen != 0 && m.Gen != gen {
+		return Reply{Gen: gen, Err: &DownError{Gen: gen, Stale: true}}
+	}
+	if m.Client < 0 || m.Client >= len(e.lastSeq) {
+		return Reply{Gen: gen, Err: fmt.Errorf("mp: client %d out of range [0,%d)", m.Client, len(e.lastSeq))}
+	}
+	if m.Seq != 0 {
+		switch last := e.lastSeq[m.Client]; {
+		case m.Seq == last:
+			return e.lastReply[m.Client]
+		case m.Seq < last:
+			return Reply{Gen: gen, Err: ErrSuperseded}
+		}
+	}
+	var out spec.Resp
+	var err error
+	switch m.Kind {
+	case ReqPrep:
+		err = e.obj.Prep(m.Client, m.Op)
+	case ReqExec:
+		out, err = e.obj.Exec(m.Client)
+	case ReqResolve:
+		out = e.obj.Resolve(m.Client)
+	case ReqInvoke:
+		out, err = e.obj.Invoke(m.Client, m.Op)
+	default:
+		err = fmt.Errorf("mp: unknown request kind %d", int(m.Kind))
+	}
+	rep := Reply{Resp: out, Gen: gen, Err: err}
+	if m.Seq != 0 {
+		e.lastSeq[m.Client] = m.Seq
+		e.lastReply[m.Client] = rep
+	}
+	return rep
+}

@@ -1,0 +1,92 @@
+package mp
+
+import "errors"
+
+// The error vocabulary of the message-passing layer splits into two
+// classes, and the split is the whole point:
+//
+//   - Ambiguous errors (ErrServerDown, ErrTimeout): the request's outcome
+//     is UNKNOWN. The request may have been lost before it reached the
+//     server (not executed), or the server may have executed it and the
+//     reply was lost. The only correct continuation for a detectable
+//     operation is the DSS's: reconnect and Resolve, then decide. Blindly
+//     re-sending a prep or exec after one of these errors risks executing
+//     the operation twice. Retryable reports this class.
+//
+//   - Definite errors (ErrSuperseded, spec-level failures such as
+//     universal.ErrNoRecords, malformed requests): the outcome is known —
+//     the request did not and will not take effect — and re-sending the
+//     identical request cannot succeed either.
+var (
+	// ErrServerDown is returned to a client whose request hit a crashed
+	// (or stopped) server, or whose connection names a generation the
+	// server has moved past. The outcome of the request is unknown: it may
+	// have executed just before the crash. Resolve after reconnecting.
+	// Errors of this kind are *DownError values carrying the server's
+	// generation; errors.Is(err, ErrServerDown) matches them.
+	ErrServerDown = errors.New("mp: server down")
+
+	// ErrTimeout is returned by a Transport when no reply arrived within
+	// the transport's deadline. Like ErrServerDown it is ambiguous: the
+	// request, the reply, or the server itself may have been lost.
+	ErrTimeout = errors.New("mp: request timed out")
+
+	// ErrSuperseded is returned for a request that is older than one the
+	// server has already applied for the same client in this generation —
+	// a delayed or duplicated message arriving after the client moved on.
+	// It is definite: the stale request was discarded without executing.
+	ErrSuperseded = errors.New("mp: request superseded by a newer one")
+)
+
+// DownError is the concrete type behind ErrServerDown: it carries the
+// server's generation so that clients can distinguish "the server is down
+// right now" (wait, reconnect, resolve) from "my connection is stale — the
+// server crashed and recovered while I wasn't looking" (adopt the new
+// generation and resolve immediately; there is nothing to wait for).
+type DownError struct {
+	// Gen is the server's current generation: the number of Starts the
+	// server has performed, 0 if it never started. Every successful Start
+	// (including each Restart) begins a new generation, so a generation
+	// change is proof that a crash or stop intervened.
+	Gen uint64
+	// Stale is true when the server is up but the request named an older
+	// generation. The connection the request traveled on predates the most
+	// recent crash; any in-flight state the client assumed (an
+	// acknowledged prep, say) must be re-derived via resolve.
+	Stale bool
+}
+
+// Error implements error.
+func (e *DownError) Error() string {
+	if e.Stale {
+		return "mp: server restarted (stale generation; current gen " + utoa(e.Gen) + ")"
+	}
+	return "mp: server down (gen " + utoa(e.Gen) + ")"
+}
+
+// Is makes errors.Is(err, ErrServerDown) match every DownError.
+func (e *DownError) Is(target error) bool { return target == ErrServerDown }
+
+// utoa is strconv.FormatUint without the import, for the two error paths.
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Retryable reports whether err is an ambiguous transport error: the
+// outcome of the request is unknown, and the correct continuation is to
+// reconnect and Resolve — never to blindly re-send a prep or exec.
+// RetryClient applies exactly this discipline; hand-rolled clients must
+// do the same to keep detectable operations exactly-once.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrTimeout)
+}

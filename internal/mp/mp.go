@@ -6,48 +6,40 @@
 // A Server process owns a detectable object (any D⟨T⟩ from the universal
 // construction) whose state lives in simulated persistent memory. Clients
 // never touch memory: they interact purely by request/reply messages —
-// prep, exec, resolve, and plain invocations travel over channels. The
+// prep, exec, resolve, and plain invocations travel over a Transport. The
 // server can crash mid-operation (the heap's crash injection fires while
 // a request is being applied); after a restart, clients reconnect under
 // the same identity and use resolve, exactly as shared-memory threads
 // would. The DSS axioms are the same; only the transport changed.
+//
+// The package layers as a real service would:
+//
+//   - Engine: the transport-independent core — object, generation
+//     counter, at-most-once reply cache (engine.go).
+//   - Server: Engine behind an in-process channel transport with a serve
+//     goroutine; it implements Transport (this file).
+//   - FaultyTransport: a deterministic, seeded adversary that drops,
+//     duplicates, and delays messages (transport.go).
+//   - Client: the thin request/reply wrapper over any Transport; callers
+//     handle crashes themselves (this file).
+//   - RetryClient: the production-shaped client — timeouts, capped
+//     exponential backoff, and the resolve-before-retry discipline that
+//     keeps every detectable operation exactly-once (retry.go).
 package mp
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/pmem"
 	"repro/internal/spec"
-	"repro/internal/universal"
 )
 
-// ErrServerDown is returned to a client whose request hit a crashed (or
-// stopped) server. The client's recourse is the DSS's: wait for the
-// restart and resolve.
-var ErrServerDown = errors.New("mp: server down")
-
-// reqKind enumerates the message types of the object protocol.
-type reqKind int
-
-const (
-	reqPrep reqKind = iota + 1
-	reqExec
-	reqResolve
-	reqInvoke
-)
-
+// request pairs a message with its reply channel inside the in-process
+// channel transport.
 type request struct {
-	kind   reqKind
-	client int
-	op     spec.Op
-	reply  chan reply
-}
-
-type reply struct {
-	resp spec.Resp
-	err  error
+	m     Msg
+	reply chan Reply
 }
 
 // Server owns the detectable object and serializes access to it. It
@@ -58,10 +50,11 @@ type reply struct {
 // channel and a `down` signal channel. The request channel is never
 // closed (closing a channel with concurrent senders is a race); instead,
 // crashing or stopping closes `down`, which unblocks every sender and the
-// serve loop.
+// serve loop. The server is marked down *before* the in-flight client is
+// failed, so a client that observes ErrServerDown can immediately call
+// Restart without racing the dying serve goroutine.
 type Server struct {
-	h   *pmem.Heap
-	obj *universal.Object
+	eng *Engine
 
 	mu      sync.Mutex
 	up      bool
@@ -73,28 +66,36 @@ type Server struct {
 // NewServer builds a server whose object has the given initial state and
 // operation table, for clients 0..clients-1.
 func NewServer(clients, capacity int, init spec.State, ops []spec.Op) (*Server, error) {
-	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	eng, err := NewEngine(EngineConfig{
+		Clients: clients, Capacity: capacity, Words: 1 << 18,
+		Init: init, Ops: ops,
+	})
 	if err != nil {
 		return nil, err
 	}
-	obj, err := universal.New(h, 0, clients, capacity, init, ops)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{h: h, obj: obj}, nil
+	return &Server{eng: eng}, nil
 }
 
 // Heap exposes the server's heap so tests can arm crashes.
-func (s *Server) Heap() *pmem.Heap { return s.h }
+func (s *Server) Heap() *pmem.Heap { return s.eng.Heap() }
 
-// Start begins (or resumes) serving. It is an error to start a running
-// server.
+// Engine exposes the transport-independent core, for harnesses that
+// bypass the channel transport.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Gen returns the server's current generation: the number of Starts so
+// far. Safe from any goroutine.
+func (s *Server) Gen() uint64 { return s.eng.Gen() }
+
+// Start begins (or resumes) serving under a fresh generation. It is an
+// error to start a running server.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.up {
 		return fmt.Errorf("mp: server already running")
 	}
+	s.eng.NewGeneration()
 	s.req = make(chan request)
 	s.down = make(chan struct{})
 	s.stopped = make(chan struct{})
@@ -117,27 +118,15 @@ func (s *Server) serve(req chan request, down, stopped chan struct{}) {
 			return
 		}
 		crashed := pmem.RunToCrash(func() {
-			var out spec.Resp
-			var err error
-			switch r.kind {
-			case reqPrep:
-				err = s.obj.Prep(r.client, r.op)
-			case reqExec:
-				out, err = s.obj.Exec(r.client)
-			case reqResolve:
-				out = s.obj.Resolve(r.client)
-			case reqInvoke:
-				out, err = s.obj.Invoke(r.client, r.op)
-			default:
-				err = fmt.Errorf("mp: unknown request kind %d", int(r.kind))
-			}
-			r.reply <- reply{resp: out, err: err}
+			r.reply <- s.eng.Apply(r.m)
 		})
 		if crashed {
-			// The machine is gone: fail the in-flight client and every
-			// queued one; Restart() brings it back.
-			r.reply <- reply{err: ErrServerDown}
+			// The machine is gone: mark the server down first (so the
+			// failed client can restart it without racing this goroutine),
+			// then fail the in-flight request; `down` fails every queued
+			// one. Restart() brings it back.
 			s.markDown()
+			r.reply <- Reply{Gen: s.eng.Gen(), Err: &DownError{Gen: s.eng.Gen()}}
 			return
 		}
 	}
@@ -172,7 +161,7 @@ func (s *Server) Stop() {
 
 // Restart completes a crash: the heap's surviving image is adopted (the
 // caller chooses the adversary), the object recovers, and serving
-// resumes.
+// resumes under a new generation.
 func (s *Server) Restart(adv pmem.Adversary) error {
 	s.mu.Lock()
 	if s.up {
@@ -180,28 +169,28 @@ func (s *Server) Restart(adv pmem.Adversary) error {
 		return fmt.Errorf("mp: restart of a running server")
 	}
 	s.mu.Unlock()
-	if s.h.Crashed() {
-		s.h.Crash(adv)
-	}
-	s.obj.Recover()
+	s.eng.RecoverImage(adv)
 	return s.Start()
 }
 
-// send delivers one request, translating a dead server into ErrServerDown.
-func (s *Server) send(r request) reply {
+// RoundTrip delivers one request over the in-process channel transport,
+// translating a dead server into ErrServerDown. It implements Transport;
+// the channels themselves are perfect, so faults come only from crashes
+// (or from a FaultyTransport wrapped around the server).
+func (s *Server) RoundTrip(m Msg) Reply {
 	s.mu.Lock()
 	req := s.req
 	down := s.down
 	up := s.up
 	s.mu.Unlock()
 	if !up || req == nil {
-		return reply{err: ErrServerDown}
+		return Reply{Gen: s.eng.Gen(), Err: &DownError{Gen: s.eng.Gen()}}
 	}
-	r.reply = make(chan reply, 1)
+	r := request{m: m, reply: make(chan Reply, 1)}
 	select {
 	case req <- r:
 	case <-down:
-		return reply{err: ErrServerDown}
+		return Reply{Gen: s.eng.Gen(), Err: &DownError{Gen: s.eng.Gen()}}
 	}
 	select {
 	case out := <-r.reply:
@@ -214,41 +203,52 @@ func (s *Server) send(r request) reply {
 		case out := <-r.reply:
 			return out
 		default:
-			return reply{err: ErrServerDown}
+			return Reply{Gen: s.eng.Gen(), Err: &DownError{Gen: s.eng.Gen()}}
 		}
 	}
 }
 
+var _ Transport = (*Server)(nil)
+
 // Client is a process identity interacting with the object purely through
 // messages. Identities survive crashes (the paper's standing assumption).
+//
+// Client is the thin wrapper: it sends each call once, with no sequence
+// numbers and no generation pinning (Msg.Gen = Msg.Seq = 0), and reports
+// transport errors to the caller, who owns the retry/resolve logic. Over
+// a faulty transport, use RetryClient instead — a duplicated non-idempotent
+// request from a bare Client executes twice by design.
 type Client struct {
 	id int
-	s  *Server
+	t  Transport
 }
 
-// NewClient binds identity id to the server.
-func NewClient(s *Server, id int) *Client { return &Client{id: id, s: s} }
+// NewClient binds identity id to the server over its in-process transport.
+func NewClient(s *Server, id int) *Client { return &Client{id: id, t: s} }
+
+// NewClientOver binds identity id to an arbitrary transport.
+func NewClientOver(t Transport, id int) *Client { return &Client{id: id, t: t} }
 
 // Prep declares a detectable operation (Axiom 1) over the wire.
 func (c *Client) Prep(op spec.Op) error {
-	r := c.s.send(request{kind: reqPrep, client: c.id, op: op})
-	return r.err
+	r := c.t.RoundTrip(Msg{Kind: ReqPrep, Client: c.id, Op: op})
+	return r.Err
 }
 
 // Exec applies the prepared operation (Axiom 2) over the wire.
 func (c *Client) Exec() (spec.Resp, error) {
-	r := c.s.send(request{kind: reqExec, client: c.id})
-	return r.resp, r.err
+	r := c.t.RoundTrip(Msg{Kind: ReqExec, Client: c.id})
+	return r.Resp, r.Err
 }
 
 // Resolve asks the object for (A[p], R[p]) (Axiom 3) over the wire.
 func (c *Client) Resolve() (spec.Resp, error) {
-	r := c.s.send(request{kind: reqResolve, client: c.id})
-	return r.resp, r.err
+	r := c.t.RoundTrip(Msg{Kind: ReqResolve, Client: c.id})
+	return r.Resp, r.Err
 }
 
 // Invoke applies op non-detectably (Axiom 4) over the wire.
 func (c *Client) Invoke(op spec.Op) (spec.Resp, error) {
-	r := c.s.send(request{kind: reqInvoke, client: c.id, op: op})
-	return r.resp, r.err
+	r := c.t.RoundTrip(Msg{Kind: ReqInvoke, Client: c.id, Op: op})
+	return r.Resp, r.Err
 }

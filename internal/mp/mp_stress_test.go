@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/pmem"
 	"repro/internal/spec"
@@ -87,7 +88,15 @@ func TestConcurrentClientsAcrossCrashes(t *testing.T) {
 			}
 		}(id)
 	}
-	wg.Wait()
+	// Bound the wait with a deadline: if a client loses a wakeup the test
+	// fails with a message instead of hanging the whole suite.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress timed out: a client is stuck")
+	}
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)

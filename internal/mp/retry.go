@@ -1,0 +1,278 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// RetryPolicy bounds a RetryClient's persistence.
+type RetryPolicy struct {
+	// MaxAttempts bounds the attempts per phase of one operation (prep,
+	// exec, and each resolve loop). Default 64.
+	MaxAttempts int
+	// BackoffBase is the first backoff; successive backoffs double up to
+	// BackoffMax, with seeded half-to-full jitter. Defaults 100µs / 10ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes the jitter deterministic.
+	Seed int64
+}
+
+func (p *RetryPolicy) defaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 64
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 100 * time.Microsecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 10 * time.Millisecond
+	}
+}
+
+// RetryStats counts a RetryClient's transport-visible work.
+type RetryStats struct {
+	// Ops is the number of Do calls; Attempts the round trips sent.
+	Ops      uint64
+	Attempts uint64
+	// Retries counts backoff-then-retry rounds across all phases.
+	Retries uint64
+	// Resolves counts resolve round trips sent to settle an ambiguous
+	// prep/exec outcome (reconnection probes included).
+	Resolves uint64
+	// Timeouts and Downs classify the ambiguous errors observed.
+	Timeouts uint64
+	Downs    uint64
+	// GenChanges counts adopted server generation changes — crashes (or
+	// stops) this client observed and survived.
+	GenChanges uint64
+}
+
+// RetryClient wraps a Transport with the production client discipline:
+// per-request sequence numbers, generation pinning, capped exponential
+// backoff with seeded jitter, and — the DSS-specific part — settlement of
+// every ambiguous prep/exec outcome via resolve after reconnecting, never
+// by blind re-execution. Together with the server's generation fence and
+// at-most-once reply cache this makes every Do exactly-once, no matter
+// how the transport and the server's crashes conspire:
+//
+//   - A lost request, lost reply, timeout, or crash surfaces as an
+//     ambiguous error (Retryable). The client then asks resolve what
+//     happened to the operation it tagged: executed (take the recorded
+//     response), prepared-but-not-executed (exec is safe — exec of an
+//     already-complete prep is a no-op returning the recorded response),
+//     or absent (the prep never landed; re-prepping is safe).
+//   - A duplicated request is answered from the server's reply cache
+//     (same generation) or rejected by the generation fence (the copy
+//     outlived a crash), so it can never re-execute the operation.
+//   - A delayed straggler older than an applied request is discarded
+//     (ErrSuperseded), so settled history never changes under it.
+//
+// A RetryClient owns its identity: it is not safe for concurrent use, and
+// at most one RetryClient per client id may talk to a server (the
+// at-most-once cache is per id).
+type RetryClient struct {
+	id    int
+	t     Transport
+	pol   RetryPolicy
+	rng   *rand.Rand
+	sleep func(time.Duration)
+
+	gen   uint64
+	seq   uint64
+	tag   uint64
+	stats RetryStats
+}
+
+// NewRetryClient binds identity id to t under the given policy.
+func NewRetryClient(t Transport, id int, pol RetryPolicy) *RetryClient {
+	pol.defaults()
+	return &RetryClient{
+		id:    id,
+		t:     t,
+		pol:   pol,
+		rng:   rand.New(rand.NewSource(pol.Seed)),
+		sleep: time.Sleep,
+	}
+}
+
+// SetSleep replaces the backoff sleeper (virtual-time harnesses).
+func (c *RetryClient) SetSleep(f func(time.Duration)) { c.sleep = f }
+
+// Stats returns the client's counters so far.
+func (c *RetryClient) Stats() RetryStats { return c.stats }
+
+// Gen returns the last server generation this client observed.
+func (c *RetryClient) Gen() uint64 { return c.gen }
+
+// roundTrip sends one sequenced, generation-pinned request and folds the
+// reply's generation and error class into the client's state.
+func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
+	c.seq++
+	c.stats.Attempts++
+	rep := c.t.RoundTrip(Msg{Kind: kind, Client: c.id, Gen: c.gen, Seq: c.seq, Op: op})
+	if rep.Gen != 0 && rep.Gen != c.gen {
+		if c.gen != 0 {
+			c.stats.GenChanges++
+		}
+		c.gen = rep.Gen
+	}
+	switch {
+	case errors.Is(rep.Err, ErrTimeout):
+		c.stats.Timeouts++
+	case errors.Is(rep.Err, ErrServerDown):
+		c.stats.Downs++
+	}
+	return rep
+}
+
+// backoff sleeps the capped exponential delay for the given retry round
+// (1-based), with half-to-full jitter.
+func (c *RetryClient) backoff(round int) {
+	d := c.pol.BackoffBase
+	for i := 1; i < round && d < c.pol.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.pol.BackoffMax {
+		d = c.pol.BackoffMax
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.sleep(d)
+}
+
+// connect ensures the client knows the server's current generation before
+// it sends anything whose duplication across a crash would be dangerous.
+// The probe is a resolve: read-only, safe to repeat, and it doubles as the
+// reconnection step of the DSS discipline.
+func (c *RetryClient) connect() error {
+	for round := 0; c.gen == 0; round++ {
+		if round >= c.pol.MaxAttempts {
+			return fmt.Errorf("mp: could not reach server after %d attempts: %w", round, ErrTimeout)
+		}
+		if round > 0 {
+			c.stats.Retries++
+			c.backoff(round)
+		}
+		c.stats.Resolves++
+		c.roundTrip(ReqResolve, spec.Op{})
+	}
+	return nil
+}
+
+// settlement classifies what resolve revealed about a tagged operation.
+type settlement int
+
+const (
+	settledAbsent   settlement = iota // the prep never landed; re-prep
+	settledPrepped                    // prep landed, exec still needed
+	settledExecuted                   // op took effect; response recovered
+)
+
+// settle resolves an ambiguous prep/exec outcome for the operation tagged
+// tag. Resolve itself is retried through downtime (it is read-only, so
+// blind repetition is safe); the classification then drives Do.
+func (c *RetryClient) settle(tag uint64) (settlement, spec.Resp, error) {
+	for round := 0; round < c.pol.MaxAttempts; round++ {
+		if round > 0 {
+			c.stats.Retries++
+			c.backoff(round)
+		}
+		c.stats.Resolves++
+		rep := c.roundTrip(ReqResolve, spec.Op{})
+		if rep.Err != nil {
+			if Retryable(rep.Err) {
+				continue
+			}
+			return settledAbsent, spec.Resp{}, rep.Err
+		}
+		r := rep.Resp
+		if r.Kind != spec.Pair {
+			return settledAbsent, spec.Resp{}, fmt.Errorf("mp: resolve returned %s", r)
+		}
+		switch {
+		case !r.HasOp || r.POp.Tag != tag:
+			return settledAbsent, spec.Resp{}, nil
+		case r.Inner == spec.None:
+			return settledPrepped, spec.Resp{}, nil
+		default:
+			return settledExecuted, spec.Resp{Kind: r.Inner, V: r.InnerVal}, nil
+		}
+	}
+	return settledAbsent, spec.Resp{}, fmt.Errorf("mp: resolve unsettled after %d attempts: %w", c.pol.MaxAttempts, ErrTimeout)
+}
+
+// Do applies op as a detectable operation exactly once and returns its
+// response. The operation's Tag is overwritten with a client-unique value
+// (Section 2.1's auxiliary argument) so resolve can identify it across
+// crashes and retries.
+func (c *RetryClient) Do(op spec.Op) (spec.Resp, error) {
+	c.stats.Ops++
+	c.tag++
+	op.Tag = c.tag
+	if err := c.connect(); err != nil {
+		return spec.Resp{}, err
+	}
+	prepped := false
+	for round := 0; round < c.pol.MaxAttempts; round++ {
+		if round > 0 {
+			c.stats.Retries++
+			c.backoff(round)
+		}
+		if !prepped {
+			rep := c.roundTrip(ReqPrep, op)
+			switch {
+			case rep.Err == nil:
+				prepped = true
+			case Retryable(rep.Err):
+				st, resp, err := c.settle(op.Tag)
+				if err != nil {
+					return spec.Resp{}, err
+				}
+				switch st {
+				case settledExecuted:
+					return resp, nil
+				case settledPrepped:
+					prepped = true
+				}
+			default:
+				return spec.Resp{}, rep.Err
+			}
+		}
+		if !prepped {
+			continue
+		}
+		rep := c.roundTrip(ReqExec, spec.Op{})
+		if rep.Err == nil {
+			return rep.Resp, nil
+		}
+		if !Retryable(rep.Err) {
+			return spec.Resp{}, rep.Err
+		}
+		st, resp, err := c.settle(op.Tag)
+		if err != nil {
+			return spec.Resp{}, err
+		}
+		switch st {
+		case settledExecuted:
+			return resp, nil
+		case settledPrepped:
+			// Exec again next round; exec of an already-complete prep is a
+			// no-op returning the recorded response, so this cannot double
+			// apply.
+		case settledAbsent:
+			// The crash took the prep with it (it was never acknowledged
+			// durable to us in this generation, or recovery dropped an
+			// unlinked record): start over.
+			prepped = false
+		}
+	}
+	return spec.Resp{}, fmt.Errorf("mp: %s unsettled after %d attempts: %w", op, c.pol.MaxAttempts, ErrTimeout)
+}
+
+// Enqueue, Dequeue and friends are not provided: RetryClient is
+// object-agnostic. Compose with spec constructors, e.g.
+// rc.Do(spec.Enqueue(v)) or rc.Do(spec.Inc()).

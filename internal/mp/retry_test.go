@@ -1,0 +1,225 @@
+package mp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// dropExecReply lets the first exec execute at the server but loses its
+// reply — the classic "did my operation happen?" ambiguity.
+type dropExecReply struct {
+	inner   Transport
+	mu      sync.Mutex
+	dropped bool
+}
+
+func (d *dropExecReply) RoundTrip(m Msg) Reply {
+	rep := d.inner.RoundTrip(m)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m.Kind == ReqExec && !d.dropped {
+		d.dropped = true
+		return Reply{Err: ErrTimeout}
+	}
+	return rep
+}
+
+// TestRetryClientRecoversLostExecReply pins the settle(executed) path: the
+// exec takes effect but its reply is lost; the client must recover the
+// recorded response via resolve and must not execute again.
+func TestRetryClientRecoversLostExecReply(t *testing.T) {
+	s := newCounterServer(t, 1)
+	defer s.Stop()
+	rc := NewRetryClient(&dropExecReply{inner: s}, 0, RetryPolicy{BackoffBase: time.Microsecond})
+
+	resp, err := rc.Do(spec.Inc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != spec.ValResp(0) {
+		t.Fatalf("recovered response = %v, want the recorded Val(0)", resp)
+	}
+	if st := rc.Stats(); st.Resolves == 0 || st.Timeouts == 0 {
+		t.Fatalf("ambiguity was never settled via resolve: %+v", st)
+	}
+	if r, err := rc.Do(spec.Read()); err != nil || r != spec.ValResp(1) {
+		t.Fatalf("counter = (%v, %v) after lost-reply inc, want exactly 1", r, err)
+	}
+}
+
+// TestRetryClientAdoptsNewGeneration pins the generation discipline: a
+// clean stop + restart invalidates the client's pinned generation; the
+// next operation sees a stale DownError, adopts the new generation, and
+// completes without help.
+func TestRetryClientAdoptsNewGeneration(t *testing.T) {
+	s := newCounterServer(t, 1)
+	defer s.Stop()
+	rc := NewRetryClient(s, 0, RetryPolicy{BackoffBase: time.Microsecond})
+
+	if _, err := rc.Do(spec.Inc()); err != nil {
+		t.Fatal(err)
+	}
+	gen := rc.Gen()
+	s.Stop()
+	if err := s.Restart(pmem.KeepAll{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Do(spec.Inc()); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Gen() <= gen {
+		t.Fatalf("client still pinned to generation %d after restart", rc.Gen())
+	}
+	if st := rc.Stats(); st.GenChanges == 0 {
+		t.Fatalf("generation change not observed: %+v", st)
+	}
+	if r, err := rc.Do(spec.Read()); err != nil || r != spec.ValResp(2) {
+		t.Fatalf("counter = (%v, %v) across restart, want exactly 2", r, err)
+	}
+}
+
+// TestRetryClientGivesUpWhenServerNeverUp pins bounded persistence: a
+// client of a never-started server fails with a retryable error instead
+// of spinning forever.
+func TestRetryClientGivesUpWhenServerNeverUp(t *testing.T) {
+	s, err := NewServer(1, 64, spec.NewCounter(), []spec.Op{spec.Inc(), spec.Read()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRetryClient(s, 0, RetryPolicy{MaxAttempts: 3, BackoffBase: time.Microsecond})
+	if _, err := rc.Do(spec.Inc()); err == nil {
+		t.Fatal("Do succeeded against a server that never started")
+	} else if !Retryable(err) {
+		t.Fatalf("terminal error %v should still be classified retryable (ambiguous)", err)
+	}
+}
+
+// TestRetryClientExactlyOnceUnderCrashStorm is the wall-clock sibling of
+// the harness soak (which is deterministic but single-threaded): real
+// goroutines, a really faulty transport, and a supervisor crashing and
+// restarting the server, with the race detector watching. Exactly-once
+// shows up twice: the fetch-and-increment responses across all clients
+// must be distinct (a double execution would skip a value), and the final
+// balance must be exact.
+func TestRetryClientExactlyOnceUnderCrashStorm(t *testing.T) {
+	const (
+		clients   = 4
+		perClient = 12
+	)
+	s := newCounterServer(t, clients)
+	defer s.Stop()
+	ft := NewFaultyTransport(s, FaultConfig{
+		Seed:        5,
+		DropRequest: 0.03, DropReply: 0.03, Duplicate: 0.05,
+		Delay: 0.10, MaxDelay: 50 * time.Microsecond,
+	})
+	s.Heap().ArmCrash(150)
+
+	// The supervisor plays the machine's power supply and boot firmware:
+	// it watches for crashes, restarts under a rotating adversary, and
+	// re-arms the next crash for a bounded number of cycles.
+	stopSupervisor := make(chan struct{})
+	supervisorDone := make(chan struct{})
+	restarts := 0
+	advs := pmem.Adversaries(5)
+	go func() {
+		defer close(supervisorDone)
+		for {
+			select {
+			case <-stopSupervisor:
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+			if !s.Heap().Crashed() {
+				continue
+			}
+			restarts++
+			if err := s.Restart(advs[restarts%len(advs)]); err != nil {
+				t.Errorf("restart %d: %v", restarts, err)
+				return
+			}
+			if restarts < 25 {
+				s.Heap().ArmCrash(uint64(100 + 60*restarts))
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	values := make(chan uint64, clients*perClient)
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rc := NewRetryClient(ft, id, RetryPolicy{
+				MaxAttempts: 4096,
+				BackoffBase: 20 * time.Microsecond,
+				BackoffMax:  500 * time.Microsecond,
+				Seed:        int64(id),
+			})
+			for i := 0; i < perClient; i++ {
+				resp, err := rc.Do(spec.Inc())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Kind != spec.Val {
+					errs <- errors.New("inc returned " + resp.String())
+					return
+				}
+				values <- resp.V
+			}
+		}(id)
+	}
+
+	// Bound the whole storm with a deadline so a lost wakeup fails the
+	// test with diagnostics instead of hanging the suite.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("crash storm timed out: a client is stuck")
+	}
+	close(stopSupervisor)
+	<-supervisorDone
+	close(values)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	seen := map[uint64]bool{}
+	for v := range values {
+		if seen[v] {
+			t.Fatalf("fetch-and-increment returned %d twice: an increment executed twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != clients*perClient {
+		t.Fatalf("saw %d distinct responses, want %d", len(seen), clients*perClient)
+	}
+
+	s.Heap().ArmCrash(0)
+	if s.Heap().Crashed() {
+		if err := s.Restart(pmem.KeepAll{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewClient(s, 0)
+	bal, err := c.Invoke(spec.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != spec.ValResp(clients*perClient) {
+		t.Fatalf("balance = %v after %d restarts, want exactly %d", bal, restarts, clients*perClient)
+	}
+	if restarts == 0 {
+		t.Fatal("storm exercised no crashes")
+	}
+}

@@ -1,0 +1,144 @@
+package mp
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig parameterizes a FaultyTransport. Probabilities are
+// independent per request; a zero config is a perfect wire.
+type FaultConfig struct {
+	// Seed makes the fault schedule deterministic: the same seed draws the
+	// same sequence of fates (assignment to requests then depends only on
+	// arrival order, which deterministic drivers also fix).
+	Seed int64
+	// DropRequest is the probability the request is lost before reaching
+	// the server. Outcome: not executed; the caller sees ErrTimeout.
+	DropRequest float64
+	// DropReply is the probability the reply is lost on the way back.
+	// Outcome: executed; the caller still sees ErrTimeout — the ambiguity
+	// the resolve discipline exists for.
+	DropReply float64
+	// Duplicate is the probability the request is delivered twice. The
+	// server's at-most-once cache makes the copy harmless for sequenced
+	// requests; unsequenced (Seq 0) non-idempotent requests execute twice,
+	// which is exactly why bare Clients must not ride a faulty wire.
+	Duplicate float64
+	// Delay is the probability a request is held for up to MaxDelay before
+	// delivery, simulating congestion and — across concurrent clients —
+	// reordering.
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// FaultStats counts the faults a FaultyTransport has injected.
+type FaultStats struct {
+	Requests        uint64
+	DroppedRequests uint64
+	DroppedReplies  uint64
+	Duplicates      uint64
+	Delays          uint64
+}
+
+// FaultyTransport wraps a Transport with a deterministic, seeded message
+// adversary: requests are dropped, duplicated, and delayed; replies are
+// dropped. Lost messages surface as ErrTimeout after the fact — the
+// caller cannot tell a lost request from a lost reply, by design.
+//
+// Safe for concurrent use; fate draws serialize on an internal mutex.
+type FaultyTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// sleep is swappable so virtual-time harnesses can serve delays from
+	// a simulated clock.
+	sleep func(time.Duration)
+
+	requests   atomic.Uint64
+	droppedReq atomic.Uint64
+	droppedRep atomic.Uint64
+	duplicates atomic.Uint64
+	delays     atomic.Uint64
+}
+
+// NewFaultyTransport wraps inner with the given fault schedule.
+func NewFaultyTransport(inner Transport, cfg FaultConfig) *FaultyTransport {
+	return &FaultyTransport{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sleep: time.Sleep,
+	}
+}
+
+// SetSleep replaces the delay implementation (virtual-time harnesses).
+func (t *FaultyTransport) SetSleep(f func(time.Duration)) { t.sleep = f }
+
+// Stats returns the fault counters so far.
+func (t *FaultyTransport) Stats() FaultStats {
+	return FaultStats{
+		Requests:        t.requests.Load(),
+		DroppedRequests: t.droppedReq.Load(),
+		DroppedReplies:  t.droppedRep.Load(),
+		Duplicates:      t.duplicates.Load(),
+		Delays:          t.delays.Load(),
+	}
+}
+
+// fate is one request's drawn schedule.
+type fate struct {
+	dropReq bool
+	dropRep bool
+	dup     bool
+	delay   time.Duration
+}
+
+// draw rolls the dice for one request under the mutex, keeping the rng's
+// sequence deterministic.
+func (t *FaultyTransport) draw() fate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var f fate
+	f.dropReq = t.rng.Float64() < t.cfg.DropRequest
+	f.dup = t.rng.Float64() < t.cfg.Duplicate
+	f.dropRep = t.rng.Float64() < t.cfg.DropReply
+	if t.rng.Float64() < t.cfg.Delay && t.cfg.MaxDelay > 0 {
+		f.delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay))) + 1
+	}
+	return f
+}
+
+// RoundTrip implements Transport.
+func (t *FaultyTransport) RoundTrip(m Msg) Reply {
+	t.requests.Add(1)
+	f := t.draw()
+	if f.delay > 0 {
+		t.delays.Add(1)
+		t.sleep(f.delay)
+	}
+	if f.dropReq {
+		t.droppedReq.Add(1)
+		return Reply{Err: ErrTimeout}
+	}
+	rep := t.inner.RoundTrip(m)
+	if f.dup {
+		// The network delivered a second copy. For sequenced requests the
+		// server's reply cache answers it; the client sees whichever copy
+		// produced a reply.
+		t.duplicates.Add(1)
+		if rep2 := t.inner.RoundTrip(m); rep.Err != nil && rep2.Err == nil {
+			rep = rep2
+		}
+	}
+	if f.dropRep {
+		t.droppedRep.Add(1)
+		return Reply{Err: ErrTimeout}
+	}
+	return rep
+}
+
+var _ Transport = (*FaultyTransport)(nil)

@@ -1,0 +1,207 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// scriptedTransport records every message it carries and answers with a
+// canned reply, so fault-schedule tests can observe exactly what got
+// through.
+type scriptedTransport struct {
+	calls []Msg
+	rep   Reply
+}
+
+func (s *scriptedTransport) RoundTrip(m Msg) Reply {
+	s.calls = append(s.calls, m)
+	return s.rep
+}
+
+// TestFaultyTransportDeterministic pins the seeded fault schedule: two
+// transports with the same seed, driven by the same request sequence,
+// inject exactly the same faults.
+func TestFaultyTransportDeterministic(t *testing.T) {
+	cfg := FaultConfig{
+		Seed:        7,
+		DropRequest: 0.2, DropReply: 0.2, Duplicate: 0.2,
+		Delay: 0.3, MaxDelay: time.Microsecond,
+	}
+	run := func() (FaultStats, []error, int) {
+		inner := &scriptedTransport{rep: Reply{Gen: 1}}
+		ft := NewFaultyTransport(inner, cfg)
+		ft.SetSleep(func(time.Duration) {})
+		var errs []error
+		for i := 0; i < 200; i++ {
+			errs = append(errs, ft.RoundTrip(Msg{Kind: ReqResolve, Seq: uint64(i + 1)}).Err)
+		}
+		return ft.Stats(), errs, len(inner.calls)
+	}
+	s1, e1, n1 := run()
+	s2, e2, n2 := run()
+	if s1 != s2 || n1 != n2 {
+		t.Fatalf("same seed diverged: %+v (%d delivered) vs %+v (%d delivered)", s1, n1, s2, n2)
+	}
+	for i := range e1 {
+		if !errors.Is(e1[i], e2[i]) && e1[i] != e2[i] {
+			t.Fatalf("call %d: outcome diverged: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if s1.DroppedRequests == 0 || s1.DroppedReplies == 0 || s1.Duplicates == 0 || s1.Delays == 0 {
+		t.Fatalf("fault mix incomplete over 200 requests: %+v", s1)
+	}
+	// Every fault class shows up in the delivery count: drops reduce it,
+	// duplicates raise it.
+	want := 200 - int(s1.DroppedRequests) + int(s1.Duplicates)
+	if n1 != want {
+		t.Fatalf("inner saw %d requests, want %d", n1, want)
+	}
+}
+
+// TestFaultyTransportLostMessagesAreTimeouts pins the error surface: both
+// a dropped request and a dropped reply look like ErrTimeout to the
+// caller (retryable, ambiguous) — the caller cannot and must not tell
+// them apart.
+func TestFaultyTransportLostMessagesAreTimeouts(t *testing.T) {
+	for _, cfg := range []FaultConfig{
+		{Seed: 1, DropRequest: 1},
+		{Seed: 1, DropReply: 1},
+	} {
+		inner := &scriptedTransport{rep: Reply{Gen: 1}}
+		ft := NewFaultyTransport(inner, cfg)
+		rep := ft.RoundTrip(Msg{Kind: ReqResolve})
+		if !errors.Is(rep.Err, ErrTimeout) {
+			t.Fatalf("%+v: err = %v, want ErrTimeout", cfg, rep.Err)
+		}
+		if !Retryable(rep.Err) {
+			t.Fatalf("%+v: timeout must be retryable", cfg)
+		}
+	}
+}
+
+// newCounterEngine builds a started engine hosting a counter.
+func newCounterEngine(t *testing.T, clients int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(EngineConfig{
+		Clients: clients, Capacity: 1024,
+		Init: spec.NewCounter(), Ops: []spec.Op{spec.Inc(), spec.Read()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.NewGeneration()
+	return eng
+}
+
+// TestEngineAtMostOnce pins the sequence-number discipline: a duplicated
+// request is answered from the reply cache without re-executing, and a
+// stale (superseded) request is discarded.
+func TestEngineAtMostOnce(t *testing.T) {
+	eng := newCounterEngine(t, 1)
+	gen := eng.Gen()
+
+	prep := Msg{Kind: ReqPrep, Client: 0, Gen: gen, Seq: 1, Op: spec.Inc()}
+	if rep := eng.Apply(prep); rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	exec := Msg{Kind: ReqExec, Client: 0, Gen: gen, Seq: 2}
+	first := eng.Apply(exec)
+	if first.Err != nil || first.Resp != spec.ValResp(0) {
+		t.Fatalf("exec = %+v", first)
+	}
+	// The network delivers the exec a second time: same reply, no second
+	// increment.
+	if dup := eng.Apply(exec); dup != first {
+		t.Fatalf("duplicate exec = %+v, want memoized %+v", dup, first)
+	}
+	// A delayed straggler (the prep again) is older than the applied exec:
+	// discarded, not re-executed.
+	if late := eng.Apply(prep); !errors.Is(late.Err, ErrSuperseded) {
+		t.Fatalf("late duplicate prep err = %v, want ErrSuperseded", late.Err)
+	}
+	if r := eng.Apply(Msg{Kind: ReqInvoke, Client: 0, Op: spec.Read()}); r.Resp != spec.ValResp(1) {
+		t.Fatalf("counter = %v after duplicated exec, want 1", r.Resp)
+	}
+}
+
+// TestEngineGenerationFence pins the cross-crash guarantee: a message
+// pinned to an old generation is rejected with a stale DownError and
+// never applied, no matter its sequence number.
+func TestEngineGenerationFence(t *testing.T) {
+	eng := newCounterEngine(t, 1)
+	old := eng.Gen()
+	eng.NewGeneration()
+
+	rep := eng.Apply(Msg{Kind: ReqExec, Client: 0, Gen: old, Seq: 9})
+	var de *DownError
+	if !errors.As(rep.Err, &de) || !de.Stale {
+		t.Fatalf("stale-generation err = %v, want stale DownError", rep.Err)
+	}
+	if de.Gen != eng.Gen() {
+		t.Fatalf("DownError.Gen = %d, want current generation %d", de.Gen, eng.Gen())
+	}
+	if !errors.Is(rep.Err, ErrServerDown) {
+		t.Fatal("stale DownError must match ErrServerDown")
+	}
+	// Gen 0 opts out of the fence (plain Client compatibility).
+	if r := eng.Apply(Msg{Kind: ReqInvoke, Client: 0, Op: spec.Read()}); r.Err != nil {
+		t.Fatalf("gen-0 invoke rejected: %v", r.Err)
+	}
+	// The new generation starts a fresh sequence space: seq 1 is accepted
+	// even though seq 9 was seen (and rejected) above.
+	if r := eng.Apply(Msg{Kind: ReqResolve, Client: 0, Gen: eng.Gen(), Seq: 1}); r.Err != nil {
+		t.Fatalf("fresh-generation seq 1 rejected: %v", r.Err)
+	}
+}
+
+// TestRetryableClassification pins which errors permit (and require) the
+// resolve-before-retry discipline.
+func TestRetryableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{ErrServerDown, true},
+		{ErrTimeout, true},
+		{&DownError{Gen: 3}, true},
+		{&DownError{Gen: 3, Stale: true}, true},
+		{fmt.Errorf("wrapped: %w", ErrTimeout), true},
+		{ErrSuperseded, false},
+		{errors.New("mp: something else"), false},
+		{nil, false},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestServerDownCarriesGeneration pins the flakiness fix's observable
+// half: ErrServerDown from a live server object reports the generation,
+// so clients can tell "down right now" from "I am talking to the past".
+func TestServerDownCarriesGeneration(t *testing.T) {
+	s, err := NewServer(1, 64, spec.NewCounter(), []spec.Op{spec.Inc(), spec.Read()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: down with generation 0.
+	rep := s.RoundTrip(Msg{Kind: ReqResolve, Client: 0})
+	var de *DownError
+	if !errors.As(rep.Err, &de) || de.Gen != 0 {
+		t.Fatalf("unstarted server reply = %+v, want DownError gen 0", rep)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if got := s.Gen(); got != 1 {
+		t.Fatalf("generation after first Start = %d, want 1", got)
+	}
+	if rep := s.RoundTrip(Msg{Kind: ReqResolve, Client: 0}); rep.Err != nil || rep.Gen != 1 {
+		t.Fatalf("reply = %+v, want gen 1", rep)
+	}
+}

@@ -69,6 +69,39 @@ func (r *RandomFates) Fate(int) LineFate {
 	return Survives
 }
 
+// BiasedFates draws an independent biased coin per dirty line: with
+// probability p the line survives (was evicted in time), otherwise its
+// un-flushed contents are lost. p = 0 degenerates to DropAll, p = 1 to
+// KeepAll, p = 0.5 to RandomFates; the interesting settings are in
+// between, where most lines share one fate but a few defect — the
+// schedule that catches code relying on "either everything made it or
+// nothing did". Like RandomFates it is seeded for reproducibility and
+// serializes Fate on a mutex.
+type BiasedFates struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	p   float64
+}
+
+// NewBiasedFates returns a BiasedFates adversary where each dirty line
+// survives with probability p, drawn from the given seed.
+func NewBiasedFates(seed int64, p float64) *BiasedFates {
+	return &BiasedFates{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// SurviveP returns the adversary's per-line survival probability.
+func (b *BiasedFates) SurviveP() float64 { return b.p }
+
+// Fate implements Adversary.
+func (b *BiasedFates) Fate(int) LineFate {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rng.Float64() < b.p {
+		return Survives
+	}
+	return Lost
+}
+
 // Adversaries returns the canonical adversary suite used by crash-point
 // sweeps: both extremes plus a few random schedules.
 func Adversaries(seed int64) []Adversary {
@@ -85,6 +118,7 @@ var (
 	_ Adversary = DropAll{}
 	_ Adversary = KeepAll{}
 	_ Adversary = (*RandomFates)(nil)
+	_ Adversary = (*BiasedFates)(nil)
 )
 
 // ArmCrash schedules a simulated crash: the heap will panic with a

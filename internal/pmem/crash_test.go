@@ -1,0 +1,67 @@
+package pmem
+
+import "testing"
+
+// TestBiasedFatesExtremes pins the degenerate settings: p=0 must behave
+// exactly like DropAll and p=1 exactly like KeepAll, for any seed.
+func TestBiasedFatesExtremes(t *testing.T) {
+	drop := NewBiasedFates(1, 0)
+	keep := NewBiasedFates(1, 1)
+	for line := 0; line < 1000; line++ {
+		if got := drop.Fate(line); got != Lost {
+			t.Fatalf("p=0: line %d got %v, want Lost", line, got)
+		}
+		if got := keep.Fate(line); got != Survives {
+			t.Fatalf("p=1: line %d got %v, want Survives", line, got)
+		}
+	}
+}
+
+// TestBiasedFatesDeterministic pins reproducibility: two adversaries with
+// the same seed and bias draw the same fate sequence, and the empirical
+// survival rate tracks p.
+func TestBiasedFatesDeterministic(t *testing.T) {
+	const n = 10000
+	a := NewBiasedFates(42, 0.25)
+	b := NewBiasedFates(42, 0.25)
+	survived := 0
+	for i := 0; i < n; i++ {
+		fa, fb := a.Fate(i), b.Fate(i)
+		if fa != fb {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, fa, fb)
+		}
+		if fa == Survives {
+			survived++
+		}
+	}
+	rate := float64(survived) / n
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("p=0.25: empirical survival rate %.3f outside [0.20, 0.30]", rate)
+	}
+}
+
+// TestBiasedFatesCrashRespectsFlushes checks the adversary plugs into
+// Heap.Crash correctly: flushed lines always survive regardless of bias,
+// and under p=0 every dirty (un-flushed) line reverts.
+func TestBiasedFatesCrashRespectsFlushes(t *testing.T) {
+	h, err := New(Config{Words: 4 * WordsPerLine, Mode: Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed := Addr(0)
+	dirty := Addr(2 * WordsPerLine)
+	h.Store(flushed, 7)
+	h.Flush(flushed)
+	h.Fence()
+	h.Store(dirty, 9)
+
+	h.CrashNow()
+	h.Crash(NewBiasedFates(3, 0))
+
+	if got := h.Load(flushed); got != 7 {
+		t.Fatalf("flushed word lost under p=0: got %d, want 7", got)
+	}
+	if got := h.Load(dirty); got != 0 {
+		t.Fatalf("dirty word survived under p=0: got %d, want 0", got)
+	}
+}

@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race soak soak-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
 # pass over the packages with the most concurrency, and the soak smoke.
-ci: vet build test race soak-smoke
+ci: lint vet build test race soak-smoke
+
+# lint fails if any file is not gofmt-clean. gofmt ships with the
+# toolchain, so this adds no dependency.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +25,7 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/sharded ./internal/check ./internal/vtime ./internal/mp
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/check ./internal/vtime ./internal/mp
 
 # soak regenerates the committed crash-storm soak report. The run is a
 # deterministic discrete-event simulation: for a fixed seed the report is
@@ -44,6 +50,7 @@ bench-json:
 	$(GO) run ./cmd/dssbench -figure 5a -repeats 3 -flush 300ns -json BENCH_fig5a.json
 	$(GO) run ./cmd/dssbench -figure 5b -repeats 3 -flush 300ns -json BENCH_fig5b.json
 	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json
+	$(GO) run ./cmd/dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	dssbench -figure 5b -csv > fig5b.csv
 //	dssbench -figure 5a -json BENCH_fig5a.json
 //	dssbench -figure sharded -shards 2,4,8 -pairs 200 -json BENCH_sharded.json
+//	dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
 //	dssbench -impls ms-queue,dss-detectable -duration 1s
 //
 // Each series prints millions of operations per second (enqueues plus
@@ -53,7 +54,8 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonPath := flag.String("json", "", "also write a machine-readable report to this path (e.g. BENCH_fig5a.json)")
 	shardList := flag.String("shards", "2,4,8", "comma-separated shard counts (-figure sharded only)")
-	pairs := flag.Int("pairs", 200, "enqueue/dequeue pairs per thread (-figure sharded only)")
+	pairs := flag.Int("pairs", 200, "insert/remove pairs per thread (-figure sharded only)")
+	object := flag.String("object", "queue", "detectable type the sharded figure measures: queue or stack (-figure sharded only)")
 	flag.Parse()
 
 	threads, err := parseInts(*threadList)
@@ -70,12 +72,13 @@ func run() error {
 		// calibration (100 ns accesses, 300 ns persists); -flush,
 		// -duration and -repeats configure wall-clock sweeps only.
 		scfg := harness.ShardedSweepConfig{
+			Object:         *object,
 			Threads:        threads,
 			ShardCounts:    shards,
 			PairsPerThread: *pairs,
 		}
-		fmt.Fprintf(os.Stderr, "virtual-time shard sweep: %d shard counts x %d thread counts, %d pairs/thread\n",
-			len(shards), len(threads), *pairs)
+		fmt.Fprintf(os.Stderr, "virtual-time %s shard sweep: %d shard counts x %d thread counts, %d pairs/thread\n",
+			*object, len(shards), len(threads), *pairs)
 		series, err := harness.FigureSharded(scfg)
 		if err != nil {
 			return err

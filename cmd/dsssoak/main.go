@@ -1,15 +1,17 @@
 // Command dsssoak runs the deterministic crash-storm soak: concurrent
-// retrying clients drive the message-passing DSS queue server through a
-// lossy, duplicating, delaying network while the server crashes and
-// recovers under rotating dirty-line adversaries. The full
-// client-observed history is verified for exactly-once execution and the
-// queue invariants, and the run's counters are emitted as a JSON report
-// that is bit-identical for a given seed.
+// retrying clients drive a message-passing DSS object server (queue by
+// default, stack with -object stack) through a lossy, duplicating,
+// delaying network while the server crashes and recovers under rotating
+// dirty-line adversaries. The full client-observed history is verified
+// for exactly-once execution and the object's sequential invariants, and
+// the run's counters are emitted as a JSON report that is bit-identical
+// for a given seed.
 //
 // Usage:
 //
 //	dsssoak -seed 1 -clients 8 -ops 50 -crashes 40
 //	dsssoak -seed 1 -json BENCH_soak.json
+//	dsssoak -seed 1 -object stack
 //	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
 //
 // Exit status is nonzero if any violation is found, if the crash target
@@ -37,7 +39,8 @@ func marshal(rep harness.SoakReport) ([]byte, error) {
 func main() {
 	seed := flag.Int64("seed", 1, "seed for the entire run (network, crashes, adversaries, jitter)")
 	clients := flag.Int("clients", 8, "concurrent retrying clients")
-	ops := flag.Int("ops", 50, "operations per client (alternating enqueue/dequeue)")
+	ops := flag.Int("ops", 50, "operations per client (alternating insert/remove)")
+	object := flag.String("object", "queue", "detectable object the server hosts: queue or stack")
 	crashes := flag.Int("crashes", 40, "target crash/restart cycles")
 	minCrashes := flag.Int("min-crashes", 25, "fail if fewer crash cycles actually fired (0 disables)")
 	jsonPath := flag.String("json", "", "also write the JSON report to this file")
@@ -49,6 +52,7 @@ func main() {
 		Clients:      *clients,
 		OpsPerClient: *ops,
 		Crashes:      *crashes,
+		Object:       *object,
 	}
 
 	var first []byte

@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Full LIFO linearizability checking is NP-hard in general, so — exactly
+// as queuecheck.go does for FIFO histories — this file provides a
+// polynomial-time *violation detector* for stack histories with distinct
+// values: invented or duplicated values, pop-before-push, LIFO-order
+// inversions over happens-before-ordered operations, and impossible
+// EMPTYs. It never reports a false violation; it is the verifier behind
+// the stack variant of the crash-storm soak, where conservation (every
+// pushed value popped exactly once after the drain) closes the remaining
+// gap.
+
+// SOpKind classifies a stack-history operation.
+type SOpKind int
+
+const (
+	// SPush is a completed (or resolved-as-effective) push.
+	SPush SOpKind = iota + 1
+	// SPop is a completed pop that returned a value.
+	SPop
+	// SPopEmpty is a completed pop that returned EMPTY.
+	SPopEmpty
+)
+
+// SOp is one operation in a closed stack history (crash-interrupted
+// operations must first be resolved, as with QOp).
+type SOp struct {
+	Kind SOpKind
+	// V is the pushed or popped value (distinct across pushes).
+	V uint64
+	// Inv and Ret bound the operation's interval.
+	Inv, Ret int64
+}
+
+// String renders the operation.
+func (o SOp) String() string {
+	switch o.Kind {
+	case SPush:
+		return fmt.Sprintf("push(%d)[%d,%d]", o.V, o.Inv, o.Ret)
+	case SPop:
+		return fmt.Sprintf("pop->%d[%d,%d]", o.V, o.Inv, o.Ret)
+	case SPopEmpty:
+		return fmt.Sprintf("pop->EMPTY[%d,%d]", o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("SOp(%d)", int(o.Kind))
+	}
+}
+
+// shb reports whether a happens-before b (a returns before b is invoked).
+func shb(a, b SOp) bool { return a.Ret < b.Inv }
+
+// CheckStackHistory scans a closed stack history for violations and
+// returns a description of each one found (nil means none of the checked
+// patterns occurs).
+func CheckStackHistory(ops []SOp) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	pushes := map[uint64]SOp{}
+	pops := map[uint64]SOp{}
+	var empties []SOp
+	for _, o := range ops {
+		switch o.Kind {
+		case SPush:
+			if prev, dup := pushes[o.V]; dup {
+				report("value %d pushed twice: %s and %s", o.V, prev, o)
+				continue
+			}
+			pushes[o.V] = o
+		case SPop:
+			if prev, dup := pops[o.V]; dup {
+				report("value %d popped twice: %s and %s", o.V, prev, o)
+				continue
+			}
+			pops[o.V] = o
+		case SPopEmpty:
+			empties = append(empties, o)
+		}
+	}
+
+	// Pattern 1: pops of values never pushed, or that certainly left the
+	// stack before entering it.
+	for v, p := range pops {
+		e, ok := pushes[v]
+		if !ok {
+			report("value %d popped but never pushed: %s", v, p)
+			continue
+		}
+		if shb(p, e) {
+			report("pop returns before push begins for %d: %s vs %s", v, p, e)
+		}
+	}
+
+	// Pattern 2: LIFO inversions. If push(a) <hb push(b) <hb pop->a, then
+	// when the pop of a runs, b was certainly pushed above a — so the pop
+	// may return a only if b was already popped by then. A history where
+	// b is never popped, or popped only after pop->a returns, reached
+	// below a newer resident value: a LIFO violation.
+	values := make([]uint64, 0, len(pushes))
+	for v := range pushes {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return pushes[values[i]].Inv < pushes[values[j]].Inv })
+	for _, a := range values {
+		pa, aPopped := pops[a]
+		if !aPopped {
+			continue
+		}
+		for _, b := range values {
+			if a == b {
+				continue
+			}
+			if !shb(pushes[a], pushes[b]) || !shb(pushes[b], pa) {
+				continue
+			}
+			pb, bPopped := pops[b]
+			if !bPopped || shb(pa, pb) {
+				report("LIFO violation: push(%d) then push(%d) both precede pop->%d, but %d was certainly still on top",
+					a, b, a, b)
+			}
+		}
+	}
+
+	// Pattern 3: impossible EMPTYs. An EMPTY pop is a violation if some
+	// value was certainly present throughout its interval: pushed before
+	// the EMPTY began and not popped until after it returned.
+	for _, em := range empties {
+		for v, e := range pushes {
+			if !shb(e, em) {
+				continue
+			}
+			p, popped := pops[v]
+			if !popped || shb(em, p) {
+				report("EMPTY at %s while value %d was certainly present (push %s)", em, v, e)
+				break
+			}
+		}
+	}
+
+	return bad
+}

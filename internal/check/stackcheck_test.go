@@ -1,0 +1,225 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func sp(v uint64, inv, ret int64) SOp  { return SOp{Kind: SPush, V: v, Inv: inv, Ret: ret} }
+func spo(v uint64, inv, ret int64) SOp { return SOp{Kind: SPop, V: v, Inv: inv, Ret: ret} }
+func sem(inv, ret int64) SOp           { return SOp{Kind: SPopEmpty, Inv: inv, Ret: ret} }
+
+func TestStackCheckAcceptsLegalSequential(t *testing.T) {
+	ops := []SOp{
+		sp(1, 1, 2), sp(2, 3, 4),
+		spo(2, 5, 6), spo(1, 7, 8),
+		sem(9, 10),
+	}
+	if bad := CheckStackHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal history flagged: %v", bad)
+	}
+}
+
+func TestStackCheckDetectsInventedValue(t *testing.T) {
+	ops := []SOp{sp(1, 1, 2), spo(2, 3, 4)}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("invented value not detected")
+	}
+}
+
+func TestStackCheckDetectsDoublePop(t *testing.T) {
+	ops := []SOp{sp(1, 1, 2), spo(1, 3, 4), spo(1, 5, 6)}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("double pop not detected")
+	}
+}
+
+func TestStackCheckDetectsDoublePush(t *testing.T) {
+	ops := []SOp{sp(1, 1, 2), sp(1, 3, 4)}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("duplicate push not detected")
+	}
+}
+
+func TestStackCheckDetectsPopBeforePush(t *testing.T) {
+	ops := []SOp{spo(1, 1, 2), sp(1, 3, 4)}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("pop-before-push not detected")
+	}
+}
+
+func TestStackCheckDetectsLIFOInversion(t *testing.T) {
+	// push(1) then push(2), then pop returns 1 while 2 is still inside.
+	ops := []SOp{
+		sp(1, 1, 2), sp(2, 3, 4),
+		spo(1, 5, 6), spo(2, 7, 8),
+	}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("LIFO inversion not detected")
+	}
+	// Same inversion with 2 never popped at all.
+	ops = []SOp{sp(1, 1, 2), sp(2, 3, 4), spo(1, 5, 6)}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("LIFO inversion over a resident value not detected")
+	}
+}
+
+func TestStackCheckDetectsImpossibleEmpty(t *testing.T) {
+	ops := []SOp{
+		sp(1, 1, 2),
+		sem(3, 4), // 1 is certainly inside
+		spo(1, 5, 6),
+	}
+	if bad := CheckStackHistory(ops); len(bad) == 0 {
+		t.Fatal("impossible EMPTY not detected")
+	}
+}
+
+func TestStackCheckAcceptsConcurrentAmbiguity(t *testing.T) {
+	// Overlapping operations legitimately allow orders that would be
+	// violations if sequential.
+	ops := []SOp{
+		sp(1, 1, 10), sp(2, 2, 9), // concurrent pushes: either is on top
+		spo(1, 11, 12), spo(2, 13, 14),
+		sem(3, 15), // overlaps everything: the stack may have been empty early on
+	}
+	if bad := CheckStackHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal concurrent history flagged: %v", bad)
+	}
+}
+
+// genLegalStackHistory builds a random legal concurrent stack history: a
+// random legal sequential execution is computed against the spec, then
+// each operation's interval is stretched randomly around its
+// linearization point (the queue generator's construction).
+func genLegalStackHistory(rng *rand.Rand, nOps int) []SOp {
+	var st spec.State = spec.NewStack()
+	type lin struct {
+		op    SOp
+		point int64
+	}
+	var lins []lin
+	next := uint64(1)
+	var point int64
+	for i := 0; i < nOps; i++ {
+		point += 10
+		if rng.Intn(2) == 0 {
+			v := next
+			next++
+			st2, _, _ := st.Apply(spec.Push(v), 0)
+			st = st2
+			lins = append(lins, lin{sp(v, point, point), point})
+		} else {
+			st2, r, _ := st.Apply(spec.Pop(), 0)
+			st = st2
+			if r.Kind == spec.Empty {
+				lins = append(lins, lin{sem(point, point), point})
+			} else {
+				lins = append(lins, lin{spo(r.V, point, point), point})
+			}
+		}
+	}
+	out := make([]SOp, len(lins))
+	for i, l := range lins {
+		o := l.op
+		o.Inv = l.point - int64(rng.Intn(10))
+		o.Ret = l.point + int64(rng.Intn(10))
+		out[i] = o
+	}
+	return out
+}
+
+// toStackCalls converts SOps to checker Calls for the WGL ground truth.
+func toStackCalls(ops []SOp) []Call {
+	out := make([]Call, 0, len(ops))
+	for i, o := range ops {
+		proc := i % 8 // procs are irrelevant for base stack ops
+		switch o.Kind {
+		case SPush:
+			out = append(out, Call{Proc: proc, Op: spec.Push(o.V), Ret: spec.AckResp(), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case SPop:
+			out = append(out, Call{Proc: proc, Op: spec.Pop(), Ret: spec.ValResp(o.V), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case SPopEmpty:
+			out = append(out, Call{Proc: proc, Op: spec.Pop(), Ret: spec.EmptyResp(), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		}
+	}
+	return out
+}
+
+// TestStackCheckNoFalseAlarms: the detector must accept every generated
+// legal history.
+func TestStackCheckNoFalseAlarms(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genLegalStackHistory(rng, 4+rng.Intn(20))
+		if bad := CheckStackHistory(ops); len(bad) != 0 {
+			t.Fatalf("seed %d: legal history flagged: %v\nops: %v", seed, bad, ops)
+		}
+	}
+}
+
+// TestStackCheckDifferentialAgainstWGL mutates legal histories and
+// compares the polynomial detector against the exact WGL checker: a
+// flagged history must be WGL-rejected (soundness — the detector never
+// lies), and over this mutation distribution most WGL-rejected histories
+// must be flagged (empirical completeness).
+func TestStackCheckDifferentialAgainstWGL(t *testing.T) {
+	misses, total := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		ops := genLegalStackHistory(rng, 4+rng.Intn(10))
+		if len(ops) == 0 {
+			continue
+		}
+		// Mutate.
+		switch rng.Intn(4) {
+		case 0: // swap two pop values
+			var po []int
+			for i, o := range ops {
+				if o.Kind == SPop {
+					po = append(po, i)
+				}
+			}
+			if len(po) >= 2 {
+				i, j := po[rng.Intn(len(po))], po[rng.Intn(len(po))]
+				ops[i].V, ops[j].V = ops[j].V, ops[i].V
+			}
+		case 1: // retarget a pop to a random (often wrong) value
+			for i, o := range ops {
+				if o.Kind == SPop {
+					ops[i].V = o.V%3 + 1
+					break
+				}
+			}
+		case 2: // turn a value pop into EMPTY
+			for i, o := range ops {
+				if o.Kind == SPop {
+					ops[i] = sem(o.Inv, o.Ret)
+					break
+				}
+			}
+		case 3: // shrink an interval to sequentialize an inversion
+			i := rng.Intn(len(ops))
+			ops[i].Ret = ops[i].Inv
+		}
+		total++
+		wgl := StrictlyLinearizable(spec.NewStack(), toStackCalls(ops)).OK
+		flagged := len(CheckStackHistory(ops)) != 0
+		if flagged && wgl {
+			t.Fatalf("seed %d: detector flagged a WGL-legal history: %v\n%v",
+				seed, CheckStackHistory(ops), ops)
+		}
+		if !flagged && !wgl {
+			misses++
+			t.Logf("seed %d: WGL rejects but detector silent:\n%v", seed, ops)
+		}
+	}
+	// The detector is a violation detector, not a decision procedure; LIFO
+	// order leaves it more ambiguity than FIFO, but over this distribution
+	// it should still catch the large majority of violations.
+	if misses > total/10 {
+		t.Fatalf("detector missed %d/%d WGL-rejected histories", misses, total)
+	}
+}

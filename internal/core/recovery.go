@@ -8,8 +8,10 @@ import (
 // extended — as the paper's evaluation section describes — to prevent
 // memory leaks by rebuilding the volatile node pools with a sweep.
 //
-// It must run single-threaded after Heap.Crash and before application
-// threads resume:
+// Contract (shared by stack.Stack.Recover and cwe.Queue.Recover): it must
+// run single-threaded, after Heap.Crash and before application threads
+// resume, and it is idempotent — running it again (e.g. after a crash
+// during recovery itself) reproduces the same state. The steps:
 //
 //  1. Collect the set of nodes reachable from the (persisted) head.
 //  2. Set tail to the last reachable node and persist it (lines 65-66).

@@ -398,10 +398,37 @@ func (q *Queue) Resolve(tid int) Resolution {
 	}
 }
 
+// AbandonPrep withdraws tid's currently prepared-but-unexecuted
+// operation, durably clearing X[tid] and returning the node of an
+// unlinked prepared enqueue to the pool — the withdrawal discipline a
+// multi-shard front-end needs (see core.Queue.AbandonPrep). Calling it
+// while the prepared operation has already executed, or concurrently
+// with the owner's own prep/exec, violates the per-process (A, R)
+// contract; after it returns, Resolve(tid) reports no operation.
+func (q *Queue) AbandonPrep(tid int) {
+	x := q.mcas.Read(tid, q.xAddr(tid))
+	if x == 0 {
+		return
+	}
+	// Clear X first (setX persists through the PMwCAS word protocol) so
+	// no crash can resurrect the abandoned intent, then reclaim.
+	q.setX(tid, 0)
+	if x&enqPrepTag != 0 && x&complTag == 0 {
+		if node := ptrOf(x); node != 0 {
+			q.pool.Free(tid, node)
+		}
+	}
+}
+
 // Recover restores the queue after a crash: PMwCAS descriptor recovery
 // rolls every in-flight operation forward or back (which leaves head and
 // X mutually consistent by construction), then the tail is re-derived and
-// the volatile pool state rebuilt. Single-threaded.
+// the volatile pool state rebuilt.
+//
+// Contract (shared by core.Queue.Recover and stack.Stack.Recover): it
+// must run single-threaded, after Heap.Crash and before any thread
+// resumes operations, and it is idempotent — running it again (e.g.
+// after a crash during recovery itself) reproduces the same state.
 func (q *Queue) Recover() {
 	q.mcas.Recover()
 	// Tail may lag (its advance is a separate single-word CAS, persisted
@@ -429,4 +456,11 @@ func (q *Queue) Recover() {
 // bit left in the persisted image.
 func (q *Queue) clean(a pmem.Addr) uint64 {
 	return q.h.Load(a) &^ pmwcas.DirtyFlag
+}
+
+// ResetVolatile re-initializes the queue's volatile companions (EBR)
+// without touching persistent state. It must be called once, before
+// threads resume, by any single caller (see core.Queue.ResetVolatile).
+func (q *Queue) ResetVolatile() {
+	q.rec.Reset()
 }

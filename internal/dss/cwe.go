@@ -1,0 +1,147 @@
+package dss
+
+import (
+	"repro/internal/cwe"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// CWEFastType and CWEGeneralType are the paper's CASWithEffect queues
+// (cwe.Queue) seen through the Object contract. They claim two
+// consecutive root slots (queue metadata + PMwCAS descriptors).
+var (
+	CWEFastType    = cweType("cwe-fast", 3, true)
+	CWEGeneralType = cweType("cwe-general", 4, false)
+)
+
+func cweType(name string, code uint64, fast bool) Type {
+	return Type{
+		Name:      name,
+		Code:      code,
+		RootSlots: 2,
+		New: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+			q, err := cwe.New(h, rootSlot, cwe.Config{
+				Threads:              cfg.Threads,
+				NodesPerThread:       cfg.NodesPerThread,
+				ExtraNodes:           cfg.ExtraNodes,
+				DescriptorsPerThread: cfg.Descriptors,
+				Fast:                 fast,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return newCWEObj(q, cfg.Threads), nil
+		},
+		Model:  func() spec.State { return spec.NewQueue() },
+		insert: spec.Enqueue,
+		remove: spec.Dequeue,
+	}
+}
+
+// cweObj adapts cwe.Queue to Object, with the same volatile dispatch
+// hint as queueObj (see its comment).
+type cweObj struct {
+	q    *cwe.Queue
+	last []Kind
+}
+
+func newCWEObj(q *cwe.Queue, threads int) *cweObj {
+	return &cweObj{q: q, last: make([]Kind, threads)}
+}
+
+// CWE returns the adapted concrete queue (test and tooling access).
+func (o *cweObj) CWE() *cwe.Queue { return o.q }
+
+func (o *cweObj) Prep(tid int, op Op) error {
+	if op.Kind == Remove {
+		o.q.PrepDequeue(tid)
+	} else if err := o.q.PrepEnqueue(tid, op.Arg); err != nil {
+		return err
+	}
+	o.last[tid] = op.Kind
+	return nil
+}
+
+func (o *cweObj) Exec(tid int) (Resp, error) {
+	switch o.last[tid] {
+	case Insert:
+		if err := o.q.ExecEnqueue(tid); err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: Ack}, nil
+	case Remove:
+		v, ok, err := o.q.ExecDequeue(tid)
+		if err != nil {
+			return Resp{}, err
+		}
+		if ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	default:
+		return Resp{}, nil
+	}
+}
+
+func (o *cweObj) Resolve(tid int) (Op, Resp, bool) {
+	r := o.q.Resolve(tid)
+	switch {
+	case r.IsEnqueue:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Ack}
+		}
+		return Op{Kind: Insert, Arg: r.Arg}, resp, true
+	case r.IsDequeue:
+		resp := Resp{}
+		if r.Executed {
+			if r.Empty {
+				resp = Resp{Kind: Empty}
+			} else {
+				resp = Resp{Kind: Val, Val: r.Val}
+			}
+		}
+		return Op{Kind: Remove}, resp, true
+	default:
+		return Op{}, Resp{}, false
+	}
+}
+
+func (o *cweObj) Invoke(tid int, op Op) (Resp, error) {
+	if op.Kind == Remove {
+		if v, ok := o.q.Dequeue(tid); ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	}
+	if err := o.q.Enqueue(tid, op.Arg); err != nil {
+		return Resp{}, err
+	}
+	return Resp{Kind: Ack}, nil
+}
+
+func (o *cweObj) Abandon(tid int) {
+	o.q.AbandonPrep(tid)
+	o.last[tid] = None
+}
+
+func (o *cweObj) Recover() {
+	o.q.Recover()
+	o.refreshHints()
+}
+
+func (o *cweObj) ResetVolatile() {
+	o.q.ResetVolatile()
+	o.refreshHints()
+}
+
+func (o *cweObj) refreshHints() {
+	for tid := range o.last {
+		op, _, ok := o.Resolve(tid)
+		if ok {
+			o.last[tid] = op.Kind
+		} else {
+			o.last[tid] = None
+		}
+	}
+}

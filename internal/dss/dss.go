@@ -1,0 +1,226 @@
+// Package dss is the runtime counterpart of spec.DState: a single typed
+// contract for the repository's detectable recoverable objects, so that
+// the layers above the object implementations — the sharded front-end,
+// the crash sweeps, the crash-storm soak, the virtual-time benchmarks and
+// the message-passing engine — can be written once, against the paper's
+// four axioms, instead of once per concrete structure.
+//
+// The paper states the DSS transformation T → D⟨T⟩ generically over any
+// sequential type (Figure 1); Object is the executable face of D⟨T⟩ for
+// the container types implemented here (FIFO queue, LIFO stack, the
+// CASWithEffect queues), each of which offers one value-carrying insert
+// and one value-returning remove:
+//
+//	Axiom 1 (prep-op)  → Prep(tid, op)
+//	Axiom 2 (exec-op)  → Exec(tid)
+//	Axiom 3 (resolve)  → Resolve(tid)
+//	Axiom 4 (base op)  → Invoke(tid, op)
+//
+// plus the recovery surface every implementation shares: Recover (the
+// centralized post-crash procedure), ResetVolatile (rebuild volatile
+// companions without touching persistent state), and Abandon (withdraw a
+// prepared-but-unexecuted operation — the entry point a multi-shard
+// front-end needs when a process re-prepares elsewhere).
+//
+// Adapter non-goals: the adapters in this package are deliberately thin.
+// They add no allocations and no heap accesses on the hot path — generic
+// Exec dispatch rides on a volatile per-process hint maintained by Prep
+// (and re-derived from the persistent image during Recover/ResetVolatile),
+// never on an extra read of X[p] — so under the vtime/flushcount cost
+// model, which charges only primitive heap operations, a workload driven
+// through Object is step-for-step identical to one driven through the
+// concrete methods. core.Queue, stack.Stack and cwe.Queue keep their
+// concrete fast-path methods; the adapters merely re-expose them.
+package dss
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Kind classifies a container operation.
+type Kind int
+
+const (
+	// None means no operation (the A[p] = ⊥ case of a resolution).
+	None Kind = iota
+	// Insert is the value-carrying operation: enqueue for queues, push
+	// for stacks.
+	Insert
+	// Remove is the value-returning operation: dequeue for queues, pop
+	// for stacks.
+	Remove
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Insert:
+		return "insert"
+	case Remove:
+		return "remove"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// Op is one container operation: Insert carries its argument in Arg,
+// Remove ignores Arg.
+type Op struct {
+	Kind Kind
+	Arg  uint64
+}
+
+// RespKind classifies an operation response.
+type RespKind int
+
+const (
+	// NoResp is ⊥: the operation has not (or not yet) taken effect.
+	NoResp RespKind = iota
+	// Ack is the response of an executed insert.
+	Ack
+	// Val carries the value returned by an executed remove.
+	Val
+	// Empty is the distinguished empty response of an executed remove.
+	Empty
+)
+
+// Resp is an operation response; Val is meaningful only when Kind == Val.
+type Resp struct {
+	Kind RespKind
+	Val  uint64
+}
+
+// Object is a detectable recoverable container object: the runtime
+// contract every concrete implementation (and the sharded composition of
+// implementations) satisfies.
+//
+// All methods except Recover, ResetVolatile and Abandon are safe for
+// concurrent use by distinct processes, each passing its own tid. Recover
+// and ResetVolatile are single-threaded: they must run after a crash and
+// before any process resumes. Abandon(tid) must not run concurrently with
+// tid's own operations (it withdraws tid's state, so it is either called
+// by tid itself or during single-threaded recovery).
+type Object interface {
+	// Prep declares the detectable intent to perform op (Axiom 1).
+	Prep(tid int, op Op) error
+	// Exec applies the operation prepared by tid's last Prep (Axiom 2)
+	// and returns its response. Calling it with no prepared operation,
+	// or twice for one Prep, violates Axiom 2's precondition; the
+	// implementations make such calls no-ops or idempotent.
+	Exec(tid int) (Resp, error)
+	// Resolve reports tid's most recently prepared operation and its
+	// response (Axiom 3): ok is false when A[p] = ⊥, and resp.Kind is
+	// NoResp when the operation has not taken effect (R[p] = ⊥). Total
+	// and idempotent.
+	Resolve(tid int) (Op, Resp, bool)
+	// Invoke performs op non-detectably (Axiom 4).
+	Invoke(tid int, op Op) (Resp, error)
+	// Abandon withdraws tid's prepared-but-unexecuted operation: after
+	// it returns, Resolve(tid) reports no operation and no crash can
+	// resurrect the withdrawn intent.
+	Abandon(tid int)
+	// Recover is the centralized recovery procedure: it must run
+	// single-threaded after Heap.Crash and before processes resume, and
+	// it is idempotent — a second run (e.g. after a crash during
+	// recovery itself) leaves the same state.
+	Recover()
+	// ResetVolatile rebuilds the object's volatile companions (free
+	// lists, reclamation domains, dispatch hints) from the persistent
+	// image without modifying it. Single-threaded.
+	ResetVolatile()
+}
+
+// Config sizes an object built through a Type factory. The fields are the
+// common pool parameters of the concrete constructors; Descriptors is
+// consumed only by types that need auxiliary descriptor pools (the
+// CASWithEffect queues) and ignored elsewhere.
+type Config struct {
+	// Threads is the number of processes (tids 0..Threads-1).
+	Threads int
+	// NodesPerThread sizes each process's pre-allocated node pool.
+	NodesPerThread int
+	// ExtraNodes adds shared spare nodes (sentinels come from here).
+	ExtraNodes int
+	// Descriptors sizes the per-thread PMwCAS descriptor pool of the
+	// CASWithEffect types (0 selects their default).
+	Descriptors int
+}
+
+// Type describes one detectable object type: how to build (or re-attach)
+// an instance, its sequential model for conformance checking, and the
+// spec vocabulary its operations translate to.
+type Type struct {
+	// Name identifies the type ("queue", "stack", "cwe-fast", ...).
+	Name string
+	// Code is a small persisted type code, stored by compositions in
+	// their metadata so that Attach can reject a root built for a
+	// different type.
+	Code uint64
+	// New builds a fresh instance on h, registering it in rootSlot. A
+	// type may claim more than one consecutive root slot (the
+	// CASWithEffect queues also claim rootSlot+1); RootSlots reports
+	// how many.
+	New func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error)
+	// Attach reconstructs the handle of an instance built by New in a
+	// previous process, or is nil when the type does not support
+	// re-attachment. The caller must run Recover on the result.
+	Attach func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error)
+	// RootSlots is the number of consecutive heap root slots New claims
+	// (at least 1).
+	RootSlots int
+	// Model returns the initial state of the type's sequential
+	// specification (the T of D⟨T⟩).
+	Model func() spec.State
+
+	// insert and remove build the spec base operations.
+	insert func(arg uint64) spec.Op
+	remove func() spec.Op
+}
+
+// SpecOp translates a container operation into the type's spec base
+// operation, for recording histories checked against D⟨T⟩.
+func (t Type) SpecOp(op Op) spec.Op {
+	if op.Kind == Remove {
+		return t.remove()
+	}
+	return t.insert(op.Arg)
+}
+
+// FromSpec translates a spec base operation back into the container
+// vocabulary; ok is false when op is not one of the type's operations.
+func (t Type) FromSpec(op spec.Op) (Op, bool) {
+	switch op.Sym {
+	case t.insert(0).Sym:
+		return Op{Kind: Insert, Arg: op.Arg}, true
+	case t.remove().Sym:
+		return Op{Kind: Remove}, true
+	default:
+		return Op{}, false
+	}
+}
+
+// ResolveResp renders a Resolve result as the spec resolve response
+// (A[p], R[p]), for conformance checking against D⟨T⟩.
+func (t Type) ResolveResp(op Op, resp Resp, ok bool) spec.Resp {
+	if !ok {
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	return spec.PairResp(true, t.SpecOp(op), SpecResp(resp))
+}
+
+// SpecResp renders a container response in the spec vocabulary.
+func SpecResp(r Resp) spec.Resp {
+	switch r.Kind {
+	case Ack:
+		return spec.AckResp()
+	case Val:
+		return spec.ValResp(r.Val)
+	case Empty:
+		return spec.EmptyResp()
+	default:
+		return spec.BottomResp()
+	}
+}

@@ -1,0 +1,257 @@
+package dss
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// allTypes lists every concrete detectable type the package adapts.
+func allTypes() []Type {
+	return []Type{QueueType, StackType, CWEFastType, CWEGeneralType}
+}
+
+func newObj(t *testing.T, typ Type, threads int) (Object, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatalf("pmem.New: %v", err)
+	}
+	obj, err := typ.New(h, 0, Config{
+		Threads: threads, NodesPerThread: 32, ExtraNodes: 8, Descriptors: 8,
+	})
+	if err != nil {
+		t.Fatalf("%s.New: %v", typ.Name, err)
+	}
+	return obj, h
+}
+
+// drainObj removes until Empty and returns the values, in removal order.
+func drainObj(t *testing.T, obj Object, tid int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for i := 0; i < 10_000; i++ {
+		resp, err := obj.Invoke(tid, Op{Kind: Remove})
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if resp.Kind != Val {
+			return out
+		}
+		out = append(out, resp.Val)
+	}
+	t.Fatal("drain did not terminate")
+	return nil
+}
+
+// TestContractConformance runs a scripted detectable workload on every
+// type with its D⟨T⟩ model in lockstep: each Prep/Exec/Resolve must
+// produce exactly the response the specification produces.
+func TestContractConformance(t *testing.T) {
+	for _, typ := range allTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			obj, _ := newObj(t, typ, 1)
+			var d spec.State = spec.Detectable(typ.Model(), 1)
+
+			apply := func(op spec.Op) spec.Resp {
+				t.Helper()
+				next, want, enabled := d.Apply(op, 0)
+				if !enabled {
+					t.Fatalf("%s not enabled in the model", op)
+				}
+				d = next
+				return want
+			}
+			checkResolve := func() {
+				t.Helper()
+				op, resp, ok := obj.Resolve(0)
+				_, want, _ := d.Apply(spec.ResolveOp(), 0)
+				if got := typ.ResolveResp(op, resp, ok); got != want {
+					t.Fatalf("Resolve = %s, model says %s", got, want)
+				}
+			}
+
+			script := []Op{
+				{Kind: Insert, Arg: 10},
+				{Kind: Insert, Arg: 20},
+				{Kind: Remove},
+				{Kind: Remove},
+				{Kind: Remove}, // empty
+			}
+			for _, dop := range script {
+				if err := obj.Prep(0, dop); err != nil {
+					t.Fatalf("Prep(%v): %v", dop, err)
+				}
+				apply(spec.PrepOp(typ.SpecOp(dop)))
+				checkResolve()
+				resp, err := obj.Exec(0)
+				if err != nil {
+					t.Fatalf("Exec(%v): %v", dop, err)
+				}
+				if got, want := SpecResp(resp), apply(spec.ExecOp(typ.SpecOp(dop))); got != want {
+					t.Fatalf("Exec(%v) = %s, model says %s", dop, got, want)
+				}
+				checkResolve()
+			}
+		})
+	}
+}
+
+// TestContractAbandon: a withdrawn prepared operation must vanish from
+// Resolve and its value must never reach the object.
+func TestContractAbandon(t *testing.T) {
+	for _, typ := range allTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			obj, _ := newObj(t, typ, 1)
+			if err := obj.Prep(0, Op{Kind: Insert, Arg: 99}); err != nil {
+				t.Fatalf("Prep: %v", err)
+			}
+			obj.Abandon(0)
+			if op, _, ok := obj.Resolve(0); ok {
+				t.Fatalf("Resolve after Abandon = %v, want none", op)
+			}
+			if _, err := obj.Invoke(0, Op{Kind: Insert, Arg: 7}); err != nil {
+				t.Fatalf("Invoke: %v", err)
+			}
+			if got := drainObj(t, obj, 0); len(got) != 1 || got[0] != 7 {
+				t.Fatalf("drained %v, want [7] (abandoned 99 must not appear)", got)
+			}
+		})
+	}
+}
+
+// TestSpecOpRoundTrip checks the Type translation layer: SpecOp/FromSpec
+// round-trip, foreign operations are rejected, and ResolveResp renders
+// the ⊥ resolution.
+func TestSpecOpRoundTrip(t *testing.T) {
+	for _, typ := range allTypes() {
+		for _, dop := range []Op{{Kind: Insert, Arg: 42}, {Kind: Remove}} {
+			back, ok := typ.FromSpec(typ.SpecOp(dop))
+			if !ok || back != dop {
+				t.Fatalf("%s: FromSpec(SpecOp(%v)) = %v, %v", typ.Name, dop, back, ok)
+			}
+		}
+	}
+	// Queue and stack vocabularies are disjoint.
+	if _, ok := QueueType.FromSpec(spec.Push(1)); ok {
+		t.Fatal("queue accepted a push")
+	}
+	if _, ok := StackType.FromSpec(spec.Enqueue(1)); ok {
+		t.Fatal("stack accepted an enqueue")
+	}
+	for _, typ := range allTypes() {
+		if got, want := typ.ResolveResp(Op{}, Resp{}, false),
+			spec.PairResp(false, spec.Op{}, spec.BottomResp()); got != want {
+			t.Fatalf("%s: ResolveResp(⊥) = %s, want %s", typ.Name, got, want)
+		}
+	}
+}
+
+// TestDoubleRecoverIdempotent is the satellite check on the unified
+// recovery contract: Recover must be idempotent, so a crash during
+// recovery itself (modeled as running Recover twice) changes nothing.
+// For several crash points of a detectable workload, under the harshest
+// adversary, the resolution of every process must be identical after one
+// and after two recoveries, and the object must still drain and operate.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	for _, typ := range allTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			for _, step := range []uint64{3, 9, 17, 41, 97, 211} {
+				obj, h := newObj(t, typ, 2)
+				h.ArmCrash(step)
+				pmem.RunToCrash(func() {
+					for p := 0; p < 2; p++ {
+						if err := obj.Prep(0, Op{Kind: Insert, Arg: uint64(100 + p)}); err != nil {
+							return
+						}
+						if _, err := obj.Exec(0); err != nil {
+							return
+						}
+					}
+					if err := obj.Prep(1, Op{Kind: Remove}); err != nil {
+						return
+					}
+					if _, err := obj.Exec(1); err != nil {
+						return
+					}
+				})
+				if !h.Crashed() {
+					continue // workload shorter than this crash point
+				}
+				h.Crash(pmem.DropAll{})
+				obj.Recover()
+				type res struct {
+					op   Op
+					resp Resp
+					ok   bool
+				}
+				first := make([]res, 2)
+				for tid := range first {
+					op, resp, ok := obj.Resolve(tid)
+					first[tid] = res{op, resp, ok}
+				}
+				obj.Recover() // crash-during-recovery: must be a no-op
+				for tid := range first {
+					op, resp, ok := obj.Resolve(tid)
+					if got := (res{op, resp, ok}); got != first[tid] {
+						t.Fatalf("step %d: tid %d resolution changed across double Recover: %+v vs %+v",
+							step, tid, first[tid], got)
+					}
+				}
+				// The doubly-recovered object must still be coherent: the
+				// drain yields a subset of the inserted values, and a fresh
+				// detectable pair runs end to end.
+				for _, v := range drainObj(t, obj, 0) {
+					if v != 100 && v != 101 {
+						t.Fatalf("step %d: drained alien value %d", step, v)
+					}
+				}
+				if err := obj.Prep(0, Op{Kind: Insert, Arg: 500}); err != nil {
+					t.Fatalf("step %d: post-recovery Prep: %v", step, err)
+				}
+				if _, err := obj.Exec(0); err != nil {
+					t.Fatalf("step %d: post-recovery Exec: %v", step, err)
+				}
+				if got := drainObj(t, obj, 1); len(got) != 1 || got[0] != 500 {
+					t.Fatalf("step %d: post-recovery drain = %v, want [500]", step, got)
+				}
+			}
+		})
+	}
+}
+
+// TestResetVolatileKeepsResolution: rebuilding volatile companions must
+// not disturb the persistent (A, R) state the resolution reads.
+func TestResetVolatileKeepsResolution(t *testing.T) {
+	for _, typ := range allTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			obj, _ := newObj(t, typ, 1)
+			if err := obj.Prep(0, Op{Kind: Insert, Arg: 11}); err != nil {
+				t.Fatalf("Prep: %v", err)
+			}
+			if _, err := obj.Exec(0); err != nil {
+				t.Fatalf("Exec: %v", err)
+			}
+			op1, r1, ok1 := obj.Resolve(0)
+			obj.ResetVolatile()
+			op2, r2, ok2 := obj.Resolve(0)
+			if op1 != op2 || r1 != r2 || ok1 != ok2 {
+				t.Fatalf("ResetVolatile changed the resolution: (%v,%v,%v) vs (%v,%v,%v)",
+					op1, r1, ok1, op2, r2, ok2)
+			}
+			// Exec dispatch still works after the hint rebuild.
+			if err := obj.Prep(0, Op{Kind: Remove}); err != nil {
+				t.Fatalf("Prep remove: %v", err)
+			}
+			resp, err := obj.Exec(0)
+			if err != nil || resp.Kind != Val || resp.Val != 11 {
+				t.Fatalf("Exec remove after ResetVolatile = %+v, %v", resp, err)
+			}
+		})
+	}
+}

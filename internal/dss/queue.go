@@ -1,0 +1,151 @@
+package dss
+
+import (
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// QueueType is the DSS queue of the paper's Section 3 (core.Queue) seen
+// through the Object contract.
+var QueueType = Type{
+	Name:      "queue",
+	Code:      1,
+	RootSlots: 1,
+	New: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		q, err := core.New(h, rootSlot, core.Config{
+			Threads:        cfg.Threads,
+			NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes:     cfg.ExtraNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newQueueObj(q, cfg.Threads), nil
+	},
+	Attach: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		q, err := core.Attach(h, rootSlot)
+		if err != nil {
+			return nil, err
+		}
+		o := newQueueObj(q, q.Threads())
+		// The adapter's dispatch hints are volatile; a re-attached handle
+		// derives them from the persistent image, exactly as Recover does.
+		o.refreshHints()
+		return o, nil
+	},
+	Model:  func() spec.State { return spec.NewQueue() },
+	insert: spec.Enqueue,
+	remove: spec.Dequeue,
+}
+
+// queueObj adapts core.Queue to Object. last[tid] caches the kind of
+// tid's most recent Prep so Exec can dispatch without re-reading X[tid]:
+// a volatile, single-owner hint, rebuilt from the persistent image by
+// Recover/ResetVolatile, that keeps the adapter's heap-access sequence
+// identical to the concrete methods'.
+type queueObj struct {
+	q    *core.Queue
+	last []Kind
+}
+
+func newQueueObj(q *core.Queue, threads int) *queueObj {
+	return &queueObj{q: q, last: make([]Kind, threads)}
+}
+
+// Queue returns the adapted concrete queue (test and tooling access).
+func (o *queueObj) Queue() *core.Queue { return o.q }
+
+func (o *queueObj) Prep(tid int, op Op) error {
+	if op.Kind == Remove {
+		o.q.PrepDequeue(tid)
+	} else if err := o.q.PrepEnqueue(tid, op.Arg); err != nil {
+		return err
+	}
+	o.last[tid] = op.Kind
+	return nil
+}
+
+func (o *queueObj) Exec(tid int) (Resp, error) {
+	switch o.last[tid] {
+	case Insert:
+		o.q.ExecEnqueue(tid)
+		return Resp{Kind: Ack}, nil
+	case Remove:
+		if v, ok := o.q.ExecDequeue(tid); ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	default:
+		return Resp{}, nil
+	}
+}
+
+func (o *queueObj) Resolve(tid int) (Op, Resp, bool) {
+	return fromResolution(o.q.Resolve(tid))
+}
+
+// fromResolution translates the queue's concrete resolution.
+func fromResolution(r core.Resolution) (Op, Resp, bool) {
+	switch r.Op {
+	case core.OpEnqueue:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Ack}
+		}
+		return Op{Kind: Insert, Arg: r.Arg}, resp, true
+	case core.OpDequeue:
+		resp := Resp{}
+		if r.Executed {
+			if r.Empty {
+				resp = Resp{Kind: Empty}
+			} else {
+				resp = Resp{Kind: Val, Val: r.Val}
+			}
+		}
+		return Op{Kind: Remove}, resp, true
+	default:
+		return Op{}, Resp{}, false
+	}
+}
+
+func (o *queueObj) Invoke(tid int, op Op) (Resp, error) {
+	if op.Kind == Remove {
+		if v, ok := o.q.Dequeue(tid); ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	}
+	if err := o.q.Enqueue(tid, op.Arg); err != nil {
+		return Resp{}, err
+	}
+	return Resp{Kind: Ack}, nil
+}
+
+func (o *queueObj) Abandon(tid int) {
+	o.q.AbandonPrep(tid)
+	o.last[tid] = None
+}
+
+func (o *queueObj) Recover() {
+	o.q.Recover()
+	o.refreshHints()
+}
+
+func (o *queueObj) ResetVolatile() {
+	o.q.ResetVolatile()
+	o.refreshHints()
+}
+
+// refreshHints re-derives the volatile dispatch hints from the persistent
+// image (recovery-time only; never on the measured hot path).
+func (o *queueObj) refreshHints() {
+	for tid := range o.last {
+		op, _, ok := o.Resolve(tid)
+		if ok {
+			o.last[tid] = op.Kind
+		} else {
+			o.last[tid] = None
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package dss
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/spec"
+	"repro/internal/stack"
+)
+
+// StackType is the DSS stack (stack.Stack) — the repository's second
+// application of the paper's transformation — seen through the Object
+// contract.
+var StackType = Type{
+	Name:      "stack",
+	Code:      2,
+	RootSlots: 1,
+	New: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		s, err := stack.New(h, rootSlot, stack.Config{
+			Threads:        cfg.Threads,
+			NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes:     cfg.ExtraNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newStackObj(s, cfg.Threads), nil
+	},
+	Model:  func() spec.State { return spec.NewStack() },
+	insert: spec.Push,
+	remove: spec.Pop,
+}
+
+// stackObj adapts stack.Stack to Object, with the same volatile dispatch
+// hint as queueObj (see its comment).
+type stackObj struct {
+	s    *stack.Stack
+	last []Kind
+}
+
+func newStackObj(s *stack.Stack, threads int) *stackObj {
+	return &stackObj{s: s, last: make([]Kind, threads)}
+}
+
+// Stack returns the adapted concrete stack (test and tooling access).
+func (o *stackObj) Stack() *stack.Stack { return o.s }
+
+func (o *stackObj) Prep(tid int, op Op) error {
+	if op.Kind == Remove {
+		o.s.PrepPop(tid)
+	} else if err := o.s.PrepPush(tid, op.Arg); err != nil {
+		return err
+	}
+	o.last[tid] = op.Kind
+	return nil
+}
+
+func (o *stackObj) Exec(tid int) (Resp, error) {
+	switch o.last[tid] {
+	case Insert:
+		o.s.ExecPush(tid)
+		return Resp{Kind: Ack}, nil
+	case Remove:
+		if v, ok := o.s.ExecPop(tid); ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	default:
+		return Resp{}, nil
+	}
+}
+
+func (o *stackObj) Resolve(tid int) (Op, Resp, bool) {
+	r := o.s.Resolve(tid)
+	switch r.Op {
+	case stack.OpPush:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Ack}
+		}
+		return Op{Kind: Insert, Arg: r.Arg}, resp, true
+	case stack.OpPop:
+		resp := Resp{}
+		if r.Executed {
+			if r.Empty {
+				resp = Resp{Kind: Empty}
+			} else {
+				resp = Resp{Kind: Val, Val: r.Val}
+			}
+		}
+		return Op{Kind: Remove}, resp, true
+	default:
+		return Op{}, Resp{}, false
+	}
+}
+
+func (o *stackObj) Invoke(tid int, op Op) (Resp, error) {
+	if op.Kind == Remove {
+		if v, ok := o.s.Pop(tid); ok {
+			return Resp{Kind: Val, Val: v}, nil
+		}
+		return Resp{Kind: Empty}, nil
+	}
+	if err := o.s.Push(tid, op.Arg); err != nil {
+		return Resp{}, err
+	}
+	return Resp{Kind: Ack}, nil
+}
+
+func (o *stackObj) Abandon(tid int) {
+	o.s.AbandonPrep(tid)
+	o.last[tid] = None
+}
+
+func (o *stackObj) Recover() {
+	o.s.Recover()
+	o.refreshHints()
+}
+
+func (o *stackObj) ResetVolatile() {
+	o.s.ResetVolatile()
+	o.refreshHints()
+}
+
+func (o *stackObj) refreshHints() {
+	for tid := range o.last {
+		op, _, ok := o.Resolve(tid)
+		if ok {
+			o.last[tid] = op.Kind
+		} else {
+			o.last[tid] = None
+		}
+	}
+}

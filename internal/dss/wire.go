@@ -1,0 +1,97 @@
+package dss
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Wire adapts an Object to the spec-vocabulary service surface the
+// message-passing engine (internal/mp) hosts: prep/exec/resolve/invoke
+// over spec.Op and spec.Resp, plus Recover. With it, mp.Engine serves
+// any detectable object — a core queue, a stack, a CASWithEffect queue,
+// or a sharded front — behind the exactly-once wire protocol.
+//
+// Tag caveat: spec.Op.Tag (Section 2.1's auxiliary prep argument) is
+// recorded here in volatile per-process memory, because the concrete
+// container objects persist only the operation itself, not its tag. A
+// resolve therefore reports the tag only within the generation that
+// prepared the operation; after a crash it reports Tag 0. Clients whose
+// exactly-once discipline keys on tags across crashes (mp.RetryClient)
+// need a tag-persisting object — the universal construction — while
+// Wire-served objects suit direct Engine/Client use, where the caller
+// settles crash ambiguity from the resolved operation and response
+// themselves.
+type Wire struct {
+	typ  Type
+	obj  Object
+	tags []uint64
+}
+
+// NewWire binds obj (built for threads processes) to the wire vocabulary
+// of typ.
+func NewWire(typ Type, obj Object, threads int) *Wire {
+	return &Wire{typ: typ, obj: obj, tags: make([]uint64, threads)}
+}
+
+// Object returns the adapted object.
+func (w *Wire) Object() Object { return w.obj }
+
+// Prep translates and declares a detectable operation (Axiom 1).
+func (w *Wire) Prep(tid int, op spec.Op) error {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return fmt.Errorf("dss: %s is not a %s operation", op, w.typ.Name)
+	}
+	if err := w.obj.Prep(tid, dop); err != nil {
+		return err
+	}
+	if tid >= 0 && tid < len(w.tags) {
+		w.tags[tid] = op.Tag
+	}
+	return nil
+}
+
+// Exec applies tid's prepared operation (Axiom 2).
+func (w *Wire) Exec(tid int) (spec.Resp, error) {
+	resp, err := w.obj.Exec(tid)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return SpecResp(resp), nil
+}
+
+// Resolve reports (A[p], R[p]) (Axiom 3).
+func (w *Wire) Resolve(tid int) spec.Resp {
+	op, resp, ok := w.obj.Resolve(tid)
+	if !ok {
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	sop := w.typ.SpecOp(op)
+	if tid >= 0 && tid < len(w.tags) {
+		sop.Tag = w.tags[tid]
+	}
+	return spec.PairResp(true, sop, SpecResp(resp))
+}
+
+// Invoke applies op non-detectably (Axiom 4).
+func (w *Wire) Invoke(tid int, op spec.Op) (spec.Resp, error) {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return spec.Resp{}, fmt.Errorf("dss: %s is not a %s operation", op, w.typ.Name)
+	}
+	resp, err := w.obj.Invoke(tid, dop)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return SpecResp(resp), nil
+}
+
+// Recover runs the object's recovery procedure and drops the volatile
+// tags (a new generation re-tags from scratch).
+func (w *Wire) Recover() {
+	w.obj.Recover()
+	for i := range w.tags {
+		w.tags[i] = 0
+	}
+}

@@ -1,0 +1,47 @@
+// Package goid identifies the current goroutine by parsing the runtime
+// stack header — a testing-only device shared by the cooperative
+// schedulers in this repository (internal/systematic's model checker and
+// internal/vtime's virtual-clock scheduler). Both must map step-gate
+// calls back to registered workers, and the runtime offers no cheaper
+// identity.
+package goid
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// initialBuf is the initial stack-header read size used by ID. It is a
+// variable so tests can shrink it and exercise the growth path.
+var initialBuf = 64
+
+// ID returns the current goroutine's id.
+//
+// runtime.Stack truncates at the buffer size, so a fixed-size read could
+// cut the header "goroutine N [running]:" mid-number and either fail to
+// parse or, worse, silently yield a prefix of the real id. ID therefore
+// accepts the id field only when its terminator (the "[state]:" token)
+// was captured too, and grows the buffer until it sees one.
+func ID() uint64 {
+	buf := make([]byte, initialBuf)
+	for {
+		n := runtime.Stack(buf, false)
+		// "goroutine 123 [running]:" — require at least three fields so
+		// the id field is known to be complete, not cut by the buffer.
+		fields := bytes.Fields(buf[:n])
+		if len(fields) >= 3 && bytes.Equal(fields[0], []byte("goroutine")) {
+			id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+			if err == nil {
+				return id
+			}
+		}
+		if n < len(buf) {
+			// The whole trace fit and the header still did not parse:
+			// growing cannot help.
+			panic(fmt.Sprintf("goid: cannot parse goroutine id from %q", buf[:n]))
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

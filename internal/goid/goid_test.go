@@ -1,0 +1,46 @@
+package goid
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestIDGrowsTruncatedBuffer shrinks the initial read below the header
+// size, forcing ID through its growth path; the result must match the id
+// parsed with an ample buffer.
+func TestIDGrowsTruncatedBuffer(t *testing.T) {
+	reference := ID()
+	old := initialBuf
+	initialBuf = 2 // far too small for "goroutine N [running]:"
+	defer func() { initialBuf = old }()
+	if got := ID(); got != reference {
+		t.Fatalf("ID with truncated initial buffer = %d, want %d", got, reference)
+	}
+}
+
+// TestIDDistinguishesGoroutines checks distinct goroutines see distinct
+// ids and that an id is stable across calls from the same goroutine.
+func TestIDDistinguishesGoroutines(t *testing.T) {
+	main1, main2 := ID(), ID()
+	if main1 != main2 {
+		t.Fatalf("same goroutine saw ids %d and %d", main1, main2)
+	}
+	const n = 8
+	ids := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ID()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{main1: true}
+	for i, id := range ids {
+		if seen[id] {
+			t.Fatalf("goroutine %d: id %d seen twice", i, id)
+		}
+		seen[id] = true
+	}
+}

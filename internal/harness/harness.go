@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cwe"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/queue"
 	"repro/internal/sharded"
@@ -54,6 +55,13 @@ const (
 	// ShardedDSS is the N-way sharded detectable composition of
 	// internal/sharded (not in the paper; the scaling extension).
 	ShardedDSS Impl = "sharded-dss"
+	// DSSStack is the DSS stack's detectable path — the transformation
+	// applied to a second sequential type.
+	DSSStack Impl = "dss-stack"
+	// ShardedStack is the sharded composition over the DSS stack: the
+	// same generic front-end as ShardedDSS, instantiated with a LIFO
+	// object.
+	ShardedStack Impl = "sharded-stack"
 )
 
 // Impls5a lists Figure 5a's series in the paper's legend order.
@@ -67,7 +75,8 @@ func Impls5b() []Impl {
 // AllImpls lists every configuration.
 func AllImpls() []Impl {
 	return []Impl{MSQueue, DSSNonDetectable, DSSDetectable, DurableQueue,
-		LogQueue, FastCASWithEffect, GeneralCASWith, ShardedDSS}
+		LogQueue, FastCASWithEffect, GeneralCASWith, ShardedDSS,
+		DSSStack, ShardedStack}
 }
 
 // Queue is the driver interface all configurations are adapted to.
@@ -99,20 +108,29 @@ type dssPlain struct{ q *core.Queue }
 func (a dssPlain) Enqueue(tid int, v uint64) error { return a.q.Enqueue(tid, v) }
 func (a dssPlain) Dequeue(tid int) (uint64, bool)  { return a.q.Dequeue(tid) }
 
-// shardedDetectable adapts the sharded composition's detectable path.
-type shardedDetectable struct{ q *sharded.Queue }
+// objDetectable adapts any dss.Object's detectable path: every driver
+// operation is a prep/exec pair. Insert maps to the driver's Enqueue and
+// Remove to its Dequeue regardless of the object's own vocabulary (for a
+// stack they are push and pop).
+type objDetectable struct{ obj dss.Object }
 
-func (a shardedDetectable) Enqueue(tid int, v uint64) error {
-	if err := a.q.PrepEnqueue(tid, v); err != nil {
+func (a objDetectable) Enqueue(tid int, v uint64) error {
+	if err := a.obj.Prep(tid, dss.Op{Kind: dss.Insert, Arg: v}); err != nil {
 		return err
 	}
-	a.q.ExecEnqueue(tid)
-	return nil
+	_, err := a.obj.Exec(tid)
+	return err
 }
 
-func (a shardedDetectable) Dequeue(tid int) (uint64, bool) {
-	a.q.PrepDequeue(tid)
-	return a.q.ExecDequeue(tid)
+func (a objDetectable) Dequeue(tid int) (uint64, bool) {
+	if err := a.obj.Prep(tid, dss.Op{Kind: dss.Remove}); err != nil {
+		return 0, false
+	}
+	resp, err := a.obj.Exec(tid)
+	if err != nil || resp.Kind != dss.Val {
+		return 0, false
+	}
+	return resp.Val, true
 }
 
 // cweDetectable adapts a CASWithEffect queue's detectable path.
@@ -138,7 +156,7 @@ var (
 	_ Queue = dssDetectable{}
 	_ Queue = dssPlain{}
 	_ Queue = cweDetectable{}
-	_ Queue = shardedDetectable{}
+	_ Queue = objDetectable{}
 )
 
 // BuildConfig sizes a queue build.
@@ -174,7 +192,7 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 	}
 	words := 1<<14 + cfg.Threads*cfg.NodesPerThread*4*pmem.WordsPerLine +
 		cfg.Threads*16*pmem.WordsPerLine
-	if impl == ShardedDSS {
+	if impl == ShardedDSS || impl == ShardedStack {
 		// Every shard builds a full per-thread pool of the per-shard node
 		// budget; size the heap for the sum.
 		words = 1<<14 + cfg.Shards*(cfg.Threads*(shardNodes(cfg.NodesPerThread, cfg.Shards)*4+16)*pmem.WordsPerLine)
@@ -209,8 +227,12 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 			return nil, nil, err
 		}
 		return dssPlain{q}, h, nil
-	case ShardedDSS:
-		q, err := sharded.New(h, 0, sharded.Config{
+	case ShardedDSS, ShardedStack:
+		typ := dss.QueueType
+		if impl == ShardedStack {
+			typ = dss.StackType
+		}
+		q, err := sharded.New(h, 0, typ, sharded.Config{
 			Shards:         cfg.Shards,
 			Threads:        cfg.Threads,
 			NodesPerThread: shardNodes(cfg.NodesPerThread, cfg.Shards),
@@ -219,7 +241,15 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return shardedDetectable{q}, h, nil
+		return objDetectable{q}, h, nil
+	case DSSStack:
+		s, err := dss.StackType.New(h, 0, dss.Config{
+			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return objDetectable{s}, h, nil
 	case FastCASWithEffect, GeneralCASWith:
 		q, err := cwe.New(h, 0, cwe.Config{
 			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread,

@@ -16,27 +16,35 @@ func TestBuildAllImpls(t *testing.T) {
 			if h == nil {
 				t.Fatal("nil heap")
 			}
-			// Smoke: pairs through the adapter. The sharded composition
-			// is globally k-relaxed, so for it only the multiset is
-			// checked; every other configuration must be strict FIFO.
+			// Smoke: pairs through the adapter. The sharded compositions
+			// are globally relaxed, so for them only the multiset is
+			// checked; the flat queue configurations must be strict FIFO
+			// and the flat stack strict LIFO.
 			for v := uint64(1); v <= 4; v++ {
 				if err := q.Enqueue(0, v); err != nil {
 					t.Fatalf("enqueue: %v", err)
 				}
 			}
 			seen := map[uint64]bool{}
-			for v := uint64(1); v <= 4; v++ {
+			for i := uint64(0); i < 4; i++ {
 				got, ok := q.Dequeue(1)
 				if !ok {
-					t.Fatalf("dequeue %d = empty", v)
+					t.Fatalf("dequeue %d = empty", i+1)
 				}
-				if impl == ShardedDSS {
+				switch impl {
+				case ShardedDSS, ShardedStack:
 					if seen[got] || got < 1 || got > 4 {
 						t.Fatalf("dequeue returned %d (seen %v)", got, seen)
 					}
 					seen[got] = true
-				} else if got != v {
-					t.Fatalf("dequeue = %d, want %d", got, v)
+				case DSSStack:
+					if want := 4 - i; got != want {
+						t.Fatalf("pop = %d, want %d", got, want)
+					}
+				default:
+					if want := i + 1; got != want {
+						t.Fatalf("dequeue = %d, want %d", got, want)
+					}
 				}
 			}
 			if _, ok := q.Dequeue(0); ok {
@@ -152,6 +160,37 @@ func TestCrashSweepShardedClean(t *testing.T) {
 	report := CrashSweepImpl(ShardedDSS, CrashSweepConfig{Pairs: 2, Seed: 11})
 	if !report.OK() {
 		t.Fatalf("sharded sweep found violations: %s", report)
+	}
+	if report.Steps == 0 || report.Histories == 0 {
+		t.Fatalf("sweep did nothing: %+v", report)
+	}
+	if report.Adversaries < 2 {
+		t.Fatalf("expected the full adversary suite, got %d", report.Adversaries)
+	}
+}
+
+// TestCrashSweepStackClean runs the exhaustive crash sweep over the flat
+// DSS stack: every crash point, every adversary, every history checked
+// against D⟨stack⟩ — Theorem 1's argument replayed on the second type.
+func TestCrashSweepStackClean(t *testing.T) {
+	report := CrashSweepImpl(DSSStack, CrashSweepConfig{Pairs: 2, Seed: 5})
+	if !report.OK() {
+		t.Fatalf("stack sweep found violations: %s", report)
+	}
+	if report.Steps == 0 || report.Histories == 0 {
+		t.Fatalf("sweep did nothing: %+v", report)
+	}
+	if report.Object != "stack" {
+		t.Fatalf("report names object %q", report.Object)
+	}
+}
+
+// TestCrashSweepShardedStackClean is the payoff of the object-generic
+// front: the identical sweep, on the 2-shard LIFO composition.
+func TestCrashSweepShardedStackClean(t *testing.T) {
+	report := CrashSweepImpl(ShardedStack, CrashSweepConfig{Pairs: 2, Seed: 13})
+	if !report.OK() {
+		t.Fatalf("sharded stack sweep found violations: %s", report)
 	}
 	if report.Steps == 0 || report.Histories == 0 {
 		t.Fatalf("sweep did nothing: %+v", report)

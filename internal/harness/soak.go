@@ -36,6 +36,13 @@ import (
 
 // SoakConfig parameterizes a crash-storm soak run.
 type SoakConfig struct {
+	// Object selects the detectable type the server hosts: "queue"
+	// (default) or "stack". Both run through the universal construction,
+	// whose persisted log carries the operation tags the RetryClient's
+	// cross-crash exactly-once discipline keys on. The workload shape is
+	// identical; only the operation vocabulary and the history verifier
+	// (FIFO vs LIFO violation detector) change.
+	Object string
 	// Seed determines everything: the network fault schedule, the crash
 	// points, the downtimes, the adversaries' dirty-line fates, and every
 	// client's backoff jitter.
@@ -68,6 +75,9 @@ type SoakConfig struct {
 }
 
 func (c *SoakConfig) defaults() {
+	if c.Object == "" {
+		c.Object = "queue"
+	}
 	if c.Clients <= 0 {
 		c.Clients = 8
 	}
@@ -117,6 +127,11 @@ func (c *SoakConfig) defaults() {
 // slice is sorted); BENCH_soak.json commits one such report so CI can
 // verify both correctness and reproducibility.
 type SoakReport struct {
+	// Object names the hosted type; empty means "queue" (the field is
+	// omitted there so the committed queue report's bytes are stable
+	// across revisions).
+	Object string `json:"object,omitempty"`
+
 	Seed         int64 `json:"seed"`
 	Clients      int   `json:"clients"`
 	OpsPerClient int   `json:"ops_per_client"`
@@ -126,7 +141,9 @@ type SoakReport struct {
 	Crashes       int `json:"crashes"`
 	TargetCrashes int `json:"target_crashes"`
 
-	// Client-observed outcomes.
+	// Client-observed outcomes. The field names keep the queue
+	// vocabulary; for the stack object they count pushes, pops, and
+	// EMPTY pops.
 	Ops           uint64 `json:"ops"`
 	Enqueues      uint64 `json:"enqueues"`
 	Dequeues      uint64 `json:"dequeues"`
@@ -228,6 +245,15 @@ type soakSim struct {
 	cfg SoakConfig
 	eng *mp.Engine
 
+	// isStack selects the operation vocabulary and the history verifier
+	// (cfg.Object == "stack"). The queue path is byte-for-byte the
+	// historical one: same rng draw order, same engine step sequence,
+	// same report, so committed queue reports stay bit-identical.
+	isStack bool
+	// insertOp and removeOp build the object's base operations.
+	insertOp func(v uint64) spec.Op
+	removeOp func() spec.Op
+
 	now   int64
 	evSeq uint64
 	pq    eventQueue
@@ -245,6 +271,7 @@ type soakSim struct {
 
 	logical int64
 	hist    []check.QOp
+	shist   []check.SOp
 	errs    []string
 
 	rep SoakReport
@@ -400,21 +427,54 @@ func (s *soakSim) tick() int64 {
 	return s.logical
 }
 
+// record appends one client-observed operation to the object's history
+// (isInsert distinguishes the two base operations; the baton serializes
+// all calls).
+func (s *soakSim) record(isInsert bool, op spec.Op, resp spec.Resp, inv, ret int64) bool {
+	switch {
+	case isInsert && resp.Kind == spec.Ack:
+		s.rep.Enqueues++
+		if s.isStack {
+			s.shist = append(s.shist, check.SOp{Kind: check.SPush, V: op.Arg, Inv: inv, Ret: ret})
+		} else {
+			s.hist = append(s.hist, check.QOp{Kind: check.QEnq, V: op.Arg, Inv: inv, Ret: ret})
+		}
+	case !isInsert && resp.Kind == spec.Val:
+		s.rep.Dequeues++
+		if s.isStack {
+			s.shist = append(s.shist, check.SOp{Kind: check.SPop, V: resp.V, Inv: inv, Ret: ret})
+		} else {
+			s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: resp.V, Inv: inv, Ret: ret})
+		}
+	case !isInsert && resp.Kind == spec.Empty:
+		s.rep.EmptyDequeues++
+		if s.isStack {
+			s.shist = append(s.shist, check.SOp{Kind: check.SPopEmpty, Inv: inv, Ret: ret})
+		} else {
+			s.hist = append(s.hist, check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret})
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 // clientMain is one client's workload: alternating detectable
-// enqueue/dequeue pairs via the real RetryClient, recorded as a queue
+// insert/remove pairs via the real RetryClient, recorded as an object
 // history. Runs on its own goroutine under the baton discipline.
 func (s *soakSim) clientMain(c *soakClient) {
 	<-c.resume
 	for i := 0; i < s.cfg.OpsPerClient; i++ {
 		var op spec.Op
-		if i%3 == 0 {
-			// Dequeue first (the opening round hits an empty queue, so
+		isInsert := i%3 != 0
+		if !isInsert {
+			// Remove first (the opening round hits an empty object, so
 			// EMPTY responses are exercised) and only every third op, so
 			// the storm ends with a backlog for the drain to account for.
-			op = spec.Dequeue()
+			op = s.removeOp()
 		} else {
 			// Values are globally unique: (tid, op index) packed.
-			op = spec.Enqueue(uint64(c.tid)*1_000_000 + uint64(i) + 1)
+			op = s.insertOp(uint64(c.tid)*1_000_000 + uint64(i) + 1)
 		}
 		inv := s.tick()
 		resp, err := c.rc.Do(op)
@@ -424,27 +484,17 @@ func (s *soakSim) clientMain(c *soakClient) {
 			break
 		}
 		s.rep.Ops++
-		switch {
-		case op.Sym == "enqueue" && resp.Kind == spec.Ack:
-			s.rep.Enqueues++
-			s.hist = append(s.hist, check.QOp{Kind: check.QEnq, V: op.Arg, Inv: inv, Ret: ret})
-		case op.Sym == "dequeue" && resp.Kind == spec.Val:
-			s.rep.Dequeues++
-			s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: resp.V, Inv: inv, Ret: ret})
-		case op.Sym == "dequeue" && resp.Kind == spec.Empty:
-			s.rep.EmptyDequeues++
-			s.hist = append(s.hist, check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret})
-		default:
+		if !s.record(isInsert, op, resp, inv, ret) {
 			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): unexpected response %s", c.tid, i, op, resp))
 		}
 	}
 	s.parked <- true
 }
 
-// drain empties the queue after the storm via direct (non-detectable)
+// drain empties the object after the storm via direct (non-detectable)
 // invocations, rotating through client identities so no single thread's
-// record pool is exhausted. Every value still in the queue becomes a
-// trailing dequeue in the history.
+// record pool is exhausted. Every value still held becomes a trailing
+// remove in the history.
 func (s *soakSim) drain() {
 	if s.eng.Heap().Crashed() {
 		adv := s.advs[s.crashes%len(s.advs)]
@@ -455,7 +505,7 @@ func (s *soakSim) drain() {
 	}
 	s.eng.Heap().ArmCrash(0)
 	for tid := 0; ; tid = (tid + 1) % s.cfg.Clients {
-		rep := s.eng.Apply(mp.Msg{Kind: mp.ReqInvoke, Client: tid, Op: spec.Dequeue()})
+		rep := s.eng.Apply(mp.Msg{Kind: mp.ReqInvoke, Client: tid, Op: s.removeOp()})
 		if rep.Err != nil {
 			s.errs = append(s.errs, fmt.Sprintf("drain (tid %d): %v", tid, rep.Err))
 			return
@@ -464,30 +514,51 @@ func (s *soakSim) drain() {
 			return
 		}
 		inv := s.tick()
-		s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: rep.Resp.V, Inv: inv, Ret: s.tick()})
+		if s.isStack {
+			s.shist = append(s.shist, check.SOp{Kind: check.SPop, V: rep.Resp.V, Inv: inv, Ret: s.tick()})
+		} else {
+			s.hist = append(s.hist, check.QOp{Kind: check.QDeq, V: rep.Resp.V, Inv: inv, Ret: s.tick()})
+		}
 		s.rep.Drained++
 	}
 }
 
-// verify checks the recorded history: the polynomial queue detector
-// (duplicate enqueue/dequeue, dequeue-before-enqueue, FIFO inversions,
-// impossible EMPTYs) plus value conservation — after the drain, every
-// acknowledged enqueue must have been dequeued exactly once. A retry bug
-// that executed an operation twice or zero times cannot pass both.
+// verify checks the recorded history: the object's polynomial violation
+// detector (duplicate inserts/removes, remove-before-insert, order
+// inversions — FIFO or LIFO — and impossible EMPTYs) plus value
+// conservation — after the drain, every acknowledged insert must have
+// been removed exactly once. A retry bug that executed an operation
+// twice or zero times cannot pass both.
 func (s *soakSim) verify() {
 	violations := append([]string{}, s.errs...)
-	violations = append(violations, check.CheckQueueHistory(s.hist)...)
-
-	deqd := map[uint64]int{}
-	for _, o := range s.hist {
-		if o.Kind == check.QDeq {
-			deqd[o.V]++
+	inserted := map[uint64]bool{}
+	removed := map[uint64]int{}
+	if s.isStack {
+		violations = append(violations, check.CheckStackHistory(s.shist)...)
+		for _, o := range s.shist {
+			switch o.Kind {
+			case check.SPush:
+				inserted[o.V] = true
+			case check.SPop:
+				removed[o.V]++
+			}
+		}
+	} else {
+		violations = append(violations, check.CheckQueueHistory(s.hist)...)
+		for _, o := range s.hist {
+			switch o.Kind {
+			case check.QEnq:
+				inserted[o.V] = true
+			case check.QDeq:
+				removed[o.V]++
+			}
 		}
 	}
+
 	var lost []uint64
-	for _, o := range s.hist {
-		if o.Kind == check.QEnq && deqd[o.V] == 0 {
-			lost = append(lost, o.V)
+	for v := range inserted {
+		if removed[v] == 0 {
+			lost = append(lost, v)
 		}
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
@@ -503,11 +574,22 @@ func (s *soakSim) verify() {
 // report. The same config yields a bit-identical report on every run.
 func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	cfg.defaults()
+	var init spec.State
+	var insertOp func(uint64) spec.Op
+	var removeOp func() spec.Op
+	switch cfg.Object {
+	case "queue":
+		init, insertOp, removeOp = spec.NewQueue(), spec.Enqueue, spec.Dequeue
+	case "stack":
+		init, insertOp, removeOp = spec.NewStack(), spec.Push, spec.Pop
+	default:
+		return SoakReport{}, fmt.Errorf("harness: unknown soak object %q (queue or stack)", cfg.Object)
+	}
 	eng, err := mp.NewEngine(mp.EngineConfig{
 		Clients:  cfg.Clients,
 		Capacity: 2*cfg.Clients*cfg.OpsPerClient + 256,
-		Init:     spec.NewQueue(),
-		Ops:      []spec.Op{spec.Enqueue(0), spec.Dequeue()},
+		Init:     init,
+		Ops:      []spec.Op{insertOp(0), removeOp()},
 	})
 	if err != nil {
 		return SoakReport{}, err
@@ -515,6 +597,9 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	s := &soakSim{
 		cfg:      cfg,
 		eng:      eng,
+		isStack:  cfg.Object == "stack",
+		insertOp: insertOp,
+		removeOp: removeOp,
 		up:       true,
 		netRng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 		crashRng: rand.New(rand.NewSource(cfg.Seed + 2)),
@@ -533,6 +618,9 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			TargetCrashes: cfg.Crashes,
 			Violations:    []string{},
 		},
+	}
+	if cfg.Object != "queue" {
+		s.rep.Object = cfg.Object
 	}
 	eng.NewGeneration()
 	s.armNextCrash()

@@ -85,6 +85,80 @@ func TestSoakSeedSweep(t *testing.T) {
 	}
 }
 
+// TestSoakStackStorm runs the crash storm with the server hosting the
+// DSS stack: same network faults, same crash cadence, histories checked
+// by the LIFO violation detector plus conservation. Determinism must
+// hold for the stack path exactly as for the queue path.
+func TestSoakStackStorm(t *testing.T) {
+	cfg := SoakConfig{Seed: 1, Object: "stack"}
+	a, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+	if a.Object != "stack" {
+		t.Fatalf("report names object %q", a.Object)
+	}
+	if want := uint64(a.Clients * a.OpsPerClient); a.Ops != want {
+		t.Errorf("ops = %d, want %d (every client op must settle)", a.Ops, want)
+	}
+	if a.Crashes < 25 {
+		t.Errorf("only %d crash cycles fired, want >= 25", a.Crashes)
+	}
+	if a.Enqueues != a.Dequeues+a.Drained {
+		t.Errorf("conservation mismatch in counters: %d pushed, %d+%d popped",
+			a.Enqueues, a.Dequeues, a.Drained)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSoakStackSeedSweep: smaller stack storms under many seeds must all
+// be violation-free.
+func TestSoakStackSeedSweep(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rep, err := RunSoak(SoakConfig{
+			Seed: seed, Clients: 6, OpsPerClient: 24, Crashes: 15, Object: "stack",
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("seed %d: violations: %v", seed, rep.Violations)
+		}
+	}
+}
+
+// TestSoakUnknownObject: the soak rejects types it has no verifier for.
+func TestSoakUnknownObject(t *testing.T) {
+	if _, err := RunSoak(SoakConfig{Seed: 1, Object: "tree"}); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+// TestSoakStackVerifierNotVacuous plants LIFO violations in a synthetic
+// stack history and checks the stack verifier flags them.
+func TestSoakStackVerifierNotVacuous(t *testing.T) {
+	s := &soakSim{isStack: true, shist: []check.SOp{
+		{Kind: check.SPush, V: 1, Inv: 1, Ret: 2},
+		{Kind: check.SPush, V: 2, Inv: 3, Ret: 4},
+		{Kind: check.SPop, V: 1, Inv: 5, Ret: 6}, // LIFO inversion: 2 still on top
+		{Kind: check.SPop, V: 2, Inv: 7, Ret: 8},
+		{Kind: check.SPush, V: 3, Inv: 9, Ret: 10}, // never popped: lost
+	}}
+	s.verify()
+	if len(s.rep.Violations) < 2 {
+		t.Fatalf("stack verifier missed planted violations, got %v", s.rep.Violations)
+	}
+}
+
 // TestSoakVerifierNotVacuous plants exactly-once violations in a
 // synthetic history and checks the soak's verifier flags them — a
 // double-executed enqueue (duplicate value), a double-executed dequeue

@@ -4,17 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/cwe"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/sharded"
 	"repro/internal/spec"
 )
 
 // CrashSweepConfig parameterizes an exhaustive crash-point verification of
-// the DSS queue (the executable check behind Theorem 1).
+// a detectable object (the executable check behind Theorem 1).
 type CrashSweepConfig struct {
-	// Pairs is the number of detectable enqueue/dequeue pairs the worker
+	// Pairs is the number of detectable insert/remove pairs the worker
 	// runs before the sweep's horizon ends.
 	Pairs int
 	// Seed varies the random adversaries.
@@ -29,6 +28,8 @@ type CrashSweepConfig struct {
 
 // CrashSweepReport summarizes a sweep.
 type CrashSweepReport struct {
+	// Object names the swept type ("queue", "stack", ...).
+	Object string
 	// Steps is the number of crash points swept (per adversary).
 	Steps int
 	// Adversaries is the number of dirty-line schedules tried per step.
@@ -46,119 +47,49 @@ func (r CrashSweepReport) OK() bool { return len(r.Failures) == 0 }
 // String renders the report.
 func (r CrashSweepReport) String() string {
 	if r.OK() {
-		return fmt.Sprintf("crash sweep: %d crash points x %d adversaries, %d histories, all strictly linearizable w.r.t. D<queue>",
-			r.Steps, r.Adversaries, r.Histories)
+		return fmt.Sprintf("crash sweep: %d crash points x %d adversaries, %d histories, all strictly linearizable w.r.t. D<%s>",
+			r.Steps, r.Adversaries, r.Histories, r.Object)
 	}
 	return fmt.Sprintf("crash sweep: %d FAILURES out of %d histories (first: %s)",
 		len(r.Failures), r.Histories, r.Failures[0])
 }
 
-// detectableQueue abstracts the prep/exec-shaped detectable queues for
-// the generic sweep driver.
-type detectableQueue interface {
-	PrepEnq(tid int, v uint64) error
-	ExecEnq(tid int) error
-	PrepDeq(tid int)
-	ExecDeq(tid int) (uint64, bool, error)
-	ResolveResp(tid int) spec.Resp
-	Recover()
-	DrainOne(tid int) (uint64, bool)
-}
-
-type dssTarget struct{ q *core.Queue }
-
-func (t dssTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
-func (t dssTarget) ExecEnq(tid int) error           { t.q.ExecEnqueue(tid); return nil }
-func (t dssTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
-func (t dssTarget) ExecDeq(tid int) (uint64, bool, error) {
-	v, ok := t.q.ExecDequeue(tid)
-	return v, ok, nil
-}
-func (t dssTarget) ResolveResp(tid int) spec.Resp   { return t.q.Resolve(tid).Resp() }
-func (t dssTarget) Recover()                        { t.q.Recover() }
-func (t dssTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
-
-type shardedTarget struct{ q *sharded.Queue }
-
-func (t shardedTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
-func (t shardedTarget) ExecEnq(tid int) error           { t.q.ExecEnqueue(tid); return nil }
-func (t shardedTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
-func (t shardedTarget) ExecDeq(tid int) (uint64, bool, error) {
-	v, ok := t.q.ExecDequeue(tid)
-	return v, ok, nil
-}
-func (t shardedTarget) ResolveResp(tid int) spec.Resp   { return t.q.Resolve(tid).Resp() }
-func (t shardedTarget) Recover()                        { t.q.Recover() }
-func (t shardedTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
-
-type cweTarget struct{ q *cwe.Queue }
-
-func (t cweTarget) PrepEnq(tid int, v uint64) error { return t.q.PrepEnqueue(tid, v) }
-func (t cweTarget) ExecEnq(tid int) error           { return t.q.ExecEnqueue(tid) }
-func (t cweTarget) PrepDeq(tid int)                 { t.q.PrepDequeue(tid) }
-func (t cweTarget) ExecDeq(tid int) (uint64, bool, error) {
-	return t.q.ExecDequeue(tid)
-}
-func (t cweTarget) ResolveResp(tid int) spec.Resp {
-	r := t.q.Resolve(tid)
-	switch {
-	case r.IsEnqueue:
-		inner := spec.BottomResp()
-		if r.Executed {
-			inner = spec.AckResp()
-		}
-		return spec.PairResp(true, spec.Enqueue(r.Arg), inner)
-	case r.IsDequeue:
-		inner := spec.BottomResp()
-		if r.Executed {
-			if r.Empty {
-				inner = spec.EmptyResp()
-			} else {
-				inner = spec.ValResp(r.Val)
-			}
-		}
-		return spec.PairResp(true, spec.Dequeue(), inner)
-	default:
-		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
-	}
-}
-func (t cweTarget) Recover()                        { t.q.Recover() }
-func (t cweTarget) DrainOne(tid int) (uint64, bool) { return t.q.Dequeue(tid) }
-
-// buildSweepTarget constructs a fresh detectable queue of the given kind.
-func buildSweepTarget(impl Impl) (detectableQueue, *pmem.Heap, error) {
+// buildSweepTarget constructs a fresh detectable object of the given
+// kind, paired with the dss.Type that supplies its spec vocabulary and
+// reference model.
+func buildSweepTarget(impl Impl) (dss.Object, dss.Type, *pmem.Heap, error) {
 	h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
 	if err != nil {
-		return nil, nil, err
+		return nil, dss.Type{}, nil, err
+	}
+	small := dss.Config{Threads: 1, NodesPerThread: 32, ExtraNodes: 8, Descriptors: 8}
+	build := func(typ dss.Type) (dss.Object, dss.Type, *pmem.Heap, error) {
+		obj, err := typ.New(h, 0, small)
+		return obj, typ, h, err
+	}
+	buildSharded := func(typ dss.Type) (dss.Object, dss.Type, *pmem.Heap, error) {
+		// Two shards keep the step horizon short while still exercising
+		// every cross-shard path (route movement, scan, abandonment).
+		q, err := sharded.New(h, 0, typ, sharded.Config{
+			Shards: 2, Threads: 1, NodesPerThread: 32, ExtraNodes: 8,
+		})
+		return q, typ, h, err
 	}
 	switch impl {
 	case DSSDetectable:
-		q, err := core.New(h, 0, core.Config{Threads: 1, NodesPerThread: 32, ExtraNodes: 8})
-		if err != nil {
-			return nil, nil, err
-		}
-		return dssTarget{q}, h, nil
+		return build(dss.QueueType)
+	case DSSStack:
+		return build(dss.StackType)
+	case FastCASWithEffect:
+		return build(dss.CWEFastType)
+	case GeneralCASWith:
+		return build(dss.CWEGeneralType)
 	case ShardedDSS:
-		// Two shards keep the step horizon short while still exercising
-		// every cross-shard path (route movement, scan, abandonment).
-		q, err := sharded.New(h, 0, sharded.Config{
-			Shards: 2, Threads: 1, NodesPerThread: 32, ExtraNodes: 8,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return shardedTarget{q}, h, nil
-	case FastCASWithEffect, GeneralCASWith:
-		q, err := cwe.New(h, 0, cwe.Config{
-			Threads: 1, NodesPerThread: 32, ExtraNodes: 8,
-			DescriptorsPerThread: 8, Fast: impl == FastCASWithEffect,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return cweTarget{q}, h, nil
+		return buildSharded(dss.QueueType)
+	case ShardedStack:
+		return buildSharded(dss.StackType)
 	default:
-		return nil, nil, fmt.Errorf("harness: crash sweep does not support %q", impl)
+		return nil, dss.Type{}, nil, fmt.Errorf("harness: crash sweep does not support %q", impl)
 	}
 }
 
@@ -168,10 +99,13 @@ func CrashSweepDSSQueue(cfg CrashSweepConfig) CrashSweepReport {
 }
 
 // CrashSweepImpl injects a crash at every primitive memory step of a
-// single-threaded detectable workload on the given queue implementation,
+// single-threaded detectable workload on the given object implementation,
 // under every adversary in the canonical suite; after each crash it runs
 // recovery, resolves, drains, and verifies the complete history against
-// D⟨queue⟩ under strict linearizability.
+// the type's detectable specification D⟨T⟩ under strict linearizability.
+// The driver never names a concrete structure: everything flows through
+// the dss.Object contract, so every implementation — flat or sharded,
+// queue or stack — is swept by the same code.
 func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
 	if cfg.Pairs <= 0 {
 		cfg.Pairs = 2
@@ -184,36 +118,41 @@ func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
 	for ai, adv := range advs {
 		steps := 0
 		for step := uint64(1); ; step++ {
-			q, h, err := buildSweepTarget(impl)
+			q, typ, h, err := buildSweepTarget(impl)
 			if err != nil {
 				report.Failures = append(report.Failures, err.Error())
 				return report
 			}
+			report.Object = typ.Name
+			insert := func(v uint64) spec.Op { return typ.SpecOp(dss.Op{Kind: dss.Insert, Arg: v}) }
+			remove := typ.SpecOp(dss.Op{Kind: dss.Remove})
 			rec := check.NewRecorder()
 			h.ArmCrash(step)
 			pmem.RunToCrash(func() {
 				for i := 0; i < cfg.Pairs; i++ {
 					v := uint64(100 + i)
-					rec.Begin(0, spec.PrepOp(spec.Enqueue(v)))
-					if err := q.PrepEnq(0, v); err != nil {
+					rec.Begin(0, spec.PrepOp(insert(v)))
+					if err := q.Prep(0, dss.Op{Kind: dss.Insert, Arg: v}); err != nil {
 						return
 					}
 					rec.End(0, spec.BottomResp())
-					rec.Begin(0, spec.ExecOp(spec.Enqueue(v)))
-					if err := q.ExecEnq(0); err != nil {
+					rec.Begin(0, spec.ExecOp(insert(v)))
+					if _, err := q.Exec(0); err != nil {
 						return
 					}
 					rec.End(0, spec.AckResp())
-					rec.Begin(0, spec.PrepOp(spec.Dequeue()))
-					q.PrepDeq(0)
+					rec.Begin(0, spec.PrepOp(remove))
+					if err := q.Prep(0, dss.Op{Kind: dss.Remove}); err != nil {
+						return
+					}
 					rec.End(0, spec.BottomResp())
-					rec.Begin(0, spec.ExecOp(spec.Dequeue()))
-					got, ok, err := q.ExecDeq(0)
+					rec.Begin(0, spec.ExecOp(remove))
+					resp, err := q.Exec(0)
 					if err != nil {
 						return
 					}
-					if ok {
-						rec.End(0, spec.ValResp(got))
+					if resp.Kind == dss.Val {
+						rec.End(0, spec.ValResp(resp.Val))
 					} else {
 						rec.End(0, spec.EmptyResp())
 					}
@@ -227,12 +166,18 @@ func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
 			h.Crash(adv)
 			q.Recover()
 			rec.Begin(0, spec.ResolveOp())
-			rec.End(0, q.ResolveResp(0))
+			op, resp, ok := q.Resolve(0)
+			rec.End(0, typ.ResolveResp(op, resp, ok))
 			for {
-				rec.Begin(0, spec.Dequeue())
-				v, ok := q.DrainOne(0)
-				if ok {
-					rec.End(0, spec.ValResp(v))
+				rec.Begin(0, remove)
+				r, err := q.Invoke(0, dss.Op{Kind: dss.Remove})
+				if err != nil {
+					report.Failures = append(report.Failures,
+						fmt.Sprintf("adversary %d, step %d: drain: %v", ai, step, err))
+					break
+				}
+				if r.Kind == dss.Val {
+					rec.End(0, spec.ValResp(r.Val))
 				} else {
 					rec.End(0, spec.EmptyResp())
 					break
@@ -240,7 +185,7 @@ func CrashSweepImpl(impl Impl, cfg CrashSweepConfig) CrashSweepReport {
 			}
 			hist := rec.History()
 			report.Histories++
-			d := spec.Detectable(spec.NewQueue(), 1)
+			d := spec.Detectable(typ.Model(), 1)
 			if res := check.StrictlyLinearizable(d, hist); !res.OK {
 				report.Failures = append(report.Failures,
 					fmt.Sprintf("adversary %d, step %d:\n%s", ai, step, check.FormatHistory(hist)))

@@ -100,11 +100,15 @@ func RunVirtual(cfg VirtualRunConfig) (Point, error) {
 }
 
 // ShardedSweepConfig parameterizes the shard-count sweep behind
-// BENCH_sharded.json.
+// BENCH_sharded.json (and, with Object "stack", BENCH_sharded_stack.json).
 type ShardedSweepConfig struct {
+	// Object selects the detectable type the front is sharded over:
+	// "queue" (default) or "stack".
+	Object string
 	// Threads lists the x-axis values.
 	Threads []int
-	// ShardCounts lists the sharded series; each becomes "sharded-dss/N".
+	// ShardCounts lists the sharded series; each becomes
+	// "sharded-dss/N" ("sharded-stack/N" for the stack).
 	ShardCounts []int
 	// PairsPerThread, AccessNS, FlushNS, NodesPerThread as in
 	// VirtualRunConfig.
@@ -115,6 +119,9 @@ type ShardedSweepConfig struct {
 }
 
 func (c *ShardedSweepConfig) defaults() {
+	if c.Object == "" {
+		c.Object = "queue"
+	}
 	if len(c.Threads) == 0 {
 		c.Threads = []int{1, 2, 4, 8, 12, 16, 20}
 	}
@@ -135,11 +142,28 @@ func (c *ShardedSweepConfig) defaults() {
 	}
 }
 
-// FigureSharded measures the dss-detectable baseline and each sharded
-// configuration over the thread range, all in virtual time (so the
-// baseline and the sharded series are apples-to-apples).
+// shardedImpls maps a ShardedSweepConfig.Object to its unsharded
+// baseline and its sharded composition.
+func shardedImpls(object string) (base, composed Impl, err error) {
+	switch object {
+	case "queue":
+		return DSSDetectable, ShardedDSS, nil
+	case "stack":
+		return DSSStack, ShardedStack, nil
+	default:
+		return "", "", fmt.Errorf("harness: unknown sharded object %q (queue or stack)", object)
+	}
+}
+
+// FigureSharded measures the object's detectable baseline and each
+// sharded configuration over the thread range, all in virtual time (so
+// the baseline and the sharded series are apples-to-apples).
 func FigureSharded(cfg ShardedSweepConfig) ([]Series, error) {
 	cfg.defaults()
+	baseImpl, shardedImpl, err := shardedImpls(cfg.Object)
+	if err != nil {
+		return nil, err
+	}
 	runSeries := func(name string, impl Impl, shards int) (Series, error) {
 		s := Series{Name: name}
 		for _, th := range cfg.Threads {
@@ -158,13 +182,13 @@ func FigureSharded(cfg ShardedSweepConfig) ([]Series, error) {
 		return s, nil
 	}
 	out := make([]Series, 0, 1+len(cfg.ShardCounts))
-	base, err := runSeries(string(DSSDetectable), DSSDetectable, 0)
+	base, err := runSeries(string(baseImpl), baseImpl, 0)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, base)
 	for _, n := range cfg.ShardCounts {
-		s, err := runSeries(fmt.Sprintf("%s/%d", ShardedDSS, n), ShardedDSS, n)
+		s, err := runSeries(fmt.Sprintf("%s/%d", shardedImpl, n), shardedImpl, n)
 		if err != nil {
 			return nil, err
 		}
@@ -180,9 +204,15 @@ func FigureSharded(cfg ShardedSweepConfig) ([]Series, error) {
 // note and the sharded-only fields.
 func BuildShardedReport(cfg ShardedSweepConfig, series []Series) Report {
 	cfg.defaults()
+	figure := "sharded"
+	workload := "alternating enqueue/dequeue pairs, queue seeded with 16 items, fixed pairs per thread"
+	if cfg.Object == "stack" {
+		figure = "sharded-stack"
+		workload = "alternating push/pop pairs, stack seeded with 16 items, fixed pairs per thread"
+	}
 	r := Report{
-		Figure:   "sharded",
-		Workload: "alternating enqueue/dequeue pairs, queue seeded with 16 items, fixed pairs per thread",
+		Figure:   figure,
+		Workload: workload,
 		Config: ReportConfig{
 			Threads:        cfg.Threads,
 			Repeats:        1,

@@ -88,6 +88,24 @@ type Transport interface {
 	RoundTrip(m Msg) Reply
 }
 
+// Object is what an Engine serves: the runtime DSS contract in the spec
+// vocabulary the wire protocol speaks — the paper's four axioms as
+// methods, plus the recovery procedure. universal.Object satisfies it
+// directly; any dss.Object does through dss.NewWire. The engine never
+// names a concrete structure.
+type Object interface {
+	// Prep declares a detectable operation for the client (Axiom 1).
+	Prep(client int, op spec.Op) error
+	// Exec applies the client's prepared operation (Axiom 2).
+	Exec(client int) (spec.Resp, error)
+	// Resolve reports (A[p], R[p]) (Axiom 3). Total and idempotent.
+	Resolve(client int) spec.Resp
+	// Invoke applies op non-detectably (Axiom 4).
+	Invoke(client int, op spec.Op) (spec.Resp, error)
+	// Recover is the object's single-threaded post-crash procedure.
+	Recover()
+}
+
 // EngineConfig sizes an Engine.
 type EngineConfig struct {
 	// Clients is the number of process identities (0..Clients-1).
@@ -99,9 +117,15 @@ type EngineConfig struct {
 	// Capacity.
 	Words int
 	// Init and Ops define the hosted object: its initial abstract state
-	// and operation table.
+	// and operation table, served through the universal construction.
 	Init spec.State
 	Ops  []spec.Op
+	// NewObject, when non-nil, overrides the universal-construction
+	// default: it receives the engine's heap (root slots from 0 up are
+	// the object's to claim) and returns the served object — e.g. a
+	// dss.Wire over a concrete detectable structure. Init and Ops are
+	// ignored in that case.
+	NewObject func(h *pmem.Heap, clients int) (Object, error)
 }
 
 // Engine is the transport-independent core of a DSS server: the
@@ -115,7 +139,7 @@ type EngineConfig struct {
 // the harness's event loop). Gen alone is safe to read concurrently.
 type Engine struct {
 	h   *pmem.Heap
-	obj *universal.Object
+	obj Object
 	gen atomic.Uint64
 
 	// lastSeq and lastReply implement at-most-once execution per client
@@ -146,7 +170,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj, err := universal.New(h, 0, cfg.Clients, cfg.Capacity, cfg.Init, cfg.Ops)
+	var obj Object
+	if cfg.NewObject != nil {
+		obj, err = cfg.NewObject(h, cfg.Clients)
+	} else {
+		obj, err = universal.New(h, 0, cfg.Clients, cfg.Capacity, cfg.Init, cfg.Ops)
+	}
 	if err != nil {
 		return nil, err
 	}

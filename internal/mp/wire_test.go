@@ -1,0 +1,171 @@
+package mp
+
+import (
+	"testing"
+
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// newWireEngine builds an engine serving a concrete detectable object of
+// typ through dss.NewWire instead of the universal construction — the
+// EngineConfig.NewObject hook the object-generic refactor added.
+func newWireEngine(t *testing.T, typ dss.Type, clients int) *Engine {
+	t.Helper()
+	e, err := NewEngine(EngineConfig{
+		Clients:  clients,
+		Capacity: 256,
+		Words:    1 << 16,
+		NewObject: func(h *pmem.Heap, n int) (Object, error) {
+			obj, err := typ.New(h, 0, dss.Config{
+				Threads: n, NodesPerThread: 64, ExtraNodes: 8, Descriptors: 8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dss.NewWire(typ, obj, n), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewEngine(%s wire): %v", typ.Name, err)
+	}
+	e.NewGeneration()
+	return e
+}
+
+// wireTypes are the object types the engine tests serve through the wire
+// adapter: one FIFO, one LIFO.
+func wireTypes() []dss.Type { return []dss.Type{dss.QueueType, dss.StackType} }
+
+// TestEngineServesWireObject drives detectable pairs against a
+// Wire-served object and checks responses and resolutions in the spec
+// vocabulary the protocol speaks.
+func TestEngineServesWireObject(t *testing.T) {
+	for _, typ := range wireTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			e := newWireEngine(t, typ, 2)
+			ins := typ.SpecOp(dss.Op{Kind: dss.Insert, Arg: 7})
+			rem := typ.SpecOp(dss.Op{Kind: dss.Remove})
+
+			if rep := e.Apply(Msg{Kind: ReqPrep, Client: 0, Op: ins}); rep.Err != nil {
+				t.Fatalf("prep insert: %v", rep.Err)
+			}
+			if rep := e.Apply(Msg{Kind: ReqResolve, Client: 0}); rep.Resp != spec.PairResp(true, ins, spec.BottomResp()) {
+				t.Fatalf("resolve before exec = %s", rep.Resp)
+			}
+			if rep := e.Apply(Msg{Kind: ReqExec, Client: 0}); rep.Err != nil || rep.Resp != spec.AckResp() {
+				t.Fatalf("exec insert = %s, %v", rep.Resp, rep.Err)
+			}
+			if rep := e.Apply(Msg{Kind: ReqPrep, Client: 1, Op: rem}); rep.Err != nil {
+				t.Fatalf("prep remove: %v", rep.Err)
+			}
+			if rep := e.Apply(Msg{Kind: ReqExec, Client: 1}); rep.Err != nil || rep.Resp != spec.ValResp(7) {
+				t.Fatalf("exec remove = %s, %v", rep.Resp, rep.Err)
+			}
+			if rep := e.Apply(Msg{Kind: ReqResolve, Client: 1}); rep.Resp != spec.PairResp(true, rem, spec.ValResp(7)) {
+				t.Fatalf("resolve after exec = %s", rep.Resp)
+			}
+			// Non-detectable drain path.
+			if rep := e.Apply(Msg{Kind: ReqInvoke, Client: 0, Op: rem}); rep.Err != nil || rep.Resp != spec.EmptyResp() {
+				t.Fatalf("invoke remove on empty = %s, %v", rep.Resp, rep.Err)
+			}
+			// Foreign vocabulary is rejected at the wire.
+			foreign := spec.Push(1)
+			if typ.Name == "stack" {
+				foreign = spec.Enqueue(1)
+			}
+			if rep := e.Apply(Msg{Kind: ReqInvoke, Client: 0, Op: foreign}); rep.Err == nil {
+				t.Fatalf("%s wire accepted %s", typ.Name, foreign)
+			}
+		})
+	}
+}
+
+// TestEngineWireCrashRecovery sweeps crash points over a detectable
+// insert/remove pair served through the wire: after RecoverImage and a
+// new generation, the client's resolve plus a full drain must tell a
+// story consistent with exactly-once execution.
+func TestEngineWireCrashRecovery(t *testing.T) {
+	for _, typ := range wireTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			ins := typ.SpecOp(dss.Op{Kind: dss.Insert, Arg: 7})
+			rem := typ.SpecOp(dss.Op{Kind: dss.Remove})
+			swept := 0
+			for step := uint64(1); ; step++ {
+				e := newWireEngine(t, typ, 1)
+				gen := e.Gen()
+				phase := 0
+				e.Heap().ArmCrash(step)
+				pmem.RunToCrash(func() {
+					if rep := e.Apply(Msg{Kind: ReqPrep, Client: 0, Gen: gen, Op: ins}); rep.Err != nil {
+						t.Errorf("step %d: prep insert: %v", step, rep.Err)
+						return
+					}
+					phase = 1
+					if rep := e.Apply(Msg{Kind: ReqExec, Client: 0, Gen: gen}); rep.Err != nil {
+						t.Errorf("step %d: exec insert: %v", step, rep.Err)
+						return
+					}
+					phase = 2
+					if rep := e.Apply(Msg{Kind: ReqPrep, Client: 0, Gen: gen, Op: rem}); rep.Err != nil {
+						t.Errorf("step %d: prep remove: %v", step, rep.Err)
+						return
+					}
+					phase = 3
+					if rep := e.Apply(Msg{Kind: ReqExec, Client: 0, Gen: gen}); rep.Err != nil {
+						t.Errorf("step %d: exec remove: %v", step, rep.Err)
+						return
+					}
+					phase = 4
+				})
+				if !e.Heap().Crashed() {
+					if swept == 0 {
+						t.Fatal("workload completed before the first crash point")
+					}
+					break
+				}
+				swept++
+				e.RecoverImage(pmem.DropAll{})
+				e.NewGeneration()
+
+				// A pre-crash message must be fenced out.
+				if rep := e.Apply(Msg{Kind: ReqExec, Client: 0, Gen: gen}); rep.Err == nil {
+					t.Fatalf("step %d: stale-generation request applied", step)
+				}
+
+				res := e.Apply(Msg{Kind: ReqResolve, Client: 0}).Resp
+				inserted := phase >= 2 || res == spec.PairResp(true, ins, spec.AckResp())
+				removed := phase >= 4 || res == spec.PairResp(true, rem, spec.ValResp(7))
+
+				var drained []uint64
+				for {
+					rep := e.Apply(Msg{Kind: ReqInvoke, Client: 0, Op: rem})
+					if rep.Err != nil {
+						t.Fatalf("step %d: drain: %v", step, rep.Err)
+					}
+					if rep.Resp.Kind != spec.Val {
+						break
+					}
+					drained = append(drained, rep.Resp.V)
+				}
+				want := 0
+				if inserted && !removed {
+					want = 1
+				}
+				if len(drained) != want || (want == 1 && drained[0] != 7) {
+					t.Fatalf("step %d: drained %v (phase %d, resolve %s, inserted=%v removed=%v)",
+						step, drained, phase, res, inserted, removed)
+				}
+				if removed && !inserted {
+					t.Fatalf("step %d: remove effective but insert is not (resolve %s)", step, res)
+				}
+			}
+			if swept == 0 {
+				t.Fatalf("%s: no crash points swept", typ.Name)
+			}
+		})
+	}
+}

@@ -7,9 +7,27 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/spec"
 )
+
+func newTestFront(t *testing.T, typ dss.Type, shards, threads int) (*Front, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatalf("pmem.New: %v", err)
+	}
+	q, err := New(h, 0, typ, Config{Shards: shards, Threads: threads, NodesPerThread: 64, ExtraNodes: 16})
+	if err != nil {
+		t.Fatalf("sharded.New(%s): %v", typ.Name, err)
+	}
+	return q, h
+}
+
+// conformanceTypes lists the object types the conformance suites run
+// over: the same generic front must be correct for FIFO and LIFO shards.
+func conformanceTypes() []dss.Type { return []dss.Type{dss.QueueType, dss.StackType} }
 
 // pendingOp is a tracer-observed shard-level invocation awaiting its
 // response.
@@ -18,8 +36,8 @@ type pendingOp struct {
 	op    spec.Op
 }
 
-// modelTracer runs per-shard D⟨queue⟩ models in lockstep with the real
-// queue: every shard-level operation the tracer observes is applied to
+// modelTracer runs per-shard D⟨T⟩ models in lockstep with the real
+// front: every shard-level operation the tracer observes is applied to
 // that shard's model, and the responses must agree exactly. It is the
 // sequential-conformance oracle (single-threaded use only).
 type modelTracer struct {
@@ -28,10 +46,10 @@ type modelTracer struct {
 	pending map[int]pendingOp
 }
 
-func newModelTracer(t *testing.T, shards, threads int) *modelTracer {
+func newModelTracer(t *testing.T, typ dss.Type, shards, threads int) *modelTracer {
 	m := &modelTracer{t: t, pending: map[int]pendingOp{}}
 	for i := 0; i < shards; i++ {
-		m.models = append(m.models, spec.Detectable(spec.NewQueue(), threads))
+		m.models = append(m.models, spec.Detectable(typ.Model(), threads))
 	}
 	return m
 }
@@ -64,73 +82,92 @@ func (m *modelTracer) resolveOn(s, tid int) spec.Resp {
 
 // TestSequentialConformanceRandom drives a random single-threaded stream
 // of detectable operations from several processes through the sharded
-// queue with the per-shard models in lockstep, checking the composition's
-// Resolve against the route shard's model resolve after every operation.
+// front with the per-shard models in lockstep, checking the composition's
+// Resolve against the route shard's model resolve after every operation —
+// once per object type.
 func TestSequentialConformanceRandom(t *testing.T) {
 	const (
 		shards  = 3
 		threads = 3
 		steps   = 400
 	)
-	q, _ := newTestQueue(t, shards, threads)
-	m := newModelTracer(t, shards, threads)
-	q.SetTracer(m)
-	defer q.SetTracer(nil)
+	for _, typ := range conformanceTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			q, _ := newTestFront(t, typ, shards, threads)
+			m := newModelTracer(t, typ, shards, threads)
+			q.SetTracer(m)
+			defer q.SetTracer(nil)
 
-	rng := rand.New(rand.NewSource(20260806))
-	next := uint64(1)
-	for i := 0; i < steps; i++ {
-		tid := rng.Intn(threads)
-		switch rng.Intn(5) {
-		case 0, 1: // detectable enqueue pair
-			if err := q.PrepEnqueue(tid, next); err != nil {
-				t.Fatalf("step %d: PrepEnqueue: %v", i, err)
-			}
-			next++
-			q.ExecEnqueue(tid)
-		case 2, 3: // detectable dequeue pair
-			q.PrepDequeue(tid)
-			q.ExecDequeue(tid)
-		case 4: // prep without exec: exercises cross-shard abandonment
-			if rng.Intn(2) == 0 {
-				if err := q.PrepEnqueue(tid, next); err != nil {
-					t.Fatalf("step %d: PrepEnqueue: %v", i, err)
+			rng := rand.New(rand.NewSource(20260806))
+			next := uint64(1)
+			for i := 0; i < steps; i++ {
+				tid := rng.Intn(threads)
+				switch rng.Intn(5) {
+				case 0, 1: // detectable insert pair
+					if err := q.Prep(tid, insertOf(next)); err != nil {
+						t.Fatalf("step %d: Prep insert: %v", i, err)
+					}
+					next++
+					if _, err := q.Exec(tid); err != nil {
+						t.Fatalf("step %d: Exec: %v", i, err)
+					}
+				case 2, 3: // detectable remove pair
+					if err := q.Prep(tid, remove); err != nil {
+						t.Fatalf("step %d: Prep remove: %v", i, err)
+					}
+					if _, err := q.Exec(tid); err != nil {
+						t.Fatalf("step %d: Exec: %v", i, err)
+					}
+				case 4: // prep without exec: exercises cross-shard abandonment
+					if rng.Intn(2) == 0 {
+						if err := q.Prep(tid, insertOf(next)); err != nil {
+							t.Fatalf("step %d: Prep insert: %v", i, err)
+						}
+						next++
+					} else {
+						if err := q.Prep(tid, remove); err != nil {
+							t.Fatalf("step %d: Prep remove: %v", i, err)
+						}
+					}
 				}
-				next++
-			} else {
-				q.PrepDequeue(tid)
+				// The composition's resolve must match the route shard's model.
+				r := q.Route(tid)
+				if r < 0 {
+					t.Fatalf("step %d: tid %d has no route after an operation", i, tid)
+				}
+				op, resp, ok := q.Resolve(tid)
+				if got, want := typ.ResolveResp(op, resp, ok), m.resolveOn(r, tid); got != want {
+					t.Fatalf("step %d: Resolve(%d) = %s, model (shard %d) says %s", i, tid, got, r, want)
+				}
 			}
-		}
-		// The composition's resolve must match the route shard's model.
-		r := q.Route(tid)
-		if r < 0 {
-			t.Fatalf("step %d: tid %d has no route after an operation", i, tid)
-		}
-		if got, want := q.Resolve(tid).Resp(), m.resolveOn(r, tid); got != want {
-			t.Fatalf("step %d: Resolve(%d) = %s, model (shard %d) says %s", i, tid, got, r, want)
-		}
-	}
 
-	// Drain every shard against its model's base queue.
-	q.SetTracer(nil)
-	for s := 0; s < shards; s++ {
-		for {
-			v, ok := q.Shard(s).Dequeue(0)
-			next, want, enabled := m.models[s].Apply(spec.Dequeue(), 0)
-			if !enabled {
-				t.Fatalf("shard %d: model rejected a drain dequeue", s)
-			}
-			m.models[s] = next
-			if !ok {
-				if want.Kind != spec.Empty {
-					t.Fatalf("shard %d: queue empty but model holds %s", s, want)
+			// Drain every shard against its model's base object.
+			q.SetTracer(nil)
+			baseRemove := typ.SpecOp(remove)
+			for s := 0; s < shards; s++ {
+				for {
+					resp, err := q.Shard(s).Invoke(0, remove)
+					if err != nil {
+						t.Fatalf("shard %d: drain: %v", s, err)
+					}
+					next, want, enabled := m.models[s].Apply(baseRemove, 0)
+					if !enabled {
+						t.Fatalf("shard %d: model rejected a drain remove", s)
+					}
+					m.models[s] = next
+					if resp.Kind != dss.Val {
+						if want.Kind != spec.Empty {
+							t.Fatalf("shard %d: object empty but model holds %s", s, want)
+						}
+						break
+					}
+					if want.Kind != spec.Val || want.V != resp.Val {
+						t.Fatalf("shard %d: drained %d, model says %s", s, resp.Val, want)
+					}
 				}
-				break
 			}
-			if want.Kind != spec.Val || want.V != v {
-				t.Fatalf("shard %d: drained %d, model says %s", s, v, want)
-			}
-		}
+		})
 	}
 }
 
@@ -145,14 +182,16 @@ func (r *recorderTracer) OpEnd(shard, tid int, resp spec.Resp) {
 	r.recs[shard].End(tid, resp)
 }
 
-// TestConcurrentCrashConformancePerShard is the satellite conformance
-// expansion: concurrent workers drive detectable pairs through the
-// sharded queue, a crash interrupts them at a sampled step under both the
-// DropAll and KeepAll adversaries, recovery runs, the composition
-// resolves through the persisted route, every shard is drained — and each
-// shard's recorded history must be strictly linearizable w.r.t. D⟨queue⟩.
-// This is exactly the decomposition DESIGN.md's argument rests on: the
-// composition is detectable because each per-shard history is.
+// TestConcurrentCrashConformancePerShard: concurrent workers drive
+// detectable pairs through the sharded front, a crash interrupts them at
+// a sampled step under both the DropAll and KeepAll adversaries, recovery
+// runs, the composition resolves through the persisted route, every shard
+// is drained — and each shard's recorded history must be strictly
+// linearizable w.r.t. D⟨T⟩. This is exactly the decomposition DESIGN.md's
+// argument rests on: the composition is detectable because each per-shard
+// history is. It runs once per object type; the queue path re-attaches a
+// fresh handle (QueueType supports Attach), the stack path recovers
+// through the surviving handle, so both recovery entries are exercised.
 func TestConcurrentCrashConformancePerShard(t *testing.T) {
 	const (
 		shards  = 2
@@ -168,83 +207,101 @@ func TestConcurrentCrashConformancePerShard(t *testing.T) {
 		{"KeepAll", pmem.KeepAll{}},
 	}
 
-	for _, av := range advs {
-		for _, step := range crashSteps {
-			t.Run(fmt.Sprintf("%s/step%d", av.name, step), func(t *testing.T) {
-				q, h := newTestQueue(t, shards, threads)
-				recs := make([]*check.Recorder, shards)
-				for i := range recs {
-					recs[i] = check.NewRecorder()
-				}
-				q.SetTracer(&recorderTracer{recs})
-
-				h.ArmCrash(step)
-				var wg sync.WaitGroup
-				for tid := 0; tid < threads; tid++ {
-					wg.Add(1)
-					go func(tid int) {
-						defer wg.Done()
-						pmem.RunToCrash(func() {
-							for p := 0; p < pairs; p++ {
-								v := uint64(100*(tid+1) + p)
-								if err := q.PrepEnqueue(tid, v); err != nil {
-									return
-								}
-								q.ExecEnqueue(tid)
-								q.PrepDequeue(tid)
-								q.ExecDequeue(tid)
-							}
-						})
-					}(tid)
-				}
-				wg.Wait()
-
-				if h.Crashed() {
+	for _, typ := range conformanceTypes() {
+		typ := typ
+		for _, av := range advs {
+			for _, step := range crashSteps {
+				t.Run(fmt.Sprintf("%s/%s/step%d", typ.Name, av.name, step), func(t *testing.T) {
+					q, h := newTestFront(t, typ, shards, threads)
+					recs := make([]*check.Recorder, shards)
 					for i := range recs {
-						recs[i].CrashAll()
+						recs[i] = check.NewRecorder()
 					}
-					h.Crash(av.adv)
-					q2, err := Attach(h, 0)
-					if err != nil {
-						t.Fatalf("Attach: %v", err)
-					}
-					q2.Recover()
-					q = q2
-				} else {
-					h.ArmCrash(0) // workload finished before the crash point
-				}
-				q.SetTracer(nil)
+					q.SetTracer(&recorderTracer{recs})
 
-				// Resolve through the persisted route: exactly one shard
-				// holds each process's record.
-				for tid := 0; tid < threads; tid++ {
-					if s := q.Route(tid); s >= 0 {
-						recs[s].Begin(tid, spec.ResolveOp())
-						recs[s].End(tid, q.Resolve(tid).Resp())
+					h.ArmCrash(step)
+					var wg sync.WaitGroup
+					for tid := 0; tid < threads; tid++ {
+						wg.Add(1)
+						go func(tid int) {
+							defer wg.Done()
+							pmem.RunToCrash(func() {
+								for p := 0; p < pairs; p++ {
+									v := uint64(100*(tid+1) + p)
+									if err := q.Prep(tid, insertOf(v)); err != nil {
+										return
+									}
+									if _, err := q.Exec(tid); err != nil {
+										return
+									}
+									if err := q.Prep(tid, remove); err != nil {
+										return
+									}
+									if _, err := q.Exec(tid); err != nil {
+										return
+									}
+								}
+							})
+						}(tid)
 					}
-				}
-				// Drain each shard into its own history.
-				for s := 0; s < shards; s++ {
-					for {
-						recs[s].Begin(0, spec.Dequeue())
-						v, ok := q.Shard(s).Dequeue(0)
-						if ok {
-							recs[s].End(0, spec.ValResp(v))
+					wg.Wait()
+
+					if h.Crashed() {
+						for i := range recs {
+							recs[i].CrashAll()
+						}
+						h.Crash(av.adv)
+						if typ.Attach != nil {
+							q2, err := Attach(h, 0, typ)
+							if err != nil {
+								t.Fatalf("Attach: %v", err)
+							}
+							q = q2
 						} else {
-							recs[s].End(0, spec.EmptyResp())
-							break
+							q.ResetVolatile()
+						}
+						q.Recover()
+					} else {
+						h.ArmCrash(0) // workload finished before the crash point
+					}
+					q.SetTracer(nil)
+
+					// Resolve through the persisted route: exactly one shard
+					// holds each process's record.
+					for tid := 0; tid < threads; tid++ {
+						if s := q.Route(tid); s >= 0 {
+							recs[s].Begin(tid, spec.ResolveOp())
+							op, resp, ok := q.Resolve(tid)
+							recs[s].End(tid, typ.ResolveResp(op, resp, ok))
 						}
 					}
-				}
-				for s := 0; s < shards; s++ {
-					hist := recs[s].History()
-					d := spec.Detectable(spec.NewQueue(), threads)
-					if r := check.StrictlyLinearizable(d, hist); !r.OK {
-						t.Fatalf("shard %d history not strictly linearizable:\n%s",
-							s, check.FormatHistory(hist))
+					// Drain each shard into its own history.
+					baseRemove := typ.SpecOp(remove)
+					for s := 0; s < shards; s++ {
+						for {
+							recs[s].Begin(0, baseRemove)
+							resp, err := q.Shard(s).Invoke(0, remove)
+							if err != nil {
+								t.Fatalf("shard %d: drain: %v", s, err)
+							}
+							if resp.Kind == dss.Val {
+								recs[s].End(0, spec.ValResp(resp.Val))
+							} else {
+								recs[s].End(0, spec.EmptyResp())
+								break
+							}
+						}
 					}
-				}
-			})
+					for s := 0; s < shards; s++ {
+						hist := recs[s].History()
+						d := spec.Detectable(typ.Model(), threads)
+						if r := check.StrictlyLinearizable(d, hist); !r.OK {
+							t.Fatalf("shard %d history not strictly linearizable:\n%s",
+								s, check.FormatHistory(hist))
+						}
+					}
+				})
+			}
 		}
 	}
 }

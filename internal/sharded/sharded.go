@@ -1,16 +1,20 @@
-// Package sharded composes N independent DSS queues into a single
-// detectable queue front-end, multiplying the head/tail CAS bandwidth that
-// caps the flat Figure-5a curves while preserving the paper's per-process
-// recovery contract.
+// Package sharded composes N independent detectable objects of one type
+// into a single detectable front-end, multiplying the bandwidth of the
+// hot pointer words (head/tail, top) that caps the flat Figure-5a curves
+// while preserving the paper's per-process recovery contract.
 //
-// Semantics: the composition is per-shard FIFO and globally k-relaxed
-// (k bounded by the shard count times the in-flight window): values
-// dispatched round-robin to shard queues dequeue in per-shard FIFO order,
-// but values resident on different shards may overtake each other
-// globally. Crucially, detectability is NOT relaxed: every individual
-// operation lands on exactly one shard, that shard's history is strictly
-// linearizable w.r.t. D⟨queue⟩ (Theorem 1 applies per shard unchanged),
-// and the persisted per-process route cursor names the shard holding the
+// The front is generic over dss.Object: any detectable container type —
+// the DSS queue, the DSS stack, the CASWithEffect queues — shards the
+// same way, because the composition never looks inside an operation; it
+// only routes. Per-shard semantics are the object's own (FIFO per shard
+// for queues, LIFO per shard for stacks); globally the composition is
+// k-relaxed (k bounded by the shard count times the in-flight window):
+// values dispatched round-robin to shards obey their shard's order, but
+// values resident on different shards may overtake each other globally.
+// Crucially, detectability is NOT relaxed: every individual operation
+// lands on exactly one shard, that shard's history is strictly
+// linearizable w.r.t. D⟨T⟩ (Theorem 1 applies per shard unchanged), and
+// the persisted per-process route cursor names the shard holding the
 // process's most recent prepared operation — so Resolve after a crash
 // delegates to exactly one per-shard resolve and the exactly-once
 // guarantee carries over to the composition. See DESIGN.md for the full
@@ -23,15 +27,20 @@
 // two leaves the route pointing at the previous shard, so the new prep
 // resolves as "never happened" — a legal outcome for an operation whose
 // prep had not returned. The stale X entry on the previous shard is
-// withdrawn via (*core.Queue).AbandonPrep either eagerly (on the next
-// prep that moves away from it) or deterministically during Recover.
+// withdrawn via the object's Abandon either eagerly (on the next prep
+// that moves away from it) or deterministically during Recover.
+//
+// The front itself satisfies dss.Object: a composition of detectable
+// objects is a detectable object, so everything written against the
+// contract — sweeps, soaks, benchmarks, the wire engine — drives a
+// sharded instance unchanged.
 package sharded
 
 import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/spec"
 )
@@ -39,11 +48,13 @@ import (
 // Cursor line layout: one cache line per process, three words.
 const (
 	curRoute = 0 // 0 = no prepared op; s+1 = prepared on shard s
-	curEnqRR = 1 // next shard for an enqueue (round-robin hint)
-	curDeqRR = 2 // next shard for a dequeue scan (round-robin hint)
+	curInsRR = 1 // next shard for an insert (round-robin hint)
+	curRemRR = 2 // next shard for a remove scan (round-robin hint)
 )
 
-// Meta line layout.
+// Meta line layout. The magic word packs the front's own magic in its
+// low 32 bits and the object type code above it, so Attach validates
+// both with a single load.
 const (
 	cfgMagic = 0
 	cfgShard = 1
@@ -55,21 +66,23 @@ const (
 
 // Config parameterizes New.
 type Config struct {
-	// Shards is the number of underlying DSS queues.
+	// Shards is the number of underlying detectable objects.
 	Shards int
 	// Threads is the number of processes (shared by every shard).
 	Threads int
 	// NodesPerThread and ExtraNodes size each shard's node pool (they are
-	// per-shard figures, passed to core.Config unchanged).
+	// per-shard figures, passed to the object factory unchanged).
 	NodesPerThread int
 	ExtraNodes     int
+	// Descriptors passes through to descriptor-pooled types (dss.Config).
+	Descriptors int
 }
 
 // Tracer observes shard-level operation boundaries. It exists for
 // conformance tests: a sharded operation may touch several shards (a
-// dequeue scans), and the tracer reports each shard-level sub-operation
-// with its D⟨queue⟩ op and response so per-shard histories can be
-// recorded and checked. Production code leaves it nil.
+// remove scans), and the tracer reports each shard-level sub-operation
+// with its D⟨T⟩ op and response so per-shard histories can be recorded
+// and checked. Production code leaves it nil.
 type Tracer interface {
 	// OpBegin marks the invocation of op on shard by process tid.
 	OpBegin(shard, tid int, op spec.Op)
@@ -77,27 +90,40 @@ type Tracer interface {
 	OpEnd(shard, tid int, resp spec.Resp)
 }
 
-// Queue is the sharded detectable queue.
-type Queue struct {
+// Front is the sharded detectable front-end over N objects of one type.
+type Front struct {
 	h       *pmem.Heap
-	shards  []*core.Queue
+	typ     dss.Type
+	shards  []dss.Object
 	threads int
 	curBase pmem.Addr
 	tracer  Tracer
+	// last[tid] is the volatile dispatch hint of the composition (see
+	// the dss package comment): the kind of tid's most recent Prep,
+	// rebuilt from the persistent image by Recover/ResetVolatile, so
+	// Exec dispatches without extra heap reads.
+	last []dss.Kind
 }
 
-// New builds a sharded queue in h. It claims root slots rootSlot (its own
-// metadata) through rootSlot+cfg.Shards (one per shard).
-func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
+var _ dss.Object = (*Front)(nil)
+
+// New builds a sharded front of typ objects in h. It claims root slot
+// rootSlot (its own metadata) plus typ.RootSlots consecutive slots per
+// shard, starting at rootSlot+1.
+func New(h *pmem.Heap, rootSlot int, typ dss.Type, cfg Config) (*Front, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("sharded: need at least 1 shard, got %d", cfg.Shards)
 	}
 	if cfg.Threads < 1 {
 		return nil, fmt.Errorf("sharded: need at least 1 thread, got %d", cfg.Threads)
 	}
-	if rootSlot < 0 || rootSlot+1+cfg.Shards > pmem.NumRoots {
-		return nil, fmt.Errorf("sharded: %d shards from root slot %d exceed the %d root slots",
-			cfg.Shards, rootSlot, pmem.NumRoots)
+	slots := typ.RootSlots
+	if slots < 1 {
+		slots = 1
+	}
+	if rootSlot < 0 || rootSlot+1+cfg.Shards*slots > pmem.NumRoots {
+		return nil, fmt.Errorf("sharded: %d %s shards from root slot %d exceed the %d root slots",
+			cfg.Shards, typ.Name, rootSlot, pmem.NumRoots)
 	}
 	meta, err := h.Alloc(pmem.WordsPerLine)
 	if err != nil {
@@ -107,15 +133,19 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sharded: cursors: %w", err)
 	}
-	q := &Queue{h: h, threads: cfg.Threads, curBase: curBase}
+	q := &Front{
+		h: h, typ: typ, threads: cfg.Threads, curBase: curBase,
+		last: make([]dss.Kind, cfg.Threads),
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := core.New(h, rootSlot+1+i, core.Config{
+		sh, err := typ.New(h, rootSlot+1+i*slots, dss.Config{
 			Threads:        cfg.Threads,
 			NodesPerThread: cfg.NodesPerThread,
 			ExtraNodes:     cfg.ExtraNodes,
+			Descriptors:    cfg.Descriptors,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+			return nil, fmt.Errorf("sharded: %s shard %d: %w", typ.Name, i, err)
 		}
 		q.shards = append(q.shards, sh)
 	}
@@ -124,40 +154,58 @@ func New(h *pmem.Heap, rootSlot int, cfg Config) (*Queue, error) {
 	for tid := 0; tid < cfg.Threads; tid++ {
 		cur := q.cursorAddr(tid)
 		h.Store(cur+curRoute, 0)
-		h.Store(cur+curEnqRR, uint64(tid%cfg.Shards))
-		h.Store(cur+curDeqRR, uint64(tid%cfg.Shards))
+		h.Store(cur+curInsRR, uint64(tid%cfg.Shards))
+		h.Store(cur+curRemRR, uint64(tid%cfg.Shards))
 	}
 	h.PersistRange(curBase, cfg.Threads*pmem.WordsPerLine)
 	h.Store(meta+cfgShard, uint64(cfg.Shards))
 	h.Store(meta+cfgThrd, uint64(cfg.Threads))
 	h.Store(meta+cfgCur, uint64(curBase))
-	h.Store(meta+cfgMagic, magicSharded)
+	h.Store(meta+cfgMagic, magicSharded|typ.Code<<32)
 	h.Persist(meta)
 	h.SetRoot(rootSlot, meta)
 	return q, nil
 }
 
-// Attach reconstructs the handle of an existing sharded queue from heap
-// root slot rootSlot. The caller must run Recover before resuming
-// operations, exactly as with core.Attach.
-func Attach(h *pmem.Heap, rootSlot int) (*Queue, error) {
+// Attach reconstructs the handle of an existing sharded front from heap
+// root slot rootSlot. The type must match the one the front was built
+// with (its code is validated against the persisted metadata) and must
+// support re-attachment. The caller must run Recover before resuming
+// operations, exactly as with the concrete Attach functions.
+func Attach(h *pmem.Heap, rootSlot int, typ dss.Type) (*Front, error) {
+	if typ.Attach == nil {
+		return nil, fmt.Errorf("sharded: type %s does not support re-attachment", typ.Name)
+	}
 	meta := h.Root(rootSlot)
 	if meta == 0 {
 		return nil, fmt.Errorf("sharded: root slot %d is empty", rootSlot)
 	}
-	if h.Load(meta+cfgMagic) != magicSharded {
-		return nil, fmt.Errorf("sharded: root slot %d does not hold a sharded queue", rootSlot)
+	magic := h.Load(meta + cfgMagic)
+	if magic&(1<<32-1) != magicSharded {
+		return nil, fmt.Errorf("sharded: root slot %d does not hold a sharded front", rootSlot)
+	}
+	if code := magic >> 32; code != typ.Code {
+		return nil, fmt.Errorf("sharded: root slot %d holds type code %d, not %s (%d)",
+			rootSlot, code, typ.Name, typ.Code)
 	}
 	shards := int(h.Load(meta + cfgShard))
 	threads := int(h.Load(meta + cfgThrd))
-	if shards < 1 || rootSlot+1+shards > pmem.NumRoots || threads < 1 || threads > 1<<16 {
+	slots := typ.RootSlots
+	if slots < 1 {
+		slots = 1
+	}
+	if shards < 1 || rootSlot+1+shards*slots > pmem.NumRoots || threads < 1 || threads > 1<<16 {
 		return nil, fmt.Errorf("sharded: corrupt config (%d shards, %d threads)", shards, threads)
 	}
-	q := &Queue{h: h, threads: threads, curBase: pmem.Addr(h.Load(meta + cfgCur))}
+	q := &Front{
+		h: h, typ: typ, threads: threads,
+		curBase: pmem.Addr(h.Load(meta + cfgCur)),
+		last:    make([]dss.Kind, threads),
+	}
 	for i := 0; i < shards; i++ {
-		sh, err := core.Attach(h, rootSlot+1+i)
+		sh, err := typ.Attach(h, rootSlot+1+i*slots, dss.Config{Threads: threads})
 		if err != nil {
-			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+			return nil, fmt.Errorf("sharded: %s shard %d: %w", typ.Name, i, err)
 		}
 		q.shards = append(q.shards, sh)
 	}
@@ -165,22 +213,25 @@ func Attach(h *pmem.Heap, rootSlot int) (*Queue, error) {
 }
 
 // Shards reports the shard count.
-func (q *Queue) Shards() int { return len(q.shards) }
+func (q *Front) Shards() int { return len(q.shards) }
 
-// Shard returns the i'th underlying DSS queue (test access).
-func (q *Queue) Shard(i int) *core.Queue { return q.shards[i] }
+// Shard returns the i'th underlying object (test access).
+func (q *Front) Shard(i int) dss.Object { return q.shards[i] }
 
-// Threads reports the number of processes the queue was built for.
-func (q *Queue) Threads() int { return q.threads }
+// Type reports the object type the front was built over.
+func (q *Front) Type() dss.Type { return q.typ }
+
+// Threads reports the number of processes the front was built for.
+func (q *Front) Threads() int { return q.threads }
 
 // Heap returns the underlying heap.
-func (q *Queue) Heap() *pmem.Heap { return q.h }
+func (q *Front) Heap() *pmem.Heap { return q.h }
 
 // SetTracer installs t (nil to remove). Not safe to call concurrently
 // with operations.
-func (q *Queue) SetTracer(t Tracer) { q.tracer = t }
+func (q *Front) SetTracer(t Tracer) { q.tracer = t }
 
-func (q *Queue) cursorAddr(tid int) pmem.Addr {
+func (q *Front) cursorAddr(tid int) pmem.Addr {
 	return q.curBase + pmem.Addr(tid*pmem.WordsPerLine)
 }
 
@@ -190,116 +241,116 @@ func (q *Queue) cursorAddr(tid int) pmem.Addr {
 // routed shard. The shard's own X[tid] must already be persisted: X
 // first, cursor second is what makes a crash between the two resolve as
 // "the new prep never happened" rather than as a dangling route.
-func (q *Queue) moveRoute(tid, s, rr int) {
+func (q *Front) moveRoute(tid, s, rr int) {
 	cur := q.cursorAddr(tid)
 	prev := q.h.Load(cur + curRoute)
 	q.h.Store(cur+curRoute, uint64(s+1))
 	q.h.Store(cur+pmem.Addr(rr), uint64((s+1)%len(q.shards)))
 	q.h.Persist(cur)
 	if p := int(prev) - 1; p >= 0 && p != s {
-		q.shards[p].AbandonPrep(tid)
+		q.shards[p].Abandon(tid)
 	}
 }
 
-// PrepEnqueue dispatches a detectable prep-enqueue to the next shard in
-// tid's round-robin order.
-func (q *Queue) PrepEnqueue(tid int, v uint64) error {
-	s := int(q.h.Load(q.cursorAddr(tid)+curEnqRR)) % len(q.shards)
-	if q.tracer != nil {
-		q.tracer.OpBegin(s, tid, spec.PrepOp(spec.Enqueue(v)))
+// Prep dispatches a detectable prep to the next shard in tid's
+// round-robin order for the operation's kind (Axiom 1 for the
+// composition).
+func (q *Front) Prep(tid int, op dss.Op) error {
+	if op.Kind == dss.Remove {
+		q.prepRemoveOn(tid, int(q.h.Load(q.cursorAddr(tid)+curRemRR))%len(q.shards))
+		q.last[tid] = dss.Remove
+		return nil
 	}
-	if err := q.shards[s].PrepEnqueue(tid, v); err != nil {
+	s := int(q.h.Load(q.cursorAddr(tid)+curInsRR)) % len(q.shards)
+	if q.tracer != nil {
+		q.tracer.OpBegin(s, tid, spec.PrepOp(q.typ.SpecOp(op)))
+	}
+	if err := q.shards[s].Prep(tid, op); err != nil {
 		return err
 	}
-	q.moveRoute(tid, s, curEnqRR)
+	q.moveRoute(tid, s, curInsRR)
 	if q.tracer != nil {
 		q.tracer.OpEnd(s, tid, spec.BottomResp())
 	}
+	q.last[tid] = dss.Insert
 	return nil
 }
 
-// ExecEnqueue executes the enqueue prepared by the last PrepEnqueue on
-// whichever shard it was routed to.
-func (q *Queue) ExecEnqueue(tid int) {
-	r := q.h.Load(q.cursorAddr(tid) + curRoute)
-	if r == 0 {
-		return
-	}
-	s := int(r) - 1
+// prepRemoveOn runs a shard-level remove prep on shard s and routes tid
+// there, advancing the remove round-robin hint.
+func (q *Front) prepRemoveOn(tid, s int) {
 	if q.tracer != nil {
-		q.tracer.OpBegin(s, tid, spec.ExecOp(spec.Enqueue(q.shards[s].Resolve(tid).Arg)))
+		q.tracer.OpBegin(s, tid, spec.PrepOp(q.typ.SpecOp(dss.Op{Kind: dss.Remove})))
 	}
-	q.shards[s].ExecEnqueue(tid)
-	if q.tracer != nil {
-		q.tracer.OpEnd(s, tid, spec.AckResp())
-	}
-}
-
-// prepDeqOn runs a shard-level prep-dequeue on shard s and routes tid
-// there, advancing the dequeue round-robin hint.
-func (q *Queue) prepDeqOn(tid, s int) {
-	if q.tracer != nil {
-		q.tracer.OpBegin(s, tid, spec.PrepOp(spec.Dequeue()))
-	}
-	q.shards[s].PrepDequeue(tid)
-	q.moveRoute(tid, s, curDeqRR)
+	// The shard-level remove prep cannot fail (it only writes X[tid]).
+	_ = q.shards[s].Prep(tid, dss.Op{Kind: dss.Remove})
+	q.moveRoute(tid, s, curRemRR)
 	if q.tracer != nil {
 		q.tracer.OpEnd(s, tid, spec.BottomResp())
 	}
 }
 
-// PrepDequeue dispatches a detectable prep-dequeue to the next shard in
-// tid's dequeue round-robin order.
-func (q *Queue) PrepDequeue(tid int) {
-	q.prepDeqOn(tid, int(q.h.Load(q.cursorAddr(tid)+curDeqRR))%len(q.shards))
-}
-
-// ExecDequeue executes the dequeue prepared by the last PrepDequeue. If
-// the routed shard is empty it re-prepares on the next shard and retries,
-// scanning at most one full cycle; EMPTY is returned only after every
-// shard reported empty during the scan (the relaxed emptiness of the
-// composition — see DESIGN.md). Each retry is a fresh shard-level
+// Exec executes the operation prepared by tid's last Prep on whichever
+// shard it was routed to (Axiom 2 for the composition). For a remove, if
+// the routed shard is empty it re-prepares on the next shard and
+// retries, scanning at most one full cycle; EMPTY is returned only after
+// every shard reported empty during the scan (the relaxed emptiness of
+// the composition — see DESIGN.md). Each retry is a fresh shard-level
 // prep/exec pair, so the persisted route always names the shard whose
 // X[tid] records this operation's effect, and a crash anywhere in the
 // scan resolves to exactly-once semantics: values claimed by an
 // interrupted exec are recovered by that shard's resolve, and abandoned
 // intermediate EMPTY observations removed nothing from any shard.
-func (q *Queue) ExecDequeue(tid int) (uint64, bool) {
+func (q *Front) Exec(tid int) (dss.Resp, error) {
 	r := q.h.Load(q.cursorAddr(tid) + curRoute)
 	if r == 0 {
-		return 0, false
+		return dss.Resp{}, nil
 	}
 	s := int(r) - 1
+	if q.last[tid] != dss.Remove {
+		if q.tracer != nil {
+			op, _, _ := q.shards[s].Resolve(tid)
+			q.tracer.OpBegin(s, tid, spec.ExecOp(q.typ.SpecOp(op)))
+		}
+		resp, err := q.shards[s].Exec(tid)
+		if q.tracer != nil {
+			q.tracer.OpEnd(s, tid, spec.AckResp())
+		}
+		return resp, err
+	}
 	n := len(q.shards)
 	for i := 0; ; i++ {
 		if q.tracer != nil {
-			q.tracer.OpBegin(s, tid, spec.ExecOp(spec.Dequeue()))
+			q.tracer.OpBegin(s, tid, spec.ExecOp(q.typ.SpecOp(dss.Op{Kind: dss.Remove})))
 		}
-		v, ok := q.shards[s].ExecDequeue(tid)
-		if ok {
+		resp, err := q.shards[s].Exec(tid)
+		if err != nil {
+			return dss.Resp{}, err
+		}
+		if resp.Kind == dss.Val {
 			if q.tracer != nil {
-				q.tracer.OpEnd(s, tid, spec.ValResp(v))
+				q.tracer.OpEnd(s, tid, spec.ValResp(resp.Val))
 			}
-			return v, true
+			return resp, nil
 		}
 		if q.tracer != nil {
 			q.tracer.OpEnd(s, tid, spec.EmptyResp())
 		}
 		if i == n-1 {
-			return 0, false
+			return dss.Resp{Kind: dss.Empty}, nil
 		}
 		s = (s + 1) % n
-		q.prepDeqOn(tid, s)
+		q.prepRemoveOn(tid, s)
 	}
 }
 
 // Resolve reports tid's most recently prepared detectable operation by
 // delegating to the shard the persisted route names (Axiom 3 for the
 // composition: exactly one shard holds the operation's record).
-func (q *Queue) Resolve(tid int) core.Resolution {
+func (q *Front) Resolve(tid int) (dss.Op, dss.Resp, bool) {
 	r := q.h.Load(q.cursorAddr(tid) + curRoute)
 	if r == 0 {
-		return core.Resolution{Op: core.OpNone}
+		return dss.Op{}, dss.Resp{}, false
 	}
 	return q.shards[r-1].Resolve(tid)
 }
@@ -308,52 +359,71 @@ func (q *Queue) Resolve(tid int) core.Resolution {
 // detectable operation, or -1 if none — the persisted cursor the
 // composition's Resolve delegates through (test and recovery-audit
 // access).
-func (q *Queue) Route(tid int) int {
+func (q *Front) Route(tid int) int {
 	return int(q.h.Load(q.cursorAddr(tid)+curRoute)) - 1
 }
 
-// Enqueue is the non-detectable enqueue: round-robin dispatch with a
-// volatile cursor update (the hint needs no flush — after a crash the
-// round-robin order restarts from the last persisted hint, which affects
-// only load spread, never safety).
-func (q *Queue) Enqueue(tid int, v uint64) error {
+// Invoke applies op non-detectably (Axiom 4 for the composition):
+// round-robin dispatch with a volatile cursor update (the hint needs no
+// flush — after a crash the round-robin order restarts from the last
+// persisted hint, which affects only load spread, never safety). A
+// remove scans one full cycle from the cursor, returning EMPTY only if
+// every shard reported empty.
+func (q *Front) Invoke(tid int, op dss.Op) (dss.Resp, error) {
 	cur := q.cursorAddr(tid)
-	s := int(q.h.Load(cur+curEnqRR)) % len(q.shards)
-	if err := q.shards[s].Enqueue(tid, v); err != nil {
-		return err
+	if op.Kind == dss.Remove {
+		s := int(q.h.Load(cur+curRemRR)) % len(q.shards)
+		for i := 0; i < len(q.shards); i++ {
+			resp, err := q.shards[s].Invoke(tid, op)
+			if err != nil {
+				return dss.Resp{}, err
+			}
+			if resp.Kind == dss.Val {
+				q.h.Store(cur+curRemRR, uint64((s+1)%len(q.shards)))
+				return resp, nil
+			}
+			s = (s + 1) % len(q.shards)
+		}
+		return dss.Resp{Kind: dss.Empty}, nil
 	}
-	q.h.Store(cur+curEnqRR, uint64((s+1)%len(q.shards)))
-	return nil
+	s := int(q.h.Load(cur+curInsRR)) % len(q.shards)
+	resp, err := q.shards[s].Invoke(tid, op)
+	if err != nil {
+		return dss.Resp{}, err
+	}
+	q.h.Store(cur+curInsRR, uint64((s+1)%len(q.shards)))
+	return resp, nil
 }
 
-// Dequeue is the non-detectable dequeue: scan one full cycle from the
-// cursor, returning EMPTY only if every shard reported empty.
-func (q *Queue) Dequeue(tid int) (uint64, bool) {
+// Abandon withdraws tid's prepared-but-unexecuted operation from the
+// composition: the persisted route is cleared first (so no crash can
+// resurrect the intent through it), then the routed shard's own Abandon
+// reclaims the shard-level state.
+func (q *Front) Abandon(tid int) {
 	cur := q.cursorAddr(tid)
-	s := int(q.h.Load(cur+curDeqRR)) % len(q.shards)
-	for i := 0; i < len(q.shards); i++ {
-		if v, ok := q.shards[s].Dequeue(tid); ok {
-			q.h.Store(cur+curDeqRR, uint64((s+1)%len(q.shards)))
-			return v, true
-		}
-		s = (s + 1) % len(q.shards)
+	r := q.h.Load(cur + curRoute)
+	if r == 0 {
+		return
 	}
-	return 0, false
+	q.h.Store(cur+curRoute, 0)
+	q.h.Persist(cur)
+	q.shards[r-1].Abandon(tid)
+	q.last[tid] = dss.None
 }
 
 // Recover restores the composition after a crash: the single-threaded
-// per-shard recovery procedure of Section 3.2 runs across shards in
-// parallel (shards share nothing but the heap, whose primitives are
-// atomic), then stale prepared operations on non-routed shards — preps
-// that were superseded before the crash but whose eager AbandonPrep never
-// ran — are withdrawn deterministically, so post-recovery state depends
-// only on the persisted image, never on where the crash interrupted
-// cleanup.
-func (q *Queue) Recover() {
+// per-shard recovery procedure runs across shards in parallel (shards
+// share nothing but the heap, whose primitives are atomic), then stale
+// prepared operations on non-routed shards — preps that were superseded
+// before the crash but whose eager Abandon never ran — are withdrawn
+// deterministically, so post-recovery state depends only on the
+// persisted image, never on where the crash interrupted cleanup.
+// Single-threaded and idempotent, like the per-shard procedures.
+func (q *Front) Recover() {
 	var wg sync.WaitGroup
 	for _, sh := range q.shards {
 		wg.Add(1)
-		go func(sh *core.Queue) {
+		go func(sh dss.Object) {
 			defer wg.Done()
 			sh.Recover()
 		}(sh)
@@ -363,17 +433,36 @@ func (q *Queue) Recover() {
 		r := int(q.h.Load(q.cursorAddr(tid) + curRoute))
 		for i, sh := range q.shards {
 			if i != r-1 {
-				sh.AbandonPrep(tid)
+				sh.Abandon(tid)
 			}
 		}
 	}
+	q.refreshHints()
 }
 
-// ResetVolatile rebuilds the volatile companions of every shard without
-// touching persistent state (the full-system crash of the conformance
-// tests).
-func (q *Queue) ResetVolatile() {
+// ResetVolatile rebuilds the volatile companions of every shard and the
+// front's own dispatch hints without touching persistent state (the
+// full-system crash of the conformance tests).
+func (q *Front) ResetVolatile() {
 	for _, sh := range q.shards {
 		sh.ResetVolatile()
+	}
+	q.refreshHints()
+}
+
+// refreshHints re-derives the front's volatile dispatch hints from the
+// persisted routes (recovery-time only; never on the measured hot path).
+func (q *Front) refreshHints() {
+	for tid := 0; tid < q.threads; tid++ {
+		r := q.h.Load(q.cursorAddr(tid) + curRoute)
+		if r == 0 {
+			q.last[tid] = dss.None
+			continue
+		}
+		if op, _, ok := q.shards[r-1].Resolve(tid); ok {
+			q.last[tid] = op.Kind
+		} else {
+			q.last[tid] = dss.None
+		}
 	}
 }

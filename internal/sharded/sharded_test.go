@@ -5,29 +5,57 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 )
 
-func newTestQueue(t *testing.T, shards, threads int) (*Queue, *pmem.Heap) {
+var (
+	insertOf = func(v uint64) dss.Op { return dss.Op{Kind: dss.Insert, Arg: v} }
+	remove   = dss.Op{Kind: dss.Remove}
+)
+
+func newTestQueue(t *testing.T, shards, threads int) (*Front, *pmem.Heap) {
 	t.Helper()
 	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
 	if err != nil {
 		t.Fatalf("pmem.New: %v", err)
 	}
-	q, err := New(h, 0, Config{Shards: shards, Threads: threads, NodesPerThread: 64, ExtraNodes: 16})
+	q, err := New(h, 0, dss.QueueType, Config{Shards: shards, Threads: threads, NodesPerThread: 64, ExtraNodes: 16})
 	if err != nil {
 		t.Fatalf("sharded.New: %v", err)
 	}
 	return q, h
 }
 
-// drainAll empties the queue non-detectably and returns the values sorted
+// coreShard unwraps shard i's adapter to the concrete DSS queue (for
+// assertions on pool bookkeeping and shard-level records).
+func coreShard(t *testing.T, q *Front, i int) *core.Queue {
+	t.Helper()
+	acc, ok := q.Shard(i).(interface{ Queue() *core.Queue })
+	if !ok {
+		t.Fatalf("shard %d is not a queue adapter: %T", i, q.Shard(i))
+	}
+	return acc.Queue()
+}
+
+// invoke runs a non-detectable operation on obj, failing the test on a
+// transport-level error.
+func invoke(t *testing.T, obj dss.Object, tid int, op dss.Op) (uint64, bool) {
+	t.Helper()
+	resp, err := obj.Invoke(tid, op)
+	if err != nil {
+		t.Fatalf("Invoke(%d, %v): %v", tid, op, err)
+	}
+	return resp.Val, resp.Kind == dss.Val
+}
+
+// drainAll empties the front non-detectably and returns the values sorted
 // (global order across shards is relaxed, so only the multiset is stable).
-func drainAll(t *testing.T, q *Queue, tid int) []uint64 {
+func drainAll(t *testing.T, q *Front, tid int) []uint64 {
 	t.Helper()
 	var out []uint64
 	for i := 0; i < 100_000; i++ {
-		v, ok := q.Dequeue(tid)
+		v, ok := invoke(t, q, tid, remove)
 		if !ok {
 			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 			return out
@@ -40,14 +68,19 @@ func drainAll(t *testing.T, q *Queue, tid int) []uint64 {
 
 func TestNewValidation(t *testing.T) {
 	h, _ := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
-	if _, err := New(h, 0, Config{Shards: 0, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+	if _, err := New(h, 0, dss.QueueType, Config{Shards: 0, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
 		t.Fatal("accepted zero shards")
 	}
-	if _, err := New(h, 0, Config{Shards: 1, Threads: 0, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+	if _, err := New(h, 0, dss.QueueType, Config{Shards: 1, Threads: 0, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
 		t.Fatal("accepted zero threads")
 	}
-	if _, err := New(h, 0, Config{Shards: pmem.NumRoots, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+	if _, err := New(h, 0, dss.QueueType, Config{Shards: pmem.NumRoots, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
 		t.Fatal("accepted shard count exceeding root slots")
+	}
+	// Multi-root-slot types stride their claims: too many cwe shards must
+	// be rejected even when the same count of single-slot shards fits.
+	if _, err := New(h, 0, dss.CWEFastType, Config{Shards: pmem.NumRoots / 2, Threads: 1, NodesPerThread: 4, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted cwe shard count exceeding strided root slots")
 	}
 }
 
@@ -55,8 +88,8 @@ func TestNonDetectableRoundTrip(t *testing.T) {
 	q, _ := newTestQueue(t, 4, 2)
 	var want []uint64
 	for v := uint64(1); v <= 20; v++ {
-		if err := q.Enqueue(0, v); err != nil {
-			t.Fatalf("Enqueue(%d): %v", v, err)
+		if _, err := q.Invoke(0, insertOf(v)); err != nil {
+			t.Fatalf("Invoke insert(%d): %v", v, err)
 		}
 		want = append(want, v)
 	}
@@ -72,19 +105,19 @@ func TestNonDetectableRoundTrip(t *testing.T) {
 }
 
 // TestEnqueueSpreadsAcrossShards checks the round-robin dispatch: 4×k
-// enqueues from one thread must land k on each of 4 shards.
+// inserts from one thread must land k on each of 4 shards.
 func TestEnqueueSpreadsAcrossShards(t *testing.T) {
 	q, _ := newTestQueue(t, 4, 1)
 	const perShard = 5
 	for v := uint64(0); v < 4*perShard; v++ {
-		if err := q.Enqueue(0, 1000+v); err != nil {
+		if _, err := q.Invoke(0, insertOf(1000+v)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < q.Shards(); i++ {
 		n := 0
 		for {
-			if _, ok := q.Shard(i).Dequeue(0); !ok {
+			if _, ok := invoke(t, q.Shard(i), 0, remove); !ok {
 				break
 			}
 			n++
@@ -101,15 +134,16 @@ func TestPerShardFIFO(t *testing.T) {
 	q, _ := newTestQueue(t, 3, 1)
 	const rounds = 7
 	for v := uint64(0); v < 3*rounds; v++ {
-		if err := q.Enqueue(0, v); err != nil {
+		if _, err := q.Invoke(0, insertOf(v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Thread 0's enqRR starts at 0%3 = 0, so value v lands on shard v%3.
+	// Thread 0's insert cursor starts at 0%3 = 0, so value v lands on
+	// shard v%3.
 	for i := 0; i < 3; i++ {
 		var got []uint64
 		for {
-			v, ok := q.Shard(i).Dequeue(0)
+			v, ok := invoke(t, q.Shard(i), 0, remove)
 			if !ok {
 				break
 			}
@@ -126,60 +160,107 @@ func TestPerShardFIFO(t *testing.T) {
 	}
 }
 
+// TestPerShardLIFO is TestPerShardFIFO's mirror for the stack object: the
+// same generic front, instantiated with dss.StackType, must give LIFO
+// order per shard.
+func TestPerShardLIFO(t *testing.T) {
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := New(h, 0, dss.StackType, Config{Shards: 3, Threads: 1, NodesPerThread: 64, ExtraNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 7
+	for v := uint64(0); v < 3*rounds; v++ {
+		if _, err := q.Invoke(0, insertOf(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var got []uint64
+		for {
+			v, ok := invoke(t, q.Shard(i), 0, remove)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != rounds {
+			t.Fatalf("shard %d: %d values, want %d", i, len(got), rounds)
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j] >= got[j-1] {
+				t.Fatalf("shard %d: LIFO inversion %v", i, got)
+			}
+		}
+	}
+}
+
 func TestDetectablePrepExecResolve(t *testing.T) {
 	q, _ := newTestQueue(t, 2, 1)
 
-	if err := q.PrepEnqueue(0, 41); err != nil {
+	if err := q.Prep(0, insertOf(41)); err != nil {
 		t.Fatal(err)
 	}
-	if res := q.Resolve(0); res.Op != core.OpEnqueue || res.Executed {
-		t.Fatalf("after prep: %+v", res)
+	if op, resp, ok := q.Resolve(0); !ok || op.Kind != dss.Insert || resp.Kind != dss.NoResp {
+		t.Fatalf("after prep: op %v resp %v ok %v", op, resp, ok)
 	}
-	q.ExecEnqueue(0)
-	if res := q.Resolve(0); res.Op != core.OpEnqueue || !res.Executed || res.Arg != 41 {
-		t.Fatalf("after exec: %+v", res)
+	if _, err := q.Exec(0); err != nil {
+		t.Fatal(err)
+	}
+	if op, resp, ok := q.Resolve(0); !ok || op.Kind != dss.Insert || op.Arg != 41 || resp.Kind != dss.Ack {
+		t.Fatalf("after exec: op %v resp %v ok %v", op, resp, ok)
 	}
 
-	q.PrepDequeue(0)
-	if res := q.Resolve(0); res.Op != core.OpDequeue || res.Executed {
-		t.Fatalf("after deq prep: %+v", res)
+	if err := q.Prep(0, remove); err != nil {
+		t.Fatal(err)
 	}
-	v, ok := q.ExecDequeue(0)
-	if !ok || v != 41 {
-		t.Fatalf("ExecDequeue = (%d, %v), want (41, true)", v, ok)
+	if op, resp, ok := q.Resolve(0); !ok || op.Kind != dss.Remove || resp.Kind != dss.NoResp {
+		t.Fatalf("after remove prep: op %v resp %v ok %v", op, resp, ok)
 	}
-	if res := q.Resolve(0); res.Op != core.OpDequeue || !res.Executed || res.Val != 41 {
-		t.Fatalf("after deq exec: %+v", res)
+	resp, err := q.Exec(0)
+	if err != nil || resp.Kind != dss.Val || resp.Val != 41 {
+		t.Fatalf("Exec = (%v, %v), want Val 41", resp, err)
+	}
+	if op, resp, ok := q.Resolve(0); !ok || op.Kind != dss.Remove || resp.Kind != dss.Val || resp.Val != 41 {
+		t.Fatalf("after remove exec: op %v resp %v ok %v", op, resp, ok)
 	}
 }
 
 // TestDequeueScansPastEmptyShards: with the value sitting on a shard the
-// dequeue cursor does not start at, the scan must find it, and EMPTY must
-// be reported only on a fully empty queue.
+// remove cursor does not start at, the scan must find it, and EMPTY must
+// be reported only on a fully empty front.
 func TestDequeueScansPastEmptyShards(t *testing.T) {
 	q, _ := newTestQueue(t, 4, 1)
-	// enqRR starts at 0: the single value lands on shard 0. Push deqRR
-	// past it so the scan has to wrap.
-	if err := q.PrepEnqueue(0, 77); err != nil {
+	// The insert cursor starts at 0: the single value lands on shard 0.
+	if err := q.Prep(0, insertOf(77)); err != nil {
 		t.Fatal(err)
 	}
-	q.ExecEnqueue(0)
-
-	q.PrepDequeue(0) // shard 0 — but drain shard order forward:
-	// move the prepared dequeue off the value's shard by executing a
-	// scan on an empty region first: re-prep on shard 1 manually.
-	q.prepDeqOn(0, 1)
-	v, ok := q.ExecDequeue(0)
-	if !ok || v != 77 {
-		t.Fatalf("scan ExecDequeue = (%d, %v), want (77, true)", v, ok)
+	if _, err := q.Exec(0); err != nil {
+		t.Fatal(err)
 	}
 
-	q.PrepDequeue(0)
-	if _, ok := q.ExecDequeue(0); ok {
-		t.Fatal("dequeue on empty queue returned a value")
+	if err := q.Prep(0, remove); err != nil { // shard 0 — but force a wrap:
+		t.Fatal(err)
 	}
-	if res := q.Resolve(0); res.Op != core.OpDequeue || !res.Executed || !res.Empty {
-		t.Fatalf("resolve after empty dequeue: %+v", res)
+	// Move the prepared remove off the value's shard so the scan has to
+	// walk past empty shards to find it.
+	q.prepRemoveOn(0, 1)
+	resp, err := q.Exec(0)
+	if err != nil || resp.Kind != dss.Val || resp.Val != 77 {
+		t.Fatalf("scan Exec = (%v, %v), want Val 77", resp, err)
+	}
+
+	if err := q.Prep(0, remove); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := q.Exec(0); err != nil || resp.Kind != dss.Empty {
+		t.Fatalf("remove on empty front = (%v, %v), want Empty", resp, err)
+	}
+	if op, resp, ok := q.Resolve(0); !ok || op.Kind != dss.Remove || resp.Kind != dss.Empty {
+		t.Fatalf("resolve after empty remove: op %v resp %v ok %v", op, resp, ok)
 	}
 }
 
@@ -188,25 +269,49 @@ func TestDequeueScansPastEmptyShards(t *testing.T) {
 // node returns to A's pool and A's X no longer reports an operation.
 func TestStalePrepAbandoned(t *testing.T) {
 	q, _ := newTestQueue(t, 2, 1)
-	if err := q.PrepEnqueue(0, 1); err != nil { // shard 0
+	if err := q.Prep(0, insertOf(1)); err != nil { // shard 0
 		t.Fatal(err)
 	}
-	free0 := q.Shard(0).FreeNodes()
-	if err := q.PrepEnqueue(0, 2); err != nil { // shard 1; abandons shard 0's prep
+	free0 := coreShard(t, q, 0).FreeNodes()
+	if err := q.Prep(0, insertOf(2)); err != nil { // shard 1; abandons shard 0's prep
 		t.Fatal(err)
 	}
-	if got := q.Shard(0).FreeNodes(); got != free0+1 {
+	if got := coreShard(t, q, 0).FreeNodes(); got != free0+1 {
 		t.Fatalf("shard 0 free nodes = %d, want %d (abandoned node returned)", got, free0+1)
 	}
-	if res := q.Shard(0).Resolve(0); res.Op != core.OpNone {
+	if res := coreShard(t, q, 0).Resolve(0); res.Op != core.OpNone {
 		t.Fatalf("shard 0 still holds a record: %+v", res)
 	}
-	if res := q.Resolve(0); res.Op != core.OpEnqueue || res.Arg != 2 {
-		t.Fatalf("composition resolve = %+v, want prepared enqueue(2)", res)
+	if op, _, ok := q.Resolve(0); !ok || op.Kind != dss.Insert || op.Arg != 2 {
+		t.Fatalf("composition resolve = %v ok %v, want prepared insert(2)", op, ok)
 	}
-	q.ExecEnqueue(0)
+	if _, err := q.Exec(0); err != nil {
+		t.Fatal(err)
+	}
 	if got := drainAll(t, q, 0); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("contents = %v, want [2] (abandoned value must not appear)", got)
+	}
+}
+
+// TestFrontAbandonClearsRoute: the composition's own Abandon must clear
+// the persisted route and the routed shard's record.
+func TestFrontAbandonClearsRoute(t *testing.T) {
+	q, _ := newTestQueue(t, 2, 1)
+	if err := q.Prep(0, insertOf(9)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Route(0) < 0 {
+		t.Fatal("prep left no route")
+	}
+	q.Abandon(0)
+	if r := q.Route(0); r != -1 {
+		t.Fatalf("route after Abandon = %d, want -1", r)
+	}
+	if _, _, ok := q.Resolve(0); ok {
+		t.Fatal("Resolve still reports an operation after Abandon")
+	}
+	if got := drainAll(t, q, 0); len(got) != 0 {
+		t.Fatalf("contents = %v, want empty (abandoned value must not appear)", got)
 	}
 }
 
@@ -217,13 +322,15 @@ func TestAttachRecover(t *testing.T) {
 	q, h := newTestQueue(t, 3, 2)
 	for v := uint64(1); v <= 9; v++ {
 		tid := int(v) % 2
-		if err := q.PrepEnqueue(tid, v); err != nil {
+		if err := q.Prep(tid, insertOf(v)); err != nil {
 			t.Fatal(err)
 		}
-		q.ExecEnqueue(tid)
+		if _, err := q.Exec(tid); err != nil {
+			t.Fatal(err)
+		}
 	}
-	// A prepared-but-unexecuted enqueue rides into the crash.
-	if err := q.PrepEnqueue(0, 100); err != nil {
+	// A prepared-but-unexecuted insert rides into the crash.
+	if err := q.Prep(0, insertOf(100)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -232,14 +339,14 @@ func TestAttachRecover(t *testing.T) {
 	h.ArmCrash(1)
 	func() {
 		defer func() { _ = recover() }()
-		q.Enqueue(0, 999) // trips the armed crash on its first step
+		_, _ = q.Invoke(0, insertOf(999)) // trips the armed crash on its first step
 	}()
 	if !h.Crashed() {
 		t.Fatal("crash did not trigger")
 	}
 	h.Crash(pmem.KeepAll{})
 
-	q2, err := Attach(h, 0)
+	q2, err := Attach(h, 0, dss.QueueType)
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -248,12 +355,14 @@ func TestAttachRecover(t *testing.T) {
 	}
 	q2.Recover()
 
-	res := q2.Resolve(0)
-	if res.Op != core.OpEnqueue || res.Arg != 100 || res.Executed {
-		t.Fatalf("resolve(0) = %+v, want unexecuted enqueue(100)", res)
+	op, resp, ok := q2.Resolve(0)
+	if !ok || op.Kind != dss.Insert || op.Arg != 100 || resp.Kind != dss.NoResp {
+		t.Fatalf("resolve(0) = %v %v ok %v, want unexecuted insert(100)", op, resp, ok)
 	}
 	// Complete the in-flight op, then check the multiset.
-	q2.ExecEnqueue(0)
+	if _, err := q2.Exec(0); err != nil {
+		t.Fatal(err)
+	}
 	got := drainAll(t, q2, 1)
 	want := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
 	if len(got) != len(want) {
@@ -266,6 +375,25 @@ func TestAttachRecover(t *testing.T) {
 	}
 }
 
+// TestAttachRejectsTypeMismatch: a front persisted over one object type
+// must refuse to re-attach as another (the packed type code guards it),
+// and types without an Attach hook must be refused outright.
+func TestAttachRejectsTypeMismatch(t *testing.T) {
+	h, err := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(h, 0, dss.StackType, Config{Shards: 2, Threads: 1, NodesPerThread: 8, ExtraNodes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(h, 0, dss.QueueType); err == nil {
+		t.Fatal("Attach accepted a queue handle over a stack image")
+	}
+	if _, err := Attach(h, 0, dss.StackType); err == nil {
+		t.Fatal("Attach accepted a type with no re-attachment support")
+	}
+}
+
 // TestRecoverClearsStaleNonRoutePreps: crash with an eager abandon still
 // pending (stale X on a non-routed shard) must be cleaned deterministically
 // by Recover.
@@ -273,41 +401,41 @@ func TestRecoverClearsStaleNonRoutePreps(t *testing.T) {
 	q, h := newTestQueue(t, 2, 1)
 	// Prep directly on shard 0 without going through the front-end, then
 	// route to shard 1 via the front-end: simulates a crash that landed
-	// between the cursor persist and the eager AbandonPrep.
-	if err := q.Shard(0).PrepEnqueue(0, 50); err != nil {
+	// between the cursor persist and the eager Abandon.
+	if err := q.Shard(0).Prep(0, insertOf(50)); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.PrepEnqueue(0, 51); err != nil { // dispatches to shard 0...
+	if err := q.Prep(0, insertOf(51)); err != nil { // dispatches to shard 0...
 		t.Fatal(err)
 	}
-	// enqRR for tid 0 starts at 0, so that went to shard 0 and replaced
-	// the orphan prep itself. Prepare once more to land on shard 1 and
-	// leave shard 0's record stale.
-	if err := q.PrepEnqueue(0, 52); err != nil {
+	// The insert cursor for tid 0 starts at 0, so that went to shard 0 and
+	// replaced the orphan prep itself. Prepare once more to land on shard
+	// 1 and leave shard 0's record stale.
+	if err := q.Prep(0, insertOf(52)); err != nil {
 		t.Fatal(err)
 	}
 	// Now shard 0's X was abandoned eagerly. Re-create the stale state
 	// behind the front-end's back:
-	if err := q.Shard(0).PrepEnqueue(0, 53); err != nil {
+	if err := q.Shard(0).Prep(0, insertOf(53)); err != nil {
 		t.Fatal(err)
 	}
 
 	h.ArmCrash(1)
 	func() {
 		defer func() { _ = recover() }()
-		_ = q.Enqueue(0, 999)
+		_, _ = q.Invoke(0, insertOf(999))
 	}()
 	h.Crash(pmem.KeepAll{})
 
-	q2, err := Attach(h, 0)
+	q2, err := Attach(h, 0, dss.QueueType)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q2.Recover()
-	if res := q2.Shard(0).Resolve(0); res.Op != core.OpNone {
+	if res := coreShard(t, q2, 0).Resolve(0); res.Op != core.OpNone {
 		t.Fatalf("stale shard-0 record survived recovery: %+v", res)
 	}
-	if res := q2.Resolve(0); res.Op != core.OpEnqueue || res.Arg != 52 {
-		t.Fatalf("route resolve = %+v, want enqueue(52)", res)
+	if op, _, ok := q2.Resolve(0); !ok || op.Kind != dss.Insert || op.Arg != 52 {
+		t.Fatalf("route resolve = %v ok %v, want insert(52)", op, ok)
 	}
 }

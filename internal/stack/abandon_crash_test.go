@@ -1,0 +1,210 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// abandonSweepAdversaries mirrors the queue's abandon sweep suite: the
+// canonical dirty-line set plus biased schedules, under which most lines
+// share one fate but a few defect.
+func abandonSweepAdversaries(seed int64) []pmem.Adversary {
+	return append(pmem.Adversaries(seed),
+		pmem.NewBiasedFates(seed+10, 0.25),
+		pmem.NewBiasedFates(seed+11, 0.75))
+}
+
+func mustPush(t *testing.T, s *Stack, tid int, v uint64) {
+	t.Helper()
+	if err := s.Push(tid, v); err != nil {
+		t.Fatalf("Push(%d): %v", v, err)
+	}
+}
+
+// TestAbandonPrepCrashSweepPush injects a crash at every primitive memory
+// step of the abandon-then-re-prepare sequence
+//
+//	PrepPush(99); AbandonPrep; PrepPush(7); ExecPush; PrepPop; ExecPop
+//
+// under every adversary, then recovers and checks that the withdrawn
+// prepared push can never be resurrected: once AbandonPrep has returned,
+// Resolve never reports the abandoned operation again (in any state), and
+// the value 99 never reaches the stack — while the re-prepared
+// operation's resolution stays consistent with the stack's contents. This
+// is the stack edition of the queue's exhaustive abandon sweep, the
+// withdrawal discipline the sharded front-end leans on when a process
+// re-prepares on another shard.
+func TestAbandonPrepCrashSweepPush(t *testing.T) {
+	for ai, adv := range abandonSweepAdversaries(1) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			s, h := newTestStack(t, 1)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := s.PrepPush(0, 99); err != nil {
+					t.Errorf("adv %d step %d: PrepPush(99): %v", ai, step, err)
+					return
+				}
+				phase = 1
+				s.AbandonPrep(0)
+				phase = 2
+				if err := s.PrepPush(0, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepPush(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				s.ExecPush(0)
+				phase = 4
+				s.PrepPop(0)
+				phase = 5
+				s.ExecPop(0)
+				phase = 6
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break // swept past the workload's end
+			}
+			swept++
+			h.Crash(adv)
+			s.Recover()
+			res := s.Resolve(0)
+
+			// The abandoned prep must never be reported after AbandonPrep
+			// returned, and must never be reported as executed at all.
+			if res.Op == OpPush && res.Arg == 99 {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: abandoned push(99) resolved as executed", ai, step)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: abandoned push(99) resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			// Once abandon returned, resolve may only report nothing or an
+			// operation prepared afterwards: push(7) (a crash can land
+			// inside PrepPush(7) after it persisted the new X), or — once
+			// the workload reached PrepPop — the pop.
+			if phase >= 2 {
+				ok := res.Op == OpNone ||
+					(res.Op == OpPush && res.Arg == 7) ||
+					(res.Op == OpPop && phase >= 4)
+				if !ok {
+					t.Fatalf("adv %d step %d: resolve after abandon (phase %d) = %+v",
+						ai, step, phase, res)
+				}
+			}
+
+			drained := drainStack(t, s, 0)
+			for _, v := range drained {
+				if v == 99 {
+					t.Fatalf("adv %d step %d: abandoned value 99 reached the stack", ai, step)
+				}
+			}
+
+			// Conservation of the re-prepared value: its push's and pop's
+			// effectiveness (from the phase reached and the resolution)
+			// must match what the drain found.
+			push7 := phase >= 4 || (res.Op == OpPush && res.Arg == 7 && res.Executed)
+			pop7 := phase >= 6 || (res.Op == OpPop && res.Executed && !res.Empty && res.Val == 7)
+			got7 := len(drained) == 1 && drained[0] == 7
+			if len(drained) > 1 {
+				t.Fatalf("adv %d step %d: drained %v, at most one value ever pushed", ai, step, drained)
+			}
+			switch {
+			case pop7 && got7:
+				t.Fatalf("adv %d step %d: value 7 popped by the workload but still drained", ai, step)
+			case pop7 && !push7:
+				t.Fatalf("adv %d step %d: value 7 popped but its push never took effect", ai, step)
+			case !pop7 && push7 && !got7:
+				t.Fatalf("adv %d step %d: push(7) effective (phase %d, res %+v) but drain found %v",
+					ai, step, phase, res, drained)
+			case !pop7 && !push7 && len(drained) != 0:
+				t.Fatalf("adv %d step %d: nothing effective but drained %v", ai, step, drained)
+			}
+
+			// The recovered stack must still be fully operational.
+			mustPush(t, s, 0, 500)
+			if after := drainStack(t, s, 0); len(after) != 1 || after[0] != 500 {
+				t.Fatalf("adv %d step %d: post-recovery stack broken: %v", ai, step, after)
+			}
+		}
+	}
+}
+
+// TestAbandonPrepCrashSweepPop is the pop-side sweep: a prepared pop is
+// withdrawn, a push is prepared in its place, and a crash at every step
+// must never let recovery resurrect the withdrawn pop after AbandonPrep
+// returned.
+func TestAbandonPrepCrashSweepPop(t *testing.T) {
+	for ai, adv := range abandonSweepAdversaries(2) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			s, h := newTestStack(t, 1)
+			// A committed backlog gives the withdrawn pop something to
+			// observe; 12 sits on top of 11.
+			mustPush(t, s, 0, 11)
+			mustPush(t, s, 0, 12)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				s.PrepPop(0)
+				phase = 1
+				s.AbandonPrep(0)
+				phase = 2
+				if err := s.PrepPush(0, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepPush(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				s.ExecPush(0)
+				phase = 4
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			h.Crash(adv)
+			s.Recover()
+			res := s.Resolve(0)
+
+			if res.Op == OpPop {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: withdrawn pop resolved as executed (%+v)", ai, step, res)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: withdrawn pop resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			if phase >= 2 && !(res.Op == OpNone || (res.Op == OpPush && res.Arg == 7)) {
+				t.Fatalf("adv %d step %d: resolve after abandon = %+v, want OpNone or push(7)",
+					ai, step, res)
+			}
+
+			// The prepared pop never executed, so the backlog must be
+			// intact, with 7 on top of it iff the push took effect.
+			drained := drainStack(t, s, 0)
+			push7 := phase >= 4 || (res.Op == OpPush && res.Arg == 7 && res.Executed)
+			want := []uint64{12, 11}
+			if push7 {
+				want = []uint64{7, 12, 11}
+			}
+			if len(drained) != len(want) {
+				t.Fatalf("adv %d step %d: drained %v, want %v (phase %d, res %+v)",
+					ai, step, drained, want, phase, res)
+			}
+			for i := range want {
+				if drained[i] != want[i] {
+					t.Fatalf("adv %d step %d: drained %v, want %v", ai, step, drained, want)
+				}
+			}
+		}
+	}
+}

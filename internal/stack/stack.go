@@ -401,9 +401,40 @@ func (r Resolution) Resp() spec.Resp {
 	}
 }
 
+// AbandonPrep withdraws tid's currently prepared-but-unexecuted
+// operation, clearing X[tid] (persisted) and returning the node of an
+// unlinked prepared push to the pool — the withdrawal discipline a
+// multi-shard front-end needs when a process re-prepares on another
+// shard (see core.Queue.AbandonPrep). Calling it while the prepared
+// operation has already executed, or concurrently with the owner's own
+// prep/exec, violates the per-process (A, R) contract; after it returns,
+// Resolve(tid) reports OpNone.
+func (s *Stack) AbandonPrep(tid int) {
+	x := s.h.Load(s.xAddr(tid))
+	if x == 0 {
+		return
+	}
+	// Clear and persist X first so the node is no longer pinned by the
+	// recycling veto and no crash can resurrect the abandoned intent.
+	s.h.Store(s.xAddr(tid), 0)
+	s.h.Persist(s.xAddr(tid))
+	if x&pushPrepTag != 0 && x&pushComplTag == 0 {
+		if node := ptrOf(x); node != 0 {
+			// The prepared push never linked its node: nothing else
+			// references it, so it can return to the pool directly.
+			s.pool.Free(tid, node)
+		}
+	}
+}
+
 // Recover is the stack's centralized recovery: complete a pop whose mark
 // survived in the top pointer, complete push tags, and rebuild the
-// volatile pool. Single-threaded.
+// volatile pool.
+//
+// Contract (shared by core.Queue.Recover and cwe.Queue.Recover): it must
+// run single-threaded, after Heap.Crash and before any thread resumes
+// operations, and it is idempotent — running it again (e.g. after a
+// crash during recovery itself) reproduces the same state.
 func (s *Stack) Recover() {
 	// Pop completion: a persisted mark means the pop linearized before
 	// the crash; write its claim and unlink, exactly as a helper would.
@@ -454,4 +485,11 @@ func (s *Stack) Recover() {
 		}
 	}
 	s.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}
+
+// ResetVolatile re-initializes the stack's volatile companions (EBR)
+// without touching persistent state. It must be called once, before
+// threads resume, by any single caller (see core.Queue.ResetVolatile).
+func (s *Stack) ResetVolatile() {
+	s.rec.Reset()
 }

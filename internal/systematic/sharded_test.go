@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/sharded"
 	"repro/internal/spec"
@@ -16,7 +17,7 @@ type shardRecorder struct {
 	recs []*check.Recorder
 }
 
-func (r *shardRecorder) OpBegin(shard, tid int, op spec.Op)    { r.recs[shard].Begin(tid, op) }
+func (r *shardRecorder) OpBegin(shard, tid int, op spec.Op)   { r.recs[shard].Begin(tid, op) }
 func (r *shardRecorder) OpEnd(shard, tid int, resp spec.Resp) { r.recs[shard].End(tid, resp) }
 
 // TestShardedQueueUnderSchedules model-checks the 2-thread, 2-shard
@@ -32,13 +33,13 @@ func TestShardedQueueUnderSchedules(t *testing.T) {
 	if testing.Short() {
 		maxSchedules = 300
 	}
-	var q *sharded.Queue
+	var q *sharded.Front
 	var tr *shardRecorder
 	var deqGot []uint64
 	setup := func() (*pmem.Heap, []func()) {
 		h := newHeap(t)
 		var err error
-		q, err = sharded.New(h, 0, sharded.Config{
+		q, err = sharded.New(h, 0, dss.QueueType, sharded.Config{
 			Shards: 2, Threads: 2, NodesPerThread: 8, ExtraNodes: 4,
 		})
 		if err != nil {
@@ -49,18 +50,24 @@ func TestShardedQueueUnderSchedules(t *testing.T) {
 		deqGot = nil
 		enqueuer := func() {
 			for _, v := range []uint64{100, 200} {
-				if err := q.PrepEnqueue(0, v); err != nil {
+				if err := q.Prep(0, dss.Op{Kind: dss.Insert, Arg: v}); err != nil {
 					t.Errorf("prep: %v", err)
 					return
 				}
-				q.ExecEnqueue(0)
+				if _, err := q.Exec(0); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
 			}
 		}
 		dequeuer := func() {
 			for i := 0; i < 2; i++ {
-				q.PrepDequeue(1)
-				if v, ok := q.ExecDequeue(1); ok {
-					deqGot = append(deqGot, v)
+				if err := q.Prep(1, dss.Op{Kind: dss.Remove}); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				if resp, err := q.Exec(1); err == nil && resp.Kind == dss.Val {
+					deqGot = append(deqGot, resp.Val)
 				}
 			}
 		}
@@ -72,7 +79,8 @@ func TestShardedQueueUnderSchedules(t *testing.T) {
 		for tid := 0; tid < 2; tid++ {
 			if s := q.Route(tid); s >= 0 {
 				tr.recs[s].Begin(tid, spec.ResolveOp())
-				tr.recs[s].End(tid, q.Resolve(tid).Resp())
+				op, resp, ok := q.Resolve(tid)
+				tr.recs[s].End(tid, dss.QueueType.ResolveResp(op, resp, ok))
 			}
 		}
 		// Drain shard by shard, recording into the shard histories and
@@ -81,10 +89,13 @@ func TestShardedQueueUnderSchedules(t *testing.T) {
 		for s := 0; s < 2; s++ {
 			for {
 				tr.recs[s].Begin(0, spec.Dequeue())
-				v, ok := q.Shard(s).Dequeue(0)
-				if ok {
-					tr.recs[s].End(0, spec.ValResp(v))
-					left = append(left, v)
+				resp, err := q.Shard(s).Invoke(0, dss.Op{Kind: dss.Remove})
+				if err != nil {
+					return fmt.Errorf("shard %d drain: %w", s, err)
+				}
+				if resp.Kind == dss.Val {
+					tr.recs[s].End(0, spec.ValResp(resp.Val))
+					left = append(left, resp.Val)
 				} else {
 					tr.recs[s].End(0, spec.EmptyResp())
 					break
@@ -116,17 +127,4 @@ func TestShardedQueueUnderSchedules(t *testing.T) {
 		t.Fatalf("schedule with preemptions at %v violates the sharded composition: %v", bad, err)
 	}
 	t.Logf("verified %d schedules", schedules)
-}
-
-// TestGoidGrowsTruncatedBuffer forces the initial stack-header read to
-// truncate mid-header and checks that goid grows the buffer and still
-// parses the id, instead of panicking (the hardening this PR adds).
-func TestGoidGrowsTruncatedBuffer(t *testing.T) {
-	reference := goid()
-	old := goidBuf
-	goidBuf = 8 // too small for "goroutine N [running]:"
-	defer func() { goidBuf = old }()
-	if got := goid(); got != reference {
-		t.Fatalf("goid with truncated initial buffer = %d, want %d", got, reference)
-	}
 }

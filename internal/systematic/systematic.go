@@ -13,49 +13,12 @@
 package systematic
 
 import (
-	"bytes"
 	"fmt"
-	"runtime"
-	"strconv"
 	"sync"
 
+	"repro/internal/goid"
 	"repro/internal/pmem"
 )
-
-// goidBuf is the initial stack-header read size used by goid. It is a
-// variable so tests can shrink it and exercise the growth path.
-var goidBuf = 64
-
-// goid returns the current goroutine's id (parsed from the runtime stack
-// header — a testing-only device; the scheduler needs to map gate calls
-// back to registered workers and the runtime offers no cheaper identity).
-//
-// runtime.Stack truncates at the buffer size, so a fixed-size read could
-// cut the header "goroutine N [running]:" mid-number and either fail to
-// parse or, worse, silently yield a prefix of the real id. goid therefore
-// accepts the id field only when its terminator (the "[state]:" token) was
-// captured too, and grows the buffer until it sees one.
-func goid() uint64 {
-	buf := make([]byte, goidBuf)
-	for {
-		n := runtime.Stack(buf, false)
-		// "goroutine 123 [running]:" — require at least three fields so
-		// the id field is known to be complete, not cut by the buffer.
-		fields := bytes.Fields(buf[:n])
-		if len(fields) >= 3 && bytes.Equal(fields[0], []byte("goroutine")) {
-			id, err := strconv.ParseUint(string(fields[1]), 10, 64)
-			if err == nil {
-				return id
-			}
-		}
-		if n < len(buf) {
-			// The whole trace fit and the header still did not parse:
-			// growing cannot help.
-			panic(fmt.Sprintf("systematic: cannot parse goroutine id from %q", buf[:n]))
-		}
-		buf = make([]byte, 2*len(buf))
-	}
-}
 
 // Controller schedules a set of worker goroutines one-at-a-time over a
 // heap's step gate according to a preemption schedule.
@@ -97,7 +60,7 @@ func Run(h *pmem.Heap, workers []func(), preemptAt map[int]bool) int {
 		running[i] = true
 		go func(i int, w func()) {
 			c.mu.Lock()
-			c.ids[goid()] = i
+			c.ids[goid.ID()] = i
 			c.mu.Unlock()
 			// Park immediately so startup is deterministic: every worker
 			// begins at the same well-defined point.
@@ -160,7 +123,7 @@ func Run(h *pmem.Heap, workers []func(), preemptAt map[int]bool) int {
 // schedules interleavings, not costs.
 func (c *Controller) gate(pmem.StepKind) {
 	c.mu.Lock()
-	idx, ok := c.ids[goid()]
+	idx, ok := c.ids[goid.ID()]
 	c.mu.Unlock()
 	if !ok {
 		return

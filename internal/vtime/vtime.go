@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/goid"
 	"repro/internal/pmem"
 )
 
@@ -119,7 +120,7 @@ func Run(h *pmem.Heap, costs Costs, workers []func()) time.Duration {
 		live[i] = true
 		go func(i int, w func()) {
 			s.mu.Lock()
-			s.ids[goid()] = i
+			s.ids[goid.ID()] = i
 			s.mu.Unlock()
 			// Park before the first instruction so startup is
 			// deterministic: every worker begins from the same point.
@@ -176,7 +177,7 @@ func Run(h *pmem.Heap, costs Costs, workers []func()) time.Duration {
 // the scheduler does not know (setup, draining) pass through untouched.
 func (s *sched) gate(kind pmem.StepKind) {
 	s.mu.Lock()
-	idx, ok := s.ids[goid()]
+	idx, ok := s.ids[goid.ID()]
 	s.mu.Unlock()
 	if !ok {
 		return

@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the soak smoke.
-ci: lint vet build test race soak-smoke
+# pass over the packages with the most concurrency, and the two smokes
+# (deterministic soak report, deterministic instrumented metrics).
+ci: lint vet build test race soak-smoke metrics-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -25,22 +26,33 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/check ./internal/vtime ./internal/mp
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/check ./internal/vtime ./internal/mp ./internal/obs
 
-# soak regenerates the committed crash-storm soak report. The run is a
-# deterministic discrete-event simulation: for a fixed seed the report is
-# bit-identical on every machine, so BENCH_soak.json is committed and
-# diffable. -repeat 3 additionally proves determinism on this host.
+# soak regenerates the committed crash-storm soak report and its merged
+# recovery timeline. The run is a deterministic discrete-event
+# simulation: for a fixed seed both files are bit-identical on every
+# machine, so BENCH_soak.json and BENCH_soak_timeline.json are committed
+# and diffable. -repeat 3 additionally proves determinism on this host.
 soak:
-	$(GO) run ./cmd/dsssoak -seed 1 -repeat 3 -json BENCH_soak.json
+	$(GO) run ./cmd/dsssoak -seed 1 -repeat 3 -json BENCH_soak.json -timeline BENCH_soak_timeline.json
 
 # soak-smoke is the CI gate: rerun the committed configuration twice,
 # fail on any exactly-once/queue-invariant violation, on a missed crash
-# budget, on nondeterminism between the runs, or on drift from the
-# committed BENCH_soak.json.
+# budget, on a timeline whose crash count disagrees with the report, on
+# nondeterminism between the runs, or on drift from either committed file.
 soak-smoke:
-	$(GO) run ./cmd/dsssoak -seed 1 -repeat 2 -json /tmp/BENCH_soak.ci.json > /dev/null
+	$(GO) run ./cmd/dsssoak -seed 1 -repeat 2 -json /tmp/BENCH_soak.ci.json -timeline /tmp/BENCH_soak_timeline.ci.json > /dev/null
 	cmp BENCH_soak.json /tmp/BENCH_soak.ci.json
+	cmp BENCH_soak_timeline.json /tmp/BENCH_soak_timeline.ci.json
+
+# metrics-smoke is the observability CI gate: regenerate the committed
+# instrumented sharded-queue report (a deterministic virtual-time run),
+# validate its internal consistency (and the committed timeline's) with
+# dssmon -check, and fail on drift from the committed BENCH_metrics.json.
+metrics-smoke:
+	$(GO) run ./cmd/dssbench -figure sharded -metrics /tmp/BENCH_metrics.ci.json > /dev/null 2>&1
+	$(GO) run ./cmd/dssmon -check /tmp/BENCH_metrics.ci.json BENCH_soak_timeline.json
+	cmp BENCH_metrics.json /tmp/BENCH_metrics.ci.json
 
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a
@@ -49,7 +61,7 @@ soak-smoke:
 bench-json:
 	$(GO) run ./cmd/dssbench -figure 5a -repeats 3 -flush 300ns -json BENCH_fig5a.json
 	$(GO) run ./cmd/dssbench -figure 5b -repeats 3 -flush 300ns -json BENCH_fig5b.json
-	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json
+	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json -metrics BENCH_metrics.json
 	$(GO) run ./cmd/dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
 
 clean:

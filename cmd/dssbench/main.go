@@ -16,6 +16,14 @@
 // -json, a machine-readable harness.Report is also written to the given
 // path, forming the benchmark trajectory future revisions regress against.
 //
+// -metrics PATH additionally instruments the figure's largest point with
+// the observability layer (internal/obs) and writes a dss-metrics/1
+// report: per-phase latency histograms, op counters, per-shard counters,
+// and heap primitive-op deltas. For -figure sharded the instrumented run
+// is virtual and the report is deterministic (committable as
+// BENCH_metrics.json); for wall-clock figures it instruments the last
+// series at the largest thread count.
+//
 // -figure sharded measures the sharded composition against the
 // dss-detectable baseline in deterministic virtual time (internal/vtime)
 // rather than wall clock: each point runs a fixed -pairs workload per
@@ -56,6 +64,7 @@ func run() error {
 	shardList := flag.String("shards", "2,4,8", "comma-separated shard counts (-figure sharded only)")
 	pairs := flag.Int("pairs", 200, "insert/remove pairs per thread (-figure sharded only)")
 	object := flag.String("object", "queue", "detectable type the sharded figure measures: queue or stack (-figure sharded only)")
+	metricsPath := flag.String("metrics", "", "write an instrumented dss-metrics/1 report for the figure's largest point to this path")
 	flag.Parse()
 
 	threads, err := parseInts(*threadList)
@@ -97,6 +106,26 @@ func run() error {
 				return fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *metricsPath != "" {
+			// Instrument the figure's largest point. The run is virtual, so
+			// the written report is deterministic and committable.
+			impl := harness.ShardedDSS
+			if *object == "stack" {
+				impl = harness.ShardedStack
+			}
+			rep, err := harness.RunVirtualMetrics(harness.VirtualRunConfig{
+				Impl:           impl,
+				Threads:        maxInt(threads),
+				Shards:         maxInt(shards),
+				PairsPerThread: *pairs,
+			})
+			if err != nil {
+				return err
+			}
+			if err := writeMetrics(*metricsPath, rep); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -142,7 +171,46 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
+	if *metricsPath != "" {
+		// Instrument the sweep's last series at its largest thread count.
+		// Wall-clock numbers vary run to run; the phase split is the
+		// signal, so this report is informative but not committable.
+		rep, err := harness.RunWallMetrics(harness.RunConfig{
+			Impl:         impls[len(impls)-1],
+			Threads:      maxInt(threads),
+			Duration:     *duration,
+			FlushLatency: *flush,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeMetrics(*metricsPath, rep); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func writeMetrics(path string, rep harness.MetricsReport) error {
+	out, err := rep.FormatJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func parseInts(s string) ([]int, error) {

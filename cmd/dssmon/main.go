@@ -1,0 +1,312 @@
+// Command dssmon reads the observability documents the benchmarks and
+// the soak emit — dss-metrics/1 reports (dssbench -metrics), bare
+// dss-obs/1 exports, and dss-timeline/1 recovery timelines (dsssoak
+// -timeline) — and renders, validates, or diffs them.
+//
+// Usage:
+//
+//	dssmon BENCH_metrics.json                 # pretty-print one document
+//	dssmon -check BENCH_metrics.json ...      # validate; nonzero exit on problems
+//	dssmon -diff old.json new.json            # per-counter / per-phase deltas
+//
+// -check is the machine gate behind `make metrics-smoke`: it re-derives
+// every internal consistency rule (schema tags, bucket sums vs counts,
+// timeline crash/recovery accounting) and exits nonzero listing each
+// violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate each file; exit nonzero listing every problem")
+	diff := flag.Bool("diff", false, "diff two metrics documents (old new): counter and phase deltas")
+	flag.Parse()
+	if err := run(*check, *diff, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "dssmon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(check, diff bool, files []string) error {
+	switch {
+	case diff:
+		if len(files) != 2 {
+			return fmt.Errorf("-diff needs exactly two files (old new)")
+		}
+		return diffFiles(files[0], files[1])
+	case check:
+		if len(files) == 0 {
+			return fmt.Errorf("-check needs at least one file")
+		}
+		bad := 0
+		for _, f := range files {
+			probs, err := checkFile(f)
+			if err != nil {
+				return err
+			}
+			for _, p := range probs {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", f, p)
+			}
+			if len(probs) > 0 {
+				bad++
+			} else {
+				fmt.Printf("%s: ok\n", f)
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d of %d files failed validation", bad, len(files))
+		}
+		return nil
+	default:
+		if len(files) == 0 {
+			return fmt.Errorf("usage: dssmon [-check|-diff] FILE...")
+		}
+		for _, f := range files {
+			if err := show(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// document is one parsed file plus its detected schema.
+type document struct {
+	schema   string
+	metrics  harness.MetricsReport
+	export   obs.Export
+	timeline obs.RecoveryTimeline
+}
+
+func load(path string) (document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return document{}, err
+	}
+	var peek struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &peek); err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	d := document{schema: peek.Schema}
+	switch peek.Schema {
+	case harness.MetricsSchema:
+		err = json.Unmarshal(b, &d.metrics)
+		d.export = d.metrics.Obs
+	case obs.ExportSchema:
+		err = json.Unmarshal(b, &d.export)
+	case obs.TimelineSchema:
+		err = json.Unmarshal(b, &d.timeline)
+	default:
+		return document{}, fmt.Errorf("%s: unknown schema %q", path, peek.Schema)
+	}
+	if err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func show(path string) error {
+	d, err := load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s (%s)\n", path, d.schema)
+	switch d.schema {
+	case harness.MetricsSchema:
+		m := d.metrics
+		fmt.Printf("%s  threads=%d", m.Impl, m.Threads)
+		if m.Shards > 0 {
+			fmt.Printf("  shards=%d", m.Shards)
+		}
+		fmt.Printf("  mode=%s  %.3f Mops (%d ops)\n", m.Mode, m.Mops, m.Ops)
+		if m.Ops > 0 {
+			fmt.Printf("heap/op: %.2f loads, %.2f stores, %.2f CASes, %.2f flushes, %.2f fences\n",
+				perOp(m.Heap.Loads, m.Ops), perOp(m.Heap.Stores, m.Ops), perOp(m.Heap.CASes, m.Ops),
+				perOp(m.Heap.Flushes, m.Ops), perOp(m.Heap.Fences, m.Ops))
+		}
+		fmt.Print(d.export.FormatTable())
+	case obs.ExportSchema:
+		fmt.Print(d.export.FormatTable())
+	case obs.TimelineSchema:
+		showTimeline(d.timeline)
+	}
+	return nil
+}
+
+func perOp(n, ops uint64) float64 { return float64(n) / float64(ops) }
+
+func showTimeline(tl obs.RecoveryTimeline) {
+	fmt.Printf("%d crashes, %d recoveries (unit %s; sources: %d)\n",
+		tl.Crashes, tl.Recoveries, tl.Unit, len(tl.Sources))
+	kinds := make([]string, 0, len(tl.EventCounts))
+	for k := range tl.EventCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Print("events:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, tl.EventCounts[k])
+	}
+	fmt.Println()
+	if len(tl.Cycles) > 0 {
+		fmt.Printf("%-6s %14s %14s %14s %6s %8s %12s\n",
+			"cycle", "crash", "recover_begin", "recover_end", "gen", "downs", "gen_changes")
+		for i, c := range tl.Cycles {
+			fmt.Printf("%-6d %14d %14d %14d %6d %8d %12d\n",
+				i, c.Crash, c.RecoverBegin, c.RecoverEnd, c.Gen, c.ClientDowns, c.ClientGenChanges)
+		}
+	}
+}
+
+func checkFile(path string) ([]string, error) {
+	d, err := load(path)
+	if err != nil {
+		return nil, err
+	}
+	switch d.schema {
+	case harness.MetricsSchema:
+		probs := d.export.Validate()
+		m := d.metrics
+		if m.Mode != "virtual" && m.Mode != "wall" {
+			probs = append(probs, fmt.Sprintf("unknown mode %q", m.Mode))
+		}
+		if m.Threads < 1 {
+			probs = append(probs, fmt.Sprintf("threads %d out of range", m.Threads))
+		}
+		if m.Ops == 0 {
+			probs = append(probs, "zero ops measured")
+		}
+		return probs, nil
+	case obs.ExportSchema:
+		return d.export.Validate(), nil
+	case obs.TimelineSchema:
+		return checkTimeline(d.timeline), nil
+	}
+	return nil, nil
+}
+
+func checkTimeline(tl obs.RecoveryTimeline) []string {
+	var probs []string
+	if tl.Unit != "ns" && tl.Unit != "steps" && tl.Unit != "virtual_ns" {
+		probs = append(probs, fmt.Sprintf("unknown unit %q", tl.Unit))
+	}
+	if got := uint64(len(tl.Cycles)); got != tl.Crashes {
+		probs = append(probs, fmt.Sprintf("%d cycles recorded but %d crashes counted", got, tl.Crashes))
+	}
+	if tl.EventCounts[obs.EvCrash.String()] != tl.Crashes {
+		probs = append(probs, fmt.Sprintf("event_counts says %d crashes, header says %d",
+			tl.EventCounts[obs.EvCrash.String()], tl.Crashes))
+	}
+	if tl.EventCounts[obs.EvRecoverEnd.String()] != tl.Recoveries {
+		probs = append(probs, fmt.Sprintf("event_counts says %d recoveries, header says %d",
+			tl.EventCounts[obs.EvRecoverEnd.String()], tl.Recoveries))
+	}
+	if tl.Recoveries > tl.Crashes {
+		probs = append(probs, fmt.Sprintf("%d recoveries exceed %d crashes", tl.Recoveries, tl.Crashes))
+	}
+	for i, c := range tl.Cycles {
+		if c.RecoverEnd != 0 && c.RecoverEnd < c.Crash {
+			probs = append(probs, fmt.Sprintf("cycle %d: recovery ended at %d, before its crash at %d", i, c.RecoverEnd, c.Crash))
+		}
+	}
+	return probs
+}
+
+func diffFiles(oldPath, newPath string) error {
+	a, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	b, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if a.schema == obs.TimelineSchema || b.schema == obs.TimelineSchema {
+		return fmt.Errorf("-diff compares metrics/obs documents, not timelines")
+	}
+	if a.schema == harness.MetricsSchema && b.schema == harness.MetricsSchema {
+		fmt.Printf("mops: %.3f -> %.3f (%+.1f%%)\n", a.metrics.Mops, b.metrics.Mops,
+			pct(a.metrics.Mops, b.metrics.Mops))
+		fmt.Printf("ops:  %d -> %d\n", a.metrics.Ops, b.metrics.Ops)
+	}
+	diffCounters(a.export.Counters, b.export.Counters)
+	diffPhases(a.export, b.export)
+	return nil
+}
+
+func pct(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+func diffCounters(a, b map[string]uint64) {
+	names := map[string]bool{}
+	for k := range a {
+		names[k] = true
+	}
+	for k := range b {
+		names[k] = true
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	printed := false
+	for _, k := range keys {
+		if a[k] == b[k] {
+			continue
+		}
+		if !printed {
+			fmt.Println("counters:")
+			printed = true
+		}
+		fmt.Printf("  %-20s %12d -> %-12d (%+d)\n", k, a[k], b[k], int64(b[k])-int64(a[k]))
+	}
+}
+
+func diffPhases(a, b obs.Export) {
+	type key struct{ phase, kind string }
+	am := map[key]obs.PhaseExport{}
+	for _, p := range a.Phases {
+		am[key{p.Phase, p.Kind}] = p
+	}
+	bm := map[key]obs.PhaseExport{}
+	var order []key
+	for _, p := range b.Phases {
+		bm[key{p.Phase, p.Kind}] = p
+		order = append(order, key{p.Phase, p.Kind})
+	}
+	for _, p := range a.Phases {
+		k := key{p.Phase, p.Kind}
+		if _, ok := bm[k]; !ok {
+			order = append(order, k)
+		}
+	}
+	printed := false
+	for _, k := range order {
+		pa, pb := am[k], bm[k]
+		if pa.Count == pb.Count && pa.Sum == pb.Sum {
+			continue
+		}
+		if !printed {
+			fmt.Printf("%-10s %-8s %12s %16s %14s\n", "phase", "kind", "count Δ", "mean", "p99")
+			printed = true
+		}
+		fmt.Printf("%-10s %-8s %+12d %7.1f->%-7.1f %6d->%-6d\n",
+			k.phase, k.kind, int64(pb.Count)-int64(pa.Count), pa.Mean, pb.Mean, pa.P99, pb.P99)
+	}
+}

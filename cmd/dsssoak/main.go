@@ -7,15 +7,22 @@
 // the run's counters are emitted as a JSON report that is bit-identical
 // for a given seed.
 //
+// The run is always observed (the sinks ride the simulation's virtual
+// clock, so observation costs the report nothing): after the storm a
+// per-phase latency table is printed to stderr, and -timeline writes the
+// merged cross-process recovery timeline, whose crash count must match
+// the report's exactly.
+//
 // Usage:
 //
 //	dsssoak -seed 1 -clients 8 -ops 50 -crashes 40
-//	dsssoak -seed 1 -json BENCH_soak.json
+//	dsssoak -seed 1 -json BENCH_soak.json -timeline BENCH_soak_timeline.json
 //	dsssoak -seed 1 -object stack
 //	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
 //
 // Exit status is nonzero if any violation is found, if the crash target
-// is badly missed, or if -repeat runs diverge.
+// is badly missed, if the timeline disagrees with the report, or if
+// -repeat runs diverge.
 package main
 
 import (
@@ -28,8 +35,8 @@ import (
 	"repro/internal/harness"
 )
 
-func marshal(rep harness.SoakReport) ([]byte, error) {
-	b, err := json.MarshalIndent(rep, "", "  ")
+func marshal(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +51,8 @@ func main() {
 	crashes := flag.Int("crashes", 40, "target crash/restart cycles")
 	minCrashes := flag.Int("min-crashes", 25, "fail if fewer crash cycles actually fired (0 disables)")
 	jsonPath := flag.String("json", "", "also write the JSON report to this file")
+	timelinePath := flag.String("timeline", "", "write the merged recovery-timeline JSON to this file")
+	fullEvents := flag.Bool("events", false, "keep the full merged event trace in the timeline file")
 	repeat := flag.Int("repeat", 1, "run this many times and fail unless all reports are byte-identical")
 	flag.Parse()
 
@@ -55,10 +64,11 @@ func main() {
 		Object:       *object,
 	}
 
-	var first []byte
+	var first, firstTL []byte
 	var rep harness.SoakReport
+	var obsn harness.SoakObservation
 	for i := 0; i < *repeat; i++ {
-		r, err := harness.RunSoak(cfg)
+		r, ob, err := harness.RunSoakObserved(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -68,18 +78,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		tl := ob.Timeline
+		if !*fullEvents {
+			tl.Events = nil
+		}
+		tb, err := marshal(tl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if i == 0 {
-			first, rep = b, r
+			first, firstTL, rep, obsn = b, tb, r, ob
 		} else if !bytes.Equal(b, first) {
 			fmt.Fprintf(os.Stderr, "dsssoak: run %d diverged from run 1 — soak is not deterministic\n", i+1)
+			os.Exit(1)
+		} else if !bytes.Equal(tb, firstTL) {
+			fmt.Fprintf(os.Stderr, "dsssoak: run %d timeline diverged from run 1 — observation is not deterministic\n", i+1)
 			os.Exit(1)
 		}
 	}
 
 	os.Stdout.Write(first)
 	fmt.Println(rep)
+	fmt.Fprintf(os.Stderr, "\npost-storm phase latencies (client round trips + server recovery):\n%s",
+		obsn.Merged.Export("virtual_ns").FormatTable())
 	if *jsonPath != "" {
 		if err := os.WriteFile(*jsonPath, first, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timelinePath != "" {
+		if err := os.WriteFile(*timelinePath, firstTL, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -88,6 +118,11 @@ func main() {
 		for _, v := range rep.Violations {
 			fmt.Fprintln(os.Stderr, v)
 		}
+		os.Exit(1)
+	}
+	if got := obsn.Timeline.Crashes; got != uint64(rep.Crashes) {
+		fmt.Fprintf(os.Stderr, "dsssoak: timeline records %d crashes, report says %d — trace and report disagree\n",
+			got, rep.Crashes)
 		os.Exit(1)
 	}
 	if *minCrashes > 0 && rep.Crashes < *minCrashes {

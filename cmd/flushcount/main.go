@@ -1,8 +1,13 @@
 // Command flushcount reports the persistence-instruction footprint of
-// every queue configuration: throughput and flushes per operation at one
-// thread. This is the mechanism table behind Figure 5 — the paper
-// attributes each ordering in its evaluation to flush counts and
-// allocation traffic, and this tool makes those counts observable.
+// every queue configuration: throughput, flushes and fences per
+// operation at one thread. This is the mechanism table behind Figure 5 —
+// the paper attributes each ordering in its evaluation to flush counts
+// and allocation traffic, and this tool makes those counts observable.
+//
+// The measurement runs through the instrumented harness
+// (harness.RunWallMetrics), so detectable configurations additionally
+// report the mean prep and exec phase latencies the observability layer
+// records; plain configurations leave those columns blank.
 //
 // Usage:
 //
@@ -22,9 +27,10 @@ func main() {
 	duration := flag.Duration("duration", 200*time.Millisecond, "measurement duration per configuration")
 	flag.Parse()
 
-	fmt.Printf("%-24s %12s %14s\n", "configuration", "Mops/s", "flushes/op")
+	fmt.Printf("%-24s %12s %14s %14s %14s %14s\n",
+		"configuration", "Mops/s", "flushes/op", "fences/op", "prep mean(ns)", "exec mean(ns)")
 	for _, impl := range harness.AllImpls() {
-		p, err := harness.RunThroughput(harness.RunConfig{
+		rep, err := harness.RunWallMetrics(harness.RunConfig{
 			Impl: impl, Threads: 1, Duration: *duration,
 			FlushLatency: 300 * time.Nanosecond, AccessDelay: 100,
 		})
@@ -32,6 +38,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flushcount: %s: %v\n", impl, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-24s %12.3f %14.2f\n", impl, p.Mops, float64(p.Flushes)/float64(p.Ops))
+		prep, exec := phaseMeans(rep)
+		fmt.Printf("%-24s %12.3f %14.2f %14.2f %14s %14s\n",
+			impl, rep.Mops,
+			float64(rep.Heap.Flushes)/float64(rep.Ops),
+			float64(rep.Heap.Fences)/float64(rep.Ops),
+			prep, exec)
 	}
+}
+
+// phaseMeans pulls the mean prep and exec latencies out of the obs
+// export, summing across op kinds. Configurations that don't route
+// through the observability layer (the plain queues) report no phases.
+func phaseMeans(rep harness.MetricsReport) (prep, exec string) {
+	var pSum, pCnt, eSum, eCnt uint64
+	for _, ph := range rep.Obs.Phases {
+		switch ph.Phase {
+		case "prep":
+			pSum += ph.Sum
+			pCnt += ph.Count
+		case "exec":
+			eSum += ph.Sum
+			eCnt += ph.Count
+		}
+	}
+	prep, exec = "-", "-"
+	if pCnt > 0 {
+		prep = fmt.Sprintf("%.1f", float64(pSum)/float64(pCnt))
+	}
+	if eCnt > 0 {
+		exec = fmt.Sprintf("%.1f", float64(eSum)/float64(eCnt))
+	}
+	return prep, exec
 }

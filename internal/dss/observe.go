@@ -1,0 +1,134 @@
+package dss
+
+import "repro/internal/obs"
+
+// observed decorates an Object with per-phase latency observation and
+// lifecycle trace events. It follows the adapter discipline of this
+// package: no allocations and no heap accesses on the hot path — the op
+// kind fed to the sink rides on a volatile per-process hint maintained by
+// Prep and re-derived via Resolve during Recover/ResetVolatile, exactly
+// like the adapters' own dispatch hints.
+type observed struct {
+	obj  Object
+	sink *obs.Sink
+	// last[tid] is the kind of tid's outstanding prepared operation
+	// (volatile; rebuilt after a crash).
+	last []obs.OpKind
+}
+
+// Observe wraps obj so every Prep/Exec/Resolve/Abandon/Recover is timed
+// into s's per-phase histograms and traced into its event ring. A nil
+// sink returns obj unchanged, so a disabled pipeline pays nothing — not
+// even an interface indirection.
+func Observe(obj Object, s *obs.Sink, threads int) Object {
+	if s == nil {
+		return obj
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &observed{obj: obj, sink: s, last: make([]obs.OpKind, threads)}
+}
+
+// kindOf translates the container vocabulary into the sink's.
+func kindOf(k Kind) obs.OpKind {
+	switch k {
+	case Insert:
+		return obs.KindInsert
+	case Remove:
+		return obs.KindRemove
+	default:
+		return obs.KindNone
+	}
+}
+
+func (o *observed) hint(tid int) obs.OpKind {
+	if tid >= 0 && tid < len(o.last) {
+		return o.last[tid]
+	}
+	return obs.KindNone
+}
+
+func (o *observed) setHint(tid int, k obs.OpKind) {
+	if tid >= 0 && tid < len(o.last) {
+		o.last[tid] = k
+	}
+}
+
+func (o *observed) Prep(tid int, op Op) error {
+	k := kindOf(op.Kind)
+	start := o.sink.Now()
+	err := o.obj.Prep(tid, op)
+	o.sink.ObserveSince(obs.PhasePrep, k, start)
+	o.sink.Event(obs.EvOpStart, tid, uint64(k))
+	if err == nil {
+		o.setHint(tid, k)
+	}
+	return err
+}
+
+func (o *observed) Exec(tid int) (Resp, error) {
+	k := o.hint(tid)
+	start := o.sink.Now()
+	resp, err := o.obj.Exec(tid)
+	o.sink.ObserveSince(obs.PhaseExec, k, start)
+	o.sink.Event(obs.EvOpExec, tid, uint64(k))
+	return resp, err
+}
+
+func (o *observed) Resolve(tid int) (Op, Resp, bool) {
+	start := o.sink.Now()
+	op, resp, ok := o.obj.Resolve(tid)
+	o.sink.ObserveSince(obs.PhaseResolve, kindOf(op.Kind), start)
+	var found uint64
+	if ok {
+		found = 1
+	}
+	o.sink.Event(obs.EvOpResolve, tid, found)
+	return op, resp, ok
+}
+
+func (o *observed) Invoke(tid int, op Op) (Resp, error) {
+	// Axiom 4 runs outside the detectable lifecycle; it is timed as an
+	// exec (it applies immediately) but leaves tid's hint alone.
+	start := o.sink.Now()
+	resp, err := o.obj.Invoke(tid, op)
+	o.sink.ObserveSince(obs.PhaseExec, kindOf(op.Kind), start)
+	return resp, err
+}
+
+func (o *observed) Abandon(tid int) {
+	k := o.hint(tid)
+	start := o.sink.Now()
+	o.obj.Abandon(tid)
+	o.sink.ObserveSince(obs.PhaseAbandon, k, start)
+	o.sink.Event(obs.EvOpAbandon, tid, uint64(k))
+	o.setHint(tid, obs.KindNone)
+}
+
+func (o *observed) Recover() {
+	start := o.sink.Now()
+	o.sink.Event(obs.EvRecoverBegin, -1, 0)
+	o.obj.Recover()
+	o.rebuildHints()
+	o.sink.ObserveSince(obs.PhaseRecover, obs.KindNone, start)
+	o.sink.Event(obs.EvRecoverEnd, -1, 0)
+}
+
+func (o *observed) ResetVolatile() {
+	o.obj.ResetVolatile()
+	o.rebuildHints()
+}
+
+// rebuildHints re-derives the volatile kind hints from the persistent
+// image via Resolve, mirroring how the adapters rebuild their dispatch
+// hints.
+func (o *observed) rebuildHints() {
+	for tid := range o.last {
+		if op, _, ok := o.obj.Resolve(tid); ok {
+			o.last[tid] = kindOf(op.Kind)
+		} else {
+			o.last[tid] = obs.KindNone
+		}
+	}
+}

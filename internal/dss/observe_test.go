@@ -1,0 +1,141 @@
+package dss
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+)
+
+// TestObserveNilSinkIsIdentity checks the disabled path: no sink means
+// the object comes back unwrapped, so a disabled pipeline pays nothing.
+func TestObserveNilSinkIsIdentity(t *testing.T) {
+	obj, _ := newObj(t, QueueType, 2)
+	if got := Observe(obj, nil, 2); got != obj {
+		t.Fatal("Observe with nil sink did not return the object unchanged")
+	}
+}
+
+// TestObservePhaseAttribution drives the detectable lifecycle through the
+// decorator and checks every phase and kind lands in the right histogram
+// and the trace ring records the lifecycle in order.
+func TestObservePhaseAttribution(t *testing.T) {
+	raw, _ := newObj(t, QueueType, 2)
+	sink := obs.NewSink(obs.Config{RingSize: 64})
+	obj := Observe(raw, sink, 2)
+
+	mustPrep := func(tid int, op Op) {
+		t.Helper()
+		if err := obj.Prep(tid, op); err != nil {
+			t.Fatalf("Prep: %v", err)
+		}
+	}
+	mustExec := func(tid int) Resp {
+		t.Helper()
+		resp, err := obj.Exec(tid)
+		if err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+		return resp
+	}
+
+	mustPrep(0, Op{Kind: Insert, Arg: 7})
+	mustExec(0)
+	mustPrep(0, Op{Kind: Remove})
+	if resp := mustExec(0); resp.Kind != Val || resp.Val != 7 {
+		t.Fatalf("remove = %+v", resp)
+	}
+	obj.Resolve(0)
+	mustPrep(1, Op{Kind: Insert, Arg: 9})
+	obj.Abandon(1)
+	if _, _, ok := obj.Resolve(1); ok {
+		t.Fatal("abandoned op still resolvable")
+	}
+
+	snap := sink.Snapshot()
+	check := func(p obs.Phase, k obs.OpKind, want uint64) {
+		t.Helper()
+		if got := snap.Phases[p][k].Count; got != want {
+			t.Errorf("%s/%s count = %d, want %d", p, k, got, want)
+		}
+	}
+	check(obs.PhasePrep, obs.KindInsert, 2)
+	check(obs.PhasePrep, obs.KindRemove, 1)
+	check(obs.PhaseExec, obs.KindInsert, 1)
+	check(obs.PhaseExec, obs.KindRemove, 1)
+	check(obs.PhaseAbandon, obs.KindInsert, 1)
+	if got := snap.Phases[obs.PhaseResolve][obs.KindRemove].Count +
+		snap.Phases[obs.PhaseResolve][obs.KindNone].Count; got != 2 {
+		t.Errorf("resolve count = %d, want 2", got)
+	}
+
+	wantKinds := []obs.EventKind{
+		obs.EvOpStart, obs.EvOpExec, obs.EvOpStart, obs.EvOpExec,
+		obs.EvOpResolve, obs.EvOpStart, obs.EvOpAbandon, obs.EvOpResolve,
+	}
+	evs := sink.Events()
+	if len(evs) != len(wantKinds) {
+		t.Fatalf("events = %d, want %d", len(evs), len(wantKinds))
+	}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Fatalf("event %d = %s, want %s", i, ev.Kind, wantKinds[i])
+		}
+	}
+}
+
+// TestObserveRecoverRebuildsHints crashes mid-operation and checks that
+// recovery through the decorator re-derives the volatile kind hint, so
+// the post-crash Exec is still attributed to the right op kind — and that
+// the crash/recovery trace events appear.
+func TestObserveRecoverRebuildsHints(t *testing.T) {
+	raw, h := newObj(t, QueueType, 1)
+	sink := obs.NewSink(obs.Config{RingSize: 64})
+	obj := Observe(raw, sink, 1)
+
+	if _, err := obj.Invoke(0, Op{Kind: Insert, Arg: 41}); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if err := obj.Prep(0, Op{Kind: Remove}); err != nil {
+		t.Fatalf("Prep: %v", err)
+	}
+
+	h.Crash(pmem.DropAll{})
+	sink.Event(obs.EvCrash, -1, 0)
+	obj.Recover()
+
+	if op, _, ok := obj.Resolve(0); !ok || op.Kind != Remove {
+		t.Fatalf("post-crash Resolve = %+v ok=%v", op, ok)
+	}
+	resp, err := obj.Exec(0)
+	if err != nil {
+		t.Fatalf("post-crash Exec: %v", err)
+	}
+	if resp.Kind != Val || resp.Val != 41 {
+		t.Fatalf("post-crash Exec = %+v", resp)
+	}
+
+	snap := sink.Snapshot()
+	if got := snap.Phases[obs.PhaseRecover][obs.KindNone].Count; got != 1 {
+		t.Errorf("recover count = %d, want 1", got)
+	}
+	// The hint was rebuilt from the persistent image: the post-crash exec
+	// must be attributed to the remove, not to KindNone.
+	if got := snap.Phases[obs.PhaseExec][obs.KindRemove].Count; got != 1 {
+		t.Errorf("post-crash exec attribution = %d, want 1 remove", got)
+	}
+	var crash, rbegin, rend bool
+	for _, ev := range sink.Events() {
+		switch ev.Kind {
+		case obs.EvCrash:
+			crash = true
+		case obs.EvRecoverBegin:
+			rbegin = true
+		case obs.EvRecoverEnd:
+			rend = true
+		}
+	}
+	if !crash || !rbegin || !rend {
+		t.Fatalf("missing recovery trace events: crash=%v begin=%v end=%v", crash, rbegin, rend)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cwe"
 	"repro/internal/dss"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/queue"
 	"repro/internal/sharded"
@@ -173,6 +174,13 @@ type BuildConfig struct {
 	// Shards is the shard count for ShardedDSS (default 8; ignored by
 	// the unsharded configurations).
 	Shards int
+	// Obs, when non-nil, instruments the build: detectable configurations
+	// are routed through their dss.Object adapters and wrapped with
+	// dss.Observe (per-phase latencies, lifecycle events), and a sharded
+	// front additionally feeds per-shard counters. Non-DSS configurations
+	// (ms-queue, the recoverable ancestors, the non-detectable path) have
+	// no phase vocabulary and are built unobserved. Nil costs nothing.
+	Obs *obs.Sink
 }
 
 // Build constructs the named configuration on a fresh heap.
@@ -216,6 +224,18 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 		q, err := queue.NewLog(h, 0, cfg.Threads, cfg.NodesPerThread, extra)
 		return q, h, err
 	case DSSDetectable:
+		if cfg.Obs != nil {
+			// The dss adapter is step-for-step identical to the concrete
+			// methods (see the dss package doc), so observing through it
+			// measures the same execution the unobserved path runs.
+			obj, err := dss.QueueType.New(h, 0, dss.Config{
+				Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return objDetectable{dss.Observe(obj, cfg.Obs, cfg.Threads)}, h, nil
+		}
 		q, err := core.New(h, 0, core.Config{Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra})
 		if err != nil {
 			return nil, nil, err
@@ -241,6 +261,10 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if cfg.Obs != nil {
+			q.SetObs(cfg.Obs)
+			return objDetectable{dss.Observe(q, cfg.Obs, cfg.Threads)}, h, nil
+		}
 		return objDetectable{q}, h, nil
 	case DSSStack:
 		s, err := dss.StackType.New(h, 0, dss.Config{
@@ -249,8 +273,22 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return objDetectable{s}, h, nil
+		return objDetectable{dss.Observe(s, cfg.Obs, cfg.Threads)}, h, nil
 	case FastCASWithEffect, GeneralCASWith:
+		if cfg.Obs != nil {
+			typ := dss.CWEFastType
+			if impl == GeneralCASWith {
+				typ = dss.CWEGeneralType
+			}
+			obj, err := typ.New(h, 0, dss.Config{
+				Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread,
+				ExtraNodes: extra, Descriptors: 16,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return objDetectable{dss.Observe(obj, cfg.Obs, cfg.Threads)}, h, nil
+		}
 		q, err := cwe.New(h, 0, cwe.Config{
 			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread,
 			ExtraNodes: extra, DescriptorsPerThread: 16,
@@ -350,13 +388,13 @@ func RunThroughput(cfg RunConfig) (Point, error) {
 	for tid := 0; tid < cfg.Threads; tid++ {
 		total += atomic.LoadUint64(&counts[tid*8])
 	}
-	stats := h.Stats()
+	stats := h.Stats().Sub(stats0)
 	return Point{
 		Threads: cfg.Threads,
 		Mops:    float64(total) / elapsed.Seconds() / 1e6,
 		Ops:     total,
-		Flushes: stats.Flushes - stats0.Flushes,
-		Fences:  stats.Fences - stats0.Fences,
+		Flushes: stats.Flushes,
+		Fences:  stats.Fences,
 	}, nil
 }
 

@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/vtime"
+)
+
+// MetricsSchema tags a MetricsReport document.
+const MetricsSchema = "dss-metrics/1"
+
+// MetricsReport is the machine-readable form of one instrumented
+// measurement: the workload shape, the heap's primitive-operation deltas,
+// and the obs export (per-phase latency histograms, counters, per-shard
+// counters). Mode "virtual" reports are deterministic — same build, same
+// bytes — and committable; mode "wall" reports carry real nanoseconds.
+type MetricsReport struct {
+	Schema  string `json:"schema"`
+	Impl    string `json:"impl"`
+	Threads int    `json:"threads"`
+	Shards  int    `json:"shards,omitempty"`
+	// Pairs is the per-thread pair count of a virtual run; DurationMS the
+	// wall duration of a wall run.
+	Pairs      int   `json:"pairs_per_thread,omitempty"`
+	DurationMS int64 `json:"duration_ms,omitempty"`
+	// Mode is "virtual" (deterministic, unit steps) or "wall" (unit ns).
+	Mode string  `json:"mode"`
+	Mops float64 `json:"mops"`
+	Ops  uint64  `json:"ops"`
+	// Heap is the primitive-operation delta over the measured window.
+	Heap pmem.Stats `json:"heap"`
+	// Obs is the observability export for the same window.
+	Obs obs.Export `json:"obs"`
+}
+
+// FormatJSON renders the report as indented JSON with a trailing newline.
+func (r MetricsReport) FormatJSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: marshal metrics: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
+// RunVirtualMetrics is RunVirtual with the observability layer attached:
+// the same fixed-work virtual-time measurement, with a sink clocked by
+// the heap's step counter (unit "steps"). Observation draws no heap
+// steps and no randomness, so the run — schedule, step counts, and the
+// exported histograms alike — is deterministic for a given configuration,
+// which is what makes BENCH_metrics.json committable.
+func RunVirtualMetrics(cfg VirtualRunConfig) (MetricsReport, error) {
+	cfg.defaults()
+	sink := obs.NewSink(obs.Config{})
+	q, h, err := Build(cfg.Impl, BuildConfig{
+		Threads:        cfg.Threads,
+		NodesPerThread: cfg.NodesPerThread,
+		Tracked:        true,
+		Shards:         cfg.Shards,
+		Obs:            sink,
+	})
+	if err != nil {
+		return MetricsReport{}, err
+	}
+	sink.SetClock(h.Steps)
+	for i := 0; i < cfg.InitialItems; i++ {
+		if err := q.Enqueue(0, uint64(1000+i)); err != nil {
+			return MetricsReport{}, fmt.Errorf("harness: seeding: %w", err)
+		}
+	}
+	stats0 := h.Stats()
+	snap0 := sink.Snapshot()
+
+	workers := make([]func(), cfg.Threads)
+	for tid := 0; tid < cfg.Threads; tid++ {
+		tid := tid
+		workers[tid] = func() {
+			v := uint64(tid + 1)
+			for p := 0; p < cfg.PairsPerThread; p++ {
+				_ = q.Enqueue(tid, v)
+				q.Dequeue(tid)
+				v++
+			}
+		}
+	}
+	elapsed := vtime.Run(h, vtime.Costs{AccessNS: cfg.AccessNS, FlushNS: cfg.FlushNS}, workers)
+	if elapsed <= 0 {
+		return MetricsReport{}, fmt.Errorf("harness: virtual run measured no time")
+	}
+	ops := uint64(cfg.Threads) * uint64(cfg.PairsPerThread) * 2
+	shards := 0
+	if cfg.Impl == ShardedDSS || cfg.Impl == ShardedStack {
+		shards = cfg.Shards
+		if shards == 0 {
+			shards = 8
+		}
+	}
+	return MetricsReport{
+		Schema:  MetricsSchema,
+		Impl:    string(cfg.Impl),
+		Threads: cfg.Threads,
+		Shards:  shards,
+		Pairs:   cfg.PairsPerThread,
+		Mode:    "virtual",
+		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
+		Ops:     ops,
+		Heap:    h.Stats().Sub(stats0),
+		Obs:     sink.Snapshot().Sub(snap0).Export("steps"),
+	}, nil
+}
+
+// RunWallMetrics is RunThroughput with the observability layer attached:
+// a Direct-mode wall-clock measurement whose sink records real
+// nanoseconds (unit "ns"). Numbers vary run to run; the shape of the
+// phase split is the signal.
+func RunWallMetrics(cfg RunConfig) (MetricsReport, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	if cfg.InitialItems == 0 {
+		cfg.InitialItems = 16
+	}
+	sink := obs.NewSink(obs.Config{})
+	q, h, err := Build(cfg.Impl, BuildConfig{
+		Threads:        cfg.Threads,
+		NodesPerThread: cfg.NodesPerThread,
+		FlushLatency:   cfg.FlushLatency,
+		AccessDelay:    cfg.AccessDelay,
+		Obs:            sink,
+	})
+	if err != nil {
+		return MetricsReport{}, err
+	}
+	for i := 0; i < cfg.InitialItems; i++ {
+		if err := q.Enqueue(0, uint64(1000+i)); err != nil {
+			return MetricsReport{}, fmt.Errorf("harness: seeding: %w", err)
+		}
+	}
+	stats0 := h.Stats()
+	snap0 := sink.Snapshot()
+
+	var stop atomic.Bool
+	counts := make([]uint64, cfg.Threads*8)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var local uint64
+			v := uint64(tid + 1)
+			for !stop.Load() {
+				if err := q.Enqueue(tid, v); err == nil {
+					local++
+				}
+				q.Dequeue(tid)
+				local++
+				v++
+				if v >= 1<<50 {
+					v = uint64(tid + 1)
+				}
+			}
+			atomic.StoreUint64(&counts[tid*8], local)
+		}(tid)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total uint64
+	for tid := 0; tid < cfg.Threads; tid++ {
+		total += atomic.LoadUint64(&counts[tid*8])
+	}
+	return MetricsReport{
+		Schema:     MetricsSchema,
+		Impl:       string(cfg.Impl),
+		Threads:    cfg.Threads,
+		DurationMS: cfg.Duration.Milliseconds(),
+		Mode:       "wall",
+		Mops:       float64(total) / elapsed.Seconds() / 1e6,
+		Ops:        total,
+		Heap:       h.Stats().Sub(stats0),
+		Obs:        sink.Snapshot().Sub(snap0).Export("ns"),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package harness
+
+import "testing"
+
+// TestRunVirtualMetricsDeterministic pins the property that makes
+// BENCH_metrics.json committable: an instrumented virtual run is
+// byte-for-byte reproducible, and its export passes its own validator.
+func TestRunVirtualMetricsDeterministic(t *testing.T) {
+	cfg := VirtualRunConfig{Impl: ShardedDSS, Threads: 4, Shards: 2, PairsPerThread: 20}
+	a, err := RunVirtualMetrics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunVirtualMetrics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.FormatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.FormatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja != jb {
+		t.Fatalf("instrumented virtual runs diverged:\n%s\nvs\n%s", ja, jb)
+	}
+	if probs := a.Obs.Validate(); len(probs) > 0 {
+		t.Fatalf("export invalid: %v", probs)
+	}
+	if want := uint64(4 * 20 * 2); a.Ops != want {
+		t.Fatalf("ops = %d, want %d", a.Ops, want)
+	}
+	if a.Obs.Unit != "steps" {
+		t.Fatalf("unit = %q, want steps", a.Obs.Unit)
+	}
+	if len(a.Obs.Shards) != 2 {
+		t.Fatalf("exported %d shard counter sets, want 2", len(a.Obs.Shards))
+	}
+	// The workload is 4 threads x 20 pairs; every insert preps exactly
+	// once, so the per-shard prep counters must sum to 2x that (insert
+	// and remove preps both route through the front).
+	var preps uint64
+	for _, m := range a.Obs.Shards {
+		preps += m["preps"]
+	}
+	if want := uint64(4 * 20 * 2); preps != want {
+		t.Fatalf("shard preps sum to %d, want %d", preps, want)
+	}
+}
+
+// TestSoakObservedTimelineMatchesReport pins the acceptance criterion
+// that the merged recovery timeline accounts for exactly the crashes the
+// soak report counts, cycle for cycle.
+func TestSoakObservedTimelineMatchesReport(t *testing.T) {
+	rep, ob, err := RunSoakObserved(SoakConfig{Seed: 7, Clients: 4, OpsPerClient: 12, Crashes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("soak violations: %v", rep.Violations)
+	}
+	tl := ob.Timeline
+	if tl.Crashes != uint64(rep.Crashes) {
+		t.Fatalf("timeline has %d crashes, report %d", tl.Crashes, rep.Crashes)
+	}
+	if tl.Recoveries != tl.Crashes {
+		t.Fatalf("timeline has %d recoveries for %d crashes", tl.Recoveries, tl.Crashes)
+	}
+	if got := uint64(len(tl.Cycles)); got != tl.Crashes {
+		t.Fatalf("%d cycles for %d crashes", got, tl.Crashes)
+	}
+	for i, c := range tl.Cycles {
+		if c.RecoverEnd < c.Crash {
+			t.Fatalf("cycle %d: recovery ended at %d before crash at %d", i, c.RecoverEnd, c.Crash)
+		}
+		// NewGeneration installs gen 2 after the first crash and counts up
+		// gaplessly from there.
+		if want := uint64(i + 2); c.Gen != want {
+			t.Fatalf("cycle %d installed gen %d, want %d", i, c.Gen, want)
+		}
+	}
+	// The merged sink counters must agree with the report's client-side
+	// tallies — two independent accounting paths for the same run.
+	exp := ob.Merged.Export("virtual_ns")
+	if got, want := exp.Counters["retries"], uint64(rep.Retries); got != want {
+		t.Fatalf("sink counted %d retries, report %d", got, want)
+	}
+	if got, want := exp.Counters["gen_changes"], uint64(rep.GenChanges); got != want {
+		t.Fatalf("sink counted %d gen changes, report %d", got, want)
+	}
+}

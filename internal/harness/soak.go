@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/spec"
 )
@@ -274,6 +275,12 @@ type soakSim struct {
 	shist   []check.SOp
 	errs    []string
 
+	// serverSink and clientSinks observe the run on the DES virtual clock.
+	// Recording draws no rng and touches no heap, so an observed run's
+	// SoakReport is byte-for-byte the unobserved one.
+	serverSink  *obs.Sink
+	clientSinks []*obs.Sink
+
 	rep SoakReport
 }
 
@@ -398,6 +405,7 @@ func (s *soakSim) onCrash() {
 	s.up = false
 	adv := s.advs[s.crashes%len(s.advs)]
 	s.crashes++
+	s.serverSink.Event(obs.EvCrash, -1, s.eng.Gen())
 	down := int64(s.cfg.MinDown) + s.crashRng.Int63n(int64(s.cfg.MaxDown-s.cfg.MinDown))
 	s.schedule(s.now+down, func() *soakClient {
 		s.eng.RecoverImage(adv)
@@ -499,6 +507,7 @@ func (s *soakSim) drain() {
 	if s.eng.Heap().Crashed() {
 		adv := s.advs[s.crashes%len(s.advs)]
 		s.crashes++
+		s.serverSink.Event(obs.EvCrash, -1, s.eng.Gen())
 		s.eng.RecoverImage(adv)
 		s.eng.NewGeneration()
 		s.up = true
@@ -570,9 +579,35 @@ func (s *soakSim) verify() {
 	s.rep.Violations = violations
 }
 
+// SoakObservation is the observability side of a soak run: per-side
+// metric snapshots (the DES virtual clock is the unit, so they are
+// deterministic) and the reconstructed cross-process recovery timeline.
+type SoakObservation struct {
+	// Server aggregates the engine-side sink (fence/cache counters,
+	// recovery latencies); Clients the per-client sinks (round-trip
+	// latencies per phase, retry/timeout/down counters); Merged their sum.
+	Server  obs.Snapshot
+	Clients obs.Snapshot
+	Merged  obs.Snapshot
+	// Timeline is the merged crash/recovery reconstruction over the
+	// server trace and every client trace.
+	Timeline obs.RecoveryTimeline
+}
+
 // RunSoak executes one deterministic crash-storm soak and returns its
 // report. The same config yields a bit-identical report on every run.
 func RunSoak(cfg SoakConfig) (SoakReport, error) {
+	rep, _, err := RunSoakObserved(cfg)
+	return rep, err
+}
+
+// RunSoakObserved is RunSoak plus the observability layer: the engine and
+// every RetryClient record into sinks sharing the DES virtual clock, and
+// the result carries their snapshots and the recovery timeline. The
+// SoakReport is byte-for-byte the one an unobserved run produces
+// (recording draws no rng and no heap steps), and the observation itself
+// is deterministic for a fixed config.
+func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 	cfg.defaults()
 	var init spec.State
 	var insertOp func(uint64) spec.Op
@@ -583,7 +618,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	case "stack":
 		init, insertOp, removeOp = spec.NewStack(), spec.Push, spec.Pop
 	default:
-		return SoakReport{}, fmt.Errorf("harness: unknown soak object %q (queue or stack)", cfg.Object)
+		return SoakReport{}, SoakObservation{}, fmt.Errorf("harness: unknown soak object %q (queue or stack)", cfg.Object)
 	}
 	eng, err := mp.NewEngine(mp.EngineConfig{
 		Clients:  cfg.Clients,
@@ -592,7 +627,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		Ops:      []spec.Op{insertOp(0), removeOp()},
 	})
 	if err != nil {
-		return SoakReport{}, err
+		return SoakReport{}, SoakObservation{}, err
 	}
 	s := &soakSim{
 		cfg:      cfg,
@@ -622,6 +657,11 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	if cfg.Object != "queue" {
 		s.rep.Object = cfg.Object
 	}
+	// All sinks share the DES virtual clock, so latencies are virtual
+	// nanoseconds and the traces of every process merge on one time axis.
+	vclock := func() uint64 { return uint64(s.now) }
+	s.serverSink = obs.NewSink(obs.Config{Clock: vclock})
+	eng.SetObs(s.serverSink)
 	eng.NewGeneration()
 	s.armNextCrash()
 
@@ -630,6 +670,9 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		pol := cfg.Policy
 		pol.Seed = cfg.Seed + 100 + int64(tid)
 		c.rc = mp.NewRetryClient(&soakConn{s: s, c: c}, tid, pol)
+		sink := obs.NewSink(obs.Config{Clock: vclock})
+		c.rc.SetObs(sink)
+		s.clientSinks = append(s.clientSinks, sink)
 		cc := c
 		c.rc.SetSleep(func(d time.Duration) {
 			if d < 0 {
@@ -648,7 +691,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	s.live = cfg.Clients
 	for s.live > 0 {
 		if s.pq.Len() == 0 {
-			return SoakReport{}, fmt.Errorf("harness: soak deadlocked with %d clients live", s.live)
+			return SoakReport{}, SoakObservation{}, fmt.Errorf("harness: soak deadlocked with %d clients live", s.live)
 		}
 		ev := heap.Pop(&s.pq).(*soakEvent)
 		if ev.at > s.now {
@@ -676,5 +719,18 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		s.rep.Downs += st.Downs
 		s.rep.GenChanges += st.GenChanges
 	}
-	return s.rep, nil
+
+	var ob SoakObservation
+	ob.Server = s.serverSink.Snapshot()
+	for _, sk := range s.clientSinks {
+		ob.Clients = ob.Clients.Add(sk.Snapshot())
+	}
+	ob.Merged = ob.Server.Add(ob.Clients)
+	sources := make([]obs.TraceSource, 0, 1+len(s.clientSinks))
+	sources = append(sources, obs.TraceSource{Name: "server", Events: s.serverSink.Events()})
+	for i, sk := range s.clientSinks {
+		sources = append(sources, obs.TraceSource{Name: fmt.Sprintf("client-%d", i), Events: sk.Events()})
+	}
+	ob.Timeline = obs.Reconstruct("virtual_ns", sources...)
+	return s.rep, ob, nil
 }

@@ -88,14 +88,14 @@ func RunVirtual(cfg VirtualRunConfig) (Point, error) {
 	if elapsed <= 0 {
 		return Point{}, fmt.Errorf("harness: virtual run measured no time")
 	}
-	stats := h.Stats()
+	stats := h.Stats().Sub(stats0)
 	ops := uint64(cfg.Threads) * uint64(cfg.PairsPerThread) * 2
 	return Point{
 		Threads: cfg.Threads,
 		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
 		Ops:     ops,
-		Flushes: stats.Flushes - stats0.Flushes,
-		Fences:  stats.Fences - stats0.Fences,
+		Flushes: stats.Flushes,
+		Fences:  stats.Fences,
 	}, nil
 }
 

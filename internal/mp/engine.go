@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/spec"
 	"repro/internal/universal"
@@ -148,6 +149,10 @@ type Engine struct {
 	// crash can be applied after it.
 	lastSeq   []uint64
 	lastReply []Reply
+
+	// obs, when non-nil, counts the fence/cache outcomes of Apply and
+	// times the recovery procedure. Recording never touches the heap.
+	obs *obs.Sink
 }
 
 // NewEngine builds an engine hosting an object with the given initial
@@ -190,6 +195,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // Heap exposes the engine's heap so harnesses can arm crashes.
 func (e *Engine) Heap() *pmem.Heap { return e.h }
 
+// SetObs attaches an observability sink (nil to remove). Call it from the
+// goroutine that drives the engine, before applying requests.
+func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
+
 // Gen returns the current generation (safe from any goroutine).
 func (e *Engine) Gen() uint64 { return e.gen.Load() }
 
@@ -201,17 +210,27 @@ func (e *Engine) NewGeneration() uint64 {
 		e.lastSeq[i] = 0
 		e.lastReply[i] = Reply{}
 	}
-	return e.gen.Add(1)
+	gen := e.gen.Add(1)
+	// Recovery is complete once a new serving generation is installed; the
+	// event's Arg carries that generation so timeline reconstruction can
+	// name the cycle (gen 1 is the initial start, not a recovery).
+	if gen > 1 {
+		e.obs.Event(obs.EvRecoverEnd, -1, gen)
+	}
+	return gen
 }
 
 // RecoverImage completes a simulated crash: the heap's surviving image is
 // adopted under the given adversary and the object's recovery procedure
 // runs. The caller must start a new generation before applying requests.
 func (e *Engine) RecoverImage(adv pmem.Adversary) {
+	start := e.obs.Now()
+	e.obs.Event(obs.EvRecoverBegin, -1, e.gen.Load())
 	if e.h.Crashed() {
 		e.h.Crash(adv)
 	}
 	e.obj.Recover()
+	e.obs.ObserveSince(obs.PhaseRecover, obs.KindNone, start)
 }
 
 // Apply executes one request against the object and returns its reply.
@@ -221,6 +240,7 @@ func (e *Engine) RecoverImage(adv pmem.Adversary) {
 func (e *Engine) Apply(m Msg) Reply {
 	gen := e.gen.Load()
 	if m.Gen != 0 && m.Gen != gen {
+		e.obs.Add(obs.CtrGenFenceTrips, 1)
 		return Reply{Gen: gen, Err: &DownError{Gen: gen, Stale: true}}
 	}
 	if m.Client < 0 || m.Client >= len(e.lastSeq) {
@@ -229,10 +249,13 @@ func (e *Engine) Apply(m Msg) Reply {
 	if m.Seq != 0 {
 		switch last := e.lastSeq[m.Client]; {
 		case m.Seq == last:
+			e.obs.Add(obs.CtrReplyCacheHits, 1)
 			return e.lastReply[m.Client]
 		case m.Seq < last:
+			e.obs.Add(obs.CtrSuperseded, 1)
 			return Reply{Gen: gen, Err: ErrSuperseded}
 		}
+		e.obs.Add(obs.CtrReplyCacheMisses, 1)
 	}
 	var out spec.Resp
 	var err error

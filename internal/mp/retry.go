@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -86,6 +87,11 @@ type RetryClient struct {
 	seq   uint64
 	tag   uint64
 	stats RetryStats
+
+	// obs, when non-nil, times every round trip per request kind and
+	// mirrors the RetryStats classification into named counters and trace
+	// events (EvRetry, EvDown, EvGenChange).
+	obs *obs.Sink
 }
 
 // NewRetryClient binds identity id to t under the given policy.
@@ -103,6 +109,22 @@ func NewRetryClient(t Transport, id int, pol RetryPolicy) *RetryClient {
 // SetSleep replaces the backoff sleeper (virtual-time harnesses).
 func (c *RetryClient) SetSleep(f func(time.Duration)) { c.sleep = f }
 
+// SetObs attaches an observability sink (nil to remove). A RetryClient is
+// single-threaded, so install it before the first Do.
+func (c *RetryClient) SetObs(s *obs.Sink) { c.obs = s }
+
+// phaseOf maps a request kind to the DSS phase its latency belongs to.
+func phaseOf(kind ReqKind) obs.Phase {
+	switch kind {
+	case ReqPrep:
+		return obs.PhasePrep
+	case ReqResolve:
+		return obs.PhaseResolve
+	default: // ReqExec, ReqInvoke both apply the operation
+		return obs.PhaseExec
+	}
+}
+
 // Stats returns the client's counters so far.
 func (c *RetryClient) Stats() RetryStats { return c.stats }
 
@@ -114,18 +136,28 @@ func (c *RetryClient) Gen() uint64 { return c.gen }
 func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
 	c.seq++
 	c.stats.Attempts++
+	if kind == ReqResolve {
+		c.obs.Add(obs.CtrResolves, 1)
+	}
+	start := c.obs.Now()
 	rep := c.t.RoundTrip(Msg{Kind: kind, Client: c.id, Gen: c.gen, Seq: c.seq, Op: op})
+	c.obs.ObserveSince(phaseOf(kind), obs.KindNone, start)
 	if rep.Gen != 0 && rep.Gen != c.gen {
 		if c.gen != 0 {
 			c.stats.GenChanges++
+			c.obs.Add(obs.CtrGenChanges, 1)
+			c.obs.Event(obs.EvGenChange, c.id, rep.Gen)
 		}
 		c.gen = rep.Gen
 	}
 	switch {
 	case errors.Is(rep.Err, ErrTimeout):
 		c.stats.Timeouts++
+		c.obs.Add(obs.CtrTimeouts, 1)
 	case errors.Is(rep.Err, ErrServerDown):
 		c.stats.Downs++
+		c.obs.Add(obs.CtrDowns, 1)
+		c.obs.Event(obs.EvDown, c.id, 0)
 	}
 	return rep
 }
@@ -133,6 +165,10 @@ func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
 // backoff sleeps the capped exponential delay for the given retry round
 // (1-based), with half-to-full jitter.
 func (c *RetryClient) backoff(round int) {
+	// Every backoff call is preceded by a stats.Retries increment at its
+	// call site, so counting here keeps the sink 1:1 with RetryStats.
+	c.obs.Add(obs.CtrRetries, 1)
+	c.obs.Event(obs.EvRetry, c.id, uint64(round))
 	d := c.pol.BackoffBase
 	for i := 1; i < round && d < c.pol.BackoffMax; i++ {
 		d *= 2

@@ -1,0 +1,418 @@
+// Package obs is the repository's always-on observability substrate: it
+// attributes detectability cost per DSS phase instead of reporting only
+// end-to-end throughput, the attribution the paper's evaluation (Section
+// 4, Figure 5) lacks and every later performance PR reports against.
+//
+// The package mirrors the decontention discipline of internal/pmem: all
+// hot-path state is striped across cache-line-padded shards that each
+// writer picks by a stack-address hash, and nothing is aggregated until a
+// reader asks for a Snapshot. A Sink records three kinds of signal:
+//
+//   - log₂-bucketed latency histograms per DSS phase
+//     (Prep/Exec/Resolve/Abandon/Recover) and per operation kind
+//     (insert/remove), fed by Observe;
+//   - named counters (reply-cache hits, generation-fence trips, retries,
+//     ...) and per-object-shard counters (routed preps, scan retries,
+//     abandons), fed by Add and ShardAdd;
+//   - a fixed-size lifecycle trace ring of DSS events (op start, exec,
+//     resolve, crash, recovery begin/end, retry, ...) with sequence
+//     numbers and virtual-or-wall timestamps, fed by Event.
+//
+// Every recording method is safe on a nil *Sink and returns immediately,
+// so instrumented code needs no branches of its own: a disabled layer
+// simply carries a nil sink. The clock is pluggable — wall nanoseconds by
+// default, a heap step counter under the virtual-time scheduler, the DES
+// virtual clock in the soak — so the same histograms and rings work in
+// every execution mode the repository has.
+//
+// Nothing in this package touches a pmem.Heap: recording draws no
+// simulated memory steps, so instrumenting a Tracked-mode run perturbs
+// neither its schedule nor its committed deterministic reports.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Phase names one phase of a detectable operation's lifecycle, matching
+// the dss.Object contract (the paper's Axioms 1-3 plus withdrawal and the
+// centralized recovery procedure).
+type Phase uint8
+
+const (
+	// PhasePrep is Axiom 1: declaring the detectable intent.
+	PhasePrep Phase = iota
+	// PhaseExec is Axiom 2: applying the prepared operation.
+	PhaseExec
+	// PhaseResolve is Axiom 3: reading (A[p], R[p]).
+	PhaseResolve
+	// PhaseAbandon is the withdrawal of a prepared-but-unexecuted op.
+	PhaseAbandon
+	// PhaseRecover is the centralized post-crash recovery procedure.
+	PhaseRecover
+	// NumPhases bounds the phase enum.
+	NumPhases
+)
+
+// String names the phase for export and tables.
+func (p Phase) String() string {
+	switch p {
+	case PhasePrep:
+		return "prep"
+	case PhaseExec:
+		return "exec"
+	case PhaseResolve:
+		return "resolve"
+	case PhaseAbandon:
+		return "abandon"
+	case PhaseRecover:
+		return "recover"
+	default:
+		return "phase(?)"
+	}
+}
+
+// OpKind classifies the operation a phase belongs to, in the container
+// vocabulary of dss.Op (None covers phases with no operation attached:
+// recovery, wire-level round trips).
+type OpKind uint8
+
+const (
+	// KindNone is a phase not attributed to a specific operation.
+	KindNone OpKind = iota
+	// KindInsert is the value-carrying operation (enqueue, push).
+	KindInsert
+	// KindRemove is the value-returning operation (dequeue, pop).
+	KindRemove
+	// NumOpKinds bounds the kind enum.
+	NumOpKinds
+)
+
+// String names the kind for export and tables.
+func (k OpKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindInsert:
+		return "insert"
+	case KindRemove:
+		return "remove"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Counter names one process-wide counter. The set is fixed so snapshots
+// are plain arrays (delta and merge are elementwise) and the export names
+// are stable.
+type Counter uint8
+
+const (
+	// CtrReplyCacheHits counts duplicate requests answered from the
+	// engine's at-most-once reply cache without re-execution.
+	CtrReplyCacheHits Counter = iota
+	// CtrReplyCacheMisses counts requests actually applied to the object
+	// (first delivery of a sequenced request).
+	CtrReplyCacheMisses
+	// CtrGenFenceTrips counts requests rejected by the generation fence
+	// (a message from before a crash arriving after it).
+	CtrGenFenceTrips
+	// CtrSuperseded counts delayed stragglers discarded because a newer
+	// request from the same client was already applied.
+	CtrSuperseded
+	// CtrRetries counts backoff-then-retry rounds of retry clients.
+	CtrRetries
+	// CtrTimeouts counts round trips that ended in ErrTimeout.
+	CtrTimeouts
+	// CtrDowns counts round trips answered by a down server.
+	CtrDowns
+	// CtrGenChanges counts server generation changes clients observed
+	// and survived.
+	CtrGenChanges
+	// CtrResolves counts resolve round trips sent to settle ambiguity.
+	CtrResolves
+	// NumCounters bounds the counter enum.
+	NumCounters
+)
+
+// String names the counter for export.
+func (c Counter) String() string {
+	switch c {
+	case CtrReplyCacheHits:
+		return "reply_cache_hits"
+	case CtrReplyCacheMisses:
+		return "reply_cache_misses"
+	case CtrGenFenceTrips:
+		return "gen_fence_trips"
+	case CtrSuperseded:
+		return "superseded"
+	case CtrRetries:
+		return "retries"
+	case CtrTimeouts:
+		return "timeouts"
+	case CtrDowns:
+		return "downs"
+	case CtrGenChanges:
+		return "gen_changes"
+	case CtrResolves:
+		return "resolves"
+	default:
+		return "counter(?)"
+	}
+}
+
+// ShardCounter names one per-object-shard counter of a sharded front.
+type ShardCounter uint8
+
+const (
+	// ShardPreps counts detectable preps routed to the shard.
+	ShardPreps ShardCounter = iota
+	// ShardScanRetries counts remove-scan re-preps that moved an
+	// operation onto the shard after a neighbour reported empty.
+	ShardScanRetries
+	// ShardAbandons counts stale preps withdrawn from the shard (eager
+	// route moves and recovery-time cleanup alike).
+	ShardAbandons
+	// NumShardCounters bounds the shard-counter enum.
+	NumShardCounters
+)
+
+// String names the shard counter for export.
+func (c ShardCounter) String() string {
+	switch c {
+	case ShardPreps:
+		return "preps"
+	case ShardScanRetries:
+		return "scan_retries"
+	case ShardAbandons:
+		return "abandons"
+	default:
+		return "shard_counter(?)"
+	}
+}
+
+// NumBuckets is the histogram resolution: bucket i counts durations d
+// with log₂(d) = i-1 (bucket 0 holds d = 0, the last bucket absorbs
+// everything larger than 2^(NumBuckets-2)).
+const NumBuckets = 32
+
+// bucketOf maps a duration (in clock units) to its log₂ bucket.
+func bucketOf(d uint64) int {
+	b := 0
+	for d != 0 {
+		b++
+		d >>= 1
+	}
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketBound reports the inclusive upper bound of bucket i in clock
+// units (the last bucket is unbounded; its nominal bound is returned).
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Stat-shard geometry, mirroring pmem's: recorders are striped across
+// statShards shards so concurrent writers on distinct goroutines rarely
+// share a counter cache line.
+const (
+	statShardBits = 4
+	statShards    = 1 << statShardBits
+)
+
+// histShard is one stripe of one (phase, kind) histogram.
+type histShard struct {
+	count, sum atomic.Uint64
+	buckets    [NumBuckets]atomic.Uint64
+}
+
+// statShard is one stripe of the counters and histograms, padded so
+// adjacent shards never share a line even under adjacent-line prefetch.
+type statShard struct {
+	ctrs [NumCounters]atomic.Uint64
+	hist [NumPhases][NumOpKinds]histShard
+	_    [128]byte
+}
+
+// paddedShardCtrs holds one object shard's counters on its own line pair.
+type paddedShardCtrs struct {
+	ctrs [NumShardCounters]atomic.Uint64
+	_    [128 - 8*NumShardCounters]byte
+}
+
+// Config parameterizes a Sink.
+type Config struct {
+	// RingSize is the lifecycle trace ring capacity in events, rounded up
+	// to a power of two (default 4096).
+	RingSize int
+	// Clock supplies timestamps and latency endpoints. Nil selects wall
+	// time: nanoseconds since the sink was created (monotonic).
+	Clock func() uint64
+}
+
+// Sink is one process's observability sink. All recording methods are
+// safe for concurrent use and safe (and free) on a nil receiver.
+type Sink struct {
+	clock  func() uint64
+	ring   *Ring
+	shards [statShards]statShard
+	// perShard is sized by SetShards; nil until a sharded front attaches.
+	perShard []paddedShardCtrs
+}
+
+// NewSink builds a sink with the given configuration.
+func NewSink(cfg Config) *Sink {
+	s := &Sink{ring: NewRing(cfg.RingSize)}
+	if cfg.Clock != nil {
+		s.clock = cfg.Clock
+	} else {
+		start := time.Now()
+		s.clock = func() uint64 { return uint64(time.Since(start)) }
+	}
+	return s
+}
+
+// SetClock replaces the sink's clock (virtual-time harnesses). Install it
+// only while the sink is quiescent.
+func (s *Sink) SetClock(clock func() uint64) {
+	if s == nil || clock == nil {
+		return
+	}
+	s.clock = clock
+}
+
+// Enabled reports whether the sink records anything (false on nil).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Now reads the sink's clock (0 on a nil sink: the subtraction in
+// ObserveSince then still lands in bucket 0 without branching).
+func (s *Sink) Now() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+// stat picks this goroutine's stripe by hashing a stack slot address,
+// exactly as pmem.Heap does: goroutine stacks are disjoint, so concurrent
+// writers spread across stripes while a loop in one goroutine stays on
+// its cache-hot stripe. Correctness never depends on the pick.
+func (s *Sink) stat() *statShard {
+	var slot byte
+	p := uint64(uintptr(unsafe.Pointer(&slot)))
+	return &s.shards[(p>>3)*0x9E3779B97F4A7C15>>(64-statShardBits)]
+}
+
+// Observe records one completed phase of duration d clock units.
+func (s *Sink) Observe(p Phase, k OpKind, d uint64) {
+	if s == nil {
+		return
+	}
+	h := &s.stat().hist[p][k]
+	h.count.Add(1)
+	h.sum.Add(d)
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// ObserveSince records one completed phase that began at start (a value
+// previously read from Now).
+func (s *Sink) ObserveSince(p Phase, k OpKind, start uint64) {
+	if s == nil {
+		return
+	}
+	now := s.clock()
+	if now < start {
+		now = start
+	}
+	s.Observe(p, k, now-start)
+}
+
+// Add increments a named counter by n.
+func (s *Sink) Add(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.stat().ctrs[c].Add(n)
+}
+
+// SetShards sizes the per-object-shard counter vectors. Call once at
+// attach time, before operations; it is not synchronized with recording.
+func (s *Sink) SetShards(n int) {
+	if s == nil || n <= 0 || len(s.perShard) >= n {
+		return
+	}
+	s.perShard = make([]paddedShardCtrs, n)
+}
+
+// ShardAdd increments counter c of object shard i. Out-of-range shards
+// (no SetShards, or a foreign front) are ignored.
+func (s *Sink) ShardAdd(i int, c ShardCounter) {
+	if s == nil || i < 0 || i >= len(s.perShard) {
+		return
+	}
+	s.perShard[i].ctrs[c].Add(1)
+}
+
+// Event appends one lifecycle event to the trace ring, stamped with the
+// sink's clock.
+func (s *Sink) Event(k EventKind, tid int, arg uint64) {
+	if s == nil {
+		return
+	}
+	s.ring.Append(s.clock(), k, tid, arg)
+}
+
+// Events returns the ring's surviving events in sequence order (see
+// Ring.Events for the quiescence contract).
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return s.ring.Events()
+}
+
+// Snapshot aggregates the sink's counters and histograms across all
+// stripes. Exact once the sink is quiescent; under concurrent recording
+// it is a consistent lower bound per cell, like pmem.Heap.Stats.
+func (s *Sink) Snapshot() Snapshot {
+	var out Snapshot
+	if s == nil {
+		return out
+	}
+	out.Captured = s.clock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for c := 0; c < int(NumCounters); c++ {
+			out.Counters[c] += sh.ctrs[c].Load()
+		}
+		for p := 0; p < int(NumPhases); p++ {
+			for k := 0; k < int(NumOpKinds); k++ {
+				h := &sh.hist[p][k]
+				out.Phases[p][k].Count += h.count.Load()
+				out.Phases[p][k].Sum += h.sum.Load()
+				for b := 0; b < NumBuckets; b++ {
+					out.Phases[p][k].Buckets[b] += h.buckets[b].Load()
+				}
+			}
+		}
+	}
+	if len(s.perShard) > 0 {
+		out.PerShard = make([][NumShardCounters]uint64, len(s.perShard))
+		for i := range s.perShard {
+			for c := 0; c < int(NumShardCounters); c++ {
+				out.PerShard[i][c] = s.perShard[i].ctrs[c].Load()
+			}
+		}
+	}
+	out.EventsLogged = s.ring.Logged()
+	out.EventsDropped = s.ring.Dropped()
+	return out
+}

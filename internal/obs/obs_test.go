@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{1 << 62, NumBuckets - 1}, {^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every duration below the saturation point lands in the bucket whose
+	// bound covers it and whose predecessor's doesn't.
+	for d := uint64(0); d < 1<<16; d += 37 {
+		b := bucketOf(d)
+		if d > BucketBound(b) {
+			t.Fatalf("d=%d above bound of its bucket %d (%d)", d, b, BucketBound(b))
+		}
+		if b > 0 && d <= BucketBound(b-1) {
+			t.Fatalf("d=%d fits bucket %d already", d, b-1)
+		}
+	}
+}
+
+func TestNilSinkIsFree(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	s.Observe(PhasePrep, KindInsert, 5)
+	s.ObserveSince(PhaseExec, KindRemove, s.Now())
+	s.Add(CtrRetries, 3)
+	s.SetShards(4)
+	s.ShardAdd(0, ShardPreps)
+	s.Event(EvCrash, -1, 0)
+	s.SetClock(func() uint64 { return 1 })
+	if got := s.Events(); got != nil {
+		t.Fatalf("nil sink Events = %v", got)
+	}
+	snap := s.Snapshot()
+	if snap.Counters[CtrRetries] != 0 || snap.EventsLogged != 0 {
+		t.Fatalf("nil sink snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+	for i := 1; i <= 20; i++ {
+		r.Append(uint64(100+i), EvRetry, i, uint64(i))
+	}
+	if r.Logged() != 20 {
+		t.Fatalf("logged = %d, want 20", r.Logged())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("survivors = %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(13 + i)
+		if ev.Seq != wantSeq || ev.Time != 100+wantSeq || ev.Arg != wantSeq || ev.TID != int32(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d", i, ev, wantSeq)
+		}
+		if ev.Kind != EvRetry {
+			t.Fatalf("event %d kind = %v", i, ev.Kind)
+		}
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultRingSize {
+		t.Fatalf("default cap = %d", got)
+	}
+	if got := NewRing(3).Cap(); got != 8 {
+		t.Fatalf("min cap = %d", got)
+	}
+	if got := NewRing(100).Cap(); got != 128 {
+		t.Fatalf("rounded cap = %d", got)
+	}
+}
+
+// TestConcurrentWriters exercises every recording path from many
+// goroutines under -race, then checks the aggregate counts exactly.
+func TestConcurrentWriters(t *testing.T) {
+	var clock atomic.Uint64
+	s := NewSink(Config{RingSize: 64, Clock: func() uint64 { return clock.Add(1) }})
+	s.SetShards(4)
+
+	const (
+		writers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Observe(PhasePrep, KindInsert, uint64(i%7))
+				s.ObserveSince(PhaseExec, KindRemove, s.Now())
+				s.Add(CtrRetries, 1)
+				s.ShardAdd(i%4, ShardPreps)
+				s.Event(EvRetry, w, uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	const total = writers * perW
+	if got := snap.Phases[PhasePrep][KindInsert].Count; got != total {
+		t.Errorf("prep count = %d, want %d", got, total)
+	}
+	if got := snap.Phases[PhaseExec][KindRemove].Count; got != total {
+		t.Errorf("exec count = %d, want %d", got, total)
+	}
+	var bsum uint64
+	for _, n := range snap.Phases[PhasePrep][KindInsert].Buckets {
+		bsum += n
+	}
+	if bsum != total {
+		t.Errorf("prep bucket sum = %d, want %d", bsum, total)
+	}
+	if got := snap.Counters[CtrRetries]; got != total {
+		t.Errorf("retries = %d, want %d", got, total)
+	}
+	var shardSum uint64
+	for _, sh := range snap.PerShard {
+		shardSum += sh[ShardPreps]
+	}
+	if shardSum != total {
+		t.Errorf("shard preps = %d, want %d", shardSum, total)
+	}
+	if snap.EventsLogged != total {
+		t.Errorf("events logged = %d, want %d", snap.EventsLogged, total)
+	}
+	if want := uint64(total - 64); snap.EventsDropped != want {
+		t.Errorf("events dropped = %d, want %d", snap.EventsDropped, want)
+	}
+	if got := len(s.Events()); got != 64 {
+		t.Errorf("surviving events = %d, want 64", got)
+	}
+}
+
+// TestSnapshotDeltaConsistency checks the property the harness relies on:
+// the sum of successive deltas equals the final snapshot.
+func TestSnapshotDeltaConsistency(t *testing.T) {
+	var clock atomic.Uint64
+	s := NewSink(Config{RingSize: 16, Clock: func() uint64 { return clock.Add(1) }})
+	s.SetShards(2)
+
+	record := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Observe(Phase(i%int(NumPhases)), OpKind(i%int(NumOpKinds)), uint64(i))
+			s.Add(Counter(i%int(NumCounters)), uint64(i))
+			s.ShardAdd(i%2, ShardCounter(i%int(NumShardCounters)))
+			s.Event(EvOpStart, i, 0)
+		}
+	}
+
+	var prev Snapshot
+	sum := Snapshot{}
+	for round, n := range []int{17, 0, 63, 5} {
+		record(n)
+		cur := s.Snapshot()
+		delta := cur.Sub(prev)
+		sum = sum.Add(delta)
+		prev = cur
+		_ = round
+	}
+	final := s.Snapshot()
+	sum = sum.Add(final.Sub(prev))
+
+	sum.Captured = final.Captured // clocks aren't additive; everything else is
+	a, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sum of deltas != final snapshot\nsum:   %s\nfinal: %s", a, b)
+	}
+}
+
+func TestExportDeterministicAndValid(t *testing.T) {
+	s := NewSink(Config{RingSize: 8, Clock: func() uint64 { return 42 }})
+	s.SetShards(2)
+	s.Observe(PhasePrep, KindInsert, 3)
+	s.Observe(PhasePrep, KindInsert, 100)
+	s.Observe(PhaseRecover, KindNone, 1<<20)
+	s.Add(CtrReplyCacheHits, 7)
+	s.ShardAdd(1, ShardAbandons)
+	s.Event(EvCrash, -1, 0)
+
+	e := s.Snapshot().Export("steps")
+	if probs := e.Validate(); len(probs) != 0 {
+		t.Fatalf("export invalid: %v", probs)
+	}
+	a, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s.Snapshot().Export("steps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export not deterministic:\n%s\n%s", a, b)
+	}
+	// Round-trips through JSON and still validates.
+	var back Export
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if probs := back.Validate(); len(probs) != 0 {
+		t.Fatalf("round-tripped export invalid: %v", probs)
+	}
+	if back.Counters["reply_cache_hits"] != 7 {
+		t.Fatalf("counter lost in export: %v", back.Counters)
+	}
+	if len(back.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (zero histograms must be omitted)", len(back.Phases))
+	}
+	if back.Shards[1]["abandons"] != 1 {
+		t.Fatalf("shard counter lost: %v", back.Shards)
+	}
+	if tbl := e.FormatTable(); tbl == "" {
+		t.Fatal("empty table")
+	}
+
+	bad := e
+	bad.Schema = "nope"
+	bad.Unit = "furlongs"
+	if probs := bad.Validate(); len(probs) < 2 {
+		t.Fatalf("validator missed problems: %v", probs)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist not zero")
+	}
+	// 90 fast observations (bucket 1: d=1), 10 slow (bucket 11: d=1024).
+	h.Count = 100
+	h.Sum = 90*1 + 10*1024
+	h.Buckets[bucketOf(1)] = 90
+	h.Buckets[bucketOf(1024)] = 10
+	if got := h.Quantile(0.50); got != BucketBound(bucketOf(1)) {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := h.Quantile(0.99); got != BucketBound(bucketOf(1024)) {
+		t.Errorf("p99 = %d", got)
+	}
+}
+
+func TestReconstructTimeline(t *testing.T) {
+	server := TraceSource{Name: "server", Events: []Event{
+		{Seq: 1, Time: 10, Kind: EvCrash, TID: -1},
+		{Seq: 2, Time: 14, Kind: EvRecoverBegin, TID: -1},
+		{Seq: 3, Time: 18, Kind: EvRecoverEnd, TID: -1, Arg: 2},
+		{Seq: 4, Time: 30, Kind: EvCrash, TID: -1},
+		{Seq: 5, Time: 33, Kind: EvRecoverBegin, TID: -1},
+		{Seq: 6, Time: 36, Kind: EvRecoverEnd, TID: -1, Arg: 3},
+	}}
+	client := TraceSource{Name: "client-0", Events: []Event{
+		{Seq: 1, Time: 11, Kind: EvDown, TID: 0},
+		{Seq: 2, Time: 16, Kind: EvDown, TID: 0},
+		{Seq: 3, Time: 20, Kind: EvGenChange, TID: 0, Arg: 2},
+		{Seq: 4, Time: 31, Kind: EvDown, TID: 0},
+		{Seq: 5, Time: 40, Kind: EvGenChange, TID: 0, Arg: 3},
+	}}
+
+	tl := Reconstruct("virtual_ns", server, client)
+	if tl.Schema != TimelineSchema || tl.Unit != "virtual_ns" {
+		t.Fatalf("header: %+v", tl)
+	}
+	if tl.Crashes != 2 || tl.Recoveries != 2 {
+		t.Fatalf("crashes=%d recoveries=%d, want 2/2", tl.Crashes, tl.Recoveries)
+	}
+	if len(tl.Cycles) != 2 {
+		t.Fatalf("cycles = %d", len(tl.Cycles))
+	}
+	c0, c1 := tl.Cycles[0], tl.Cycles[1]
+	if c0.Crash != 10 || c0.RecoverBegin != 14 || c0.RecoverEnd != 18 || c0.Gen != 2 {
+		t.Fatalf("cycle 0 = %+v", c0)
+	}
+	if c0.ClientDowns != 2 || c0.ClientGenChanges != 1 {
+		t.Fatalf("cycle 0 attribution = %+v", c0)
+	}
+	if c1.Crash != 30 || c1.Gen != 3 || c1.ClientDowns != 1 || c1.ClientGenChanges != 1 {
+		t.Fatalf("cycle 1 = %+v", c1)
+	}
+	if len(tl.Events) != 11 {
+		t.Fatalf("merged events = %d, want 11", len(tl.Events))
+	}
+	if tl.EventCounts["crash"] != 2 || tl.EventCounts["down"] != 3 || tl.EventCounts["gen_change"] != 2 {
+		t.Fatalf("event counts = %v", tl.EventCounts)
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Time < tl.Events[i-1].Time {
+			t.Fatalf("merged trace out of order at %d", i)
+		}
+	}
+	// Deterministic for identical inputs.
+	a, _ := json.Marshal(tl)
+	b, _ := json.Marshal(Reconstruct("virtual_ns", server, client))
+	if !bytes.Equal(a, b) {
+		t.Fatal("timeline not deterministic")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if s := p.String(); s == "" || s == "phase(?)" {
+			t.Errorf("phase %d unnamed", p)
+		}
+	}
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		if s := k.String(); s == "" || s == "kind(?)" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if s := c.String(); s == "" || s == "counter(?)" {
+			t.Errorf("counter %d unnamed", c)
+		}
+	}
+	for c := ShardCounter(0); c < NumShardCounters; c++ {
+		if s := c.String(); s == "" || s == "shard_counter(?)" {
+			t.Errorf("shard counter %d unnamed", c)
+		}
+	}
+	for k := EvOpStart; k <= EvGenChange; k++ {
+		if s := k.String(); s == "" || s == "event(?)" {
+			t.Errorf("event kind %d unnamed", k)
+		}
+	}
+}

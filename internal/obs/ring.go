@@ -1,0 +1,169 @@
+package obs
+
+import "sync/atomic"
+
+// EventKind classifies one lifecycle trace event.
+type EventKind uint8
+
+const (
+	// EvOpStart marks a detectable operation's prep (op start). Arg is
+	// the operation kind (OpKind).
+	EvOpStart EventKind = iota + 1
+	// EvOpExec marks the exec that applied (linearized) the operation.
+	// Arg is the operation kind.
+	EvOpExec
+	// EvOpResolve marks a resolve. Arg is 1 when an operation was found.
+	EvOpResolve
+	// EvOpAbandon marks the withdrawal of a prepared operation.
+	EvOpAbandon
+	// EvCrash marks a (simulated) crash of the serving process.
+	EvCrash
+	// EvRecoverBegin marks the start of the centralized recovery
+	// procedure.
+	EvRecoverBegin
+	// EvRecoverEnd marks its completion. Arg is the new serving
+	// generation when the recorder knows it.
+	EvRecoverEnd
+	// EvRetry marks one backoff-then-retry round of a retry client.
+	EvRetry
+	// EvDown marks a round trip answered by a down server.
+	EvDown
+	// EvGenChange marks a client adopting a new server generation. Arg
+	// is the adopted generation.
+	EvGenChange
+)
+
+// String names the event kind for export.
+func (k EventKind) String() string {
+	switch k {
+	case EvOpStart:
+		return "op_start"
+	case EvOpExec:
+		return "op_exec"
+	case EvOpResolve:
+		return "op_resolve"
+	case EvOpAbandon:
+		return "op_abandon"
+	case EvCrash:
+		return "crash"
+	case EvRecoverBegin:
+		return "recover_begin"
+	case EvRecoverEnd:
+		return "recover_end"
+	case EvRetry:
+		return "retry"
+	case EvDown:
+		return "down"
+	case EvGenChange:
+		return "gen_change"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one decoded trace-ring entry.
+type Event struct {
+	// Seq is the event's global sequence number within its ring (1-based,
+	// gap-free at append time; wraparound drops the oldest).
+	Seq uint64
+	// Time is the sink clock's value at append time.
+	Time uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// TID is the recording process/thread identity (-1 when none).
+	TID int32
+	// Arg is the kind-specific argument.
+	Arg uint64
+}
+
+// slotWords is the ring stride: seq, time, kind|tid, arg.
+const slotWords = 4
+
+// Ring is a fixed-size multi-producer lifecycle trace ring. Appends are
+// wait-free: a producer claims a sequence number with one atomic add and
+// writes its slot's words with atomic stores, so concurrent producers
+// never race (each claimed slot is touched by one producer per lap).
+//
+// Reads are best-effort while producers run — a slot being overwritten on
+// a later lap may decode torn — and exact once the ring is quiescent,
+// which is when every consumer in this repository reads it (post-run
+// snapshots, post-crash timelines).
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []uint64
+}
+
+// DefaultRingSize is the ring capacity used when Config.RingSize is 0.
+const DefaultRingSize = 4096
+
+// NewRing builds a ring holding size events (rounded up to a power of
+// two, minimum 8).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]uint64, n*slotWords)}
+}
+
+// Cap reports the ring capacity in events.
+func (r *Ring) Cap() int { return int(r.mask) + 1 }
+
+// Append records one event. Safe for concurrent use.
+func (r *Ring) Append(time uint64, k EventKind, tid int, arg uint64) {
+	seq := r.next.Add(1)
+	base := ((seq - 1) & r.mask) * slotWords
+	atomic.StoreUint64(&r.slots[base+1], time)
+	atomic.StoreUint64(&r.slots[base+2], uint64(k)<<32|uint64(uint32(int32(tid))))
+	atomic.StoreUint64(&r.slots[base+3], arg)
+	// The sequence word is written last so a quiescent reader never sees
+	// a claimed-but-unwritten slot under this sequence number.
+	atomic.StoreUint64(&r.slots[base], seq)
+}
+
+// Logged reports the total number of events ever appended.
+func (r *Ring) Logged() uint64 { return r.next.Load() }
+
+// Dropped reports how many appended events have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	n := r.next.Load()
+	if c := r.mask + 1; n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Events decodes the surviving events in ascending sequence order. Exact
+// when the ring is quiescent; concurrent appends may tear the oldest
+// entries (they are filtered by their stale sequence numbers where
+// detectable).
+func (r *Ring) Events() []Event {
+	total := r.next.Load()
+	if total == 0 {
+		return nil
+	}
+	first := uint64(1)
+	if c := r.mask + 1; total > c {
+		first = total - c + 1
+	}
+	out := make([]Event, 0, total-first+1)
+	for seq := first; seq <= total; seq++ {
+		base := ((seq - 1) & r.mask) * slotWords
+		if atomic.LoadUint64(&r.slots[base]) != seq {
+			continue // still being written, or already lapped
+		}
+		mt := atomic.LoadUint64(&r.slots[base+2])
+		out = append(out, Event{
+			Seq:  seq,
+			Time: atomic.LoadUint64(&r.slots[base+1]),
+			Kind: EventKind(mt >> 32),
+			TID:  int32(uint32(mt)),
+			Arg:  atomic.LoadUint64(&r.slots[base+3]),
+		})
+	}
+	return out
+}

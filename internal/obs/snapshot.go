@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hist is one aggregated (phase, kind) latency histogram.
+type Hist struct {
+	// Count is the number of observations; Sum their total duration in
+	// clock units.
+	Count uint64
+	Sum   uint64
+	// Buckets[i] counts observations in log₂ bucket i (see BucketBound).
+	Buckets [NumBuckets]uint64
+}
+
+// Mean is the average duration (0 when empty).
+func (h Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile reports the bucket upper bound at or above quantile q in
+// [0, 1] — an upper estimate with log₂ resolution.
+func (h Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// sub subtracts elementwise (saturating at 0, so a snapshot pair taken
+// around concurrent recording never underflows).
+func (h Hist) sub(prev Hist) Hist {
+	out := Hist{Count: satSub(h.Count, prev.Count), Sum: satSub(h.Sum, prev.Sum)}
+	for i := range h.Buckets {
+		out.Buckets[i] = satSub(h.Buckets[i], prev.Buckets[i])
+	}
+	return out
+}
+
+// add merges elementwise.
+func (h Hist) add(o Hist) Hist {
+	out := Hist{Count: h.Count + o.Count, Sum: h.Sum + o.Sum}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Snapshot is a point-in-time aggregate of a Sink: plain arrays so delta
+// (Sub) and merge (Add) are elementwise and the snapshot-vs-delta
+// invariant — the sum of successive deltas equals the final snapshot —
+// holds exactly.
+type Snapshot struct {
+	// Captured is the sink clock at aggregation time.
+	Captured uint64
+	// Counters holds the named counters, indexed by Counter.
+	Counters [NumCounters]uint64
+	// Phases holds the latency histograms, indexed by Phase and OpKind.
+	Phases [NumPhases][NumOpKinds]Hist
+	// PerShard holds the per-object-shard counters (nil when no sharded
+	// front attached), indexed by shard and ShardCounter.
+	PerShard [][NumShardCounters]uint64
+	// EventsLogged and EventsDropped describe the trace ring.
+	EventsLogged  uint64
+	EventsDropped uint64
+}
+
+// Sub returns the delta accumulated between prev and s.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Captured:      s.Captured,
+		EventsLogged:  satSub(s.EventsLogged, prev.EventsLogged),
+		EventsDropped: satSub(s.EventsDropped, prev.EventsDropped),
+	}
+	for c := range s.Counters {
+		out.Counters[c] = satSub(s.Counters[c], prev.Counters[c])
+	}
+	for p := range s.Phases {
+		for k := range s.Phases[p] {
+			out.Phases[p][k] = s.Phases[p][k].sub(prev.Phases[p][k])
+		}
+	}
+	if len(s.PerShard) > 0 {
+		out.PerShard = make([][NumShardCounters]uint64, len(s.PerShard))
+		for i := range s.PerShard {
+			for c := 0; c < int(NumShardCounters); c++ {
+				v := s.PerShard[i][c]
+				if i < len(prev.PerShard) {
+					v = satSub(v, prev.PerShard[i][c])
+				}
+				out.PerShard[i][c] = v
+			}
+		}
+	}
+	return out
+}
+
+// Add merges two snapshots (or deltas) elementwise — the cross-process
+// aggregation used when several sinks observe one run.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{
+		Captured:      s.Captured,
+		EventsLogged:  s.EventsLogged + o.EventsLogged,
+		EventsDropped: s.EventsDropped + o.EventsDropped,
+	}
+	if o.Captured > out.Captured {
+		out.Captured = o.Captured
+	}
+	for c := range s.Counters {
+		out.Counters[c] = s.Counters[c] + o.Counters[c]
+	}
+	for p := range s.Phases {
+		for k := range s.Phases[p] {
+			out.Phases[p][k] = s.Phases[p][k].add(o.Phases[p][k])
+		}
+	}
+	n := len(s.PerShard)
+	if len(o.PerShard) > n {
+		n = len(o.PerShard)
+	}
+	if n > 0 {
+		out.PerShard = make([][NumShardCounters]uint64, n)
+		for i := 0; i < n; i++ {
+			for c := 0; c < int(NumShardCounters); c++ {
+				var v uint64
+				if i < len(s.PerShard) {
+					v += s.PerShard[i][c]
+				}
+				if i < len(o.PerShard) {
+					v += o.PerShard[i][c]
+				}
+				out.PerShard[i][c] = v
+			}
+		}
+	}
+	return out
+}
+
+// ExportSchema is the schema tag of an exported snapshot document.
+const ExportSchema = "dss-obs/1"
+
+// Export is the stable JSON form of a Snapshot: names instead of enum
+// indices, zero-count histograms omitted, bucket tails trimmed. Marshaled
+// output is deterministic for a given snapshot (maps marshal with sorted
+// keys; phase order is enum order).
+type Export struct {
+	Schema string `json:"schema"`
+	// Unit names the clock unit of every duration and timestamp:
+	// "ns" (wall), "steps" (Tracked-mode heap steps), or
+	// "virtual_ns" (DES clock).
+	Unit     string            `json:"unit"`
+	Captured uint64            `json:"captured"`
+	Counters map[string]uint64 `json:"counters"`
+	Phases   []PhaseExport     `json:"phases"`
+	// Shards holds the per-object-shard counters of a sharded front.
+	Shards []map[string]uint64 `json:"shards,omitempty"`
+	Events EventStats          `json:"events"`
+}
+
+// PhaseExport is one non-empty (phase, kind) histogram.
+type PhaseExport struct {
+	Phase string  `json:"phase"`
+	Kind  string  `json:"kind"`
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	// P50/P99 are log₂-resolution upper estimates.
+	P50 uint64 `json:"p50"`
+	P99 uint64 `json:"p99"`
+	// Buckets is the log₂ histogram with trailing zero buckets trimmed;
+	// bucket i counts durations in (BucketBound(i-1), BucketBound(i)].
+	Buckets []uint64 `json:"buckets"`
+}
+
+// EventStats describes the trace ring at export time.
+type EventStats struct {
+	Logged  uint64 `json:"logged"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Export renders the snapshot in its stable JSON form; unit names the
+// clock unit (see Export.Unit).
+func (s Snapshot) Export(unit string) Export {
+	e := Export{
+		Schema:   ExportSchema,
+		Unit:     unit,
+		Captured: s.Captured,
+		Counters: make(map[string]uint64, NumCounters),
+		Events:   EventStats{Logged: s.EventsLogged, Dropped: s.EventsDropped},
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		e.Counters[c.String()] = s.Counters[c]
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		for k := OpKind(0); k < NumOpKinds; k++ {
+			h := s.Phases[p][k]
+			if h.Count == 0 {
+				continue
+			}
+			last := 0
+			for i, n := range h.Buckets {
+				if n != 0 {
+					last = i
+				}
+			}
+			e.Phases = append(e.Phases, PhaseExport{
+				Phase:   p.String(),
+				Kind:    k.String(),
+				Count:   h.Count,
+				Sum:     h.Sum,
+				Mean:    h.Mean(),
+				P50:     h.Quantile(0.50),
+				P99:     h.Quantile(0.99),
+				Buckets: append([]uint64(nil), h.Buckets[:last+1]...),
+			})
+		}
+	}
+	for i := range s.PerShard {
+		m := make(map[string]uint64, NumShardCounters)
+		for c := ShardCounter(0); c < NumShardCounters; c++ {
+			m[c.String()] = s.PerShard[i][c]
+		}
+		e.Shards = append(e.Shards, m)
+	}
+	return e
+}
+
+// Validate checks an exported document's internal consistency: the
+// schema tag, a known unit, bucket sums matching histogram counts, and
+// bucket slices within resolution. It returns every problem found.
+func (e Export) Validate() []string {
+	var probs []string
+	if e.Schema != ExportSchema {
+		probs = append(probs, fmt.Sprintf("schema %q, want %q", e.Schema, ExportSchema))
+	}
+	switch e.Unit {
+	case "ns", "steps", "virtual_ns":
+	default:
+		probs = append(probs, fmt.Sprintf("unknown unit %q", e.Unit))
+	}
+	if e.Counters == nil {
+		probs = append(probs, "counters missing")
+	}
+	for _, ph := range e.Phases {
+		if len(ph.Buckets) > NumBuckets {
+			probs = append(probs, fmt.Sprintf("phase %s/%s: %d buckets exceed resolution %d", ph.Phase, ph.Kind, len(ph.Buckets), NumBuckets))
+		}
+		var sum uint64
+		for _, n := range ph.Buckets {
+			sum += n
+		}
+		if sum != ph.Count {
+			probs = append(probs, fmt.Sprintf("phase %s/%s: bucket sum %d != count %d", ph.Phase, ph.Kind, sum, ph.Count))
+		}
+		if ph.Count == 0 {
+			probs = append(probs, fmt.Sprintf("phase %s/%s: empty histogram exported", ph.Phase, ph.Kind))
+		}
+	}
+	if e.Events.Dropped > e.Events.Logged {
+		probs = append(probs, fmt.Sprintf("events: dropped %d > logged %d", e.Events.Dropped, e.Events.Logged))
+	}
+	return probs
+}
+
+// FormatTable renders the export as an aligned human-readable summary:
+// the phase-latency table first, then non-zero counters and per-shard
+// counters.
+func (e Export) FormatTable() string {
+	var b strings.Builder
+	if len(e.Phases) > 0 {
+		fmt.Fprintf(&b, "%-10s %-8s %12s %14s %12s %12s\n", "phase", "kind", "count", "mean("+e.Unit+")", "p50", "p99")
+		for _, ph := range e.Phases {
+			fmt.Fprintf(&b, "%-10s %-8s %12d %14.1f %12d %12d\n",
+				ph.Phase, ph.Kind, ph.Count, ph.Mean, ph.P50, ph.P99)
+		}
+	}
+	names := make([]string, 0, len(e.Counters))
+	for name, v := range e.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-20s %12d\n", name, e.Counters[name])
+		}
+	}
+	for i, m := range e.Shards {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "shard %d:", i)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, m[k])
+		}
+		b.WriteString("\n")
+	}
+	if e.Events.Logged > 0 {
+		fmt.Fprintf(&b, "events: %d logged, %d dropped by ring wraparound\n", e.Events.Logged, e.Events.Dropped)
+	}
+	return b.String()
+}

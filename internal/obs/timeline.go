@@ -1,0 +1,150 @@
+package obs
+
+import "sort"
+
+// TimelineSchema is the schema tag of a recovery-timeline document.
+const TimelineSchema = "dss-timeline/1"
+
+// TraceSource is one process's named event stream, usually a quiescent
+// ring read (Sink.Events).
+type TraceSource struct {
+	// Name identifies the process ("server", "client-3", ...).
+	Name string
+	// Events is its trace, in that process's sequence order.
+	Events []Event
+}
+
+// TimelineEvent is one merged, source-attributed event.
+type TimelineEvent struct {
+	// Time is the (shared) clock value the source stamped.
+	Time uint64 `json:"time"`
+	// Source names the contributing process.
+	Source string `json:"source"`
+	// Kind names the event kind.
+	Kind string `json:"kind"`
+	// TID is the source-local thread identity (-1 when none).
+	TID int32 `json:"tid"`
+	// Arg is the kind-specific argument.
+	Arg uint64 `json:"arg"`
+}
+
+// RecoveryCycle is one crash-to-recovery episode of the serving process,
+// with the client-side fallout attributed to it.
+type RecoveryCycle struct {
+	// Crash is the clock value of the crash event that opened the cycle.
+	Crash uint64 `json:"crash"`
+	// RecoverBegin/RecoverEnd bracket the centralized recovery procedure
+	// (0 when the trace ends mid-cycle).
+	RecoverBegin uint64 `json:"recover_begin"`
+	RecoverEnd   uint64 `json:"recover_end"`
+	// Gen is the serving generation installed by this recovery (0 when
+	// unknown).
+	Gen uint64 `json:"gen,omitempty"`
+	// ClientDowns counts client round trips answered "down" while this
+	// cycle was the open one.
+	ClientDowns uint64 `json:"client_downs"`
+	// ClientGenChanges counts clients that adopted this cycle's new
+	// generation.
+	ClientGenChanges uint64 `json:"client_gen_changes"`
+}
+
+// RecoveryTimeline is the merged cross-process reconstruction of a run's
+// crash/recovery history.
+type RecoveryTimeline struct {
+	Schema string `json:"schema"`
+	// Unit names the shared clock unit (see Export.Unit).
+	Unit string `json:"unit"`
+	// Crashes counts crash events; Recoveries counts completed
+	// recoveries. They match exactly when no crash interrupted a
+	// recovery and the trace is complete.
+	Crashes    uint64 `json:"crashes"`
+	Recoveries uint64 `json:"recoveries"`
+	// Sources names the contributing processes, in merge order.
+	Sources []string `json:"sources"`
+	// EventCounts tallies the merged trace per event kind, so a trimmed
+	// document still accounts for every event.
+	EventCounts map[string]uint64 `json:"event_counts"`
+	// Cycles lists the crash-to-recovery episodes in time order.
+	Cycles []RecoveryCycle `json:"cycles"`
+	// Events is the full merged trace in time order. Writers may nil it
+	// before marshaling a compact document (EventCounts and Cycles carry
+	// the accounting).
+	Events []TimelineEvent `json:"events,omitempty"`
+}
+
+// Reconstruct merges the sources' traces into one recovery timeline. All
+// sources must share one clock (the DES virtual clock in the soak); ties
+// break by source order then per-source sequence, so the result is
+// deterministic for deterministic inputs.
+//
+// Crash events open a cycle; recover begin/end events fill it (the end
+// event's Arg, when nonzero, is recorded as the installed generation).
+// Client EvDown events are attributed to the cycle open at their time,
+// and EvGenChange events to the most recent cycle.
+func Reconstruct(unit string, sources ...TraceSource) RecoveryTimeline {
+	tl := RecoveryTimeline{
+		Schema:      TimelineSchema,
+		Unit:        unit,
+		EventCounts: map[string]uint64{},
+	}
+
+	type tagged struct {
+		ev  Event
+		src int
+	}
+	var all []tagged
+	for i, s := range sources {
+		tl.Sources = append(tl.Sources, s.Name)
+		for _, ev := range s.Events {
+			all = append(all, tagged{ev: ev, src: i})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.Time != all[b].ev.Time {
+			return all[a].ev.Time < all[b].ev.Time
+		}
+		if all[a].src != all[b].src {
+			return all[a].src < all[b].src
+		}
+		return all[a].ev.Seq < all[b].ev.Seq
+	})
+
+	open := -1 // index into tl.Cycles of the crash awaiting recovery
+	for _, t := range all {
+		ev := t.ev
+		tl.EventCounts[ev.Kind.String()]++
+		tl.Events = append(tl.Events, TimelineEvent{
+			Time:   ev.Time,
+			Source: sources[t.src].Name,
+			Kind:   ev.Kind.String(),
+			TID:    ev.TID,
+			Arg:    ev.Arg,
+		})
+		switch ev.Kind {
+		case EvCrash:
+			tl.Crashes++
+			tl.Cycles = append(tl.Cycles, RecoveryCycle{Crash: ev.Time})
+			open = len(tl.Cycles) - 1
+		case EvRecoverBegin:
+			if open >= 0 {
+				tl.Cycles[open].RecoverBegin = ev.Time
+			}
+		case EvRecoverEnd:
+			if open >= 0 {
+				tl.Cycles[open].RecoverEnd = ev.Time
+				tl.Cycles[open].Gen = ev.Arg
+				open = -1
+			}
+			tl.Recoveries++
+		case EvDown:
+			if open >= 0 {
+				tl.Cycles[open].ClientDowns++
+			}
+		case EvGenChange:
+			if n := len(tl.Cycles); n > 0 {
+				tl.Cycles[n-1].ClientGenChanges++
+			}
+		}
+	}
+	return tl
+}

@@ -183,11 +183,30 @@ func (e *CrashError) Error() string {
 
 // Stats counts primitive memory operations issued against a Heap.
 type Stats struct {
-	Loads   uint64
-	Stores  uint64
-	CASes   uint64
-	Flushes uint64
-	Fences  uint64
+	Loads   uint64 `json:"loads"`
+	Stores  uint64 `json:"stores"`
+	CASes   uint64 `json:"cases"`
+	Flushes uint64 `json:"flushes"`
+	Fences  uint64 `json:"fences"`
+}
+
+// Sub returns the per-field difference s - prev: the operations issued
+// between two Stats() reads. Saturating, so a pair of lazy-aggregated
+// reads taken around concurrent activity never underflows.
+func (s Stats) Sub(prev Stats) Stats {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Stats{
+		Loads:   sat(s.Loads, prev.Loads),
+		Stores:  sat(s.Stores, prev.Stores),
+		CASes:   sat(s.CASes, prev.CASes),
+		Flushes: sat(s.Flushes, prev.Flushes),
+		Fences:  sat(s.Fences, prev.Fences),
+	}
 }
 
 // Stat-shard geometry: counters are striped across statShards shards, each

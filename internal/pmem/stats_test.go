@@ -222,3 +222,27 @@ func TestRandomFatesConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestStatsSub pins the delta helper the harness reports ride on: exact
+// per-field subtraction, saturating rather than underflowing.
+func TestStatsSub(t *testing.T) {
+	h, err := New(Config{Words: 1 << 8, Mode: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.MustAlloc(WordsPerLine)
+	before := h.Stats()
+	h.Store(a, 1)
+	h.Load(a)
+	h.Load(a)
+	h.Persist(a)
+	d := h.Stats().Sub(before)
+	if d.Stores != 1 || d.Loads != 2 || d.Flushes != 1 || d.Fences != 1 || d.CASes != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// Saturation: subtracting a later snapshot from an earlier one yields
+	// zeros, never wrapped values.
+	if z := before.Sub(h.Stats()); z != (Stats{}) {
+		t.Fatalf("reverse delta = %+v, want zeros", z)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"repro/internal/dss"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/spec"
 )
@@ -98,6 +99,10 @@ type Front struct {
 	threads int
 	curBase pmem.Addr
 	tracer  Tracer
+	// obs, when non-nil, receives per-shard routing/abandon counters
+	// (obs.ShardCounter). Recording never touches the heap, so an
+	// unobserved run is step-for-step identical to an observed one.
+	obs *obs.Sink
 	// last[tid] is the volatile dispatch hint of the composition (see
 	// the dss package comment): the kind of tid's most recent Prep,
 	// rebuilt from the persistent image by Recover/ResetVolatile, so
@@ -231,6 +236,14 @@ func (q *Front) Heap() *pmem.Heap { return q.h }
 // with operations.
 func (q *Front) SetTracer(t Tracer) { q.tracer = t }
 
+// SetObs attaches an observability sink (nil to remove) and sizes its
+// per-shard counter vectors. Not safe to call concurrently with
+// operations.
+func (q *Front) SetObs(s *obs.Sink) {
+	q.obs = s
+	s.SetShards(len(q.shards))
+}
+
 func (q *Front) cursorAddr(tid int) pmem.Addr {
 	return q.curBase + pmem.Addr(tid*pmem.WordsPerLine)
 }
@@ -249,6 +262,7 @@ func (q *Front) moveRoute(tid, s, rr int) {
 	q.h.Persist(cur)
 	if p := int(prev) - 1; p >= 0 && p != s {
 		q.shards[p].Abandon(tid)
+		q.obs.ShardAdd(p, obs.ShardAbandons)
 	}
 }
 
@@ -268,6 +282,7 @@ func (q *Front) Prep(tid int, op dss.Op) error {
 	if err := q.shards[s].Prep(tid, op); err != nil {
 		return err
 	}
+	q.obs.ShardAdd(s, obs.ShardPreps)
 	q.moveRoute(tid, s, curInsRR)
 	if q.tracer != nil {
 		q.tracer.OpEnd(s, tid, spec.BottomResp())
@@ -284,6 +299,7 @@ func (q *Front) prepRemoveOn(tid, s int) {
 	}
 	// The shard-level remove prep cannot fail (it only writes X[tid]).
 	_ = q.shards[s].Prep(tid, dss.Op{Kind: dss.Remove})
+	q.obs.ShardAdd(s, obs.ShardPreps)
 	q.moveRoute(tid, s, curRemRR)
 	if q.tracer != nil {
 		q.tracer.OpEnd(s, tid, spec.BottomResp())
@@ -340,6 +356,7 @@ func (q *Front) Exec(tid int) (dss.Resp, error) {
 			return dss.Resp{Kind: dss.Empty}, nil
 		}
 		s = (s + 1) % n
+		q.obs.ShardAdd(s, obs.ShardScanRetries)
 		q.prepRemoveOn(tid, s)
 	}
 }
@@ -408,6 +425,7 @@ func (q *Front) Abandon(tid int) {
 	q.h.Store(cur+curRoute, 0)
 	q.h.Persist(cur)
 	q.shards[r-1].Abandon(tid)
+	q.obs.ShardAdd(int(r)-1, obs.ShardAbandons)
 	q.last[tid] = dss.None
 }
 
@@ -433,6 +451,14 @@ func (q *Front) Recover() {
 		r := int(q.h.Load(q.cursorAddr(tid) + curRoute))
 		for i, sh := range q.shards {
 			if i != r-1 {
+				// Count only withdrawals of real stale preps, not the
+				// unconditional cleanup calls (the Resolve probe runs only
+				// when observed — an unobserved Recover stays step-identical).
+				if q.obs.Enabled() {
+					if _, _, ok := sh.Resolve(tid); ok {
+						q.obs.ShardAdd(i, obs.ShardAbandons)
+					}
+				}
 				sh.Abandon(tid)
 			}
 		}

@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the two smokes
-# (deterministic soak report, deterministic instrumented metrics).
-ci: lint vet build test race soak-smoke metrics-smoke
+# pass over the packages with the most concurrency, and the three smokes
+# (deterministic soak report, deterministic instrumented metrics, and
+# the flat-combining fence-amortization figure).
+ci: lint vet build test race soak-smoke metrics-smoke combine-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -26,7 +27,7 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/check ./internal/vtime ./internal/mp ./internal/obs
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs
 
 # soak regenerates the committed crash-storm soak report and its merged
 # recovery timeline. The run is a deterministic discrete-event
@@ -54,6 +55,17 @@ metrics-smoke:
 	$(GO) run ./cmd/dssmon -check /tmp/BENCH_metrics.ci.json BENCH_soak_timeline.json
 	cmp BENCH_metrics.json /tmp/BENCH_metrics.ci.json
 
+# combine-smoke is the fence-amortization CI gate: regenerate the
+# committed flat-combining figure (a deterministic virtual-time sweep),
+# fail on drift from BENCH_combine.json — which would silently move the
+# flushes/op and fences/op numbers the guard tests pin — and run a short
+# combined crash-storm soak (combine.Wire serving the RetryClients) that
+# must be violation-free and deterministic.
+combine-smoke:
+	$(GO) run ./cmd/dssbench -figure combine -json /tmp/BENCH_combine.ci.json > /dev/null
+	cmp BENCH_combine.json /tmp/BENCH_combine.ci.json
+	$(GO) run ./cmd/dsssoak -seed 1 -combined -repeat 2 > /dev/null
+
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a
 # few minutes and their numbers are host-dependent. The sharded report is
@@ -63,6 +75,7 @@ bench-json:
 	$(GO) run ./cmd/dssbench -figure 5b -repeats 3 -flush 300ns -json BENCH_fig5b.json
 	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json -metrics BENCH_metrics.json
 	$(GO) run ./cmd/dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
+	$(GO) run ./cmd/dssbench -figure combine -json BENCH_combine.json
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 //
 //	crashsweep -pairs 2 -seed 42
 //	crashsweep -impl fast-caswitheffect
+//	crashsweep -impl combined-dss
 //	crashsweep -bias 0.1,0.9
 package main
 
@@ -45,7 +46,7 @@ func main() {
 	pairs := flag.Int("pairs", 2, "detectable enqueue/dequeue pairs in the swept workload")
 	seed := flag.Int64("seed", 1, "seed for the random dirty-line adversaries")
 	impl := flag.String("impl", string(harness.DSSDetectable),
-		"object to sweep: dss-detectable, dss-stack, sharded-dss, sharded-stack, fast-caswitheffect, or general-caswitheffect")
+		"object to sweep: dss-detectable, dss-stack, sharded-dss, sharded-stack, combined-dss, sharded+combined, fast-caswitheffect, or general-caswitheffect")
 	bias := flag.String("bias", "",
 		"comma-separated per-line survival probabilities; each adds a BiasedFates adversary to the suite")
 	flag.Parse()

@@ -8,6 +8,7 @@
 //	dssbench -figure 5a -json BENCH_fig5a.json
 //	dssbench -figure sharded -shards 2,4,8 -pairs 200 -json BENCH_sharded.json
 //	dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
+//	dssbench -figure combine -json BENCH_combine.json
 //	dssbench -impls ms-queue,dss-detectable -duration 1s
 //
 // Each series prints millions of operations per second (enqueues plus
@@ -31,6 +32,15 @@
 // committed numbers are host-independent. -duration, -repeats and -flush
 // do not apply there; the virtual cost model is the vtime calibration
 // (100 ns accesses, 300 ns persists).
+//
+// -figure combine measures the flat-combining publication layer
+// (internal/combine) against the dss-detectable baseline, also in
+// virtual time. The payload is the fences column: combining batches the
+// persists of every operation a combiner pass collects under a single
+// SFENCE drain, so fences/op falls as batches widen with the thread
+// count (the committed BENCH_combine.json pins a >=3x reduction at 20
+// threads). With -metrics the instrumented point is combined-dss at the
+// largest thread count.
 package main
 
 import (
@@ -53,7 +63,7 @@ func main() {
 }
 
 func run() error {
-	figure := flag.String("figure", "5a", "figure to regenerate: 5a, 5b, sharded, or custom (with -impls)")
+	figure := flag.String("figure", "5a", "figure to regenerate: 5a, 5b, sharded, combine, or custom (with -impls)")
 	implList := flag.String("impls", "", "comma-separated implementations (overrides -figure)")
 	threadList := flag.String("threads", "1,2,4,8,12,16,20", "comma-separated thread counts")
 	duration := flag.Duration("duration", 300*time.Millisecond, "measurement duration per point (paper: 30s)")
@@ -129,6 +139,58 @@ func run() error {
 		}
 		return nil
 	}
+	if *figure == "combine" && *implList == "" {
+		// The combine figure also runs in virtual time: the detectable
+		// baseline against the flat-combining front and its sharded
+		// composition, with the fences column as the payload.
+		shards, err := parseInts(*shardList)
+		if err != nil {
+			return fmt.Errorf("bad -shards: %w", err)
+		}
+		ccfg := harness.CombineSweepConfig{
+			Threads:        threads,
+			Shards:         maxInt(shards),
+			PairsPerThread: *pairs,
+		}
+		if *shardList == "2,4,8" {
+			ccfg.Shards = 0 // flag untouched: take the figure's default
+		}
+		fmt.Fprintf(os.Stderr, "virtual-time combine sweep: %d thread counts, %d pairs/thread\n",
+			len(threads), *pairs)
+		series, err := harness.FigureCombine(ccfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.FormatCSV(series))
+		} else {
+			fmt.Print(harness.FormatTable(series))
+		}
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(harness.BuildCombineReport(ccfg, series), "", "  ")
+			if err != nil {
+				return fmt.Errorf("marshal report: %w", err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *metricsPath != "" {
+			rep, err := harness.RunVirtualMetrics(harness.VirtualRunConfig{
+				Impl:           harness.CombinedDSS,
+				Threads:        maxInt(threads),
+				PairsPerThread: *pairs,
+			})
+			if err != nil {
+				return err
+			}
+			if err := writeMetrics(*metricsPath, rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	cfg := harness.SweepConfig{
 		Threads:      threads,
 		Duration:     *duration,
@@ -147,7 +209,7 @@ func run() error {
 	case *figure == "5b":
 		impls = harness.Impls5b()
 	default:
-		return fmt.Errorf("unknown figure %q (use 5a, 5b, sharded, or -impls)", *figure)
+		return fmt.Errorf("unknown figure %q (use 5a, 5b, sharded, combine, or -impls)", *figure)
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping %d series x %d thread counts, %v per point (flush latency %v)\n",

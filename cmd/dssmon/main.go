@@ -134,6 +134,12 @@ func show(path string) error {
 			fmt.Printf("heap/op: %.2f loads, %.2f stores, %.2f CASes, %.2f flushes, %.2f fences\n",
 				perOp(m.Heap.Loads, m.Ops), perOp(m.Heap.Stores, m.Ops), perOp(m.Heap.CASes, m.Ops),
 				perOp(m.Heap.Flushes, m.Ops), perOp(m.Heap.Fences, m.Ops))
+			fmt.Printf("per-op (reported): %.4f flushes_per_op, %.4f fences_per_op",
+				m.FlushesPerOp, m.FencesPerOp)
+			if m.Heap.FencesElided > 0 {
+				fmt.Printf("  (%d fences elided by batching)", m.Heap.FencesElided)
+			}
+			fmt.Println()
 		}
 		fmt.Print(d.export.FormatTable())
 	case obs.ExportSchema:
@@ -186,6 +192,19 @@ func checkFile(path string) ([]string, error) {
 		}
 		if m.Ops == 0 {
 			probs = append(probs, "zero ops measured")
+		}
+		// The derived per-op fields must agree with the raw counters they
+		// are derived from — a report whose flushes_per_op disagrees with
+		// heap.flushes/ops was assembled by hand or by a buggy writer.
+		if m.Ops > 0 {
+			if want := float64(m.Heap.Flushes) / float64(m.Ops); m.FlushesPerOp != want {
+				probs = append(probs, fmt.Sprintf("flushes_per_op %v disagrees with heap.flushes/ops = %v",
+					m.FlushesPerOp, want))
+			}
+			if want := float64(m.Heap.Fences) / float64(m.Ops); m.FencesPerOp != want {
+				probs = append(probs, fmt.Sprintf("fences_per_op %v disagrees with heap.fences/ops = %v",
+					m.FencesPerOp, want))
+			}
 		}
 		return probs, nil
 	case obs.ExportSchema:

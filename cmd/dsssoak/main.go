@@ -18,6 +18,7 @@
 //	dsssoak -seed 1 -clients 8 -ops 50 -crashes 40
 //	dsssoak -seed 1 -json BENCH_soak.json -timeline BENCH_soak_timeline.json
 //	dsssoak -seed 1 -object stack
+//	dsssoak -seed 1 -combined        # serve the object behind the combining front
 //	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
 //
 // Exit status is nonzero if any violation is found, if the crash target
@@ -48,6 +49,8 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent retrying clients")
 	ops := flag.Int("ops", 50, "operations per client (alternating insert/remove)")
 	object := flag.String("object", "queue", "detectable object the server hosts: queue or stack")
+	combined := flag.Bool("combined", false,
+		"host the object behind the flat-combining front (combine.Wire, persisted tags)")
 	crashes := flag.Int("crashes", 40, "target crash/restart cycles")
 	minCrashes := flag.Int("min-crashes", 25, "fail if fewer crash cycles actually fired (0 disables)")
 	jsonPath := flag.String("json", "", "also write the JSON report to this file")
@@ -62,6 +65,7 @@ func main() {
 		OpsPerClient: *ops,
 		Crashes:      *crashes,
 		Object:       *object,
+		Combined:     *combined,
 	}
 
 	var first, firstTL []byte

@@ -7,7 +7,11 @@
 // The measurement runs through the instrumented harness
 // (harness.RunWallMetrics), so detectable configurations additionally
 // report the mean prep and exec phase latencies the observability layer
-// records; plain configurations leave those columns blank.
+// records; plain configurations leave those columns blank. The
+// flushes/op and fences/op columns are the report's derived
+// flushes_per_op / fences_per_op fields; for the flat-combining
+// configurations the elided/op column counts the fences the batch layer
+// absorbed per operation.
 //
 // Usage:
 //
@@ -27,8 +31,8 @@ func main() {
 	duration := flag.Duration("duration", 200*time.Millisecond, "measurement duration per configuration")
 	flag.Parse()
 
-	fmt.Printf("%-24s %12s %14s %14s %14s %14s\n",
-		"configuration", "Mops/s", "flushes/op", "fences/op", "prep mean(ns)", "exec mean(ns)")
+	fmt.Printf("%-24s %12s %14s %14s %14s %14s %14s\n",
+		"configuration", "Mops/s", "flushes/op", "fences/op", "elided/op", "prep mean(ns)", "exec mean(ns)")
 	for _, impl := range harness.AllImpls() {
 		rep, err := harness.RunWallMetrics(harness.RunConfig{
 			Impl: impl, Threads: 1, Duration: *duration,
@@ -39,11 +43,12 @@ func main() {
 			os.Exit(1)
 		}
 		prep, exec := phaseMeans(rep)
-		fmt.Printf("%-24s %12.3f %14.2f %14.2f %14s %14s\n",
-			impl, rep.Mops,
-			float64(rep.Heap.Flushes)/float64(rep.Ops),
-			float64(rep.Heap.Fences)/float64(rep.Ops),
-			prep, exec)
+		elided := "-"
+		if rep.Heap.FencesElided > 0 {
+			elided = fmt.Sprintf("%.2f", float64(rep.Heap.FencesElided)/float64(rep.Ops))
+		}
+		fmt.Printf("%-24s %12.3f %14.2f %14.2f %14s %14s %14s\n",
+			impl, rep.Mops, rep.FlushesPerOp, rep.FencesPerOp, elided, prep, exec)
 	}
 }
 

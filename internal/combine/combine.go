@@ -1,0 +1,562 @@
+// Package combine is a detectable flat-combining front over any
+// dss.Object: it amortizes the persist fences that dominate every
+// committed figure by publishing prepped operations into per-client
+// announcement slots and letting one client at a time — the combiner —
+// execute a whole batch against the underlying object under a single
+// SFENCE drain.
+//
+// Why fences, not flushes, are the target: pmem's cost model (like the
+// hardware it calibrates against) charges a CLWB issue a quarter of the
+// persist latency and the SFENCE drain the rest, and issues to distinct
+// lines pipeline while drains serialize. The per-op persist chains of
+// the concrete objects pay ~5 drains per operation; a combined batch of
+// B operations pays one announcement drain per op plus two drains for
+// the whole batch.
+//
+// # Slot layout
+//
+// Each client owns two consecutive cache lines, so clients never share a
+// line with each other or with the combiner's metadata:
+//
+//	announce line: word 0 = seq<<8 | kind<<2 | requested | done
+//	               word 1+(seq&1) = operation argument (parity-buffered:
+//	               successive announcements alternate arg words, so the
+//	               live announcement's argument is never overwritten by
+//	               a prep in flight when a crash fixes the line's fate)
+//	               word 3+(seq&1) = auxiliary tag (PrepTagged), parity-
+//	               buffered for the same reason
+//	result line:   word 0 = kind of the response
+//	               word 1 = response value
+//	               word 2 = seq of the operation the result answers
+//
+// seq is a per-client counter that survives withdrawal (Abandon keeps
+// the seq bits and clears only the kind), so a result line is
+// interpretable exactly when its seq matches the announce line's — a
+// stale result from an earlier operation can never be mistaken for the
+// current one, which is why Prep never needs to clear the result line.
+// requested and done are volatile handshake bits that happen to live in
+// heap words (all cross-thread coordination must go through heap
+// primitives so the virtual-time scheduler sees it); recovery clears
+// them, and no correctness argument ever reads them from the persisted
+// image.
+//
+// # The detectable lifecycle
+//
+// Prep withdraws the client's previous record from the inner object and
+// persists the new announcement, both under one fence batch: two CLWB
+// issues, one drain — the PersistPair shape. The announcement is durable
+// before Prep returns, so Resolve can always reconstruct the prepared
+// operation from the slot (Axiom 1).
+//
+// Exec sets the requested bit and waits for the done bit; any waiting
+// client that finds the combiner lock free becomes the combiner. The
+// combiner scans the slots, and for every requested-but-undone operation
+// preps and execs it on the inner object and writes + FlushLines the
+// result line, all inside one fence batch; the closing drain makes every
+// result in the batch durable at once, and only then are the done bits
+// published. A client therefore never observes a response that is not
+// yet durable (strict linearizability needs exactly this: a response
+// externalized before its persist could be lost by a crash and resolve
+// as never-executed).
+//
+// The combiner applies only *requested* slots, never merely announced
+// ones: an announced-but-unrequested operation belongs to a client that
+// has not called Exec, and may still be withdrawn by Abandon without
+// racing the combiner.
+//
+// # Crash safety of the single drain
+//
+// A crash anywhere inside a combiner batch leaves each operation in one
+// of three states, every one of them recoverable: (a) inner record
+// pending, result stale — Resolve reports the operation unexecuted, a
+// correct outcome for an Exec that never returned; (b) inner record
+// executed, result stale — Recover (or the combiner's own reconcile
+// pass, or Resolve's fallback) republishes the response from the inner
+// object's persisted record, so the operation's effect is exactly-once;
+// (c) result published — done. The reconcile in (b) is sound because of
+// the package invariant that the inner object's record for client t, if
+// any, always belongs to t's currently announced operation: Prep
+// withdraws the previous inner record before announcing, and the
+// combiner preps only announced operations. See DESIGN.md §13 for the
+// full argument and for the simulator-vs-hardware ordering caveat.
+package combine
+
+import (
+	"fmt"
+
+	"repro/internal/dss"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+)
+
+// Announce-line word layout. The argument is double-buffered by seq
+// parity: Prep for seq writes word 1+(seq&1), so the word the *previous*
+// announcement's argument lives in is never touched mid-prep. Without
+// this, a crash between the arg store and the header store could survive
+// with the old header paired with the new argument (dirty-line fates are
+// per line, not per word) and resolve the old operation with a corrupted
+// argument.
+const (
+	annHdr = 0 // seq<<seqShift | kind<<kindShift | bits
+	annArg = 1 // + seq&1
+	annTag = 3 // + seq&1
+
+	bitReq    = 1 << 0 // volatile: owner has called Exec
+	bitDone   = 1 << 1 // volatile: result published and drained
+	kindShift = 2
+	kindMask  = 0x3
+	seqShift  = 8
+)
+
+// Result-line word layout.
+const (
+	resKind = 0
+	resVal  = 1
+	resSeq  = 2 // stored last: seq visible implies kind/val visible
+)
+
+// Meta line layout. The magic word packs the front's own magic in its
+// low 32 bits and the inner type code above it, like sharded's.
+const (
+	cfgMagic = 0
+	cfgThrd  = 1
+	cfgSlot  = 2
+	cfgLock  = 3
+
+	magicCombine = 0x4453_5343 // "DSSC"
+)
+
+// codeBase offsets the wrapper's persisted type code away from the
+// concrete types' codes: combined-X has code codeBase | X's code.
+const codeBase = 1 << 8
+
+// Front is the flat-combining detectable front over one inner object.
+type Front struct {
+	h        *pmem.Heap
+	inner    dss.Object
+	threads  int
+	slotBase pmem.Addr
+	lockAddr pmem.Addr
+	obs      *obs.Sink
+	// seqs[tid] is the volatile cache of tid's announce-line sequence
+	// counter (single-owner; rebuilt from the slots after a crash).
+	seqs []uint64
+	// batch is the combiner's scratch list, reused under the lock.
+	batch []int
+}
+
+var _ dss.Object = (*Front)(nil)
+
+// TypeOver derives the combined dss.Type over inner: same sequential
+// model and spec vocabulary, one extra root slot (the front's metadata,
+// claimed at rootSlot, with the inner object at rootSlot+1).
+func TypeOver(inner dss.Type) dss.Type {
+	slots := inner.RootSlots
+	if slots < 1 {
+		slots = 1
+	}
+	var attach func(h *pmem.Heap, rootSlot int, cfg dss.Config) (dss.Object, error)
+	if inner.Attach != nil {
+		attach = func(h *pmem.Heap, rootSlot int, cfg dss.Config) (dss.Object, error) {
+			return Attach(h, rootSlot, inner, cfg)
+		}
+	}
+	return inner.Derive("combined-"+inner.Name, codeBase|inner.Code, 1+slots,
+		func(h *pmem.Heap, rootSlot int, cfg dss.Config) (dss.Object, error) {
+			return New(h, rootSlot, inner, cfg)
+		}, attach)
+}
+
+// New builds a combining front over a fresh inner object of type typ. It
+// claims rootSlot for its own metadata plus typ.RootSlots consecutive
+// slots for the inner object, starting at rootSlot+1.
+func New(h *pmem.Heap, rootSlot int, typ dss.Type, cfg dss.Config) (*Front, error) {
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("combine: need at least 1 thread, got %d", cfg.Threads)
+	}
+	slots := typ.RootSlots
+	if slots < 1 {
+		slots = 1
+	}
+	if rootSlot < 0 || rootSlot+1+slots > pmem.NumRoots {
+		return nil, fmt.Errorf("combine: combined %s at root slot %d exceeds the %d root slots",
+			typ.Name, rootSlot, pmem.NumRoots)
+	}
+	meta, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("combine: meta: %w", err)
+	}
+	lock, err := h.Alloc(pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("combine: lock: %w", err)
+	}
+	slotBase, err := h.Alloc(cfg.Threads * 2 * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("combine: slots: %w", err)
+	}
+	inner, err := typ.New(h, rootSlot+1, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("combine: inner %s: %w", typ.Name, err)
+	}
+	// Fresh allocations are zero, but persist the zeros so the first
+	// crash cannot resurrect pre-heap garbage (mirrors sharded.New).
+	h.PersistRange(slotBase, cfg.Threads*2*pmem.WordsPerLine)
+	h.Store(meta+cfgThrd, uint64(cfg.Threads))
+	h.Store(meta+cfgSlot, uint64(slotBase))
+	h.Store(meta+cfgLock, uint64(lock))
+	h.Store(meta+cfgMagic, magicCombine|typ.Code<<32)
+	h.Persist(meta)
+	h.SetRoot(rootSlot, meta)
+	return &Front{
+		h: h, inner: inner, threads: cfg.Threads,
+		slotBase: slotBase, lockAddr: lock,
+		seqs:  make([]uint64, cfg.Threads),
+		batch: make([]int, 0, cfg.Threads),
+	}, nil
+}
+
+// Attach reconstructs the handle of a front built by New in a previous
+// process. The inner type must match (its persisted code is validated)
+// and support re-attachment; the caller must run Recover on the result.
+func Attach(h *pmem.Heap, rootSlot int, typ dss.Type, cfg dss.Config) (*Front, error) {
+	if typ.Attach == nil {
+		return nil, fmt.Errorf("combine: type %s does not support re-attachment", typ.Name)
+	}
+	meta := h.Root(rootSlot)
+	if meta == 0 {
+		return nil, fmt.Errorf("combine: root slot %d is empty", rootSlot)
+	}
+	magic := h.Load(meta + cfgMagic)
+	if magic&(1<<32-1) != magicCombine {
+		return nil, fmt.Errorf("combine: root slot %d does not hold a combining front", rootSlot)
+	}
+	if code := magic >> 32; code != typ.Code {
+		return nil, fmt.Errorf("combine: root slot %d holds inner type code %d, not %s (%d)",
+			rootSlot, code, typ.Name, typ.Code)
+	}
+	threads := int(h.Load(meta + cfgThrd))
+	if threads < 1 || threads > 1<<16 {
+		return nil, fmt.Errorf("combine: corrupt config (%d threads)", threads)
+	}
+	inner, err := typ.Attach(h, rootSlot+1, dss.Config{Threads: threads})
+	if err != nil {
+		return nil, fmt.Errorf("combine: inner %s: %w", typ.Name, err)
+	}
+	return &Front{
+		h: h, inner: inner, threads: threads,
+		slotBase: pmem.Addr(h.Load(meta + cfgSlot)),
+		lockAddr: pmem.Addr(h.Load(meta + cfgLock)),
+		seqs:     make([]uint64, threads),
+		batch:    make([]int, 0, threads),
+	}, nil
+}
+
+// Inner returns the underlying object (test and tooling access).
+func (f *Front) Inner() dss.Object { return f.inner }
+
+// Threads reports the number of processes the front was built for.
+func (f *Front) Threads() int { return f.threads }
+
+// SetObs attaches an observability sink (nil to remove): combiner batch
+// sizes (obs.PhaseBatch histogram), client combine-wait latency
+// (obs.PhaseCombine) and the combines/combined-ops counters. Recording
+// never touches the heap, so an unobserved run is step-for-step
+// identical to an observed one. Not safe to call concurrently with
+// operations.
+func (f *Front) SetObs(s *obs.Sink) { f.obs = s }
+
+func (f *Front) announceAddr(tid int) pmem.Addr {
+	return f.slotBase + pmem.Addr(tid*2*pmem.WordsPerLine)
+}
+
+func (f *Front) resultAddr(tid int) pmem.Addr {
+	return f.announceAddr(tid) + pmem.WordsPerLine
+}
+
+func hdrKind(hdr uint64) dss.Kind { return dss.Kind(hdr >> kindShift & kindMask) }
+
+// readResp decodes tid's result line (valid only when its seq matches
+// the announce line's).
+func (f *Front) readResp(r pmem.Addr) dss.Resp {
+	k := dss.RespKind(f.h.Load(r + resKind))
+	if k == dss.Val {
+		return dss.Resp{Kind: k, Val: f.h.Load(r + resVal)}
+	}
+	return dss.Resp{Kind: k}
+}
+
+// Prep declares the detectable intent to perform op (Axiom 1): it
+// withdraws tid's previous inner record and persists the new
+// announcement under one fence batch — two flush issues, one drain.
+//
+// The withdrawal is what maintains the package invariant that an inner
+// record always belongs to the current announcement: in this simulator
+// Flush's write-back is synchronous, so the X-clear is durable before
+// the announce flush even though both share the batch's single drain
+// (real hardware would need the drain between them — see DESIGN.md §13).
+func (f *Front) Prep(tid int, op dss.Op) error {
+	return f.PrepTagged(tid, op, 0)
+}
+
+// PrepTagged is Prep with an auxiliary tag (Section 2.1's prep argument)
+// persisted in the announcement line — same line, same single flush, so
+// detectability across crashes gains a durable operation identity at
+// zero extra persist cost. The tag is parity-buffered like the argument
+// and is reported by ResolvedTag for the life of the announcement. This
+// is what lets a retry discipline that keys on tags (mp.RetryClient)
+// settle ambiguous outcomes across crashes when the server hosts a
+// combined front; the concrete container objects do not persist tags,
+// so a plain dss.Wire cannot offer this.
+func (f *Front) PrepTagged(tid int, op dss.Op, tag uint64) error {
+	if op.Kind != dss.Insert && op.Kind != dss.Remove {
+		return fmt.Errorf("combine: cannot prep %v", op.Kind)
+	}
+	h := f.h
+	h.BeginFenceBatch()
+	f.inner.Abandon(tid)
+	seq := f.seqs[tid] + 1
+	f.seqs[tid] = seq
+	a := f.announceAddr(tid)
+	h.Store(a+annArg+pmem.Addr(seq&1), op.Arg)
+	h.Store(a+annTag+pmem.Addr(seq&1), tag)
+	h.Store(a+annHdr, seq<<seqShift|uint64(op.Kind)<<kindShift)
+	h.FlushLine(a)
+	h.EndFenceBatch()
+	return nil
+}
+
+// ResolvedTag reports the persisted tag of tid's current announcement
+// (0 when no operation is announced). Write-free, like Resolve.
+func (f *Front) ResolvedTag(tid int) uint64 {
+	h := f.h
+	a := f.announceAddr(tid)
+	hdr := h.Load(a + annHdr)
+	if hdrKind(hdr) == dss.None {
+		return 0
+	}
+	return h.Load(a + annTag + pmem.Addr(hdr>>seqShift&1))
+}
+
+// announcedOp decodes the operation named by an announce-line header.
+func (f *Front) announcedOp(a pmem.Addr, hdr uint64) dss.Op {
+	op := dss.Op{Kind: hdrKind(hdr)}
+	if op.Kind == dss.Insert {
+		op.Arg = f.h.Load(a + annArg + pmem.Addr(hdr>>seqShift&1))
+	}
+	return op
+}
+
+// Exec applies the operation prepared by tid's last Prep (Axiom 2): it
+// publishes the request bit and waits for the done bit, becoming the
+// combiner itself whenever the combiner lock is free. Idempotent: a
+// second call for one Prep returns the published result without
+// re-requesting.
+func (f *Front) Exec(tid int) (dss.Resp, error) {
+	h := f.h
+	a := f.announceAddr(tid)
+	hdr := h.Load(a + annHdr)
+	if hdrKind(hdr) == dss.None {
+		return dss.Resp{}, nil
+	}
+	r := f.resultAddr(tid)
+	if h.Load(r+resSeq) == hdr>>seqShift {
+		return f.readResp(r), nil
+	}
+	h.Store(a+annHdr, hdr|bitReq)
+	start := f.obs.Now()
+	for h.Load(a+annHdr)&bitDone == 0 {
+		// The spin goes through heap primitives (never Go-level waiting)
+		// so the virtual-time scheduler charges it and interleaves it
+		// deterministically.
+		if h.CompareAndSwap(f.lockAddr, 0, uint64(tid)+1) {
+			f.combine()
+			h.Store(f.lockAddr, 0)
+		}
+	}
+	f.obs.ObserveSince(obs.PhaseCombine, obsKind(hdrKind(hdr)), start)
+	return f.readResp(r), nil
+}
+
+// obsKind translates the container vocabulary into the sink's.
+func obsKind(k dss.Kind) obs.OpKind {
+	switch k {
+	case dss.Insert:
+		return obs.KindInsert
+	case dss.Remove:
+		return obs.KindRemove
+	default:
+		return obs.KindNone
+	}
+}
+
+// combine is one combiner pass, run under the combiner lock: scan for
+// requested-but-undone slots, execute each against the inner object and
+// publish its result line, all inside one fence batch, then — only
+// after the closing drain — flip the done bits.
+func (f *Front) combine() {
+	h := f.h
+	batch := f.batch[:0]
+	for t := 0; t < f.threads; t++ {
+		hdr := h.Load(f.announceAddr(t) + annHdr)
+		if hdr&bitReq == 0 || hdr&bitDone != 0 {
+			continue
+		}
+		if h.Load(f.resultAddr(t)+resSeq) == hdr>>seqShift {
+			// Already published (a recovery reconciled it); the owner
+			// only needs the done bit, no drain required.
+			h.Store(f.announceAddr(t)+annHdr, hdr|bitDone)
+			continue
+		}
+		batch = append(batch, t)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	h.BeginFenceBatch()
+	for _, t := range batch {
+		a := f.announceAddr(t)
+		hdr := h.Load(a + annHdr)
+		op := f.announcedOp(a, hdr)
+		var resp dss.Resp
+		if _, prior, ok := f.inner.Resolve(t); ok && prior.Kind != dss.NoResp {
+			// The inner record — by invariant, this announcement's — was
+			// executed by a pass interrupted before publication. Its
+			// effect is durable; republish instead of re-executing.
+			resp = prior
+		} else {
+			if err := f.inner.Prep(t, op); err != nil {
+				// Inner preps fail only on exhausted pools: a sizing bug,
+				// not a runtime condition (the owner is parked in Exec and
+				// cannot be handed an error).
+				panic(fmt.Sprintf("combine: inner prep for thread %d: %v", t, err))
+			}
+			var err error
+			if resp, err = f.inner.Exec(t); err != nil {
+				panic(fmt.Sprintf("combine: inner exec for thread %d: %v", t, err))
+			}
+		}
+		r := f.resultAddr(t)
+		h.Store(r+resKind, uint64(resp.Kind))
+		h.Store(r+resVal, resp.Val)
+		h.Store(r+resSeq, hdr>>seqShift)
+		h.FlushLine(r)
+	}
+	h.EndFenceBatch()
+	for _, t := range batch {
+		a := f.announceAddr(t)
+		h.Store(a+annHdr, h.Load(a+annHdr)|bitDone)
+	}
+	f.obs.Add(obs.CtrCombines, 1)
+	f.obs.Add(obs.CtrCombinedOps, uint64(len(batch)))
+	f.obs.Observe(obs.PhaseBatch, obs.KindNone, uint64(len(batch)))
+}
+
+// Resolve reports tid's most recently prepared operation and its
+// response (Axiom 3). Total, idempotent, and write-free: an executed
+// result is read from the published result line, or — when a crash or
+// volatile reset interrupted a pass between the inner execution and the
+// publication — from the inner object's own persisted record.
+func (f *Front) Resolve(tid int) (dss.Op, dss.Resp, bool) {
+	h := f.h
+	a := f.announceAddr(tid)
+	hdr := h.Load(a + annHdr)
+	k := hdrKind(hdr)
+	if k == dss.None {
+		return dss.Op{}, dss.Resp{}, false
+	}
+	op := f.announcedOp(a, hdr)
+	r := f.resultAddr(tid)
+	if h.Load(r+resSeq) == hdr>>seqShift {
+		return op, f.readResp(r), true
+	}
+	if _, prior, ok := f.inner.Resolve(tid); ok && prior.Kind != dss.NoResp {
+		return op, prior, true
+	}
+	return op, dss.Resp{}, true
+}
+
+// Invoke applies op non-detectably (Axiom 4), bypassing the combiner:
+// a base operation has no announcement to batch and the inner object is
+// already safe for concurrent use.
+func (f *Front) Invoke(tid int, op dss.Op) (dss.Resp, error) {
+	return f.inner.Invoke(tid, op)
+}
+
+// Abandon withdraws tid's prepared-but-unexecuted operation: the inner
+// record (if a reconcile left one) and the announcement's kind bits are
+// cleared under one fence batch. The seq bits survive withdrawal, so
+// stale result lines stay unambiguous across it. An announced-but-
+// unrequested operation is invisible to combiners (they apply only
+// requested slots), so no pass concurrent with the owner can apply an
+// operation the owner is here to withdraw.
+func (f *Front) Abandon(tid int) {
+	h := f.h
+	a := f.announceAddr(tid)
+	hdr := h.Load(a + annHdr)
+	if hdrKind(hdr) == dss.None {
+		return
+	}
+	h.BeginFenceBatch()
+	f.inner.Abandon(tid)
+	h.Store(a+annHdr, hdr>>seqShift<<seqShift)
+	h.FlushLine(a)
+	h.EndFenceBatch()
+}
+
+// Recover is the centralized post-crash procedure: recover the inner
+// object, release the combiner lock, clear the volatile handshake bits,
+// and reconcile every announced operation whose result was never
+// published — if the inner object's record says it executed, the
+// response is republished from that record (one drain for all of them);
+// otherwise it stays pending. Single-threaded and idempotent: a second
+// run finds the results already published and changes nothing.
+func (f *Front) Recover() {
+	f.inner.Recover()
+	f.reconcile(true)
+}
+
+// ResetVolatile rebuilds the volatile companions — the combiner lock,
+// the handshake bits, the seq cache — without modifying persistent
+// state. Unpublished-but-executed operations are NOT republished here
+// (that writes the heap); Resolve's inner fallback reports them
+// correctly until the next Prep or Recover retires them.
+func (f *Front) ResetVolatile() {
+	f.inner.ResetVolatile()
+	f.reconcile(false)
+}
+
+// reconcile is the shared recovery walk. The handshake-bit clears and
+// the lock release are volatile stores (never flushed on purpose); only
+// the republished result lines are persisted, under one closing drain.
+func (f *Front) reconcile(publish bool) {
+	h := f.h
+	h.Store(f.lockAddr, 0)
+	if publish {
+		h.BeginFenceBatch()
+	}
+	for t := 0; t < f.threads; t++ {
+		a := f.announceAddr(t)
+		hdr := h.Load(a + annHdr)
+		if hdr&(bitReq|bitDone) != 0 {
+			hdr &^= bitReq | bitDone
+			h.Store(a+annHdr, hdr)
+		}
+		f.seqs[t] = hdr >> seqShift
+		if !publish || hdrKind(hdr) == dss.None {
+			continue
+		}
+		r := f.resultAddr(t)
+		if h.Load(r+resSeq) == hdr>>seqShift {
+			continue
+		}
+		if _, prior, ok := f.inner.Resolve(t); ok && prior.Kind != dss.NoResp {
+			h.Store(r+resKind, uint64(prior.Kind))
+			h.Store(r+resVal, prior.Val)
+			h.Store(r+resSeq, hdr>>seqShift)
+			h.FlushLine(r)
+		}
+	}
+	if publish {
+		h.EndFenceBatch()
+	}
+}

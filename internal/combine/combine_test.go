@@ -1,0 +1,274 @@
+package combine
+
+import (
+	"testing"
+
+	"repro/internal/dss"
+	"repro/internal/pmem"
+)
+
+func buildFront(t *testing.T, threads int) (*Front, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(h, 0, dss.QueueType, dss.Config{
+		Threads: threads, NodesPerThread: 32, ExtraNodes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, h
+}
+
+func exec(t *testing.T, f *Front, tid int, op dss.Op) dss.Resp {
+	t.Helper()
+	if err := f.Prep(tid, op); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.Exec(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestCombinedQueueFIFO drives the combined queue single-threaded (the
+// client self-combines) and checks FIFO order plus resolve-after-exec.
+func TestCombinedQueueFIFO(t *testing.T) {
+	f, _ := buildFront(t, 1)
+	for i := uint64(1); i <= 5; i++ {
+		if r := exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: 100 + i}); r.Kind != dss.Ack {
+			t.Fatalf("insert %d: %+v", i, r)
+		}
+	}
+	op, resp, ok := f.Resolve(0)
+	if !ok || op.Kind != dss.Insert || op.Arg != 105 || resp.Kind != dss.Ack {
+		t.Fatalf("resolve after insert: %+v %+v %v", op, resp, ok)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		r := exec(t, f, 0, dss.Op{Kind: dss.Remove})
+		if r.Kind != dss.Val || r.Val != 100+i {
+			t.Fatalf("remove %d: %+v", i, r)
+		}
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Remove}); r.Kind != dss.Empty {
+		t.Fatalf("drained queue: %+v", r)
+	}
+}
+
+// TestExecIdempotent asserts a second Exec for one Prep replays the
+// published result without re-executing.
+func TestExecIdempotent(t *testing.T) {
+	f, _ := buildFront(t, 1)
+	exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: 7})
+	if err := f.Prep(0, dss.Op{Kind: dss.Remove}); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := f.Exec(0)
+	r2, _ := f.Exec(0)
+	if r1 != r2 || r1.Kind != dss.Val || r1.Val != 7 {
+		t.Fatalf("re-exec diverged: %+v vs %+v", r1, r2)
+	}
+	if op, resp, ok := f.Resolve(0); !ok || op.Kind != dss.Remove || resp != r1 {
+		t.Fatalf("resolve: %+v %+v %v", op, resp, ok)
+	}
+	// The queue must be empty: the second Exec took nothing.
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Remove}); r.Kind != dss.Empty {
+		t.Fatalf("second exec dequeued again: %+v", r)
+	}
+}
+
+// TestFenceAmortization pins the front's fence economics single-threaded:
+// each op pays one prep drain and one batch drain — two real fences —
+// while the inner object's own fences are all elided.
+func TestFenceAmortization(t *testing.T) {
+	f, h := buildFront(t, 1)
+	const warm = 2 // first ops allocate fresh pool nodes; let reuse settle
+	for i := 0; i < warm; i++ {
+		exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: uint64(i)})
+		exec(t, f, 0, dss.Op{Kind: dss.Remove})
+	}
+	before := h.Stats()
+	const pairs = 10
+	for i := 0; i < pairs; i++ {
+		exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: uint64(50 + i)})
+		exec(t, f, 0, dss.Op{Kind: dss.Remove})
+	}
+	d := h.Stats().Sub(before)
+	if want := uint64(2 * 2 * pairs); d.Fences != want {
+		t.Fatalf("%d real fences for %d ops; want %d (2/op)", d.Fences, 2*pairs, want)
+	}
+	if d.FencesElided == 0 {
+		t.Fatalf("no elided fences recorded (inner persists were not batched)")
+	}
+}
+
+// TestAbandonedNeverApplied is the withdrawal sweep of the satellite
+// task: an announced-but-unrequested operation is withdrawn, and no
+// later combiner pass may apply it — the withdrawn value must never
+// surface, and the withdrawn slot must resolve to no operation.
+func TestAbandonedNeverApplied(t *testing.T) {
+	f, _ := buildFront(t, 2)
+	// Thread 0 announces insert(999) but never calls Exec.
+	if err := f.Prep(0, dss.Op{Kind: dss.Insert, Arg: 999}); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 runs ops, each Exec a combiner pass over all slots.
+	exec(t, f, 1, dss.Op{Kind: dss.Insert, Arg: 1})
+	exec(t, f, 1, dss.Op{Kind: dss.Insert, Arg: 2})
+	if op, _, ok := f.Resolve(0); !ok || op.Arg != 999 {
+		t.Fatalf("announced op lost before withdrawal: %+v %v", op, ok)
+	}
+	f.Abandon(0)
+	if _, _, ok := f.Resolve(0); ok {
+		t.Fatal("withdrawn op still resolves")
+	}
+	// More combiner passes after the withdrawal.
+	exec(t, f, 1, dss.Op{Kind: dss.Insert, Arg: 3})
+	exec(t, f, 1, dss.Op{Kind: dss.Remove})
+	// Drain: the withdrawn 999 must not be in the queue.
+	for {
+		r := exec(t, f, 1, dss.Op{Kind: dss.Remove})
+		if r.Kind == dss.Empty {
+			break
+		}
+		if r.Val == 999 {
+			t.Fatal("withdrawn operation was applied by a later combiner pass")
+		}
+	}
+	if _, _, ok := f.Resolve(0); ok {
+		t.Fatal("withdrawn op resurfaced after later passes")
+	}
+}
+
+// TestDoubleRecoverIdempotent crashes at every step of a combined
+// workload (under both extreme adversaries), recovers, snapshots the
+// persisted image and every resolution, runs Recover again, and asserts
+// the second run changed nothing — the satellite task's idempotence
+// proof, covering crashes during recovery itself.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	for _, adv := range []pmem.Adversary{pmem.DropAll{}, pmem.KeepAll{}} {
+		for step := uint64(1); ; step++ {
+			f, h := buildFront(t, 2)
+			h.ArmCrash(step)
+			crashed := pmem.RunToCrash(func() {
+				for i := 0; i < 2; i++ {
+					exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: uint64(10 + i)})
+					exec(t, f, 0, dss.Op{Kind: dss.Remove})
+				}
+			})
+			if !crashed {
+				break
+			}
+			h.Crash(adv)
+			f.Recover()
+			type res struct {
+				op   dss.Op
+				resp dss.Resp
+				ok   bool
+			}
+			snap := func() ([]res, []uint64) {
+				rs := make([]res, 2)
+				for tid := range rs {
+					rs[tid].op, rs[tid].resp, rs[tid].ok = f.Resolve(tid)
+				}
+				img := make([]uint64, h.Words())
+				for a := range img {
+					img[a] = h.PersistedLoad(pmem.Addr(a))
+				}
+				return rs, img
+			}
+			r1, img1 := snap()
+			f.Recover()
+			r2, img2 := snap()
+			for tid := range r1 {
+				if r1[tid] != r2[tid] {
+					t.Fatalf("step %d %T: second Recover changed tid %d resolution: %+v -> %+v",
+						step, adv, tid, r1[tid], r2[tid])
+				}
+			}
+			for a := range img1 {
+				if img1[a] != img2[a] {
+					t.Fatalf("step %d %T: second Recover changed persisted word %#x: %#x -> %#x",
+						step, adv, a, img1[a], img2[a])
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverPublishesExecutedOps pins recovery state (b) of the package
+// doc: when a crash lands between the inner execution and the result
+// publication, Recover republishes the response from the inner record,
+// and the effect stays exactly-once.
+func TestRecoverPublishesExecutedOps(t *testing.T) {
+	published := 0
+	for step := uint64(1); ; step++ {
+		f, h := buildFront(t, 1)
+		h.ArmCrash(step)
+		crashed := pmem.RunToCrash(func() {
+			exec(t, f, 0, dss.Op{Kind: dss.Insert, Arg: 42})
+			f.Prep(0, dss.Op{Kind: dss.Remove})
+			f.Exec(0)
+		})
+		if !crashed {
+			break
+		}
+		h.Crash(pmem.DropAll{})
+		f.Recover()
+		op, resp, ok := f.Resolve(0)
+		if ok && op.Kind == dss.Remove && resp.Kind == dss.Val {
+			if resp.Val != 42 {
+				t.Fatalf("step %d: recovered remove claims %d, want 42", step, resp.Val)
+			}
+			published++
+			// Exactly-once: the value must be gone from the queue.
+			if r, _ := f.Invoke(0, dss.Op{Kind: dss.Remove}); r.Kind != dss.Empty {
+				t.Fatalf("step %d: value claimed twice: %+v", step, r)
+			}
+		}
+	}
+	if published == 0 {
+		t.Fatal("no crash point exercised the executed-but-unpublished window")
+	}
+}
+
+// TestTypeOverMetadata asserts the derived type's wiring: distinct code,
+// extra root slot, working attach path.
+func TestTypeOverMetadata(t *testing.T) {
+	typ := TypeOver(dss.QueueType)
+	if typ.Name != "combined-queue" || typ.Code != codeBase|dss.QueueType.Code {
+		t.Fatalf("derived identity: %q code %d", typ.Name, typ.Code)
+	}
+	if typ.RootSlots != 1+dss.QueueType.RootSlots {
+		t.Fatalf("root slots: %d", typ.RootSlots)
+	}
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := typ.New(h, 0, dss.Config{Threads: 1, NodesPerThread: 32, ExtraNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := obj.(*Front)
+	if err := f.Prep(0, dss.Op{Kind: dss.Insert, Arg: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Exec(0); err != nil {
+		t.Fatal(err)
+	}
+	att, err := typ.Attach(h, 0, dss.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Recover()
+	if op, resp, ok := att.Resolve(0); !ok || op.Arg != 5 || resp.Kind != dss.Ack {
+		t.Fatalf("re-attached resolve: %+v %+v %v", op, resp, ok)
+	}
+	if r, _ := att.Invoke(0, dss.Op{Kind: dss.Remove}); r.Kind != dss.Val || r.Val != 5 {
+		t.Fatalf("re-attached drain: %+v", r)
+	}
+}

@@ -1,0 +1,78 @@
+package combine
+
+import (
+	"fmt"
+
+	"repro/internal/dss"
+	"repro/internal/spec"
+)
+
+// Wire adapts a Front to the spec-vocabulary service surface the
+// message-passing engine (internal/mp) hosts, like dss.Wire — but with
+// one crucial upgrade: the operation tag is persisted in the
+// announcement slot (PrepTagged), so a resolve reports it across
+// crashes. dss.Wire keeps tags in volatile memory and documents that
+// tag-keyed retry clients (mp.RetryClient) therefore need the universal
+// construction; a combined front is the second object family that can
+// serve them, and it does so at a fraction of the universal log's
+// persist cost.
+type Wire struct {
+	typ dss.Type
+	f   *Front
+}
+
+// NewWire binds f (whose inner object is of type typ) to the wire
+// vocabulary of typ.
+func NewWire(typ dss.Type, f *Front) *Wire {
+	return &Wire{typ: typ, f: f}
+}
+
+// Front returns the adapted combining front.
+func (w *Wire) Front() *Front { return w.f }
+
+// Prep declares a detectable operation (Axiom 1), persisting op.Tag with
+// the announcement.
+func (w *Wire) Prep(tid int, op spec.Op) error {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return fmt.Errorf("combine: %s is not a %s operation", op, w.typ.Name)
+	}
+	return w.f.PrepTagged(tid, dop, op.Tag)
+}
+
+// Exec applies tid's prepared operation (Axiom 2).
+func (w *Wire) Exec(tid int) (spec.Resp, error) {
+	resp, err := w.f.Exec(tid)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return dss.SpecResp(resp), nil
+}
+
+// Resolve reports (A[p], R[p]) (Axiom 3), with the tag read back from
+// the persisted announcement — valid in any generation.
+func (w *Wire) Resolve(tid int) spec.Resp {
+	op, resp, ok := w.f.Resolve(tid)
+	if !ok {
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	sop := w.typ.SpecOp(op)
+	sop.Tag = w.f.ResolvedTag(tid)
+	return spec.PairResp(true, sop, dss.SpecResp(resp))
+}
+
+// Invoke applies op non-detectably (Axiom 4).
+func (w *Wire) Invoke(tid int, op spec.Op) (spec.Resp, error) {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return spec.Resp{}, fmt.Errorf("combine: %s is not a %s operation", op, w.typ.Name)
+	}
+	resp, err := w.f.Invoke(tid, dop)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return dss.SpecResp(resp), nil
+}
+
+// Recover runs the front's centralized recovery procedure.
+func (w *Wire) Recover() { w.f.Recover() }

@@ -180,6 +180,23 @@ type Type struct {
 	remove func() spec.Op
 }
 
+// Derive returns a copy of t re-skinned for a wrapper type: the same
+// sequential model and spec vocabulary (a wrapper implements the same
+// D⟨T⟩, only through a different mechanism), with the wrapper's own
+// name, persisted type code, root-slot footprint and factories. It is
+// the only way for a package outside dss to mint a Type, because the
+// spec-translation hooks are unexported; a wrapper that changed the
+// sequential specification would not be a wrapper.
+func (t Type) Derive(name string, code uint64, rootSlots int, newFn, attach func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error)) Type {
+	d := t
+	d.Name = name
+	d.Code = code
+	d.RootSlots = rootSlots
+	d.New = newFn
+	d.Attach = attach
+	return d
+}
+
 // SpecOp translates a container operation into the type's spec base
 // operation, for recording histories checked against D⟨T⟩.
 func (t Type) SpecOp(op Op) spec.Op {

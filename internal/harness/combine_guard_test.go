@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadCombineBaseline reads the committed BENCH_combine.json from the
+// repository root (two levels up from this package).
+func loadCombineBaseline(t *testing.T) Report {
+	t.Helper()
+	path := filepath.Join("..", "..", "BENCH_combine.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return r
+}
+
+func fencesPerOpAt(t *testing.T, r Report, impl string, threads int) float64 {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Impl != impl {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Threads == threads {
+				if p.Ops == 0 {
+					t.Fatalf("%s @%d threads: zero ops", impl, threads)
+				}
+				return float64(p.Fences) / float64(p.Ops)
+			}
+		}
+	}
+	t.Fatalf("%s @%d threads: no such point in BENCH_combine.json", impl, threads)
+	return 0
+}
+
+// TestCombineBaselineReduction guards the tentpole's headline number in
+// the committed report: at 20 threads, the combined front must spend at
+// least 3x fewer fences per operation than the detectable baseline. A
+// change that silently starts draining per-op instead of per-batch
+// fails here before it ships a regressed BENCH_combine.json.
+func TestCombineBaselineReduction(t *testing.T) {
+	r := loadCombineBaseline(t)
+	if r.Figure != "combine" {
+		t.Fatalf("baseline figure = %q, want combine", r.Figure)
+	}
+	base := fencesPerOpAt(t, r, string(DSSDetectable), 20)
+	comb := fencesPerOpAt(t, r, string(CombinedDSS), 20)
+	if comb <= 0 {
+		t.Fatalf("combined fences/op = %v", comb)
+	}
+	if ratio := base / comb; ratio < 3 {
+		t.Fatalf("fences/op reduction at 20 threads = %.2fx (baseline %.2f, combined %.2f); want >= 3x",
+			ratio, base, comb)
+	}
+}
+
+// TestCombineBaselineCurrent verifies the committed report matches what
+// this build measures — the determinism contract that makes
+// BENCH_combine.json committable. It re-measures only the endpoints of
+// the thread axis to keep the test fast; `make combine-smoke`
+// regenerates and byte-compares the full file.
+func TestCombineBaselineCurrent(t *testing.T) {
+	r := loadCombineBaseline(t)
+	for _, threads := range []int{1, 20} {
+		p, err := RunVirtual(VirtualRunConfig{
+			Impl: CombinedDSS, Threads: threads,
+			PairsPerThread: r.Config.PairsPerThread,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fencesPerOpAt(t, r, string(CombinedDSS), threads)
+		if got := float64(p.Fences) / float64(p.Ops); got != want {
+			t.Fatalf("combined-dss @%d threads: measured %.4f fences/op, baseline has %.4f — regenerate BENCH_combine.json",
+				threads, got, want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/cwe"
 	"repro/internal/dss"
@@ -63,6 +64,13 @@ const (
 	// same generic front-end as ShardedDSS, instantiated with a LIFO
 	// object.
 	ShardedStack Impl = "sharded-stack"
+	// CombinedDSS is the flat-combining detectable front of
+	// internal/combine over the DSS queue: announcement slots plus a
+	// combiner that drains a whole batch of persists under one fence.
+	CombinedDSS Impl = "combined-dss"
+	// ShardedCombined composes both extensions: a sharded front whose
+	// shards are each a combining front — one combiner (lock) per shard.
+	ShardedCombined Impl = "sharded+combined"
 )
 
 // Impls5a lists Figure 5a's series in the paper's legend order.
@@ -77,7 +85,7 @@ func Impls5b() []Impl {
 func AllImpls() []Impl {
 	return []Impl{MSQueue, DSSNonDetectable, DSSDetectable, DurableQueue,
 		LogQueue, FastCASWithEffect, GeneralCASWith, ShardedDSS,
-		DSSStack, ShardedStack}
+		DSSStack, ShardedStack, CombinedDSS, ShardedCombined}
 }
 
 // Queue is the driver interface all configurations are adapted to.
@@ -193,6 +201,12 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 8
+		if impl == ShardedCombined {
+			// Each combined shard claims two root slots (combine meta +
+			// its inner queue's), so the default 8 shards would overflow
+			// the 16-slot root directory.
+			cfg.Shards = 4
+		}
 	}
 	mode := pmem.Direct
 	if cfg.Tracked {
@@ -200,7 +214,7 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 	}
 	words := 1<<14 + cfg.Threads*cfg.NodesPerThread*4*pmem.WordsPerLine +
 		cfg.Threads*16*pmem.WordsPerLine
-	if impl == ShardedDSS || impl == ShardedStack {
+	if impl == ShardedDSS || impl == ShardedStack || impl == ShardedCombined {
 		// Every shard builds a full per-thread pool of the per-shard node
 		// budget; size the heap for the sum.
 		words = 1<<14 + cfg.Shards*(cfg.Threads*(shardNodes(cfg.NodesPerThread, cfg.Shards)*4+16)*pmem.WordsPerLine)
@@ -266,6 +280,38 @@ func Build(impl Impl, cfg BuildConfig) (Queue, *pmem.Heap, error) {
 			return objDetectable{dss.Observe(q, cfg.Obs, cfg.Threads)}, h, nil
 		}
 		return objDetectable{q}, h, nil
+	case CombinedDSS:
+		f, err := combine.New(h, 0, dss.QueueType, dss.Config{
+			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.Obs != nil {
+			f.SetObs(cfg.Obs)
+			return objDetectable{dss.Observe(f, cfg.Obs, cfg.Threads)}, h, nil
+		}
+		return objDetectable{f}, h, nil
+	case ShardedCombined:
+		q, err := sharded.New(h, 0, combine.TypeOver(dss.QueueType), sharded.Config{
+			Shards:         cfg.Shards,
+			Threads:        cfg.Threads,
+			NodesPerThread: shardNodes(cfg.NodesPerThread, cfg.Shards),
+			ExtraNodes:     extra,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.Obs != nil {
+			q.SetObs(cfg.Obs)
+			for i := 0; i < q.Shards(); i++ {
+				if cf, ok := q.Shard(i).(*combine.Front); ok {
+					cf.SetObs(cfg.Obs)
+				}
+			}
+			return objDetectable{dss.Observe(q, cfg.Obs, cfg.Threads)}, h, nil
+		}
+		return objDetectable{q}, h, nil
 	case DSSStack:
 		s, err := dss.StackType.New(h, 0, dss.Config{
 			Threads: cfg.Threads, NodesPerThread: cfg.NodesPerThread, ExtraNodes: extra,
@@ -315,6 +361,9 @@ type Point struct {
 	// Fences counts simulated drain (SFENCE) instructions issued; with
 	// flush coalescing it can be lower than Flushes.
 	Fences uint64
+	// FencesElided counts fences absorbed by an open fence batch (the
+	// flat-combining layer's amortization); zero outside combined runs.
+	FencesElided uint64
 }
 
 // RunConfig parameterizes one throughput measurement.

@@ -32,7 +32,7 @@ func TestBuildAllImpls(t *testing.T) {
 					t.Fatalf("dequeue %d = empty", i+1)
 				}
 				switch impl {
-				case ShardedDSS, ShardedStack:
+				case ShardedDSS, ShardedStack, ShardedCombined:
 					if seen[got] || got < 1 || got > 4 {
 						t.Fatalf("dequeue returned %d (seen %v)", got, seen)
 					}
@@ -218,5 +218,35 @@ func TestFigureFunctions(t *testing.T) {
 func TestSweepUnknownImplFails(t *testing.T) {
 	if _, err := Sweep([]Impl{"nope"}, SweepConfig{Threads: []int{1}, Duration: 5 * time.Millisecond}); err == nil {
 		t.Fatal("unknown impl accepted by Sweep")
+	}
+}
+
+// TestCrashSweepCombinedClean injects a crash at every primitive memory
+// step of the announce→combine→publish persist chain of the combining
+// front, under every adversary in the canonical suite, and checks every
+// recovered history against D⟨queue⟩ under strict linearizability — the
+// tentpole's claim that one drain per batch loses no detectability.
+func TestCrashSweepCombinedClean(t *testing.T) {
+	report := CrashSweepImpl(CombinedDSS, CrashSweepConfig{Pairs: 2, Seed: 17})
+	if !report.OK() {
+		t.Fatalf("combined sweep found violations: %s", report)
+	}
+	if report.Steps == 0 || report.Histories == 0 {
+		t.Fatalf("sweep did nothing: %+v", report)
+	}
+	if report.Object != "combined-queue" {
+		t.Fatalf("report names object %q", report.Object)
+	}
+}
+
+// TestCrashSweepShardedCombinedClean sweeps the full composition: a
+// 2-shard front whose shards each run their own combiner.
+func TestCrashSweepShardedCombinedClean(t *testing.T) {
+	report := CrashSweepImpl(ShardedCombined, CrashSweepConfig{Pairs: 2, Seed: 19})
+	if !report.OK() {
+		t.Fatalf("sharded+combined sweep found violations: %s", report)
+	}
+	if report.Steps == 0 || report.Histories == 0 {
+		t.Fatalf("sweep did nothing: %+v", report)
 	}
 }

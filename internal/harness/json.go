@@ -50,6 +50,10 @@ type ReportPoint struct {
 	Ops     uint64  `json:"ops"`
 	Flushes uint64  `json:"flushes"`
 	Fences  uint64  `json:"fences"`
+	// FencesElided counts fences absorbed by fence batching; it is
+	// omitted when zero so reports predating the combining layer keep
+	// their bytes.
+	FencesElided uint64 `json:"fences_elided,omitempty"`
 }
 
 // BuildReport assembles a Report from measured series.

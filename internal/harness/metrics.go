@@ -35,8 +35,35 @@ type MetricsReport struct {
 	Ops  uint64  `json:"ops"`
 	// Heap is the primitive-operation delta over the measured window.
 	Heap pmem.Stats `json:"heap"`
+	// FlushesPerOp and FencesPerOp are Heap.Flushes/Ops and
+	// Heap.Fences/Ops, precomputed so that dashboards and regression
+	// guards compare per-operation persistence cost directly instead of
+	// re-deriving it from two counters.
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	FencesPerOp  float64 `json:"fences_per_op"`
 	// Obs is the observability export for the same window.
 	Obs obs.Export `json:"obs"`
+}
+
+// perOp divides a primitive count by the operation count, tolerating an
+// empty window.
+func perOp(n, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(n) / float64(ops)
+}
+
+// withdrawSeed withdraws the seeding thread's lingering prep record
+// before the measured window opens. Seeding drives thread 0 through the
+// detectable prep/exec path, which leaves its last executed prep
+// announced; without this, the first measured Prep(0) pays one extra
+// withdrawal persist, and a run that should cost exactly k persists per
+// operation reports k*ops+1 flushes and fences.
+func withdrawSeed(q Queue) {
+	if a, ok := q.(objDetectable); ok {
+		a.obj.Abandon(0)
+	}
 }
 
 // FormatJSON renders the report as indented JSON with a trailing newline.
@@ -73,6 +100,7 @@ func RunVirtualMetrics(cfg VirtualRunConfig) (MetricsReport, error) {
 			return MetricsReport{}, fmt.Errorf("harness: seeding: %w", err)
 		}
 	}
+	withdrawSeed(q)
 	stats0 := h.Stats()
 	snap0 := sink.Snapshot()
 
@@ -94,23 +122,32 @@ func RunVirtualMetrics(cfg VirtualRunConfig) (MetricsReport, error) {
 	}
 	ops := uint64(cfg.Threads) * uint64(cfg.PairsPerThread) * 2
 	shards := 0
-	if cfg.Impl == ShardedDSS || cfg.Impl == ShardedStack {
+	switch cfg.Impl {
+	case ShardedDSS, ShardedStack:
 		shards = cfg.Shards
 		if shards == 0 {
 			shards = 8
 		}
+	case ShardedCombined:
+		shards = cfg.Shards
+		if shards == 0 {
+			shards = 4
+		}
 	}
+	heap := h.Stats().Sub(stats0)
 	return MetricsReport{
-		Schema:  MetricsSchema,
-		Impl:    string(cfg.Impl),
-		Threads: cfg.Threads,
-		Shards:  shards,
-		Pairs:   cfg.PairsPerThread,
-		Mode:    "virtual",
-		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
-		Ops:     ops,
-		Heap:    h.Stats().Sub(stats0),
-		Obs:     sink.Snapshot().Sub(snap0).Export("steps"),
+		Schema:       MetricsSchema,
+		Impl:         string(cfg.Impl),
+		Threads:      cfg.Threads,
+		Shards:       shards,
+		Pairs:        cfg.PairsPerThread,
+		Mode:         "virtual",
+		Mops:         float64(ops) / elapsed.Seconds() / 1e6,
+		Ops:          ops,
+		Heap:         heap,
+		FlushesPerOp: perOp(heap.Flushes, ops),
+		FencesPerOp:  perOp(heap.Fences, ops),
+		Obs:          sink.Snapshot().Sub(snap0).Export("steps"),
 	}, nil
 }
 
@@ -141,6 +178,7 @@ func RunWallMetrics(cfg RunConfig) (MetricsReport, error) {
 			return MetricsReport{}, fmt.Errorf("harness: seeding: %w", err)
 		}
 	}
+	withdrawSeed(q)
 	stats0 := h.Stats()
 	snap0 := sink.Snapshot()
 
@@ -177,15 +215,18 @@ func RunWallMetrics(cfg RunConfig) (MetricsReport, error) {
 	for tid := 0; tid < cfg.Threads; tid++ {
 		total += atomic.LoadUint64(&counts[tid*8])
 	}
+	heap := h.Stats().Sub(stats0)
 	return MetricsReport{
-		Schema:     MetricsSchema,
-		Impl:       string(cfg.Impl),
-		Threads:    cfg.Threads,
-		DurationMS: cfg.Duration.Milliseconds(),
-		Mode:       "wall",
-		Mops:       float64(total) / elapsed.Seconds() / 1e6,
-		Ops:        total,
-		Heap:       h.Stats().Sub(stats0),
-		Obs:        sink.Snapshot().Sub(snap0).Export("ns"),
+		Schema:       MetricsSchema,
+		Impl:         string(cfg.Impl),
+		Threads:      cfg.Threads,
+		DurationMS:   cfg.Duration.Milliseconds(),
+		Mode:         "wall",
+		Mops:         float64(total) / elapsed.Seconds() / 1e6,
+		Ops:          total,
+		Heap:         heap,
+		FlushesPerOp: perOp(heap.Flushes, total),
+		FencesPerOp:  perOp(heap.Fences, total),
+		Obs:          sink.Snapshot().Sub(snap0).Export("ns"),
 	}, nil
 }

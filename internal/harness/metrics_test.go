@@ -50,6 +50,59 @@ func TestRunVirtualMetricsDeterministic(t *testing.T) {
 	}
 }
 
+// TestMetricsFlushCountExact pins the seeding-withdrawal fix: a
+// single-threaded detectable run costs a fixed number of persists per
+// pair, so doubling the pair count must exactly double the flush and
+// fence deltas. Before the fix, the seeder's lingering prep record made
+// the first measured Prep pay one extra withdrawal persist, leaving a +1
+// residue that broke this linearity (40001 flushes for a 40000-persist
+// workload).
+func TestMetricsFlushCountExact(t *testing.T) {
+	run := func(pairs int) MetricsReport {
+		r, err := RunVirtualMetrics(VirtualRunConfig{
+			Impl: DSSDetectable, Threads: 1, PairsPerThread: pairs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(20), run(40)
+	if 2*a.Heap.Flushes != b.Heap.Flushes {
+		t.Fatalf("flushes not linear in pairs: %d at 20, %d at 40 (residual %+d)",
+			a.Heap.Flushes, b.Heap.Flushes, int64(b.Heap.Flushes)-2*int64(a.Heap.Flushes))
+	}
+	if 2*a.Heap.Fences != b.Heap.Fences {
+		t.Fatalf("fences not linear in pairs: %d at 20, %d at 40", a.Heap.Fences, b.Heap.Fences)
+	}
+	if want := float64(a.Heap.Flushes) / float64(a.Ops); a.FlushesPerOp != want {
+		t.Fatalf("flushes_per_op = %v, want %v", a.FlushesPerOp, want)
+	}
+	if want := float64(a.Heap.Fences) / float64(a.Ops); a.FencesPerOp != want {
+		t.Fatalf("fences_per_op = %v, want %v", a.FencesPerOp, want)
+	}
+}
+
+// TestMetricsCombinedFencesPerOp pins the combining layer's fence
+// economics end to end through the metrics path: single-threaded, every
+// combined operation pays exactly one announcement drain and one batch
+// drain — fences_per_op is exactly 2, with the inner object's fences
+// elided rather than issued.
+func TestMetricsCombinedFencesPerOp(t *testing.T) {
+	r, err := RunVirtualMetrics(VirtualRunConfig{
+		Impl: CombinedDSS, Threads: 1, PairsPerThread: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FencesPerOp != 2 {
+		t.Fatalf("fences_per_op = %v, want exactly 2", r.FencesPerOp)
+	}
+	if r.Heap.FencesElided == 0 {
+		t.Fatal("no fences elided: inner persists were not batched")
+	}
+}
+
 // TestSoakObservedTimelineMatchesReport pins the acceptance criterion
 // that the merged recovery timeline accounts for exactly the crashes the
 // soak report counts, cycle for cycle.

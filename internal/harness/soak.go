@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/combine"
+	"repro/internal/dss"
 	"repro/internal/mp"
 	"repro/internal/obs"
 	"repro/internal/pmem"
@@ -44,6 +46,14 @@ type SoakConfig struct {
 	// identical; only the operation vocabulary and the history verifier
 	// (FIFO vs LIFO violation detector) change.
 	Object string
+	// Combined hosts the object behind the flat-combining front
+	// (internal/combine) instead of the universal construction: the
+	// server serves a combine.Wire over a combined concrete queue or
+	// stack, whose announcement slots persist the operation tags the
+	// RetryClients' cross-crash exactly-once discipline keys on. Default
+	// false keeps the committed BENCH_soak.json bytes on the historical
+	// universal-construction path.
+	Combined bool
 	// Seed determines everything: the network fault schedule, the crash
 	// points, the downtimes, the adversaries' dirty-line fates, and every
 	// client's backoff jitter.
@@ -132,6 +142,10 @@ type SoakReport struct {
 	// omitted there so the committed queue report's bytes are stable
 	// across revisions).
 	Object string `json:"object,omitempty"`
+	// Combined records that the server hosted the object behind the
+	// flat-combining front (omitted on the default universal path, so
+	// the committed reports' bytes are stable).
+	Combined bool `json:"combined,omitempty"`
 
 	Seed         int64 `json:"seed"`
 	Clients      int   `json:"clients"`
@@ -620,12 +634,39 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 	default:
 		return SoakReport{}, SoakObservation{}, fmt.Errorf("harness: unknown soak object %q (queue or stack)", cfg.Object)
 	}
-	eng, err := mp.NewEngine(mp.EngineConfig{
+	ecfg := mp.EngineConfig{
 		Clients:  cfg.Clients,
 		Capacity: 2*cfg.Clients*cfg.OpsPerClient + 256,
 		Init:     init,
 		Ops:      []spec.Op{insertOp(0), removeOp()},
-	})
+	}
+	var front *combine.Front
+	if cfg.Combined {
+		// Host the object behind the flat-combining front instead of the
+		// universal construction. The front's announcement slots persist
+		// the operation tags, which is what the RetryClients' cross-crash
+		// settle path keys on (a plain dss.Wire keeps tags volatile and
+		// would double-execute after a crash).
+		typ := dss.QueueType
+		if cfg.Object == "stack" {
+			typ = dss.StackType
+		}
+		ecfg.NewObject = func(h *pmem.Heap, clients int) (mp.Object, error) {
+			f, err := combine.New(h, 0, typ, dss.Config{
+				Threads: clients,
+				// Every insert a client performs may hold a node until the
+				// drain, so pools are sized for the whole workload.
+				NodesPerThread: cfg.OpsPerClient + 8,
+				ExtraNodes:     2*clients + 8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			front = f
+			return combine.NewWire(typ, f), nil
+		}
+	}
+	eng, err := mp.NewEngine(ecfg)
 	if err != nil {
 		return SoakReport{}, SoakObservation{}, err
 	}
@@ -657,11 +698,18 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 	if cfg.Object != "queue" {
 		s.rep.Object = cfg.Object
 	}
+	s.rep.Combined = cfg.Combined
 	// All sinks share the DES virtual clock, so latencies are virtual
 	// nanoseconds and the traces of every process merge on one time axis.
 	vclock := func() uint64 { return uint64(s.now) }
 	s.serverSink = obs.NewSink(obs.Config{Clock: vclock})
 	eng.SetObs(s.serverSink)
+	if front != nil {
+		// Combine-phase attribution (batch sizes, combine-wait) joins the
+		// server sink; recording draws no rng and no heap steps, so the
+		// SoakReport stays byte-identical to an unobserved run.
+		front.SetObs(s.serverSink)
+	}
 	eng.NewGeneration()
 	s.armNextCrash()
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/check"
+	"repro/internal/combine"
 	"repro/internal/dss"
 	"repro/internal/pmem"
 	"repro/internal/sharded"
@@ -88,6 +89,12 @@ func buildSweepTarget(impl Impl) (dss.Object, dss.Type, *pmem.Heap, error) {
 		return buildSharded(dss.QueueType)
 	case ShardedStack:
 		return buildSharded(dss.StackType)
+	case CombinedDSS:
+		// The combined type builds through the same generic path: its
+		// Type claims the front's meta slot plus the inner queue's.
+		return build(combine.TypeOver(dss.QueueType))
+	case ShardedCombined:
+		return buildSharded(combine.TypeOver(dss.QueueType))
 	default:
 		return nil, dss.Type{}, nil, fmt.Errorf("harness: crash sweep does not support %q", impl)
 	}

@@ -91,11 +91,12 @@ func RunVirtual(cfg VirtualRunConfig) (Point, error) {
 	stats := h.Stats().Sub(stats0)
 	ops := uint64(cfg.Threads) * uint64(cfg.PairsPerThread) * 2
 	return Point{
-		Threads: cfg.Threads,
-		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
-		Ops:     ops,
-		Flushes: stats.Flushes,
-		Fences:  stats.Fences,
+		Threads:      cfg.Threads,
+		Mops:         float64(ops) / elapsed.Seconds() / 1e6,
+		Ops:          ops,
+		Flushes:      stats.Flushes,
+		Fences:       stats.Fences,
+		FencesElided: stats.FencesElided,
 	}, nil
 }
 
@@ -230,6 +231,123 @@ func BuildShardedReport(cfg ShardedSweepConfig, series []Series) Report {
 			rs.Points = append(rs.Points, ReportPoint{
 				Threads: p.Threads, Mops: p.Mops, Ops: p.Ops,
 				Flushes: p.Flushes, Fences: p.Fences,
+			})
+		}
+		r.Series = append(r.Series, rs)
+	}
+	return r
+}
+
+// CombineSweepConfig parameterizes the flat-combining comparison behind
+// BENCH_combine.json: the detectable baseline against the combined front
+// (and its sharded composition), measured identically in virtual time.
+type CombineSweepConfig struct {
+	// Threads lists the x-axis values.
+	Threads []int
+	// Shards is the shard count of the sharded+combined series (each
+	// shard gets its own combiner; default 4, the root-slot budget's
+	// ceiling for two-slot shard types).
+	Shards int
+	// PairsPerThread, AccessNS, FlushNS, NodesPerThread as in
+	// VirtualRunConfig.
+	PairsPerThread int
+	AccessNS       int64
+	FlushNS        int64
+	NodesPerThread int
+}
+
+func (c *CombineSweepConfig) defaults() {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.PairsPerThread == 0 {
+		c.PairsPerThread = 200
+	}
+	if c.AccessNS == 0 {
+		c.AccessNS = 100
+	}
+	if c.FlushNS == 0 {
+		c.FlushNS = 300
+	}
+	if c.NodesPerThread == 0 {
+		c.NodesPerThread = 128
+	}
+}
+
+// FigureCombine measures the detectable queue baseline, the combined
+// front over it, and the sharded composition of combined shards, over
+// the thread range — the figure whose payload is the fences column:
+// combining trades extra announcement flushes for one drain per batch,
+// so fences/op falls as batches widen with the thread count.
+func FigureCombine(cfg CombineSweepConfig) ([]Series, error) {
+	cfg.defaults()
+	runSeries := func(name string, impl Impl, shards int) (Series, error) {
+		s := Series{Name: name}
+		for _, th := range cfg.Threads {
+			p, err := RunVirtual(VirtualRunConfig{
+				Impl: impl, Threads: th, Shards: shards,
+				PairsPerThread: cfg.PairsPerThread,
+				AccessNS:       cfg.AccessNS,
+				FlushNS:        cfg.FlushNS,
+				NodesPerThread: cfg.NodesPerThread,
+			})
+			if err != nil {
+				return Series{}, fmt.Errorf("harness: %s @%d threads: %w", name, th, err)
+			}
+			s.Points = append(s.Points, p)
+		}
+		return s, nil
+	}
+	out := make([]Series, 0, 3)
+	for _, row := range []struct {
+		name   string
+		impl   Impl
+		shards int
+	}{
+		{string(DSSDetectable), DSSDetectable, 0},
+		{string(CombinedDSS), CombinedDSS, 0},
+		{fmt.Sprintf("%s/%d", ShardedCombined, cfg.Shards), ShardedCombined, cfg.Shards},
+	} {
+		s, err := runSeries(row.name, row.impl, row.shards)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// BuildCombineReport assembles the BENCH_combine.json report in the
+// standard flat schema; fences_elided appears on combined points only.
+func BuildCombineReport(cfg CombineSweepConfig, series []Series) Report {
+	cfg.defaults()
+	r := Report{
+		Figure: "combine",
+		Workload: "alternating enqueue/dequeue pairs, queue seeded with 16 items, " +
+			"fixed pairs per thread; combined series publish ops through per-client " +
+			"announcement slots and batch-persist under one drain per combiner pass",
+		Config: ReportConfig{
+			Threads:        cfg.Threads,
+			Repeats:        1,
+			FlushLatencyNS: cfg.FlushNS,
+			AccessDelay:    int(cfg.AccessNS),
+			ShardCounts:    []int{cfg.Shards},
+			PairsPerThread: cfg.PairsPerThread,
+			Note: "virtual-time mode (internal/vtime): deterministic min-clock scheduling; " +
+				"compare fences/op across series — combining amortizes one SFENCE drain " +
+				"over every operation a combiner pass batches",
+		},
+	}
+	for _, s := range series {
+		rs := ReportSeries{Impl: s.Name}
+		for _, p := range s.Points {
+			rs.Points = append(rs.Points, ReportPoint{
+				Threads: p.Threads, Mops: p.Mops, Ops: p.Ops,
+				Flushes: p.Flushes, Fences: p.Fences,
+				FencesElided: p.FencesElided,
 			})
 		}
 		r.Series = append(r.Series, rs)

@@ -52,6 +52,13 @@ const (
 	PhaseAbandon
 	// PhaseRecover is the centralized post-crash recovery procedure.
 	PhaseRecover
+	// PhaseCombine is the client-side wait of a flat-combined Exec: from
+	// requesting combination of an announced op to observing its published
+	// result (internal/combine).
+	PhaseCombine
+	// PhaseBatch records one combiner pass; its histogram value is the
+	// batch size (ops combined under one drain), not a latency.
+	PhaseBatch
 	// NumPhases bounds the phase enum.
 	NumPhases
 )
@@ -69,6 +76,10 @@ func (p Phase) String() string {
 		return "abandon"
 	case PhaseRecover:
 		return "recover"
+	case PhaseCombine:
+		return "combine"
+	case PhaseBatch:
+		return "batch"
 	default:
 		return "phase(?)"
 	}
@@ -133,6 +144,11 @@ const (
 	CtrGenChanges
 	// CtrResolves counts resolve round trips sent to settle ambiguity.
 	CtrResolves
+	// CtrCombines counts combiner passes (batches drained under one
+	// fence by internal/combine).
+	CtrCombines
+	// CtrCombinedOps counts operations executed inside combiner passes.
+	CtrCombinedOps
 	// NumCounters bounds the counter enum.
 	NumCounters
 )
@@ -158,6 +174,10 @@ func (c Counter) String() string {
 		return "gen_changes"
 	case CtrResolves:
 		return "resolves"
+	case CtrCombines:
+		return "combines"
+	case CtrCombinedOps:
+		return "combined_ops"
 	default:
 		return "counter(?)"
 	}

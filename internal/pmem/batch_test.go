@@ -1,0 +1,229 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestHeap(t *testing.T, mode Mode) *Heap {
+	t.Helper()
+	h, err := New(Config{Words: 1 << 12, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestPersistRangeZeroLength asserts the documented early return: a range
+// of zero (or negative) words issues no flush and no fence.
+func TestPersistRangeZeroLength(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(WordsPerLine)
+	before := h.Stats()
+	h.PersistRange(a, 0)
+	h.PersistRange(a, -3)
+	d := h.Stats().Sub(before)
+	if d.Flushes != 0 || d.Fences != 0 {
+		t.Fatalf("zero-length PersistRange issued %d flushes, %d fences; want 0, 0", d.Flushes, d.Fences)
+	}
+}
+
+// TestPersistRangeSingleLine covers ranges confined to exactly one cache
+// line: line-aligned full-line, one word, and the last word of a line all
+// cost exactly one flush and one fence — the same as Persist.
+func TestPersistRangeSingleLine(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(2 * WordsPerLine)
+	cases := []struct {
+		name  string
+		start Addr
+		words int
+	}{
+		{"aligned full line", a, WordsPerLine},
+		{"aligned single word", a, 1},
+		{"last word of line", a + WordsPerLine - 1, 1},
+		{"interior span", a + 2, WordsPerLine - 4},
+	}
+	for _, tc := range cases {
+		before := h.Stats()
+		h.PersistRange(tc.start, tc.words)
+		d := h.Stats().Sub(before)
+		if d.Flushes != 1 || d.Fences != 1 {
+			t.Errorf("%s: %d flushes, %d fences; want 1, 1", tc.name, d.Flushes, d.Fences)
+		}
+	}
+}
+
+// TestPersistRangeUnaligned covers unaligned starts and ends: the flush
+// count is the number of distinct lines the byte range touches, never the
+// word count, and exactly one fence drains them all.
+func TestPersistRangeUnaligned(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(4 * WordsPerLine)
+	cases := []struct {
+		name    string
+		start   Addr
+		words   int
+		flushes uint64
+	}{
+		{"unaligned start spilling one line", a + WordsPerLine - 1, 2, 2},
+		{"unaligned start and end, three lines", a + 3, 2*WordsPerLine - 1, 3},
+		{"aligned start unaligned end", a, WordsPerLine + 1, 2},
+		{"whole allocation", a, 4 * WordsPerLine, 4},
+	}
+	for _, tc := range cases {
+		before := h.Stats()
+		h.PersistRange(tc.start, tc.words)
+		d := h.Stats().Sub(before)
+		if d.Flushes != tc.flushes || d.Fences != 1 {
+			t.Errorf("%s: %d flushes, %d fences; want %d, 1", tc.name, d.Flushes, d.Fences, tc.flushes)
+		}
+	}
+}
+
+// TestBatchedPersistStatAccounting pins the amortization identity the
+// figures rely on: PersistPair and PersistRange issue exactly the same
+// flushes as the equivalent N individual FlushLine calls, but exactly one
+// fence instead of N.
+func TestBatchedPersistStatAccounting(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(8 * WordsPerLine)
+	b := h.MustAlloc(WordsPerLine)
+
+	before := h.Stats()
+	h.PersistPair(a, b)
+	d := h.Stats().Sub(before)
+	if d.Flushes != 2 || d.Fences != 1 {
+		t.Fatalf("PersistPair: %d flushes, %d fences; want 2, 1", d.Flushes, d.Fences)
+	}
+
+	const lines = 8
+	before = h.Stats()
+	h.PersistRange(a, lines*WordsPerLine)
+	ranged := h.Stats().Sub(before)
+
+	before = h.Stats()
+	for l := Addr(0); l < lines; l++ {
+		h.FlushLine(a + l*WordsPerLine)
+	}
+	h.Fence()
+	manual := h.Stats().Sub(before)
+
+	if ranged.Flushes != manual.Flushes || ranged.Flushes != lines {
+		t.Fatalf("PersistRange flushed %d lines, manual FlushLine loop %d; want %d both", ranged.Flushes, manual.Flushes, lines)
+	}
+	if ranged.Fences != 1 || manual.Fences != 1 {
+		t.Fatalf("fences: range %d, manual %d; want 1 both", ranged.Fences, manual.Fences)
+	}
+}
+
+// TestFenceBatchElidesInteriorFences opens a batch around K Persists and
+// asserts: flushes unchanged, exactly one real fence (the closing drain),
+// and K elided fences accounted.
+func TestFenceBatchElidesInteriorFences(t *testing.T) {
+	for _, mode := range []Mode{Direct, Tracked} {
+		h := newTestHeap(t, mode)
+		a := h.MustAlloc(8 * WordsPerLine)
+		const k = 5
+		before := h.Stats()
+		h.BeginFenceBatch()
+		for i := Addr(0); i < k; i++ {
+			h.Store(a+i*WordsPerLine, uint64(i)+1)
+			h.Persist(a + i*WordsPerLine)
+		}
+		h.EndFenceBatch()
+		d := h.Stats().Sub(before)
+		if d.Flushes != k {
+			t.Errorf("%v: %d flushes; want %d (flushes are not deferred)", mode, d.Flushes, k)
+		}
+		if d.Fences != 1 {
+			t.Errorf("%v: %d real fences; want 1 (the closing drain)", mode, d.Fences)
+		}
+		if d.FencesElided != k {
+			t.Errorf("%v: %d elided fences; want %d", mode, d.FencesElided, k)
+		}
+		if mode == Tracked {
+			for i := Addr(0); i < k; i++ {
+				if got := h.PersistedLoad(a + i*WordsPerLine); got != uint64(i)+1 {
+					t.Errorf("word %d not durable after EndFenceBatch: %d", i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFenceBatchNesting asserts batches nest: only the outermost
+// EndFenceBatch issues the real fence.
+func TestFenceBatchNesting(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(WordsPerLine)
+	before := h.Stats()
+	h.BeginFenceBatch()
+	h.Persist(a)
+	h.BeginFenceBatch()
+	h.Persist(a)
+	h.EndFenceBatch() // inner: no fence
+	h.Persist(a)
+	h.EndFenceBatch() // outer: one fence
+	d := h.Stats().Sub(before)
+	if d.Fences != 1 || d.FencesElided != 3 {
+		t.Fatalf("nested batch: %d real, %d elided; want 1, 3", d.Fences, d.FencesElided)
+	}
+}
+
+// TestFenceBatchPerGoroutine asserts a batch is private to its goroutine:
+// a concurrent goroutine's fences are never elided.
+func TestFenceBatchPerGoroutine(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	a := h.MustAlloc(2 * WordsPerLine)
+	h.BeginFenceBatch()
+	defer h.EndFenceBatch()
+	before := h.Stats()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.Persist(a + WordsPerLine)
+	}()
+	wg.Wait()
+	d := h.Stats().Sub(before)
+	if d.Fences != 1 || d.FencesElided != 0 {
+		t.Fatalf("other goroutine under foreign batch: %d real, %d elided; want 1, 0", d.Fences, d.FencesElided)
+	}
+}
+
+// TestEndFenceBatchUnmatched asserts the misuse panic.
+func TestEndFenceBatchUnmatched(t *testing.T) {
+	h := newTestHeap(t, Direct)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndFenceBatch without Begin did not panic")
+		}
+	}()
+	h.EndFenceBatch()
+}
+
+// TestCrashClearsFenceBatches asserts a simulated crash resets all open
+// batches: post-recovery fences are real again even though the crashed
+// goroutine never reached its EndFenceBatch.
+func TestCrashClearsFenceBatches(t *testing.T) {
+	h := newTestHeap(t, Tracked)
+	a := h.MustAlloc(WordsPerLine)
+	crashed := RunToCrash(func() {
+		h.BeginFenceBatch()
+		h.Store(a, 1)
+		h.ArmCrash(1)
+		h.Persist(a) // flush step fires the crash inside the batch
+	})
+	if !crashed {
+		t.Fatal("expected a simulated crash")
+	}
+	h.Crash(DropAll{})
+	before := h.Stats()
+	h.Store(a, 2)
+	h.Persist(a)
+	d := h.Stats().Sub(before)
+	if d.Fences != 1 || d.FencesElided != 0 {
+		t.Fatalf("post-crash persist: %d real, %d elided fences; want 1, 0 (batch must not survive the crash)", d.Fences, d.FencesElided)
+	}
+}

@@ -170,6 +170,13 @@ func (h *Heap) Crash(adv Adversary) {
 		h.dirty[line].Store(0)
 		copy(h.cache[base:base+WordsPerLine], h.persisted[base:base+WordsPerLine])
 	}
+	// Any fence batches that were open when the crash unwound their
+	// goroutines die with the power: an SFENCE that was never issued
+	// orders nothing. Clear them so recovery starts with batching off.
+	h.fenceMu.Lock()
+	h.fenceBatch = nil
+	h.fenceOpen.Store(0)
+	h.fenceMu.Unlock()
 	h.crashAt.Store(0)
 	h.crashed.Store(0)
 }

@@ -42,6 +42,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/goid"
 )
 
 // Addr is a word-granularity offset into a Heap's arena. Addr 0 is the NULL
@@ -182,12 +184,19 @@ func (e *CrashError) Error() string {
 }
 
 // Stats counts primitive memory operations issued against a Heap.
+//
+// FencesElided counts Fence calls absorbed by an open fence batch (see
+// BeginFenceBatch): ordering points the algorithm asked for that were
+// retired by the batch's single closing drain instead of an SFENCE of
+// their own. It is omitted from JSON when zero so reports from
+// non-batching runs are byte-identical to those of earlier schemas.
 type Stats struct {
-	Loads   uint64 `json:"loads"`
-	Stores  uint64 `json:"stores"`
-	CASes   uint64 `json:"cases"`
-	Flushes uint64 `json:"flushes"`
-	Fences  uint64 `json:"fences"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	CASes        uint64 `json:"cases"`
+	Flushes      uint64 `json:"flushes"`
+	Fences       uint64 `json:"fences"`
+	FencesElided uint64 `json:"fences_elided,omitempty"`
 }
 
 // Sub returns the per-field difference s - prev: the operations issued
@@ -201,11 +210,12 @@ func (s Stats) Sub(prev Stats) Stats {
 		return a - b
 	}
 	return Stats{
-		Loads:   sat(s.Loads, prev.Loads),
-		Stores:  sat(s.Stores, prev.Stores),
-		CASes:   sat(s.CASes, prev.CASes),
-		Flushes: sat(s.Flushes, prev.Flushes),
-		Fences:  sat(s.Fences, prev.Fences),
+		Loads:        sat(s.Loads, prev.Loads),
+		Stores:       sat(s.Stores, prev.Stores),
+		CASes:        sat(s.CASes, prev.CASes),
+		Flushes:      sat(s.Flushes, prev.Flushes),
+		Fences:       sat(s.Fences, prev.Fences),
+		FencesElided: sat(s.FencesElided, prev.FencesElided),
 	}
 }
 
@@ -220,8 +230,8 @@ const (
 
 // paddedStats is one stripe of the operation counters.
 type paddedStats struct {
-	loads, stores, cases, flushes, fences atomic.Uint64
-	_                                     [128 - 5*8]byte
+	loads, stores, cases, flushes, fences, elided atomic.Uint64
+	_                                             [128 - 6*8]byte
 }
 
 // syncFailure boxes the first durable write-back error of a file-backed
@@ -282,6 +292,15 @@ type Heap struct {
 	steps   atomic.Uint64
 	crashAt atomic.Uint64 // 0 = disarmed
 	crashed atomic.Uint32
+
+	_ linePad
+
+	// fenceOpen is the number of goroutines with an open fence batch; it
+	// gates Fence's deferral check so the non-batching hot path pays one
+	// relaxed atomic load and nothing else.
+	fenceOpen  atomic.Int64
+	fenceMu    sync.Mutex
+	fenceBatch map[uint64]int // goroutine id -> batch nesting depth
 
 	_ linePad
 
@@ -556,12 +575,89 @@ func (h *Heap) FlushLine(a Addr) { h.Flush(a) }
 // reach the medium); in Tracked mode the write-back is already synchronous,
 // so Fence only counts a step.
 func (h *Heap) Fence() {
+	if h.fenceOpen.Load() != 0 && h.deferFence() {
+		return
+	}
 	h.stat().fences.Add(1)
 	if h.mode == Tracked {
 		h.step(StepFence)
 		return
 	}
 	spinIters(h.fenceDrain)
+}
+
+// deferFence reports whether the calling goroutine holds an open fence
+// batch. If so, the fence is elided — counted in Stats.FencesElided, no
+// drain charged, no Tracked-mode step consumed — and its ordering
+// obligation is carried forward to the batch's closing Fence.
+func (h *Heap) deferFence() bool {
+	id := goid.ID()
+	h.fenceMu.Lock()
+	_, open := h.fenceBatch[id]
+	h.fenceMu.Unlock()
+	if !open {
+		return false
+	}
+	h.stat().elided.Add(1)
+	return true
+}
+
+// BeginFenceBatch opens a fence batch for the calling goroutine: until the
+// matching EndFenceBatch, every Fence this goroutine issues (directly or
+// via Persist, PersistPair, PersistRange) is elided and replaced by the
+// single drain EndFenceBatch issues. Flushes still happen eagerly — CLWB
+// issues pipeline; only the SFENCE drains coalesce — so after
+// EndFenceBatch returns, everything persisted inside the batch is durable
+// exactly as if each fence had been paid.
+//
+// What a batch changes is the *intermediate* crash states in Direct mode
+// on real hardware: within the batch, issued write-backs are no longer
+// ordered against each other. In this simulator Flush's write-back is
+// synchronous (Tracked mode copies the line to the persisted view before
+// returning), so eliding interior fences changes no crash state; callers
+// that rely on a fence ordering line A's durability before line B's write
+// must not hold the two under one batch unless, as in internal/combine,
+// a crash anywhere inside the batch is recoverable regardless of order.
+//
+// Batches nest (each Begin needs an End) and are per-goroutine: other
+// goroutines' fences are unaffected. A simulated crash clears all open
+// batches; the unwound goroutines must not call EndFenceBatch afterwards.
+func (h *Heap) BeginFenceBatch() {
+	id := goid.ID()
+	h.fenceMu.Lock()
+	if h.fenceBatch == nil {
+		h.fenceBatch = make(map[uint64]int)
+	}
+	if h.fenceBatch[id] == 0 {
+		h.fenceOpen.Add(1)
+	}
+	h.fenceBatch[id]++
+	h.fenceMu.Unlock()
+}
+
+// EndFenceBatch closes the calling goroutine's innermost fence batch. The
+// outermost EndFenceBatch issues one real Fence, draining every flush
+// issued under the batch. The batch state is torn down before that fence
+// runs, so a simulated crash delivered at the drain leaves no stale entry.
+func (h *Heap) EndFenceBatch() {
+	id := goid.ID()
+	h.fenceMu.Lock()
+	d, ok := h.fenceBatch[id]
+	if !ok {
+		h.fenceMu.Unlock()
+		panic("pmem: EndFenceBatch without matching BeginFenceBatch")
+	}
+	d--
+	if d == 0 {
+		delete(h.fenceBatch, id)
+		h.fenceOpen.Add(-1)
+	} else {
+		h.fenceBatch[id] = d
+	}
+	h.fenceMu.Unlock()
+	if d == 0 {
+		h.Fence()
+	}
 }
 
 // Persist flushes the line containing a and fences, mirroring PMDK
@@ -609,6 +705,7 @@ func (h *Heap) Stats() Stats {
 		s.CASes += sh.cases.Load()
 		s.Flushes += sh.flushes.Load()
 		s.Fences += sh.fences.Load()
+		s.FencesElided += sh.elided.Load()
 	}
 	return s
 }

@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the three smokes
-# (deterministic soak report, deterministic instrumented metrics, and
-# the flat-combining fence-amortization figure).
-ci: lint vet build test race soak-smoke metrics-smoke combine-smoke
+# pass over the packages with the most concurrency, and the four smokes
+# (deterministic soak report, deterministic instrumented metrics, the
+# flat-combining fence-amortization figure, and the multi-server cluster
+# storm).
+ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -65,6 +66,28 @@ combine-smoke:
 	$(GO) run ./cmd/dssbench -figure combine -json /tmp/BENCH_combine.ci.json > /dev/null
 	cmp BENCH_combine.json /tmp/BENCH_combine.ci.json
 	$(GO) run ./cmd/dsssoak -seed 1 -combined -repeat 2 > /dev/null
+
+# cluster-soak regenerates the committed multi-server cluster storm
+# report and its per-server-lane recovery timeline: 4 shard-servers with
+# independent overlapping crash schedules plus 2 scheduled cluster-wide
+# blackouts, 8 cluster clients routing through persisted cursors. Like
+# the single-server soak it is a deterministic DES, so both files are
+# bit-identical on every machine and committed.
+cluster-soak:
+	$(GO) run ./cmd/dsssoak -cluster -seed 1 -repeat 3 -json BENCH_cluster_soak.json -timeline BENCH_cluster_timeline.json
+
+# cluster-smoke is the cluster CI gate: rerun the committed configuration
+# twice, fail on any conservation/order violation in the merged
+# cluster-wide history, on a quiet storm (missed crash budget, unfired
+# blackouts, or no crash landing inside another server's recovery
+# window), on a timeline disagreeing with the report's overlap metrics,
+# on nondeterminism, or on drift from either committed file; then
+# validate the committed timeline's internal consistency with dssmon.
+cluster-smoke:
+	$(GO) run ./cmd/dsssoak -cluster -seed 1 -repeat 2 -json /tmp/BENCH_cluster_soak.ci.json -timeline /tmp/BENCH_cluster_timeline.ci.json > /dev/null
+	cmp BENCH_cluster_soak.json /tmp/BENCH_cluster_soak.ci.json
+	cmp BENCH_cluster_timeline.json /tmp/BENCH_cluster_timeline.ci.json
+	$(GO) run ./cmd/dssmon -check BENCH_cluster_timeline.json
 
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a

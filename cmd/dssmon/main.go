@@ -1,7 +1,9 @@
 // Command dssmon reads the observability documents the benchmarks and
-// the soak emit — dss-metrics/1 reports (dssbench -metrics), bare
-// dss-obs/1 exports, and dss-timeline/1 recovery timelines (dsssoak
-// -timeline) — and renders, validates, or diffs them.
+// the soaks emit — dss-metrics/1 reports (dssbench -metrics), bare
+// dss-obs/1 exports, dss-timeline/1 recovery timelines (dsssoak
+// -timeline), and dss-cluster-timeline/1 per-server-lane cluster
+// timelines (dsssoak -cluster -timeline) — and renders, validates, or
+// diffs them.
 //
 // Usage:
 //
@@ -85,6 +87,7 @@ type document struct {
 	metrics  harness.MetricsReport
 	export   obs.Export
 	timeline obs.RecoveryTimeline
+	cluster  obs.ClusterTimeline
 }
 
 func load(path string) (document, error) {
@@ -107,6 +110,8 @@ func load(path string) (document, error) {
 		err = json.Unmarshal(b, &d.export)
 	case obs.TimelineSchema:
 		err = json.Unmarshal(b, &d.timeline)
+	case obs.ClusterTimelineSchema:
+		err = json.Unmarshal(b, &d.cluster)
 	default:
 		return document{}, fmt.Errorf("%s: unknown schema %q", path, peek.Schema)
 	}
@@ -146,6 +151,8 @@ func show(path string) error {
 		fmt.Print(d.export.FormatTable())
 	case obs.TimelineSchema:
 		showTimeline(d.timeline)
+	case obs.ClusterTimelineSchema:
+		showClusterTimeline(d.cluster)
 	}
 	return nil
 }
@@ -170,6 +177,35 @@ func showTimeline(tl obs.RecoveryTimeline) {
 			"cycle", "crash", "recover_begin", "recover_end", "gen", "downs", "gen_changes")
 		for i, c := range tl.Cycles {
 			fmt.Printf("%-6d %14d %14d %14d %6d %8d %12d\n",
+				i, c.Crash, c.RecoverBegin, c.RecoverEnd, c.Gen, c.ClientDowns, c.ClientGenChanges)
+		}
+	}
+}
+
+func showClusterTimeline(tl obs.ClusterTimeline) {
+	fmt.Printf("%d servers: %d crashes, %d recoveries (unit %s; sources: %d)\n",
+		tl.Servers, tl.Crashes, tl.Recoveries, tl.Unit, len(tl.Sources))
+	fmt.Printf("overlap: max %d down at once, %d all-down windows, %d crashes during another server's recovery\n",
+		tl.MaxConcurrentDown, tl.AllDownWindows, tl.CrashesDuringRecovery)
+	kinds := make([]string, 0, len(tl.EventCounts))
+	for k := range tl.EventCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Print("events:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, tl.EventCounts[k])
+	}
+	fmt.Println()
+	for _, lane := range tl.Lanes {
+		fmt.Printf("server %d: %d crashes, %d recoveries\n", lane.Server, lane.Crashes, lane.Recoveries)
+		if len(lane.Cycles) == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %14s %14s %14s %6s %8s %12s\n",
+			"cycle", "crash", "recover_begin", "recover_end", "gen", "downs", "gen_changes")
+		for i, c := range lane.Cycles {
+			fmt.Printf("  %-6d %14d %14d %14d %6d %8d %12d\n",
 				i, c.Crash, c.RecoverBegin, c.RecoverEnd, c.Gen, c.ClientDowns, c.ClientGenChanges)
 		}
 	}
@@ -211,6 +247,8 @@ func checkFile(path string) ([]string, error) {
 		return d.export.Validate(), nil
 	case obs.TimelineSchema:
 		return checkTimeline(d.timeline), nil
+	case obs.ClusterTimelineSchema:
+		return checkClusterTimeline(d.cluster), nil
 	}
 	return nil, nil
 }
@@ -242,6 +280,63 @@ func checkTimeline(tl obs.RecoveryTimeline) []string {
 	return probs
 }
 
+func checkClusterTimeline(tl obs.ClusterTimeline) []string {
+	var probs []string
+	if tl.Unit != "ns" && tl.Unit != "steps" && tl.Unit != "virtual_ns" {
+		probs = append(probs, fmt.Sprintf("unknown unit %q", tl.Unit))
+	}
+	if tl.Servers < 1 {
+		probs = append(probs, fmt.Sprintf("%d servers", tl.Servers))
+	}
+	if len(tl.Lanes) != tl.Servers {
+		probs = append(probs, fmt.Sprintf("%d lanes for %d servers", len(tl.Lanes), tl.Servers))
+	}
+	var laneCrashes, laneRecoveries uint64
+	for _, lane := range tl.Lanes {
+		laneCrashes += lane.Crashes
+		laneRecoveries += lane.Recoveries
+		if got := uint64(len(lane.Cycles)); got != lane.Crashes {
+			probs = append(probs, fmt.Sprintf("server %d: %d cycles recorded but %d crashes counted",
+				lane.Server, got, lane.Crashes))
+		}
+		for i, c := range lane.Cycles {
+			if c.RecoverEnd != 0 && c.RecoverEnd < c.Crash {
+				probs = append(probs, fmt.Sprintf("server %d cycle %d: recovery ended at %d, before its crash at %d",
+					lane.Server, i, c.RecoverEnd, c.Crash))
+			}
+		}
+	}
+	if laneCrashes != tl.Crashes {
+		probs = append(probs, fmt.Sprintf("lanes total %d crashes, header says %d", laneCrashes, tl.Crashes))
+	}
+	if laneRecoveries != tl.Recoveries {
+		probs = append(probs, fmt.Sprintf("lanes total %d recoveries, header says %d", laneRecoveries, tl.Recoveries))
+	}
+	if tl.EventCounts[obs.EvCrash.String()] != tl.Crashes {
+		probs = append(probs, fmt.Sprintf("event_counts says %d crashes, header says %d",
+			tl.EventCounts[obs.EvCrash.String()], tl.Crashes))
+	}
+	if tl.EventCounts[obs.EvRecoverEnd.String()] != tl.Recoveries {
+		probs = append(probs, fmt.Sprintf("event_counts says %d recoveries, header says %d",
+			tl.EventCounts[obs.EvRecoverEnd.String()], tl.Recoveries))
+	}
+	if tl.Recoveries > tl.Crashes {
+		probs = append(probs, fmt.Sprintf("%d recoveries exceed %d crashes", tl.Recoveries, tl.Crashes))
+	}
+	if tl.Crashes > 0 && (tl.MaxConcurrentDown < 1 || tl.MaxConcurrentDown > tl.Servers) {
+		probs = append(probs, fmt.Sprintf("max_concurrent_down %d out of range [1, %d]",
+			tl.MaxConcurrentDown, tl.Servers))
+	}
+	if uint64(tl.AllDownWindows) > tl.Crashes {
+		probs = append(probs, fmt.Sprintf("%d all-down windows exceed %d crashes", tl.AllDownWindows, tl.Crashes))
+	}
+	if tl.CrashesDuringRecovery > tl.Crashes {
+		probs = append(probs, fmt.Sprintf("%d crashes during recovery exceed %d crashes total",
+			tl.CrashesDuringRecovery, tl.Crashes))
+	}
+	return probs
+}
+
 func diffFiles(oldPath, newPath string) error {
 	a, err := load(oldPath)
 	if err != nil {
@@ -251,7 +346,8 @@ func diffFiles(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if a.schema == obs.TimelineSchema || b.schema == obs.TimelineSchema {
+	if a.schema == obs.TimelineSchema || b.schema == obs.TimelineSchema ||
+		a.schema == obs.ClusterTimelineSchema || b.schema == obs.ClusterTimelineSchema {
 		return fmt.Errorf("-diff compares metrics/obs documents, not timelines")
 	}
 	if a.schema == harness.MetricsSchema && b.schema == harness.MetricsSchema {

@@ -21,6 +21,16 @@
 //	dsssoak -seed 1 -combined        # serve the object behind the combining front
 //	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
 //
+// -cluster switches to the multi-server cluster storm: N shard-servers
+// with independent, OVERLAPPING crash schedules plus scheduled
+// cluster-wide blackouts, driven by cluster clients routing through
+// persisted cursors. The report is a cluster-soak document and -timeline
+// writes a dss-cluster-timeline/1 file with one crash→recover lane per
+// server:
+//
+//	dsssoak -cluster -seed 1 -json BENCH_cluster_soak.json -timeline BENCH_cluster_timeline.json
+//	dsssoak -cluster -servers 4 -shards-per-server 2 -server-crashes 10 -blackouts 2
+//
 // Exit status is nonzero if any violation is found, if the crash target
 // is badly missed, if the timeline disagrees with the report, or if
 // -repeat runs diverge.
@@ -57,7 +67,31 @@ func main() {
 	timelinePath := flag.String("timeline", "", "write the merged recovery-timeline JSON to this file")
 	fullEvents := flag.Bool("events", false, "keep the full merged event trace in the timeline file")
 	repeat := flag.Int("repeat", 1, "run this many times and fail unless all reports are byte-identical")
+	cluster := flag.Bool("cluster", false,
+		"run the multi-server cluster storm instead of the single-server soak")
+	servers := flag.Int("servers", 4, "shard-servers in the cluster (-cluster only)")
+	shardsPer := flag.Int("shards-per-server", 2, "shards behind each server (-cluster only)")
+	serverCrashes := flag.Int("server-crashes", 10, "per-server crash budget (-cluster only)")
+	blackouts := flag.Int("blackouts", 2, "scheduled cluster-wide power losses (-cluster only)")
 	flag.Parse()
+
+	if *cluster {
+		if *combined {
+			fmt.Fprintln(os.Stderr, "dsssoak: -combined applies to the single-server soak only")
+			os.Exit(1)
+		}
+		runCluster(harness.ClusterSoakConfig{
+			Object:           *object,
+			Seed:             *seed,
+			Servers:          *servers,
+			ShardsPerServer:  *shardsPer,
+			Clients:          *clients,
+			OpsPerClient:     *ops,
+			CrashesPerServer: *serverCrashes,
+			Blackouts:        *blackouts,
+		}, *minCrashes, *jsonPath, *timelinePath, *fullEvents, *repeat)
+		return
+	}
 
 	cfg := harness.SoakConfig{
 		Seed:         *seed,
@@ -132,6 +166,98 @@ func main() {
 	if *minCrashes > 0 && rep.Crashes < *minCrashes {
 		fmt.Fprintf(os.Stderr, "dsssoak: only %d crash cycles fired (want >= %d); raise -ops or lower crash steps\n",
 			rep.Crashes, *minCrashes)
+		os.Exit(1)
+	}
+}
+
+// runCluster is main's -cluster arm: the same repeat/byte-compare,
+// report/timeline emission, and trace-vs-report cross-checks, for the
+// multi-server storm. Beyond the crash count, the cluster run also
+// requires the storm to have actually overlapped: every scheduled
+// blackout fired and at least one crash landed inside another server's
+// recovery window.
+func runCluster(cfg harness.ClusterSoakConfig, minCrashes int, jsonPath, timelinePath string, fullEvents bool, repeat int) {
+	var first, firstTL []byte
+	var rep harness.ClusterSoakReport
+	var obsn harness.ClusterSoakObservation
+	for i := 0; i < repeat; i++ {
+		r, ob, err := harness.RunClusterSoakObserved(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := marshal(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tl := ob.Timeline
+		if !fullEvents {
+			tl.Events = nil
+		}
+		tb, err := marshal(tl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			first, firstTL, rep, obsn = b, tb, r, ob
+		} else if !bytes.Equal(b, first) {
+			fmt.Fprintf(os.Stderr, "dsssoak: cluster run %d diverged from run 1 — storm is not deterministic\n", i+1)
+			os.Exit(1)
+		} else if !bytes.Equal(tb, firstTL) {
+			fmt.Fprintf(os.Stderr, "dsssoak: cluster run %d timeline diverged from run 1 — observation is not deterministic\n", i+1)
+			os.Exit(1)
+		}
+	}
+
+	os.Stdout.Write(first)
+	fmt.Println(rep)
+	fmt.Fprintf(os.Stderr, "\npost-storm phase latencies (all clients + all servers):\n%s",
+		obsn.Merged.Export("virtual_ns").FormatTable())
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, first, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if timelinePath != "" {
+		if err := os.WriteFile(timelinePath, firstTL, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		os.Exit(1)
+	}
+	tl := obsn.Timeline
+	switch {
+	case int(tl.Crashes) != rep.Crashes:
+		fmt.Fprintf(os.Stderr, "dsssoak: timeline records %d crashes, report says %d — trace and report disagree\n",
+			tl.Crashes, rep.Crashes)
+		os.Exit(1)
+	case tl.MaxConcurrentDown != rep.MaxConcurrentDown,
+		tl.AllDownWindows != rep.AllDownWindows,
+		tl.CrashesDuringRecovery != rep.CrashesDuringRecovery:
+		fmt.Fprintf(os.Stderr, "dsssoak: timeline overlap metrics (%d down, %d blackout windows, %d during recovery) disagree with the report (%d, %d, %d)\n",
+			tl.MaxConcurrentDown, tl.AllDownWindows, tl.CrashesDuringRecovery,
+			rep.MaxConcurrentDown, rep.AllDownWindows, rep.CrashesDuringRecovery)
+		os.Exit(1)
+	}
+	if minCrashes > 0 && rep.Crashes < minCrashes {
+		fmt.Fprintf(os.Stderr, "dsssoak: only %d cluster crash cycles fired (want >= %d)\n", rep.Crashes, minCrashes)
+		os.Exit(1)
+	}
+	if rep.Blackouts != rep.TargetBlackouts {
+		fmt.Fprintf(os.Stderr, "dsssoak: only %d of %d scheduled blackouts fired before the workload ended\n",
+			rep.Blackouts, rep.TargetBlackouts)
+		os.Exit(1)
+	}
+	if rep.TargetBlackouts > 0 && rep.CrashesDuringRecovery == 0 {
+		fmt.Fprintln(os.Stderr, "dsssoak: no crash landed inside another server's recovery window — the storm never overlapped")
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,281 @@
+package check
+
+import "fmt"
+
+// A cluster of shard-servers is k-relaxed as one global object: values
+// may legally overtake each other across shards and servers, so the
+// whole-history FIFO/LIFO detectors would report false violations. But
+// the composition still promises, globally, exactly-once conservation
+// (no value invented, duplicated, or removed before insertion), honest
+// emptiness (a cluster-level EMPTY scans every server, so a value
+// certainly present throughout the scan refutes it), and, within each
+// (server, shard), the full strict order of the hosted type. This file
+// checks exactly that split: order-independent patterns on the global
+// history, the polynomial FIFO/LIFO detectors on each (server, shard)
+// projection, and a quantitative relaxation report — the maximum
+// certain overtaking — instead of a cross-shard order verdict.
+
+// Placement names the (server, shard) a value lived on. Cluster-level
+// EMPTY removes have no single placement (the scan visited everything):
+// they carry {-1, -1} and are checked globally only.
+type Placement struct {
+	Server, Shard int
+}
+
+// NoPlacement marks an operation without a single home (EMPTY scans).
+var NoPlacement = Placement{Server: -1, Shard: -1}
+
+// PlacedQOp is a closed queue-history operation with its placement.
+type PlacedQOp struct {
+	QOp
+	At Placement
+}
+
+// PlacedSOp is a closed stack-history operation with its placement.
+type PlacedSOp struct {
+	SOp
+	At Placement
+}
+
+// ClusterReport is the outcome of a cluster history check.
+type ClusterReport struct {
+	// Violations lists every detected violation (global patterns first,
+	// then per-(server,shard) order violations, prefixed with their
+	// placement).
+	Violations []string
+	// MaxOvertake is the largest number of values that CERTAINLY overtook
+	// one value: for the reported value a, the count of values b with
+	// insert(a) happening-before insert(b) and remove(b) happening-before
+	// remove(a). It measures the cluster's observed order relaxation; 0
+	// means the merged history happens to be globally order-consistent.
+	MaxOvertake int
+	// Shards counts the distinct placements that carried operations.
+	Shards int
+}
+
+// CheckClusterQueueHistory checks a merged, closed, cluster-wide queue
+// history (distinct values) as described in the file comment.
+func CheckClusterQueueHistory(ops []PlacedQOp) ClusterReport {
+	var rep ClusterReport
+	report := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	ins := map[uint64]PlacedQOp{}
+	rem := map[uint64]PlacedQOp{}
+	var empties []PlacedQOp
+	for _, o := range ops {
+		switch o.Kind {
+		case QEnq:
+			if prev, dup := ins[o.V]; dup {
+				report("value %d inserted twice: %s@%v and %s@%v", o.V, prev.QOp, prev.At, o.QOp, o.At)
+				continue
+			}
+			ins[o.V] = o
+		case QDeq:
+			if prev, dup := rem[o.V]; dup {
+				report("value %d removed twice: %s@%v and %s@%v", o.V, prev.QOp, prev.At, o.QOp, o.At)
+				continue
+			}
+			rem[o.V] = o
+		case QDeqEmpty:
+			empties = append(empties, o)
+		}
+	}
+
+	// Global pattern: removes of values never inserted, or that certainly
+	// left the cluster before entering it, or that hopped placements.
+	for v, d := range rem {
+		e, ok := ins[v]
+		if !ok {
+			report("value %d removed but never inserted: %s@%v", v, d.QOp, d.At)
+			continue
+		}
+		if hb(d.QOp, e.QOp) {
+			report("remove returns before insert begins for %d: %s vs %s", v, d.QOp, e.QOp)
+		}
+		if d.At != e.At {
+			report("value %d migrated: inserted at %v, removed at %v", v, e.At, d.At)
+		}
+	}
+
+	// Global pattern: impossible EMPTYs. A cluster-level EMPTY scanned
+	// every server and shard within its interval; a value inserted before
+	// it began and not removed until after it returned was present at the
+	// scan's visit of its shard.
+	for _, em := range empties {
+		for v, e := range ins {
+			if !hb(e.QOp, em.QOp) {
+				continue
+			}
+			d, removed := rem[v]
+			if !removed || hb(em.QOp, d.QOp) {
+				report("cluster EMPTY at %s while value %d was certainly present (ins %s@%v)",
+					em.QOp, v, e.QOp, e.At)
+				break
+			}
+		}
+	}
+
+	// Per-(server,shard) strict FIFO on the projected histories.
+	proj := map[Placement][]QOp{}
+	for _, o := range ops {
+		if o.At == NoPlacement {
+			continue
+		}
+		proj[o.At] = append(proj[o.At], o.QOp)
+	}
+	rep.Shards = len(proj)
+	for at, sub := range proj {
+		for _, v := range CheckQueueHistory(sub) {
+			report("server %d shard %d: %s", at.Server, at.Shard, v)
+		}
+	}
+
+	rep.MaxOvertake = maxOvertake(ins, rem)
+	return rep
+}
+
+// maxOvertake computes the certain-overtaking metric over the (already
+// deduplicated) insert and remove maps.
+func maxOvertake(ins, rem map[uint64]PlacedQOp) int {
+	vals := make([]uint64, 0, len(ins))
+	for v := range ins {
+		vals = append(vals, v)
+	}
+	max := 0
+	for _, a := range vals {
+		da, ok := rem[a]
+		if !ok {
+			continue
+		}
+		n := 0
+		for _, b := range vals {
+			if a == b {
+				continue
+			}
+			db, ok := rem[b]
+			if !ok {
+				continue
+			}
+			if hb(ins[a].QOp, ins[b].QOp) && hb(db.QOp, da.QOp) {
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// CheckClusterStackHistory is the stack analogue: the same global
+// conservation, migration, and emptiness patterns, strict LIFO per
+// (server, shard), and the certain-overtaking metric (for a stack,
+// a overtaken by b means push(a) before push(b) yet pop(b) AFTER pop(a)
+// would be LIFO-legal — so the metric instead counts certain FIFO-style
+// inversions, which for a stack measure how far the merged history is
+// from a queue-like drain and are reported for symmetry, not checked).
+func CheckClusterStackHistory(ops []PlacedSOp) ClusterReport {
+	var rep ClusterReport
+	report := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	ins := map[uint64]PlacedSOp{}
+	rem := map[uint64]PlacedSOp{}
+	var empties []PlacedSOp
+	for _, o := range ops {
+		switch o.Kind {
+		case SPush:
+			if prev, dup := ins[o.V]; dup {
+				report("value %d pushed twice: %s@%v and %s@%v", o.V, prev.SOp, prev.At, o.SOp, o.At)
+				continue
+			}
+			ins[o.V] = o
+		case SPop:
+			if prev, dup := rem[o.V]; dup {
+				report("value %d popped twice: %s@%v and %s@%v", o.V, prev.SOp, prev.At, o.SOp, o.At)
+				continue
+			}
+			rem[o.V] = o
+		case SPopEmpty:
+			empties = append(empties, o)
+		}
+	}
+
+	for v, d := range rem {
+		e, ok := ins[v]
+		if !ok {
+			report("value %d popped but never pushed: %s@%v", v, d.SOp, d.At)
+			continue
+		}
+		if shb(d.SOp, e.SOp) {
+			report("pop returns before push begins for %d: %s vs %s", v, d.SOp, e.SOp)
+		}
+		if d.At != e.At {
+			report("value %d migrated: pushed at %v, popped at %v", v, e.At, d.At)
+		}
+	}
+
+	for _, em := range empties {
+		for v, e := range ins {
+			if !shb(e.SOp, em.SOp) {
+				continue
+			}
+			d, removed := rem[v]
+			if !removed || shb(em.SOp, d.SOp) {
+				report("cluster EMPTY at %s while value %d was certainly present (push %s@%v)",
+					em.SOp, v, e.SOp, e.At)
+				break
+			}
+		}
+	}
+
+	proj := map[Placement][]SOp{}
+	for _, o := range ops {
+		if o.At == NoPlacement {
+			continue
+		}
+		proj[o.At] = append(proj[o.At], o.SOp)
+	}
+	rep.Shards = len(proj)
+	for at, sub := range proj {
+		for _, v := range CheckStackHistory(sub) {
+			report("server %d shard %d: %s", at.Server, at.Shard, v)
+		}
+	}
+
+	// Certain inversions w.r.t. insertion order (see the doc comment).
+	for _, a := range keysOf(ins) {
+		da, ok := rem[a]
+		if !ok {
+			continue
+		}
+		n := 0
+		for _, b := range keysOf(ins) {
+			if a == b {
+				continue
+			}
+			db, ok := rem[b]
+			if !ok {
+				continue
+			}
+			if shb(ins[a].SOp, ins[b].SOp) && shb(db.SOp, da.SOp) {
+				n++
+			}
+		}
+		if n > rep.MaxOvertake {
+			rep.MaxOvertake = n
+		}
+	}
+	return rep
+}
+
+func keysOf(m map[uint64]PlacedSOp) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func pq(kind QOpKind, v uint64, inv, ret int64, srv, shard int) PlacedQOp {
+	return PlacedQOp{QOp: QOp{Kind: kind, V: v, Inv: inv, Ret: ret}, At: Placement{srv, shard}}
+}
+
+func pqEmpty(inv, ret int64) PlacedQOp {
+	return PlacedQOp{QOp: QOp{Kind: QDeqEmpty, Inv: inv, Ret: ret}, At: NoPlacement}
+}
+
+// TestClusterQueueCleanRelaxedHistory: cross-shard overtaking is legal
+// (no violation), but it is measured.
+func TestClusterQueueCleanRelaxedHistory(t *testing.T) {
+	ops := []PlacedQOp{
+		pq(QEnq, 1, 0, 1, 0, 0),
+		pq(QEnq, 2, 2, 3, 1, 0), // inserted after 1, on another server
+		pq(QDeq, 2, 4, 5, 1, 0), // removed before 1: overtaking, k-relaxed OK
+		pq(QDeq, 1, 6, 7, 0, 0),
+	}
+	rep := CheckClusterQueueHistory(ops)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean relaxed history reported: %v", rep.Violations)
+	}
+	if rep.MaxOvertake != 1 {
+		t.Fatalf("MaxOvertake = %d, want 1", rep.MaxOvertake)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("Shards = %d, want 2", rep.Shards)
+	}
+}
+
+// TestClusterQueueViolations: every global pattern and the per-shard
+// projection must fire (the checker is not vacuous).
+func TestClusterQueueViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []PlacedQOp
+		want string
+	}{
+		{
+			"duplicate insert",
+			[]PlacedQOp{pq(QEnq, 1, 0, 1, 0, 0), pq(QEnq, 1, 2, 3, 1, 0)},
+			"inserted twice",
+		},
+		{
+			"duplicate remove",
+			[]PlacedQOp{
+				pq(QEnq, 1, 0, 1, 0, 0),
+				pq(QDeq, 1, 2, 3, 0, 0), pq(QDeq, 1, 4, 5, 0, 0),
+			},
+			"removed twice",
+		},
+		{
+			"invented value",
+			[]PlacedQOp{pq(QDeq, 9, 0, 1, 0, 0)},
+			"never inserted",
+		},
+		{
+			"remove before insert",
+			[]PlacedQOp{pq(QDeq, 1, 0, 1, 0, 0), pq(QEnq, 1, 2, 3, 0, 0)},
+			"remove returns before insert begins",
+		},
+		{
+			"migrated value",
+			[]PlacedQOp{pq(QEnq, 1, 0, 1, 0, 0), pq(QDeq, 1, 2, 3, 1, 1)},
+			"migrated",
+		},
+		{
+			"impossible cluster EMPTY",
+			[]PlacedQOp{pq(QEnq, 1, 0, 1, 0, 0), pqEmpty(2, 3), pq(QDeq, 1, 4, 5, 0, 0)},
+			"certainly present",
+		},
+		{
+			"per-shard FIFO inversion",
+			[]PlacedQOp{
+				pq(QEnq, 1, 0, 1, 0, 0), pq(QEnq, 2, 2, 3, 0, 0),
+				pq(QDeq, 2, 4, 5, 0, 0), pq(QDeq, 1, 6, 7, 0, 0),
+			},
+			"FIFO violation",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := CheckClusterQueueHistory(tc.ops)
+			if len(rep.Violations) == 0 {
+				t.Fatalf("no violation reported, want %q", tc.want)
+			}
+			if !strings.Contains(strings.Join(rep.Violations, "\n"), tc.want) {
+				t.Fatalf("violations %v do not mention %q", rep.Violations, tc.want)
+			}
+		})
+	}
+}
+
+func ps(kind SOpKind, v uint64, inv, ret int64, srv, shard int) PlacedSOp {
+	return PlacedSOp{SOp: SOp{Kind: kind, V: v, Inv: inv, Ret: ret}, At: Placement{srv, shard}}
+}
+
+// TestClusterStackViolations mirrors the queue non-vacuity cases for the
+// stack checker, including the per-shard LIFO projection.
+func TestClusterStackViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []PlacedSOp
+		want string
+	}{
+		{
+			"duplicate push",
+			[]PlacedSOp{ps(SPush, 1, 0, 1, 0, 0), ps(SPush, 1, 2, 3, 1, 0)},
+			"pushed twice",
+		},
+		{
+			"invented value",
+			[]PlacedSOp{ps(SPop, 9, 0, 1, 0, 0)},
+			"never pushed",
+		},
+		{
+			"migrated value",
+			[]PlacedSOp{ps(SPush, 1, 0, 1, 0, 0), ps(SPop, 1, 2, 3, 0, 1)},
+			"migrated",
+		},
+		{
+			"impossible cluster EMPTY",
+			[]PlacedSOp{
+				ps(SPush, 1, 0, 1, 0, 0),
+				{SOp: SOp{Kind: SPopEmpty, Inv: 2, Ret: 3}, At: NoPlacement},
+			},
+			"certainly present",
+		},
+		{
+			"per-shard LIFO violation",
+			// push 1, push 2, then pop -> 1 while 2 is certainly on top.
+			[]PlacedSOp{
+				ps(SPush, 1, 0, 1, 0, 0), ps(SPush, 2, 2, 3, 0, 0),
+				ps(SPop, 1, 4, 5, 0, 0), ps(SPop, 2, 6, 7, 0, 0),
+			},
+			"LIFO",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := CheckClusterStackHistory(tc.ops)
+			if len(rep.Violations) == 0 {
+				t.Fatalf("no violation reported, want %q", tc.want)
+			}
+			if !strings.Contains(strings.Join(rep.Violations, "\n"), tc.want) {
+				t.Fatalf("violations %v do not mention %q", rep.Violations, tc.want)
+			}
+		})
+	}
+
+	// A clean LIFO-per-shard history with cross-server inversion measured.
+	clean := []PlacedSOp{
+		ps(SPush, 1, 0, 1, 0, 0),
+		ps(SPush, 2, 2, 3, 1, 0),
+		ps(SPop, 2, 4, 5, 1, 0),
+		ps(SPop, 1, 6, 7, 0, 0),
+	}
+	rep := CheckClusterStackHistory(clean)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean stack history reported: %v", rep.Violations)
+	}
+	if rep.MaxOvertake != 1 {
+		t.Fatalf("stack MaxOvertake = %d, want 1", rep.MaxOvertake)
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// This file is the step-neutrality regression guard: the committed BENCH
+// artifacts are deterministic functions of the code, so ANY change to the
+// heap-step sequence of the single-server soak, the sharded front, or the
+// combining front silently invalidates them. The cluster layer rides on
+// the same fronts (persisted routing-cursor tags share the cursor cache
+// line), so these tests pin the committed bytes/points against fresh
+// in-process runs — a cluster-motivated edit that perturbs the
+// single-server step sequence fails here, not in a later `make
+// soak-smoke`.
+
+func readRepoFile(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatalf("read committed %s: %v", name, err)
+	}
+	return b
+}
+
+// TestSoakBaselineRegeneratesBitIdentical re-runs the exact committed
+// configuration of BENCH_soak.json and BENCH_soak_timeline.json (dsssoak
+// -seed 1) in-process and requires byte equality with the files.
+func TestSoakBaselineRegeneratesBitIdentical(t *testing.T) {
+	rep, ob, err := RunSoakObserved(SoakConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalReport(t, rep), readRepoFile(t, "BENCH_soak.json"); !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_soak.json drifted from a fresh run: the heap-step sequence changed; regenerate with `make soak` and justify the diff\nfresh:\n%s", got)
+	}
+	tl := ob.Timeline
+	tl.Events = nil
+	if got, want := marshalReport(t, tl), readRepoFile(t, "BENCH_soak_timeline.json"); !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_soak_timeline.json drifted from a fresh run\nfresh:\n%s", got)
+	}
+}
+
+func committedPoint(t *testing.T, file, impl string, threads int) ReportPoint {
+	t.Helper()
+	var r Report
+	if err := json.Unmarshal(readRepoFile(t, file), &r); err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	for _, s := range r.Series {
+		if s.Impl != impl {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Threads == threads {
+				return p
+			}
+		}
+	}
+	t.Fatalf("%s: no %s point at %d threads", file, impl, threads)
+	return ReportPoint{}
+}
+
+func requirePointIdentical(t *testing.T, file, series string, impl Impl, threads, shards int) {
+	t.Helper()
+	want := committedPoint(t, file, series, threads)
+	got, err := RunVirtual(VirtualRunConfig{Impl: impl, Threads: threads, Shards: shards})
+	if err != nil {
+		t.Fatalf("%s @%d: %v", series, threads, err)
+	}
+	if got.Ops != want.Ops || got.Flushes != want.Flushes ||
+		got.Fences != want.Fences || got.FencesElided != want.FencesElided ||
+		got.Mops != want.Mops {
+		t.Fatalf("%s: %s @%d threads drifted:\ncommitted: %+v\nfresh:     ops=%d flushes=%d fences=%d elided=%d mops=%v",
+			file, series, threads, want, got.Ops, got.Flushes, got.Fences, got.FencesElided, got.Mops)
+	}
+}
+
+// TestShardedBaselinePointsRegenerate pins the committed virtual-time
+// points the cluster work is most likely to disturb: the detectable
+// baseline and the widest sharded front at the largest thread count.
+func TestShardedBaselinePointsRegenerate(t *testing.T) {
+	requirePointIdentical(t, "BENCH_sharded.json", string(DSSDetectable), DSSDetectable, 20, 0)
+	requirePointIdentical(t, "BENCH_sharded.json", string(ShardedDSS)+"/8", ShardedDSS, 20, 8)
+}
+
+// TestCombineBaselinePointsRegenerate does the same for the combining
+// front's report (its fence-amortization headline lives in these points).
+func TestCombineBaselinePointsRegenerate(t *testing.T) {
+	requirePointIdentical(t, "BENCH_combine.json", string(CombinedDSS), CombinedDSS, 20, 0)
+	requirePointIdentical(t, "BENCH_combine.json", string(ShardedCombined)+"/4", ShardedCombined, 20, 4)
+}

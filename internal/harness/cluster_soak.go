@@ -1,0 +1,924 @@
+package harness
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/dss"
+	"repro/internal/mp"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// This file is the CLUSTER crash-storm soak: the deterministic DES of
+// soak.go scaled to a multi-server sharded cluster. N shard-servers each
+// run their own engine, generation fence, and sharded front; every
+// client is a real mp.ClusterClient routing operations through its
+// persisted cursor over a lossy simulated network; and every server has
+// its own independent, seeded crash schedule, so storms OVERLAP: two
+// servers can be down at once, a server can crash while another is
+// inside its recovery window, and scheduled blackouts force every server
+// down simultaneously. Recovery itself takes virtual time (image
+// adoption at recover-begin, generation installation at recover-end), so
+// the crash-during-recovery interleaving is reachable — a blackout
+// landing inside a recovery window cancels it and crashes the machine
+// again.
+//
+// Verification is the cluster split of internal/check: the merged
+// client-observed history — every operation attributed to the (server,
+// shard) that executed it via the fronts' tracers — is checked globally
+// for exactly-once conservation and honest emptiness, per (server,
+// shard) for strict FIFO/LIFO, and the certain-overtaking metric
+// quantifies the k-relaxation the composition permits. The same seed
+// produces a bit-identical report on every machine (single-baton
+// cooperative schedule, exactly as in soak.go).
+
+// ClusterSoakConfig parameterizes a cluster crash-storm soak run.
+type ClusterSoakConfig struct {
+	// Object selects the shard type: "queue" (default) or "stack".
+	Object string
+	// Seed determines everything, as in SoakConfig.
+	Seed int64
+	// Servers and ShardsPerServer shape the cluster.
+	Servers         int
+	ShardsPerServer int
+	// Clients is the number of concurrent ClusterClients; OpsPerClient
+	// the operations each performs.
+	Clients      int
+	OpsPerClient int
+	// CrashesPerServer is each server's independent crash budget; crash
+	// points are armed per server by heap step counts.
+	CrashesPerServer int
+	// Blackouts is the number of scheduled cluster-wide power losses:
+	// at each, every machine still up (or mid-recovery) crashes at the
+	// same virtual instant.
+	Blackouts int
+	// BlackoutEvery spaces the scheduled blackouts in virtual time.
+	BlackoutEvery time.Duration
+	// MinCrashStep/MaxCrashStep bound the heap steps between a server's
+	// restart and its next armed crash.
+	MinCrashStep, MaxCrashStep uint64
+	// MinDown/MaxDown bound the dark interval between crash and
+	// recover-begin; MinRecover/MaxRecover the recovery window between
+	// image adoption and the new generation serving.
+	MinDown, MaxDown       time.Duration
+	MinRecover, MaxRecover time.Duration
+	// Net is the message adversary (shared by every client-server path);
+	// RTO and Policy as in SoakConfig.
+	Net    mp.FaultConfig
+	RTO    time.Duration
+	Policy mp.RetryPolicy
+}
+
+func (c *ClusterSoakConfig) defaults() {
+	if c.Object == "" {
+		c.Object = "queue"
+	}
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.ShardsPerServer <= 0 {
+		c.ShardsPerServer = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 40
+	}
+	if c.CrashesPerServer <= 0 {
+		c.CrashesPerServer = 10
+	}
+	if c.Blackouts < 0 {
+		c.Blackouts = 0
+	} else if c.Blackouts == 0 {
+		c.Blackouts = 2
+	}
+	if c.BlackoutEvery <= 0 {
+		c.BlackoutEvery = 20 * time.Millisecond
+	}
+	if c.MinCrashStep == 0 {
+		// Each server sees only ~1/Servers of the traffic, so its crash
+		// points are spaced tighter than the single-server soak's.
+		c.MinCrashStep = 80
+	}
+	if c.MaxCrashStep <= c.MinCrashStep {
+		c.MaxCrashStep = c.MinCrashStep + 420
+	}
+	if c.MinDown <= 0 {
+		c.MinDown = 200 * time.Microsecond
+	}
+	if c.MaxDown <= c.MinDown {
+		c.MaxDown = c.MinDown + 800*time.Microsecond
+	}
+	if c.MinRecover <= 0 {
+		// Recovery windows are deliberately wide relative to downtimes:
+		// the crash-during-another-server's-recovery interleaving needs
+		// neighbors' windows to actually overlap.
+		c.MinRecover = 100 * time.Microsecond
+	}
+	if c.MaxRecover <= c.MinRecover {
+		c.MaxRecover = c.MinRecover + 500*time.Microsecond
+	}
+	if c.Net == (mp.FaultConfig{}) {
+		c.Net = mp.FaultConfig{
+			DropRequest: 0.05,
+			DropReply:   0.05,
+			Duplicate:   0.05,
+			Delay:       0.25,
+			MaxDelay:    300 * time.Microsecond,
+		}
+	}
+	if c.RTO <= 0 {
+		c.RTO = 2 * time.Millisecond
+	}
+	if c.Policy.MaxAttempts <= 0 {
+		c.Policy.MaxAttempts = 2048
+	}
+	if c.Policy.BackoffBase <= 0 {
+		c.Policy.BackoffBase = 100 * time.Microsecond
+	}
+	if c.Policy.BackoffMax <= 0 {
+		c.Policy.BackoffMax = 2 * time.Millisecond
+	}
+}
+
+// ClusterSoakReport is the machine-readable result of one cluster soak.
+// For a fixed config it is bit-identical across runs and machines.
+type ClusterSoakReport struct {
+	// Object names the shard type; empty means "queue".
+	Object string `json:"object,omitempty"`
+
+	Seed            int64 `json:"seed"`
+	Servers         int   `json:"servers"`
+	ShardsPerServer int   `json:"shards_per_server"`
+	Clients         int   `json:"clients"`
+	OpsPerClient    int   `json:"ops_per_client"`
+
+	// Crashes totals the fired crash/restart cycles across servers
+	// (blackout-forced crashes included); CrashesByServer breaks them
+	// down per lane; TargetCrashes is Servers x CrashesPerServer (the
+	// independent arming budget, blackouts extra).
+	Crashes         int   `json:"crashes"`
+	TargetCrashes   int   `json:"target_crashes"`
+	CrashesByServer []int `json:"crashes_by_server"`
+	// Blackouts counts the scheduled cluster-wide power losses that
+	// fired before the workload ended.
+	Blackouts       int `json:"blackouts"`
+	TargetBlackouts int `json:"target_blackouts"`
+
+	// Cross-server storm overlap, tracked by the simulator itself (the
+	// observed timeline reconstructs the same numbers from the traces).
+	MaxConcurrentDown     int    `json:"max_concurrent_down"`
+	AllDownWindows        int    `json:"all_down_windows"`
+	CrashesDuringRecovery uint64 `json:"crashes_during_recovery"`
+
+	// Client-observed outcomes (queue vocabulary; for the stack object
+	// they count pushes, pops, and EMPTY pops).
+	Ops           uint64 `json:"ops"`
+	Enqueues      uint64 `json:"enqueues"`
+	Dequeues      uint64 `json:"dequeues"`
+	EmptyDequeues uint64 `json:"empty_dequeues"`
+	Drained       uint64 `json:"drained"`
+
+	// Retry-discipline counters, summed over all clients and servers.
+	Attempts   uint64 `json:"attempts"`
+	Retries    uint64 `json:"retries"`
+	Resolves   uint64 `json:"resolves"`
+	Timeouts   uint64 `json:"timeouts"`
+	Downs      uint64 `json:"downs"`
+	GenChanges uint64 `json:"gen_changes"`
+
+	// Network fault counters.
+	NetRequests        uint64 `json:"net_requests"`
+	NetDroppedRequests uint64 `json:"net_dropped_requests"`
+	NetDroppedReplies  uint64 `json:"net_dropped_replies"`
+	NetDuplicates      uint64 `json:"net_duplicates"`
+	NetDelays          uint64 `json:"net_delays"`
+
+	// MaxOvertake is the certain-overtaking metric of the merged history
+	// (the observed k-relaxation); ShardsTouched counts the (server,
+	// shard) placements that carried operations.
+	MaxOvertake   int `json:"max_overtake"`
+	ShardsTouched int `json:"shards_touched"`
+
+	// VirtualUS is the simulated duration in microseconds.
+	VirtualUS int64 `json:"virtual_us"`
+
+	// Violations lists every exactly-once, conservation, emptiness, or
+	// per-shard order violation (sorted; empty on success).
+	Violations []string `json:"violations"`
+}
+
+// OK reports whether the cluster soak found no violations.
+func (r ClusterSoakReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report for humans.
+func (r ClusterSoakReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf(
+			"cluster soak: %d servers x %d shards, %d clients x %d ops, %d crashes (%d blackouts, max %d down, %d during recovery), %d ops ok (%d ins, %d rem, %d empty, %d drained), overtake %d, 0 violations",
+			r.Servers, r.ShardsPerServer, r.Clients, r.OpsPerClient, r.Crashes,
+			r.Blackouts, r.MaxConcurrentDown, r.CrashesDuringRecovery,
+			r.Ops, r.Enqueues, r.Dequeues, r.EmptyDequeues, r.Drained, r.MaxOvertake)
+	}
+	return fmt.Sprintf("cluster soak: %d VIOLATIONS (first: %s)", len(r.Violations), r.Violations[0])
+}
+
+// csEvent and csQueue are the cluster sim's scheduled actions: a
+// separate event type from soak.go's, so the single-server soak's
+// deterministic schedule is untouched by this file.
+type csEvent struct {
+	at  int64
+	seq uint64
+	fn  func() *csClient
+}
+
+type csQueue []*csEvent
+
+func (q csQueue) Len() int { return len(q) }
+func (q csQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q csQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *csQueue) Push(x any)   { *q = append(*q, x.(*csEvent)) }
+func (q *csQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// csClient is one simulated cluster client: the real ClusterClient plus
+// the park/resume machinery and in-flight round-trip state.
+type csClient struct {
+	tid    int
+	cc     *mp.ClusterClient
+	resume chan struct{}
+
+	token    uint64
+	gotReply bool
+	rep      mp.Reply
+}
+
+// csConn is the per-(client, server) Transport over the simulated
+// network.
+type csConn struct {
+	s   *clusterSim
+	c   *csClient
+	srv int
+}
+
+func (cn *csConn) RoundTrip(m mp.Msg) mp.Reply { return cn.s.roundTrip(cn.c, cn.srv, m) }
+
+// csServer is one shard-server's simulation state.
+type csServer struct {
+	eng *mp.Engine
+	// up: serving. recovering: image adopted, generation not yet
+	// installed (the recovery window). Neither: dark.
+	up         bool
+	recovering bool
+	// epoch increments at every crash; scheduled recovery steps carry
+	// the epoch they belong to and die if a blackout superseded them.
+	epoch   uint64
+	crashes int
+	advs    []pmem.Adversary
+	rng     *rand.Rand
+	sink    *obs.Sink
+}
+
+// clusterSim is the whole simulation.
+type clusterSim struct {
+	cfg ClusterSoakConfig
+	cl  *mp.Cluster
+	srv []*csServer
+
+	isStack  bool
+	insertOp func(v uint64) spec.Op
+	removeOp func() spec.Op
+
+	now   int64
+	evSeq uint64
+	pq    csQueue
+
+	netRng *rand.Rand
+
+	clients []*csClient
+	parked  chan bool
+	live    int
+
+	// Overlap bookkeeping (mirrored independently by the timeline).
+	downCount       int
+	allDown         bool
+	recoveringCount int
+
+	logical  int64
+	hist     []check.PlacedQOp
+	shist    []check.PlacedSOp
+	insertAt map[uint64]check.Placement
+	errs     []string
+
+	clientSinks [][]*obs.Sink // [tid][server]
+
+	rep ClusterSoakReport
+}
+
+func (s *clusterSim) schedule(at int64, fn func() *csClient) {
+	if at < s.now {
+		at = s.now
+	}
+	s.evSeq++
+	heap.Push(&s.pq, &csEvent{at: at, seq: s.evSeq, fn: fn})
+}
+
+func (s *clusterSim) park(c *csClient) {
+	s.parked <- false
+	<-c.resume
+}
+
+// leg draws one network leg's latency (identical shape to soak.go).
+func (s *clusterSim) leg() int64 {
+	const base = int64(5 * time.Microsecond)
+	delayed := s.netRng.Float64() < s.cfg.Net.Delay
+	extra := int64(0)
+	if s.cfg.Net.MaxDelay > 0 {
+		extra = s.netRng.Int63n(int64(s.cfg.Net.MaxDelay))
+	}
+	if !delayed {
+		return base
+	}
+	s.rep.NetDelays++
+	return base + extra
+}
+
+// roundTrip carries one message to server srv through the simulated
+// network (the fault machinery is soak.go's, per destination server).
+func (s *clusterSim) roundTrip(c *csClient, srv int, m mp.Msg) mp.Reply {
+	s.rep.NetRequests++
+	c.token++
+	tok := c.token
+	c.gotReply = false
+
+	reqDelay := s.leg()
+	repDelay := s.leg()
+	dupDelay := s.leg()
+	dropReq := s.netRng.Float64() < s.cfg.Net.DropRequest
+	dup := s.netRng.Float64() < s.cfg.Net.Duplicate
+	dropRep := s.netRng.Float64() < s.cfg.Net.DropReply
+
+	resumeWith := func(rep mp.Reply) func() *csClient {
+		return func() *csClient {
+			if c.token != tok || c.gotReply {
+				return nil
+			}
+			c.gotReply = true
+			c.rep = rep
+			return c
+		}
+	}
+	deliver := func(dropReply bool) func() *csClient {
+		return func() *csClient {
+			rep := s.serverApply(srv, m)
+			if dropReply {
+				return nil
+			}
+			s.schedule(s.now+repDelay, resumeWith(rep))
+			return nil
+		}
+	}
+
+	if dropReq {
+		s.rep.NetDroppedRequests++
+	} else {
+		if dropRep {
+			s.rep.NetDroppedReplies++
+		}
+		s.schedule(s.now+reqDelay, deliver(dropRep))
+	}
+	if dup {
+		s.rep.NetDuplicates++
+		s.schedule(s.now+reqDelay+dupDelay, deliver(false))
+	}
+	s.schedule(s.now+int64(s.cfg.RTO), resumeWith(mp.Reply{Err: mp.ErrTimeout}))
+
+	s.park(c)
+	return c.rep
+}
+
+// serverApply executes one delivered message at server srv.
+func (s *clusterSim) serverApply(srv int, m mp.Msg) mp.Reply {
+	sv := s.srv[srv]
+	if !sv.up {
+		return mp.Reply{Gen: sv.eng.Gen(), Err: &mp.DownError{Gen: sv.eng.Gen()}}
+	}
+	var rep mp.Reply
+	crashed := pmem.RunToCrash(func() { rep = sv.eng.Apply(m) })
+	if crashed {
+		s.onCrash(srv)
+		return mp.Reply{Gen: sv.eng.Gen(), Err: &mp.DownError{Gen: sv.eng.Gen()}}
+	}
+	return rep
+}
+
+// noteDown/noteServing maintain the cross-server overlap metrics. A
+// server counts as down from its crash until its recover-END (the
+// recovery window is still downtime), matching obs.ReconstructCluster.
+func (s *clusterSim) noteDown() {
+	s.downCount++
+	if s.downCount > s.rep.MaxConcurrentDown {
+		s.rep.MaxConcurrentDown = s.downCount
+	}
+	if s.downCount == s.cfg.Servers && !s.allDown {
+		s.allDown = true
+		s.rep.AllDownWindows++
+	}
+}
+
+func (s *clusterSim) noteServing() {
+	s.downCount--
+	if s.downCount < s.cfg.Servers {
+		s.allDown = false
+	}
+}
+
+// onCrash records server srv's crash and schedules its two-step
+// recovery: image adoption (recover-begin) after the dark interval,
+// generation installation (recover-end) after the recovery window. A
+// crash while ANY server is inside a recovery window counts toward the
+// crashes-during-recovery interleaving metric.
+func (s *clusterSim) onCrash(srv int) {
+	sv := s.srv[srv]
+	adv := sv.advs[sv.crashes%len(sv.advs)]
+	sv.crashes++
+	s.rep.Crashes++
+	sv.sink.Event(obs.EvCrash, -1, sv.eng.Gen())
+
+	others := s.recoveringCount
+	if sv.recovering {
+		others--
+	}
+	if others > 0 {
+		s.rep.CrashesDuringRecovery++
+	}
+	if sv.recovering {
+		// A recovering server is already counted down; its interrupted
+		// recovery is cancelled (the epoch bump below kills the pending
+		// recover-end event).
+		sv.recovering = false
+		s.recoveringCount--
+	} else {
+		sv.up = false
+		s.noteDown()
+	}
+
+	sv.epoch++
+	epoch := sv.epoch
+	down := int64(s.cfg.MinDown) + sv.rng.Int63n(int64(s.cfg.MaxDown-s.cfg.MinDown))
+	recover := int64(s.cfg.MinRecover) + sv.rng.Int63n(int64(s.cfg.MaxRecover-s.cfg.MinRecover))
+	s.schedule(s.now+down, func() *csClient {
+		if sv.epoch != epoch {
+			return nil // a blackout superseded this recovery
+		}
+		sv.eng.RecoverImage(adv)
+		sv.recovering = true
+		s.recoveringCount++
+		s.schedule(s.now+recover, func() *csClient {
+			if sv.epoch != epoch {
+				return nil
+			}
+			sv.eng.NewGeneration()
+			sv.recovering = false
+			s.recoveringCount--
+			sv.up = true
+			s.noteServing()
+			s.armNextCrash(srv)
+			return nil
+		})
+		return nil
+	})
+}
+
+// blackout forces every machine not already dark to crash at this
+// virtual instant: servers still serving die mid-air, and servers inside
+// a recovery window have that recovery cancelled and die again.
+func (s *clusterSim) blackout() {
+	s.rep.Blackouts++
+	for srv, sv := range s.srv {
+		if !sv.up && !sv.recovering {
+			continue // already dark; stays dark
+		}
+		sv.eng.Heap().CrashNow()
+		s.onCrash(srv)
+	}
+}
+
+// armNextCrash arms server srv's next crash point until its budget is
+// spent.
+func (s *clusterSim) armNextCrash(srv int) {
+	sv := s.srv[srv]
+	if sv.crashes >= s.cfg.CrashesPerServer {
+		sv.eng.Heap().ArmCrash(0)
+		return
+	}
+	span := int64(s.cfg.MaxCrashStep - s.cfg.MinCrashStep)
+	step := s.cfg.MinCrashStep + uint64(sv.rng.Int63n(span))
+	sv.eng.Heap().ArmCrash(step)
+}
+
+func (s *clusterSim) tick() int64 {
+	s.logical++
+	return s.logical
+}
+
+// placeOf attributes a removed value to the (server, shard) it was
+// inserted at — values never migrate, so the insert-side attribution
+// (recorded by the fronts' tracers at exec time) covers removes too.
+func (s *clusterSim) placeOf(v uint64) check.Placement {
+	if at, ok := s.insertAt[v]; ok {
+		return at
+	}
+	// An unattributed value: surfaced by the checker as invented.
+	return check.NoPlacement
+}
+
+// record appends one client-observed cluster operation to the history.
+func (s *clusterSim) record(isInsert bool, op spec.Op, resp spec.Resp, inv, ret int64) bool {
+	switch {
+	case isInsert && resp.Kind == spec.Ack:
+		s.rep.Enqueues++
+		at := s.placeOf(op.Arg)
+		if s.isStack {
+			s.shist = append(s.shist, check.PlacedSOp{SOp: check.SOp{Kind: check.SPush, V: op.Arg, Inv: inv, Ret: ret}, At: at})
+		} else {
+			s.hist = append(s.hist, check.PlacedQOp{QOp: check.QOp{Kind: check.QEnq, V: op.Arg, Inv: inv, Ret: ret}, At: at})
+		}
+	case !isInsert && resp.Kind == spec.Val:
+		s.rep.Dequeues++
+		at := s.placeOf(resp.V)
+		if s.isStack {
+			s.shist = append(s.shist, check.PlacedSOp{SOp: check.SOp{Kind: check.SPop, V: resp.V, Inv: inv, Ret: ret}, At: at})
+		} else {
+			s.hist = append(s.hist, check.PlacedQOp{QOp: check.QOp{Kind: check.QDeq, V: resp.V, Inv: inv, Ret: ret}, At: at})
+		}
+	case !isInsert && resp.Kind == spec.Empty:
+		s.rep.EmptyDequeues++
+		if s.isStack {
+			s.shist = append(s.shist, check.PlacedSOp{SOp: check.SOp{Kind: check.SPopEmpty, Inv: inv, Ret: ret}, At: check.NoPlacement})
+		} else {
+			s.hist = append(s.hist, check.PlacedQOp{QOp: check.QOp{Kind: check.QDeqEmpty, Inv: inv, Ret: ret}, At: check.NoPlacement})
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// clientMain is one cluster client's workload (the soak shape: every
+// third operation a remove, values globally unique).
+func (s *clusterSim) clientMain(c *csClient) {
+	<-c.resume
+	for i := 0; i < s.cfg.OpsPerClient; i++ {
+		var op spec.Op
+		isInsert := i%3 != 0
+		if !isInsert {
+			op = s.removeOp()
+		} else {
+			op = s.insertOp(uint64(c.tid)*1_000_000 + uint64(i) + 1)
+		}
+		inv := s.tick()
+		resp, err := c.cc.Do(op)
+		ret := s.tick()
+		if err != nil {
+			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): %v", c.tid, i, op, err))
+			break
+		}
+		s.rep.Ops++
+		if !s.record(isInsert, op, resp, inv, ret) {
+			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): unexpected response %s", c.tid, i, op, resp))
+		}
+	}
+	s.parked <- true
+}
+
+// attribTracer records, per server, which (server, shard) executed each
+// insert. Attribution keys on the Exec-begin event, not the Ack: an exec
+// whose lines survive a mid-exec crash is acknowledged later through
+// resolve without ever re-executing (so no completion event fires),
+// while an exec whose lines are dropped is re-executed — possibly on
+// another shard — and the newer begin overwrites. Either way the LAST
+// Exec-begin for a value is the execution that survived, because a
+// survived exec settles as executed and is never re-prepped.
+type attribTracer struct {
+	s      *clusterSim
+	srv    int
+	insSym string
+}
+
+func (t *attribTracer) OpBegin(shard, tid int, op spec.Op) {
+	if op.Kind == spec.Exec && op.Sym == t.insSym {
+		t.s.insertAt[op.Arg] = check.Placement{Server: t.srv, Shard: shard}
+	}
+}
+
+func (t *attribTracer) OpEnd(shard, tid int, resp spec.Resp) {}
+
+// drain finishes every dark server's pending recovery synchronously
+// (the crash itself was already counted by onCrash), then empties every
+// shard of every server directly, recording each value with its exact
+// placement. The drain bypasses the network and the clients: it is the
+// post-mortem audit of what the cluster still holds.
+func (s *clusterSim) drain() {
+	for _, sv := range s.srv {
+		sv.epoch++ // cancel any still-scheduled recovery steps
+		if !sv.up {
+			if sv.recovering {
+				sv.recovering = false
+				s.recoveringCount--
+			} else {
+				// Dark before recover-begin: adopt an image with the
+				// adversary the pending recovery captured (onCrash drew
+				// it before incrementing the crash count).
+				n := len(sv.advs)
+				sv.eng.RecoverImage(sv.advs[(sv.crashes+n-1)%n])
+			}
+			sv.eng.NewGeneration()
+			sv.up = true
+			s.noteServing()
+		}
+		sv.eng.Heap().ArmCrash(0)
+	}
+	for srv := range s.srv {
+		f := s.cl.Front(srv)
+		for j := 0; j < s.cfg.ShardsPerServer; j++ {
+			for tid := 0; ; tid = (tid + 1) % s.cfg.Clients {
+				resp, err := f.Shard(j).Invoke(tid, dss.Op{Kind: dss.Remove})
+				if err != nil {
+					s.errs = append(s.errs, fmt.Sprintf("drain (server %d shard %d tid %d): %v", srv, j, tid, err))
+					return
+				}
+				if resp.Kind != dss.Val {
+					break
+				}
+				inv := s.tick()
+				at := check.Placement{Server: srv, Shard: j}
+				if s.isStack {
+					s.shist = append(s.shist, check.PlacedSOp{SOp: check.SOp{Kind: check.SPop, V: resp.Val, Inv: inv, Ret: s.tick()}, At: at})
+				} else {
+					s.hist = append(s.hist, check.PlacedQOp{QOp: check.QOp{Kind: check.QDeq, V: resp.Val, Inv: inv, Ret: s.tick()}, At: at})
+				}
+				s.rep.Drained++
+			}
+		}
+	}
+}
+
+// verify runs the cluster checker plus exact conservation.
+func (s *clusterSim) verify() {
+	violations := append([]string{}, s.errs...)
+	inserted := map[uint64]bool{}
+	removed := map[uint64]int{}
+	if s.isStack {
+		crep := check.CheckClusterStackHistory(s.shist)
+		violations = append(violations, crep.Violations...)
+		s.rep.MaxOvertake = crep.MaxOvertake
+		s.rep.ShardsTouched = crep.Shards
+		for _, o := range s.shist {
+			switch o.Kind {
+			case check.SPush:
+				inserted[o.V] = true
+			case check.SPop:
+				removed[o.V]++
+			}
+		}
+	} else {
+		crep := check.CheckClusterQueueHistory(s.hist)
+		violations = append(violations, crep.Violations...)
+		s.rep.MaxOvertake = crep.MaxOvertake
+		s.rep.ShardsTouched = crep.Shards
+		for _, o := range s.hist {
+			switch o.Kind {
+			case check.QEnq:
+				inserted[o.V] = true
+			case check.QDeq:
+				removed[o.V]++
+			}
+		}
+	}
+
+	var lost []uint64
+	for v := range inserted {
+		if removed[v] == 0 {
+			lost = append(lost, v)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, v := range lost {
+		violations = append(violations, fmt.Sprintf("conservation: value %d inserted but never removed (drain included)", v))
+	}
+
+	sort.Strings(violations)
+	s.rep.Violations = violations
+}
+
+// ClusterSoakObservation is the observability side of a cluster soak:
+// per-side snapshots and the per-server-lane cluster timeline.
+type ClusterSoakObservation struct {
+	// Servers aggregates every server sink; Clients every per-(client,
+	// server) sink; Merged their sum.
+	Servers obs.Snapshot
+	Clients obs.Snapshot
+	Merged  obs.Snapshot
+	// Timeline is the lane-attributed crash/recovery reconstruction.
+	Timeline obs.ClusterTimeline
+}
+
+// RunClusterSoak executes one deterministic cluster crash-storm soak.
+func RunClusterSoak(cfg ClusterSoakConfig) (ClusterSoakReport, error) {
+	rep, _, err := RunClusterSoakObserved(cfg)
+	return rep, err
+}
+
+// RunClusterSoakObserved is RunClusterSoak plus the observability layer.
+// The report is byte-for-byte the one an unobserved run would produce
+// (recording draws no rng and no heap steps), and the observation is
+// deterministic for a fixed config.
+func RunClusterSoakObserved(cfg ClusterSoakConfig) (ClusterSoakReport, ClusterSoakObservation, error) {
+	cfg.defaults()
+	var typ dss.Type
+	var insertOp func(uint64) spec.Op
+	var removeOp func() spec.Op
+	switch cfg.Object {
+	case "queue":
+		typ, insertOp, removeOp = dss.QueueType, spec.Enqueue, spec.Dequeue
+	case "stack":
+		typ, insertOp, removeOp = dss.StackType, spec.Push, spec.Pop
+	default:
+		return ClusterSoakReport{}, ClusterSoakObservation{}, fmt.Errorf("harness: unknown cluster soak object %q", cfg.Object)
+	}
+
+	cl, err := mp.NewCluster(mp.ClusterConfig{
+		Servers:         cfg.Servers,
+		ShardsPerServer: cfg.ShardsPerServer,
+		Clients:         cfg.Clients,
+		Type:            typ,
+		// Every insert a client performs may live until the drain, and
+		// could in principle all land on one shard of one server.
+		NodesPerThread: cfg.OpsPerClient + 8,
+		ExtraNodes:     2*cfg.Clients + 8,
+	})
+	if err != nil {
+		return ClusterSoakReport{}, ClusterSoakObservation{}, err
+	}
+
+	s := &clusterSim{
+		cfg:      cfg,
+		cl:       cl,
+		isStack:  cfg.Object == "stack",
+		insertOp: insertOp,
+		removeOp: removeOp,
+		netRng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		insertAt: map[uint64]check.Placement{},
+		parked:   make(chan bool),
+		rep: ClusterSoakReport{
+			Seed:            cfg.Seed,
+			Servers:         cfg.Servers,
+			ShardsPerServer: cfg.ShardsPerServer,
+			Clients:         cfg.Clients,
+			OpsPerClient:    cfg.OpsPerClient,
+			TargetCrashes:   cfg.Servers * cfg.CrashesPerServer,
+			TargetBlackouts: cfg.Blackouts,
+			Violations:      []string{},
+		},
+	}
+	if cfg.Object != "queue" {
+		s.rep.Object = cfg.Object
+	}
+	vclock := func() uint64 { return uint64(s.now) }
+
+	insSym := insertOp(0).Sym
+	for srv := 0; srv < cfg.Servers; srv++ {
+		sv := &csServer{
+			eng: cl.Server(srv).Engine(),
+			up:  true,
+			rng: rand.New(rand.NewSource(cfg.Seed + 2 + int64(srv))),
+			advs: []pmem.Adversary{
+				pmem.NewRandomFates(cfg.Seed + 3 + 10*int64(srv)),
+				pmem.DropAll{},
+				pmem.NewBiasedFates(cfg.Seed+4+10*int64(srv), 0.25),
+				pmem.KeepAll{},
+				pmem.NewBiasedFates(cfg.Seed+5+10*int64(srv), 0.75),
+			},
+			sink: obs.NewSink(obs.Config{Clock: vclock}),
+		}
+		sv.eng.SetObs(sv.sink)
+		cl.Front(srv).SetTracer(&attribTracer{s: s, srv: srv, insSym: insSym})
+		sv.eng.NewGeneration()
+		s.srv = append(s.srv, sv)
+	}
+	for srv := range s.srv {
+		s.armNextCrash(srv)
+	}
+
+	for tid := 0; tid < cfg.Clients; tid++ {
+		c := &csClient{tid: tid, resume: make(chan struct{}, 1)}
+		ts := make([]mp.Transport, cfg.Servers)
+		for srv := 0; srv < cfg.Servers; srv++ {
+			ts[srv] = &csConn{s: s, c: c, srv: srv}
+		}
+		pol := cfg.Policy
+		pol.Seed = cfg.Seed + 100 + 1000*int64(tid)
+		c.cc = mp.NewClusterClientOver(cl, tid, pol, ts)
+		var sinks []*obs.Sink
+		for srv := 0; srv < cfg.Servers; srv++ {
+			sink := obs.NewSink(obs.Config{Clock: vclock})
+			c.cc.Inner(srv).SetObs(sink)
+			sinks = append(sinks, sink)
+		}
+		s.clientSinks = append(s.clientSinks, sinks)
+		cc := c
+		c.cc.SetSleep(func(d time.Duration) {
+			if d < 0 {
+				d = 0
+			}
+			s.schedule(s.now+int64(d), func() *csClient { return cc })
+			s.park(cc)
+		})
+		s.clients = append(s.clients, c)
+		go s.clientMain(c)
+		s.schedule(int64(tid)*int64(10*time.Microsecond), func() *csClient { return cc })
+	}
+
+	for i := 0; i < cfg.Blackouts; i++ {
+		at := int64(cfg.BlackoutEvery) * int64(i+1)
+		s.schedule(at, func() *csClient {
+			s.blackout()
+			return nil
+		})
+	}
+
+	s.live = cfg.Clients
+	for s.live > 0 {
+		if s.pq.Len() == 0 {
+			return ClusterSoakReport{}, ClusterSoakObservation{}, fmt.Errorf("harness: cluster soak deadlocked with %d clients live", s.live)
+		}
+		ev := heap.Pop(&s.pq).(*csEvent)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if c := ev.fn(); c != nil {
+			c.resume <- struct{}{}
+			if finished := <-s.parked; finished {
+				s.live--
+			}
+		}
+	}
+
+	s.drain()
+	s.verify()
+
+	s.rep.VirtualUS = s.now / int64(time.Microsecond)
+	for _, sv := range s.srv {
+		s.rep.CrashesByServer = append(s.rep.CrashesByServer, sv.crashes)
+	}
+	for _, c := range s.clients {
+		st := c.cc.Stats()
+		s.rep.Attempts += st.Attempts
+		s.rep.Retries += st.Retries
+		s.rep.Resolves += st.Resolves
+		s.rep.Timeouts += st.Timeouts
+		s.rep.Downs += st.Downs
+		s.rep.GenChanges += st.GenChanges
+	}
+
+	var ob ClusterSoakObservation
+	var sources []obs.LaneSource
+	for srv, sv := range s.srv {
+		ob.Servers = ob.Servers.Add(sv.sink.Snapshot())
+		sources = append(sources, obs.LaneSource{
+			Server:      srv,
+			TraceSource: obs.TraceSource{Name: fmt.Sprintf("server-%d", srv), Events: sv.sink.Events()},
+		})
+	}
+	for tid, sinks := range s.clientSinks {
+		for srv, sink := range sinks {
+			ob.Clients = ob.Clients.Add(sink.Snapshot())
+			sources = append(sources, obs.LaneSource{
+				Server:      srv,
+				TraceSource: obs.TraceSource{Name: fmt.Sprintf("client-%d/server-%d", tid, srv), Events: sink.Events()},
+			})
+		}
+	}
+	ob.Merged = ob.Servers.Add(ob.Clients)
+	ob.Timeline = obs.ReconstructCluster("virtual_ns", cfg.Servers, sources...)
+	return s.rep, ob, nil
+}

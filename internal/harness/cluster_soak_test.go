@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func marshalReport(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// TestClusterSoakDefaultsCleanAndOverlapping runs the committed cluster
+// configuration (4 servers x 2 shards, 8 clients, overlapping per-server
+// storms plus two scheduled blackouts) and requires both a clean verdict
+// and a non-vacuous storm: the crash budget substantially spent, every
+// server simultaneously dark at least once, and at least one crash
+// landing inside another server's recovery window — the interleavings
+// the single-server soak can never produce.
+func TestClusterSoakDefaultsCleanAndOverlapping(t *testing.T) {
+	rep, ob, err := RunClusterSoakObserved(ClusterSoakConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Ops != uint64(rep.Clients*rep.OpsPerClient) {
+		t.Fatalf("ops = %d, want %d", rep.Ops, rep.Clients*rep.OpsPerClient)
+	}
+	// Exactly-once conservation in the counters themselves: every value
+	// inserted was removed by a client or by the drain.
+	if rep.Enqueues != rep.Dequeues+rep.Drained {
+		t.Fatalf("conservation: %d inserted, %d removed + %d drained",
+			rep.Enqueues, rep.Dequeues, rep.Drained)
+	}
+	if rep.Crashes < rep.TargetCrashes/2 {
+		t.Fatalf("storm too quiet: %d crashes of %d targeted", rep.Crashes, rep.TargetCrashes)
+	}
+	if rep.Blackouts != rep.TargetBlackouts {
+		t.Fatalf("blackouts fired = %d, want %d", rep.Blackouts, rep.TargetBlackouts)
+	}
+	if rep.MaxConcurrentDown != rep.Servers {
+		t.Fatalf("MaxConcurrentDown = %d, want %d (blackouts force all down)",
+			rep.MaxConcurrentDown, rep.Servers)
+	}
+	if rep.AllDownWindows < 1 {
+		t.Fatalf("AllDownWindows = %d, want >= 1", rep.AllDownWindows)
+	}
+	if rep.CrashesDuringRecovery < 1 {
+		t.Fatalf("CrashesDuringRecovery = %d, want >= 1", rep.CrashesDuringRecovery)
+	}
+	if rep.ShardsTouched != rep.Servers*rep.ShardsPerServer {
+		t.Fatalf("ShardsTouched = %d, want %d", rep.ShardsTouched, rep.Servers*rep.ShardsPerServer)
+	}
+
+	// The timeline is reconstructed from the traces alone; it must agree
+	// with the simulator's own bookkeeping exactly.
+	tl := ob.Timeline
+	if int(tl.Crashes) != rep.Crashes {
+		t.Fatalf("timeline crashes = %d, report %d", tl.Crashes, rep.Crashes)
+	}
+	if tl.Crashes != tl.Recoveries {
+		t.Fatalf("timeline crashes %d != recoveries %d (drain finishes every recovery)",
+			tl.Crashes, tl.Recoveries)
+	}
+	if tl.MaxConcurrentDown != rep.MaxConcurrentDown {
+		t.Fatalf("timeline MaxConcurrentDown = %d, report %d", tl.MaxConcurrentDown, rep.MaxConcurrentDown)
+	}
+	if tl.AllDownWindows != rep.AllDownWindows {
+		t.Fatalf("timeline AllDownWindows = %d, report %d", tl.AllDownWindows, rep.AllDownWindows)
+	}
+	if tl.CrashesDuringRecovery != rep.CrashesDuringRecovery {
+		t.Fatalf("timeline CrashesDuringRecovery = %d, report %d",
+			tl.CrashesDuringRecovery, rep.CrashesDuringRecovery)
+	}
+	if len(tl.Lanes) != rep.Servers {
+		t.Fatalf("timeline lanes = %d, want %d", len(tl.Lanes), rep.Servers)
+	}
+	for s, lane := range tl.Lanes {
+		if int(lane.Crashes) != rep.CrashesByServer[s] {
+			t.Fatalf("lane %d crashes = %d, report %d", s, lane.Crashes, rep.CrashesByServer[s])
+		}
+	}
+}
+
+// TestClusterSoakDeterministic pins the determinism contract the
+// committed BENCH_cluster_soak.json artifact rests on: same config, same
+// bytes — for the report, for the timeline, and with or without the
+// observability layer attached.
+func TestClusterSoakDeterministic(t *testing.T) {
+	cfg := ClusterSoakConfig{Seed: 1}
+	r1, ob1, err := RunClusterSoakObserved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, ob2, err := RunClusterSoakObserved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, r1), marshalReport(t, r2)) {
+		t.Fatal("cluster soak report is not deterministic")
+	}
+	t1, t2 := ob1.Timeline, ob2.Timeline
+	t1.Events, t2.Events = nil, nil
+	if !bytes.Equal(marshalReport(t, t1), marshalReport(t, t2)) {
+		t.Fatal("cluster timeline is not deterministic")
+	}
+
+	// Observation is free: the unobserved run produces the same report.
+	r3, err := RunClusterSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, r1), marshalReport(t, r3)) {
+		t.Fatal("observed and unobserved cluster reports differ")
+	}
+
+	// And the seed actually matters.
+	r4, err := RunClusterSoak(ClusterSoakConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(marshalReport(t, r1), marshalReport(t, r4)) {
+		t.Fatal("different seeds produced identical cluster reports")
+	}
+}
+
+// TestClusterSoakStack runs the storm over a cluster of sharded stacks:
+// the per-(server,shard) projection checks LIFO instead of FIFO, and
+// conservation is object-independent.
+func TestClusterSoakStack(t *testing.T) {
+	rep, err := RunClusterSoak(ClusterSoakConfig{
+		Object:           "stack",
+		Seed:             3,
+		Servers:          3,
+		ShardsPerServer:  2,
+		Clients:          6,
+		OpsPerClient:     24,
+		CrashesPerServer: 6,
+		Blackouts:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Object != "stack" {
+		t.Fatalf("object = %q", rep.Object)
+	}
+	if rep.Enqueues != rep.Dequeues+rep.Drained {
+		t.Fatalf("conservation: %d pushed, %d popped + %d drained",
+			rep.Enqueues, rep.Dequeues, rep.Drained)
+	}
+	if rep.Crashes == 0 || rep.Blackouts == 0 {
+		t.Fatalf("storm too quiet: %d crashes, %d blackouts", rep.Crashes, rep.Blackouts)
+	}
+}
+
+// TestClusterSoakRejectsUnknownObject covers the config error path.
+func TestClusterSoakRejectsUnknownObject(t *testing.T) {
+	if _, err := RunClusterSoak(ClusterSoakConfig{Object: "deque"}); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}

@@ -1,0 +1,439 @@
+package mp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/sharded"
+	"repro/internal/spec"
+)
+
+// This file scales the message-passing DSS service from one server to a
+// cluster: N shard-servers, each owning an independent sharded front of
+// detectable objects behind its OWN Engine — its own persistent heap, its
+// own generation fence, its own per-client at-most-once reply cache, and
+// its own crash/recovery lifecycle — fronted by a cluster-aware client
+// that routes operations through a PERSISTED per-client routing cursor.
+// The composition argument is the sharded front's, applied once more one
+// level up: every operation lands on exactly one server, that server's
+// history is strictly linearizable w.r.t. D⟨T⟩ per shard (Theorem 1
+// applies per shard unchanged), and the client's persisted cursor names
+// the server holding its most recent claimed operation, so a restart
+// resolves through exactly one server's resolve. Globally the cluster is
+// k-relaxed (per-shard FIFO/LIFO, cross-shard overtaking bounded by the
+// in-flight window) — but detectability, and with it exactly-once
+// execution, is NOT relaxed.
+//
+// Client cursor protocol (claim-before-prep). The client's cursor line
+// packs route, round-robin hints, and the operation tag into one cache
+// line, persisted ONCE per routing step, BEFORE the prep is sent:
+//
+//	store tag; store route = s+1; store rr hint; persist  — the "claim"
+//	prep/exec on server s via the per-server RetryClient discipline
+//
+// This inverts the server-side sharded front's X-before-cursor order
+// (which each server still uses internally, unchanged), and it is the
+// tag that makes the inversion safe: the cursor may name a server whose
+// prep never landed, but then that server's resolve reports an operation
+// with a DIFFERENT tag (or none), which classifies the claimed operation
+// as "never happened" — a legal outcome for an operation whose Do had
+// not returned. Because tag and route share one cache line and the crash
+// adversary settles whole lines, recovery can never observe a new tag
+// married to a stale route or vice versa. And because the tag is durable
+// BEFORE any prep can land, a restarted client (which resumes its tag
+// counter from the cursor) can never reuse a tag that a dangling prep on
+// some server still carries — the confusion that volatile tags would
+// allow. Claimed-but-unsent tags are simply burned.
+//
+// Per-server generations. Each inner RetryClient pins the generation of
+// its own server, so the resolve-before-retry discipline runs per server
+// generation: a client can straddle servers in different crash epochs —
+// one mid-recovery, one ten generations ahead — and every ambiguous
+// outcome is settled against exactly the server (and the generation
+// fence) that owns the operation.
+type ClusterConfig struct {
+	// Servers is the number of independent shard-servers.
+	Servers int
+	// ShardsPerServer is each server's sharded-front width.
+	ShardsPerServer int
+	// Clients is the number of client identities (0..Clients-1), shared
+	// by every server (client c is process c on every server's front).
+	Clients int
+	// Type is the detectable object type every shard hosts
+	// (dss.QueueType by default).
+	Type dss.Type
+	// NodesPerThread and ExtraNodes size each shard's node pools (passed
+	// to the sharded front unchanged).
+	NodesPerThread int
+	ExtraNodes     int
+	// Words sizes each server's persistent heap (default 1<<18, the
+	// single-server default).
+	Words int
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.ShardsPerServer <= 0 {
+		c.ShardsPerServer = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Type.Name == "" {
+		c.Type = dss.QueueType
+	}
+	if c.NodesPerThread <= 0 {
+		c.NodesPerThread = 128
+	}
+	if c.ExtraNodes <= 0 {
+		c.ExtraNodes = 2*c.Clients + 8
+	}
+	if c.Words <= 0 {
+		c.Words = 1 << 18
+	}
+}
+
+// Client cursor line layout (one cache line per client in the cluster's
+// client-side heap). Mirrors the sharded front's cursor, one level up:
+// the route names a server instead of a shard, and word 3 carries the
+// claimed operation's tag (see the package comment for why they share a
+// line).
+const (
+	ccRoute = 0 // 0 = no claimed op; s+1 = claimed on server s
+	ccInsRR = 1 // next server for an insert (round-robin hint)
+	ccRemRR = 2 // next server for a remove scan (round-robin hint)
+	ccTag   = 3 // tag of the claimed operation
+)
+
+// Cluster is N independent shard-servers plus the client-side persistent
+// routing state. Servers share nothing: each has its own heap, engine,
+// generation fence, and reply cache, and crashes/recovers independently.
+type Cluster struct {
+	cfg    ClusterConfig
+	typ    dss.Type
+	srvs   []*Server
+	fronts []*sharded.Front
+
+	// ch holds the per-client routing cursors: client-side persistent
+	// state (the paper's X[p] analogue for routing), one line per client.
+	ch      *pmem.Heap
+	curBase pmem.Addr
+}
+
+// NewCluster builds the cluster: cfg.Servers engines, each hosting a
+// sharded.Wire over a cfg.ShardsPerServer-way front of cfg.Type objects,
+// plus the client-side cursor heap. Servers are built but not started;
+// call Start on each (or StartAll) before serving.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.defaults()
+	cl := &Cluster{cfg: cfg, typ: cfg.Type}
+	for i := 0; i < cfg.Servers; i++ {
+		var front *sharded.Front
+		srv, err := NewServerWith(EngineConfig{
+			Clients:  cfg.Clients,
+			Capacity: 1, // unused: the object and heap size are explicit
+			Words:    cfg.Words,
+			NewObject: func(h *pmem.Heap, clients int) (Object, error) {
+				f, err := sharded.New(h, 0, cfg.Type, sharded.Config{
+					Shards:         cfg.ShardsPerServer,
+					Threads:        clients,
+					NodesPerThread: cfg.NodesPerThread,
+					ExtraNodes:     cfg.ExtraNodes,
+				})
+				if err != nil {
+					return nil, err
+				}
+				front = f
+				return sharded.NewWire(cfg.Type, f), nil
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mp: cluster server %d: %w", i, err)
+		}
+		cl.srvs = append(cl.srvs, srv)
+		cl.fronts = append(cl.fronts, front)
+	}
+	ch, err := pmem.New(pmem.Config{
+		Words: 1<<10 + cfg.Clients*pmem.WordsPerLine,
+		Mode:  pmem.Tracked,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mp: cluster client heap: %w", err)
+	}
+	curBase, err := ch.Alloc(cfg.Clients * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("mp: cluster cursors: %w", err)
+	}
+	// Spread the initial round-robin hints so a uniform client population
+	// starts uniformly distributed over servers.
+	for id := 0; id < cfg.Clients; id++ {
+		cur := curBase + pmem.Addr(id*pmem.WordsPerLine)
+		ch.Store(cur+ccRoute, 0)
+		ch.Store(cur+ccInsRR, uint64(id%cfg.Servers))
+		ch.Store(cur+ccRemRR, uint64(id%cfg.Servers))
+		ch.Store(cur+ccTag, 0)
+	}
+	ch.PersistRange(curBase, cfg.Clients*pmem.WordsPerLine)
+	ch.SetRoot(0, curBase)
+	cl.ch = ch
+	cl.curBase = curBase
+	return cl, nil
+}
+
+// Servers reports the server count.
+func (cl *Cluster) Servers() int { return len(cl.srvs) }
+
+// Clients reports the client-identity count the cluster was built for.
+func (cl *Cluster) Clients() int { return cl.cfg.Clients }
+
+// Server returns the i'th shard-server.
+func (cl *Cluster) Server(i int) *Server { return cl.srvs[i] }
+
+// Front returns the i'th server's sharded front (test and drain access).
+func (cl *Cluster) Front(i int) *sharded.Front { return cl.fronts[i] }
+
+// Type reports the hosted object type.
+func (cl *Cluster) Type() dss.Type { return cl.typ }
+
+// ClientHeap exposes the client-side cursor heap so tests can arm
+// client-crash points.
+func (cl *Cluster) ClientHeap() *pmem.Heap { return cl.ch }
+
+// StartAll starts every server (each under its own fresh generation).
+func (cl *Cluster) StartAll() error {
+	for i, s := range cl.srvs {
+		if err := s.Start(); err != nil {
+			return fmt.Errorf("mp: cluster server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StopAll stops every running server cleanly.
+func (cl *Cluster) StopAll() {
+	for _, s := range cl.srvs {
+		s.Stop()
+	}
+}
+
+// cursorAddr returns client id's cursor line.
+func (cl *Cluster) cursorAddr(id int) pmem.Addr {
+	return cl.curBase + pmem.Addr(id*pmem.WordsPerLine)
+}
+
+// ClusterClient is the cluster-aware production client: one RetryClient
+// per server (each pinning that server's generation and settling
+// ambiguity against it alone) behind the persisted routing cursor. Like
+// RetryClient it owns its identity: not safe for concurrent use, at most
+// one per client id.
+type ClusterClient struct {
+	id    int
+	cl    *Cluster
+	h     *pmem.Heap
+	cur   pmem.Addr
+	ts    []Transport
+	pol   RetryPolicy
+	inner []*RetryClient
+
+	// tag is the client's volatile tag counter. Every claim persists the
+	// tag before any prep can land, so Recover resumes it from the cursor
+	// and no tag is ever reused — even across a full-system crash.
+	tag uint64
+	ops uint64
+}
+
+// NewClusterClient binds identity id to the cluster over the servers' own
+// in-process transports.
+func NewClusterClient(cl *Cluster, id int, pol RetryPolicy) *ClusterClient {
+	ts := make([]Transport, cl.Servers())
+	for i, s := range cl.srvs {
+		ts[i] = s
+	}
+	return NewClusterClientOver(cl, id, pol, ts)
+}
+
+// NewClusterClientOver binds identity id to the cluster over one explicit
+// transport per server (fault injectors, simulated networks). Each inner
+// per-server client derives its jitter seed from pol.Seed and the server
+// index, so a fixed policy seed yields a deterministic client.
+func NewClusterClientOver(cl *Cluster, id int, pol RetryPolicy, ts []Transport) *ClusterClient {
+	if len(ts) != cl.Servers() {
+		panic(fmt.Sprintf("mp: %d transports for %d servers", len(ts), cl.Servers()))
+	}
+	c := &ClusterClient{
+		id: id, cl: cl, h: cl.ch, cur: cl.cursorAddr(id),
+		ts: ts, pol: pol,
+	}
+	c.rebuildInner()
+	// A fresh handle over existing persistent state (a client restart)
+	// must resume the tag counter past every claimed tag.
+	c.tag = c.h.Load(c.cur + ccTag)
+	return c
+}
+
+// rebuildInner (re)creates the per-server RetryClients: fresh volatile
+// connection state (generation pins, sequence numbers), same identity.
+func (c *ClusterClient) rebuildInner() {
+	c.inner = make([]*RetryClient, len(c.ts))
+	for s, t := range c.ts {
+		pol := c.pol
+		pol.Seed = c.pol.Seed + int64(s)
+		c.inner[s] = NewRetryClient(t, c.id, pol)
+	}
+}
+
+// Inner returns the per-server RetryClient for server s (stats and
+// observability wiring).
+func (c *ClusterClient) Inner(s int) *RetryClient { return c.inner[s] }
+
+// SetSleep replaces the backoff sleeper of every inner client.
+func (c *ClusterClient) SetSleep(f func(d time.Duration)) {
+	for _, rc := range c.inner {
+		rc.SetSleep(f)
+	}
+}
+
+// Stats sums the per-server clients' counters; Ops counts cluster-level
+// Do calls (each may fan out to several servers during a remove scan).
+func (c *ClusterClient) Stats() RetryStats {
+	var st RetryStats
+	for _, rc := range c.inner {
+		s := rc.Stats()
+		st.Attempts += s.Attempts
+		st.Retries += s.Retries
+		st.Resolves += s.Resolves
+		st.Timeouts += s.Timeouts
+		st.Downs += s.Downs
+		st.GenChanges += s.GenChanges
+	}
+	st.Ops = c.ops
+	return st
+}
+
+// Route reports the server the persisted cursor names, or -1 (test and
+// recovery-audit access).
+func (c *ClusterClient) Route() int {
+	return int(c.h.Load(c.cur+ccRoute)) - 1
+}
+
+// claim persists the routing decision for one hop — tag, route, and the
+// round-robin hint, in one cursor-line persist — BEFORE the prep is sent
+// (see the package comment for the crash argument).
+func (c *ClusterClient) claim(s int, tag uint64, rr pmem.Addr) {
+	c.h.Store(c.cur+ccTag, tag)
+	c.h.Store(c.cur+ccRoute, uint64(s+1))
+	c.h.Store(c.cur+rr, uint64((s+1)%len(c.inner)))
+	c.h.Persist(c.cur)
+}
+
+// doOn runs one claimed hop: persist the claim, then drive the op through
+// server s's exactly-once discipline.
+func (c *ClusterClient) doOn(s int, op spec.Op, rr pmem.Addr) (spec.Resp, error) {
+	c.claim(s, op.Tag, rr)
+	return c.inner[s].DoTagged(op)
+}
+
+// Do applies op as a detectable operation exactly once across the
+// cluster. Inserts go to the next server in the insert round-robin;
+// removes scan servers from the remove round-robin cursor, returning
+// EMPTY only after a full cycle of per-server EMPTYs (each itself a full
+// scan of that server's shards) — the relaxed emptiness of the
+// composition, one level up.
+func (c *ClusterClient) Do(op spec.Op) (spec.Resp, error) {
+	dop, ok := c.cl.typ.FromSpec(op)
+	if !ok {
+		return spec.Resp{}, fmt.Errorf("mp: %s is not a %s operation", op, c.cl.typ.Name)
+	}
+	c.ops++
+	c.tag++
+	op.Tag = c.tag
+	n := len(c.inner)
+	if dop.Kind != dss.Remove {
+		s := int(c.h.Load(c.cur+ccInsRR)) % n
+		return c.doOn(s, op, ccInsRR)
+	}
+	s := int(c.h.Load(c.cur+ccRemRR)) % n
+	for i := 0; i < n; i++ {
+		resp, err := c.doOn(s, op, ccRemRR)
+		if err != nil {
+			return spec.Resp{}, err
+		}
+		if resp.Kind != spec.Empty {
+			return resp, nil
+		}
+		s = (s + 1) % n
+	}
+	return spec.Resp{Kind: spec.Empty}, nil
+}
+
+// Recover rebuilds the client's volatile state after a full-system crash
+// (every server restarted, the client process lost its memory): fresh
+// per-server connections and the tag counter resumed from the persisted
+// cursor. It must not be used after a client-only restart while servers
+// kept running — the servers' reply caches would then reject the fresh
+// sequence numbers as superseded; restart the servers (new generations)
+// alongside, as a real power loss would.
+func (c *ClusterClient) Recover() {
+	c.rebuildInner()
+	c.tag = c.h.Load(c.cur + ccTag)
+}
+
+// Complete settles the operation the persisted cursor claims, finishing
+// it exactly-once if it is pending: the recovery-time half of the DSS
+// discipline, used after Recover. It reports (op, resp, true) when the
+// claimed operation had taken or now takes effect — op is the resolved
+// operation, resp its recovered or freshly executed response — and
+// (zero, zero, false) when the claim's prep never landed anywhere, i.e.
+// the operation never happened and may be re-issued under a fresh tag.
+//
+// A pending remove that settles EMPTY on its claimed server resumes the
+// cluster scan from the next server (with the same burned tag — each
+// server sees a given tag at most once), so the EMPTY it ultimately
+// reports still covers a full server cycle.
+func (c *ClusterClient) Complete() (spec.Op, spec.Resp, bool, error) {
+	r := int(c.h.Load(c.cur + ccRoute))
+	if r == 0 {
+		return spec.Op{}, spec.Resp{}, false, nil
+	}
+	s := r - 1
+	tag := c.h.Load(c.cur + ccTag)
+	st, op, resp, err := c.inner[s].settle(tag)
+	if err != nil {
+		return spec.Op{}, spec.Resp{}, false, err
+	}
+	switch st {
+	case settledAbsent:
+		return spec.Op{}, spec.Resp{}, false, nil
+	case settledPrepped:
+		// Re-prepping an unexecuted operation replaces it with an
+		// identical prep (no effect is lost — prepped ops have none), and
+		// the discipline then executes it exactly once.
+		resp, err = c.inner[s].DoTagged(op)
+		if err != nil {
+			return spec.Op{}, spec.Resp{}, false, err
+		}
+	}
+	dop, ok := c.cl.typ.FromSpec(op)
+	if ok && dop.Kind == dss.Remove && resp.Kind == spec.Empty {
+		// The claimed hop observed its server empty; the interrupted scan
+		// continues over the remaining servers.
+		n := len(c.inner)
+		next := (s + 1) % n
+		for i := 0; i < n-1; i++ {
+			hop, err := c.doOn(next, op, ccRemRR)
+			if err != nil {
+				return spec.Op{}, spec.Resp{}, false, err
+			}
+			if hop.Kind != spec.Empty {
+				return op, hop, true, nil
+			}
+			next = (next + 1) % n
+		}
+		return op, spec.Resp{Kind: spec.Empty}, true, nil
+	}
+	return op, resp, true, nil
+}

@@ -1,0 +1,377 @@
+package mp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// sweepPolicy keeps the failed-attempt loops short: the sweeps crash a
+// server permanently mid-operation, and the client must give up fast.
+func sweepPolicy(seed int64) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 6,
+		BackoffBase: 10 * time.Microsecond,
+		BackoffMax:  50 * time.Microsecond,
+		Seed:        seed,
+	}
+}
+
+// drainCluster empties every shard of every server directly, returning
+// the multiset of drained values (fails the test on duplicates).
+func drainCluster(t *testing.T, cl *Cluster) map[uint64]bool {
+	t.Helper()
+	got := map[uint64]bool{}
+	for s := 0; s < cl.Servers(); s++ {
+		f := cl.Front(s)
+		for j := 0; j < f.Shards(); j++ {
+			for {
+				resp, err := f.Shard(j).Invoke(0, dss.Op{Kind: dss.Remove})
+				if err != nil {
+					t.Fatalf("server %d shard %d: drain: %v", s, j, err)
+				}
+				if resp.Kind != dss.Val {
+					break
+				}
+				if got[resp.Val] {
+					t.Fatalf("server %d shard %d: value %d drained twice (resurrected)", s, j, resp.Val)
+				}
+				got[resp.Val] = true
+			}
+		}
+	}
+	return got
+}
+
+// TestClusterServerCrashPointSweep crashes server 0 at EVERY heap step of
+// a claimed operation's server-side path — prep persist, per-shard scan
+// hops (with their cursor moves and cross-shard prep abandonment), exec,
+// recovery — while server 1 stays live, under both the drop-everything
+// and keep-everything adversaries. After each crash the server restarts,
+// a fresh client handle settles the claimed tag, and the DSS trichotomy
+// must hold exactly: absent (the operation never happened and the drain
+// proves it), prepped (Complete finishes it exactly once), or executed
+// (the recorded response is recovered). Conservation over the drain
+// doubles as the never-resurrected check for abandoned preps: a
+// withdrawn prep that re-executed would surface as a duplicated or
+// invented value. The sweep runs to exhaustion — every k up to the full
+// step count of the uncrashed run — for an insert target and a remove
+// target, and must observe all three settlements.
+func TestClusterServerCrashPointSweep(t *testing.T) {
+	const primes = 4
+	advs := []struct {
+		name string
+		adv  pmem.Adversary
+	}{
+		{"DropAll", pmem.DropAll{}},
+		{"KeepAll", pmem.KeepAll{}},
+	}
+	outcomes := map[settlement]int{}
+	for _, target := range []string{"insert", "remove"} {
+		for _, av := range advs {
+			for k := uint64(1); ; k++ {
+				name := fmt.Sprintf("%s/%s/step%d", target, av.name, k)
+				done := false
+				t.Run(name, func(t *testing.T) {
+					cl := newTestCluster(t, dss.QueueType, 2, 2, 1)
+					cc := NewClusterClient(cl, 0, sweepPolicy(int64(k)))
+					// Prime both servers (insert round-robin alternates), so a
+					// remove target finds values and the insert round-robin is
+					// back on server 0 for the target.
+					for v := uint64(1); v <= primes; v++ {
+						if _, err := cc.Do(insertSpec(dss.QueueType, v)); err != nil {
+							t.Fatalf("prime insert %d: %v", v, err)
+						}
+					}
+					h0 := cl.Server(0).Heap()
+					h0.ArmCrash(k)
+					var op spec.Op
+					if target == "insert" {
+						op = insertSpec(dss.QueueType, 100)
+					} else {
+						op = removeSpec(dss.QueueType)
+					}
+					resp, err := cc.Do(op)
+					if !h0.Crashed() {
+						// k exceeds the operation's server-0 step count: the
+						// sweep is exhausted for this configuration.
+						h0.ArmCrash(0)
+						if err != nil {
+							t.Fatalf("uncrashed run failed: %v", err)
+						}
+						done = true
+						want := map[uint64]bool{}
+						for v := uint64(1); v <= primes; v++ {
+							want[v] = true
+						}
+						if target == "insert" {
+							want[100] = true
+						} else {
+							if resp.Kind != spec.Val || !want[resp.V] {
+								t.Fatalf("remove returned %s", resp)
+							}
+							delete(want, resp.V)
+						}
+						got := drainCluster(t, cl)
+						assertSameValues(t, got, want)
+						return
+					}
+					if err == nil {
+						t.Fatalf("Do succeeded with server 0 crashed at step %d", k)
+					}
+					if err := cl.Server(0).Restart(av.adv); err != nil {
+						t.Fatalf("restart: %v", err)
+					}
+
+					// A fresh handle over the persisted cursor settles the
+					// claimed tag: the trichotomy, observed before Complete
+					// collapses "prepped" into "executed".
+					cc2 := NewClusterClient(cl, 0, sweepPolicy(int64(k)+7))
+					route := cc2.Route()
+					if route < 0 {
+						t.Fatalf("no persisted route after a claimed operation")
+					}
+					tag := cl.ClientHeap().Load(cl.cursorAddr(0) + ccTag)
+					if tag != primes+1 {
+						t.Fatalf("persisted tag %d, want %d", tag, primes+1)
+					}
+					st, _, _, err := cc2.Inner(route).settle(tag)
+					if err != nil {
+						t.Fatalf("settle: %v", err)
+					}
+					outcomes[st]++
+
+					cop, resp, completed, err := cc2.Complete()
+					if err != nil {
+						t.Fatalf("Complete: %v", err)
+					}
+					if (st == settledAbsent) == completed {
+						t.Fatalf("settle said %v but Complete reported completed=%v", st, completed)
+					}
+					want := map[uint64]bool{}
+					for v := uint64(1); v <= primes; v++ {
+						want[v] = true
+					}
+					if completed {
+						if cop.Tag != tag {
+							t.Fatalf("Complete resolved tag %d, want %d", cop.Tag, tag)
+						}
+						if target == "insert" {
+							if resp.Kind != spec.Ack {
+								t.Fatalf("completed insert responded %s", resp)
+							}
+							want[100] = true
+						} else {
+							if resp.Kind != spec.Val || !want[resp.V] {
+								t.Fatalf("completed remove responded %s", resp)
+							}
+							delete(want, resp.V)
+						}
+					}
+					got := drainCluster(t, cl)
+					assertSameValues(t, got, want)
+				})
+				if done || t.Failed() {
+					break
+				}
+			}
+		}
+	}
+	for _, st := range []settlement{settledAbsent, settledPrepped, settledExecuted} {
+		if outcomes[st] == 0 {
+			t.Errorf("sweep never observed settlement %v (vacuous trichotomy)", st)
+		}
+	}
+	t.Logf("settlements observed: absent=%d prepped=%d executed=%d",
+		outcomes[settledAbsent], outcomes[settledPrepped], outcomes[settledExecuted])
+}
+
+func assertSameValues(t *testing.T, got, want map[uint64]bool) {
+	t.Helper()
+	for v := range want {
+		if !got[v] {
+			t.Errorf("value %d lost (inserted, never drained or removed)", v)
+		}
+	}
+	for v := range got {
+		if !want[v] {
+			t.Errorf("value %d invented or executed twice", v)
+		}
+	}
+}
+
+// TestClusterClientCursorCrashPointSweep crashes the CLIENT at every heap
+// step of the routing-cursor claim — the tag store, the route store, the
+// round-robin store, the line persist, and every per-hop claim of a
+// remove scan — then blacks out the whole system (every server's machine
+// dies too), restarts the servers, and recovers through a fresh client
+// handle. Under both adversaries the adopted cursor must be coherent:
+// either the claim never persisted (the cursor still names the previous
+// operation, whose settled outcome Complete re-reports, and the target
+// operation is provably absent from the drain) or it persisted whole
+// (tag and route share a cache line), in which case Complete applies the
+// trichotomy to the target. The tag-first store order inside the claim
+// makes every volatile interleaving safe, and this sweep is the
+// exhaustive witness.
+func TestClusterClientCursorCrashPointSweep(t *testing.T) {
+	const primes = 4
+	advs := []struct {
+		name string
+		adv  pmem.Adversary
+	}{
+		{"DropAll", pmem.DropAll{}},
+		{"KeepAll", pmem.KeepAll{}},
+	}
+	sawLost, sawClaimed := false, false
+	for _, av := range advs {
+		for k := uint64(1); ; k++ {
+			done := false
+			t.Run(fmt.Sprintf("insert/%s/step%d", av.name, k), func(t *testing.T) {
+				cl := newTestCluster(t, dss.QueueType, 2, 2, 1)
+				cc := NewClusterClient(cl, 0, sweepPolicy(int64(k)))
+				for v := uint64(1); v <= primes; v++ {
+					if _, err := cc.Do(insertSpec(dss.QueueType, v)); err != nil {
+						t.Fatalf("prime insert %d: %v", v, err)
+					}
+				}
+				ch := cl.ClientHeap()
+				ch.ArmCrash(k)
+				var doErr error
+				crashed := pmem.RunToCrash(func() {
+					_, doErr = cc.Do(insertSpec(dss.QueueType, 100))
+				})
+				if !crashed {
+					ch.ArmCrash(0)
+					if doErr != nil {
+						t.Fatalf("uncrashed run failed: %v", doErr)
+					}
+					done = true
+					return
+				}
+				// Full-system blackout: the client machine died mid-claim and
+				// takes every server with it.
+				cl.StopAll()
+				for s := 0; s < cl.Servers(); s++ {
+					cl.Server(s).Heap().CrashNow()
+				}
+				for s := 0; s < cl.Servers(); s++ {
+					if err := cl.Server(s).Restart(pmem.KeepAll{}); err != nil {
+						t.Fatalf("restart server %d: %v", s, err)
+					}
+				}
+				ch.Crash(av.adv)
+
+				cc2 := NewClusterClient(cl, 0, sweepPolicy(int64(k)+7))
+				tag := ch.Load(cl.cursorAddr(0) + ccTag)
+				op, resp, completed, err := cc2.Complete()
+				if err != nil {
+					t.Fatalf("Complete: %v", err)
+				}
+				want := map[uint64]bool{}
+				for v := uint64(1); v <= primes; v++ {
+					want[v] = true
+				}
+				switch tag {
+				case primes: // the claim line never persisted: cursor names prime #4
+					sawLost = true
+					if !completed {
+						t.Fatalf("previous operation (tag %d) should settle executed", tag)
+					}
+					if op.Tag != primes || resp.Kind != spec.Ack {
+						t.Fatalf("Complete re-reported (%s, %s), want prime insert", op, resp)
+					}
+					// The target never happened; re-issuing under a fresh tag
+					// must be safe and exactly-once.
+					if _, err := cc2.Do(insertSpec(dss.QueueType, 100)); err != nil {
+						t.Fatalf("re-issue: %v", err)
+					}
+					want[100] = true
+				case primes + 1: // the claim persisted whole
+					sawClaimed = true
+					if completed {
+						// The claim persisted, but the client died before any
+						// message left the machine: the prep cannot have landed.
+						t.Fatalf("target completed (op %s resp %s) though its prep was never sent", op, resp)
+					}
+				default:
+					t.Fatalf("adopted cursor tag %d: torn claim (want %d or %d)", tag, primes, primes+1)
+				}
+				got := drainCluster(t, cl)
+				assertSameValues(t, got, want)
+			})
+			if done || t.Failed() {
+				break
+			}
+		}
+	}
+	if !sawLost || !sawClaimed {
+		t.Errorf("sweep vacuous: lost-claim=%v persisted-claim=%v", sawLost, sawClaimed)
+	}
+
+	// Remove over an EMPTY cluster: the scan claims every server in turn,
+	// so the client can die on a mid-scan hop claim. Complete must then
+	// resume the interrupted scan (the claimed hop settles executed-EMPTY)
+	// and still report a full-cycle EMPTY.
+	sawResumed := false
+	for _, av := range advs {
+		for k := uint64(1); ; k++ {
+			done := false
+			t.Run(fmt.Sprintf("remove-empty/%s/step%d", av.name, k), func(t *testing.T) {
+				cl := newTestCluster(t, dss.QueueType, 2, 2, 1)
+				cc := NewClusterClient(cl, 0, sweepPolicy(int64(k)))
+				ch := cl.ClientHeap()
+				ch.ArmCrash(k)
+				var doErr error
+				var resp spec.Resp
+				crashed := pmem.RunToCrash(func() {
+					resp, doErr = cc.Do(removeSpec(dss.QueueType))
+				})
+				if !crashed {
+					ch.ArmCrash(0)
+					if doErr != nil || resp.Kind != spec.Empty {
+						t.Fatalf("uncrashed empty remove = (%s, %v)", resp, doErr)
+					}
+					done = true
+					return
+				}
+				cl.StopAll()
+				for s := 0; s < cl.Servers(); s++ {
+					cl.Server(s).Heap().CrashNow()
+				}
+				for s := 0; s < cl.Servers(); s++ {
+					if err := cl.Server(s).Restart(pmem.KeepAll{}); err != nil {
+						t.Fatalf("restart server %d: %v", s, err)
+					}
+				}
+				ch.Crash(av.adv)
+				cc2 := NewClusterClient(cl, 0, sweepPolicy(int64(k)+7))
+				op, cresp, completed, err := cc2.Complete()
+				if err != nil {
+					t.Fatalf("Complete: %v", err)
+				}
+				if completed {
+					sawResumed = true
+					if cresp.Kind != spec.Empty {
+						t.Fatalf("resumed scan on an empty cluster returned %s", cresp)
+					}
+					if dop, ok := dss.QueueType.FromSpec(op); !ok || dop.Kind != dss.Remove {
+						t.Fatalf("resumed op %s is not a remove", op)
+					}
+				}
+				if got := drainCluster(t, cl); len(got) != 0 {
+					t.Fatalf("empty cluster drained %d values", len(got))
+				}
+			})
+			if done || t.Failed() {
+				break
+			}
+		}
+	}
+	if !sawResumed {
+		t.Errorf("sweep vacuous: no mid-scan hop claim was interrupted and resumed")
+	}
+}

@@ -1,0 +1,552 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// clusterTypes lists the object types the cluster conformance suites run
+// over: the cluster must be correct for FIFO and LIFO shards alike.
+func clusterTypes() []dss.Type { return []dss.Type{dss.QueueType, dss.StackType} }
+
+func insertSpec(typ dss.Type, v uint64) spec.Op {
+	return typ.SpecOp(dss.Op{Kind: dss.Insert, Arg: v})
+}
+
+func removeSpec(typ dss.Type) spec.Op {
+	return typ.SpecOp(dss.Op{Kind: dss.Remove})
+}
+
+func newTestCluster(t *testing.T, typ dss.Type, servers, shardsPer, clients int) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		Servers: servers, ShardsPerServer: shardsPer, Clients: clients,
+		Type: typ, NodesPerThread: 64, ExtraNodes: 16,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster(%s): %v", typ.Name, err)
+	}
+	if err := cl.StartAll(); err != nil {
+		t.Fatalf("StartAll: %v", err)
+	}
+	t.Cleanup(cl.StopAll)
+	return cl
+}
+
+// lockstepTracer runs one D⟨T⟩ model per shard of ONE server in lockstep
+// with the real front, exactly like the sharded package's conformance
+// oracle but installed on every server of a cluster. Tracer callbacks
+// fire on the server's serve goroutine, so failures are recorded and
+// reported from the test goroutine.
+type lockstepTracer struct {
+	mu      sync.Mutex
+	server  int
+	models  []spec.State
+	pending map[int]struct {
+		shard int
+		op    spec.Op
+	}
+	errs []string
+}
+
+func newLockstepTracer(typ dss.Type, server, shards, threads int) *lockstepTracer {
+	lt := &lockstepTracer{server: server, pending: map[int]struct {
+		shard int
+		op    spec.Op
+	}{}}
+	for i := 0; i < shards; i++ {
+		lt.models = append(lt.models, spec.Detectable(typ.Model(), threads))
+	}
+	return lt
+}
+
+func (lt *lockstepTracer) OpBegin(shard, tid int, op spec.Op) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.pending[tid] = struct {
+		shard int
+		op    spec.Op
+	}{shard, op}
+}
+
+func (lt *lockstepTracer) OpEnd(shard, tid int, resp spec.Resp) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	p, ok := lt.pending[tid]
+	if !ok || p.shard != shard {
+		lt.errs = append(lt.errs, fmt.Sprintf(
+			"server %d: OpEnd(shard %d, tid %d) without matching OpBegin", lt.server, shard, tid))
+		return
+	}
+	delete(lt.pending, tid)
+	next, want, enabled := lt.models[shard].Apply(p.op, tid)
+	if !enabled {
+		lt.errs = append(lt.errs, fmt.Sprintf(
+			"server %d shard %d: %s by tid %d not enabled in the model", lt.server, shard, p.op, tid))
+		return
+	}
+	if want != resp {
+		lt.errs = append(lt.errs, fmt.Sprintf(
+			"server %d shard %d: %s by tid %d responded %s, model says %s",
+			lt.server, shard, p.op, tid, resp, want))
+		return
+	}
+	lt.models[shard] = next
+}
+
+// applyBase applies a base (non-detectable) op to one shard model; used
+// by the drain.
+func (lt *lockstepTracer) applyBase(shard int, op spec.Op) (spec.Resp, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	next, resp, enabled := lt.models[shard].Apply(op, 0)
+	if !enabled {
+		return spec.Resp{}, false
+	}
+	lt.models[shard] = next
+	return resp, true
+}
+
+func (lt *lockstepTracer) failures() []string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return append([]string(nil), lt.errs...)
+}
+
+// TestClusterSequentialConformance drives a random sequential stream of
+// cluster operations from several client identities through a 3-server
+// cluster with per-(server,shard) D⟨T⟩ models in lockstep, plus a
+// cluster-level multiset oracle: every removed value was inserted and
+// still outstanding, and EMPTY appears only when the whole cluster is
+// empty (a sequential remove scans every server). Then every shard is
+// drained against its model. Runs once per object type.
+func TestClusterSequentialConformance(t *testing.T) {
+	const (
+		servers   = 3
+		shardsPer = 2
+		clients   = 2
+		steps     = 300
+	)
+	for _, typ := range clusterTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			cl := newTestCluster(t, typ, servers, shardsPer, clients)
+			tracers := make([]*lockstepTracer, servers)
+			for s := 0; s < servers; s++ {
+				tracers[s] = newLockstepTracer(typ, s, shardsPer, clients)
+				cl.Front(s).SetTracer(tracers[s])
+			}
+			ccs := make([]*ClusterClient, clients)
+			for id := 0; id < clients; id++ {
+				ccs[id] = NewClusterClient(cl, id, RetryPolicy{Seed: int64(1000 + id)})
+			}
+
+			outstanding := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(20260808))
+			next := uint64(1)
+			for i := 0; i < steps; i++ {
+				cc := ccs[rng.Intn(clients)]
+				if rng.Intn(5) < 3 {
+					v := next
+					next++
+					resp, err := cc.Do(insertSpec(typ, v))
+					if err != nil {
+						t.Fatalf("step %d: insert %d: %v", i, v, err)
+					}
+					if resp.Kind != spec.Ack {
+						t.Fatalf("step %d: insert %d responded %s", i, v, resp)
+					}
+					outstanding[v] = true
+				} else {
+					resp, err := cc.Do(removeSpec(typ))
+					if err != nil {
+						t.Fatalf("step %d: remove: %v", i, err)
+					}
+					switch resp.Kind {
+					case spec.Val:
+						if !outstanding[resp.V] {
+							t.Fatalf("step %d: remove returned %d: not outstanding", i, resp.V)
+						}
+						delete(outstanding, resp.V)
+					case spec.Empty:
+						if len(outstanding) != 0 {
+							t.Fatalf("step %d: EMPTY with %d outstanding values (sequential scan covers every server)",
+								i, len(outstanding))
+						}
+					default:
+						t.Fatalf("step %d: remove responded %s", i, resp)
+					}
+				}
+				if cc.Route() < 0 {
+					t.Fatalf("step %d: client has no persisted route after an operation", i)
+				}
+			}
+			for s := range tracers {
+				for _, f := range tracers[s].failures() {
+					t.Error(f)
+				}
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			// Drain every shard of every server against its model.
+			base := removeSpec(typ)
+			for s := 0; s < servers; s++ {
+				cl.Front(s).SetTracer(nil)
+				for j := 0; j < shardsPer; j++ {
+					for {
+						resp, err := cl.Front(s).Shard(j).Invoke(0, dss.Op{Kind: dss.Remove})
+						if err != nil {
+							t.Fatalf("server %d shard %d: drain: %v", s, j, err)
+						}
+						want, enabled := tracers[s].applyBase(j, base)
+						if !enabled {
+							t.Fatalf("server %d shard %d: model rejected a drain remove", s, j)
+						}
+						if resp.Kind != dss.Val {
+							if want.Kind != spec.Empty {
+								t.Fatalf("server %d shard %d: object empty but model holds %s", s, j, want)
+							}
+							break
+						}
+						if want.Kind != spec.Val || want.V != resp.Val {
+							t.Fatalf("server %d shard %d: drained %d, model says %s", s, j, resp.Val, want)
+						}
+						if !outstanding[resp.Val] {
+							t.Fatalf("server %d shard %d: drained %d: not outstanding", s, j, resp.Val)
+						}
+						delete(outstanding, resp.Val)
+					}
+				}
+			}
+			if len(outstanding) != 0 {
+				t.Fatalf("%d values lost after drain", len(outstanding))
+			}
+		})
+	}
+}
+
+// clusterRecorderTracer fans one server's shard-level operations out to
+// per-shard check.Recorders.
+type clusterRecorderTracer struct {
+	recs []*check.Recorder
+}
+
+func (r *clusterRecorderTracer) OpBegin(shard, tid int, op spec.Op) { r.recs[shard].Begin(tid, op) }
+func (r *clusterRecorderTracer) OpEnd(shard, tid int, resp spec.Resp) {
+	r.recs[shard].End(tid, resp)
+}
+
+// TestClusterConcurrentCrashConformance: concurrent cluster clients drive
+// detectable pairs through a 2-server cluster while both servers crash
+// and recover repeatedly under random-fates adversaries; a monitor
+// restarts whichever server dies. Afterwards every (server,shard) history
+// — recorded by per-server tracers, with in-flight operations marked
+// crashed at each crash — must be strictly linearizable w.r.t. D⟨T⟩, and
+// the cluster-level value conservation must be exact: every inserted
+// value is removed exactly once (by a client or the drain), nothing is
+// invented, nothing is lost. This is the cluster analogue of the sharded
+// package's per-shard crash conformance, with the engine's generation
+// fence and the clients' resolve-before-retry discipline in the loop.
+func TestClusterConcurrentCrashConformance(t *testing.T) {
+	const (
+		servers     = 2
+		shardsPer   = 2
+		clients     = 3
+		pairs       = 3
+		maxRestarts = 60
+	)
+	for _, typ := range clusterTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			cl := newTestCluster(t, typ, servers, shardsPer, clients)
+			recs := make([][]*check.Recorder, servers)
+			for s := 0; s < servers; s++ {
+				recs[s] = make([]*check.Recorder, shardsPer)
+				for j := range recs[s] {
+					recs[s][j] = check.NewRecorder()
+				}
+				cl.Front(s).SetTracer(&clusterRecorderTracer{recs: recs[s]})
+			}
+			for s := 0; s < servers; s++ {
+				cl.Server(s).Heap().ArmCrash(uint64(120 + 60*s))
+			}
+
+			// The monitor restarts crashed servers until the restart budget
+			// is spent, then lets them run to completion crash-free.
+			stop := make(chan struct{})
+			var monWG sync.WaitGroup
+			monWG.Add(1)
+			go func() {
+				defer monWG.Done()
+				restarts := 0
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(200 * time.Microsecond):
+					}
+					for s := 0; s < servers; s++ {
+						srv := cl.Server(s)
+						if !srv.Heap().Crashed() {
+							continue
+						}
+						// In-flight shard ops died with the machine.
+						for _, r := range recs[s] {
+							r.CrashAll()
+						}
+						restarts++
+						adv := pmem.NewRandomFates(int64(100*s + restarts))
+						if err := srv.Restart(adv); err != nil {
+							// The serve goroutine may not have marked the
+							// server down yet; retry on the next tick.
+							restarts--
+							continue
+						}
+						if restarts < maxRestarts {
+							srv.Heap().ArmCrash(uint64(100 + 50*restarts))
+						}
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			var insMu sync.Mutex
+			inserted := map[uint64]bool{}
+			removed := map[uint64]bool{}
+			for id := 0; id < clients; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					cc := NewClusterClient(cl, id, RetryPolicy{
+						MaxAttempts: 4096,
+						BackoffBase: 50 * time.Microsecond,
+						BackoffMax:  500 * time.Microsecond,
+						Seed:        int64(7000 + id),
+					})
+					for p := 0; p < pairs; p++ {
+						v := uint64(1000*(id+1) + p)
+						resp, err := cc.Do(insertSpec(typ, v))
+						if err != nil {
+							errs <- fmt.Errorf("client %d: insert %d: %w", id, v, err)
+							return
+						}
+						if resp.Kind != spec.Ack {
+							errs <- fmt.Errorf("client %d: insert %d responded %s", id, v, resp)
+							return
+						}
+						insMu.Lock()
+						inserted[v] = true
+						insMu.Unlock()
+						resp, err = cc.Do(removeSpec(typ))
+						if err != nil {
+							errs <- fmt.Errorf("client %d: remove: %w", id, err)
+							return
+						}
+						if resp.Kind == spec.Val {
+							insMu.Lock()
+							if removed[resp.V] {
+								errs <- fmt.Errorf("client %d: value %d removed twice", id, resp.V)
+								insMu.Unlock()
+								return
+							}
+							removed[resp.V] = true
+							insMu.Unlock()
+						}
+					}
+				}(id)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("cluster stress timed out: a client is stuck")
+			}
+			close(stop)
+			monWG.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Quiesce: bring every server up crash-free for the drain.
+			for s := 0; s < servers; s++ {
+				srv := cl.Server(s)
+				srv.Heap().ArmCrash(0)
+				if srv.Heap().Crashed() {
+					for _, r := range recs[s] {
+						r.CrashAll()
+					}
+					if err := srv.Restart(pmem.KeepAll{}); err != nil {
+						t.Fatalf("final restart of server %d: %v", s, err)
+					}
+				}
+			}
+
+			// Drain every shard into its history and the conservation set.
+			base := removeSpec(typ)
+			for s := 0; s < servers; s++ {
+				cl.Front(s).SetTracer(nil)
+				for j := 0; j < shardsPer; j++ {
+					for {
+						recs[s][j].Begin(0, base)
+						resp, err := cl.Front(s).Shard(j).Invoke(0, dss.Op{Kind: dss.Remove})
+						if err != nil {
+							t.Fatalf("server %d shard %d: drain: %v", s, j, err)
+						}
+						if resp.Kind == dss.Val {
+							recs[s][j].End(0, spec.ValResp(resp.Val))
+							if removed[resp.Val] {
+								t.Fatalf("server %d shard %d: drained %d, already removed by a client", s, j, resp.Val)
+							}
+							removed[resp.Val] = true
+						} else {
+							recs[s][j].End(0, spec.EmptyResp())
+							break
+						}
+					}
+				}
+			}
+
+			// Exactly-once conservation across the cluster.
+			for v := range inserted {
+				if !removed[v] {
+					t.Errorf("inserted value %d was never removed (lost)", v)
+				}
+			}
+			for v := range removed {
+				if !inserted[v] {
+					t.Errorf("removed value %d was never inserted (invented)", v)
+				}
+			}
+
+			// Per-(server,shard) strict linearizability w.r.t. D⟨T⟩.
+			for s := 0; s < servers; s++ {
+				for j := 0; j < shardsPer; j++ {
+					hist := recs[s][j].History()
+					d := spec.Detectable(typ.Model(), clients)
+					if r := check.StrictlyLinearizable(d, hist); !r.OK {
+						t.Fatalf("server %d shard %d history not strictly linearizable:\n%s",
+							s, j, check.FormatHistory(hist))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterClientRecoverComplete exercises the full-system crash path:
+// clients run until a blackout kills every server mid-flight, then the
+// servers restart, fresh client handles Recover and Complete the pending
+// operation, and the DSS trichotomy holds — the pending operation either
+// never happened (absent) or is finished exactly once.
+func TestClusterClientRecoverComplete(t *testing.T) {
+	for _, typ := range clusterTypes() {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			cl := newTestCluster(t, typ, 2, 2, 1)
+			cc := NewClusterClient(cl, 0, RetryPolicy{Seed: 42})
+			for v := uint64(1); v <= 4; v++ {
+				if _, err := cc.Do(insertSpec(typ, v)); err != nil {
+					t.Fatalf("insert %d: %v", v, err)
+				}
+			}
+
+			// Blackout: both machines lose power at once. CrashNow marks the
+			// heaps crashed; the serve loops die on their next request, so
+			// stop them first (durable state is already fixed).
+			cl.StopAll()
+			for s := 0; s < cl.Servers(); s++ {
+				h := cl.Server(s).Heap()
+				h.CrashNow()
+				if !h.Crashed() {
+					t.Fatalf("server %d: CrashNow did not crash", s)
+				}
+			}
+			for s := 0; s < cl.Servers(); s++ {
+				if err := cl.Server(s).Restart(pmem.KeepAll{}); err != nil {
+					t.Fatalf("restart server %d: %v", s, err)
+				}
+			}
+
+			// A fresh client handle over the surviving cursor: the last
+			// insert completed before the blackout, so Complete must report
+			// it executed with its recorded response.
+			cc2 := NewClusterClient(cl, 0, RetryPolicy{Seed: 43})
+			op, resp, completed, err := cc2.Complete()
+			if err != nil {
+				t.Fatalf("Complete: %v", err)
+			}
+			if !completed {
+				t.Fatalf("Complete reported absent for an executed insert")
+			}
+			if op.Tag != 4 {
+				t.Fatalf("Complete resolved tag %d, want 4", op.Tag)
+			}
+			if resp.Kind != spec.Ack {
+				t.Fatalf("Complete resolved %s for an insert", resp)
+			}
+
+			// The tag counter resumed past every claimed tag: new operations
+			// get fresh tags and the multiset drains exactly.
+			got := map[uint64]bool{}
+			for i := 0; i < 4; i++ {
+				resp, err := cc2.Do(removeSpec(typ))
+				if err != nil {
+					t.Fatalf("remove %d: %v", i, err)
+				}
+				if resp.Kind != spec.Val || got[resp.V] {
+					t.Fatalf("remove %d: %s (duplicate or empty)", i, resp)
+				}
+				got[resp.V] = true
+			}
+			if resp, err := cc2.Do(removeSpec(typ)); err != nil || resp.Kind != spec.Empty {
+				t.Fatalf("final remove = (%s, %v), want EMPTY", resp, err)
+			}
+		})
+	}
+}
+
+// TestClusterInsertsSpreadAcrossServers pins the routing cursor's
+// round-robin behaviour: a client's inserts land on every server, and the
+// persisted route always names the server of the latest operation.
+func TestClusterInsertsSpreadAcrossServers(t *testing.T) {
+	cl := newTestCluster(t, dss.QueueType, 3, 1, 1)
+	cc := NewClusterClient(cl, 0, RetryPolicy{Seed: 1})
+	seen := map[int]bool{}
+	for v := uint64(1); v <= 9; v++ {
+		if _, err := cc.Do(insertSpec(dss.QueueType, v)); err != nil {
+			t.Fatalf("insert %d: %v", v, err)
+		}
+		r := cc.Route()
+		if r < 0 || r >= 3 {
+			t.Fatalf("route %d out of range", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("9 inserts touched %d of 3 servers", len(seen))
+	}
+	var errs []error
+	for s := 0; s < 3; s++ {
+		st := cc.Inner(s).Stats()
+		if st.Ops != 3 {
+			errs = append(errs, fmt.Errorf("server %d served %d inserts, want 3", s, st.Ops))
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+}

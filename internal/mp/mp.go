@@ -76,6 +76,17 @@ func NewServer(clients, capacity int, init spec.State, ops []spec.Op) (*Server, 
 	return &Server{eng: eng}, nil
 }
 
+// NewServerWith builds a server around an arbitrary engine configuration
+// (a NewObject hook, explicit heap sizing, ...). NewServer remains the
+// universal-construction shorthand.
+func NewServerWith(cfg EngineConfig) (*Server, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
+}
+
 // Heap exposes the server's heap so tests can arm crashes.
 func (s *Server) Heap() *pmem.Heap { return s.eng.Heap() }
 

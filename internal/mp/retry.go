@@ -210,8 +210,10 @@ const (
 
 // settle resolves an ambiguous prep/exec outcome for the operation tagged
 // tag. Resolve itself is retried through downtime (it is read-only, so
-// blind repetition is safe); the classification then drives Do.
-func (c *RetryClient) settle(tag uint64) (settlement, spec.Resp, error) {
+// blind repetition is safe); the classification then drives Do. The
+// resolved operation rides along for callers (ClusterClient.Complete)
+// that must reconstruct a pending operation after a client restart.
+func (c *RetryClient) settle(tag uint64) (settlement, spec.Op, spec.Resp, error) {
 	for round := 0; round < c.pol.MaxAttempts; round++ {
 		if round > 0 {
 			c.stats.Retries++
@@ -223,22 +225,22 @@ func (c *RetryClient) settle(tag uint64) (settlement, spec.Resp, error) {
 			if Retryable(rep.Err) {
 				continue
 			}
-			return settledAbsent, spec.Resp{}, rep.Err
+			return settledAbsent, spec.Op{}, spec.Resp{}, rep.Err
 		}
 		r := rep.Resp
 		if r.Kind != spec.Pair {
-			return settledAbsent, spec.Resp{}, fmt.Errorf("mp: resolve returned %s", r)
+			return settledAbsent, spec.Op{}, spec.Resp{}, fmt.Errorf("mp: resolve returned %s", r)
 		}
 		switch {
 		case !r.HasOp || r.POp.Tag != tag:
-			return settledAbsent, spec.Resp{}, nil
+			return settledAbsent, spec.Op{}, spec.Resp{}, nil
 		case r.Inner == spec.None:
-			return settledPrepped, spec.Resp{}, nil
+			return settledPrepped, r.POp, spec.Resp{}, nil
 		default:
-			return settledExecuted, spec.Resp{Kind: r.Inner, V: r.InnerVal}, nil
+			return settledExecuted, r.POp, spec.Resp{Kind: r.Inner, V: r.InnerVal}, nil
 		}
 	}
-	return settledAbsent, spec.Resp{}, fmt.Errorf("mp: resolve unsettled after %d attempts: %w", c.pol.MaxAttempts, ErrTimeout)
+	return settledAbsent, spec.Op{}, spec.Resp{}, fmt.Errorf("mp: resolve unsettled after %d attempts: %w", c.pol.MaxAttempts, ErrTimeout)
 }
 
 // Do applies op as a detectable operation exactly once and returns its
@@ -246,9 +248,18 @@ func (c *RetryClient) settle(tag uint64) (settlement, spec.Resp, error) {
 // (Section 2.1's auxiliary argument) so resolve can identify it across
 // crashes and retries.
 func (c *RetryClient) Do(op spec.Op) (spec.Resp, error) {
-	c.stats.Ops++
 	c.tag++
 	op.Tag = c.tag
+	return c.DoTagged(op)
+}
+
+// DoTagged is Do for an operation whose Tag the caller has already made
+// unique (and, for cross-crash safety, durable): the cluster client
+// persists its tags in the routing cursor before calling in here, so a
+// client restart can never reuse a tag a dangling prep still carries.
+// The body is the exactly-once discipline Do always ran; Do merely tags.
+func (c *RetryClient) DoTagged(op spec.Op) (spec.Resp, error) {
+	c.stats.Ops++
 	if err := c.connect(); err != nil {
 		return spec.Resp{}, err
 	}
@@ -264,7 +275,7 @@ func (c *RetryClient) Do(op spec.Op) (spec.Resp, error) {
 			case rep.Err == nil:
 				prepped = true
 			case Retryable(rep.Err):
-				st, resp, err := c.settle(op.Tag)
+				st, _, resp, err := c.settle(op.Tag)
 				if err != nil {
 					return spec.Resp{}, err
 				}
@@ -288,7 +299,7 @@ func (c *RetryClient) Do(op spec.Op) (spec.Resp, error) {
 		if !Retryable(rep.Err) {
 			return spec.Resp{}, rep.Err
 		}
-		st, resp, err := c.settle(op.Tag)
+		st, _, resp, err := c.settle(op.Tag)
 		if err != nil {
 			return spec.Resp{}, err
 		}

@@ -1,0 +1,208 @@
+package obs
+
+import "sort"
+
+// ClusterTimelineSchema is the schema tag of a cluster recovery-timeline
+// document: the per-server generalization of dss-timeline/1, with one
+// crash→recover lane per shard-server and the cross-lane overlap metrics
+// (how many servers were down at once, whether the whole cluster was
+// ever dark, crashes landing inside another server's recovery window)
+// that a single-server timeline cannot express.
+const ClusterTimelineSchema = "dss-cluster-timeline/1"
+
+// LaneSource is a TraceSource attributed to one server's lane: the
+// server's own event stream, or a client's per-server stream (a cluster
+// client talks to every server through a separate retry client, so its
+// downs and generation adoptions are attributable to exactly one lane).
+type LaneSource struct {
+	// Server indexes the lane the source's events belong to.
+	Server int
+	TraceSource
+}
+
+// ClusterTimelineEvent is one merged, lane-attributed event.
+type ClusterTimelineEvent struct {
+	TimelineEvent
+	// Server is the lane of the contributing source.
+	Server int `json:"server"`
+}
+
+// ServerLane is one server's crash→recover history within the cluster.
+type ServerLane struct {
+	// Server is the lane index.
+	Server int `json:"server"`
+	// Crashes and Recoveries count this lane's events.
+	Crashes    uint64 `json:"crashes"`
+	Recoveries uint64 `json:"recoveries"`
+	// Cycles lists the lane's crash-to-recovery episodes in time order,
+	// with client downs and generation adoptions attributed per lane.
+	Cycles []RecoveryCycle `json:"cycles"`
+}
+
+// ClusterTimeline is the merged cross-process reconstruction of a
+// cluster run's per-server crash/recovery history.
+type ClusterTimeline struct {
+	Schema string `json:"schema"`
+	// Unit names the shared clock unit.
+	Unit string `json:"unit"`
+	// Servers is the number of lanes.
+	Servers int `json:"servers"`
+	// Crashes and Recoveries total the lanes'.
+	Crashes    uint64 `json:"crashes"`
+	Recoveries uint64 `json:"recoveries"`
+	// MaxConcurrentDown is the largest number of servers simultaneously
+	// down (crashed and not yet recovered).
+	MaxConcurrentDown int `json:"max_concurrent_down"`
+	// AllDownWindows counts the windows during which EVERY server was
+	// down at once — the cluster-wide blackouts.
+	AllDownWindows int `json:"all_down_windows"`
+	// CrashesDuringRecovery counts crashes that landed while another
+	// server was inside its recovery window — the interleaving a
+	// single-server storm can never produce.
+	CrashesDuringRecovery uint64 `json:"crashes_during_recovery"`
+	// Sources names the contributing processes, in merge order.
+	Sources []string `json:"sources"`
+	// EventCounts tallies the merged trace per event kind.
+	EventCounts map[string]uint64 `json:"event_counts"`
+	// Lanes holds the per-server reconstructions, indexed by server.
+	Lanes []ServerLane `json:"lanes"`
+	// Events is the full merged trace in time order. Writers may nil it
+	// before marshaling a compact document.
+	Events []ClusterTimelineEvent `json:"events,omitempty"`
+}
+
+// ReconstructCluster merges lane-attributed traces into one cluster
+// timeline. All sources must share one clock; ties break by source order
+// then per-source sequence, so the result is deterministic for
+// deterministic inputs.
+//
+// Per lane, the cycle logic is Reconstruct's: a crash opens a cycle,
+// recover begin/end fill it, client downs and generation adoptions are
+// attributed to the lane's open (respectively most recent) cycle. Across
+// lanes, a server counts as down from its crash event to its recover-end
+// event, and as recovering between recover-begin and recover-end; the
+// overlap metrics are computed over the merged order.
+func ReconstructCluster(unit string, servers int, sources ...LaneSource) ClusterTimeline {
+	tl := ClusterTimeline{
+		Schema:      ClusterTimelineSchema,
+		Unit:        unit,
+		Servers:     servers,
+		EventCounts: map[string]uint64{},
+	}
+	for s := 0; s < servers; s++ {
+		tl.Lanes = append(tl.Lanes, ServerLane{Server: s})
+	}
+
+	type tagged struct {
+		ev   Event
+		src  int
+		lane int
+	}
+	var all []tagged
+	for i, s := range sources {
+		tl.Sources = append(tl.Sources, s.Name)
+		if s.Server < 0 || s.Server >= servers {
+			continue
+		}
+		for _, ev := range s.Events {
+			all = append(all, tagged{ev: ev, src: i, lane: s.Server})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.Time != all[b].ev.Time {
+			return all[a].ev.Time < all[b].ev.Time
+		}
+		if all[a].src != all[b].src {
+			return all[a].src < all[b].src
+		}
+		return all[a].ev.Seq < all[b].ev.Seq
+	})
+
+	open := make([]int, servers) // per lane: index into its Cycles, -1 when none
+	down := make([]bool, servers)
+	recovering := make([]bool, servers)
+	for s := range open {
+		open[s] = -1
+	}
+	downCount, allDown := 0, false
+	recoveringCount := 0
+
+	for _, t := range all {
+		ev := t.ev
+		lane := &tl.Lanes[t.lane]
+		tl.EventCounts[ev.Kind.String()]++
+		tl.Events = append(tl.Events, ClusterTimelineEvent{
+			TimelineEvent: TimelineEvent{
+				Time:   ev.Time,
+				Source: sources[t.src].Name,
+				Kind:   ev.Kind.String(),
+				TID:    ev.TID,
+				Arg:    ev.Arg,
+			},
+			Server: t.lane,
+		})
+		switch ev.Kind {
+		case EvCrash:
+			lane.Crashes++
+			tl.Crashes++
+			lane.Cycles = append(lane.Cycles, RecoveryCycle{Crash: ev.Time})
+			open[t.lane] = len(lane.Cycles) - 1
+			if recoveringCount > 0 && !recovering[t.lane] ||
+				recoveringCount > 1 && recovering[t.lane] {
+				tl.CrashesDuringRecovery++
+			}
+			if recovering[t.lane] {
+				// The lane's own interrupted recovery is over.
+				recovering[t.lane] = false
+				recoveringCount--
+			}
+			if !down[t.lane] {
+				down[t.lane] = true
+				downCount++
+				if downCount > tl.MaxConcurrentDown {
+					tl.MaxConcurrentDown = downCount
+				}
+				if downCount == servers && !allDown {
+					allDown = true
+					tl.AllDownWindows++
+				}
+			}
+		case EvRecoverBegin:
+			if i := open[t.lane]; i >= 0 {
+				lane.Cycles[i].RecoverBegin = ev.Time
+			}
+			if !recovering[t.lane] {
+				recovering[t.lane] = true
+				recoveringCount++
+			}
+		case EvRecoverEnd:
+			if i := open[t.lane]; i >= 0 {
+				lane.Cycles[i].RecoverEnd = ev.Time
+				lane.Cycles[i].Gen = ev.Arg
+				open[t.lane] = -1
+			}
+			lane.Recoveries++
+			tl.Recoveries++
+			if recovering[t.lane] {
+				recovering[t.lane] = false
+				recoveringCount--
+			}
+			if down[t.lane] {
+				down[t.lane] = false
+				downCount--
+				if downCount < servers {
+					allDown = false
+				}
+			}
+		case EvDown:
+			if i := open[t.lane]; i >= 0 {
+				lane.Cycles[i].ClientDowns++
+			}
+		case EvGenChange:
+			if n := len(lane.Cycles); n > 0 {
+				lane.Cycles[n-1].ClientGenChanges++
+			}
+		}
+	}
+	return tl
+}

@@ -1,0 +1,125 @@
+package obs
+
+import "testing"
+
+// ev builds a synthetic trace event (Seq is per-source order).
+func ev(seq, time uint64, kind EventKind, arg uint64) Event {
+	return Event{Seq: seq, Time: time, Kind: kind, TID: -1, Arg: arg}
+}
+
+// TestReconstructClusterLanesAndOverlap drives a hand-built two-server
+// storm through the reconstruction: overlapping downtimes, a blackout
+// window, a crash inside the other server's recovery window, and
+// client fallout attributed per lane.
+func TestReconstructClusterLanesAndOverlap(t *testing.T) {
+	// Server 0: crash@10, recover 20..30; crash@50 (during server 1's
+	// recovery), recover 55..60.
+	srv0 := LaneSource{Server: 0, TraceSource: TraceSource{Name: "server-0", Events: []Event{
+		ev(1, 10, EvCrash, 0),
+		ev(2, 20, EvRecoverBegin, 0),
+		ev(3, 30, EvRecoverEnd, 2),
+		ev(4, 50, EvCrash, 0),
+		ev(5, 55, EvRecoverBegin, 0),
+		ev(6, 60, EvRecoverEnd, 3),
+	}}}
+	// Server 1: crash@15 (both down: blackout), recover 45..52.
+	srv1 := LaneSource{Server: 1, TraceSource: TraceSource{Name: "server-1", Events: []Event{
+		ev(1, 15, EvCrash, 0),
+		ev(2, 45, EvRecoverBegin, 0),
+		ev(3, 52, EvRecoverEnd, 2),
+	}}}
+	// One client, per-server streams: a down observed against each open
+	// cycle and a generation adoption after each recovery.
+	cli0 := LaneSource{Server: 0, TraceSource: TraceSource{Name: "client-0/server-0", Events: []Event{
+		ev(1, 12, EvDown, 0),
+		ev(2, 32, EvGenChange, 2),
+	}}}
+	cli1 := LaneSource{Server: 1, TraceSource: TraceSource{Name: "client-0/server-1", Events: []Event{
+		ev(1, 16, EvDown, 0),
+		ev(2, 17, EvDown, 0),
+		ev(3, 53, EvGenChange, 2),
+	}}}
+
+	tl := ReconstructCluster("step", 2, srv0, srv1, cli0, cli1)
+
+	if tl.Schema != ClusterTimelineSchema {
+		t.Fatalf("schema %q", tl.Schema)
+	}
+	if tl.Servers != 2 || len(tl.Lanes) != 2 {
+		t.Fatalf("servers %d lanes %d", tl.Servers, len(tl.Lanes))
+	}
+	if tl.Crashes != 3 || tl.Recoveries != 3 {
+		t.Fatalf("crashes %d recoveries %d, want 3 and 3", tl.Crashes, tl.Recoveries)
+	}
+	// 10..30 server 0 down, 15..52 server 1 down: both down in 15..30.
+	if tl.MaxConcurrentDown != 2 {
+		t.Fatalf("MaxConcurrentDown = %d, want 2", tl.MaxConcurrentDown)
+	}
+	// ... and again in 50..52: server 0's second crash lands while
+	// server 1 is still mid-recovery (down until its recover-end).
+	if tl.AllDownWindows != 2 {
+		t.Fatalf("AllDownWindows = %d, want 2", tl.AllDownWindows)
+	}
+	// Server 0's crash@50 lands inside server 1's recovery window 45..52.
+	if tl.CrashesDuringRecovery != 1 {
+		t.Fatalf("CrashesDuringRecovery = %d, want 1", tl.CrashesDuringRecovery)
+	}
+
+	l0, l1 := tl.Lanes[0], tl.Lanes[1]
+	if l0.Crashes != 2 || l0.Recoveries != 2 || len(l0.Cycles) != 2 {
+		t.Fatalf("lane 0: %+v", l0)
+	}
+	if l1.Crashes != 1 || l1.Recoveries != 1 || len(l1.Cycles) != 1 {
+		t.Fatalf("lane 1: %+v", l1)
+	}
+	if c := l0.Cycles[0]; c.Crash != 10 || c.RecoverBegin != 20 || c.RecoverEnd != 30 || c.Gen != 2 {
+		t.Fatalf("lane 0 cycle 0: %+v", c)
+	}
+	if c := l0.Cycles[0]; c.ClientDowns != 1 || c.ClientGenChanges != 1 {
+		t.Fatalf("lane 0 cycle 0 client fallout: %+v", c)
+	}
+	if c := l1.Cycles[0]; c.ClientDowns != 2 || c.ClientGenChanges != 1 {
+		t.Fatalf("lane 1 cycle 0 client fallout: %+v", c)
+	}
+
+	// The merged event order is deterministic and fully accounted.
+	var n uint64
+	for _, c := range tl.EventCounts {
+		n += c
+	}
+	if int(n) != len(tl.Events) {
+		t.Fatalf("event counts %d != merged events %d", n, len(tl.Events))
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Time < tl.Events[i-1].Time {
+			t.Fatalf("merged events out of order at %d", i)
+		}
+	}
+}
+
+// TestReconstructClusterDeterministic: same inputs, byte-identical
+// reconstruction (the soak pins its timeline artifact on this).
+func TestReconstructClusterDeterministic(t *testing.T) {
+	mk := func() ClusterTimeline {
+		a := LaneSource{Server: 0, TraceSource: TraceSource{Name: "server-0", Events: []Event{
+			ev(1, 5, EvCrash, 0), ev(2, 7, EvRecoverBegin, 0), ev(3, 9, EvRecoverEnd, 2),
+		}}}
+		b := LaneSource{Server: 1, TraceSource: TraceSource{Name: "server-1", Events: []Event{
+			ev(1, 5, EvCrash, 0), ev(2, 6, EvRecoverBegin, 0), ev(3, 8, EvRecoverEnd, 2),
+		}}}
+		return ReconstructCluster("step", 2, a, b)
+	}
+	x, y := mk(), mk()
+	if len(x.Events) != len(y.Events) {
+		t.Fatalf("event counts differ")
+	}
+	for i := range x.Events {
+		if x.Events[i] != y.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, x.Events[i], y.Events[i])
+		}
+	}
+	// Simultaneous crashes at t=5 on both lanes still count one blackout.
+	if x.MaxConcurrentDown != 2 || x.AllDownWindows != 1 {
+		t.Fatalf("overlap: %+v", x)
+	}
+}

@@ -46,11 +46,16 @@ import (
 	"repro/internal/spec"
 )
 
-// Cursor line layout: one cache line per process, three words.
+// Cursor line layout: one cache line per process, four words. Route and
+// tag share the line on purpose: the crash adversary settles whole cache
+// lines (pmem.Heap.Crash copies or drops a line atomically), so a route
+// and the tag of the operation it names can never be torn apart by a
+// crash — Resolve always reports a mutually consistent (op, tag) pair.
 const (
 	curRoute = 0 // 0 = no prepared op; s+1 = prepared on shard s
 	curInsRR = 1 // next shard for an insert (round-robin hint)
 	curRemRR = 2 // next shard for a remove scan (round-robin hint)
+	curTag   = 3 // tag of the routed op (PrepTagged path only)
 )
 
 // Meta line layout. The magic word packs the front's own magic in its
@@ -108,6 +113,14 @@ type Front struct {
 	// rebuilt from the persistent image by Recover/ResetVolatile, so
 	// Exec dispatches without extra heap reads.
 	last []dss.Kind
+	// pendTag[tid] holds the tag a PrepTagged will persist with the
+	// cursor; tagged[tid] marks that the next moveRoute must store it.
+	// Both are volatile and consumed by the first moveRoute of the prep,
+	// so the untagged path (plain Prep, every benchmark) performs zero
+	// extra heap operations — the committed virtual-time figures are
+	// step-for-step unchanged.
+	pendTag []uint64
+	tagged  []bool
 }
 
 var _ dss.Object = (*Front)(nil)
@@ -140,7 +153,9 @@ func New(h *pmem.Heap, rootSlot int, typ dss.Type, cfg Config) (*Front, error) {
 	}
 	q := &Front{
 		h: h, typ: typ, threads: cfg.Threads, curBase: curBase,
-		last: make([]dss.Kind, cfg.Threads),
+		last:    make([]dss.Kind, cfg.Threads),
+		pendTag: make([]uint64, cfg.Threads),
+		tagged:  make([]bool, cfg.Threads),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := typ.New(h, rootSlot+1+i*slots, dss.Config{
@@ -206,6 +221,8 @@ func Attach(h *pmem.Heap, rootSlot int, typ dss.Type) (*Front, error) {
 		h: h, typ: typ, threads: threads,
 		curBase: pmem.Addr(h.Load(meta + cfgCur)),
 		last:    make([]dss.Kind, threads),
+		pendTag: make([]uint64, threads),
+		tagged:  make([]bool, threads),
 	}
 	for i := 0; i < shards; i++ {
 		sh, err := typ.Attach(h, rootSlot+1+i*slots, dss.Config{Threads: threads})
@@ -259,6 +276,21 @@ func (q *Front) moveRoute(tid, s, rr int) {
 	prev := q.h.Load(cur + curRoute)
 	q.h.Store(cur+curRoute, uint64(s+1))
 	q.h.Store(cur+pmem.Addr(rr), uint64((s+1)%len(q.shards)))
+	if q.tagged[tid] {
+		// A PrepTagged rides its tag on the cursor persist: tag and route
+		// land in one line, so the line-atomic crash adversary commits or
+		// drops them together. The tag store comes LAST: a crash between
+		// the stores can then only adopt {new route, old tag} — resolve
+		// reports the fresh, never-acknowledged prep under the old tag,
+		// which the owner settles as absent (legal: the prep vanishes
+		// unexecuted). The reverse tear, {old route, new tag}, would marry
+		// the new tag to the PREVIOUS operation's executed record and fake
+		// an execution that never happened. Later moveRoutes of the same
+		// operation (a remove scan's hops) leave the already-persisted tag
+		// word alone.
+		q.h.Store(cur+curTag, q.pendTag[tid])
+		q.tagged[tid] = false
+	}
 	q.h.Persist(cur)
 	if p := int(prev) - 1; p >= 0 && p != s {
 		q.shards[p].Abandon(tid)
@@ -289,6 +321,32 @@ func (q *Front) Prep(tid int, op dss.Op) error {
 	}
 	q.last[tid] = dss.Insert
 	return nil
+}
+
+// PrepTagged is Prep with the operation tag (Section 2.1's auxiliary
+// argument) persisted alongside the route: the tag is stored into the
+// cursor line immediately before the route word, so the prep's single
+// cursor persist commits both atomically (the crash adversary settles
+// whole lines). ResolvedTag reads it back in any later generation, which
+// is what lets tag-keyed retry clients (mp.RetryClient, mp.ClusterClient)
+// settle ambiguous outcomes across crashes without the universal
+// construction. The untagged Prep path stores nothing extra.
+func (q *Front) PrepTagged(tid int, op dss.Op, tag uint64) error {
+	q.pendTag[tid] = tag
+	q.tagged[tid] = true
+	if err := q.Prep(tid, op); err != nil {
+		q.tagged[tid] = false
+		return err
+	}
+	return nil
+}
+
+// ResolvedTag reports the tag persisted with tid's routed operation (0 if
+// the route was never written by a PrepTagged). Meaningful only while
+// Resolve reports an operation: an abandoned route leaves the stale tag
+// word behind, but Resolve then reports no operation at all.
+func (q *Front) ResolvedTag(tid int) uint64 {
+	return q.h.Load(q.cursorAddr(tid) + curTag)
 }
 
 // prepRemoveOn runs a shard-level remove prep on shard s and routes tid
@@ -478,8 +536,13 @@ func (q *Front) ResetVolatile() {
 
 // refreshHints re-derives the front's volatile dispatch hints from the
 // persisted routes (recovery-time only; never on the measured hot path).
+// Pending tag state is volatile and dies with the crash: a PrepTagged the
+// crash interrupted before its cursor persist resolves as "never
+// happened", so its unconsumed tag must not leak into the next prep.
 func (q *Front) refreshHints() {
 	for tid := 0; tid < q.threads; tid++ {
+		q.tagged[tid] = false
+		q.pendTag[tid] = 0
 		r := q.h.Load(q.cursorAddr(tid) + curRoute)
 		if r == 0 {
 			q.last[tid] = dss.None

@@ -1,0 +1,79 @@
+package sharded
+
+import (
+	"fmt"
+
+	"repro/internal/dss"
+	"repro/internal/spec"
+)
+
+// Wire adapts a Front to the spec-vocabulary service surface the
+// message-passing engine (internal/mp) hosts, like dss.Wire — but, as
+// with combine.Wire, the operation tag is persisted (PrepTagged rides it
+// on the cursor-line persist at zero extra flushes), so a resolve
+// reports it across crashes. That makes a sharded front the third object
+// family able to serve tag-keyed retry clients (mp.RetryClient) whose
+// cross-crash exactly-once discipline compares resolved tags — and it is
+// the shard-server building block of mp.Cluster, where every server owns
+// an independent sharded front behind its own generation fence.
+type Wire struct {
+	typ dss.Type
+	f   *Front
+}
+
+// NewWire binds f (a front over typ objects) to the wire vocabulary of
+// typ.
+func NewWire(typ dss.Type, f *Front) *Wire {
+	return &Wire{typ: typ, f: f}
+}
+
+// Front returns the adapted sharded front.
+func (w *Wire) Front() *Front { return w.f }
+
+// Prep declares a detectable operation (Axiom 1), persisting op.Tag with
+// the routing cursor.
+func (w *Wire) Prep(tid int, op spec.Op) error {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return fmt.Errorf("sharded: %s is not a %s operation", op, w.typ.Name)
+	}
+	return w.f.PrepTagged(tid, dop, op.Tag)
+}
+
+// Exec applies tid's prepared operation (Axiom 2).
+func (w *Wire) Exec(tid int) (spec.Resp, error) {
+	resp, err := w.f.Exec(tid)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return dss.SpecResp(resp), nil
+}
+
+// Resolve reports (A[p], R[p]) (Axiom 3), with the tag read back from
+// the persisted cursor — valid in any generation.
+func (w *Wire) Resolve(tid int) spec.Resp {
+	op, resp, ok := w.f.Resolve(tid)
+	if !ok {
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	sop := w.typ.SpecOp(op)
+	sop.Tag = w.f.ResolvedTag(tid)
+	return spec.PairResp(true, sop, dss.SpecResp(resp))
+}
+
+// Invoke applies op non-detectably (Axiom 4).
+func (w *Wire) Invoke(tid int, op spec.Op) (spec.Resp, error) {
+	dop, ok := w.typ.FromSpec(op)
+	if !ok {
+		return spec.Resp{}, fmt.Errorf("sharded: %s is not a %s operation", op, w.typ.Name)
+	}
+	resp, err := w.f.Invoke(tid, dop)
+	if err != nil {
+		return spec.Resp{}, err
+	}
+	return dss.SpecResp(resp), nil
+}
+
+// Recover runs the front's recovery procedure (parallel per-shard
+// recovery plus stale-prep withdrawal).
+func (w *Wire) Recover() { w.f.Recover() }

@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke procs procs-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the four smokes
+# pass over the packages with the most concurrency, and the five smokes
 # (deterministic soak report, deterministic instrumented metrics, the
-# flat-combining fence-amortization figure, and the multi-server cluster
-# storm).
-ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke
+# flat-combining fence-amortization figure, the multi-server cluster
+# storm, and the real multi-process kill-storm).
+ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke procs-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -28,7 +28,7 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs ./internal/shm ./internal/procharness
 
 # soak regenerates the committed crash-storm soak report and its merged
 # recovery timeline. The run is a deterministic discrete-event
@@ -88,6 +88,30 @@ cluster-smoke:
 	cmp BENCH_cluster_soak.json /tmp/BENCH_cluster_soak.ci.json
 	cmp BENCH_cluster_timeline.json /tmp/BENCH_cluster_timeline.ci.json
 	$(GO) run ./cmd/dssmon -check BENCH_cluster_timeline.json
+
+# procs regenerates the committed multi-process crash-storm report:
+# REAL processes — 2 servers each owning an mmap'd heap file, 8 client
+# processes over shared-memory rings — under a seeded SIGKILL schedule
+# (32 kills: 4 landed inside recovery windows, 1 whole-cluster blackout,
+# 2 hang injections killed by the heartbeat detector). The report holds
+# only seed-derived counts, so it is byte-identical across repeats and
+# machines; -repeat 3 proves it on this host.
+procs:
+	$(GO) run ./cmd/dssproc -seed 1 -repeat 3 -json BENCH_procs.json
+
+# procs-smoke is the multi-process CI gate: rerun the committed
+# configuration twice (byte-comparing the two runs), validate the report
+# with dssmon -check, and fail on drift from the committed
+# BENCH_procs.json. Skips cleanly on platforms without shared-memory
+# segment support (dssproc -probe exits 3 there).
+procs-smoke:
+	@if $(GO) run ./cmd/dssproc -probe; then \
+		$(GO) run ./cmd/dssproc -seed 1 -repeat 2 -json /tmp/BENCH_procs.ci.json > /dev/null && \
+		$(GO) run ./cmd/dssmon -check /tmp/BENCH_procs.ci.json && \
+		cmp BENCH_procs.json /tmp/BENCH_procs.ci.json; \
+	else \
+		echo "procs-smoke: skipped (no shared-memory segment support on this platform)"; \
+	fi
 
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a

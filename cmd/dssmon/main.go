@@ -1,9 +1,11 @@
 // Command dssmon reads the observability documents the benchmarks and
 // the soaks emit — dss-metrics/1 reports (dssbench -metrics), bare
 // dss-obs/1 exports, dss-timeline/1 recovery timelines (dsssoak
-// -timeline), and dss-cluster-timeline/1 per-server-lane cluster
-// timelines (dsssoak -cluster -timeline) — and renders, validates, or
-// diffs them.
+// -timeline), dss-cluster-timeline/1 per-server-lane cluster timelines
+// (dsssoak -cluster -timeline), dss-procs/1 multi-process storm reports
+// (dssproc / dsssoak -procs), and dss-proc-timeline/1 process-storm
+// side records (dssproc -timeline) — and renders, validates, or diffs
+// them.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/procharness"
 )
 
 func main() {
@@ -88,6 +91,8 @@ type document struct {
 	export   obs.Export
 	timeline obs.RecoveryTimeline
 	cluster  obs.ClusterTimeline
+	procs    procharness.StormReport
+	procTL   procharness.StormSide
 }
 
 func load(path string) (document, error) {
@@ -112,6 +117,10 @@ func load(path string) (document, error) {
 		err = json.Unmarshal(b, &d.timeline)
 	case obs.ClusterTimelineSchema:
 		err = json.Unmarshal(b, &d.cluster)
+	case procharness.ReportSchema:
+		err = json.Unmarshal(b, &d.procs)
+	case procharness.TimelineSchema:
+		err = json.Unmarshal(b, &d.procTL)
 	default:
 		return document{}, fmt.Errorf("%s: unknown schema %q", path, peek.Schema)
 	}
@@ -153,6 +162,10 @@ func show(path string) error {
 		showTimeline(d.timeline)
 	case obs.ClusterTimelineSchema:
 		showClusterTimeline(d.cluster)
+	case procharness.ReportSchema:
+		showProcs(d.procs)
+	case procharness.TimelineSchema:
+		showProcTimeline(d.procTL)
 	}
 	return nil
 }
@@ -249,6 +262,10 @@ func checkFile(path string) ([]string, error) {
 		return checkTimeline(d.timeline), nil
 	case obs.ClusterTimelineSchema:
 		return checkClusterTimeline(d.cluster), nil
+	case procharness.ReportSchema:
+		return checkProcs(d.procs), nil
+	case procharness.TimelineSchema:
+		return checkProcTimeline(d.procTL), nil
 	}
 	return nil, nil
 }
@@ -424,4 +441,138 @@ func diffPhases(a, b obs.Export) {
 		fmt.Printf("%-10s %-8s %+12d %7.1f->%-7.1f %6d->%-6d\n",
 			k.phase, k.kind, int64(pb.Count)-int64(pa.Count), pa.Mean, pb.Mean, pa.P99, pb.P99)
 	}
+}
+
+// showProcs renders a multi-process storm report.
+func showProcs(r procharness.StormReport) {
+	fmt.Println(r)
+	fmt.Printf("processes: %d servers x (1 + %d clients) + drains; shards/server=%d, ring slots=%d\n",
+		r.Servers, r.ClientsPerServer, r.ShardsPerServer, r.RingSlots)
+	fmt.Printf("kills: %d total", r.Kills)
+	for s, k := range r.KillsPerServer {
+		fmt.Printf("  server%d=%d", s, k)
+	}
+	fmt.Printf("\n       %d during recovery, %d blackouts, %d by the hang detector\n",
+		r.KillsDuringRecovery, r.Blackouts, r.WedgeKills)
+	fmt.Printf("heap:  %d dirty attaches, final generations %s, %d clean shutdowns\n",
+		r.DirtyAttaches, fmtProcGens(r.FinalGenerations), r.CleanShutdowns)
+	for _, v := range r.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+}
+
+func fmtProcGens(gens []uint64) string {
+	out := "["
+	for i, g := range gens {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", g)
+	}
+	return out + "]"
+}
+
+// showProcTimeline renders the wall-clock side record of a process
+// storm.
+func showProcTimeline(sd procharness.StormSide) {
+	fmt.Printf("wall %d ms, %d events\n", sd.WallMS, len(sd.Events))
+	fmt.Printf("client retry totals: %d attempts, %d retries, %d resolves, %d timeouts, %d downs, %d gen changes, %d hangs\n",
+		sd.Attempts, sd.Retries, sd.Resolves, sd.Timeouts, sd.Downs, sd.GenChanges, sd.Hangs)
+	counts := map[string]int{}
+	for _, e := range sd.Events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Print("events:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, counts[k])
+	}
+	fmt.Println()
+}
+
+// checkProcs re-derives the structural invariants a passing
+// multi-process storm must satisfy: the kill breakdown sums, every kill
+// left a dirty attach, every restart advanced its server's generation
+// line by exactly one, and conservation closed.
+func checkProcs(r procharness.StormReport) []string {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	if len(r.KillsPerServer) != r.Servers || len(r.FinalGenerations) != r.Servers {
+		bad("per-server arrays sized %d/%d for %d servers",
+			len(r.KillsPerServer), len(r.FinalGenerations), r.Servers)
+		return probs
+	}
+	sum := 0
+	for _, k := range r.KillsPerServer {
+		sum += k
+	}
+	if sum != r.Kills {
+		bad("kills_per_server sums to %d, kills says %d", sum, r.Kills)
+	}
+	if r.KillsDuringRecovery+r.WedgeKills > r.Kills {
+		bad("breakdown (%d recovery + %d wedge) exceeds %d kills total",
+			r.KillsDuringRecovery, r.WedgeKills, r.Kills)
+	}
+	if r.DirtyAttaches != r.Kills {
+		bad("%d dirty attaches for %d kills — a kill that left no dirty marker (or vice versa)",
+			r.DirtyAttaches, r.Kills)
+	}
+	for s, g := range r.FinalGenerations {
+		if want := uint64(1 + r.KillsPerServer[s]); g != want {
+			bad("server %d: final generation %d, want %d (1 + %d kills)", s, g, want, r.KillsPerServer[s])
+		}
+	}
+	if r.Clients != r.Servers*r.ClientsPerServer {
+		bad("%d clients for %d servers x %d", r.Clients, r.Servers, r.ClientsPerServer)
+	}
+	if want := uint64(r.Clients * r.OpsPerClient); r.Ops != want {
+		bad("%d workload ops, want %d (%d clients x %d)", r.Ops, want, r.Clients, r.OpsPerClient)
+	}
+	if want := r.Clients * r.OpsPerClient / 2; r.ValuesEnqueued != want {
+		bad("%d values enqueued, workload defines %d", r.ValuesEnqueued, want)
+	}
+	if r.ValuesDequeued != r.ValuesEnqueued {
+		bad("%d values dequeued but %d enqueued — conservation did not close",
+			r.ValuesDequeued, r.ValuesEnqueued)
+	}
+	if r.CleanShutdowns != r.Servers {
+		bad("%d of %d servers shut down cleanly", r.CleanShutdowns, r.Servers)
+	}
+	for _, v := range r.Violations {
+		bad("violation: %s", v)
+	}
+	return probs
+}
+
+// checkProcTimeline sanity-checks the side record: every event kind is
+// known and the kill events match the retry evidence (a storm with
+// kills but no client-observed generation change never really exercised
+// the clients).
+func checkProcTimeline(sd procharness.StormSide) []string {
+	var probs []string
+	known := map[string]bool{
+		"spawn": true, "serving": true, "recovering": true, "kill": true,
+		"kill-recovery": true, "wedge": true, "wedge-kill": true,
+		"blackout": true, "drain": true, "term": true,
+	}
+	kills := 0
+	for i, e := range sd.Events {
+		if !known[e.Kind] {
+			probs = append(probs, fmt.Sprintf("event %d: unknown kind %q", i, e.Kind))
+		}
+		switch e.Kind {
+		case "kill", "kill-recovery", "wedge-kill":
+			kills++
+		}
+	}
+	if kills > 0 && sd.GenChanges == 0 {
+		probs = append(probs, fmt.Sprintf("%d kills in the timeline but no client observed a generation change", kills))
+	}
+	return probs
 }

@@ -1,0 +1,164 @@
+// Command dssproc runs the multi-process crash storm: real OS
+// processes — one supervisor, N servers each owning an mmap'd heap
+// file, and client processes driving them over shared-memory rings —
+// with SIGKILL as the crash adversary. The supervisor delivers a seeded
+// schedule of kills (including kills landed inside recovery windows),
+// whole-cluster blackouts, and wedge injections caught by the heartbeat
+// hang detector; restarted servers re-attach to the same heap file and
+// recover, and the clients ride every outage with the production
+// resolve-before-retry discipline. Afterwards each structure is drained
+// to EMPTY and the merged client-observed history is checked for
+// exactly-once execution and FIFO/LIFO order.
+//
+// The report contains only seed-derived counts (kills, dirty attaches,
+// generations, conservation totals) — no wall-clock measurements — so a
+// passing run is byte-identical across repeats and machines, and
+// BENCH_procs.json is committed and diffable. -timeline writes the
+// wall-clock side record (supervisor event log + client retry
+// aggregates), which is never compared.
+//
+// Usage:
+//
+//	dssproc -seed 1                      # the committed configuration
+//	dssproc -seed 1 -repeat 2            # prove report determinism
+//	dssproc -servers 2 -clients 4 -ops 150 -kills 10 -rkills 2 -blackouts 1 -wedges 2
+//	dssproc -probe                       # exit 0 iff this platform can run storms
+//
+// Exit status: 0 on a passing storm, 1 on violations or a storm error,
+// 3 from -probe on a platform without shared-memory segment support.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/procharness"
+	"repro/internal/shm"
+)
+
+func marshal(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return append(b, '\n')
+}
+
+func main() {
+	// If the supervisor exec'd this binary as a server or client role,
+	// take it over before flag parsing.
+	procharness.MaybeRole()
+
+	seed := flag.Int64("seed", 1, "seed for the fault schedule and client retry jitter")
+	object := flag.String("object", "queue", "detectable object the servers host: queue or stack")
+	servers := flag.Int("servers", 2, "server processes, each with its own heap file and segment")
+	clients := flag.Int("clients", 4, "workload client processes per server")
+	ops := flag.Int("ops", 150, "operations per client (alternating insert/remove, even)")
+	kills := flag.Int("kills", 10, "direct SIGKILLs per server")
+	rkills := flag.Int("rkills", 2, "kill-during-recovery sequences per server (two kills each)")
+	blackouts := flag.Int("blackouts", 1, "whole-cluster outages (every server killed at once)")
+	wedges := flag.Int("wedges", 2, "hang injections caught by the heartbeat detector")
+	slots := flag.Int("slots", 128, "ring slots per direction per client")
+	holdMS := flag.Int("hold-ms", 400, "recovery-window hold (ms) for kill-during-recovery restarts")
+	dir := flag.String("dir", "", "working directory, kept afterwards (default: temp, removed)")
+	jsonPath := flag.String("json", "", "also write the JSON report to this file")
+	timelinePath := flag.String("timeline", "", "write the wall-clock side record (events + retry totals) to this file")
+	repeat := flag.Int("repeat", 1, "run this many times and fail unless all reports are byte-identical")
+	probe := flag.Bool("probe", false, "report platform support: exit 0 if storms can run here, 3 otherwise")
+	flag.Parse()
+
+	if *probe {
+		if shm.Supported() {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "dssproc: shared-memory segments unsupported on this platform")
+		os.Exit(3)
+	}
+
+	base := procharness.StormConfig{
+		Seed:                   *seed,
+		Object:                 *object,
+		Servers:                *servers,
+		ClientsPerServer:       *clients,
+		OpsPerClient:           *ops,
+		KillsPerServer:         *kills,
+		RecoveryKillsPerServer: *rkills,
+		Blackouts:              *blackouts,
+		Wedges:                 *wedges,
+		RingSlots:              *slots,
+		RecoveryHoldMS:         *holdMS,
+	}
+
+	var first []byte
+	var rep procharness.StormReport
+	var side procharness.StormSide
+	for i := 0; i < *repeat; i++ {
+		cfg := base
+		if *dir != "" {
+			// Each repeat needs a virgin heap: reuse of run 1's files would
+			// turn run 2's first attach dirty and skew every count.
+			cfg.Dir = *dir
+			if *repeat > 1 {
+				cfg.Dir = fmt.Sprintf("%s.run%d", *dir, i+1)
+			}
+			cfg.KeepDir = true
+		}
+		r, sd, err := procharness.RunStorm(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b := marshal(r)
+		if i == 0 {
+			first, rep, side = b, r, sd
+		} else if !bytes.Equal(b, first) {
+			fmt.Fprintf(os.Stderr, "dssproc: run %d report diverged from run 1 — the storm counts are not deterministic\n", i+1)
+			os.Exit(1)
+		}
+	}
+
+	os.Stdout.Write(first)
+	fmt.Println(rep)
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, first, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timelinePath != "" {
+		if err := os.WriteFile(*timelinePath, marshal(side), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		os.Exit(1)
+	}
+
+	// Every scheduled fault must actually have fired, in its scheduled
+	// shape — a storm that quietly under-delivered proves nothing.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dssproc: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	switch {
+	case rep.Kills != base.ExpectedKills():
+		fail("%d kills delivered, schedule owed %d", rep.Kills, base.ExpectedKills())
+	case rep.KillsDuringRecovery != *servers**rkills:
+		fail("%d kills landed during recovery, schedule owed %d", rep.KillsDuringRecovery, *servers**rkills)
+	case rep.Blackouts != *blackouts || rep.WedgeKills != *wedges:
+		fail("blackouts/wedges %d/%d fired, schedule owed %d/%d",
+			rep.Blackouts, rep.WedgeKills, *blackouts, *wedges)
+	case rep.CleanShutdowns != *servers:
+		fail("only %d of %d servers shut down cleanly", rep.CleanShutdowns, *servers)
+	case rep.ValuesEnqueued != *servers**clients**ops/2:
+		fail("%d values enqueued, workload defines %d", rep.ValuesEnqueued, *servers**clients**ops/2)
+	}
+}

@@ -31,6 +31,15 @@
 //	dsssoak -cluster -seed 1 -json BENCH_cluster_soak.json -timeline BENCH_cluster_timeline.json
 //	dsssoak -cluster -servers 4 -shards-per-server 2 -server-crashes 10 -blackouts 2
 //
+// -procs leaves the simulator entirely: it runs the multi-process crash
+// storm (real server and client OS processes over shared-memory rings
+// and an mmap'd heap file, SIGKILL as the crash adversary) in the
+// committed dssproc configuration. dsssoak re-execs itself for the
+// server and client roles; the full process-level knobs live on the
+// dedicated dssproc command:
+//
+//	dsssoak -procs -seed 1 -repeat 2
+//
 // Exit status is nonzero if any violation is found, if the crash target
 // is badly missed, if the timeline disagrees with the report, or if
 // -repeat runs diverge.
@@ -44,6 +53,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/procharness"
 )
 
 func marshal(v any) ([]byte, error) {
@@ -55,6 +65,10 @@ func marshal(v any) ([]byte, error) {
 }
 
 func main() {
+	// A storm supervisor may have exec'd this binary as a server or
+	// client role; if so, MaybeRole takes the process over here.
+	procharness.MaybeRole()
+
 	seed := flag.Int64("seed", 1, "seed for the entire run (network, crashes, adversaries, jitter)")
 	clients := flag.Int("clients", 8, "concurrent retrying clients")
 	ops := flag.Int("ops", 50, "operations per client (alternating insert/remove)")
@@ -69,12 +83,18 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run this many times and fail unless all reports are byte-identical")
 	cluster := flag.Bool("cluster", false,
 		"run the multi-server cluster storm instead of the single-server soak")
+	procs := flag.Bool("procs", false,
+		"run the multi-process crash storm (real processes, SIGKILL adversary) in the committed dssproc configuration")
 	servers := flag.Int("servers", 4, "shard-servers in the cluster (-cluster only)")
 	shardsPer := flag.Int("shards-per-server", 2, "shards behind each server (-cluster only)")
 	serverCrashes := flag.Int("server-crashes", 10, "per-server crash budget (-cluster only)")
 	blackouts := flag.Int("blackouts", 2, "scheduled cluster-wide power losses (-cluster only)")
 	flag.Parse()
 
+	if *procs {
+		runProcs(*seed, *object, *repeat, *jsonPath)
+		return
+	}
 	if *cluster {
 		if *combined {
 			fmt.Fprintln(os.Stderr, "dsssoak: -combined applies to the single-server soak only")
@@ -258,6 +278,68 @@ func runCluster(cfg harness.ClusterSoakConfig, minCrashes int, jsonPath, timelin
 	}
 	if rep.TargetBlackouts > 0 && rep.CrashesDuringRecovery == 0 {
 		fmt.Fprintln(os.Stderr, "dsssoak: no crash landed inside another server's recovery window — the storm never overlapped")
+		os.Exit(1)
+	}
+}
+
+// runProcs is main's -procs arm: the multi-process crash storm in the
+// committed dssproc configuration (2 servers, 4 client processes each,
+// 150 ops/client, 10 kills + 2 kill-during-recovery sequences per
+// server, 1 blackout, 2 wedges), with the same repeat/byte-compare
+// discipline as the simulated storms. The report carries only
+// seed-derived counts, so repeats must be byte-identical.
+func runProcs(seed int64, object string, repeat int, jsonPath string) {
+	if !procharness.StormSupported() {
+		fmt.Fprintln(os.Stderr, "dsssoak: multi-process storms unsupported on this platform")
+		os.Exit(1)
+	}
+	cfg := procharness.StormConfig{
+		Seed:                   seed,
+		Object:                 object,
+		Servers:                2,
+		ClientsPerServer:       4,
+		OpsPerClient:           150,
+		KillsPerServer:         10,
+		RecoveryKillsPerServer: 2,
+		Blackouts:              1,
+		Wedges:                 2,
+	}
+	var first []byte
+	var rep procharness.StormReport
+	for i := 0; i < repeat; i++ {
+		r, _, err := procharness.RunStorm(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := marshal(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			first, rep = b, r
+		} else if !bytes.Equal(b, first) {
+			fmt.Fprintf(os.Stderr, "dsssoak: procs run %d diverged from run 1 — the storm counts are not deterministic\n", i+1)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(first)
+	fmt.Println(rep)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, first, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		os.Exit(1)
+	}
+	if rep.Kills != cfg.ExpectedKills() {
+		fmt.Fprintf(os.Stderr, "dsssoak: %d kills delivered, schedule owed %d\n", rep.Kills, cfg.ExpectedKills())
 		os.Exit(1)
 	}
 }

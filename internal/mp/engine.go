@@ -127,6 +127,12 @@ type EngineConfig struct {
 	// dss.Wire over a concrete detectable structure. Init and Ops are
 	// ignored in that case.
 	NewObject func(h *pmem.Heap, clients int) (Object, error)
+	// Heap, when non-nil, is an already-open heap the engine serves on
+	// instead of building a fresh simulated one — a file-backed
+	// pmem.OpenFile heap in the multi-process deployment, where the OS
+	// (kill -9), not the simulator, is the crash adversary. Words is
+	// ignored and the caller owns the heap's lifetime.
+	Heap *pmem.Heap
 }
 
 // Engine is the transport-independent core of a DSS server: the
@@ -165,17 +171,22 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Capacity <= 0 {
 		return nil, fmt.Errorf("mp: capacity must be positive, got %d", cfg.Capacity)
 	}
-	words := cfg.Words
-	if words == 0 {
-		// Metadata + one line per record, with headroom for pool
-		// bookkeeping and the root directory.
-		words = 1<<14 + 2*(cfg.Capacity+4*cfg.Clients)*pmem.WordsPerLine
-	}
-	h, err := pmem.New(pmem.Config{Words: words, Mode: pmem.Tracked})
-	if err != nil {
-		return nil, err
+	h := cfg.Heap
+	if h == nil {
+		words := cfg.Words
+		if words == 0 {
+			// Metadata + one line per record, with headroom for pool
+			// bookkeeping and the root directory.
+			words = 1<<14 + 2*(cfg.Capacity+4*cfg.Clients)*pmem.WordsPerLine
+		}
+		var err error
+		h, err = pmem.New(pmem.Config{Words: words, Mode: pmem.Tracked})
+		if err != nil {
+			return nil, err
+		}
 	}
 	var obj Object
+	var err error
 	if cfg.NewObject != nil {
 		obj, err = cfg.NewObject(h, cfg.Clients)
 	} else {
@@ -219,6 +230,15 @@ func (e *Engine) NewGeneration() uint64 {
 	}
 	return gen
 }
+
+// RestoreGeneration installs gen as the engine's current generation
+// without touching the reply cache. A freshly-exec'd server process uses
+// it to resume the generation line its predecessors established (the
+// supervisor, who witnessed every restart, passes the count): the
+// process then calls NewGeneration, so every incarnation serves a
+// strictly higher generation and the fence rejects ring-redelivered
+// requests from any earlier life.
+func (e *Engine) RestoreGeneration(gen uint64) { e.gen.Store(gen) }
 
 // RecoverImage completes a simulated crash: the heap's surviving image is
 // adopted under the given adversary and the object's recovery procedure

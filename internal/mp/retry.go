@@ -21,6 +21,18 @@ type RetryPolicy struct {
 	BackoffMax  time.Duration
 	// Seed makes the jitter deterministic.
 	Seed int64
+	// AttemptTimeout, when positive, bounds each individual RoundTrip
+	// call: if the Transport has not returned by then, the attempt is
+	// abandoned and treated as ErrTimeout (ambiguous — resolve before
+	// retrying, exactly like a timed-out reply). This is the liveness
+	// guard the multi-process deployment needs: a SIGKILL'd server is
+	// silent, not erroring, and without a per-attempt deadline a
+	// Transport that blocks forever would wedge the client with it.
+	// Transports with their own internal deadline (the in-process
+	// channel transport, the shm ring transport) can leave it zero;
+	// the abandoned call's goroutine is left to finish on its own, so
+	// the Transport must tolerate a late, discarded completion.
+	AttemptTimeout time.Duration
 }
 
 func (p *RetryPolicy) defaults() {
@@ -51,6 +63,11 @@ type RetryStats struct {
 	// GenChanges counts adopted server generation changes — crashes (or
 	// stops) this client observed and survived.
 	GenChanges uint64
+	// Hangs counts attempts abandoned by AttemptTimeout: the transport
+	// itself never returned, as distinct from Timeouts, which counts
+	// transports that returned ErrTimeout replies. A nonzero Hangs means
+	// a server went silent mid-call (killed), not merely slow.
+	Hangs uint64
 }
 
 // RetryClient wraps a Transport with the production client discipline:
@@ -140,7 +157,7 @@ func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
 		c.obs.Add(obs.CtrResolves, 1)
 	}
 	start := c.obs.Now()
-	rep := c.t.RoundTrip(Msg{Kind: kind, Client: c.id, Gen: c.gen, Seq: c.seq, Op: op})
+	rep := c.dispatch(Msg{Kind: kind, Client: c.id, Gen: c.gen, Seq: c.seq, Op: op})
 	c.obs.ObserveSince(phaseOf(kind), obs.KindNone, start)
 	if rep.Gen != 0 && rep.Gen != c.gen {
 		if c.gen != 0 {
@@ -160,6 +177,31 @@ func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
 		c.obs.Event(obs.EvDown, c.id, 0)
 	}
 	return rep
+}
+
+// dispatch performs one transport call, racing it against the
+// per-attempt deadline when the policy sets one. The deadline path runs
+// the call in its own goroutine; on expiry the reply is abandoned (the
+// goroutine drains into a buffered channel and dies) and the attempt is
+// classified as a hang — ambiguous, like any timeout, so the caller's
+// resolve discipline settles it. With AttemptTimeout zero the call is
+// made inline, preserving the deterministic single-threaded behavior the
+// DES harnesses rely on.
+func (c *RetryClient) dispatch(m Msg) Reply {
+	if c.pol.AttemptTimeout <= 0 {
+		return c.t.RoundTrip(m)
+	}
+	ch := make(chan Reply, 1)
+	go func() { ch <- c.t.RoundTrip(m) }()
+	timer := time.NewTimer(c.pol.AttemptTimeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep
+	case <-timer.C:
+		c.stats.Hangs++
+		return Reply{Err: ErrTimeout}
+	}
 }
 
 // backoff sleeps the capped exponential delay for the given retry round

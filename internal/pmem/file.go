@@ -5,30 +5,76 @@ package pmem
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
 
-// OpenFile opens (creating if necessary) a file-backed heap: the arena is
-// a memory-mapped file and Persist issues a synchronous msync of the
-// affected page, so the heap's contents survive real process restarts and
-// kills — the closest a portable user-space program gets to persistent
-// main memory. The semantics mirror real hardware the same way the
-// simulator does: unsynced writes live in the page cache (the "volatile
-// cache") and may or may not reach the file if the machine dies, while
-// Persist-ed lines are durable.
-//
-// File-backed heaps run in Direct mode (crash injection needs the Tracked
-// simulator); reopening an existing file yields the persisted state, with
-// the root directory and allocation cursor intact. Close unmaps the file;
-// using the heap afterwards is invalid.
-//
-// The allocation cursor is kept in the reserved word just below the root
-// directory so that reopening resumes allocation where the previous
-// process stopped.
+// The file-backed heap's on-disk header lives in the NULL-guard line
+// (line 0, never handed out by Alloc): a magic, a format version, the
+// arena size, and a dirty-shutdown marker, with the allocation cursor in
+// the line's last word as before. The header is what makes reopening a
+// heap file after a kill -9 safe: a foreign or truncated file is
+// rejected instead of being adopted as a heap, and the dirty marker —
+// set on open, cleared only by a clean close — tells the next owner that
+// the previous one died mid-flight, so recovery (Attach + Recover) is
+// mandatory rather than optional.
+const (
+	// fileMagic spells "DSSPMEM1".
+	fileMagic   = 0x4453_5350_4d45_4d31
+	fileVersion = 1
+
+	fileMagicWord   = 0
+	fileVersionWord = 1
+	fileWordsWord   = 2
+	fileDirtyWord   = 3
+)
+
+// FileInfo reports what OpenFileInfo found.
+type FileInfo struct {
+	// Fresh is true when this open created (or first formatted) the heap:
+	// there is no prior state, so the caller builds objects with New
+	// rather than Attach.
+	Fresh bool
+	// Dirty is true when the previous owner never cleanly closed the
+	// heap — it was killed, or the machine died. Attach callers must run
+	// the object's recovery procedure before serving; a false Dirty after
+	// a clean shutdown proves the close path ran.
+	Dirty bool
+	// Words is the adopted arena size.
+	Words int
+}
+
+// OpenFile opens (creating if necessary) a file-backed heap; see
+// OpenFileInfo, which it wraps discarding the FileInfo.
 func OpenFile(path string, words int) (h *Heap, close func() error, err error) {
+	h, _, close, err = OpenFileInfo(path, words)
+	return h, close, err
+}
+
+// OpenFileInfo opens (creating if necessary) a file-backed heap: the
+// arena is a memory-mapped file and Persist issues a synchronous msync
+// of the affected page, so the heap's contents survive real process
+// restarts and kills — the closest a portable user-space program gets to
+// persistent main memory. The semantics mirror real hardware the same
+// way the simulator does: unsynced writes live in the page cache (the
+// "volatile cache") and may or may not reach the file if the machine
+// dies, while Persist-ed lines are durable.
+//
+// Single-writer exclusion: the file is flock'd exclusively for the life
+// of the handle, so two live processes can never mutate one heap — the
+// second open fails with a clear error. The lock dies with the process
+// (kernel-released on the last close of the fd), so a kill -9 never
+// leaves a stale lock behind.
+//
+// File-backed heaps run in Direct mode (crash injection needs the
+// Tracked simulator); reopening an existing file validates the header
+// and yields the persisted state, with the root directory and allocation
+// cursor intact. Close durably syncs the arena, clears the dirty marker,
+// unmaps, and releases the lock; using the heap afterwards is invalid.
+func OpenFileInfo(path string, words int) (h *Heap, info FileInfo, close func() error, err error) {
 	if words <= 0 {
-		return nil, nil, fmt.Errorf("pmem: non-positive arena size %d", words)
+		return nil, FileInfo{}, nil, fmt.Errorf("pmem: non-positive arena size %d", words)
 	}
 	words = (words + WordsPerLine - 1) / WordsPerLine * WordsPerLine
 	if words < 4*WordsPerLine {
@@ -38,18 +84,23 @@ func OpenFile(path string, words int) (h *Heap, close func() error, err error) {
 
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("pmem: open %s: %w", path, err)
+		return nil, FileInfo{}, nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+	fail := func(err error) (*Heap, FileInfo, func() error, error) {
+		f.Close()
+		return nil, FileInfo{}, nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fail(fmt.Errorf("pmem: heap file %s is locked by another live process (single-writer exclusion): %w", path, err))
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("pmem: stat: %w", err)
+		return fail(fmt.Errorf("pmem: stat: %w", err))
 	}
 	fresh := st.Size() == 0
 	if st.Size() < size {
 		if err := f.Truncate(size); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("pmem: truncate: %w", err)
+			return fail(fmt.Errorf("pmem: truncate: %w", err))
 		}
 	} else if st.Size() > size {
 		// Adopt the larger existing arena.
@@ -59,10 +110,36 @@ func OpenFile(path string, words int) (h *Heap, close func() error, err error) {
 	raw, err := syscall.Mmap(int(f.Fd()), 0, int(size),
 		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("pmem: mmap: %w", err)
+		return fail(fmt.Errorf("pmem: mmap: %w", err))
 	}
 	arena := unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), words)
+
+	if !fresh {
+		switch magic := atomic.LoadUint64(&arena[fileMagicWord]); magic {
+		case fileMagic:
+			if v := arena[fileVersionWord]; v != fileVersion {
+				syscall.Munmap(raw)
+				return fail(fmt.Errorf("pmem: %s: heap format version %d (want %d)", path, v, fileVersion))
+			}
+			if hw := arena[fileWordsWord]; hw > uint64(words) {
+				syscall.Munmap(raw)
+				return fail(fmt.Errorf("pmem: %s: header names a %d-word arena but the file holds %d — truncated externally", path, hw, words))
+			}
+		case 0:
+			// An embryonic file: created (or truncated to size) but killed
+			// before the magic — stored last during formatting — landed.
+			// Nothing can have been written to it, so format it as fresh.
+			fresh = true
+		default:
+			syscall.Munmap(raw)
+			return fail(fmt.Errorf("pmem: %s is not a pmem heap file (magic %#x)", path, magic))
+		}
+	}
+	info = FileInfo{
+		Fresh: fresh,
+		Dirty: !fresh && atomic.LoadUint64(&arena[fileDirtyWord]) != 0,
+		Words: words,
+	}
 
 	h = &Heap{
 		mode:  Direct,
@@ -92,13 +169,37 @@ func OpenFile(path string, words int) (h *Heap, close func() error, err error) {
 		}
 		h.allocNext.Store(cur)
 	}
+	// Install (or refresh, after adopting a grown arena) the header and
+	// raise the dirty marker before any caller mutation. The magic is
+	// stored last so a kill during formatting leaves an embryonic file,
+	// not a valid-looking header over garbage.
+	atomic.StoreUint64(&arena[fileVersionWord], fileVersion)
+	atomic.StoreUint64(&arena[fileWordsWord], uint64(words))
+	atomic.StoreUint64(&arena[fileDirtyWord], 1)
+	atomic.StoreUint64(&arena[fileMagicWord], fileMagic)
+	if err := h.sync(0); err != nil {
+		syscall.Munmap(raw)
+		return fail(err)
+	}
 
 	closeFn := func() error {
+		// Durably sync the whole arena, then clear the dirty marker and
+		// sync it out: after a clean close the next open sees Dirty false.
+		addr := uintptr(unsafe.Pointer(&raw[0]))
+		if _, _, errno := syscall.Syscall(syscall.SYS_MSYNC, addr, uintptr(len(raw)), syscall.MS_SYNC); errno != 0 {
+			f.Close()
+			return fmt.Errorf("pmem: msync on close: %v", errno)
+		}
+		atomic.StoreUint64(&arena[fileDirtyWord], 0)
+		if err := h.sync(0); err != nil {
+			f.Close()
+			return err
+		}
 		if err := syscall.Munmap(raw); err != nil {
 			f.Close()
 			return fmt.Errorf("pmem: munmap: %w", err)
 		}
-		return f.Close()
+		return f.Close() // releases the flock
 	}
-	return h, closeFn, nil
+	return h, info, closeFn, nil
 }

@@ -3,7 +3,9 @@
 package pmem
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -88,5 +90,133 @@ func TestFileHeapIsDirectMode(t *testing.T) {
 	defer closeHeap()
 	if h.Mode() != Direct {
 		t.Fatalf("mode = %v, want Direct", h.Mode())
+	}
+}
+
+func TestOpenFileDirtyMarker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	h, info, closeHeap, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fresh || info.Dirty {
+		t.Fatalf("fresh open reported %+v", info)
+	}
+	a, err := h.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Store(a, 7)
+	h.Persist(a)
+	h.SetRoot(0, a)
+	if err := closeHeap(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean close cleared the marker.
+	_, info2, closeHeap2, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Fresh || info2.Dirty {
+		t.Fatalf("reopen after clean close reported %+v, want clean non-fresh", info2)
+	}
+	if err := closeHeap2(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill -9'd owner: the on-disk image it leaves is exactly
+	// the clean image with the dirty word still raised (the marker is set
+	// on open and only a clean close lowers it). Patch it back in.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one [8]byte
+	one[0] = 1 // little-endian uint64(1)
+	if _, err := f.WriteAt(one[:], fileDirtyWord*8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	h3, info3, closeHeap3, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.Fresh || !info3.Dirty {
+		t.Fatalf("reopen after kill reported %+v, want dirty non-fresh", info3)
+	}
+	if got := h3.Load(h3.Root(0)); got != 7 {
+		t.Fatalf("value %d after dirty reopen, want 7", got)
+	}
+	if err := closeHeap3(); err != nil {
+		t.Fatal(err)
+	}
+	_, info4, closeHeap4, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap4()
+	if info4.Dirty {
+		t.Fatal("clean close after a dirty attach did not clear the marker")
+	}
+}
+
+func TestOpenFileSingleWriterExclusion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	_, _, closeHeap, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenFileInfo(path, 1<<10); err == nil {
+		t.Fatal("second live open of one heap file succeeded")
+	} else if !strings.Contains(err.Error(), "locked by another live process") {
+		t.Fatalf("unhelpful exclusion error: %v", err)
+	}
+	// Releasing the first handle (clean close drops the flock) unblocks.
+	if err := closeHeap(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, closeHeap2, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatalf("open after lock release: %v", err)
+	}
+	closeHeap2()
+}
+
+func TestOpenFileRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-heap")
+	if err := os.WriteFile(path, []byte("this is definitely not a heap file, padded to be long enough........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenFileInfo(path, 1<<10); err == nil {
+		t.Fatal("foreign file accepted as a heap")
+	}
+}
+
+func TestOpenFileAdoptsEmbryonicFile(t *testing.T) {
+	// A file truncated to size but never formatted (its creator was
+	// killed before the magic — stored last — landed) is adopted as
+	// fresh, not rejected, so a server killed during its very first boot
+	// can still be restarted.
+	path := filepath.Join(t.TempDir(), "heap.pmem")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1 << 14); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, info, closeHeap, err := OpenFileInfo(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap()
+	if !info.Fresh {
+		t.Fatalf("embryonic file reported %+v, want fresh", info)
+	}
+	if info.Words != 1<<11 {
+		t.Fatalf("adopted %d words, want the larger existing %d", info.Words, 1<<11)
 	}
 }

@@ -1,0 +1,187 @@
+package procharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dss"
+	"repro/internal/mp"
+	"repro/internal/obs"
+	"repro/internal/shm"
+	"repro/internal/spec"
+)
+
+// historySchema versions the per-client history file the supervisor
+// merges and checks.
+const historySchema = "dss-proc-history/1"
+
+// histOp is one completed operation as the client observed it: the
+// operation, its response, and the [Inv, Ret] interval on the
+// segment's shared ticket clock — real-time order that is valid across
+// every process attached to the segment.
+type histOp struct {
+	// K is "i" (insert) or "r" (remove).
+	K string `json:"k"`
+	// V is the inserted value (K == "i").
+	V uint64 `json:"v,omitempty"`
+	// R is the response: "a" (ack), "v" (value), "e" (empty).
+	R string `json:"r"`
+	// RV is the removed value (R == "v").
+	RV  uint64 `json:"rv,omitempty"`
+	Inv int64  `json:"inv"`
+	Ret int64  `json:"ret"`
+}
+
+// clientHistory is the whole history file.
+type clientHistory struct {
+	Schema   string        `json:"schema"`
+	GlobalID int           `json:"global_id"`
+	Drain    bool          `json:"drain,omitempty"`
+	Ops      []histOp      `json:"ops"`
+	Stats    mp.RetryStats `json:"stats"`
+	// FinalGen is the last server generation this client observed —
+	// direct evidence of how many server deaths it rode through.
+	FinalGen uint64 `json:"final_gen"`
+}
+
+// ClientMain is the body of a client process: run the alternating
+// insert/remove workload (or the drain role) against the server's
+// rings through the full production retry client, recording every
+// completed operation with shared-clock intervals. The client never
+// sees the server's death except as ambiguous errors — the
+// resolve-before-retry discipline is what keeps its history
+// exactly-once while SIGKILLs land next door.
+func ClientMain(cfg ClientConfig) error {
+	typ, err := typeByName(cfg.Object)
+	if err != nil {
+		return err
+	}
+	seg, err := shm.OpenSeg(cfg.SegPath)
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	cst := seg.Client(cfg.ID)
+	cst.SetPID(os.Getpid())
+
+	conn := shm.NewClientConn(seg, cfg.ID, typ)
+	if cfg.TimeoutMS > 0 {
+		conn.Timeout = time.Duration(cfg.TimeoutMS) * time.Millisecond
+	}
+	attempt := 2 * time.Second
+	if cfg.AttemptTimeoutMS > 0 {
+		attempt = time.Duration(cfg.AttemptTimeoutMS) * time.Millisecond
+	}
+	backoffMax := 20 * time.Millisecond
+	if cfg.BackoffMaxMS > 0 {
+		backoffMax = time.Duration(cfg.BackoffMaxMS) * time.Millisecond
+	}
+	sink := obs.NewSink(obs.Config{})
+	rc := mp.NewRetryClient(conn, cfg.ID, mp.RetryPolicy{
+		// The storm's downtime windows are bounded by the supervisor's
+		// restart backoff, so a generous attempt budget always outlasts
+		// them; a wedged run fails by timeout higher up, not silently.
+		MaxAttempts:    1 << 20,
+		BackoffBase:    200 * time.Microsecond,
+		BackoffMax:     backoffMax,
+		AttemptTimeout: attempt,
+		Seed:           cfg.Seed,
+	})
+	rc.SetObs(sink)
+
+	insert := typ.SpecOp(dss.Op{Kind: dss.Insert})
+	remove := typ.SpecOp(dss.Op{Kind: dss.Remove})
+
+	do := func(op spec.Op) (histOp, error) {
+		rec := histOp{K: "r"}
+		if op.Sym == insert.Sym {
+			rec.K, rec.V = "i", op.Arg
+		}
+		rec.Inv = seg.Ticket()
+		resp, err := rc.Do(op)
+		rec.Ret = seg.Ticket()
+		if err != nil {
+			return rec, fmt.Errorf("client %d op %v: %w", cfg.GlobalID, op, err)
+		}
+		switch resp.Kind {
+		case spec.Ack:
+			rec.R = "a"
+		case spec.Val:
+			rec.R, rec.RV = "v", resp.V
+		case spec.Empty:
+			rec.R = "e"
+		default:
+			return rec, fmt.Errorf("client %d op %v: unexpected response %v", cfg.GlobalID, op, resp)
+		}
+		return rec, nil
+	}
+
+	hist := clientHistory{Schema: historySchema, GlobalID: cfg.GlobalID, Drain: cfg.Drain}
+	if cfg.Drain {
+		// Drain role: remove until EMPTY. Together with "every workload
+		// client finished first", the EMPTY response closes the history —
+		// any value still unaccounted for is a real loss.
+		max := cfg.MaxDrain
+		if max <= 0 {
+			max = 1 << 20
+		}
+		drained := false
+		for n := 0; n < max; n++ {
+			rec, err := do(typ.SpecOp(dss.Op{Kind: dss.Remove}))
+			if err != nil {
+				return err
+			}
+			hist.Ops = append(hist.Ops, rec)
+			cst.SetOps(uint64(len(hist.Ops)))
+			cst.Beat()
+			if rec.R == "e" {
+				drained = true
+				break
+			}
+		}
+		if !drained {
+			return fmt.Errorf("drain client %d: no EMPTY after %d removes", cfg.GlobalID, max)
+		}
+	} else {
+		for i := 0; i < cfg.Ops; i++ {
+			op := remove
+			if i%2 == 0 {
+				// Values are globally unique: high half identifies the
+				// client, low half the op index (1-based so value 0 never
+				// occurs).
+				op = insert
+				op.Arg = uint64(cfg.GlobalID+1)<<32 | uint64(i+1)
+			}
+			rec, err := do(op)
+			if err != nil {
+				return err
+			}
+			hist.Ops = append(hist.Ops, rec)
+			cst.SetOps(uint64(i + 1))
+			cst.Beat()
+		}
+	}
+	hist.Stats = rc.Stats()
+	hist.FinalGen = rc.Gen()
+
+	raw, err := json.Marshal(hist)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.HistoryPath, raw, 0o644); err != nil {
+		return err
+	}
+	if cfg.ObsPath != "" {
+		exp, err := json.MarshalIndent(sink.Snapshot().Export("ns"), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.ObsPath, exp, 0o644); err != nil {
+			return err
+		}
+	}
+	cst.SetDone()
+	return nil
+}

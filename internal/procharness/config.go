@@ -1,0 +1,117 @@
+// Package procharness turns the crash-storm soak into a true
+// multi-process deployment: a supervisor that lays out one shared-memory
+// segment and one heap file per server, spawns real server and client
+// OS processes, delivers SIGKILL on a seeded schedule (including kills
+// landed inside recovery windows and whole-cluster blackouts), restarts
+// servers with capped exponential backoff, detects hung servers by
+// heartbeat stall, and — after draining the survivors — verifies the
+// merged client-observed history with the same polynomial checkers the
+// in-process soaks use.
+//
+// The processes are role re-executions of the host binary: the
+// supervisor execs itself (or any binary whose main calls MaybeRole
+// first) with DSSPROC_ROLE and a JSON DSSPROC_CONFIG in the
+// environment. That lets cmd/dssproc, cmd/dsssoak and the package's own
+// test binary host all three roles without building anything at run
+// time.
+//
+// Everything the paper's detectability story promises is exercised for
+// real here: the server's volatile state (reply cache, generation
+// counter, dispatch hints) dies with the process; the heap file is the
+// only survivor; Attach + Recover rebuild the object against a truly
+// cold image; and the clients' resolve-before-retry discipline carries
+// every in-flight operation across the kill exactly once.
+package procharness
+
+import (
+	"fmt"
+
+	"repro/internal/dss"
+)
+
+// ServerConfig tells a server process what to serve.
+type ServerConfig struct {
+	// SegPath is the shared-memory segment file (created by the
+	// supervisor); HeapPath is the pmem heap file (created by the first
+	// server generation, re-attached by every later one).
+	SegPath  string `json:"seg"`
+	HeapPath string `json:"heap"`
+	// Object is the hosted dss.Type: "queue" or "stack".
+	Object string `json:"object"`
+	// Shards is the sharded front's width. The storm uses 1 so the
+	// strict FIFO/LIFO checkers apply; wider fronts are globally
+	// k-relaxed.
+	Shards int `json:"shards"`
+	// Clients is the number of ring pairs / thread identities (the
+	// workload clients plus the drain client).
+	Clients int `json:"clients"`
+	// OpsPerClient sizes the node pools.
+	OpsPerClient int `json:"ops_per_client"`
+	// Gen is the generation this incarnation serves: 1 + the number of
+	// times the supervisor has seen this server die. Monotonic across
+	// restarts, which is what makes the generation fence sound without
+	// persisting the counter.
+	Gen uint64 `json:"gen"`
+	// RecoveryHoldMS stretches the recovery window (state Recovering)
+	// before the recovery procedure runs, so the supervisor's seeded
+	// mid-recovery kills reliably land inside it.
+	RecoveryHoldMS int `json:"recovery_hold_ms"`
+	// HeapWords overrides the computed heap size (0 = derive).
+	HeapWords int `json:"heap_words,omitempty"`
+}
+
+// heapWords derives a comfortably-sized arena for the configured
+// workload: pool nodes for every insert alive at once plus metadata.
+func (c ServerConfig) heapWords() int {
+	if c.HeapWords > 0 {
+		return c.HeapWords
+	}
+	shards := c.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return 1<<15 + 4*8*shards*(c.Clients*(c.OpsPerClient+32)+128)
+}
+
+// ClientConfig tells a client process what workload to run.
+type ClientConfig struct {
+	SegPath string `json:"seg"`
+	Object  string `json:"object"`
+	// ID is the ring pair / thread identity within the segment;
+	// GlobalID is unique across the whole storm and forms the high half
+	// of every value this client inserts, making values globally
+	// distinct.
+	ID       int `json:"id"`
+	GlobalID int `json:"global_id"`
+	// Ops is the alternating insert/remove workload length (even).
+	Ops int `json:"ops"`
+	// Drain switches to the drain role: remove until EMPTY (at most
+	// MaxDrain removes), closing the history so conservation is
+	// checkable.
+	Drain    bool `json:"drain,omitempty"`
+	MaxDrain int  `json:"max_drain,omitempty"`
+	// HistoryPath receives the client's observed history (JSON);
+	// ObsPath, when set, receives the client's dss-obs/1 metrics export.
+	HistoryPath string `json:"history"`
+	ObsPath     string `json:"obs,omitempty"`
+	// Seed drives the retry jitter.
+	Seed int64 `json:"seed"`
+	// TimeoutMS bounds one ring round trip; AttemptTimeoutMS is the
+	// retry client's per-attempt hang guard; BackoffMaxMS caps the retry
+	// backoff. Zero selects defaults (150 / 2000 / 20).
+	TimeoutMS        int `json:"timeout_ms,omitempty"`
+	AttemptTimeoutMS int `json:"attempt_timeout_ms,omitempty"`
+	BackoffMaxMS     int `json:"backoff_max_ms,omitempty"`
+}
+
+// typeByName resolves the two wire-servable container types.
+func typeByName(name string) (dss.Type, error) {
+	switch name {
+	case "queue", "":
+		return dss.QueueType, nil
+	case "stack":
+		return dss.StackType, nil
+	default:
+		return dss.Type{}, fmt.Errorf("procharness: unknown object type %q (want queue or stack)", name)
+	}
+}

@@ -1,0 +1,100 @@
+package procharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+)
+
+// readHistory loads one client's history file.
+func readHistory(path string) (clientHistory, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return clientHistory{}, fmt.Errorf("procharness: read history: %w", err)
+	}
+	var h clientHistory
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return clientHistory{}, fmt.Errorf("procharness: parse %s: %w", path, err)
+	}
+	if h.Schema != historySchema {
+		return clientHistory{}, fmt.Errorf("procharness: %s has schema %q, want %q", path, h.Schema, historySchema)
+	}
+	return h, nil
+}
+
+// verifyServer checks the merged client histories of one server: the
+// order checker (FIFO for queues, LIFO for stacks, over the shared
+// ticket clock's real-time intervals) plus value conservation — every
+// value inserted exactly once, removed exactly once, and the drain
+// client's closing EMPTY proving nothing was left behind. Returns the
+// conservation totals and any violations, each prefixed with the
+// server index.
+func verifyServer(object string, server int, hists []clientHistory) (enq, deq int, bad []string) {
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf("server %d: ", server)+fmt.Sprintf(format, args...))
+	}
+
+	inserted := map[uint64]int{}
+	removed := map[uint64]int{}
+	var qops []check.QOp
+	var sops []check.SOp
+	drainClosed := false
+	for _, h := range hists {
+		for i, op := range h.Ops {
+			switch {
+			case op.K == "i" && op.R == "a":
+				inserted[op.V]++
+				qops = append(qops, check.QOp{Kind: check.QEnq, V: op.V, Inv: op.Inv, Ret: op.Ret})
+				sops = append(sops, check.SOp{Kind: check.SPush, V: op.V, Inv: op.Inv, Ret: op.Ret})
+			case op.K == "r" && op.R == "v":
+				removed[op.RV]++
+				qops = append(qops, check.QOp{Kind: check.QDeq, V: op.RV, Inv: op.Inv, Ret: op.Ret})
+				sops = append(sops, check.SOp{Kind: check.SPop, V: op.RV, Inv: op.Inv, Ret: op.Ret})
+			case op.K == "r" && op.R == "e":
+				qops = append(qops, check.QOp{Kind: check.QDeqEmpty, Inv: op.Inv, Ret: op.Ret})
+				sops = append(sops, check.SOp{Kind: check.SPopEmpty, Inv: op.Inv, Ret: op.Ret})
+				if h.Drain && i == len(h.Ops)-1 {
+					drainClosed = true
+				}
+			default:
+				report("client %d op %d: malformed record %+v", h.GlobalID, i, op)
+			}
+		}
+	}
+	if !drainClosed {
+		report("drain history does not end with EMPTY")
+	}
+
+	// Conservation: exactly-once end to end, across every kill.
+	for v, n := range inserted {
+		if n > 1 {
+			report("value %#x inserted %d times (duplicated insert)", v, n)
+		}
+		switch m := removed[v]; {
+		case m == 0:
+			report("value %#x inserted but never removed (lost despite drain-to-empty)", v)
+		case m > 1:
+			report("value %#x removed %d times (duplicated remove)", v, m)
+		}
+		enq += n
+	}
+	for v, m := range removed {
+		if inserted[v] == 0 {
+			report("value %#x removed but never inserted (fabricated)", v)
+		}
+		deq += m
+	}
+
+	var order []string
+	if object == "stack" {
+		order = check.CheckStackHistory(sops)
+	} else {
+		order = check.CheckQueueHistory(qops)
+	}
+	for _, v := range order {
+		report("%s", v)
+	}
+	return enq, deq, bad
+}

@@ -1,0 +1,128 @@
+package procharness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReportSchema versions the storm report. Every field is derived from
+// the configuration and from exactly-once invariants (each value
+// inserted once, removed once; each kill observed as one dirty attach;
+// each restart advancing the generation by one), so a passing run is
+// byte-identical across repeats — wall-clock measurements live in the
+// StormSide, which is never committed.
+const ReportSchema = "dss-procs/1"
+
+// StormReport is the deterministic outcome of one multi-process crash
+// storm.
+type StormReport struct {
+	Schema string `json:"schema"`
+	Object string `json:"object"`
+	Seed   int64  `json:"seed"`
+
+	Servers          int `json:"servers"`
+	ClientsPerServer int `json:"clients_per_server"`
+	Clients          int `json:"clients"`
+	OpsPerClient     int `json:"ops_per_client"`
+	ShardsPerServer  int `json:"shards_per_server"`
+	RingSlots        int `json:"ring_slots"`
+
+	// Ops is the number of completed workload operations (drain removes
+	// excluded): Clients * OpsPerClient when every client finished.
+	Ops uint64 `json:"ops"`
+
+	// Kills counts every SIGKILL delivered, including the blackout and
+	// wedge kills; KillsPerServer breaks it down by victim.
+	Kills          int   `json:"kills"`
+	KillsPerServer []int `json:"kills_per_server"`
+	// KillsDuringRecovery counts kills the supervisor landed while the
+	// victim's status page showed StateRecovering — the recovery
+	// procedure itself was interrupted and re-run by the successor.
+	KillsDuringRecovery int `json:"kills_during_recovery"`
+	// Blackouts counts whole-cluster outages (every server killed while
+	// down simultaneously).
+	Blackouts int `json:"blackouts"`
+	// WedgeKills counts servers killed by the heartbeat hang detector
+	// after being wedged (alive but silent), as opposed to the scheduled
+	// direct kills.
+	WedgeKills int `json:"wedge_kills"`
+
+	// ValuesEnqueued / ValuesDequeued are the conservation totals across
+	// all servers; they are equal in a passing run and the drain proves
+	// every structure ended empty.
+	ValuesEnqueued int `json:"values_enqueued"`
+	ValuesDequeued int `json:"values_dequeued"`
+
+	// DirtyAttaches counts heap reopens that found the dirty-shutdown
+	// marker set. Exactly one per kill: a SIGKILL never runs the clean
+	// close path, and nothing else dies.
+	DirtyAttaches int `json:"dirty_attaches"`
+	// FinalGenerations[i] is server i's last served generation —
+	// 1 + KillsPerServer[i] when the generation line is unbroken.
+	FinalGenerations []uint64 `json:"final_generations"`
+	// CleanShutdowns counts servers that exited 0 on SIGTERM with their
+	// heap cleanly closed (all of them, in a passing run).
+	CleanShutdowns int `json:"clean_shutdowns"`
+
+	// Violations is every checker failure and broken invariant; empty
+	// means the storm passed.
+	Violations []string `json:"violations"`
+}
+
+// OK reports whether the storm passed.
+func (r StormReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r StormReport) String() string {
+	verdict := "OK"
+	if !r.OK() {
+		verdict = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
+	}
+	return fmt.Sprintf(
+		"procs %s seed=%d servers=%d clients=%d ops=%d kills=%d (recovery=%d blackouts=%d wedge=%d) dirty=%d gens=%s values=%d/%d: %s",
+		r.Object, r.Seed, r.Servers, r.Clients, r.Ops,
+		r.Kills, r.KillsDuringRecovery, r.Blackouts, r.WedgeKills,
+		r.DirtyAttaches, fmtGens(r.FinalGenerations),
+		r.ValuesEnqueued, r.ValuesDequeued, verdict)
+}
+
+func fmtGens(gens []uint64) string {
+	parts := make([]string, len(gens))
+	for i, g := range gens {
+		parts[i] = fmt.Sprintf("%d", g)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TimelineSchema versions the non-deterministic side record: the
+// supervisor's event log with wall-clock offsets, plus client retry
+// aggregates. Useful for debugging a failing storm; never committed.
+const TimelineSchema = "dss-proc-timeline/1"
+
+// StormEvent is one supervisor-observed lifecycle event.
+type StormEvent struct {
+	// MS is milliseconds since the storm started (wall clock).
+	MS int64 `json:"ms"`
+	// Server is the subject (-1 for cluster-wide events).
+	Server int `json:"server"`
+	// Kind: spawn, serving, kill, kill-recovery, wedge, wedge-kill,
+	// blackout, restart, drain, term.
+	Kind string `json:"kind"`
+	// Gen, when nonzero, is the generation involved.
+	Gen uint64 `json:"gen,omitempty"`
+}
+
+// StormSide carries everything true-but-nondeterministic about a run.
+type StormSide struct {
+	Schema string       `json:"schema"`
+	WallMS int64        `json:"wall_ms"`
+	Events []StormEvent `json:"events"`
+	// Retry aggregates summed over every client's RetryStats.
+	Attempts   uint64 `json:"attempts"`
+	Retries    uint64 `json:"retries"`
+	Resolves   uint64 `json:"resolves"`
+	Timeouts   uint64 `json:"timeouts"`
+	Downs      uint64 `json:"downs"`
+	GenChanges uint64 `json:"gen_changes"`
+	Hangs      uint64 `json:"hangs"`
+}

@@ -1,0 +1,65 @@
+//go:build linux
+
+package procharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The supervisor re-execs the hosting binary with these environment
+// variables; MaybeRole detects them and takes over the process.
+const (
+	roleEnv   = "DSSPROC_ROLE"
+	configEnv = "DSSPROC_CONFIG"
+
+	roleServer = "server"
+	roleClient = "client"
+)
+
+// MaybeRole checks whether this process was spawned by a storm
+// supervisor as a server or client role and, if so, runs the role and
+// exits the process (status 0 on success, 1 with a diagnostic on
+// stderr otherwise). It returns (without doing anything) only when the
+// process is not a role re-execution; binaries that may host roles call
+// it first thing in main (and test binaries in TestMain).
+func MaybeRole() {
+	role := os.Getenv(roleEnv)
+	if role == "" {
+		return
+	}
+	raw := os.Getenv(configEnv)
+	var err error
+	switch role {
+	case roleServer:
+		var cfg ServerConfig
+		if err = json.Unmarshal([]byte(raw), &cfg); err == nil {
+			err = ServerMain(cfg)
+		}
+	case roleClient:
+		var cfg ClientConfig
+		if err = json.Unmarshal([]byte(raw), &cfg); err == nil {
+			err = ClientMain(cfg)
+		}
+	default:
+		err = fmt.Errorf("unknown role %q", role)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dssproc %s: %v\n", role, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// roleEnviron builds the environment for a role re-execution.
+func roleEnviron(role string, cfg any) ([]string, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := append(os.Environ(),
+		roleEnv+"="+role,
+		configEnv+"="+string(raw))
+	return env, nil
+}

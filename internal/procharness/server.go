@@ -1,0 +1,154 @@
+//go:build linux
+
+package procharness
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mp"
+	"repro/internal/pmem"
+	"repro/internal/sharded"
+	"repro/internal/shm"
+)
+
+// ServerMain is the body of a server process: open the shared segment,
+// open (or create) the heap file, build or re-attach the detectable
+// object, and serve the rings until SIGTERM. Every phase is published
+// to the segment's status page so the supervisor can watch the
+// lifecycle from outside:
+//
+//	Attaching  → opening the heap file
+//	Recovering → non-fresh heap: Attach + (hold) + Recover in progress
+//	Serving    → sweeping rings; heartbeat advances
+//	Stopped    → SIGTERM received, heap cleanly closed
+//
+// A SIGKILL can land anywhere in that sequence — that is the point.
+// The process keeps no state the heap file doesn't: the reply cache and
+// generation counter are rebuilt from the supervisor-witnessed restart
+// count, and the object from the heap image.
+func ServerMain(cfg ServerConfig) error {
+	typ, err := typeByName(cfg.Object)
+	if err != nil {
+		return err
+	}
+	if cfg.Clients < 1 {
+		return fmt.Errorf("procharness: server needs at least one client identity")
+	}
+	if cfg.Gen < 1 {
+		return fmt.Errorf("procharness: generation must be >= 1, got %d", cfg.Gen)
+	}
+	seg, err := shm.OpenSeg(cfg.SegPath)
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	st := seg.Server()
+	st.SetPID(os.Getpid())
+	st.SetState(shm.StateAttaching)
+
+	h, info, closeHeap, err := pmem.OpenFileInfo(cfg.HeapPath, cfg.heapWords())
+	if err != nil {
+		return err
+	}
+	if info.Dirty {
+		// The previous incarnation was killed rather than shut down; the
+		// counter is how the supervisor proves every SIGKILL produced a
+		// dirty attach.
+		st.IncDirty()
+	}
+
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	scfg := sharded.Config{
+		Shards:         shards,
+		Threads:        cfg.Clients,
+		NodesPerThread: cfg.OpsPerClient + 16,
+		ExtraNodes:     2*cfg.Clients + 16,
+	}
+	var front *sharded.Front
+	if info.Fresh {
+		front, err = sharded.New(h, 0, typ, scfg)
+	} else {
+		// Recovery window. The hold keeps the process in StateRecovering
+		// long enough for a supervisor that wants to kill *during*
+		// recovery to reliably land the kill inside the window; recovery
+		// itself is idempotent, so the next incarnation simply runs it
+		// again from the top.
+		st.SetState(shm.StateRecovering)
+		front, err = sharded.Attach(h, 0, typ)
+		if err == nil {
+			if cfg.RecoveryHoldMS > 0 {
+				time.Sleep(time.Duration(cfg.RecoveryHoldMS) * time.Millisecond)
+			}
+			front.Recover()
+		}
+	}
+	if err != nil {
+		closeHeap()
+		return fmt.Errorf("procharness: build object: %w", err)
+	}
+	wire := sharded.NewWire(typ, front)
+
+	eng, err := mp.NewEngine(mp.EngineConfig{
+		Clients:  cfg.Clients,
+		Capacity: 1, // unused: the wire object manages its own pools
+		Heap:     h,
+		NewObject: func(*pmem.Heap, int) (mp.Object, error) {
+			return wire, nil
+		},
+	})
+	if err != nil {
+		closeHeap()
+		return err
+	}
+	// Resume the generation line: the supervisor witnessed every restart
+	// and passes 1 + restarts, so this incarnation serves a strictly
+	// higher generation than any predecessor and the fence rejects every
+	// ring-redelivered request from an earlier life.
+	eng.RestoreGeneration(cfg.Gen - 1)
+	gen := eng.NewGeneration()
+	st.SetGen(gen)
+
+	conn := shm.NewServerConn(seg, typ)
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	st.SetState(shm.StateServing)
+
+serve:
+	for {
+		select {
+		case <-term:
+			break serve
+		default:
+		}
+		if st.WedgeRequested() {
+			// Fault injection: play dead without dying. The process stays
+			// alive (holding the heap flock) but stops serving and stops
+			// heartbeating — exactly what a livelocked or deadlocked server
+			// looks like from outside. The supervisor's hang detector must
+			// notice the heartbeat stall and SIGKILL us.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		n := conn.Sweep(eng.Apply)
+		if n > 0 {
+			st.AddOps(uint64(n))
+		} else {
+			// Idle: sleep rather than spin — the deployment target may be
+			// a single CPU shared with every client process.
+			time.Sleep(200 * time.Microsecond)
+		}
+		st.Beat()
+	}
+
+	// Clean shutdown: sync the arena, clear the dirty marker, release
+	// the flock. The next open of this heap sees Dirty == false.
+	st.SetState(shm.StateStopped)
+	return closeHeap()
+}

@@ -1,0 +1,170 @@
+package procharness
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/shm"
+)
+
+// TestMain makes the test binary role-hosting: when the supervisor
+// under test re-execs it with DSSPROC_ROLE set, MaybeRole takes over
+// and never returns. Plain `go test` runs fall through to the tests.
+func TestMain(m *testing.M) {
+	MaybeRole()
+	os.Exit(m.Run())
+}
+
+// TestScheduleDeterministic: the fault schedule is a pure function of
+// (seed, config) — same inputs, same directives; different seeds,
+// different kill points.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := StormConfig{
+		Seed: 7, Servers: 2, ClientsPerServer: 3, OpsPerClient: 100,
+		KillsPerServer: 4, RecoveryKillsPerServer: 1, Blackouts: 1, Wedges: 2,
+	}.withDefaults()
+	a, b := buildSchedule(cfg), buildSchedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if want := 2*(4+1) + 1 + 2; len(a) != want {
+		t.Fatalf("schedule has %d directives, want %d", len(a), want)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].trigger < a[i-1].trigger {
+			t.Fatalf("schedule not sorted by trigger at %d", i)
+		}
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, buildSchedule(cfg)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if got, want := cfg.ExpectedKills(), 2*(4+2*1+1)+2; got != want {
+		t.Fatalf("ExpectedKills = %d, want %d", got, want)
+	}
+}
+
+// TestVerifyServerCatchesLoss: the history verifier flags a value that
+// was inserted but never surfaced again — the loss a broken recovery
+// would produce.
+func TestVerifyServerCatchesLoss(t *testing.T) {
+	hists := []clientHistory{{
+		Schema:   historySchema,
+		GlobalID: 0,
+		Ops: []histOp{
+			{K: "i", V: 0x1_00000001, R: "a", Inv: 1, Ret: 2},
+			{K: "i", V: 0x1_00000002, R: "a", Inv: 3, Ret: 4},
+			{K: "r", R: "v", RV: 0x1_00000001, Inv: 5, Ret: 6},
+		},
+	}, {
+		Schema:   historySchema,
+		GlobalID: 1,
+		Drain:    true,
+		Ops:      []histOp{{K: "r", R: "e", Inv: 7, Ret: 8}},
+	}}
+	enq, deq, bad := verifyServer("queue", 0, hists)
+	if enq != 2 || deq != 1 {
+		t.Fatalf("conservation totals %d/%d, want 2/1", enq, deq)
+	}
+	if len(bad) == 0 {
+		t.Fatal("lost value not reported")
+	}
+
+	// Removing the lost value heals the history.
+	hists[1].Ops = append([]histOp{{K: "r", R: "v", RV: 0x1_00000002, Inv: 7, Ret: 8}},
+		histOp{K: "r", R: "e", Inv: 9, Ret: 10})
+	enq, deq, bad = verifyServer("queue", 0, hists)
+	if enq != 2 || deq != 2 || len(bad) != 0 {
+		t.Fatalf("healed history still bad: %d/%d %v", enq, deq, bad)
+	}
+}
+
+// TestVerifyServerCatchesReorder: FIFO violations survive the merge —
+// a queue that hands values back in the wrong order is caught even
+// though conservation holds.
+func TestVerifyServerCatchesReorder(t *testing.T) {
+	hists := []clientHistory{{
+		Schema:   historySchema,
+		GlobalID: 0,
+		Ops: []histOp{
+			{K: "i", V: 0x1_00000001, R: "a", Inv: 1, Ret: 2},
+			{K: "i", V: 0x1_00000002, R: "a", Inv: 3, Ret: 4}, // strictly after the first
+			{K: "r", R: "v", RV: 0x1_00000002, Inv: 5, Ret: 6},
+			{K: "r", R: "v", RV: 0x1_00000001, Inv: 7, Ret: 8},
+		},
+	}, {
+		Schema:   historySchema,
+		GlobalID: 1,
+		Drain:    true,
+		Ops:      []histOp{{K: "r", R: "e", Inv: 9, Ret: 10}},
+	}}
+	if _, _, bad := verifyServer("queue", 0, hists); len(bad) == 0 {
+		t.Fatal("FIFO reorder not reported")
+	}
+	// The same history is a perfectly legal stack.
+	if _, _, bad := verifyServer("stack", 0, hists); len(bad) != 0 {
+		t.Fatalf("LIFO order misreported: %v", bad)
+	}
+}
+
+// TestSmallStormEndToEnd runs a real multi-process storm: one server,
+// two client processes, and every fault kind once — a direct kill, a
+// kill landed during recovery, a wedge (hang detector), and a blackout.
+// The report must be violation-free with every invariant intact.
+func TestSmallStormEndToEnd(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	rep, side, err := RunStorm(StormConfig{
+		Seed:                   3,
+		Servers:                1,
+		ClientsPerServer:       2,
+		OpsPerClient:           30,
+		KillsPerServer:         1,
+		RecoveryKillsPerServer: 1,
+		Blackouts:              1,
+		Wedges:                 1,
+		RecoveryHoldMS:         300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("storm reported violations:\n%v", rep.Violations)
+	}
+	wantKills := 1 + 2 + 1 + 1 // kill + rkill(2) + blackout + wedge
+	if rep.Kills != wantKills {
+		t.Fatalf("kills = %d, want %d", rep.Kills, wantKills)
+	}
+	if rep.KillsDuringRecovery != 1 || rep.Blackouts != 1 || rep.WedgeKills != 1 {
+		t.Fatalf("fault breakdown %d/%d/%d, want 1/1/1",
+			rep.KillsDuringRecovery, rep.Blackouts, rep.WedgeKills)
+	}
+	if rep.DirtyAttaches != wantKills {
+		t.Fatalf("dirty attaches = %d, want %d (one per kill)", rep.DirtyAttaches, wantKills)
+	}
+	if len(rep.FinalGenerations) != 1 || rep.FinalGenerations[0] != uint64(1+wantKills) {
+		t.Fatalf("final generations %v, want [%d]", rep.FinalGenerations, 1+wantKills)
+	}
+	if rep.CleanShutdowns != 1 {
+		t.Fatalf("clean shutdowns = %d, want 1", rep.CleanShutdowns)
+	}
+	if rep.Ops != 2*30 {
+		t.Fatalf("ops = %d, want 60", rep.Ops)
+	}
+	if rep.ValuesEnqueued != 30 || rep.ValuesDequeued != 30 {
+		t.Fatalf("conservation %d/%d, want 30/30", rep.ValuesEnqueued, rep.ValuesDequeued)
+	}
+	// The clients must have actually observed the outages: every kill is
+	// a generation change some client survived.
+	if side.GenChanges == 0 {
+		t.Fatal("no client observed a generation change across five kills")
+	}
+	if len(side.Events) == 0 {
+		t.Fatal("timeline empty")
+	}
+}

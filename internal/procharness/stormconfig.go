@@ -1,0 +1,173 @@
+package procharness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/shm"
+)
+
+// StormSupported reports whether this platform can run multi-process
+// storms (shared-memory segments, flock, POSIX signals).
+func StormSupported() bool { return shm.Supported() }
+
+// StormConfig describes one multi-process crash storm.
+type StormConfig struct {
+	// Seed drives the directive schedule (kill points, victims) and the
+	// clients' retry jitter. Same seed, same schedule.
+	Seed int64
+	// Object is "queue" or "stack".
+	Object string
+	// Servers is the number of server processes, each with its own heap
+	// file, shared segment, and client set.
+	Servers int
+	// ClientsPerServer workload client processes attack each server.
+	ClientsPerServer int
+	// OpsPerClient is each client's workload length (even: alternating
+	// insert/remove).
+	OpsPerClient int
+	// KillsPerServer direct SIGKILLs are scheduled per server, plus
+	// RecoveryKillsPerServer kill-during-recovery sequences (each is two
+	// kills: one to force a recovery, one landed inside it).
+	KillsPerServer         int
+	RecoveryKillsPerServer int
+	// Blackouts is the number of whole-cluster outages: every server
+	// SIGKILLed, all dead at once, then all restarted.
+	Blackouts int
+	// Wedges is the number of hang injections: a server is asked (via
+	// the segment's wedge word) to stop serving and heartbeating without
+	// dying; the supervisor's heartbeat stall detector must kill it.
+	Wedges int
+	// RingSlots sizes each ring (default 128).
+	RingSlots int
+	// ShardsPerServer is the sharded front's width (default 1, which
+	// the strict FIFO/LIFO checkers require).
+	ShardsPerServer int
+	// RecoveryHoldMS stretches restarted servers' recovery windows so
+	// scheduled mid-recovery kills reliably land inside them (default
+	// 400).
+	RecoveryHoldMS int
+	// Dir is the working directory for segments, heaps, logs, and
+	// histories ("" = fresh temp dir, removed afterwards unless
+	// KeepDir).
+	Dir     string
+	KeepDir bool
+	// Bin is the role binary to exec ("" = this executable; its main or
+	// TestMain must call MaybeRole).
+	Bin string
+	// Client knobs, passed through (zero = ClientMain defaults).
+	TimeoutMS        int
+	AttemptTimeoutMS int
+	BackoffMaxMS     int
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.Object == "" {
+		c.Object = "queue"
+	}
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	if c.ClientsPerServer == 0 {
+		c.ClientsPerServer = 4
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 100
+	}
+	if c.RingSlots == 0 {
+		c.RingSlots = 128
+	}
+	if c.ShardsPerServer == 0 {
+		c.ShardsPerServer = 1
+	}
+	if c.RecoveryHoldMS == 0 {
+		c.RecoveryHoldMS = 400
+	}
+	return c
+}
+
+func (c StormConfig) validate() error {
+	switch {
+	case c.Servers < 1:
+		return fmt.Errorf("procharness: need at least one server")
+	case c.ClientsPerServer < 1:
+		return fmt.Errorf("procharness: need at least one client per server")
+	case c.OpsPerClient < 2 || c.OpsPerClient%2 != 0:
+		return fmt.Errorf("procharness: ops per client must be even and >= 2, got %d", c.OpsPerClient)
+	case c.KillsPerServer < 0 || c.RecoveryKillsPerServer < 0 || c.Blackouts < 0 || c.Wedges < 0:
+		return fmt.Errorf("procharness: negative fault counts")
+	}
+	return nil
+}
+
+// ExpectedKills returns the total SIGKILL count the schedule will
+// deliver: direct kills, two per recovery-kill sequence, one per server
+// per blackout, one per wedge.
+func (c StormConfig) ExpectedKills() int {
+	c = c.withDefaults()
+	return c.Servers*(c.KillsPerServer+2*c.RecoveryKillsPerServer+c.Blackouts) + c.Wedges
+}
+
+// A directive is one scheduled fault. Directives execute serially, in
+// trigger order, each gated on the victim server's clients having
+// completed `trigger` operations (or having finished) — progress-based
+// triggers are what make the schedule meaningful on any machine speed
+// while keeping every count seed-deterministic.
+type directive struct {
+	kind    dirKind
+	server  int // victim; -1 for blackout
+	trigger uint64
+}
+
+type dirKind int
+
+const (
+	dKill dirKind = iota
+	dRKill
+	dWedge
+	dBlackout
+)
+
+func (k dirKind) String() string {
+	switch k {
+	case dKill:
+		return "kill"
+	case dRKill:
+		return "rkill"
+	case dWedge:
+		return "wedge"
+	default:
+		return "blackout"
+	}
+}
+
+// buildSchedule derives the seeded fault schedule. Triggers are drawn
+// from [1, 3/4 * workload] so every directive fires while clients are
+// still working (leftovers force-fire when the victim's clients
+// finish).
+func buildSchedule(cfg StormConfig) []directive {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxT := int64(cfg.ClientsPerServer*cfg.OpsPerClient) * 3 / 4
+	if maxT < 1 {
+		maxT = 1
+	}
+	draw := func() uint64 { return uint64(1 + rng.Int63n(maxT)) }
+	var ds []directive
+	for s := 0; s < cfg.Servers; s++ {
+		for k := 0; k < cfg.KillsPerServer; k++ {
+			ds = append(ds, directive{dKill, s, draw()})
+		}
+		for k := 0; k < cfg.RecoveryKillsPerServer; k++ {
+			ds = append(ds, directive{dRKill, s, draw()})
+		}
+	}
+	for w := 0; w < cfg.Wedges; w++ {
+		ds = append(ds, directive{dWedge, w % cfg.Servers, draw()})
+	}
+	for b := 0; b < cfg.Blackouts; b++ {
+		ds = append(ds, directive{dBlackout, -1, draw()})
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].trigger < ds[j].trigger })
+	return ds
+}

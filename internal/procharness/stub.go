@@ -1,0 +1,15 @@
+//go:build !linux
+
+package procharness
+
+import "fmt"
+
+// MaybeRole is a no-op on platforms without shared-memory segment
+// support: no supervisor can have spawned this process as a role.
+func MaybeRole() {}
+
+// RunStorm needs mmap'd segments, flock, and POSIX signals; on other
+// platforms it reports the storm unsupported (callers skip gracefully).
+func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
+	return StormReport{}, StormSide{}, fmt.Errorf("procharness: multi-process storms unsupported on this platform")
+}

@@ -1,0 +1,613 @@
+//go:build linux
+
+package procharness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/mp"
+	"repro/internal/shm"
+)
+
+// clientResult is one workload client's exit.
+type clientResult struct {
+	global int
+	err    error
+}
+
+// storm is the supervisor's running state.
+type storm struct {
+	cfg StormConfig
+	bin string
+	dir string
+
+	segs     []*shm.Seg
+	servers  []*exec.Cmd
+	logs     []*os.File // server log sinks, one per server, append across restarts
+	restarts []int      // kills witnessed per server; next gen = 1 + restarts
+	backoffN []int      // consecutive restarts, for capped exponential backoff
+
+	clients     []*exec.Cmd
+	clientExit  chan clientResult
+	clientsLeft int
+	clientErr   error
+
+	start time.Time
+	rep   StormReport
+	side  StormSide
+}
+
+func (st *storm) event(kind string, server int, gen uint64) {
+	st.side.Events = append(st.side.Events, StormEvent{
+		MS:     time.Since(st.start).Milliseconds(),
+		Server: server,
+		Kind:   kind,
+		Gen:    gen,
+	})
+}
+
+func (st *storm) path(name string) string { return filepath.Join(st.dir, name) }
+
+// spawnServer execs a new incarnation of server i at generation
+// 1 + restarts[i].
+func (st *storm) spawnServer(i, holdMS int) error {
+	gen := uint64(st.restarts[i] + 1)
+	env, err := roleEnviron(roleServer, ServerConfig{
+		SegPath:        st.path(fmt.Sprintf("seg%d", i)),
+		HeapPath:       st.path(fmt.Sprintf("heap%d.pmem", i)),
+		Object:         st.cfg.Object,
+		Shards:         st.cfg.ShardsPerServer,
+		Clients:        st.cfg.ClientsPerServer + 1, // + drain identity
+		OpsPerClient:   st.cfg.OpsPerClient,
+		Gen:            gen,
+		RecoveryHoldMS: holdMS,
+	})
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(st.bin)
+	cmd.Env = env
+	cmd.Stdout = st.logs[i]
+	cmd.Stderr = st.logs[i]
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("procharness: spawn server %d: %w", i, err)
+	}
+	st.servers[i] = cmd
+	st.event("spawn", i, gen)
+	return nil
+}
+
+// killServer SIGKILLs server i and reaps it. kind names the event
+// ("kill", "kill-recovery", "wedge-kill").
+func (st *storm) killServer(i int, kind string) {
+	cmd := st.servers[i]
+	cmd.Process.Kill()
+	cmd.Wait()
+	st.restarts[i]++
+	st.rep.Kills++
+	st.rep.KillsPerServer[i]++
+	st.event(kind, i, uint64(st.restarts[i]))
+}
+
+// restartServer re-execs server i after the capped exponential backoff
+// its consecutive-restart count has earned.
+func (st *storm) restartServer(i, holdMS int) error {
+	n := st.backoffN[i]
+	st.backoffN[i]++
+	delay := 5 * time.Millisecond << uint(min(n, 5))
+	if delay > 160*time.Millisecond {
+		delay = 160 * time.Millisecond
+	}
+	time.Sleep(delay)
+	return st.spawnServer(i, holdMS)
+}
+
+// waitServing waits until server i publishes StateServing at the
+// generation its incarnation owes (stale status words from the previous
+// life can never satisfy this: the generation is new).
+func (st *storm) waitServing(i int) error {
+	want := uint64(st.restarts[i] + 1)
+	sv := st.segs[i].Server()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if sv.State() == shm.StateServing && sv.Gen() == want {
+			st.backoffN[i] = 0
+			st.event("serving", i, want)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("procharness: server %d never reached serving gen %d", i, want)
+}
+
+// waitRecovering waits until server i publishes StateRecovering. Only
+// restarted servers (non-fresh heap) enter it; the recovery hold keeps
+// them there long enough to be killed inside the window.
+func (st *storm) waitRecovering(i int) error {
+	sv := st.segs[i].Server()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if sv.State() == shm.StateRecovering {
+			st.event("recovering", i, uint64(st.restarts[i]+1))
+			return nil
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return fmt.Errorf("procharness: server %d never entered recovery", i)
+}
+
+// waitHung watches server i's heartbeat and returns once it has stalled
+// long enough to declare the process hung. This is the supervisor's
+// general hang detector, exercised by the wedge fault.
+func (st *storm) waitHung(i int) error {
+	sv := st.segs[i].Server()
+	const stall = 400 * time.Millisecond
+	hb := sv.Heartbeat()
+	last := time.Now()
+	deadline := last.Add(time.Minute)
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		if cur := sv.Heartbeat(); cur != hb {
+			hb = cur
+			last = time.Now()
+			continue
+		}
+		if time.Since(last) >= stall {
+			return nil
+		}
+	}
+	return fmt.Errorf("procharness: server %d heartbeat never stalled after wedge", i)
+}
+
+// serverOps sums the workload clients' completed-op counters for server
+// s — the progress value directive triggers compare against.
+func (st *storm) serverOps(s int) uint64 {
+	var sum uint64
+	for c := 0; c < st.cfg.ClientsPerServer; c++ {
+		sum += st.segs[s].Client(c).Ops()
+	}
+	return sum
+}
+
+// clientsDone reports whether every workload client of server s has
+// finished.
+func (st *storm) clientsDone(s int) bool {
+	for c := 0; c < st.cfg.ClientsPerServer; c++ {
+		if !st.segs[s].Client(c).Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// drainExits consumes any client exits that have arrived, recording the
+// first failure.
+func (st *storm) drainExits() {
+	for {
+		select {
+		case res := <-st.clientExit:
+			st.clientsLeft--
+			if res.err != nil && st.clientErr == nil {
+				st.clientErr = fmt.Errorf("client %d failed: %w (log: %s)",
+					res.global, res.err, st.path(fmt.Sprintf("client%d.log", res.global)))
+			}
+		default:
+			return
+		}
+	}
+}
+
+// waitTrigger blocks until directive d's victim has made enough client
+// progress (or its clients finished, force-firing the leftover).
+func (st *storm) waitTrigger(d directive) error {
+	target := d.server
+	if target < 0 {
+		target = 0
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		st.drainExits()
+		if st.clientErr != nil {
+			return st.clientErr
+		}
+		if st.serverOps(target) >= d.trigger || st.clientsDone(target) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("procharness: trigger %d on server %d never reached (storm wedged)", d.trigger, target)
+}
+
+// execute runs one directive to completion: the victim(s) end up
+// serving again before the next directive is considered.
+func (st *storm) execute(d directive) error {
+	switch d.kind {
+	case dKill:
+		st.killServer(d.server, "kill")
+		if err := st.restartServer(d.server, 0); err != nil {
+			return err
+		}
+		return st.waitServing(d.server)
+
+	case dRKill:
+		// Two kills: the first forces the successor into recovery (with a
+		// hold stretching the window), the second lands inside it. The
+		// recovery procedure itself is interrupted and must be re-run —
+		// the kill-during-recovery case of the taxonomy.
+		st.killServer(d.server, "kill")
+		if err := st.restartServer(d.server, st.cfg.RecoveryHoldMS); err != nil {
+			return err
+		}
+		if err := st.waitRecovering(d.server); err != nil {
+			return err
+		}
+		st.killServer(d.server, "kill-recovery")
+		st.rep.KillsDuringRecovery++
+		if err := st.restartServer(d.server, 0); err != nil {
+			return err
+		}
+		return st.waitServing(d.server)
+
+	case dWedge:
+		// Hang injection: the server plays dead without dying. Only the
+		// heartbeat stall gives it away; the hang detector must kill it
+		// (SIGKILL — it is unresponsive by construction).
+		st.event("wedge", d.server, 0)
+		st.segs[d.server].Server().RequestWedge()
+		if err := st.waitHung(d.server); err != nil {
+			return err
+		}
+		st.killServer(d.server, "wedge-kill")
+		st.rep.WedgeKills++
+		st.segs[d.server].Server().ClearWedge()
+		if err := st.restartServer(d.server, 0); err != nil {
+			return err
+		}
+		return st.waitServing(d.server)
+
+	default: // dBlackout
+		// Whole-cluster outage: every server killed before any restarts,
+		// so for a window the deployment has no live server at all.
+		st.event("blackout", -1, 0)
+		for s := 0; s < st.cfg.Servers; s++ {
+			st.killServer(s, "kill")
+		}
+		st.rep.Blackouts++
+		for s := 0; s < st.cfg.Servers; s++ {
+			if err := st.restartServer(s, 0); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < st.cfg.Servers; s++ {
+			if err := st.waitServing(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// spawnClient execs one client process and registers its exit monitor.
+func (st *storm) spawnClient(cfg ClientConfig, logName string) error {
+	env, err := roleEnviron(roleClient, cfg)
+	if err != nil {
+		return err
+	}
+	logf, err := os.OpenFile(st.path(logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(st.bin)
+	cmd.Env = env
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("procharness: spawn client %d: %w", cfg.GlobalID, err)
+	}
+	st.clients = append(st.clients, cmd)
+	st.clientsLeft++
+	go func(g int) {
+		err := cmd.Wait()
+		logf.Close()
+		st.clientExit <- clientResult{global: g, err: err}
+	}(cfg.GlobalID)
+	return nil
+}
+
+// teardown kills every remaining process (abort path).
+func (st *storm) teardown() {
+	for _, cmd := range st.servers {
+		if cmd != nil && cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	for _, cmd := range st.clients {
+		if cmd != nil && cmd.ProcessState == nil {
+			cmd.Process.Kill()
+		}
+	}
+	// Reap outstanding client monitors.
+	for st.clientsLeft > 0 {
+		select {
+		case <-st.clientExit:
+			st.clientsLeft--
+		case <-time.After(10 * time.Second):
+			return
+		}
+	}
+}
+
+// RunStorm runs one full multi-process crash storm: lay out segments
+// and heap files, spawn everything, execute the seeded fault schedule,
+// drain, shut down cleanly, and verify the merged histories. The
+// returned report is deterministic for a passing (seed, config) pair;
+// the side record carries wall-clock data and the event timeline.
+func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return StormReport{}, StormSide{}, err
+	}
+	if !shm.Supported() {
+		return StormReport{}, StormSide{}, fmt.Errorf("procharness: shared-memory segments unsupported on this platform")
+	}
+	if _, err := typeByName(cfg.Object); err != nil {
+		return StormReport{}, StormSide{}, err
+	}
+	bin := cfg.Bin
+	if bin == "" {
+		var err error
+		if bin, err = os.Executable(); err != nil {
+			return StormReport{}, StormSide{}, err
+		}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "dssproc-"); err != nil {
+			return StormReport{}, StormSide{}, err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return StormReport{}, StormSide{}, err
+	}
+	if !cfg.KeepDir {
+		defer os.RemoveAll(dir)
+	}
+
+	cps := cfg.ClientsPerServer
+	st := &storm{
+		cfg:        cfg,
+		bin:        bin,
+		dir:        dir,
+		segs:       make([]*shm.Seg, cfg.Servers),
+		servers:    make([]*exec.Cmd, cfg.Servers),
+		logs:       make([]*os.File, cfg.Servers),
+		restarts:   make([]int, cfg.Servers),
+		backoffN:   make([]int, cfg.Servers),
+		clientExit: make(chan clientResult, cfg.Servers*(cps+1)),
+		start:      time.Now(),
+		rep: StormReport{
+			Schema:           ReportSchema,
+			Object:           cfg.Object,
+			Seed:             cfg.Seed,
+			Servers:          cfg.Servers,
+			ClientsPerServer: cps,
+			Clients:          cfg.Servers * cps,
+			OpsPerClient:     cfg.OpsPerClient,
+			ShardsPerServer:  cfg.ShardsPerServer,
+			RingSlots:        cfg.RingSlots,
+			KillsPerServer:   make([]int, cfg.Servers),
+			FinalGenerations: make([]uint64, cfg.Servers),
+			Violations:       []string{},
+		},
+		side: StormSide{Schema: TimelineSchema},
+	}
+	fail := func(err error) (StormReport, StormSide, error) {
+		st.teardown()
+		for _, f := range st.logs {
+			if f != nil {
+				f.Close()
+			}
+		}
+		return StormReport{}, StormSide{}, err
+	}
+
+	// Segments and servers (generation 1, fresh heaps).
+	layout := shm.Layout{Clients: cps + 1, Slots: cfg.RingSlots, SlotWords: shm.FrameSlotWords}
+	for s := 0; s < cfg.Servers; s++ {
+		seg, err := shm.CreateSeg(st.path(fmt.Sprintf("seg%d", s)), layout)
+		if err != nil {
+			return fail(err)
+		}
+		st.segs[s] = seg
+		logf, err := os.OpenFile(st.path(fmt.Sprintf("server%d.log", s)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		st.logs[s] = logf
+		if err := st.spawnServer(s, 0); err != nil {
+			return fail(err)
+		}
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		if err := st.waitServing(s); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Workload clients.
+	for s := 0; s < cfg.Servers; s++ {
+		for c := 0; c < cps; c++ {
+			g := s*cps + c
+			err := st.spawnClient(ClientConfig{
+				SegPath:          st.path(fmt.Sprintf("seg%d", s)),
+				Object:           cfg.Object,
+				ID:               c,
+				GlobalID:         g,
+				Ops:              cfg.OpsPerClient,
+				HistoryPath:      st.path(fmt.Sprintf("client%d.json", g)),
+				ObsPath:          st.path(fmt.Sprintf("client%d.obs.json", g)),
+				Seed:             cfg.Seed*1009 + int64(g),
+				TimeoutMS:        cfg.TimeoutMS,
+				AttemptTimeoutMS: cfg.AttemptTimeoutMS,
+				BackoffMaxMS:     cfg.BackoffMaxMS,
+			}, fmt.Sprintf("client%d.log", g))
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// The seeded fault schedule, serially: each directive waits for its
+	// progress trigger, fires, and leaves the victim serving again.
+	for _, d := range buildSchedule(cfg) {
+		if err := st.waitTrigger(d); err != nil {
+			return fail(err)
+		}
+		if err := st.execute(d); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Let the remaining workload finish.
+	finish := time.After(5 * time.Minute)
+	for st.clientsLeft > 0 {
+		select {
+		case res := <-st.clientExit:
+			st.clientsLeft--
+			if res.err != nil && st.clientErr == nil {
+				st.clientErr = fmt.Errorf("client %d failed: %w (log: %s)",
+					res.global, res.err, st.path(fmt.Sprintf("client%d.log", res.global)))
+			}
+		case <-finish:
+			return fail(fmt.Errorf("procharness: workload never finished (storm wedged)"))
+		}
+	}
+	if st.clientErr != nil {
+		return fail(st.clientErr)
+	}
+
+	// Drain each structure to EMPTY through a fresh client identity, so
+	// conservation is checkable and "ended empty" is proven.
+	for s := 0; s < cfg.Servers; s++ {
+		st.event("drain", s, 0)
+		g := cfg.Servers*cps + s
+		err := st.spawnClient(ClientConfig{
+			SegPath:          st.path(fmt.Sprintf("seg%d", s)),
+			Object:           cfg.Object,
+			ID:               cps,
+			GlobalID:         g,
+			Drain:            true,
+			MaxDrain:         cps*cfg.OpsPerClient/2 + cps + 4,
+			HistoryPath:      st.path(fmt.Sprintf("drain%d.json", s)),
+			ObsPath:          st.path(fmt.Sprintf("drain%d.obs.json", s)),
+			Seed:             cfg.Seed*1009 + int64(g),
+			TimeoutMS:        cfg.TimeoutMS,
+			AttemptTimeoutMS: cfg.AttemptTimeoutMS,
+			BackoffMaxMS:     cfg.BackoffMaxMS,
+		}, fmt.Sprintf("drain%d.log", s))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	finish = time.After(2 * time.Minute)
+	for st.clientsLeft > 0 {
+		select {
+		case res := <-st.clientExit:
+			st.clientsLeft--
+			if res.err != nil && st.clientErr == nil {
+				st.clientErr = fmt.Errorf("drain client %d failed: %w", res.global, res.err)
+			}
+		case <-finish:
+			return fail(fmt.Errorf("procharness: drain never finished"))
+		}
+	}
+	if st.clientErr != nil {
+		return fail(st.clientErr)
+	}
+
+	// Graceful shutdown: SIGTERM, expect exit 0, read the final status
+	// page, and check the structural invariants every kill must have
+	// left behind.
+	for s := 0; s < cfg.Servers; s++ {
+		cmd := st.servers[s]
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				st.rep.Violations = append(st.rep.Violations,
+					fmt.Sprintf("server %d did not exit cleanly on SIGTERM: %v", s, err))
+			} else {
+				st.rep.CleanShutdowns++
+			}
+		case <-time.After(time.Minute):
+			cmd.Process.Kill()
+			cmd.Wait()
+			st.rep.Violations = append(st.rep.Violations,
+				fmt.Sprintf("server %d ignored SIGTERM", s))
+		}
+		st.event("term", s, 0)
+		sv := st.segs[s].Server()
+		st.rep.DirtyAttaches += int(sv.Dirty())
+		st.rep.FinalGenerations[s] = sv.Gen()
+		if want := uint64(1 + st.rep.KillsPerServer[s]); sv.Gen() != want {
+			st.rep.Violations = append(st.rep.Violations,
+				fmt.Sprintf("server %d ended at generation %d, want %d (1 + %d kills): broken generation line",
+					s, sv.Gen(), want, st.rep.KillsPerServer[s]))
+		}
+	}
+	if st.rep.DirtyAttaches != st.rep.Kills {
+		st.rep.Violations = append(st.rep.Violations,
+			fmt.Sprintf("%d dirty attaches for %d kills: a killed server did not leave (or a reopen did not see) the dirty marker",
+				st.rep.DirtyAttaches, st.rep.Kills))
+	}
+
+	// Merge and verify the histories, server by server.
+	for s := 0; s < cfg.Servers; s++ {
+		var hists []clientHistory
+		for c := 0; c < cps; c++ {
+			h, err := readHistory(st.path(fmt.Sprintf("client%d.json", s*cps+c)))
+			if err != nil {
+				return fail(err)
+			}
+			hists = append(hists, h)
+			st.rep.Ops += uint64(len(h.Ops))
+			st.side.addStats(h.Stats)
+		}
+		dh, err := readHistory(st.path(fmt.Sprintf("drain%d.json", s)))
+		if err != nil {
+			return fail(err)
+		}
+		hists = append(hists, dh)
+		st.side.addStats(dh.Stats)
+		enq, deq, bad := verifyServer(cfg.Object, s, hists)
+		st.rep.ValuesEnqueued += enq
+		st.rep.ValuesDequeued += deq
+		st.rep.Violations = append(st.rep.Violations, bad...)
+	}
+
+	for _, f := range st.logs {
+		f.Close()
+	}
+	st.side.WallMS = time.Since(st.start).Milliseconds()
+	return st.rep, st.side, nil
+}
+
+func (sd *StormSide) addStats(s mp.RetryStats) {
+	sd.Attempts += s.Attempts
+	sd.Retries += s.Retries
+	sd.Resolves += s.Resolves
+	sd.Timeouts += s.Timeouts
+	sd.Downs += s.Downs
+	sd.GenChanges += s.GenChanges
+	sd.Hangs += s.Hangs
+}

@@ -1,0 +1,100 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether this platform can back segments with shared
+// file mappings (tooling uses it to skip the process storm gracefully
+// elsewhere).
+func Supported() bool { return true }
+
+// mapWords maps size words of f shared and read-write.
+func mapWords(f *os.File, words int) ([]uint64, func() error, error) {
+	raw, err := syscall.Mmap(int(f.Fd()), 0, words*8,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shm: mmap: %w", err)
+	}
+	w := unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), words)
+	return w, func() error { return syscall.Munmap(raw) }, nil
+}
+
+// CreateSeg creates (truncating any previous content) and formats a
+// segment file. The supervisor creates segments before spawning the
+// processes that open them.
+func CreateSeg(path string, l Layout) (*Seg, error) {
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("shm: create %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(l.Words() * 8)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: truncate: %w", err)
+	}
+	w, unmap, err := mapWords(f, l.Words())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := InitSeg(w, l)
+	if err != nil {
+		unmap()
+		f.Close()
+		return nil, err
+	}
+	s.closeFn = func() error {
+		if err := unmap(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return s, nil
+}
+
+// OpenSeg maps an existing segment file and validates its header. Server
+// and client processes open the segment their supervisor created.
+func OpenSeg(path string) (*Seg, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shm: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: stat: %w", err)
+	}
+	words := int(st.Size() / 8)
+	if words < clientLinesWord {
+		f.Close()
+		return nil, fmt.Errorf("shm: %s too small (%d bytes) for a segment", path, st.Size())
+	}
+	w, unmap, err := mapWords(f, words)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := ViewSeg(w)
+	if err != nil {
+		unmap()
+		f.Close()
+		return nil, err
+	}
+	s.closeFn = func() error {
+		if err := unmap(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return s, nil
+}

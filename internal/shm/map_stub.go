@@ -1,0 +1,23 @@
+//go:build !linux
+
+package shm
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Supported reports whether this platform can back segments with shared
+// file mappings.
+func Supported() bool { return false }
+
+// CreateSeg is unavailable without shared file mappings; the in-memory
+// segment (NewMemSeg) and all ring/transport protocols still work.
+func CreateSeg(path string, l Layout) (*Seg, error) {
+	return nil, fmt.Errorf("shm: file-backed segments are not supported on %s", runtime.GOOS)
+}
+
+// OpenSeg is unavailable without shared file mappings.
+func OpenSeg(path string) (*Seg, error) {
+	return nil, fmt.Errorf("shm: file-backed segments are not supported on %s", runtime.GOOS)
+}

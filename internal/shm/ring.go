@@ -1,0 +1,191 @@
+// Package shm is the process-separation layer: single-producer
+// single-consumer message rings over words that two OS processes share
+// (a memory-mapped file), a segment format that packs one ring pair per
+// client next to a supervisor-readable status page, and an mp.Transport
+// over a ring pair so RetryClients in one process can drive an Engine in
+// another.
+//
+// The crash adversary here is the operating system — kill -9, not a
+// simulated cache — so every protocol in this package must tolerate a
+// writer vanishing between any two stores:
+//
+//   - Slot headers are seqlock-style: a frame's header goes odd (writing)
+//     before any payload word is stored and even (complete, carrying the
+//     frame number) only after all of them. A reader accepts a frame only
+//     when it observes the exact completion value before AND after copying
+//     the payload, so a torn frame — a writer killed mid-store — is never
+//     surfaced, only ignored until the restarted writer rewrites it.
+//   - Cursors (tail, head) live on their own cache lines in the shared
+//     words, so a restarted producer or consumer adopts them instead of
+//     starting over. A producer killed after completing a frame but
+//     before publishing tail is healed on attach: tail is clamped up to
+//     head, because a consumer can only have consumed complete frames.
+//
+// Rings carry no persistence obligations: the segment file is
+// coordination memory, never msynced, and a lost machine loses it —
+// exactly like the network. Durability lives in the pmem heap file; the
+// generation fence (mp.Msg.Gen) rejects requests that a ring redelivers
+// across a server restart.
+package shm
+
+import "sync/atomic"
+
+// wordsPerLine is the cache-line geometry the segment is padded to,
+// matching pmem.WordsPerLine (8 words x 8 bytes = 64-byte lines).
+const wordsPerLine = 8
+
+// Ring header geometry: the producer cursor (tail) and consumer cursor
+// (head) each own a full cache line so the two sides never false-share.
+const (
+	ringTailWord = 0
+	ringHeadWord = wordsPerLine
+	ringHdrWords = 2 * wordsPerLine
+)
+
+// Ring is an SPSC frame ring over caller-provided shared words. The
+// zero-filled state is a valid empty ring, so formatting a fresh segment
+// is just zeroing. Ring itself is a view: any number of processes may
+// construct one over the same words, but at most one live Producer and
+// one live Consumer may use it at a time (enforced by the process
+// harness, which runs one server and one client per pair).
+type Ring struct {
+	w         []uint64
+	slots     int
+	slotWords int
+}
+
+// RingWords returns the shared words a ring with the given geometry
+// occupies.
+func RingWords(slots, slotWords int) int {
+	return ringHdrWords + slots*slotWords
+}
+
+// NewRing views a ring with the given geometry over w, which must hold at
+// least RingWords(slots, slotWords) words. slotWords is 1 header word
+// plus the frame payload, padded by the caller to a line multiple.
+func NewRing(w []uint64, slots, slotWords int) *Ring {
+	if slots < 1 || slotWords < 2 || len(w) < RingWords(slots, slotWords) {
+		panic("shm: bad ring geometry")
+	}
+	return &Ring{w: w[:RingWords(slots, slotWords)], slots: slots, slotWords: slotWords}
+}
+
+// PayloadWords is the frame capacity of each slot.
+func (r *Ring) PayloadWords() int { return r.slotWords - 1 }
+
+// slot returns the slot words (header first) for frame number n.
+func (r *Ring) slot(n uint64) []uint64 {
+	i := int(n % uint64(r.slots))
+	base := ringHdrWords + i*r.slotWords
+	return r.w[base : base+r.slotWords]
+}
+
+// hdrComplete is the seqlock completion value of frame n: even, unique
+// per frame number, never zero (zero is the virgin slot).
+func hdrComplete(n uint64) uint64 { return 2*n + 2 }
+
+// hdrWriting is the seqlock in-progress value of frame n: odd, so a
+// reader can never mistake it for any frame's completion.
+func hdrWriting(n uint64) uint64 { return 2*n + 1 }
+
+// Producer is the sending side of a ring. Obtain one per process via
+// Ring.Producer; the constructor adopts the shared cursors, healing the
+// kill-after-complete-before-publish window.
+type Producer struct {
+	r    *Ring
+	next uint64
+}
+
+// Producer attaches the (single) producer, adopting the shared tail. If
+// the previous producer was killed after completing a frame that the
+// consumer already consumed but before publishing tail, head is ahead of
+// tail; the consumed prefix is certainly complete, so tail is clamped up.
+func (r *Ring) Producer() *Producer {
+	t := atomic.LoadUint64(&r.w[ringTailWord])
+	if h := atomic.LoadUint64(&r.w[ringHeadWord]); h > t {
+		t = h
+		atomic.StoreUint64(&r.w[ringTailWord], t)
+	}
+	return &Producer{r: r, next: t}
+}
+
+// TrySend publishes payload as the next frame; it reports false when the
+// ring is full. The store order is the whole crash story: header odd,
+// payload, header even-and-numbered. A SIGKILL between any two of those
+// stores leaves a header that never matches the frame's completion value,
+// which the consumer skips until a restarted producer — who adopts the
+// same frame number — rewrites the slot from scratch.
+func (p *Producer) TrySend(payload []uint64) bool {
+	if len(payload) > p.r.PayloadWords() {
+		panic("shm: frame exceeds slot payload")
+	}
+	head := atomic.LoadUint64(&p.r.w[ringHeadWord])
+	if p.next >= head+uint64(p.r.slots) {
+		return false
+	}
+	s := p.r.slot(p.next)
+	atomic.StoreUint64(&s[0], hdrWriting(p.next))
+	for i, v := range payload {
+		atomic.StoreUint64(&s[1+i], v)
+	}
+	for i := len(payload); i < p.r.PayloadWords(); i++ {
+		atomic.StoreUint64(&s[1+i], 0)
+	}
+	atomic.StoreUint64(&s[0], hdrComplete(p.next))
+	p.next++
+	atomic.StoreUint64(&p.r.w[ringTailWord], p.next)
+	return true
+}
+
+// Consumer is the receiving side of a ring; obtain one per process via
+// Ring.Consumer, which adopts the shared head cursor.
+type Consumer struct {
+	r    *Ring
+	next uint64
+}
+
+// Consumer attaches the (single) consumer at the shared head.
+func (r *Ring) Consumer() *Consumer {
+	return &Consumer{r: r, next: atomic.LoadUint64(&r.w[ringHeadWord])}
+}
+
+// Peek copies the next frame's payload into buf and reports whether a
+// complete frame was available. It does not advance: callers that must
+// not lose a request across their own crash window (the server) call
+// Advance only after fully handling the frame, accepting redelivery —
+// which the generation fence makes harmless — over loss.
+//
+// The header is checked before and after the copy against the exact
+// completion value of this frame number; an in-progress (odd), stale, or
+// torn frame is reported as not-available, never surfaced.
+func (c *Consumer) Peek(buf []uint64) bool {
+	s := c.r.slot(c.next)
+	want := hdrComplete(c.next)
+	if atomic.LoadUint64(&s[0]) != want {
+		return false
+	}
+	n := len(buf)
+	if n > c.r.PayloadWords() {
+		n = c.r.PayloadWords()
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = atomic.LoadUint64(&s[1+i])
+	}
+	return atomic.LoadUint64(&s[0]) == want
+}
+
+// Advance consumes the frame Peek last reported, publishing the new head.
+func (c *Consumer) Advance() {
+	c.next++
+	atomic.StoreUint64(&c.r.w[ringHeadWord], c.next)
+}
+
+// TryRecv is Peek+Advance for callers (the client side) whose frames are
+// idempotent to lose after reading.
+func (c *Consumer) TryRecv(buf []uint64) bool {
+	if !c.Peek(buf) {
+		return false
+	}
+	c.Advance()
+	return true
+}

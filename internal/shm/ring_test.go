@@ -1,0 +1,215 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestRing(t *testing.T, slots int) *Ring {
+	t.Helper()
+	return NewRing(make([]uint64, RingWords(slots, FrameSlotWords)), slots, FrameSlotWords)
+}
+
+func TestRingRoundTripAcrossLaps(t *testing.T) {
+	r := newTestRing(t, 4)
+	p, c := r.Producer(), r.Consumer()
+	buf := make([]uint64, 3)
+	for n := uint64(0); n < 25; n++ { // 6+ laps of a 4-slot ring
+		if !p.TrySend([]uint64{n, n * 2, n * 3}) {
+			t.Fatalf("frame %d: ring unexpectedly full", n)
+		}
+		if !c.TryRecv(buf) {
+			t.Fatalf("frame %d: not received", n)
+		}
+		if buf[0] != n || buf[1] != n*2 || buf[2] != n*3 {
+			t.Fatalf("frame %d: got %v", n, buf)
+		}
+	}
+	if c.TryRecv(buf) {
+		t.Fatal("received a frame that was never sent")
+	}
+}
+
+func TestRingFullAndDrain(t *testing.T) {
+	r := newTestRing(t, 3)
+	p, c := r.Producer(), r.Consumer()
+	for n := 0; n < 3; n++ {
+		if !p.TrySend([]uint64{uint64(n)}) {
+			t.Fatalf("frame %d rejected before the ring was full", n)
+		}
+	}
+	if p.TrySend([]uint64{99}) {
+		t.Fatal("send succeeded on a full ring")
+	}
+	buf := make([]uint64, 1)
+	if !c.TryRecv(buf) || buf[0] != 0 {
+		t.Fatalf("drain: got %v", buf)
+	}
+	if !p.TrySend([]uint64{3}) {
+		t.Fatal("send failed after the consumer freed a slot")
+	}
+}
+
+// TestTornFrameNeverSurfaced mirrors the moveRoute torn-line sweep
+// (DESIGN.md §14) for the seqlock slot protocol: the producer's store
+// sequence is replayed one store at a time, and after every strict
+// prefix — the states a SIGKILL can freeze the slot in — the consumer
+// must report no frame. Only the final header store publishes.
+func TestTornFrameNeverSurfaced(t *testing.T) {
+	payload := []uint64{111, 222, 333}
+	// The stores TrySend performs for frame 0, in order.
+	type store struct{ word, val uint64 }
+	stores := []store{{0, hdrWriting(0)}}
+	for i, v := range payload {
+		stores = append(stores, store{uint64(1 + i), v})
+	}
+	for i := len(payload); i < FrameSlotWords-1; i++ {
+		stores = append(stores, store{uint64(1 + i), 0})
+	}
+	stores = append(stores, store{0, hdrComplete(0)})
+
+	buf := make([]uint64, len(payload))
+	for cut := 0; cut <= len(stores); cut++ {
+		r := newTestRing(t, 2)
+		// Pre-fill the slot with stale garbage: the torn state a restarted
+		// producer's slot really holds is the previous life's bytes, not
+		// zeros.
+		s := r.slot(0)
+		for i := range s {
+			s[i] = 0xdead_beef_0000_0000 | uint64(i)
+		}
+		for _, st := range stores[:cut] {
+			atomic.StoreUint64(&s[st.word], st.val)
+		}
+		c := r.Consumer()
+		got := c.Peek(buf)
+		if cut < len(stores) {
+			if got {
+				t.Fatalf("cut after %d/%d stores: torn frame surfaced as %v", cut, len(stores), buf)
+			}
+		} else {
+			if !got {
+				t.Fatalf("complete frame not surfaced")
+			}
+			for i, v := range payload {
+				if buf[i] != v {
+					t.Fatalf("payload[%d] = %d, want %d", i, buf[i], v)
+				}
+			}
+		}
+	}
+}
+
+// TestTornFrameRewrittenByRestart is the recovery half of the torn-frame
+// story: a producer killed mid-frame leaves an odd header; the restarted
+// producer adopts the same frame number, rewrites the slot from scratch,
+// and the consumer sees exactly the second version.
+func TestTornFrameRewrittenByRestart(t *testing.T) {
+	r := newTestRing(t, 2)
+	// First life: die after the header and half the payload.
+	s := r.slot(0)
+	atomic.StoreUint64(&s[0], hdrWriting(0))
+	atomic.StoreUint64(&s[1], 13)
+	c := r.Consumer()
+	if c.Peek(make([]uint64, 2)) {
+		t.Fatal("half-written frame surfaced")
+	}
+	// Second life: a fresh Producer over the same words.
+	p := r.Producer()
+	if !p.TrySend([]uint64{77, 88}) {
+		t.Fatal("restarted producer could not send")
+	}
+	buf := make([]uint64, 2)
+	if !c.TryRecv(buf) || buf[0] != 77 || buf[1] != 88 {
+		t.Fatalf("got %v, want [77 88]", buf)
+	}
+}
+
+// TestProducerAdoptsConsumedHead covers the kill window between
+// completing a frame and publishing tail: the consumer (which trusts
+// slot headers, not tail) consumed the frame, so the restarted producer
+// must clamp its cursor up to head or it would rewrite frame 0 while the
+// consumer waits for frame 1.
+func TestProducerAdoptsConsumedHead(t *testing.T) {
+	r := newTestRing(t, 4)
+	// Frame 0 completed by hand, tail never advanced (the kill window).
+	s := r.slot(0)
+	atomic.StoreUint64(&s[0], hdrWriting(0))
+	atomic.StoreUint64(&s[1], 42)
+	atomic.StoreUint64(&s[0], hdrComplete(0))
+
+	c := r.Consumer()
+	buf := make([]uint64, 1)
+	if !c.TryRecv(buf) || buf[0] != 42 {
+		t.Fatalf("pre-crash frame: got %v", buf)
+	}
+
+	p := r.Producer() // restarted producer
+	if !p.TrySend([]uint64{43}) {
+		t.Fatal("send failed")
+	}
+	if !c.TryRecv(buf) || buf[0] != 43 {
+		t.Fatalf("post-restart frame: got %v, want [43]", buf)
+	}
+}
+
+// TestConsumerRestartResumesAtHead: a consumer killed between frames
+// resumes at the published head, and a consumer killed between Peek and
+// Advance re-reads the same frame (redelivery, the server's choice).
+func TestConsumerRestartResumesAtHead(t *testing.T) {
+	r := newTestRing(t, 4)
+	p := r.Producer()
+	for n := uint64(0); n < 3; n++ {
+		p.TrySend([]uint64{n + 100})
+	}
+	buf := make([]uint64, 1)
+	c := r.Consumer()
+	if !c.Peek(buf) || buf[0] != 100 {
+		t.Fatalf("got %v", buf)
+	}
+	// Killed before Advance: a new consumer re-reads frame 0.
+	c2 := r.Consumer()
+	if !c2.TryRecv(buf) || buf[0] != 100 {
+		t.Fatalf("redelivery: got %v, want [100]", buf)
+	}
+	// Killed after Advance: a new consumer starts at frame 1.
+	c3 := r.Consumer()
+	if !c3.TryRecv(buf) || buf[0] != 101 {
+		t.Fatalf("resume: got %v, want [101]", buf)
+	}
+}
+
+func TestRingConcurrentStress(t *testing.T) {
+	r := newTestRing(t, 8)
+	const frames = 20000
+	done := make(chan error, 1)
+	go func() {
+		c := r.Consumer()
+		buf := make([]uint64, 1)
+		for n := uint64(0); n < frames; {
+			if c.TryRecv(buf) {
+				if buf[0] != n {
+					done <- fmt.Errorf("frame %d carried %d", n, buf[0])
+					return
+				}
+				n++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		done <- nil
+	}()
+	p := r.Producer()
+	for n := uint64(0); n < frames; {
+		if p.TrySend([]uint64{n}) {
+			n++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

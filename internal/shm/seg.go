@@ -1,0 +1,270 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Segment format. One segment serves one server process and its client
+// processes: a header line, a global ticket-clock line, a server status
+// line, one status line per client, then one request/reply ring pair per
+// client. All offsets are in words; every region is line-aligned.
+//
+//	line 0          magic, version, clients, slots, slotWords
+//	line 1          ticket clock (word 0)
+//	line 2          server status
+//	line 3..3+C-1   client status, one line per client
+//	then per client: request ring, reply ring
+const (
+	// segMagic spells "DSSSEG/1" and guards against viewing a foreign or
+	// half-created mapping as a segment (it is stored last on format).
+	segMagic   = 0x4453_5353_4547_2f31
+	segVersion = 1
+
+	hdrMagicWord     = 0
+	hdrVersionWord   = 1
+	hdrClientsWord   = 2
+	hdrSlotsWord     = 3
+	hdrSlotWordsWord = 4
+
+	clockWord = 1 * wordsPerLine
+
+	serverLineWord = 2 * wordsPerLine
+	svHeartbeat    = 0
+	svState        = 1
+	svGen          = 2
+	svOps          = 3
+	svPid          = 4
+	svDirty        = 5
+	svWedge        = 6
+
+	clientLinesWord = 3 * wordsPerLine
+	clHeartbeat     = 0
+	clOps           = 1
+	clPid           = 2
+	clDone          = 3
+)
+
+// Server states published in the status page, in lifecycle order. The
+// supervisor's hang detector applies only to StateServing: a server whose
+// heartbeat stalls while serving is declared hung and killed.
+const (
+	StateInit uint64 = iota
+	StateAttaching
+	StateRecovering
+	StateServing
+	StateStopped
+)
+
+// Layout is a segment's geometry.
+type Layout struct {
+	// Clients is the number of ring pairs (and client status lines).
+	Clients int
+	// Slots is the frame capacity of each ring; it bounds how many
+	// retries can queue up while a server is down.
+	Slots int
+	// SlotWords is the per-frame slot size (1 header word + payload),
+	// a multiple of wordsPerLine. FrameSlotWords fits the transport's
+	// request and reply frames.
+	SlotWords int
+}
+
+// FrameSlotWords is the slot size the mp transport frames need: two
+// cache lines (1 header word + 15 payload words).
+const FrameSlotWords = 2 * wordsPerLine
+
+// Words returns the total segment size in words.
+func (l Layout) Words() int {
+	return clientLinesWord + l.Clients*wordsPerLine +
+		2*l.Clients*RingWords(l.Slots, l.SlotWords)
+}
+
+func (l Layout) validate() error {
+	if l.Clients < 1 || l.Slots < 2 || l.SlotWords < 2 || l.SlotWords%wordsPerLine != 0 {
+		return fmt.Errorf("shm: bad segment layout %+v", l)
+	}
+	return nil
+}
+
+// Seg is a view of a segment over shared words. Any number of processes
+// may hold views; the rings' SPSC discipline and the status page's
+// single-writer-per-word discipline are the concurrency contract.
+type Seg struct {
+	w       []uint64
+	l       Layout
+	closeFn func() error
+}
+
+// InitSeg formats a segment over w (which must be zeroed, as fresh file
+// pages are) and returns its view. The magic is stored last, so a racing
+// ViewSeg of a half-formatted segment fails cleanly rather than reading
+// garbage geometry.
+func InitSeg(w []uint64, l Layout) (*Seg, error) {
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	if len(w) < l.Words() {
+		return nil, fmt.Errorf("shm: segment needs %d words, have %d", l.Words(), len(w))
+	}
+	atomic.StoreUint64(&w[hdrVersionWord], segVersion)
+	atomic.StoreUint64(&w[hdrClientsWord], uint64(l.Clients))
+	atomic.StoreUint64(&w[hdrSlotsWord], uint64(l.Slots))
+	atomic.StoreUint64(&w[hdrSlotWordsWord], uint64(l.SlotWords))
+	atomic.StoreUint64(&w[hdrMagicWord], segMagic)
+	return &Seg{w: w, l: l}, nil
+}
+
+// ViewSeg views an already-formatted segment over w, validating its
+// header.
+func ViewSeg(w []uint64) (*Seg, error) {
+	if len(w) < clientLinesWord {
+		return nil, fmt.Errorf("shm: mapping too small for a segment header")
+	}
+	if m := atomic.LoadUint64(&w[hdrMagicWord]); m != segMagic {
+		return nil, fmt.Errorf("shm: bad segment magic %#x (want %#x)", m, uint64(segMagic))
+	}
+	if v := atomic.LoadUint64(&w[hdrVersionWord]); v != segVersion {
+		return nil, fmt.Errorf("shm: segment version %d (want %d)", v, segVersion)
+	}
+	l := Layout{
+		Clients:   int(atomic.LoadUint64(&w[hdrClientsWord])),
+		Slots:     int(atomic.LoadUint64(&w[hdrSlotsWord])),
+		SlotWords: int(atomic.LoadUint64(&w[hdrSlotWordsWord])),
+	}
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	if len(w) < l.Words() {
+		return nil, fmt.Errorf("shm: segment header names %d words, mapping holds %d", l.Words(), len(w))
+	}
+	return &Seg{w: w, l: l}, nil
+}
+
+// NewMemSeg formats a segment over a private heap slice — the in-process
+// harness for tests, which exercises every protocol without a file.
+func NewMemSeg(l Layout) *Seg {
+	s, err := InitSeg(make([]uint64, l.Words()), l)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Layout returns the segment's geometry.
+func (s *Seg) Layout() Layout { return s.l }
+
+// Close releases the segment's mapping, if it owns one.
+func (s *Seg) Close() error {
+	if s.closeFn == nil {
+		return nil
+	}
+	fn := s.closeFn
+	s.closeFn = nil
+	return fn()
+}
+
+// Ticket draws the next value of the segment's global clock: a fetch-add
+// counter every process shares, giving the storm's history checker
+// real-time invocation/return ordinals that are valid across processes
+// (two Ticket calls by any two processes are totally ordered, and the
+// order respects real time).
+func (s *Seg) Ticket() int64 {
+	return int64(atomic.AddUint64(&s.w[clockWord], 1))
+}
+
+// ringBase returns the word offset of client i's pair region.
+func (s *Seg) ringBase(i int) int {
+	if i < 0 || i >= s.l.Clients {
+		panic("shm: client index out of range")
+	}
+	return clientLinesWord + s.l.Clients*wordsPerLine +
+		2*i*RingWords(s.l.Slots, s.l.SlotWords)
+}
+
+// ReqRing is client i's request ring (client produces, server consumes).
+func (s *Seg) ReqRing(i int) *Ring {
+	return NewRing(s.w[s.ringBase(i):], s.l.Slots, s.l.SlotWords)
+}
+
+// RepRing is client i's reply ring (server produces, client consumes).
+func (s *Seg) RepRing(i int) *Ring {
+	base := s.ringBase(i) + RingWords(s.l.Slots, s.l.SlotWords)
+	return NewRing(s.w[base:], s.l.Slots, s.l.SlotWords)
+}
+
+// ServerStatus is the server's status line: heartbeat, lifecycle state,
+// generation, ops applied, pid, dirty-attach count, and the supervisor's
+// wedge-request word (a fault-injection knob: a wedged server stops
+// heartbeating so the hang detector can be exercised for real).
+type ServerStatus struct{ w []uint64 }
+
+// Server returns the segment's server status line.
+func (s *Seg) Server() ServerStatus {
+	return ServerStatus{w: s.w[serverLineWord : serverLineWord+wordsPerLine]}
+}
+
+// Beat increments the heartbeat; Heartbeat reads it.
+func (st ServerStatus) Beat()             { atomic.AddUint64(&st.w[svHeartbeat], 1) }
+func (st ServerStatus) Heartbeat() uint64 { return atomic.LoadUint64(&st.w[svHeartbeat]) }
+
+// SetState publishes the lifecycle state; State reads it.
+func (st ServerStatus) SetState(v uint64) { atomic.StoreUint64(&st.w[svState], v) }
+func (st ServerStatus) State() uint64     { return atomic.LoadUint64(&st.w[svState]) }
+
+// SetGen publishes the serving generation; Gen reads it.
+func (st ServerStatus) SetGen(v uint64) { atomic.StoreUint64(&st.w[svGen], v) }
+func (st ServerStatus) Gen() uint64     { return atomic.LoadUint64(&st.w[svGen]) }
+
+// AddOps counts applied requests; Ops reads the total.
+func (st ServerStatus) AddOps(n uint64) { atomic.AddUint64(&st.w[svOps], n) }
+func (st ServerStatus) Ops() uint64     { return atomic.LoadUint64(&st.w[svOps]) }
+
+// SetPID publishes the serving process id; PID reads it.
+func (st ServerStatus) SetPID(pid int) { atomic.StoreUint64(&st.w[svPid], uint64(pid)) }
+func (st ServerStatus) PID() int       { return int(atomic.LoadUint64(&st.w[svPid])) }
+
+// IncDirty counts attaches that found the heap's dirty-shutdown marker
+// set (the previous owner was killed); Dirty reads the total. The count
+// lives in the segment, so it survives the counting process.
+func (st ServerStatus) IncDirty()     { atomic.AddUint64(&st.w[svDirty], 1) }
+func (st ServerStatus) Dirty() uint64 { return atomic.LoadUint64(&st.w[svDirty]) }
+
+// RequestWedge asks the server to stop heartbeating (hang injection);
+// WedgeRequested is polled by the server's serve loop.
+func (st ServerStatus) RequestWedge()        { atomic.StoreUint64(&st.w[svWedge], 1) }
+func (st ServerStatus) WedgeRequested() bool { return atomic.LoadUint64(&st.w[svWedge]) != 0 }
+
+// ClearWedge retracts a wedge request. The supervisor clears the word
+// after killing the wedged incarnation so its replacement serves
+// normally instead of wedging straight away.
+func (st ServerStatus) ClearWedge() { atomic.StoreUint64(&st.w[svWedge], 0) }
+
+// ClientStatus is one client's status line: heartbeat, completed ops
+// (the supervisor's schedule triggers key off these), pid, and the done
+// flag.
+type ClientStatus struct{ w []uint64 }
+
+// Client returns client i's status line.
+func (s *Seg) Client(i int) ClientStatus {
+	if i < 0 || i >= s.l.Clients {
+		panic("shm: client index out of range")
+	}
+	base := clientLinesWord + i*wordsPerLine
+	return ClientStatus{w: s.w[base : base+wordsPerLine]}
+}
+
+// Beat increments the heartbeat; Heartbeat reads it.
+func (st ClientStatus) Beat()             { atomic.AddUint64(&st.w[clHeartbeat], 1) }
+func (st ClientStatus) Heartbeat() uint64 { return atomic.LoadUint64(&st.w[clHeartbeat]) }
+
+// SetOps publishes the number of completed operations; Ops reads it.
+func (st ClientStatus) SetOps(n uint64) { atomic.StoreUint64(&st.w[clOps], n) }
+func (st ClientStatus) Ops() uint64     { return atomic.LoadUint64(&st.w[clOps]) }
+
+// SetPID publishes the client process id; PID reads it.
+func (st ClientStatus) SetPID(pid int) { atomic.StoreUint64(&st.w[clPid], uint64(pid)) }
+func (st ClientStatus) PID() int       { return int(atomic.LoadUint64(&st.w[clPid])) }
+
+// SetDone marks the client's workload complete; Done reads the flag.
+func (st ClientStatus) SetDone()   { atomic.StoreUint64(&st.w[clDone], 1) }
+func (st ClientStatus) Done() bool { return atomic.LoadUint64(&st.w[clDone]) != 0 }

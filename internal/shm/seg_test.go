@@ -1,0 +1,164 @@
+package shm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegLayoutAndStatus(t *testing.T) {
+	l := Layout{Clients: 3, Slots: 4, SlotWords: FrameSlotWords}
+	s := NewMemSeg(l)
+	if got := s.Layout(); got != l {
+		t.Fatalf("layout %+v, want %+v", got, l)
+	}
+
+	sv := s.Server()
+	sv.SetState(StateServing)
+	sv.SetGen(7)
+	sv.SetPID(1234)
+	sv.Beat()
+	sv.IncDirty()
+	if sv.State() != StateServing || sv.Gen() != 7 || sv.PID() != 1234 ||
+		sv.Heartbeat() != 1 || sv.Dirty() != 1 {
+		t.Fatal("server status round trip failed")
+	}
+	if sv.WedgeRequested() {
+		t.Fatal("wedge requested on a fresh segment")
+	}
+	sv.RequestWedge()
+	if !sv.WedgeRequested() {
+		t.Fatal("wedge request lost")
+	}
+
+	for i := 0; i < l.Clients; i++ {
+		cl := s.Client(i)
+		cl.SetOps(uint64(10 * (i + 1)))
+		cl.SetPID(100 + i)
+		cl.Beat()
+		if i == 2 {
+			cl.SetDone()
+		}
+	}
+	for i := 0; i < l.Clients; i++ {
+		cl := s.Client(i)
+		if cl.Ops() != uint64(10*(i+1)) || cl.PID() != 100+i || cl.Heartbeat() != 1 {
+			t.Fatalf("client %d status round trip failed", i)
+		}
+		if cl.Done() != (i == 2) {
+			t.Fatalf("client %d done flag wrong", i)
+		}
+	}
+}
+
+// TestSegRegionsDisjoint floods every ring with distinct frames and
+// checks nothing bled into a neighboring ring or a status line.
+func TestSegRegionsDisjoint(t *testing.T) {
+	l := Layout{Clients: 3, Slots: 2, SlotWords: FrameSlotWords}
+	s := NewMemSeg(l)
+	for i := 0; i < l.Clients; i++ {
+		pq := s.ReqRing(i).Producer()
+		pr := s.RepRing(i).Producer()
+		for n := uint64(0); n < uint64(l.Slots); n++ {
+			if !pq.TrySend([]uint64{uint64(i)<<32 | n, 1}) ||
+				!pr.TrySend([]uint64{uint64(i)<<32 | n, 2}) {
+				t.Fatalf("ring %d frame %d rejected", i, n)
+			}
+		}
+	}
+	buf := make([]uint64, 2)
+	for i := 0; i < l.Clients; i++ {
+		cq := s.ReqRing(i).Consumer()
+		cr := s.RepRing(i).Consumer()
+		for n := uint64(0); n < uint64(l.Slots); n++ {
+			if !cq.TryRecv(buf) || buf[0] != uint64(i)<<32|n || buf[1] != 1 {
+				t.Fatalf("req ring %d frame %d corrupted: %v", i, n, buf)
+			}
+			if !cr.TryRecv(buf) || buf[0] != uint64(i)<<32|n || buf[1] != 2 {
+				t.Fatalf("rep ring %d frame %d corrupted: %v", i, n, buf)
+			}
+		}
+	}
+	if s.Server().Heartbeat() != 0 || s.Server().Ops() != 0 {
+		t.Fatal("ring traffic bled into the server status line")
+	}
+	for i := 0; i < l.Clients; i++ {
+		if s.Client(i).Ops() != 0 {
+			t.Fatalf("ring traffic bled into client %d status", i)
+		}
+	}
+}
+
+func TestSegTicketMonotonic(t *testing.T) {
+	s := NewMemSeg(Layout{Clients: 1, Slots: 2, SlotWords: FrameSlotWords})
+	last := int64(0)
+	for i := 0; i < 100; i++ {
+		tk := s.Ticket()
+		if tk <= last {
+			t.Fatalf("ticket %d after %d", tk, last)
+		}
+		last = tk
+	}
+}
+
+func TestSegViewValidation(t *testing.T) {
+	if _, err := ViewSeg(make([]uint64, 8)); err == nil {
+		t.Fatal("tiny mapping accepted")
+	}
+	w := make([]uint64, 4096)
+	if _, err := ViewSeg(w); err == nil {
+		t.Fatal("zeroed mapping accepted as a segment")
+	}
+	l := Layout{Clients: 1, Slots: 2, SlotWords: FrameSlotWords}
+	if _, err := InitSeg(w, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ViewSeg(w); err != nil {
+		t.Fatalf("valid segment rejected: %v", err)
+	}
+	// A header that names more words than the mapping holds is rejected.
+	short := make([]uint64, clientLinesWord)
+	copy(short, w[:clientLinesWord])
+	if _, err := ViewSeg(short); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+}
+
+func TestSegFileBacked(t *testing.T) {
+	if !Supported() {
+		t.Skip("file-backed segments unsupported on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "seg")
+	l := Layout{Clients: 2, Slots: 4, SlotWords: FrameSlotWords}
+	s, err := CreateSeg(path, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second view of the same file (what another process would map)
+	// sees the first view's writes.
+	s2, err := OpenSeg(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Server().SetGen(5)
+	if got := s2.Server().Gen(); got != 5 {
+		t.Fatalf("second mapping sees gen %d, want 5", got)
+	}
+	p := s.ReqRing(1).Producer()
+	if !p.TrySend([]uint64{9, 8, 7}) {
+		t.Fatal("send failed")
+	}
+	buf := make([]uint64, 3)
+	if !s2.ReqRing(1).Consumer().TryRecv(buf) || buf[0] != 9 {
+		t.Fatalf("cross-mapping frame: got %v", buf)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("segment file vanished: %v", err)
+	}
+}

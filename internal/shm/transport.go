@@ -1,0 +1,282 @@
+package shm
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/internal/dss"
+	"repro/internal/mp"
+	"repro/internal/spec"
+)
+
+// Frame encodings. Both ends of a segment serve the same dss.Type, so
+// operations travel as (container kind, arg, tag) and are re-expanded
+// through the type's SpecOp/FromSpec translation — spec.Op's symbolic
+// name never crosses the process boundary.
+//
+// Request frame (client → server), payload words:
+//
+//	0 kind   1 client   2 gen   3 seq   4 opKind   5 opArg   6 opTag
+//
+// Reply frame (server → client), payload words:
+//
+//	0 echoSeq   1 gen   2 errCode   3 errGen   4 respKind   5 respV
+//	6 hasOp   7 pOpKind   8 pOpArg   9 pOpTag   10 inner   11 innerVal
+//
+// echoSeq names the request the reply answers; a client polling for its
+// current attempt discards replies echoing earlier sequence numbers
+// (answers to attempts it already timed out). Both frames fit
+// FrameSlotWords-1 payload words.
+
+// Error codes a reply frame can carry.
+const (
+	errNone uint64 = iota
+	errDown
+	errDownStale
+	errSuperseded
+	errTimeout
+	errRemote
+)
+
+// ErrRemote is a reply whose server-side error has no wire class of its
+// own (a malformed operation, a spec-level failure). It is definite: the
+// request did not take effect, and resending it cannot succeed.
+var ErrRemote = errors.New("shm: server rejected the request")
+
+const (
+	reqFrameWords   = 7
+	replyFrameWords = 12
+)
+
+// encodeReq lowers m into a request frame.
+func encodeReq(dst []uint64, m mp.Msg, typ dss.Type) {
+	dst[0] = uint64(m.Kind)
+	dst[1] = uint64(m.Client)
+	dst[2] = m.Gen
+	dst[3] = m.Seq
+	dst[4], dst[5], dst[6] = 0, 0, 0
+	if m.Op.Sym != "" {
+		if dop, ok := typ.FromSpec(m.Op); ok {
+			dst[4] = uint64(dop.Kind)
+			dst[5] = dop.Arg
+			dst[6] = m.Op.Tag
+		}
+	}
+}
+
+// decodeReq raises a request frame back into a Msg.
+func decodeReq(src []uint64, typ dss.Type) mp.Msg {
+	m := mp.Msg{
+		Kind:   mp.ReqKind(src[0]),
+		Client: int(src[1]),
+		Gen:    src[2],
+		Seq:    src[3],
+	}
+	if k := dss.Kind(src[4]); k != dss.None {
+		m.Op = typ.SpecOp(dss.Op{Kind: k, Arg: src[5]})
+		m.Op.Tag = src[6]
+	}
+	return m
+}
+
+// encodeReply lowers rep (answering request sequence seq) into a reply
+// frame.
+func encodeReply(dst []uint64, seq uint64, rep mp.Reply, typ dss.Type) {
+	for i := range dst[:replyFrameWords] {
+		dst[i] = 0
+	}
+	dst[0] = seq
+	dst[1] = rep.Gen
+	switch {
+	case rep.Err == nil:
+	case errors.Is(rep.Err, mp.ErrServerDown):
+		dst[2] = errDown
+		var de *mp.DownError
+		if errors.As(rep.Err, &de) {
+			dst[3] = de.Gen
+			if de.Stale {
+				dst[2] = errDownStale
+			}
+		}
+	case errors.Is(rep.Err, mp.ErrSuperseded):
+		dst[2] = errSuperseded
+	case errors.Is(rep.Err, mp.ErrTimeout):
+		dst[2] = errTimeout
+	default:
+		dst[2] = errRemote
+	}
+	r := rep.Resp
+	dst[4] = uint64(r.Kind)
+	dst[5] = r.V
+	if r.HasOp {
+		if dop, ok := typ.FromSpec(r.POp); ok {
+			dst[6] = 1
+			dst[7] = uint64(dop.Kind)
+			dst[8] = dop.Arg
+			dst[9] = r.POp.Tag
+		}
+	}
+	dst[10] = uint64(r.Inner)
+	dst[11] = r.InnerVal
+}
+
+// decodeReply raises a reply frame; echo is the request sequence it
+// answers.
+func decodeReply(src []uint64, typ dss.Type) (rep mp.Reply, echo uint64) {
+	echo = src[0]
+	rep.Gen = src[1]
+	switch src[2] {
+	case errNone:
+	case errDown:
+		rep.Err = &mp.DownError{Gen: src[3]}
+	case errDownStale:
+		rep.Err = &mp.DownError{Gen: src[3], Stale: true}
+	case errSuperseded:
+		rep.Err = mp.ErrSuperseded
+	case errTimeout:
+		rep.Err = mp.ErrTimeout
+	default:
+		rep.Err = ErrRemote
+	}
+	rep.Resp = spec.Resp{
+		Kind:     spec.RespKind(src[4]),
+		V:        src[5],
+		Inner:    spec.RespKind(src[10]),
+		InnerVal: src[11],
+	}
+	if src[6] != 0 {
+		rep.Resp.HasOp = true
+		rep.Resp.POp = typ.SpecOp(dss.Op{Kind: dss.Kind(src[7]), Arg: src[8]})
+		rep.Resp.POp.Tag = src[9]
+	}
+	return rep, echo
+}
+
+// ClientConn is one client process's side of its ring pair: an
+// mp.Transport whose RoundTrip publishes the request frame and polls the
+// reply ring until a reply echoing this request's sequence number
+// arrives or the deadline passes. A silent server — killed, not erroring
+// — therefore surfaces as ErrTimeout, the ambiguous outcome the retry
+// discipline already settles via resolve.
+//
+// Requests must carry strictly increasing nonzero Seq (mp.RetryClient's
+// contract); replies echoing older sequences are drained and discarded.
+// A ClientConn serves one process and is not safe for concurrent use.
+type ClientConn struct {
+	seg *Seg
+	typ dss.Type
+	req *Producer
+	rep *Consumer
+
+	// Timeout bounds one RoundTrip (default 150ms); Poll is the sleep
+	// between reply-ring sweeps once the initial spin is exhausted
+	// (default 100µs).
+	Timeout time.Duration
+	Poll    time.Duration
+}
+
+// NewClientConn attaches the transport for ring pair id, serving typ.
+func NewClientConn(seg *Seg, id int, typ dss.Type) *ClientConn {
+	return &ClientConn{
+		seg:     seg,
+		typ:     typ,
+		req:     seg.ReqRing(id).Producer(),
+		rep:     seg.RepRing(id).Consumer(),
+		Timeout: 150 * time.Millisecond,
+		Poll:    100 * time.Microsecond,
+	}
+}
+
+// RoundTrip implements mp.Transport over the ring pair.
+func (c *ClientConn) RoundTrip(m mp.Msg) mp.Reply {
+	deadline := time.Now().Add(c.Timeout)
+	var frame [FrameSlotWords - 1]uint64
+	encodeReq(frame[:reqFrameWords], m, c.typ)
+	// A full request ring means a long-dead server with a backlog of
+	// retries; the frame is simply not sent, which is indistinguishable
+	// from a lost request and settles the same way.
+	for !c.req.TrySend(frame[:reqFrameWords]) {
+		if !c.pause(deadline, 1<<30) {
+			return mp.Reply{Err: mp.ErrTimeout}
+		}
+	}
+	var rbuf [FrameSlotWords - 1]uint64
+	for spin := 0; ; spin++ {
+		if c.rep.TryRecv(rbuf[:replyFrameWords]) {
+			rep, echo := decodeReply(rbuf[:replyFrameWords], c.typ)
+			if echo == m.Seq {
+				return rep
+			}
+			continue // an answer to an attempt we already gave up on
+		}
+		if !c.pause(deadline, spin) {
+			return mp.Reply{Err: mp.ErrTimeout}
+		}
+	}
+}
+
+// pause yields (briefly spinning, then sleeping Poll) and reports false
+// once deadline has passed.
+func (c *ClientConn) pause(deadline time.Time, spin int) bool {
+	if time.Now().After(deadline) {
+		return false
+	}
+	if spin < 64 {
+		runtime.Gosched()
+	} else {
+		time.Sleep(c.Poll)
+	}
+	return true
+}
+
+// ServerConn is the server process's side of every ring pair in a
+// segment. The serve loop calls Sweep with the engine's Apply; a request
+// frame is consumed (head advanced) only after its reply is published,
+// so a kill anywhere in between redelivers the request to the next
+// generation — where the gen fence rejects it and the client resolves.
+type ServerConn struct {
+	seg *Seg
+	typ dss.Type
+	req []*Consumer
+	rep []*Producer
+}
+
+// NewServerConn attaches the server side of every ring pair.
+func NewServerConn(seg *Seg, typ dss.Type) *ServerConn {
+	l := seg.Layout()
+	s := &ServerConn{seg: seg, typ: typ}
+	for i := 0; i < l.Clients; i++ {
+		s.req = append(s.req, seg.ReqRing(i).Consumer())
+		s.rep = append(s.rep, seg.RepRing(i).Producer())
+	}
+	return s
+}
+
+// Sweep serves at most one pending request per client ring and returns
+// the number served (0 means the loop should back off briefly).
+func (s *ServerConn) Sweep(apply func(mp.Msg) mp.Reply) int {
+	served := 0
+	var buf [FrameSlotWords - 1]uint64
+	for i := range s.req {
+		if !s.req[i].Peek(buf[:reqFrameWords]) {
+			continue
+		}
+		m := decodeReq(buf[:reqFrameWords], s.typ)
+		rep := apply(m)
+		var out [FrameSlotWords - 1]uint64
+		encodeReply(out[:replyFrameWords], m.Seq, rep, s.typ)
+		// The reply ring can only be full if the client stopped consuming
+		// for a whole ring of frames; after a bounded wait the reply is
+		// dropped — to the client that is a lost reply, already handled.
+		for tries := 0; !s.rep[i].TrySend(out[:replyFrameWords]); tries++ {
+			if tries > 1000 {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		s.req[i].Advance()
+		served++
+	}
+	return served
+}

@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke procs procs-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke procs procs-smoke register-smoke hmap-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the five smokes
+# pass over the packages with the most concurrency, and the seven smokes
 # (deterministic soak report, deterministic instrumented metrics, the
 # flat-combining fence-amortization figure, the multi-server cluster
-# storm, and the real multi-process kill-storm).
-ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke procs-smoke
+# storm, the real multi-process kill-storm, and the two keyed-object
+# figures: the swap/CAS register and the key-hash-routed hash map).
+ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke procs-smoke register-smoke hmap-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -28,7 +29,7 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs ./internal/shm ./internal/procharness
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/reg ./internal/hmap ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs ./internal/shm ./internal/procharness
 
 # soak regenerates the committed crash-storm soak report and its merged
 # recovery timeline. The run is a deterministic discrete-event
@@ -113,6 +114,25 @@ procs-smoke:
 		echo "procs-smoke: skipped (no shared-memory segment support on this platform)"; \
 	fi
 
+# register-smoke is the keyed-register CI gate: regenerate the committed
+# swap/CAS register figure (a deterministic virtual-time sweep of the
+# bare detectable register vs the combining front), validate the figure's
+# fence-amortization claim with dssmon -check, and fail on drift from
+# the committed BENCH_register.json.
+register-smoke:
+	$(GO) run ./cmd/dssbench -figure register -json /tmp/BENCH_register.ci.json > /dev/null
+	$(GO) run ./cmd/dssmon -check /tmp/BENCH_register.ci.json
+	cmp BENCH_register.json /tmp/BENCH_register.ci.json
+
+# hmap-smoke is the keyed hash-map CI gate: regenerate the committed
+# hash-map figure (bare map plus 1/2/4/8 key-hash-routed shards in
+# virtual time), validate the >2x 1-to-8-shard scaling claim with
+# dssmon -check, and fail on drift from the committed BENCH_hmap.json.
+hmap-smoke:
+	$(GO) run ./cmd/dssbench -figure hmap -json /tmp/BENCH_hmap.ci.json > /dev/null
+	$(GO) run ./cmd/dssmon -check /tmp/BENCH_hmap.ci.json
+	cmp BENCH_hmap.json /tmp/BENCH_hmap.ci.json
+
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a
 # few minutes and their numbers are host-dependent. The sharded report is
@@ -123,6 +143,8 @@ bench-json:
 	$(GO) run ./cmd/dssbench -figure sharded -json BENCH_sharded.json -metrics BENCH_metrics.json
 	$(GO) run ./cmd/dssbench -figure sharded -object stack -json BENCH_sharded_stack.json
 	$(GO) run ./cmd/dssbench -figure combine -json BENCH_combine.json
+	$(GO) run ./cmd/dssbench -figure register -json BENCH_register.json
+	$(GO) run ./cmd/dssbench -figure hmap -json BENCH_hmap.json
 
 clean:
 	$(GO) clean ./...

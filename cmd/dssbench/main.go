@@ -74,6 +74,7 @@ func run() error {
 	shardList := flag.String("shards", "2,4,8", "comma-separated shard counts (-figure sharded only)")
 	pairs := flag.Int("pairs", 200, "insert/remove pairs per thread (-figure sharded only)")
 	object := flag.String("object", "queue", "detectable type the sharded figure measures: queue or stack (-figure sharded only)")
+	keys := flag.Int("keys", 64, "key-space size of the hmap workload (-figure hmap only)")
 	metricsPath := flag.String("metrics", "", "write an instrumented dss-metrics/1 report for the figure's largest point to this path")
 	flag.Parse()
 
@@ -136,6 +137,50 @@ func run() error {
 			if err := writeMetrics(*metricsPath, rep); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	if (*figure == "register" || *figure == "hmap") && *implList == "" {
+		// The keyed figures also run in virtual time: the register against
+		// the combining front over it (a single cell cannot shard), and
+		// the hash map against its key-hash-routed sharded compositions.
+		shards, err := parseInts(*shardList)
+		if err != nil {
+			return fmt.Errorf("bad -shards: %w", err)
+		}
+		kcfg := harness.KeyedSweepConfig{
+			Object:       *figure,
+			Threads:      threads,
+			ShardCounts:  shards,
+			OpsPerThread: *pairs,
+			Keys:         *keys,
+		}
+		if *threadList == "1,2,4,8,12,16,20" {
+			kcfg.Threads = nil // flag untouched: take the keyed default (up to 32)
+		}
+		if *shardList == "2,4,8" {
+			kcfg.ShardCounts = nil // flag untouched: include the single-shard baseline
+		}
+		fmt.Fprintf(os.Stderr, "virtual-time %s sweep: %d thread counts, %d ops/thread\n",
+			*figure, len(threads), *pairs)
+		series, err := harness.FigureKeyed(kcfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.FormatCSV(series))
+		} else {
+			fmt.Print(harness.FormatTable(series))
+		}
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(harness.BuildKeyedReport(kcfg, series), "", "  ")
+			if err != nil {
+				return fmt.Errorf("marshal report: %w", err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
 		return nil
 	}

@@ -3,20 +3,27 @@
 // dss-obs/1 exports, dss-timeline/1 recovery timelines (dsssoak
 // -timeline), dss-cluster-timeline/1 per-server-lane cluster timelines
 // (dsssoak -cluster -timeline), dss-procs/1 multi-process storm reports
-// (dssproc / dsssoak -procs), and dss-proc-timeline/1 process-storm
-// side records (dssproc -timeline) — and renders, validates, or diffs
-// them.
+// (dssproc / dsssoak -procs), dss-proc-timeline/1 process-storm side
+// records (dssproc -timeline), and the flat benchmark Reports the
+// figures write (BENCH_fig5a.json, BENCH_sharded.json,
+// BENCH_register.json, BENCH_hmap.json, ... — identified by their
+// "figure" field) — and renders, validates, or diffs them.
 //
 // Usage:
 //
 //	dssmon BENCH_metrics.json                 # pretty-print one document
 //	dssmon -check BENCH_metrics.json ...      # validate; nonzero exit on problems
+//	dssmon -check BENCH_hmap.json             # includes the figure's acceptance rule
 //	dssmon -diff old.json new.json            # per-counter / per-phase deltas
 //
-// -check is the machine gate behind `make metrics-smoke`: it re-derives
-// every internal consistency rule (schema tags, bucket sums vs counts,
-// timeline crash/recovery accounting) and exits nonzero listing each
-// violation.
+// -check is the machine gate behind `make metrics-smoke`, `make
+// register-smoke` and `make hmap-smoke`: it re-derives every internal
+// consistency rule (schema tags, bucket sums vs counts, timeline
+// crash/recovery accounting) and exits nonzero listing each violation.
+// For benchmark Reports it also enforces the figure's headline claim:
+// the hmap figure must show >2x throughput scaling from one shard to
+// eight at its largest thread count, and the register and combine
+// figures must show a >=3x fences-per-op reduction under combining.
 package main
 
 import (
@@ -84,7 +91,9 @@ func run(check, diff bool, files []string) error {
 	}
 }
 
-// document is one parsed file plus its detected schema.
+// document is one parsed file plus its detected schema. Benchmark
+// Reports carry no schema tag; they are recognized by their "figure"
+// field and get the synthetic schema "bench/<figure>".
 type document struct {
 	schema   string
 	metrics  harness.MetricsReport
@@ -93,6 +102,8 @@ type document struct {
 	cluster  obs.ClusterTimeline
 	procs    procharness.StormReport
 	procTL   procharness.StormSide
+	bench    harness.Report
+	isBench  bool
 }
 
 func load(path string) (document, error) {
@@ -102,6 +113,7 @@ func load(path string) (document, error) {
 	}
 	var peek struct {
 		Schema string `json:"schema"`
+		Figure string `json:"figure"`
 	}
 	if err := json.Unmarshal(b, &peek); err != nil {
 		return document{}, fmt.Errorf("%s: %w", path, err)
@@ -121,6 +133,13 @@ func load(path string) (document, error) {
 		err = json.Unmarshal(b, &d.procs)
 	case procharness.TimelineSchema:
 		err = json.Unmarshal(b, &d.procTL)
+	case "":
+		if peek.Figure == "" {
+			return document{}, fmt.Errorf("%s: neither a schema tag nor a benchmark figure field", path)
+		}
+		err = json.Unmarshal(b, &d.bench)
+		d.schema = "bench/" + peek.Figure
+		d.isBench = true
 	default:
 		return document{}, fmt.Errorf("%s: unknown schema %q", path, peek.Schema)
 	}
@@ -166,8 +185,52 @@ func show(path string) error {
 		showProcs(d.procs)
 	case procharness.TimelineSchema:
 		showProcTimeline(d.procTL)
+	default:
+		if d.isBench {
+			showBench(d.bench)
+		}
 	}
 	return nil
+}
+
+// showBench renders a flat benchmark Report: the workload line, then one
+// row per thread count with every series' Mops and fences/op.
+func showBench(r harness.Report) {
+	fmt.Printf("workload: %s\n", r.Workload)
+	if r.Config.Note != "" {
+		fmt.Printf("note: %s\n", r.Config.Note)
+	}
+	fmt.Printf("%-8s", "threads")
+	for _, s := range r.Series {
+		fmt.Printf(" %16s %9s", s.Impl, "fences/op")
+	}
+	fmt.Println()
+	rows := 0
+	for _, s := range r.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		printedThreads := false
+		for _, s := range r.Series {
+			if i >= len(s.Points) {
+				fmt.Printf(" %16s %9s", "-", "-")
+				continue
+			}
+			p := s.Points[i]
+			if !printedThreads {
+				fmt.Printf("%-8d", p.Threads)
+				printedThreads = true
+			}
+			fo := 0.0
+			if p.Ops > 0 {
+				fo = float64(p.Fences) / float64(p.Ops)
+			}
+			fmt.Printf(" %16.3f %9.2f", p.Mops, fo)
+		}
+		fmt.Println()
+	}
 }
 
 func perOp(n, ops uint64) float64 { return float64(n) / float64(ops) }
@@ -267,7 +330,109 @@ func checkFile(path string) ([]string, error) {
 	case procharness.TimelineSchema:
 		return checkProcTimeline(d.procTL), nil
 	}
+	if d.isBench {
+		return checkBench(d.bench), nil
+	}
 	return nil, nil
+}
+
+// checkBench validates a flat benchmark Report: structural consistency
+// for every figure, plus the figure's own headline acceptance rule.
+func checkBench(r harness.Report) []string {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	if len(r.Series) == 0 {
+		bad("no series")
+		return probs
+	}
+	// Every series must cover the same strictly-increasing thread axis
+	// with positive measurements.
+	axis := threadAxis(r.Series[0])
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			bad("series %s: no points", s.Impl)
+			continue
+		}
+		got := threadAxis(s)
+		if fmt.Sprint(got) != fmt.Sprint(axis) {
+			bad("series %s: thread axis %v disagrees with %s's %v", s.Impl, got, r.Series[0].Impl, axis)
+		}
+		for i, p := range s.Points {
+			if i > 0 && p.Threads <= s.Points[i-1].Threads {
+				bad("series %s: thread axis not strictly increasing at point %d", s.Impl, i)
+			}
+			if p.Mops <= 0 {
+				bad("series %s @%d threads: nonpositive throughput %v", s.Impl, p.Threads, p.Mops)
+			}
+			if p.Ops == 0 {
+				bad("series %s @%d threads: zero ops", s.Impl, p.Threads)
+			}
+		}
+	}
+	if len(r.Config.Threads) > 0 && fmt.Sprint(r.Config.Threads) != fmt.Sprint(axis) {
+		bad("config threads %v disagree with measured axis %v", r.Config.Threads, axis)
+	}
+	// Figure-specific acceptance rules: the headline claim each committed
+	// figure exists to pin.
+	switch r.Figure {
+	case "hmap":
+		one, oneOK := lastPoint(r, "sharded-hmap/1")
+		eight, eightOK := lastPoint(r, "sharded-hmap/8")
+		if !oneOK || !eightOK {
+			bad("hmap figure needs sharded-hmap/1 and sharded-hmap/8 series for its 1 -> 8 shard scaling rule")
+		} else if one.Mops > 0 && eight.Mops/one.Mops <= 2 {
+			bad("hmap scaling rule: sharded-hmap/8 at %d threads is %.3f Mops, only %.2fx sharded-hmap/1's %.3f (need >2x)",
+				eight.Threads, eight.Mops, eight.Mops/one.Mops, one.Mops)
+		}
+	case "register":
+		probs = append(probs, checkFenceReduction(r, "dss-register", "combined-register")...)
+	case "combine":
+		probs = append(probs, checkFenceReduction(r, "dss-detectable", "combined-dss")...)
+	}
+	return probs
+}
+
+// checkFenceReduction enforces the combining figures' claim: at the
+// largest thread count the combined series spends at most a third of the
+// baseline's fences per operation.
+func checkFenceReduction(r harness.Report, base, combined string) []string {
+	var probs []string
+	b, bOK := lastPoint(r, base)
+	c, cOK := lastPoint(r, combined)
+	if !bOK || !cOK {
+		return []string{fmt.Sprintf("%s figure needs %s and %s series for its fence amortization rule",
+			r.Figure, base, combined)}
+	}
+	if b.Ops == 0 || c.Ops == 0 {
+		return nil // already reported by the structural pass
+	}
+	bf := float64(b.Fences) / float64(b.Ops)
+	cf := float64(c.Fences) / float64(c.Ops)
+	if cf*3 > bf {
+		probs = append(probs, fmt.Sprintf(
+			"fence amortization rule: %s spends %.2f fences/op at %d threads vs %s's %.2f (need >=3x reduction)",
+			combined, cf, c.Threads, base, bf))
+	}
+	return probs
+}
+
+func threadAxis(s harness.ReportSeries) []int {
+	out := make([]int, 0, len(s.Points))
+	for _, p := range s.Points {
+		out = append(out, p.Threads)
+	}
+	return out
+}
+
+func lastPoint(r harness.Report, impl string) (harness.ReportPoint, bool) {
+	for _, s := range r.Series {
+		if s.Impl == impl && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1], true
+		}
+	}
+	return harness.ReportPoint{}, false
 }
 
 func checkTimeline(tl obs.RecoveryTimeline) []string {

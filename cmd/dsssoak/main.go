@@ -1,11 +1,14 @@
 // Command dsssoak runs the deterministic crash-storm soak: concurrent
 // retrying clients drive a message-passing DSS object server (queue by
-// default, stack with -object stack) through a lossy, duplicating,
-// delaying network while the server crashes and recovers under rotating
-// dirty-line adversaries. The full client-observed history is verified
-// for exactly-once execution and the object's sequential invariants, and
-// the run's counters are emitted as a JSON report that is bit-identical
-// for a given seed.
+// default; stack, the swap/CAS register, or the keyed hash map with
+// -object) through a lossy, duplicating, delaying network while the
+// server crashes and recovers under rotating dirty-line adversaries.
+// The full client-observed history is verified for exactly-once
+// execution and the object's sequential invariants — conservation and
+// LIFO/FIFO order for the queue and stack, displacement-chain
+// linearizability for the register and map (a keyed Zipf workload) —
+// and the run's counters are emitted as a JSON report that is
+// bit-identical for a given seed.
 //
 // The run is always observed (the sinks ride the simulation's virtual
 // clock, so observation costs the report nothing): after the storm a
@@ -18,6 +21,8 @@
 //	dsssoak -seed 1 -clients 8 -ops 50 -crashes 40
 //	dsssoak -seed 1 -json BENCH_soak.json -timeline BENCH_soak_timeline.json
 //	dsssoak -seed 1 -object stack
+//	dsssoak -seed 1 -object register # swap/CAS register, write/read/swap/cas mix
+//	dsssoak -seed 1 -object hmap     # keyed hash map, Zipf put/get/del/mcas mix
 //	dsssoak -seed 1 -combined        # serve the object behind the combining front
 //	dsssoak -seed 1 -repeat 3        # prove determinism: byte-compare runs
 //
@@ -72,7 +77,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the entire run (network, crashes, adversaries, jitter)")
 	clients := flag.Int("clients", 8, "concurrent retrying clients")
 	ops := flag.Int("ops", 50, "operations per client (alternating insert/remove)")
-	object := flag.String("object", "queue", "detectable object the server hosts: queue or stack")
+	object := flag.String("object", "queue", "detectable object the server hosts: queue, stack, register, or hmap")
 	combined := flag.Bool("combined", false,
 		"host the object behind the flat-combining front (combine.Wire, persisted tags)")
 	crashes := flag.Int("crashes", 40, "target crash/restart cycles")

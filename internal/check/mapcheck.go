@@ -1,0 +1,346 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Polynomial-time violation detector for hash-map histories with
+// globally distinct stored values, companion to regcheck.go. A map
+// history factors by key — distinct keys name disjoint sub-objects —
+// and each key's sub-history is a register-like cell with an ABSENT
+// state: put installs (overwriting silently, like write), successful
+// delete and mcas witness the value they consume, get and failed mcas
+// observe. Per key the detector checks last-writer-wins integrity
+// (duplicate installs, duplicate consumptions, stale or premature
+// observations, chain order against real time) and key presence
+// (EMPTY answers while the key was certainly present, value answers
+// while it was certainly absent). Exactly-once deletion is the
+// duplicate-consumption pattern: with distinct values, no value may be
+// witnessed leaving the map twice. It never reports a false violation;
+// completeness is established differentially against the WGL checker
+// in mapcheck_test.go.
+
+// MOpKind classifies a map-history operation.
+type MOpKind int
+
+const (
+	// MPut is a completed put(k, v): installs v at k (insert or silent
+	// overwrite), making k present.
+	MPut MOpKind = iota + 1
+	// MGet is a completed get(k) that returned a value.
+	MGet
+	// MGetEmpty is a completed get(k) that found k absent.
+	MGetEmpty
+	// MDel is a completed delete(k) → v: witnesses (and removes) v,
+	// making k absent.
+	MDel
+	// MDelEmpty is a completed delete(k) that found k absent.
+	MDelEmpty
+	// MCasHit is a completed mcas(k, x, v) → (1, x): installs v,
+	// witnessing (and displacing) the expected x; k stays present.
+	MCasHit
+	// MCasMissVal is a completed mcas(k, x, v) → (0, w): observes the
+	// current value w ≠ x.
+	MCasMissVal
+	// MCasMissEmpty is a completed mcas(k, x, v) → (0, 0) on an absent
+	// key.
+	MCasMissEmpty
+)
+
+// MOp is one operation in a closed map history (crash-interrupted
+// operations must first be resolved). Stored values are distinct and
+// nonzero across the whole history; keys start absent.
+type MOp struct {
+	Kind MOpKind
+	// Key is the key operated on.
+	Key uint64
+	// V is the installed value (put/mcas-hit), the value returned
+	// (get/del), or the value the mcas attempted to install (miss).
+	V uint64
+	// W is the witnessed value (mcas-hit: the displaced expected;
+	// mcas-miss: the observed current).
+	W uint64
+	// X is the mcas's expected value.
+	X uint64
+	// Inv and Ret bound the operation's interval.
+	Inv, Ret int64
+}
+
+// String renders the operation.
+func (o MOp) String() string {
+	switch o.Kind {
+	case MPut:
+		return fmt.Sprintf("put(%d,%d)[%d,%d]", o.Key, o.V, o.Inv, o.Ret)
+	case MGet:
+		return fmt.Sprintf("get(%d)->%d[%d,%d]", o.Key, o.V, o.Inv, o.Ret)
+	case MGetEmpty:
+		return fmt.Sprintf("get(%d)->EMPTY[%d,%d]", o.Key, o.Inv, o.Ret)
+	case MDel:
+		return fmt.Sprintf("del(%d)->%d[%d,%d]", o.Key, o.V, o.Inv, o.Ret)
+	case MDelEmpty:
+		return fmt.Sprintf("del(%d)->EMPTY[%d,%d]", o.Key, o.Inv, o.Ret)
+	case MCasHit:
+		return fmt.Sprintf("mcas(%d,%d,%d)->ok[%d,%d]", o.Key, o.X, o.V, o.Inv, o.Ret)
+	case MCasMissVal:
+		return fmt.Sprintf("mcas(%d,%d,%d)->%d[%d,%d]", o.Key, o.X, o.V, o.W, o.Inv, o.Ret)
+	case MCasMissEmpty:
+		return fmt.Sprintf("mcas(%d,%d,%d)->EMPTY[%d,%d]", o.Key, o.X, o.V, o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("MOp(%d)", int(o.Kind))
+	}
+}
+
+// installs reports the value o installs at its key, if any.
+func (o MOp) installs() (uint64, bool) {
+	switch o.Kind {
+	case MPut, MCasHit:
+		return o.V, true
+	}
+	return 0, false
+}
+
+// witnesses reports the value o witnessed as consumed, if any.
+func (o MOp) witnesses() (uint64, bool) {
+	switch o.Kind {
+	case MDel:
+		return o.V, true
+	case MCasHit:
+		return o.W, true
+	}
+	return 0, false
+}
+
+// observes reports the present-value observation o makes, if any.
+func (o MOp) observes() (uint64, bool) {
+	switch o.Kind {
+	case MGet, MDel:
+		return o.V, true
+	case MCasHit, MCasMissVal:
+		return o.W, true
+	}
+	return 0, false
+}
+
+// absent reports whether o observed its key as absent.
+func (o MOp) absent() bool {
+	switch o.Kind {
+	case MGetEmpty, MDelEmpty, MCasMissEmpty:
+		return true
+	}
+	return false
+}
+
+// mhb reports whether a happens-before b.
+func mhb(a, b MOp) bool { return a.Ret < b.Inv }
+
+// CheckMapHistory scans a closed map history for violations and returns
+// a description of each one found (nil means none of the checked
+// patterns occurs).
+func CheckMapHistory(ops []MOp) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// Factor by key; values are globally distinct, so the install and
+	// consumption indexes are global (a value observed under the wrong
+	// key is then caught as never-installed-at-that-key).
+	byKey := map[uint64][]int{}
+	installs := map[uint64]map[uint64]int{} // key → value → op index
+	consumes := map[uint64]map[uint64]int{}
+	for i, o := range ops {
+		byKey[o.Key] = append(byKey[o.Key], i)
+		if o.Kind == MCasMissVal && o.W == o.X {
+			report("mcas-miss witnessing its own expected value: %s", o)
+		}
+		if o.Kind == MCasHit && o.W != o.X {
+			report("mcas-hit witnessing %d instead of its expected value: %s", o.W, o)
+		}
+		if v, ok := o.installs(); ok {
+			if v == 0 {
+				report("install of the reserved value 0: %s", o)
+				continue
+			}
+			if installs[o.Key] == nil {
+				installs[o.Key] = map[uint64]int{}
+			}
+			if j, dup := installs[o.Key][v]; dup {
+				report("value %d installed twice at key %d: %s and %s", v, o.Key, ops[j], o)
+				continue
+			}
+			installs[o.Key][v] = i
+		}
+		if w, ok := o.witnesses(); ok {
+			if v, inst := o.installs(); inst && w == v {
+				report("self-displacement: %s witnesses the value it installs", o)
+				continue
+			}
+			if consumes[o.Key] == nil {
+				consumes[o.Key] = map[uint64]int{}
+			}
+			if j, dup := consumes[o.Key][w]; dup {
+				report("value %d consumed twice at key %d (exactly-once violation): %s and %s",
+					w, o.Key, ops[j], o)
+				continue
+			}
+			consumes[o.Key][w] = i
+		}
+	}
+
+	for key, idxs := range byKey {
+		kInst := installs[key]
+		kCons := consumes[key]
+
+		// Successful deletes make the key absent; they bound the
+		// absent-observation pattern below.
+		var dels []MOp
+		for _, i := range idxs {
+			if ops[i].Kind == MDel {
+				dels = append(dels, ops[i])
+			}
+		}
+
+		for _, i := range idxs {
+			o := ops[i]
+
+			if v, ok := o.observes(); ok {
+				j, installed := kInst[v]
+				if !installed {
+					report("value %d observed at key %d but never installed there: %s", v, key, o)
+					continue
+				}
+				inst := ops[j]
+				if mhb(o, inst) {
+					report("observation returns before install begins for %d at key %d: %s vs %s",
+						v, key, o, inst)
+					continue
+				}
+				if j, consumed := kCons[v]; consumed && j != i && mhb(ops[j], o) {
+					report("value %d observed at key %d after its consumption: %s then %s",
+						v, key, ops[j], o)
+					continue
+				}
+				stale := false
+				for _, j := range kInst {
+					b := ops[j]
+					if bv, _ := b.installs(); bv == v {
+						continue
+					}
+					if mhb(inst, b) && mhb(b, o) {
+						report("stale observation at key %d: %s certainly overwrote %d before %s",
+							key, b, v, o)
+						stale = true
+						break
+					}
+				}
+				if stale {
+					continue
+				}
+			}
+
+			// Absent answers: a violation if some install certainly
+			// preceded this observation and no successful delete can
+			// linearize between them.
+			if o.absent() {
+				for _, j := range kInst {
+					inst := ops[j]
+					if !mhb(inst, o) {
+						continue
+					}
+					possible := false
+					for _, d := range dels {
+						if !mhb(d, inst) && !mhb(o, d) {
+							possible = true
+							break
+						}
+					}
+					if !possible {
+						report("EMPTY at %s while key %d was certainly present (install %s)",
+							o, key, inst)
+						break
+					}
+				}
+			}
+		}
+
+		// Chain-order consistency along witness edges, per key (the
+		// analogue of the register's displacement chain; put breaks the
+		// chain, so segments are followed independently).
+		succ := map[uint64]uint64{}
+		for _, i := range idxs {
+			o := ops[i]
+			if o.Kind == MCasHit {
+				succ[o.W] = o.V
+			}
+		}
+		for u := range succ {
+			iu, okU := kInst[u]
+			if !okU {
+				continue
+			}
+			for v, steps := succ[u], 0; steps < len(succ); steps++ {
+				iv, okV := kInst[v]
+				if !okV {
+					break
+				}
+				if mhb(ops[iv], ops[iu]) {
+					report("chain order at key %d contradicts real time: %d reaches %d but %s precedes %s",
+						key, u, v, ops[iv], ops[iu])
+				}
+				v2, more := succ[v]
+				if !more {
+					break
+				}
+				v = v2
+			}
+		}
+	}
+
+	return bad
+}
+
+// HistoryToMapOps converts a recorded (closed) history of base map
+// operations into MOps for the polynomial detector.
+func HistoryToMapOps(hist []Call) ([]MOp, error) {
+	out := make([]MOp, 0, len(hist))
+	for _, c := range hist {
+		if c.Optional || !c.HasRet {
+			return nil, fmt.Errorf("check: history not closed: %s", c)
+		}
+		if c.Op.Kind != spec.Base {
+			return nil, fmt.Errorf("check: non-base operation in map history: %s", c)
+		}
+		switch c.Op.Sym {
+		case "put":
+			out = append(out, MOp{Kind: MPut, Key: c.Op.Arg, V: c.Op.Arg2, Inv: c.Invoke, Ret: c.Return})
+		case "get":
+			if c.Ret.Kind == spec.Empty {
+				out = append(out, MOp{Kind: MGetEmpty, Key: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+			} else {
+				out = append(out, MOp{Kind: MGet, Key: c.Op.Arg, V: c.Ret.V, Inv: c.Invoke, Ret: c.Return})
+			}
+		case "del":
+			if c.Ret.Kind == spec.Empty {
+				out = append(out, MOp{Kind: MDelEmpty, Key: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+			} else {
+				out = append(out, MOp{Kind: MDel, Key: c.Op.Arg, V: c.Ret.V, Inv: c.Invoke, Ret: c.Return})
+			}
+		case "mcas":
+			exp, newV := spec.UnpackCAS(c.Op.Arg2)
+			m := MOp{Kind: MCasMissVal, Key: c.Op.Arg, V: newV, W: c.Ret.V2, X: exp, Inv: c.Invoke, Ret: c.Return}
+			switch {
+			case c.Ret.V == 1:
+				m.Kind = MCasHit
+			case c.Ret.V2 == 0:
+				m.Kind = MCasMissEmpty
+				m.W = 0
+			}
+			out = append(out, m)
+		default:
+			return nil, fmt.Errorf("check: unknown map operation %q", c.Op.Sym)
+		}
+	}
+	return out, nil
+}

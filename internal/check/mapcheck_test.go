@@ -1,0 +1,333 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func mp(k, v uint64, inv, ret int64) MOp { return MOp{Kind: MPut, Key: k, V: v, Inv: inv, Ret: ret} }
+func mg(k, v uint64, inv, ret int64) MOp { return MOp{Kind: MGet, Key: k, V: v, Inv: inv, Ret: ret} }
+func mge(k uint64, inv, ret int64) MOp   { return MOp{Kind: MGetEmpty, Key: k, Inv: inv, Ret: ret} }
+func md(k, v uint64, inv, ret int64) MOp { return MOp{Kind: MDel, Key: k, V: v, Inv: inv, Ret: ret} }
+func mde(k uint64, inv, ret int64) MOp   { return MOp{Kind: MDelEmpty, Key: k, Inv: inv, Ret: ret} }
+func mch(k, x, v uint64, inv, ret int64) MOp {
+	return MOp{Kind: MCasHit, Key: k, X: x, W: x, V: v, Inv: inv, Ret: ret}
+}
+func mcm(k, x, v, w uint64, inv, ret int64) MOp {
+	return MOp{Kind: MCasMissVal, Key: k, X: x, V: v, W: w, Inv: inv, Ret: ret}
+}
+func mce(k, x, v uint64, inv, ret int64) MOp {
+	return MOp{Kind: MCasMissEmpty, Key: k, X: x, V: v, Inv: inv, Ret: ret}
+}
+
+func TestMapCheckAcceptsLegalSequential(t *testing.T) {
+	ops := []MOp{
+		mge(1, 1, 2),
+		mp(1, 10, 3, 4),
+		mp(2, 20, 5, 6),
+		mg(1, 10, 7, 8),
+		mch(1, 10, 11, 9, 10),
+		mcm(1, 99, 12, 11, 11, 12),
+		md(1, 11, 13, 14),
+		mde(1, 15, 16),
+		mce(1, 5, 13, 17, 18),
+		mg(2, 20, 19, 20),
+	}
+	if bad := CheckMapHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal history flagged: %v", bad)
+	}
+}
+
+func TestMapCheckDetectsInventedValue(t *testing.T) {
+	ops := []MOp{mp(1, 10, 1, 2), mg(1, 11, 3, 4)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("invented value not detected")
+	}
+}
+
+func TestMapCheckDetectsCrossKeyLeak(t *testing.T) {
+	// Value 10 lives at key 1; observing it at key 2 is a violation even
+	// though it exists somewhere.
+	ops := []MOp{mp(1, 10, 1, 2), mg(2, 10, 3, 4)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("cross-key leak not detected")
+	}
+}
+
+func TestMapCheckDetectsDoubleDelete(t *testing.T) {
+	ops := []MOp{mp(1, 10, 1, 2), md(1, 10, 3, 4), md(1, 10, 5, 6)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("exactly-once delete violation not detected")
+	}
+}
+
+func TestMapCheckDetectsObservationAfterDelete(t *testing.T) {
+	ops := []MOp{mp(1, 10, 1, 2), md(1, 10, 3, 4), mg(1, 10, 5, 6)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("observation after delete not detected")
+	}
+}
+
+func TestMapCheckDetectsStaleObservation(t *testing.T) {
+	ops := []MOp{mp(1, 10, 1, 2), mp(1, 11, 3, 4), mg(1, 10, 5, 6)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("stale observation after overwrite not detected")
+	}
+}
+
+func TestMapCheckDetectsImpossibleEmpty(t *testing.T) {
+	ops := []MOp{mp(1, 10, 1, 2), mge(1, 3, 4), md(1, 10, 5, 6)}
+	if bad := CheckMapHistory(ops); len(bad) == 0 {
+		t.Fatal("impossible EMPTY not detected")
+	}
+}
+
+func TestMapCheckAcceptsEmptyAfterPossibleDelete(t *testing.T) {
+	// The delete overlaps the EMPTY get, so the key may have been absent.
+	ops := []MOp{mp(1, 10, 1, 2), md(1, 10, 3, 8), mge(1, 4, 7)}
+	if bad := CheckMapHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal overlapping history flagged: %v", bad)
+	}
+}
+
+func TestMapCheckDetectsInconsistentMcas(t *testing.T) {
+	if bad := CheckMapHistory([]MOp{{Kind: MCasMissVal, Key: 1, X: 5, W: 5, Inv: 1, Ret: 2}}); len(bad) == 0 {
+		t.Fatal("mcas-miss witnessing its expected value not detected")
+	}
+	if bad := CheckMapHistory([]MOp{mp(1, 7, 1, 2), {Kind: MCasHit, Key: 1, X: 7, W: 3, V: 8, Inv: 3, Ret: 4}}); len(bad) == 0 {
+		t.Fatal("mcas-hit witnessing a foreign value not detected")
+	}
+}
+
+func TestMapCheckKeysAreIndependent(t *testing.T) {
+	// Interleaved operations on independent keys must not interfere:
+	// key 2's overwrites do not stale key 1's reads.
+	ops := []MOp{
+		mp(1, 10, 1, 2),
+		mp(2, 20, 3, 4),
+		mp(2, 21, 5, 6),
+		mg(1, 10, 7, 8),
+		md(2, 21, 9, 10),
+		mg(1, 10, 11, 12),
+	}
+	if bad := CheckMapHistory(ops); len(bad) != 0 {
+		t.Fatalf("independent keys flagged: %v", bad)
+	}
+}
+
+func TestHistoryToMapOps(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Put(1, 10), spec.AckResp(), 1, 2),
+		h(1, spec.Get(1), spec.ValResp(10), 3, 4),
+		h(1, spec.MCAS(1, 10, 11), spec.ValResp2(1, 10), 5, 6),
+		h(0, spec.MCAS(1, 99, 12), spec.ValResp2(0, 11), 7, 8),
+		h(0, spec.MCAS(2, 5, 13), spec.ValResp2(0, 0), 9, 10),
+		h(0, spec.Del(1), spec.ValResp(11), 11, 12),
+		h(0, spec.Get(1), spec.EmptyResp(), 13, 14),
+	}
+	ops, err := HistoryToMapOps(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []MOpKind{MPut, MGet, MCasHit, MCasMissVal, MCasMissEmpty, MDel, MGetEmpty}
+	if len(ops) != len(wantKinds) {
+		t.Fatalf("conversion wrong: %+v", ops)
+	}
+	for i, k := range wantKinds {
+		if ops[i].Kind != k {
+			t.Fatalf("op %d: kind %d, want %d (%+v)", i, ops[i].Kind, k, ops[i])
+		}
+	}
+	if bad := CheckMapHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal converted history flagged: %v", bad)
+	}
+	if _, err := HistoryToMapOps([]Call{hi(0, spec.Put(1, 1), 1, 2)}); err == nil {
+		t.Fatal("accepted unresolved interrupted call")
+	}
+	if _, err := HistoryToMapOps([]Call{h(0, spec.Enqueue(1), spec.AckResp(), 1, 2)}); err == nil {
+		t.Fatal("accepted a queue operation")
+	}
+}
+
+// genLegalMapHistory builds a random legal concurrent map history over a
+// small key universe, exactly as genLegalHistory does for queues.
+func genLegalMapHistory(rng *rand.Rand, nOps int) []MOp {
+	var st spec.State = spec.NewMap()
+	cur := map[uint64]uint64{}
+	type lin struct {
+		op    MOp
+		point int64
+	}
+	var lins []lin
+	next := uint64(1)
+	var point int64
+	for i := 0; i < nOps; i++ {
+		point += 10
+		k := uint64(rng.Intn(3) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			v := next
+			next++
+			st2, _, _ := st.Apply(spec.Put(k, v), 0)
+			st = st2
+			cur[k] = v
+			lins = append(lins, lin{mp(k, v, point, point), point})
+		case 1:
+			st2, r, _ := st.Apply(spec.Get(k), 0)
+			st = st2
+			if r.Kind == spec.Empty {
+				lins = append(lins, lin{mge(k, point, point), point})
+			} else {
+				lins = append(lins, lin{mg(k, r.V, point, point), point})
+			}
+		case 2:
+			st2, r, _ := st.Apply(spec.Del(k), 0)
+			st = st2
+			if r.Kind == spec.Empty {
+				lins = append(lins, lin{mde(k, point, point), point})
+			} else {
+				delete(cur, k)
+				lins = append(lins, lin{md(k, r.V, point, point), point})
+			}
+		default:
+			v := next
+			next++
+			exp := cur[k]
+			if rng.Intn(2) == 0 {
+				exp = next + 1_000_000 // certain miss
+			}
+			st2, r, _ := st.Apply(spec.MCAS(k, exp, v), 0)
+			st = st2
+			switch {
+			case r.V == 1:
+				cur[k] = v
+				lins = append(lins, lin{mch(k, exp, v, point, point), point})
+			case r.V2 == 0:
+				lins = append(lins, lin{mce(k, exp, v, point, point), point})
+			default:
+				lins = append(lins, lin{mcm(k, exp, v, r.V2, point, point), point})
+			}
+		}
+	}
+	out := make([]MOp, len(lins))
+	for i, l := range lins {
+		o := l.op
+		o.Inv = l.point - int64(rng.Intn(10))
+		o.Ret = l.point + int64(rng.Intn(10))
+		out[i] = o
+	}
+	return out
+}
+
+// toMapCalls converts MOps to checker Calls for the WGL ground truth.
+func toMapCalls(ops []MOp) []Call {
+	out := make([]Call, 0, len(ops))
+	for i, o := range ops {
+		proc := i % 8
+		c := Call{Proc: proc, HasRet: true, Invoke: o.Inv, Return: o.Ret}
+		switch o.Kind {
+		case MPut:
+			c.Op, c.Ret = spec.Put(o.Key, o.V), spec.AckResp()
+		case MGet:
+			c.Op, c.Ret = spec.Get(o.Key), spec.ValResp(o.V)
+		case MGetEmpty:
+			c.Op, c.Ret = spec.Get(o.Key), spec.EmptyResp()
+		case MDel:
+			c.Op, c.Ret = spec.Del(o.Key), spec.ValResp(o.V)
+		case MDelEmpty:
+			c.Op, c.Ret = spec.Del(o.Key), spec.EmptyResp()
+		case MCasHit:
+			c.Op, c.Ret = spec.MCAS(o.Key, o.X, o.V), spec.ValResp2(1, o.W)
+		case MCasMissVal:
+			c.Op, c.Ret = spec.MCAS(o.Key, o.X, o.V), spec.ValResp2(0, o.W)
+		case MCasMissEmpty:
+			c.Op, c.Ret = spec.MCAS(o.Key, o.X, o.V), spec.ValResp2(0, 0)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestMapCheckNoFalseAlarms: the detector must accept every generated
+// legal history.
+func TestMapCheckNoFalseAlarms(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genLegalMapHistory(rng, 4+rng.Intn(20))
+		if bad := CheckMapHistory(ops); len(bad) != 0 {
+			t.Fatalf("seed %d: legal history flagged: %v\nops: %v", seed, bad, ops)
+		}
+	}
+}
+
+// TestMapCheckDifferentialAgainstWGL mutates legal histories and
+// compares the polynomial detector against the exact WGL checker in
+// both directions, exactly as the queue and stack differentials do.
+func TestMapCheckDifferentialAgainstWGL(t *testing.T) {
+	misses, total := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		ops := genLegalMapHistory(rng, 4+rng.Intn(10))
+		if len(ops) == 0 {
+			continue
+		}
+		switch rng.Intn(5) {
+		case 0: // swap two get values
+			var gd []int
+			for i, o := range ops {
+				if o.Kind == MGet {
+					gd = append(gd, i)
+				}
+			}
+			if len(gd) >= 2 {
+				i, j := gd[rng.Intn(len(gd))], gd[rng.Intn(len(gd))]
+				ops[i].V, ops[j].V = ops[j].V, ops[i].V
+			}
+		case 1: // move an observation to a different key
+			for i, o := range ops {
+				if o.Kind == MGet || o.Kind == MDel {
+					ops[i].Key = o.Key%3 + 1
+					break
+				}
+			}
+		case 2: // turn a value answer into EMPTY
+			for i, o := range ops {
+				if o.Kind == MGet {
+					ops[i] = mge(o.Key, o.Inv, o.Ret)
+					break
+				} else if o.Kind == MDel {
+					ops[i] = mde(o.Key, o.Inv, o.Ret)
+					break
+				}
+			}
+		case 3: // duplicate a delete (exactly-once violation)
+			for _, o := range ops {
+				if o.Kind == MDel {
+					dup := o
+					dup.Inv, dup.Ret = o.Ret+1, o.Ret+2
+					ops = append(ops, dup)
+					break
+				}
+			}
+		case 4: // shrink an interval to sequentialize an inversion
+			i := rng.Intn(len(ops))
+			ops[i].Ret = ops[i].Inv
+		}
+		total++
+		wgl := StrictlyLinearizable(spec.NewMap(), toMapCalls(ops)).OK
+		flagged := len(CheckMapHistory(ops)) != 0
+		if flagged && wgl {
+			t.Fatalf("seed %d: detector flagged a WGL-legal history: %v\n%v",
+				seed, CheckMapHistory(ops), ops)
+		}
+		if !flagged && !wgl {
+			misses++
+			t.Logf("seed %d: WGL rejects but detector silent:\n%v", seed, ops)
+		}
+	}
+	if misses > total/20 {
+		t.Fatalf("detector missed %d/%d WGL-rejected histories", misses, total)
+	}
+}

@@ -37,6 +37,11 @@ const (
 // time; ineffective ones are dropped).
 type QOp struct {
 	Kind QOpKind
+	// Key is the routing key of the widened op contract. Container
+	// histories leave it zero; it exists so placed-op records survive
+	// the keyed contract unchanged (keyed types have their own
+	// checkers, CheckRegisterHistory and CheckMapHistory).
+	Key uint64
 	// V is the enqueued or dequeued value (distinct across enqueues).
 	V uint64
 	// Inv and Ret bound the operation's interval.

@@ -1,0 +1,268 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Polynomial-time violation detector for swap/CAS register histories
+// with distinct written values, companion to queuecheck.go and
+// stackcheck.go. The register's mutators witness the value they
+// displace (swap returns the old value, cas returns the witnessed
+// current), so a history with distinct installed values carries its own
+// linearization skeleton: a displacement CHAIN in which every value has
+// at most one installer and at most one witnessed consumer. The
+// detector checks the chain's integrity (duplicate installs, duplicate
+// consumptions, observations of never-installed or certainly-displaced
+// values) and its consistency with real time (a value observed before
+// its install began, a chain order contradicting happens-before). It
+// never reports a false violation; completeness over random histories
+// is established differentially against the WGL checker in
+// regcheck_test.go.
+
+// ROpKind classifies a register-history operation.
+type ROpKind int
+
+const (
+	// RWrite is a completed write(v): installs v, displacing the
+	// previous value silently.
+	RWrite ROpKind = iota + 1
+	// RRead is a completed read that returned a value.
+	RRead
+	// RSwap is a completed swap(v) → w: installs v, witnessing the
+	// displaced w.
+	RSwap
+	// RCasHit is a completed cas(x, v) → (1, x): installs v, witnessing
+	// (and displacing) the expected x.
+	RCasHit
+	// RCasMiss is a completed cas(x, v) → (0, w): installs nothing,
+	// observing the current value w ≠ x.
+	RCasMiss
+)
+
+// ROp is one operation in a closed register history (crash-interrupted
+// operations must first be resolved, as with QOp). The initial register
+// value is 0 and installed values are distinct and nonzero.
+type ROp struct {
+	Kind ROpKind
+	// V is the installed value (write/swap/cas-hit), the value read
+	// (read), or the value the cas attempted to install (cas-miss).
+	V uint64
+	// W is the witnessed displaced value (swap/cas-hit) or the
+	// witnessed current value (cas-miss).
+	W uint64
+	// X is the cas's expected value (cas-hit: X == W by construction).
+	X uint64
+	// Inv and Ret bound the operation's interval.
+	Inv, Ret int64
+}
+
+// String renders the operation.
+func (o ROp) String() string {
+	switch o.Kind {
+	case RWrite:
+		return fmt.Sprintf("write(%d)[%d,%d]", o.V, o.Inv, o.Ret)
+	case RRead:
+		return fmt.Sprintf("read->%d[%d,%d]", o.V, o.Inv, o.Ret)
+	case RSwap:
+		return fmt.Sprintf("swap(%d)->%d[%d,%d]", o.V, o.W, o.Inv, o.Ret)
+	case RCasHit:
+		return fmt.Sprintf("cas(%d,%d)->ok[%d,%d]", o.X, o.V, o.Inv, o.Ret)
+	case RCasMiss:
+		return fmt.Sprintf("cas(%d,%d)->%d[%d,%d]", o.X, o.V, o.W, o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("ROp(%d)", int(o.Kind))
+	}
+}
+
+// installs reports the value o installs, if any.
+func (o ROp) installs() (uint64, bool) {
+	switch o.Kind {
+	case RWrite, RSwap, RCasHit:
+		return o.V, true
+	}
+	return 0, false
+}
+
+// witnesses reports the value o witnessed as displaced, if any
+// (cas-miss observes but does not displace).
+func (o ROp) witnesses() (uint64, bool) {
+	switch o.Kind {
+	case RSwap, RCasHit:
+		return o.W, true
+	}
+	return 0, false
+}
+
+// observes reports the current-value observation o makes, if any.
+func (o ROp) observes() (uint64, bool) {
+	switch o.Kind {
+	case RRead:
+		return o.V, true
+	case RSwap, RCasHit, RCasMiss:
+		return o.W, true
+	}
+	return 0, false
+}
+
+// rhb reports whether a happens-before b.
+func rhb(a, b ROp) bool { return a.Ret < b.Inv }
+
+// CheckRegisterHistory scans a closed register history for violations
+// and returns a description of each one found (nil means none of the
+// checked patterns occurs).
+func CheckRegisterHistory(ops []ROp) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// Index installers and witnessed consumers; value 0 has a virtual
+	// install before time (the initial value).
+	installs := map[uint64]int{}
+	consumes := map[uint64]int{}
+	for i, o := range ops {
+		if o.Kind == RCasMiss && o.W == o.X {
+			report("cas-miss witnessing its own expected value: %s", o)
+		}
+		if o.Kind == RCasHit && o.W != o.X {
+			report("cas-hit witnessing %d instead of its expected value: %s", o.W, o)
+		}
+		if v, ok := o.installs(); ok {
+			if v == 0 {
+				report("install of the reserved initial value 0: %s", o)
+				continue
+			}
+			if j, dup := installs[v]; dup {
+				report("value %d installed twice: %s and %s", v, ops[j], o)
+				continue
+			}
+			installs[v] = i
+		}
+		if w, ok := o.witnesses(); ok {
+			if v, inst := o.installs(); inst && w == v {
+				// Witnessing the value being installed would mean v was
+				// already present — a second install under distinct values.
+				report("self-displacement: %s witnesses the value it installs", o)
+				continue
+			}
+			if j, dup := consumes[w]; dup {
+				report("value %d displaced twice: %s and %s", w, ops[j], o)
+				continue
+			}
+			consumes[w] = i
+		}
+	}
+
+	// Observation patterns. An observation of v is a violation if v was
+	// never installed (and is not the initial 0), if it returned before
+	// v's install began, if v's witnessed displacement certainly
+	// preceded it, or if some OTHER value was certainly installed
+	// between v's install and the observation (install(v) hb install(b)
+	// hb obs(v) — with distinct values v cannot come back).
+	for i, o := range ops {
+		v, ok := o.observes()
+		if !ok {
+			continue
+		}
+		var inst ROp
+		haveInst := false
+		if v != 0 {
+			j, installed := installs[v]
+			if !installed {
+				report("value %d observed but never installed: %s", v, o)
+				continue
+			}
+			inst = ops[j]
+			haveInst = true
+			if rhb(o, inst) {
+				report("observation returns before install begins for %d: %s vs %s", v, o, inst)
+				continue
+			}
+		}
+		if j, consumed := consumes[v]; consumed && j != i && rhb(ops[j], o) {
+			report("value %d observed after its displacement: %s then %s", v, ops[j], o)
+			continue
+		}
+		for _, j := range installs {
+			b := ops[j]
+			if bv, _ := b.installs(); bv == v {
+				continue
+			}
+			// For v == 0 the virtual install precedes everything, so any
+			// completed install certainly buried 0.
+			if (!haveInst || rhb(inst, b)) && rhb(b, o) {
+				report("stale observation: %s certainly overwrote %d before %s", b, v, o)
+				break
+			}
+		}
+	}
+
+	// Chain-order consistency: witness edges w → v (the op consuming w
+	// installs v) order installs; following edges transitively, an
+	// earlier chain value's install may not begin after a later one's
+	// returned.
+	succ := map[uint64]uint64{}
+	for _, o := range ops {
+		if w, ok := o.witnesses(); ok {
+			if v, inst := o.installs(); inst {
+				succ[w] = v
+			}
+		}
+	}
+	for u := range succ {
+		iu, okU := installs[u]
+		if !okU {
+			continue // u == 0 (virtual) or already reported
+		}
+		for v, steps := succ[u], 0; steps < len(succ); steps++ {
+			iv, okV := installs[v]
+			if !okV {
+				break
+			}
+			if rhb(ops[iv], ops[iu]) {
+				report("chain order contradicts real time: %d reaches %d along the displacement chain but %s precedes %s",
+					u, v, ops[iv], ops[iu])
+			}
+			v2, more := succ[v]
+			if !more {
+				break
+			}
+			v = v2
+		}
+	}
+
+	return bad
+}
+
+// HistoryToRegisterOps converts a recorded (closed) history of base
+// register operations into ROps for the polynomial detector.
+func HistoryToRegisterOps(hist []Call) ([]ROp, error) {
+	out := make([]ROp, 0, len(hist))
+	for _, c := range hist {
+		if c.Optional || !c.HasRet {
+			return nil, fmt.Errorf("check: history not closed: %s", c)
+		}
+		if c.Op.Kind != spec.Base {
+			return nil, fmt.Errorf("check: non-base operation in register history: %s", c)
+		}
+		switch c.Op.Sym {
+		case "write":
+			out = append(out, ROp{Kind: RWrite, V: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+		case "read":
+			out = append(out, ROp{Kind: RRead, V: c.Ret.V, Inv: c.Invoke, Ret: c.Return})
+		case "swap":
+			out = append(out, ROp{Kind: RSwap, V: c.Op.Arg, W: c.Ret.V, Inv: c.Invoke, Ret: c.Return})
+		case "cas":
+			if c.Ret.V == 1 {
+				out = append(out, ROp{Kind: RCasHit, V: c.Op.Arg2, W: c.Ret.V2, X: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+			} else {
+				out = append(out, ROp{Kind: RCasMiss, V: c.Op.Arg2, W: c.Ret.V2, X: c.Op.Arg, Inv: c.Invoke, Ret: c.Return})
+			}
+		default:
+			return nil, fmt.Errorf("check: unknown register operation %q", c.Op.Sym)
+		}
+	}
+	return out, nil
+}

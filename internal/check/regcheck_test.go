@@ -1,0 +1,311 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func rw(v uint64, inv, ret int64) ROp { return ROp{Kind: RWrite, V: v, Inv: inv, Ret: ret} }
+func rr(v uint64, inv, ret int64) ROp { return ROp{Kind: RRead, V: v, Inv: inv, Ret: ret} }
+func rsw(v, w uint64, inv, ret int64) ROp {
+	return ROp{Kind: RSwap, V: v, W: w, Inv: inv, Ret: ret}
+}
+func rch(x, v uint64, inv, ret int64) ROp {
+	return ROp{Kind: RCasHit, V: v, W: x, X: x, Inv: inv, Ret: ret}
+}
+func rcm(x, v, w uint64, inv, ret int64) ROp {
+	return ROp{Kind: RCasMiss, V: v, W: w, X: x, Inv: inv, Ret: ret}
+}
+
+func TestRegisterCheckAcceptsLegalSequential(t *testing.T) {
+	ops := []ROp{
+		rw(1, 1, 2),
+		rr(1, 3, 4),
+		rsw(2, 1, 5, 6),
+		rch(2, 3, 7, 8),
+		rcm(9, 4, 3, 9, 10),
+		rr(3, 11, 12),
+	}
+	if bad := CheckRegisterHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal history flagged: %v", bad)
+	}
+}
+
+func TestRegisterCheckDetectsInventedValue(t *testing.T) {
+	ops := []ROp{rw(1, 1, 2), rr(2, 3, 4)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("invented value not detected")
+	}
+}
+
+func TestRegisterCheckDetectsDoubleInstall(t *testing.T) {
+	ops := []ROp{rw(1, 1, 2), rsw(1, 0, 3, 4)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("double install not detected")
+	}
+}
+
+func TestRegisterCheckDetectsDoubleDisplace(t *testing.T) {
+	ops := []ROp{rw(1, 1, 2), rsw(2, 1, 3, 4), rsw(3, 1, 5, 6)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("double displacement not detected")
+	}
+}
+
+func TestRegisterCheckDetectsObservationBeforeInstall(t *testing.T) {
+	ops := []ROp{rr(1, 1, 2), rw(1, 3, 4)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("observation before install not detected")
+	}
+}
+
+func TestRegisterCheckDetectsObservationAfterDisplacement(t *testing.T) {
+	ops := []ROp{rw(1, 1, 2), rsw(2, 1, 3, 4), rr(1, 5, 6)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("observation after displacement not detected")
+	}
+}
+
+func TestRegisterCheckDetectsStaleObservation(t *testing.T) {
+	// 1 then 2 installed sequentially by silent writes; a later read of 1
+	// is stale even though no witness names 1's displacement.
+	ops := []ROp{rw(1, 1, 2), rw(2, 3, 4), rr(1, 5, 6)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("stale observation not detected")
+	}
+}
+
+func TestRegisterCheckDetectsStaleInitialRead(t *testing.T) {
+	ops := []ROp{rw(1, 1, 2), rr(0, 3, 4)}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("read of buried initial value not detected")
+	}
+}
+
+func TestRegisterCheckDetectsInconsistentCas(t *testing.T) {
+	if bad := CheckRegisterHistory([]ROp{ROp{Kind: RCasMiss, X: 5, W: 5, Inv: 1, Ret: 2}}); len(bad) == 0 {
+		t.Fatal("cas-miss witnessing its expected value not detected")
+	}
+	if bad := CheckRegisterHistory([]ROp{rw(7, 1, 2), {Kind: RCasHit, X: 7, W: 3, V: 8, Inv: 3, Ret: 4}}); len(bad) == 0 {
+		t.Fatal("cas-hit witnessing a foreign value not detected")
+	}
+}
+
+func TestRegisterCheckDetectsChainOrderInversion(t *testing.T) {
+	// The witness chain says 1 → 2 → 3 (each swap names its
+	// predecessor), forcing 3's install to linearize after 1's — but the
+	// swap installing 3 returned before 1's install began. Every
+	// pairwise pattern is masked by overlap; only the transitive chain
+	// walk sees it.
+	ops := []ROp{
+		rw(1, 10, 11),
+		rsw(2, 1, 5, 20), // witnesses 1; overlaps 1's install
+		rsw(3, 2, 6, 7),  // witnesses 2; returns before 1 was installed
+	}
+	if bad := CheckRegisterHistory(ops); len(bad) == 0 {
+		t.Fatal("chain-order inversion not detected")
+	}
+}
+
+func TestRegisterCheckAcceptsConcurrentAmbiguity(t *testing.T) {
+	// Concurrent writes of 1 and 2: a read of either is fine, and a
+	// read of 1 after both intervals closed is fine only if 2 could have
+	// come first — here the writes overlap, so it could.
+	ops := []ROp{
+		rw(1, 1, 10), rw(2, 2, 9),
+		rr(1, 11, 12),
+	}
+	if bad := CheckRegisterHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal concurrent history flagged: %v", bad)
+	}
+}
+
+func TestHistoryToRegisterOps(t *testing.T) {
+	hist := []Call{
+		h(0, spec.Write(5), spec.AckResp(), 1, 2),
+		h(1, spec.Swap(6), spec.ValResp(5), 3, 4),
+		h(1, spec.CAS(6, 7), spec.ValResp2(1, 6), 5, 6),
+		h(0, spec.CAS(9, 8), spec.ValResp2(0, 7), 7, 8),
+		h(0, spec.Read(), spec.ValResp(7), 9, 10),
+	}
+	ops, err := HistoryToRegisterOps(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 5 || ops[0].Kind != RWrite || ops[1].Kind != RSwap ||
+		ops[2].Kind != RCasHit || ops[3].Kind != RCasMiss || ops[4].Kind != RRead {
+		t.Fatalf("conversion wrong: %+v", ops)
+	}
+	if bad := CheckRegisterHistory(ops); len(bad) != 0 {
+		t.Fatalf("legal converted history flagged: %v", bad)
+	}
+	if _, err := HistoryToRegisterOps([]Call{hi(0, spec.Write(1), 1, 2)}); err == nil {
+		t.Fatal("accepted unresolved interrupted call")
+	}
+	if _, err := HistoryToRegisterOps([]Call{h(0, spec.Enqueue(1), spec.AckResp(), 1, 2)}); err == nil {
+		t.Fatal("accepted a queue operation")
+	}
+}
+
+// genLegalRegisterHistory builds a random legal concurrent register
+// history exactly as genLegalHistory does for queues: a legal
+// sequential execution against the swap/CAS spec, then intervals
+// stretched around the linearization points.
+func genLegalRegisterHistory(rng *rand.Rand, nOps int) []ROp {
+	var st spec.State = spec.NewSwap(0)
+	cur := uint64(0)
+	type lin struct {
+		op    ROp
+		point int64
+	}
+	var lins []lin
+	next := uint64(1)
+	var point int64
+	for i := 0; i < nOps; i++ {
+		point += 10
+		switch rng.Intn(4) {
+		case 0:
+			v := next
+			next++
+			st2, _, _ := st.Apply(spec.Write(v), 0)
+			st = st2
+			cur = v
+			lins = append(lins, lin{rw(v, point, point), point})
+		case 1:
+			st2, r, _ := st.Apply(spec.Read(), 0)
+			st = st2
+			lins = append(lins, lin{rr(r.V, point, point), point})
+		case 2:
+			v := next
+			next++
+			st2, r, _ := st.Apply(spec.Swap(v), 0)
+			st = st2
+			cur = v
+			lins = append(lins, lin{rsw(v, r.V, point, point), point})
+		default:
+			v := next
+			next++
+			exp := cur
+			if rng.Intn(2) == 0 {
+				exp = next + 1_000_000 // certain miss
+			}
+			st2, r, _ := st.Apply(spec.CAS(exp, v), 0)
+			st = st2
+			if r.V == 1 {
+				cur = v
+				lins = append(lins, lin{rch(exp, v, point, point), point})
+			} else {
+				lins = append(lins, lin{rcm(exp, v, r.V2, point, point), point})
+			}
+		}
+	}
+	out := make([]ROp, len(lins))
+	for i, l := range lins {
+		o := l.op
+		o.Inv = l.point - int64(rng.Intn(10))
+		o.Ret = l.point + int64(rng.Intn(10))
+		out[i] = o
+	}
+	return out
+}
+
+// toRegCalls converts ROps to checker Calls for the WGL ground truth.
+func toRegCalls(ops []ROp) []Call {
+	out := make([]Call, 0, len(ops))
+	for i, o := range ops {
+		proc := i % 8
+		switch o.Kind {
+		case RWrite:
+			out = append(out, Call{Proc: proc, Op: spec.Write(o.V), Ret: spec.AckResp(), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case RRead:
+			out = append(out, Call{Proc: proc, Op: spec.Read(), Ret: spec.ValResp(o.V), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case RSwap:
+			out = append(out, Call{Proc: proc, Op: spec.Swap(o.V), Ret: spec.ValResp(o.W), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case RCasHit:
+			out = append(out, Call{Proc: proc, Op: spec.CAS(o.X, o.V), Ret: spec.ValResp2(1, o.W), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		case RCasMiss:
+			out = append(out, Call{Proc: proc, Op: spec.CAS(o.X, o.V), Ret: spec.ValResp2(0, o.W), HasRet: true, Invoke: o.Inv, Return: o.Ret})
+		}
+	}
+	return out
+}
+
+// TestRegisterCheckNoFalseAlarms: the detector must accept every
+// generated legal history.
+func TestRegisterCheckNoFalseAlarms(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genLegalRegisterHistory(rng, 4+rng.Intn(20))
+		if bad := CheckRegisterHistory(ops); len(bad) != 0 {
+			t.Fatalf("seed %d: legal history flagged: %v\nops: %v", seed, bad, ops)
+		}
+	}
+}
+
+// TestRegisterCheckDifferentialAgainstWGL mutates legal histories and
+// compares the polynomial detector against the exact WGL checker in
+// both directions, exactly as the queue and stack differentials do.
+func TestRegisterCheckDifferentialAgainstWGL(t *testing.T) {
+	misses, total := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		ops := genLegalRegisterHistory(rng, 4+rng.Intn(10))
+		if len(ops) == 0 {
+			continue
+		}
+		switch rng.Intn(5) {
+		case 0: // swap two read values
+			var rd []int
+			for i, o := range ops {
+				if o.Kind == RRead {
+					rd = append(rd, i)
+				}
+			}
+			if len(rd) >= 2 {
+				i, j := rd[rng.Intn(len(rd))], rd[rng.Intn(len(rd))]
+				ops[i].V, ops[j].V = ops[j].V, ops[i].V
+			}
+		case 1: // retarget a read to a random (often wrong) value
+			for i, o := range ops {
+				if o.Kind == RRead {
+					ops[i].V = o.V%3 + 1
+					break
+				}
+			}
+		case 2: // corrupt a swap's witness
+			for i, o := range ops {
+				if o.Kind == RSwap {
+					ops[i].W = o.W + 1
+					break
+				}
+			}
+		case 3: // flip a cas miss into a hit
+			for i, o := range ops {
+				if o.Kind == RCasMiss {
+					ops[i].Kind = RCasHit
+					ops[i].W = o.X
+					break
+				}
+			}
+		case 4: // shrink an interval to sequentialize an inversion
+			i := rng.Intn(len(ops))
+			ops[i].Ret = ops[i].Inv
+		}
+		total++
+		wgl := StrictlyLinearizable(spec.NewSwap(0), toRegCalls(ops)).OK
+		flagged := len(CheckRegisterHistory(ops)) != 0
+		if flagged && wgl {
+			t.Fatalf("seed %d: detector flagged a WGL-legal history: %v\n%v",
+				seed, CheckRegisterHistory(ops), ops)
+		}
+		if !flagged && !wgl {
+			misses++
+			t.Logf("seed %d: WGL rejects but detector silent:\n%v", seed, ops)
+		}
+	}
+	if misses > total/20 {
+		t.Fatalf("detector missed %d/%d WGL-rejected histories", misses, total)
+	}
+}

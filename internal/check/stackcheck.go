@@ -31,6 +31,9 @@ const (
 // operations must first be resolved, as with QOp).
 type SOp struct {
 	Kind SOpKind
+	// Key is the routing key of the widened op contract (always zero in
+	// container histories; see QOp.Key).
+	Key uint64
 	// V is the pushed or popped value (distinct across pushes).
 	V uint64
 	// Inv and Ret bound the operation's interval.

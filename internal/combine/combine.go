@@ -100,19 +100,22 @@ const (
 	annHdr = 0 // seq<<seqShift | kind<<kindShift | bits
 	annArg = 1 // + seq&1
 	annTag = 3 // + seq&1
+	annKey = 5 // + seq&1; keyed types only (parity-buffered like the arg)
 
 	bitReq    = 1 << 0 // volatile: owner has called Exec
 	bitDone   = 1 << 1 // volatile: result published and drained
 	kindShift = 2
-	kindMask  = 0x3
+	kindMask  = 0xf // four kind bits: bits 6..7 stay free below seqShift
 	seqShift  = 8
 )
 
-// Result-line word layout.
+// Result-line word layout. resVal2 is written only for keyed types, so
+// the one-word types' result publication stays step-identical.
 const (
 	resKind = 0
 	resVal  = 1
 	resSeq  = 2 // stored last: seq visible implies kind/val visible
+	resVal2 = 3
 )
 
 // Meta line layout. The magic word packs the front's own magic in its
@@ -138,6 +141,9 @@ type Front struct {
 	slotBase pmem.Addr
 	lockAddr pmem.Addr
 	obs      *obs.Sink
+	// keyed mirrors the inner type's Keyed flag: announce lines carry
+	// the operation's Key word and result lines a second response word.
+	keyed bool
 	// seqs[tid] is the volatile cache of tid's announce-line sequence
 	// counter (single-owner; rebuilt from the slots after a crash).
 	seqs []uint64
@@ -209,7 +215,7 @@ func New(h *pmem.Heap, rootSlot int, typ dss.Type, cfg dss.Config) (*Front, erro
 	h.SetRoot(rootSlot, meta)
 	return &Front{
 		h: h, inner: inner, threads: cfg.Threads,
-		slotBase: slotBase, lockAddr: lock,
+		slotBase: slotBase, lockAddr: lock, keyed: typ.Keyed,
 		seqs:  make([]uint64, cfg.Threads),
 		batch: make([]int, 0, cfg.Threads),
 	}, nil
@@ -246,6 +252,7 @@ func Attach(h *pmem.Heap, rootSlot int, typ dss.Type, cfg dss.Config) (*Front, e
 		h: h, inner: inner, threads: threads,
 		slotBase: pmem.Addr(h.Load(meta + cfgSlot)),
 		lockAddr: pmem.Addr(h.Load(meta + cfgLock)),
+		keyed:    typ.Keyed,
 		seqs:     make([]uint64, threads),
 		batch:    make([]int, 0, threads),
 	}, nil
@@ -280,7 +287,11 @@ func hdrKind(hdr uint64) dss.Kind { return dss.Kind(hdr >> kindShift & kindMask)
 func (f *Front) readResp(r pmem.Addr) dss.Resp {
 	k := dss.RespKind(f.h.Load(r + resKind))
 	if k == dss.Val {
-		return dss.Resp{Kind: k, Val: f.h.Load(r + resVal)}
+		resp := dss.Resp{Kind: k, Val: f.h.Load(r + resVal)}
+		if f.keyed {
+			resp.Val2 = f.h.Load(r + resVal2)
+		}
+		return resp
 	}
 	return dss.Resp{Kind: k}
 }
@@ -308,7 +319,7 @@ func (f *Front) Prep(tid int, op dss.Op) error {
 // combined front; the concrete container objects do not persist tags,
 // so a plain dss.Wire cannot offer this.
 func (f *Front) PrepTagged(tid int, op dss.Op, tag uint64) error {
-	if op.Kind != dss.Insert && op.Kind != dss.Remove {
+	if op.Kind == dss.None || uint64(op.Kind) > kindMask {
 		return fmt.Errorf("combine: cannot prep %v", op.Kind)
 	}
 	h := f.h
@@ -319,6 +330,12 @@ func (f *Front) PrepTagged(tid int, op dss.Op, tag uint64) error {
 	a := f.announceAddr(tid)
 	h.Store(a+annArg+pmem.Addr(seq&1), op.Arg)
 	h.Store(a+annTag+pmem.Addr(seq&1), tag)
+	if f.keyed {
+		// The key rides the same line and the same flush, parity-buffered
+		// like the argument; unkeyed types skip the store and keep their
+		// original step sequence.
+		h.Store(a+annKey+pmem.Addr(seq&1), op.Key)
+	}
 	h.Store(a+annHdr, seq<<seqShift|uint64(op.Kind)<<kindShift)
 	h.FlushLine(a)
 	h.EndFenceBatch()
@@ -338,9 +355,14 @@ func (f *Front) ResolvedTag(tid int) uint64 {
 }
 
 // announcedOp decodes the operation named by an announce-line header.
+// Keyed types always persist both payload words, so both are read back;
+// the container types read the argument only for Insert, as before.
 func (f *Front) announcedOp(a pmem.Addr, hdr uint64) dss.Op {
 	op := dss.Op{Kind: hdrKind(hdr)}
-	if op.Kind == dss.Insert {
+	if f.keyed {
+		op.Arg = f.h.Load(a + annArg + pmem.Addr(hdr>>seqShift&1))
+		op.Key = f.h.Load(a + annKey + pmem.Addr(hdr>>seqShift&1))
+	} else if op.Kind == dss.Insert {
 		op.Arg = f.h.Load(a + annArg + pmem.Addr(hdr>>seqShift&1))
 	}
 	return op
@@ -377,13 +399,27 @@ func (f *Front) Exec(tid int) (dss.Resp, error) {
 	return f.readResp(r), nil
 }
 
-// obsKind translates the container vocabulary into the sink's.
+// obsKind translates the runtime vocabulary into the sink's.
 func obsKind(k dss.Kind) obs.OpKind {
 	switch k {
 	case dss.Insert:
 		return obs.KindInsert
 	case dss.Remove:
 		return obs.KindRemove
+	case dss.Read:
+		return obs.KindRead
+	case dss.Write:
+		return obs.KindWrite
+	case dss.Swap:
+		return obs.KindSwap
+	case dss.CAS, dss.MapCAS:
+		return obs.KindCAS
+	case dss.Put:
+		return obs.KindPut
+	case dss.Get:
+		return obs.KindGet
+	case dss.Delete:
+		return obs.KindDelete
 	default:
 		return obs.KindNone
 	}
@@ -438,6 +474,9 @@ func (f *Front) combine() {
 		r := f.resultAddr(t)
 		h.Store(r+resKind, uint64(resp.Kind))
 		h.Store(r+resVal, resp.Val)
+		if f.keyed {
+			h.Store(r+resVal2, resp.Val2)
+		}
 		h.Store(r+resSeq, hdr>>seqShift)
 		h.FlushLine(r)
 	}
@@ -552,6 +591,9 @@ func (f *Front) reconcile(publish bool) {
 		if _, prior, ok := f.inner.Resolve(t); ok && prior.Kind != dss.NoResp {
 			h.Store(r+resKind, uint64(prior.Kind))
 			h.Store(r+resVal, prior.Val)
+			if f.keyed {
+				h.Store(r+resVal2, prior.Val2)
+			}
 			h.Store(r+resSeq, hdr>>seqShift)
 			h.FlushLine(r)
 		}

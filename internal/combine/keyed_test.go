@@ -1,0 +1,183 @@
+package combine
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func buildKeyedFront(t *testing.T, typ dss.Type, threads int) (*Front, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(h, 0, typ, dss.Config{
+		Threads: threads, NodesPerThread: 8, ExtraNodes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, h
+}
+
+// TestCombinedRegisterOps drives the combined swap/CAS register
+// single-threaded: the keyed announce word must carry the cas expected
+// value through the slot, and the parity-buffered result line must carry
+// the two-word (success, witness) response back.
+func TestCombinedRegisterOps(t *testing.T) {
+	f, _ := buildKeyedFront(t, dss.RegisterType, 1)
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Write, Arg: 5}); r.Kind != dss.Ack {
+		t.Fatalf("write: %+v", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Swap, Arg: 7}); r.Kind != dss.Val || r.Val != 5 {
+		t.Fatalf("swap: %+v, want displacing 5", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.CAS, Key: 7, Arg: 9}); r.Val != 1 || r.Val2 != 7 {
+		t.Fatalf("cas hit: %+v, want (1, 7)", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.CAS, Key: 7, Arg: 11}); r.Val != 0 || r.Val2 != 9 {
+		t.Fatalf("cas miss: %+v, want (0, 9)", r)
+	}
+	// The two-word response must survive Resolve (it reads the result
+	// line, including resVal2, through the keyed path).
+	op, resp, ok := f.Resolve(0)
+	if !ok || op.Kind != dss.CAS || op.Key != 7 || op.Arg != 11 || resp.Val != 0 || resp.Val2 != 9 {
+		t.Fatalf("cas resolve: %+v %+v %v", op, resp, ok)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Read}); r.Kind != dss.Val || r.Val != 9 {
+		t.Fatalf("read: %+v, want 9", r)
+	}
+}
+
+// TestCombinedMapOps drives the combined hash map single-threaded
+// through every operation kind, including both Empty responses and the
+// two-word MapCAS answers.
+func TestCombinedMapOps(t *testing.T) {
+	f, _ := buildKeyedFront(t, dss.MapType, 1)
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Get, Key: 1}); r.Kind != dss.Empty {
+		t.Fatalf("get on empty map: %+v", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Put, Key: 1, Arg: 10}); r.Kind != dss.Ack {
+		t.Fatalf("put: %+v", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Get, Key: 1}); r.Kind != dss.Val || r.Val != 10 {
+		t.Fatalf("get: %+v, want 10", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.MapCAS, Key: 1, Arg: spec.PackCAS(10, 11)}); r.Val != 1 || r.Val2 != 10 {
+		t.Fatalf("mcas hit: %+v, want (1, 10)", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.MapCAS, Key: 1, Arg: spec.PackCAS(10, 12)}); r.Val != 0 || r.Val2 != 11 {
+		t.Fatalf("mcas miss: %+v, want (0, 11)", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Delete, Key: 1}); r.Kind != dss.Val || r.Val != 11 {
+		t.Fatalf("del: %+v, want removing 11", r)
+	}
+	if r := exec(t, f, 0, dss.Op{Kind: dss.Delete, Key: 1}); r.Kind != dss.Empty {
+		t.Fatalf("del of absent key: %+v", r)
+	}
+}
+
+// keyedWorkload is one deterministic detectable workload per keyed type,
+// recorded against D⟨T⟩ (ops chosen to cover two-word responses, Empty
+// responses and upserts).
+func keyedWorkload(typ dss.Type) []dss.Op {
+	if typ.Name == dss.RegisterType.Name {
+		return []dss.Op{
+			{Kind: dss.Write, Arg: 10},
+			{Kind: dss.Swap, Arg: 20},
+			{Kind: dss.CAS, Key: 20, Arg: 30},
+			{Kind: dss.CAS, Key: 99, Arg: 40},
+			{Kind: dss.Read},
+		}
+	}
+	return []dss.Op{
+		{Kind: dss.Put, Key: 1, Arg: 10},
+		{Kind: dss.Put, Key: 2, Arg: 20},
+		{Kind: dss.Delete, Key: 1},
+		{Kind: dss.MapCAS, Key: 2, Arg: spec.PackCAS(20, 30)},
+		{Kind: dss.Get, Key: 2},
+	}
+}
+
+// TestCombinedKeyedCrashSweep crashes at every primitive step of a
+// detectable keyed workload through the combining front, under both
+// extreme adversaries, recovers, resolves — and checks the recorded
+// history against D⟨T⟩ under strict linearizability. This is the
+// crash-safety proof for the widened announce/result slots: a torn
+// announce line or an unpublished two-word result must never resolve to
+// a response the sequential model cannot produce.
+func TestCombinedKeyedCrashSweep(t *testing.T) {
+	for _, typ := range []dss.Type{dss.RegisterType, dss.MapType} {
+		typ := typ
+		t.Run(typ.Name, func(t *testing.T) {
+			ops := keyedWorkload(typ)
+			for _, adv := range []pmem.Adversary{pmem.DropAll{}, pmem.KeepAll{}} {
+				swept := 0
+				for step := uint64(1); ; step++ {
+					f, h := buildKeyedFront(t, typ, 1)
+					rec := check.NewRecorder()
+					h.ArmCrash(step)
+					pmem.RunToCrash(func() {
+						for _, op := range ops {
+							sop := typ.SpecOp(op)
+							rec.Begin(0, spec.PrepOp(sop))
+							if err := f.Prep(0, op); err != nil {
+								return
+							}
+							rec.End(0, spec.BottomResp())
+							rec.Begin(0, spec.ExecOp(sop))
+							resp, err := f.Exec(0)
+							if err != nil {
+								return
+							}
+							rec.End(0, dss.SpecResp(resp))
+						}
+					})
+					if !h.Crashed() {
+						if swept == 0 {
+							t.Fatal("workload completed before the first crash point")
+						}
+						break
+					}
+					swept++
+					rec.CrashAll()
+					h.Crash(adv)
+					f.Recover()
+					rec.Begin(0, spec.ResolveOp())
+					op, resp, ok := f.Resolve(0)
+					rec.End(0, typ.ResolveResp(op, resp, ok))
+
+					// Audit the final state non-detectably.
+					if typ.Name == dss.RegisterType.Name {
+						rec.Begin(0, spec.Read())
+						r, err := f.Invoke(0, dss.Op{Kind: dss.Read})
+						if err != nil {
+							t.Fatal(err)
+						}
+						rec.End(0, dss.SpecResp(r))
+					} else {
+						for _, k := range []uint64{1, 2} {
+							rec.Begin(0, spec.Get(k))
+							r, err := f.Invoke(0, dss.Op{Kind: dss.Get, Key: k})
+							if err != nil {
+								t.Fatal(err)
+							}
+							rec.End(0, dss.SpecResp(r))
+						}
+					}
+
+					hist := rec.History()
+					d := spec.Detectable(typ.Model(), 1)
+					if r := check.StrictlyLinearizable(d, hist); !r.OK {
+						t.Fatalf("%T step %d: combined %s history not strictly linearizable:\n%s",
+							adv, step, typ.Name, check.FormatHistory(hist))
+					}
+				}
+			}
+		})
+	}
+}

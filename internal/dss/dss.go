@@ -7,9 +7,11 @@
 //
 // The paper states the DSS transformation T → D⟨T⟩ generically over any
 // sequential type (Figure 1); Object is the executable face of D⟨T⟩ for
-// the container types implemented here (FIFO queue, LIFO stack, the
-// CASWithEffect queues), each of which offers one value-carrying insert
-// and one value-returning remove:
+// the types implemented here: the container types (FIFO queue, LIFO
+// stack, the CASWithEffect queues), each offering one value-carrying
+// insert and one value-returning remove, and the keyed two-word types
+// (the swap/CAS register, the keyed hash map) whose operations address a
+// sub-object through Op.Key and answer in up to two words:
 //
 //	Axiom 1 (prep-op)  → Prep(tid, op)
 //	Axiom 2 (exec-op)  → Exec(tid)
@@ -38,18 +40,41 @@ import (
 	"repro/internal/spec"
 )
 
-// Kind classifies a container operation.
+// Kind classifies an operation. The container kinds (Insert, Remove)
+// keep their original numeric values — they are persisted in announce
+// headers and crossed over wire frames, so renumbering them would break
+// attachment to old heaps and the committed byte-identical benchmarks.
 type Kind int
 
 const (
 	// None means no operation (the A[p] = ⊥ case of a resolution).
 	None Kind = iota
-	// Insert is the value-carrying operation: enqueue for queues, push
-	// for stacks.
+	// Insert is the value-carrying container operation: enqueue for
+	// queues, push for stacks.
 	Insert
-	// Remove is the value-returning operation: dequeue for queues, pop
-	// for stacks.
+	// Remove is the value-returning container operation: dequeue for
+	// queues, pop for stacks.
 	Remove
+	// Read returns the register's current value (Arg and Key unused).
+	Read
+	// Write sets the register to Arg.
+	Write
+	// Swap sets the register to Arg and returns the previous value.
+	Swap
+	// CAS is the register compare-and-swap: Key holds the expected
+	// value, Arg the replacement. The response is two words: success in
+	// Val, witnessed value in Val2.
+	CAS
+	// Put upserts Key → Arg in a keyed map.
+	Put
+	// Get looks Key up in a keyed map (Arg unused).
+	Get
+	// Delete removes Key from a keyed map, returning the removed value
+	// or Empty (Arg unused).
+	Delete
+	// MapCAS is the keyed compare-and-swap: replace Key's value with
+	// the low half of Arg iff it equals the high half (spec.PackCAS).
+	MapCAS
 )
 
 // String names the kind for diagnostics.
@@ -61,15 +86,38 @@ func (k Kind) String() string {
 		return "insert"
 	case Remove:
 		return "remove"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Swap:
+		return "swap"
+	case CAS:
+		return "cas"
+	case Put:
+		return "put"
+	case Get:
+		return "get"
+	case Delete:
+		return "delete"
+	case MapCAS:
+		return "mapcas"
 	default:
 		return "Kind(?)"
 	}
 }
 
-// Op is one container operation: Insert carries its argument in Arg,
-// Remove ignores Arg.
+// Op is one operation under the keyed two-word contract {Kind, Key, Arg}.
+// The container kinds use only Arg (Insert carries its value there,
+// Remove carries nothing); keyed kinds address a sub-object through Key
+// (the map key; the register cas rides its expected value there) and
+// carry their payload in Arg. Layers that persist or transmit operations
+// carry Key only for types that declare it (Type.Keyed), which is what
+// keeps the one-word types' step sequences bit-identical to the
+// pre-widening contract.
 type Op struct {
 	Kind Kind
+	Key  uint64
 	Arg  uint64
 }
 
@@ -88,9 +136,13 @@ const (
 )
 
 // Resp is an operation response; Val is meaningful only when Kind == Val.
+// Val2 is the response's second word, used by the two-word kinds (CAS and
+// MapCAS answer success in Val and the witnessed value in Val2); one-word
+// operations leave it zero.
 type Resp struct {
 	Kind RespKind
 	Val  uint64
+	Val2 uint64
 }
 
 // Object is a detectable recoverable container object: the runtime
@@ -147,6 +199,9 @@ type Config struct {
 	// Descriptors sizes the per-thread PMwCAS descriptor pool of the
 	// CASWithEffect types (0 selects their default).
 	Descriptors int
+	// Buckets sizes the fixed bucket array of the hash-map type (0
+	// selects its default).
+	Buckets int
 }
 
 // Type describes one detectable object type: how to build (or re-attach)
@@ -174,10 +229,25 @@ type Type struct {
 	// Model returns the initial state of the type's sequential
 	// specification (the T of D⟨T⟩).
 	Model func() spec.State
+	// Keyed declares that the type's operations use the contract's
+	// second word (Op.Key and Resp.Val2). Layers that persist or
+	// transmit operations — the combining front's announce/result slots,
+	// the shm ring frames — carry the extra words only for keyed types,
+	// so unkeyed types keep their original step sequences.
+	Keyed bool
+	// KeyRouted declares that Op.Key names a disjoint sub-object (a map
+	// key), so a sharded front may route by key hash instead of the
+	// round-robin cursor: each key then lives on exactly one shard and
+	// the composition is the exact sequential type, not a relaxation.
+	KeyRouted bool
 
-	// insert and remove build the spec base operations.
-	insert func(arg uint64) spec.Op
-	remove func() spec.Op
+	// insert and remove build the spec base operations of the container
+	// types; toSpec/fromSpec generalize them for wider vocabularies
+	// (register, map). A type sets either the pair or the general hooks.
+	insert   func(arg uint64) spec.Op
+	remove   func() spec.Op
+	toSpec   func(op Op) spec.Op
+	fromSpec func(op spec.Op) (Op, bool)
 }
 
 // Derive returns a copy of t re-skinned for a wrapper type: the same
@@ -197,18 +267,24 @@ func (t Type) Derive(name string, code uint64, rootSlots int, newFn, attach func
 	return d
 }
 
-// SpecOp translates a container operation into the type's spec base
-// operation, for recording histories checked against D⟨T⟩.
+// SpecOp translates an operation into the type's spec base operation,
+// for recording histories checked against D⟨T⟩.
 func (t Type) SpecOp(op Op) spec.Op {
+	if t.toSpec != nil {
+		return t.toSpec(op)
+	}
 	if op.Kind == Remove {
 		return t.remove()
 	}
 	return t.insert(op.Arg)
 }
 
-// FromSpec translates a spec base operation back into the container
+// FromSpec translates a spec base operation back into the runtime
 // vocabulary; ok is false when op is not one of the type's operations.
 func (t Type) FromSpec(op spec.Op) (Op, bool) {
+	if t.fromSpec != nil {
+		return t.fromSpec(op)
+	}
 	switch op.Sym {
 	case t.insert(0).Sym:
 		return Op{Kind: Insert, Arg: op.Arg}, true
@@ -228,13 +304,13 @@ func (t Type) ResolveResp(op Op, resp Resp, ok bool) spec.Resp {
 	return spec.PairResp(true, t.SpecOp(op), SpecResp(resp))
 }
 
-// SpecResp renders a container response in the spec vocabulary.
+// SpecResp renders a runtime response in the spec vocabulary.
 func SpecResp(r Resp) spec.Resp {
 	switch r.Kind {
 	case Ack:
 		return spec.AckResp()
 	case Val:
-		return spec.ValResp(r.Val)
+		return spec.ValResp2(r.Val, r.Val2)
 	case Empty:
 		return spec.EmptyResp()
 	default:

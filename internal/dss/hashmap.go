@@ -1,0 +1,252 @@
+package dss
+
+import (
+	"fmt"
+
+	"repro/internal/hmap"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// defaultBuckets sizes the hash-map bucket array when Config.Buckets is
+// zero.
+const defaultBuckets = 8
+
+// MapType is the detectable fixed-bucket hash map (hmap.Map) seen
+// through the Object contract. It is both Keyed — put rides its value in
+// Op.Arg with the key in Op.Key, and MapCAS answers in two words — and
+// KeyRouted: distinct keys name disjoint sub-objects (independent bucket
+// chains), so a sharded front may scatter the key space by hash and the
+// composition is the exact sequential map, not a relaxation.
+var MapType = Type{
+	Name:      "hmap",
+	Code:      6,
+	RootSlots: 1,
+	New: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		buckets := cfg.Buckets
+		if buckets == 0 {
+			buckets = defaultBuckets
+		}
+		m, err := hmap.New(h, rootSlot, hmap.Config{
+			Threads:        cfg.Threads,
+			Buckets:        buckets,
+			NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes:     cfg.ExtraNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newMapObj(m, cfg.Threads), nil
+	},
+	Attach: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		m, err := hmap.Attach(h, rootSlot)
+		if err != nil {
+			return nil, err
+		}
+		o := newMapObj(m, m.Threads())
+		o.refreshHints()
+		return o, nil
+	},
+	Model:     func() spec.State { return spec.NewMap() },
+	Keyed:     true,
+	KeyRouted: true,
+	toSpec: func(op Op) spec.Op {
+		switch op.Kind {
+		case Put:
+			return spec.Put(op.Key, op.Arg)
+		case Get:
+			return spec.Get(op.Key)
+		case Delete:
+			return spec.Del(op.Key)
+		default: // MapCAS
+			exp, newV := spec.UnpackCAS(op.Arg)
+			return spec.MCAS(op.Key, exp, newV)
+		}
+	},
+	fromSpec: func(op spec.Op) (Op, bool) {
+		switch op.Sym {
+		case "put":
+			return Op{Kind: Put, Key: op.Arg, Arg: op.Arg2}, true
+		case "get":
+			return Op{Kind: Get, Key: op.Arg}, true
+		case "del":
+			return Op{Kind: Delete, Key: op.Arg}, true
+		case "mcas":
+			return Op{Kind: MapCAS, Key: op.Arg, Arg: op.Arg2}, true
+		default:
+			return Op{}, false
+		}
+	},
+}
+
+// mapObj adapts hmap.Map to Object (see regObj for the hint scheme).
+type mapObj struct {
+	m    *hmap.Map
+	last []Kind
+}
+
+func newMapObj(m *hmap.Map, threads int) *mapObj {
+	return &mapObj{m: m, last: make([]Kind, threads)}
+}
+
+// Map returns the adapted concrete hash map (test and tooling access).
+func (o *mapObj) Map() *hmap.Map { return o.m }
+
+func (o *mapObj) Prep(tid int, op Op) error {
+	var err error
+	switch op.Kind {
+	case Put:
+		err = o.m.PrepPut(tid, op.Key, op.Arg)
+	case Get:
+		o.m.PrepGet(tid, op.Key)
+	case Delete:
+		err = o.m.PrepDelete(tid, op.Key)
+	case MapCAS:
+		err = o.m.PrepCAS(tid, op.Key, op.Arg)
+	default:
+		return fmt.Errorf("hmap: cannot prepare %v", op.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	o.last[tid] = op.Kind
+	return nil
+}
+
+func (o *mapObj) Exec(tid int) (Resp, error) {
+	switch o.last[tid] {
+	case Put:
+		if err := o.m.ExecPut(tid); err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: Ack}, nil
+	case Get:
+		v, present := o.m.ExecGet(tid)
+		if !present {
+			return Resp{Kind: Empty}, nil
+		}
+		return Resp{Kind: Val, Val: v}, nil
+	case Delete:
+		v, present, err := o.m.ExecDelete(tid)
+		if err != nil {
+			return Resp{}, err
+		}
+		if !present {
+			return Resp{Kind: Empty}, nil
+		}
+		return Resp{Kind: Val, Val: v}, nil
+	case MapCAS:
+		ok, witness, err := o.m.ExecCAS(tid)
+		if err != nil {
+			return Resp{}, err
+		}
+		if ok {
+			return Resp{Kind: Val, Val: 1, Val2: witness}, nil
+		}
+		return Resp{Kind: Val, Val: 0, Val2: witness}, nil
+	default:
+		return Resp{}, nil
+	}
+}
+
+func (o *mapObj) Resolve(tid int) (Op, Resp, bool) {
+	r := o.m.Resolve(tid)
+	switch r.Op {
+	case hmap.OpPut:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Ack}
+		}
+		return Op{Kind: Put, Key: r.Key, Arg: r.Arg}, resp, true
+	case hmap.OpGet:
+		resp := Resp{}
+		if r.Executed {
+			if r.Present {
+				resp = Resp{Kind: Val, Val: r.Val}
+			} else {
+				resp = Resp{Kind: Empty}
+			}
+		}
+		return Op{Kind: Get, Key: r.Key}, resp, true
+	case hmap.OpDelete:
+		resp := Resp{}
+		if r.Executed {
+			if r.Present {
+				resp = Resp{Kind: Val, Val: r.Val}
+			} else {
+				resp = Resp{Kind: Empty}
+			}
+		}
+		return Op{Kind: Delete, Key: r.Key}, resp, true
+	case hmap.OpCAS:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Val, Val: r.Val, Val2: r.Val2}
+		}
+		return Op{Kind: MapCAS, Key: r.Key, Arg: r.Arg}, resp, true
+	default:
+		return Op{}, Resp{}, false
+	}
+}
+
+func (o *mapObj) Invoke(tid int, op Op) (Resp, error) {
+	switch op.Kind {
+	case Put:
+		if err := o.m.Put(tid, op.Key, op.Arg); err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: Ack}, nil
+	case Get:
+		v, present := o.m.Get(tid, op.Key)
+		if !present {
+			return Resp{Kind: Empty}, nil
+		}
+		return Resp{Kind: Val, Val: v}, nil
+	case Delete:
+		v, present, err := o.m.Delete(tid, op.Key)
+		if err != nil {
+			return Resp{}, err
+		}
+		if !present {
+			return Resp{Kind: Empty}, nil
+		}
+		return Resp{Kind: Val, Val: v}, nil
+	case MapCAS:
+		ok, witness, err := o.m.CAS(tid, op.Key, op.Arg)
+		if err != nil {
+			return Resp{}, err
+		}
+		if ok {
+			return Resp{Kind: Val, Val: 1, Val2: witness}, nil
+		}
+		return Resp{Kind: Val, Val: 0, Val2: witness}, nil
+	default:
+		return Resp{}, fmt.Errorf("hmap: cannot invoke %v", op.Kind)
+	}
+}
+
+func (o *mapObj) Abandon(tid int) {
+	o.m.AbandonPrep(tid)
+	o.last[tid] = None
+}
+
+func (o *mapObj) Recover() {
+	o.m.Recover()
+	o.refreshHints()
+}
+
+func (o *mapObj) ResetVolatile() {
+	o.m.ResetVolatile()
+	o.refreshHints()
+}
+
+func (o *mapObj) refreshHints() {
+	for tid := range o.last {
+		op, _, ok := o.Resolve(tid)
+		if ok {
+			o.last[tid] = op.Kind
+		} else {
+			o.last[tid] = None
+		}
+	}
+}

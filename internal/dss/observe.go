@@ -30,13 +30,27 @@ func Observe(obj Object, s *obs.Sink, threads int) Object {
 	return &observed{obj: obj, sink: s, last: make([]obs.OpKind, threads)}
 }
 
-// kindOf translates the container vocabulary into the sink's.
+// kindOf translates the runtime vocabulary into the sink's.
 func kindOf(k Kind) obs.OpKind {
 	switch k {
 	case Insert:
 		return obs.KindInsert
 	case Remove:
 		return obs.KindRemove
+	case Read:
+		return obs.KindRead
+	case Write:
+		return obs.KindWrite
+	case Swap:
+		return obs.KindSwap
+	case CAS, MapCAS:
+		return obs.KindCAS
+	case Put:
+		return obs.KindPut
+	case Get:
+		return obs.KindGet
+	case Delete:
+		return obs.KindDelete
 	default:
 		return obs.KindNone
 	}

@@ -1,0 +1,210 @@
+package dss
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/reg"
+	"repro/internal/spec"
+)
+
+// RegisterType is the detectable swap/CAS register (reg.Reg) seen
+// through the Object contract. It is the first Keyed type: cas rides its
+// expected value in Op.Key and answers in two words (success, witnessed
+// value). It is not KeyRouted — the key is a comparison operand, not the
+// name of a disjoint sub-object — so a sharded front must not scatter it.
+var RegisterType = Type{
+	Name:      "register",
+	Code:      5,
+	RootSlots: 1,
+	New: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		g, err := reg.New(h, rootSlot, reg.Config{
+			Threads:        cfg.Threads,
+			NodesPerThread: cfg.NodesPerThread,
+			ExtraNodes:     cfg.ExtraNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newRegObj(g, cfg.Threads), nil
+	},
+	Attach: func(h *pmem.Heap, rootSlot int, cfg Config) (Object, error) {
+		g, err := reg.Attach(h, rootSlot)
+		if err != nil {
+			return nil, err
+		}
+		o := newRegObj(g, g.Threads())
+		o.refreshHints()
+		return o, nil
+	},
+	Model: func() spec.State { return spec.NewSwap(0) },
+	Keyed: true,
+	toSpec: func(op Op) spec.Op {
+		switch op.Kind {
+		case Read:
+			return spec.Read()
+		case Write:
+			return spec.Write(op.Arg)
+		case Swap:
+			return spec.Swap(op.Arg)
+		default: // CAS
+			return spec.CAS(op.Key, op.Arg)
+		}
+	},
+	fromSpec: func(op spec.Op) (Op, bool) {
+		switch op.Sym {
+		case "read":
+			return Op{Kind: Read}, true
+		case "write":
+			return Op{Kind: Write, Arg: op.Arg}, true
+		case "swap":
+			return Op{Kind: Swap, Arg: op.Arg}, true
+		case "cas":
+			return Op{Kind: CAS, Key: op.Arg, Arg: op.Arg2}, true
+		default:
+			return Op{}, false
+		}
+	},
+}
+
+// regObj adapts reg.Reg to Object (see queueObj for the hint scheme).
+type regObj struct {
+	g    *reg.Reg
+	last []Kind
+}
+
+func newRegObj(g *reg.Reg, threads int) *regObj {
+	return &regObj{g: g, last: make([]Kind, threads)}
+}
+
+// Register returns the adapted concrete register (test and tooling
+// access).
+func (o *regObj) Register() *reg.Reg { return o.g }
+
+func (o *regObj) Prep(tid int, op Op) error {
+	var err error
+	switch op.Kind {
+	case Read:
+		o.g.PrepRead(tid)
+	case Write:
+		err = o.g.PrepWrite(tid, op.Arg)
+	case Swap:
+		err = o.g.PrepSwap(tid, op.Arg)
+	case CAS:
+		err = o.g.PrepCAS(tid, op.Key, op.Arg)
+	default:
+		return fmt.Errorf("register: cannot prepare %v", op.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	o.last[tid] = op.Kind
+	return nil
+}
+
+func (o *regObj) Exec(tid int) (Resp, error) {
+	switch o.last[tid] {
+	case Read:
+		return Resp{Kind: Val, Val: o.g.ExecRead(tid)}, nil
+	case Write:
+		o.g.ExecWrite(tid)
+		return Resp{Kind: Ack}, nil
+	case Swap:
+		return Resp{Kind: Val, Val: o.g.ExecSwap(tid)}, nil
+	case CAS:
+		ok, witness := o.g.ExecCAS(tid)
+		if ok {
+			return Resp{Kind: Val, Val: 1, Val2: witness}, nil
+		}
+		return Resp{Kind: Val, Val: 0, Val2: witness}, nil
+	default:
+		return Resp{}, nil
+	}
+}
+
+func (o *regObj) Resolve(tid int) (Op, Resp, bool) {
+	r := o.g.Resolve(tid)
+	switch r.Op {
+	case reg.OpRead:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Val, Val: r.Val}
+		}
+		return Op{Kind: Read}, resp, true
+	case reg.OpWrite:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Ack}
+		}
+		return Op{Kind: Write, Arg: r.Arg}, resp, true
+	case reg.OpSwap:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Val, Val: r.Val}
+		}
+		return Op{Kind: Swap, Arg: r.Arg}, resp, true
+	case reg.OpCAS:
+		resp := Resp{}
+		if r.Executed {
+			resp = Resp{Kind: Val, Val: r.Val, Val2: r.Val2}
+		}
+		return Op{Kind: CAS, Key: r.Expect, Arg: r.Arg}, resp, true
+	default:
+		return Op{}, Resp{}, false
+	}
+}
+
+func (o *regObj) Invoke(tid int, op Op) (Resp, error) {
+	switch op.Kind {
+	case Read:
+		return Resp{Kind: Val, Val: o.g.Read(tid)}, nil
+	case Write:
+		if err := o.g.Write(tid, op.Arg); err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: Ack}, nil
+	case Swap:
+		prev, err := o.g.Swap(tid, op.Arg)
+		if err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: Val, Val: prev}, nil
+	case CAS:
+		ok, witness, err := o.g.CAS(tid, op.Key, op.Arg)
+		if err != nil {
+			return Resp{}, err
+		}
+		if ok {
+			return Resp{Kind: Val, Val: 1, Val2: witness}, nil
+		}
+		return Resp{Kind: Val, Val: 0, Val2: witness}, nil
+	default:
+		return Resp{}, fmt.Errorf("register: cannot invoke %v", op.Kind)
+	}
+}
+
+func (o *regObj) Abandon(tid int) {
+	o.g.AbandonPrep(tid)
+	o.last[tid] = None
+}
+
+func (o *regObj) Recover() {
+	o.g.Recover()
+	o.refreshHints()
+}
+
+func (o *regObj) ResetVolatile() {
+	o.g.ResetVolatile()
+	o.refreshHints()
+}
+
+func (o *regObj) refreshHints() {
+	for tid := range o.last {
+		op, _, ok := o.Resolve(tid)
+		if ok {
+			o.last[tid] = op.Kind
+		} else {
+			o.last[tid] = None
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestKeyedSoakDeterministicAndClean runs the register and hash-map
+// crash-storm soaks — bare and behind the combining front — and requires
+// the core soak promises: a bit-identical report for the same seed and
+// zero history-checker violations under the full fault schedule.
+func TestKeyedSoakDeterministicAndClean(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		object   string
+		combined bool
+	}{
+		{"register", "register", false},
+		{"register-combined", "register", true},
+		{"hmap", "hmap", false},
+		{"hmap-combined", "hmap", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := SoakConfig{Seed: 1, Object: tc.object, Combined: tc.combined}
+			a, err := RunSoak(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunSoak(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+			}
+			if !a.OK() {
+				t.Fatalf("violations: %v", a.Violations)
+			}
+			if a.Crashes == 0 {
+				t.Fatal("keyed soak injected no crashes — the storm never ran")
+			}
+			if a.Ops == 0 {
+				t.Fatal("keyed soak completed no operations")
+			}
+		})
+	}
+}
+
+// TestKeyedSoakRejectsUnknownObject pins the error path of the vocabulary
+// switch.
+func TestKeyedSoakRejectsUnknownObject(t *testing.T) {
+	if _, err := RunSoak(SoakConfig{Seed: 1, Object: "deque"}); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+// TestKeyedBenchDeterministic pins the virtual-time keyed figures'
+// committability: the same configuration measures identical points.
+func TestKeyedBenchDeterministic(t *testing.T) {
+	cfg := KeyedSweepConfig{Object: "hmap", Threads: []int{4}, OpsPerThread: 60}
+	a, err := RunKeyedVirtual(cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunKeyedVirtual(cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("virtual keyed runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Mops <= 0 || a.Ops != 4*60 {
+		t.Fatalf("implausible point: %+v", a)
+	}
+}
+
+// TestKeyedBenchShardScaling asserts the hmap figure's headline at test
+// scale: with the put-heavy fixed-key workload at a high thread count,
+// eight key-hash-routed shards must more than double the single shard's
+// throughput (the committed BENCH_hmap.json pins >2x at 32 threads; the
+// smaller in-test sweep must already clear 1.5x or the figure's claim is
+// at risk).
+func TestKeyedBenchShardScaling(t *testing.T) {
+	cfg := KeyedSweepConfig{Object: "hmap", Threads: []int{24}, OpsPerThread: 150}
+	one, err := RunKeyedVirtual(cfg, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunKeyedVirtual(cfg, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := eight.Mops / one.Mops; ratio < 1.5 {
+		t.Fatalf("sharded-hmap/8 only %.2fx sharded-hmap/1 at 24 threads (%.3f vs %.3f Mops)",
+			ratio, eight.Mops, one.Mops)
+	}
+}
+
+// TestKeyedBenchRegisterFenceAmortization asserts the register figure's
+// headline at test scale: the combining front must cut the bare
+// register's fences per operation by at least 3x at a high thread count.
+func TestKeyedBenchRegisterFenceAmortization(t *testing.T) {
+	cfg := KeyedSweepConfig{Object: "register", Threads: []int{16}, OpsPerThread: 100}
+	bare, err := RunKeyedVirtual(cfg, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := RunKeyedVirtual(cfg, 16, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := float64(bare.Fences) / float64(bare.Ops)
+	cf := float64(combined.Fences) / float64(combined.Ops)
+	if cf*3 > bf {
+		t.Fatalf("combined register spends %.2f fences/op vs bare's %.2f — less than the 3x amortization the figure claims", cf, bf)
+	}
+}
+
+// TestKeyedBenchRejectsUnknownObject pins the keyed sweep's error path.
+func TestKeyedBenchRejectsUnknownObject(t *testing.T) {
+	if _, err := RunKeyedVirtual(KeyedSweepConfig{Object: "deque"}, 2, 0); err == nil {
+		t.Fatal("unknown keyed object accepted")
+	}
+	if _, err := FigureKeyed(KeyedSweepConfig{Object: "deque"}); err == nil {
+		t.Fatal("unknown keyed figure accepted")
+	}
+}
+
+// TestKeyedBaselinePointsRegenerate pins the committed keyed BENCH
+// points most likely to drift: the widest sharded hmap and the combined
+// register at the largest thread count, plus their scaling baselines.
+func TestKeyedBaselinePointsRegenerate(t *testing.T) {
+	requireKeyedPointIdentical(t, "BENCH_hmap.json", "sharded-hmap/1", "hmap", 32, 1)
+	requireKeyedPointIdentical(t, "BENCH_hmap.json", "sharded-hmap/8", "hmap", 32, 8)
+	requireKeyedPointIdentical(t, "BENCH_register.json", "dss-register", "register", 32, 0)
+	requireKeyedPointIdentical(t, "BENCH_register.json", "combined-register", "register", 32, -1)
+}
+
+func requireKeyedPointIdentical(t *testing.T, file, series, object string, threads, shards int) {
+	t.Helper()
+	want := committedPoint(t, file, series, threads)
+	got, err := RunKeyedVirtual(KeyedSweepConfig{Object: object}, threads, shards)
+	if err != nil {
+		t.Fatalf("%s @%d: %v", series, threads, err)
+	}
+	if got.Ops != want.Ops || got.Flushes != want.Flushes ||
+		got.Fences != want.Fences || got.FencesElided != want.FencesElided ||
+		got.Mops != want.Mops {
+		t.Fatalf("%s: %s @%d threads drifted:\ncommitted: %+v\nfresh:     ops=%d flushes=%d fences=%d elided=%d mops=%v",
+			file, series, threads, want, got.Ops, got.Flushes, got.Fences, got.FencesElided, got.Mops)
+	}
+}

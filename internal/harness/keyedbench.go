@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/combine"
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/sharded"
+	"repro/internal/spec"
+	"repro/internal/vtime"
+)
+
+// This file is the keyed-object benchmark behind BENCH_register.json and
+// BENCH_hmap.json: the detectable swap/CAS register and the detectable
+// hash map measured in deterministic virtual time, through the same
+// Prep/Exec detectable path the queue figures charge.
+//
+// The register figure compares the bare register against the
+// flat-combining front over it — a single cell cannot shard (RegisterType
+// is Keyed but not KeyRouted: cas's key is a comparison operand, not a
+// sub-object name), so its scaling story is fence amortization. The hmap
+// figure compares the bare map against sharded fronts of increasing shard
+// count: MapType is KeyRouted, every operation names a disjoint
+// sub-object by key, and the sharded composition scatters the key space
+// by the same hash the cluster uses, so throughput scales with shards.
+
+// KeyedSweepConfig parameterizes a keyed-object virtual-time sweep.
+type KeyedSweepConfig struct {
+	// Object selects the keyed type: "register" or "hmap".
+	Object string
+	// Threads lists the x-axis values.
+	Threads []int
+	// ShardCounts lists the sharded series of the hmap figure (ignored
+	// by the register, which cannot shard).
+	ShardCounts []int
+	// OpsPerThread is the fixed per-thread workload: a rotation through
+	// the type's four operations (write/swap/cas/read, or a put-heavy
+	// put/get/mcas/del mix over a fixed scattered key set).
+	OpsPerThread int
+	// Keys sizes the hmap workload's key space (default 64; spread
+	// across shards by KeyShard, so every shard sees traffic).
+	Keys int
+	// AccessNS and FlushNS are the vtime cost model, as in
+	// VirtualRunConfig.
+	AccessNS int64
+	FlushNS  int64
+	// NodesPerThread sizes the map's per-shard entry pools (the
+	// register needs only a small constant pool).
+	NodesPerThread int
+}
+
+func (c *KeyedSweepConfig) defaults() {
+	if len(c.Threads) == 0 {
+		// The keyed axis runs past the paper's 20 hardware threads: the
+		// virtual machine has a core per worker, and the single-map
+		// saturation the sharded series escapes is clearest at 32.
+		c.Threads = []int{1, 2, 4, 8, 16, 24, 32}
+	}
+	if len(c.ShardCounts) == 0 {
+		// Include the degenerate single shard so the committed figure
+		// carries its own 1 -> 8 shard scaling comparison at equal
+		// routing overhead.
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 200
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.AccessNS == 0 {
+		c.AccessNS = 100
+	}
+	if c.FlushNS == 0 {
+		c.FlushNS = 300
+	}
+	if c.NodesPerThread == 0 {
+		c.NodesPerThread = 128
+	}
+}
+
+// buildKeyed constructs the measured object: the bare type, the combined
+// front over it (shards == -1), or a sharded front of `shards` shards.
+func buildKeyed(typ dss.Type, threads, shards, nodesPerThread int, accessNS, flushNS int64) (dss.Object, *pmem.Heap, error) {
+	per := shards
+	if per < 1 {
+		per = 1
+	}
+	words := 1<<15 + per*threads*(nodesPerThread*6+32)*pmem.WordsPerLine
+	h, err := pmem.New(pmem.Config{
+		Words: words, Mode: pmem.Tracked,
+		FlushLatency: 0, AccessDelay: 0,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := dss.Config{
+		Threads:        threads,
+		NodesPerThread: nodesPerThread,
+		ExtraNodes:     threads + 4,
+	}
+	switch {
+	case shards > 0:
+		f, err := sharded.New(h, 0, typ, sharded.Config{
+			Shards:         shards,
+			Threads:        threads,
+			NodesPerThread: nodesPerThread,
+			ExtraNodes:     threads + 4,
+		})
+		return f, h, err
+	case shards == -1:
+		f, err := combine.New(h, 0, typ, cfg)
+		return f, h, err
+	default:
+		obj, err := typ.New(h, 0, cfg)
+		return obj, h, err
+	}
+}
+
+// keyedWorker returns thread tid's fixed workload against obj: ops are
+// performed through the detectable Prep/Exec path, values are globally
+// unique, and cas expectations track the thread's last observation so a
+// useful fraction of the cas traffic hits.
+func keyedWorker(obj dss.Object, isMap bool, tid, ops, keys int, errp *error) func() {
+	return func() {
+		var last uint64
+		lastK := map[uint64]uint64{}
+		for i := 0; i < ops; i++ {
+			v := uint64(tid)*1_000_000 + uint64(i) + 1
+			var op dss.Op
+			if isMap {
+				// Scatter the key walk: coprime stride per thread keeps
+				// the threads out of phase, so concurrent ops usually
+				// route to different shards. The rotation is put-heavy
+				// over a fixed key set — a put of a present key replaces
+				// in place, so bucket occupancy converges to the key
+				// set's deterministic hash spread (<= EntriesPerBucket by
+				// construction for the default 64 keys) and every put
+				// pays the full snapshot-install protocol. That is the
+				// regime the figure charges: under one 8-bucket map the
+				// install CASes collide and the colliding rebuilds grow
+				// with occupancy; the key-hash-routed shards split both.
+				key := uint64((i*7+tid*13)%keys) + 1
+				switch i % 8 {
+				case 1:
+					op = dss.Op{Kind: dss.Get, Key: key}
+				case 3:
+					op = dss.Op{Kind: dss.MapCAS, Key: key, Arg: spec.PackCAS(lastK[key], v)}
+				case 5:
+					op = dss.Op{Kind: dss.Delete, Key: key}
+				default:
+					op = dss.Op{Kind: dss.Put, Key: key, Arg: v}
+				}
+			} else {
+				switch i % 4 {
+				case 0:
+					op = dss.Op{Kind: dss.Write, Arg: v}
+				case 1:
+					op = dss.Op{Kind: dss.Swap, Arg: v}
+				case 2:
+					op = dss.Op{Kind: dss.CAS, Key: last, Arg: v}
+				default:
+					op = dss.Op{Kind: dss.Read}
+				}
+			}
+			if err := obj.Prep(tid, op); err != nil {
+				*errp = fmt.Errorf("prep tid %d op %d: %w", tid, i, err)
+				return
+			}
+			resp, err := obj.Exec(tid)
+			if err != nil {
+				*errp = fmt.Errorf("exec tid %d op %d: %w", tid, i, err)
+				return
+			}
+			// Fold the observation into the expectation state.
+			if isMap {
+				key := op.Key
+				switch op.Kind {
+				case dss.Put:
+					lastK[key] = op.Arg
+				case dss.Get:
+					if resp.Kind == dss.Val {
+						lastK[key] = resp.Val
+					} else {
+						delete(lastK, key)
+					}
+				case dss.MapCAS:
+					if resp.Val == 1 {
+						lastK[key] = v
+					} else if resp.Val2 != 0 {
+						lastK[key] = resp.Val2
+					} else {
+						delete(lastK, key)
+					}
+				case dss.Delete:
+					delete(lastK, key)
+				}
+			} else {
+				switch op.Kind {
+				case dss.Write, dss.Swap:
+					last = op.Arg
+				case dss.Read:
+					last = resp.Val
+				case dss.CAS:
+					if resp.Val == 1 {
+						last = op.Arg
+					} else {
+						last = resp.Val2
+					}
+				}
+			}
+		}
+	}
+}
+
+// RunKeyedVirtual measures one keyed configuration at one thread count in
+// virtual time. shards: 0 = the bare type, -1 = the combined front,
+// N > 0 = a sharded front of N shards. Deterministic for a given build.
+func RunKeyedVirtual(cfg KeyedSweepConfig, threads, shards int) (Point, error) {
+	cfg.defaults()
+	typ := dss.RegisterType
+	isMap := cfg.Object == "hmap"
+	if isMap {
+		typ = dss.MapType
+	} else if cfg.Object != "register" {
+		return Point{}, fmt.Errorf("harness: unknown keyed object %q (register or hmap)", cfg.Object)
+	}
+	obj, h, err := buildKeyed(typ, threads, shards, cfg.NodesPerThread, cfg.AccessNS, cfg.FlushNS)
+	if err != nil {
+		return Point{}, err
+	}
+	stats0 := h.Stats()
+	errs := make([]error, threads)
+	workers := make([]func(), threads)
+	for tid := 0; tid < threads; tid++ {
+		workers[tid] = keyedWorker(obj, isMap, tid, cfg.OpsPerThread, cfg.Keys, &errs[tid])
+	}
+	elapsed := vtime.Run(h, vtime.Costs{AccessNS: cfg.AccessNS, FlushNS: cfg.FlushNS}, workers)
+	for _, err := range errs {
+		if err != nil {
+			return Point{}, fmt.Errorf("harness: keyed %s: %w", cfg.Object, err)
+		}
+	}
+	if elapsed <= 0 {
+		return Point{}, fmt.Errorf("harness: keyed virtual run measured no time")
+	}
+	stats := h.Stats().Sub(stats0)
+	ops := uint64(threads) * uint64(cfg.OpsPerThread)
+	return Point{
+		Threads:      threads,
+		Mops:         float64(ops) / elapsed.Seconds() / 1e6,
+		Ops:          ops,
+		Flushes:      stats.Flushes,
+		Fences:       stats.Fences,
+		FencesElided: stats.FencesElided,
+	}, nil
+}
+
+// FigureKeyed measures the keyed object's figure: for the register, the
+// bare type against the combined front over it; for the hmap, the bare
+// type against its sharded compositions.
+func FigureKeyed(cfg KeyedSweepConfig) ([]Series, error) {
+	cfg.defaults()
+	runSeries := func(name string, shards int) (Series, error) {
+		s := Series{Name: name}
+		for _, th := range cfg.Threads {
+			p, err := RunKeyedVirtual(cfg, th, shards)
+			if err != nil {
+				return Series{}, fmt.Errorf("harness: %s @%d threads: %w", name, th, err)
+			}
+			s.Points = append(s.Points, p)
+		}
+		return s, nil
+	}
+	switch cfg.Object {
+	case "register":
+		out := make([]Series, 0, 2)
+		for _, row := range []struct {
+			name   string
+			shards int
+		}{
+			{"dss-register", 0},
+			{"combined-register", -1},
+		} {
+			s, err := runSeries(row.name, row.shards)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	case "hmap":
+		out := make([]Series, 0, 1+len(cfg.ShardCounts))
+		s, err := runSeries("dss-hmap", 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		for _, n := range cfg.ShardCounts {
+			s, err := runSeries(fmt.Sprintf("sharded-hmap/%d", n), n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown keyed object %q (register or hmap)", cfg.Object)
+	}
+}
+
+// BuildKeyedReport assembles the BENCH_register.json / BENCH_hmap.json
+// report in the standard flat schema.
+func BuildKeyedReport(cfg KeyedSweepConfig, series []Series) Report {
+	cfg.defaults()
+	r := Report{
+		Figure: cfg.Object,
+		Config: ReportConfig{
+			Threads:        cfg.Threads,
+			Repeats:        1,
+			FlushLatencyNS: cfg.FlushNS,
+			AccessDelay:    int(cfg.AccessNS),
+			PairsPerThread: cfg.OpsPerThread,
+		},
+	}
+	if cfg.Object == "register" {
+		r.Workload = "rotating write/swap/cas/read, globally unique values, cas expecting the " +
+			"thread's last observation; fixed ops per thread"
+		r.Config.Note = "virtual-time mode (internal/vtime): deterministic min-clock scheduling; " +
+			"the register cannot shard (its key is a cas operand, not a sub-object name), so " +
+			"the combined series' fence amortization is the scaling story"
+	} else {
+		r.Workload = fmt.Sprintf("put-heavy rotation (5/8 put, 1/8 each get/mcas/del) over a "+
+			"fixed set of %d keys (coprime per-thread stride), globally unique values; "+
+			"fixed ops per thread", cfg.Keys)
+		r.Config.ShardCounts = cfg.ShardCounts
+		r.Config.Note = "virtual-time mode (internal/vtime): deterministic min-clock scheduling; " +
+			"MapType is KeyRouted — the sharded front scatters keys by KeyShard hash and the " +
+			"composition is the exact sequential map, so throughput scales with shard count"
+	}
+	for _, s := range series {
+		rs := ReportSeries{Impl: s.Name}
+		for _, p := range s.Points {
+			rs.Points = append(rs.Points, ReportPoint{
+				Threads: p.Threads, Mops: p.Mops, Ops: p.Ops,
+				Flushes: p.Flushes, Fences: p.Fences,
+				FencesElided: p.FencesElided,
+			})
+		}
+		r.Series = append(r.Series, rs)
+	}
+	return r
+}

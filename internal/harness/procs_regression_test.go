@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/procharness"
+	"repro/internal/shm"
+)
+
+// TestMain makes this package's test binary role-hosting: the
+// multi-process storm supervisor re-execs the running binary with
+// DSSPROC_ROLE set for its server and client processes, and MaybeRole
+// takes those invocations over before any test runs (the same pattern
+// as internal/procharness's own tests).
+func TestMain(m *testing.M) {
+	procharness.MaybeRole()
+	os.Exit(m.Run())
+}
+
+// TestProcsBaselineRegeneratesBitIdentical re-runs the exact committed
+// configuration of BENCH_procs.json (dssproc -seed 1) in-process and
+// requires byte equality with the file. The storm's report counts are
+// seed-deterministic even though its processes race in wall time, so
+// any change to the wire frames, the retry protocol, or the fault
+// schedule that perturbs the committed counts fails here — the
+// in-process arm of the step-neutrality guard for the multi-process
+// deployment, alongside `make procs-smoke`.
+func TestProcsBaselineRegeneratesBitIdentical(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	committed := readRepoFile(t, "BENCH_procs.json")
+	rep, _, err := procharness.RunStorm(procharness.StormConfig{
+		Seed:                   1,
+		Object:                 "queue",
+		Servers:                2,
+		ClientsPerServer:       4,
+		OpsPerClient:           150,
+		KillsPerServer:         10,
+		RecoveryKillsPerServer: 2,
+		Blackouts:              1,
+		Wedges:                 2,
+		RingSlots:              128,
+		RecoveryHoldMS:         400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("storm reported violations:\n%v", rep.Violations)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, committed) {
+		t.Fatalf("BENCH_procs.json drifted from a fresh run of its committed configuration:\ncommitted:\n%s\nfresh:\n%s",
+			committed, got)
+	}
+}

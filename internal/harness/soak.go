@@ -40,12 +40,17 @@ import (
 // SoakConfig parameterizes a crash-storm soak run.
 type SoakConfig struct {
 	// Object selects the detectable type the server hosts: "queue"
-	// (default) or "stack". Both run through the universal construction,
-	// whose persisted log carries the operation tags the RetryClient's
-	// cross-crash exactly-once discipline keys on. The workload shape is
-	// identical; only the operation vocabulary and the history verifier
-	// (FIFO vs LIFO violation detector) change.
+	// (default), "stack", "register", or "hmap". All run through the
+	// universal construction, whose persisted log carries the operation
+	// tags the RetryClient's cross-crash exactly-once discipline keys on.
+	// Queue and stack share the alternating insert/remove workload;
+	// register and hmap run a keyed generator (each client draws its op
+	// class — and, for the map, a Zipf-distributed key — from a private
+	// rng) and are verified with the register/map violation detectors.
 	Object string
+	// Keys sizes the key space of the "hmap" workload (Zipf-skewed;
+	// default 16). Ignored by the other objects.
+	Keys int
 	// Combined hosts the object behind the flat-combining front
 	// (internal/combine) instead of the universal construction: the
 	// server serves a combine.Wire over a combined concrete queue or
@@ -88,6 +93,9 @@ type SoakConfig struct {
 func (c *SoakConfig) defaults() {
 	if c.Object == "" {
 		c.Object = "queue"
+	}
+	if c.Keys <= 0 {
+		c.Keys = 16
 	}
 	if c.Clients <= 0 {
 		c.Clients = 8
@@ -146,6 +154,9 @@ type SoakReport struct {
 	// flat-combining front (omitted on the default universal path, so
 	// the committed reports' bytes are stable).
 	Combined bool `json:"combined,omitempty"`
+	// Keys is the key-space size of a keyed ("hmap") run (omitted
+	// otherwise, keeping the queue/stack reports' bytes stable).
+	Keys int `json:"keys,omitempty"`
 
 	Seed         int64 `json:"seed"`
 	Clients      int   `json:"clients"`
@@ -158,7 +169,9 @@ type SoakReport struct {
 
 	// Client-observed outcomes. The field names keep the queue
 	// vocabulary; for the stack object they count pushes, pops, and
-	// EMPTY pops.
+	// EMPTY pops, and for the keyed objects they count installs
+	// (write/swap/cas-hit, put/mcas-hit), value observations
+	// (read/cas-miss, get/del/mcas-miss), and EMPTY answers.
 	Ops           uint64 `json:"ops"`
 	Enqueues      uint64 `json:"enqueues"`
 	Dequeues      uint64 `json:"dequeues"`
@@ -244,6 +257,17 @@ type soakClient struct {
 	token    uint64
 	gotReply bool
 	rep      mp.Reply
+
+	// Keyed-workload state (register/hmap only; nil otherwise). opRng is
+	// the client's private op generator — private so that the draw order
+	// is a function of (seed, tid, op index) alone, independent of how
+	// the storm interleaves clients. zipf skews the map's key choice.
+	// last tracks the client's latest observed value per key (the
+	// register uses key 0) and feeds cas/mcas expectations, so a useful
+	// fraction of the cas traffic hits.
+	opRng *rand.Rand
+	zipf  *rand.Zipf
+	last  map[uint64]uint64
 }
 
 // soakConn is the per-client Transport over the simulated network.
@@ -265,7 +289,14 @@ type soakSim struct {
 	// historical one: same rng draw order, same engine step sequence,
 	// same report, so committed queue reports stay bit-identical.
 	isStack bool
-	// insertOp and removeOp build the object's base operations.
+	// keyed marks the register/hmap objects (isMap distinguishes the
+	// map): the workload comes from per-client keyed generators, the
+	// history is recorded as ROps/MOps, and there is no drain or value
+	// conservation (keyed values are overwritten, not conserved).
+	keyed bool
+	isMap bool
+	// insertOp and removeOp build the object's base operations
+	// (queue/stack only).
 	insertOp func(v uint64) spec.Op
 	removeOp func() spec.Op
 
@@ -287,6 +318,8 @@ type soakSim struct {
 	logical int64
 	hist    []check.QOp
 	shist   []check.SOp
+	rhist   []check.ROp
+	mhist   []check.MOp
 	errs    []string
 
 	// serverSink and clientSinks observe the run on the DES virtual clock.
@@ -481,20 +514,139 @@ func (s *soakSim) record(isInsert bool, op spec.Op, resp spec.Resp, inv, ret int
 	return true
 }
 
+// genKeyedOp draws one keyed operation from c's private generator. The
+// draw order is fixed — map key first, then the op class — so the op
+// sequence depends only on (seed, tid, i). Installed values are globally
+// unique ((tid, op index) packed, as in the queue workload), which is
+// what the register/map detectors' displacement-chain reasoning needs.
+func (s *soakSim) genKeyedOp(c *soakClient, i int) spec.Op {
+	v := uint64(c.tid)*1_000_000 + uint64(i) + 1
+	if s.isMap {
+		key := c.zipf.Uint64() + 1
+		switch c.opRng.Intn(8) {
+		case 0, 1, 2:
+			return spec.Put(key, v)
+		case 3, 4:
+			return spec.Get(key)
+		case 5:
+			return spec.Del(key)
+		default:
+			// Expect the latest value this client saw at the key (zero if
+			// it believes the key absent — a certain miss that exercises
+			// the EMPTY answer).
+			return spec.MCAS(key, c.last[key], v)
+		}
+	}
+	switch c.opRng.Intn(8) {
+	case 0, 1:
+		return spec.Write(v)
+	case 2, 3:
+		return spec.Swap(v)
+	case 4, 5:
+		return spec.CAS(c.last[0], v)
+	default:
+		return spec.Read()
+	}
+}
+
+// recordKeyed appends one keyed client-observed operation to the
+// register/map history, updates the report counters, and folds the
+// observed value into c's expectation table.
+func (s *soakSim) recordKeyed(c *soakClient, op spec.Op, resp spec.Resp, inv, ret int64) bool {
+	if s.isMap {
+		key := op.Arg
+		switch {
+		case op.Sym == "put" && resp.Kind == spec.Ack:
+			s.rep.Enqueues++
+			s.mhist = append(s.mhist, check.MOp{Kind: check.MPut, Key: key, V: op.Arg2, Inv: inv, Ret: ret})
+			c.last[key] = op.Arg2
+		case op.Sym == "get" && resp.Kind == spec.Val:
+			s.rep.Dequeues++
+			s.mhist = append(s.mhist, check.MOp{Kind: check.MGet, Key: key, V: resp.V, Inv: inv, Ret: ret})
+			c.last[key] = resp.V
+		case op.Sym == "get" && resp.Kind == spec.Empty:
+			s.rep.EmptyDequeues++
+			s.mhist = append(s.mhist, check.MOp{Kind: check.MGetEmpty, Key: key, Inv: inv, Ret: ret})
+			delete(c.last, key)
+		case op.Sym == "del" && resp.Kind == spec.Val:
+			s.rep.Dequeues++
+			s.mhist = append(s.mhist, check.MOp{Kind: check.MDel, Key: key, V: resp.V, Inv: inv, Ret: ret})
+			delete(c.last, key)
+		case op.Sym == "del" && resp.Kind == spec.Empty:
+			s.rep.EmptyDequeues++
+			s.mhist = append(s.mhist, check.MOp{Kind: check.MDelEmpty, Key: key, Inv: inv, Ret: ret})
+			delete(c.last, key)
+		case op.Sym == "mcas" && resp.Kind == spec.Val:
+			exp, newV := spec.UnpackCAS(op.Arg2)
+			m := check.MOp{Kind: check.MCasMissVal, Key: key, V: newV, W: resp.V2, X: exp, Inv: inv, Ret: ret}
+			switch {
+			case resp.V == 1:
+				m.Kind = check.MCasHit
+				s.rep.Enqueues++
+				c.last[key] = newV
+			case resp.V2 == 0:
+				m.Kind = check.MCasMissEmpty
+				m.W = 0
+				s.rep.EmptyDequeues++
+				delete(c.last, key)
+			default:
+				s.rep.Dequeues++
+				c.last[key] = resp.V2
+			}
+			s.mhist = append(s.mhist, m)
+		default:
+			return false
+		}
+		return true
+	}
+	switch {
+	case op.Sym == "write" && resp.Kind == spec.Ack:
+		s.rep.Enqueues++
+		s.rhist = append(s.rhist, check.ROp{Kind: check.RWrite, V: op.Arg, Inv: inv, Ret: ret})
+		c.last[0] = op.Arg
+	case op.Sym == "read" && resp.Kind == spec.Val:
+		s.rep.Dequeues++
+		s.rhist = append(s.rhist, check.ROp{Kind: check.RRead, V: resp.V, Inv: inv, Ret: ret})
+		c.last[0] = resp.V
+	case op.Sym == "swap" && resp.Kind == spec.Val:
+		s.rep.Enqueues++
+		s.rhist = append(s.rhist, check.ROp{Kind: check.RSwap, V: op.Arg, W: resp.V, Inv: inv, Ret: ret})
+		c.last[0] = op.Arg
+	case op.Sym == "cas" && resp.Kind == spec.Val:
+		r := check.ROp{Kind: check.RCasMiss, V: op.Arg2, W: resp.V2, X: op.Arg, Inv: inv, Ret: ret}
+		if resp.V == 1 {
+			r.Kind = check.RCasHit
+			s.rep.Enqueues++
+			c.last[0] = op.Arg2
+		} else {
+			s.rep.Dequeues++
+			c.last[0] = resp.V2
+		}
+		s.rhist = append(s.rhist, r)
+	default:
+		return false
+	}
+	return true
+}
+
 // clientMain is one client's workload: alternating detectable
-// insert/remove pairs via the real RetryClient, recorded as an object
-// history. Runs on its own goroutine under the baton discipline.
+// insert/remove pairs (keyed generator draws for register/hmap) via the
+// real RetryClient, recorded as an object history. Runs on its own
+// goroutine under the baton discipline.
 func (s *soakSim) clientMain(c *soakClient) {
 	<-c.resume
 	for i := 0; i < s.cfg.OpsPerClient; i++ {
 		var op spec.Op
 		isInsert := i%3 != 0
-		if !isInsert {
+		switch {
+		case s.keyed:
+			op = s.genKeyedOp(c, i)
+		case !isInsert:
 			// Remove first (the opening round hits an empty object, so
 			// EMPTY responses are exercised) and only every third op, so
 			// the storm ends with a backlog for the drain to account for.
 			op = s.removeOp()
-		} else {
+		default:
 			// Values are globally unique: (tid, op index) packed.
 			op = s.insertOp(uint64(c.tid)*1_000_000 + uint64(i) + 1)
 		}
@@ -506,7 +658,13 @@ func (s *soakSim) clientMain(c *soakClient) {
 			break
 		}
 		s.rep.Ops++
-		if !s.record(isInsert, op, resp, inv, ret) {
+		recorded := false
+		if s.keyed {
+			recorded = s.recordKeyed(c, op, resp, inv, ret)
+		} else {
+			recorded = s.record(isInsert, op, resp, inv, ret)
+		}
+		if !recorded {
 			s.errs = append(s.errs, fmt.Sprintf("client %d op %d (%s): unexpected response %s", c.tid, i, op, resp))
 		}
 	}
@@ -527,6 +685,12 @@ func (s *soakSim) drain() {
 		s.up = true
 	}
 	s.eng.Heap().ArmCrash(0)
+	if s.keyed {
+		// Keyed objects hold no backlog to account for — installs
+		// overwrite rather than accumulate — so the drain is only the
+		// final recovery above.
+		return
+	}
 	for tid := 0; ; tid = (tid + 1) % s.cfg.Clients {
 		rep := s.eng.Apply(mp.Msg{Kind: mp.ReqInvoke, Client: tid, Op: s.removeOp()})
 		if rep.Err != nil {
@@ -551,9 +715,23 @@ func (s *soakSim) drain() {
 // inversions — FIFO or LIFO — and impossible EMPTYs) plus value
 // conservation — after the drain, every acknowledged insert must have
 // been removed exactly once. A retry bug that executed an operation
-// twice or zero times cannot pass both.
+// twice or zero times cannot pass both. The keyed objects run their
+// displacement-chain detectors instead: with globally unique installed
+// values, a double-executed install surfaces as a duplicate-install or
+// stale-observation pattern, and a lost one as a never-installed
+// observation, so exactly-once is still covered without conservation.
 func (s *soakSim) verify() {
 	violations := append([]string{}, s.errs...)
+	if s.keyed {
+		if s.isMap {
+			violations = append(violations, check.CheckMapHistory(s.mhist)...)
+		} else {
+			violations = append(violations, check.CheckRegisterHistory(s.rhist)...)
+		}
+		sort.Strings(violations)
+		s.rep.Violations = violations
+		return
+	}
 	inserted := map[uint64]bool{}
 	removed := map[uint64]int{}
 	if s.isStack {
@@ -626,19 +804,29 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 	var init spec.State
 	var insertOp func(uint64) spec.Op
 	var removeOp func() spec.Op
+	var vocab []spec.Op
 	switch cfg.Object {
 	case "queue":
 		init, insertOp, removeOp = spec.NewQueue(), spec.Enqueue, spec.Dequeue
+		vocab = []spec.Op{insertOp(0), removeOp()}
 	case "stack":
 		init, insertOp, removeOp = spec.NewStack(), spec.Push, spec.Pop
+		vocab = []spec.Op{insertOp(0), removeOp()}
+	case "register":
+		init = spec.NewSwap(0)
+		vocab = []spec.Op{spec.Write(0), spec.Read(), spec.Swap(0), spec.CAS(0, 0)}
+	case "hmap":
+		init = spec.NewMap()
+		vocab = []spec.Op{spec.Put(0, 0), spec.Get(0), spec.Del(0), spec.MCAS(0, 0, 0)}
 	default:
-		return SoakReport{}, SoakObservation{}, fmt.Errorf("harness: unknown soak object %q (queue or stack)", cfg.Object)
+		return SoakReport{}, SoakObservation{}, fmt.Errorf(
+			"harness: unknown soak object %q (queue, stack, register, or hmap)", cfg.Object)
 	}
 	ecfg := mp.EngineConfig{
 		Clients:  cfg.Clients,
 		Capacity: 2*cfg.Clients*cfg.OpsPerClient + 256,
 		Init:     init,
-		Ops:      []spec.Op{insertOp(0), removeOp()},
+		Ops:      vocab,
 	}
 	var front *combine.Front
 	if cfg.Combined {
@@ -648,8 +836,13 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 		// settle path keys on (a plain dss.Wire keeps tags volatile and
 		// would double-execute after a crash).
 		typ := dss.QueueType
-		if cfg.Object == "stack" {
+		switch cfg.Object {
+		case "stack":
 			typ = dss.StackType
+		case "register":
+			typ = dss.RegisterType
+		case "hmap":
+			typ = dss.MapType
 		}
 		ecfg.NewObject = func(h *pmem.Heap, clients int) (mp.Object, error) {
 			f, err := combine.New(h, 0, typ, dss.Config{
@@ -674,6 +867,8 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 		cfg:      cfg,
 		eng:      eng,
 		isStack:  cfg.Object == "stack",
+		keyed:    cfg.Object == "register" || cfg.Object == "hmap",
+		isMap:    cfg.Object == "hmap",
 		insertOp: insertOp,
 		removeOp: removeOp,
 		up:       true,
@@ -698,6 +893,9 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 	if cfg.Object != "queue" {
 		s.rep.Object = cfg.Object
 	}
+	if s.isMap {
+		s.rep.Keys = cfg.Keys
+	}
 	s.rep.Combined = cfg.Combined
 	// All sinks share the DES virtual clock, so latencies are virtual
 	// nanoseconds and the traces of every process merge on one time axis.
@@ -715,6 +913,17 @@ func RunSoakObserved(cfg SoakConfig) (SoakReport, SoakObservation, error) {
 
 	for tid := 0; tid < cfg.Clients; tid++ {
 		c := &soakClient{tid: tid, resume: make(chan struct{}, 1)}
+		if s.keyed {
+			// Private generator per client (seed + tid derived, like the
+			// backoff jitter) so the keyed op sequence is independent of
+			// storm interleaving. The queue/stack paths build none of
+			// this and keep their historical rng draw order.
+			c.opRng = rand.New(rand.NewSource(cfg.Seed + 500 + int64(tid)))
+			if s.isMap {
+				c.zipf = rand.NewZipf(c.opRng, 1.4, 4, uint64(cfg.Keys-1))
+			}
+			c.last = map[uint64]uint64{}
+		}
 		pol := cfg.Policy
 		pol.Seed = cfg.Seed + 100 + int64(tid)
 		c.rc = mp.NewRetryClient(&soakConn{s: s, c: c}, tid, pol)

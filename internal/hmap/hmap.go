@@ -1,0 +1,903 @@
+// Package hmap applies the DSS transformation to a keyed type: a
+// lock-free, strictly linearizable, detectable fixed-bucket hash map
+// from 64-bit keys to 64-bit values. It is built from per-bucket
+// detectable primitives: each bucket is an independent snapshot chain in
+// the style of the swap/CAS register (internal/reg) — mutators install
+// an immutable bucket-snapshot node by CAS on the bucket head, so an
+// operation verifiably took effect iff its node is the bucket's current
+// node or was later displaced (its taken flag is set). Buckets never
+// interact: two operations contend only when their keys hash to the
+// same bucket, which is what makes the map's Op.Key a true sub-object
+// address (dss.Type.KeyRouted) and key-hash shard routing exact.
+//
+// Operations: put(k,v) upserts (Ack), get(k) returns the value or EMPTY,
+// del(k) returns the removed value or EMPTY, and cas(k, expected, new)
+// answers in two words — (1, expected) on success, (0, witnessed) on
+// failure (witness 0 when k is absent). cas values are 32-bit
+// (spec.PackCAS packs the pair into one argument word so the operation
+// fits the keyed two-word runtime contract {Kind, Key, Arg}).
+//
+// Persistent node layout (one bucket snapshot, nodeLines cache lines):
+//
+//	[0] opKind  [1] prev  [2] taken  [3] have
+//	[4] key     [5] arg   [6] respA  [7] respB
+//	[8] count   [9..] count × (key, value) entries
+//
+// Unlike the register, a node's response words (respA/respB — the
+// deleted value, the cas witness) are computed from the snapshot being
+// displaced and persisted with the node BEFORE the install CAS, so a
+// mutator's response is durable the instant its node enters the bucket.
+// The settlement that follows (mark the displaced node taken, then set
+// the installer's have flag, in that order, both before the displaced
+// node can be retired) exists for the *other* direction of detection: a
+// displaced node's owner proves execution from its taken flag, and
+// recovery's fixpoint re-runs exactly this settlement for installs a
+// crash interrupted.
+//
+// Effectless operations — get, del of an absent key, cas that fails —
+// have no node to witness; they become detectable by recording their
+// response in the owner's detectability line X[i] before returning,
+// exactly as the register's reads and failed cas do.
+package hmap
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Node field offsets.
+const (
+	offKind  = 0
+	offPrev  = 1
+	offTaken = 2
+	offHave  = 3
+	offKey   = 4
+	offArg   = 5
+	offRespA = 6
+	offRespB = 7
+	offCount = 8
+	offEnt   = 9 // count × (key, value) pairs
+)
+
+// EntriesPerBucket bounds one bucket's population: a snapshot node holds
+// at most this many pairs, and a put that would grow a full bucket
+// returns ErrBucketFull. Sized so a node (9 header words + 2 words per
+// entry) fills exactly nodeLines cache lines.
+const (
+	EntriesPerBucket = 11
+	nodeWords        = offEnt + 2*EntriesPerBucket // 31, rounds to 4 lines
+	nodeLines        = (nodeWords + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+)
+
+// X-word encoding, mirroring internal/reg: bit 63 prep, bits 62-60 the
+// operation kind, bit 59 compl (response recorded / settlement
+// finished), bit 58 the effectless-outcome marker (get-EMPTY, del-EMPTY,
+// failed cas); the low bits hold a mutator's prepared node address.
+const (
+	prepTag   = uint64(1) << 63
+	kindShift = 60
+	kindMask  = uint64(7) << kindShift
+	complTag  = uint64(1) << 59
+	missTag   = uint64(1) << 58
+	tagMask   = prepTag | kindMask | complTag | missTag
+)
+
+// X-word kind values.
+const (
+	kGet = uint64(iota)
+	kPut
+	kDel
+	kCAS
+)
+
+// X-line word offsets: word 0 is the tagged word, word 1 the key of a
+// prepared get (mutators keep their key in the node), word 2 the
+// recorded response value of a get or the witness of a failed cas — all
+// on one line, so recording a response is one persist.
+const (
+	xWord = 0
+	xKey  = 1
+	xVal  = 2
+)
+
+// ErrNoNodes is returned when the snapshot-node pool is exhausted.
+var ErrNoNodes = errors.New("hmap: node pool exhausted")
+
+// ErrBucketFull is returned by a put whose bucket already holds
+// EntriesPerBucket other keys.
+var ErrBucketFull = errors.New("hmap: bucket full")
+
+// Config parameterizes a detectable hash map.
+type Config struct {
+	// Threads is the number of worker threads (tids 0..Threads-1).
+	Threads int
+	// Buckets is the fixed bucket count (default 8).
+	Buckets int
+	// NodesPerThread sizes each thread's pre-allocated snapshot pool.
+	NodesPerThread int
+	// ExtraNodes adds shared spare snapshots.
+	ExtraNodes int
+}
+
+// Map is a detectable recoverable fixed-bucket hash map. All exported
+// methods except New, Attach, Recover, ResetVolatile and AbandonPrep are
+// safe for concurrent use by distinct threads, each passing its own tid.
+type Map struct {
+	h    *pmem.Heap
+	pool *pmem.Pool
+	rec  *ebr.Collector
+
+	rBase pmem.Addr // bucket heads, one line each
+	xBase pmem.Addr // detectability lines, one per thread
+
+	threads int
+	buckets int
+}
+
+// Persistent configuration line offsets.
+const (
+	cfgMagic   = 0
+	cfgThreads = 1
+	cfgBuckets = 2
+	cfgNodes   = 3
+	cfgExtra   = 4
+	cfgPool    = 5
+)
+
+// magicMap identifies an initialized detectable hash map's metadata.
+const magicMap = 0x4453_534d // "DSSM"
+
+// BucketOf is the map's key-to-bucket hash: a Fibonacci-style mix using
+// a different multiplier and bit window than sharded.KeyShard, so shard
+// placement and bucket placement stay uncorrelated when the map is
+// sharded by key.
+func BucketOf(key uint64, buckets int) int {
+	return int(key * 0xA24BAED4963EE407 >> 32 % uint64(buckets))
+}
+
+// New allocates and initializes a detectable hash map on h, registering
+// its metadata in heap root slot rootSlot. All buckets start empty (a
+// zero head word).
+func New(h *pmem.Heap, rootSlot int, cfg Config) (*Map, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("hmap: need at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 8
+	}
+	if cfg.NodesPerThread < 1 {
+		return nil, fmt.Errorf("hmap: need at least one node per thread")
+	}
+	meta, err := h.Alloc((1 + cfg.Buckets + cfg.Threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("hmap: metadata: %w", err)
+	}
+	m := &Map{
+		h:       h,
+		rBase:   meta + pmem.WordsPerLine,
+		xBase:   meta + pmem.Addr((1+cfg.Buckets)*pmem.WordsPerLine),
+		threads: cfg.Threads,
+		buckets: cfg.Buckets,
+	}
+	m.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         cfg.Threads,
+		BlocksPerThread: cfg.NodesPerThread,
+		ExtraBlocks:     cfg.ExtraNodes,
+		BlockWords:      nodeWords,
+		Pinned:          m.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hmap: snapshot pool: %w", err)
+	}
+	h.Store(meta+cfgThreads, uint64(cfg.Threads))
+	h.Store(meta+cfgBuckets, uint64(cfg.Buckets))
+	h.Store(meta+cfgNodes, uint64(cfg.NodesPerThread))
+	h.Store(meta+cfgExtra, uint64(cfg.ExtraNodes))
+	h.Store(meta+cfgPool, uint64(m.pool.Base()))
+	h.Store(meta+cfgMagic, magicMap)
+	h.Persist(meta)
+	for b := 0; b < cfg.Buckets; b++ {
+		h.Store(m.bucketAddr(b), 0)
+	}
+	h.PersistRange(m.rBase, cfg.Buckets*pmem.WordsPerLine)
+	for i := 0; i < cfg.Threads; i++ {
+		h.Store(m.xAddr(i), 0)
+	}
+	h.PersistRange(m.xBase, cfg.Threads*pmem.WordsPerLine)
+	if err := m.initEBR(); err != nil {
+		return nil, err
+	}
+	h.SetRoot(rootSlot, meta)
+	return m, nil
+}
+
+// Attach reconstructs the handle of an existing map from heap root slot
+// rootSlot. The caller must run Recover before resuming operations.
+func Attach(h *pmem.Heap, rootSlot int) (*Map, error) {
+	meta := h.Root(rootSlot)
+	if meta == 0 {
+		return nil, fmt.Errorf("hmap: root slot %d is empty", rootSlot)
+	}
+	if h.Load(meta+cfgMagic) != magicMap {
+		return nil, fmt.Errorf("hmap: root slot %d does not hold a detectable hash map", rootSlot)
+	}
+	threads := int(h.Load(meta + cfgThreads))
+	buckets := int(h.Load(meta + cfgBuckets))
+	if threads <= 0 || threads > 1<<16 || buckets <= 0 || buckets > 1<<20 {
+		return nil, fmt.Errorf("hmap: corrupt geometry (%d threads, %d buckets)", threads, buckets)
+	}
+	m := &Map{
+		h:       h,
+		rBase:   meta + pmem.WordsPerLine,
+		xBase:   meta + pmem.Addr((1+buckets)*pmem.WordsPerLine),
+		threads: threads,
+		buckets: buckets,
+	}
+	var err error
+	m.pool, err = pmem.AttachPool(h, pmem.Addr(h.Load(meta+cfgPool)), pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: int(h.Load(meta + cfgNodes)),
+		ExtraBlocks:     int(h.Load(meta + cfgExtra)),
+		BlockWords:      nodeWords,
+		Pinned:          m.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hmap: snapshot pool: %w", err)
+	}
+	if err := m.initEBR(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Map) initEBR() error {
+	var err error
+	m.rec, err = ebr.New(m.threads, func(tid int, a pmem.Addr) {
+		m.pool.Free(tid, a)
+	})
+	if err != nil {
+		return fmt.Errorf("hmap: reclamation: %w", err)
+	}
+	// Reuse fence: persist every bucket head before a retired snapshot
+	// becomes reusable, so a persisted head revived by a crash never
+	// names a reused node (see reg.New's drain hook).
+	m.rec.SetDrainHook(func(int) {
+		m.h.PersistRange(m.rBase, m.buckets*pmem.WordsPerLine)
+	})
+	return nil
+}
+
+// Threads reports the map's thread count.
+func (m *Map) Threads() int { return m.threads }
+
+// Buckets reports the map's fixed bucket count.
+func (m *Map) Buckets() int { return m.buckets }
+
+// Heap returns the map's underlying heap.
+func (m *Map) Heap() *pmem.Heap { return m.h }
+
+// FreeNodes exposes pool occupancy for tests.
+func (m *Map) FreeNodes() int { return m.pool.FreeCount() }
+
+// Capacity exposes the pool's block count for the space-bound tests.
+func (m *Map) Capacity() int { return m.pool.Capacity() }
+
+// Quiesce drains all pending reclamation (test access).
+func (m *Map) Quiesce() { m.rec.Flush() }
+
+func (m *Map) bucketAddr(b int) pmem.Addr {
+	return m.rBase + pmem.Addr(b*pmem.WordsPerLine)
+}
+
+func (m *Map) xAddr(tid int) pmem.Addr {
+	return m.xBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+func ptrOf(x uint64) pmem.Addr { return pmem.Addr(x &^ tagMask) }
+
+func kindOf(x uint64) uint64 { return x & kindMask >> kindShift }
+
+// pinned vetoes recycling of any snapshot a bucket head or a
+// detectability word references in either the coherent or the persisted
+// view (simulator-side bookkeeping; uncharged reads, see reg.pinned).
+func (m *Map) pinned(a pmem.Addr) bool {
+	tracked := m.h.Mode() == pmem.Tracked
+	for b := 0; b < m.buckets; b++ {
+		if pmem.Addr(m.h.LoadVolatile(m.bucketAddr(b))) == a {
+			return true
+		}
+		if tracked && pmem.Addr(m.h.PersistedLoad(m.bucketAddr(b))) == a {
+			return true
+		}
+	}
+	for i := 0; i < m.threads; i++ {
+		if ptrOf(m.h.LoadVolatile(m.xAddr(i))) == a {
+			return true
+		}
+		if tracked && ptrOf(m.h.PersistedLoad(m.xAddr(i))) == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Map) allocNode(tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if a, ok := m.pool.Alloc(tid); ok {
+			return a, true
+		}
+		m.rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+// entry returns the i-th (key, value) pair of snapshot node n.
+func (m *Map) entry(n pmem.Addr, i int) (uint64, uint64) {
+	return m.h.Load(n + offEnt + pmem.Addr(2*i)), m.h.Load(n + offEnt + pmem.Addr(2*i) + 1)
+}
+
+// lookup scans snapshot n (0 = empty bucket) for key.
+func (m *Map) lookup(n pmem.Addr, key uint64) (uint64, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	count := int(m.h.Load(n + offCount))
+	for i := 0; i < count; i++ {
+		if k, v := m.entry(n, i); k == key {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// persistNode flushes all of node's lines and drains once.
+func (m *Map) persistNode(n pmem.Addr) {
+	m.h.PersistRange(n, nodeWords)
+}
+
+// reclaimPrep returns the node of a superseded prepared mutator to the
+// pool when it verifiably never took effect (see reg.reclaimPrep).
+//
+// For a completed operation the owner's X word is the authority: the
+// miss tag was written atomically with the outcome, so it says exactly
+// whether the node was ever published. An installed node must NOT be
+// freed here even if it is no longer current — between a displacer's
+// install CAS and its settle the node is neither current nor taken,
+// yet the displacer (and any snapshot builder that loaded it as cur)
+// still holds a reference; reclaiming it in that window hands a live
+// snapshot to the allocator. Installed nodes are retired by their
+// displacer through the collector instead. The structural check is
+// kept only for an incomplete prep (AbandonPrep, recovery), which runs
+// with no concurrent displacers.
+func (m *Map) reclaimPrep(tid int, oldX uint64) {
+	if oldX&prepTag == 0 || kindOf(oldX) == kGet {
+		return
+	}
+	node := ptrOf(oldX)
+	if node == 0 {
+		return
+	}
+	if oldX&complTag != 0 {
+		if oldX&missTag != 0 {
+			m.pool.Free(tid, node)
+		}
+		return
+	}
+	b := BucketOf(m.h.Load(node+offKey), m.buckets)
+	if pmem.Addr(m.h.Load(m.bucketAddr(b))) != node && m.h.Load(node+offTaken) == 0 {
+		m.pool.Free(tid, node)
+	}
+}
+
+// PrepGet declares the detectable intent to look key up (Axiom 1).
+func (m *Map) PrepGet(tid int, key uint64) {
+	oldX := m.h.Load(m.xAddr(tid))
+	m.h.Store(m.xAddr(tid)+xKey, key)
+	m.h.Store(m.xAddr(tid), prepTag|kGet<<kindShift)
+	m.h.Persist(m.xAddr(tid))
+	m.reclaimPrep(tid, oldX)
+}
+
+// PrepPut declares the detectable intent to upsert key → v (Axiom 1).
+func (m *Map) PrepPut(tid int, key, v uint64) error {
+	return m.prepMutator(tid, kPut, key, v)
+}
+
+// PrepDelete declares the detectable intent to remove key (Axiom 1).
+func (m *Map) PrepDelete(tid int, key uint64) error {
+	return m.prepMutator(tid, kDel, key, 0)
+}
+
+// PrepCAS declares the detectable intent to compare-and-swap key's value
+// (Axiom 1): packed carries (expected, new) via spec.PackCAS.
+func (m *Map) PrepCAS(tid int, key, packed uint64) error {
+	return m.prepMutator(tid, kCAS, key, packed)
+}
+
+func (m *Map) prepMutator(tid int, kind, key, arg uint64) error {
+	oldX := m.h.Load(m.xAddr(tid))
+	node, ok := m.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	// Only the identity fields need persisting at prep time; the
+	// snapshot body is rebuilt (and re-persisted) by every exec attempt.
+	m.h.Store(node+offKind, kind)
+	m.h.Store(node+offPrev, 0)
+	m.h.Store(node+offTaken, 0)
+	m.h.Store(node+offHave, 0)
+	m.h.Store(node+offKey, key)
+	m.h.Store(node+offArg, arg)
+	m.h.Store(node+offRespA, 0)
+	m.h.Store(node+offRespB, 0)
+	m.h.Store(node+offCount, 0)
+	m.h.Persist(node)
+	m.h.Store(m.xAddr(tid), uint64(node)|prepTag|kind<<kindShift)
+	m.h.Persist(m.xAddr(tid))
+	if node != ptrOf(oldX) {
+		m.reclaimPrep(tid, oldX)
+	}
+	return nil
+}
+
+// ExecGet performs the prepared lookup (Axiom 2), recording the
+// response durably before returning.
+func (m *Map) ExecGet(tid int) (uint64, bool) {
+	key := m.h.Load(m.xAddr(tid) + xKey)
+	m.rec.Enter(tid)
+	v, present := m.lookup(pmem.Addr(m.h.Load(m.bucketAddr(BucketOf(key, m.buckets)))), key)
+	m.rec.Exit(tid)
+	x := m.h.Load(m.xAddr(tid))
+	m.h.Store(m.xAddr(tid)+xVal, v)
+	if present {
+		m.h.Store(m.xAddr(tid), x|complTag)
+	} else {
+		m.h.Store(m.xAddr(tid), x|complTag|missTag)
+	}
+	m.h.Persist(m.xAddr(tid))
+	return v, present
+}
+
+// ExecPut performs the prepared upsert (Axiom 2).
+func (m *Map) ExecPut(tid int) error {
+	_, _, err := m.execMutator(tid)
+	return err
+}
+
+// ExecDelete performs the prepared removal (Axiom 2): the removed value,
+// or ok false for an absent key (the EMPTY response).
+func (m *Map) ExecDelete(tid int) (v uint64, ok bool, err error) {
+	a, b, err := m.execMutator(tid)
+	return b, a == 1, err
+}
+
+// ExecCAS performs the prepared compare-and-swap (Axiom 2): ok reports
+// success and witness the value the operation observed (the expected
+// value on success, 0 when the key was absent).
+func (m *Map) ExecCAS(tid int) (ok bool, witness uint64, err error) {
+	a, b, err := m.execMutator(tid)
+	return a == 1, b, err
+}
+
+// buildSnapshot writes node's snapshot body: cur's entries transformed
+// by node's own operation. It returns the response pair to pre-store
+// and install true when the operation takes effect (false outcomes —
+// absent del, failed cas — are recorded in X by the caller instead).
+func (m *Map) buildSnapshot(node, cur pmem.Addr) (respA, respB uint64, install bool, err error) {
+	kind := m.h.Load(node + offKind)
+	key := m.h.Load(node + offKey)
+	arg := m.h.Load(node + offArg)
+	count := 0
+	if cur != 0 {
+		count = int(m.h.Load(cur + offCount))
+	}
+	out := 0
+	var curVal uint64
+	present := false
+	for i := 0; i < count; i++ {
+		k, v := m.entry(cur, i)
+		if k == key {
+			curVal, present = v, true
+			continue
+		}
+		m.h.Store(node+offEnt+pmem.Addr(2*out), k)
+		m.h.Store(node+offEnt+pmem.Addr(2*out)+1, v)
+		out++
+	}
+	switch kind {
+	case kPut:
+		if out >= EntriesPerBucket {
+			return 0, 0, false, ErrBucketFull
+		}
+		m.h.Store(node+offEnt+pmem.Addr(2*out), key)
+		m.h.Store(node+offEnt+pmem.Addr(2*out)+1, arg)
+		out++
+		respA, respB = 0, 0
+	case kDel:
+		if !present {
+			return 0, 0, false, nil
+		}
+		respA, respB = 1, curVal
+	case kCAS:
+		expected, newV := spec.UnpackCAS(arg)
+		if !present {
+			return 0, 0, false, nil
+		}
+		if curVal != expected {
+			return 0, curVal, false, nil
+		}
+		m.h.Store(node+offEnt+pmem.Addr(2*out), key)
+		m.h.Store(node+offEnt+pmem.Addr(2*out)+1, newV)
+		out++
+		respA, respB = 1, expected
+	}
+	m.h.Store(node+offCount, uint64(out))
+	return respA, respB, true, nil
+}
+
+// execMutator runs the install protocol for the prepared mutator node.
+// The generic response pair is (respA, respB): put (0,0) — its response
+// is Ack; del (1, removed) effective or (0,0) absent; cas (1, expected)
+// or (0, witness).
+func (m *Map) execMutator(tid int) (respA, respB uint64, err error) {
+	x := m.h.Load(m.xAddr(tid))
+	if x&prepTag == 0 || x&complTag != 0 {
+		return 0, 0, nil
+	}
+	node := ptrOf(x)
+	if node == 0 {
+		return 0, 0, nil
+	}
+	b := BucketOf(m.h.Load(node+offKey), m.buckets)
+	m.rec.Enter(tid)
+	defer m.rec.Exit(tid)
+	for {
+		cur := pmem.Addr(m.h.Load(m.bucketAddr(b)))
+		respA, respB, install, err := m.buildSnapshot(node, cur)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !install {
+			// No effect to witness (absent del, failed cas): record the
+			// response in the X line, as the register does for a failed
+			// cas, and leave the node uninstalled.
+			m.h.Store(m.xAddr(tid)+xVal, respB)
+			m.h.Store(m.xAddr(tid), x|complTag|missTag)
+			m.h.Persist(m.xAddr(tid))
+			return respA, respB, nil
+		}
+		m.h.Store(node+offPrev, uint64(cur))
+		m.h.Store(node+offRespA, respA)
+		m.h.Store(node+offRespB, respB)
+		m.persistNode(node)
+		if m.h.CompareAndSwap(m.bucketAddr(b), uint64(cur), uint64(node)) {
+			m.h.Persist(m.bucketAddr(b))
+			m.settle(node, cur)
+			m.h.Store(m.xAddr(tid), x|complTag)
+			m.h.Persist(m.xAddr(tid))
+			if cur != 0 {
+				m.rec.Retire(tid, cur)
+			}
+			return respA, respB, nil
+		}
+	}
+}
+
+// settle finishes node's displacement of cur: mark cur taken, then set
+// node's have flag, persisted in that order — execution of cur's owner
+// becomes provable before node's settlement is declared done, and both
+// before cur can ever be retired (the retire happens after settle
+// returns). Recovery re-runs exactly this sequence.
+func (m *Map) settle(node, cur pmem.Addr) {
+	if cur != 0 && m.h.Load(cur+offTaken) == 0 {
+		m.h.Store(cur+offTaken, 1)
+		m.h.Persist(cur)
+	}
+	m.h.Store(node+offHave, 1)
+	m.h.Persist(node)
+}
+
+// Get is the non-detectable lookup (Axiom 4).
+func (m *Map) Get(tid int, key uint64) (uint64, bool) {
+	m.rec.Enter(tid)
+	defer m.rec.Exit(tid)
+	return m.lookup(pmem.Addr(m.h.Load(m.bucketAddr(BucketOf(key, m.buckets)))), key)
+}
+
+// Put is the non-detectable upsert (Axiom 4).
+func (m *Map) Put(tid int, key, v uint64) error {
+	_, _, err := m.invoke(tid, kPut, key, v)
+	return err
+}
+
+// Delete is the non-detectable removal (Axiom 4).
+func (m *Map) Delete(tid int, key uint64) (v uint64, ok bool, err error) {
+	a, b, err := m.invoke(tid, kDel, key, 0)
+	return b, a == 1, err
+}
+
+// CAS is the non-detectable compare-and-swap (Axiom 4).
+func (m *Map) CAS(tid int, key, packed uint64) (ok bool, witness uint64, err error) {
+	a, b, err := m.invoke(tid, kCAS, key, packed)
+	return a == 1, b, err
+}
+
+// invoke installs a snapshot without touching X[tid]. It runs the same
+// settlement protocol as a detectable exec — the taken flags it sets are
+// what other threads' detectable resolves read.
+func (m *Map) invoke(tid int, kind, key, arg uint64) (respA, respB uint64, err error) {
+	node, ok := m.allocNode(tid)
+	if !ok {
+		return 0, 0, ErrNoNodes
+	}
+	m.h.Store(node+offKind, kind)
+	m.h.Store(node+offTaken, 0)
+	m.h.Store(node+offHave, 0)
+	m.h.Store(node+offKey, key)
+	m.h.Store(node+offArg, arg)
+	b := BucketOf(key, m.buckets)
+	m.rec.Enter(tid)
+	defer m.rec.Exit(tid)
+	for {
+		cur := pmem.Addr(m.h.Load(m.bucketAddr(b)))
+		respA, respB, install, err := m.buildSnapshot(node, cur)
+		if err != nil {
+			m.pool.Free(tid, node)
+			return 0, 0, err
+		}
+		if !install {
+			m.pool.Free(tid, node)
+			return respA, respB, nil
+		}
+		m.h.Store(node+offPrev, uint64(cur))
+		m.h.Store(node+offRespA, respA)
+		m.h.Store(node+offRespB, respB)
+		m.persistNode(node)
+		if m.h.CompareAndSwap(m.bucketAddr(b), uint64(cur), uint64(node)) {
+			m.h.Persist(m.bucketAddr(b))
+			m.settle(node, cur)
+			if cur != 0 {
+				m.rec.Retire(tid, cur)
+			}
+			return respA, respB, nil
+		}
+	}
+}
+
+// OpName identifies a map operation in a Resolution.
+type OpName int
+
+const (
+	// OpNone means no operation was prepared.
+	OpNone OpName = iota + 1
+	// OpGet is a prepared lookup.
+	OpGet
+	// OpPut is a prepared upsert.
+	OpPut
+	// OpDelete is a prepared removal.
+	OpDelete
+	// OpCAS is a prepared compare-and-swap.
+	OpCAS
+)
+
+// String returns the operation name.
+func (o OpName) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "del"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpName(%d)", int(o))
+	}
+}
+
+// Resolution is the map's decoded (A[p], R[p]) pair.
+type Resolution struct {
+	// Op is the prepared operation, or OpNone.
+	Op OpName
+	// Key is the prepared operation's key.
+	Key uint64
+	// Arg is the put value, or the packed (expected, new) pair of a cas.
+	Arg uint64
+	// Executed reports whether the operation took effect (R[p] ≠ ⊥).
+	Executed bool
+	// Present reports, for an executed get or del, whether the key was
+	// found (false is the EMPTY response).
+	Present bool
+	// Val is the response's first word: the value a get returned, the
+	// value a del removed, or the success bit of a cas.
+	Val uint64
+	// Val2 is the response's second word: the value a cas witnessed.
+	Val2 uint64
+}
+
+// Resolve reports the most recently prepared operation and its outcome
+// (Axiom 3). Total and idempotent.
+func (m *Map) Resolve(tid int) Resolution {
+	x := m.h.Load(m.xAddr(tid))
+	if x&prepTag == 0 {
+		return Resolution{Op: OpNone}
+	}
+	if kindOf(x) == kGet {
+		res := Resolution{Op: OpGet, Key: m.h.Load(m.xAddr(tid) + xKey)}
+		if x&complTag != 0 {
+			res.Executed = true
+			res.Present = x&missTag == 0
+			if res.Present {
+				res.Val = m.h.Load(m.xAddr(tid) + xVal)
+			}
+		}
+		return res
+	}
+	node := ptrOf(x)
+	if node == 0 {
+		return Resolution{Op: OpNone}
+	}
+	res := Resolution{
+		Key: m.h.Load(node + offKey),
+		Arg: m.h.Load(node + offArg),
+	}
+	switch kindOf(x) {
+	case kPut:
+		res.Op = OpPut
+		res.Executed = m.installed(x, node)
+		res.Present = res.Executed
+	case kDel:
+		res.Op = OpDelete
+		switch {
+		case x&missTag != 0:
+			res.Executed = true
+		case m.installed(x, node):
+			res.Executed, res.Present = true, true
+			res.Val = m.h.Load(node + offRespB)
+		}
+	default: // kCAS
+		res.Op = OpCAS
+		switch {
+		case x&missTag != 0:
+			res.Executed = true
+			res.Val = 0
+			res.Val2 = m.h.Load(m.xAddr(tid) + xVal)
+		case m.installed(x, node):
+			res.Executed = true
+			res.Val = 1
+			res.Val2 = m.h.Load(node + offRespB)
+		}
+	}
+	return res
+}
+
+// installed reports whether a mutator's node verifiably entered its
+// bucket: the owner finished (compl), or the node is the bucket's
+// current snapshot, or a displacer marked it taken.
+func (m *Map) installed(x uint64, node pmem.Addr) bool {
+	if x&complTag != 0 && x&missTag == 0 {
+		return true
+	}
+	b := BucketOf(m.h.Load(node+offKey), m.buckets)
+	if pmem.Addr(m.h.Load(m.bucketAddr(b))) == node {
+		return true
+	}
+	return m.h.Load(node+offTaken) != 0
+}
+
+// Resp converts the resolution to the spec package's resolve response
+// for conformance checking against D⟨map⟩.
+func (r Resolution) Resp() spec.Resp {
+	var op spec.Op
+	switch r.Op {
+	case OpGet:
+		op = spec.Get(r.Key)
+	case OpPut:
+		op = spec.Put(r.Key, r.Arg)
+	case OpDelete:
+		op = spec.Del(r.Key)
+	case OpCAS:
+		exp, newV := spec.UnpackCAS(r.Arg)
+		op = spec.MCAS(r.Key, exp, newV)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	inner := spec.BottomResp()
+	if r.Executed {
+		switch r.Op {
+		case OpGet, OpDelete:
+			if r.Present {
+				inner = spec.ValResp(r.Val)
+			} else {
+				inner = spec.EmptyResp()
+			}
+		case OpPut:
+			inner = spec.AckResp()
+		case OpCAS:
+			inner = spec.ValResp2(r.Val, r.Val2)
+		}
+	}
+	return spec.PairResp(true, op, inner)
+}
+
+// AbandonPrep withdraws tid's currently prepared-but-unexecuted
+// operation, clearing X[tid] (persisted) and returning an uninstalled
+// node to the pool (see core.Queue.AbandonPrep for the contract).
+func (m *Map) AbandonPrep(tid int) {
+	x := m.h.Load(m.xAddr(tid))
+	if x == 0 {
+		return
+	}
+	m.h.Store(m.xAddr(tid), 0)
+	m.h.Persist(m.xAddr(tid))
+	m.reclaimPrep(tid, x)
+}
+
+// Recover is the map's centralized recovery: a fixpoint over the
+// detectability words that completes every interrupted settlement, then
+// a pool sweep. Contract as in core.Queue.Recover: single-threaded,
+// after Heap.Crash, before any thread resumes; idempotent.
+//
+// A node with an unsettled displacement below it is always referenced
+// by its owner's X (the owner overwrites X only after exec returns, and
+// exec returns only after settling), so walking the X entries reaches
+// every displacement recovery must complete. Settling one node can
+// prove another's execution (its taken flag appears), hence the
+// fixpoint.
+func (m *Map) Recover() {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < m.threads; i++ {
+			x := m.h.Load(m.xAddr(i))
+			if x&prepTag == 0 || kindOf(x) == kGet || x&(complTag|missTag) != 0 {
+				continue
+			}
+			node := ptrOf(x)
+			if node == 0 || !m.installed(x, node) {
+				continue
+			}
+			if m.h.Load(node+offHave) != 0 {
+				continue
+			}
+			prev := pmem.Addr(m.h.Load(node + offPrev))
+			if prev != 0 && m.h.Load(prev+offTaken) == 0 {
+				// The displacer crashed mid-settlement, so prev was never
+				// retired: re-run the settlement.
+				m.h.Store(prev+offTaken, 1)
+				m.h.Persist(prev)
+				changed = true
+			}
+			m.h.Store(node+offHave, 1)
+			m.h.Persist(node)
+		}
+	}
+
+	m.rec.Reset()
+	live := map[pmem.Addr]bool{}
+	for b := 0; b < m.buckets; b++ {
+		if p := pmem.Addr(m.h.Load(m.bucketAddr(b))); p != 0 {
+			live[p] = true
+		}
+	}
+	for i := 0; i < m.threads; i++ {
+		if p := ptrOf(m.h.Load(m.xAddr(i))); p != 0 {
+			live[p] = true
+		}
+	}
+	m.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}
+
+// ResetVolatile re-initializes the map's volatile companions (EBR)
+// without touching persistent state (see core.Queue.ResetVolatile).
+func (m *Map) ResetVolatile() {
+	m.rec.Reset()
+}

@@ -1,0 +1,601 @@
+package hmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func newTestMap(t *testing.T, threads, buckets int) (*Map, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(h, 0, Config{Threads: threads, Buckets: buckets, NodesPerThread: 8, ExtraNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, h
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if _, err := New(h, 0, Config{Threads: 0, NodesPerThread: 1}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, Config{Threads: 1, NodesPerThread: 0}); err == nil {
+		t.Fatal("accepted zero nodes per thread")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	m, _ := newTestMap(t, 2, 4)
+	if _, ok := m.Get(0, 1); ok {
+		t.Fatal("get on empty map found a value")
+	}
+	if err := m.Put(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(1, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(0, 1); !ok || v != 10 {
+		t.Fatalf("get(1) = (%d, %v), want (10, true)", v, ok)
+	}
+	if err := m.Put(0, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(1, 1); !ok || v != 11 {
+		t.Fatalf("get(1) after upsert = (%d, %v), want (11, true)", v, ok)
+	}
+	if ok, w, err := m.CAS(0, 2, spec.PackCAS(20, 21)); err != nil || !ok || w != 20 {
+		t.Fatalf("cas(2: 20→21) = (%v, %d, %v), want success witnessing 20", ok, w, err)
+	}
+	if ok, w, err := m.CAS(0, 2, spec.PackCAS(20, 22)); err != nil || ok || w != 21 {
+		t.Fatalf("cas(2: 20→22) = (%v, %d, %v), want failure witnessing 21", ok, w, err)
+	}
+	if ok, w, err := m.CAS(0, 9, spec.PackCAS(1, 2)); err != nil || ok || w != 0 {
+		t.Fatalf("cas on absent key = (%v, %d, %v), want failure witnessing 0", ok, w, err)
+	}
+	if v, ok, err := m.Delete(1, 1); err != nil || !ok || v != 11 {
+		t.Fatalf("del(1) = (%d, %v, %v), want removing 11", v, ok, err)
+	}
+	if _, ok, err := m.Delete(1, 1); err != nil || ok {
+		t.Fatal("second del(1) found a value")
+	}
+	if _, ok := m.Get(0, 1); ok {
+		t.Fatal("get after del found a value")
+	}
+	if v, ok := m.Get(0, 2); !ok || v != 21 {
+		t.Fatalf("get(2) = (%d, %v), want (21, true)", v, ok)
+	}
+}
+
+func TestBucketFull(t *testing.T) {
+	m, _ := newTestMap(t, 1, 1) // every key lands in the one bucket
+	for i := 0; i < EntriesPerBucket; i++ {
+		if err := m.Put(0, uint64(i), uint64(100+i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := m.Put(0, 999, 1); err != ErrBucketFull {
+		t.Fatalf("overflow put = %v, want ErrBucketFull", err)
+	}
+	// Upsert of a present key must still succeed on a full bucket.
+	if err := m.Put(0, 3, 333); err != nil {
+		t.Fatalf("upsert on full bucket: %v", err)
+	}
+	if v, ok := m.Get(0, 3); !ok || v != 333 {
+		t.Fatalf("get(3) = (%d, %v), want (333, true)", v, ok)
+	}
+}
+
+func TestDetectableOps(t *testing.T) {
+	m, _ := newTestMap(t, 1, 4)
+
+	m.PrepGet(0, 1)
+	if v, ok := m.ExecGet(0); ok || v != 0 {
+		t.Fatalf("detectable get on empty = (%d, %v), want absent", v, ok)
+	}
+	res := m.Resolve(0)
+	if res.Op != OpGet || res.Key != 1 || !res.Executed || res.Present {
+		t.Fatalf("empty-get resolution = %+v", res)
+	}
+
+	if err := m.PrepPut(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpPut || res.Key != 1 || res.Arg != 10 || res.Executed {
+		t.Fatalf("prepared put resolution = %+v", res)
+	}
+	if err := m.ExecPut(0); err != nil {
+		t.Fatal(err)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpPut || !res.Executed {
+		t.Fatalf("executed put resolution = %+v", res)
+	}
+
+	m.PrepGet(0, 1)
+	if v, ok := m.ExecGet(0); !ok || v != 10 {
+		t.Fatalf("detectable get = (%d, %v), want (10, true)", v, ok)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpGet || !res.Executed || !res.Present || res.Val != 10 {
+		t.Fatalf("get resolution = %+v", res)
+	}
+
+	if err := m.PrepCAS(0, 1, spec.PackCAS(10, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := m.ExecCAS(0); err != nil || !ok || w != 10 {
+		t.Fatalf("cas exec = (%v, %d, %v), want success witnessing 10", ok, w, err)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpCAS || !res.Executed || res.Val != 1 || res.Val2 != 10 {
+		t.Fatalf("successful cas resolution = %+v", res)
+	}
+
+	if err := m.PrepCAS(0, 1, spec.PackCAS(99, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := m.ExecCAS(0); err != nil || ok || w != 11 {
+		t.Fatalf("failing cas exec = (%v, %d, %v), want failure witnessing 11", ok, w, err)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpCAS || !res.Executed || res.Val != 0 || res.Val2 != 11 {
+		t.Fatalf("failed cas resolution = %+v", res)
+	}
+
+	if err := m.PrepDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.ExecDelete(0); err != nil || !ok || v != 11 {
+		t.Fatalf("del exec = (%d, %v, %v), want removing 11", v, ok, err)
+	}
+	res = m.Resolve(0)
+	if res.Op != OpDelete || !res.Executed || !res.Present || res.Val != 11 {
+		t.Fatalf("del resolution = %+v", res)
+	}
+
+	if err := m.PrepDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.ExecDelete(0); err != nil || ok {
+		t.Fatal("del of removed key found a value")
+	}
+	res = m.Resolve(0)
+	if res.Op != OpDelete || !res.Executed || res.Present {
+		t.Fatalf("empty-del resolution = %+v", res)
+	}
+}
+
+// TestCrashSweepConformance is the map's Theorem 1 analogue: crash at
+// every primitive memory step of a detectable put; put(other bucket);
+// del; mcas(hit); mcas(miss); get workload under every adversary,
+// recover, resolve, read the touched keys non-detectably — and check the
+// whole history against D⟨map⟩ under strict linearizability.
+func TestCrashSweepConformance(t *testing.T) {
+	for ai, adv := range pmem.Adversaries(91) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			m, h := newTestMap(t, 1, 4)
+			rec := check.NewRecorder()
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				rec.Begin(0, spec.PrepOp(spec.Put(1, 10)))
+				if err := m.PrepPut(0, 1, 10); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Put(1, 10)))
+				if err := m.ExecPut(0); err != nil {
+					return
+				}
+				rec.End(0, spec.AckResp())
+
+				rec.Begin(0, spec.PrepOp(spec.Put(2, 20)))
+				if err := m.PrepPut(0, 2, 20); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Put(2, 20)))
+				if err := m.ExecPut(0); err != nil {
+					return
+				}
+				rec.End(0, spec.AckResp())
+
+				rec.Begin(0, spec.PrepOp(spec.Del(1)))
+				if err := m.PrepDelete(0, 1); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Del(1)))
+				v, ok, err := m.ExecDelete(0)
+				if err != nil {
+					return
+				}
+				rec.End(0, presentResp(v, ok))
+
+				rec.Begin(0, spec.PrepOp(spec.MCAS(2, 20, 30)))
+				if err := m.PrepCAS(0, 2, spec.PackCAS(20, 30)); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.MCAS(2, 20, 30)))
+				cok, w, err := m.ExecCAS(0)
+				if err != nil {
+					return
+				}
+				rec.End(0, casResp(cok, w))
+
+				rec.Begin(0, spec.PrepOp(spec.MCAS(2, 99, 40)))
+				if err := m.PrepCAS(0, 2, spec.PackCAS(99, 40)); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.MCAS(2, 99, 40)))
+				cok, w, err = m.ExecCAS(0)
+				if err != nil {
+					return
+				}
+				rec.End(0, casResp(cok, w))
+
+				rec.Begin(0, spec.PrepOp(spec.Get(2)))
+				m.PrepGet(0, 2)
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Get(2)))
+				v, ok = m.ExecGet(0)
+				rec.End(0, presentResp(v, ok))
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			rec.CrashAll()
+			h.Crash(adv)
+			m.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, m.Resolve(0).Resp())
+			for _, k := range []uint64{1, 2} {
+				rec.Begin(0, spec.Get(k))
+				v, ok := m.Get(0, k)
+				rec.End(0, presentResp(v, ok))
+			}
+
+			hist := rec.History()
+			d := spec.Detectable(spec.NewMap(), 1)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				t.Fatalf("adv %d step %d: map history not strictly linearizable:\n%s",
+					ai, step, check.FormatHistory(hist))
+			}
+		}
+	}
+}
+
+func presentResp(v uint64, ok bool) spec.Resp {
+	if ok {
+		return spec.ValResp(v)
+	}
+	return spec.EmptyResp()
+}
+
+func casResp(ok bool, w uint64) spec.Resp {
+	if ok {
+		return spec.ValResp2(1, w)
+	}
+	return spec.ValResp2(0, w)
+}
+
+// snapshot reads every key the tests touch through the non-detectable
+// Get (state comparison for the idempotence check).
+func snapshot(m *Map, keys []uint64) map[uint64]uint64 {
+	out := map[uint64]uint64{}
+	for _, k := range keys {
+		if v, ok := m.Get(0, k); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestDoubleRecoverIdempotent crashes at every step and runs Recover
+// twice: the second run must leave the same resolution, the same
+// contents and the same pool occupancy.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	keys := []uint64{1, 2}
+	for ai, adv := range pmem.Adversaries(17) {
+		for step := uint64(1); ; step++ {
+			m, h := newTestMap(t, 1, 4)
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := m.PrepPut(0, 1, 10); err != nil {
+					return
+				}
+				if err := m.ExecPut(0); err != nil {
+					return
+				}
+				if err := m.PrepPut(0, 2, 20); err != nil {
+					return
+				}
+				if err := m.ExecPut(0); err != nil {
+					return
+				}
+				if err := m.PrepDelete(0, 1); err != nil {
+					return
+				}
+				if _, _, err := m.ExecDelete(0); err != nil {
+					return
+				}
+			})
+			if !h.Crashed() {
+				break
+			}
+			h.Crash(adv)
+			m.Recover()
+			res1 := m.Resolve(0)
+			s1 := snapshot(m, keys)
+			free1 := m.FreeNodes()
+			m.Recover()
+			res2 := m.Resolve(0)
+			s2 := snapshot(m, keys)
+			free2 := m.FreeNodes()
+			if res1 != res2 || free1 != free2 || len(s1) != len(s2) {
+				t.Fatalf("adv %d step %d: second Recover changed state: (%+v, %v, %d) → (%+v, %v, %d)",
+					ai, step, res1, s1, free1, res2, s2, free2)
+			}
+			for k, v := range s1 {
+				if s2[k] != v {
+					t.Fatalf("adv %d step %d: second Recover changed key %d: %d → %d",
+						ai, step, k, v, s2[k])
+				}
+			}
+		}
+	}
+}
+
+// TestAbandonPrepCrashSweep injects a crash at every step of the
+// abandon-then-re-prepare sequence
+//
+//	PrepPut(1, 99); AbandonPrep; PrepPut(1, 7); ExecPut
+//
+// under every adversary: after recovery the withdrawn put must never be
+// resurrected nor reported executed, and the value 99 must never be
+// observable in the map.
+func TestAbandonPrepCrashSweep(t *testing.T) {
+	for ai, adv := range append(pmem.Adversaries(3),
+		pmem.NewBiasedFates(13, 0.25), pmem.NewBiasedFates(14, 0.75)) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			m, h := newTestMap(t, 1, 4)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := m.PrepPut(0, 1, 99); err != nil {
+					t.Errorf("adv %d step %d: PrepPut(99): %v", ai, step, err)
+					return
+				}
+				phase = 1
+				m.AbandonPrep(0)
+				phase = 2
+				if err := m.PrepPut(0, 1, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepPut(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				if err := m.ExecPut(0); err != nil {
+					t.Errorf("adv %d step %d: ExecPut(7): %v", ai, step, err)
+					return
+				}
+				phase = 4
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			h.Crash(adv)
+			m.Recover()
+			res := m.Resolve(0)
+
+			if res.Op == OpPut && res.Arg == 99 {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: abandoned put(99) resolved as executed", ai, step)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: abandoned put(99) resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			if phase >= 2 && !(res.Op == OpNone || (res.Op == OpPut && res.Arg == 7)) {
+				t.Fatalf("adv %d step %d: resolve after abandon (phase %d) = %+v",
+					ai, step, phase, res)
+			}
+			if v, ok := m.Get(0, 1); ok && v == 99 {
+				t.Fatalf("adv %d step %d: abandoned value 99 reached the map", ai, step)
+			} else if ok && v != 7 {
+				t.Fatalf("adv %d step %d: key 1 holds %d, want absent or 7", ai, step, v)
+			}
+
+			// The recovered map must still be fully operational.
+			if err := m.Put(0, 1, 500); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := m.Get(0, 1); !ok || v != 500 {
+				t.Fatalf("adv %d step %d: post-recovery map broken: (%d, %v)", ai, step, v, ok)
+			}
+		}
+	}
+}
+
+// TestConcurrentDeleteExactlyOnce pre-populates keys with globally
+// unique values, runs concurrent detectable deletes racing over them
+// into a crash, and audits: each value may be returned by at most one
+// delete — across completed returns and crash resolutions — exactly the
+// map analogue of the queue's exactly-once delivery.
+func TestConcurrentDeleteExactlyOnce(t *testing.T) {
+	const threads = 3
+	const keys = 12
+	for trial := 0; trial < 30; trial++ {
+		h, err := pmem.New(pmem.Config{Words: 1 << 17, Mode: pmem.Tracked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(h, 0, Config{Threads: threads, Buckets: 4, NodesPerThread: 8, ExtraNodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= keys; k++ {
+			if err := m.Put(0, k, 1000+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.ArmCrash(uint64(60 + trial*37))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		removed := map[uint64]int{}
+		last := make([]uint64, threads) // key of the thread's in-flight delete
+		done := make([]bool, threads)
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				pmem.RunToCrash(func() {
+					for i := 0; ; i++ {
+						k := uint64((tid*7+i*3)%keys) + 1
+						mu.Lock()
+						last[tid], done[tid] = k, false
+						mu.Unlock()
+						if err := m.PrepDelete(tid, k); err != nil {
+							t.Errorf("prep: %v", err)
+							return
+						}
+						v, ok, err := m.ExecDelete(tid)
+						if err != nil {
+							t.Errorf("exec: %v", err)
+							return
+						}
+						mu.Lock()
+						if ok {
+							removed[v]++
+						}
+						done[tid] = true
+						mu.Unlock()
+					}
+				})
+			}(tid)
+		}
+		wg.Wait()
+		h.Crash(pmem.NewRandomFates(int64(trial)))
+		m.Recover()
+		for tid := 0; tid < threads; tid++ {
+			res := m.Resolve(tid)
+			if res.Op != OpDelete {
+				continue
+			}
+			if res.Key == last[tid] && !done[tid] && res.Executed && res.Present {
+				// The in-flight delete's removal was only recorded by the
+				// recovery settlement.
+				removed[res.Val]++
+			}
+		}
+		for v, n := range removed {
+			if n > 1 {
+				t.Fatalf("trial %d: value %d removed %d times", trial, v, n)
+			}
+			if v < 1001 || v > 1000+keys {
+				t.Fatalf("trial %d: removed value %d was never put", trial, v)
+			}
+		}
+		// A removed value must no longer be observable.
+		for k := uint64(1); k <= keys; k++ {
+			if v, ok := m.Get(0, k); ok && removed[v] > 0 {
+				t.Fatalf("trial %d: value %d both removed and still present at key %d", trial, v, k)
+			}
+		}
+	}
+}
+
+// TestSpaceBound is the per-process space accounting check: a detectable
+// map over n processes and B buckets needs only O(n + B) snapshot nodes
+// in steady state — one live node per populated bucket, at most one
+// pinned node per process for its latest resolution, plus the
+// reclamation pipeline's slack — regardless of the operation count.
+func TestSpaceBound(t *testing.T) {
+	const threads = 4
+	const buckets = 4
+	m, _ := newTestMap(t, threads, buckets)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := uint64(tid%buckets + 1)
+				if err := m.PrepPut(tid, k, uint64(tid)<<32|uint64(i)); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				if err := m.ExecPut(tid); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	m.Quiesce()
+	inUse := m.Capacity() - m.FreeNodes()
+	// One node per thread pinned by its last resolution, one live node
+	// per bucket, and at most one parked node per thread awaiting
+	// unpinning.
+	if bound := 2*threads + buckets; inUse > bound {
+		t.Fatalf("in-use nodes = %d after quiesce, want ≤ %d (O(threads+buckets), not O(ops))",
+			inUse, bound)
+	}
+}
+
+// TestAttachResumes builds a map, re-attaches a second handle to the
+// same heap image, recovers it and resumes operations.
+func TestAttachResumes(t *testing.T) {
+	m, h := newTestMap(t, 2, 4)
+	if err := m.Put(0, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PrepDelete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ExecDelete(1); err != nil {
+		t.Fatal(err)
+	}
+
+	h.Crash(pmem.KeepAll{})
+	m2, err := Attach(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Recover()
+	res := m2.Resolve(1)
+	if res.Op != OpDelete || !res.Executed || !res.Present || res.Val != 42 {
+		t.Fatalf("re-attached resolution = %+v, want executed delete removing 42", res)
+	}
+	if _, ok := m2.Get(0, 1); ok {
+		t.Fatal("re-attached map still holds the deleted key")
+	}
+	if err := m2.Put(0, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Get(1, 2); !ok || v != 7 {
+		t.Fatalf("re-attached put/get = (%d, %v), want (7, true)", v, ok)
+	}
+}

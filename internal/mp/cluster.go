@@ -338,11 +338,13 @@ func (c *ClusterClient) doOn(s int, op spec.Op, rr pmem.Addr) (spec.Resp, error)
 }
 
 // Do applies op as a detectable operation exactly once across the
-// cluster. Inserts go to the next server in the insert round-robin;
-// removes scan servers from the remove round-robin cursor, returning
-// EMPTY only after a full cycle of per-server EMPTYs (each itself a full
-// scan of that server's shards) — the relaxed emptiness of the
-// composition, one level up.
+// cluster. Key-routed types go to the server their key hashes to (exact
+// composition — every key has one home server, found or absent there
+// alone). For container types, inserts go to the next server in the
+// insert round-robin; removes scan servers from the remove round-robin
+// cursor, returning EMPTY only after a full cycle of per-server EMPTYs
+// (each itself a full scan of that server's shards) — the relaxed
+// emptiness of the composition, one level up.
 func (c *ClusterClient) Do(op spec.Op) (spec.Resp, error) {
 	dop, ok := c.cl.typ.FromSpec(op)
 	if !ok {
@@ -352,6 +354,14 @@ func (c *ClusterClient) Do(op spec.Op) (spec.Resp, error) {
 	c.tag++
 	op.Tag = c.tag
 	n := len(c.inner)
+	if c.cl.typ.KeyRouted {
+		// Key-routed types name disjoint sub-objects by key, so the server
+		// is content-addressed — the same KeyShard hash the per-server
+		// sharded front uses, applied one level up. No scan exists: the
+		// routed server is the sole authority for the key, including its
+		// absence. The round-robin hint word is updated but never consulted.
+		return c.doOn(sharded.KeyShard(dop.Key, n), op, ccInsRR)
+	}
 	if dop.Kind != dss.Remove {
 		s := int(c.h.Load(c.cur+ccInsRR)) % n
 		return c.doOn(s, op, ccInsRR)

@@ -1,0 +1,218 @@
+package mp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/sharded"
+	"repro/internal/spec"
+)
+
+// TestClusterKeyedRoutePlacement pins the cluster-level key routing: for
+// a KeyRouted type every operation on key k must land on (and the
+// persisted cursor must name) server KeyShard(k, servers), and within
+// that server the sharded front places it on KeyShard(k, shards) — two
+// levels of content addressing, no round-robin anywhere.
+func TestClusterKeyedRoutePlacement(t *testing.T) {
+	const (
+		servers   = 3
+		shardsPer = 2
+	)
+	cl := newTestCluster(t, dss.MapType, servers, shardsPer, 1)
+	cc := NewClusterClient(cl, 0, RetryPolicy{Seed: 7})
+	for key := uint64(1); key <= 24; key++ {
+		resp, err := cc.Do(spec.Put(key, key*10))
+		if err != nil {
+			t.Fatalf("put(%d): %v", key, err)
+		}
+		if resp.Kind != spec.Ack {
+			t.Fatalf("put(%d) responded %s", key, resp)
+		}
+		if got, want := cc.Route(), sharded.KeyShard(key, servers); got != want {
+			t.Fatalf("key %d routed to server %d, want KeyShard = %d", key, got, want)
+		}
+	}
+	// Every key must live on its hash server's hash shard and nowhere else.
+	for key := uint64(1); key <= 24; key++ {
+		home := sharded.KeyShard(key, servers)
+		for s := 0; s < servers; s++ {
+			for j := 0; j < shardsPer; j++ {
+				resp, err := cl.Front(s).Shard(j).Invoke(0, dss.Op{Kind: dss.Get, Key: key})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s == home && j == sharded.KeyShard(key, shardsPer) {
+					if resp.Kind != dss.Val || resp.Val != key*10 {
+						t.Fatalf("key %d missing from server %d shard %d: %+v", key, s, j, resp)
+					}
+				} else if resp.Kind == dss.Val {
+					t.Fatalf("key %d leaked onto server %d shard %d", key, s, j)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterKeyedSequentialConformance drives a random sequential
+// stream of keyed map operations from several client identities through
+// the cluster against ONE global sequential map oracle. For container
+// types the cluster is only k-relaxed, so no such oracle exists; for a
+// key-routed type the composition is exact — every key has one home
+// server — and the whole cluster must be indistinguishable from a single
+// sequential hash map.
+func TestClusterKeyedSequentialConformance(t *testing.T) {
+	const (
+		servers   = 3
+		shardsPer = 2
+		clients   = 2
+		steps     = 400
+	)
+	cl := newTestCluster(t, dss.MapType, servers, shardsPer, clients)
+	ccs := make([]*ClusterClient, clients)
+	for id := 0; id < clients; id++ {
+		ccs[id] = NewClusterClient(cl, id, RetryPolicy{Seed: int64(500 + id)})
+	}
+
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(20260808))
+	next := uint64(1000)
+	for i := 0; i < steps; i++ {
+		cc := ccs[rng.Intn(clients)]
+		key := uint64(rng.Intn(12) + 1)
+		var (
+			op   spec.Op
+			want spec.Resp
+		)
+		switch rng.Intn(4) {
+		case 0:
+			next++
+			op = spec.Put(key, next)
+			want = spec.AckResp()
+			oracle[key] = next
+		case 1:
+			op = spec.Get(key)
+			if v, ok := oracle[key]; ok {
+				want = spec.ValResp(v)
+			} else {
+				want = spec.EmptyResp()
+			}
+		case 2:
+			op = spec.Del(key)
+			if v, ok := oracle[key]; ok {
+				want = spec.ValResp(v)
+				delete(oracle, key)
+			} else {
+				want = spec.EmptyResp()
+			}
+		default:
+			next++
+			exp := uint64(0)
+			if v, ok := oracle[key]; ok && rng.Intn(2) == 0 {
+				exp = v // hit
+			} else {
+				exp = next + 1_000_000_000 // guaranteed miss
+			}
+			op = spec.MCAS(key, exp, next)
+			switch v, ok := oracle[key]; {
+			case !ok:
+				want = spec.ValResp2(0, 0)
+			case v != exp:
+				want = spec.ValResp2(0, v)
+			default:
+				want = spec.ValResp2(1, exp)
+				oracle[key] = next
+			}
+		}
+		resp, err := cc.Do(op)
+		if err != nil {
+			t.Fatalf("step %d: %s: %v", i, op, err)
+		}
+		if resp != want {
+			t.Fatalf("step %d: %s responded %s, oracle says %s", i, op, resp, want)
+		}
+		if got, wantR := cc.Route(), sharded.KeyShard(key, servers); got != wantR {
+			t.Fatalf("step %d: key %d routed to server %d, want %d", i, key, got, wantR)
+		}
+	}
+
+	// Final audit: every key in (and out of) the oracle, through a fresh
+	// client identity's key-routed gets.
+	for key := uint64(1); key <= 12; key++ {
+		resp, err := ccs[0].Do(spec.Get(key))
+		if err != nil {
+			t.Fatalf("audit get(%d): %v", key, err)
+		}
+		if v, ok := oracle[key]; ok {
+			if resp != spec.ValResp(v) {
+				t.Fatalf("audit: key %d = %s, oracle says %d", key, resp, v)
+			}
+		} else if resp.Kind != spec.Empty {
+			t.Fatalf("audit: key %d = %s, oracle says absent", key, resp)
+		}
+	}
+}
+
+// TestClusterKeyedRecoverComplete exercises the full-system blackout for
+// the keyed cluster: a client's puts straddle servers by key hash, every
+// server loses power at once, the servers restart, and a fresh client
+// handle must Complete the claimed operation exactly once — then resume
+// with fresh tags and observe every put's effect intact on its home
+// server.
+func TestClusterKeyedRecoverComplete(t *testing.T) {
+	cl := newTestCluster(t, dss.MapType, 2, 2, 1)
+	cc := NewClusterClient(cl, 0, RetryPolicy{Seed: 42})
+	for key := uint64(1); key <= 6; key++ {
+		if _, err := cc.Do(spec.Put(key, key*100)); err != nil {
+			t.Fatalf("put(%d): %v", key, err)
+		}
+	}
+
+	cl.StopAll()
+	for s := 0; s < cl.Servers(); s++ {
+		h := cl.Server(s).Heap()
+		h.CrashNow()
+		if !h.Crashed() {
+			t.Fatalf("server %d: CrashNow did not crash", s)
+		}
+	}
+	for s := 0; s < cl.Servers(); s++ {
+		if err := cl.Server(s).Restart(pmem.KeepAll{}); err != nil {
+			t.Fatalf("restart server %d: %v", s, err)
+		}
+	}
+
+	cc2 := NewClusterClient(cl, 0, RetryPolicy{Seed: 43})
+	op, resp, completed, err := cc2.Complete()
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if !completed {
+		t.Fatal("Complete reported absent for an executed put")
+	}
+	if op.Sym != "put" || op.Arg != 6 || op.Arg2 != 600 {
+		t.Fatalf("Complete resolved %s, want put(6,600)", op)
+	}
+	if resp.Kind != spec.Ack {
+		t.Fatalf("Complete resolved %s for a put", resp)
+	}
+
+	// Post-recovery: every key answers from its home server, two-word ops
+	// included, under fresh tags.
+	for key := uint64(1); key <= 6; key++ {
+		resp, err := cc2.Do(spec.Get(key))
+		if err != nil {
+			t.Fatalf("get(%d): %v", key, err)
+		}
+		if resp != spec.ValResp(key*100) {
+			t.Fatalf("get(%d) = %s, want %d", key, resp, key*100)
+		}
+	}
+	if resp, err := cc2.Do(spec.MCAS(3, 300, 301)); err != nil || resp != spec.ValResp2(1, 300) {
+		t.Fatalf("mcas(3: 300→301) = (%s, %v), want (1, 300)", resp, err)
+	}
+	if resp, err := cc2.Do(spec.Del(3)); err != nil || resp != spec.ValResp(301) {
+		t.Fatalf("del(3) = (%s, %v), want 301", resp, err)
+	}
+}

@@ -279,7 +279,7 @@ func (c *RetryClient) settle(tag uint64) (settlement, spec.Op, spec.Resp, error)
 		case r.Inner == spec.None:
 			return settledPrepped, r.POp, spec.Resp{}, nil
 		default:
-			return settledExecuted, r.POp, spec.Resp{Kind: r.Inner, V: r.InnerVal}, nil
+			return settledExecuted, r.POp, spec.Resp{Kind: r.Inner, V: r.InnerVal, V2: r.InnerVal2}, nil
 		}
 	}
 	return settledAbsent, spec.Op{}, spec.Resp{}, fmt.Errorf("mp: resolve unsettled after %d attempts: %w", c.pol.MaxAttempts, ErrTimeout)

@@ -97,6 +97,20 @@ const (
 	KindInsert
 	// KindRemove is the value-returning operation (dequeue, pop).
 	KindRemove
+	// KindRead is the register read.
+	KindRead
+	// KindWrite is the register write.
+	KindWrite
+	// KindSwap is the register swap.
+	KindSwap
+	// KindCAS covers the compare-and-swap of both keyed types.
+	KindCAS
+	// KindPut is the map upsert.
+	KindPut
+	// KindGet is the map lookup.
+	KindGet
+	// KindDelete is the map removal.
+	KindDelete
 	// NumOpKinds bounds the kind enum.
 	NumOpKinds
 )
@@ -110,6 +124,20 @@ func (k OpKind) String() string {
 		return "insert"
 	case KindRemove:
 		return "remove"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindSwap:
+		return "swap"
+	case KindCAS:
+		return "cas"
+	case KindPut:
+		return "put"
+	case KindGet:
+		return "get"
+	case KindDelete:
+		return "delete"
 	default:
 		return "kind(?)"
 	}

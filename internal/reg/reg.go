@@ -1,0 +1,756 @@
+// Package reg applies the DSS transformation to a third object family: a
+// lock-free, strictly linearizable, detectable swap/CAS register, in the
+// spirit of "Recoverable and Detectable Self-Implementations of Swap"
+// (Ben-Baruch, Hendler, Rusanovsky). Where the queue and stack detect
+// through per-node claim fields, the register detects through the chain
+// of displaced value nodes: every mutator installs a fresh node by CAS on
+// the register pointer R, so an operation verifiably took effect iff its
+// node is the current node or was later displaced (its taken flag is
+// set). Reads and failed compare-and-swaps have no effect to witness;
+// they become detectable by recording their response in the caller's
+// detectability line X[i] before returning — a crash that outruns the
+// record legitimately un-executes them.
+//
+// Persistent layout (word offsets within one cache line per node):
+//
+//	node: [0] value, [1] prev, [2] prevVal, [3] taken, [4] havePrev,
+//	      [5] expect
+//	metadata: config line, R on its own line, X[i] each on its own line.
+//
+// The exec protocol for a mutator (write, swap, successful cas) is
+//
+//	n.prev = cur; persist n
+//	CAS(R, cur, n); persist R
+//	cur.taken = 1; persist cur            (3')
+//	n.prevVal = cur.value; n.havePrev = 1; persist n   (4')
+//	X[i] |= compl; persist X[i]
+//	retire cur
+//
+// Ordering 3' before 4' and both before the retirement is what recovery
+// leans on: a node is retired (and thus eligible for reuse) only after
+// its displacement is fully settled, so the recovery fixpoint only ever
+// dereferences prev pointers of un-retired nodes, and a node's owner can
+// always prove execution from taken/R even when the crash interrupts the
+// displacer mid-settlement.
+package reg
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Node field offsets (one line per node).
+const (
+	offValue   = 0
+	offPrev    = 1
+	offPrevVal = 2
+	offTaken   = 3
+	offHave    = 4
+	offExpect  = 5
+	nodeWords  = pmem.WordsPerLine
+)
+
+// X-word encoding: bit 63 prep, bits 62-61 the operation kind, bit 60
+// compl (response recorded / settlement finished), bit 59 cas-failure;
+// the low bits hold the node address of a mutator's prepared node.
+const (
+	prepTag   = uint64(1) << 63
+	kindShift = 61
+	kindMask  = uint64(3) << kindShift
+	complTag  = uint64(1) << 60
+	failTag   = uint64(1) << 59
+	tagMask   = prepTag | kindMask | complTag | failTag
+)
+
+// X-word kind values.
+const (
+	kRead = uint64(iota)
+	kWrite
+	kSwap
+	kCAS
+)
+
+// X-line word offsets: word 0 is the tagged word, word 1 records the
+// response value of a read or the witnessed value of a failed cas —
+// both words share the line, so recording a response is one persist.
+const (
+	xWord = 0
+	xVal  = 1
+)
+
+// ErrNoNodes is returned when the node pool is exhausted.
+var ErrNoNodes = errors.New("reg: node pool exhausted")
+
+// Config parameterizes a detectable register.
+type Config struct {
+	// Threads is the number of worker threads (tids 0..Threads-1).
+	Threads int
+	// NodesPerThread sizes each thread's pre-allocated node pool.
+	NodesPerThread int
+	// ExtraNodes adds shared spare nodes (the initial node comes from
+	// here).
+	ExtraNodes int
+	// Init is the register's initial value.
+	Init uint64
+}
+
+// Reg is a detectable recoverable swap/CAS register. All exported
+// methods except New, Attach, Recover, ResetVolatile and AbandonPrep are
+// safe for concurrent use by distinct threads, each passing its own tid.
+type Reg struct {
+	h    *pmem.Heap
+	pool *pmem.Pool
+	rec  *ebr.Collector
+
+	r     pmem.Addr // address of the register pointer word
+	xBase pmem.Addr
+
+	threads int
+}
+
+// Persistent configuration line offsets.
+const (
+	cfgMagic   = 0
+	cfgThreads = 1
+	cfgNodes   = 2
+	cfgExtra   = 3
+	cfgPool    = 4
+)
+
+// magicReg identifies an initialized detectable register's metadata.
+const magicReg = 0x4453_5352 // "DSSR"
+
+// New allocates and initializes a detectable register on h, registering
+// its metadata in heap root slot rootSlot.
+func New(h *pmem.Heap, rootSlot int, cfg Config) (*Reg, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("reg: need at least one thread, got %d", cfg.Threads)
+	}
+	if cfg.NodesPerThread < 0 || cfg.ExtraNodes < 1 {
+		return nil, fmt.Errorf("reg: pool sizing must include at least one extra node for the initial value")
+	}
+	meta, err := h.Alloc((2 + cfg.Threads) * pmem.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("reg: metadata: %w", err)
+	}
+	g := &Reg{
+		h:       h,
+		r:       meta + pmem.WordsPerLine,
+		xBase:   meta + 2*pmem.WordsPerLine,
+		threads: cfg.Threads,
+	}
+	g.pool, err = pmem.NewPool(h, pmem.PoolConfig{
+		Threads:         cfg.Threads,
+		BlocksPerThread: cfg.NodesPerThread,
+		ExtraBlocks:     cfg.ExtraNodes,
+		BlockWords:      nodeWords,
+		Pinned:          g.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reg: node pool: %w", err)
+	}
+	h.Store(meta+cfgThreads, uint64(cfg.Threads))
+	h.Store(meta+cfgNodes, uint64(cfg.NodesPerThread))
+	h.Store(meta+cfgExtra, uint64(cfg.ExtraNodes))
+	h.Store(meta+cfgPool, uint64(g.pool.Base()))
+	h.Store(meta+cfgMagic, magicReg)
+	h.Persist(meta)
+	g.rec, err = ebr.New(cfg.Threads, func(tid int, a pmem.Addr) {
+		g.pool.Free(tid, a)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reg: reclamation: %w", err)
+	}
+	// Reuse fence: persist R before any retired node becomes reusable, so
+	// the persisted register pointer a crash revives never names a reused
+	// node (the settlement flags already guarantee recovery stops before
+	// dereferencing into retired territory; see the package comment).
+	g.rec.SetDrainHook(func(int) { g.h.Persist(g.r) })
+
+	init, ok := g.pool.Alloc(0)
+	if !ok {
+		return nil, fmt.Errorf("reg: no node available for the initial value")
+	}
+	g.initNode(init, cfg.Init, 0)
+	g.h.Store(g.r, uint64(init))
+	g.h.Persist(g.r)
+	for i := 0; i < cfg.Threads; i++ {
+		g.h.Store(g.xAddr(i), 0)
+	}
+	g.h.PersistRange(g.xBase, cfg.Threads*pmem.WordsPerLine)
+	h.SetRoot(rootSlot, meta)
+	return g, nil
+}
+
+// Attach reconstructs the handle of an existing register from heap root
+// slot rootSlot. The caller must run Recover before resuming operations.
+func Attach(h *pmem.Heap, rootSlot int) (*Reg, error) {
+	meta := h.Root(rootSlot)
+	if meta == 0 {
+		return nil, fmt.Errorf("reg: root slot %d is empty", rootSlot)
+	}
+	if h.Load(meta+cfgMagic) != magicReg {
+		return nil, fmt.Errorf("reg: root slot %d does not hold a detectable register", rootSlot)
+	}
+	threads := int(h.Load(meta + cfgThreads))
+	if threads <= 0 || threads > 1<<16 {
+		return nil, fmt.Errorf("reg: corrupt thread count %d", threads)
+	}
+	g := &Reg{
+		h:       h,
+		r:       meta + pmem.WordsPerLine,
+		xBase:   meta + 2*pmem.WordsPerLine,
+		threads: threads,
+	}
+	var err error
+	g.pool, err = pmem.AttachPool(h, pmem.Addr(h.Load(meta+cfgPool)), pmem.PoolConfig{
+		Threads:         threads,
+		BlocksPerThread: int(h.Load(meta + cfgNodes)),
+		ExtraBlocks:     int(h.Load(meta + cfgExtra)),
+		BlockWords:      nodeWords,
+		Pinned:          g.pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reg: node pool: %w", err)
+	}
+	g.rec, err = ebr.New(threads, func(tid int, a pmem.Addr) {
+		g.pool.Free(tid, a)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reg: reclamation: %w", err)
+	}
+	g.rec.SetDrainHook(func(int) { g.h.Persist(g.r) })
+	return g, nil
+}
+
+// Threads reports the register's thread count.
+func (g *Reg) Threads() int { return g.threads }
+
+// Heap returns the register's underlying heap.
+func (g *Reg) Heap() *pmem.Heap { return g.h }
+
+// Value peeks at the current value without charging modeled accesses
+// (test and tooling access only).
+func (g *Reg) Value() uint64 {
+	n := pmem.Addr(g.h.LoadVolatile(g.r))
+	return g.h.LoadVolatile(n + offValue)
+}
+
+// FreeNodes exposes pool occupancy for tests.
+func (g *Reg) FreeNodes() int { return g.pool.FreeCount() }
+
+// Quiesce drains all pending reclamation (test access: the space-bound
+// accounting needs a quiescent pool).
+func (g *Reg) Quiesce() { g.rec.Flush() }
+
+// Capacity exposes the pool's block count for the space-bound tests.
+func (g *Reg) Capacity() int { return g.pool.Capacity() }
+
+func (g *Reg) xAddr(tid int) pmem.Addr {
+	return g.xBase + pmem.Addr(tid*pmem.WordsPerLine)
+}
+
+func ptrOf(x uint64) pmem.Addr { return pmem.Addr(x &^ tagMask) }
+
+func kindOf(x uint64) uint64 { return x & kindMask >> kindShift }
+
+// pinned vetoes recycling of any node the register pointer or a
+// detectability word references in either the coherent or the persisted
+// view: such a node's value (and, for a mutator's own node, its prevVal)
+// must stay readable for resolve. The scan is simulator-side reclamation
+// bookkeeping, so it reads through LoadVolatile (uncharged; see
+// core.Queue.pinned).
+func (g *Reg) pinned(a pmem.Addr) bool {
+	if pmem.Addr(g.h.LoadVolatile(g.r)) == a {
+		return true
+	}
+	tracked := g.h.Mode() == pmem.Tracked
+	if tracked && pmem.Addr(g.h.PersistedLoad(g.r)) == a {
+		return true
+	}
+	for i := 0; i < g.threads; i++ {
+		if ptrOf(g.h.LoadVolatile(g.xAddr(i))) == a {
+			return true
+		}
+		if tracked && ptrOf(g.h.PersistedLoad(g.xAddr(i))) == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Reg) allocNode(tid int) (pmem.Addr, bool) {
+	for attempt := 0; attempt < 128; attempt++ {
+		if a, ok := g.pool.Alloc(tid); ok {
+			return a, true
+		}
+		g.rec.Collect(tid)
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+// initNode writes a fresh node's fields and persists them (one line).
+// The settlement flags are explicitly zeroed: the node may be a reused
+// block whose previous life ended taken.
+func (g *Reg) initNode(node pmem.Addr, v, expect uint64) {
+	g.h.Store(node+offValue, v)
+	g.h.Store(node+offPrev, 0)
+	g.h.Store(node+offPrevVal, 0)
+	g.h.Store(node+offTaken, 0)
+	g.h.Store(node+offHave, 0)
+	g.h.Store(node+offExpect, expect)
+	g.h.Persist(node)
+}
+
+// reclaimPrep returns the node of a superseded prepared mutator to the
+// pool when it verifiably never took effect.
+//
+// For a completed operation the owner's X word is the authority: the
+// fail tag was written atomically with the outcome, so it says exactly
+// whether the node was ever installed. An installed node must NOT be
+// freed here even when it is no longer current — between a displacer's
+// install CAS and its settle the node is neither current nor taken,
+// yet the displacer still dereferences it; freeing in that window
+// hands live memory to the allocator. Installed nodes are retired by
+// their displacer through the collector instead. The structural
+// not-current-and-not-taken check is kept only for an incomplete prep
+// (AbandonPrep, recovery), which runs with no concurrent displacers.
+func (g *Reg) reclaimPrep(tid int, oldX uint64) {
+	if oldX&prepTag == 0 || kindOf(oldX) == kRead {
+		return
+	}
+	node := ptrOf(oldX)
+	if node == 0 {
+		return
+	}
+	if oldX&complTag != 0 {
+		if oldX&failTag != 0 {
+			g.pool.Free(tid, node)
+		}
+		return
+	}
+	if pmem.Addr(g.h.Load(g.r)) != node && g.h.Load(node+offTaken) == 0 {
+		g.pool.Free(tid, node)
+	}
+}
+
+// PrepRead declares the detectable intent to read (Axiom 1).
+func (g *Reg) PrepRead(tid int) {
+	oldX := g.h.Load(g.xAddr(tid))
+	g.h.Store(g.xAddr(tid), prepTag|kRead<<kindShift)
+	g.h.Persist(g.xAddr(tid))
+	g.reclaimPrep(tid, oldX)
+}
+
+// PrepWrite declares the detectable intent to write v (Axiom 1).
+func (g *Reg) PrepWrite(tid int, v uint64) error {
+	return g.prepMutator(tid, kWrite, v, 0)
+}
+
+// PrepSwap declares the detectable intent to swap in v (Axiom 1).
+func (g *Reg) PrepSwap(tid int, v uint64) error {
+	return g.prepMutator(tid, kSwap, v, 0)
+}
+
+// PrepCAS declares the detectable intent to compare-and-swap expect for
+// v (Axiom 1).
+func (g *Reg) PrepCAS(tid int, expect, v uint64) error {
+	return g.prepMutator(tid, kCAS, v, expect)
+}
+
+func (g *Reg) prepMutator(tid int, kind, v, expect uint64) error {
+	oldX := g.h.Load(g.xAddr(tid))
+	node, ok := g.allocNode(tid)
+	if !ok {
+		return ErrNoNodes
+	}
+	g.initNode(node, v, expect)
+	g.h.Store(g.xAddr(tid), uint64(node)|prepTag|kind<<kindShift)
+	g.h.Persist(g.xAddr(tid))
+	if node != ptrOf(oldX) {
+		g.reclaimPrep(tid, oldX)
+	}
+	return nil
+}
+
+// ExecRead performs the prepared read (Axiom 2), recording the response
+// durably before returning.
+func (g *Reg) ExecRead(tid int) uint64 {
+	g.rec.Enter(tid)
+	v := g.currentValue()
+	g.rec.Exit(tid)
+	x := g.h.Load(g.xAddr(tid))
+	g.h.Store(g.xAddr(tid)+xVal, v)
+	g.h.Store(g.xAddr(tid), x|complTag)
+	g.h.Persist(g.xAddr(tid))
+	return v
+}
+
+// currentValue reads the register through its current node. Node values
+// are immutable, so the value read is the register's value at the moment
+// R was loaded (the linearization point), even if the node is displaced
+// in between; EBR pinning keeps the node readable.
+func (g *Reg) currentValue() uint64 {
+	cur := pmem.Addr(g.h.Load(g.r))
+	return g.h.Load(cur + offValue)
+}
+
+// ExecWrite performs the prepared write (Axiom 2).
+func (g *Reg) ExecWrite(tid int) {
+	g.execMutator(tid)
+}
+
+// ExecSwap performs the prepared swap (Axiom 2), returning the displaced
+// value.
+func (g *Reg) ExecSwap(tid int) uint64 {
+	_, prev := g.execMutator(tid)
+	return prev
+}
+
+// ExecCAS performs the prepared compare-and-swap (Axiom 2): ok reports
+// success and witness is the value the operation observed (the expected
+// value on success).
+func (g *Reg) ExecCAS(tid int) (ok bool, witness uint64) {
+	return g.execMutator(tid)
+}
+
+// execMutator runs the install protocol for the prepared mutator node.
+// For a cas whose expectation fails, it records the failure in X[tid]
+// and leaves the node uninstalled.
+func (g *Reg) execMutator(tid int) (bool, uint64) {
+	x := g.h.Load(g.xAddr(tid))
+	if x&prepTag == 0 || x&complTag != 0 {
+		return false, 0
+	}
+	node := ptrOf(x)
+	if node == 0 {
+		return false, 0
+	}
+	isCAS := kindOf(x) == kCAS
+	var expect uint64
+	if isCAS {
+		expect = g.h.Load(node + offExpect)
+	}
+	g.rec.Enter(tid)
+	defer g.rec.Exit(tid)
+	for {
+		cur := pmem.Addr(g.h.Load(g.r))
+		if isCAS {
+			v := g.h.Load(cur + offValue)
+			if v != expect {
+				// Failed cas: no effect to witness; record the response
+				// (success 0, witnessed value) in the X line and stop.
+				g.h.Store(g.xAddr(tid)+xVal, v)
+				g.h.Store(g.xAddr(tid), x|complTag|failTag)
+				g.h.Persist(g.xAddr(tid))
+				return false, v
+			}
+		}
+		g.h.Store(node+offPrev, uint64(cur))
+		g.h.Persist(node)
+		if g.h.CompareAndSwap(g.r, uint64(cur), uint64(node)) {
+			g.h.Persist(g.r)
+			prev := g.settle(tid, node, cur)
+			g.h.Store(g.xAddr(tid), x|complTag)
+			g.h.Persist(g.xAddr(tid))
+			g.rec.Retire(tid, cur)
+			return true, prev
+		}
+	}
+}
+
+// settle finishes node's displacement of cur: mark cur taken (3'), then
+// copy its value into node as the operation's previous-value response
+// (4'). Persisted in that order so that execution of cur's owner is
+// provable before node's response depends on it, and both before cur can
+// ever be retired.
+func (g *Reg) settle(tid int, node, cur pmem.Addr) uint64 {
+	g.h.Store(cur+offTaken, 1)
+	g.h.Persist(cur)
+	prev := g.h.Load(cur + offValue)
+	g.h.Store(node+offPrevVal, prev)
+	g.h.Store(node+offHave, 1)
+	g.h.Persist(node)
+	return prev
+}
+
+// Read is the non-detectable read (Axiom 4).
+func (g *Reg) Read(tid int) uint64 {
+	g.rec.Enter(tid)
+	defer g.rec.Exit(tid)
+	return g.currentValue()
+}
+
+// Write is the non-detectable write (Axiom 4).
+func (g *Reg) Write(tid int, v uint64) error {
+	_, _, err := g.invoke(tid, v, 0, false)
+	return err
+}
+
+// Swap is the non-detectable swap (Axiom 4).
+func (g *Reg) Swap(tid int, v uint64) (uint64, error) {
+	_, prev, err := g.invoke(tid, v, 0, false)
+	return prev, err
+}
+
+// CAS is the non-detectable compare-and-swap (Axiom 4).
+func (g *Reg) CAS(tid int, expect, v uint64) (ok bool, witness uint64, err error) {
+	return g.invoke(tid, v, expect, true)
+}
+
+// invoke installs a fresh node without touching X[tid]. It runs the same
+// settlement protocol as a detectable exec — the taken flags it sets are
+// what other threads' detectable resolves read.
+func (g *Reg) invoke(tid int, v, expect uint64, isCAS bool) (bool, uint64, error) {
+	node, ok := g.allocNode(tid)
+	if !ok {
+		return false, 0, ErrNoNodes
+	}
+	g.initNode(node, v, expect)
+	g.rec.Enter(tid)
+	defer g.rec.Exit(tid)
+	for {
+		cur := pmem.Addr(g.h.Load(g.r))
+		if isCAS {
+			w := g.h.Load(cur + offValue)
+			if w != expect {
+				g.pool.Free(tid, node)
+				return false, w, nil
+			}
+		}
+		g.h.Store(node+offPrev, uint64(cur))
+		g.h.Persist(node)
+		if g.h.CompareAndSwap(g.r, uint64(cur), uint64(node)) {
+			g.h.Persist(g.r)
+			prev := g.settle(tid, node, cur)
+			g.rec.Retire(tid, cur)
+			return true, prev, nil
+		}
+	}
+}
+
+// OpName identifies a register operation in a Resolution.
+type OpName int
+
+const (
+	// OpNone means no operation was prepared.
+	OpNone OpName = iota + 1
+	// OpRead is a prepared read.
+	OpRead
+	// OpWrite is a prepared write.
+	OpWrite
+	// OpSwap is a prepared swap.
+	OpSwap
+	// OpCAS is a prepared compare-and-swap.
+	OpCAS
+)
+
+// String returns the operation name.
+func (o OpName) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSwap:
+		return "swap"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpName(%d)", int(o))
+	}
+}
+
+// Resolution is the register's decoded (A[p], R[p]) pair.
+type Resolution struct {
+	// Op is the prepared operation, or OpNone.
+	Op OpName
+	// Arg is the argument of a prepared write/swap, or the new value of
+	// a prepared cas.
+	Arg uint64
+	// Expect is the expected value of a prepared cas.
+	Expect uint64
+	// Executed reports whether the operation took effect (R[p] ≠ ⊥).
+	Executed bool
+	// Val is the response's first word: the value read, the value a swap
+	// displaced, or the success bit of a cas.
+	Val uint64
+	// Val2 is the response's second word: the value a cas witnessed.
+	Val2 uint64
+}
+
+// Resolve reports the most recently prepared operation and its outcome
+// (Axiom 3). Total and idempotent.
+func (g *Reg) Resolve(tid int) Resolution {
+	x := g.h.Load(g.xAddr(tid))
+	if x&prepTag == 0 {
+		return Resolution{Op: OpNone}
+	}
+	switch kindOf(x) {
+	case kRead:
+		res := Resolution{Op: OpRead}
+		if x&complTag != 0 {
+			res.Executed = true
+			res.Val = g.h.Load(g.xAddr(tid) + xVal)
+		}
+		return res
+	case kWrite:
+		node := ptrOf(x)
+		return Resolution{
+			Op:       OpWrite,
+			Arg:      g.h.Load(node + offValue),
+			Executed: g.installed(x, node),
+		}
+	case kSwap:
+		node := ptrOf(x)
+		res := Resolution{Op: OpSwap, Arg: g.h.Load(node + offValue)}
+		if g.installed(x, node) {
+			res.Executed = true
+			res.Val = g.h.Load(node + offPrevVal)
+		}
+		return res
+	default: // kCAS
+		node := ptrOf(x)
+		res := Resolution{
+			Op:     OpCAS,
+			Arg:    g.h.Load(node + offValue),
+			Expect: g.h.Load(node + offExpect),
+		}
+		switch {
+		case x&failTag != 0:
+			res.Executed = true
+			res.Val = 0
+			res.Val2 = g.h.Load(g.xAddr(tid) + xVal)
+		case g.installed(x, node):
+			res.Executed = true
+			res.Val = 1
+			res.Val2 = g.h.Load(node + offPrevVal)
+		}
+		return res
+	}
+}
+
+// installed reports whether a mutator's node verifiably entered the
+// register: the owner finished (compl), or the node is current, or a
+// displacer marked it taken.
+func (g *Reg) installed(x uint64, node pmem.Addr) bool {
+	if x&complTag != 0 {
+		return true
+	}
+	if pmem.Addr(g.h.Load(g.r)) == node {
+		return true
+	}
+	return g.h.Load(node+offTaken) != 0
+}
+
+// Resp converts the resolution to the spec package's resolve response
+// for conformance checking against D⟨swap-register⟩.
+func (r Resolution) Resp() spec.Resp {
+	var op spec.Op
+	switch r.Op {
+	case OpRead:
+		op = spec.Read()
+	case OpWrite:
+		op = spec.Write(r.Arg)
+	case OpSwap:
+		op = spec.Swap(r.Arg)
+	case OpCAS:
+		op = spec.CAS(r.Expect, r.Arg)
+	default:
+		return spec.PairResp(false, spec.Op{}, spec.BottomResp())
+	}
+	inner := spec.BottomResp()
+	if r.Executed {
+		switch r.Op {
+		case OpRead, OpSwap:
+			inner = spec.ValResp(r.Val)
+		case OpWrite:
+			inner = spec.AckResp()
+		case OpCAS:
+			inner = spec.ValResp2(r.Val, r.Val2)
+		}
+	}
+	return spec.PairResp(true, op, inner)
+}
+
+// AbandonPrep withdraws tid's currently prepared-but-unexecuted
+// operation, clearing X[tid] (persisted) and returning an uninstalled
+// node to the pool (see core.Queue.AbandonPrep for the contract).
+func (g *Reg) AbandonPrep(tid int) {
+	x := g.h.Load(g.xAddr(tid))
+	if x == 0 {
+		return
+	}
+	// Clear and persist X first so the node is no longer pinned by the
+	// recycling veto and no crash can resurrect the abandoned intent.
+	g.h.Store(g.xAddr(tid), 0)
+	g.h.Persist(g.xAddr(tid))
+	g.reclaimPrep(tid, x)
+}
+
+// Recover is the register's centralized recovery: a fixpoint over the
+// detectability words that completes every interrupted settlement, then
+// a pool sweep. Contract as in core.Queue.Recover: single-threaded,
+// after Heap.Crash, before any thread resumes; idempotent.
+//
+// Every node with an unsettled displacement below it is referenced by
+// its owner's X (the owner overwrites X only after exec returns, and
+// exec returns only after settling), so walking the X entries reaches
+// every displacement recovery must complete; the chain below the
+// register pointer needs no separate walk. Settling one node can prove
+// another's execution (its taken flag appears), hence the fixpoint.
+func (g *Reg) Recover() {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < g.threads; i++ {
+			x := g.h.Load(g.xAddr(i))
+			if x&prepTag == 0 || kindOf(x) == kRead || x&complTag != 0 {
+				continue
+			}
+			node := ptrOf(x)
+			if node == 0 || !g.installed(x, node) {
+				continue
+			}
+			if g.h.Load(node+offHave) != 0 {
+				continue
+			}
+			prev := pmem.Addr(g.h.Load(node + offPrev))
+			if prev == 0 {
+				continue
+			}
+			// The displacer crashed mid-settlement, so prev was never
+			// retired: its fields are intact. Re-run the settlement.
+			if g.h.Load(prev+offTaken) == 0 {
+				g.h.Store(prev+offTaken, 1)
+				g.h.Persist(prev)
+				changed = true
+			}
+			g.h.Store(node+offPrevVal, g.h.Load(prev+offValue))
+			g.h.Store(node+offHave, 1)
+			g.h.Persist(node)
+		}
+	}
+
+	g.rec.Reset()
+	live := map[pmem.Addr]bool{pmem.Addr(g.h.Load(g.r)): true}
+	for i := 0; i < g.threads; i++ {
+		if p := ptrOf(g.h.Load(g.xAddr(i))); p != 0 {
+			live[p] = true
+		}
+	}
+	g.pool.Sweep(func(a pmem.Addr) bool { return live[a] })
+}
+
+// ResetVolatile re-initializes the register's volatile companions (EBR)
+// without touching persistent state (see core.Queue.ResetVolatile).
+func (g *Reg) ResetVolatile() {
+	g.rec.Reset()
+}

@@ -1,0 +1,442 @@
+package reg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+func newTestReg(t *testing.T, threads int, init uint64) (*Reg, *pmem.Heap) {
+	t.Helper()
+	h, err := pmem.New(pmem.Config{Words: 1 << 16, Mode: pmem.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(h, 0, Config{Threads: threads, NodesPerThread: 8, ExtraNodes: 4, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, h
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := pmem.New(pmem.Config{Words: 1 << 12, Mode: pmem.Tracked})
+	if _, err := New(h, 0, Config{Threads: 0, ExtraNodes: 1}); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := New(h, 0, Config{Threads: 1, ExtraNodes: 0}); err == nil {
+		t.Fatal("accepted zero extra nodes (no room for the initial node)")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	g, _ := newTestReg(t, 2, 5)
+	if v := g.Read(0); v != 5 {
+		t.Fatalf("initial read = %d, want 5", v)
+	}
+	if err := g.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if prev, err := g.Swap(1, 9); err != nil || prev != 7 {
+		t.Fatalf("swap = (%d, %v), want (7, nil)", prev, err)
+	}
+	if ok, w, err := g.CAS(0, 9, 11); err != nil || !ok || w != 9 {
+		t.Fatalf("cas(9→11) = (%v, %d, %v), want success witnessing 9", ok, w, err)
+	}
+	if ok, w, err := g.CAS(1, 9, 12); err != nil || ok || w != 11 {
+		t.Fatalf("cas(9→12) = (%v, %d, %v), want failure witnessing 11", ok, w, err)
+	}
+	if v := g.Read(1); v != 11 {
+		t.Fatalf("final read = %d, want 11", v)
+	}
+}
+
+func TestDetectableOps(t *testing.T) {
+	g, _ := newTestReg(t, 1, 1)
+
+	g.PrepRead(0)
+	if v := g.ExecRead(0); v != 1 {
+		t.Fatalf("detectable read = %d, want 1", v)
+	}
+	res := g.Resolve(0)
+	if res.Op != OpRead || !res.Executed || res.Val != 1 {
+		t.Fatalf("read resolution = %+v", res)
+	}
+
+	if err := g.PrepWrite(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	res = g.Resolve(0)
+	if res.Op != OpWrite || res.Arg != 2 || res.Executed {
+		t.Fatalf("prepared write resolution = %+v", res)
+	}
+	g.ExecWrite(0)
+	res = g.Resolve(0)
+	if res.Op != OpWrite || !res.Executed {
+		t.Fatalf("executed write resolution = %+v", res)
+	}
+
+	if err := g.PrepSwap(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if prev := g.ExecSwap(0); prev != 2 {
+		t.Fatalf("swap displaced %d, want 2", prev)
+	}
+	res = g.Resolve(0)
+	if res.Op != OpSwap || res.Arg != 3 || !res.Executed || res.Val != 2 {
+		t.Fatalf("swap resolution = %+v", res)
+	}
+
+	if err := g.PrepCAS(0, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := g.ExecCAS(0); !ok || w != 3 {
+		t.Fatalf("cas exec = (%v, %d), want success witnessing 3", ok, w)
+	}
+	res = g.Resolve(0)
+	if res.Op != OpCAS || res.Expect != 3 || res.Arg != 4 || !res.Executed || res.Val != 1 || res.Val2 != 3 {
+		t.Fatalf("successful cas resolution = %+v", res)
+	}
+
+	if err := g.PrepCAS(0, 99, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := g.ExecCAS(0); ok || w != 4 {
+		t.Fatalf("failing cas exec = (%v, %d), want failure witnessing 4", ok, w)
+	}
+	res = g.Resolve(0)
+	if res.Op != OpCAS || !res.Executed || res.Val != 0 || res.Val2 != 4 {
+		t.Fatalf("failed cas resolution = %+v", res)
+	}
+}
+
+// TestCrashSweepConformance is the register's Theorem 1 analogue: crash
+// at every primitive memory step of a detectable write; swap; cas(hit);
+// cas(miss); read workload under every adversary, recover, resolve, read
+// the final value non-detectably — and check the whole history against
+// D⟨swap-register⟩ under strict linearizability.
+func TestCrashSweepConformance(t *testing.T) {
+	for ai, adv := range pmem.Adversaries(91) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			g, h := newTestReg(t, 1, 5)
+			rec := check.NewRecorder()
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				rec.Begin(0, spec.PrepOp(spec.Write(10)))
+				if err := g.PrepWrite(0, 10); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Write(10)))
+				g.ExecWrite(0)
+				rec.End(0, spec.AckResp())
+
+				rec.Begin(0, spec.PrepOp(spec.Swap(20)))
+				if err := g.PrepSwap(0, 20); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Swap(20)))
+				rec.End(0, spec.ValResp(g.ExecSwap(0)))
+
+				rec.Begin(0, spec.PrepOp(spec.CAS(20, 30)))
+				if err := g.PrepCAS(0, 20, 30); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.CAS(20, 30)))
+				ok, w := g.ExecCAS(0)
+				rec.End(0, casResp(ok, w))
+
+				rec.Begin(0, spec.PrepOp(spec.CAS(99, 40)))
+				if err := g.PrepCAS(0, 99, 40); err != nil {
+					return
+				}
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.CAS(99, 40)))
+				ok, w = g.ExecCAS(0)
+				rec.End(0, casResp(ok, w))
+
+				rec.Begin(0, spec.PrepOp(spec.Read()))
+				g.PrepRead(0)
+				rec.End(0, spec.BottomResp())
+				rec.Begin(0, spec.ExecOp(spec.Read()))
+				rec.End(0, spec.ValResp(g.ExecRead(0)))
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			rec.CrashAll()
+			h.Crash(adv)
+			g.Recover()
+			rec.Begin(0, spec.ResolveOp())
+			rec.End(0, g.Resolve(0).Resp())
+			rec.Begin(0, spec.Read())
+			rec.End(0, spec.ValResp(g.Read(0)))
+
+			hist := rec.History()
+			d := spec.Detectable(spec.NewSwap(5), 1)
+			if r := check.StrictlyLinearizable(d, hist); !r.OK {
+				t.Fatalf("adv %d step %d: register history not strictly linearizable:\n%s",
+					ai, step, check.FormatHistory(hist))
+			}
+		}
+	}
+}
+
+func casResp(ok bool, w uint64) spec.Resp {
+	if ok {
+		return spec.ValResp2(1, w)
+	}
+	return spec.ValResp2(0, w)
+}
+
+// TestDoubleRecoverIdempotent crashes at every step and runs Recover
+// twice: the second run must leave the same resolution, the same value
+// and the same pool occupancy — the idempotence the Object contract
+// promises for a crash during recovery itself.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	for ai, adv := range pmem.Adversaries(17) {
+		for step := uint64(1); ; step++ {
+			g, h := newTestReg(t, 1, 5)
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := g.PrepSwap(0, 10); err != nil {
+					return
+				}
+				g.ExecSwap(0)
+				if err := g.PrepSwap(0, 20); err != nil {
+					return
+				}
+				g.ExecSwap(0)
+			})
+			if !h.Crashed() {
+				break
+			}
+			h.Crash(adv)
+			g.Recover()
+			res1 := g.Resolve(0)
+			v1 := g.Value()
+			free1 := g.FreeNodes()
+			g.Recover()
+			res2 := g.Resolve(0)
+			v2 := g.Value()
+			free2 := g.FreeNodes()
+			if res1 != res2 || v1 != v2 || free1 != free2 {
+				t.Fatalf("adv %d step %d: second Recover changed state: (%+v, %d, %d) → (%+v, %d, %d)",
+					ai, step, res1, v1, free1, res2, v2, free2)
+			}
+		}
+	}
+}
+
+// TestAbandonPrepCrashSweep injects a crash at every step of the
+// abandon-then-re-prepare sequence
+//
+//	PrepSwap(99); AbandonPrep; PrepSwap(7); ExecSwap
+//
+// under every adversary: after recovery the withdrawn swap must never be
+// resurrected nor reported executed, and the value 99 must never be
+// observable in the register.
+func TestAbandonPrepCrashSweep(t *testing.T) {
+	for ai, adv := range append(pmem.Adversaries(3),
+		pmem.NewBiasedFates(13, 0.25), pmem.NewBiasedFates(14, 0.75)) {
+		swept := 0
+		for step := uint64(1); ; step++ {
+			g, h := newTestReg(t, 1, 5)
+			phase := 0
+			h.ArmCrash(step)
+			pmem.RunToCrash(func() {
+				if err := g.PrepSwap(0, 99); err != nil {
+					t.Errorf("adv %d step %d: PrepSwap(99): %v", ai, step, err)
+					return
+				}
+				phase = 1
+				g.AbandonPrep(0)
+				phase = 2
+				if err := g.PrepSwap(0, 7); err != nil {
+					t.Errorf("adv %d step %d: PrepSwap(7): %v", ai, step, err)
+					return
+				}
+				phase = 3
+				g.ExecSwap(0)
+				phase = 4
+			})
+			if !h.Crashed() {
+				if swept == 0 {
+					t.Fatal("workload completed before the first crash point")
+				}
+				break
+			}
+			swept++
+			h.Crash(adv)
+			g.Recover()
+			res := g.Resolve(0)
+
+			if res.Op == OpSwap && res.Arg == 99 {
+				if res.Executed {
+					t.Fatalf("adv %d step %d: abandoned swap(99) resolved as executed", ai, step)
+				}
+				if phase >= 2 {
+					t.Fatalf("adv %d step %d: abandoned swap(99) resurrected after abandon returned (phase %d)",
+						ai, step, phase)
+				}
+			}
+			if phase >= 2 && !(res.Op == OpNone || (res.Op == OpSwap && res.Arg == 7)) {
+				t.Fatalf("adv %d step %d: resolve after abandon (phase %d) = %+v",
+					ai, step, phase, res)
+			}
+			if v := g.Read(0); v == 99 {
+				t.Fatalf("adv %d step %d: abandoned value 99 reached the register", ai, step)
+			} else if v != 5 && v != 7 {
+				t.Fatalf("adv %d step %d: register holds %d, want 5 or 7", ai, step, v)
+			}
+
+			// The recovered register must still be fully operational.
+			if err := g.Write(0, 500); err != nil {
+				t.Fatal(err)
+			}
+			if v := g.Read(0); v != 500 {
+				t.Fatalf("adv %d step %d: post-recovery register broken: %d", ai, step, v)
+			}
+		}
+	}
+}
+
+// TestConcurrentSwapConservation runs concurrent detectable swaps with
+// globally unique values and audits the displacement chain: no value may
+// be displaced (returned) twice — across completed returns and crash
+// resolutions — and the final value must be one of the written values or
+// the initial one.
+func TestConcurrentSwapConservation(t *testing.T) {
+	const threads = 3
+	for trial := 0; trial < 30; trial++ {
+		g, h := newTestReg(t, threads, 1)
+		h.ArmCrash(uint64(60 + trial*37))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		displaced := map[uint64]int{}
+		last := make([]uint64, threads) // value of the thread's in-flight swap
+		done := make([]bool, threads)   // whether that swap's return was recorded
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				pmem.RunToCrash(func() {
+					for i := 0; ; i++ {
+						v := uint64(tid+2)<<32 | uint64(i+1)
+						mu.Lock()
+						last[tid], done[tid] = v, false
+						mu.Unlock()
+						if err := g.PrepSwap(tid, v); err != nil {
+							t.Errorf("prep: %v", err)
+							return
+						}
+						prev := g.ExecSwap(tid)
+						mu.Lock()
+						displaced[prev]++
+						done[tid] = true
+						mu.Unlock()
+					}
+				})
+			}(tid)
+		}
+		wg.Wait()
+		h.Crash(pmem.NewRandomFates(int64(trial)))
+		g.Recover()
+		for tid := 0; tid < threads; tid++ {
+			res := g.Resolve(tid)
+			if res.Op != OpSwap {
+				continue
+			}
+			if res.Arg == last[tid] && !done[tid] && res.Executed {
+				// The in-flight swap's displacement was only recorded by
+				// the recovery settlement.
+				displaced[res.Val]++
+			}
+		}
+		for v, n := range displaced {
+			if n > 1 {
+				t.Fatalf("trial %d: value %d displaced %d times", trial, v, n)
+			}
+		}
+		final := g.Value()
+		if final != 1 && final>>32 < 2 {
+			t.Fatalf("trial %d: final value %d was never written", trial, final)
+		}
+		if displaced[final] != 0 {
+			t.Fatalf("trial %d: final value %d was also displaced", trial, final)
+		}
+	}
+}
+
+// TestSpaceBound is the per-process space accounting check against the
+// space-bounds line of work: a detectable register over n processes
+// needs only O(n) nodes in steady state — one live value node, at most
+// one pinned node per process for its latest resolution, plus the
+// reclamation pipeline's slack. After a long workload and a reclamation
+// flush, the number of unavailable blocks must stay within that bound
+// regardless of the operation count.
+func TestSpaceBound(t *testing.T) {
+	const threads = 4
+	g, h := newTestReg(t, threads, 0)
+	_ = h
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := g.PrepSwap(tid, uint64(tid)<<32|uint64(i)); err != nil {
+					t.Errorf("prep: %v", err)
+					return
+				}
+				g.ExecSwap(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	g.Quiesce()
+	inUse := g.Capacity() - g.FreeNodes()
+	// One node per thread pinned by its last resolution, the live node,
+	// and at most one parked node per thread awaiting unpinning.
+	if bound := 2*threads + 1; inUse > bound {
+		t.Fatalf("in-use nodes = %d after quiesce, want ≤ %d (O(threads), not O(ops))",
+			inUse, bound)
+	}
+}
+
+// TestAttachResumes builds a register, re-attaches a second handle to
+// the same heap image, recovers it and resumes operations.
+func TestAttachResumes(t *testing.T) {
+	g, h := newTestReg(t, 2, 5)
+	if err := g.Write(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PrepSwap(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	g.ExecSwap(1)
+
+	h.Crash(pmem.KeepAll{})
+	g2, err := Attach(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Recover()
+	res := g2.Resolve(1)
+	if res.Op != OpSwap || !res.Executed || res.Val != 42 {
+		t.Fatalf("re-attached resolution = %+v, want executed swap displacing 42", res)
+	}
+	if v := g2.Read(0); v != 50 {
+		t.Fatalf("re-attached read = %d, want 50", v)
+	}
+}

@@ -1,0 +1,232 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/dss"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// keyedOp draws a random hash-map operation over a small key universe;
+// next supplies globally unique put values so histories are auditable.
+func keyedOp(rng *rand.Rand, next *uint64) dss.Op {
+	key := uint64(rng.Intn(10) + 1)
+	switch rng.Intn(4) {
+	case 0:
+		*next++
+		return dss.Op{Kind: dss.Put, Key: key, Arg: *next}
+	case 1:
+		return dss.Op{Kind: dss.Get, Key: key}
+	case 2:
+		return dss.Op{Kind: dss.Delete, Key: key}
+	default:
+		*next++
+		return dss.Op{Kind: dss.MapCAS, Key: key, Arg: spec.PackCAS(uint64(rng.Intn(8)), *next)}
+	}
+}
+
+// TestKeyedRoutePlacement: in route-by-key mode every prep must land on
+// (and the persisted cursor must name) the shard the key hashes to —
+// content-addressed placement, not round-robin.
+func TestKeyedRoutePlacement(t *testing.T) {
+	const shards = 4
+	q, _ := newTestFront(t, dss.MapType, shards, 2)
+	for key := uint64(1); key <= 32; key++ {
+		if err := q.Prep(0, dss.Op{Kind: dss.Put, Key: key, Arg: key * 10}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := q.Route(0), KeyShard(key, shards); got != want {
+			t.Fatalf("key %d routed to shard %d, want KeyShard = %d", key, got, want)
+		}
+		if _, err := q.Exec(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key must be found on its hash shard and nowhere else.
+	for key := uint64(1); key <= 32; key++ {
+		for s := 0; s < shards; s++ {
+			resp, err := q.Shard(s).Invoke(0, dss.Op{Kind: dss.Get, Key: key})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == KeyShard(key, shards) {
+				if resp.Kind != dss.Val || resp.Val != key*10 {
+					t.Fatalf("key %d missing from its hash shard %d: %+v", key, s, resp)
+				}
+			} else if resp.Kind == dss.Val {
+				t.Fatalf("key %d leaked onto shard %d", key, s)
+			}
+		}
+	}
+}
+
+// TestSequentialConformanceKeyed is the route-by-key analogue of
+// TestSequentialConformanceRandom: a random single-threaded stream of
+// detectable map operations through the sharded front with per-shard
+// D⟨map⟩ models in lockstep. Because routing is by key, the composition
+// here is the exact sequential map — the per-shard models agreeing is
+// equivalent to one global model agreeing.
+func TestSequentialConformanceKeyed(t *testing.T) {
+	const (
+		shards  = 3
+		threads = 3
+		steps   = 400
+	)
+	typ := dss.MapType
+	q, _ := newTestFront(t, typ, shards, threads)
+	m := newModelTracer(t, typ, shards, threads)
+	q.SetTracer(m)
+	defer q.SetTracer(nil)
+
+	rng := rand.New(rand.NewSource(20260808))
+	next := uint64(1000)
+	for i := 0; i < steps; i++ {
+		tid := rng.Intn(threads)
+		op := keyedOp(rng, &next)
+		if err := q.Prep(tid, op); err != nil {
+			t.Fatalf("step %d: Prep %v: %v", i, op.Kind, err)
+		}
+		if rng.Intn(5) != 4 { // leave some preps unexecuted (cross-shard abandonment)
+			if _, err := q.Exec(tid); err != nil {
+				t.Fatalf("step %d: Exec: %v", i, err)
+			}
+		}
+		r := q.Route(tid)
+		if r != KeyShard(op.Key, shards) {
+			t.Fatalf("step %d: tid %d routed to %d, want %d", i, tid, r, KeyShard(op.Key, shards))
+		}
+		op2, resp, ok := q.Resolve(tid)
+		if got, want := typ.ResolveResp(op2, resp, ok), m.resolveOn(r, tid); got != want {
+			t.Fatalf("step %d: Resolve(%d) = %s, model (shard %d) says %s", i, tid, got, r, want)
+		}
+	}
+
+	// Audit the final contents key by key against the per-shard models.
+	q.SetTracer(nil)
+	for key := uint64(1); key <= 10; key++ {
+		s := KeyShard(key, shards)
+		resp, err := q.Invoke(0, dss.Op{Kind: dss.Get, Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, want, enabled := m.models[s].Apply(spec.Get(key), 0)
+		if !enabled {
+			t.Fatalf("model rejected get(%d)", key)
+		}
+		m.models[s] = next
+		if got := dss.SpecResp(resp); got != want {
+			t.Fatalf("key %d: front says %s, model says %s", key, got, want)
+		}
+	}
+}
+
+// TestKeyedCrashConformancePerShard is the route-by-key analogue of
+// TestConcurrentCrashConformancePerShard: concurrent workers drive
+// detectable map operations through the sharded front, a crash
+// interrupts them, recovery runs (through Attach — MapType supports
+// re-attachment), the composition resolves through the persisted route,
+// every key is audited on its hash shard — and each shard's recorded
+// history must be strictly linearizable w.r.t. D⟨map⟩.
+func TestKeyedCrashConformancePerShard(t *testing.T) {
+	const (
+		shards  = 2
+		threads = 3
+		ops     = 6
+		keys    = 8
+	)
+	crashSteps := []uint64{3, 7, 13, 21, 35, 55, 89, 144, 233, 377}
+	advs := []struct {
+		name string
+		adv  pmem.Adversary
+	}{
+		{"DropAll", pmem.DropAll{}},
+		{"KeepAll", pmem.KeepAll{}},
+	}
+	typ := dss.MapType
+
+	for _, av := range advs {
+		for _, step := range crashSteps {
+			t.Run(fmt.Sprintf("%s/step%d", av.name, step), func(t *testing.T) {
+				q, h := newTestFront(t, typ, shards, threads)
+				recs := make([]*check.Recorder, shards)
+				for i := range recs {
+					recs[i] = check.NewRecorder()
+				}
+				q.SetTracer(&recorderTracer{recs})
+
+				h.ArmCrash(step)
+				var wg sync.WaitGroup
+				for tid := 0; tid < threads; tid++ {
+					wg.Add(1)
+					go func(tid int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(1000*step) + int64(tid)))
+						next := uint64(1_000_000 * (tid + 1))
+						pmem.RunToCrash(func() {
+							for p := 0; p < ops; p++ {
+								op := keyedOp(rng, &next)
+								op.Key = op.Key%keys + 1
+								if err := q.Prep(tid, op); err != nil {
+									return
+								}
+								if _, err := q.Exec(tid); err != nil {
+									return
+								}
+							}
+						})
+					}(tid)
+				}
+				wg.Wait()
+
+				if h.Crashed() {
+					for i := range recs {
+						recs[i].CrashAll()
+					}
+					h.Crash(av.adv)
+					q2, err := Attach(h, 0, typ)
+					if err != nil {
+						t.Fatalf("Attach: %v", err)
+					}
+					q = q2
+					q.Recover()
+				} else {
+					h.ArmCrash(0)
+				}
+				q.SetTracer(nil)
+
+				// Resolve through the persisted route: exactly one shard
+				// holds each process's record.
+				for tid := 0; tid < threads; tid++ {
+					if s := q.Route(tid); s >= 0 {
+						recs[s].Begin(tid, spec.ResolveOp())
+						op, resp, ok := q.Resolve(tid)
+						recs[s].End(tid, typ.ResolveResp(op, resp, ok))
+					}
+				}
+				// Audit every key on its hash shard.
+				for key := uint64(1); key <= keys; key++ {
+					s := KeyShard(key, shards)
+					recs[s].Begin(0, spec.Get(key))
+					resp, err := q.Invoke(0, dss.Op{Kind: dss.Get, Key: key})
+					if err != nil {
+						t.Fatalf("get(%d): %v", key, err)
+					}
+					recs[s].End(0, dss.SpecResp(resp))
+				}
+				for s := 0; s < shards; s++ {
+					hist := recs[s].History()
+					d := spec.Detectable(typ.Model(), threads)
+					if r := check.StrictlyLinearizable(d, hist); !r.OK {
+						t.Fatalf("shard %d history not strictly linearizable:\n%s",
+							s, check.FormatHistory(hist))
+					}
+				}
+			})
+		}
+	}
+}

@@ -34,6 +34,17 @@
 // objects is a detectable object, so everything written against the
 // contract — sweeps, soaks, benchmarks, the wire engine — drives a
 // sharded instance unchanged.
+//
+// Route-by-key mode: types that declare KeyRouted (the keyed hash map)
+// replace the round-robin shard choice with a key-hash one — every
+// operation on key k lands on shard KeyShard(k), so each key lives on
+// exactly one shard and the composition is the exact sequential type,
+// not a k-relaxation. Everything else — the persisted claim-before-prep
+// cursor, its X-first-cursor-second persist order, tag riding, Abandon,
+// Recover — is byte-for-byte the cursor protocol above; only the shard
+// selection differs, and keyed execs never scan (the key's shard is the
+// authority for its absence). Existing container types keep cursor RR,
+// so heaps built before this mode attach unchanged.
 package sharded
 
 import (
@@ -113,6 +124,8 @@ type Front struct {
 	// rebuilt from the persistent image by Recover/ResetVolatile, so
 	// Exec dispatches without extra heap reads.
 	last []dss.Kind
+	// byKey selects key-hash shard routing (types with KeyRouted).
+	byKey bool
 	// pendTag[tid] holds the tag a PrepTagged will persist with the
 	// cursor; tagged[tid] marks that the next moveRoute must store it.
 	// Both are volatile and consumed by the first moveRoute of the prep,
@@ -153,6 +166,7 @@ func New(h *pmem.Heap, rootSlot int, typ dss.Type, cfg Config) (*Front, error) {
 	}
 	q := &Front{
 		h: h, typ: typ, threads: cfg.Threads, curBase: curBase,
+		byKey:   typ.KeyRouted,
 		last:    make([]dss.Kind, cfg.Threads),
 		pendTag: make([]uint64, cfg.Threads),
 		tagged:  make([]bool, cfg.Threads),
@@ -220,6 +234,7 @@ func Attach(h *pmem.Heap, rootSlot int, typ dss.Type) (*Front, error) {
 	q := &Front{
 		h: h, typ: typ, threads: threads,
 		curBase: pmem.Addr(h.Load(meta + cfgCur)),
+		byKey:   typ.KeyRouted,
 		last:    make([]dss.Kind, threads),
 		pendTag: make([]uint64, threads),
 		tagged:  make([]bool, threads),
@@ -298,10 +313,35 @@ func (q *Front) moveRoute(tid, s, rr int) {
 	}
 }
 
+// KeyShard is the key-hash shard choice of route-by-key mode: a
+// Fibonacci-hashed placement, stable across runs and processes (it is
+// derived from the key alone, so clients, servers and benches agree on
+// where a key lives without coordination).
+func KeyShard(key uint64, shards int) int {
+	return int(key * 0x9E3779B97F4A7C15 >> 32 % uint64(shards))
+}
+
 // Prep dispatches a detectable prep to the next shard in tid's
-// round-robin order for the operation's kind (Axiom 1 for the
+// round-robin order for the operation's kind — or, in route-by-key mode,
+// to the shard the operation's key hashes to (Axiom 1 for the
 // composition).
 func (q *Front) Prep(tid int, op dss.Op) error {
+	if q.byKey {
+		s := KeyShard(op.Key, len(q.shards))
+		if q.tracer != nil {
+			q.tracer.OpBegin(s, tid, spec.PrepOp(q.typ.SpecOp(op)))
+		}
+		if err := q.shards[s].Prep(tid, op); err != nil {
+			return err
+		}
+		q.obs.ShardAdd(s, obs.ShardPreps)
+		q.moveRoute(tid, s, curInsRR)
+		if q.tracer != nil {
+			q.tracer.OpEnd(s, tid, spec.BottomResp())
+		}
+		q.last[tid] = op.Kind
+		return nil
+	}
 	if op.Kind == dss.Remove {
 		q.prepRemoveOn(tid, int(q.h.Load(q.cursorAddr(tid)+curRemRR))%len(q.shards))
 		q.last[tid] = dss.Remove
@@ -388,7 +428,7 @@ func (q *Front) Exec(tid int) (dss.Resp, error) {
 		}
 		resp, err := q.shards[s].Exec(tid)
 		if q.tracer != nil {
-			q.tracer.OpEnd(s, tid, spec.AckResp())
+			q.tracer.OpEnd(s, tid, dss.SpecResp(resp))
 		}
 		return resp, err
 	}
@@ -445,6 +485,12 @@ func (q *Front) Route(tid int) int {
 // remove scans one full cycle from the cursor, returning EMPTY only if
 // every shard reported empty.
 func (q *Front) Invoke(tid int, op dss.Op) (dss.Resp, error) {
+	if q.byKey {
+		// The key names its shard; no cursor movement, no scan — the
+		// routed shard is the sole authority for the key, including for
+		// its absence.
+		return q.shards[KeyShard(op.Key, len(q.shards))].Invoke(tid, op)
+	}
 	cur := q.cursorAddr(tid)
 	if op.Kind == dss.Remove {
 		s := int(q.h.Load(cur+curRemRR)) % len(q.shards)

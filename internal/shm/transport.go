@@ -18,11 +18,13 @@ import (
 // Request frame (client → server), payload words:
 //
 //	0 kind   1 client   2 gen   3 seq   4 opKind   5 opArg   6 opTag
+//	7 opKey
 //
 // Reply frame (server → client), payload words:
 //
 //	0 echoSeq   1 gen   2 errCode   3 errGen   4 respKind   5 respV
 //	6 hasOp   7 pOpKind   8 pOpArg   9 pOpTag   10 inner   11 innerVal
+//	12 pOpKey   13 respV2   14 innerVal2
 //
 // echoSeq names the request the reply answers; a client polling for its
 // current attempt discards replies echoing earlier sequence numbers
@@ -45,8 +47,8 @@ const (
 var ErrRemote = errors.New("shm: server rejected the request")
 
 const (
-	reqFrameWords   = 7
-	replyFrameWords = 12
+	reqFrameWords   = 8
+	replyFrameWords = 15
 )
 
 // encodeReq lowers m into a request frame.
@@ -55,12 +57,13 @@ func encodeReq(dst []uint64, m mp.Msg, typ dss.Type) {
 	dst[1] = uint64(m.Client)
 	dst[2] = m.Gen
 	dst[3] = m.Seq
-	dst[4], dst[5], dst[6] = 0, 0, 0
+	dst[4], dst[5], dst[6], dst[7] = 0, 0, 0, 0
 	if m.Op.Sym != "" {
 		if dop, ok := typ.FromSpec(m.Op); ok {
 			dst[4] = uint64(dop.Kind)
 			dst[5] = dop.Arg
 			dst[6] = m.Op.Tag
+			dst[7] = dop.Key
 		}
 	}
 }
@@ -74,7 +77,7 @@ func decodeReq(src []uint64, typ dss.Type) mp.Msg {
 		Seq:    src[3],
 	}
 	if k := dss.Kind(src[4]); k != dss.None {
-		m.Op = typ.SpecOp(dss.Op{Kind: k, Arg: src[5]})
+		m.Op = typ.SpecOp(dss.Op{Kind: k, Arg: src[5], Key: src[7]})
 		m.Op.Tag = src[6]
 	}
 	return m
@@ -115,10 +118,13 @@ func encodeReply(dst []uint64, seq uint64, rep mp.Reply, typ dss.Type) {
 			dst[7] = uint64(dop.Kind)
 			dst[8] = dop.Arg
 			dst[9] = r.POp.Tag
+			dst[12] = dop.Key
 		}
 	}
 	dst[10] = uint64(r.Inner)
 	dst[11] = r.InnerVal
+	dst[13] = r.V2
+	dst[14] = r.InnerVal2
 }
 
 // decodeReply raises a reply frame; echo is the request sequence it
@@ -140,14 +146,16 @@ func decodeReply(src []uint64, typ dss.Type) (rep mp.Reply, echo uint64) {
 		rep.Err = ErrRemote
 	}
 	rep.Resp = spec.Resp{
-		Kind:     spec.RespKind(src[4]),
-		V:        src[5],
-		Inner:    spec.RespKind(src[10]),
-		InnerVal: src[11],
+		Kind:      spec.RespKind(src[4]),
+		V:         src[5],
+		V2:        src[13],
+		Inner:     spec.RespKind(src[10]),
+		InnerVal:  src[11],
+		InnerVal2: src[14],
 	}
 	if src[6] != 0 {
 		rep.Resp.HasOp = true
-		rep.Resp.POp = typ.SpecOp(dss.Op{Kind: dss.Kind(src[7]), Arg: src[8]})
+		rep.Resp.POp = typ.SpecOp(dss.Op{Kind: dss.Kind(src[7]), Arg: src[8], Key: src[12]})
 		rep.Resp.POp.Tag = src[9]
 	}
 	return rep, echo

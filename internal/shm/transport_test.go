@@ -40,6 +40,60 @@ func TestReqFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestKeyedFrameRoundTrip proves the widened frames carry the two-word
+// keyed contract: a keyed op's second word (put's value, mcas's packed
+// pair) survives the request frame via the type's Key/Arg lowering, and
+// two-word responses (V2, InnerVal2) plus keyed resolved ops (pOpKey)
+// survive the reply frame.
+func TestKeyedFrameRoundTrip(t *testing.T) {
+	typ := dss.MapType
+	msgs := []mp.Msg{
+		{Kind: mp.ReqPrep, Client: 1, Gen: 3, Seq: 17, Op: func() spec.Op {
+			op := spec.Put(7, 4200)
+			op.Tag = 9
+			return op
+		}()},
+		{Kind: mp.ReqPrep, Client: 0, Gen: 1, Seq: 2, Op: spec.Get(12)},
+		{Kind: mp.ReqInvoke, Client: 1, Gen: 2, Seq: 5, Op: spec.Del(3)},
+		{Kind: mp.ReqPrep, Client: 0, Gen: 2, Seq: 6, Op: spec.MCAS(8, 100, 200)},
+	}
+	var buf [reqFrameWords]uint64
+	for _, m := range msgs {
+		encodeReq(buf[:], m, typ)
+		got := decodeReq(buf[:], typ)
+		if got.Kind != m.Kind || got.Client != m.Client || got.Gen != m.Gen || got.Seq != m.Seq {
+			t.Fatalf("envelope: got %+v, want %+v", got, m)
+		}
+		if got.Op.Sym != m.Op.Sym || got.Op.Arg != m.Op.Arg ||
+			got.Op.Arg2 != m.Op.Arg2 || got.Op.Tag != m.Op.Tag {
+			t.Fatalf("op: got %+v, want %+v", got.Op, m.Op)
+		}
+	}
+
+	mcasOp := spec.MCAS(8, 100, 200)
+	mcasOp.Tag = 31
+	reps := []mp.Reply{
+		{Resp: spec.ValResp2(1, 100), Gen: 4},
+		{Resp: spec.ValResp2(0, 1<<40), Gen: 4},
+		{Resp: spec.PairResp(true, mcasOp, spec.ValResp2(0, 77)), Gen: 2},
+		{Resp: spec.PairResp(true, spec.Put(9, 900), spec.AckResp()), Gen: 2},
+	}
+	var rbuf [replyFrameWords]uint64
+	for i, rep := range reps {
+		encodeReply(rbuf[:], uint64(200+i), rep, typ)
+		got, echo := decodeReply(rbuf[:], typ)
+		if echo != uint64(200+i) {
+			t.Fatalf("reply %d: echo %d", i, echo)
+		}
+		if got.Err != nil {
+			t.Fatalf("reply %d: unexpected error %v", i, got.Err)
+		}
+		if got.Resp != rep.Resp {
+			t.Fatalf("reply %d: resp %+v, want %+v", i, got.Resp, rep.Resp)
+		}
+	}
+}
+
 func TestReplyFrameRoundTrip(t *testing.T) {
 	typ := dss.StackType
 	pushOp := spec.Push(5)

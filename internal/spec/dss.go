@@ -156,3 +156,36 @@ func CAS(old, new uint64) Op { return Op{Kind: Base, Sym: "cas", Arg: old, Arg2:
 
 // Inc returns the counter increment operation.
 func Inc() Op { return Op{Kind: Base, Sym: "inc"} }
+
+// Swap returns the register swap operation (write v, answer the previous
+// value).
+func Swap(v uint64) Op { return Op{Kind: Base, Sym: "swap", Arg: v} }
+
+// Put returns the map upsert operation.
+func Put(k, v uint64) Op { return Op{Kind: Base, Sym: "put", Arg: k, Arg2: v} }
+
+// Get returns the map lookup operation.
+func Get(k uint64) Op { return Op{Kind: Base, Sym: "get", Arg: k} }
+
+// Del returns the map removal operation.
+func Del(k uint64) Op { return Op{Kind: Base, Sym: "del", Arg: k} }
+
+// MCAS returns the map compare-and-swap operation: replace k's value
+// with new iff it currently equals expected. Both values must fit 32
+// bits — they travel packed in one word (PackCAS) so the operation fits
+// the keyed two-word runtime contract {Kind, Key, Arg}.
+func MCAS(k, expected, new uint64) Op {
+	return Op{Kind: Base, Sym: "mcas", Arg: k, Arg2: PackCAS(expected, new)}
+}
+
+// PackCAS packs a cas argument pair into one word: expected in the high
+// 32 bits, new in the low 32. Values wider than 32 bits are masked —
+// keyed cas is specified for 32-bit values.
+func PackCAS(expected, new uint64) uint64 {
+	return expected<<32 | new&(1<<32-1)
+}
+
+// UnpackCAS splits a PackCAS word back into (expected, new).
+func UnpackCAS(packed uint64) (expected, new uint64) {
+	return packed >> 32, packed & (1<<32 - 1)
+}

@@ -70,7 +70,8 @@ func (o Op) String() string {
 	}
 	b.WriteString(o.Sym)
 	fmt.Fprintf(&b, "(%d", o.Arg)
-	if o.Sym == "cas" {
+	switch o.Sym {
+	case "cas", "put", "mcas":
 		fmt.Fprintf(&b, ",%d", o.Arg2)
 	}
 	b.WriteString(")")
@@ -106,14 +107,21 @@ const (
 
 // Resp is an operation response. For Kind == Pair (the response of
 // resolve), HasOp and POp carry A[p] (HasOp false means A[p] = ⊥), and
-// Inner/InnerVal carry R[p] (Inner == None means R[p] = ⊥).
+// Inner/InnerVal/InnerVal2 carry R[p] (Inner == None means R[p] = ⊥).
+//
+// V2 is the response's second word: operations of two-word types (the
+// swap/CAS register's cas, the map's cas) answer with a pair — success
+// bit in V, witnessed value in V2. One-word types leave it zero, so the
+// widened struct compares and renders identically for them.
 type Resp struct {
-	Kind     RespKind
-	V        uint64
-	HasOp    bool
-	POp      Op
-	Inner    RespKind
-	InnerVal uint64
+	Kind      RespKind
+	V         uint64
+	V2        uint64
+	HasOp     bool
+	POp       Op
+	Inner     RespKind
+	InnerVal  uint64
+	InnerVal2 uint64
 }
 
 // String renders the response for diagnostics.
@@ -124,6 +132,9 @@ func (r Resp) String() string {
 	case Ack:
 		return "OK"
 	case Val:
+		if r.V2 != 0 {
+			return fmt.Sprintf("%d/%d", r.V, r.V2)
+		}
 		return fmt.Sprintf("%d", r.V)
 	case Empty:
 		return "EMPTY"
@@ -137,7 +148,11 @@ func (r Resp) String() string {
 		case Ack:
 			inner = "OK"
 		case Val:
-			inner = fmt.Sprintf("%d", r.InnerVal)
+			if r.InnerVal2 != 0 {
+				inner = fmt.Sprintf("%d/%d", r.InnerVal, r.InnerVal2)
+			} else {
+				inner = fmt.Sprintf("%d", r.InnerVal)
+			}
 		case Empty:
 			inner = "EMPTY"
 		}
@@ -153,9 +168,13 @@ func ValResp(v uint64) Resp { return Resp{Kind: Val, V: v} }
 func EmptyResp() Resp       { return Resp{Kind: Empty} }
 func BottomResp() Resp      { return Resp{Kind: None} }
 
+// ValResp2 builds a two-word value response (the register/map cas shape:
+// success in v, witnessed value in v2).
+func ValResp2(v, v2 uint64) Resp { return Resp{Kind: Val, V: v, V2: v2} }
+
 // PairResp builds a resolve response (op, r). Pass hasOp=false for (⊥, ⊥).
 func PairResp(hasOp bool, op Op, r Resp) Resp {
-	return Resp{Kind: Pair, HasOp: hasOp, POp: op, Inner: r.Kind, InnerVal: r.V}
+	return Resp{Kind: Pair, HasOp: hasOp, POp: op, Inner: r.Kind, InnerVal: r.V, InnerVal2: r.V2}
 }
 
 // State is one abstract state of a sequential specification.

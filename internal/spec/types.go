@@ -141,6 +141,159 @@ func (c CASState) Apply(op Op, _ int) (State, Resp, bool) {
 // Key implements State.
 func (c CASState) Key() string { return fmt.Sprintf("cas:%d", c.val) }
 
+// SwapState is the sequential specification of a swap/CAS register — the
+// canonical next detectable object after the containers ("Recoverable and
+// Detectable Self-Implementations of Swap"). Operations: read() → v,
+// write(v) → OK, swap(v) → previous value, cas(old, new) → (1, old) on
+// success and (0, witnessed) on failure. The cas response is two words
+// (success bit and witnessed value), exercising Resp.V2.
+type SwapState struct {
+	val uint64
+}
+
+// NewSwap returns a swap-register state holding v.
+func NewSwap(v uint64) SwapState { return SwapState{val: v} }
+
+// Value returns the held value (test access).
+func (s SwapState) Value() uint64 { return s.val }
+
+// Apply implements State.
+func (s SwapState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return s, Resp{}, false
+	}
+	switch op.Sym {
+	case "read":
+		return s, ValResp(s.val), true
+	case "write":
+		return SwapState{val: op.Arg}, AckResp(), true
+	case "swap":
+		return SwapState{val: op.Arg}, ValResp(s.val), true
+	case "cas":
+		if s.val == op.Arg {
+			return SwapState{val: op.Arg2}, ValResp2(1, s.val), true
+		}
+		return s, ValResp2(0, s.val), true
+	default:
+		return s, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (s SwapState) Key() string { return fmt.Sprintf("sw:%d", s.val) }
+
+// MapState is the sequential specification of a keyed map from 64-bit
+// / keys to values. Operations: put(k, v) → OK (upsert), get(k) → v or
+// EMPTY (absent key), del(k) → the removed value or EMPTY, and
+// mcas(k, packed) → (1, old) / (0, witnessed) where packed carries
+// (expected, new) via PackCAS — a cas on an absent key fails with
+// witness 0. Like the swap register's cas, mcas answers in two words.
+type MapState struct {
+	// kv is an immutable association list sorted by key (states are
+	// copied on write, and Key() needs a canonical order anyway).
+	kv []KV
+}
+
+// KV is one key/value pair of a MapState.
+type KV struct {
+	K, V uint64
+}
+
+// NewMap returns the initial (empty) map state.
+func NewMap() MapState { return MapState{} }
+
+// Items returns a copy of the pairs, sorted by key.
+func (m MapState) Items() []KV {
+	out := make([]KV, len(m.kv))
+	copy(out, m.kv)
+	return out
+}
+
+// find returns the index of k in m.kv, or the insertion point with ok
+// false.
+func (m MapState) find(k uint64) (int, bool) {
+	lo, hi := 0, len(m.kv)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.kv[mid].K < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(m.kv) && m.kv[lo].K == k
+}
+
+// with returns a copy of m with k bound to v.
+func (m MapState) with(k, v uint64) MapState {
+	i, ok := m.find(k)
+	next := make([]KV, len(m.kv), len(m.kv)+1)
+	copy(next, m.kv)
+	if ok {
+		next[i] = KV{K: k, V: v}
+		return MapState{kv: next}
+	}
+	next = append(next, KV{})
+	copy(next[i+1:], next[i:])
+	next[i] = KV{K: k, V: v}
+	return MapState{kv: next}
+}
+
+// without returns a copy of m with k removed.
+func (m MapState) without(k uint64) MapState {
+	i, ok := m.find(k)
+	if !ok {
+		return m
+	}
+	next := make([]KV, 0, len(m.kv)-1)
+	next = append(next, m.kv[:i]...)
+	next = append(next, m.kv[i+1:]...)
+	return MapState{kv: next}
+}
+
+// Apply implements State.
+func (m MapState) Apply(op Op, _ int) (State, Resp, bool) {
+	if op.Kind != Base {
+		return m, Resp{}, false
+	}
+	switch op.Sym {
+	case "put":
+		return m.with(op.Arg, op.Arg2), AckResp(), true
+	case "get":
+		if i, ok := m.find(op.Arg); ok {
+			return m, ValResp(m.kv[i].V), true
+		}
+		return m, EmptyResp(), true
+	case "del":
+		if i, ok := m.find(op.Arg); ok {
+			return m.without(op.Arg), ValResp(m.kv[i].V), true
+		}
+		return m, EmptyResp(), true
+	case "mcas":
+		exp, new := UnpackCAS(op.Arg2)
+		i, ok := m.find(op.Arg)
+		if !ok {
+			return m, ValResp2(0, 0), true
+		}
+		if m.kv[i].V != exp {
+			return m, ValResp2(0, m.kv[i].V), true
+		}
+		return m.with(op.Arg, new), ValResp2(1, exp), true
+	default:
+		return m, Resp{}, false
+	}
+}
+
+// Key implements State.
+func (m MapState) Key() string {
+	var b strings.Builder
+	b.WriteString("m:")
+	for _, p := range m.kv {
+		fmt.Fprintf(&b, "%d=%d,", p.K, p.V)
+	}
+	return b.String()
+}
+
 // StackState is the sequential specification of an unbounded LIFO stack
 // of 64-bit values. Operations: push(v) → OK, pop() → v or EMPTY. The
 // paper only builds a queue; the stack spec supports this repository's
@@ -205,4 +358,6 @@ var (
 	_ State = CounterState{}
 	_ State = CASState{}
 	_ State = StackState{}
+	_ State = SwapState{}
+	_ State = MapState{}
 )

@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke procs procs-smoke register-smoke hmap-smoke bench-json clean
+.PHONY: ci lint vet build test race soak soak-smoke metrics-smoke combine-smoke cluster-soak cluster-smoke procs procs-smoke register-smoke hmap-smoke slo-smoke live-smoke bench-json clean
 
 # ci is the full local gate: static checks, build, tests, a short race
-# pass over the packages with the most concurrency, and the seven smokes
+# pass over the packages with the most concurrency, and the nine smokes
 # (deterministic soak report, deterministic instrumented metrics, the
 # flat-combining fence-amortization figure, the multi-server cluster
-# storm, the real multi-process kill-storm, and the two keyed-object
-# figures: the swap/CAS register and the key-hash-routed hash map).
-ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke procs-smoke register-smoke hmap-smoke
+# storm, the real multi-process kill-storm, the two keyed-object
+# figures — the swap/CAS register and the key-hash-routed hash map —
+# the streaming-SLO percentile figure, and the live telemetry plane).
+ci: lint vet build test race soak-smoke metrics-smoke combine-smoke cluster-smoke procs-smoke register-smoke hmap-smoke slo-smoke live-smoke
 
 # lint fails if any file is not gofmt-clean. gofmt ships with the
 # toolchain, so this adds no dependency.
@@ -29,7 +30,7 @@ test:
 # exercised by many goroutines: the simulator, the DSS queue, the sharded
 # front-end, the history checker, and the virtual-time scheduler.
 race:
-	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/reg ./internal/hmap ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs ./internal/shm ./internal/procharness
+	$(GO) test -race -count=1 ./internal/pmem ./internal/core ./internal/dss ./internal/reg ./internal/hmap ./internal/sharded ./internal/combine ./internal/check ./internal/vtime ./internal/mp ./internal/obs ./internal/shm ./internal/livemon ./internal/procharness
 
 # soak regenerates the committed crash-storm soak report and its merged
 # recovery timeline. The run is a deterministic discrete-event
@@ -133,6 +134,36 @@ hmap-smoke:
 	$(GO) run ./cmd/dssmon -check /tmp/BENCH_hmap.ci.json
 	cmp BENCH_hmap.json /tmp/BENCH_hmap.ci.json
 
+# slo-smoke is the streaming-percentile CI gate: regenerate the
+# committed dss-slo/1 figure (the observed deterministic crash-storm
+# soak distilled into per-phase interpolated p50/p99/p999 and
+# crash/recovery outage accounting), validate it with dssmon -check —
+# which requires the exec-phase quantiles to be STRICTLY increasing,
+# the property the log-linear interpolation exists to provide — and
+# fail on drift from the committed BENCH_slo.json.
+slo-smoke:
+	$(GO) run ./cmd/dssbench -slo /tmp/BENCH_slo.ci.json > /dev/null
+	$(GO) run ./cmd/dssmon -check /tmp/BENCH_slo.ci.json
+	cmp BENCH_slo.json /tmp/BENCH_slo.ci.json
+
+# live-smoke drives the live telemetry plane end to end: run a short
+# real multi-process storm with a kept working directory, then attach
+# dssmon's strictly read-only monitor to its shared-memory segments and
+# require a rendered status table (live) and a self-validated
+# Prometheus text exposition with phase histograms (serve -once). The
+# racing attach — monitor sampling WHILE SIGKILLs land — is covered by
+# TestStormLiveMonitor in internal/procharness, which `make race` runs.
+# Skips cleanly where shared-memory segments are unsupported.
+live-smoke:
+	@if $(GO) run ./cmd/dssproc -probe; then \
+		rm -rf /tmp/dss-live-smoke && \
+		$(GO) run ./cmd/dssproc -seed 5 -servers 1 -clients 2 -ops 40 -kills 1 -rkills 0 -blackouts 0 -wedges 0 -dir /tmp/dss-live-smoke > /dev/null && \
+		$(GO) run ./cmd/dssmon live -once /tmp/dss-live-smoke | grep -q "timeline" && \
+		$(GO) run ./cmd/dssmon serve -once /tmp/dss-live-smoke | grep -q "dss_phase_duration_bucket"; \
+	else \
+		echo "live-smoke: skipped (no shared-memory segment support on this platform)"; \
+	fi
+
 # bench-json regenerates the committed benchmark-trajectory reports.
 # Opt-in (not part of ci): the 5a/5b sweeps monopolize the machine for a
 # few minutes and their numbers are host-dependent. The sharded report is
@@ -145,6 +176,7 @@ bench-json:
 	$(GO) run ./cmd/dssbench -figure combine -json BENCH_combine.json
 	$(GO) run ./cmd/dssbench -figure register -json BENCH_register.json
 	$(GO) run ./cmd/dssbench -figure hmap -json BENCH_hmap.json
+	$(GO) run ./cmd/dssbench -slo BENCH_slo.json
 
 clean:
 	$(GO) clean ./...

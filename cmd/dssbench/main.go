@@ -33,6 +33,13 @@
 // do not apply there; the virtual cost model is the vtime calibration
 // (100 ns accesses, 300 ns persists).
 //
+// -slo PATH runs the observed crash-storm soak (the committed
+// BENCH_soak.json configuration) and writes the dss-slo/1 streaming-
+// percentile figure: per-phase interpolated p50/p99/p999 on the DES
+// virtual clock plus crash/recovery outage accounting. Deterministic
+// for a fixed -slo-seed, so BENCH_slo.json is committed and CI
+// byte-compares regeneration.
+//
 // -figure combine measures the flat-combining publication layer
 // (internal/combine) against the dss-detectable baseline, also in
 // virtual time. The payload is the fences column: combining batches the
@@ -76,7 +83,31 @@ func run() error {
 	object := flag.String("object", "queue", "detectable type the sharded figure measures: queue or stack (-figure sharded only)")
 	keys := flag.Int("keys", 64, "key-space size of the hmap workload (-figure hmap only)")
 	metricsPath := flag.String("metrics", "", "write an instrumented dss-metrics/1 report for the figure's largest point to this path")
+	sloPath := flag.String("slo", "", "write the deterministic dss-slo/1 streaming-percentile figure to this path and exit (committable as BENCH_slo.json)")
+	sloSeed := flag.Int64("slo-seed", 1, "soak seed of the -slo figure (1 matches the committed BENCH_soak.json configuration)")
 	flag.Parse()
+
+	if *sloPath != "" {
+		// The SLO figure stands alone: one observed crash-storm soak in the
+		// committed BENCH_soak.json configuration, distilled into per-phase
+		// interpolated percentiles and recovery accounting on the DES
+		// virtual clock. Deterministic, so the output is committable.
+		fmt.Fprintf(os.Stderr, "dss-slo/1 figure: observed crash-storm soak, seed %d\n", *sloSeed)
+		rep, err := harness.RunSLO(harness.SoakConfig{Seed: *sloSeed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.FormatTable())
+		out, err := rep.FormatJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*sloPath, []byte(out), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *sloPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *sloPath)
+		return nil
+	}
 
 	threads, err := parseInts(*threadList)
 	if err != nil {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/livemon"
+	"repro/internal/obs"
+)
+
+// The live subcommands attach a strictly read-only livemon.Monitor to
+// the shared-memory segments of a running dssproc storm:
+//
+//	dssmon live DIR            # top-like refreshing table
+//	dssmon live -once DIR      # one sample, plain output
+//	dssmon serve -addr :9120 DIR   # Prometheus text + JSON over HTTP
+//	dssmon serve -once DIR         # print one validated exposition
+//
+// DIR is the storm's working directory (dssproc -dir): every seg* file
+// in it is opened read-only, so the monitor can never perturb the
+// deployment it watches.
+
+// monFlags are the SLO-threshold flags the live subcommands share; they
+// feed the per-server obs.SLOTracker verdicts.
+type monFlags struct {
+	recoverySLO *time.Duration
+	stall       *time.Duration
+	execP99     *time.Duration
+}
+
+func addMonFlags(fs *flag.FlagSet) monFlags {
+	return monFlags{
+		recoverySLO: fs.Duration("recovery-slo", 250*time.Millisecond,
+			"recovery windows running longer than this are verdict 'violating' (0 disables)"),
+		stall: fs.Duration("stall", 400*time.Millisecond,
+			"serving heartbeats frozen longer than this are verdict 'stalled' (0 disables)"),
+		execP99: fs.Duration("exec-p99", 0,
+			"windowed exec p99 above this is verdict 'violating' (0 disables)"),
+	}
+}
+
+func (f monFlags) config() livemon.Config {
+	return livemon.Config{SLO: obs.SLOConfig{
+		RecoveryMaxNS: uint64(*f.recoverySLO),
+		StallNS:       uint64(*f.stall),
+		ExecP99MaxNS:  float64(*f.execP99),
+	}}
+}
+
+// openMonitor resolves the positional storm directory and attaches.
+func openMonitor(fs *flag.FlagSet, cfg livemon.Config) (*livemon.Monitor, error) {
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		dir = fs.Arg(0)
+	default:
+		return nil, fmt.Errorf("expected at most one storm directory, got %d args", fs.NArg())
+	}
+	return livemon.Open(dir, cfg)
+}
+
+// runLive renders a refreshing top-like table of the deployment until
+// interrupted (or once, with -once).
+func runLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	interval := fs.Duration("interval", 500*time.Millisecond, "refresh interval")
+	once := fs.Bool("once", false, "render one sample and exit")
+	count := fs.Int("n", 0, "exit after this many refreshes (0 = until interrupted)")
+	mf := addMonFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dssmon live [flags] [storm-dir]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mon, err := openMonitor(fs, mf.config())
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+
+	if *once {
+		fmt.Print(livemon.RenderTable(mon.Sample()))
+		return nil
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for n := 0; ; n++ {
+		// Home the cursor and clear below rather than clearing the whole
+		// screen, so each refresh repaints without flicker.
+		fmt.Print("\x1b[H\x1b[2J" + livemon.RenderTable(mon.Sample()))
+		if *count > 0 && n+1 >= *count {
+			return nil
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// runServe exposes the deployment over HTTP: Prometheus text exposition
+// at /metrics, the Status document as JSON at /status. With -once it
+// prints a single exposition to stdout after self-validating it — the
+// CI smoke path, no listener needed.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9120", "HTTP listen address")
+	once := fs.Bool("once", false, "print one validated Prometheus exposition to stdout and exit")
+	mf := addMonFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dssmon serve [flags] [storm-dir]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mon, err := openMonitor(fs, mf.config())
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+
+	if *once {
+		prom := livemon.RenderProm(mon.Sample())
+		if probs := livemon.ValidateProm(prom); len(probs) > 0 {
+			for _, p := range probs {
+				fmt.Fprintf(os.Stderr, "exposition invalid: %s\n", p)
+			}
+			return fmt.Errorf("%d exposition problems", len(probs))
+		}
+		fmt.Print(prom)
+		return nil
+	}
+
+	// The monitor is single-threaded by contract; one mutex serializes
+	// the HTTP handlers over it.
+	var mu sync.Mutex
+	sample := func() livemon.Status {
+		mu.Lock()
+		defer mu.Unlock()
+		return mon.Sample()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, livemon.RenderProm(sample()))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sample())
+	})
+	fmt.Fprintf(os.Stderr, "dssmon serve: listening on %s (/metrics, /status)\n", *addr)
+	return http.ListenAndServe(*addr, mux)
+}

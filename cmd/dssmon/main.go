@@ -4,10 +4,15 @@
 // -timeline), dss-cluster-timeline/1 per-server-lane cluster timelines
 // (dsssoak -cluster -timeline), dss-procs/1 multi-process storm reports
 // (dssproc / dsssoak -procs), dss-proc-timeline/1 process-storm side
-// records (dssproc -timeline), and the flat benchmark Reports the
-// figures write (BENCH_fig5a.json, BENCH_sharded.json,
-// BENCH_register.json, BENCH_hmap.json, ... — identified by their
-// "figure" field) — and renders, validates, or diffs them.
+// records (dssproc -timeline), dss-slo/1 streaming-percentile figures
+// (dssbench -slo), and the flat benchmark Reports the figures write
+// (BENCH_fig5a.json, BENCH_sharded.json, BENCH_register.json,
+// BENCH_hmap.json, ... — identified by their "figure" field) — and
+// renders, validates, or diffs them. Two subcommands leave the
+// document world and attach a strictly read-only monitor to the
+// shared-memory segments of a LIVE dssproc deployment instead: `dssmon
+// live` (top-like refreshing status table) and `dssmon serve`
+// (Prometheus text exposition + JSON over HTTP); see live.go.
 //
 // Usage:
 //
@@ -15,15 +20,25 @@
 //	dssmon -check BENCH_metrics.json ...      # validate; nonzero exit on problems
 //	dssmon -check BENCH_hmap.json             # includes the figure's acceptance rule
 //	dssmon -diff old.json new.json            # per-counter / per-phase deltas
+//	dssmon live /path/to/storm-dir            # watch a running storm
+//	dssmon serve -addr :9120 /path/to/dir     # export it to Prometheus
 //
 // -check is the machine gate behind `make metrics-smoke`, `make
-// register-smoke` and `make hmap-smoke`: it re-derives every internal
-// consistency rule (schema tags, bucket sums vs counts, timeline
-// crash/recovery accounting) and exits nonzero listing each violation.
-// For benchmark Reports it also enforces the figure's headline claim:
-// the hmap figure must show >2x throughput scaling from one shard to
-// eight at its largest thread count, and the register and combine
-// figures must show a >=3x fences-per-op reduction under combining.
+// register-smoke`, `make hmap-smoke` and `make slo-smoke`: it
+// re-derives every internal consistency rule (schema tags, bucket sums
+// vs counts, timeline crash/recovery accounting) and exits nonzero
+// listing each violation. For benchmark Reports it also enforces the
+// figure's headline claim: the hmap figure must show >2x throughput
+// scaling from one shard to eight at its largest thread count, the
+// register and combine figures must show a >=3x fences-per-op
+// reduction under combining, and the dss-slo/1 figure's exec-phase
+// p50/p99/p999 must be strictly increasing — the property the
+// log-linear quantile interpolation exists to provide.
+//
+// -diff refuses to compare documents of different schemas (loudly —
+// the schema names are in the error) and diffs metrics, obs and slo
+// documents; timelines are event logs, not aggregates, and are
+// rejected.
 package main
 
 import (
@@ -39,6 +54,24 @@ import (
 )
 
 func main() {
+	// Subcommands attach to a LIVE deployment; the flag modes below read
+	// document files.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "live":
+			if err := runLive(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "dssmon live: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "dssmon serve: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	check := flag.Bool("check", false, "validate each file; exit nonzero listing every problem")
 	diff := flag.Bool("diff", false, "diff two metrics documents (old new): counter and phase deltas")
 	flag.Parse()
@@ -102,6 +135,7 @@ type document struct {
 	cluster  obs.ClusterTimeline
 	procs    procharness.StormReport
 	procTL   procharness.StormSide
+	slo      harness.SLOReport
 	bench    harness.Report
 	isBench  bool
 }
@@ -133,6 +167,8 @@ func load(path string) (document, error) {
 		err = json.Unmarshal(b, &d.procs)
 	case procharness.TimelineSchema:
 		err = json.Unmarshal(b, &d.procTL)
+	case harness.SLOSchema:
+		err = json.Unmarshal(b, &d.slo)
 	case "":
 		if peek.Figure == "" {
 			return document{}, fmt.Errorf("%s: neither a schema tag nor a benchmark figure field", path)
@@ -185,6 +221,10 @@ func show(path string) error {
 		showProcs(d.procs)
 	case procharness.TimelineSchema:
 		showProcTimeline(d.procTL)
+	case harness.SLOSchema:
+		fmt.Printf("seed %d, %d clients x %d ops, %d virtual us\n",
+			d.slo.Seed, d.slo.Clients, d.slo.OpsPerClient, d.slo.VirtualUS)
+		fmt.Print(d.slo.FormatTable())
 	default:
 		if d.isBench {
 			showBench(d.bench)
@@ -329,6 +369,8 @@ func checkFile(path string) ([]string, error) {
 		return checkProcs(d.procs), nil
 	case procharness.TimelineSchema:
 		return checkProcTimeline(d.procTL), nil
+	case harness.SLOSchema:
+		return checkSLO(d.slo), nil
 	}
 	if d.isBench {
 		return checkBench(d.bench), nil
@@ -528,11 +570,20 @@ func diffFiles(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if a.schema == obs.TimelineSchema || b.schema == obs.TimelineSchema ||
-		a.schema == obs.ClusterTimelineSchema || b.schema == obs.ClusterTimelineSchema {
-		return fmt.Errorf("-diff compares metrics/obs documents, not timelines")
+	// Diffing across schemas would silently compare unrelated fields
+	// (e.g. a metrics report against an slo figure, both of which carry
+	// phase tables) — fail loudly with both names instead.
+	if a.schema != b.schema {
+		return fmt.Errorf("schema mismatch: %s is %q, %s is %q — -diff compares documents of one schema",
+			oldPath, a.schema, newPath, b.schema)
 	}
-	if a.schema == harness.MetricsSchema && b.schema == harness.MetricsSchema {
+	switch a.schema {
+	case obs.TimelineSchema, obs.ClusterTimelineSchema:
+		return fmt.Errorf("-diff compares metrics/obs/slo documents, not timelines")
+	case harness.SLOSchema:
+		diffSLO(a.slo, b.slo)
+		return nil
+	case harness.MetricsSchema:
 		fmt.Printf("mops: %.3f -> %.3f (%+.1f%%)\n", a.metrics.Mops, b.metrics.Mops,
 			pct(a.metrics.Mops, b.metrics.Mops))
 		fmt.Printf("ops:  %d -> %d\n", a.metrics.Ops, b.metrics.Ops)
@@ -540,6 +591,34 @@ func diffFiles(oldPath, newPath string) error {
 	diffCounters(a.export.Counters, b.export.Counters)
 	diffPhases(a.export, b.export)
 	return nil
+}
+
+// diffSLO prints per-phase count and tail-latency deltas between two
+// dss-slo/1 figures, then the recovery-accounting deltas.
+func diffSLO(a, b harness.SLOReport) {
+	type key struct{ phase, kind string }
+	am := map[key]obs.PhaseSLO{}
+	for _, p := range a.Phases {
+		am[key{p.Phase, p.Kind}] = p
+	}
+	printed := false
+	for _, pb := range b.Phases {
+		pa := am[key{pb.Phase, pb.Kind}]
+		if pa == pb {
+			continue
+		}
+		if !printed {
+			fmt.Printf("%-10s %-8s %12s %16s %14s\n", "phase", "kind", "count Δ", "p50", "p99")
+			printed = true
+		}
+		fmt.Printf("%-10s %-8s %+12d %7.1f->%-7.1f %6.1f->%-6.1f\n",
+			pb.Phase, pb.Kind, int64(pb.Count)-int64(pa.Count), pa.P50, pb.P50, pa.P99, pb.P99)
+	}
+	ra, rb := a.Recovery, b.Recovery
+	if ra != rb {
+		fmt.Printf("recovery: crashes %d->%d, outage p99 %.1f->%.1f, total down %d->%d\n",
+			ra.Crashes, rb.Crashes, ra.OutageP99, rb.OutageP99, ra.TotalDownNS, rb.TotalDownNS)
+	}
 }
 
 func pct(a, b float64) float64 {
@@ -603,7 +682,7 @@ func diffPhases(a, b obs.Export) {
 			fmt.Printf("%-10s %-8s %12s %16s %14s\n", "phase", "kind", "count Δ", "mean", "p99")
 			printed = true
 		}
-		fmt.Printf("%-10s %-8s %+12d %7.1f->%-7.1f %6d->%-6d\n",
+		fmt.Printf("%-10s %-8s %+12d %7.1f->%-7.1f %6.1f->%-6.1f\n",
 			k.phase, k.kind, int64(pb.Count)-int64(pa.Count), pa.Mean, pb.Mean, pa.P99, pb.P99)
 	}
 }
@@ -725,6 +804,9 @@ func checkProcTimeline(sd procharness.StormSide) []string {
 		"spawn": true, "serving": true, "recovering": true, "kill": true,
 		"kill-recovery": true, "wedge": true, "wedge-kill": true,
 		"blackout": true, "drain": true, "term": true,
+		// Supervisor-side SLO verdict transitions (obs.Health names).
+		"slo-healthy": true, "slo-recovering": true, "slo-violating": true,
+		"slo-stalled": true, "slo-down": true, "slo-stopped": true,
 	}
 	kills := 0
 	for i, e := range sd.Events {
@@ -738,6 +820,61 @@ func checkProcTimeline(sd procharness.StormSide) []string {
 	}
 	if kills > 0 && sd.GenChanges == 0 {
 		probs = append(probs, fmt.Sprintf("%d kills in the timeline but no client observed a generation change", kills))
+	}
+	return probs
+}
+
+// checkSLO validates a dss-slo/1 figure: structural consistency, monotone
+// interpolated quantiles on every phase row with STRICT increase for the
+// exec phase (the figure exists to prove log-linear interpolation keeps
+// tail quantiles distinct — the raw log₂ bucket bound would collapse p99
+// and p999 to one power of two), and recovery accounting that closes.
+func checkSLO(r harness.SLOReport) []string {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	switch r.Unit {
+	case "ns", "steps", "virtual_ns":
+	default:
+		bad("unknown unit %q", r.Unit)
+	}
+	if len(r.Phases) == 0 {
+		bad("no phase rows")
+	}
+	sawExec := false
+	for _, p := range r.Phases {
+		if p.Count == 0 {
+			bad("phase %s/%s: zero count", p.Phase, p.Kind)
+		}
+		if p.P50 > p.P99 || p.P99 > p.P999 {
+			bad("phase %s/%s: quantiles not monotone (p50 %.1f, p99 %.1f, p999 %.1f)",
+				p.Phase, p.Kind, p.P50, p.P99, p.P999)
+		}
+		if p.Phase == "exec" {
+			sawExec = true
+			if !(p.P50 < p.P99 && p.P99 < p.P999) {
+				bad("phase exec/%s: quantiles not strictly increasing (p50 %v, p99 %v, p999 %v) — interpolation collapsed",
+					p.Kind, p.P50, p.P99, p.P999)
+			}
+		}
+	}
+	if !sawExec {
+		bad("no exec-phase row")
+	}
+	rec := r.Recovery
+	if rec.Recoveries > rec.Crashes {
+		bad("%d recoveries exceed %d crashes", rec.Recoveries, rec.Crashes)
+	}
+	if rec.MaxOutageNS > rec.TotalDownNS {
+		bad("max outage %d exceeds total down time %d", rec.MaxOutageNS, rec.TotalDownNS)
+	}
+	if rec.OutageP50 > rec.OutageP99 || rec.OutageP99 > rec.OutageP999 {
+		bad("outage quantiles not monotone (p50 %.1f, p99 %.1f, p999 %.1f)",
+			rec.OutageP50, rec.OutageP99, rec.OutageP999)
+	}
+	if rec.Crashes > 0 && rec.GenChanges == 0 {
+		bad("%d crashes but no client observed a generation change", rec.Crashes)
 	}
 	return probs
 }

@@ -64,6 +64,7 @@ func main() {
 	wedges := flag.Int("wedges", 2, "hang injections caught by the heartbeat detector")
 	slots := flag.Int("slots", 128, "ring slots per direction per client")
 	holdMS := flag.Int("hold-ms", 400, "recovery-window hold (ms) for kill-during-recovery restarts")
+	sloMS := flag.Int("slo-ms", 250, "recovery-duration SLO (ms) the supervisor's trackers record slo-* verdict transitions against")
 	dir := flag.String("dir", "", "working directory, kept afterwards (default: temp, removed)")
 	jsonPath := flag.String("json", "", "also write the JSON report to this file")
 	timelinePath := flag.String("timeline", "", "write the wall-clock side record (events + retry totals) to this file")
@@ -91,6 +92,7 @@ func main() {
 		Wedges:                 *wedges,
 		RingSlots:              *slots,
 		RecoveryHoldMS:         *holdMS,
+		RecoverySLOMS:          *sloMS,
 	}
 
 	var first []byte

@@ -30,6 +30,12 @@ func Observe(obj Object, s *obs.Sink, threads int) Object {
 	return &observed{obj: obj, sink: s, last: make([]obs.OpKind, threads)}
 }
 
+// KindOf translates the runtime operation vocabulary into the sink's
+// op-kind labels (obs.KindNone for unknown kinds). Exported for
+// transports and engines that attribute per-request latency without
+// wrapping the object — the multi-process deployment's telemetry path.
+func KindOf(k Kind) obs.OpKind { return kindOf(k) }
+
 // kindOf translates the runtime vocabulary into the sink's.
 func kindOf(k Kind) obs.OpKind {
 	switch k {

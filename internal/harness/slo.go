@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SLOSchema is the schema tag of the streaming-percentile figure
+// document (dssbench -slo, committed as BENCH_slo.json).
+const SLOSchema = "dss-slo/1"
+
+// SLORecovery is the figure's recovery-SLO accounting, derived from the
+// reconstructed crash/recovery timeline of the run. Outage is measured
+// crash-to-recovery-end on the shared virtual clock — the window the
+// live SLO trackers bound with RecoveryMaxNS.
+type SLORecovery struct {
+	// Crashes/Recoveries repeat the timeline header (they match exactly
+	// when no crash interrupted a recovery).
+	Crashes    uint64 `json:"crashes"`
+	Recoveries uint64 `json:"recoveries"`
+	// MeanOutageNS/MaxOutageNS/TotalDownNS summarize the completed
+	// crash→recover_end windows; OutageP50/P99/P999 are their
+	// interpolated percentiles (the same obs.Hist.Quantile the phase
+	// rows use, over a histogram of the outage durations).
+	MeanOutageNS float64 `json:"mean_outage_ns"`
+	MaxOutageNS  uint64  `json:"max_outage_ns"`
+	TotalDownNS  uint64  `json:"total_down_ns"`
+	OutageP50    float64 `json:"outage_p50"`
+	OutageP99    float64 `json:"outage_p99"`
+	OutageP999   float64 `json:"outage_p999"`
+	// ClientDowns/GenChanges total the client-side fallout the timeline
+	// attributed to those windows.
+	ClientDowns uint64 `json:"client_downs"`
+	GenChanges  uint64 `json:"gen_changes"`
+}
+
+// SLOReport is the dss-slo/1 figure: per-phase interpolated latency
+// percentiles (obs.Hist.Quantile, so p50/p99/p999 stay distinct inside
+// one log₂ bucket) plus recovery accounting, all measured under the
+// deterministic crash-storm soak on the DES virtual clock. For a fixed
+// config the document is byte-identical on every machine, so
+// BENCH_slo.json is committed and CI regenerates and byte-compares it.
+type SLOReport struct {
+	Schema string `json:"schema"`
+	// Unit names the clock unit of every duration: "virtual_ns".
+	Unit         string `json:"unit"`
+	Object       string `json:"object,omitempty"`
+	Seed         int64  `json:"seed"`
+	Clients      int    `json:"clients"`
+	OpsPerClient int    `json:"ops_per_client"`
+	VirtualUS    int64  `json:"virtual_us"`
+	// Phases summarizes the merged (server + every client) histograms;
+	// ServerPhases and ClientPhases split the two sides. Client rows are
+	// round-trip latencies (prep/exec/resolve through the faulty
+	// network); server rows are its recovery windows.
+	Phases       []obs.PhaseSLO `json:"phases"`
+	ServerPhases []obs.PhaseSLO `json:"server_phases,omitempty"`
+	ClientPhases []obs.PhaseSLO `json:"client_phases,omitempty"`
+	Recovery     SLORecovery    `json:"recovery"`
+}
+
+// latencyPhases summarizes a snapshot's histograms, dropping rows whose
+// durations are all zero (e.g. the server's recovery procedure, which
+// runs between virtual-clock ticks — its real cost is the outage window
+// the Recovery section accounts). Every surviving row therefore carries
+// distinct interpolated percentiles.
+func latencyPhases(s obs.Snapshot) []obs.PhaseSLO {
+	var out []obs.PhaseSLO
+	for _, p := range obs.WindowSLO(s) {
+		if p.Mean > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunSLO executes one observed crash-storm soak and distills the
+// dss-slo/1 figure from its snapshots and timeline. The soak must be
+// violation-free — a figure measured over a broken run would pin
+// meaningless numbers.
+func RunSLO(cfg SoakConfig) (SLOReport, error) {
+	rep, ob, err := RunSoakObserved(cfg)
+	if err != nil {
+		return SLOReport{}, err
+	}
+	if !rep.OK() {
+		return SLOReport{}, fmt.Errorf("harness: slo soak found %d violations (first: %s)",
+			len(rep.Violations), rep.Violations[0])
+	}
+	out := SLOReport{
+		Schema:       SLOSchema,
+		Unit:         "virtual_ns",
+		Object:       rep.Object,
+		Seed:         rep.Seed,
+		Clients:      rep.Clients,
+		OpsPerClient: rep.OpsPerClient,
+		VirtualUS:    rep.VirtualUS,
+		Phases:       latencyPhases(ob.Merged),
+		ServerPhases: latencyPhases(ob.Server),
+		ClientPhases: latencyPhases(ob.Clients),
+	}
+	rec := SLORecovery{Crashes: ob.Timeline.Crashes, Recoveries: ob.Timeline.Recoveries}
+	var outages obs.Hist
+	for _, c := range ob.Timeline.Cycles {
+		rec.ClientDowns += c.ClientDowns
+		rec.GenChanges += c.ClientGenChanges
+		if c.RecoverEnd == 0 || c.RecoverEnd < c.Crash {
+			continue
+		}
+		d := c.RecoverEnd - c.Crash
+		outages.Record(d)
+		rec.TotalDownNS += d
+		if d > rec.MaxOutageNS {
+			rec.MaxOutageNS = d
+		}
+	}
+	if outages.Count > 0 {
+		rec.MeanOutageNS = float64(rec.TotalDownNS) / float64(outages.Count)
+		rec.OutageP50 = outages.Quantile(0.50)
+		rec.OutageP99 = outages.Quantile(0.99)
+		rec.OutageP999 = outages.Quantile(0.999)
+	}
+	out.Recovery = rec
+	return out, nil
+}
+
+// FormatJSON renders the report for committing (trailing newline, stable
+// key order).
+func (r SLOReport) FormatJSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// FormatTable renders the report for humans: the percentile table, then
+// the recovery accounting line.
+func (r SLOReport) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %10s %14s %12s %12s %12s\n",
+		"phase", "kind", "count", "mean("+r.Unit+")", "p50", "p99", "p999")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-10s %-8s %10d %14.1f %12.1f %12.1f %12.1f\n",
+			p.Phase, p.Kind, p.Count, p.Mean, p.P50, p.P99, p.P999)
+	}
+	fmt.Fprintf(&b, "recovery: %d crashes, %d recoveries; outage mean %.1f p50 %.1f p99 %.1f p999 %.1f max %d total %d (%s)\n",
+		r.Recovery.Crashes, r.Recovery.Recoveries, r.Recovery.MeanOutageNS,
+		r.Recovery.OutageP50, r.Recovery.OutageP99, r.Recovery.OutageP999,
+		r.Recovery.MaxOutageNS, r.Recovery.TotalDownNS, r.Unit)
+	fmt.Fprintf(&b, "client fallout: %d downs, %d gen changes\n",
+		r.Recovery.ClientDowns, r.Recovery.GenChanges)
+	return b.String()
+}

@@ -1,0 +1,333 @@
+// Package livemon is the read side of the live telemetry plane: it
+// attaches to the shared-memory segments of a running (and crashing)
+// multi-process deployment, samples status lines and seqlock-published
+// telemetry slots, folds each server's stream through an obs.SLOTracker,
+// and renders the result as a top-like table, Prometheus text
+// exposition, or JSON.
+//
+// The monitor is strictly passive. It opens segments read-only
+// (shm.OpenSegRO), so it can never perturb the deployment it watches:
+// no status word is written, no ring is consumed, and a monitor killed
+// mid-sample leaves nothing behind. Torn reads are impossible by the
+// telemetry slots' seqlock discipline — a racing publish makes the
+// sample fall back to the previous frame, never a mix.
+package livemon
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shm"
+)
+
+// Schema tags the JSON form of a Status document.
+const Schema = "dss-live/1"
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// SLO holds the per-server verdict thresholds (see obs.SLOConfig).
+	// Zero values disable the corresponding rules.
+	SLO obs.SLOConfig
+	// TimelineCap bounds the retained transition tail (default 64).
+	TimelineCap int
+	// Now overrides the sampling clock (wall nanoseconds by default);
+	// tests inject a deterministic clock here.
+	Now func() uint64
+}
+
+// NamedSeg pairs a segment view with its display name.
+type NamedSeg struct {
+	Name string
+	Seg  *shm.Seg
+}
+
+// server is the monitor's per-segment state.
+type server struct {
+	name    string
+	seg     *shm.Seg
+	owned   bool // close the segment on Monitor.Close
+	tracker *obs.SLOTracker
+
+	buf       []uint64
+	snap      *obs.Snapshot // latest decoded server telemetry
+	snapSeq   uint64
+	clSnaps   []obs.Snapshot // latest decoded client telemetry
+	clHave    []bool
+	lastState uint64
+	haveState bool
+}
+
+// Transition is one observed server state change.
+type Transition struct {
+	// NS is the sampling clock at observation (the server's own
+	// SetStateAt edge is carried in the per-server status; this is when
+	// the monitor saw it).
+	NS     uint64 `json:"ns"`
+	Server string `json:"server"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Gen    uint64 `json:"gen,omitempty"`
+}
+
+// Monitor samples one deployment. Not safe for concurrent use.
+type Monitor struct {
+	cfg      Config
+	servers  []*server
+	timeline []Transition
+}
+
+// Attach builds a monitor over already-opened segments (the in-process
+// harness and tests; the segments stay owned by the caller).
+func Attach(cfg Config, segs ...NamedSeg) *Monitor {
+	m := newMonitor(cfg)
+	for _, ns := range segs {
+		m.addSeg(ns.Name, ns.Seg, false)
+	}
+	return m
+}
+
+// Open attaches read-only to every segment file (seg0, seg1, ...) in a
+// storm's working directory — the `dssmon live` path against a running
+// dssproc run.
+func Open(dir string, cfg Config) (*Monitor, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg*"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	m := newMonitor(cfg)
+	for _, p := range paths {
+		seg, err := shm.OpenSegRO(p)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("livemon: attach %s: %w", p, err)
+		}
+		m.addSeg(filepath.Base(p), seg, true)
+	}
+	if len(m.servers) == 0 {
+		return nil, fmt.Errorf("livemon: no segment files under %s", dir)
+	}
+	return m, nil
+}
+
+func newMonitor(cfg Config) *Monitor {
+	if cfg.TimelineCap <= 0 {
+		cfg.TimelineCap = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() uint64 { return uint64(time.Now().UnixNano()) }
+	}
+	return &Monitor{cfg: cfg}
+}
+
+func (m *Monitor) addSeg(name string, seg *shm.Seg, owned bool) {
+	sv := &server{
+		name:    name,
+		seg:     seg,
+		owned:   owned,
+		tracker: obs.NewSLOTracker(m.cfg.SLO),
+		clSnaps: make([]obs.Snapshot, seg.Layout().Clients),
+		clHave:  make([]bool, seg.Layout().Clients),
+	}
+	if seg.HasTelemetry() {
+		sv.buf = make([]uint64, seg.TelemWords())
+	}
+	m.servers = append(m.servers, sv)
+}
+
+// Close releases the segments the monitor opened itself.
+func (m *Monitor) Close() error {
+	var first error
+	for _, sv := range m.servers {
+		if sv.owned {
+			if err := sv.seg.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// ServerStatus is one server's sampled state.
+type ServerStatus struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason,omitempty"`
+
+	Gen       uint64  `json:"gen"`
+	GenBumps  uint64  `json:"gen_bumps"`
+	Heartbeat uint64  `json:"heartbeat"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	PID       int     `json:"pid"`
+	Dirty     uint64  `json:"dirty_attaches"`
+
+	Recoveries       uint64  `json:"recoveries"`
+	RecoveryOverruns uint64  `json:"recovery_overruns"`
+	LastRecoveryMS   float64 `json:"last_recovery_ms"`
+	MaxRecoveryMS    float64 `json:"max_recovery_ms"`
+	TotalDownMS      float64 `json:"total_down_ms"`
+
+	// Window is the latest completed telemetry window's percentiles.
+	Window []obs.PhaseSLO `json:"window,omitempty"`
+	// TelemetryFrames is the latest adopted telemetry frame ordinal (0
+	// when the segment has no telemetry or nothing published yet).
+	TelemetryFrames uint64 `json:"telemetry_frames"`
+}
+
+// ClientStatus is one client line's sampled state.
+type ClientStatus struct {
+	Server string `json:"server"`
+	ID     int    `json:"id"`
+	Ops    uint64 `json:"ops"`
+	Done   bool   `json:"done"`
+	PID    int    `json:"pid"`
+}
+
+// Status is one sampling pass over the whole deployment.
+type Status struct {
+	Schema  string         `json:"schema"`
+	NowNS   uint64         `json:"now_ns"`
+	Servers []ServerStatus `json:"servers"`
+	Clients []ClientStatus `json:"clients"`
+	// Cumulative is the percentile summary of the merged telemetry of
+	// every process slot (servers + clients), since process start.
+	Cumulative []obs.PhaseSLO `json:"cumulative,omitempty"`
+	// Timeline is the retained tail of observed state transitions.
+	Timeline []Transition `json:"timeline,omitempty"`
+
+	// Merged is the raw merged snapshot behind Cumulative, retained for
+	// renderers that need full histograms (Prometheus buckets); omitted
+	// from JSON.
+	Merged obs.Snapshot `json:"-"`
+}
+
+// stateName decodes a shm server state word.
+func stateName(v uint64) string {
+	switch v {
+	case shm.StateInit:
+		return "init"
+	case shm.StateAttaching:
+		return "attaching"
+	case shm.StateRecovering:
+		return "recovering"
+	case shm.StateServing:
+		return "serving"
+	case shm.StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", v)
+	}
+}
+
+// Sample performs one sampling pass: status lines, telemetry slots, SLO
+// trackers, and the transition timeline.
+func (m *Monitor) Sample() Status {
+	now := m.cfg.Now()
+	st := Status{Schema: Schema, NowNS: now}
+	var merged obs.Snapshot
+	var any bool
+
+	for _, sv := range m.servers {
+		line := sv.seg.Server()
+		state := line.State()
+		gen := line.Gen()
+
+		if sv.haveState && state != sv.lastState {
+			m.pushTransition(Transition{
+				NS: now, Server: sv.name,
+				From: stateName(sv.lastState), To: stateName(state), Gen: gen,
+			})
+		} else if !sv.haveState {
+			m.pushTransition(Transition{NS: now, Server: sv.name, From: "", To: stateName(state), Gen: gen})
+		}
+		sv.lastState, sv.haveState = state, true
+
+		if sv.buf != nil {
+			if seq, ok := sv.seg.ServerTelemetry().Read(sv.buf); ok && seq != sv.snapSeq {
+				if snap, ok := obs.DecodeSnapshotWords(sv.buf); ok {
+					sv.snap = &snap
+					sv.snapSeq = seq
+				}
+			}
+			for i := 0; i < sv.seg.Layout().Clients; i++ {
+				if _, ok := sv.seg.ClientTelemetry(i).Read(sv.buf); ok {
+					if snap, ok := obs.DecodeSnapshotWords(sv.buf); ok {
+						sv.clSnaps[i] = snap
+						sv.clHave[i] = true
+					}
+				}
+			}
+		}
+
+		rep := sv.tracker.Observe(obs.ServerSample{
+			NowNS:        now,
+			Serving:      state == shm.StateServing,
+			Recovering:   state == shm.StateRecovering,
+			Stopped:      state == shm.StateStopped,
+			StateSinceNS: line.StateChangedNS(),
+			Heartbeat:    line.Heartbeat(),
+			Gen:          gen,
+			Ops:          line.Ops(),
+			Snap:         sv.snap,
+		})
+
+		st.Servers = append(st.Servers, ServerStatus{
+			Name:             sv.name,
+			State:            stateName(state),
+			Verdict:          rep.Verdict.String(),
+			Reason:           rep.Reason,
+			Gen:              gen,
+			GenBumps:         rep.GenBumps,
+			Heartbeat:        line.Heartbeat(),
+			Ops:              line.Ops(),
+			OpsPerSec:        rep.OpsPerSec,
+			PID:              line.PID(),
+			Dirty:            line.Dirty(),
+			Recoveries:       rep.Recoveries,
+			RecoveryOverruns: rep.RecoveryOverruns,
+			LastRecoveryMS:   float64(rep.LastRecoveryNS) / 1e6,
+			MaxRecoveryMS:    float64(rep.MaxRecoveryNS) / 1e6,
+			TotalDownMS:      float64(rep.TotalDownNS) / 1e6,
+			Window:           rep.Window,
+			TelemetryFrames:  sv.snapSeq,
+		})
+
+		for i := 0; i < sv.seg.Layout().Clients; i++ {
+			cl := sv.seg.Client(i)
+			st.Clients = append(st.Clients, ClientStatus{
+				Server: sv.name, ID: i,
+				Ops: cl.Ops(), Done: cl.Done(), PID: cl.PID(),
+			})
+		}
+
+		if sv.snap != nil {
+			merged = merged.Add(*sv.snap)
+			any = true
+		}
+		for i, have := range sv.clHave {
+			if have {
+				merged = merged.Add(sv.clSnaps[i])
+				any = true
+			}
+		}
+	}
+
+	if any {
+		st.Merged = merged
+		st.Cumulative = obs.WindowSLO(merged)
+	}
+	st.Timeline = append([]Transition(nil), m.timeline...)
+	return st
+}
+
+func (m *Monitor) pushTransition(tr Transition) {
+	m.timeline = append(m.timeline, tr)
+	if n := len(m.timeline); n > m.cfg.TimelineCap {
+		m.timeline = m.timeline[n-m.cfg.TimelineCap:]
+	}
+}

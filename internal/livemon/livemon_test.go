@@ -1,0 +1,180 @@
+package livemon
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/shm"
+)
+
+// fakeDeployment drives a MemSeg the way a server process would, so the
+// monitor can be tested deterministically in-process.
+type fakeDeployment struct {
+	seg   *shm.Seg
+	sink  *obs.Sink
+	pub   *shm.TelemetryPublisher
+	buf   []uint64
+	nowNS uint64
+}
+
+func newFakeDeployment() *fakeDeployment {
+	seg := shm.NewMemSeg(shm.Layout{
+		Clients: 2, Slots: 4, SlotWords: shm.FrameSlotWords,
+		TelemWords: obs.EncodedSnapshotWords,
+	})
+	return &fakeDeployment{
+		seg:  seg,
+		sink: obs.NewSink(obs.Config{RingSize: 64}),
+		pub:  seg.ServerTelemetry().Publisher(),
+		buf:  make([]uint64, obs.EncodedSnapshotWords),
+	}
+}
+
+func (f *fakeDeployment) publish() {
+	snap := f.sink.Snapshot()
+	snap.Captured = f.nowNS
+	snap.EncodeWords(f.buf)
+	f.pub.Publish(f.buf)
+}
+
+func TestMonitorSampleLifecycle(t *testing.T) {
+	f := newFakeDeployment()
+	mon := Attach(Config{
+		SLO: obs.SLOConfig{RecoveryMaxNS: 50e6, StallNS: 400e6},
+		Now: func() uint64 { return f.nowNS },
+	}, NamedSeg{Name: "seg0", Seg: f.seg})
+	defer mon.Close()
+
+	sv := f.seg.Server()
+	sv.SetPID(4242)
+	sv.SetStateAt(shm.StateServing, 1)
+	sv.SetGen(1)
+	sv.Beat()
+	f.sink.Observe(obs.PhaseExec, obs.KindInsert, 300)
+	f.sink.Observe(obs.PhasePrep, obs.KindInsert, 40)
+	f.publish()
+	f.seg.Client(0).SetOps(7)
+	f.seg.Client(1).SetDone()
+
+	f.nowNS = 10e6
+	st := mon.Sample()
+	if len(st.Servers) != 1 || len(st.Clients) != 2 {
+		t.Fatalf("shape: %d servers %d clients", len(st.Servers), len(st.Clients))
+	}
+	s0 := st.Servers[0]
+	if s0.State != "serving" || s0.Verdict != "healthy" || s0.Gen != 1 || s0.PID != 4242 {
+		t.Fatalf("server status: %+v", s0)
+	}
+	if s0.TelemetryFrames != 1 {
+		t.Fatalf("telemetry frames = %d", s0.TelemetryFrames)
+	}
+	if len(st.Cumulative) != 2 {
+		t.Fatalf("cumulative phases: %+v", st.Cumulative)
+	}
+	if st.Clients[0].Ops != 7 || !st.Clients[1].Done {
+		t.Fatalf("clients: %+v", st.Clients)
+	}
+
+	// Crash: state goes back to init (killed), then recovering past the
+	// SLO, then serving at gen 2. The monitor must see the transitions,
+	// the verdict walk, and the recovery accounting.
+	f.nowNS = 20e6
+	sv.SetStateAt(shm.StateInit, f.nowNS)
+	if st = mon.Sample(); st.Servers[0].Verdict != "down" {
+		t.Fatalf("killed verdict: %+v", st.Servers[0])
+	}
+
+	f.nowNS = 30e6
+	sv.SetStateAt(shm.StateRecovering, f.nowNS)
+	if st = mon.Sample(); st.Servers[0].Verdict != "recovering" {
+		t.Fatalf("recovering verdict: %+v", st.Servers[0])
+	}
+
+	f.nowNS = 100e6 // 70ms into a 50ms-SLO recovery window
+	if st = mon.Sample(); st.Servers[0].Verdict != "violating" {
+		t.Fatalf("overrun verdict: %+v", st.Servers[0])
+	}
+
+	f.nowNS = 110e6
+	sv.SetStateAt(shm.StateServing, f.nowNS)
+	sv.SetGen(2)
+	sv.Beat()
+	f.sink.Observe(obs.PhaseExec, obs.KindInsert, 900)
+	f.publish()
+	st = mon.Sample()
+	s0 = st.Servers[0]
+	if s0.Verdict != "healthy" || s0.Gen != 2 || s0.GenBumps != 1 {
+		t.Fatalf("post-recovery: %+v", s0)
+	}
+	if s0.Recoveries != 1 || s0.RecoveryOverruns != 1 || s0.LastRecoveryMS != 80 {
+		t.Fatalf("recovery accounting: %+v", s0)
+	}
+	if s0.TotalDownMS != 90 {
+		t.Fatalf("down accounting: %+v", s0)
+	}
+	if s0.TelemetryFrames != 2 {
+		t.Fatalf("telemetry frames = %d", s0.TelemetryFrames)
+	}
+	// The window delta carries exactly the one new exec observation.
+	var execW *obs.PhaseSLO
+	for i := range s0.Window {
+		if s0.Window[i].Phase == "exec" {
+			execW = &s0.Window[i]
+		}
+	}
+	if execW == nil || execW.Count != 1 {
+		t.Fatalf("window: %+v", s0.Window)
+	}
+
+	// Timeline captured the full walk.
+	var kinds []string
+	for _, tr := range st.Timeline {
+		kinds = append(kinds, tr.To)
+	}
+	want := []string{"serving", "init", "recovering", "serving"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("timeline: %v, want %v", kinds, want)
+	}
+
+	// Renderers: the table mentions the verdict walk; the exposition
+	// validates and carries the histogram family; the JSON round-trips.
+	tbl := RenderTable(st)
+	for _, needle := range []string{"serving", "healthy", "exec", "timeline"} {
+		if !strings.Contains(tbl, needle) {
+			t.Fatalf("table missing %q:\n%s", needle, tbl)
+		}
+	}
+	prom := RenderProm(st)
+	if probs := ValidateProm(prom); len(probs) > 0 {
+		t.Fatalf("exposition invalid: %v\n%s", probs, prom)
+	}
+	for _, needle := range []string{"dss_up{", "dss_phase_duration_bucket{", "le=\"+Inf\"", "quantile=\"0.999\""} {
+		if !strings.Contains(prom, needle) {
+			t.Fatalf("exposition missing %q:\n%s", needle, prom)
+		}
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Status
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Servers) != 1 {
+		t.Fatalf("json round trip: %+v", back)
+	}
+}
+
+func TestValidatePromCatchesGarbage(t *testing.T) {
+	bad := "# HELP x ok\n# TYPE x wat\nx{le=} nope\n1bad_name 3\n"
+	probs := ValidateProm(bad)
+	if len(probs) < 3 {
+		t.Fatalf("validator too lenient: %v", probs)
+	}
+	if probs := ValidateProm("# HELP a ok\n# TYPE a gauge\na{x=\"y\"} 1\n"); len(probs) != 0 {
+		t.Fatalf("valid document rejected: %v", probs)
+	}
+}

@@ -1,0 +1,130 @@
+package livemon
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// A lightweight validator for the Prometheus text exposition format
+// (version 0.0.4), strict enough to catch a malformed renderer: every
+// line must be blank, a well-formed # HELP / # TYPE comment, or a
+// sample whose name matches the metric-name grammar, whose labels parse
+// and whose value is a float. TYPE comments must precede their first
+// sample, and histogram families must carry consistent _bucket/_sum/
+// _count series.
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits `name{labels} value [timestamp]`.
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$`)
+	promTypes    = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+)
+
+// ValidateProm checks one exposition document and returns every
+// problem found (nil for a valid document).
+func ValidateProm(text string) []string {
+	var probs []string
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		no := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				probs = append(probs, fmt.Sprintf("line %d: malformed comment %q", no, line))
+				continue
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				probs = append(probs, fmt.Sprintf("line %d: bad metric name %q", no, name))
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 || !promTypes[fields[3]] {
+					probs = append(probs, fmt.Sprintf("line %d: bad TYPE %q", no, line))
+					continue
+				}
+				if seen[name] {
+					probs = append(probs, fmt.Sprintf("line %d: TYPE %s after its samples", no, name))
+				}
+				typed[name] = fields[3]
+			}
+			continue
+		}
+		mm := promSampleRe.FindStringSubmatch(line)
+		if mm == nil {
+			probs = append(probs, fmt.Sprintf("line %d: malformed sample %q", no, line))
+			continue
+		}
+		name, labels, value := mm[1], mm[2], mm[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			probs = append(probs, fmt.Sprintf("line %d: bad value %q", no, value))
+		}
+		if labels != "" {
+			for _, p := range splitPromLabels(labels) {
+				eq := strings.Index(p, "=")
+				if eq < 0 {
+					probs = append(probs, fmt.Sprintf("line %d: malformed label %q", no, p))
+					continue
+				}
+				lname, lval := p[:eq], p[eq+1:]
+				if !promLabelRe.MatchString(lname) {
+					probs = append(probs, fmt.Sprintf("line %d: bad label name %q", no, lname))
+				}
+				if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+					probs = append(probs, fmt.Sprintf("line %d: unquoted label value %q", no, lval))
+				}
+			}
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := typed[strings.TrimSuffix(name, suf)]; ok && t == "histogram" && strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		seen[base] = true
+		if t, ok := typed[base]; ok && t == "histogram" && base == name {
+			probs = append(probs, fmt.Sprintf("line %d: histogram %s exposed without _bucket/_sum/_count suffix", no, name))
+		}
+	}
+	for name, t := range typed {
+		if !seen[name] {
+			probs = append(probs, fmt.Sprintf("metric %s declared TYPE %s but never sampled", name, t))
+		}
+	}
+	return probs
+}
+
+// splitPromLabels splits a label body on commas outside quotes.
+func splitPromLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package livemon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// RenderTable renders one sampled Status as the refreshing top-like
+// view `dssmon live` prints: servers, cumulative phase percentiles, a
+// client progress summary, and the transition timeline tail.
+func RenderTable(st Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dss live · %d server(s) · %d client line(s)\n", len(st.Servers), len(st.Clients))
+
+	fmt.Fprintf(&b, "%-8s %-11s %-11s %4s %6s %10s %9s %6s %10s %9s %9s\n",
+		"server", "state", "verdict", "gen", "bumps", "ops", "ops/s", "recov", "last(ms)", "down(ms)", "hb")
+	for _, sv := range st.Servers {
+		fmt.Fprintf(&b, "%-8s %-11s %-11s %4d %6d %10d %9.0f %6d %10.1f %9.1f %9d\n",
+			sv.Name, sv.State, sv.Verdict, sv.Gen, sv.GenBumps, sv.Ops, sv.OpsPerSec,
+			sv.Recoveries, sv.LastRecoveryMS, sv.TotalDownMS, sv.Heartbeat)
+		if sv.Reason != "" {
+			fmt.Fprintf(&b, "         └ %s\n", sv.Reason)
+		}
+	}
+
+	if len(st.Cumulative) > 0 {
+		fmt.Fprintf(&b, "\n%-10s %-8s %10s %12s %12s %12s\n", "phase", "kind", "count", "p50(ns)", "p99(ns)", "p999(ns)")
+		for _, p := range st.Cumulative {
+			fmt.Fprintf(&b, "%-10s %-8s %10d %12.1f %12.1f %12.1f\n",
+				p.Phase, p.Kind, p.Count, p.P50, p.P99, p.P999)
+		}
+	}
+
+	var done, total int
+	var ops uint64
+	for _, c := range st.Clients {
+		total++
+		if c.Done {
+			done++
+		}
+		ops += c.Ops
+	}
+	fmt.Fprintf(&b, "\nclients: %d/%d done, %d ops completed\n", done, total, ops)
+
+	if n := len(st.Timeline); n > 0 {
+		b.WriteString("timeline (tail):\n")
+		first := 0
+		if n > 12 {
+			first = n - 12
+		}
+		for _, tr := range st.Timeline[first:] {
+			from := tr.From
+			if from == "" {
+				from = "·"
+			}
+			fmt.Fprintf(&b, "  %-8s %s -> %s (gen %d)\n", tr.Server, from, tr.To, tr.Gen)
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// RenderProm renders one sampled Status as Prometheus text exposition
+// (version 0.0.4): per-server gauges and counters, and one native
+// histogram family per (phase, kind) built from the merged telemetry's
+// log₂ buckets.
+func RenderProm(st Status) string {
+	var b strings.Builder
+
+	b.WriteString("# HELP dss_up Server state: 1 when serving, 0 otherwise.\n# TYPE dss_up gauge\n")
+	for _, sv := range st.Servers {
+		up := 0
+		if sv.State == "serving" {
+			up = 1
+		}
+		fmt.Fprintf(&b, "dss_up{server=%q,state=%q,verdict=%q} %d\n",
+			promEscape(sv.Name), promEscape(sv.State), promEscape(sv.Verdict), up)
+	}
+
+	gauge := func(name, help string, get func(ServerStatus) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, sv := range st.Servers {
+			fmt.Fprintf(&b, "%s{server=%q} %g\n", name, promEscape(sv.Name), get(sv))
+		}
+	}
+	counter := func(name, help string, get func(ServerStatus) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, sv := range st.Servers {
+			fmt.Fprintf(&b, "%s{server=%q} %g\n", name, promEscape(sv.Name), get(sv))
+		}
+	}
+
+	gauge("dss_generation", "Current serving generation.", func(s ServerStatus) float64 { return float64(s.Gen) })
+	gauge("dss_ops_per_second", "Applied requests per second over the last sampling interval.", func(s ServerStatus) float64 { return s.OpsPerSec })
+	counter("dss_ops_total", "Requests applied since segment creation.", func(s ServerStatus) float64 { return float64(s.Ops) })
+	counter("dss_recoveries_total", "Completed recovery windows observed.", func(s ServerStatus) float64 { return float64(s.Recoveries) })
+	counter("dss_recovery_overruns_total", "Recovery windows that overran the SLO.", func(s ServerStatus) float64 { return float64(s.RecoveryOverruns) })
+	gauge("dss_last_recovery_seconds", "Duration of the last completed recovery window.", func(s ServerStatus) float64 { return s.LastRecoveryMS / 1e3 })
+	counter("dss_down_seconds_total", "Total observed non-serving time.", func(s ServerStatus) float64 { return s.TotalDownMS / 1e3 })
+	counter("dss_dirty_attaches_total", "Heap reopens that found the dirty-shutdown marker.", func(s ServerStatus) float64 { return float64(s.Dirty) })
+
+	// Phase latency histograms from the merged telemetry: cumulative
+	// `le` buckets per the exposition format, plus _sum and _count.
+	if len(st.Cumulative) > 0 {
+		const name = "dss_phase_duration"
+		fmt.Fprintf(&b, "# HELP %s Phase latency histogram (clock units) from merged telemetry.\n# TYPE %s histogram\n", name, name)
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			for k := obs.OpKind(0); k < obs.NumOpKinds; k++ {
+				h := st.Merged.Phases[p][k]
+				if h.Count == 0 {
+					continue
+				}
+				labels := fmt.Sprintf("phase=%q,kind=%q", p.String(), k.String())
+				var cum uint64
+				last := 0
+				for i, n := range h.Buckets {
+					if n != 0 {
+						last = i
+					}
+				}
+				for i := 0; i <= last; i++ {
+					cum += h.Buckets[i]
+					fmt.Fprintf(&b, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, obs.BucketBound(i), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count)
+				fmt.Fprintf(&b, "%s_sum{%s} %d\n", name, labels, h.Sum)
+				fmt.Fprintf(&b, "%s_count{%s} %d\n", name, labels, h.Count)
+			}
+		}
+
+		const qname = "dss_phase_latency_quantile"
+		fmt.Fprintf(&b, "# HELP %s Interpolated phase latency quantiles (clock units).\n# TYPE %s gauge\n", qname, qname)
+		for _, ph := range st.Cumulative {
+			labels := fmt.Sprintf("phase=%q,kind=%q", ph.Phase, ph.Kind)
+			fmt.Fprintf(&b, "%s{%s,quantile=\"0.5\"} %g\n", qname, labels, ph.P50)
+			fmt.Fprintf(&b, "%s{%s,quantile=\"0.99\"} %g\n", qname, labels, ph.P99)
+			fmt.Fprintf(&b, "%s{%s,quantile=\"0.999\"} %g\n", qname, labels, ph.P999)
+		}
+	}
+	return b.String()
+}

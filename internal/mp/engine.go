@@ -159,6 +159,13 @@ type Engine struct {
 	// obs, when non-nil, counts the fence/cache outcomes of Apply and
 	// times the recovery procedure. Recording never touches the heap.
 	obs *obs.Sink
+	// kindOf, when non-nil, attributes applied requests to an operation
+	// kind and switches on server-side phase timing in Apply. kindHint
+	// carries each client's prepared kind from prep to exec, volatile by
+	// design like the reply cache — a crash loses it, and the generation
+	// fence keeps pre-crash requests out anyway.
+	kindOf   func(spec.Op) obs.OpKind
+	kindHint []obs.OpKind
 }
 
 // NewEngine builds an engine hosting an object with the given initial
@@ -210,6 +217,18 @@ func (e *Engine) Heap() *pmem.Heap { return e.h }
 // goroutine that drives the engine, before applying requests.
 func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
 
+// SetOpKind installs the op-kind attribution hook (nil to remove) and,
+// with it, server-side phase timing: every applied prep/exec/invoke is
+// observed into the sink's (phase, kind) histograms. Harnesses that
+// already time at the object layer (dss.Observe) leave it unset, so they
+// pay nothing and count nothing twice.
+func (e *Engine) SetOpKind(fn func(spec.Op) obs.OpKind) {
+	e.kindOf = fn
+	if fn != nil && e.kindHint == nil {
+		e.kindHint = make([]obs.OpKind, len(e.lastSeq))
+	}
+}
+
 // Gen returns the current generation (safe from any goroutine).
 func (e *Engine) Gen() uint64 { return e.gen.Load() }
 
@@ -220,6 +239,9 @@ func (e *Engine) NewGeneration() uint64 {
 	for i := range e.lastSeq {
 		e.lastSeq[i] = 0
 		e.lastReply[i] = Reply{}
+	}
+	for i := range e.kindHint {
+		e.kindHint[i] = obs.KindNone
 	}
 	gen := e.gen.Add(1)
 	// Recovery is complete once a new serving generation is installed; the
@@ -277,6 +299,17 @@ func (e *Engine) Apply(m Msg) Reply {
 		}
 		e.obs.Add(obs.CtrReplyCacheMisses, 1)
 	}
+	var k obs.OpKind
+	var start uint64
+	if e.kindOf != nil {
+		switch m.Kind {
+		case ReqPrep, ReqInvoke:
+			k = e.kindOf(m.Op)
+		case ReqExec:
+			k = e.kindHint[m.Client]
+		}
+		start = e.obs.Now()
+	}
 	var out spec.Resp
 	var err error
 	switch m.Kind {
@@ -290,6 +323,12 @@ func (e *Engine) Apply(m Msg) Reply {
 		out, err = e.obj.Invoke(m.Client, m.Op)
 	default:
 		err = fmt.Errorf("mp: unknown request kind %d", int(m.Kind))
+	}
+	if e.kindOf != nil {
+		e.obs.ObserveSince(phaseOf(m.Kind), k, start)
+		if m.Kind == ReqPrep && err == nil {
+			e.kindHint[m.Client] = k
+		}
 	}
 	rep := Reply{Resp: out, Gen: gen, Err: err}
 	if m.Seq != 0 {

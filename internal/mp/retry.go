@@ -109,6 +109,11 @@ type RetryClient struct {
 	// mirrors the RetryStats classification into named counters and trace
 	// events (EvRetry, EvDown, EvGenChange).
 	obs *obs.Sink
+	// kindOf, when non-nil, attributes op-carrying round trips (prep,
+	// exec, invoke) to an operation kind, so the sink's per-phase
+	// histograms split by what the operation was rather than pooling
+	// everything under KindNone.
+	kindOf func(spec.Op) obs.OpKind
 }
 
 // NewRetryClient binds identity id to t under the given policy.
@@ -129,6 +134,11 @@ func (c *RetryClient) SetSleep(f func(time.Duration)) { c.sleep = f }
 // SetObs attaches an observability sink (nil to remove). A RetryClient is
 // single-threaded, so install it before the first Do.
 func (c *RetryClient) SetObs(s *obs.Sink) { c.obs = s }
+
+// SetOpKind installs the op-kind attribution hook (nil to remove):
+// dss-backed callers pass a translation through dss.Type.FromSpec and
+// dss.KindOf so round-trip latency is recorded per operation kind.
+func (c *RetryClient) SetOpKind(fn func(spec.Op) obs.OpKind) { c.kindOf = fn }
 
 // phaseOf maps a request kind to the DSS phase its latency belongs to.
 func phaseOf(kind ReqKind) obs.Phase {
@@ -156,9 +166,13 @@ func (c *RetryClient) roundTrip(kind ReqKind, op spec.Op) Reply {
 	if kind == ReqResolve {
 		c.obs.Add(obs.CtrResolves, 1)
 	}
+	k := obs.KindNone
+	if c.kindOf != nil && kind != ReqResolve {
+		k = c.kindOf(op)
+	}
 	start := c.obs.Now()
 	rep := c.dispatch(Msg{Kind: kind, Client: c.id, Gen: c.gen, Seq: c.seq, Op: op})
-	c.obs.ObserveSince(phaseOf(kind), obs.KindNone, start)
+	c.obs.ObserveSince(phaseOf(kind), k, start)
 	if rep.Gen != 0 && rep.Gen != c.gen {
 		if c.gen != 0 {
 			c.stats.GenChanges++

@@ -1,0 +1,85 @@
+package obs
+
+// Live-snapshot wire form: a Snapshot flattened into a fixed number of
+// uint64 words so it can be published through a shared-memory telemetry
+// slot (internal/shm) with a single seqlock-guarded copy. The layout is
+// positional and versioned only by EncodedSnapshotWords — the word
+// count is part of the segment geometry, so a reader attached to a
+// segment of a different build simply fails the length check instead of
+// misdecoding.
+//
+// Word layout:
+//
+//	0                      Captured (sink clock at aggregation time)
+//	1                      EventsLogged
+//	2                      EventsDropped
+//	3 .. 3+NumCounters-1   Counters, enum order
+//	then, for each phase p (enum order), for each kind k (enum order):
+//	  Count, Sum, Buckets[0..NumBuckets-1]
+//
+// PerShard counters are deliberately excluded: they are sized at attach
+// time, and the live plane wants a fixed frame so a SIGKILLed publisher
+// can be re-adopted without renegotiating geometry.
+
+// EncodedSnapshotWords is the exact length of an encoded snapshot.
+const EncodedSnapshotWords = 3 + int(NumCounters) + int(NumPhases)*int(NumOpKinds)*(2+NumBuckets)
+
+// EncodeWords flattens the snapshot into dst, which must be at least
+// EncodedSnapshotWords long, and returns the number of words written.
+// The encoding allocates nothing and reads no clock — callers can use
+// it on a hot publish path.
+func (s *Snapshot) EncodeWords(dst []uint64) int {
+	_ = dst[EncodedSnapshotWords-1]
+	dst[0] = s.Captured
+	dst[1] = s.EventsLogged
+	dst[2] = s.EventsDropped
+	w := 3
+	for c := 0; c < int(NumCounters); c++ {
+		dst[w] = s.Counters[c]
+		w++
+	}
+	for p := 0; p < int(NumPhases); p++ {
+		for k := 0; k < int(NumOpKinds); k++ {
+			h := &s.Phases[p][k]
+			dst[w] = h.Count
+			dst[w+1] = h.Sum
+			w += 2
+			for b := 0; b < NumBuckets; b++ {
+				dst[w] = h.Buckets[b]
+				w++
+			}
+		}
+	}
+	return w
+}
+
+// DecodeSnapshotWords rebuilds a snapshot from its encoded form. It
+// reports ok=false when src is shorter than EncodedSnapshotWords (a
+// geometry mismatch between publisher and reader builds).
+func DecodeSnapshotWords(src []uint64) (Snapshot, bool) {
+	var s Snapshot
+	if len(src) < EncodedSnapshotWords {
+		return s, false
+	}
+	s.Captured = src[0]
+	s.EventsLogged = src[1]
+	s.EventsDropped = src[2]
+	w := 3
+	for c := 0; c < int(NumCounters); c++ {
+		s.Counters[c] = src[w]
+		w++
+	}
+	for p := 0; p < int(NumPhases); p++ {
+		for k := 0; k < int(NumOpKinds); k++ {
+			h := &s.Phases[p][k]
+			h.Count = src[w]
+			h.Sum = src[w+1]
+			w += 2
+			for b := 0; b < NumBuckets; b++ {
+				h.Buckets[b] = src[w]
+				w++
+			}
+		}
+	}
+	return s, true
+}

@@ -267,11 +267,67 @@ func TestHistQuantile(t *testing.T) {
 	h.Sum = 90*1 + 10*1024
 	h.Buckets[bucketOf(1)] = 90
 	h.Buckets[bucketOf(1024)] = 10
-	if got := h.Quantile(0.50); got != BucketBound(bucketOf(1)) {
-		t.Errorf("p50 = %d", got)
+	// p50's rank (50) sits 5/9 of the way through the 90-observation
+	// bucket (0, 1]: interpolated within the bucket, never above its
+	// bound.
+	if got := h.Quantile(0.50); got <= 0 || got > float64(BucketBound(bucketOf(1))) {
+		t.Errorf("p50 = %v, want within bucket (0, %d]", got, BucketBound(bucketOf(1)))
 	}
-	if got := h.Quantile(0.99); got != BucketBound(bucketOf(1024)) {
-		t.Errorf("p99 = %d", got)
+	// p99 and p999 both land in the slow bucket (511, 1023]; the
+	// interpolation must keep them inside it, distinct, and ordered —
+	// the raw bucket bound collapsed both to 1023.
+	lo, hi := float64(BucketBound(bucketOf(1024)-1)), float64(BucketBound(bucketOf(1024)))
+	p99, p999 := h.Quantile(0.99), h.Quantile(0.999)
+	if p99 <= lo || p99 > hi || p999 <= lo || p999 > hi {
+		t.Errorf("tail quantiles out of bucket: p99=%v p999=%v, want in (%v, %v]", p99, p999, lo, hi)
+	}
+	if !(p99 < p999) {
+		t.Errorf("p99=%v not below p999=%v", p99, p999)
+	}
+	// Exact on a bucket boundary: rank q*Count equal to the cumulative
+	// count through a bucket returns that bucket's upper bound.
+	if got := h.Quantile(0.90); got != float64(BucketBound(bucketOf(1))) {
+		t.Errorf("boundary quantile = %v, want %d", got, BucketBound(bucketOf(1)))
+	}
+	// Monotone in q across the whole range.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	// q=1 is the max recorded bucket's bound.
+	if got := h.Quantile(1.0); got != hi {
+		t.Errorf("p100 = %v, want %v", got, hi)
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSink(Config{RingSize: 16})
+	s.Observe(PhasePrep, KindInsert, 3)
+	s.Observe(PhaseExec, KindRemove, 700)
+	s.Add(CtrRetries, 5)
+	s.Event(EvCrash, -1, 0)
+	snap := s.Snapshot()
+
+	buf := make([]uint64, EncodedSnapshotWords)
+	if n := snap.EncodeWords(buf); n != EncodedSnapshotWords {
+		t.Fatalf("encoded %d words, want %d", n, EncodedSnapshotWords)
+	}
+	back, ok := DecodeSnapshotWords(buf)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	// PerShard is deliberately not carried by the live encoding.
+	snap.PerShard = nil
+	if back.Captured != snap.Captured || back.EventsLogged != snap.EventsLogged ||
+		back.Counters != snap.Counters || back.Phases != snap.Phases {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, snap)
+	}
+	if _, ok := DecodeSnapshotWords(buf[:EncodedSnapshotWords-1]); ok {
+		t.Fatal("short decode accepted")
 	}
 }
 

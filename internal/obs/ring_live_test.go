@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEventsNonQuiescentRing reads the trace ring while producers are
+// mid-storm — the live monitor's situation, not the post-run one the
+// Events contract is exact for. Every decoded event must still be
+// internally consistent (a kind the producers wrote, a seq within the
+// logged range, in strictly ascending order): torn slots may be
+// skipped, never surfaced as garbage.
+func TestEventsNonQuiescentRing(t *testing.T) {
+	r := NewRing(64)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := uint64(1); i <= 200 || !stop.Load(); i++ {
+				r.Append(i, EvCrash, tid, i)
+				r.Append(i, EvRecoverBegin, tid, i)
+				r.Append(i, EvRecoverEnd, tid, i)
+			}
+		}(w)
+	}
+	for reads := 0; reads < 200; reads++ {
+		evs := r.Events()
+		logged := r.Logged()
+		var prev uint64
+		for _, ev := range evs {
+			if ev.Seq <= prev || ev.Seq > logged+64 {
+				t.Fatalf("seq order violated: %d after %d (logged %d)", ev.Seq, prev, logged)
+			}
+			prev = ev.Seq
+			switch ev.Kind {
+			case EvCrash, EvRecoverBegin, EvRecoverEnd:
+			default:
+				t.Fatalf("torn event surfaced: %+v", ev)
+			}
+			if ev.TID < 0 || ev.TID > 3 || ev.Arg == 0 {
+				t.Fatalf("torn payload surfaced: %+v", ev)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent again: reconstruction over the surviving tail must
+	// produce a well-formed timeline (crash/recover cycles from partial,
+	// mid-storm traces — the head of each cycle may be lapped away).
+	tl := Reconstruct("ns", TraceSource{Name: "server", Events: r.Events()})
+	if tl.Schema != TimelineSchema {
+		t.Fatalf("timeline schema %q", tl.Schema)
+	}
+	if tl.Crashes == 0 {
+		t.Fatal("no crashes survived a full ring")
+	}
+	for _, c := range tl.Cycles {
+		if c.RecoverEnd != 0 && c.RecoverBegin != 0 && c.RecoverEnd < c.RecoverBegin {
+			t.Fatalf("cycle out of order: %+v", c)
+		}
+	}
+}

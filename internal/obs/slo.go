@@ -1,0 +1,317 @@
+package obs
+
+import "fmt"
+
+// Streaming SLO monitor: percentile windows over published snapshot
+// deltas, rolling recovery-duration and time-down accounting per
+// server, and threshold-based health verdicts. The tracker is fed
+// abstract samples (state booleans + the latest decoded snapshot), so
+// it has no dependency on the shared-memory layer — internal/livemon
+// and the procharness supervisor adapt their segment reads into
+// ServerSample and consume the verdicts.
+
+// PhaseSLO is the percentile summary of one non-empty (phase, kind)
+// histogram, computed with interpolated quantiles (Hist.Quantile).
+type PhaseSLO struct {
+	Phase string  `json:"phase"`
+	Kind  string  `json:"kind"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// WindowSLO summarizes every non-empty (phase, kind) histogram of a
+// snapshot — typically a windowed delta from Snapshot.Sub, whose
+// elementwise exactness makes the window percentiles exact for the
+// interval. Order is enum order, so output is deterministic.
+func WindowSLO(s Snapshot) []PhaseSLO {
+	var out []PhaseSLO
+	for p := Phase(0); p < NumPhases; p++ {
+		for k := OpKind(0); k < NumOpKinds; k++ {
+			h := s.Phases[p][k]
+			if h.Count == 0 {
+				continue
+			}
+			out = append(out, PhaseSLO{
+				Phase: p.String(),
+				Kind:  k.String(),
+				Count: h.Count,
+				Mean:  h.Mean(),
+				P50:   h.Quantile(0.50),
+				P99:   h.Quantile(0.99),
+				P999:  h.Quantile(0.999),
+			})
+		}
+	}
+	return out
+}
+
+// Health is the per-server verdict of the SLO tracker.
+type Health uint8
+
+const (
+	// HealthUnknown: no sample observed yet.
+	HealthUnknown Health = iota
+	// HealthHealthy: serving, heartbeat advancing, inside every SLO.
+	HealthHealthy
+	// HealthRecovering: in a recovery window still inside its SLO.
+	HealthRecovering
+	// HealthViolating: alive but outside an SLO — a recovery window
+	// running past RecoveryMaxNS, or the windowed exec p99 past
+	// ExecP99MaxNS. Distinguishable from a stall: the process is making
+	// progress, just not fast enough.
+	HealthViolating
+	// HealthStalled: nominally serving but the heartbeat has been
+	// frozen for longer than StallNS (the wedge-injection signature).
+	HealthStalled
+	// HealthDown: not serving and not in a recovery window (killed and
+	// not yet respawned, or blacked out).
+	HealthDown
+	// HealthStopped: clean shutdown.
+	HealthStopped
+)
+
+// String names the verdict for events and rendering.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthRecovering:
+		return "recovering"
+	case HealthViolating:
+		return "violating"
+	case HealthStalled:
+		return "stalled"
+	case HealthDown:
+		return "down"
+	case HealthStopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// SLOConfig holds the verdict thresholds. Zero values disable the
+// corresponding rule.
+type SLOConfig struct {
+	// RecoveryMaxNS: a recovery window running longer than this makes
+	// the verdict HealthViolating instead of HealthRecovering.
+	RecoveryMaxNS uint64
+	// StallNS: a serving heartbeat frozen this long is HealthStalled.
+	StallNS uint64
+	// ExecP99MaxNS: a windowed exec-phase p99 above this (any op kind)
+	// is HealthViolating even while serving.
+	ExecP99MaxNS float64
+}
+
+// ServerSample is one observation of a server's shared status, taken by
+// whatever clock the caller samples with (wall nanoseconds for live
+// processes).
+type ServerSample struct {
+	// NowNS is the sampling clock.
+	NowNS uint64
+	// Serving/Recovering/Stopped decode the server's state word; all
+	// false means init/attaching/killed (treated as down once seen
+	// serving).
+	Serving    bool
+	Recovering bool
+	Stopped    bool
+	// StateSinceNS is the timestamp the server stored at its last state
+	// transition (0 when unknown); it refines window edges between
+	// samples.
+	StateSinceNS uint64
+	// Heartbeat and Ops are the server's progress words; Gen its
+	// recovery generation.
+	Heartbeat uint64
+	Gen       uint64
+	Ops       uint64
+	// Snap is the latest published telemetry snapshot (nil when the
+	// slot is empty or unchanged readers may pass the previous one).
+	Snap *Snapshot
+}
+
+// HealthReport is the tracker's rolling verdict after one sample.
+type HealthReport struct {
+	Verdict Health
+	// Reason is a short human-readable justification for non-healthy
+	// verdicts ("" when healthy).
+	Reason string
+	// Gen/GenBumps track recovery generations observed.
+	Gen      uint64
+	GenBumps uint64
+	// OpsPerSec is the serving rate over the last sampling interval.
+	OpsPerSec float64
+	// Window summarizes the most recent completed snapshot window.
+	Window []PhaseSLO
+	// Recovery accounting: completed windows, last/max durations, count
+	// of windows that overran RecoveryMaxNS, and total non-serving time.
+	Recoveries       uint64
+	LastRecoveryNS   uint64
+	MaxRecoveryNS    uint64
+	RecoveryOverruns uint64
+	TotalDownNS      uint64
+}
+
+// SLOTracker folds a stream of samples for one server into verdicts and
+// rolling accounting. Not safe for concurrent use; one tracker per
+// server per sampling loop.
+type SLOTracker struct {
+	cfg  SLOConfig
+	init bool
+	last ServerSample
+
+	lastHB   uint64
+	lastHBNS uint64
+
+	prevSnap Snapshot
+	havePrev bool
+	window   []PhaseSLO
+
+	downSince      uint64 // sampling-clock start of the current non-serving span (0 = serving)
+	recoverStart   uint64 // sampling-clock start of the current recovery window (0 = none)
+	overrunCounted bool   // current recovery window already counted as an overrun
+
+	report HealthReport
+}
+
+// NewSLOTracker builds a tracker with the given thresholds.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg}
+}
+
+// Report returns the last computed report (zero before any Observe).
+func (t *SLOTracker) Report() HealthReport { return t.report }
+
+// Observe folds one sample and returns the updated report.
+func (t *SLOTracker) Observe(s ServerSample) HealthReport {
+	if !t.init {
+		t.init = true
+		t.last = s
+		t.lastHB, t.lastHBNS = s.Heartbeat, s.NowNS
+		if !s.Serving && !s.Stopped {
+			t.downSince = t.edge(s, s.NowNS)
+		}
+		if s.Recovering {
+			t.recoverStart = t.edge(s, s.NowNS)
+		}
+		t.report.Gen = s.Gen
+	}
+
+	if s.Gen > t.last.Gen {
+		t.report.GenBumps += s.Gen - t.last.Gen
+	}
+	if s.Heartbeat != t.lastHB {
+		t.lastHB, t.lastHBNS = s.Heartbeat, s.NowNS
+	}
+
+	// Down-span accounting: a span opens when serving stops and closes
+	// when it resumes (or the tracker observes a clean stop).
+	wasUp := t.last.Serving || t.last.Stopped
+	isUp := s.Serving || s.Stopped
+	if wasUp && !isUp && t.downSince == 0 {
+		t.downSince = t.edge(s, s.NowNS)
+	}
+	if !wasUp && isUp && t.downSince != 0 {
+		end := t.edge(s, s.NowNS)
+		t.report.TotalDownNS += satSub(end, t.downSince)
+		t.downSince = 0
+	}
+
+	// Recovery-window accounting.
+	if s.Recovering && t.recoverStart == 0 {
+		t.recoverStart = t.edge(s, s.NowNS)
+		t.overrunCounted = false
+	}
+	if !s.Recovering && t.recoverStart != 0 {
+		end := t.edge(s, s.NowNS)
+		dur := satSub(end, t.recoverStart)
+		t.report.Recoveries++
+		t.report.LastRecoveryNS = dur
+		if dur > t.report.MaxRecoveryNS {
+			t.report.MaxRecoveryNS = dur
+		}
+		if t.cfg.RecoveryMaxNS != 0 && dur > t.cfg.RecoveryMaxNS && !t.overrunCounted {
+			t.report.RecoveryOverruns++
+		}
+		t.recoverStart = 0
+		t.overrunCounted = false
+	}
+
+	// Serving rate over the sampling interval.
+	if dt := satSub(s.NowNS, t.last.NowNS); dt > 0 && s.Ops >= t.last.Ops {
+		t.report.OpsPerSec = float64(s.Ops-t.last.Ops) / (float64(dt) / 1e9)
+	}
+
+	// Percentile window from the newest published snapshot.
+	if s.Snap != nil {
+		if t.havePrev && s.Snap.Captured != t.prevSnap.Captured {
+			t.window = WindowSLO(s.Snap.Sub(t.prevSnap))
+		} else if !t.havePrev {
+			t.window = WindowSLO(*s.Snap)
+		}
+		t.prevSnap, t.havePrev = *s.Snap, true
+	}
+	t.report.Window = t.window
+	t.report.Gen = s.Gen
+
+	t.report.Verdict, t.report.Reason = t.verdict(s)
+	t.last = s
+	return t.report
+}
+
+// edge picks the best estimate of when the state change behind sample s
+// happened: the server's own transition timestamp when it falls inside
+// the last sampling interval, else the sampling clock.
+func (t *SLOTracker) edge(s ServerSample, now uint64) uint64 {
+	if s.StateSinceNS != 0 && s.StateSinceNS <= now && s.StateSinceNS >= t.last.NowNS {
+		return s.StateSinceNS
+	}
+	if now == 0 {
+		return 1 // keep "no span open" (0) distinguishable
+	}
+	return now
+}
+
+func (t *SLOTracker) verdict(s ServerSample) (Health, string) {
+	if s.Stopped {
+		return HealthStopped, ""
+	}
+	if s.Recovering {
+		if t.cfg.RecoveryMaxNS != 0 && t.recoverStart != 0 {
+			if run := satSub(s.NowNS, t.recoverStart); run > t.cfg.RecoveryMaxNS {
+				if !t.overrunCounted {
+					t.report.RecoveryOverruns++
+					t.overrunCounted = true
+				}
+				return HealthViolating, sprintNS("recovery running", run, "past SLO", t.cfg.RecoveryMaxNS)
+			}
+		}
+		return HealthRecovering, ""
+	}
+	if !s.Serving {
+		return HealthDown, "not serving"
+	}
+	if t.cfg.StallNS != 0 {
+		if frozen := satSub(s.NowNS, t.lastHBNS); frozen > t.cfg.StallNS {
+			return HealthStalled, sprintNS("heartbeat frozen", frozen, "past stall limit", t.cfg.StallNS)
+		}
+	}
+	if t.cfg.ExecP99MaxNS > 0 {
+		for _, w := range t.window {
+			if w.Phase == "exec" && w.P99 > t.cfg.ExecP99MaxNS {
+				return HealthViolating, sprintF("exec/"+w.Kind+" p99", w.P99, "past SLO", t.cfg.ExecP99MaxNS)
+			}
+		}
+	}
+	return HealthHealthy, ""
+}
+
+func sprintNS(what string, v uint64, rel string, lim uint64) string {
+	return fmt.Sprintf("%s %.1fms %s %.1fms", what, float64(v)/1e6, rel, float64(lim)/1e6)
+}
+
+func sprintF(what string, v float64, rel string, lim float64) string {
+	return fmt.Sprintf("%s %.1fms %s %.1fms", what, v/1e6, rel, lim/1e6)
+}

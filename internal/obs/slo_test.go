@@ -1,0 +1,99 @@
+package obs
+
+import "testing"
+
+func snapAt(captured uint64, execCount int) *Snapshot {
+	var s Snapshot
+	s.Captured = captured
+	for i := 0; i < execCount; i++ {
+		d := uint64(100 + i*10)
+		s.Phases[PhaseExec][KindInsert].Count++
+		s.Phases[PhaseExec][KindInsert].Sum += d
+		s.Phases[PhaseExec][KindInsert].Buckets[bucketOf(d)]++
+	}
+	return &s
+}
+
+func TestWindowSLO(t *testing.T) {
+	w := WindowSLO(*snapAt(1, 50))
+	if len(w) != 1 {
+		t.Fatalf("windows = %+v, want one exec/insert entry", w)
+	}
+	e := w[0]
+	if e.Phase != "exec" || e.Kind != "insert" || e.Count != 50 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if !(e.P50 <= e.P99 && e.P99 <= e.P999) {
+		t.Fatalf("quantiles not monotone: %+v", e)
+	}
+}
+
+func TestSLOTrackerVerdicts(t *testing.T) {
+	const ms = uint64(1e6)
+	tr := NewSLOTracker(SLOConfig{RecoveryMaxNS: 10 * ms, StallNS: 50 * ms})
+
+	serving := func(now, hb, gen, ops uint64, snap *Snapshot) ServerSample {
+		return ServerSample{NowNS: now, Serving: true, Heartbeat: hb, Gen: gen, Ops: ops, Snap: snap}
+	}
+
+	r := tr.Observe(serving(0, 1, 1, 0, snapAt(0, 10)))
+	if r.Verdict != HealthHealthy {
+		t.Fatalf("initial verdict %v (%s)", r.Verdict, r.Reason)
+	}
+
+	// Heartbeat advancing: healthy; ops/s from the interval delta.
+	r = tr.Observe(serving(1000*ms, 2, 1, 500, snapAt(1000*ms, 20)))
+	if r.Verdict != HealthHealthy || r.OpsPerSec != 500 {
+		t.Fatalf("steady state: %+v", r)
+	}
+	if len(r.Window) != 1 || r.Window[0].Count != 10 {
+		t.Fatalf("window delta = %+v, want 10 new exec observations", r.Window)
+	}
+
+	// Heartbeat frozen past StallNS while still serving: stalled.
+	r = tr.Observe(serving(1100*ms, 2, 1, 500, nil))
+	if r.Verdict != HealthStalled {
+		t.Fatalf("stall verdict %v (%s)", r.Verdict, r.Reason)
+	}
+
+	// Killed: down, and the down span accumulates.
+	r = tr.Observe(ServerSample{NowNS: 1200 * ms, Gen: 1})
+	if r.Verdict != HealthDown {
+		t.Fatalf("down verdict %v", r.Verdict)
+	}
+
+	// Recovery inside SLO, then overrunning it.
+	r = tr.Observe(ServerSample{NowNS: 1205 * ms, Recovering: true, Gen: 1})
+	if r.Verdict != HealthRecovering {
+		t.Fatalf("recovering verdict %v (%s)", r.Verdict, r.Reason)
+	}
+	r = tr.Observe(ServerSample{NowNS: 1230 * ms, Recovering: true, Gen: 1})
+	if r.Verdict != HealthViolating || r.RecoveryOverruns != 1 {
+		t.Fatalf("overrun verdict %v overruns=%d (%s)", r.Verdict, r.RecoveryOverruns, r.Reason)
+	}
+
+	// Back to serving with a bumped generation: recovery window closed,
+	// duration recorded once, down time covers the whole dead span.
+	r = tr.Observe(serving(1240*ms, 3, 2, 600, nil))
+	if r.Verdict != HealthHealthy {
+		t.Fatalf("post-recovery verdict %v (%s)", r.Verdict, r.Reason)
+	}
+	if r.Recoveries != 1 || r.RecoveryOverruns != 1 {
+		t.Fatalf("recovery accounting: %+v", r)
+	}
+	if r.LastRecoveryNS != 35*ms || r.MaxRecoveryNS != 35*ms {
+		t.Fatalf("recovery duration = %d, want %d", r.LastRecoveryNS, 35*ms)
+	}
+	if r.GenBumps != 1 || r.Gen != 2 {
+		t.Fatalf("gen accounting: %+v", r)
+	}
+	if r.TotalDownNS != 40*ms {
+		t.Fatalf("down time = %d, want %d", r.TotalDownNS, 40*ms)
+	}
+
+	// Clean stop.
+	r = tr.Observe(ServerSample{NowNS: 1300 * ms, Stopped: true, Gen: 2})
+	if r.Verdict != HealthStopped {
+		t.Fatalf("stopped verdict %v", r.Verdict)
+	}
+}

@@ -24,24 +24,55 @@ func (h Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile reports the bucket upper bound at or above quantile q in
-// [0, 1] — an upper estimate with log₂ resolution.
-func (h Hist) Quantile(q float64) uint64 {
+// Quantile reports the q-quantile (q in [0, 1]) of the recorded
+// durations, log-linearly interpolated inside the log₂ bucket that
+// contains the target rank: bucket i spans (BucketBound(i-1),
+// BucketBound(i)], and the rank's fractional position within the
+// bucket's population interpolates between those bounds. The estimate
+// is exact on bucket boundaries and monotone in q, so tail quantiles
+// that share a bucket stay distinct (the raw bucket upper bound would
+// collapse p99 and p999 to the same power of two).
+func (h Hist) Quantile(q float64) float64 {
 	if h.Count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.Count))
-	if target == 0 {
-		target = 1
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
-	var cum uint64
+	target := q * float64(h.Count)
+	var cum float64
 	for i, n := range h.Buckets {
-		cum += n
-		if cum >= target {
-			return BucketBound(i)
+		if n == 0 {
+			continue
 		}
+		prev := cum
+		cum += float64(n)
+		if cum < target {
+			continue
+		}
+		lo := float64(BucketBound(i - 1))
+		hi := float64(BucketBound(i))
+		if hi <= lo {
+			return hi // bucket 0: the single value 0
+		}
+		frac := (target - prev) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + frac*(hi-lo)
 	}
-	return BucketBound(NumBuckets - 1)
+	return float64(BucketBound(NumBuckets - 1))
+}
+
+// Record adds one duration to the histogram — the aggregation-side
+// counterpart of Sink.Observe, for histograms built outside a sink
+// (e.g. percentiles over reconstructed recovery-outage windows).
+func (h *Hist) Record(d uint64) {
+	h.Count++
+	h.Sum += d
+	h.Buckets[bucketOf(d)]++
 }
 
 // sub subtracts elementwise (saturating at 0, so a snapshot pair taken
@@ -188,9 +219,12 @@ type PhaseExport struct {
 	Count uint64  `json:"count"`
 	Sum   uint64  `json:"sum"`
 	Mean  float64 `json:"mean"`
-	// P50/P99 are log₂-resolution upper estimates.
-	P50 uint64 `json:"p50"`
-	P99 uint64 `json:"p99"`
+	// P50/P99/P999 are log-linearly interpolated within their log₂
+	// bucket (see Hist.Quantile), so they are monotone and distinct
+	// even when two quantiles land in the same bucket.
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
 	// Buckets is the log₂ histogram with trailing zero buckets trimmed;
 	// bucket i counts durations in (BucketBound(i-1), BucketBound(i)].
 	Buckets []uint64 `json:"buckets"`
@@ -235,6 +269,7 @@ func (s Snapshot) Export(unit string) Export {
 				Mean:    h.Mean(),
 				P50:     h.Quantile(0.50),
 				P99:     h.Quantile(0.99),
+				P999:    h.Quantile(0.999),
 				Buckets: append([]uint64(nil), h.Buckets[:last+1]...),
 			})
 		}
@@ -279,6 +314,9 @@ func (e Export) Validate() []string {
 		if ph.Count == 0 {
 			probs = append(probs, fmt.Sprintf("phase %s/%s: empty histogram exported", ph.Phase, ph.Kind))
 		}
+		if ph.P50 > ph.P99 || ph.P99 > ph.P999 {
+			probs = append(probs, fmt.Sprintf("phase %s/%s: quantiles not monotone (p50 %.1f, p99 %.1f, p999 %.1f)", ph.Phase, ph.Kind, ph.P50, ph.P99, ph.P999))
+		}
 	}
 	if e.Events.Dropped > e.Events.Logged {
 		probs = append(probs, fmt.Sprintf("events: dropped %d > logged %d", e.Events.Dropped, e.Events.Logged))
@@ -292,10 +330,10 @@ func (e Export) Validate() []string {
 func (e Export) FormatTable() string {
 	var b strings.Builder
 	if len(e.Phases) > 0 {
-		fmt.Fprintf(&b, "%-10s %-8s %12s %14s %12s %12s\n", "phase", "kind", "count", "mean("+e.Unit+")", "p50", "p99")
+		fmt.Fprintf(&b, "%-10s %-8s %12s %14s %12s %12s %12s\n", "phase", "kind", "count", "mean("+e.Unit+")", "p50", "p99", "p999")
 		for _, ph := range e.Phases {
-			fmt.Fprintf(&b, "%-10s %-8s %12d %14.1f %12d %12d\n",
-				ph.Phase, ph.Kind, ph.Count, ph.Mean, ph.P50, ph.P99)
+			fmt.Fprintf(&b, "%-10s %-8s %12d %14.1f %12.1f %12.1f %12.1f\n",
+				ph.Phase, ph.Kind, ph.Count, ph.Mean, ph.P50, ph.P99, ph.P999)
 		}
 	}
 	names := make([]string, 0, len(e.Counters))

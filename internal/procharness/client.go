@@ -79,6 +79,7 @@ func ClientMain(cfg ClientConfig) error {
 		backoffMax = time.Duration(cfg.BackoffMaxMS) * time.Millisecond
 	}
 	sink := obs.NewSink(obs.Config{})
+	telem := newTelemetry(seg, seg.ClientTelemetry(cfg.ID), sink)
 	rc := mp.NewRetryClient(conn, cfg.ID, mp.RetryPolicy{
 		// The storm's downtime windows are bounded by the supervisor's
 		// restart backoff, so a generous attempt budget always outlasts
@@ -90,6 +91,7 @@ func ClientMain(cfg ClientConfig) error {
 		Seed:           cfg.Seed,
 	})
 	rc.SetObs(sink)
+	rc.SetOpKind(opKindFor(typ))
 
 	insert := typ.SpecOp(dss.Op{Kind: dss.Insert})
 	remove := typ.SpecOp(dss.Op{Kind: dss.Remove})
@@ -136,6 +138,7 @@ func ClientMain(cfg ClientConfig) error {
 			hist.Ops = append(hist.Ops, rec)
 			cst.SetOps(uint64(len(hist.Ops)))
 			cst.Beat()
+			telem.publish(8 * time.Millisecond)
 			if rec.R == "e" {
 				drained = true
 				break
@@ -161,6 +164,7 @@ func ClientMain(cfg ClientConfig) error {
 			hist.Ops = append(hist.Ops, rec)
 			cst.SetOps(uint64(i + 1))
 			cst.Beat()
+			telem.publish(8 * time.Millisecond)
 		}
 	}
 	hist.Stats = rc.Stats()
@@ -182,6 +186,7 @@ func ClientMain(cfg ClientConfig) error {
 			return err
 		}
 	}
+	telem.publish(0)
 	cst.SetDone()
 	return nil
 }

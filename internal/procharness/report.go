@@ -106,7 +106,9 @@ type StormEvent struct {
 	// Server is the subject (-1 for cluster-wide events).
 	Server int `json:"server"`
 	// Kind: spawn, serving, kill, kill-recovery, wedge, wedge-kill,
-	// blackout, restart, drain, term.
+	// blackout, restart, drain, term, plus the SLO verdict transitions
+	// the supervisor's trackers emit (slo-healthy, slo-recovering,
+	// slo-violating, slo-stalled, slo-down, slo-stopped).
 	Kind string `json:"kind"`
 	// Gen, when nonzero, is the generation involved.
 	Gen uint64 `json:"gen,omitempty"`
@@ -125,4 +127,20 @@ type StormSide struct {
 	Downs      uint64 `json:"downs"`
 	GenChanges uint64 `json:"gen_changes"`
 	Hangs      uint64 `json:"hangs"`
+	// SLO is the per-server summary of the supervisor's streaming SLO
+	// trackers: recovery windows observed from outside, overruns against
+	// RecoverySLOMS, and total time not serving. Wall-clock derived, so
+	// side-record only.
+	SLO []StormServerSLO `json:"slo,omitempty"`
+}
+
+// StormServerSLO summarizes one server's SLO tracking over a storm.
+type StormServerSLO struct {
+	Server           int     `json:"server"`
+	GenBumps         uint64  `json:"gen_bumps"`
+	Recoveries       uint64  `json:"recoveries"`
+	RecoveryOverruns uint64  `json:"recovery_overruns"`
+	LastRecoveryMS   float64 `json:"last_recovery_ms"`
+	MaxRecoveryMS    float64 `json:"max_recovery_ms"`
+	TotalDownMS      float64 `json:"total_down_ms"`
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/sharded"
 	"repro/internal/shm"
@@ -48,7 +49,9 @@ func ServerMain(cfg ServerConfig) error {
 	defer seg.Close()
 	st := seg.Server()
 	st.SetPID(os.Getpid())
-	st.SetState(shm.StateAttaching)
+	st.SetStateAt(shm.StateAttaching, nowNS())
+	sink := obs.NewSink(obs.Config{RingSize: 256})
+	telem := newTelemetry(seg, seg.ServerTelemetry(), sink)
 
 	h, info, closeHeap, err := pmem.OpenFileInfo(cfg.HeapPath, cfg.heapWords())
 	if err != nil {
@@ -79,14 +82,22 @@ func ServerMain(cfg ServerConfig) error {
 		// long enough for a supervisor that wants to kill *during*
 		// recovery to reliably land the kill inside the window; recovery
 		// itself is idempotent, so the next incarnation simply runs it
-		// again from the top.
-		st.SetState(shm.StateRecovering)
+		// again from the top. The window is bracketed into the sink —
+		// recovery-duration telemetry the SLO trackers report against —
+		// and published, so a monitor attached mid-recovery sees it.
+		st.SetStateAt(shm.StateRecovering, nowNS())
+		telem.publish(0)
+		recStart := sink.Now()
+		sink.Event(obs.EvRecoverBegin, -1, cfg.Gen)
 		front, err = sharded.Attach(h, 0, typ)
 		if err == nil {
 			if cfg.RecoveryHoldMS > 0 {
 				time.Sleep(time.Duration(cfg.RecoveryHoldMS) * time.Millisecond)
 			}
 			front.Recover()
+			sink.ObserveSince(obs.PhaseRecover, obs.KindNone, recStart)
+			sink.Event(obs.EvRecoverEnd, -1, cfg.Gen)
+			telem.publish(0)
 		}
 	}
 	if err != nil {
@@ -112,13 +123,16 @@ func ServerMain(cfg ServerConfig) error {
 	// higher generation than any predecessor and the fence rejects every
 	// ring-redelivered request from an earlier life.
 	eng.RestoreGeneration(cfg.Gen - 1)
+	eng.SetObs(sink)
+	eng.SetOpKind(opKindFor(typ))
 	gen := eng.NewGeneration()
 	st.SetGen(gen)
 
 	conn := shm.NewServerConn(seg, typ)
 	term := make(chan os.Signal, 1)
 	signal.Notify(term, syscall.SIGTERM)
-	st.SetState(shm.StateServing)
+	st.SetStateAt(shm.StateServing, nowNS())
+	telem.publish(0)
 
 serve:
 	for {
@@ -145,10 +159,14 @@ serve:
 			time.Sleep(200 * time.Microsecond)
 		}
 		st.Beat()
+		// Publishing is rate-limited; a wedged server never reaches this,
+		// so its telemetry freezes along with its heartbeat.
+		telem.publish(10 * time.Millisecond)
 	}
 
 	// Clean shutdown: sync the arena, clear the dirty marker, release
 	// the flock. The next open of this heap sees Dirty == false.
-	st.SetState(shm.StateStopped)
+	st.SetStateAt(shm.StateStopped, nowNS())
+	telem.publish(0)
 	return closeHeap()
 }

@@ -3,8 +3,12 @@ package procharness
 import (
 	"os"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/livemon"
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
 
@@ -166,5 +170,139 @@ func TestSmallStormEndToEnd(t *testing.T) {
 	}
 	if len(side.Events) == 0 {
 		t.Fatal("timeline empty")
+	}
+}
+
+// TestStormLiveMonitor attaches a read-only livemon.Monitor to a
+// storm's working directory *while the storm runs* and proves the live
+// telemetry plane end to end: generation bumps and recovery windows
+// observed from outside, telemetry frames advancing across SIGKILLs,
+// SLO verdicts walked, and a Prometheus exposition that validates —
+// all without perturbing the deployment (the storm's own invariants
+// still hold).
+func TestStormLiveMonitor(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	type result struct {
+		rep  StormReport
+		side StormSide
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, side, err := RunStorm(StormConfig{
+			Seed:                   11,
+			Servers:                1,
+			ClientsPerServer:       2,
+			OpsPerClient:           40,
+			KillsPerServer:         1,
+			RecoveryKillsPerServer: 1,
+			RecoveryHoldMS:         300,
+			RecoverySLOMS:          100, // the 300ms hold guarantees an overrun
+			Dir:                    dir,
+			KeepDir:                true,
+		})
+		done <- result{rep, side, err}
+	}()
+
+	// Attach once the supervisor has created the segment files.
+	var mon *livemon.Monitor
+	cfg := livemon.Config{SLO: obs.SLOConfig{RecoveryMaxNS: 100e6, StallNS: 400e6}}
+	for deadline := time.Now().Add(time.Minute); mon == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("segment files never appeared")
+		}
+		if m, err := livemon.Open(dir, cfg); err == nil {
+			mon = m
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	defer mon.Close()
+
+	var maxGen, maxFrames, recoveries uint64
+	sawRecoveryWindow := false
+	for {
+		select {
+		case res := <-done:
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			if !res.rep.OK() {
+				t.Fatalf("storm reported violations:\n%v", res.rep.Violations)
+			}
+
+			// Live observations made while the storm ran.
+			if maxGen < 2 {
+				t.Fatalf("monitor never saw a generation bump (max gen %d, final %v)",
+					maxGen, res.rep.FinalGenerations)
+			}
+			if !sawRecoveryWindow && recoveries == 0 {
+				t.Fatal("monitor never observed a recovery window")
+			}
+			if maxFrames == 0 {
+				t.Fatal("no telemetry frame was ever published")
+			}
+
+			// The supervisor's own trackers agree and recorded the walk.
+			if len(res.side.SLO) != 1 || res.side.SLO[0].Recoveries == 0 {
+				t.Fatalf("supervisor SLO summary: %+v", res.side.SLO)
+			}
+			if res.side.SLO[0].RecoveryOverruns == 0 {
+				t.Fatalf("held recovery never overran the 100ms SLO: %+v", res.side.SLO)
+			}
+			kinds := map[string]bool{}
+			for _, ev := range res.side.Events {
+				kinds[ev.Kind] = true
+			}
+			for _, want := range []string{"slo-healthy", "slo-violating", "slo-stopped"} {
+				if !kinds[want] {
+					t.Fatalf("side timeline missing %q (kinds: %v)", want, kinds)
+				}
+			}
+
+			// One final passive sample: cumulative percentiles from the
+			// merged telemetry, and a valid Prometheus exposition.
+			st := mon.Sample()
+			if len(st.Cumulative) == 0 {
+				t.Fatal("no cumulative telemetry after a full storm")
+			}
+			if len(st.Timeline) == 0 {
+				t.Fatal("monitor timeline empty after a full storm")
+			}
+			prom := livemon.RenderProm(st)
+			if probs := livemon.ValidateProm(prom); len(probs) > 0 {
+				t.Fatalf("exposition invalid: %v", probs)
+			}
+			if !strings.Contains(prom, "dss_phase_duration_bucket{") {
+				t.Fatal("exposition missing phase histograms")
+			}
+			if !strings.Contains(livemon.RenderTable(st), "timeline") {
+				t.Fatal("table missing timeline tail")
+			}
+			return
+		default:
+		}
+		st := mon.Sample()
+		for _, sv := range st.Servers {
+			if sv.Gen > maxGen {
+				maxGen = sv.Gen
+			}
+			if sv.TelemetryFrames > maxFrames {
+				maxFrames = sv.TelemetryFrames
+			}
+			if sv.Recoveries > recoveries {
+				recoveries = sv.Recoveries
+			}
+			if sv.State == "recovering" || sv.Verdict == "recovering" {
+				sawRecoveryWindow = true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

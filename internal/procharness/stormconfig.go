@@ -48,6 +48,12 @@ type StormConfig struct {
 	// scheduled mid-recovery kills reliably land inside them (default
 	// 400).
 	RecoveryHoldMS int
+	// RecoverySLOMS is the supervisor's recovery-duration SLO: a
+	// restarted server still recovering after this long is recorded as
+	// slo-violating in the side timeline and counted as an overrun in
+	// the per-server SLO summary (default 250). Side-record only — an
+	// overrun is telemetry, never a storm failure.
+	RecoverySLOMS int
 	// Dir is the working directory for segments, heaps, logs, and
 	// histories ("" = fresh temp dir, removed afterwards unless
 	// KeepDir).
@@ -83,6 +89,9 @@ func (c StormConfig) withDefaults() StormConfig {
 	}
 	if c.RecoveryHoldMS == 0 {
 		c.RecoveryHoldMS = 400
+	}
+	if c.RecoverySLOMS == 0 {
+		c.RecoverySLOMS = 250
 	}
 	return c
 }

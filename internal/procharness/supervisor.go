@@ -11,8 +11,14 @@ import (
 	"time"
 
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
+
+// heartbeatStall is how long a serving server's heartbeat must be frozen
+// before the supervisor declares the process hung (the wedge-injection
+// signature) and SIGKILLs it.
+const heartbeatStall = 400 * time.Millisecond
 
 // clientResult is one workload client's exit.
 type clientResult struct {
@@ -37,6 +43,13 @@ type storm struct {
 	clientsLeft int
 	clientErr   error
 
+	// slo holds one streaming SLO tracker per server, fed from the
+	// status pages inside every supervisor wait loop; sloLast is the
+	// last verdict each tracker issued, so transitions land in the side
+	// timeline exactly once.
+	slo     []*obs.SLOTracker
+	sloLast []obs.Health
+
 	start time.Time
 	rep   StormReport
 	side  StormSide
@@ -52,6 +65,38 @@ func (st *storm) event(kind string, server int, gen uint64) {
 }
 
 func (st *storm) path(name string) string { return filepath.Join(st.dir, name) }
+
+// sampleServerSLO folds one status-page sample of server i through its
+// SLO tracker. Verdict transitions are recorded in the side timeline as
+// slo-* events — the alive-but-violating-recovery-SLO state the
+// heartbeat stall detector alone cannot name.
+func (st *storm) sampleServerSLO(i int, now uint64) obs.HealthReport {
+	sv := st.segs[i].Server()
+	state := sv.State()
+	rep := st.slo[i].Observe(obs.ServerSample{
+		NowNS:        now,
+		Serving:      state == shm.StateServing,
+		Recovering:   state == shm.StateRecovering,
+		Stopped:      state == shm.StateStopped,
+		StateSinceNS: sv.StateChangedNS(),
+		Heartbeat:    sv.Heartbeat(),
+		Gen:          sv.Gen(),
+		Ops:          sv.Ops(),
+	})
+	if rep.Verdict != st.sloLast[i] && rep.Verdict != obs.HealthUnknown {
+		st.sloLast[i] = rep.Verdict
+		st.event("slo-"+rep.Verdict.String(), i, sv.Gen())
+	}
+	return rep
+}
+
+// sampleSLO samples every server's SLO tracker once.
+func (st *storm) sampleSLO() {
+	now := uint64(time.Now().UnixNano())
+	for i := range st.slo {
+		st.sampleServerSLO(i, now)
+	}
+}
 
 // spawnServer execs a new incarnation of server i at generation
 // 1 + restarts[i].
@@ -120,6 +165,7 @@ func (st *storm) waitServing(i int) error {
 			st.event("serving", i, want)
 			return nil
 		}
+		st.sampleSLO()
 		time.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("procharness: server %d never reached serving gen %d", i, want)
@@ -136,28 +182,46 @@ func (st *storm) waitRecovering(i int) error {
 			st.event("recovering", i, uint64(st.restarts[i]+1))
 			return nil
 		}
+		st.sampleSLO()
 		time.Sleep(500 * time.Microsecond)
 	}
 	return fmt.Errorf("procharness: server %d never entered recovery", i)
 }
 
-// waitHung watches server i's heartbeat and returns once it has stalled
-// long enough to declare the process hung. This is the supervisor's
-// general hang detector, exercised by the wedge fault.
+// waitViolating lets server i's held recovery run past the recovery
+// SLO before returning, so every kill-during-recovery sequence also
+// exercises the alive-but-violating verdict — a server making progress,
+// just not fast enough, which the heartbeat stall detector alone cannot
+// distinguish from healthy. Best-effort: it returns as soon as the
+// tracker says HealthViolating, or when the window ends first (a hold
+// shorter than the SLO).
+func (st *storm) waitViolating(i int) {
+	hold := time.Duration(st.cfg.RecoveryHoldMS) * time.Millisecond
+	deadline := time.Now().Add(hold + time.Second)
+	for time.Now().Before(deadline) {
+		rep := st.sampleServerSLO(i, uint64(time.Now().UnixNano()))
+		if rep.Verdict == obs.HealthViolating {
+			return
+		}
+		if st.segs[i].Server().State() != shm.StateRecovering {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitHung watches server i through its SLO tracker and returns once
+// the tracker declares the process stalled: nominally serving but with
+// a heartbeat frozen past heartbeatStall. This is the supervisor's
+// general hang detector, exercised by the wedge fault — and distinct
+// from HealthViolating, where the server is alive and progressing but
+// outside an SLO.
 func (st *storm) waitHung(i int) error {
-	sv := st.segs[i].Server()
-	const stall = 400 * time.Millisecond
-	hb := sv.Heartbeat()
-	last := time.Now()
-	deadline := last.Add(time.Minute)
+	deadline := time.Now().Add(time.Minute)
 	for time.Now().Before(deadline) {
 		time.Sleep(25 * time.Millisecond)
-		if cur := sv.Heartbeat(); cur != hb {
-			hb = cur
-			last = time.Now()
-			continue
-		}
-		if time.Since(last) >= stall {
+		rep := st.sampleServerSLO(i, uint64(time.Now().UnixNano()))
+		if rep.Verdict == obs.HealthStalled {
 			return nil
 		}
 	}
@@ -218,6 +282,7 @@ func (st *storm) waitTrigger(d directive) error {
 		if st.serverOps(target) >= d.trigger || st.clientsDone(target) {
 			return nil
 		}
+		st.sampleSLO()
 		time.Sleep(2 * time.Millisecond)
 	}
 	return fmt.Errorf("procharness: trigger %d on server %d never reached (storm wedged)", d.trigger, target)
@@ -246,6 +311,7 @@ func (st *storm) execute(d directive) error {
 		if err := st.waitRecovering(d.server); err != nil {
 			return err
 		}
+		st.waitViolating(d.server)
 		st.killServer(d.server, "kill-recovery")
 		st.rep.KillsDuringRecovery++
 		if err := st.restartServer(d.server, 0); err != nil {
@@ -391,6 +457,8 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 		restarts:   make([]int, cfg.Servers),
 		backoffN:   make([]int, cfg.Servers),
 		clientExit: make(chan clientResult, cfg.Servers*(cps+1)),
+		slo:        make([]*obs.SLOTracker, cfg.Servers),
+		sloLast:    make([]obs.Health, cfg.Servers),
 		start:      time.Now(),
 		rep: StormReport{
 			Schema:           ReportSchema,
@@ -418,8 +486,21 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 		return StormReport{}, StormSide{}, err
 	}
 
-	// Segments and servers (generation 1, fresh heaps).
-	layout := shm.Layout{Clients: cps + 1, Slots: cfg.RingSlots, SlotWords: shm.FrameSlotWords}
+	sloCfg := obs.SLOConfig{
+		RecoveryMaxNS: uint64(cfg.RecoverySLOMS) * uint64(time.Millisecond),
+		StallNS:       uint64(heartbeatStall),
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		st.slo[s] = obs.NewSLOTracker(sloCfg)
+	}
+
+	// Segments and servers (generation 1, fresh heaps). Every segment
+	// carries one telemetry slot per process, sized for the fixed-word
+	// snapshot encoding, so dssmon can attach read-only and watch.
+	layout := shm.Layout{
+		Clients: cps + 1, Slots: cfg.RingSlots, SlotWords: shm.FrameSlotWords,
+		TelemWords: obs.EncodedSnapshotWords,
+	}
 	for s := 0; s < cfg.Servers; s++ {
 		seg, err := shm.CreateSeg(st.path(fmt.Sprintf("seg%d", s)), layout)
 		if err != nil {
@@ -476,8 +557,10 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 		}
 	}
 
-	// Let the remaining workload finish.
+	// Let the remaining workload finish, keeping the SLO trackers fed.
 	finish := time.After(5 * time.Minute)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
 	for st.clientsLeft > 0 {
 		select {
 		case res := <-st.clientExit:
@@ -486,6 +569,8 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 				st.clientErr = fmt.Errorf("client %d failed: %w (log: %s)",
 					res.global, res.err, st.path(fmt.Sprintf("client%d.log", res.global)))
 			}
+		case <-tick.C:
+			st.sampleSLO()
 		case <-finish:
 			return fail(fmt.Errorf("procharness: workload never finished (storm wedged)"))
 		}
@@ -525,6 +610,8 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 			if res.err != nil && st.clientErr == nil {
 				st.clientErr = fmt.Errorf("drain client %d failed: %w", res.global, res.err)
 			}
+		case <-tick.C:
+			st.sampleSLO()
 		case <-finish:
 			return fail(fmt.Errorf("procharness: drain never finished"))
 		}
@@ -593,6 +680,22 @@ func RunStorm(cfg StormConfig) (StormReport, StormSide, error) {
 		st.rep.ValuesEnqueued += enq
 		st.rep.ValuesDequeued += deq
 		st.rep.Violations = append(st.rep.Violations, bad...)
+	}
+
+	// Close out the SLO trackers: one final sample sees StateStopped, and
+	// the per-server accounting goes into the side record.
+	st.sampleSLO()
+	for s := 0; s < cfg.Servers; s++ {
+		rep := st.slo[s].Report()
+		st.side.SLO = append(st.side.SLO, StormServerSLO{
+			Server:           s,
+			GenBumps:         rep.GenBumps,
+			Recoveries:       rep.Recoveries,
+			RecoveryOverruns: rep.RecoveryOverruns,
+			LastRecoveryMS:   float64(rep.LastRecoveryNS) / 1e6,
+			MaxRecoveryMS:    float64(rep.MaxRecoveryNS) / 1e6,
+			TotalDownMS:      float64(rep.TotalDownNS) / 1e6,
+		})
 	}
 
 	for _, f := range st.logs {

@@ -1,0 +1,61 @@
+package procharness
+
+import (
+	"time"
+
+	"repro/internal/dss"
+	"repro/internal/obs"
+	"repro/internal/shm"
+	"repro/internal/spec"
+)
+
+// nowNS is the wall clock the roles stamp shared state with.
+func nowNS() uint64 { return uint64(time.Now().UnixNano()) }
+
+// telemetry wires one process's obs sink to its seqlock-published slot
+// in the shared segment. publish() is wait-free for readers and cheap
+// enough to call from serve loops; a SIGKILL mid-publish can never
+// surface a torn snapshot (the slot's even/odd header discipline).
+type telemetry struct {
+	sink *obs.Sink
+	pub  *shm.TelemetryPublisher
+	buf  []uint64
+	last time.Time
+}
+
+// newTelemetry builds the publisher side for slot (a nil slot, or a
+// slot too small for the fixed-word encoding, disables publishing; the
+// sink still records).
+func newTelemetry(seg *shm.Seg, slot *shm.TelemetrySlot, sink *obs.Sink) *telemetry {
+	t := &telemetry{sink: sink}
+	if slot != nil && seg.TelemWords() >= obs.EncodedSnapshotWords {
+		t.pub = slot.Publisher()
+		t.buf = make([]uint64, seg.TelemWords())
+	}
+	return t
+}
+
+// publish snapshots the sink into the slot. With minGap nonzero the
+// publish is skipped unless that much time passed since the last one —
+// the serve- and workload-loop rate limit.
+func (t *telemetry) publish(minGap time.Duration) {
+	if t.pub == nil || (minGap > 0 && time.Since(t.last) < minGap) {
+		return
+	}
+	t.last = time.Now()
+	snap := t.sink.Snapshot()
+	snap.Captured = nowNS()
+	snap.EncodeWords(t.buf)
+	t.pub.Publish(t.buf)
+}
+
+// opKindFor translates the wire vocabulary of typ back into op-kind
+// labels for per-(phase×kind) attribution.
+func opKindFor(typ dss.Type) func(spec.Op) obs.OpKind {
+	return func(op spec.Op) obs.OpKind {
+		if dop, ok := typ.FromSpec(op); ok {
+			return dss.KindOf(dop.Kind)
+		}
+		return obs.KindNone
+	}
+}

@@ -14,10 +14,9 @@ import (
 // elsewhere).
 func Supported() bool { return true }
 
-// mapWords maps size words of f shared and read-write.
-func mapWords(f *os.File, words int) ([]uint64, func() error, error) {
-	raw, err := syscall.Mmap(int(f.Fd()), 0, words*8,
-		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+// mapWords maps size words of f shared with the given protection.
+func mapWords(f *os.File, words, prot int) ([]uint64, func() error, error) {
+	raw, err := syscall.Mmap(int(f.Fd()), 0, words*8, prot, syscall.MAP_SHARED)
 	if err != nil {
 		return nil, nil, fmt.Errorf("shm: mmap: %w", err)
 	}
@@ -40,7 +39,7 @@ func CreateSeg(path string, l Layout) (*Seg, error) {
 		f.Close()
 		return nil, fmt.Errorf("shm: truncate: %w", err)
 	}
-	w, unmap, err := mapWords(f, l.Words())
+	w, unmap, err := mapWords(f, l.Words(), syscall.PROT_READ|syscall.PROT_WRITE)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -64,7 +63,20 @@ func CreateSeg(path string, l Layout) (*Seg, error) {
 // OpenSeg maps an existing segment file and validates its header. Server
 // and client processes open the segment their supervisor created.
 func OpenSeg(path string) (*Seg, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return openSeg(path, os.O_RDWR, syscall.PROT_READ|syscall.PROT_WRITE)
+}
+
+// OpenSegRO maps an existing segment file read-only: the live monitor's
+// attach mode. A read-only view can sample status lines, telemetry
+// slots, and ring headers but never perturb the running deployment —
+// calling a mutating method on it faults instead of corrupting the
+// segment.
+func OpenSegRO(path string) (*Seg, error) {
+	return openSeg(path, os.O_RDONLY, syscall.PROT_READ)
+}
+
+func openSeg(path string, flag, prot int) (*Seg, error) {
+	f, err := os.OpenFile(path, flag, 0)
 	if err != nil {
 		return nil, fmt.Errorf("shm: open %s: %w", path, err)
 	}
@@ -78,7 +90,7 @@ func OpenSeg(path string) (*Seg, error) {
 		f.Close()
 		return nil, fmt.Errorf("shm: %s too small (%d bytes) for a segment", path, st.Size())
 	}
-	w, unmap, err := mapWords(f, words)
+	w, unmap, err := mapWords(f, words, prot)
 	if err != nil {
 		f.Close()
 		return nil, err

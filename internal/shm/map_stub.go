@@ -21,3 +21,8 @@ func CreateSeg(path string, l Layout) (*Seg, error) {
 func OpenSeg(path string) (*Seg, error) {
 	return nil, fmt.Errorf("shm: file-backed segments are not supported on %s", runtime.GOOS)
 }
+
+// OpenSegRO is unavailable without shared file mappings.
+func OpenSegRO(path string) (*Seg, error) {
+	return nil, fmt.Errorf("shm: file-backed segments are not supported on %s", runtime.GOOS)
+}

@@ -10,22 +10,27 @@ import (
 // line, one status line per client, then one request/reply ring pair per
 // client. All offsets are in words; every region is line-aligned.
 //
-//	line 0          magic, version, clients, slots, slotWords
+//	line 0          magic, version, clients, slots, slotWords, telemWords
 //	line 1          ticket clock (word 0)
 //	line 2          server status
 //	line 3..3+C-1   client status, one line per client
 //	then per client: request ring, reply ring
+//	then, when telemWords > 0: one telemetry slot per process (server
+//	first, then each client) — a seqlock header word plus telemWords
+//	payload words, line-aligned (the live metrics plane; see
+//	TelemetrySlot)
 const (
 	// segMagic spells "DSSSEG/1" and guards against viewing a foreign or
 	// half-created mapping as a segment (it is stored last on format).
 	segMagic   = 0x4453_5353_4547_2f31
-	segVersion = 1
+	segVersion = 2
 
 	hdrMagicWord     = 0
 	hdrVersionWord   = 1
 	hdrClientsWord   = 2
 	hdrSlotsWord     = 3
 	hdrSlotWordsWord = 4
+	hdrTelemWord     = 5
 
 	clockWord = 1 * wordsPerLine
 
@@ -37,6 +42,7 @@ const (
 	svPid          = 4
 	svDirty        = 5
 	svWedge        = 6
+	svStateNS      = 7
 
 	clientLinesWord = 3 * wordsPerLine
 	clHeartbeat     = 0
@@ -67,6 +73,11 @@ type Layout struct {
 	// a multiple of wordsPerLine. FrameSlotWords fits the transport's
 	// request and reply frames.
 	SlotWords int
+	// TelemWords is the telemetry payload capacity per process slot in
+	// words (obs.EncodedSnapshotWords for the live metrics plane); 0
+	// omits the telemetry region entirely, preserving the pre-telemetry
+	// geometry.
+	TelemWords int
 }
 
 // FrameSlotWords is the slot size the mp transport frames need: two
@@ -75,12 +86,31 @@ const FrameSlotWords = 2 * wordsPerLine
 
 // Words returns the total segment size in words.
 func (l Layout) Words() int {
+	return l.telemBase() + (1+l.Clients)*l.telemSlotWords()
+}
+
+// telemBase is the word offset of the telemetry region (the pre-v2
+// segment end).
+func (l Layout) telemBase() int {
 	return clientLinesWord + l.Clients*wordsPerLine +
 		2*l.Clients*RingWords(l.Slots, l.SlotWords)
 }
 
+// telemSlotWords is the line-aligned stride of one telemetry slot
+// (header word + payload), 0 when the region is omitted.
+func (l Layout) telemSlotWords() int {
+	if l.TelemWords <= 0 {
+		return 0
+	}
+	n := 1 + l.TelemWords
+	if r := n % wordsPerLine; r != 0 {
+		n += wordsPerLine - r
+	}
+	return n
+}
+
 func (l Layout) validate() error {
-	if l.Clients < 1 || l.Slots < 2 || l.SlotWords < 2 || l.SlotWords%wordsPerLine != 0 {
+	if l.Clients < 1 || l.Slots < 2 || l.SlotWords < 2 || l.SlotWords%wordsPerLine != 0 || l.TelemWords < 0 {
 		return fmt.Errorf("shm: bad segment layout %+v", l)
 	}
 	return nil
@@ -110,6 +140,7 @@ func InitSeg(w []uint64, l Layout) (*Seg, error) {
 	atomic.StoreUint64(&w[hdrClientsWord], uint64(l.Clients))
 	atomic.StoreUint64(&w[hdrSlotsWord], uint64(l.Slots))
 	atomic.StoreUint64(&w[hdrSlotWordsWord], uint64(l.SlotWords))
+	atomic.StoreUint64(&w[hdrTelemWord], uint64(l.TelemWords))
 	atomic.StoreUint64(&w[hdrMagicWord], segMagic)
 	return &Seg{w: w, l: l}, nil
 }
@@ -127,9 +158,10 @@ func ViewSeg(w []uint64) (*Seg, error) {
 		return nil, fmt.Errorf("shm: segment version %d (want %d)", v, segVersion)
 	}
 	l := Layout{
-		Clients:   int(atomic.LoadUint64(&w[hdrClientsWord])),
-		Slots:     int(atomic.LoadUint64(&w[hdrSlotsWord])),
-		SlotWords: int(atomic.LoadUint64(&w[hdrSlotWordsWord])),
+		Clients:    int(atomic.LoadUint64(&w[hdrClientsWord])),
+		Slots:      int(atomic.LoadUint64(&w[hdrSlotsWord])),
+		SlotWords:  int(atomic.LoadUint64(&w[hdrSlotWordsWord])),
+		TelemWords: int(atomic.LoadUint64(&w[hdrTelemWord])),
 	}
 	if err := l.validate(); err != nil {
 		return nil, err
@@ -210,6 +242,21 @@ func (st ServerStatus) Heartbeat() uint64 { return atomic.LoadUint64(&st.w[svHea
 // SetState publishes the lifecycle state; State reads it.
 func (st ServerStatus) SetState(v uint64) { atomic.StoreUint64(&st.w[svState], v) }
 func (st ServerStatus) State() uint64     { return atomic.LoadUint64(&st.w[svState]) }
+
+// SetStateAt publishes the lifecycle state together with the wall-clock
+// nanosecond it changed, so a sparse sampler (the live monitor, the SLO
+// tracker) sees exact transition edges instead of its own poll times.
+// The timestamp is stored first: a reader pairing the two words sees
+// either the old pair or a state with an at-or-earlier timestamp, never
+// a state with a stale future edge.
+func (st ServerStatus) SetStateAt(v, ns uint64) {
+	atomic.StoreUint64(&st.w[svStateNS], ns)
+	atomic.StoreUint64(&st.w[svState], v)
+}
+
+// StateChangedNS reads the wall-clock nanosecond of the last transition
+// published with SetStateAt (0 when the server uses bare SetState).
+func (st ServerStatus) StateChangedNS() uint64 { return atomic.LoadUint64(&st.w[svStateNS]) }
 
 // SetGen publishes the serving generation; Gen reads it.
 func (st ServerStatus) SetGen(v uint64) { atomic.StoreUint64(&st.w[svGen], v) }

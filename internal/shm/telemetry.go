@@ -1,0 +1,123 @@
+package shm
+
+import "sync/atomic"
+
+// Telemetry slots: the live metrics plane. Each process owns one slot
+// in the segment's telemetry region (server first, then one per
+// client) and periodically publishes its flattened obs snapshot into
+// it. The slot reuses the ring frames' seqlock discipline — header
+// hdrWriting(n) stored before the payload, hdrComplete(n) after — so a
+// reader either sees a complete frame or no frame, and a publisher
+// SIGKILLed between the two header stores leaves the slot ignorable
+// (odd header) rather than torn. There is no ordering handshake beyond
+// the header word: publishes are wait-free (a fixed number of atomic
+// stores, no loops, no fences beyond the stores themselves) and the
+// single-writer-per-slot discipline makes the odd/even protocol
+// sufficient.
+//
+// A respawned process re-adopts its slot by reading the header and
+// continuing the frame numbering, so a reader's "new frame" detection
+// (the returned sequence number) keeps advancing across the publisher
+// being killed and restarted.
+
+// TelemetrySlot is a view of one process's telemetry slot.
+type TelemetrySlot struct {
+	w []uint64 // header word + payload capacity
+}
+
+// HasTelemetry reports whether the segment was formatted with a
+// telemetry region.
+func (s *Seg) HasTelemetry() bool { return s.l.telemSlotWords() > 0 }
+
+// TelemWords reports the per-slot payload capacity in words.
+func (s *Seg) TelemWords() int { return s.l.TelemWords }
+
+func (s *Seg) telemSlot(i int) *TelemetrySlot {
+	stride := s.l.telemSlotWords()
+	if stride == 0 {
+		return nil
+	}
+	base := s.l.telemBase() + i*stride
+	return &TelemetrySlot{w: s.w[base : base+stride]}
+}
+
+// ServerTelemetry returns the server's telemetry slot (nil when the
+// segment has no telemetry region).
+func (s *Seg) ServerTelemetry() *TelemetrySlot { return s.telemSlot(0) }
+
+// ClientTelemetry returns client i's telemetry slot (nil when the
+// segment has no telemetry region).
+func (s *Seg) ClientTelemetry(i int) *TelemetrySlot {
+	if i < 0 || i >= s.l.Clients {
+		panic("shm: client index out of range")
+	}
+	return s.telemSlot(1 + i)
+}
+
+// TelemetryPublisher is the slot owner's publishing handle.
+type TelemetryPublisher struct {
+	slot *TelemetrySlot
+	next uint64 // frame number of the next publish
+}
+
+// Publisher builds the owning process's publishing handle, adopting the
+// frame numbering already in the slot: a fresh slot starts at frame 0,
+// a slot whose previous owner was killed after completing frame n
+// continues at n+1, and one killed mid-publish of frame n rewrites
+// frame n (its odd header was never readable anyway).
+func (s *TelemetrySlot) Publisher() *TelemetryPublisher {
+	p := &TelemetryPublisher{slot: s}
+	switch h := atomic.LoadUint64(&s.w[0]); {
+	case h == 0:
+		p.next = 0
+	case h&1 == 1: // hdrWriting(n) = 2n+1
+		p.next = (h - 1) / 2
+	default: // hdrComplete(n) = 2n+2
+		p.next = h / 2
+	}
+	return p
+}
+
+// Publish stores one snapshot frame. payload longer than the slot's
+// capacity is truncated (a geometry mismatch the reader detects by
+// length); shorter payloads zero-fill, so stale tail words from a
+// larger earlier frame never leak into a decode.
+func (p *TelemetryPublisher) Publish(payload []uint64) {
+	w := p.slot.w
+	atomic.StoreUint64(&w[0], hdrWriting(p.next))
+	n := len(w) - 1
+	if len(payload) < n {
+		n = len(payload)
+	}
+	for i := 0; i < n; i++ {
+		atomic.StoreUint64(&w[1+i], payload[i])
+	}
+	for i := n; i < len(w)-1; i++ {
+		atomic.StoreUint64(&w[1+i], 0)
+	}
+	atomic.StoreUint64(&w[0], hdrComplete(p.next))
+	p.next++
+}
+
+// Read copies the latest complete frame into buf (which should be the
+// slot's payload capacity long) and returns its 1-based frame ordinal.
+// ok is false when no frame has ever completed or the copy raced a
+// concurrent publish — the caller keeps its previous frame and retries
+// on its next sampling tick, so readers never block publishers.
+func (s *TelemetrySlot) Read(buf []uint64) (seq uint64, ok bool) {
+	h1 := atomic.LoadUint64(&s.w[0])
+	if h1 == 0 || h1&1 == 1 {
+		return 0, false
+	}
+	n := len(s.w) - 1
+	if len(buf) < n {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = atomic.LoadUint64(&s.w[1+i])
+	}
+	if atomic.LoadUint64(&s.w[0]) != h1 {
+		return 0, false
+	}
+	return h1 / 2, true
+}

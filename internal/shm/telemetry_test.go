@@ -1,0 +1,174 @@
+package shm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func telemTestSeg(t *testing.T, telemWords int) *Seg {
+	t.Helper()
+	return NewMemSeg(Layout{Clients: 2, Slots: 4, SlotWords: FrameSlotWords, TelemWords: telemWords})
+}
+
+func TestTelemetrySlotRoundTrip(t *testing.T) {
+	s := telemTestSeg(t, 5)
+	if !s.HasTelemetry() || s.TelemWords() != 5 {
+		t.Fatalf("telemetry geometry: has=%v words=%d", s.HasTelemetry(), s.TelemWords())
+	}
+
+	slot := s.ServerTelemetry()
+	buf := make([]uint64, 5)
+	if _, ok := slot.Read(buf); ok {
+		t.Fatal("read succeeded on a never-published slot")
+	}
+
+	p := slot.Publisher()
+	p.Publish([]uint64{1, 2, 3, 4, 5})
+	seq, ok := slot.Read(buf)
+	if !ok || seq != 1 {
+		t.Fatalf("read: ok=%v seq=%d", ok, seq)
+	}
+	if buf[0] != 1 || buf[4] != 5 {
+		t.Fatalf("payload: %v", buf)
+	}
+
+	// A shorter publish zero-fills the stale tail.
+	p.Publish([]uint64{9})
+	if seq, ok = slot.Read(buf); !ok || seq != 2 {
+		t.Fatalf("read 2: ok=%v seq=%d", ok, seq)
+	}
+	if buf[0] != 9 || buf[1] != 0 || buf[4] != 0 {
+		t.Fatalf("stale tail leaked: %v", buf)
+	}
+
+	// Client slots are distinct from the server's and each other's.
+	c0 := s.ClientTelemetry(0).Publisher()
+	c0.Publish([]uint64{70})
+	if _, ok := s.ClientTelemetry(1).Read(buf); ok {
+		t.Fatal("client 1 read client 0's publish")
+	}
+	if seq, ok = s.ClientTelemetry(0).Read(buf); !ok || buf[0] != 70 {
+		t.Fatalf("client 0 read: ok=%v buf=%v", ok, buf)
+	}
+
+	// A segment without a telemetry region reports so and costs nothing.
+	bare := telemTestSeg(t, 0)
+	if bare.HasTelemetry() || bare.ServerTelemetry() != nil {
+		t.Fatal("bare segment grew a telemetry region")
+	}
+	if bare.Layout().Words() != (Layout{Clients: 2, Slots: 4, SlotWords: FrameSlotWords}).Words() {
+		t.Fatal("TelemWords=0 changed the segment geometry")
+	}
+}
+
+// TestTelemetryTornPublishNeverSurfaced replays the publisher's store
+// sequence one store at a time — every state a SIGKILL can freeze the
+// slot in — and after each strict prefix the reader must either see the
+// previous complete frame intact or no frame at all, never a mix of old
+// and new words. It then proves the respawn path: a new Publisher
+// adopting the frozen slot republishes under the same frame number and
+// the reader converges on the new payload with an advancing sequence.
+func TestTelemetryTornPublishNeverSurfaced(t *testing.T) {
+	const words = 4
+	oldPay := []uint64{11, 12, 13, 14}
+	newPay := []uint64{21, 22, 23, 24}
+
+	// The stores Publish performs for frame 1 (after frame 0 completed),
+	// in order: header to writing, payload words, header to complete.
+	type store struct{ word, val uint64 }
+	var stores []store
+	stores = append(stores, store{0, hdrWriting(1)})
+	for i, v := range newPay {
+		stores = append(stores, store{uint64(1 + i), v})
+	}
+	stores = append(stores, store{0, hdrComplete(1)})
+
+	for prefix := 0; prefix <= len(stores); prefix++ {
+		s := telemTestSeg(t, words)
+		slot := s.ServerTelemetry()
+		slot.Publisher().Publish(oldPay) // frame 0 completes
+
+		for _, st := range stores[:prefix] {
+			atomic.StoreUint64(&slot.w[st.word], st.val)
+		}
+
+		buf := make([]uint64, words)
+		seq, ok := slot.Read(buf)
+		switch {
+		case prefix == 0:
+			if !ok || seq != 1 || buf[0] != 11 {
+				t.Fatalf("prefix 0: lost the old frame: ok=%v seq=%d buf=%v", ok, seq, buf)
+			}
+		case prefix < len(stores):
+			// Mid-publish: the odd header must suppress the frame.
+			if ok {
+				t.Fatalf("prefix %d/%d: torn frame surfaced: seq=%d buf=%v", prefix, len(stores), seq, buf)
+			}
+		default:
+			if !ok || seq != 2 || buf[0] != 21 || buf[3] != 24 {
+				t.Fatalf("complete publish unreadable: ok=%v seq=%d buf=%v", ok, seq, buf)
+			}
+		}
+
+		// Respawn from this frozen state: the adopted publisher must
+		// produce a frame the reader accepts, at or after the frozen
+		// frame number.
+		p := slot.Publisher()
+		p.Publish([]uint64{31, 32, 33, 34})
+		seq2, ok := slot.Read(buf)
+		if !ok || buf[0] != 31 || buf[3] != 34 {
+			t.Fatalf("prefix %d: respawned publish unreadable: ok=%v buf=%v", prefix, ok, buf)
+		}
+		if seq2 < seq {
+			t.Fatalf("prefix %d: frame ordinal went backwards: %d -> %d", prefix, seq, seq2)
+		}
+	}
+}
+
+// TestTelemetryPublisherReaderRace hammers one slot from a publisher
+// goroutine while a reader samples it: every successful read must
+// decode to a single publish's payload (all words from one frame), and
+// the observed frame ordinals must be non-decreasing.
+func TestTelemetryPublisherReaderRace(t *testing.T) {
+	const words = 8
+	s := telemTestSeg(t, words)
+	slot := s.ServerTelemetry()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := slot.Publisher()
+		pay := make([]uint64, words)
+		for v := uint64(1); v <= 5000 || !stop.Load(); v++ {
+			for i := range pay {
+				pay[i] = v
+			}
+			p.Publish(pay)
+		}
+	}()
+
+	buf := make([]uint64, words)
+	var lastSeq uint64
+	reads := 0
+	for reads < 20000 {
+		seq, ok := slot.Read(buf)
+		if !ok {
+			continue
+		}
+		reads++
+		for i := 1; i < words; i++ {
+			if buf[i] != buf[0] {
+				t.Fatalf("mixed frame surfaced: %v (seq %d)", buf, seq)
+			}
+		}
+		if seq < lastSeq {
+			t.Fatalf("frame ordinal went backwards: %d -> %d", lastSeq, seq)
+		}
+		lastSeq = seq
+	}
+	stop.Store(true)
+	wg.Wait()
+}
